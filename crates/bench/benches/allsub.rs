@@ -1,0 +1,50 @@
+//! Ablation A2 — Theorem 3 in microbenchmark form: building sketches of
+//! every fixed-size subtable via FFT cross-correlation versus naive
+//! per-window dot products.
+//!
+//! The asymptotic gap is `O(k·N·log N)` vs `O(k·N·M)` (N table cells, M
+//! window cells), so the FFT margin widens with the window size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tabsketch_core::{AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_table::Table;
+
+fn table(edge: usize) -> Table {
+    Table::from_fn(edge, edge, |r, c| ((r * 31 + c * 17) % 103) as f64).expect("valid dims")
+}
+
+fn bench_allsub(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allsub_build");
+    group.sample_size(10);
+    let t = table(96);
+    let k = 8;
+    for &edge in &[4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("fft", edge), &edge, |b, &e| {
+            b.iter(|| {
+                let sk = Sketcher::new(SketchParams::new(1.0, k, 7).expect("valid params"))
+                    .expect("valid sketcher");
+                AllSubtableSketches::build(black_box(&t), e, e, sk).expect("fits budget")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", edge), &edge, |b, &e| {
+            b.iter(|| {
+                let sk = Sketcher::new(SketchParams::new(1.0, k, 7).expect("valid params"))
+                    .expect("valid sketcher");
+                AllSubtableSketches::build_naive(black_box(&t), e, e, sk).expect("fits budget")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_allsub
+}
+criterion_main!(benches);

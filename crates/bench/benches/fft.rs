@@ -1,0 +1,145 @@
+//! Microbenchmarks for the FFT substrate: 1-D transforms, 2-D transforms,
+//! and the shared-spectrum correlator that powers Theorem 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use tabsketch_fft::{BluesteinPlan, Complex, Correlator2d, Direction, Fft2dPlan, FftPlan};
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for &n in &[1024usize, 4096, 16384] {
+        group.throughput(Throughput::Elements(n as u64));
+        let plan = FftPlan::new(n).expect("power of two");
+        let data = signal(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.transform(black_box(&mut buf), Direction::Forward)
+                    .expect("planned length");
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    for &edge in &[64usize, 128, 256] {
+        group.throughput(Throughput::Elements((edge * edge) as u64));
+        let plan = Fft2dPlan::new(edge, edge).expect("powers of two");
+        let data = signal(edge * edge);
+        group.bench_with_input(BenchmarkId::from_parameter(edge), &edge, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.transform(black_box(&mut buf), Direction::Forward)
+                    .expect("planned size");
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_correlator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlator2d");
+    let (rows, cols) = (128usize, 128usize);
+    let data: Vec<f64> = (0..rows * cols).map(|i| (i % 251) as f64).collect();
+    let corr = Correlator2d::new(&data, rows, cols).expect("valid table");
+    for &edge in &[8usize, 16, 32] {
+        let kernel: Vec<f64> = (0..edge * edge).map(|i| (i % 17) as f64 - 8.0).collect();
+        group.bench_with_input(BenchmarkId::new("fft", edge), &edge, |b, &e| {
+            b.iter(|| {
+                corr.correlate(black_box(&kernel), e, e)
+                    .expect("kernel fits")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("naive", edge), &edge, |b, &e| {
+            b.iter(|| {
+                tabsketch_fft::cross_correlate_2d_valid_naive(
+                    black_box(&data),
+                    rows,
+                    cols,
+                    black_box(&kernel),
+                    e,
+                    e,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bluestein(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bluestein_vs_radix2");
+    // A power of two (both paths apply) and two awkward lengths.
+    for &n in &[1024usize, 1000, 997] {
+        let data = signal(n);
+        if n.is_power_of_two() {
+            let plan = FftPlan::new(n).expect("power of two");
+            group.bench_with_input(BenchmarkId::new("radix2", n), &n, |b, _| {
+                b.iter(|| {
+                    let mut buf = data.clone();
+                    plan.transform(black_box(&mut buf), Direction::Forward)
+                        .expect("planned length");
+                    buf
+                });
+            });
+        }
+        let plan = BluesteinPlan::new(n).expect("any length");
+        group.bench_with_input(BenchmarkId::new("bluestein", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.transform(black_box(&mut buf), Direction::Forward)
+                    .expect("planned length");
+                buf
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pair_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("correlate_pair_vs_singles");
+    let (rows, cols) = (128usize, 128usize);
+    let data: Vec<f64> = (0..rows * cols).map(|i| (i % 251) as f64).collect();
+    let corr = Correlator2d::new(&data, rows, cols).expect("valid table");
+    let edge = 16;
+    let k1: Vec<f64> = (0..edge * edge).map(|i| (i % 17) as f64 - 8.0).collect();
+    let k2: Vec<f64> = (0..edge * edge).map(|i| (i % 13) as f64 - 6.0).collect();
+    group.bench_function("two_singles", |b| {
+        b.iter(|| {
+            let a = corr
+                .correlate(black_box(&k1), edge, edge)
+                .expect("kernel fits");
+            let b2 = corr
+                .correlate(black_box(&k2), edge, edge)
+                .expect("kernel fits");
+            (a, b2)
+        });
+    });
+    group.bench_function("one_pair", |b| {
+        b.iter(|| {
+            corr.correlate_pair(black_box(&k1), black_box(&k2), edge, edge)
+                .expect("kernels fit")
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_fft_1d, bench_fft_2d, bench_correlator, bench_bluestein, bench_pair_packing
+}
+criterion_main!(benches);

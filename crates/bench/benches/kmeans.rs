@@ -1,0 +1,76 @@
+//! End-to-end k-means microbenchmark across the three embeddings — a
+//! compressed version of Figure 3's timing comparison suitable for
+//! regression tracking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tabsketch_cluster::{
+    ExactEmbedding, KMeans, KMeansConfig, OnDemandSketchEmbedding, PrecomputedSketchEmbedding,
+};
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_data::{CallVolumeConfig, CallVolumeGenerator};
+use tabsketch_table::TileGrid;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_scenarios");
+    group.sample_size(10);
+
+    let table = CallVolumeGenerator::new(CallVolumeConfig {
+        stations: 128,
+        slots_per_day: 144,
+        days: 4,
+        seed: 88,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+    let grid = TileGrid::new(table.rows(), table.cols(), 16, 144).expect("tiles fit");
+    let p = 0.5;
+    let params = SketchParams::new(p, 128, 4).expect("valid params");
+    let km = KMeans::new(KMeansConfig {
+        k: 8,
+        seed: 2,
+        ..Default::default()
+    })
+    .expect("valid config");
+
+    let pre = PrecomputedSketchEmbedding::build(
+        &table,
+        &grid,
+        Sketcher::new(params).expect("valid sketcher"),
+    )
+    .expect("non-empty grid");
+    group.bench_function("precomputed", |b| {
+        b.iter(|| km.run(black_box(&pre)).expect("enough objects"));
+    });
+
+    // The shared sketcher keeps the precomputed random matrices (the
+    // paper counts R[i] construction as preprocessing even on demand);
+    // each iteration still pays the per-tile sketching inside the run.
+    let od_sketcher = Sketcher::new(params).expect("valid sketcher");
+    group.bench_function("on_demand", |b| {
+        b.iter(|| {
+            let lazy = OnDemandSketchEmbedding::new(&table, grid, od_sketcher.clone())
+                .expect("non-empty grid");
+            km.run(black_box(&lazy)).expect("enough objects")
+        });
+    });
+
+    let exact = ExactEmbedding::from_tiles(&table, &grid, p).expect("non-empty grid");
+    group.bench_function("exact", |b| {
+        b.iter(|| km.run(black_box(&exact)).expect("enough objects"));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_kmeans
+}
+criterion_main!(benches);

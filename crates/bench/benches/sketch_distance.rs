@@ -1,0 +1,96 @@
+//! The paper's core cost claim in microbenchmark form: one sketched
+//! distance estimate (O(k) median or O(k) L2 over sketch entries) versus
+//! one exact Lp scan (O(tile size), with `powf` for fractional p).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_table::norms;
+
+fn vectors(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let a: Vec<f64> = (0..n).map(|i| ((i * 31) % 1009) as f64).collect();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 57 + 13) % 1009) as f64).collect();
+    (a, b)
+}
+
+fn bench_exact_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_lp_scan");
+    for &n in &[1024usize, 16384, 131072] {
+        let (a, b) = vectors(n);
+        for &p in &[0.5f64, 1.0, 2.0] {
+            group.bench_with_input(BenchmarkId::new(format!("p{p}"), n), &n, |bencher, _| {
+                bencher.iter(|| norms::lp_distance_slices(black_box(&a), black_box(&b), p));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sketch_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_estimate");
+    let (a, b) = vectors(16384);
+    for &k in &[64usize, 256, 1024] {
+        for &p in &[1.0f64, 2.0] {
+            let sk = Sketcher::new(SketchParams::new(p, k, 5).expect("valid params"))
+                .expect("valid sketcher");
+            let sa = sk.sketch_slice(&a);
+            let sb = sk.sketch_slice(&b);
+            let mut scratch = Vec::with_capacity(k);
+            group.bench_with_input(BenchmarkId::new(format!("p{p}"), k), &k, |bencher, _| {
+                bencher.iter(|| {
+                    sk.estimate_distance_with(black_box(&sa), black_box(&sb), &mut scratch)
+                        .expect("compatible sketches")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sketch_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_construction");
+    group.sample_size(20);
+    let (a, _) = vectors(16384);
+    for &k in &[64usize, 256] {
+        let sk = Sketcher::new(SketchParams::new(1.0, k, 5).expect("valid params"))
+            .expect("valid sketcher");
+        // Warm the random-row cache so the benchmark measures the dot
+        // products (the steady-state cost), not one-time RNG work.
+        let _ = sk.sketch_slice(&a);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, _| {
+            bencher.iter(|| sk.sketch_slice(black_box(&a)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_streaming_update(c: &mut Criterion) {
+    use tabsketch_core::streaming::StreamingSketch;
+    let mut group = c.benchmark_group("streaming_update");
+    for &k in &[64usize, 256] {
+        let sk = Sketcher::new(SketchParams::new(1.0, k, 5).expect("valid params"))
+            .expect("valid sketcher");
+        let mut stream = StreamingSketch::new(sk, 4096).expect("valid dim");
+        // Warm the row cache so the benchmark measures the O(k) update.
+        stream.update(4095, 1.0).expect("in range"); // caches full rows
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                i = (i + 131) % 4096;
+                stream.update(black_box(i), 0.5).expect("in range")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10);
+    targets = bench_exact_scan, bench_sketch_estimate, bench_sketch_construction, bench_streaming_update
+}
+criterion_main!(benches);

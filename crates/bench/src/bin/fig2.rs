@@ -1,0 +1,146 @@
+//! Figure 2 — time and accuracy of sketched L1/L2 distance computation as
+//! object (tile) size grows.
+//!
+//! For each square tile size the harness:
+//!
+//! 1. times the **exact** Lp distance over `PAIRS` random window pairs
+//!    (cost grows linearly with tile size);
+//! 2. times the **preprocessing** (all-subtable sketch construction via
+//!    FFT — largely independent of tile size, dependent on table size);
+//! 3. times the **sketched** distance over the same pairs (constant in
+//!    tile size);
+//! 4. reports cumulative / average / pairwise-comparison correctness
+//!    (paper Definitions 7–9).
+//!
+//! Expected shape (matching the paper): exact time grows ~linearly with
+//! tile bytes, preprocessing is roughly flat, sketched comparisons are
+//! orders of magnitude cheaper than exact for large tiles, and all three
+//! correctness measures sit in the ~90–100% band.
+
+use tabsketch_bench::{
+    exact_pair_distances, print_header, print_row, secs, time, AnchorSampler, Scale,
+};
+use tabsketch_core::{AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{CallVolumeConfig, CallVolumeGenerator};
+use tabsketch_eval::{
+    average_correctness, cumulative_correctness, pairwise_comparison_correctness, ComparisonTriple,
+    DistancePair,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    let pairs_n = scale.pick(200, 2_000, 20_000);
+    let k = scale.pick(64, 128, 256);
+    let stations = scale.pick(320, 512, 768);
+    let days = scale.pick(2, 3, 4);
+    let tile_sizes: &[usize] = match scale {
+        Scale::Quick => &[8, 16, 32],
+        _ => &[8, 16, 32, 64, 128, 256],
+    };
+
+    println!("=== Figure 2: distance assessment between {pairs_n} random window pairs ===");
+    println!(
+        "data: synthetic call-volume table, {stations} stations x {} slots ({days} days); sketch k = {k}\n",
+        144 * days
+    );
+
+    let table = CallVolumeGenerator::new(CallVolumeConfig {
+        stations,
+        slots_per_day: 144,
+        days,
+        seed: 2002,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+
+    for &p in &[1.0f64, 2.0f64] {
+        println!("--- L{p} distance ---");
+        let widths = [9usize, 10, 12, 12, 12, 10, 10, 10];
+        print_header(
+            &[
+                "tile",
+                "bytes",
+                "exact",
+                "preprocess",
+                "sketched",
+                "cum%",
+                "avg%",
+                "pair%",
+            ],
+            &widths,
+        );
+        for &edge in tile_sizes {
+            if edge > table.rows() || edge > table.cols() {
+                continue;
+            }
+            // Sample the pair set once per (p, size) so every method sees
+            // identical work.
+            let mut sampler = AnchorSampler::new(&table, edge, edge, 0xF162 + edge as u64);
+            let pairs: Vec<((usize, usize), (usize, usize))> = (0..pairs_n)
+                .map(|_| (sampler.next_anchor(), sampler.next_anchor()))
+                .collect();
+
+            // (1) Exact scan.
+            let (exact, t_exact) = time(|| exact_pair_distances(&table, &pairs, edge, edge, p));
+
+            // (2) Preprocessing: sketches of every subtable of this size.
+            let sketcher =
+                Sketcher::new(SketchParams::new(p, k, 0x5EED_2002).expect("valid sketch params"))
+                    .expect("valid sketcher");
+            let (store, t_pre) = time(|| {
+                AllSubtableSketches::build_with_budget(&table, edge, edge, sketcher, 8 << 30)
+                    .expect("store fits the budget")
+            });
+
+            // (3) Sketched comparisons on the precomputed store.
+            let mut scratch = Vec::with_capacity(k);
+            let (estimates, t_sketch) = time(|| {
+                pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        store
+                            .estimate_distance(a, b, &mut scratch)
+                            .expect("anchors in range")
+                    })
+                    .collect::<Vec<f64>>()
+            });
+
+            // (4) Accuracy measures.
+            let obs: Vec<DistancePair> = estimates
+                .iter()
+                .zip(&exact)
+                .map(|(&estimated, &exact)| DistancePair { estimated, exact })
+                .collect();
+            let cum = cumulative_correctness(&obs).expect("non-empty observations");
+            let avg = average_correctness(&obs).expect("non-empty observations");
+            // Pairwise: consecutive pair triples (X closest to Y or Z?).
+            let triples: Vec<ComparisonTriple> = obs
+                .chunks_exact(2)
+                .map(|w| ComparisonTriple {
+                    est_xy: w[0].estimated,
+                    est_xz: w[1].estimated,
+                    exact_xy: w[0].exact,
+                    exact_xz: w[1].exact,
+                })
+                .collect();
+            let pairwise = pairwise_comparison_correctness(&triples).expect("non-empty triples");
+
+            print_row(
+                &[
+                    &format!("{edge}x{edge}"),
+                    &format!("{}", edge * edge * 8),
+                    &secs(t_exact),
+                    &secs(t_pre),
+                    &secs(t_sketch),
+                    &format!("{:.1}", 100.0 * cum),
+                    &format!("{:.1}", 100.0 * avg),
+                    &format!("{:.1}", 100.0 * pairwise),
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+    println!("(cum/avg/pair = Definitions 7/8/9; exact vs sketched operate on identical pairs)");
+}

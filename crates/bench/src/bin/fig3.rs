@@ -1,0 +1,133 @@
+//! Figure 3 — k-means (k = 20) over tiles of stitched multi-day call
+//! volume data, across the whole range of p.
+//!
+//! Three scenarios per p (paper §4.4):
+//!
+//! 1. sketches precomputed (clustering time only; build time reported
+//!    separately);
+//! 2. sketches on demand (first touch of a tile builds & caches its
+//!    sketch inside the clustering loop);
+//! 3. exact distance computations.
+//!
+//! Quality of the sketched clustering against the exact one:
+//! confusion-matrix agreement (Definition 10, Hungarian-matched) and
+//! spread-ratio quality (Definition 11, both clusterings scored with the
+//! exact Lp metric).
+//!
+//! Expected shape: sketch modes are several times faster than exact
+//! (an order of magnitude when tiles are large), sketch-mode times are
+//! nearly flat in p while exact times vary (powf for fractional p),
+//! on-demand adds a roughly constant sketch-build surcharge, agreement
+//! degrades toward p = 2 while quality stays ≈ 100%.
+
+use tabsketch_bench::{
+    exact_member_distances, print_header, print_row, run_kmeans_timed, secs, time, Scale,
+};
+use tabsketch_cluster::{ExactEmbedding, OnDemandSketchEmbedding, PrecomputedSketchEmbedding};
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_data::{CallVolumeConfig, CallVolumeGenerator};
+use tabsketch_eval::{clustering_agreement, clustering_quality, Spreads};
+use tabsketch_table::TileGrid;
+
+fn main() {
+    let scale = Scale::from_args();
+    let k_clusters = 20;
+    let sketch_k = scale.pick(64, 256, 256);
+    let stations = scale.pick(128, 256, 320);
+    let days = scale.pick(4, 12, 18);
+    let station_group = 16; // tiles are 16 neighboring stations x 1 day
+    let slots = 144;
+
+    let table = CallVolumeGenerator::new(CallVolumeConfig {
+        stations,
+        slots_per_day: slots,
+        days,
+        seed: 1918,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+    let grid = TileGrid::new(table.rows(), table.cols(), station_group, slots)
+        .expect("tile divides the table");
+
+    println!(
+        "=== Figure 3: {k_clusters}-means over {} tiles of {}x{} cells ({} KB each) ===",
+        grid.len(),
+        station_group,
+        slots,
+        station_group * slots * 8 / 1024
+    );
+    println!("sketch k = {sketch_k}; times in seconds\n");
+
+    let p_values = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0];
+    let widths = [6usize, 12, 12, 12, 12, 11, 10];
+    print_header(
+        &[
+            "p",
+            "precomp",
+            "(build)",
+            "on-demand",
+            "exact",
+            "agree%",
+            "qual%",
+        ],
+        &widths,
+    );
+
+    for &p in &p_values {
+        let params = SketchParams::new(p, sketch_k, 77).expect("valid sketch params");
+
+        // Scenario 1: precomputed sketches.
+        let (pre_embed, t_build) = time(|| {
+            PrecomputedSketchEmbedding::build(
+                &table,
+                &grid,
+                Sketcher::new(params).expect("valid sketcher"),
+            )
+            .expect("grid is non-empty")
+        });
+        let (res_pre, t_pre) = run_kmeans_timed(&pre_embed, k_clusters, 7);
+
+        // Scenario 2: on-demand sketches (build cost inside the loop).
+        let lazy = OnDemandSketchEmbedding::new(
+            &table,
+            grid,
+            Sketcher::new(params).expect("valid sketcher"),
+        )
+        .expect("grid is non-empty");
+        let (_res_lazy, t_lazy) = run_kmeans_timed(&lazy, k_clusters, 7);
+
+        // Scenario 3: exact distances.
+        let exact_embed = ExactEmbedding::from_tiles(&table, &grid, p).expect("grid is non-empty");
+        let (res_exact, t_exact) = run_kmeans_timed(&exact_embed, k_clusters, 7);
+
+        // Quality: Definition 10 and Definition 11, both in exact space.
+        let agreement =
+            clustering_agreement(&res_exact.assignments, &res_pre.assignments, k_clusters)
+                .expect("labelings are valid");
+        let d_exact = exact_member_distances(&table, &grid, &res_exact.assignments, k_clusters, p);
+        let d_sketch = exact_member_distances(&table, &grid, &res_pre.assignments, k_clusters, p);
+        let s_exact = Spreads::from_assignments(&res_exact.assignments, &d_exact, k_clusters)
+            .expect("valid labels");
+        let s_sketch = Spreads::from_assignments(&res_pre.assignments, &d_sketch, k_clusters)
+            .expect("valid labels");
+        let quality = clustering_quality(&s_exact, &s_sketch).expect("non-degenerate spreads");
+
+        print_row(
+            &[
+                &format!("{p:.2}"),
+                &secs(t_pre),
+                &secs(t_build),
+                &secs(t_lazy),
+                &secs(t_exact),
+                &format!("{:.1}", 100.0 * agreement),
+                &format!("{:.1}", 100.0 * quality),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("(precomp = clustering on prebuilt sketches; (build) = one-time sketch construction;");
+    println!(" agree% = Def. 10 confusion agreement vs exact clustering, Hungarian-matched;");
+    println!(" qual% = Def. 11 spread ratio, both clusterings scored with exact Lp)");
+}

@@ -1,0 +1,95 @@
+//! Figure 4a — k-means timing as the number of clusters k grows.
+//!
+//! Same three scenarios as Figure 3, at fixed p = 1.0, for
+//! k ∈ {4, 8, 12, 16, 20, 24, 48}. Expected shape (paper): exact cost
+//! rises roughly linearly with k (every object is compared against every
+//! centroid each iteration, and each comparison is a full tile scan);
+//! the sketch modes rise far more slowly; the gap between precomputed and
+//! on-demand stays roughly constant (it is the one-time sketch build);
+//! and at the smallest k the sketch build may not be "bought back" —
+//! the paper's one case where exact wins.
+
+use tabsketch_bench::{print_header, print_row, run_kmeans_timed, secs, time, Scale};
+use tabsketch_cluster::{ExactEmbedding, OnDemandSketchEmbedding, PrecomputedSketchEmbedding};
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_data::{CallVolumeConfig, CallVolumeGenerator};
+use tabsketch_table::TileGrid;
+
+fn main() {
+    let scale = Scale::from_args();
+    let p = 1.0;
+    let sketch_k = 256; // "relatively large sketches with 256 entries"
+    let stations = scale.pick(128, 256, 320);
+    let days = scale.pick(4, 12, 18);
+    let station_group = 16;
+    let slots = 144;
+    let cluster_counts: &[usize] = match scale {
+        Scale::Quick => &[4, 8, 16],
+        _ => &[4, 8, 12, 16, 20, 24, 48],
+    };
+
+    let table = CallVolumeGenerator::new(CallVolumeConfig {
+        stations,
+        slots_per_day: slots,
+        days,
+        seed: 1918,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+    let grid = TileGrid::new(table.rows(), table.cols(), station_group, slots)
+        .expect("tile divides the table");
+
+    println!(
+        "=== Figure 4a: k-means timing vs k over {} tiles (p = {p}, sketch k = {sketch_k}) ===\n",
+        grid.len()
+    );
+
+    let params = SketchParams::new(p, sketch_k, 77).expect("valid sketch params");
+    // The sketch build is shared across all k (the paper's precomputed
+    // scenario); build once, report it once.
+    let (pre_embed, t_build) = time(|| {
+        PrecomputedSketchEmbedding::build(
+            &table,
+            &grid,
+            Sketcher::new(params).expect("valid sketcher"),
+        )
+        .expect("grid is non-empty")
+    });
+    println!("one-time sketch construction: {}\n", secs(t_build));
+
+    let widths = [6usize, 14, 14, 12, 12];
+    print_header(
+        &["k", "precomputed", "on-demand", "exact", "evals"],
+        &widths,
+    );
+
+    for &k in cluster_counts {
+        let (res_pre, t_pre) = run_kmeans_timed(&pre_embed, k, 7);
+
+        let lazy = OnDemandSketchEmbedding::new(
+            &table,
+            grid,
+            Sketcher::new(params).expect("valid sketcher"),
+        )
+        .expect("grid is non-empty");
+        let (_res_lazy, t_lazy) = run_kmeans_timed(&lazy, k, 7);
+
+        let exact_embed = ExactEmbedding::from_tiles(&table, &grid, p).expect("grid is non-empty");
+        let (res_exact, t_exact) = run_kmeans_timed(&exact_embed, k, 7);
+
+        print_row(
+            &[
+                &format!("{k}"),
+                &secs(t_pre),
+                &secs(t_lazy),
+                &secs(t_exact),
+                &format!("{}", res_exact.distance_evals.max(res_pre.distance_evals)),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("(evals = distance evaluations of the costlier run; exact cost per eval is");
+    println!(" O(tile size), sketched cost is O(sketch k) — the paper's comparison-cost model)");
+}

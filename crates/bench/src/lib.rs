@@ -1,0 +1,333 @@
+//! # tabsketch-bench
+//!
+//! The benchmark harness that regenerates every figure of the paper's
+//! evaluation (see DESIGN.md for the experiment index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2` | Figure 2 — timing & accuracy of sketched L1/L2 distances vs object size |
+//! | `fig3` | Figure 3 — 20-means timing and quality across p |
+//! | `fig4a` | Figure 4a — k-means timing as k varies |
+//! | `fig4b` | Figure 4b — recovering a known clustering as p varies |
+//! | `fig5`  | Figure 5 — case-study cluster map of one day, p = 2.0 vs 0.25 |
+//! | `ablation_sketch_size` | sketch width vs accuracy trade-off |
+//! | `ablation_compound` | compound (pooled) vs direct sketch quality |
+//! | `baseline_dft` | DFT-coefficient baseline vs stable sketches across p |
+//!
+//! Criterion microbenches (`cargo bench`) cover the FFT substrate, the
+//! all-subtable build (FFT vs naive), single distance estimates, and
+//! end-to-end k-means.
+//!
+//! Binaries accept `--quick` for a reduced workload and `--full` for
+//! paper-scale runs; the default sits in between and completes in seconds
+//! to a few minutes per figure on a laptop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use tabsketch_cluster::Embedding;
+use tabsketch_table::{norms, Rect, Table, TileGrid};
+
+/// Workload scale selected on the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny workloads for smoke-testing the harness.
+    Quick,
+    /// The default laptop-friendly scale.
+    Default,
+    /// Paper-scale workloads (minutes per figure).
+    Full,
+}
+
+impl Scale {
+    /// Parses `--quick` / `--full` from the process arguments.
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::Default;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--help" | "-h" => {
+                    println!("usage: [--quick | --full]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("ignoring unknown argument: {other}");
+                }
+            }
+        }
+        scale
+    }
+
+    /// Picks one of three values by scale.
+    pub fn pick<T: Copy>(self, quick: T, default: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// Times a closure, returning its result and the wall-clock duration.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration as fractional seconds with millisecond resolution.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Prints a header row followed by a separator, padding each column to
+/// `widths`.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    print_row(cols, widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Prints one padded row.
+pub fn print_row(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (i, (col, width)) in cols.iter().zip(widths).enumerate() {
+        if i > 0 {
+            line.push_str("  ");
+        }
+        line.push_str(&format!("{col:>width$}"));
+    }
+    println!("{line}");
+}
+
+/// Deterministic pseudo-random rectangle anchors for pair-sampling
+/// experiments (xorshift; independent of the data seeds).
+pub struct AnchorSampler {
+    state: u64,
+    max_row: usize,
+    max_col: usize,
+}
+
+impl AnchorSampler {
+    /// Anchors for `tile_rows × tile_cols` windows inside a table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tile does not fit in the table.
+    pub fn new(table: &Table, tile_rows: usize, tile_cols: usize, seed: u64) -> Self {
+        assert!(tile_rows <= table.rows() && tile_cols <= table.cols());
+        Self {
+            state: seed | 1,
+            max_row: table.rows() - tile_rows + 1,
+            max_col: table.cols() - tile_cols + 1,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// The next anchor `(row, col)`.
+    pub fn next_anchor(&mut self) -> (usize, usize) {
+        let r = (self.next_u64() % self.max_row as u64) as usize;
+        let c = (self.next_u64() % self.max_col as u64) as usize;
+        (r, c)
+    }
+}
+
+/// The exact per-object spread distances of a clustering measured in the
+/// **exact** Lp metric: for each cluster, the centroid is the mean tile of
+/// its members, and each member contributes its exact distance to that
+/// centroid. Used to score sketched clusterings fairly (Definition 11
+/// requires both clusterings be measured with the same metric).
+///
+/// Returns the per-object distances (feed them to
+/// [`tabsketch_eval::Spreads::from_assignments`]).
+///
+/// # Panics
+///
+/// Panics when `assignments.len() != grid.len()` or a label is `>= k`.
+pub fn exact_member_distances(
+    table: &Table,
+    grid: &TileGrid,
+    assignments: &[usize],
+    k: usize,
+    p: f64,
+) -> Vec<f64> {
+    assert_eq!(assignments.len(), grid.len());
+    let tile_len = grid.tile_rows() * grid.tile_cols();
+    let mut centroids = vec![vec![0.0f64; tile_len]; k];
+    let mut counts = vec![0usize; k];
+    for (i, rect) in grid.iter().enumerate() {
+        let label = assignments[i];
+        assert!(label < k, "label {label} out of range");
+        counts[label] += 1;
+        let view = table.view(rect).expect("grid tiles lie inside the table");
+        for (slot, v) in centroids[label].iter_mut().zip(view.values()) {
+            *slot += v;
+        }
+    }
+    for (centroid, &count) in centroids.iter_mut().zip(&counts) {
+        if count > 0 {
+            let inv = 1.0 / count as f64;
+            centroid.iter_mut().for_each(|v| *v *= inv);
+        }
+    }
+    grid.iter()
+        .enumerate()
+        .map(|(i, rect)| {
+            let view = table.view(rect).expect("grid tiles lie inside the table");
+            let tile: Vec<f64> = view.values().collect();
+            norms::lp_distance_slices(&tile, &centroids[assignments[i]], p)
+        })
+        .collect()
+}
+
+/// Renders a tile-grid clustering as ASCII art in the style of the
+/// paper's Figure 5: one character per tile, grid rows down the page,
+/// the largest cluster rendered as blank space "to aid visibility".
+///
+/// # Panics
+///
+/// Panics when `assignments.len() != grid_rows * grid_cols`.
+pub fn render_cluster_map(assignments: &[usize], grid_rows: usize, grid_cols: usize) -> String {
+    assert_eq!(assignments.len(), grid_rows * grid_cols);
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; k];
+    for &a in assignments {
+        counts[a] += 1;
+    }
+    let largest = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    const GLYPHS: &[u8] = b"#@%*+=o:~-^'`";
+    let mut out = String::with_capacity(grid_rows * (grid_cols + 1));
+    for r in 0..grid_rows {
+        for c in 0..grid_cols {
+            let a = assignments[r * grid_cols + c];
+            if a == largest {
+                out.push(' ');
+            } else {
+                // Stable glyph per cluster id (skipping the largest).
+                let idx = if a > largest { a - 1 } else { a };
+                out.push(GLYPHS[idx % GLYPHS.len()] as char);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A pair of window anchors `((row, col), (row, col))` to be compared.
+pub type AnchorPair = ((usize, usize), (usize, usize));
+
+/// Exact Lp distances for a batch of equal-size window pairs — the
+/// "exact computation" cost the timing figures scan against.
+pub fn exact_pair_distances(
+    table: &Table,
+    pairs: &[AnchorPair],
+    tile_rows: usize,
+    tile_cols: usize,
+    p: f64,
+) -> Vec<f64> {
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            let va = table
+                .view(Rect::new(a.0, a.1, tile_rows, tile_cols))
+                .expect("anchor sampled in range");
+            let vb = table
+                .view(Rect::new(b.0, b.1, tile_rows, tile_cols))
+                .expect("anchor sampled in range");
+            norms::lp_distance_views(&va, &vb, p).expect("equal shapes by construction")
+        })
+        .collect()
+}
+
+/// Scenario labels used across the clustering figures.
+pub const SCENARIOS: [&str; 3] = ["sketch-precomputed", "sketch-on-demand", "exact"];
+
+/// Runs k-means with the harness's standard configuration, returning the
+/// result and the wall time.
+pub fn run_kmeans_timed<E: Embedding>(
+    embedding: &E,
+    k: usize,
+    seed: u64,
+) -> (tabsketch_cluster::KMeansResult, Duration) {
+    let km = tabsketch_cluster::KMeans::new(tabsketch_cluster::KMeansConfig {
+        k,
+        max_iters: 60,
+        seed,
+        init: tabsketch_cluster::InitMethod::Random,
+    })
+    .expect("valid k-means configuration");
+    time(|| km.run(embedding).expect("enough objects for k clusters"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Quick.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Full.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn anchor_sampler_in_range() {
+        let t = Table::zeros(50, 70).unwrap();
+        let mut s = AnchorSampler::new(&t, 10, 10, 99);
+        for _ in 0..1000 {
+            let (r, c) = s.next_anchor();
+            assert!(r <= 40 && c <= 60);
+        }
+    }
+
+    #[test]
+    fn render_map_blanks_largest() {
+        // Cluster 0 has 3 tiles (largest, blank), cluster 1 has 1 (glyph).
+        let map = render_cluster_map(&[0, 0, 0, 1], 2, 2);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].trim().is_empty());
+        assert_eq!(lines[1].trim(), "#");
+    }
+
+    #[test]
+    fn exact_member_distances_zero_for_uniform_cluster() {
+        let t = Table::from_fn(4, 4, |_, _| 3.0).unwrap();
+        let grid = TileGrid::new(4, 4, 2, 2).unwrap();
+        let d = exact_member_distances(&t, &grid, &[0, 0, 0, 0], 1, 1.0);
+        assert!(d.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn exact_member_distances_match_manual() {
+        // Two 1x1 tiles in one cluster: centroid is their mean.
+        let t = Table::new(1, 2, vec![1.0, 3.0]).unwrap();
+        let grid = TileGrid::new(1, 2, 1, 1).unwrap();
+        let d = exact_member_distances(&t, &grid, &[0, 0], 1, 1.0);
+        assert_eq!(d, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn pair_distance_helper() {
+        let t = Table::from_fn(4, 4, |r, c| (r * 4 + c) as f64).unwrap();
+        let d = exact_pair_distances(&t, &[((0, 0), (2, 2))], 2, 2, 1.0);
+        // Windows [[0,1],[4,5]] and [[10,11],[14,15]]: |diff| = 10 each.
+        assert_eq!(d, vec![40.0]);
+    }
+}

@@ -1,0 +1,197 @@
+//! Minimal dependency-free argument parsing for the CLI.
+//!
+//! Flags are `--name value` pairs after a subcommand; every accessor
+//! reports missing/malformed values with the flag name so usage errors
+//! are self-explanatory.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, positional arguments, and flags.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+    /// Bare switches (`--flag` with no value).
+    switches: Vec<String>,
+}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["exact", "render", "csv", "help", "refine", "silhouette"];
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a value-taking flag is missing its value.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        while let Some(arg) = args.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} expects a value"))?;
+                    out.flags.insert(name.to_string(), value);
+                }
+            } else if out.command.is_empty() {
+                out.command = arg;
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether a bare switch was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A required string flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing flag.
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed flag.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("flag --{name}: cannot parse {raw:?}")),
+        }
+    }
+
+    /// A required parsed flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or malformed flag.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn require_parsed<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self.require(name)?;
+        raw.parse()
+            .map_err(|_| format!("flag --{name}: cannot parse {raw:?}"))
+    }
+
+    /// Parses a `R,C,H,W` rectangle flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed flag.
+    pub fn require_rect(&self, name: &str) -> Result<(usize, usize, usize, usize), String> {
+        let raw = self.require(name)?;
+        let parts: Vec<&str> = raw.split(',').collect();
+        if parts.len() != 4 {
+            return Err(format!(
+                "flag --{name}: expected ROW,COL,ROWS,COLS, got {raw:?}"
+            ));
+        }
+        let parse = |s: &str| -> Result<usize, String> {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("flag --{name}: bad number {s:?}"))
+        };
+        Ok((
+            parse(parts[0])?,
+            parse(parts[1])?,
+            parse(parts[2])?,
+            parse(parts[3])?,
+        ))
+    }
+
+    /// Parses an `RxC` tile-size flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed flag.
+    pub fn require_tile(&self, name: &str) -> Result<(usize, usize), String> {
+        let raw = self.require(name)?;
+        let (r, c) = raw
+            .split_once('x')
+            .ok_or_else(|| format!("flag --{name}: expected ROWSxCOLS, got {raw:?}"))?;
+        let rows = r
+            .trim()
+            .parse()
+            .map_err(|_| format!("flag --{name}: bad rows {r:?}"))?;
+        let cols = c
+            .trim()
+            .parse()
+            .map_err(|_| format!("flag --{name}: bad cols {c:?}"))?;
+        Ok((rows, cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Args, String> {
+        Args::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_and_positionals() {
+        let a = parse("cluster data.tsb --k 6 --p 0.5 --render").unwrap();
+        assert_eq!(a.command, "cluster");
+        assert_eq!(a.positional, vec!["data.tsb"]);
+        assert_eq!(a.require("k").unwrap(), "6");
+        assert_eq!(a.get_or::<f64>("p", 1.0).unwrap(), 0.5);
+        assert!(a.switch("render"));
+        assert!(!a.switch("exact"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse("distance file --p").is_err());
+    }
+
+    #[test]
+    fn defaults_and_requirements() {
+        let a = parse("generate callvol").unwrap();
+        assert_eq!(a.get_or::<u64>("seed", 7).unwrap(), 7);
+        assert!(a.require("out").is_err());
+        assert!(a.get("out").is_none());
+    }
+
+    #[test]
+    fn malformed_values_are_reported() {
+        let a = parse("x --k banana").unwrap();
+        let err = a.require_parsed::<usize>("k").unwrap_err();
+        assert!(err.contains("--k"), "{err}");
+        assert!(a.get_or::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn rect_and_tile_parsing() {
+        let a = parse("d --rect 1,2,3,4 --tiles 8x16").unwrap();
+        assert_eq!(a.require_rect("rect").unwrap(), (1, 2, 3, 4));
+        assert_eq!(a.require_tile("tiles").unwrap(), (8, 16));
+        let bad = parse("d --rect 1,2,3 --tiles 8y16").unwrap();
+        assert!(bad.require_rect("rect").is_err());
+        assert!(bad.require_tile("tiles").is_err());
+    }
+}

@@ -1,0 +1,581 @@
+//! Implementations of the CLI subcommands.
+
+use std::path::Path;
+
+use tabsketch_cluster::{
+    most_similar_pairs, most_similar_pairs_refined, nearest_neighbors, silhouette, Embedding,
+    ExactEmbedding, KMeans, KMeansConfig, PrecomputedSketchEmbedding,
+};
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{
+    CallVolumeConfig, CallVolumeGenerator, IpTrafficConfig, IpTrafficGenerator, SixRegionConfig,
+    SixRegionGenerator,
+};
+use tabsketch_table::{io as table_io, norms, stats, Rect, Table, TileGrid};
+
+use crate::args::Args;
+
+/// Loads a table by extension (`.csv` or binary otherwise).
+fn load_table(path: &str) -> Result<Table, String> {
+    let result = if path.ends_with(".csv") {
+        table_io::load_csv(path)
+    } else {
+        table_io::load_binary(path)
+    };
+    result.map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn save_table(table: &Table, path: &str, csv: bool) -> Result<(), String> {
+    let result = if csv || path.ends_with(".csv") {
+        table_io::save_csv(table, path)
+    } else {
+        table_io::save_binary(table, path)
+    };
+    result.map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn one_positional<'a>(args: &'a Args, what: &str) -> Result<&'a str, String> {
+    args.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| format!("expected a {what} argument"))
+}
+
+/// `generate <kind> --out FILE ...`
+pub fn generate(args: &Args) -> Result<(), String> {
+    let kind = one_positional(args, "generator kind")?;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let table = match kind {
+        "callvol" => {
+            let config = CallVolumeConfig {
+                stations: args.get_or("stations", 512)?,
+                slots_per_day: args.get_or("slots", 144)?,
+                days: args.get_or("days", 1)?,
+                seed,
+                ..Default::default()
+            };
+            CallVolumeGenerator::new(config)
+                .map_err(|e| e.to_string())?
+                .generate()
+        }
+        "sixregion" => {
+            let config = SixRegionConfig {
+                rows: args.get_or("rows", 256)?,
+                cols: args.get_or("cols", 256)?,
+                seed,
+                ..Default::default()
+            };
+            SixRegionGenerator::new(config)
+                .map_err(|e| e.to_string())?
+                .generate()
+        }
+        "iptraffic" => {
+            let config = IpTrafficConfig {
+                destinations: args.get_or("destinations", 96)?,
+                slots_per_day: args.get_or("slots", 288)?,
+                days: args.get_or("days", 1)?,
+                seed,
+                ..Default::default()
+            };
+            IpTrafficGenerator::new(config)
+                .map_err(|e| e.to_string())?
+                .generate()
+        }
+        other => {
+            return Err(format!(
+                "unknown generator {other:?} (callvol|sixregion|iptraffic)"
+            ))
+        }
+    };
+    save_table(&table, out, args.switch("csv"))?;
+    println!(
+        "wrote {kind} table: {} rows x {} cols ({:.1} MB) -> {out}",
+        table.rows(),
+        table.cols(),
+        (table.len() * 8) as f64 / 1e6
+    );
+    Ok(())
+}
+
+/// `info FILE`
+pub fn info(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "table file")?;
+    let table = load_table(path)?;
+    let s = stats::table_summary(&table);
+    println!("file:    {path}");
+    println!(
+        "shape:   {} rows x {} cols = {} cells",
+        table.rows(),
+        table.cols(),
+        table.len()
+    );
+    println!(
+        "bytes:   {} ({:.1} MB as f64)",
+        table.len() * 8,
+        (table.len() * 8) as f64 / 1e6
+    );
+    println!("min:     {:.3}", s.min);
+    println!("max:     {:.3}", s.max);
+    println!("mean:    {:.3}", s.mean);
+    println!("stddev:  {:.3}", s.std_dev);
+    for q in [0.25, 0.5, 0.75, 0.99] {
+        let v = stats::quantile(&table, q).expect("valid quantile");
+        println!("p{:<6} {v:.3}", (q * 100.0) as u32);
+    }
+    Ok(())
+}
+
+fn rect_from(parts: (usize, usize, usize, usize)) -> Rect {
+    Rect::new(parts.0, parts.1, parts.2, parts.3)
+}
+
+/// `distance FILE --rect ... --rect2 ... [--p P] [--k K] [--exact]`
+pub fn distance(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "table file")?;
+    let table = load_table(path)?;
+    let a = rect_from(args.require_rect("rect")?);
+    let b = rect_from(args.require_rect("rect2")?);
+    let p: f64 = args.get_or("p", 1.0)?;
+    let va = table.view(a).map_err(|e| e.to_string())?;
+    let vb = table.view(b).map_err(|e| e.to_string())?;
+    let exact = norms::lp_distance_views(&va, &vb, p).map_err(|e| e.to_string())?;
+    if args.switch("exact") {
+        println!("exact L{p} distance: {exact}");
+        return Ok(());
+    }
+    let k: usize = args.get_or("k", 256)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let sketcher = Sketcher::new(SketchParams::new(p, k, seed).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let est = sketcher
+        .estimate_distance(&sketcher.sketch_view(&va), &sketcher.sketch_view(&vb))
+        .map_err(|e| e.to_string())?;
+    println!("sketched L{p} distance (k = {k}): {est}");
+    println!("exact    L{p} distance:          {exact}");
+    println!(
+        "relative error: {:.2}%",
+        100.0 * (est - exact).abs() / exact.max(f64::MIN_POSITIVE)
+    );
+    Ok(())
+}
+
+/// `sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]`
+pub fn sketch(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "table file")?;
+    let table = load_table(path)?;
+    let (tr, tc) = args.require_tile("tile")?;
+    let out = args.require("out")?;
+    let p: f64 = args.get_or("p", 1.0)?;
+    let k: usize = args.get_or("k", 128)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let sketcher = Sketcher::new(SketchParams::new(p, k, seed).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let store = AllSubtableSketches::build(&table, tr, tc, sketcher).map_err(|e| e.to_string())?;
+    persist::save_store(&store, out).map_err(|e| e.to_string())?;
+    println!(
+        "sketched all {}x{} windows of {path}: {} anchors x k = {k} ({:.1} MB) -> {out}",
+        tr,
+        tc,
+        store.anchor_rows() * store.anchor_cols(),
+        (store.raw_values().len() * 8) as f64 / 1e6
+    );
+    Ok(())
+}
+
+/// `query STORE --at R,C --at2 R,C`
+pub fn query(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "sketch store file")?;
+    let store = persist::load_store(path).map_err(|e| e.to_string())?;
+    let parse_at = |name: &str| -> Result<(usize, usize), String> {
+        let raw = args.require(name)?;
+        let (r, c) = raw
+            .split_once(',')
+            .ok_or_else(|| format!("flag --{name}: expected ROW,COL, got {raw:?}"))?;
+        Ok((
+            r.trim()
+                .parse()
+                .map_err(|_| format!("flag --{name}: bad row {r:?}"))?,
+            c.trim()
+                .parse()
+                .map_err(|_| format!("flag --{name}: bad col {c:?}"))?,
+        ))
+    };
+    let a = parse_at("at")?;
+    let b = parse_at("at2")?;
+    let mut scratch = Vec::new();
+    let est = store
+        .estimate_distance(a, b, &mut scratch)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "estimated L{} distance between {}x{} windows at {:?} and {:?}: {est}",
+        store.sketcher().p(),
+        store.tile_rows(),
+        store.tile_cols(),
+        a,
+        b
+    );
+    Ok(())
+}
+
+/// Builds the sketched or exact embedding the mining subcommands share.
+#[allow(clippy::large_enum_variant)]
+enum AnyEmbedding {
+    Exact(ExactEmbedding),
+    Sketched(PrecomputedSketchEmbedding),
+}
+
+impl Embedding for AnyEmbedding {
+    fn num_objects(&self) -> usize {
+        match self {
+            AnyEmbedding::Exact(e) => e.num_objects(),
+            AnyEmbedding::Sketched(e) => e.num_objects(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            AnyEmbedding::Exact(e) => e.dim(),
+            AnyEmbedding::Sketched(e) => e.dim(),
+        }
+    }
+
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+        match self {
+            AnyEmbedding::Exact(e) => e.with_point(i, f),
+            AnyEmbedding::Sketched(e) => e.with_point(i, f),
+        }
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        match self {
+            AnyEmbedding::Exact(e) => e.distance(a, b, scratch),
+            AnyEmbedding::Sketched(e) => e.distance(a, b, scratch),
+        }
+    }
+}
+
+fn build_embedding(
+    args: &Args,
+    table: &Table,
+    grid: &TileGrid,
+    p: f64,
+) -> Result<AnyEmbedding, String> {
+    if args.switch("exact") {
+        Ok(AnyEmbedding::Exact(
+            ExactEmbedding::from_tiles(table, grid, p).map_err(|e| e.to_string())?,
+        ))
+    } else {
+        let sketch_k: usize = args.get_or("sketch-k", 256)?;
+        let seed: u64 = args.get_or("seed", 0)?;
+        let sketcher =
+            Sketcher::new(SketchParams::new(p, sketch_k, seed).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+        Ok(AnyEmbedding::Sketched(
+            PrecomputedSketchEmbedding::build(table, grid, sketcher).map_err(|e| e.to_string())?,
+        ))
+    }
+}
+
+/// `knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]`
+pub fn knn(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "table file")?;
+    let table = load_table(path)?;
+    let (tr, tc) = args.require_tile("tiles")?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc).map_err(|e| e.to_string())?;
+    let p: f64 = args.get_or("p", 1.0)?;
+    let query: usize = args.require_parsed("query")?;
+    let count: usize = args.get_or("count", 5)?;
+    let embedding = build_embedding(args, &table, &grid, p)?;
+    let neighbors = nearest_neighbors(&embedding, query, count).map_err(|e| e.to_string())?;
+    println!(
+        "{count} nearest tiles to tile {query} (of {}) under L{p}:",
+        grid.len()
+    );
+    for nb in neighbors {
+        let rect = grid.tile(nb.index).expect("index in range");
+        println!(
+            "  tile {:>5} at (row {:>4}, col {:>4})  distance {:.4}",
+            nb.index, rect.row, rect.col, nb.distance
+        );
+    }
+    Ok(())
+}
+
+/// `pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine]`
+pub fn pairs(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "table file")?;
+    let table = load_table(path)?;
+    let (tr, tc) = args.require_tile("tiles")?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc).map_err(|e| e.to_string())?;
+    let p: f64 = args.get_or("p", 1.0)?;
+    let count: usize = args.get_or("count", 10)?;
+    let embedding = build_embedding(args, &table, &grid, p)?;
+    let top = if args.switch("refine") && !args.switch("exact") {
+        let exact = ExactEmbedding::from_tiles(&table, &grid, p).map_err(|e| e.to_string())?;
+        most_similar_pairs_refined(&embedding, &exact, count, 4).map_err(|e| e.to_string())?
+    } else {
+        most_similar_pairs(&embedding, count).map_err(|e| e.to_string())?
+    };
+    println!("{count} most similar tile pairs under L{p}:");
+    for pair in top {
+        let ra = grid.tile(pair.a).expect("index in range");
+        let rb = grid.tile(pair.b).expect("index in range");
+        println!(
+            "  tiles {:>4} ({:>4},{:>4}) ~ {:>4} ({:>4},{:>4})  distance {:.4}",
+            pair.a, ra.row, ra.col, pair.b, rb.row, rb.col, pair.distance
+        );
+    }
+    Ok(())
+}
+
+/// `cluster FILE --tiles RxC [--k K] [--p P] [--sketch-k K] [--exact] [--render]`
+pub fn cluster(args: &Args) -> Result<(), String> {
+    let path = one_positional(args, "table file")?;
+    let table = load_table(path)?;
+    let (tr, tc) = args.require_tile("tiles")?;
+    let k: usize = args.get_or("k", 8)?;
+    let p: f64 = args.get_or("p", 1.0)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc).map_err(|e| e.to_string())?;
+    let km = KMeans::new(KMeansConfig {
+        k,
+        seed,
+        ..Default::default()
+    })
+    .map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let (result, mode) = if args.switch("exact") {
+        let embedding = ExactEmbedding::from_tiles(&table, &grid, p).map_err(|e| e.to_string())?;
+        (km.run(&embedding).map_err(|e| e.to_string())?, "exact")
+    } else {
+        let sketch_k: usize = args.get_or("sketch-k", 256)?;
+        let sketcher =
+            Sketcher::new(SketchParams::new(p, sketch_k, seed).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+        let embedding = PrecomputedSketchEmbedding::build(&table, &grid, sketcher)
+            .map_err(|e| e.to_string())?;
+        (km.run(&embedding).map_err(|e| e.to_string())?, "sketched")
+    };
+    let elapsed = start.elapsed();
+    println!(
+        "{mode} {k}-means over {} tiles of {tr}x{tc} (p = {p}): {} iterations, {} distance evals, {:.3}s",
+        grid.len(),
+        result.iterations,
+        result.distance_evals,
+        elapsed.as_secs_f64()
+    );
+    let mut counts = vec![0usize; k];
+    for &a in &result.assignments {
+        counts[a] += 1;
+    }
+    for (c, count) in counts.iter().enumerate() {
+        println!("  cluster {c}: {count} tiles");
+    }
+    if args.switch("silhouette") {
+        let embedding = build_embedding(args, &table, &grid, p)?;
+        let score = silhouette(&embedding, &result.assignments, k).map_err(|e| e.to_string())?;
+        println!("mean silhouette: {:.3}", score.mean);
+    }
+    if args.switch("render") {
+        println!("\ncluster map (rows = tile rows; largest cluster blank):");
+        let largest = (0..k).max_by_key(|&i| counts[i]).unwrap_or(0);
+        const GLYPHS: &[u8] = b"#@%*+=o:~-^'`";
+        for gr in 0..grid.grid_rows() {
+            let mut line = String::new();
+            for gc in 0..grid.grid_cols() {
+                let a = result.assignments[gr * grid.grid_cols() + gc];
+                line.push(if a == largest {
+                    ' '
+                } else {
+                    let idx = if a > largest { a - 1 } else { a };
+                    GLYPHS[idx % GLYPHS.len()] as char
+                });
+            }
+            println!("  |{line}|");
+        }
+    }
+    Ok(())
+}
+
+/// Validation helper for tests: whether a path looks like a CSV table.
+#[allow(dead_code)]
+pub fn is_csv(path: &str) -> bool {
+    Path::new(path).extension().is_some_and(|e| e == "csv")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generate_info_and_distance_flow() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let table_str = table_path.to_str().unwrap();
+
+        generate(&parse(&format!(
+            "generate callvol --out {table_str} --stations 64 --slots 48 --days 1 --seed 3"
+        )))
+        .unwrap();
+        info(&parse(&format!("info {table_str}"))).unwrap();
+        distance(&parse(&format!(
+            "distance {table_str} --rect 0,0,16,16 --rect2 32,16,16,16 --p 0.5 --k 128"
+        )))
+        .unwrap();
+        distance(&parse(&format!(
+            "distance {table_str} --rect 0,0,16,16 --rect2 32,16,16,16 --exact"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sketch_store_and_query_flow() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let store_path = dir.join("t.tsks");
+        let (t, s) = (table_path.to_str().unwrap(), store_path.to_str().unwrap());
+        generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 64 --cols 64 --seed 1"
+        )))
+        .unwrap();
+        sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
+        query(&parse(&format!("query {s} --at 0,0 --at2 40,40"))).unwrap();
+        assert!(query(&parse(&format!("query {s} --at 0,0 --at2 400,40"))).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cluster_flow_sketched_and_exact() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let t = table_path.to_str().unwrap();
+        generate(&parse(&format!(
+            "generate iptraffic --out {t} --destinations 30 --slots 96 --seed 2"
+        )))
+        .unwrap();
+        cluster(&parse(&format!(
+            "cluster {t} --tiles 1x96 --k 3 --p 0.5 --sketch-k 64 --render"
+        )))
+        .unwrap();
+        cluster(&parse(&format!(
+            "cluster {t} --tiles 1x96 --k 3 --p 0.5 --exact"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(generate(&parse("generate nosuch --out /tmp/x")).is_err());
+        assert!(
+            generate(&parse("generate callvol")).is_err(),
+            "missing --out"
+        );
+        assert!(info(&parse("info /no/such/file.tsb")).is_err());
+        assert!(distance(&parse(
+            "distance /no/such.tsb --rect 0,0,1,1 --rect2 0,0,1,1"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn csv_output_and_reload() {
+        let dir = temp_dir();
+        let csv_path = dir.join("t.csv");
+        let t = csv_path.to_str().unwrap();
+        generate(&parse(&format!(
+            "generate callvol --out {t} --stations 8 --slots 12 --days 1 --csv"
+        )))
+        .unwrap();
+        info(&parse(&format!("info {t}"))).unwrap();
+        assert!(is_csv(t));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+mod mining_tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn temp_table() -> (std::path::PathBuf, String) {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-cli-mining-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tsb");
+        let s = path.to_str().unwrap().to_string();
+        generate(&parse(&format!(
+            "generate iptraffic --out {s} --destinations 24 --slots 96 --seed 6"
+        )))
+        .unwrap();
+        (dir, s)
+    }
+
+    #[test]
+    fn knn_subcommand_flows() {
+        let (dir, t) = temp_table();
+        knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 0 --count 3 --p 0.5"
+        )))
+        .unwrap();
+        knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 0 --count 3 --exact"
+        )))
+        .unwrap();
+        assert!(knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 99 --count 3"
+        )))
+        .is_err());
+        assert!(
+            knn(&parse(&format!("knn {t} --tiles 1x96 --count 3"))).is_err(),
+            "missing query"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pairs_subcommand_flows() {
+        let (dir, t) = temp_table();
+        pairs(&parse(&format!("pairs {t} --tiles 1x96 --count 4"))).unwrap();
+        pairs(&parse(&format!(
+            "pairs {t} --tiles 1x96 --count 4 --refine"
+        )))
+        .unwrap();
+        pairs(&parse(&format!("pairs {t} --tiles 1x96 --count 4 --exact"))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cluster_silhouette_flow() {
+        let (dir, t) = temp_table();
+        cluster(&parse(&format!(
+            "cluster {t} --tiles 1x96 --k 3 --p 0.5 --sketch-k 64 --silhouette"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

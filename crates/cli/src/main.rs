@@ -1,0 +1,92 @@
+//! `tabsketch-cli` — sketch-based Lp distance mining from the command
+//! line.
+//!
+//! ```text
+//! tabsketch-cli generate callvol --out day.tsb --stations 512 --days 1
+//! tabsketch-cli info day.tsb
+//! tabsketch-cli distance day.tsb --rect 0,0,64,64 --rect2 128,40,64,64 --p 0.5
+//! tabsketch-cli sketch day.tsb --tile 32x32 --k 128 --p 1.0 --out day.tsks
+//! tabsketch-cli query day.tsks --at 0,0 --at2 100,40
+//! tabsketch-cli cluster day.tsb --tiles 32x144 --k 8 --p 0.5 --render
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    if parsed.command.is_empty() || parsed.switch("help") || parsed.command == "help" {
+        print_usage();
+        return;
+    }
+    let result = match parsed.command.as_str() {
+        "generate" => commands::generate(&parsed),
+        "info" => commands::info(&parsed),
+        "distance" => commands::distance(&parsed),
+        "sketch" => commands::sketch(&parsed),
+        "query" => commands::query(&parsed),
+        "cluster" => commands::cluster(&parsed),
+        "knn" => commands::knn(&parsed),
+        "pairs" => commands::pairs(&parsed),
+        other => Err(format!(
+            "unknown command {other:?} (try `tabsketch-cli help`)"
+        )),
+    };
+    if let Err(msg) = result {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}
+
+fn print_usage() {
+    println!(
+        "tabsketch-cli — approximate Lp distance mining of tabular data
+
+USAGE:
+  tabsketch-cli <COMMAND> [ARGS]
+
+COMMANDS:
+  generate <callvol|sixregion|iptraffic>
+      --out FILE [--csv] [--seed N]
+      callvol:   [--stations N] [--slots N] [--days N]
+      sixregion: [--rows N] [--cols N]
+      iptraffic: [--destinations N] [--slots N] [--days N]
+
+  info FILE
+      Shape and value statistics of a stored table (.tsb binary or .csv).
+
+  distance FILE --rect R,C,H,W --rect2 R,C,H,W [--p P]
+      [--k K] [--seed N] [--exact]
+      Sketched (default) or exact Lp distance between two equal-shape
+      regions.
+
+  sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]
+      Precompute sketches of every RxC window into a reusable store.
+
+  query STORE --at R,C --at2 R,C
+      O(k) distance estimate between two windows of a saved store.
+
+  cluster FILE --tiles RxC [--k K] [--p P] [--sketch-k K] [--seed N]
+      [--exact] [--render] [--silhouette]
+      k-means over the table's tiles on sketches (default) or exact
+      distances; --render prints an ASCII cluster map, --silhouette a
+      mean silhouette score.
+
+  knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]
+      Nearest tiles to a query tile.
+
+  pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine] [--exact]
+      Most similar tile pairs; --refine re-ranks a sketched shortlist
+      with exact distances.
+
+Formats: .tsb (binary tables), .csv, .tsks (sketch stores)."
+    );
+}

@@ -1,0 +1,325 @@
+//! DBSCAN density-based clustering over an [`Embedding`].
+//!
+//! The paper lists DBSCAN (Ester et al., KDD'96) among the clustering
+//! algorithms whose performance is governed by distance computations.
+//! Density clustering is *all* range queries — `Θ(n²)` pairwise distances
+//! without an index — so replacing exact Lp scans with `O(k)` sketch
+//! estimates cuts its dominant cost directly, and unlike k-means it
+//! recovers non-convex clusters and flags noise.
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// Configuration for [`dbscan`].
+#[derive(Clone, Copy, Debug)]
+pub struct DbscanConfig {
+    /// Neighborhood radius ε.
+    pub eps: f64,
+    /// Minimum neighborhood size (including the point itself) for a core
+    /// point.
+    pub min_points: usize,
+}
+
+/// A point's label in the DBSCAN output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DbscanLabel {
+    /// Member of the cluster with the given id (0-based).
+    Cluster(usize),
+    /// Density noise: not reachable from any core point.
+    Noise,
+}
+
+/// The outcome of a DBSCAN run.
+#[derive(Clone, Debug)]
+pub struct DbscanResult {
+    /// Per-object labels.
+    pub labels: Vec<DbscanLabel>,
+    /// Number of clusters found.
+    pub clusters: usize,
+    /// Number of noise objects.
+    pub noise: usize,
+    /// Number of distance evaluations performed.
+    pub distance_evals: u64,
+}
+
+impl DbscanResult {
+    /// Labels as plain `usize` ids with noise mapped to `clusters` (one
+    /// past the last cluster id) — convenient for the confusion-matrix
+    /// measures, which want dense labels.
+    pub fn dense_labels(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .map(|l| match l {
+                DbscanLabel::Cluster(c) => *c,
+                DbscanLabel::Noise => self.clusters,
+            })
+            .collect()
+    }
+}
+
+/// Runs DBSCAN.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for a non-positive `eps`,
+/// `min_points == 0`, or an empty embedding.
+pub fn dbscan<E: Embedding>(
+    embedding: &E,
+    config: DbscanConfig,
+) -> Result<DbscanResult, ClusterError> {
+    if config.eps <= 0.0 || !config.eps.is_finite() {
+        return Err(ClusterError::InvalidParameter(
+            "eps must be positive and finite",
+        ));
+    }
+    if config.min_points == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "min_points must be non-zero",
+        ));
+    }
+    let n = embedding.num_objects();
+    if n == 0 {
+        return Err(ClusterError::InvalidParameter("embedding has no objects"));
+    }
+
+    // Precompute the symmetric distance matrix once; every DBSCAN range
+    // query then reads a row. O(n²) distance evaluations either way —
+    // each O(k) under sketches vs O(tile) exact.
+    let mut dist = vec![0.0f64; n * n];
+    let mut evals = 0u64;
+    let mut scratch = Vec::new();
+    let mut qpoint = Vec::with_capacity(embedding.dim());
+    for i in 0..n {
+        embedding.point_to_vec(i, &mut qpoint);
+        for j in (i + 1)..n {
+            let d = embedding.with_point(j, &mut |p| embedding.distance(&qpoint, p, &mut scratch));
+            evals += 1;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let neighbors =
+        |i: usize| -> Vec<usize> { (0..n).filter(|&j| dist[i * n + j] <= config.eps).collect() };
+
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut cluster = 0usize;
+    for start in 0..n {
+        if labels[start] != UNVISITED {
+            continue;
+        }
+        let nbrs = neighbors(start);
+        if nbrs.len() < config.min_points {
+            labels[start] = NOISE;
+            continue;
+        }
+        // Expand a new cluster from this core point (classic queue-based
+        // region growth).
+        labels[start] = cluster;
+        let mut queue: Vec<usize> = nbrs;
+        let mut head = 0;
+        while head < queue.len() {
+            let q = queue[head];
+            head += 1;
+            if labels[q] == NOISE {
+                labels[q] = cluster; // border point adopted by the cluster
+            }
+            if labels[q] != UNVISITED {
+                continue;
+            }
+            labels[q] = cluster;
+            let qn = neighbors(q);
+            if qn.len() >= config.min_points {
+                queue.extend(qn);
+            }
+        }
+        cluster += 1;
+    }
+
+    let out_labels: Vec<DbscanLabel> = labels
+        .iter()
+        .map(|&l| {
+            if l == NOISE {
+                DbscanLabel::Noise
+            } else {
+                DbscanLabel::Cluster(l)
+            }
+        })
+        .collect();
+    let noise = out_labels
+        .iter()
+        .filter(|l| **l == DbscanLabel::Noise)
+        .count();
+    Ok(DbscanResult {
+        labels: out_labels,
+        clusters: cluster,
+        noise,
+        distance_evals: evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::test_support::VecEmbedding;
+
+    fn moons_and_outlier() -> VecEmbedding {
+        // Two dense line segments far apart, plus one isolated point.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            points.push(vec![i as f64 * 0.5, 0.0]);
+        }
+        for i in 0..10 {
+            points.push(vec![i as f64 * 0.5, 50.0]);
+        }
+        points.push(vec![500.0, 500.0]);
+        VecEmbedding { points }
+    }
+
+    #[test]
+    fn validation() {
+        let e = moons_and_outlier();
+        assert!(dbscan(
+            &e,
+            DbscanConfig {
+                eps: 0.0,
+                min_points: 2
+            }
+        )
+        .is_err());
+        assert!(dbscan(
+            &e,
+            DbscanConfig {
+                eps: f64::NAN,
+                min_points: 2
+            }
+        )
+        .is_err());
+        assert!(dbscan(
+            &e,
+            DbscanConfig {
+                eps: 1.0,
+                min_points: 0
+            }
+        )
+        .is_err());
+        let empty = VecEmbedding { points: vec![] };
+        assert!(dbscan(
+            &empty,
+            DbscanConfig {
+                eps: 1.0,
+                min_points: 2
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let e = moons_and_outlier();
+        let r = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 0.6,
+                min_points: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.clusters, 2);
+        assert_eq!(r.noise, 1);
+        assert_eq!(r.labels[20], DbscanLabel::Noise);
+        // Segment membership is uniform.
+        let first = r.labels[0];
+        assert!(r.labels[..10].iter().all(|&l| l == first));
+        let second = r.labels[10];
+        assert!(r.labels[10..20].iter().all(|&l| l == second));
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn everything_noise_when_eps_tiny() {
+        let e = moons_and_outlier();
+        let r = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 1e-6,
+                min_points: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.clusters, 0);
+        assert_eq!(r.noise, 21);
+    }
+
+    #[test]
+    fn one_cluster_when_eps_huge() {
+        let e = moons_and_outlier();
+        let r = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 1e6,
+                min_points: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.clusters, 1);
+        assert_eq!(r.noise, 0);
+    }
+
+    #[test]
+    fn min_points_gates_core_status() {
+        // Three points in a row: with min_points = 4 nothing is core.
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![2.0]],
+        };
+        let r = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 1.5,
+                min_points: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.clusters, 0);
+        let r2 = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 1.5,
+                min_points: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(r2.clusters, 1);
+    }
+
+    #[test]
+    fn dense_labels_map_noise_past_clusters() {
+        let e = moons_and_outlier();
+        let r = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 0.6,
+                min_points: 3,
+            },
+        )
+        .unwrap();
+        let dense = r.dense_labels();
+        assert_eq!(dense[20], 2, "noise maps to clusters = 2");
+        assert!(dense[..20].iter().all(|&l| l < 2));
+    }
+
+    #[test]
+    fn counts_pairwise_evals() {
+        let e = moons_and_outlier();
+        let r = dbscan(
+            &e,
+            DbscanConfig {
+                eps: 0.6,
+                min_points: 3,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.distance_evals, (21 * 20 / 2) as u64);
+    }
+}

@@ -1,0 +1,112 @@
+//! The `Embedding` abstraction: how clustering sees its objects.
+//!
+//! The paper runs the *same* k-means code under three scenarios that
+//! differ only in "the routines to calculate the distance between tiles"
+//! (§4.4). `Embedding` captures exactly that seam:
+//!
+//! * [`ExactEmbedding`](crate::ExactEmbedding) — objects are full tiles,
+//!   distances are exact Lp scans (scenario 3);
+//! * [`PrecomputedSketchEmbedding`](crate::PrecomputedSketchEmbedding) —
+//!   objects are sketches built up front (scenario 1);
+//! * [`OnDemandSketchEmbedding`](crate::OnDemandSketchEmbedding) —
+//!   objects are sketches built lazily on first touch and cached
+//!   (scenario 2).
+//!
+//! Both tiles and sketches are plain `f64` vectors, and — crucially — the
+//! **mean** of object representations is a valid representation of the
+//! mean object in both cases (sketches are linear maps). k-means therefore
+//! needs nothing beyond this trait.
+
+/// A collection of objects, each represented as a fixed-length `f64`
+/// vector, with a distance function on representations.
+///
+/// Representation vectors are consumed through [`Embedding::with_point`]
+/// so implementations may build them lazily under interior mutability.
+pub trait Embedding {
+    /// Number of objects.
+    fn num_objects(&self) -> usize;
+
+    /// Length of every representation vector.
+    fn dim(&self) -> usize;
+
+    /// Calls `f` with the representation of object `i`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `i >= num_objects()`.
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R;
+
+    /// The distance between two representation vectors (object or
+    /// centroid). `scratch` is reusable workspace for median-based
+    /// estimators.
+    fn distance(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64;
+
+    /// Copies the representation of object `i` into `out` (which is
+    /// resized to [`Embedding::dim`]).
+    fn point_to_vec(&self, i: usize, out: &mut Vec<f64>) {
+        self.with_point(i, &mut |p| {
+            out.clear();
+            out.extend_from_slice(p);
+        });
+    }
+
+    /// Distance between two *objects* (convenience over representations).
+    fn object_distance(&self, i: usize, j: usize, scratch: &mut Vec<f64>) -> f64 {
+        let mut a = Vec::with_capacity(self.dim());
+        self.point_to_vec(i, &mut a);
+        self.with_point(j, &mut |b| self.distance(&a, b, scratch))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::Embedding;
+
+    /// A trivial in-memory embedding over explicit points with Euclidean
+    /// distance; used by unit tests across the crate.
+    pub struct VecEmbedding {
+        pub points: Vec<Vec<f64>>,
+    }
+
+    impl Embedding for VecEmbedding {
+        fn num_objects(&self) -> usize {
+            self.points.len()
+        }
+
+        fn dim(&self) -> usize {
+            self.points.first().map_or(0, Vec::len)
+        }
+
+        fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+            f(&self.points[i])
+        }
+
+        fn distance(&self, a: &[f64], b: &[f64], _scratch: &mut Vec<f64>) -> f64 {
+            a.iter()
+                .zip(b)
+                .map(|(&x, &y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::VecEmbedding;
+    use super::*;
+
+    #[test]
+    fn default_methods() {
+        let e = VecEmbedding {
+            points: vec![vec![0.0, 0.0], vec![3.0, 4.0]],
+        };
+        assert_eq!(e.num_objects(), 2);
+        assert_eq!(e.dim(), 2);
+        let mut buf = Vec::new();
+        e.point_to_vec(1, &mut buf);
+        assert_eq!(buf, vec![3.0, 4.0]);
+        let mut scratch = Vec::new();
+        assert_eq!(e.object_distance(0, 1, &mut scratch), 5.0);
+    }
+}

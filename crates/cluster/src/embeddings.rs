@@ -1,0 +1,390 @@
+//! The three concrete embeddings of the paper's clustering experiments.
+
+use parking_lot::Mutex;
+
+use tabsketch_core::{SketchPool, Sketcher, TabError};
+use tabsketch_table::{norms, Rect, Table, TileGrid};
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// Scenario 3 — exact distances over materialized tiles.
+///
+/// Tiles are copied out of the table once at construction (a tile's rows
+/// are not contiguous in the parent), then every distance is a full
+/// `O(tile size)` Lp scan, exactly the cost profile the paper's "exact
+/// computation" mode pays per comparison.
+#[derive(Clone, Debug)]
+pub struct ExactEmbedding {
+    tiles: Vec<Vec<f64>>,
+    dim: usize,
+    p: f64,
+}
+
+impl ExactEmbedding {
+    /// Materializes all tiles of `grid` from `table`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an invalid `p` or an
+    /// empty grid; table/view errors are propagated.
+    pub fn from_tiles(table: &Table, grid: &TileGrid, p: f64) -> Result<Self, ClusterError> {
+        if !norms::valid_p(p) {
+            return Err(ClusterError::InvalidParameter("p must lie in (0, 2]"));
+        }
+        if grid.is_empty() {
+            return Err(ClusterError::InvalidParameter("tile grid is empty"));
+        }
+        let mut tiles = Vec::with_capacity(grid.len());
+        for rect in grid.iter() {
+            tiles.push(table.view(rect)?.to_vec());
+        }
+        let dim = tiles[0].len();
+        Ok(Self { tiles, dim, p })
+    }
+
+    /// The Lp exponent.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Embedding for ExactEmbedding {
+    fn num_objects(&self) -> usize {
+        self.tiles.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+        f(&self.tiles[i])
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64], _scratch: &mut Vec<f64>) -> f64 {
+        norms::lp_distance_slices(a, b, self.p)
+    }
+}
+
+/// Scenario 1 — sketches precomputed for every tile before clustering.
+///
+/// Distances cost `O(k)` regardless of tile size. Construction cost (the
+/// paper's "preprocessing") is paid once and can be timed separately.
+#[derive(Clone, Debug)]
+pub struct PrecomputedSketchEmbedding {
+    sketches: Vec<Vec<f64>>,
+    sketcher: Sketcher,
+}
+
+impl PrecomputedSketchEmbedding {
+    /// Sketches every tile of `grid` eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an empty grid;
+    /// sketching errors are propagated.
+    pub fn build(table: &Table, grid: &TileGrid, sketcher: Sketcher) -> Result<Self, ClusterError> {
+        if grid.is_empty() {
+            return Err(ClusterError::InvalidParameter("tile grid is empty"));
+        }
+        let mut sketches = Vec::with_capacity(grid.len());
+        for rect in grid.iter() {
+            let view = table.view(rect)?;
+            sketches.push(sketcher.sketch_view(&view).values().to_vec());
+        }
+        Ok(Self { sketches, sketcher })
+    }
+
+    /// Wraps sketch value vectors produced elsewhere (e.g. pulled from an
+    /// [`tabsketch_core::AllSubtableSketches`] store or a
+    /// [`tabsketch_core::SketchPool`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] when the set is empty or
+    /// widths are inconsistent with the sketcher.
+    pub fn from_sketch_values(
+        sketches: Vec<Vec<f64>>,
+        sketcher: Sketcher,
+    ) -> Result<Self, ClusterError> {
+        if sketches.is_empty() {
+            return Err(ClusterError::InvalidParameter("no sketches provided"));
+        }
+        if sketches.iter().any(|s| s.len() != sketcher.k()) {
+            return Err(ClusterError::Core(TabError::SketchMismatch {
+                reason: "sketch widths differ from the sketcher's k",
+            }));
+        }
+        Ok(Self { sketches, sketcher })
+    }
+
+    /// The sketcher whose estimator scores distances.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// Builds the embedding from a dyadic [`SketchPool`]: object `i` is
+    /// the compound sketch of `rects[i]`, assembled in O(k) each — no new
+    /// passes over the data. All rectangles must share one shape (their
+    /// covers then share a random family, so distances are meaningful).
+    ///
+    /// Compound estimates carry Theorem 5's bounded inflation; for
+    /// clustering only comparisons matter and those are consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an empty rectangle
+    /// set or mixed shapes, and propagates pool coverage errors.
+    pub fn from_pool(pool: &SketchPool, rects: &[Rect]) -> Result<Self, ClusterError> {
+        let first = rects
+            .first()
+            .ok_or(ClusterError::InvalidParameter("no rectangles provided"))?;
+        if rects.iter().any(|r| r.shape() != first.shape()) {
+            return Err(ClusterError::InvalidParameter(
+                "pool embeddings require equal-shaped rectangles",
+            ));
+        }
+        let mut sketches = Vec::with_capacity(rects.len());
+        let mut family = 0;
+        for rect in rects {
+            let sketch = pool.compound_sketch(*rect).map_err(ClusterError::Core)?;
+            family = sketch.family();
+            sketches.push(sketch.values().to_vec());
+        }
+        let sketcher = Sketcher::with_family(pool.params(), family).map_err(ClusterError::Core)?;
+        Self::from_sketch_values(sketches, sketcher)
+    }
+}
+
+impl Embedding for PrecomputedSketchEmbedding {
+    fn num_objects(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.sketcher.k()
+    }
+
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+        f(&self.sketches[i])
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        self.sketcher.estimate_distance_slices(a, b, scratch)
+    }
+}
+
+/// Scenario 2 — sketches computed on first use and cached.
+///
+/// The first touch of a tile pays the full sketch-construction cost (the
+/// convolution of the tile with `k` random matrices); every subsequent
+/// comparison costs `O(k)`. The paper found this recoups its cost after a
+/// handful of comparisons, and our Figure 3/4 reproductions show the same.
+pub struct OnDemandSketchEmbedding<'a> {
+    table: &'a Table,
+    grid: TileGrid,
+    sketcher: Sketcher,
+    cache: Mutex<Vec<Option<Box<[f64]>>>>,
+}
+
+impl<'a> OnDemandSketchEmbedding<'a> {
+    /// Creates the lazy embedding. No sketches are computed yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an empty grid.
+    pub fn new(table: &'a Table, grid: TileGrid, sketcher: Sketcher) -> Result<Self, ClusterError> {
+        if grid.is_empty() {
+            return Err(ClusterError::InvalidParameter("tile grid is empty"));
+        }
+        let cache = Mutex::new(vec![None; grid.len()]);
+        Ok(Self {
+            table,
+            grid,
+            sketcher,
+            cache,
+        })
+    }
+
+    /// How many tiles have been sketched so far.
+    pub fn cached_count(&self) -> usize {
+        self.cache.lock().iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The sketcher whose estimator scores distances.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+}
+
+impl Embedding for OnDemandSketchEmbedding<'_> {
+    fn num_objects(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.sketcher.k()
+    }
+
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+        let mut cache = self.cache.lock();
+        if cache[i].is_none() {
+            let rect = self.grid.tile(i).expect("object index in range");
+            let view = self
+                .table
+                .view(rect)
+                .expect("grid tiles lie inside the table");
+            cache[i] = Some(self.sketcher.sketch_view(&view).values().into());
+        }
+        f(cache[i].as_deref().expect("just filled"))
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        self.sketcher.estimate_distance_slices(a, b, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabsketch_core::SketchParams;
+
+    fn table() -> Table {
+        Table::from_fn(24, 24, |r, c| ((r / 8) * 100 + c) as f64).unwrap()
+    }
+
+    fn sketcher(k: usize) -> Sketcher {
+        Sketcher::new(SketchParams::new(1.0, k, 11).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn exact_embedding_distances_are_exact() {
+        let t = table();
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        assert_eq!(e.num_objects(), 9);
+        assert_eq!(e.dim(), 64);
+        let mut scratch = Vec::new();
+        // Tiles 0 and 1 are in the same row band; rows differ by column
+        // offsets only.
+        let d = e.object_distance(0, 1, &mut scratch);
+        let va = t.view(grid.tile(0).unwrap()).unwrap();
+        let vb = t.view(grid.tile(1).unwrap()).unwrap();
+        let exact = norms::lp_distance_views(&va, &vb, 1.0).unwrap();
+        assert_eq!(d, exact);
+    }
+
+    #[test]
+    fn exact_embedding_validation() {
+        let t = table();
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        assert!(ExactEmbedding::from_tiles(&t, &grid, 0.0).is_err());
+        assert!(ExactEmbedding::from_tiles(&t, &grid, 3.0).is_err());
+    }
+
+    #[test]
+    fn precomputed_matches_on_demand() {
+        let t = table();
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        let pre = PrecomputedSketchEmbedding::build(&t, &grid, sketcher(32)).unwrap();
+        let lazy = OnDemandSketchEmbedding::new(&t, grid, sketcher(32)).unwrap();
+        assert_eq!(pre.num_objects(), lazy.num_objects());
+        let mut scratch = Vec::new();
+        for i in 0..pre.num_objects() {
+            for j in 0..pre.num_objects() {
+                let dp = pre.object_distance(i, j, &mut scratch);
+                let dl = lazy.object_distance(i, j, &mut scratch);
+                assert!((dp - dl).abs() < 1e-9, "({i},{j}): {dp} vs {dl}");
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_caches_lazily() {
+        let t = table();
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        let lazy = OnDemandSketchEmbedding::new(&t, grid, sketcher(16)).unwrap();
+        assert_eq!(lazy.cached_count(), 0);
+        let mut scratch = Vec::new();
+        let _ = lazy.object_distance(0, 3, &mut scratch);
+        assert_eq!(lazy.cached_count(), 2);
+        let _ = lazy.object_distance(0, 3, &mut scratch);
+        assert_eq!(lazy.cached_count(), 2, "second call reuses the cache");
+    }
+
+    #[test]
+    fn sketch_distances_track_exact() {
+        let t = table();
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        let exact = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let pre = PrecomputedSketchEmbedding::build(&t, &grid, sketcher(300)).unwrap();
+        let mut scratch = Vec::new();
+        for (i, j) in [(0, 4), (1, 7), (2, 8)] {
+            let de = exact.object_distance(i, j, &mut scratch);
+            let ds = pre.object_distance(i, j, &mut scratch);
+            assert!(
+                (de - ds).abs() / de.max(1.0) < 0.3,
+                "({i},{j}): exact {de} vs sketch {ds}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_embedding_clusters_like_direct_sketches() {
+        use tabsketch_core::{PoolConfig, SketchPool};
+
+        // Top band vs bottom band; 12x12 query rects (dyadic floor 8x8).
+        let t = Table::from_fn(48, 48, |r, _| if r < 24 { 1.0 } else { 900.0 }).unwrap();
+        let pool = SketchPool::build(
+            &t,
+            tabsketch_core::SketchParams::new(1.0, 128, 5).unwrap(),
+            PoolConfig {
+                min_rows: 8,
+                min_cols: 8,
+                max_rows: 16,
+                max_cols: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rects = vec![
+            tabsketch_table::Rect::new(0, 0, 12, 12),
+            tabsketch_table::Rect::new(4, 20, 12, 12),
+            tabsketch_table::Rect::new(30, 0, 12, 12),
+            tabsketch_table::Rect::new(34, 20, 12, 12),
+        ];
+        let e = PrecomputedSketchEmbedding::from_pool(&pool, &rects).unwrap();
+        assert_eq!(e.num_objects(), 4);
+        let mut scratch = Vec::new();
+        let d_same = e.object_distance(0, 1, &mut scratch);
+        let d_cross = e.object_distance(0, 2, &mut scratch);
+        assert!(
+            d_same < d_cross,
+            "same-band {d_same} vs cross-band {d_cross}"
+        );
+        // Validation paths.
+        assert!(PrecomputedSketchEmbedding::from_pool(&pool, &[]).is_err());
+        let mixed = vec![
+            tabsketch_table::Rect::new(0, 0, 12, 12),
+            tabsketch_table::Rect::new(0, 0, 12, 13),
+        ];
+        assert!(PrecomputedSketchEmbedding::from_pool(&pool, &mixed).is_err());
+        // Rect whose dyadic floor is not stored.
+        let uncovered = vec![tabsketch_table::Rect::new(0, 0, 4, 4)];
+        assert!(PrecomputedSketchEmbedding::from_pool(&pool, &uncovered).is_err());
+    }
+
+    #[test]
+    fn from_sketch_values_validation() {
+        let sk = sketcher(8);
+        assert!(PrecomputedSketchEmbedding::from_sketch_values(vec![], sk.clone()).is_err());
+        assert!(
+            PrecomputedSketchEmbedding::from_sketch_values(vec![vec![0.0; 4]], sk.clone()).is_err()
+        );
+        assert!(PrecomputedSketchEmbedding::from_sketch_values(vec![vec![0.0; 8]], sk).is_ok());
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type for the clustering substrate.
+
+use core::fmt;
+
+use tabsketch_core::TabError;
+use tabsketch_table::TableError;
+
+/// Errors produced by `tabsketch-cluster`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// A parameter failed validation; the message says which.
+    InvalidParameter(&'static str),
+    /// More clusters were requested than objects exist.
+    TooFewObjects {
+        /// Number of objects available.
+        objects: usize,
+        /// Number of clusters requested.
+        k: usize,
+    },
+    /// An error bubbled up from the sketching core.
+    Core(TabError),
+    /// An error bubbled up from the table layer.
+    Table(TableError),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            ClusterError::TooFewObjects { objects, k } => {
+                write!(f, "cannot form {k} clusters from {objects} objects")
+            }
+            ClusterError::Core(e) => write!(f, "sketching error: {e}"),
+            ClusterError::Table(e) => write!(f, "table error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Core(e) => Some(e),
+            ClusterError::Table(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TabError> for ClusterError {
+    fn from(e: TabError) -> Self {
+        ClusterError::Core(e)
+    }
+}
+
+impl From<TableError> for ClusterError {
+    fn from(e: TableError) -> Self {
+        ClusterError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(!ClusterError::InvalidParameter("k").to_string().is_empty());
+        assert!(ClusterError::TooFewObjects { objects: 2, k: 5 }
+            .to_string()
+            .contains("5 clusters"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: ClusterError = TabError::InvalidP(9.0).into();
+        assert!(matches!(e, ClusterError::Core(_)));
+        let e: ClusterError = TableError::EmptyDimension.into();
+        assert!(matches!(e, ClusterError::Table(_)));
+    }
+}

@@ -1,0 +1,264 @@
+//! Agglomerative hierarchical clustering over an [`Embedding`].
+//!
+//! A second mining algorithm on top of the sketch machinery (the paper:
+//! "these distance computations can be applied to any mining or similarity
+//! algorithms that use Lp norms"). Average-linkage agglomeration with a
+//! Lance–Williams distance update; the pairwise distance matrix is
+//! computed once through the embedding (each entry `O(k)` under sketches
+//! versus `O(tile)` exact — the same comparison-cost story as k-means).
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// Linkage criterion for merging clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Linkage {
+    /// Unweighted average linkage (UPGMA).
+    #[default]
+    Average,
+    /// Single linkage (nearest member pair).
+    Single,
+    /// Complete linkage (farthest member pair).
+    Complete,
+}
+
+/// One merge step of the dendrogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id (see [`Dendrogram`] id scheme).
+    pub left: usize,
+    /// Second merged cluster id.
+    pub right: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+    /// Number of objects in the merged cluster.
+    pub size: usize,
+}
+
+/// A full agglomeration history over `n` objects.
+///
+/// Cluster ids: `0..n` are the singleton leaves; merge `m` (0-based)
+/// creates cluster `n + m`.
+#[derive(Clone, Debug)]
+pub struct Dendrogram {
+    n: usize,
+    merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaf objects.
+    #[inline]
+    pub fn num_objects(&self) -> usize {
+        self.n
+    }
+
+    /// The merge sequence, in order.
+    #[inline]
+    pub fn merges(&self) -> &[Merge] {
+        &self.merges
+    }
+
+    /// Cuts the dendrogram into `k` clusters, returning a label in
+    /// `0..k` per object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::TooFewObjects`] when `k > n` and
+    /// [`ClusterError::InvalidParameter`] when `k == 0`.
+    pub fn cut(&self, k: usize) -> Result<Vec<usize>, ClusterError> {
+        if k == 0 {
+            return Err(ClusterError::InvalidParameter("k must be non-zero"));
+        }
+        if k > self.n {
+            return Err(ClusterError::TooFewObjects { objects: self.n, k });
+        }
+        // Apply the first n - k merges with a union-find.
+        let mut parent: Vec<usize> = (0..self.n + self.merges.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (m, merge) in self.merges.iter().take(self.n - k).enumerate() {
+            let new_id = self.n + m;
+            let l = find(&mut parent, merge.left);
+            let r = find(&mut parent, merge.right);
+            parent[l] = new_id;
+            parent[r] = new_id;
+        }
+        // Compact root ids to 0..k.
+        let mut label_of_root = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(self.n);
+        for i in 0..self.n {
+            let root = find(&mut parent, i);
+            let next = label_of_root.len();
+            let label = *label_of_root.entry(root).or_insert(next);
+            labels.push(label);
+        }
+        Ok(labels)
+    }
+}
+
+/// Runs agglomerative clustering to completion (a single root), returning
+/// the dendrogram.
+///
+/// `O(n²)` memory for the distance matrix and `O(n³)` time worst-case —
+/// intended for the tile counts of the paper's experiments (thousands),
+/// not millions.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for an empty embedding.
+pub fn agglomerate<E: Embedding>(
+    embedding: &E,
+    linkage: Linkage,
+) -> Result<Dendrogram, ClusterError> {
+    let n = embedding.num_objects();
+    if n == 0 {
+        return Err(ClusterError::InvalidParameter("embedding has no objects"));
+    }
+    // Active cluster list with Lance-Williams updatable distances.
+    // dist is indexed by active-slot pairs; slots are compacted on merge.
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    let mut scratch = Vec::new();
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = embedding.object_distance(i, j, &mut scratch);
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+    let stride = n;
+    let mut active: Vec<usize> = (0..n).collect(); // rows of `dist` in play
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    let mut next_id = n;
+    while active.len() > 1 {
+        // Find the closest active pair.
+        let (mut bi, mut bj, mut bd) = (0usize, 1usize, f64::INFINITY);
+        for (ai, &ri) in active.iter().enumerate() {
+            for (aj, &rj) in active.iter().enumerate().skip(ai + 1) {
+                let d = dist[ri * stride + rj];
+                if d < bd {
+                    bd = d;
+                    bi = ai;
+                    bj = aj;
+                }
+            }
+        }
+        let (ri, rj) = (active[bi], active[bj]);
+        let (si, sj) = (sizes[ri], sizes[rj]);
+        merges.push(Merge {
+            left: ids[ri],
+            right: ids[rj],
+            distance: bd,
+            size: si + sj,
+        });
+        // Lance-Williams update into row ri.
+        for &rk in &active {
+            if rk == ri || rk == rj {
+                continue;
+            }
+            let dik = dist[ri * stride + rk];
+            let djk = dist[rj * stride + rk];
+            let updated = match linkage {
+                Linkage::Average => (si as f64 * dik + sj as f64 * djk) / (si + sj) as f64,
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+            };
+            dist[ri * stride + rk] = updated;
+            dist[rk * stride + ri] = updated;
+        }
+        sizes[ri] = si + sj;
+        ids[ri] = next_id;
+        next_id += 1;
+        active.swap_remove(bj);
+    }
+    Ok(Dendrogram { n, merges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::test_support::VecEmbedding;
+
+    fn two_pairs() -> VecEmbedding {
+        VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]],
+        }
+    }
+
+    #[test]
+    fn merges_nearest_first() {
+        let d = agglomerate(&two_pairs(), Linkage::Average).unwrap();
+        assert_eq!(d.merges().len(), 3);
+        // The first two merges join the tight pairs at distance 1.
+        assert_eq!(d.merges()[0].distance, 1.0);
+        assert_eq!(d.merges()[1].distance, 1.0);
+        assert!(d.merges()[2].distance > 5.0);
+    }
+
+    #[test]
+    fn cut_recovers_pairs() {
+        let d = agglomerate(&two_pairs(), Linkage::Average).unwrap();
+        let labels = d.cut(2).unwrap();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = agglomerate(&two_pairs(), Linkage::Single).unwrap();
+        let all_one = d.cut(1).unwrap();
+        assert!(all_one.iter().all(|&l| l == 0));
+        let singletons = d.cut(4).unwrap();
+        let mut sorted = singletons.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        assert!(d.cut(0).is_err());
+        assert!(d.cut(5).is_err());
+    }
+
+    #[test]
+    fn average_linkage_distance_is_average() {
+        // Points 0, 2 merge first (distance 2); then cluster {0,2} to 9:
+        // average of |0-9|=9 and |2-9|=7 is 8.
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![2.0], vec![9.0]],
+        };
+        let d = agglomerate(&e, Linkage::Average).unwrap();
+        assert_eq!(d.merges()[0].distance, 2.0);
+        assert_eq!(d.merges()[1].distance, 8.0);
+    }
+
+    #[test]
+    fn single_vs_complete_linkage() {
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![2.0], vec![9.0]],
+        };
+        let s = agglomerate(&e, Linkage::Single).unwrap();
+        assert_eq!(s.merges()[1].distance, 7.0, "single takes the min (9-2)");
+        let c = agglomerate(&e, Linkage::Complete).unwrap();
+        assert_eq!(c.merges()[1].distance, 9.0, "complete takes the max (9-0)");
+    }
+
+    #[test]
+    fn single_object() {
+        let e = VecEmbedding {
+            points: vec![vec![5.0]],
+        };
+        let d = agglomerate(&e, Linkage::Average).unwrap();
+        assert!(d.merges().is_empty());
+        assert_eq!(d.cut(1).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn empty_embedding_rejected() {
+        let e = VecEmbedding { points: vec![] };
+        assert!(agglomerate(&e, Linkage::Average).is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! k-medoids clustering (Voronoi-iteration style) over an [`Embedding`].
+//!
+//! The paper cites medoid-based methods (CLARANS) among the clustering
+//! algorithms whose cost is dominated by object-object comparisons — the
+//! case where sketch-accelerated distances pay off even more than in
+//! k-means, since *every* step is a pairwise object distance (there are
+//! no synthetic centroids, so this also works for representations that
+//! cannot be averaged).
+//!
+//! The implementation alternates assignment with exact per-cluster medoid
+//! refits (the "alternate" / Park–Jun scheme): simpler than full PAM,
+//! same cost model, deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// Configuration for [`kmedoids`].
+#[derive(Clone, Copy, Debug)]
+pub struct KMedoidsConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Iteration cap.
+    pub max_iters: usize,
+    /// RNG seed for the initial medoid draw.
+    pub seed: u64,
+}
+
+impl Default for KMedoidsConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            max_iters: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a k-medoids run.
+#[derive(Clone, Debug)]
+pub struct KMedoidsResult {
+    /// The medoid object index of each cluster.
+    pub medoids: Vec<usize>,
+    /// Cluster label of every object.
+    pub assignments: Vec<usize>,
+    /// Total member-to-medoid distance.
+    pub cost: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the medoid set stabilized before the cap.
+    pub converged: bool,
+    /// Number of pairwise distance evaluations.
+    pub distance_evals: u64,
+}
+
+/// Runs k-medoids clustering.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for `k == 0` /
+/// `max_iters == 0` and [`ClusterError::TooFewObjects`] when `k` exceeds
+/// the object count.
+pub fn kmedoids<E: Embedding>(
+    embedding: &E,
+    config: KMedoidsConfig,
+) -> Result<KMedoidsResult, ClusterError> {
+    let n = embedding.num_objects();
+    let k = config.k;
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if config.max_iters == 0 {
+        return Err(ClusterError::InvalidParameter("max_iters must be non-zero"));
+    }
+    if n < k {
+        return Err(ClusterError::TooFewObjects { objects: n, k });
+    }
+
+    // Pairwise distances are reused heavily; materialize the (symmetric)
+    // matrix once. O(n²) space — the regime the paper's tile counts live
+    // in. Every entry costs O(sketch k) under a sketch embedding versus
+    // O(tile) exact, which is where the speedup comes from.
+    let mut scratch = Vec::new();
+    let mut dist = vec![0.0f64; n * n];
+    let mut evals: u64 = 0;
+    let mut qpoint = Vec::with_capacity(embedding.dim());
+    for i in 0..n {
+        embedding.point_to_vec(i, &mut qpoint);
+        for j in (i + 1)..n {
+            let d = embedding.with_point(j, &mut |p| embedding.distance(&qpoint, p, &mut scratch));
+            evals += 1;
+            dist[i * n + j] = d;
+            dist[j * n + i] = d;
+        }
+    }
+
+    // Initial medoids: k distinct random objects.
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        indices.swap(i, j);
+    }
+    let mut medoids: Vec<usize> = indices[..k].to_vec();
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < config.max_iters {
+        iterations += 1;
+        // Assignment.
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, &m) in medoids.iter().enumerate() {
+                let d = dist[i * n + m];
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            *slot = best;
+        }
+        // Medoid refit: per cluster, the member minimizing the summed
+        // distance to the rest of the cluster.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = (0..n).filter(|&i| assignments[i] == c).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut best = *medoid;
+            let mut best_cost = f64::INFINITY;
+            for &candidate in &members {
+                let cost: f64 = members.iter().map(|&m| dist[candidate * n + m]).sum();
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = candidate;
+                }
+            }
+            if *medoid != best {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+
+    // Final assignment and cost against the settled medoids.
+    let mut cost = 0.0;
+    for (i, slot) in assignments.iter_mut().enumerate() {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (c, &m) in medoids.iter().enumerate() {
+            let d = dist[i * n + m];
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *slot = best;
+        cost += best_d;
+    }
+
+    Ok(KMedoidsResult {
+        medoids,
+        assignments,
+        cost,
+        iterations,
+        converged,
+        distance_evals: evals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::test_support::VecEmbedding;
+
+    fn two_blobs() -> VecEmbedding {
+        let mut points = Vec::new();
+        for (cx, n) in [(0.0, 6), (100.0, 6)] {
+            for i in 0..n {
+                points.push(vec![cx + i as f64 * 0.2]);
+            }
+        }
+        VecEmbedding { points }
+    }
+
+    #[test]
+    fn validation() {
+        let e = two_blobs();
+        assert!(kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmedoids(
+            &e,
+            KMedoidsConfig {
+                max_iters: 0,
+                k: 2,
+                seed: 0
+            }
+        )
+        .is_err());
+        assert!(matches!(
+            kmedoids(
+                &e,
+                KMedoidsConfig {
+                    k: 13,
+                    ..Default::default()
+                }
+            ),
+            Err(ClusterError::TooFewObjects { .. })
+        ));
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let e = two_blobs();
+        let r = kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.converged);
+        assert_eq!(
+            r.assignments[..6]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_eq!(
+            r.assignments[6..]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
+        assert_ne!(r.assignments[0], r.assignments[6]);
+        // Medoids are actual objects of their clusters.
+        for (c, &m) in r.medoids.iter().enumerate() {
+            assert_eq!(r.assignments[m], c);
+        }
+    }
+
+    #[test]
+    fn medoid_minimizes_within_cluster_cost() {
+        // One cluster on a line: the medoid must be the (geometric)
+        // median member, i.e. one of the central points.
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0], vec![10.0]],
+        };
+        let r = kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 1,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            r.medoids[0] == 1 || r.medoids[0] == 2,
+            "medoid {}",
+            r.medoids[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let e = two_blobs();
+        let a = kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 2,
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 2,
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.medoids, b.medoids);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn k_equals_n_zero_cost() {
+        let e = VecEmbedding {
+            points: vec![vec![1.0], vec![5.0], vec![9.0]],
+        };
+        let r = kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 3,
+                seed: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.cost, 0.0);
+        let mut m = r.medoids.clone();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn counts_pairwise_evals() {
+        let e = two_blobs();
+        let r = kmedoids(
+            &e,
+            KMedoidsConfig {
+                k: 2,
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.distance_evals, (12 * 11 / 2) as u64);
+    }
+}

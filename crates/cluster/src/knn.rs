@@ -1,0 +1,160 @@
+//! k-nearest-neighbor queries over an [`Embedding`].
+//!
+//! The paper argues its distance computations are "general since \[they\]
+//! can be applied to any mining or similarity algorithms that use Lp
+//! norms" — k-NN search is the simplest such algorithm, and under a sketch
+//! embedding each candidate comparison drops from `O(tile)` to `O(k)`.
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// A neighbor: object index and its distance from the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Object index within the embedding.
+    pub index: usize,
+    /// Distance from the query object.
+    pub distance: f64,
+}
+
+/// The `k` nearest neighbors of object `query` (excluding itself),
+/// sorted by ascending distance with index as tie-breaker.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `k == 0` or `query` is
+/// out of range, and [`ClusterError::TooFewObjects`] when fewer than `k`
+/// other objects exist.
+pub fn nearest_neighbors<E: Embedding>(
+    embedding: &E,
+    query: usize,
+    k: usize,
+) -> Result<Vec<Neighbor>, ClusterError> {
+    let n = embedding.num_objects();
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if query >= n {
+        return Err(ClusterError::InvalidParameter("query index out of range"));
+    }
+    if n - 1 < k {
+        return Err(ClusterError::TooFewObjects { objects: n - 1, k });
+    }
+    let mut qpoint = Vec::with_capacity(embedding.dim());
+    embedding.point_to_vec(query, &mut qpoint);
+    let mut scratch = Vec::new();
+    let mut neighbors: Vec<Neighbor> = (0..n)
+        .filter(|&i| i != query)
+        .map(|i| Neighbor {
+            index: i,
+            distance: embedding
+                .with_point(i, &mut |p| embedding.distance(&qpoint, p, &mut scratch)),
+        })
+        .collect();
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+    neighbors.truncate(k);
+    Ok(neighbors)
+}
+
+/// Recall of approximate k-NN against exact k-NN: the fraction of the
+/// approximate result set that appears in the exact result set.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when the exact set is empty.
+pub fn knn_recall(exact: &[Neighbor], approx: &[Neighbor]) -> Result<f64, ClusterError> {
+    if exact.is_empty() {
+        return Err(ClusterError::InvalidParameter(
+            "exact neighbor set is empty",
+        ));
+    }
+    let hits = approx
+        .iter()
+        .filter(|a| exact.iter().any(|e| e.index == a.index))
+        .count();
+    Ok(hits as f64 / exact.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::test_support::VecEmbedding;
+
+    fn line_embedding() -> VecEmbedding {
+        VecEmbedding {
+            points: (0..10).map(|i| vec![i as f64 * i as f64]).collect(), // 0,1,4,9,...
+        }
+    }
+
+    #[test]
+    fn finds_true_neighbors_on_a_line() {
+        let e = line_embedding();
+        let nn = nearest_neighbors(&e, 3, 2).unwrap(); // point at 9
+        assert_eq!(nn[0].index, 2, "4 is nearest to 9");
+        assert_eq!(nn[1].index, 4, "16 is second");
+        assert_eq!(nn[0].distance, 5.0);
+    }
+
+    #[test]
+    fn excludes_query_itself() {
+        let e = line_embedding();
+        let nn = nearest_neighbors(&e, 0, 9).unwrap();
+        assert!(nn.iter().all(|n| n.index != 0));
+        assert_eq!(nn.len(), 9);
+    }
+
+    #[test]
+    fn validation() {
+        let e = line_embedding();
+        assert!(nearest_neighbors(&e, 0, 0).is_err());
+        assert!(nearest_neighbors(&e, 10, 1).is_err());
+        assert!(matches!(
+            nearest_neighbors(&e, 0, 10),
+            Err(ClusterError::TooFewObjects { objects: 9, k: 10 })
+        ));
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![1.0], vec![1.0]],
+        };
+        let nn = nearest_neighbors(&e, 0, 3).unwrap();
+        assert_eq!(
+            nn.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn recall_measures_overlap() {
+        let exact = vec![
+            Neighbor {
+                index: 1,
+                distance: 1.0,
+            },
+            Neighbor {
+                index: 2,
+                distance: 2.0,
+            },
+        ];
+        let perfect = exact.clone();
+        assert_eq!(knn_recall(&exact, &perfect).unwrap(), 1.0);
+        let half = vec![
+            Neighbor {
+                index: 1,
+                distance: 1.1,
+            },
+            Neighbor {
+                index: 9,
+                distance: 1.2,
+            },
+        ];
+        assert_eq!(knn_recall(&exact, &half).unwrap(), 0.5);
+        assert!(knn_recall(&[], &half).is_err());
+    }
+}

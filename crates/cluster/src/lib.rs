@@ -1,0 +1,54 @@
+//! # tabsketch-cluster
+//!
+//! Mining algorithms over sketched or exact tile representations:
+//!
+//! * [`KMeans`] — Lloyd's algorithm, generic over an [`Embedding`], with
+//!   random or k-means++ initialization and distance-evaluation counting
+//!   (the paper's cost model is comparisons × cost-per-comparison);
+//! * the three embeddings of the paper's §4.4 scenarios —
+//!   [`ExactEmbedding`], [`PrecomputedSketchEmbedding`],
+//!   [`OnDemandSketchEmbedding`];
+//! * [`knn`] — k-nearest-neighbor queries (extension);
+//! * [`hierarchical`] — average/single/complete-linkage agglomerative
+//!   clustering (extension).
+//!
+//! ```
+//! use tabsketch_cluster::{ExactEmbedding, KMeans, KMeansConfig};
+//! use tabsketch_table::{Table, TileGrid};
+//!
+//! // Cluster the 8x8 tiles of a table whose top and bottom halves differ.
+//! let t = Table::from_fn(16, 32, |r, _| if r < 8 { 1.0 } else { 500.0 }).unwrap();
+//! let grid = TileGrid::new(16, 32, 8, 8).unwrap();
+//! let embedding = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+//! let km = KMeans::new(KMeansConfig { k: 2, seed: 1, ..Default::default() }).unwrap();
+//! let result = km.run(&embedding).unwrap();
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod birch;
+mod dbscan;
+mod embedding;
+mod embeddings;
+mod error;
+pub mod hierarchical;
+mod kmeans;
+mod kmedoids;
+pub mod knn;
+pub mod pairs;
+pub mod silhouette;
+
+pub use birch::{birch, BirchConfig, BirchResult};
+pub use dbscan::{dbscan, DbscanConfig, DbscanLabel, DbscanResult};
+pub use embedding::Embedding;
+pub use embeddings::{ExactEmbedding, OnDemandSketchEmbedding, PrecomputedSketchEmbedding};
+pub use error::ClusterError;
+pub use hierarchical::{agglomerate, Dendrogram, Linkage, Merge};
+pub use kmeans::{InitMethod, KMeans, KMeansConfig, KMeansResult};
+pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
+pub use knn::{knn_recall, nearest_neighbors, Neighbor};
+pub use pairs::{most_similar_pairs, most_similar_pairs_refined, pair_recall, ScoredPair};
+pub use silhouette::{silhouette, Silhouette};

@@ -1,0 +1,233 @@
+//! Most-similar-pair mining with sketch filtering and exact refinement.
+//!
+//! The paper's framing: mining tasks "compare large portions of the table
+//! with each other, possibly many times", and what matters is the number
+//! of comparisons *times the cost of a comparison*. Finding the most
+//! similar region pairs is the purest such task — `Θ(n²)` comparisons —
+//! and the classic GEMINI recipe applies: **filter** all pairs with cheap
+//! approximate distances, then **refine** only the shortlisted candidates
+//! with exact distances. Sketches make the filter `O(k)` per pair with
+//! two-sided error bounds, so a modest candidate multiplier recovers the
+//! exact answer with high probability.
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// One scored pair of objects (`a < b`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredPair {
+    /// The smaller object index.
+    pub a: usize,
+    /// The larger object index.
+    pub b: usize,
+    /// The distance this pair was ranked by.
+    pub distance: f64,
+}
+
+/// The `count` most similar object pairs under the embedding's own
+/// distance, by brute-force enumeration of all `n·(n−1)/2` pairs.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `count == 0` or fewer
+/// than two objects exist.
+pub fn most_similar_pairs<E: Embedding>(
+    embedding: &E,
+    count: usize,
+) -> Result<Vec<ScoredPair>, ClusterError> {
+    let n = embedding.num_objects();
+    if count == 0 {
+        return Err(ClusterError::InvalidParameter("count must be non-zero"));
+    }
+    if n < 2 {
+        return Err(ClusterError::InvalidParameter("need at least two objects"));
+    }
+    let mut scratch = Vec::new();
+    let mut qpoint = Vec::with_capacity(embedding.dim());
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        embedding.point_to_vec(i, &mut qpoint);
+        for j in (i + 1)..n {
+            let d = embedding.with_point(j, &mut |p| embedding.distance(&qpoint, p, &mut scratch));
+            pairs.push(ScoredPair {
+                a: i,
+                b: j,
+                distance: d,
+            });
+        }
+    }
+    pairs.sort_by(|x, y| {
+        x.distance
+            .total_cmp(&y.distance)
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+    pairs.truncate(count);
+    Ok(pairs)
+}
+
+/// Filter-and-refine: shortlist `count × candidate_factor` pairs with the
+/// cheap `filter` embedding, then re-rank the shortlist with the `refine`
+/// embedding (typically exact distances) and return the top `count` by
+/// refined distance.
+///
+/// Both embeddings must describe the same objects in the same order.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for a zero `count` /
+/// `candidate_factor`, mismatched object counts, or fewer than two
+/// objects.
+pub fn most_similar_pairs_refined<F: Embedding, R: Embedding>(
+    filter: &F,
+    refine: &R,
+    count: usize,
+    candidate_factor: usize,
+) -> Result<Vec<ScoredPair>, ClusterError> {
+    if candidate_factor == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "candidate_factor must be non-zero",
+        ));
+    }
+    if filter.num_objects() != refine.num_objects() {
+        return Err(ClusterError::InvalidParameter(
+            "filter and refine embeddings describe different object sets",
+        ));
+    }
+    let shortlist = most_similar_pairs(filter, count.saturating_mul(candidate_factor))?;
+    let mut scratch = Vec::new();
+    let mut refined: Vec<ScoredPair> = shortlist
+        .into_iter()
+        .map(|pair| ScoredPair {
+            a: pair.a,
+            b: pair.b,
+            distance: refine.object_distance(pair.a, pair.b, &mut scratch),
+        })
+        .collect();
+    refined.sort_by(|x, y| {
+        x.distance
+            .total_cmp(&y.distance)
+            .then(x.a.cmp(&y.a))
+            .then(x.b.cmp(&y.b))
+    });
+    refined.truncate(count);
+    Ok(refined)
+}
+
+/// Recall of an approximate pair set against the exact one: the fraction
+/// of exact pairs present (by endpoints) in the approximate set.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for an empty exact set.
+pub fn pair_recall(exact: &[ScoredPair], approx: &[ScoredPair]) -> Result<f64, ClusterError> {
+    if exact.is_empty() {
+        return Err(ClusterError::InvalidParameter("exact pair set is empty"));
+    }
+    let hits = exact
+        .iter()
+        .filter(|e| approx.iter().any(|a| a.a == e.a && a.b == e.b))
+        .count();
+    Ok(hits as f64 / exact.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::test_support::VecEmbedding;
+
+    fn line() -> VecEmbedding {
+        // Points at 0, 1, 10, 11, 100: closest pairs (0,1) then (2,3).
+        VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0], vec![100.0]],
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let e = line();
+        assert!(most_similar_pairs(&e, 0).is_err());
+        let tiny = VecEmbedding {
+            points: vec![vec![0.0]],
+        };
+        assert!(most_similar_pairs(&tiny, 1).is_err());
+        assert!(most_similar_pairs_refined(&e, &e, 1, 0).is_err());
+        let other = VecEmbedding {
+            points: vec![vec![0.0]; 3],
+        };
+        assert!(most_similar_pairs_refined(&e, &other, 1, 2).is_err());
+    }
+
+    #[test]
+    fn finds_closest_pairs_in_order() {
+        let e = line();
+        let pairs = most_similar_pairs(&e, 2).unwrap();
+        assert_eq!((pairs[0].a, pairs[0].b), (0, 1));
+        assert_eq!((pairs[1].a, pairs[1].b), (2, 3));
+        assert_eq!(pairs[0].distance, 1.0);
+    }
+
+    #[test]
+    fn count_larger_than_pairs_is_clamped() {
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![2.0]],
+        };
+        let pairs = most_similar_pairs(&e, 100).unwrap();
+        assert_eq!(pairs.len(), 3);
+    }
+
+    #[test]
+    fn refine_rescores_with_the_second_embedding() {
+        // Filter embedding sees only coordinate 0, refine sees both: the
+        // filter would rank (0,1) closest, refinement flips to (0,2).
+        let filter = VecEmbedding {
+            points: vec![vec![0.0], vec![1.0], vec![2.0]],
+        };
+        let refine = VecEmbedding {
+            points: vec![vec![0.0, 0.0], vec![1.0, 50.0], vec![2.0, 0.0]],
+        };
+        let top = most_similar_pairs_refined(&filter, &refine, 1, 3).unwrap();
+        assert_eq!((top[0].a, top[0].b), (0, 2));
+        assert_eq!(top[0].distance, 2.0);
+    }
+
+    #[test]
+    fn refined_distances_are_sorted() {
+        let e = line();
+        let pairs = most_similar_pairs_refined(&e, &e, 4, 2).unwrap();
+        for w in pairs.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn recall_metric() {
+        let exact = vec![
+            ScoredPair {
+                a: 0,
+                b: 1,
+                distance: 1.0,
+            },
+            ScoredPair {
+                a: 2,
+                b: 3,
+                distance: 1.0,
+            },
+        ];
+        assert_eq!(pair_recall(&exact, &exact.clone()).unwrap(), 1.0);
+        let half = vec![
+            ScoredPair {
+                a: 0,
+                b: 1,
+                distance: 1.1,
+            },
+            ScoredPair {
+                a: 0,
+                b: 4,
+                distance: 1.2,
+            },
+        ];
+        assert_eq!(pair_recall(&exact, &half).unwrap(), 0.5);
+        assert!(pair_recall(&[], &half).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Silhouette analysis over an [`Embedding`].
+//!
+//! The paper's Figure 4a sweeps k without a selection criterion; the
+//! silhouette coefficient (Rousseeuw 1987) is the standard internal one,
+//! and it is `Θ(n²)` distance computations — yet another workload where
+//! an `O(k)` sketch estimate replaces an `O(tile)` scan wholesale.
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// Per-object silhouette values and their mean.
+#[derive(Clone, Debug)]
+pub struct Silhouette {
+    /// Per-object coefficients in `[-1, 1]`.
+    pub values: Vec<f64>,
+    /// The mean coefficient — the usual model-selection score.
+    pub mean: f64,
+}
+
+/// Computes silhouette coefficients for a labeled embedding.
+///
+/// Objects in singleton clusters score 0 by convention. Requires at
+/// least two clusters to be present.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for mismatched lengths,
+/// out-of-range labels, or fewer than two distinct clusters.
+pub fn silhouette<E: Embedding>(
+    embedding: &E,
+    assignments: &[usize],
+    k: usize,
+) -> Result<Silhouette, ClusterError> {
+    let n = embedding.num_objects();
+    if assignments.len() != n {
+        return Err(ClusterError::InvalidParameter(
+            "assignments length differs from the object count",
+        ));
+    }
+    if assignments.iter().any(|&a| a >= k) {
+        return Err(ClusterError::InvalidParameter("label out of range"));
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    if sizes.iter().filter(|&&s| s > 0).count() < 2 {
+        return Err(ClusterError::InvalidParameter(
+            "silhouette needs at least two non-empty clusters",
+        ));
+    }
+
+    // Mean distance from each object to each cluster, via one pass over
+    // the pairwise distances.
+    let mut sums = vec![0.0f64; n * k];
+    let mut scratch = Vec::new();
+    let mut qpoint = Vec::with_capacity(embedding.dim());
+    for i in 0..n {
+        embedding.point_to_vec(i, &mut qpoint);
+        for j in (i + 1)..n {
+            let d = embedding.with_point(j, &mut |p| embedding.distance(&qpoint, p, &mut scratch));
+            sums[i * k + assignments[j]] += d;
+            sums[j * k + assignments[i]] += d;
+        }
+    }
+
+    let mut values = Vec::with_capacity(n);
+    for (i, &own) in assignments.iter().enumerate() {
+        if sizes[own] <= 1 {
+            values.push(0.0);
+            continue;
+        }
+        let a = sums[i * k + own] / (sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, &size) in sizes.iter().enumerate() {
+            if c != own && size > 0 {
+                b = b.min(sums[i * k + c] / size as f64);
+            }
+        }
+        let denom = a.max(b);
+        values.push(if denom > 0.0 { (b - a) / denom } else { 0.0 });
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    Ok(Silhouette { values, mean })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::test_support::VecEmbedding;
+
+    fn two_blobs() -> (VecEmbedding, Vec<usize>) {
+        let mut points = Vec::new();
+        for i in 0..5 {
+            points.push(vec![i as f64 * 0.1]);
+        }
+        for i in 0..5 {
+            points.push(vec![100.0 + i as f64 * 0.1]);
+        }
+        let labels = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        (VecEmbedding { points }, labels)
+    }
+
+    #[test]
+    fn validation() {
+        let (e, labels) = two_blobs();
+        assert!(silhouette(&e, &labels[..5], 2).is_err(), "length mismatch");
+        assert!(silhouette(&e, &[7; 10], 2).is_err(), "label out of range");
+        assert!(silhouette(&e, &[0; 10], 2).is_err(), "single cluster");
+    }
+
+    #[test]
+    fn well_separated_blobs_score_near_one() {
+        let (e, labels) = two_blobs();
+        let s = silhouette(&e, &labels, 2).unwrap();
+        assert!(s.mean > 0.95, "mean {}", s.mean);
+        assert!(s.values.iter().all(|&v| v > 0.9));
+    }
+
+    #[test]
+    fn shuffled_labels_score_poorly() {
+        let (e, _) = two_blobs();
+        let bad = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let s = silhouette(&e, &bad, 2).unwrap();
+        assert!(s.mean < 0.1, "mean {}", s.mean);
+    }
+
+    #[test]
+    fn correct_k_scores_best() {
+        let (e, good) = two_blobs();
+        // Split one blob artificially into two clusters (k = 3).
+        let split = vec![0, 0, 2, 2, 2, 1, 1, 1, 1, 1];
+        let s_good = silhouette(&e, &good, 2).unwrap();
+        let s_split = silhouette(&e, &split, 3).unwrap();
+        assert!(
+            s_good.mean > s_split.mean,
+            "{} vs {}",
+            s_good.mean,
+            s_split.mean
+        );
+    }
+
+    #[test]
+    fn singleton_cluster_scores_zero() {
+        let e = VecEmbedding {
+            points: vec![vec![0.0], vec![0.1], vec![50.0]],
+        };
+        let labels = vec![0, 0, 1];
+        let s = silhouette(&e, &labels, 2).unwrap();
+        assert_eq!(s.values[2], 0.0);
+        assert!(s.values[0] > 0.9);
+    }
+
+    #[test]
+    fn values_bounded() {
+        let (e, labels) = two_blobs();
+        let s = silhouette(&e, &labels, 2).unwrap();
+        assert!(s.values.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+    }
+}

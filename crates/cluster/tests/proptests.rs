@@ -1,0 +1,187 @@
+//! Property-based tests for the clustering substrate.
+
+use proptest::prelude::*;
+
+use tabsketch_cluster::{
+    agglomerate, nearest_neighbors, Embedding, ExactEmbedding, KMeans, KMeansConfig, Linkage,
+};
+use tabsketch_table::{Table, TileGrid};
+
+fn table_and_grid() -> impl Strategy<Value = (Table, TileGrid)> {
+    (2usize..6, 2usize..6, 1usize..1000).prop_map(|(gr, gc, seed)| {
+        let (th, tw) = (3usize, 4usize);
+        let rows = gr * th;
+        let cols = gc * tw;
+        let mut s = seed as u64 | 1;
+        let t = Table::from_fn(rows, cols, |_, _| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 1000) as f64
+        })
+        .unwrap();
+        let grid = TileGrid::new(rows, cols, th, tw).unwrap();
+        (t, grid)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// k-means structural invariants: every object labeled, labels in
+    /// range, exactly min(k, distinct objects) non-empty clusters or
+    /// fewer, inertia finite and non-negative, deterministic per seed.
+    #[test]
+    fn kmeans_invariants((t, grid) in table_and_grid(), k in 1usize..5, seed in 0u64..50) {
+        prop_assume!(grid.len() >= k);
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let km = KMeans::new(KMeansConfig { k, seed, ..Default::default() }).unwrap();
+        let r1 = km.run(&e).unwrap();
+        prop_assert_eq!(r1.assignments.len(), grid.len());
+        prop_assert!(r1.assignments.iter().all(|&a| a < k));
+        prop_assert!(r1.inertia.is_finite() && r1.inertia >= 0.0);
+        prop_assert_eq!(r1.centroids.len(), k);
+        let r2 = km.run(&e).unwrap();
+        prop_assert_eq!(&r1.assignments, &r2.assignments);
+        prop_assert_eq!(r1.inertia, r2.inertia);
+    }
+
+    /// More clusters never makes the best-found inertia dramatically
+    /// worse: with k = n objects, inertia is (near) zero.
+    #[test]
+    fn kmeans_full_k_zero_inertia((t, grid) in table_and_grid()) {
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let km = KMeans::new(KMeansConfig { k: grid.len(), seed: 1, ..Default::default() })
+            .unwrap();
+        let r = km.run(&e).unwrap();
+        prop_assert!(r.inertia < 1e-9, "inertia {}", r.inertia);
+    }
+
+    /// Dendrogram invariants: n - 1 merges, non-negative distances,
+    /// cutting at k yields exactly k labels covering 0..k.
+    #[test]
+    fn dendrogram_invariants((t, grid) in table_and_grid(), linkage_id in 0usize..3) {
+        let linkage = [Linkage::Average, Linkage::Single, Linkage::Complete][linkage_id];
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let d = agglomerate(&e, linkage).unwrap();
+        let n = grid.len();
+        prop_assert_eq!(d.merges().len(), n - 1);
+        prop_assert!(d.merges().iter().all(|m| m.distance >= 0.0));
+        prop_assert_eq!(d.merges().last().unwrap().size, n);
+        for k in 1..=n {
+            let labels = d.cut(k).unwrap();
+            let mut distinct: Vec<usize> = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(distinct.len(), k, "cut at {}", k);
+            prop_assert!(labels.iter().all(|&l| l < k));
+        }
+    }
+
+    /// Single-linkage merge distances are non-decreasing (a classical
+    /// property; average/complete can invert under Lance-Williams only
+    /// for non-metric inputs, single never does).
+    #[test]
+    fn single_linkage_monotone((t, grid) in table_and_grid()) {
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let d = agglomerate(&e, Linkage::Single).unwrap();
+        for pair in d.merges().windows(2) {
+            prop_assert!(pair[0].distance <= pair[1].distance + 1e-9);
+        }
+    }
+
+    /// k-NN results are sorted, distinct, exclude the query, and contain
+    /// the global nearest object.
+    #[test]
+    fn knn_invariants((t, grid) in table_and_grid(), query_raw in 0usize..100) {
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let n = grid.len();
+        prop_assume!(n >= 3);
+        let query = query_raw % n;
+        let k = (n - 1).min(4);
+        let nn = nearest_neighbors(&e, query, k).unwrap();
+        prop_assert_eq!(nn.len(), k);
+        prop_assert!(nn.iter().all(|nb| nb.index != query));
+        for pair in nn.windows(2) {
+            prop_assert!(pair[0].distance <= pair[1].distance);
+        }
+        let mut idxs: Vec<usize> = nn.iter().map(|nb| nb.index).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        prop_assert_eq!(idxs.len(), k, "neighbors are distinct");
+        // The closest returned neighbor is globally closest.
+        let all = nearest_neighbors(&e, query, n - 1).unwrap();
+        prop_assert_eq!(all[0].index, nn[0].index);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Silhouette values are bounded and the mean improves when labels
+    /// match the generated structure vs a rotation of them.
+    #[test]
+    fn silhouette_bounds((t, grid) in table_and_grid(), k in 2usize..4) {
+        use tabsketch_cluster::{silhouette, KMeans, KMeansConfig};
+        prop_assume!(grid.len() > k);
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let km = KMeans::new(KMeansConfig { k, seed: 3, ..Default::default() }).unwrap();
+        let labels = km.run(&e).unwrap().assignments;
+        // Require at least two non-empty clusters for a defined score.
+        let mut distinct = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assume!(distinct.len() >= 2);
+        let s = silhouette(&e, &labels, k).unwrap();
+        prop_assert!(s.values.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        prop_assert!((-1.0..=1.0).contains(&s.mean));
+    }
+
+    /// DBSCAN structural invariants: labels dense in 0..clusters, noise
+    /// count consistent, clusters honor min_points.
+    #[test]
+    fn dbscan_invariants((t, grid) in table_and_grid(), eps_scale in 0.1f64..3.0) {
+        use tabsketch_cluster::{dbscan, DbscanConfig};
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        // Scale eps off a sample distance so it is meaningful for the data.
+        let mut scratch = Vec::new();
+        let d01 = e.object_distance(0, grid.len() - 1, &mut scratch).max(1.0);
+        let cfg = DbscanConfig { eps: d01 * eps_scale, min_points: 2 };
+        let r = dbscan(&e, cfg).unwrap();
+        prop_assert_eq!(r.labels.len(), grid.len());
+        let mut counts = vec![0usize; r.clusters];
+        let mut noise = 0;
+        for l in &r.labels {
+            match l {
+                tabsketch_cluster::DbscanLabel::Cluster(c) => {
+                    prop_assert!(*c < r.clusters);
+                    counts[*c] += 1;
+                }
+                tabsketch_cluster::DbscanLabel::Noise => noise += 1,
+            }
+        }
+        prop_assert_eq!(noise, r.noise);
+        // Every cluster is non-empty. (It can hold fewer than min_points
+        // members: a core point whose neighbors were already claimed as
+        // border points of an earlier cluster seeds a smaller one — the
+        // classic DBSCAN order-dependence.)
+        prop_assert!(counts.iter().all(|&c| c >= 1), "cluster sizes {:?}", counts);
+    }
+
+    /// BIRCH labels every object, respects k, and is deterministic.
+    #[test]
+    fn birch_invariants((t, grid) in table_and_grid(), k in 1usize..4) {
+        use tabsketch_cluster::{birch, BirchConfig};
+        prop_assume!(grid.len() >= k);
+        let e = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+        let mut scratch = Vec::new();
+        let scale = e.object_distance(0, grid.len() - 1, &mut scratch).max(1.0);
+        let cfg = BirchConfig { k, threshold: scale * 0.5, ..Default::default() };
+        let a = birch(&e, cfg).unwrap();
+        let b = birch(&e, cfg).unwrap();
+        prop_assert_eq!(&a.assignments, &b.assignments);
+        prop_assert_eq!(a.assignments.len(), grid.len());
+        prop_assert!(a.assignments.iter().all(|&l| l < k));
+        prop_assert!(a.micro_clusters >= 1 && a.micro_clusters <= grid.len());
+    }
+}

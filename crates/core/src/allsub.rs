@@ -1,0 +1,539 @@
+//! Sketches of **all** fixed-size subtables via FFT (paper Theorem 3).
+//!
+//! Sketch entry `i` of the subtable anchored at `(r, c)` is the dot
+//! product of the random matrix `R[i]` with the `a × b` window at
+//! `(r, c)` — i.e. entry `(r, c)` of the valid-mode cross-correlation of
+//! the table with `R[i]`. Computing the correlation with an FFT costs
+//! `O(N log N)` per random matrix instead of `O(N · M)`, which is the
+//! paper's headline preprocessing speedup.
+//!
+//! The naive path ([`AllSubtableSketches::build_naive`]) exists as a test
+//! oracle and as the baseline for the ablation benchmark.
+
+use tabsketch_fft::Correlator2d;
+use tabsketch_table::{Rect, Table};
+
+use crate::sketch::{Sketch, Sketcher};
+use crate::TabError;
+
+/// Default memory budget for sketch construction: 1 GiB.
+pub const DEFAULT_MEMORY_BUDGET: usize = 1 << 30;
+
+/// One worker's output in the parallel build: `(kernel index, correlation
+/// map)` pairs, or the first error the worker hit.
+type WorkerMaps = Result<Vec<(usize, Vec<f64>)>, TabError>;
+
+/// Sketches of every `tile_rows × tile_cols` subtable of one table,
+/// stored position-major (`values[pos * k ..][..k]`) for cache-friendly
+/// distance queries.
+#[derive(Clone, Debug)]
+pub struct AllSubtableSketches {
+    sketcher: Sketcher,
+    tile_rows: usize,
+    tile_cols: usize,
+    out_rows: usize,
+    out_cols: usize,
+    values: Vec<f64>,
+}
+
+impl AllSubtableSketches {
+    /// Builds sketches for all subtables using the FFT path, with the
+    /// default memory budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllSubtableSketches::build_with_budget`].
+    pub fn build(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+    ) -> Result<Self, TabError> {
+        Self::build_with_budget(table, tile_rows, tile_cols, sketcher, DEFAULT_MEMORY_BUDGET)
+    }
+
+    /// Builds sketches for all subtables using the FFT path.
+    ///
+    /// # Errors
+    ///
+    /// * [`TabError::InvalidParameter`] when the tile does not fit in the
+    ///   table or has a zero dimension;
+    /// * [`TabError::MemoryBudgetExceeded`] when the sketch store would
+    ///   exceed `max_bytes`;
+    /// * FFT errors are propagated (they indicate internal misuse and
+    ///   should not occur for validated inputs).
+    pub fn build_with_budget(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+        max_bytes: usize,
+    ) -> Result<Self, TabError> {
+        let (out_rows, out_cols) =
+            Self::validate(table, tile_rows, tile_cols, sketcher.k(), max_bytes)?;
+        let k = sketcher.k();
+        let npos = out_rows * out_cols;
+        let mut values = vec![0.0; npos * k];
+        let corr = Correlator2d::new(table.as_slice(), table.rows(), table.cols())?;
+        let scatter = |i: usize, map: Vec<f64>, values: &mut Vec<f64>| {
+            debug_assert_eq!(map.len(), npos);
+            for (pos, v) in map.into_iter().enumerate() {
+                values[pos * k + i] = v;
+            }
+        };
+        // Kernels are real, so two ride through each FFT round trip
+        // (packed as re + i·im) — half the transform work.
+        let mut i = 0;
+        while i + 1 < k {
+            let k1 = sketcher.random_row(i, tile_rows * tile_cols);
+            let k2 = sketcher.random_row(i + 1, tile_rows * tile_cols);
+            let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
+            scatter(i, m1, &mut values);
+            scatter(i + 1, m2, &mut values);
+            i += 2;
+        }
+        if i < k {
+            let kernel = sketcher.random_row(i, tile_rows * tile_cols);
+            let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
+            scatter(i, map, &mut values);
+        }
+        Ok(Self {
+            sketcher,
+            tile_rows,
+            tile_cols,
+            out_rows,
+            out_cols,
+            values,
+        })
+    }
+
+    /// As [`AllSubtableSketches::build_with_budget`], splitting the `k`
+    /// random kernels across `threads` worker threads. The table spectrum
+    /// is shared read-only; each worker runs its own correlations, and
+    /// results are identical to the sequential build (the per-row random
+    /// streams do not depend on execution order).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllSubtableSketches::build_with_budget`], plus
+    /// [`TabError::InvalidParameter`] for `threads == 0`.
+    pub fn build_parallel(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+        max_bytes: usize,
+        threads: usize,
+    ) -> Result<Self, TabError> {
+        if threads == 0 {
+            return Err(TabError::InvalidParameter("threads must be non-zero"));
+        }
+        let (out_rows, out_cols) =
+            Self::validate(table, tile_rows, tile_cols, sketcher.k(), max_bytes)?;
+        let k = sketcher.k();
+        let npos = out_rows * out_cols;
+        let corr = Correlator2d::new(table.as_slice(), table.rows(), table.cols())?;
+        let threads = threads.min(k);
+        // Each worker correlates a contiguous range of kernel indices and
+        // returns its maps; the scatter into the position-major layout is
+        // single-threaded (memory-bandwidth bound anyway). Chunks are
+        // even-sized so the pair-packing (see the sequential build)
+        // aligns identically for every thread count and the outputs stay
+        // bit-identical.
+        let mut chunk = k.div_ceil(threads);
+        chunk += chunk & 1;
+        let maps: Vec<WorkerMaps> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let lo = (t * chunk).min(k);
+                let hi = ((t + 1) * chunk).min(k);
+                let corr = &corr;
+                let sketcher = &sketcher;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+                    let mut i = lo;
+                    while i + 1 < hi {
+                        let k1 = sketcher.random_row(i, tile_rows * tile_cols);
+                        let k2 = sketcher.random_row(i + 1, tile_rows * tile_cols);
+                        let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
+                        out.push((i, m1));
+                        out.push((i + 1, m2));
+                        i += 2;
+                    }
+                    if i < hi {
+                        let kernel = sketcher.random_row(i, tile_rows * tile_cols);
+                        let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
+                        out.push((i, map));
+                    }
+                    Ok(out)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut values = vec![0.0; npos * k];
+        for worker in maps {
+            for (i, map) in worker? {
+                debug_assert_eq!(map.len(), npos);
+                for (pos, v) in map.into_iter().enumerate() {
+                    values[pos * k + i] = v;
+                }
+            }
+        }
+        Ok(Self {
+            sketcher,
+            tile_rows,
+            tile_cols,
+            out_rows,
+            out_cols,
+            values,
+        })
+    }
+
+    /// Builds the same sketches by direct dot products — `O(k·N·M)`. Test
+    /// oracle and ablation baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllSubtableSketches::build_with_budget`].
+    pub fn build_naive(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+    ) -> Result<Self, TabError> {
+        let (out_rows, out_cols) = Self::validate(
+            table,
+            tile_rows,
+            tile_cols,
+            sketcher.k(),
+            DEFAULT_MEMORY_BUDGET,
+        )?;
+        let k = sketcher.k();
+        let npos = out_rows * out_cols;
+        let mut values = vec![0.0; npos * k];
+        for r in 0..out_rows {
+            for c in 0..out_cols {
+                let view = table
+                    .view(Rect::new(r, c, tile_rows, tile_cols))
+                    .expect("window validated to fit");
+                let sketch = sketcher.sketch_view(&view);
+                let pos = r * out_cols + c;
+                values[pos * k..(pos + 1) * k].copy_from_slice(sketch.values());
+            }
+        }
+        Ok(Self {
+            sketcher,
+            tile_rows,
+            tile_cols,
+            out_rows,
+            out_cols,
+            values,
+        })
+    }
+
+    /// Reassembles a store from its raw parts — the inverse of reading
+    /// its accessors, used by [`crate::persist`] to reload a store that
+    /// was precomputed in an earlier run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when the buffer length does
+    /// not equal `anchor_rows · anchor_cols · k` or any dimension is
+    /// zero.
+    pub fn from_parts(
+        sketcher: Sketcher,
+        tile_rows: usize,
+        tile_cols: usize,
+        anchor_rows: usize,
+        anchor_cols: usize,
+        values: Vec<f64>,
+    ) -> Result<Self, TabError> {
+        if tile_rows == 0 || tile_cols == 0 || anchor_rows == 0 || anchor_cols == 0 {
+            return Err(TabError::InvalidParameter(
+                "store dimensions must be non-zero",
+            ));
+        }
+        let expected = anchor_rows
+            .checked_mul(anchor_cols)
+            .and_then(|n| n.checked_mul(sketcher.k()))
+            .ok_or(TabError::InvalidParameter("store size overflows"))?;
+        if values.len() != expected {
+            return Err(TabError::InvalidParameter("store buffer length mismatch"));
+        }
+        Ok(Self {
+            sketcher,
+            tile_rows,
+            tile_cols,
+            out_rows: anchor_rows,
+            out_cols: anchor_cols,
+            values,
+        })
+    }
+
+    /// The flat position-major value buffer (`values[pos * k ..][..k]`).
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn validate(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        k: usize,
+        max_bytes: usize,
+    ) -> Result<(usize, usize), TabError> {
+        if tile_rows == 0 || tile_cols == 0 {
+            return Err(TabError::InvalidParameter(
+                "tile dimensions must be non-zero",
+            ));
+        }
+        if tile_rows > table.rows() || tile_cols > table.cols() {
+            return Err(TabError::InvalidParameter("tile larger than table"));
+        }
+        let out_rows = table.rows() - tile_rows + 1;
+        let out_cols = table.cols() - tile_cols + 1;
+        let required = out_rows
+            .checked_mul(out_cols)
+            .and_then(|n| n.checked_mul(k))
+            .and_then(|n| n.checked_mul(core::mem::size_of::<f64>()))
+            .ok_or(TabError::InvalidParameter("sketch store size overflows"))?;
+        if required > max_bytes {
+            return Err(TabError::MemoryBudgetExceeded {
+                required,
+                limit: max_bytes,
+            });
+        }
+        Ok((out_rows, out_cols))
+    }
+
+    /// The sketcher (and hence `p`, `k`, family) used for construction.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// Sketched window height.
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Sketched window width.
+    #[inline]
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Number of anchor rows (`table_rows − tile_rows + 1`).
+    #[inline]
+    pub fn anchor_rows(&self) -> usize {
+        self.out_rows
+    }
+
+    /// Number of anchor columns (`table_cols − tile_cols + 1`).
+    #[inline]
+    pub fn anchor_cols(&self) -> usize {
+        self.out_cols
+    }
+
+    /// Raw sketch values (length `k`) of the window anchored at `(row, col)`.
+    ///
+    /// Returns `None` when the anchor is out of range.
+    pub fn values_at(&self, row: usize, col: usize) -> Option<&[f64]> {
+        if row >= self.out_rows || col >= self.out_cols {
+            return None;
+        }
+        let k = self.sketcher.k();
+        let pos = row * self.out_cols + col;
+        Some(&self.values[pos * k..(pos + 1) * k])
+    }
+
+    /// The sketch of the window anchored at `(row, col)` as an owned
+    /// [`Sketch`] (compatible with on-demand sketches of the same family).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] for out-of-range anchors.
+    pub fn sketch_at(&self, row: usize, col: usize) -> Result<Sketch, TabError> {
+        let vals = self
+            .values_at(row, col)
+            .ok_or(TabError::InvalidParameter("anchor out of range"))?;
+        Ok(Sketch::from_values(
+            self.sketcher.p(),
+            self.sketcher.family(),
+            vals.to_vec(),
+        ))
+    }
+
+    /// Estimates the Lp distance between the windows anchored at `a` and
+    /// `b`, without allocating (uses `scratch`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] for out-of-range anchors.
+    pub fn estimate_distance(
+        &self,
+        a: (usize, usize),
+        b: (usize, usize),
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
+        let va = self
+            .values_at(a.0, a.1)
+            .ok_or(TabError::InvalidParameter("first anchor out of range"))?;
+        let vb = self
+            .values_at(b.0, b.1)
+            .ok_or(TabError::InvalidParameter("second anchor out of range"))?;
+        Ok(self.sketcher.estimate_distance_slices(va, vb, scratch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchParams;
+    use tabsketch_table::norms::lp_distance_views;
+
+    fn test_table() -> Table {
+        Table::from_fn(20, 24, |r, c| ((r * 31 + c * 17) % 97) as f64 - 48.0).unwrap()
+    }
+
+    fn sketcher(p: f64, k: usize) -> Sketcher {
+        Sketcher::new(SketchParams::new(p, k, 42).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn fft_matches_naive_build() {
+        let t = test_table();
+        for &(a, b) in &[(1usize, 1usize), (3, 5), (8, 8), (20, 24)] {
+            let fast = AllSubtableSketches::build(&t, a, b, sketcher(1.0, 6)).unwrap();
+            let slow = AllSubtableSketches::build_naive(&t, a, b, sketcher(1.0, 6)).unwrap();
+            assert_eq!(fast.anchor_rows(), slow.anchor_rows());
+            for r in 0..fast.anchor_rows() {
+                for c in 0..fast.anchor_cols() {
+                    let vf = fast.values_at(r, c).unwrap();
+                    let vs = slow.values_at(r, c).unwrap();
+                    for (x, y) in vf.iter().zip(vs) {
+                        assert!(
+                            (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                            "tile {a}x{b} at ({r},{c}): {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_view_sketch() {
+        let t = test_table();
+        let sk = sketcher(0.5, 5);
+        let all = AllSubtableSketches::build(&t, 4, 6, sk.clone()).unwrap();
+        let view = t.view(Rect::new(7, 9, 4, 6)).unwrap();
+        let direct = sk.sketch_view(&view);
+        let stored = all.sketch_at(7, 9).unwrap();
+        for (a, b) in stored.values().iter().zip(direct.values()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn estimated_distances_track_exact() {
+        let t = test_table();
+        let sk = sketcher(1.0, 300);
+        let all = AllSubtableSketches::build(&t, 6, 6, sk).unwrap();
+        let mut scratch = Vec::new();
+        let pairs = [((0, 0), (10, 12)), ((3, 3), (14, 0)), ((5, 9), (9, 5))];
+        for &(a, b) in &pairs {
+            let est = all.estimate_distance(a, b, &mut scratch).unwrap();
+            let va = t.view(Rect::new(a.0, a.1, 6, 6)).unwrap();
+            let vb = t.view(Rect::new(b.0, b.1, 6, 6)).unwrap();
+            let exact = lp_distance_views(&va, &vb, 1.0).unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.25, "{a:?} vs {b:?}: est={est}, exact={exact}");
+        }
+    }
+
+    #[test]
+    fn anchor_counts() {
+        let t = test_table();
+        let all = AllSubtableSketches::build(&t, 5, 7, sketcher(1.0, 2)).unwrap();
+        assert_eq!(all.anchor_rows(), 20 - 5 + 1);
+        assert_eq!(all.anchor_cols(), 24 - 7 + 1);
+        assert!(all.values_at(16, 0).is_none());
+        assert!(all.values_at(0, 18).is_none());
+        assert!(all.values_at(15, 17).is_some());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let t = test_table();
+        let seq = AllSubtableSketches::build(&t, 4, 6, sketcher(1.0, 9)).unwrap();
+        for threads in [1usize, 2, 4, 16] {
+            let par = AllSubtableSketches::build_parallel(
+                &t,
+                4,
+                6,
+                sketcher(1.0, 9),
+                DEFAULT_MEMORY_BUDGET,
+                threads,
+            )
+            .unwrap();
+            for r in 0..seq.anchor_rows() {
+                for c in 0..seq.anchor_cols() {
+                    assert_eq!(
+                        seq.values_at(r, c).unwrap(),
+                        par.values_at(r, c).unwrap(),
+                        "threads={threads} at ({r},{c})"
+                    );
+                }
+            }
+        }
+        assert!(AllSubtableSketches::build_parallel(
+            &t,
+            4,
+            6,
+            sketcher(1.0, 9),
+            DEFAULT_MEMORY_BUDGET,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_tiles_and_budget() {
+        let t = test_table();
+        assert!(AllSubtableSketches::build(&t, 21, 1, sketcher(1.0, 2)).is_err());
+        assert!(AllSubtableSketches::build(&t, 0, 1, sketcher(1.0, 2)).is_err());
+        let tiny_budget = AllSubtableSketches::build_with_budget(&t, 2, 2, sketcher(1.0, 8), 64);
+        assert!(matches!(
+            tiny_budget,
+            Err(TabError::MemoryBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn sketches_compatible_with_on_demand() {
+        // A sketch pulled from the store can be compared against a sketch
+        // computed on demand for another tile — the paper's "sketch on
+        // demand" mode relies on this.
+        let t = test_table();
+        let sk = sketcher(1.0, 200);
+        let all = AllSubtableSketches::build(&t, 4, 4, sk.clone()).unwrap();
+        let stored = all.sketch_at(2, 2).unwrap();
+        let ondemand = sk.sketch_view(&t.view(Rect::new(10, 10, 4, 4)).unwrap());
+        let est = sk.estimate_distance(&stored, &ondemand).unwrap();
+        let exact = lp_distance_views(
+            &t.view(Rect::new(2, 2, 4, 4)).unwrap(),
+            &t.view(Rect::new(10, 10, 4, 4)).unwrap(),
+            1.0,
+        )
+        .unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.3,
+            "est={est}, exact={exact}"
+        );
+    }
+}

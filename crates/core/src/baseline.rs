@@ -1,0 +1,542 @@
+//! Baseline dimensionality-reduction schemes the paper compares against.
+//!
+//! The related-work section argues that transform-coefficient reductions
+//! (DFT/DCT/wavelets, the GEMINI lineage of Agrawal–Faloutsos–Swami) work
+//! only for L2 — "there is no equivalent result relating the L1 distance of
+//! transformed sequences to that of the original sequences" — and are not
+//! composable the way stable sketches are. We implement two such baselines
+//! so the claim can be demonstrated experimentally (bench `baseline_dft`):
+//!
+//! * [`DftSketcher`] — keep the first `m` Fourier coefficients;
+//! * [`SamplingSketcher`] — estimate the Lp distance from a random subset
+//!   of coordinates.
+
+use tabsketch_fft::{next_pow2, Complex, FftPlan};
+use tabsketch_table::norms::abs_pow;
+
+use crate::rng::stream_rng;
+use crate::TabError;
+
+/// A truncated-spectrum sketch: the first `m` complex DFT coefficients of
+/// the (zero-padded) signal, plus the padded length for normalization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DftSketch {
+    coeffs: Vec<Complex>,
+    padded_len: usize,
+}
+
+impl DftSketch {
+    /// The retained coefficients.
+    pub fn coeffs(&self) -> &[Complex] {
+        &self.coeffs
+    }
+}
+
+/// Dimensionality reduction by truncated DFT (the classical L2 technique).
+#[derive(Clone, Debug)]
+pub struct DftSketcher {
+    m: usize,
+}
+
+impl DftSketcher {
+    /// Keeps the first `m ≥ 1` coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `m == 0`.
+    pub fn new(m: usize) -> Result<Self, TabError> {
+        if m == 0 {
+            return Err(TabError::InvalidParameter(
+                "DFT sketch needs at least one coefficient",
+            ));
+        }
+        Ok(Self { m })
+    }
+
+    /// Number of retained coefficients.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Sketches a linearized object.
+    pub fn sketch(&self, data: &[f64]) -> DftSketch {
+        let n = next_pow2(data.len().max(1));
+        let plan = FftPlan::new(n).expect("next_pow2 yields a power of two");
+        let mut buf = plan.forward_real(data);
+        buf.truncate(self.m.min(n));
+        DftSketch {
+            coeffs: buf,
+            padded_len: n,
+        }
+    }
+
+    /// Estimates the **L2** distance from two sketches, using Parseval's
+    /// identity over the retained low frequencies. For real signals the
+    /// spectrum is conjugate-symmetric, so each non-DC coefficient is
+    /// counted twice. The estimate is a lower bound on the true L2
+    /// distance (it ignores the truncated high-frequency energy) — which
+    /// is exactly why GEMINI-style indexes admit no false dismissals at
+    /// p = 2 and why nothing comparable holds at p ≠ 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] when the sketches have
+    /// different coefficient counts or padded lengths.
+    pub fn estimate_l2_distance(&self, a: &DftSketch, b: &DftSketch) -> Result<f64, TabError> {
+        if a.coeffs.len() != b.coeffs.len() || a.padded_len != b.padded_len {
+            return Err(TabError::SketchMismatch {
+                reason: "DFT sketch shapes differ",
+            });
+        }
+        let n = a.padded_len as f64;
+        let mut energy = 0.0;
+        for (i, (x, y)) in a.coeffs.iter().zip(&b.coeffs).enumerate() {
+            let d = (*x - *y).norm_sqr();
+            // DC (and Nyquist, if ever retained at i = n/2) appear once in
+            // the spectrum; all other bins have a conjugate mirror.
+            let weight = if i == 0 || (a.padded_len.is_multiple_of(2) && i == a.padded_len / 2) {
+                1.0
+            } else {
+                2.0
+            };
+            energy += weight * d;
+        }
+        Ok((energy / n).sqrt())
+    }
+}
+
+/// A truncated Haar-wavelet sketch: the `m` coarsest coefficients of the
+/// orthonormal Haar decomposition, plus the padded length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HaarSketch {
+    coeffs: Vec<f64>,
+    padded_len: usize,
+}
+
+impl HaarSketch {
+    /// The retained (coarsest-first) coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+}
+
+/// Dimensionality reduction by truncated orthonormal Haar wavelet
+/// transform — the other classical L2 reduction the paper's related work
+/// names ("Discrete Cosine or Wavelet Transforms"). Subject to the same
+/// limitation as the DFT: exact/Parseval only at p = 2, no guarantee for
+/// other Lp, and not composable the way stable sketches are.
+#[derive(Clone, Debug)]
+pub struct HaarSketcher {
+    m: usize,
+}
+
+impl HaarSketcher {
+    /// Keeps the `m ≥ 1` coarsest coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `m == 0`.
+    pub fn new(m: usize) -> Result<Self, TabError> {
+        if m == 0 {
+            return Err(TabError::InvalidParameter(
+                "Haar sketch needs at least one coefficient",
+            ));
+        }
+        Ok(Self { m })
+    }
+
+    /// Number of retained coefficients.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Full orthonormal Haar decomposition of a power-of-two-length
+    /// buffer, in place. Coefficient order: position 0 is the overall
+    /// scaling coefficient, `[2^j, 2^{j+1})` holds the level-`j` details
+    /// (coarsest at low indices).
+    pub fn transform(buf: &mut [f64]) {
+        debug_assert!(buf.len().is_power_of_two());
+        let inv_sqrt2 = core::f64::consts::FRAC_1_SQRT_2;
+        let mut n = buf.len();
+        let mut tmp = vec![0.0; n];
+        while n > 1 {
+            let half = n / 2;
+            for i in 0..half {
+                tmp[i] = (buf[2 * i] + buf[2 * i + 1]) * inv_sqrt2;
+                tmp[half + i] = (buf[2 * i] - buf[2 * i + 1]) * inv_sqrt2;
+            }
+            buf[..n].copy_from_slice(&tmp[..n]);
+            n = half;
+        }
+    }
+
+    /// The inverse of [`HaarSketcher::transform`].
+    pub fn inverse(buf: &mut [f64]) {
+        debug_assert!(buf.len().is_power_of_two());
+        let inv_sqrt2 = core::f64::consts::FRAC_1_SQRT_2;
+        let mut n = 2;
+        let mut tmp = vec![0.0; buf.len()];
+        while n <= buf.len() {
+            let half = n / 2;
+            for i in 0..half {
+                tmp[2 * i] = (buf[i] + buf[half + i]) * inv_sqrt2;
+                tmp[2 * i + 1] = (buf[i] - buf[half + i]) * inv_sqrt2;
+            }
+            buf[..n].copy_from_slice(&tmp[..n]);
+            n *= 2;
+        }
+    }
+
+    /// Sketches a linearized object.
+    pub fn sketch(&self, data: &[f64]) -> HaarSketch {
+        let n = next_pow2(data.len().max(1));
+        let mut buf = vec![0.0; n];
+        buf[..data.len()].copy_from_slice(data);
+        Self::transform(&mut buf);
+        buf.truncate(self.m.min(n));
+        HaarSketch {
+            coeffs: buf,
+            padded_len: n,
+        }
+    }
+
+    /// Estimates the **L2** distance from the retained coefficients
+    /// (orthonormal transform → exact Parseval on the kept subspace, a
+    /// lower bound on the true L2 distance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] when shapes differ.
+    pub fn estimate_l2_distance(&self, a: &HaarSketch, b: &HaarSketch) -> Result<f64, TabError> {
+        if a.coeffs.len() != b.coeffs.len() || a.padded_len != b.padded_len {
+            return Err(TabError::SketchMismatch {
+                reason: "Haar sketch shapes differ",
+            });
+        }
+        let sq: f64 = a
+            .coeffs
+            .iter()
+            .zip(&b.coeffs)
+            .map(|(&x, &y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum();
+        Ok(sq.sqrt())
+    }
+}
+
+/// A coordinate-sampling sketch: values of the object at `m` fixed random
+/// coordinates (shared across all objects of the same length).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampledSketch {
+    values: Vec<f64>,
+    source_len: usize,
+}
+
+/// Estimates Lp distances from a random sample of coordinates. Unbiased
+/// for `Σ|x_i − y_i|^p` in expectation, but with variance governed by the
+/// coordinate distribution — heavy coordinates are easily missed, which is
+/// the contrast the sketching approach removes.
+#[derive(Clone, Debug)]
+pub struct SamplingSketcher {
+    m: usize,
+    p: f64,
+    seed: u64,
+}
+
+impl SamplingSketcher {
+    /// Samples `m ≥ 1` coordinates for exponent `p ∈ (0, 2]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `m == 0` or
+    /// [`TabError::InvalidP`] for invalid `p`.
+    pub fn new(m: usize, p: f64, seed: u64) -> Result<Self, TabError> {
+        if m == 0 {
+            return Err(TabError::InvalidParameter("sampling sketch needs m >= 1"));
+        }
+        crate::stable::Alpha::new(p)?;
+        Ok(Self { m, p, seed })
+    }
+
+    /// The sampled coordinate indices for objects of length `len` —
+    /// deterministic in `(seed, len)`, so all objects of one length share
+    /// them.
+    pub fn indices(&self, len: usize) -> Vec<usize> {
+        use rand::Rng;
+        let mut rng = stream_rng(self.seed, &[0x5A4D, len as u64]);
+        (0..self.m.min(len))
+            .map(|_| rng.random_range(0..len))
+            .collect()
+    }
+
+    /// Sketches a linearized object.
+    pub fn sketch(&self, data: &[f64]) -> SampledSketch {
+        let values = self
+            .indices(data.len())
+            .into_iter()
+            .map(|i| data[i])
+            .collect();
+        SampledSketch {
+            values,
+            source_len: data.len(),
+        }
+    }
+
+    /// Estimates the Lp distance by scaling the sampled discrepancy:
+    /// `(len/m · Σ_sampled |a_i − b_i|^p)^{1/p}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for mismatched sample shapes.
+    pub fn estimate_distance(&self, a: &SampledSketch, b: &SampledSketch) -> Result<f64, TabError> {
+        if a.values.len() != b.values.len() || a.source_len != b.source_len {
+            return Err(TabError::SketchMismatch {
+                reason: "sampled sketch shapes differ",
+            });
+        }
+        if a.values.is_empty() {
+            return Ok(0.0);
+        }
+        let sum: f64 = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .map(|(&x, &y)| abs_pow(x - y, self.p))
+            .sum();
+        let scaled = sum * a.source_len as f64 / a.values.len() as f64;
+        Ok(scaled.powf(1.0 / self.p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tabsketch_table::norms::lp_distance_slices;
+
+    fn smooth_signal(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                10.0 * (2.0 * core::f64::consts::PI * (t + phase)).sin()
+                    + 3.0 * (4.0 * core::f64::consts::PI * t).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dft_validation() {
+        assert!(DftSketcher::new(0).is_err());
+        assert!(DftSketcher::new(4).is_ok());
+    }
+
+    #[test]
+    fn dft_l2_estimate_close_for_smooth_signals() {
+        // Low-frequency signals: a few coefficients capture nearly all
+        // energy, so the L2 estimate is tight — the classical story.
+        let a = smooth_signal(256, 0.0);
+        let b = smooth_signal(256, 0.1);
+        let sk = DftSketcher::new(8).unwrap();
+        let est = sk
+            .estimate_l2_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 2.0);
+        assert!(
+            est <= exact * (1.0 + 1e-9),
+            "lower bound property: {est} vs {exact}"
+        );
+        assert!(est > 0.9 * exact, "tight for smooth data: {est} vs {exact}");
+    }
+
+    #[test]
+    fn dft_full_spectrum_is_exact_l2() {
+        let a = smooth_signal(64, 0.3);
+        let b = smooth_signal(64, 0.7);
+        let sk = DftSketcher::new(33).unwrap(); // n/2 + 1 bins of a 64-FFT
+        let est = sk
+            .estimate_l2_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 2.0);
+        assert!((est - exact).abs() < 1e-6 * exact, "{est} vs {exact}");
+    }
+
+    #[test]
+    fn dft_underestimates_spiky_signals() {
+        // A single spike spreads energy across all frequencies; truncation
+        // loses most of it.
+        let a = vec![0.0; 256];
+        let mut b = vec![0.0; 256];
+        b[137] = 100.0;
+        let sk = DftSketcher::new(4).unwrap();
+        let est = sk
+            .estimate_l2_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 2.0);
+        assert!(est < 0.5 * exact, "spike energy lost: {est} vs {exact}");
+    }
+
+    #[test]
+    fn dft_mismatch_rejected() {
+        let sk4 = DftSketcher::new(4).unwrap();
+        let sk8 = DftSketcher::new(8).unwrap();
+        let a = sk4.sketch(&[1.0; 32]);
+        let b = sk8.sketch(&[1.0; 32]);
+        assert!(sk4.estimate_l2_distance(&a, &b).is_err());
+        let c = sk4.sketch(&[1.0; 64]);
+        assert!(
+            sk4.estimate_l2_distance(&a, &c).is_err(),
+            "padded lengths differ"
+        );
+    }
+
+    #[test]
+    fn haar_transform_roundtrip() {
+        let data: Vec<f64> = (0..64).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut buf = data.clone();
+        HaarSketcher::transform(&mut buf);
+        HaarSketcher::inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&data) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn haar_is_orthonormal() {
+        // Parseval: energy preserved by the full transform.
+        let data: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin() * 5.0).collect();
+        let before: f64 = data.iter().map(|v| v * v).sum();
+        let mut buf = data;
+        HaarSketcher::transform(&mut buf);
+        let after: f64 = buf.iter().map(|v| v * v).sum();
+        assert!((before - after).abs() < 1e-9 * before);
+    }
+
+    #[test]
+    fn haar_constant_signal_concentrates_in_scaling_coefficient() {
+        let mut buf = vec![3.0; 16];
+        HaarSketcher::transform(&mut buf);
+        assert!((buf[0] - 3.0 * 4.0).abs() < 1e-12, "scaling coeff = 3·√16");
+        assert!(buf[1..].iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn haar_full_retention_is_exact_l2() {
+        let a = smooth_signal(64, 0.2);
+        let b = smooth_signal(64, 0.9);
+        let sk = HaarSketcher::new(64).unwrap();
+        let est = sk
+            .estimate_l2_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 2.0);
+        assert!((est - exact).abs() < 1e-9 * exact);
+    }
+
+    #[test]
+    fn haar_truncation_lower_bounds_l2() {
+        let a = smooth_signal(256, 0.0);
+        let b = smooth_signal(256, 0.15);
+        let sk = HaarSketcher::new(16).unwrap();
+        let est = sk
+            .estimate_l2_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 2.0);
+        assert!(est <= exact * (1.0 + 1e-9), "{est} vs {exact}");
+        assert!(
+            est > 0.5 * exact,
+            "smooth signals are well captured: {est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn haar_misses_fine_detail() {
+        // Alternating ±1 lives entirely at the finest detail level; the
+        // coarse truncation sees nothing.
+        let a = vec![0.0; 128];
+        let b: Vec<f64> = (0..128)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let sk = HaarSketcher::new(8).unwrap();
+        let est = sk
+            .estimate_l2_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        assert!(est < 1e-9, "fine detail invisible to coarse Haar: {est}");
+    }
+
+    #[test]
+    fn haar_validation_and_mismatch() {
+        assert!(HaarSketcher::new(0).is_err());
+        let s4 = HaarSketcher::new(4).unwrap();
+        let s8 = HaarSketcher::new(8).unwrap();
+        let a = s4.sketch(&[1.0; 32]);
+        let b = s8.sketch(&[1.0; 32]);
+        assert!(s4.estimate_l2_distance(&a, &b).is_err());
+        let c = s4.sketch(&[1.0; 64]);
+        assert!(s4.estimate_l2_distance(&a, &c).is_err());
+    }
+
+    #[test]
+    fn sampling_validation() {
+        assert!(SamplingSketcher::new(0, 1.0, 0).is_err());
+        assert!(SamplingSketcher::new(4, 0.0, 0).is_err());
+        assert!(SamplingSketcher::new(4, 1.0, 0).is_ok());
+    }
+
+    #[test]
+    fn sampling_indices_shared_by_length() {
+        let sk = SamplingSketcher::new(16, 1.0, 3).unwrap();
+        assert_eq!(sk.indices(100), sk.indices(100));
+        assert_ne!(sk.indices(100), sk.indices(101));
+        assert!(sk.indices(100).iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sampling_estimate_unbiased_on_uniform_diffs() {
+        // When all coordinate differences are equal the sample estimate is
+        // exact regardless of which coordinates are drawn.
+        let a = vec![0.0; 200];
+        let b = vec![2.0; 200];
+        let sk = SamplingSketcher::new(20, 1.0, 9).unwrap();
+        let est = sk
+            .estimate_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        assert!((est - 400.0).abs() < 1e-9, "est={est}");
+    }
+
+    #[test]
+    fn sampling_misses_sparse_outliers() {
+        // A single huge coordinate is almost never sampled at m << n; the
+        // estimate collapses. This is the failure mode stable sketches fix.
+        let a = vec![0.0; 1000];
+        let mut b = vec![0.0; 1000];
+        b[517] = 1e6;
+        let sk = SamplingSketcher::new(10, 1.0, 4).unwrap();
+        let est = sk
+            .estimate_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 1.0);
+        assert!(
+            est < 0.01 * exact,
+            "sampling misses the spike: {est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn sampling_reasonable_on_dense_random_data() {
+        let mut rng = stream_rng(77, &[1]);
+        let a: Vec<f64> = (0..2000).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..2000).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let sk = SamplingSketcher::new(400, 1.0, 5).unwrap();
+        let est = sk
+            .estimate_distance(&sk.sketch(&a), &sk.sketch(&b))
+            .unwrap();
+        let exact = lp_distance_slices(&a, &b, 1.0);
+        assert!(
+            (est - exact).abs() / exact < 0.15,
+            "est={est}, exact={exact}"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for the sketching core.
+
+use core::fmt;
+
+use tabsketch_fft::FftError;
+use tabsketch_table::TableError;
+
+/// Errors produced by `tabsketch-core`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TabError {
+    /// An Lp exponent outside the valid range `(0, 2]`.
+    InvalidP(f64),
+    /// A parameter failed validation; the message says which.
+    InvalidParameter(&'static str),
+    /// Two sketches could not be combined or compared.
+    SketchMismatch {
+        /// Why the sketches are incompatible.
+        reason: &'static str,
+    },
+    /// A query rectangle is not covered by a sketch pool's configuration.
+    NotInPool {
+        /// Human-readable description of the missing coverage.
+        reason: String,
+    },
+    /// A pool or all-subtable build would exceed the configured memory
+    /// budget.
+    MemoryBudgetExceeded {
+        /// Bytes the build would require.
+        required: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// An error bubbled up from the table layer.
+    Table(TableError),
+    /// An error bubbled up from the FFT layer.
+    Fft(FftError),
+    /// An I/O or format failure while persisting/loading sketches.
+    Io(String),
+}
+
+impl fmt::Display for TabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TabError::InvalidP(p) => {
+                write!(f, "invalid Lp exponent {p}: must lie in (0, 2]")
+            }
+            TabError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            TabError::SketchMismatch { reason } => write!(f, "incompatible sketches: {reason}"),
+            TabError::NotInPool { reason } => write!(f, "query not answerable by pool: {reason}"),
+            TabError::MemoryBudgetExceeded { required, limit } => {
+                write!(
+                    f,
+                    "sketch build needs {required} bytes, over the {limit}-byte budget"
+                )
+            }
+            TabError::Table(e) => write!(f, "table error: {e}"),
+            TabError::Fft(e) => write!(f, "fft error: {e}"),
+            TabError::Io(msg) => write!(f, "sketch I/O error: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for TabError {
+    fn from(e: std::io::Error) -> Self {
+        TabError::Io(e.to_string())
+    }
+}
+
+impl std::error::Error for TabError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TabError::Table(e) => Some(e),
+            TabError::Fft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TableError> for TabError {
+    fn from(e: TableError) -> Self {
+        TabError::Table(e)
+    }
+}
+
+impl From<FftError> for TabError {
+    fn from(e: FftError) -> Self {
+        TabError::Fft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let msgs = [
+            TabError::InvalidP(3.0).to_string(),
+            TabError::InvalidParameter("k must be non-zero").to_string(),
+            TabError::SketchMismatch {
+                reason: "widths differ",
+            }
+            .to_string(),
+            TabError::NotInPool {
+                reason: "size 3x3".into(),
+            }
+            .to_string(),
+            TabError::MemoryBudgetExceeded {
+                required: 10,
+                limit: 5,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let te: TabError = TableError::EmptyDimension.into();
+        assert!(matches!(te, TabError::Table(_)));
+        let fe: TabError = FftError::NotPowerOfTwo(3).into();
+        assert!(matches!(fe, TabError::Fft(_)));
+    }
+}

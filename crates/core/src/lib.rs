@@ -1,0 +1,60 @@
+//! # tabsketch-core
+//!
+//! Sketch-based approximate Lp distance computation — the primary
+//! contribution of *Fast Mining of Massive Tabular Data via Approximate
+//! Distance Computations* (Cormode, Indyk, Koudas, Muthukrishnan;
+//! ICDE 2002).
+//!
+//! The pipeline, mapped to the paper:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | p-stable distributions (§3.2) | [`stable`] |
+//! | scale factor `B(p)` (Theorem 2) | [`scale`] |
+//! | sketches & median estimator (Theorems 1–2) | [`sketch`] |
+//! | all-subtable sketches via FFT (Theorem 3) | [`allsub`] |
+//! | compound dyadic sketches (Def. 4, Theorems 5–6) | [`pool`] |
+//! | transform/sampling baselines (related work) | [`baseline`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tabsketch_core::{SketchParams, Sketcher};
+//! use tabsketch_table::norms::lp_distance_slices;
+//!
+//! // Estimate the L0.5 distance between two vectors from 400-entry
+//! // sketches instead of scanning the 4096 coordinates.
+//! let params = SketchParams::new(0.5, 400, 7).unwrap();
+//! let sk = Sketcher::new(params).unwrap();
+//! let x: Vec<f64> = (0..4096).map(|i| (i % 17) as f64).collect();
+//! let y: Vec<f64> = (0..4096).map(|i| (i % 23) as f64).collect();
+//! let est = sk.estimate_distance(&sk.sketch_slice(&x), &sk.sketch_slice(&y)).unwrap();
+//! let exact = lp_distance_slices(&x, &y, 0.5);
+//! assert!((est - exact).abs() / exact < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allsub;
+pub mod baseline;
+mod error;
+pub mod median;
+pub mod persist;
+pub mod pool;
+pub mod rng;
+pub mod scale;
+pub mod sketch;
+pub mod stable;
+pub mod streaming;
+pub mod theory;
+pub mod timeseries;
+
+pub use allsub::AllSubtableSketches;
+pub use error::TabError;
+pub use pool::{PoolConfig, SketchPool};
+pub use scale::ScaleFactor;
+pub use sketch::{EstimatorKind, Sketch, SketchParams, Sketcher};
+pub use stable::StableSampler;
+pub use streaming::StreamingSketch;
+pub use timeseries::SlidingSketches;

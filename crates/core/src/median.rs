@@ -1,0 +1,145 @@
+//! Fast medians for the sketch distance estimator.
+//!
+//! The estimator computes `median(|s(x)_i − s(y)_i|)` over the `k` sketch
+//! entries for every distance query, so this is the hottest scalar kernel
+//! in the library. We use `select_nth_unstable_by` (expected O(k)) on a
+//! reusable scratch buffer to avoid sorting and allocation.
+
+/// Median of a slice's values, averaging the two central order statistics
+/// for even lengths. The slice is reordered in place.
+///
+/// Returns `None` for an empty slice. NaNs order after +∞ via
+/// [`f64::total_cmp`], so a NaN in the input can only surface in the output
+/// when more than half the entries are NaN.
+pub fn median_in_place(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let mid = n / 2;
+    let (_, upper, _) = xs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let upper = *upper;
+    if n % 2 == 1 {
+        Some(upper)
+    } else {
+        // The lower median is the max of the left partition.
+        let lower = xs[..mid].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Some(0.5 * (lower + upper))
+    }
+}
+
+/// `median(|a_i − b_i|)` over two equal-length slices, writing the absolute
+/// differences into `scratch` (cleared and reused; grown as needed).
+///
+/// Returns `None` when the slices are empty or lengths differ.
+pub fn median_abs_diff(a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> Option<f64> {
+    if a.len() != b.len() || a.is_empty() {
+        return None;
+    }
+    scratch.clear();
+    scratch.extend(a.iter().zip(b).map(|(&x, &y)| (x - y).abs()));
+    median_in_place(scratch)
+}
+
+/// `median(|x_i|)` of a slice, using `scratch` for workspace.
+pub fn median_abs(xs: &[f64], scratch: &mut Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    scratch.clear();
+    scratch.extend(xs.iter().map(|x| x.abs()));
+    median_in_place(scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_length_median() {
+        let mut xs = vec![5.0, 1.0, 3.0];
+        assert_eq!(median_in_place(&mut xs), Some(3.0));
+    }
+
+    #[test]
+    fn even_length_averages_middle_pair() {
+        let mut xs = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median_in_place(&mut xs), Some(2.5));
+    }
+
+    #[test]
+    fn single_element() {
+        let mut xs = vec![7.0];
+        assert_eq!(median_in_place(&mut xs), Some(7.0));
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(median_in_place(&mut []), None);
+        let mut scratch = Vec::new();
+        assert_eq!(median_abs_diff(&[], &[], &mut scratch), None);
+    }
+
+    #[test]
+    fn matches_sort_based_median() {
+        // Cross-check against the naive definition over many sizes.
+        let mut state = 123_456_789u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 100.0 - 50.0
+        };
+        for n in 1..50 {
+            let xs: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let expected = if n % 2 == 1 {
+                sorted[n / 2]
+            } else {
+                0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+            };
+            let mut buf = xs.clone();
+            let got = median_in_place(&mut buf).unwrap();
+            assert!((got - expected).abs() < 1e-12, "n={n}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn abs_diff_median() {
+        let a = [1.0, 5.0, 10.0];
+        let b = [2.0, 2.0, 2.0];
+        let mut scratch = Vec::new();
+        // |diffs| = [1, 3, 8] -> median 3.
+        assert_eq!(median_abs_diff(&a, &b, &mut scratch), Some(3.0));
+    }
+
+    #[test]
+    fn abs_diff_length_mismatch_is_none() {
+        let mut scratch = Vec::new();
+        assert_eq!(median_abs_diff(&[1.0], &[1.0, 2.0], &mut scratch), None);
+    }
+
+    #[test]
+    fn scratch_is_reusable() {
+        let mut scratch = Vec::new();
+        assert_eq!(
+            median_abs_diff(&[0.0, 0.0], &[1.0, 3.0], &mut scratch),
+            Some(2.0)
+        );
+        assert_eq!(median_abs_diff(&[0.0], &[5.0], &mut scratch), Some(5.0));
+        assert_eq!(median_abs(&[-4.0, 2.0, 1.0], &mut scratch), Some(2.0));
+    }
+
+    #[test]
+    fn median_with_duplicates() {
+        let mut xs = vec![2.0, 2.0, 2.0, 2.0];
+        assert_eq!(median_in_place(&mut xs), Some(2.0));
+        let mut ys = vec![1.0, 2.0, 2.0, 9.0];
+        assert_eq!(median_in_place(&mut ys), Some(2.0));
+    }
+
+    #[test]
+    fn median_with_negative_zero() {
+        let mut xs = vec![-0.0, 0.0, 0.0];
+        assert_eq!(median_in_place(&mut xs), Some(0.0));
+    }
+}

@@ -1,0 +1,298 @@
+//! Binary persistence for sketches and sketch stores.
+//!
+//! The paper's headline workflow is "precompute sketches once, answer
+//! distance queries forever after"; that only pays off across sessions if
+//! the sketch store can be saved and reloaded. The format (`TSKS`) is a
+//! simple little-endian layout: sketch parameters first (so the loader
+//! can reconstruct the *same* deterministic random family), then the flat
+//! value buffer. A reloaded store is interchangeable with a freshly built
+//! one — including comparisons against newly computed on-demand sketches,
+//! because the random rows are derived from the persisted seed.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::allsub::AllSubtableSketches;
+use crate::sketch::{EstimatorKind, Sketch, SketchParams, Sketcher};
+use crate::TabError;
+
+const STORE_MAGIC: &[u8; 4] = b"TSKS";
+const SKETCH_MAGIC: &[u8; 4] = b"TSK1";
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), TabError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TabError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_f64<W: Write>(w: &mut W, v: f64) -> Result<(), TabError> {
+    w.write_all(&v.to_le_bytes())?;
+    Ok(())
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, TabError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(f64::from_le_bytes(buf))
+}
+
+fn write_magic<W: Write>(w: &mut W, magic: &[u8; 4]) -> Result<(), TabError> {
+    w.write_all(magic)?;
+    Ok(())
+}
+
+fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 4], what: &str) -> Result<(), TabError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    if &buf != magic {
+        return Err(TabError::Io(format!("bad magic: not a {what}")));
+    }
+    Ok(())
+}
+
+fn write_sketcher<W: Write>(w: &mut W, sketcher: &Sketcher) -> Result<(), TabError> {
+    write_f64(w, sketcher.p())?;
+    write_u64(w, sketcher.k() as u64)?;
+    write_u64(w, sketcher.params().seed())?;
+    write_u64(w, sketcher.family())?;
+    let estimator = match sketcher.estimator() {
+        EstimatorKind::Median => 0u64,
+        EstimatorKind::L2 => 1u64,
+    };
+    write_u64(w, estimator)
+}
+
+fn read_sketcher<R: Read>(r: &mut R) -> Result<Sketcher, TabError> {
+    let p = read_f64(r)?;
+    let k = read_u64(r)? as usize;
+    let seed = read_u64(r)?;
+    let family = read_u64(r)?;
+    let estimator = match read_u64(r)? {
+        0 => EstimatorKind::Median,
+        1 => EstimatorKind::L2,
+        other => return Err(TabError::Io(format!("unknown estimator tag {other}"))),
+    };
+    let params = SketchParams::new(p, k, seed)?;
+    Sketcher::with_family(params, family)?.with_estimator(estimator)
+}
+
+/// Writes one [`Sketch`] to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TabError::Io`].
+pub fn write_sketch<W: Write>(sketch: &Sketch, writer: W) -> Result<(), TabError> {
+    let mut w = BufWriter::new(writer);
+    write_magic(&mut w, SKETCH_MAGIC)?;
+    write_f64(&mut w, sketch.p())?;
+    write_u64(&mut w, sketch.family())?;
+    write_u64(&mut w, sketch.k() as u64)?;
+    for &v in sketch.values() {
+        write_f64(&mut w, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one [`Sketch`] from `reader`.
+///
+/// # Errors
+///
+/// Returns [`TabError::Io`] on bad magic, truncation, or I/O failure.
+pub fn read_sketch<R: Read>(reader: R) -> Result<Sketch, TabError> {
+    let mut r = BufReader::new(reader);
+    expect_magic(&mut r, SKETCH_MAGIC, "tabsketch sketch")?;
+    let p = read_f64(&mut r)?;
+    let family = read_u64(&mut r)?;
+    let k = read_u64(&mut r)? as usize;
+    let mut values = Vec::with_capacity(k);
+    for _ in 0..k {
+        values.push(read_f64(&mut r)?);
+    }
+    Ok(Sketch::from_values(p, family, values))
+}
+
+/// Writes an [`AllSubtableSketches`] store to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TabError::Io`].
+pub fn write_store<W: Write>(store: &AllSubtableSketches, writer: W) -> Result<(), TabError> {
+    let mut w = BufWriter::new(writer);
+    write_magic(&mut w, STORE_MAGIC)?;
+    write_sketcher(&mut w, store.sketcher())?;
+    write_u64(&mut w, store.tile_rows() as u64)?;
+    write_u64(&mut w, store.tile_cols() as u64)?;
+    write_u64(&mut w, store.anchor_rows() as u64)?;
+    write_u64(&mut w, store.anchor_cols() as u64)?;
+    for &v in store.raw_values() {
+        write_f64(&mut w, v)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an [`AllSubtableSketches`] store from `reader`. The
+/// reconstructed store uses the persisted seed/family, so it is
+/// interchangeable with the original — including against sketches
+/// computed fresh by the same parameters.
+///
+/// # Errors
+///
+/// Returns [`TabError::Io`] on bad magic, truncation, or I/O failure,
+/// and parameter validation errors for corrupted headers.
+pub fn read_store<R: Read>(reader: R) -> Result<AllSubtableSketches, TabError> {
+    let mut r = BufReader::new(reader);
+    expect_magic(&mut r, STORE_MAGIC, "tabsketch store")?;
+    let sketcher = read_sketcher(&mut r)?;
+    let tile_rows = read_u64(&mut r)? as usize;
+    let tile_cols = read_u64(&mut r)? as usize;
+    let anchor_rows = read_u64(&mut r)? as usize;
+    let anchor_cols = read_u64(&mut r)? as usize;
+    let count = anchor_rows
+        .checked_mul(anchor_cols)
+        .and_then(|n| n.checked_mul(sketcher.k()))
+        .ok_or_else(|| TabError::Io("store dimensions overflow".into()))?;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        values.push(read_f64(&mut r)?);
+    }
+    AllSubtableSketches::from_parts(
+        sketcher,
+        tile_rows,
+        tile_cols,
+        anchor_rows,
+        anchor_cols,
+        values,
+    )
+}
+
+/// Saves a store to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TabError::Io`].
+pub fn save_store<P: AsRef<Path>>(store: &AllSubtableSketches, path: P) -> Result<(), TabError> {
+    write_store(store, std::fs::File::create(path)?)
+}
+
+/// Loads a store from `path`.
+///
+/// # Errors
+///
+/// Propagates I/O and format failures as [`TabError::Io`].
+pub fn load_store<P: AsRef<Path>>(path: P) -> Result<AllSubtableSketches, TabError> {
+    read_store(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabsketch_table::{Rect, Table};
+
+    fn sample_store() -> AllSubtableSketches {
+        let table = Table::from_fn(12, 14, |r, c| ((r * 5 + c * 3) % 17) as f64).unwrap();
+        let sketcher = Sketcher::new(SketchParams::new(1.0, 6, 99).unwrap()).unwrap();
+        AllSubtableSketches::build(&table, 4, 5, sketcher).unwrap()
+    }
+
+    #[test]
+    fn sketch_round_trip() {
+        let sk = Sketcher::new(SketchParams::new(0.5, 8, 1).unwrap()).unwrap();
+        let s = sk.sketch_slice(&[1.0, -2.0, 3.5, 0.0, 9.0]);
+        let mut buf = Vec::new();
+        write_sketch(&s, &mut buf).unwrap();
+        let back = read_sketch(buf.as_slice()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn sketch_rejects_bad_magic_and_truncation() {
+        assert!(read_sketch(&b"NOPE"[..]).is_err());
+        let sk = Sketcher::new(SketchParams::new(1.0, 4, 2).unwrap()).unwrap();
+        let mut buf = Vec::new();
+        write_sketch(&sk.sketch_slice(&[1.0, 2.0]), &mut buf).unwrap();
+        buf.truncate(buf.len() - 5);
+        assert!(read_sketch(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn store_round_trip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let back = read_store(buf.as_slice()).unwrap();
+        assert_eq!(back.tile_rows(), store.tile_rows());
+        assert_eq!(back.tile_cols(), store.tile_cols());
+        assert_eq!(back.anchor_rows(), store.anchor_rows());
+        assert_eq!(back.anchor_cols(), store.anchor_cols());
+        assert_eq!(back.raw_values(), store.raw_values());
+        assert_eq!(back.sketcher().k(), store.sketcher().k());
+        assert_eq!(back.sketcher().family(), store.sketcher().family());
+        assert_eq!(back.sketcher().estimator(), store.sketcher().estimator());
+    }
+
+    #[test]
+    fn reloaded_store_interoperates_with_fresh_sketches() {
+        // A sketch computed on demand after reload must be comparable with
+        // stored sketches: the random family is derived from the persisted
+        // seed, so estimates agree exactly.
+        let table = Table::from_fn(12, 14, |r, c| ((r * 5 + c * 3) % 17) as f64).unwrap();
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let back = read_store(buf.as_slice()).unwrap();
+
+        let fresh = back
+            .sketcher()
+            .sketch_view(&table.view(Rect::new(2, 3, 4, 5)).unwrap());
+        let stored = back.sketch_at(2, 3).unwrap();
+        for (a, b) in stored.values().iter().zip(fresh.values()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn store_rejects_corruption() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        assert!(read_store(&buf[..buf.len() - 3]).is_err(), "truncated");
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_store(bad.as_slice()).is_err(), "bad magic");
+        // Corrupt the estimator tag (offset: magic 4 + p 8 + k 8 + seed 8
+        // + family 8 = 36).
+        let mut bad_tag = buf;
+        bad_tag[36] = 9;
+        assert!(
+            read_store(bad_tag.as_slice()).is_err(),
+            "unknown estimator tag"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tabsketch-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.tsks");
+        let store = sample_store();
+        save_store(&store, &path).unwrap();
+        let back = load_store(&path).unwrap();
+        assert_eq!(back.raw_values(), store.raw_values());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        let sk = Sketcher::new(SketchParams::new(1.0, 4, 1).unwrap()).unwrap();
+        assert!(AllSubtableSketches::from_parts(sk.clone(), 2, 2, 3, 3, vec![0.0; 36]).is_ok());
+        assert!(AllSubtableSketches::from_parts(sk.clone(), 2, 2, 3, 3, vec![0.0; 35]).is_err());
+        assert!(AllSubtableSketches::from_parts(sk, 0, 2, 3, 3, vec![]).is_err());
+    }
+}

@@ -1,0 +1,458 @@
+//! The dyadic sketch pool and compound sketches (paper Definition 4,
+//! Theorems 5 and 6).
+//!
+//! For every canonical size `2^i × 2^j` (within a configured range) the
+//! pool stores **four independent** all-subtable sketch families
+//! `s, t, u, v`. The sketch of an arbitrary `c × d` rectangle is then
+//! assembled in `O(k)` by summing the four family sketches anchored at the
+//! rectangle's corners (the [`tabsketch_table::dyadic::DyadicCover`]), so
+//! that the covering rectangles tile the query with overlap.
+//!
+//! Because each cell is counted between 1 and 4 times, a compound estimate
+//! is a `4^{1/p}·(1+ε)` over-approximation at worst (the paper states the
+//! factor-4 form for its range of interest). Comparisons between
+//! same-shape rectangles remain meaningful, which is all clustering needs.
+
+use std::collections::HashMap;
+
+use tabsketch_table::dyadic::{canonical_sizes, DyadicCover};
+use tabsketch_table::{Rect, Table};
+
+use crate::allsub::AllSubtableSketches;
+use crate::rng::derive_key;
+use crate::sketch::{Sketch, SketchParams, Sketcher};
+use crate::TabError;
+
+/// Domain-separation tag for compound-sketch family ids.
+const COMPOUND_TAG: u64 = 0xC0_4D0_u64;
+
+/// Configuration for [`SketchPool::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Smallest canonical tile edge (rows) to precompute; must be a power
+    /// of two. Queries whose dyadic cover falls below this fail.
+    pub min_rows: usize,
+    /// Smallest canonical tile edge (columns); power of two.
+    pub min_cols: usize,
+    /// Largest canonical tile rows to precompute (clamped to the table).
+    pub max_rows: usize,
+    /// Largest canonical tile columns to precompute (clamped to the table).
+    pub max_cols: usize,
+    /// When set, only square canonical sizes `2^i × 2^i` are stored —
+    /// the configuration the paper's experiments use ("square tiles of
+    /// size 8×8, 16×16 and so on").
+    pub square_only: bool,
+    /// Memory budget in bytes across all stored sketch sets.
+    pub max_bytes: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            min_rows: 8,
+            min_cols: 8,
+            max_rows: usize::MAX,
+            max_cols: usize::MAX,
+            square_only: false,
+            max_bytes: crate::allsub::DEFAULT_MEMORY_BUDGET,
+        }
+    }
+}
+
+impl PoolConfig {
+    fn validate(&self) -> Result<(), TabError> {
+        if !self.min_rows.is_power_of_two() || !self.min_cols.is_power_of_two() {
+            return Err(TabError::InvalidParameter(
+                "pool min sizes must be powers of two",
+            ));
+        }
+        if self.max_rows < self.min_rows || self.max_cols < self.min_cols {
+            return Err(TabError::InvalidParameter("pool max sizes below min sizes"));
+        }
+        Ok(())
+    }
+}
+
+/// A pool of precomputed dyadic sketches supporting `O(k)` compound
+/// sketches of arbitrary rectangles.
+#[derive(Clone, Debug)]
+pub struct SketchPool {
+    params: SketchParams,
+    config: PoolConfig,
+    /// For each canonical `(rows, cols)`: four independent sketch sets,
+    /// one per cover anchor.
+    entries: HashMap<(usize, usize), Box<[AllSubtableSketches; 4]>>,
+}
+
+impl SketchPool {
+    /// Precomputes the pool over `table`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TabError::InvalidParameter`] for inconsistent configuration;
+    /// * [`TabError::MemoryBudgetExceeded`] when the combined store would
+    ///   exceed `config.max_bytes`;
+    /// * construction errors from the underlying sketch builds.
+    pub fn build(
+        table: &Table,
+        params: SketchParams,
+        config: PoolConfig,
+    ) -> Result<Self, TabError> {
+        config.validate()?;
+        let sizes: Vec<(usize, usize)> = canonical_sizes(
+            table.rows().min(config.max_rows),
+            table.cols().min(config.max_cols),
+        )
+        .into_iter()
+        .filter(|&(r, c)| {
+            r >= config.min_rows && c >= config.min_cols && (!config.square_only || r == c)
+        })
+        .collect();
+        if sizes.is_empty() {
+            return Err(TabError::InvalidParameter(
+                "pool configuration admits no canonical sizes for this table",
+            ));
+        }
+        // Up-front memory estimate so we fail before allocating anything.
+        let k = params.k();
+        let mut required = 0usize;
+        for &(r, c) in &sizes {
+            let npos = (table.rows() - r + 1) * (table.cols() - c + 1);
+            required = required
+                .checked_add(4 * npos * k * core::mem::size_of::<f64>())
+                .ok_or(TabError::InvalidParameter("pool size overflows"))?;
+        }
+        if required > config.max_bytes {
+            return Err(TabError::MemoryBudgetExceeded {
+                required,
+                limit: config.max_bytes,
+            });
+        }
+        let mut entries = HashMap::with_capacity(sizes.len());
+        for &(r, c) in &sizes {
+            let mut sets = Vec::with_capacity(4);
+            for anchor in 0..4u64 {
+                // Each (size, anchor) pair gets an independent random
+                // family, as Theorem 5 requires.
+                let family = derive_key(params.seed(), &[r as u64, c as u64, anchor]);
+                let sketcher = Sketcher::with_family(params, family)?;
+                sets.push(AllSubtableSketches::build_with_budget(
+                    table,
+                    r,
+                    c,
+                    sketcher,
+                    config.max_bytes,
+                )?);
+            }
+            let sets: Box<[AllSubtableSketches; 4]> = match sets.try_into() {
+                Ok(arr) => Box::new(arr),
+                Err(_) => unreachable!("exactly four sets are built"),
+            };
+            entries.insert((r, c), sets);
+        }
+        Ok(Self {
+            params,
+            config,
+            entries,
+        })
+    }
+
+    /// The sketch parameters of the pool.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// The configuration the pool was built with.
+    #[inline]
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// The canonical sizes stored in the pool.
+    pub fn sizes(&self) -> Vec<(usize, usize)> {
+        let mut v: Vec<_> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Approximate memory footprint of the stored sketch values, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries
+            .values()
+            .map(|sets| {
+                sets.iter()
+                    .map(|s| s.anchor_rows() * s.anchor_cols() * self.params.k() * 8)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// The family tag of compound sketches with dyadic cover shape
+    /// `(rows, cols)`. Compound sketches are only comparable when their
+    /// covers share a shape (and come from this pool).
+    pub fn compound_family(&self, shape: (usize, usize)) -> u64 {
+        derive_key(
+            self.params.seed(),
+            &[COMPOUND_TAG, shape.0 as u64, shape.1 as u64],
+        )
+    }
+
+    fn cover_of(&self, rect: Rect) -> Result<DyadicCover, TabError> {
+        let cover = DyadicCover::of(rect).ok_or(TabError::InvalidParameter("empty rectangle"))?;
+        if !self.entries.contains_key(&cover.shape) {
+            return Err(TabError::NotInPool {
+                reason: format!(
+                    "rect {}x{} needs canonical size {}x{}, which is not stored",
+                    rect.rows, rect.cols, cover.shape.0, cover.shape.1
+                ),
+            });
+        }
+        Ok(cover)
+    }
+
+    /// Assembles the compound sketch of `rect` in `O(k)` (Definition 4):
+    /// the component-wise sum of the four anchor sketches.
+    ///
+    /// # Errors
+    ///
+    /// * [`TabError::NotInPool`] when the rect's canonical size is not
+    ///   stored (outside the configured min/max or non-square in a
+    ///   square-only pool);
+    /// * [`TabError::InvalidParameter`] for empty or out-of-range rects.
+    pub fn compound_sketch(&self, rect: Rect) -> Result<Sketch, TabError> {
+        let cover = self.cover_of(rect)?;
+        let sets = &self.entries[&cover.shape];
+        let k = self.params.k();
+        let mut acc = vec![0.0; k];
+        for (set, anchor) in sets.iter().zip(cover.anchors.iter()) {
+            let vals = set
+                .values_at(anchor.row, anchor.col)
+                .ok_or(TabError::InvalidParameter(
+                    "rectangle exceeds the table the pool was built on",
+                ))?;
+            for (a, v) in acc.iter_mut().zip(vals) {
+                *a += v;
+            }
+        }
+        Ok(Sketch::from_values(
+            self.params.p(),
+            self.compound_family(cover.shape),
+            acc,
+        ))
+    }
+
+    /// Estimates the Lp distance between two equal-shaped rectangles from
+    /// their compound sketches.
+    ///
+    /// The estimate carries the compound inflation: each cell of the
+    /// difference is counted 1–4 times, so the value lies in
+    /// `[1, 4^{1/p}]·(1±ε)` of the true distance (Theorem 5). For exactly
+    /// dyadic rectangles all four anchors coincide and the inflation is
+    /// exactly `4^{1/p}`, which we divide out; comparisons are consistent
+    /// across same-shape queries either way.
+    ///
+    /// # Errors
+    ///
+    /// * [`TabError::SketchMismatch`] when the rectangles' shapes differ;
+    /// * pool coverage errors as in [`SketchPool::compound_sketch`].
+    pub fn estimate_distance(&self, a: Rect, b: Rect) -> Result<f64, TabError> {
+        if a.shape() != b.shape() {
+            return Err(TabError::SketchMismatch {
+                reason: "compound estimates require equal-shaped rectangles",
+            });
+        }
+        let sa = self.compound_sketch(a)?;
+        let sb = self.compound_sketch(b)?;
+        let cover = self.cover_of(a)?;
+        let sketcher = Sketcher::with_family(self.params, sa.family())?;
+        let mut scratch = Vec::with_capacity(self.params.k());
+        let raw = sketcher.estimate_distance_slices(sa.values(), sb.values(), &mut scratch);
+        if cover.is_exact() {
+            // All four anchors coincide: the sum is 4× a single sketch, an
+            // exactly known factor we can remove.
+            let correction = if self.params.p() == 2.0 {
+                4.0
+            } else {
+                4.0f64.powf(1.0 / self.params.p())
+            };
+            Ok(raw / correction)
+        } else {
+            Ok(raw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabsketch_table::norms::lp_distance_views;
+
+    fn test_table() -> Table {
+        Table::from_fn(32, 32, |r, c| ((r * 37 + c * 23) % 53) as f64).unwrap()
+    }
+
+    fn small_config() -> PoolConfig {
+        PoolConfig {
+            min_rows: 4,
+            min_cols: 4,
+            max_rows: 16,
+            max_cols: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn builds_expected_sizes() {
+        let pool = SketchPool::build(
+            &test_table(),
+            SketchParams::new(1.0, 8, 7).unwrap(),
+            small_config(),
+        )
+        .unwrap();
+        let sizes = pool.sizes();
+        assert!(sizes.contains(&(4, 4)));
+        assert!(sizes.contains(&(16, 8)));
+        assert!(!sizes.contains(&(2, 4)), "below min");
+        assert!(!sizes.contains(&(32, 32)), "above max");
+        assert!(pool.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn square_only_prunes() {
+        let cfg = PoolConfig {
+            square_only: true,
+            ..small_config()
+        };
+        let pool =
+            SketchPool::build(&test_table(), SketchParams::new(1.0, 4, 7).unwrap(), cfg).unwrap();
+        for (r, c) in pool.sizes() {
+            assert_eq!(r, c);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let t = test_table();
+        let p = SketchParams::new(1.0, 4, 7).unwrap();
+        let bad_min = PoolConfig {
+            min_rows: 3,
+            ..Default::default()
+        };
+        assert!(SketchPool::build(&t, p, bad_min).is_err());
+        let inverted = PoolConfig {
+            min_rows: 16,
+            max_rows: 8,
+            ..Default::default()
+        };
+        assert!(SketchPool::build(&t, p, inverted).is_err());
+        let no_sizes = PoolConfig {
+            min_rows: 64,
+            min_cols: 64,
+            ..Default::default()
+        };
+        assert!(SketchPool::build(&t, p, no_sizes).is_err());
+        let tiny = PoolConfig {
+            max_bytes: 128,
+            ..small_config()
+        };
+        assert!(matches!(
+            SketchPool::build(&t, p, tiny),
+            Err(TabError::MemoryBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn compound_sketch_requires_stored_size() {
+        let pool = SketchPool::build(
+            &test_table(),
+            SketchParams::new(1.0, 8, 7).unwrap(),
+            small_config(),
+        )
+        .unwrap();
+        // 3x3 has dyadic floor 2x2, below min.
+        assert!(matches!(
+            pool.compound_sketch(Rect::new(0, 0, 3, 3)),
+            Err(TabError::NotInPool { .. })
+        ));
+        // 20x20 floors to 16x16, stored.
+        assert!(pool.compound_sketch(Rect::new(0, 0, 20, 20)).is_ok());
+        // Out of table bounds.
+        assert!(pool.compound_sketch(Rect::new(30, 30, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn dyadic_rect_estimate_matches_exact() {
+        // For exactly dyadic rects the pool removes the known 4x inflation,
+        // so the estimate should track the true distance.
+        let t = test_table();
+        let pool = SketchPool::build(&t, SketchParams::new(1.0, 400, 11).unwrap(), small_config())
+            .unwrap();
+        let a = Rect::new(0, 0, 8, 8);
+        let b = Rect::new(13, 17, 8, 8);
+        let est = pool.estimate_distance(a, b).unwrap();
+        let exact = lp_distance_views(&t.view(a).unwrap(), &t.view(b).unwrap(), 1.0).unwrap();
+        let rel = (est - exact).abs() / exact;
+        assert!(rel < 0.25, "est={est}, exact={exact}, rel={rel}");
+    }
+
+    #[test]
+    fn non_dyadic_estimate_within_theorem5_band() {
+        let t = test_table();
+        let pool = SketchPool::build(&t, SketchParams::new(1.0, 400, 13).unwrap(), small_config())
+            .unwrap();
+        let a = Rect::new(1, 1, 11, 13);
+        let b = Rect::new(15, 9, 11, 13);
+        let est = pool.estimate_distance(a, b).unwrap();
+        let exact = lp_distance_views(&t.view(a).unwrap(), &t.view(b).unwrap(), 1.0).unwrap();
+        // Theorem 5: (1-eps)*exact <= est <= 4(1+eps)*exact for p=1.
+        assert!(est > 0.6 * exact, "est={est}, exact={exact}");
+        assert!(est < 5.0 * exact, "est={est}, exact={exact}");
+    }
+
+    #[test]
+    fn estimates_are_comparison_consistent() {
+        // The compound estimator should order a near pair below a far pair.
+        let t = Table::from_fn(32, 32, |r, _| if r < 16 { 1.0 } else { 100.0 }).unwrap();
+        let pool =
+            SketchPool::build(&t, SketchParams::new(1.0, 200, 5).unwrap(), small_config()).unwrap();
+        let base = Rect::new(0, 0, 6, 6);
+        let near = Rect::new(2, 8, 6, 6); // same region, similar values
+        let far = Rect::new(20, 8, 6, 6); // other region, very different
+        let d_near = pool.estimate_distance(base, near).unwrap();
+        let d_far = pool.estimate_distance(base, far).unwrap();
+        assert!(d_near < d_far, "near={d_near}, far={d_far}");
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let pool = SketchPool::build(
+            &test_table(),
+            SketchParams::new(1.0, 8, 7).unwrap(),
+            small_config(),
+        )
+        .unwrap();
+        assert!(matches!(
+            pool.estimate_distance(Rect::new(0, 0, 8, 8), Rect::new(0, 0, 8, 9)),
+            Err(TabError::SketchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compound_family_depends_on_shape() {
+        let pool = SketchPool::build(
+            &test_table(),
+            SketchParams::new(1.0, 8, 7).unwrap(),
+            small_config(),
+        )
+        .unwrap();
+        assert_ne!(pool.compound_family((8, 8)), pool.compound_family((8, 16)));
+        let s1 = pool.compound_sketch(Rect::new(0, 0, 8, 8)).unwrap();
+        let s2 = pool.compound_sketch(Rect::new(0, 0, 16, 16)).unwrap();
+        assert_ne!(
+            s1.family(),
+            s2.family(),
+            "different cover shapes are incomparable"
+        );
+    }
+}

@@ -1,0 +1,687 @@
+//! Sketches and the sketch-distance estimators (paper §3.2, Theorems 1–2).
+//!
+//! A sketch of a vector `x` is `s(x) = (x·r[0], …, x·r[k−1])` where each
+//! random vector `r[i]` has i.i.d. entries from a symmetric p-stable
+//! distribution. By stability, `s(x)_i − s(y)_i = (x−y)·r[i]` is
+//! distributed as `‖x − y‖_p · X` with `X` standard p-stable, so
+//! `median_i |s(x)_i − s(y)_i| / B(p)` estimates the Lp distance.
+//!
+//! Sketches are **linear**: `s(ax + by) = a·s(x) + b·s(y)`. The clustering
+//! layer leans on this — the sketch of a centroid is the mean of the
+//! member sketches, and never touches the underlying tiles.
+
+use std::sync::{Arc, RwLock};
+
+use rand::rngs::StdRng;
+
+use tabsketch_table::{norms, TableView};
+
+use crate::median::median_abs_diff;
+use crate::rng::stream_rng;
+use crate::scale::ScaleFactor;
+use crate::stable::StableSampler;
+use crate::TabError;
+
+/// Parameters of a sketch family: exponent, width, and master seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SketchParams {
+    p: f64,
+    k: usize,
+    seed: u64,
+}
+
+/// Pragmatic constant in `k = ⌈C · ln(1/δ) / ε²⌉`. Theory gives `O(·)`;
+/// this constant reproduces the paper's "within a few percent with sketch
+/// size in the low hundreds" behaviour.
+pub const ACCURACY_CONSTANT: f64 = 3.0;
+
+impl SketchParams {
+    /// Creates parameters with an explicit sketch width `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidP`] for `p` outside `(0, 2]` and
+    /// [`TabError::InvalidParameter`] when `k == 0`.
+    pub fn new(p: f64, k: usize, seed: u64) -> Result<Self, TabError> {
+        // Validate p through the sampler's own rule.
+        let _ = StableSampler::new(p)?;
+        if k == 0 {
+            return Err(TabError::InvalidParameter(
+                "sketch width k must be non-zero",
+            ));
+        }
+        Ok(Self { p, k, seed })
+    }
+
+    /// Derives the width from an accuracy target:
+    /// `k = ⌈C · ln(1/δ) / ε²⌉` (paper: `k = c·log(1/δ)/ε²`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] unless `0 < ε < 1` and
+    /// `0 < δ < 1`, or [`TabError::InvalidP`] for invalid `p`.
+    pub fn from_accuracy(p: f64, epsilon: f64, delta: f64, seed: u64) -> Result<Self, TabError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(TabError::InvalidParameter("epsilon must lie in (0, 1)"));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(TabError::InvalidParameter("delta must lie in (0, 1)"));
+        }
+        let k = (ACCURACY_CONSTANT * (1.0 / delta).ln() / (epsilon * epsilon)).ceil() as usize;
+        Self::new(p, k.max(1), seed)
+    }
+
+    /// The Lp exponent.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The sketch width (number of random projections).
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The master seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Which estimator turns sketch differences into a distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// `median(|s(x)_i − s(y)_i|) / B(p)` — works for every `p ∈ (0, 2]`.
+    #[default]
+    Median,
+    /// `‖s(x) − s(y)‖₂ / √k` — the classical Johnson–Lindenstrauss
+    /// estimator, valid only at `p = 2` (where the random entries are
+    /// `N(0,1)`). The paper notes L2 sketch distances are faster to
+    /// evaluate this way than via a median.
+    L2,
+}
+
+/// A sketch: `k` stable random projections of an object.
+///
+/// Sketches carry their `p` and a `family` tag; estimator methods refuse
+/// to compare sketches from different families (they would be meaningless
+/// — different random matrices).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sketch {
+    p: f64,
+    family: u64,
+    values: Box<[f64]>,
+}
+
+impl Sketch {
+    /// Builds a sketch from raw projection values. Mostly used by the
+    /// all-subtable and pool machinery; end users obtain sketches from
+    /// [`Sketcher::sketch_slice`] and friends.
+    pub fn from_values(p: f64, family: u64, values: Vec<f64>) -> Self {
+        Self {
+            p,
+            family,
+            values: values.into_boxed_slice(),
+        }
+    }
+
+    /// The Lp exponent this sketch estimates.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The family tag (random-matrix identity).
+    #[inline]
+    pub fn family(&self) -> u64 {
+        self.family
+    }
+
+    /// The sketch width.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The raw projection values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// A zero sketch of the same shape/family — the sketch of the zero
+    /// vector, useful for norm estimation and as an accumulator identity.
+    pub fn zero_like(&self) -> Sketch {
+        Sketch {
+            p: self.p,
+            family: self.family,
+            values: vec![0.0; self.values.len()].into(),
+        }
+    }
+
+    fn check_compatible(&self, other: &Sketch) -> Result<(), TabError> {
+        if self.values.len() != other.values.len() {
+            return Err(TabError::SketchMismatch {
+                reason: "sketch widths differ",
+            });
+        }
+        if self.p != other.p {
+            return Err(TabError::SketchMismatch {
+                reason: "sketch exponents differ",
+            });
+        }
+        if self.family != other.family {
+            return Err(TabError::SketchMismatch {
+                reason: "sketches come from different random families",
+            });
+        }
+        Ok(())
+    }
+
+    /// `self += other` (linearity: sketch of the sum).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for incompatible sketches.
+    pub fn add_assign(&mut self, other: &Sketch) -> Result<(), TabError> {
+        self.check_compatible(other)?;
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// `self −= other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for incompatible sketches.
+    pub fn sub_assign(&mut self, other: &Sketch) -> Result<(), TabError> {
+        self.check_compatible(other)?;
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a -= b;
+        }
+        Ok(())
+    }
+
+    /// Scales all projections by `factor` (sketch of `factor · x`).
+    pub fn scale(&mut self, factor: f64) {
+        for v in self.values.iter_mut() {
+            *v *= factor;
+        }
+    }
+
+    /// The mean of a non-empty set of compatible sketches — by linearity,
+    /// the sketch of the mean object (e.g. a cluster centroid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] for an empty set, or
+    /// [`TabError::SketchMismatch`] for incompatible members.
+    pub fn mean<'a, I>(sketches: I) -> Result<Sketch, TabError>
+    where
+        I: IntoIterator<Item = &'a Sketch>,
+    {
+        let mut iter = sketches.into_iter();
+        let first = iter
+            .next()
+            .ok_or(TabError::InvalidParameter("mean of an empty sketch set"))?;
+        let mut acc = first.clone();
+        let mut count = 1usize;
+        for s in iter {
+            acc.add_assign(s)?;
+            count += 1;
+        }
+        acc.scale(1.0 / count as f64);
+        Ok(acc)
+    }
+}
+
+/// The sketching engine: owns the parameters, the p-stable sampler, the
+/// scale factor `B(p)`, and the identity of the random family.
+///
+/// ```
+/// use tabsketch_core::{SketchParams, Sketcher};
+///
+/// let params = SketchParams::new(1.0, 512, 42).unwrap();
+/// let sk = Sketcher::new(params).unwrap();
+/// let x = vec![1.0; 256];
+/// let y = vec![3.0; 256];
+/// let sx = sk.sketch_slice(&x);
+/// let sy = sk.sketch_slice(&y);
+/// let est = sk.estimate_distance(&sx, &sy).unwrap();
+/// let exact = 2.0 * 256.0; // L1 distance
+/// assert!((est - exact).abs() / exact < 0.25);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sketcher {
+    params: SketchParams,
+    family: u64,
+    sampler: StableSampler,
+    scale: ScaleFactor,
+    estimator: EstimatorKind,
+    /// Materialized prefixes of the random rows `r[i]`, shared across
+    /// clones. The paper's preprocessing "compute[s] the necessary k
+    /// different R[i] matrices" once; without this cache every sketch
+    /// would pay k·M stable draws instead of k·M multiply-adds.
+    row_cache: Arc<RwLock<Vec<Arc<[f64]>>>>,
+}
+
+/// Random rows longer than this are not cached (they would dominate
+/// memory); they are regenerated per call instead.
+const MAX_CACHED_ROW_LEN: usize = 1 << 20;
+
+impl Sketcher {
+    /// Creates a sketcher for family 0 with the default estimator for its
+    /// `p` (L2 estimator at `p = 2`, median otherwise — matching the
+    /// paper's implementation note in §4.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn new(params: SketchParams) -> Result<Self, TabError> {
+        Self::with_family(params, 0)
+    }
+
+    /// Creates a sketcher whose random matrices are drawn from the given
+    /// family. Distinct families are statistically independent; the pool
+    /// uses families 0–3 for the four compound-sketch anchors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation errors.
+    pub fn with_family(params: SketchParams, family: u64) -> Result<Self, TabError> {
+        let sampler = StableSampler::new(params.p())?;
+        let scale = ScaleFactor::new(params.p())?;
+        let estimator = if params.p() == 2.0 {
+            EstimatorKind::L2
+        } else {
+            EstimatorKind::Median
+        };
+        let row_cache = Arc::new(RwLock::new(vec![Arc::from(&[][..]); params.k()]));
+        Ok(Self {
+            params,
+            family,
+            sampler,
+            scale,
+            estimator,
+            row_cache,
+        })
+    }
+
+    /// Overrides the estimator kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when the L2 estimator is
+    /// requested for `p ≠ 2`.
+    pub fn with_estimator(mut self, kind: EstimatorKind) -> Result<Self, TabError> {
+        if kind == EstimatorKind::L2 && self.params.p() != 2.0 {
+            return Err(TabError::InvalidParameter(
+                "the L2 estimator is only valid at p = 2",
+            ));
+        }
+        self.estimator = kind;
+        Ok(self)
+    }
+
+    /// The parameters this sketcher was built with.
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// The Lp exponent.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.params.p()
+    }
+
+    /// The sketch width.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.params.k()
+    }
+
+    /// The random-family tag.
+    #[inline]
+    pub fn family(&self) -> u64 {
+        self.family
+    }
+
+    /// The scale factor `B(p)` used by the median estimator.
+    #[inline]
+    pub fn scale_factor(&self) -> f64 {
+        self.scale.value()
+    }
+
+    /// The estimator in use.
+    #[inline]
+    pub fn estimator(&self) -> EstimatorKind {
+        self.estimator
+    }
+
+    /// The RNG for random row `i` of this family. The j-th draw of this
+    /// stream is entry `j` of random vector `r[i]`, identical across the
+    /// eager, on-demand, and pooled sketch paths.
+    pub fn row_rng(&self, i: usize) -> StdRng {
+        stream_rng(
+            self.params.seed(),
+            &[self.family, i as u64, self.params.p().to_bits()],
+        )
+    }
+
+    /// Materializes the first `len` entries of random vector `r[i]`.
+    pub fn random_row(&self, i: usize, len: usize) -> Vec<f64> {
+        self.cached_row(i, len).as_ref()[..len].to_vec()
+    }
+
+    /// The first `len` entries of random vector `r[i]`, served from the
+    /// shared cache when possible. The returned slice may be longer than
+    /// `len`.
+    fn cached_row(&self, i: usize, len: usize) -> Arc<[f64]> {
+        debug_assert!(i < self.k());
+        if len > MAX_CACHED_ROW_LEN {
+            // Too large to pin in memory: regenerate on the fly.
+            let mut rng = self.row_rng(i);
+            return self.sampler.sample_vec(&mut rng, len).into();
+        }
+        {
+            let cache = self.row_cache.read().expect("row cache lock");
+            if cache[i].len() >= len {
+                return Arc::clone(&cache[i]);
+            }
+        }
+        // Build (or extend, by regenerating from the deterministic
+        // stream) outside the read lock; last writer wins harmlessly
+        // since all writers produce identical prefixes.
+        let grown = len.next_power_of_two().min(MAX_CACHED_ROW_LEN);
+        let mut rng = self.row_rng(i);
+        let row: Arc<[f64]> = self.sampler.sample_vec(&mut rng, grown).into();
+        let mut cache = self.row_cache.write().expect("row cache lock");
+        if cache[i].len() < row.len() {
+            cache[i] = Arc::clone(&row);
+        }
+        row
+    }
+
+    /// A single entry `r[i][index]` of random row `i`, served from the
+    /// cache — the `O(1)`-amortized primitive behind streaming updates.
+    pub fn row_entry(&self, i: usize, index: usize) -> f64 {
+        self.cached_row(i, index + 1)[index]
+    }
+
+    /// Sketches a linearized object (vector, or row-major matrix).
+    pub fn sketch_slice(&self, data: &[f64]) -> Sketch {
+        let mut values = Vec::with_capacity(self.k());
+        for i in 0..self.k() {
+            let row = self.cached_row(i, data.len());
+            values.push(norms::dot_slices(data, &row[..data.len()]));
+        }
+        Sketch::from_values(self.p(), self.family, values)
+    }
+
+    /// Sketches a rectangular table view (row-major linearization, the
+    /// paper's "linearized in some consistent way").
+    pub fn sketch_view(&self, view: &TableView<'_>) -> Sketch {
+        let mut values = Vec::with_capacity(self.k());
+        let cols = view.cols();
+        let len = view.len();
+        for i in 0..self.k() {
+            let row = self.cached_row(i, len);
+            let mut acc = 0.0;
+            for r in 0..view.rows() {
+                acc += norms::dot_slices(view.row(r), &row[r * cols..(r + 1) * cols]);
+            }
+            values.push(acc);
+        }
+        Sketch::from_values(self.p(), self.family, values)
+    }
+
+    /// Estimates `‖x − y‖_p` from two sketches (allocating scratch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for incompatible sketches.
+    pub fn estimate_distance(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
+        let mut scratch = Vec::with_capacity(self.k());
+        self.estimate_distance_with(a, b, &mut scratch)
+    }
+
+    /// Estimates `‖x − y‖_p` from two sketches, reusing `scratch` — the
+    /// non-allocating hot path used by clustering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for incompatible sketches.
+    pub fn estimate_distance_with(
+        &self,
+        a: &Sketch,
+        b: &Sketch,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
+        a.check_compatible(b)?;
+        Ok(self.estimate_distance_slices(a.values(), b.values(), scratch))
+    }
+
+    /// Estimates `‖x − y‖_p` from two raw sketch-value slices of the same
+    /// family, skipping compatibility checks — the internal hot path for
+    /// stores that keep sketch values in flat buffers.
+    ///
+    /// The caller guarantees both slices have length `k` and were produced
+    /// by this sketcher's random family.
+    pub fn estimate_distance_slices(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        debug_assert_eq!(a.len(), self.k());
+        debug_assert_eq!(b.len(), self.k());
+        match self.estimator {
+            EstimatorKind::Median => {
+                let med = median_abs_diff(a, b, scratch).expect("slices are non-empty");
+                med / self.scale.value()
+            }
+            EstimatorKind::L2 => {
+                let sq: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                (sq / a.len() as f64).sqrt()
+            }
+        }
+    }
+
+    /// Estimates `‖x‖_p` from a sketch (distance to the zero sketch).
+    pub fn estimate_norm(&self, a: &Sketch) -> f64 {
+        let zero = a.zero_like();
+        self.estimate_distance(a, &zero)
+            .expect("zero_like is compatible by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use tabsketch_table::norms::lp_distance_slices;
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = stream_rng(seed, &[0xDA7A]);
+        (0..n).map(|_| rng.random_range(-50.0..50.0)).collect()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(SketchParams::new(1.0, 64, 0).is_ok());
+        assert!(SketchParams::new(0.0, 64, 0).is_err());
+        assert!(SketchParams::new(1.0, 0, 0).is_err());
+        assert!(SketchParams::from_accuracy(1.0, 0.1, 0.01, 0).is_ok());
+        assert!(SketchParams::from_accuracy(1.0, 0.0, 0.01, 0).is_err());
+        assert!(SketchParams::from_accuracy(1.0, 0.1, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn accuracy_widths_shrink_with_looser_targets() {
+        let tight = SketchParams::from_accuracy(1.0, 0.05, 0.01, 0).unwrap();
+        let loose = SketchParams::from_accuracy(1.0, 0.2, 0.1, 0).unwrap();
+        assert!(tight.k() > loose.k());
+    }
+
+    #[test]
+    fn sketch_is_deterministic() {
+        let params = SketchParams::new(1.0, 32, 9).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let x = random_vec(100, 1);
+        assert_eq!(sk.sketch_slice(&x), sk.sketch_slice(&x));
+    }
+
+    #[test]
+    fn different_families_differ() {
+        let params = SketchParams::new(1.0, 32, 9).unwrap();
+        let a = Sketcher::with_family(params, 0).unwrap();
+        let b = Sketcher::with_family(params, 1).unwrap();
+        let x = random_vec(100, 1);
+        assert_ne!(a.sketch_slice(&x), b.sketch_slice(&x));
+        // And their sketches refuse to be compared.
+        let sa = a.sketch_slice(&x);
+        let sb = b.sketch_slice(&x);
+        assert!(matches!(
+            a.estimate_distance(&sa, &sb),
+            Err(TabError::SketchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sketch_linearity() {
+        let params = SketchParams::new(0.5, 16, 3).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let x = random_vec(64, 2);
+        let y = random_vec(64, 3);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        let mut sx = sk.sketch_slice(&x);
+        let sy = sk.sketch_slice(&y);
+        let ssum = sk.sketch_slice(&sum);
+        sx.add_assign(&sy).unwrap();
+        for (a, b) in sx.values().iter().zip(ssum.values()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mean_sketch_is_sketch_of_mean() {
+        let params = SketchParams::new(1.0, 16, 5).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let xs: Vec<Vec<f64>> = (0..4).map(|i| random_vec(32, 100 + i)).collect();
+        let mean_obj: Vec<f64> = (0..32)
+            .map(|j| xs.iter().map(|x| x[j]).sum::<f64>() / 4.0)
+            .collect();
+        let sketches: Vec<Sketch> = xs.iter().map(|x| sk.sketch_slice(x)).collect();
+        let mean_sketch = Sketch::mean(sketches.iter()).unwrap();
+        let direct = sk.sketch_slice(&mean_obj);
+        for (a, b) in mean_sketch.values().iter().zip(direct.values()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn mean_of_empty_set_errors() {
+        assert!(Sketch::mean(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn distance_estimates_are_accurate() {
+        // k = 400 gives ε ≈ 10% with high probability; check several p.
+        for &p in &[0.5, 1.0, 1.5, 2.0] {
+            let params = SketchParams::new(p, 400, 77).unwrap();
+            let sk = Sketcher::new(params).unwrap();
+            let x = random_vec(256, 10);
+            let y = random_vec(256, 11);
+            let exact = lp_distance_slices(&x, &y, p);
+            let est = sk
+                .estimate_distance(&sk.sketch_slice(&x), &sk.sketch_slice(&y))
+                .unwrap();
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.2, "p={p}: est={est}, exact={exact}, rel={rel}");
+        }
+    }
+
+    #[test]
+    fn identical_objects_have_zero_distance() {
+        let params = SketchParams::new(1.3, 64, 4).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let x = random_vec(100, 5);
+        let s = sk.sketch_slice(&x);
+        assert_eq!(sk.estimate_distance(&s, &s.clone()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn norm_estimate() {
+        let params = SketchParams::new(1.0, 400, 21).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let x = random_vec(512, 9);
+        let exact: f64 = x.iter().map(|v| v.abs()).sum();
+        let est = sk.estimate_norm(&sk.sketch_slice(&x));
+        assert!(
+            (est - exact).abs() / exact < 0.2,
+            "est={est}, exact={exact}"
+        );
+    }
+
+    #[test]
+    fn l2_estimator_only_at_p2() {
+        let p2 = SketchParams::new(2.0, 16, 0).unwrap();
+        let sk2 = Sketcher::new(p2).unwrap();
+        assert_eq!(sk2.estimator(), EstimatorKind::L2);
+        assert!(sk2.clone().with_estimator(EstimatorKind::Median).is_ok());
+        let p1 = SketchParams::new(1.0, 16, 0).unwrap();
+        let sk1 = Sketcher::new(p1).unwrap();
+        assert_eq!(sk1.estimator(), EstimatorKind::Median);
+        assert!(sk1.with_estimator(EstimatorKind::L2).is_err());
+    }
+
+    #[test]
+    fn sketch_view_matches_sketch_slice_of_linearization() {
+        use tabsketch_table::{Rect, Table};
+        let t = Table::from_fn(10, 12, |r, c| ((r * 13 + c * 7) % 29) as f64).unwrap();
+        let rect = Rect::new(2, 3, 4, 5);
+        let view = t.view(rect).unwrap();
+        let params = SketchParams::new(1.0, 8, 123).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let via_view = sk.sketch_view(&view);
+        let via_slice = sk.sketch_slice(&view.to_vec());
+        for (a, b) in via_view.values().iter().zip(via_slice.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn incompatible_widths_rejected() {
+        let ska = Sketcher::new(SketchParams::new(1.0, 8, 0).unwrap()).unwrap();
+        let skb = Sketcher::new(SketchParams::new(1.0, 16, 0).unwrap()).unwrap();
+        let x = random_vec(10, 0);
+        let sa = ska.sketch_slice(&x);
+        let sb = skb.sketch_slice(&x);
+        assert!(ska.estimate_distance(&sa, &sb).is_err());
+    }
+
+    #[test]
+    fn scale_and_sub() {
+        let sk = Sketcher::new(SketchParams::new(1.0, 8, 1).unwrap()).unwrap();
+        let x = random_vec(20, 30);
+        let twice: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let mut sx = sk.sketch_slice(&x);
+        sx.scale(2.0);
+        let s2 = sk.sketch_slice(&twice);
+        for (a, b) in sx.values().iter().zip(s2.values()) {
+            assert!((a - b).abs() < 1e-8 * (1.0 + a.abs()));
+        }
+        let mut diff = sk.sketch_slice(&twice);
+        diff.sub_assign(&sk.sketch_slice(&x)).unwrap();
+        for (d, b) in diff.values().iter().zip(sk.sketch_slice(&x).values()) {
+            assert!((d - b).abs() < 1e-8 * (1.0 + d.abs()));
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Sampling from symmetric α-stable distributions.
+//!
+//! A distribution `X` is *stable* with index `α ∈ (0, 2]` when, for i.i.d.
+//! copies `X_1, …, X_n`, the combination `a_1 X_1 + … + a_n X_n` is
+//! distributed as `‖(a_1, …, a_n)‖_α · X` (paper §3.2). This is exactly the
+//! property the sketches exploit: a dot product of data with stable noise
+//! "reads out" the Lα norm of the data.
+//!
+//! Sampling uses the Chambers–Mallows–Stuck (CMS) transform for general α,
+//! with fast paths for the three classical members:
+//!
+//! * α = 1 — Cauchy: `tan(V)`;
+//! * α = 2 — Gaussian: polar Box–Muller yielding `N(0, 1)`;
+//! * other α — CMS: `sin(αV)/cos(V)^{1/α} · (cos(V−αV)/W)^{(1−α)/α}`
+//!   with `V ~ U(−π/2, π/2)` and `W ~ Exp(1)`.
+//!
+//! **Normalization caveat:** the CMS output at α = 2 is `N(0, √2)`, not
+//! `N(0, 1)`; we deliberately use the unit-variance Gaussian for α = 2
+//! because the classical Johnson–Lindenstrauss estimator
+//! `‖s(x)−s(y)‖₂/√k` then needs no extra constant. All median-based
+//! estimators divide by the empirical median [`crate::scale::ScaleFactor`]
+//! computed under the *same* sampler, so every `p` remains self-consistent.
+
+use rand::Rng;
+
+use crate::TabError;
+
+/// Index of stability. Valid range `(0, 2]`, matching the paper's Lp range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Alpha(f64);
+
+impl Alpha {
+    /// Validates and wraps a stability index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidP`] unless `0 < alpha <= 2` and finite.
+    pub fn new(alpha: f64) -> Result<Self, TabError> {
+        if alpha > 0.0 && alpha <= 2.0 && alpha.is_finite() {
+            Ok(Self(alpha))
+        } else {
+            Err(TabError::InvalidP(alpha))
+        }
+    }
+
+    /// The raw index value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+/// A sampler for the standard symmetric α-stable distribution.
+///
+/// ```
+/// use tabsketch_core::stable::StableSampler;
+/// use rand::SeedableRng;
+///
+/// let sampler = StableSampler::new(1.0).unwrap(); // Cauchy
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = sampler.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StableSampler {
+    alpha: f64,
+    kind: Kind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Cauchy,
+    Gaussian,
+    Cms,
+}
+
+impl StableSampler {
+    /// Creates a sampler for index `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidP`] for `alpha` outside `(0, 2]`.
+    pub fn new(alpha: f64) -> Result<Self, TabError> {
+        let alpha = Alpha::new(alpha)?.get();
+        let kind = if alpha == 1.0 {
+            Kind::Cauchy
+        } else if alpha == 2.0 {
+            Kind::Gaussian
+        } else {
+            Kind::Cms
+        };
+        Ok(Self { alpha, kind })
+    }
+
+    /// The stability index.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draws one standard symmetric α-stable variate.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self.kind {
+            Kind::Cauchy => sample_cauchy(rng),
+            Kind::Gaussian => sample_gaussian(rng),
+            Kind::Cms => sample_cms(self.alpha, rng),
+        }
+    }
+
+    /// Fills `out` with i.i.d. draws.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// A vector of `n` i.i.d. draws.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        self.fill(rng, &mut out);
+        out
+    }
+}
+
+/// Uniform draw on the open interval `(0, 1)` — excludes both endpoints so
+/// logs and tangents stay finite.
+#[inline]
+fn open_unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.random();
+        if u > 0.0 && u < 1.0 {
+            return u;
+        }
+    }
+}
+
+/// Standard Cauchy via the inverse CDF: `tan(π(U − ½))`.
+pub fn sample_cauchy<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let v = core::f64::consts::PI * (open_unit(rng) - 0.5);
+    v.tan()
+}
+
+/// Standard normal `N(0, 1)` via the Marsaglia polar method.
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let x = 2.0 * open_unit(rng) - 1.0;
+        let y = 2.0 * open_unit(rng) - 1.0;
+        let s = x * x + y * y;
+        if s > 0.0 && s < 1.0 {
+            return x * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Chambers–Mallows–Stuck transform for symmetric α-stable, `α ≠ 1`.
+fn sample_cms<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+    debug_assert!(alpha > 0.0 && alpha <= 2.0 && alpha != 1.0);
+    let v = core::f64::consts::PI * (open_unit(rng) - 0.5);
+    let w = -open_unit(rng).ln(); // Exp(1)
+    let t = (alpha * v).sin() / v.cos().powf(1.0 / alpha);
+    let s = ((v - alpha * v).cos() / w).powf((1.0 - alpha) / alpha);
+    t * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draws(alpha: f64, n: usize, seed: u64) -> Vec<f64> {
+        let s = StableSampler::new(alpha).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        s.sample_vec(&mut rng, n)
+    }
+
+    fn median_abs(mut xs: Vec<f64>) -> f64 {
+        for x in xs.iter_mut() {
+            *x = x.abs();
+        }
+        let mid = xs.len() / 2;
+        *xs.select_nth_unstable_by(mid, |a, b| a.total_cmp(b)).1
+    }
+
+    #[test]
+    fn rejects_bad_alpha() {
+        assert!(StableSampler::new(0.0).is_err());
+        assert!(StableSampler::new(2.5).is_err());
+        assert!(StableSampler::new(-1.0).is_err());
+        assert!(StableSampler::new(f64::NAN).is_err());
+        assert!(StableSampler::new(0.1).is_ok());
+        assert!(StableSampler::new(2.0).is_ok());
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        for &alpha in &[0.25, 0.5, 0.8, 1.0, 1.2, 1.5, 1.99, 2.0] {
+            for x in draws(alpha, 10_000, 99) {
+                assert!(x.is_finite(), "alpha={alpha} produced {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_around_zero() {
+        for &alpha in &[0.5, 1.0, 1.5, 2.0] {
+            let xs = draws(alpha, 100_000, 7);
+            let pos = xs.iter().filter(|&&x| x > 0.0).count() as f64;
+            let frac = pos / xs.len() as f64;
+            assert!(
+                (frac - 0.5).abs() < 0.01,
+                "alpha={alpha}, frac positive={frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn cauchy_median_abs_is_one() {
+        // median |Cauchy| = tan(π/4) = 1.
+        let m = median_abs(draws(1.0, 200_000, 3));
+        assert!((m - 1.0).abs() < 0.02, "median |Cauchy| = {m}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let xs = draws(2.0, 200_000, 5);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.03, "var={var}");
+    }
+
+    #[test]
+    fn gaussian_median_abs_matches_quartile() {
+        // median |N(0,1)| = Φ⁻¹(0.75) ≈ 0.674490.
+        let m = median_abs(draws(2.0, 200_000, 11));
+        assert!((m - 0.6745).abs() < 0.01, "median |N(0,1)| = {m}");
+    }
+
+    #[test]
+    fn heavy_tails_grow_as_alpha_shrinks() {
+        // P(|X| > 10) increases as α decreases.
+        let tail = |alpha: f64| {
+            let xs = draws(alpha, 100_000, 13);
+            xs.iter().filter(|&&x| x.abs() > 10.0).count() as f64 / xs.len() as f64
+        };
+        let t_half = tail(0.5);
+        let t_one = tail(1.0);
+        let t_two = tail(2.0);
+        assert!(t_half > t_one, "t(0.5)={t_half} vs t(1)={t_one}");
+        assert!(t_one > t_two, "t(1)={t_one} vs t(2)={t_two}");
+        assert!(t_two < 1e-3, "Gaussian has negligible tail beyond 10σ");
+    }
+
+    /// The defining property (paper §3.2): a₁X₁ + … + aₙXₙ is distributed
+    /// as ‖a‖_α · X. We check it through the median of absolute values,
+    /// which is how the sketch estimator consumes the property.
+    #[test]
+    fn stability_property_via_median() {
+        let weights = [3.0, -4.0, 1.5, 0.25, -2.0];
+        for &alpha in &[0.5, 1.0, 1.3, 2.0] {
+            let norm_a: f64 = weights
+                .iter()
+                .map(|w: &f64| w.abs().powf(alpha))
+                .sum::<f64>()
+                .powf(1.0 / alpha);
+            let sampler = StableSampler::new(alpha).unwrap();
+            let mut rng = StdRng::seed_from_u64(17);
+            let n = 60_000;
+            let combos: Vec<f64> = (0..n)
+                .map(|_| weights.iter().map(|&w| w * sampler.sample(&mut rng)).sum())
+                .collect();
+            let med_combo = median_abs(combos);
+            let singles = {
+                let mut rng = StdRng::seed_from_u64(18);
+                sampler.sample_vec(&mut rng, n)
+            };
+            let med_single = median_abs(singles);
+            let ratio = med_combo / (norm_a * med_single);
+            assert!(
+                (ratio - 1.0).abs() < 0.05,
+                "alpha={alpha}: ratio={ratio} (combo {med_combo}, single {med_single}, norm {norm_a})"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(draws(0.75, 100, 42), draws(0.75, 100, 42));
+        assert_ne!(draws(0.75, 100, 42), draws(0.75, 100, 43));
+    }
+}

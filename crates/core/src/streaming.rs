@@ -1,0 +1,324 @@
+//! Streaming (turnstile) sketch maintenance.
+//!
+//! The paper's motivating stores "accumulate massive tables over time"
+//! (new readings arrive continuously; terabytes a month). Because a
+//! sketch is a linear map, it can be maintained under *point updates*
+//! `x[index] += delta` in `O(k)` time without ever materializing `x` —
+//! the data-stream setting of Indyk's original stable-sketch paper
+//! [FOCS 2000], which the ICDE paper builds on.
+//!
+//! [`StreamingSketch`] holds the sketch of a logical vector that starts
+//! at zero; updates fold in `delta · r[i][index]` for each of the `k`
+//! random rows. Two streaming sketches over the same family can be
+//! merged (sketch of the sum of streams) and compared with the usual
+//! estimators, and they are interchangeable with batch sketches of the
+//! same data.
+
+use crate::sketch::{Sketch, Sketcher};
+use crate::TabError;
+
+/// A sketch maintained incrementally under point updates.
+///
+/// ```
+/// use tabsketch_core::{SketchParams, Sketcher};
+/// use tabsketch_core::streaming::StreamingSketch;
+///
+/// let sk = Sketcher::new(SketchParams::new(1.0, 32, 9).unwrap()).unwrap();
+/// let mut stream = StreamingSketch::new(sk.clone(), 100).unwrap();
+/// stream.update(3, 5.0).unwrap();   // x[3] += 5
+/// stream.update(42, -2.5).unwrap(); // x[42] -= 2.5
+///
+/// // Identical to batch-sketching the materialized vector.
+/// let mut x = vec![0.0; 100];
+/// x[3] = 5.0;
+/// x[42] = -2.5;
+/// let batch = sk.sketch_slice(&x);
+/// for (a, b) in stream.sketch().values().iter().zip(batch.values()) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingSketch {
+    sketcher: Sketcher,
+    dim: usize,
+    values: Vec<f64>,
+    updates: u64,
+}
+
+impl StreamingSketch {
+    /// Starts a sketch of the zero vector of logical dimension `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `dim == 0`.
+    pub fn new(sketcher: Sketcher, dim: usize) -> Result<Self, TabError> {
+        if dim == 0 {
+            return Err(TabError::InvalidParameter(
+                "stream dimension must be non-zero",
+            ));
+        }
+        let values = vec![0.0; sketcher.k()];
+        Ok(Self {
+            sketcher,
+            dim,
+            values,
+            updates: 0,
+        })
+    }
+
+    /// The logical vector dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of updates applied so far.
+    #[inline]
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The sketcher (family, p, k) this stream belongs to.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// Applies `x[index] += delta` in `O(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `index >= dim`.
+    pub fn update(&mut self, index: usize, delta: f64) -> Result<(), TabError> {
+        if index >= self.dim {
+            return Err(TabError::InvalidParameter(
+                "update index out of the stream dimension",
+            ));
+        }
+        for (i, slot) in self.values.iter_mut().enumerate() {
+            *slot += delta * self.sketcher.row_entry(i, index);
+        }
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Applies a batch of updates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first out-of-range index; earlier updates in the
+    /// batch remain applied (updates commute, so callers can simply
+    /// validate indices up front if atomicity matters).
+    pub fn update_many(&mut self, updates: &[(usize, f64)]) -> Result<(), TabError> {
+        for &(index, delta) in updates {
+            self.update(index, delta)?;
+        }
+        Ok(())
+    }
+
+    /// Appends a whole new "column block" of readings: applies
+    /// `x[offset + j] += block[j]` for each `j`. This is the paper's
+    /// "stitch consecutive days" operation in streaming form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when the block exceeds the
+    /// stream dimension.
+    pub fn absorb_block(&mut self, offset: usize, block: &[f64]) -> Result<(), TabError> {
+        if offset
+            .checked_add(block.len())
+            .is_none_or(|end| end > self.dim)
+        {
+            return Err(TabError::InvalidParameter(
+                "block exceeds the stream dimension",
+            ));
+        }
+        for (j, &delta) in block.iter().enumerate() {
+            if delta != 0.0 {
+                for (i, slot) in self.values.iter_mut().enumerate() {
+                    *slot += delta * self.sketcher.row_entry(i, offset + j);
+                }
+            }
+        }
+        self.updates += block.len() as u64;
+        Ok(())
+    }
+
+    /// Merges another stream's sketch into this one — the sketch of the
+    /// sum of the two streams (e.g. per-router partial streams combined
+    /// at a collector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for different families,
+    /// widths, or dimensions.
+    pub fn merge(&mut self, other: &StreamingSketch) -> Result<(), TabError> {
+        if self.sketcher.family() != other.sketcher.family()
+            || self.sketcher.k() != other.sketcher.k()
+            || self.sketcher.p() != other.sketcher.p()
+        {
+            return Err(TabError::SketchMismatch {
+                reason: "streams belong to different sketch families",
+            });
+        }
+        if self.dim != other.dim {
+            return Err(TabError::SketchMismatch {
+                reason: "stream dimensions differ",
+            });
+        }
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a += b;
+        }
+        self.updates += other.updates;
+        Ok(())
+    }
+
+    /// A snapshot of the current sketch, comparable with batch sketches
+    /// from the same sketcher.
+    pub fn sketch(&self) -> Sketch {
+        Sketch::from_values(
+            self.sketcher.p(),
+            self.sketcher.family(),
+            self.values.clone(),
+        )
+    }
+
+    /// Estimates the Lp distance between two streams' current states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for incompatible streams.
+    pub fn estimate_distance(&self, other: &StreamingSketch) -> Result<f64, TabError> {
+        self.sketcher
+            .estimate_distance(&self.sketch(), &other.sketch())
+    }
+
+    /// Estimates the Lp norm of the stream's current state.
+    pub fn estimate_norm(&self) -> f64 {
+        self.sketcher.estimate_norm(&self.sketch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+    use crate::sketch::SketchParams;
+    use rand::Rng;
+
+    fn sketcher(p: f64, k: usize) -> Sketcher {
+        Sketcher::new(SketchParams::new(p, k, 31).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_dim_and_bad_indices() {
+        let sk = sketcher(1.0, 8);
+        assert!(StreamingSketch::new(sk.clone(), 0).is_err());
+        let mut s = StreamingSketch::new(sk, 10).unwrap();
+        assert!(s.update(10, 1.0).is_err());
+        assert!(s.update(9, 1.0).is_ok());
+        assert!(s.absorb_block(8, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn matches_batch_sketch_exactly() {
+        let sk = sketcher(0.5, 16);
+        let dim = 200;
+        let mut stream = StreamingSketch::new(sk.clone(), dim).unwrap();
+        let mut x = vec![0.0; dim];
+        let mut rng = stream_rng(77, &[1]);
+        for _ in 0..500 {
+            let idx = rng.random_range(0..dim);
+            let delta: f64 = rng.random_range(-10.0..10.0);
+            x[idx] += delta;
+            stream.update(idx, delta).unwrap();
+        }
+        let batch = sk.sketch_slice(&x);
+        for (a, b) in stream.sketch().values().iter().zip(batch.values()) {
+            assert!((a - b).abs() < 1e-7 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        assert_eq!(stream.updates(), 500);
+    }
+
+    #[test]
+    fn absorb_block_equals_point_updates() {
+        let sk = sketcher(1.0, 8);
+        let mut a = StreamingSketch::new(sk.clone(), 50).unwrap();
+        let mut b = StreamingSketch::new(sk, 50).unwrap();
+        let block = [1.5, -2.0, 0.0, 4.0];
+        a.absorb_block(10, &block).unwrap();
+        for (j, &v) in block.iter().enumerate() {
+            b.update(10 + j, v).unwrap();
+        }
+        for (x, y) in a.sketch().values().iter().zip(b.sketch().values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_is_sum_of_streams() {
+        let sk = sketcher(1.0, 8);
+        let mut a = StreamingSketch::new(sk.clone(), 20).unwrap();
+        let mut b = StreamingSketch::new(sk.clone(), 20).unwrap();
+        a.update(1, 3.0).unwrap();
+        b.update(1, 4.0).unwrap();
+        b.update(7, -2.0).unwrap();
+        a.merge(&b).unwrap();
+        let mut x = vec![0.0; 20];
+        x[1] = 7.0;
+        x[7] = -2.0;
+        let batch = sk.sketch_slice(&x);
+        for (p, q) in a.sketch().values().iter().zip(batch.values()) {
+            assert!((p - q).abs() < 1e-9 * (1.0 + p.abs()));
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let sk = sketcher(1.0, 8);
+        let mut a = StreamingSketch::new(sk.clone(), 20).unwrap();
+        let b = StreamingSketch::new(sk.clone(), 21).unwrap();
+        assert!(a.merge(&b).is_err());
+        let other_family =
+            Sketcher::with_family(SketchParams::new(1.0, 8, 31).unwrap(), 5).unwrap();
+        let c = StreamingSketch::new(other_family, 20).unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn distance_between_streams_tracks_exact() {
+        let sk = sketcher(1.0, 400);
+        let dim = 256;
+        let mut sa = StreamingSketch::new(sk.clone(), dim).unwrap();
+        let mut sb = StreamingSketch::new(sk, dim).unwrap();
+        let mut xa = vec![0.0; dim];
+        let mut xb = vec![0.0; dim];
+        let mut rng = stream_rng(5, &[9]);
+        for _ in 0..1000 {
+            let i = rng.random_range(0..dim);
+            let d: f64 = rng.random_range(-5.0..5.0);
+            xa[i] += d;
+            sa.update(i, d).unwrap();
+            let j = rng.random_range(0..dim);
+            let e: f64 = rng.random_range(-5.0..5.0);
+            xb[j] += e;
+            sb.update(j, e).unwrap();
+        }
+        let exact: f64 = xa.iter().zip(&xb).map(|(a, b)| (a - b).abs()).sum();
+        let est = sa.estimate_distance(&sb).unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.25,
+            "est {est}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn deletions_cancel_insertions() {
+        let sk = sketcher(1.0, 16);
+        let mut s = StreamingSketch::new(sk, 10).unwrap();
+        s.update(4, 9.0).unwrap();
+        s.update(4, -9.0).unwrap();
+        assert!(s.sketch().values().iter().all(|&v| v.abs() < 1e-12));
+        assert!(s.estimate_norm() < 1e-9);
+    }
+}

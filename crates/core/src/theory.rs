@@ -1,0 +1,173 @@
+//! Empirical accuracy prediction for the median estimator.
+//!
+//! Theorem 2 gives `k = O(log(1/δ)/ε²)` with an unspecified constant; in
+//! practice users want the *actual* error distribution for their `(p, k)`
+//! before committing to a sketch size. Because the estimator's relative
+//! error — `median_i |X_i| / B(p) − 1` over `k` i.i.d. standard p-stable
+//! draws — does not depend on the data at all (stability reduces every
+//! distance to this pivot), it can be tabulated once by Monte Carlo and
+//! consulted like a t-table.
+//!
+//! All functions are deterministic (fixed internal seed) so sizing
+//! decisions are reproducible.
+
+use crate::median::median_abs;
+use crate::rng::stream_rng;
+use crate::scale::ScaleFactor;
+use crate::stable::StableSampler;
+use crate::TabError;
+
+/// Internal seed: predictions are pure functions of their arguments.
+const THEORY_SEED: u64 = 0x7E08_1234_5678_90AB;
+
+/// One Monte-Carlo sample of the estimator's relative error for width `k`.
+fn one_relative_error<R: rand::Rng>(
+    sampler: &StableSampler,
+    scale: f64,
+    k: usize,
+    rng: &mut R,
+    draws: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) -> f64 {
+    draws.clear();
+    for _ in 0..k {
+        draws.push(sampler.sample(rng));
+    }
+    let med = median_abs(draws, scratch).expect("k >= 1");
+    (med / scale - 1.0).abs()
+}
+
+/// The `q`-quantile (e.g. 0.95) of the median estimator's absolute
+/// relative error at width `k` and exponent `p`, over `trials`
+/// Monte-Carlo repetitions.
+///
+/// Interpretation: with probability ≈ `q`, a sketched distance at this
+/// `(p, k)` lies within the returned fraction of the true distance —
+/// the empirical `(ε, δ = 1 − q)` of Theorem 2.
+///
+/// # Errors
+///
+/// Returns [`TabError::InvalidP`] for invalid `p` and
+/// [`TabError::InvalidParameter`] for `k == 0`, `trials == 0`, or `q`
+/// outside `(0, 1)`.
+pub fn error_quantile(p: f64, k: usize, q: f64, trials: usize) -> Result<f64, TabError> {
+    if k == 0 || trials == 0 {
+        return Err(TabError::InvalidParameter("k and trials must be non-zero"));
+    }
+    if !(q > 0.0 && q < 1.0) {
+        return Err(TabError::InvalidParameter("quantile must lie in (0, 1)"));
+    }
+    let sampler = StableSampler::new(p)?;
+    let scale = ScaleFactor::new(p)?.value();
+    let mut rng = stream_rng(THEORY_SEED, &[p.to_bits(), k as u64]);
+    let mut draws = Vec::with_capacity(k);
+    let mut scratch = Vec::with_capacity(k);
+    let mut errors: Vec<f64> = (0..trials)
+        .map(|_| one_relative_error(&sampler, scale, k, &mut rng, &mut draws, &mut scratch))
+        .collect();
+    let rank = ((q * (trials - 1) as f64).round() as usize).min(trials - 1);
+    let (_, v, _) = errors.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
+    Ok(*v)
+}
+
+/// The smallest width `k` (searched over powers of two up to `max_k`)
+/// whose `q`-quantile error is at most `epsilon` — an empirical
+/// replacement for the loose constant in
+/// [`crate::SketchParams::from_accuracy`].
+///
+/// Returns `Err` when even `max_k` misses the target.
+///
+/// # Errors
+///
+/// Parameter validation as in [`error_quantile`], plus
+/// [`TabError::InvalidParameter`] when no width up to `max_k` reaches
+/// the target.
+pub fn required_k(
+    p: f64,
+    epsilon: f64,
+    q: f64,
+    max_k: usize,
+    trials: usize,
+) -> Result<usize, TabError> {
+    if epsilon <= 0.0 || !epsilon.is_finite() {
+        return Err(TabError::InvalidParameter(
+            "epsilon must be positive and finite",
+        ));
+    }
+    let mut k = 8;
+    while k <= max_k {
+        if error_quantile(p, k, q, trials)? <= epsilon {
+            return Ok(k);
+        }
+        k *= 2;
+    }
+    Err(TabError::InvalidParameter(
+        "no width up to max_k meets the accuracy target; raise max_k or relax epsilon",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(error_quantile(0.0, 64, 0.9, 100).is_err());
+        assert!(error_quantile(1.0, 0, 0.9, 100).is_err());
+        assert!(error_quantile(1.0, 64, 0.0, 100).is_err());
+        assert!(error_quantile(1.0, 64, 1.0, 100).is_err());
+        assert!(error_quantile(1.0, 64, 0.9, 0).is_err());
+        assert!(required_k(1.0, 0.0, 0.9, 1024, 100).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = error_quantile(1.0, 64, 0.9, 300).unwrap();
+        let b = error_quantile(1.0, 64, 0.9, 300).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_shrinks_with_k() {
+        let e64 = error_quantile(1.0, 64, 0.9, 400).unwrap();
+        let e1024 = error_quantile(1.0, 1024, 0.9, 400).unwrap();
+        assert!(e1024 < e64, "k=1024 err {e1024} vs k=64 err {e64}");
+        // Roughly 1/sqrt(k): a 16x width increase should cut the error by
+        // at least 2.5x (loose band around the theoretical 4x).
+        assert!(e64 / e1024 > 2.5, "ratio {}", e64 / e1024);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let median_err = error_quantile(0.5, 128, 0.5, 400).unwrap();
+        let tail_err = error_quantile(0.5, 128, 0.95, 400).unwrap();
+        assert!(tail_err >= median_err);
+    }
+
+    #[test]
+    fn required_k_meets_its_own_target() {
+        let k = required_k(1.0, 0.15, 0.9, 1 << 14, 300).unwrap();
+        let achieved = error_quantile(1.0, k, 0.9, 300).unwrap();
+        assert!(achieved <= 0.15, "k={k}, achieved {achieved}");
+        // And the next-smaller power of two should miss it (k is minimal
+        // over the search grid) unless the search bottomed out at 8.
+        if k > 8 {
+            let worse = error_quantile(1.0, k / 2, 0.9, 300).unwrap();
+            assert!(worse > 0.15, "k/2={} achieved {worse}", k / 2);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_reported() {
+        assert!(required_k(1.0, 1e-6, 0.99, 64, 100).is_err());
+    }
+
+    #[test]
+    fn gaussian_errors_are_smallest() {
+        // At fixed k the estimator is best-conditioned at p = 2 (light
+        // tails) and worst at very small p.
+        let e_p2 = error_quantile(2.0, 128, 0.9, 400).unwrap();
+        let e_p025 = error_quantile(0.25, 128, 0.9, 400).unwrap();
+        assert!(e_p2 < e_p025, "p=2 err {e_p2} vs p=0.25 err {e_p025}");
+    }
+}

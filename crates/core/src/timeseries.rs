@@ -1,0 +1,301 @@
+//! Sliding-window sketches of one-dimensional time series.
+//!
+//! The paper extends the authors' earlier VLDB 2000 time-series results
+//! ("Identifying representative trends in massive time series data sets
+//! using sketches") from sequences to tables. This module is the 1-D mode
+//! for users whose data is a plain series: the sketch of **every**
+//! length-`w` window of a series is one valid-mode 1-D cross-correlation
+//! per random row (Theorem 3 with a 1×w kernel), and window-to-window Lp
+//! distances then cost `O(k)` each — the substrate for trend detection,
+//! motif search, and nearest-window queries.
+
+use tabsketch_fft::{cross_correlate_1d_valid, cross_correlate_1d_valid_naive};
+
+use crate::sketch::{Sketch, Sketcher};
+use crate::TabError;
+
+/// Sketches of every length-`window` contiguous subsequence of a series,
+/// stored position-major (`values[pos * k ..][..k]`).
+#[derive(Clone, Debug)]
+pub struct SlidingSketches {
+    sketcher: Sketcher,
+    window: usize,
+    n_windows: usize,
+    values: Vec<f64>,
+}
+
+impl SlidingSketches {
+    /// Builds sketches of all windows via FFT correlation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when the window is empty or
+    /// longer than the series.
+    pub fn build(series: &[f64], window: usize, sketcher: Sketcher) -> Result<Self, TabError> {
+        Self::build_impl(series, window, sketcher, cross_correlate_1d_valid)
+    }
+
+    /// Builds the same sketches by direct per-window dot products — test
+    /// oracle and ablation baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SlidingSketches::build`].
+    pub fn build_naive(
+        series: &[f64],
+        window: usize,
+        sketcher: Sketcher,
+    ) -> Result<Self, TabError> {
+        Self::build_impl(series, window, sketcher, cross_correlate_1d_valid_naive)
+    }
+
+    fn build_impl(
+        series: &[f64],
+        window: usize,
+        sketcher: Sketcher,
+        correlate: fn(&[f64], &[f64]) -> Vec<f64>,
+    ) -> Result<Self, TabError> {
+        if window == 0 || window > series.len() {
+            return Err(TabError::InvalidParameter(
+                "window must be in 1..=series length",
+            ));
+        }
+        let n_windows = series.len() - window + 1;
+        let k = sketcher.k();
+        let mut values = vec![0.0; n_windows * k];
+        for i in 0..k {
+            let kernel = sketcher.random_row(i, window);
+            let map = correlate(series, &kernel);
+            debug_assert_eq!(map.len(), n_windows);
+            for (pos, v) in map.into_iter().enumerate() {
+                values[pos * k + i] = v;
+            }
+        }
+        Ok(Self {
+            sketcher,
+            window,
+            n_windows,
+            values,
+        })
+    }
+
+    /// The window length.
+    #[inline]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of windows (`series length − window + 1`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n_windows
+    }
+
+    /// Always false: a successful build has at least one window.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The sketcher used for construction.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// Raw sketch values of the window starting at `pos`.
+    pub fn values_at(&self, pos: usize) -> Option<&[f64]> {
+        if pos >= self.n_windows {
+            return None;
+        }
+        let k = self.sketcher.k();
+        Some(&self.values[pos * k..(pos + 1) * k])
+    }
+
+    /// The sketch of the window at `pos` as an owned [`Sketch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] for out-of-range positions.
+    pub fn sketch_at(&self, pos: usize) -> Result<Sketch, TabError> {
+        let vals = self
+            .values_at(pos)
+            .ok_or(TabError::InvalidParameter("window position out of range"))?;
+        Ok(Sketch::from_values(
+            self.sketcher.p(),
+            self.sketcher.family(),
+            vals.to_vec(),
+        ))
+    }
+
+    /// Estimated Lp distance between the windows at `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] for out-of-range positions.
+    pub fn estimate_distance(
+        &self,
+        a: usize,
+        b: usize,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
+        let va = self
+            .values_at(a)
+            .ok_or(TabError::InvalidParameter("first window out of range"))?;
+        let vb = self
+            .values_at(b)
+            .ok_or(TabError::InvalidParameter("second window out of range"))?;
+        Ok(self.sketcher.estimate_distance_slices(va, vb, scratch))
+    }
+
+    /// The `count` windows most similar to the window at `query`,
+    /// excluding trivially overlapping positions within `exclusion` of
+    /// the query (motif-search convention: windows overlapping the query
+    /// match it almost by definition).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when the query is out of
+    /// range or no candidate windows remain.
+    pub fn nearest_windows(
+        &self,
+        query: usize,
+        count: usize,
+        exclusion: usize,
+    ) -> Result<Vec<(usize, f64)>, TabError> {
+        if query >= self.n_windows {
+            return Err(TabError::InvalidParameter("query window out of range"));
+        }
+        let mut scratch = Vec::with_capacity(self.sketcher.k());
+        let mut candidates: Vec<(usize, f64)> = (0..self.n_windows)
+            .filter(|&i| i.abs_diff(query) > exclusion)
+            .map(|i| {
+                let d = self
+                    .estimate_distance(query, i, &mut scratch)
+                    .expect("both positions validated");
+                (i, d)
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Err(TabError::InvalidParameter(
+                "no candidate windows outside the exclusion",
+            ));
+        }
+        candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        candidates.truncate(count);
+        Ok(candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchParams;
+    use tabsketch_table::norms::lp_distance_slices;
+
+    fn series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.21).sin() * 10.0 + ((i * 13) % 7) as f64)
+            .collect()
+    }
+
+    fn sketcher(p: f64, k: usize) -> Sketcher {
+        Sketcher::new(SketchParams::new(p, k, 88).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let s = series(50);
+        assert!(SlidingSketches::build(&s, 0, sketcher(1.0, 4)).is_err());
+        assert!(SlidingSketches::build(&s, 51, sketcher(1.0, 4)).is_err());
+        assert!(SlidingSketches::build(&s, 50, sketcher(1.0, 4)).is_ok());
+    }
+
+    #[test]
+    fn fft_matches_naive() {
+        let s = series(300);
+        let fast = SlidingSketches::build(&s, 24, sketcher(1.0, 6)).unwrap();
+        let slow = SlidingSketches::build_naive(&s, 24, sketcher(1.0, 6)).unwrap();
+        assert_eq!(fast.len(), slow.len());
+        for pos in 0..fast.len() {
+            for (a, b) in fast
+                .values_at(pos)
+                .unwrap()
+                .iter()
+                .zip(slow.values_at(pos).unwrap())
+            {
+                assert!(
+                    (a - b).abs() < 1e-6 * (1.0 + a.abs()),
+                    "pos {pos}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_slice_sketch() {
+        let s = series(120);
+        let sk = sketcher(0.5, 5);
+        let store = SlidingSketches::build(&s, 16, sk.clone()).unwrap();
+        let direct = sk.sketch_slice(&s[40..56]);
+        for (a, b) in store.values_at(40).unwrap().iter().zip(direct.values()) {
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()));
+        }
+    }
+
+    #[test]
+    fn window_count_and_bounds() {
+        let s = series(100);
+        let store = SlidingSketches::build(&s, 10, sketcher(1.0, 3)).unwrap();
+        assert_eq!(store.len(), 91);
+        assert!(store.values_at(90).is_some());
+        assert!(store.values_at(91).is_none());
+        assert!(store.sketch_at(91).is_err());
+    }
+
+    #[test]
+    fn distance_estimates_track_exact() {
+        let s = series(400);
+        let store = SlidingSketches::build(&s, 32, sketcher(1.0, 300)).unwrap();
+        let mut scratch = Vec::new();
+        for &(a, b) in &[(0usize, 200usize), (17, 301), (100, 150)] {
+            let est = store.estimate_distance(a, b, &mut scratch).unwrap();
+            let exact = lp_distance_slices(&s[a..a + 32], &s[b..b + 32], 1.0);
+            assert!(
+                (est - exact).abs() / exact.max(1.0) < 0.3,
+                "({a},{b}): est {est}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_windows_finds_the_planted_motif() {
+        // A noisy series with the same pattern planted at 50 and 400.
+        let mut s: Vec<f64> = (0..500).map(|i| ((i * 29) % 83) as f64 * 0.1).collect();
+        let motif: Vec<f64> = (0..40).map(|i| 100.0 * (i as f64 * 0.4).sin()).collect();
+        for (j, &m) in motif.iter().enumerate() {
+            s[50 + j] = m;
+            s[400 + j] = m + 0.5; // near-identical copy
+        }
+        let store = SlidingSketches::build(&s, 40, sketcher(1.0, 256)).unwrap();
+        let nn = store.nearest_windows(50, 1, 40).unwrap();
+        assert_eq!(
+            nn[0].0, 400,
+            "nearest non-overlapping window is the planted copy"
+        );
+    }
+
+    #[test]
+    fn nearest_windows_validation() {
+        let s = series(60);
+        let store = SlidingSketches::build(&s, 10, sketcher(1.0, 8)).unwrap();
+        assert!(store.nearest_windows(99, 1, 0).is_err());
+        assert!(
+            store.nearest_windows(0, 1, 100).is_err(),
+            "exclusion swallows everything"
+        );
+        let nn = store.nearest_windows(0, 5, 9).unwrap();
+        assert_eq!(nn.len(), 5);
+        assert!(nn.iter().all(|&(i, _)| i > 9));
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the sketching core.
+
+use proptest::prelude::*;
+
+use tabsketch_core::median::{median_abs_diff, median_in_place};
+use tabsketch_core::streaming::StreamingSketch;
+use tabsketch_core::{persist, SketchParams, Sketcher, SlidingSketches};
+
+fn vec_strategy(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The select-based median equals the sort-based definition.
+    #[test]
+    fn median_matches_sort(mut xs in vec_strategy(1..60)) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let expected = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        let got = median_in_place(&mut xs).unwrap();
+        prop_assert!((got - expected).abs() < 1e-12);
+    }
+
+    /// median(|a - b|) is symmetric in its arguments.
+    #[test]
+    fn median_abs_diff_symmetric(a in vec_strategy(1..40)) {
+        let b: Vec<f64> = a.iter().map(|&x| 100.0 - x).collect();
+        let mut s1 = Vec::new();
+        let mut s2 = Vec::new();
+        let ab = median_abs_diff(&a, &b, &mut s1).unwrap();
+        let ba = median_abs_diff(&b, &a, &mut s2).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Sketches are deterministic in (seed, family) and linear:
+    /// s(x) + s(y) = s(x + y), s(c·x) = c·s(x).
+    #[test]
+    fn sketch_linearity(x in vec_strategy(4..80), c in -5.0f64..5.0, seed in 0u64..500) {
+        let params = SketchParams::new(1.0, 8, seed).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let y: Vec<f64> = x.iter().rev().copied().collect();
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
+        let scaled: Vec<f64> = x.iter().map(|&a| c * a).collect();
+
+        let mut sx = sk.sketch_slice(&x);
+        let sy = sk.sketch_slice(&y);
+        let ssum = sk.sketch_slice(&sum);
+        sx.add_assign(&sy).unwrap();
+        for (a, b) in sx.values().iter().zip(ssum.values()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs())));
+        }
+
+        let mut sxc = sk.sketch_slice(&x);
+        sxc.scale(c);
+        let sscaled = sk.sketch_slice(&scaled);
+        for (a, b) in sxc.values().iter().zip(sscaled.values()) {
+            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs())));
+        }
+    }
+
+    /// Distance estimates are scale-equivariant: scaling both inputs by
+    /// |c| scales the estimate by |c| (stable projections are linear and
+    /// the median of |c·X| is |c|·median|X|).
+    #[test]
+    fn estimate_scale_equivariance(x in vec_strategy(8..60), c in 0.1f64..10.0) {
+        let params = SketchParams::new(1.0, 64, 7).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let y: Vec<f64> = x.iter().map(|&v| v + 3.0).collect();
+        let xc: Vec<f64> = x.iter().map(|&v| c * v).collect();
+        let yc: Vec<f64> = y.iter().map(|&v| c * v).collect();
+        let d1 = sk.estimate_distance(&sk.sketch_slice(&x), &sk.sketch_slice(&y)).unwrap();
+        let d2 = sk.estimate_distance(&sk.sketch_slice(&xc), &sk.sketch_slice(&yc)).unwrap();
+        prop_assert!((d2 - c * d1).abs() < 1e-6 * (1.0 + d2), "{d2} vs {}", c * d1);
+    }
+
+    /// Estimates are translation-invariant: adding the same vector to
+    /// both operands leaves the sketched distance unchanged (exactly, by
+    /// linearity — not just statistically).
+    #[test]
+    fn estimate_translation_invariance(x in vec_strategy(8..60), shift in -50.0f64..50.0) {
+        let params = SketchParams::new(0.5, 32, 3).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let y: Vec<f64> = x.iter().map(|&v| v * 2.0 - 1.0).collect();
+        let xs: Vec<f64> = x.iter().map(|&v| v + shift).collect();
+        let ys: Vec<f64> = y.iter().map(|&v| v + shift).collect();
+        let d1 = sk.estimate_distance(&sk.sketch_slice(&x), &sk.sketch_slice(&y)).unwrap();
+        let d2 = sk.estimate_distance(&sk.sketch_slice(&xs), &sk.sketch_slice(&ys)).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-6 * (1.0 + d1.abs()), "{d1} vs {d2}");
+    }
+
+    /// Identical inputs always estimate to exactly zero distance.
+    #[test]
+    fn self_distance_is_zero(x in vec_strategy(1..60), p_tenths in 1u32..=20) {
+        let p = p_tenths as f64 / 10.0;
+        let params = SketchParams::new(p, 16, 5).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let s = sk.sketch_slice(&x);
+        prop_assert_eq!(sk.estimate_distance(&s, &s.clone()).unwrap(), 0.0);
+    }
+
+    /// from_accuracy widths are monotone: tighter epsilon or delta never
+    /// shrinks k.
+    #[test]
+    fn accuracy_sizing_monotone(e1 in 0.01f64..0.5, e2 in 0.01f64..0.5,
+                                d in 0.001f64..0.5) {
+        let (lo, hi) = if e1 < e2 { (e1, e2) } else { (e2, e1) };
+        let tight = SketchParams::from_accuracy(1.0, lo, d, 0).unwrap();
+        let loose = SketchParams::from_accuracy(1.0, hi, d, 0).unwrap();
+        prop_assert!(tight.k() >= loose.k());
+    }
+
+    /// random_row prefixes are consistent: the first m entries of a
+    /// longer materialization equal the shorter one.
+    #[test]
+    fn random_row_prefix_property(len1 in 1usize..100, len2 in 1usize..100, i in 0usize..4) {
+        let params = SketchParams::new(0.75, 4, 11).unwrap();
+        let sk = Sketcher::new(params).unwrap();
+        let (short, long) = if len1 < len2 { (len1, len2) } else { (len2, len1) };
+        let a = sk.random_row(i, short);
+        let b = sk.random_row(i, long);
+        prop_assert_eq!(&a[..], &b[..short]);
+    }
+
+    /// A stream of point updates always agrees with the batch sketch of
+    /// the materialized vector, regardless of update order and deltas.
+    #[test]
+    fn streaming_matches_batch(
+        updates in proptest::collection::vec((0usize..64, -20.0f64..20.0), 1..120),
+        seed in 0u64..200,
+    ) {
+        let sk = Sketcher::new(SketchParams::new(1.0, 8, seed).unwrap()).unwrap();
+        let mut stream = StreamingSketch::new(sk.clone(), 64).unwrap();
+        let mut x = vec![0.0f64; 64];
+        for &(idx, delta) in &updates {
+            stream.update(idx, delta).unwrap();
+            x[idx] += delta;
+        }
+        let batch = sk.sketch_slice(&x);
+        for (a, b) in stream.sketch().values().iter().zip(batch.values()) {
+            prop_assert!((a - b).abs() < 1e-7 * (1.0 + a.abs().max(b.abs())), "{} vs {}", a, b);
+        }
+    }
+
+    /// Merging two streams equals streaming the concatenated update list.
+    #[test]
+    fn streaming_merge_is_update_union(
+        first in proptest::collection::vec((0usize..32, -10.0f64..10.0), 0..40),
+        second in proptest::collection::vec((0usize..32, -10.0f64..10.0), 0..40),
+    ) {
+        let sk = Sketcher::new(SketchParams::new(0.5, 6, 9).unwrap()).unwrap();
+        let mut a = StreamingSketch::new(sk.clone(), 32).unwrap();
+        let mut b = StreamingSketch::new(sk.clone(), 32).unwrap();
+        let mut all = StreamingSketch::new(sk, 32).unwrap();
+        for &(i, d) in &first {
+            a.update(i, d).unwrap();
+            all.update(i, d).unwrap();
+        }
+        for &(i, d) in &second {
+            b.update(i, d).unwrap();
+            all.update(i, d).unwrap();
+        }
+        a.merge(&b).unwrap();
+        for (x, y) in a.sketch().values().iter().zip(all.sketch().values()) {
+            prop_assert!((x - y).abs() < 1e-8 * (1.0 + x.abs().max(y.abs())));
+        }
+    }
+
+    /// Every window of the sliding store matches a direct sketch of that
+    /// window's slice.
+    #[test]
+    fn sliding_store_windows_match_direct(
+        series in vec_strategy(10..120),
+        window_frac in 0.05f64..1.0,
+    ) {
+        let window = ((series.len() as f64 * window_frac) as usize).clamp(1, series.len());
+        let sk = Sketcher::new(SketchParams::new(1.0, 4, 3).unwrap()).unwrap();
+        let store = SlidingSketches::build(&series, window, sk.clone()).unwrap();
+        prop_assert_eq!(store.len(), series.len() - window + 1);
+        // Spot-check first, middle, last windows.
+        for pos in [0, store.len() / 2, store.len() - 1] {
+            let direct = sk.sketch_slice(&series[pos..pos + window]);
+            for (a, b) in store.values_at(pos).unwrap().iter().zip(direct.values()) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs().max(b.abs())),
+                    "pos {}: {} vs {}", pos, a, b);
+            }
+        }
+    }
+
+    /// Sketch persistence round-trips bit-exactly for arbitrary inputs.
+    #[test]
+    fn persisted_sketch_round_trips(x in vec_strategy(1..60), seed in 0u64..100,
+                                    p_tenths in 1u32..=20) {
+        let p = p_tenths as f64 / 10.0;
+        let sk = Sketcher::new(SketchParams::new(p, 8, seed).unwrap()).unwrap();
+        let sketch = sk.sketch_slice(&x);
+        let mut buf = Vec::new();
+        persist::write_sketch(&sketch, &mut buf).unwrap();
+        let back = persist::read_sketch(buf.as_slice()).unwrap();
+        prop_assert_eq!(sketch, back);
+    }
+}

@@ -1,0 +1,377 @@
+//! Synthetic call-volume tables mimicking the paper's AT&T dataset.
+//!
+//! The paper's real data: "the number of calls collected in intervals of
+//! 10 minutes over the day (x-axis) from approximately 20,000 collection
+//! stations allocated over the United States spatially ordered based on a
+//! mapping of zip code (y-axis)", stitched across days.
+//!
+//! The generator reproduces the statistical structure the experiments
+//! rely on:
+//!
+//! * stations on a linear "zip-code" axis with smooth **population
+//!   centers** (metropolitan areas) — strong spatial autocorrelation and
+//!   clusters flanked by weaker suburban rings;
+//! * a **diurnal envelope** — negligible volume before ~6am, business-hours
+//!   plateau from 9am to 9pm, gradual decline to midnight (as the paper
+//!   describes of Figure 5);
+//! * a **three-hour coast-to-coast timezone shift** along the station
+//!   axis (the East/West business-hours phenomenon of the case study);
+//! * weekday/weekend modulation when several days are stitched;
+//! * multiplicative log-normal noise.
+
+use rand::Rng;
+
+use tabsketch_table::{Table, TableError};
+
+use crate::rng::stream_rng;
+
+/// Configuration for [`CallVolumeGenerator`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CallVolumeConfig {
+    /// Number of collection stations (table rows). The paper's store has
+    /// ~20,000; benchmarks use laptop-scaled values.
+    pub stations: usize,
+    /// Time slots per day (table columns per day); the paper uses
+    /// 10-minute intervals, i.e. 144.
+    pub slots_per_day: usize,
+    /// Number of consecutive days stitched horizontally.
+    pub days: usize,
+    /// Number of population centers along the station axis.
+    pub centers: usize,
+    /// Baseline (rural) calls per slot.
+    pub base_volume: f64,
+    /// Peak extra calls per slot at the heart of the largest center.
+    pub center_volume: f64,
+    /// Standard deviation of the multiplicative log-normal noise (in log
+    /// space). 0 disables noise.
+    pub noise_sigma: f64,
+    /// Hours of local-time shift between the first and last station
+    /// (3.0 reproduces the US East/West coast spread).
+    pub timezone_hours: f64,
+    /// Volume multiplier applied to weekend days (day index 5 and 6 of
+    /// each week).
+    pub weekend_factor: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CallVolumeConfig {
+    fn default() -> Self {
+        Self {
+            stations: 512,
+            slots_per_day: 144,
+            days: 1,
+            centers: 6,
+            base_volume: 20.0,
+            center_volume: 2000.0,
+            noise_sigma: 0.25,
+            timezone_hours: 3.0,
+            weekend_factor: 0.55,
+            seed: 0,
+        }
+    }
+}
+
+/// A description of one population center.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PopulationCenter {
+    /// Position on the station axis, in `[0, 1]`.
+    pub position: f64,
+    /// Width (standard deviation) on the station axis, in `[0, 1]`.
+    pub width: f64,
+    /// Relative weight in `[0.3, 1]` (1 = the largest metro).
+    pub weight: f64,
+}
+
+/// Deterministic generator of synthetic call-volume tables.
+#[derive(Clone, Debug)]
+pub struct CallVolumeGenerator {
+    config: CallVolumeConfig,
+    centers: Vec<PopulationCenter>,
+}
+
+impl CallVolumeGenerator {
+    /// Creates a generator; center layout is derived from the seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] when stations, slots, or
+    /// days are zero.
+    pub fn new(config: CallVolumeConfig) -> Result<Self, TableError> {
+        if config.stations == 0 || config.slots_per_day == 0 || config.days == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        let mut rng = stream_rng(config.seed, &[0xCA11, 0x01]);
+        let n = config.centers.max(1);
+        let mut centers = Vec::with_capacity(n);
+        for i in 0..n {
+            // Spread centers roughly evenly with jitter so two runs with
+            // different seeds still look like "cities across the country".
+            let lane = (i as f64 + 0.5) / n as f64;
+            centers.push(PopulationCenter {
+                position: (lane + rng.random_range(-0.35 / n as f64..0.35 / n as f64))
+                    .clamp(0.0, 1.0),
+                width: rng.random_range(0.01..0.04),
+                weight: rng.random_range(0.3..1.0),
+            });
+        }
+        // Ensure one dominant metro so clusterings have a clear anchor.
+        centers[0].weight = 1.0;
+        Ok(Self { config, centers })
+    }
+
+    /// The configuration in effect.
+    #[inline]
+    pub fn config(&self) -> &CallVolumeConfig {
+        &self.config
+    }
+
+    /// The derived population centers.
+    #[inline]
+    pub fn centers(&self) -> &[PopulationCenter] {
+        &self.centers
+    }
+
+    /// Longitude-like coordinate of a station in `[0, 1]`
+    /// (0 = easternmost, 1 = westernmost).
+    pub fn station_longitude(&self, station: usize) -> f64 {
+        if self.config.stations <= 1 {
+            0.0
+        } else {
+            station as f64 / (self.config.stations - 1) as f64
+        }
+    }
+
+    /// Population density at a station: sum of Gaussian center bumps plus
+    /// a small rural floor, in `[~0.02, ~1+]`.
+    pub fn density(&self, station: usize) -> f64 {
+        let x = self.station_longitude(station);
+        let mut d = 0.02;
+        for c in &self.centers {
+            let z = (x - c.position) / c.width;
+            d += c.weight * (-0.5 * z * z).exp();
+        }
+        d
+    }
+
+    /// The diurnal activity envelope at a local time of day given in
+    /// fractional hours `[0, 24)`: ~0 overnight, ramping from 6am, a
+    /// business-hours plateau 9am–9pm, declining toward midnight.
+    pub fn diurnal_envelope(local_hour: f64) -> f64 {
+        let h = local_hour.rem_euclid(24.0);
+        // Smoothstep helper.
+        fn smooth(edge0: f64, edge1: f64, x: f64) -> f64 {
+            let t = ((x - edge0) / (edge1 - edge0)).clamp(0.0, 1.0);
+            t * t * (3.0 - 2.0 * t)
+        }
+        let rise = smooth(6.0, 9.0, h);
+        let fall = 1.0 - smooth(21.0, 24.0, h);
+        let overnight = 0.02;
+        overnight + (1.0 - overnight) * (rise * fall)
+    }
+
+    /// Generates the full table: `stations × (slots_per_day · days)`.
+    pub fn generate(&self) -> Table {
+        let cfg = &self.config;
+        let cols = cfg.slots_per_day * cfg.days;
+        let mut rng = stream_rng(cfg.seed, &[0xCA11, 0x02]);
+        let densities: Vec<f64> = (0..cfg.stations).map(|s| self.density(s)).collect();
+        let mut data = Vec::with_capacity(cfg.stations * cols);
+        for (s, &density) in densities.iter().enumerate() {
+            let shift = cfg.timezone_hours * self.station_longitude(s);
+            for col in 0..cols {
+                let day = col / cfg.slots_per_day;
+                let slot = col % cfg.slots_per_day;
+                let utc_hour = 24.0 * slot as f64 / cfg.slots_per_day as f64;
+                let local_hour = utc_hour - shift;
+                let envelope = Self::diurnal_envelope(local_hour);
+                let weekday = if day % 7 >= 5 {
+                    cfg.weekend_factor
+                } else {
+                    1.0
+                };
+                let mean = cfg.base_volume + cfg.center_volume * density * envelope * weekday;
+                let noise = if cfg.noise_sigma > 0.0 {
+                    (crate::rng::gaussian(&mut rng) * cfg.noise_sigma).exp()
+                } else {
+                    1.0
+                };
+                data.push((mean * noise).max(0.0));
+            }
+        }
+        Table::new(cfg.stations, cols, data).expect("dimensions validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CallVolumeConfig {
+        CallVolumeConfig {
+            stations: 64,
+            slots_per_day: 48,
+            days: 2,
+            centers: 3,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rejects_empty_dimensions() {
+        assert!(CallVolumeGenerator::new(CallVolumeConfig {
+            stations: 0,
+            ..small_config()
+        })
+        .is_err());
+        assert!(CallVolumeGenerator::new(CallVolumeConfig {
+            days: 0,
+            ..small_config()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let g = CallVolumeGenerator::new(small_config()).unwrap();
+        let t = g.generate();
+        assert_eq!(t.shape(), (64, 96));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g1 = CallVolumeGenerator::new(small_config()).unwrap();
+        let g2 = CallVolumeGenerator::new(small_config()).unwrap();
+        assert_eq!(g1.generate(), g2.generate());
+        let other = CallVolumeGenerator::new(CallVolumeConfig {
+            seed: 8,
+            ..small_config()
+        })
+        .unwrap();
+        assert_ne!(g1.generate(), other.generate());
+    }
+
+    #[test]
+    fn all_volumes_nonnegative() {
+        let t = CallVolumeGenerator::new(small_config()).unwrap().generate();
+        assert!(t.as_slice().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn diurnal_envelope_shape() {
+        let night = CallVolumeGenerator::diurnal_envelope(3.0);
+        let morning = CallVolumeGenerator::diurnal_envelope(7.5);
+        let noon = CallVolumeGenerator::diurnal_envelope(12.0);
+        let evening = CallVolumeGenerator::diurnal_envelope(20.0);
+        let late = CallVolumeGenerator::diurnal_envelope(23.0);
+        assert!(night < 0.05, "negligible before 6am: {night}");
+        assert!(morning > night && morning < noon, "ramping 6-9am");
+        assert!((noon - 1.0).abs() < 0.02, "business-hours plateau: {noon}");
+        assert!(
+            (evening - 1.0).abs() < 0.05,
+            "plateau holds to 9pm: {evening}"
+        );
+        assert!(
+            late < noon && late > night,
+            "declining toward midnight: {late}"
+        );
+        // Periodic.
+        assert!(
+            (CallVolumeGenerator::diurnal_envelope(-1.0)
+                - CallVolumeGenerator::diurnal_envelope(23.0))
+            .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn density_peaks_at_centers() {
+        let g = CallVolumeGenerator::new(small_config()).unwrap();
+        for c in g.centers() {
+            let station = (c.position * 63.0).round() as usize;
+            let peak = g.density(station);
+            // Compare with a station far from every center if one exists;
+            // at minimum the peak must exceed the rural floor.
+            assert!(peak > 0.1, "density at center {c:?} = {peak}");
+        }
+    }
+
+    #[test]
+    fn busy_hours_busier_than_night() {
+        let cfg = CallVolumeConfig {
+            noise_sigma: 0.0,
+            days: 1,
+            ..small_config()
+        };
+        let g = CallVolumeGenerator::new(cfg).unwrap();
+        let t = g.generate();
+        // Use the densest station so the diurnal signal dominates the
+        // rural base volume.
+        let busiest = (0..cfg.stations)
+            .max_by(|&a, &b| g.density(a).total_cmp(&g.density(b)))
+            .unwrap();
+        // Local noon vs deep night: the station's timezone shift is at
+        // most 3h, so UTC noon+2h is within the 9am-9pm plateau and UTC
+        // 3am is within the local overnight [0, 6) window.
+        let noon_col = cfg.slots_per_day * 14 / 24;
+        let night_col = cfg.slots_per_day / 8;
+        assert!(t.get(busiest, noon_col) > 5.0 * t.get(busiest, night_col));
+    }
+
+    #[test]
+    fn timezone_shift_delays_western_stations() {
+        // With noise off, the overnight trough (local hours [0, 6), where
+        // the envelope is exactly its floor) starts `timezone_hours`
+        // later in UTC for the westernmost station.
+        let cfg = CallVolumeConfig {
+            noise_sigma: 0.0,
+            days: 1,
+            stations: 64,
+            slots_per_day: 96,
+            timezone_hours: 3.0,
+            ..small_config()
+        };
+        let g = CallVolumeGenerator::new(cfg).unwrap();
+        let t = g.generate();
+        let trough_start = |station: usize| -> usize {
+            let row = t.row(station);
+            let min = row.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            row.iter().position(|&v| v == min).unwrap()
+        };
+        let east = trough_start(0);
+        let west = trough_start(63);
+        let slots_per_hour = 96.0 / 24.0;
+        let lag_hours = (west as f64 - east as f64) / slots_per_hour;
+        assert!(
+            (lag_hours - 3.0).abs() < 0.5,
+            "west trough lags east by {lag_hours} hours (east {east}, west {west})"
+        );
+    }
+
+    #[test]
+    fn weekends_are_quieter() {
+        let cfg = CallVolumeConfig {
+            noise_sigma: 0.0,
+            days: 7,
+            ..small_config()
+        };
+        let g = CallVolumeGenerator::new(cfg).unwrap();
+        let t = g.generate();
+        let day_total = |d: usize| -> f64 {
+            (0..cfg.stations)
+                .map(|s| {
+                    (0..cfg.slots_per_day)
+                        .map(|c| t.get(s, d * cfg.slots_per_day + c))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let weekday = day_total(2);
+        let weekend = day_total(5);
+        assert!(
+            weekend < 0.7 * weekday,
+            "weekend {weekend} vs weekday {weekday}"
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! Synthetic IP-traffic tables — the paper's second motivating store.
+//!
+//! "Consider the representation of the Internet traffic between IP hosts
+//! over time ... a table indexed by destination IP host and discretized
+//! time representing the number of bytes of data forwarded at a router to
+//! the particular destination for each time period."
+//!
+//! Rows are destinations grouped into behavioral classes (web-like
+//! diurnal, overnight batch, flat infrastructure); columns are time
+//! slots. A configurable fraction of readings become **bursts** — flash
+//! crowds, scans, bulk transfers — tens of times the baseline, which is
+//! precisely the outlier structure that motivates fractional-p distances.
+
+use rand::Rng;
+
+use tabsketch_table::{Table, TableError};
+
+use crate::rng::{gaussian, stream_rng};
+
+/// A destination's behavioral class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Daytime-heavy, human-driven traffic (peaks mid-afternoon).
+    Web,
+    /// Overnight batch transfers (peaks in the small hours).
+    Batch,
+    /// Flat, machine-to-machine baseline.
+    Infrastructure,
+}
+
+impl TrafficClass {
+    /// The class of destination row `row` under the default round-robin
+    /// class layout.
+    pub fn of_row(row: usize) -> TrafficClass {
+        match row % 3 {
+            0 => TrafficClass::Web,
+            1 => TrafficClass::Batch,
+            _ => TrafficClass::Infrastructure,
+        }
+    }
+
+    /// Mean traffic level (bytes per slot, arbitrary units) at the given
+    /// hour of day for this class.
+    pub fn level(&self, hour: f64) -> f64 {
+        match self {
+            TrafficClass::Web => {
+                400.0 + 350.0 * ((hour - 14.0) / 4.0).tanh() - 350.0 * ((hour - 22.0) / 2.0).tanh()
+            }
+            TrafficClass::Batch => 300.0 + 500.0 * (-((hour - 3.0) * (hour - 3.0)) / 8.0).exp(),
+            TrafficClass::Infrastructure => 250.0,
+        }
+    }
+}
+
+/// Configuration for [`IpTrafficGenerator`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IpTrafficConfig {
+    /// Number of destination rows.
+    pub destinations: usize,
+    /// Time slots per day.
+    pub slots_per_day: usize,
+    /// Days of data.
+    pub days: usize,
+    /// Fraction of readings turned into bursts.
+    pub burst_fraction: f64,
+    /// Burst multiplier range `[lo, hi]`.
+    pub burst_multiplier: (f64, f64),
+    /// Standard deviation of additive Gaussian noise.
+    pub noise_sigma: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for IpTrafficConfig {
+    fn default() -> Self {
+        Self {
+            destinations: 96,
+            slots_per_day: 288,
+            days: 1,
+            burst_fraction: 0.01,
+            burst_multiplier: (30.0, 100.0),
+            noise_sigma: 15.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Deterministic generator of synthetic IP-traffic tables with known
+/// behavioral ground truth.
+#[derive(Clone, Debug)]
+pub struct IpTrafficGenerator {
+    config: IpTrafficConfig,
+}
+
+impl IpTrafficGenerator {
+    /// Creates a generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] for zero dimensions and a
+    /// [`TableError::Io`] for invalid burst parameters.
+    pub fn new(config: IpTrafficConfig) -> Result<Self, TableError> {
+        if config.destinations == 0 || config.slots_per_day == 0 || config.days == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        if !(0.0..=1.0).contains(&config.burst_fraction) {
+            return Err(TableError::Io(format!(
+                "burst fraction {} not in [0, 1]",
+                config.burst_fraction
+            )));
+        }
+        if config.burst_multiplier.0 > config.burst_multiplier.1 || config.burst_multiplier.0 < 1.0
+        {
+            return Err(TableError::Io(
+                "burst multiplier range invalid (needs 1 <= lo <= hi)".into(),
+            ));
+        }
+        Ok(Self { config })
+    }
+
+    /// The configuration in effect.
+    #[inline]
+    pub fn config(&self) -> &IpTrafficConfig {
+        &self.config
+    }
+
+    /// Ground-truth class label per destination row (0 = web, 1 = batch,
+    /// 2 = infrastructure).
+    pub fn class_labels(&self) -> Vec<usize> {
+        (0..self.config.destinations)
+            .map(|r| match TrafficClass::of_row(r) {
+                TrafficClass::Web => 0,
+                TrafficClass::Batch => 1,
+                TrafficClass::Infrastructure => 2,
+            })
+            .collect()
+    }
+
+    /// Generates the table, bursts included.
+    pub fn generate(&self) -> Table {
+        let cfg = &self.config;
+        let cols = cfg.slots_per_day * cfg.days;
+        let mut rng = stream_rng(cfg.seed, &[0x19, 0x01]);
+        let mut table = Table::from_fn(cfg.destinations, cols, |r, c| {
+            let slot = c % cfg.slots_per_day;
+            let hour = 24.0 * slot as f64 / cfg.slots_per_day as f64;
+            let base = TrafficClass::of_row(r).level(hour);
+            (base + cfg.noise_sigma * gaussian(&mut rng)).max(0.0)
+        })
+        .expect("dimensions validated at construction");
+        // Bursts.
+        let n_bursts = ((table.len() as f64) * cfg.burst_fraction).round() as usize;
+        let mut brng = stream_rng(cfg.seed, &[0x19, 0x02]);
+        let len = table.len();
+        let data = table.as_mut_slice();
+        for _ in 0..n_bursts {
+            let idx = brng.random_range(0..len);
+            let mult = brng.random_range(cfg.burst_multiplier.0..=cfg.burst_multiplier.1);
+            data[idx] *= mult;
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> IpTrafficConfig {
+        IpTrafficConfig {
+            destinations: 30,
+            slots_per_day: 96,
+            seed: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(IpTrafficGenerator::new(IpTrafficConfig {
+            destinations: 0,
+            ..cfg()
+        })
+        .is_err());
+        assert!(IpTrafficGenerator::new(IpTrafficConfig {
+            burst_fraction: 1.5,
+            ..cfg()
+        })
+        .is_err());
+        assert!(IpTrafficGenerator::new(IpTrafficConfig {
+            burst_multiplier: (0.5, 2.0),
+            ..cfg()
+        })
+        .is_err());
+        assert!(IpTrafficGenerator::new(IpTrafficConfig {
+            burst_multiplier: (9.0, 2.0),
+            ..cfg()
+        })
+        .is_err());
+        assert!(IpTrafficGenerator::new(cfg()).is_ok());
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let g = IpTrafficGenerator::new(cfg()).unwrap();
+        let t = g.generate();
+        assert_eq!(t.shape(), (30, 96));
+        assert_eq!(t, IpTrafficGenerator::new(cfg()).unwrap().generate());
+    }
+
+    #[test]
+    fn class_profiles_differ_where_expected() {
+        // Noise-free levels: web peaks mid-afternoon, batch at 3am.
+        let web_day = TrafficClass::Web.level(15.0);
+        let web_night = TrafficClass::Web.level(3.0);
+        assert!(web_day > 2.0 * web_night, "{web_day} vs {web_night}");
+        let batch_day = TrafficClass::Batch.level(15.0);
+        let batch_night = TrafficClass::Batch.level(3.0);
+        assert!(
+            batch_night > 2.0 * batch_day,
+            "{batch_night} vs {batch_day}"
+        );
+        let infra = TrafficClass::Infrastructure;
+        assert_eq!(infra.level(3.0), infra.level(15.0));
+    }
+
+    #[test]
+    fn bursts_present_at_roughly_configured_rate() {
+        let g = IpTrafficGenerator::new(IpTrafficConfig {
+            noise_sigma: 0.0,
+            burst_fraction: 0.02,
+            ..cfg()
+        })
+        .unwrap();
+        let t = g.generate();
+        // Burst cells are >= 30x a class level; the max un-bursted value
+        // is bounded by ~1100, so anything over 5000 is a burst.
+        let bursts = t.as_slice().iter().filter(|&&v| v > 5000.0).count();
+        let frac = bursts as f64 / t.len() as f64;
+        assert!(frac > 0.01 && frac < 0.03, "burst fraction {frac}");
+    }
+
+    #[test]
+    fn labels_cycle_by_row() {
+        let g = IpTrafficGenerator::new(cfg()).unwrap();
+        let labels = g.class_labels();
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+        assert_eq!(labels[2], 2);
+        assert_eq!(labels[3], 0);
+        assert_eq!(labels.len(), 30);
+    }
+
+    #[test]
+    fn values_nonnegative() {
+        let t = IpTrafficGenerator::new(cfg()).unwrap().generate();
+        assert!(t.as_slice().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+}

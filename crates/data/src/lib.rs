@@ -1,0 +1,27 @@
+//! # tabsketch-data
+//!
+//! Synthetic dataset generators standing in for the paper's proprietary
+//! AT&T data stores (see DESIGN.md for the substitution rationale):
+//!
+//! * [`CallVolumeGenerator`] — call-volume tables with population centers,
+//!   diurnal structure, coast-to-coast timezone shift, and weekday/weekend
+//!   modulation (the paper's ~20,000-station × 144-slot daily tables);
+//! * [`SixRegionGenerator`] — the §4.2 six-region benchmark with known
+//!   ground-truth clustering and 1% injected outliers;
+//! * [`random`] — generic uniform / Gaussian / Pareto tables and outlier
+//!   injection for tests and ablations.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod callvol;
+mod iptraffic;
+pub mod random;
+mod regions;
+pub(crate) mod rng;
+
+pub use callvol::{CallVolumeConfig, CallVolumeGenerator, PopulationCenter};
+pub use iptraffic::{IpTrafficConfig, IpTrafficGenerator, TrafficClass};
+pub use regions::{SixRegionConfig, SixRegionGenerator, NUM_REGIONS, REGION_FRACTIONS};

@@ -1,0 +1,172 @@
+//! Generic random-table generators used by tests, examples, and the
+//! benchmark harness.
+
+use rand::Rng;
+
+use tabsketch_table::{Table, TableError};
+
+use crate::rng::{gaussian, stream_rng};
+
+/// A table of i.i.d. uniform values in `[lo, hi)`.
+///
+/// # Errors
+///
+/// Returns [`TableError::EmptyDimension`] for zero-sized dimensions and a
+/// [`TableError::Io`] describing an empty value range (`lo >= hi`).
+pub fn uniform_table(
+    rows: usize,
+    cols: usize,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+) -> Result<Table, TableError> {
+    if lo >= hi {
+        return Err(TableError::Io(format!(
+            "uniform range is empty: [{lo}, {hi})"
+        )));
+    }
+    let mut rng = stream_rng(seed, &[0x0441, 0x01]);
+    Table::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// A table of i.i.d. Gaussian values with the given mean and standard
+/// deviation.
+///
+/// # Errors
+///
+/// Returns [`TableError::EmptyDimension`] for zero-sized dimensions or a
+/// [`TableError::Io`] describing a non-positive standard deviation.
+pub fn gaussian_table(
+    rows: usize,
+    cols: usize,
+    mean: f64,
+    std_dev: f64,
+    seed: u64,
+) -> Result<Table, TableError> {
+    if std_dev < 0.0 {
+        return Err(TableError::Io(format!(
+            "negative standard deviation {std_dev}"
+        )));
+    }
+    let mut rng = stream_rng(seed, &[0x0441, 0x02]);
+    Table::from_fn(rows, cols, |_, _| mean + std_dev * gaussian(&mut rng))
+}
+
+/// A table of i.i.d. Pareto (heavy-tailed) values with shape `alpha > 0`
+/// and scale 1: `X = U^{-1/alpha}`.
+///
+/// Heavy-tailed inputs are where small-`p` distances shine, so this
+/// generator backs several ablation tests.
+///
+/// # Errors
+///
+/// Returns [`TableError::EmptyDimension`] for zero-sized dimensions or a
+/// [`TableError::Io`] describing a non-positive shape.
+pub fn pareto_table(rows: usize, cols: usize, alpha: f64, seed: u64) -> Result<Table, TableError> {
+    if alpha <= 0.0 {
+        return Err(TableError::Io(format!(
+            "pareto shape must be positive, got {alpha}"
+        )));
+    }
+    let mut rng = stream_rng(seed, &[0x0441, 0x03]);
+    Table::from_fn(rows, cols, |_, _| {
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        u.powf(-1.0 / alpha)
+    })
+}
+
+/// Replaces a fraction of cells with scaled versions of themselves —
+/// outlier injection in the style of the paper's synthetic benchmark.
+/// Each selected cell is multiplied by a factor drawn uniformly from
+/// `[factor_lo, factor_hi]` (use a range straddling 1 for both large and
+/// small outliers).
+///
+/// # Errors
+///
+/// Returns a [`TableError::Io`] describing an invalid fraction or factor
+/// range.
+pub fn inject_outliers(
+    table: &mut Table,
+    fraction: f64,
+    factor_lo: f64,
+    factor_hi: f64,
+    seed: u64,
+) -> Result<usize, TableError> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(TableError::Io(format!(
+            "outlier fraction {fraction} not in [0, 1]"
+        )));
+    }
+    if factor_lo > factor_hi {
+        return Err(TableError::Io("factor range is inverted".into()));
+    }
+    let n = ((table.len() as f64) * fraction).round() as usize;
+    let len = table.len();
+    let mut rng = stream_rng(seed, &[0x0441, 0x04]);
+    let data = table.as_mut_slice();
+    for _ in 0..n {
+        let idx = rng.random_range(0..len);
+        let factor = rng.random_range(factor_lo..=factor_hi);
+        data[idx] *= factor;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_range() {
+        let t = uniform_table(20, 20, -3.0, 5.0, 1).unwrap();
+        assert!(t.as_slice().iter().all(|&v| (-3.0..5.0).contains(&v)));
+        assert!(uniform_table(2, 2, 5.0, 5.0, 1).is_err());
+        assert!(uniform_table(0, 2, 0.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn gaussian_moments_roughly_right() {
+        let t = gaussian_table(100, 100, 10.0, 2.0, 3).unwrap();
+        let mean: f64 = t.as_slice().iter().sum::<f64>() / t.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!(gaussian_table(2, 2, 0.0, -1.0, 0).is_err());
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let t = pareto_table(100, 100, 1.0, 9).unwrap();
+        assert!(t.as_slice().iter().all(|&v| v >= 1.0));
+        let big = t.as_slice().iter().filter(|&&v| v > 100.0).count();
+        assert!(big > 0, "alpha=1 Pareto should produce extreme values");
+        assert!(pareto_table(2, 2, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn outlier_injection_count_and_validation() {
+        let mut t = uniform_table(50, 50, 1.0, 2.0, 4).unwrap();
+        let before = t.clone();
+        let n = inject_outliers(&mut t, 0.02, 10.0, 20.0, 5).unwrap();
+        assert_eq!(n, 50);
+        let changed = t
+            .as_slice()
+            .iter()
+            .zip(before.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 0 && changed <= n, "changed={changed}");
+        assert!(inject_outliers(&mut t, 1.5, 1.0, 2.0, 0).is_err());
+        assert!(inject_outliers(&mut t, 0.5, 2.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            uniform_table(5, 5, 0.0, 1.0, 7).unwrap(),
+            uniform_table(5, 5, 0.0, 1.0, 7).unwrap()
+        );
+        assert_ne!(
+            uniform_table(5, 5, 0.0, 1.0, 7).unwrap(),
+            uniform_table(5, 5, 0.0, 1.0, 8).unwrap()
+        );
+    }
+}

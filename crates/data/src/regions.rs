@@ -1,0 +1,282 @@
+//! The paper's six-region synthetic benchmark (§4.2).
+//!
+//! "We divided this dataset into six areas representing ¼, ¼, ¼, ⅛, 1⁄16
+//! and 1⁄16 of the data respectively. Each of these pieces was then filled
+//! in to mimic six distinct patterns: the values were chosen from random
+//! uniform distributions with distinct means in the range 10,000–30,000.
+//! We then changed about 1% of these values at random to be relatively
+//! large or small values that were still plausible."
+//!
+//! Under any sensible clustering, tiles from the same region should group
+//! together — unless outliers dominate the distance, which is exactly what
+//! happens for large `p` (Figure 4b).
+
+use rand::Rng;
+
+use tabsketch_table::{Table, TableError, TileGrid};
+
+use crate::rng::stream_rng;
+
+/// The region area fractions from the paper, in order.
+pub const REGION_FRACTIONS: [f64; 6] = [0.25, 0.25, 0.25, 0.125, 0.0625, 0.0625];
+
+/// Number of regions.
+pub const NUM_REGIONS: usize = 6;
+
+/// Configuration for [`SixRegionGenerator`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SixRegionConfig {
+    /// Table rows; regions are horizontal bands of rows.
+    pub rows: usize,
+    /// Table columns.
+    pub cols: usize,
+    /// Fraction of cells turned into outliers (the paper uses 0.01).
+    pub outlier_fraction: f64,
+    /// Half-width of each region's uniform distribution around its mean.
+    pub uniform_halfwidth: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SixRegionConfig {
+    fn default() -> Self {
+        Self {
+            rows: 256,
+            cols: 256,
+            outlier_fraction: 0.01,
+            uniform_halfwidth: 1000.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generator of the six-region benchmark with known ground truth.
+#[derive(Clone, Debug)]
+pub struct SixRegionGenerator {
+    config: SixRegionConfig,
+    /// Exclusive end row of each region band.
+    band_ends: [usize; NUM_REGIONS],
+    /// Mean of each region's uniform distribution.
+    means: [f64; NUM_REGIONS],
+}
+
+impl SixRegionGenerator {
+    /// Creates a generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] for zero dimensions, or
+    /// [`TableError::InvalidTileSize`] when `rows < 16` (each region needs
+    /// at least one row).
+    pub fn new(config: SixRegionConfig) -> Result<Self, TableError> {
+        if config.rows == 0 || config.cols == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        if config.rows < 16 {
+            return Err(TableError::InvalidTileSize {
+                tile_rows: config.rows,
+                tile_cols: 1,
+            });
+        }
+        let mut band_ends = [0usize; NUM_REGIONS];
+        let mut acc = 0.0;
+        for (i, f) in REGION_FRACTIONS.iter().enumerate() {
+            acc += f;
+            band_ends[i] = ((acc * config.rows as f64).round() as usize).min(config.rows);
+        }
+        band_ends[NUM_REGIONS - 1] = config.rows;
+        // Distinct means evenly spread over 10,000–30,000, shuffled by seed
+        // so band order does not correlate with magnitude.
+        let mut means = [0.0f64; NUM_REGIONS];
+        for (i, m) in means.iter_mut().enumerate() {
+            *m = 10_000.0 + 20_000.0 * i as f64 / (NUM_REGIONS - 1) as f64;
+        }
+        let mut rng = stream_rng(config.seed, &[0x6E6, 0x01]);
+        for i in (1..NUM_REGIONS).rev() {
+            let j = rng.random_range(0..=i);
+            means.swap(i, j);
+        }
+        Ok(Self {
+            config,
+            band_ends,
+            means,
+        })
+    }
+
+    /// The configuration in effect.
+    #[inline]
+    pub fn config(&self) -> &SixRegionConfig {
+        &self.config
+    }
+
+    /// Region means, indexed by region id.
+    #[inline]
+    pub fn means(&self) -> &[f64; NUM_REGIONS] {
+        &self.means
+    }
+
+    /// The ground-truth region of a table row.
+    pub fn region_of_row(&self, row: usize) -> usize {
+        self.band_ends
+            .iter()
+            .position(|&end| row < end)
+            .unwrap_or(NUM_REGIONS - 1)
+    }
+
+    /// The ground-truth label of every tile of `grid`: the region of the
+    /// tile's center row. (Tiles are sized so they do not straddle bands
+    /// in the paper's setup; the center rule resolves stragglers.)
+    pub fn tile_labels(&self, grid: &TileGrid) -> Vec<usize> {
+        grid.iter()
+            .map(|rect| self.region_of_row(rect.row + rect.rows / 2))
+            .collect()
+    }
+
+    /// Generates the table with outliers injected.
+    pub fn generate(&self) -> Table {
+        let cfg = &self.config;
+        let mut rng = stream_rng(cfg.seed, &[0x6E6, 0x02]);
+        let mut data = Vec::with_capacity(cfg.rows * cfg.cols);
+        for r in 0..cfg.rows {
+            let mean = self.means[self.region_of_row(r)];
+            for _ in 0..cfg.cols {
+                let v = mean + rng.random_range(-cfg.uniform_halfwidth..cfg.uniform_halfwidth);
+                data.push(v);
+            }
+        }
+        // Outliers: "relatively large or small values that were still
+        // plausible" — plausible here meaning no simple [min, max]
+        // pre-filter separates them from a legitimate burst or dead
+        // reading. The magnitudes are scaled so that, at laptop tile
+        // sizes, they dominate L2 distances without dominating fractional
+        // Lp distances — the paper's Figure 4b crossover (the original
+        // achieves the same balance with 64 KB tiles on 128 MB of data).
+        let n_outliers = ((cfg.rows * cfg.cols) as f64 * cfg.outlier_fraction).round() as usize;
+        let mut orng = stream_rng(cfg.seed, &[0x6E6, 0x03]);
+        for _ in 0..n_outliers {
+            let idx = orng.random_range(0..data.len());
+            data[idx] = if orng.random::<bool>() {
+                orng.random_range(200_000.0..900_000.0) // burst-like spike
+            } else {
+                orng.random_range(0.0..100.0) // near-dead reading
+            };
+        }
+        Table::new(cfg.rows, cfg.cols, data).expect("dimensions validated at construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SixRegionConfig {
+        SixRegionConfig {
+            rows: 128,
+            cols: 64,
+            seed: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let total: f64 = REGION_FRACTIONS.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SixRegionGenerator::new(SixRegionConfig { rows: 0, ..cfg() }).is_err());
+        assert!(SixRegionGenerator::new(SixRegionConfig { rows: 8, ..cfg() }).is_err());
+        assert!(SixRegionGenerator::new(cfg()).is_ok());
+    }
+
+    #[test]
+    fn bands_cover_all_rows_in_order() {
+        let g = SixRegionGenerator::new(cfg()).unwrap();
+        let mut last = 0;
+        for r in 0..128 {
+            let region = g.region_of_row(r);
+            assert!(region >= last, "regions are monotone down the rows");
+            last = region;
+        }
+        assert_eq!(g.region_of_row(0), 0);
+        assert_eq!(g.region_of_row(127), NUM_REGIONS - 1);
+    }
+
+    #[test]
+    fn band_sizes_match_fractions() {
+        let g = SixRegionGenerator::new(SixRegionConfig { rows: 256, ..cfg() }).unwrap();
+        let mut counts = [0usize; NUM_REGIONS];
+        for r in 0..256 {
+            counts[g.region_of_row(r)] += 1;
+        }
+        assert_eq!(counts[0], 64);
+        assert_eq!(counts[1], 64);
+        assert_eq!(counts[2], 64);
+        assert_eq!(counts[3], 32);
+        assert_eq!(counts[4], 16);
+        assert_eq!(counts[5], 16);
+    }
+
+    #[test]
+    fn means_are_distinct_and_in_range() {
+        let g = SixRegionGenerator::new(cfg()).unwrap();
+        for (i, &m) in g.means().iter().enumerate() {
+            assert!((10_000.0..=30_000.0).contains(&m));
+            for &other in &g.means()[i + 1..] {
+                assert_ne!(m, other);
+            }
+        }
+    }
+
+    #[test]
+    fn values_cluster_near_region_means() {
+        let mut c = cfg();
+        c.outlier_fraction = 0.0;
+        let g = SixRegionGenerator::new(c).unwrap();
+        let t = g.generate();
+        for r in [0usize, 40, 70, 100, 120] {
+            let mean = g.means()[g.region_of_row(r)];
+            let row_mean: f64 = t.row(r).iter().sum::<f64>() / t.cols() as f64;
+            assert!(
+                (row_mean - mean).abs() < 300.0,
+                "row {r}: sample mean {row_mean} vs region mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn outliers_present_at_configured_rate() {
+        let g = SixRegionGenerator::new(cfg()).unwrap();
+        let t = g.generate();
+        // Outliers fall outside every region's ±halfwidth envelope.
+        let is_outlier = |v: f64| {
+            !g.means()
+                .iter()
+                .any(|&m| (v - m).abs() <= g.config().uniform_halfwidth)
+        };
+        let count = t.as_slice().iter().filter(|&&v| is_outlier(v)).count();
+        let frac = count as f64 / t.len() as f64;
+        assert!(frac > 0.004 && frac < 0.02, "outlier fraction {frac}");
+    }
+
+    #[test]
+    fn tile_labels_match_bands() {
+        let g = SixRegionGenerator::new(cfg()).unwrap();
+        let grid = TileGrid::new(128, 64, 8, 8).unwrap();
+        let labels = g.tile_labels(&grid);
+        assert_eq!(labels.len(), grid.len());
+        // The first tile row belongs to region 0, the last to region 5.
+        assert_eq!(labels[0], 0);
+        assert_eq!(*labels.last().unwrap(), 5);
+        assert!(labels.iter().all(|&l| l < NUM_REGIONS));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = SixRegionGenerator::new(cfg()).unwrap().generate();
+        let b = SixRegionGenerator::new(cfg()).unwrap().generate();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the dataset generators.
+
+use proptest::prelude::*;
+
+use tabsketch_data::{
+    random, CallVolumeConfig, CallVolumeGenerator, IpTrafficConfig, IpTrafficGenerator,
+    SixRegionConfig, SixRegionGenerator, NUM_REGIONS,
+};
+use tabsketch_table::TileGrid;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The call-volume generator is deterministic, shape-correct, and
+    /// produces finite non-negative volumes for any sane configuration.
+    #[test]
+    fn callvol_invariants(stations in 2usize..80, slots in 4usize..60,
+                          days in 1usize..4, seed in 0u64..1000) {
+        let config = CallVolumeConfig { stations, slots_per_day: slots, days, seed,
+            ..Default::default() };
+        let g = CallVolumeGenerator::new(config).unwrap();
+        let t = g.generate();
+        prop_assert_eq!(t.shape(), (stations, slots * days));
+        prop_assert!(t.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0));
+        prop_assert_eq!(&t, &CallVolumeGenerator::new(config).unwrap().generate());
+        // Longitudes span [0, 1] monotonically.
+        for s in 1..stations {
+            prop_assert!(g.station_longitude(s) >= g.station_longitude(s - 1));
+        }
+        prop_assert!(g.station_longitude(stations - 1) <= 1.0);
+    }
+
+    /// Six-region bands always cover all rows in order with the paper's
+    /// fractions (up to rounding), and tile labels are in range.
+    #[test]
+    fn sixregion_invariants(rows_pow in 4usize..9, cols in 16usize..64, seed in 0u64..1000) {
+        let rows = 1usize << rows_pow; // 16..256, keeps bands aligned-ish
+        let config = SixRegionConfig { rows, cols, seed, ..Default::default() };
+        let g = SixRegionGenerator::new(config).unwrap();
+        let mut last = 0;
+        let mut counts = [0usize; NUM_REGIONS];
+        for r in 0..rows {
+            let region = g.region_of_row(r);
+            prop_assert!(region >= last && region < NUM_REGIONS);
+            last = region;
+            counts[region] += 1;
+        }
+        prop_assert_eq!(counts.iter().sum::<usize>(), rows);
+        // Fractions within one row of spec.
+        for (i, &frac) in tabsketch_data::REGION_FRACTIONS.iter().enumerate() {
+            let expected = frac * rows as f64;
+            prop_assert!((counts[i] as f64 - expected).abs() <= 1.5,
+                "region {}: {} rows vs expected {}", i, counts[i], expected);
+        }
+        let grid = TileGrid::new(rows, cols, rows / 16, cols).unwrap();
+        let labels = g.tile_labels(&grid);
+        prop_assert!(labels.iter().all(|&l| l < NUM_REGIONS));
+    }
+
+    /// The IP-traffic generator respects its burst budget and ground
+    /// truth labels cycle through the three classes.
+    #[test]
+    fn iptraffic_invariants(destinations in 3usize..60, slots in 8usize..80,
+                            seed in 0u64..1000) {
+        let config = IpTrafficConfig {
+            destinations,
+            slots_per_day: slots,
+            days: 1,
+            noise_sigma: 0.0,
+            seed,
+            ..Default::default()
+        };
+        let g = IpTrafficGenerator::new(config).unwrap();
+        let t = g.generate();
+        prop_assert_eq!(t.shape(), (destinations, slots));
+        prop_assert!(t.as_slice().iter().all(|&v| v.is_finite() && v >= 0.0));
+        let labels = g.class_labels();
+        prop_assert_eq!(labels.len(), destinations);
+        for (r, &l) in labels.iter().enumerate() {
+            prop_assert_eq!(l, r % 3);
+        }
+    }
+
+    /// Outlier injection changes at most the promised number of cells and
+    /// is a no-op at fraction zero.
+    #[test]
+    fn outlier_injection_bounds(rows in 2usize..30, cols in 2usize..30,
+                                frac in 0.0f64..0.2, seed in 0u64..1000) {
+        let mut t = random::uniform_table(rows, cols, 1.0, 2.0, seed).unwrap();
+        let before = t.clone();
+        let n = random::inject_outliers(&mut t, frac, 5.0, 10.0, seed).unwrap();
+        prop_assert_eq!(n, ((rows * cols) as f64 * frac).round() as usize);
+        let changed = t
+            .as_slice()
+            .iter()
+            .zip(before.as_slice())
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert!(changed <= n);
+        if frac == 0.0 {
+            prop_assert_eq!(changed, 0);
+        }
+    }
+
+    /// Pareto tables are supported on [1, ∞) for any shape parameter.
+    #[test]
+    fn pareto_support(alpha in 0.2f64..5.0, seed in 0u64..200) {
+        let t = random::pareto_table(10, 10, alpha, seed).unwrap();
+        prop_assert!(t.as_slice().iter().all(|&v| v >= 1.0 && v.is_finite()));
+    }
+}

@@ -1,0 +1,236 @@
+//! Pair-counting and information-theoretic clustering-agreement measures.
+//!
+//! The paper scores clusterings with its confusion-matrix agreement
+//! (Definition 10); these are the standard complementary measures a
+//! library user expects when comparing clusterings of the same objects:
+//!
+//! * [`rand_index`] — fraction of object pairs on which the clusterings
+//!   agree (same/same or different/different);
+//! * [`adjusted_rand_index`] — the Rand index corrected for chance
+//!   (Hubert–Arabie), 1.0 for identical partitions, ≈0 for independent;
+//! * [`normalized_mutual_information`] — mutual information of the two
+//!   labelings normalized by the mean entropy.
+//!
+//! All measures are invariant under relabeling either clustering, so no
+//! Hungarian matching is required.
+
+use crate::{ConfusionMatrix, EvalError};
+
+fn contingency(a: &[usize], b: &[usize], k: usize) -> Result<ConfusionMatrix, EvalError> {
+    ConfusionMatrix::from_labels(a, b, k)
+}
+
+/// `n choose 2` as a float.
+#[inline]
+fn choose2(n: usize) -> f64 {
+    (n as f64) * (n as f64 - 1.0) / 2.0
+}
+
+/// The Rand index in `[0, 1]`: the fraction of unordered object pairs
+/// that both clusterings treat the same way.
+///
+/// # Errors
+///
+/// Propagates label validation errors; requires at least two objects.
+pub fn rand_index(a: &[usize], b: &[usize], k: usize) -> Result<f64, EvalError> {
+    if a.len() < 2 {
+        return Err(EvalError::DegenerateInput(
+            "rand index needs at least two objects",
+        ));
+    }
+    let cm = contingency(a, b, k)?;
+    let n = cm.total();
+    let total_pairs = choose2(n);
+    // Pairs together in both = Σ C(n_ij, 2); together in a = Σ C(a_i, 2);
+    // together in b = Σ C(b_j, 2).
+    let mut together_both = 0.0;
+    let mut row_sums = vec![0usize; k];
+    let mut col_sums = vec![0usize; k];
+    for (i, row_sum) in row_sums.iter_mut().enumerate() {
+        for (j, col_sum) in col_sums.iter_mut().enumerate() {
+            let c = cm.count(i, j);
+            together_both += choose2(c);
+            *row_sum += c;
+            *col_sum += c;
+        }
+    }
+    let together_a: f64 = row_sums.iter().map(|&c| choose2(c)).sum();
+    let together_b: f64 = col_sums.iter().map(|&c| choose2(c)).sum();
+    // Agreements = pairs together in both + pairs separate in both.
+    let agreements = together_both + (total_pairs - together_a - together_b + together_both);
+    Ok(agreements / total_pairs)
+}
+
+/// The Hubert–Arabie adjusted Rand index: 1.0 for identical partitions,
+/// expected value ≈ 0 for independent random partitions; can be negative.
+///
+/// # Errors
+///
+/// Propagates label validation errors; requires at least two objects.
+pub fn adjusted_rand_index(a: &[usize], b: &[usize], k: usize) -> Result<f64, EvalError> {
+    if a.len() < 2 {
+        return Err(EvalError::DegenerateInput("ARI needs at least two objects"));
+    }
+    let cm = contingency(a, b, k)?;
+    let n = cm.total();
+    let mut sum_ij = 0.0;
+    let mut row_sums = vec![0usize; k];
+    let mut col_sums = vec![0usize; k];
+    for (i, row_sum) in row_sums.iter_mut().enumerate() {
+        for (j, col_sum) in col_sums.iter_mut().enumerate() {
+            let c = cm.count(i, j);
+            sum_ij += choose2(c);
+            *row_sum += c;
+            *col_sum += c;
+        }
+    }
+    let sum_a: f64 = row_sums.iter().map(|&c| choose2(c)).sum();
+    let sum_b: f64 = col_sums.iter().map(|&c| choose2(c)).sum();
+    let expected = sum_a * sum_b / choose2(n);
+    let max_index = 0.5 * (sum_a + sum_b);
+    let denom = max_index - expected;
+    if denom == 0.0 {
+        // Both partitions are all-singletons or all-one-cluster: they are
+        // identical partitions, so agreement is perfect.
+        return Ok(1.0);
+    }
+    Ok((sum_ij - expected) / denom)
+}
+
+/// Normalized mutual information in `[0, 1]`, normalized by the
+/// arithmetic mean of the two label entropies. Returns 1.0 when both
+/// partitions are identical single-cluster labelings (zero entropy).
+///
+/// # Errors
+///
+/// Propagates label validation errors.
+pub fn normalized_mutual_information(a: &[usize], b: &[usize], k: usize) -> Result<f64, EvalError> {
+    let cm = contingency(a, b, k)?;
+    let n = cm.total() as f64;
+    let mut row_sums = vec![0usize; k];
+    let mut col_sums = vec![0usize; k];
+    for (i, row_sum) in row_sums.iter_mut().enumerate() {
+        for (j, col_sum) in col_sums.iter_mut().enumerate() {
+            let c = cm.count(i, j);
+            *row_sum += c;
+            *col_sum += c;
+        }
+    }
+    let entropy = |sums: &[usize]| -> f64 {
+        sums.iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let ha = entropy(&row_sums);
+    let hb = entropy(&col_sums);
+    let mut mi = 0.0;
+    for (i, &ri) in row_sums.iter().enumerate() {
+        for (j, &cj) in col_sums.iter().enumerate() {
+            let c = cm.count(i, j);
+            if c > 0 {
+                let pij = c as f64 / n;
+                let pi = ri as f64 / n;
+                let pj = cj as f64 / n;
+                mi += pij * (pij / (pi * pj)).ln();
+            }
+        }
+    }
+    let mean_h = 0.5 * (ha + hb);
+    if mean_h == 0.0 {
+        // Both labelings are constant: identical trivial partitions.
+        return Ok(1.0);
+    }
+    Ok((mi / mean_h).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let labels = vec![0, 0, 1, 1, 2, 2, 2];
+        assert_eq!(rand_index(&labels, &labels, 3).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&labels, &labels, 3).unwrap(), 1.0);
+        assert!((normalized_mutual_information(&labels, &labels, 3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeling_invariance() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1];
+        assert_eq!(rand_index(&a, &b, 3).unwrap(), 1.0);
+        assert_eq!(adjusted_rand_index(&a, &b, 3).unwrap(), 1.0);
+        assert!((normalized_mutual_information(&a, &b, 3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_rand_index_value() {
+        // a: {0,1},{2,3}; b: {0},{1,2,3}.
+        // Pairs: (0,1) together-a/apart-b ✗; (0,2) apart/apart ✓;
+        // (0,3) apart/apart ✓; (1,2) apart/together ✗; (1,3) apart/together ✗;
+        // (2,3) together/together ✓. RI = 3/6.
+        let a = vec![0, 0, 1, 1];
+        let b = vec![0, 1, 1, 1];
+        assert!((rand_index(&a, &b, 2).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_is_near_zero_for_unrelated_partitions() {
+        // Interleaved labels share no structure with block labels.
+        let a: Vec<usize> = (0..40).map(|i| i / 20).collect(); // blocks
+        let b: Vec<usize> = (0..40).map(|i| i % 2).collect(); // stripes
+        let ari = adjusted_rand_index(&a, &b, 2).unwrap();
+        assert!(
+            ari.abs() < 0.1,
+            "ARI of independent partitions ≈ 0, got {ari}"
+        );
+        // Plain Rand index is NOT chance-corrected and sits near 0.5 here.
+        let ri = rand_index(&a, &b, 2).unwrap();
+        assert!((ri - 0.5).abs() < 0.05, "RI {ri}");
+    }
+
+    #[test]
+    fn partial_overlap_is_between_zero_and_one() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        for value in [
+            rand_index(&a, &b, 2).unwrap(),
+            adjusted_rand_index(&a, &b, 2).unwrap(),
+            normalized_mutual_information(&a, &b, 2).unwrap(),
+        ] {
+            assert!(value > 0.0 && value < 1.0, "{value}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(rand_index(&[0], &[0], 1).is_err());
+        assert!(adjusted_rand_index(&[0], &[0], 1).is_err());
+        // Constant labelings: identical trivial partitions.
+        let ones = vec![0, 0, 0];
+        assert_eq!(adjusted_rand_index(&ones, &ones, 1).unwrap(), 1.0);
+        assert_eq!(normalized_mutual_information(&ones, &ones, 1).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn symmetry_in_arguments() {
+        let a = vec![0, 1, 0, 2, 1, 2, 0];
+        let b = vec![1, 1, 0, 2, 2, 2, 0];
+        assert_eq!(
+            rand_index(&a, &b, 3).unwrap(),
+            rand_index(&b, &a, 3).unwrap()
+        );
+        assert_eq!(
+            adjusted_rand_index(&a, &b, 3).unwrap(),
+            adjusted_rand_index(&b, &a, 3).unwrap()
+        );
+        let nab = normalized_mutual_information(&a, &b, 3).unwrap();
+        let nba = normalized_mutual_information(&b, &a, 3).unwrap();
+        assert!((nab - nba).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! Confusion-matrix agreement between two clusterings — paper §4.1,
+//! Definition 10.
+//!
+//! Every object carries two labels (e.g. "cluster under exact distances"
+//! and "cluster under sketched distances"). The confusion matrix counts
+//! co-occurrences; agreement is the fraction of objects on the diagonal
+//! **after optimally matching the label sets** (cluster ids are arbitrary,
+//! so we maximize the diagonal with the Hungarian algorithm before
+//! scoring — the fair reading of the paper's measure).
+
+use crate::hungarian::solve_max;
+use crate::EvalError;
+
+/// A `k × k` confusion matrix between two labelings of the same objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from two parallel label vectors with labels in
+    /// `0..k`.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::EmptyInput`] for no objects or `k == 0`;
+    /// * [`EvalError::LengthMismatch`] when label vectors differ in length;
+    /// * [`EvalError::LabelOutOfRange`] for labels `>= k`.
+    pub fn from_labels(a: &[usize], b: &[usize], k: usize) -> Result<Self, EvalError> {
+        if a.len() != b.len() {
+            return Err(EvalError::LengthMismatch {
+                left: a.len(),
+                right: b.len(),
+            });
+        }
+        if a.is_empty() || k == 0 {
+            return Err(EvalError::EmptyInput("confusion matrix"));
+        }
+        let mut counts = vec![0usize; k * k];
+        for (&la, &lb) in a.iter().zip(b) {
+            if la >= k || lb >= k {
+                return Err(EvalError::LabelOutOfRange {
+                    label: la.max(lb),
+                    k,
+                });
+            }
+            counts[la * k + lb] += 1;
+        }
+        Ok(Self {
+            k,
+            counts,
+            total: a.len(),
+        })
+    }
+
+    /// Number of clusters `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `confusion(i, j)`: objects labeled `i` by the first clustering and
+    /// `j` by the second.
+    #[inline]
+    pub fn count(&self, i: usize, j: usize) -> usize {
+        self.counts[i * self.k + j]
+    }
+
+    /// Raw diagonal agreement (Definition 10 taken literally):
+    /// `Σ_i confusion(i, i) / Σ_{i,j} confusion(i, j)`.
+    ///
+    /// Meaningful only when the two labelings use aligned cluster ids
+    /// (e.g. a ground-truth labeling scored against itself); otherwise use
+    /// [`ConfusionMatrix::agreement`].
+    pub fn raw_agreement(&self) -> f64 {
+        let diag: usize = (0..self.k).map(|i| self.count(i, i)).sum();
+        diag as f64 / self.total as f64
+    }
+
+    /// Agreement after optimal label matching: the maximum achievable
+    /// diagonal fraction over all permutations of the second labeling's
+    /// ids, found with the Hungarian algorithm.
+    pub fn agreement(&self) -> f64 {
+        let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        let (_, best) = solve_max(&weights, self.k);
+        best / self.total as f64
+    }
+
+    /// The optimal relabeling itself: `mapping[i] = j` pairs cluster `i`
+    /// of the first labeling with cluster `j` of the second.
+    pub fn optimal_mapping(&self) -> Vec<usize> {
+        let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+        solve_max(&weights, self.k).0
+    }
+}
+
+/// Convenience: agreement between two labelings (optimal matching).
+///
+/// # Errors
+///
+/// Propagates [`ConfusionMatrix::from_labels`] validation errors.
+pub fn clustering_agreement(a: &[usize], b: &[usize], k: usize) -> Result<f64, EvalError> {
+    Ok(ConfusionMatrix::from_labels(a, b, k)?.agreement())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_labelings_agree_fully() {
+        let labels = vec![0, 1, 2, 0, 1, 2, 0];
+        let cm = ConfusionMatrix::from_labels(&labels, &labels, 3).unwrap();
+        assert_eq!(cm.raw_agreement(), 1.0);
+        assert_eq!(cm.agreement(), 1.0);
+    }
+
+    #[test]
+    fn permuted_labels_agree_after_matching() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        let b = vec![2, 2, 0, 0, 1, 1]; // same partition, renamed
+        let cm = ConfusionMatrix::from_labels(&a, &b, 3).unwrap();
+        assert_eq!(cm.raw_agreement(), 0.0);
+        assert_eq!(cm.agreement(), 1.0);
+        assert_eq!(cm.optimal_mapping(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn partial_agreement() {
+        let a = vec![0, 0, 0, 1, 1, 1];
+        let b = vec![0, 0, 1, 1, 1, 1];
+        let cm = ConfusionMatrix::from_labels(&a, &b, 2).unwrap();
+        // Best matching keeps identity: 2 + 3 = 5 of 6.
+        assert!((cm.agreement() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_accessible() {
+        let a = vec![0, 0, 1];
+        let b = vec![1, 1, 0];
+        let cm = ConfusionMatrix::from_labels(&a, &b, 2).unwrap();
+        assert_eq!(cm.count(0, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(0, 0), 0);
+        assert_eq!(cm.total(), 3);
+        assert_eq!(cm.k(), 2);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            ConfusionMatrix::from_labels(&[0], &[0, 1], 2),
+            Err(EvalError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            ConfusionMatrix::from_labels(&[], &[], 2),
+            Err(EvalError::EmptyInput(_))
+        ));
+        assert!(matches!(
+            ConfusionMatrix::from_labels(&[5], &[0], 2),
+            Err(EvalError::LabelOutOfRange { .. })
+        ));
+        assert!(ConfusionMatrix::from_labels(&[0], &[0], 0).is_err());
+    }
+
+    #[test]
+    fn agreement_never_below_raw() {
+        // Optimal matching can only improve the diagonal.
+        let a = vec![0, 1, 2, 0, 1, 2, 1, 2, 0, 0];
+        let b = vec![1, 1, 2, 0, 2, 2, 1, 0, 0, 1];
+        let cm = ConfusionMatrix::from_labels(&a, &b, 3).unwrap();
+        assert!(cm.agreement() >= cm.raw_agreement());
+    }
+
+    #[test]
+    fn convenience_function() {
+        let a = vec![0, 0, 1, 1];
+        let b = vec![1, 1, 0, 0];
+        assert_eq!(clustering_agreement(&a, &b, 2).unwrap(), 1.0);
+    }
+}

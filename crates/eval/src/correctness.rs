@@ -1,0 +1,252 @@
+//! Sketch-accuracy measures — paper §4.1, Definitions 7–9.
+//!
+//! These quantify how well estimated distances track exact distances over
+//! a batch of experiments:
+//!
+//! * **cumulative correctness** (Def. 7): ratio of summed estimates to
+//!   summed exact distances — long-run aggregate accuracy;
+//! * **average correctness** (Def. 8): one minus the mean relative error;
+//! * **pairwise comparison correctness** (Def. 9): how often the estimate
+//!   orders a pair of candidate distances the same way the exact values do
+//!   — the quantity that actually matters for clustering.
+
+use crate::EvalError;
+
+/// One (estimate, exact) distance observation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistancePair {
+    /// The sketched estimate `‖X − Y‖̂_p`.
+    pub estimated: f64,
+    /// The exact distance `‖X − Y‖_p`.
+    pub exact: f64,
+}
+
+/// Cumulative correctness (Definition 7):
+/// `Σ estimated / Σ exact`.
+///
+/// A value of 1.0 is perfect; values above/below 1.0 indicate systematic
+/// over/under-estimation.
+///
+/// # Errors
+///
+/// Returns [`EvalError::EmptyInput`] for no observations and
+/// [`EvalError::DegenerateInput`] when the exact distances sum to zero.
+pub fn cumulative_correctness(pairs: &[DistancePair]) -> Result<f64, EvalError> {
+    if pairs.is_empty() {
+        return Err(EvalError::EmptyInput("cumulative correctness"));
+    }
+    let est: f64 = pairs.iter().map(|p| p.estimated).sum();
+    let exact: f64 = pairs.iter().map(|p| p.exact).sum();
+    if exact == 0.0 {
+        return Err(EvalError::DegenerateInput("exact distances sum to zero"));
+    }
+    Ok(est / exact)
+}
+
+/// Average correctness (Definition 8):
+/// `1 − (1/k) Σ |1 − estimated/exact|`.
+///
+/// Observations with `exact == 0` contribute their full estimate as error
+/// when the estimate is non-zero and are perfect otherwise.
+///
+/// # Errors
+///
+/// Returns [`EvalError::EmptyInput`] for no observations.
+pub fn average_correctness(pairs: &[DistancePair]) -> Result<f64, EvalError> {
+    if pairs.is_empty() {
+        return Err(EvalError::EmptyInput("average correctness"));
+    }
+    let total_err: f64 = pairs
+        .iter()
+        .map(|p| {
+            if p.exact == 0.0 {
+                if p.estimated == 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                (1.0 - p.estimated / p.exact).abs()
+            }
+        })
+        .sum();
+    Ok(1.0 - total_err / pairs.len() as f64)
+}
+
+/// One three-way comparison experiment: is `X` closer to `Y` or to `Z`?
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ComparisonTriple {
+    /// Estimated `‖X − Y‖̂`.
+    pub est_xy: f64,
+    /// Estimated `‖X − Z‖̂`.
+    pub est_xz: f64,
+    /// Exact `‖X − Y‖`.
+    pub exact_xy: f64,
+    /// Exact `‖X − Z‖`.
+    pub exact_xz: f64,
+}
+
+impl ComparisonTriple {
+    /// Whether the sketched comparison agrees with the exact one.
+    ///
+    /// Following the paper's xor formulation: the experiment counts as
+    /// correct when `exact_xy < exact_xz` and `est_xy < est_xz` agree
+    /// (or both disagree). Ties in either comparison count as correct
+    /// only when both are ties.
+    pub fn agrees(&self) -> bool {
+        let exact = self.exact_xy.partial_cmp(&self.exact_xz);
+        let est = self.est_xy.partial_cmp(&self.est_xz);
+        exact == est
+    }
+}
+
+/// Pairwise comparison correctness (Definition 9): the fraction of
+/// experiments whose sketched comparison matches the exact comparison.
+///
+/// # Errors
+///
+/// Returns [`EvalError::EmptyInput`] for no experiments.
+pub fn pairwise_comparison_correctness(triples: &[ComparisonTriple]) -> Result<f64, EvalError> {
+    if triples.is_empty() {
+        return Err(EvalError::EmptyInput("pairwise comparison correctness"));
+    }
+    let agreeing = triples.iter().filter(|t| t.agrees()).count();
+    Ok(agreeing as f64 / triples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cumulative_perfect_and_biased() {
+        let perfect = vec![
+            DistancePair {
+                estimated: 2.0,
+                exact: 2.0,
+            },
+            DistancePair {
+                estimated: 3.0,
+                exact: 3.0,
+            },
+        ];
+        assert_eq!(cumulative_correctness(&perfect).unwrap(), 1.0);
+        let high = vec![DistancePair {
+            estimated: 6.0,
+            exact: 5.0,
+        }];
+        assert!((cumulative_correctness(&high).unwrap() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_cancels_symmetric_errors() {
+        // Over- and under-estimates cancel in the cumulative measure —
+        // that is why the paper also reports average correctness.
+        let pairs = vec![
+            DistancePair {
+                estimated: 8.0,
+                exact: 10.0,
+            },
+            DistancePair {
+                estimated: 12.0,
+                exact: 10.0,
+            },
+        ];
+        assert_eq!(cumulative_correctness(&pairs).unwrap(), 1.0);
+        assert!((average_correctness(&pairs).unwrap() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_correctness_perfect_is_one() {
+        let pairs = vec![DistancePair {
+            estimated: 4.0,
+            exact: 4.0,
+        }];
+        assert_eq!(average_correctness(&pairs).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn zero_exact_handled() {
+        let both_zero = vec![DistancePair {
+            estimated: 0.0,
+            exact: 0.0,
+        }];
+        assert_eq!(average_correctness(&both_zero).unwrap(), 1.0);
+        assert!(cumulative_correctness(&both_zero).is_err());
+        let est_nonzero = vec![DistancePair {
+            estimated: 1.0,
+            exact: 0.0,
+        }];
+        assert_eq!(average_correctness(&est_nonzero).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(cumulative_correctness(&[]).is_err());
+        assert!(average_correctness(&[]).is_err());
+        assert!(pairwise_comparison_correctness(&[]).is_err());
+    }
+
+    #[test]
+    fn comparison_agreement() {
+        let right = ComparisonTriple {
+            est_xy: 1.0,
+            est_xz: 2.0,
+            exact_xy: 10.0,
+            exact_xz: 20.0,
+        };
+        assert!(right.agrees());
+        let wrong = ComparisonTriple {
+            est_xy: 2.0,
+            est_xz: 1.0,
+            exact_xy: 10.0,
+            exact_xz: 20.0,
+        };
+        assert!(!wrong.agrees());
+        let tie_both = ComparisonTriple {
+            est_xy: 1.0,
+            est_xz: 1.0,
+            exact_xy: 5.0,
+            exact_xz: 5.0,
+        };
+        assert!(tie_both.agrees());
+        let tie_est_only = ComparisonTriple {
+            est_xy: 1.0,
+            est_xz: 1.0,
+            exact_xy: 5.0,
+            exact_xz: 6.0,
+        };
+        assert!(!tie_est_only.agrees());
+    }
+
+    #[test]
+    fn pairwise_fraction() {
+        let triples = vec![
+            ComparisonTriple {
+                est_xy: 1.0,
+                est_xz: 2.0,
+                exact_xy: 1.0,
+                exact_xz: 2.0,
+            },
+            ComparisonTriple {
+                est_xy: 2.0,
+                est_xz: 1.0,
+                exact_xy: 1.0,
+                exact_xz: 2.0,
+            },
+            ComparisonTriple {
+                est_xy: 3.0,
+                est_xz: 4.0,
+                exact_xy: 5.0,
+                exact_xz: 9.0,
+            },
+            ComparisonTriple {
+                est_xy: 3.0,
+                est_xz: 4.0,
+                exact_xy: 9.0,
+                exact_xz: 5.0,
+            },
+        ];
+        assert_eq!(pairwise_comparison_correctness(&triples).unwrap(), 0.5);
+    }
+}

@@ -1,0 +1,233 @@
+//! The Hungarian (Kuhn–Munkres) algorithm for optimal assignment.
+//!
+//! Used by the confusion-matrix agreement measure: cluster labels from two
+//! independent clusterings are arbitrary, so before counting agreements we
+//! find the label permutation that maximizes the confusion-matrix trace.
+//! This is a maximum-weight perfect matching on a `k × k` matrix — the
+//! assignment problem, solved here in `O(k³)` with the standard potentials
+//! formulation.
+
+/// Solves the **minimum**-cost assignment problem for a square cost
+/// matrix, given row-major as `cost[i * n + j]`.
+///
+/// Returns `assignment[i] = j`: the column assigned to each row, and the
+/// total cost.
+///
+/// # Panics
+///
+/// Panics when `cost.len() != n * n`.
+pub fn solve_min(cost: &[f64], n: usize) -> (Vec<usize>, f64) {
+    assert_eq!(cost.len(), n * n, "cost matrix must be n x n");
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    // Potentials formulation (1-based internal arrays), O(n^3).
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    // p[j] = row matched to column j (0 = none); p[0] is the current row.
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[(i0 - 1) * n + (j - 1)] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    let mut total = 0.0;
+    for j in 1..=n {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += cost[(p[j] - 1) * n + (j - 1)];
+        }
+    }
+    (assignment, total)
+}
+
+/// Solves the **maximum**-weight assignment problem by negating weights.
+///
+/// Returns `assignment[i] = j` and the total weight.
+///
+/// # Panics
+///
+/// Panics when `weight.len() != n * n`.
+pub fn solve_max(weight: &[f64], n: usize) -> (Vec<usize>, f64) {
+    let negated: Vec<f64> = weight.iter().map(|&w| -w).collect();
+    let (assignment, cost) = solve_min(&negated, n);
+    (assignment, -cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_permutation(assignment: &[usize]) -> bool {
+        let n = assignment.len();
+        let mut seen = vec![false; n];
+        for &j in assignment {
+            if j >= n || seen[j] {
+                return false;
+            }
+            seen[j] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let (a, c) = solve_min(&[], 0);
+        assert!(a.is_empty());
+        assert_eq!(c, 0.0);
+        let (a, c) = solve_min(&[5.0], 1);
+        assert_eq!(a, vec![0]);
+        assert_eq!(c, 5.0);
+    }
+
+    #[test]
+    fn known_small_instance() {
+        // Classic 3x3: optimal cost 5 via (0->1, 1->0, 2->2) or similar.
+        #[rustfmt::skip]
+        let cost = [
+            4.0, 1.0, 3.0,
+            2.0, 0.0, 5.0,
+            3.0, 2.0, 2.0,
+        ];
+        let (a, c) = solve_min(&cost, 3);
+        assert!(is_permutation(&a));
+        assert_eq!(c, 5.0, "assignment {a:?}");
+    }
+
+    #[test]
+    fn identity_is_optimal_on_diagonal_dominant() {
+        let n = 4;
+        let mut cost = vec![10.0; n * n];
+        for i in 0..n {
+            cost[i * n + i] = 0.0;
+        }
+        let (a, c) = solve_min(&cost, n);
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn permuted_diagonal() {
+        // Cheap entries at (i, (i+1) % n).
+        let n = 5;
+        let mut cost = vec![7.0; n * n];
+        for i in 0..n {
+            cost[i * n + (i + 1) % n] = 1.0;
+        }
+        let (a, c) = solve_min(&cost, n);
+        for (i, &col) in a.iter().enumerate() {
+            assert_eq!(col, (i + 1) % n);
+        }
+        assert_eq!(c, 5.0);
+    }
+
+    #[test]
+    fn max_is_min_of_negation() {
+        #[rustfmt::skip]
+        let w = [
+            1.0, 9.0,
+            9.0, 1.0,
+        ];
+        let (a, total) = solve_max(&w, 2);
+        assert!(is_permutation(&a));
+        assert_eq!(total, 18.0);
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Exhaustive check against all permutations for n = 4.
+        fn permutations(n: usize) -> Vec<Vec<usize>> {
+            if n == 1 {
+                return vec![vec![0]];
+            }
+            let mut out = Vec::new();
+            for perm in permutations(n - 1) {
+                for pos in 0..n {
+                    let mut p: Vec<usize> = perm.to_vec();
+                    p.insert(pos, n - 1);
+                    out.push(p);
+                }
+            }
+            out
+        }
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f64 / 100.0
+        };
+        let n = 4;
+        for trial in 0..25 {
+            let cost: Vec<f64> = (0..n * n).map(|_| next()).collect();
+            let (a, c) = solve_min(&cost, n);
+            assert!(is_permutation(&a), "trial {trial}");
+            let brute = permutations(n)
+                .into_iter()
+                .map(|p| (0..n).map(|i| cost[i * n + p[i]]).sum::<f64>())
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (c - brute).abs() < 1e-9,
+                "trial {trial}: hungarian {c} vs brute {brute} ({cost:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        #[rustfmt::skip]
+        let cost = [
+            -5.0,  2.0,
+             2.0, -5.0,
+        ];
+        let (a, c) = solve_min(&cost, 2);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(c, -10.0);
+    }
+}

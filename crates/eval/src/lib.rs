@@ -1,0 +1,71 @@
+//! # tabsketch-eval
+//!
+//! The accuracy and clustering-quality measures of the paper's §4.1:
+//!
+//! * Definitions 7–9 — [`correctness`]: cumulative, average, and pairwise
+//!   comparison correctness of sketched distances;
+//! * Definition 10 — [`confusion`]: confusion-matrix agreement between two
+//!   clusterings, with optimal label matching via a full Hungarian
+//!   assignment solver ([`hungarian`]);
+//! * Definition 11 — [`spread`]: cluster spread and the quality ratio of a
+//!   sketched clustering versus the exact one.
+//!
+//! This crate is deliberately dependency-free: it consumes plain slices of
+//! labels and distances so it can score any clustering implementation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agreement;
+pub mod confusion;
+pub mod correctness;
+pub mod hungarian;
+pub mod spread;
+
+pub use agreement::{adjusted_rand_index, normalized_mutual_information, rand_index};
+pub use confusion::{clustering_agreement, ConfusionMatrix};
+pub use correctness::{
+    average_correctness, cumulative_correctness, pairwise_comparison_correctness, ComparisonTriple,
+    DistancePair,
+};
+pub use spread::{clustering_quality, Spreads};
+
+/// Errors produced by the evaluation measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A measure was asked of an empty input; the message names it.
+    EmptyInput(&'static str),
+    /// Parallel inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A cluster label exceeded the declared cluster count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared number of clusters.
+        k: usize,
+    },
+    /// The input was structurally valid but the measure is undefined on it.
+    DegenerateInput(&'static str),
+}
+
+impl core::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EvalError::EmptyInput(what) => write!(f, "{what}: empty input"),
+            EvalError::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            EvalError::LabelOutOfRange { label, k } => {
+                write!(f, "cluster label {label} out of range for k={k}")
+            }
+            EvalError::DegenerateInput(msg) => write!(f, "degenerate input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

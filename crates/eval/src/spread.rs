@@ -1,0 +1,119 @@
+//! Cluster spread and the sketched-clustering quality ratio — paper §4.1,
+//! Definition 11.
+//!
+//! The *spread* of a cluster is the summed distance of its members to the
+//! cluster center. The quality of a sketched clustering is the ratio of
+//! total exact-clustering spread to total sketched-clustering spread (so
+//! values ≥ 100% mean the sketched clustering is at least as tight as the
+//! exact one — which the paper observes does happen).
+
+use crate::EvalError;
+
+/// Per-cluster spreads of one clustering: `spread[i]` is the summed
+/// member-to-center distance of cluster `i`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spreads(pub Vec<f64>);
+
+impl Spreads {
+    /// Computes spreads from an assignment and a member-to-own-center
+    /// distance for every object.
+    ///
+    /// # Errors
+    ///
+    /// * [`EvalError::LengthMismatch`] when `assignments` and `distances`
+    ///   differ in length;
+    /// * [`EvalError::LabelOutOfRange`] for labels `>= k`.
+    pub fn from_assignments(
+        assignments: &[usize],
+        distances: &[f64],
+        k: usize,
+    ) -> Result<Self, EvalError> {
+        if assignments.len() != distances.len() {
+            return Err(EvalError::LengthMismatch {
+                left: assignments.len(),
+                right: distances.len(),
+            });
+        }
+        let mut spreads = vec![0.0; k];
+        for (&label, &d) in assignments.iter().zip(distances) {
+            if label >= k {
+                return Err(EvalError::LabelOutOfRange { label, k });
+            }
+            spreads[label] += d;
+        }
+        Ok(Self(spreads))
+    }
+
+    /// Total spread across clusters.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+/// Quality of a sketched clustering (Definition 11):
+/// `Σ_i spread_exact(i) / Σ_i spread_sketch(i)`.
+///
+/// Values above 1.0 mean the sketched clustering is *tighter* than the
+/// exact-distance clustering. Both spreads must be measured with the same
+/// (exact) distance function for the ratio to be meaningful.
+///
+/// # Errors
+///
+/// Returns [`EvalError::DegenerateInput`] when the sketched spread is zero
+/// while the exact spread is not (a zero/zero ratio is defined as 1.0).
+pub fn clustering_quality(exact: &Spreads, sketched: &Spreads) -> Result<f64, EvalError> {
+    let e = exact.total();
+    let s = sketched.total();
+    if s == 0.0 {
+        if e == 0.0 {
+            return Ok(1.0);
+        }
+        return Err(EvalError::DegenerateInput(
+            "sketched spread is zero but exact is not",
+        ));
+    }
+    Ok(e / s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_accumulate_by_cluster() {
+        let assignments = [0, 1, 0, 1, 2];
+        let distances = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = Spreads::from_assignments(&assignments, &distances, 3).unwrap();
+        assert_eq!(s.0, vec![4.0, 6.0, 5.0]);
+        assert_eq!(s.total(), 15.0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Spreads::from_assignments(&[0], &[1.0, 2.0], 1).is_err());
+        assert!(Spreads::from_assignments(&[3], &[1.0], 2).is_err());
+        // Empty clusterings are fine: zero spread everywhere.
+        let s = Spreads::from_assignments(&[], &[], 2).unwrap();
+        assert_eq!(s.total(), 0.0);
+    }
+
+    #[test]
+    fn quality_ratio() {
+        let exact = Spreads(vec![10.0, 10.0]);
+        let sketched = Spreads(vec![8.0, 12.0]);
+        assert_eq!(clustering_quality(&exact, &sketched).unwrap(), 1.0);
+        let tighter = Spreads(vec![5.0, 5.0]);
+        assert_eq!(clustering_quality(&exact, &tighter).unwrap(), 2.0);
+        let looser = Spreads(vec![20.0, 20.0]);
+        assert_eq!(clustering_quality(&exact, &looser).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_quality() {
+        let zero = Spreads(vec![0.0]);
+        let nonzero = Spreads(vec![1.0]);
+        assert_eq!(clustering_quality(&zero, &zero.clone()).unwrap(), 1.0);
+        assert!(clustering_quality(&nonzero, &zero).is_err());
+        assert_eq!(clustering_quality(&zero, &nonzero).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the evaluation measures.
+
+use proptest::prelude::*;
+
+use tabsketch_eval::hungarian::{solve_max, solve_min};
+use tabsketch_eval::{
+    average_correctness, clustering_agreement, cumulative_correctness, ConfusionMatrix,
+    DistancePair, Spreads,
+};
+
+fn labels_strategy(k: usize, len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, len)
+}
+
+fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for perm in all_permutations(n - 1) {
+        for pos in 0..n {
+            let mut p = perm.clone();
+            p.insert(pos, n - 1);
+            out.push(p);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hungarian result is a permutation and achieves the brute-force
+    /// optimum (n <= 5).
+    #[test]
+    fn hungarian_is_optimal(n in 1usize..=5, seed in 0u64..10_000) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 2000) as f64 / 10.0 - 100.0 };
+        let cost: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let (assignment, total) = solve_min(&cost, n);
+        // Permutation check.
+        let mut seen = vec![false; n];
+        for &j in &assignment {
+            prop_assert!(j < n && !seen[j]);
+            seen[j] = true;
+        }
+        // Optimality check.
+        let brute = all_permutations(n)
+            .into_iter()
+            .map(|p| (0..n).map(|i| cost[i * n + p[i]]).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((total - brute).abs() < 1e-9, "hungarian {total} vs brute {brute}");
+    }
+
+    /// max-assignment equals negated min-assignment.
+    #[test]
+    fn hungarian_max_min_duality(n in 1usize..=5, seed in 0u64..1000) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 100) as f64 };
+        let w: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        let (_, hi) = solve_max(&w, n);
+        let neg: Vec<f64> = w.iter().map(|&x| -x).collect();
+        let (_, lo) = solve_min(&neg, n);
+        prop_assert!((hi + lo).abs() < 1e-9);
+    }
+
+    /// Agreement is invariant under relabeling either clustering.
+    #[test]
+    fn agreement_permutation_invariant(labels in labels_strategy(4, 1..60), seed in 0u64..100) {
+        // Build a permutation of 0..4 from the seed.
+        let mut perm = [0usize, 1, 2, 3];
+        let mut s = seed | 1;
+        for i in (1..4).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let renamed: Vec<usize> = labels.iter().map(|&l| perm[l]).collect();
+        let a = clustering_agreement(&labels, &renamed, 4).unwrap();
+        prop_assert_eq!(a, 1.0, "relabeled clustering must agree fully");
+    }
+
+    /// Agreement is symmetric and within [diag-fraction, 1].
+    #[test]
+    fn agreement_bounds(a in labels_strategy(3, 1..50), seed in 0u64..100) {
+        let mut s = seed | 1;
+        let b: Vec<usize> = a.iter().map(|&l| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            if s % 4 == 0 { (l + 1) % 3 } else { l }
+        }).collect();
+        let ab = ConfusionMatrix::from_labels(&a, &b, 3).unwrap();
+        let ba = ConfusionMatrix::from_labels(&b, &a, 3).unwrap();
+        prop_assert!((ab.agreement() - ba.agreement()).abs() < 1e-12);
+        prop_assert!(ab.agreement() >= ab.raw_agreement());
+        prop_assert!(ab.agreement() <= 1.0 + 1e-12);
+        prop_assert!(ab.agreement() > 0.0);
+    }
+
+    /// Cumulative correctness of perfectly-scaled estimates equals the
+    /// scale; average correctness equals 1 - |1 - scale|.
+    #[test]
+    fn correctness_of_uniformly_scaled_estimates(
+        exact in proptest::collection::vec(0.1f64..1e4, 1..40),
+        scale in 0.5f64..1.5,
+    ) {
+        let pairs: Vec<DistancePair> = exact
+            .iter()
+            .map(|&e| DistancePair { estimated: scale * e, exact: e })
+            .collect();
+        let cum = cumulative_correctness(&pairs).unwrap();
+        prop_assert!((cum - scale).abs() < 1e-9);
+        let avg = average_correctness(&pairs).unwrap();
+        prop_assert!((avg - (1.0 - (1.0 - scale).abs())).abs() < 1e-9);
+    }
+
+    /// Spreads partition the total: summing per-cluster spreads equals
+    /// summing all distances.
+    #[test]
+    fn spreads_partition_total(assignments in labels_strategy(5, 0..50)) {
+        let distances: Vec<f64> = assignments.iter().map(|&a| a as f64 + 0.5).collect();
+        let s = Spreads::from_assignments(&assignments, &distances, 5).unwrap();
+        let direct: f64 = distances.iter().sum();
+        prop_assert!((s.total() - direct).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ARI and NMI are invariant under any relabeling of either input,
+    /// and symmetric in their arguments.
+    #[test]
+    fn ari_nmi_relabeling_invariance(labels in labels_strategy(3, 2..50), seed in 0u64..100) {
+        use tabsketch_eval::{adjusted_rand_index, normalized_mutual_information};
+        let mut perm = [0usize, 1, 2];
+        let mut s = seed | 1;
+        for i in (1..3).rev() {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            perm.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let renamed: Vec<usize> = labels.iter().map(|&l| perm[l]).collect();
+        let ari = adjusted_rand_index(&labels, &renamed, 3).unwrap();
+        prop_assert!((ari - 1.0).abs() < 1e-9, "ARI of a relabeling is 1, got {}", ari);
+        let nmi = normalized_mutual_information(&labels, &renamed, 3).unwrap();
+        prop_assert!((nmi - 1.0).abs() < 1e-9, "NMI of a relabeling is 1, got {}", nmi);
+    }
+
+    /// Rand index is symmetric and bounded in [0, 1]; ARI never exceeds 1.
+    #[test]
+    fn pair_measures_bounds(a in labels_strategy(4, 2..60), seed in 0u64..100) {
+        use tabsketch_eval::{adjusted_rand_index, rand_index};
+        let mut s = seed | 1;
+        let b: Vec<usize> = a.iter().map(|&l| {
+            s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+            if s % 3 == 0 { (l + 1) % 4 } else { l }
+        }).collect();
+        let ri_ab = rand_index(&a, &b, 4).unwrap();
+        let ri_ba = rand_index(&b, &a, 4).unwrap();
+        prop_assert!((ri_ab - ri_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&ri_ab));
+        let ari = adjusted_rand_index(&a, &b, 4).unwrap();
+        prop_assert!(ari <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Arbitrary-length FFT via Bluestein's chirp-z algorithm.
+//!
+//! The sketching pipeline pads to powers of two (padding is free for
+//! correlation), but a general-purpose FFT substrate should transform any
+//! length exactly — e.g. spectral analysis of a 144-slot day without
+//! padding artifacts. Bluestein rewrites the length-`n` DFT as a linear
+//! convolution with a chirp:
+//!
+//! `X_k = w_k · Σ_j (x_j w_j) · conj(w_{k−j})`, with
+//! `w_j = e^{−iπ j²/n}`,
+//!
+//! and evaluates that convolution with one power-of-two FFT of length
+//! `≥ 2n − 1`. Cost is `O(n log n)` for every `n`, primes included.
+
+use crate::complex::Complex;
+use crate::plan::{next_pow2, Direction, FftPlan};
+use crate::FftError;
+
+/// A reusable arbitrary-length FFT plan.
+#[derive(Clone, Debug)]
+pub struct BluesteinPlan {
+    n: usize,
+    inner: FftPlan,
+    /// `w_j = e^{−iπ j²/n}` for `j` in `0..n` (the j² is reduced mod 2n
+    /// to keep the angle accurate at large j).
+    chirp: Vec<Complex>,
+    /// Forward spectrum of the circular chirp kernel `conj(w_{|j|})`.
+    kernel_spec: Vec<Complex>,
+}
+
+impl BluesteinPlan {
+    /// Creates a plan for transforms of any length `n ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] only in the degenerate case
+    /// `n == 0` (reported as an invalid length).
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 {
+            return Err(FftError::NotPowerOfTwo(0));
+        }
+        let m = next_pow2(2 * n - 1);
+        let inner = FftPlan::new(m)?;
+        let chirp: Vec<Complex> = (0..n)
+            .map(|j| {
+                // j² mod 2n keeps the chirp angle exact for large j.
+                let jj = (j * j) % (2 * n);
+                Complex::cis(-core::f64::consts::PI * jj as f64 / n as f64)
+            })
+            .collect();
+        // Circular kernel b_j = conj(w_j) for j in −(n−1)..=(n−1), laid
+        // out with negative indices wrapped to the top of the buffer.
+        let mut kernel = vec![Complex::default(); m];
+        for (j, w) in chirp.iter().enumerate() {
+            kernel[j] = w.conj();
+            if j > 0 {
+                kernel[m - j] = w.conj();
+            }
+        }
+        inner.transform(&mut kernel, Direction::Forward)?;
+        Ok(Self {
+            n,
+            inner,
+            chirp,
+            kernel_spec: kernel,
+        })
+    }
+
+    /// The transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (zero-length plans cannot be constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transforms `data` in place (any length `n`, forward or inverse;
+    /// the inverse includes the `1/n` normalization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `data.len() != n`.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        if data.len() != self.n {
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: data.len(),
+            });
+        }
+        if self.n == 1 {
+            return Ok(());
+        }
+        // Inverse via the conjugation identity:
+        // IDFT(x) = conj(DFT(conj(x))) / n.
+        if dir == Direction::Inverse {
+            for z in data.iter_mut() {
+                *z = z.conj();
+            }
+            self.transform(data, Direction::Forward)?;
+            let scale = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.conj().scale(scale);
+            }
+            return Ok(());
+        }
+        let m = self.inner.len();
+        // a_j = x_j · w_j, zero-padded to m.
+        let mut a = vec![Complex::default(); m];
+        for (slot, (x, w)) in a.iter_mut().zip(data.iter().zip(&self.chirp)) {
+            *slot = *x * *w;
+        }
+        self.inner.transform(&mut a, Direction::Forward)?;
+        for (x, k) in a.iter_mut().zip(&self.kernel_spec) {
+            *x *= *k;
+        }
+        self.inner.transform(&mut a, Direction::Inverse)?;
+        for ((out, conv), w) in data.iter_mut().zip(&a).zip(&self.chirp) {
+            *out = *conv * *w;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dft_naive;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "index {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.83).sin() * 3.0, (i as f64 * 0.31).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn rejects_zero_length_and_mismatch() {
+        assert!(BluesteinPlan::new(0).is_err());
+        let plan = BluesteinPlan::new(5).unwrap();
+        let mut buf = vec![Complex::default(); 4];
+        assert!(plan.transform(&mut buf, Direction::Forward).is_err());
+    }
+
+    #[test]
+    fn matches_naive_dft_for_awkward_lengths() {
+        for &n in &[1usize, 2, 3, 5, 7, 12, 17, 60, 97, 144] {
+            let plan = BluesteinPlan::new(n).unwrap();
+            let data = signal(n);
+            let mut fast = data.clone();
+            plan.transform(&mut fast, Direction::Forward).unwrap();
+            let slow = dft_naive(&data, Direction::Forward);
+            assert_close(&fast, &slow, 1e-7 * (n as f64).max(1.0));
+        }
+    }
+
+    #[test]
+    fn agrees_with_radix2_on_powers_of_two() {
+        for &n in &[4usize, 16, 64] {
+            let blu = BluesteinPlan::new(n).unwrap();
+            let rad = FftPlan::new(n).unwrap();
+            let data = signal(n);
+            let mut a = data.clone();
+            let mut b = data;
+            blu.transform(&mut a, Direction::Forward).unwrap();
+            rad.transform(&mut b, Direction::Forward).unwrap();
+            assert_close(&a, &b, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_any_length() {
+        for &n in &[3usize, 10, 31, 144, 300] {
+            let plan = BluesteinPlan::new(n).unwrap();
+            let data = signal(n);
+            let mut buf = data.clone();
+            plan.transform(&mut buf, Direction::Forward).unwrap();
+            plan.transform(&mut buf, Direction::Inverse).unwrap();
+            assert_close(&buf, &data, 1e-8 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_for_prime_length() {
+        let n = 101;
+        let plan = BluesteinPlan::new(n).unwrap();
+        let data = signal(n);
+        let time: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = data;
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        let freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time - freq).abs() < 1e-7 * time);
+    }
+
+    #[test]
+    fn impulse_spectrum_is_flat_for_any_length() {
+        let n = 13;
+        let plan = BluesteinPlan::new(n).unwrap();
+        let mut buf = vec![Complex::default(); n];
+        buf[0] = Complex::from_real(1.0);
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-9 && z.im.abs() < 1e-9);
+        }
+    }
+}

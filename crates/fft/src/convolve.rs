@@ -1,0 +1,462 @@
+//! FFT-based convolution and cross-correlation.
+//!
+//! The workhorse of Theorem 3 in the paper: the dot product of a fixed
+//! `a × b` kernel with *every* `a × b` subrectangle of an `n × m` table is a
+//! "valid-mode" 2-D cross-correlation, computable in `O(N log N)` instead of
+//! `O(N·M)` (N = table size, M = kernel size).
+//!
+//! [`Correlator2d`] amortizes the forward transform of the data across many
+//! kernels, which is exactly the sketching access pattern (one table, `k`
+//! random kernels).
+
+use crate::complex::Complex;
+use crate::fft2d::Fft2dPlan;
+use crate::plan::{next_pow2, Direction, FftPlan};
+use crate::FftError;
+
+/// Full linear convolution of two real signals, `out.len() = a.len() + b.len() - 1`.
+///
+/// Uses the FFT when the output is large enough to amortize planning,
+/// otherwise falls back to the direct method.
+pub fn convolve_1d(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    if out_len <= 64 {
+        return convolve_1d_naive(a, b);
+    }
+    let n = next_pow2(out_len);
+    let plan = FftPlan::new(n).expect("next_pow2 is a power of two");
+    let mut fa = plan.forward_real(a);
+    let fb = plan.forward_real(b);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    plan.transform(&mut fa, Direction::Inverse)
+        .expect("length matches plan");
+    fa.truncate(out_len);
+    fa.into_iter().map(|z| z.re).collect()
+}
+
+/// Direct `O(n·m)` linear convolution; reference implementation.
+pub fn convolve_1d_naive(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// Valid-mode 1-D cross-correlation: `out[i] = Σ_j data[i+j]·kernel[j]`,
+/// for `i` in `0..=data.len()-kernel.len()`.
+///
+/// Returns an empty vector when the kernel is longer than the data.
+pub fn cross_correlate_1d_valid(data: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if kernel.is_empty() || kernel.len() > data.len() {
+        return Vec::new();
+    }
+    let out_len = data.len() - kernel.len() + 1;
+    if data.len() * kernel.len() <= 4096 {
+        return cross_correlate_1d_valid_naive(data, kernel);
+    }
+    let n = next_pow2(data.len());
+    let plan = FftPlan::new(n).expect("next_pow2 is a power of two");
+    let mut fd = plan.forward_real(data);
+    let fk = plan.forward_real(kernel);
+    // Correlation = convolution with the conjugate spectrum of the kernel.
+    for (x, y) in fd.iter_mut().zip(&fk) {
+        *x *= y.conj();
+    }
+    plan.transform(&mut fd, Direction::Inverse)
+        .expect("length matches plan");
+    fd.truncate(out_len);
+    fd.into_iter().map(|z| z.re).collect()
+}
+
+/// Direct valid-mode 1-D cross-correlation; reference implementation.
+pub fn cross_correlate_1d_valid_naive(data: &[f64], kernel: &[f64]) -> Vec<f64> {
+    if kernel.is_empty() || kernel.len() > data.len() {
+        return Vec::new();
+    }
+    let out_len = data.len() - kernel.len() + 1;
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let window = &data[i..i + kernel.len()];
+        out.push(window.iter().zip(kernel).map(|(&d, &k)| d * k).sum());
+    }
+    out
+}
+
+/// Direct valid-mode 2-D cross-correlation; reference implementation.
+///
+/// `data` is row-major `rows × cols`, `kernel` is row-major `krows × kcols`.
+/// Output is row-major `(rows-krows+1) × (cols-kcols+1)`.
+pub fn cross_correlate_2d_valid_naive(
+    data: &[f64],
+    rows: usize,
+    cols: usize,
+    kernel: &[f64],
+    krows: usize,
+    kcols: usize,
+) -> Vec<f64> {
+    assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+    assert_eq!(
+        kernel.len(),
+        krows * kcols,
+        "kernel length must equal krows*kcols"
+    );
+    if krows == 0 || kcols == 0 || krows > rows || kcols > cols {
+        return Vec::new();
+    }
+    let out_rows = rows - krows + 1;
+    let out_cols = cols - kcols + 1;
+    let mut out = vec![0.0; out_rows * out_cols];
+    for or in 0..out_rows {
+        for oc in 0..out_cols {
+            let mut acc = 0.0;
+            for r in 0..krows {
+                let drow = &data[(or + r) * cols + oc..(or + r) * cols + oc + kcols];
+                let krow = &kernel[r * kcols..(r + 1) * kcols];
+                for (d, k) in drow.iter().zip(krow) {
+                    acc += d * k;
+                }
+            }
+            out[or * out_cols + oc] = acc;
+        }
+    }
+    out
+}
+
+/// A 2-D correlator that transforms the data once and correlates it with
+/// many kernels of (up to) a fixed maximum size.
+///
+/// This is the access pattern of all-subtable sketching: one table, `k`
+/// random kernels. Each [`Correlator2d::correlate`] call costs one forward
+/// and one inverse FFT over the padded grid; the data transform is shared.
+#[derive(Clone, Debug)]
+pub struct Correlator2d {
+    plan: Fft2dPlan,
+    data_spec: Vec<Complex>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Correlator2d {
+    /// Builds a correlator over a row-major `rows × cols` table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != rows * cols`
+    /// or the table is empty.
+    pub fn new(data: &[f64], rows: usize, cols: usize) -> Result<Self, FftError> {
+        if rows == 0 || cols == 0 || data.len() != rows * cols {
+            return Err(FftError::LengthMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        let plan = Fft2dPlan::new(next_pow2(rows), next_pow2(cols))?;
+        let data_spec = plan.forward_real_padded(data, rows, cols)?;
+        Ok(Self {
+            plan,
+            data_spec,
+            rows,
+            cols,
+        })
+    }
+
+    /// Table rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Table columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Valid-mode cross-correlation of the stored table with `kernel`
+    /// (row-major `krows × kcols`). Output is row-major
+    /// `(rows-krows+1) × (cols-kcols+1)`:
+    /// `out[i][j] = Σ_{r,c} data[i+r][j+c] · kernel[r][c]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when the kernel is empty, larger
+    /// than the table, or its buffer length disagrees with its dimensions.
+    pub fn correlate(
+        &self,
+        kernel: &[f64],
+        krows: usize,
+        kcols: usize,
+    ) -> Result<Vec<f64>, FftError> {
+        if kernel.len() != krows * kcols {
+            return Err(FftError::LengthMismatch {
+                expected: krows * kcols,
+                got: kernel.len(),
+            });
+        }
+        if krows == 0 || kcols == 0 || krows > self.rows || kcols > self.cols {
+            return Err(FftError::KernelTooLarge {
+                krows,
+                kcols,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut spec = self.plan.forward_real_padded(kernel, krows, kcols)?;
+        for (x, y) in spec.iter_mut().zip(&self.data_spec) {
+            *x = *y * x.conj();
+        }
+        self.plan.transform(&mut spec, Direction::Inverse)?;
+        let out_rows = self.rows - krows + 1;
+        let out_cols = self.cols - kcols + 1;
+        let padded_cols = self.plan.cols();
+        let mut out = Vec::with_capacity(out_rows * out_cols);
+        for r in 0..out_rows {
+            out.extend(
+                spec[r * padded_cols..r * padded_cols + out_cols]
+                    .iter()
+                    .map(|z| z.re),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Correlates **two** same-shape real kernels with one forward and
+    /// one inverse FFT — half the transform work of two
+    /// [`Correlator2d::correlate`] calls.
+    ///
+    /// The kernels are packed as `k1 + i·k2`; because both are real,
+    /// their spectra are recovered from the packed spectrum's conjugate
+    /// symmetry (`F[u,v] = conj(F[−u mod P, −v mod Q])`), and because both
+    /// correlation outputs are real they ride back through a single
+    /// inverse transform as its real and imaginary parts.
+    ///
+    /// This is the workhorse of sketch preprocessing, where kernels come
+    /// in large batches of identical shape (one per sketch row).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Correlator2d::correlate`], applied to both
+    /// kernels.
+    pub fn correlate_pair(
+        &self,
+        kernel1: &[f64],
+        kernel2: &[f64],
+        krows: usize,
+        kcols: usize,
+    ) -> Result<(Vec<f64>, Vec<f64>), FftError> {
+        if kernel1.len() != krows * kcols || kernel2.len() != krows * kcols {
+            return Err(FftError::LengthMismatch {
+                expected: krows * kcols,
+                got: kernel1.len().min(kernel2.len()),
+            });
+        }
+        if krows == 0 || kcols == 0 || krows > self.rows || kcols > self.cols {
+            return Err(FftError::KernelTooLarge {
+                krows,
+                kcols,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let (prows, pcols) = (self.plan.rows(), self.plan.cols());
+        // Pack k1 + i·k2 into the padded grid and transform once.
+        let mut packed = vec![Complex::default(); prows * pcols];
+        for r in 0..krows {
+            for c in 0..kcols {
+                packed[r * pcols + c] =
+                    Complex::new(kernel1[r * kcols + c], kernel2[r * kcols + c]);
+            }
+        }
+        self.plan.transform(&mut packed, Direction::Forward)?;
+        // Unpack per frequency bin, multiply with the data spectrum, and
+        // repack the two (real-output) correlation spectra as G1 + i·G2.
+        let mut out_spec = vec![Complex::default(); prows * pcols];
+        for u in 0..prows {
+            let mu = if u == 0 { 0 } else { prows - u };
+            for v in 0..pcols {
+                let mv = if v == 0 { 0 } else { pcols - v };
+                let z = packed[u * pcols + v];
+                let zc = packed[mu * pcols + mv].conj();
+                let f1 = (z + zc).scale(0.5);
+                // (z - zc) / (2i) = -i/2 · (z - zc).
+                let d = z - zc;
+                let f2 = Complex::new(d.im * 0.5, -d.re * 0.5);
+                let dspec = self.data_spec[u * pcols + v];
+                let g1 = dspec * f1.conj();
+                let g2 = dspec * f2.conj();
+                out_spec[u * pcols + v] = g1 + Complex::new(-g2.im, g2.re); // g1 + i·g2
+            }
+        }
+        self.plan.transform(&mut out_spec, Direction::Inverse)?;
+        let out_rows = self.rows - krows + 1;
+        let out_cols = self.cols - kcols + 1;
+        let mut out1 = Vec::with_capacity(out_rows * out_cols);
+        let mut out2 = Vec::with_capacity(out_rows * out_cols);
+        for r in 0..out_rows {
+            for z in &out_spec[r * pcols..r * pcols + out_cols] {
+                out1.push(z.re);
+                out2.push(z.im);
+            }
+        }
+        Ok((out1, out2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_slices_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn convolve_small_known_answer() {
+        // [1,2,3] * [4,5] = [4, 13, 22, 15]
+        assert_slices_close(
+            &convolve_1d(&[1.0, 2.0, 3.0], &[4.0, 5.0]),
+            &[4.0, 13.0, 22.0, 15.0],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn convolve_fft_matches_naive_on_large_input() {
+        let a: Vec<f64> = (0..300).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..77).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+        assert_slices_close(&convolve_1d(&a, &b), &convolve_1d_naive(&a, &b), 1e-6);
+    }
+
+    #[test]
+    fn convolve_empty_inputs() {
+        assert!(convolve_1d(&[], &[1.0]).is_empty());
+        assert!(convolve_1d(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn correlate_1d_known_answer() {
+        // data=[1,2,3,4], kernel=[1,1] -> [3,5,7]
+        assert_slices_close(
+            &cross_correlate_1d_valid(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0]),
+            &[3.0, 5.0, 7.0],
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn correlate_1d_fft_matches_naive() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64 * 0.3).sin() * 10.0).collect();
+        let kernel: Vec<f64> = (0..40).map(|i| (i as f64 * 0.9).cos()).collect();
+        assert_slices_close(
+            &cross_correlate_1d_valid(&data, &kernel),
+            &cross_correlate_1d_valid_naive(&data, &kernel),
+            1e-6,
+        );
+    }
+
+    #[test]
+    fn correlate_1d_kernel_longer_than_data() {
+        assert!(cross_correlate_1d_valid(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(cross_correlate_1d_valid(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn correlate_1d_kernel_equals_data_len() {
+        let out = cross_correlate_1d_valid(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlator2d_matches_naive() {
+        let (rows, cols) = (13, 17);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i * 31) % 101) as f64 - 50.0)
+            .collect();
+        let corr = Correlator2d::new(&data, rows, cols).unwrap();
+        for &(kr, kc) in &[(1usize, 1usize), (2, 3), (4, 4), (13, 17), (1, 17), (13, 1)] {
+            let kernel: Vec<f64> = (0..kr * kc).map(|i| ((i * 7) % 23) as f64 - 11.0).collect();
+            let fast = corr.correlate(&kernel, kr, kc).unwrap();
+            let slow = cross_correlate_2d_valid_naive(&data, rows, cols, &kernel, kr, kc);
+            assert_slices_close(&fast, &slow, 1e-6);
+        }
+    }
+
+    #[test]
+    fn correlator2d_single_cell_kernel_is_scaled_table() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let corr = Correlator2d::new(&data, 2, 3).unwrap();
+        let out = corr.correlate(&[2.0], 1, 1).unwrap();
+        assert_slices_close(&out, &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0], 1e-9);
+    }
+
+    #[test]
+    fn correlate_pair_matches_two_singles() {
+        let (rows, cols) = (11, 19);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i * 13) % 89) as f64 - 44.0)
+            .collect();
+        let corr = Correlator2d::new(&data, rows, cols).unwrap();
+        for &(kr, kc) in &[(1usize, 1usize), (3, 4), (5, 5), (11, 19)] {
+            let k1: Vec<f64> = (0..kr * kc).map(|i| ((i * 7) % 19) as f64 - 9.0).collect();
+            let k2: Vec<f64> = (0..kr * kc)
+                .map(|i| ((i * 11) % 23) as f64 - 11.0)
+                .collect();
+            let (p1, p2) = corr.correlate_pair(&k1, &k2, kr, kc).unwrap();
+            let s1 = corr.correlate(&k1, kr, kc).unwrap();
+            let s2 = corr.correlate(&k2, kr, kc).unwrap();
+            assert_slices_close(&p1, &s1, 1e-6);
+            assert_slices_close(&p2, &s2, 1e-6);
+        }
+    }
+
+    #[test]
+    fn correlate_pair_validation() {
+        let corr = Correlator2d::new(&[1.0; 6], 2, 3).unwrap();
+        assert!(corr.correlate_pair(&[1.0; 4], &[1.0; 4], 2, 2).is_ok());
+        assert!(corr.correlate_pair(&[1.0; 4], &[1.0; 3], 2, 2).is_err());
+        assert!(corr.correlate_pair(&[1.0; 9], &[1.0; 9], 3, 3).is_err());
+        assert!(corr.correlate_pair(&[], &[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn correlator2d_rejects_bad_kernels() {
+        let corr = Correlator2d::new(&[1.0; 6], 2, 3).unwrap();
+        assert!(
+            corr.correlate(&[1.0; 9], 3, 3).is_err(),
+            "kernel taller than table"
+        );
+        assert!(corr.correlate(&[1.0; 4], 2, 3).is_err(), "length mismatch");
+        assert!(corr.correlate(&[], 0, 0).is_err(), "empty kernel");
+    }
+
+    #[test]
+    fn correlator2d_rejects_bad_table() {
+        assert!(Correlator2d::new(&[1.0; 5], 2, 3).is_err());
+        assert!(Correlator2d::new(&[], 0, 0).is_err());
+    }
+
+    #[test]
+    fn correlator2d_full_size_kernel_is_dot_product() {
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        let kernel = vec![10.0, 20.0, 30.0, 40.0];
+        let corr = Correlator2d::new(&data, 2, 2).unwrap();
+        let out = corr.correlate(&kernel, 2, 2).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!((out[0] - 300.0).abs() < 1e-9);
+    }
+}

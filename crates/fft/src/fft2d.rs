@@ -1,0 +1,242 @@
+//! Two-dimensional FFT over row-major buffers.
+//!
+//! A [`Fft2dPlan`] combines two one-dimensional plans (one per axis) and a
+//! scratch column buffer, transforming an `rows × cols` complex matrix in
+//! place by transforming all rows and then all columns.
+
+use crate::complex::Complex;
+use crate::plan::{Direction, FftPlan};
+use crate::FftError;
+
+/// A reusable 2-D FFT plan for fixed power-of-two dimensions.
+#[derive(Clone, Debug)]
+pub struct Fft2dPlan {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2dPlan {
+    /// Creates a plan for `rows × cols` transforms. Both dimensions must be
+    /// powers of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] if either dimension is not a
+    /// power of two.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, FftError> {
+        Ok(Self {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols)?,
+            col_plan: FftPlan::new(rows)?,
+        })
+    }
+
+    /// Number of rows the plan transforms.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns the plan transforms.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements (`rows * cols`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Always false (zero-sized plans cannot be constructed).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transforms a row-major `rows × cols` buffer in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `data.len() != rows * cols`.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        let expected = self.rows * self.cols;
+        if data.len() != expected {
+            return Err(FftError::LengthMismatch {
+                expected,
+                got: data.len(),
+            });
+        }
+        // Rows: contiguous, transform directly.
+        for row in data.chunks_exact_mut(self.cols) {
+            self.row_plan.transform(row, dir)?;
+        }
+        // Columns: gather into a scratch buffer, transform, scatter back.
+        let mut col_buf = vec![Complex::default(); self.rows];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                col_buf[r] = data[r * self.cols + c];
+            }
+            self.col_plan.transform(&mut col_buf, dir)?;
+            for r in 0..self.rows {
+                data[r * self.cols + c] = col_buf[r];
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward-transforms a real row-major matrix of logical size
+    /// `src_rows × src_cols`, zero-padded into this plan's dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when the source does not fit in
+    /// the planned dimensions or `src.len() != src_rows * src_cols`.
+    pub fn forward_real_padded(
+        &self,
+        src: &[f64],
+        src_rows: usize,
+        src_cols: usize,
+    ) -> Result<Vec<Complex>, FftError> {
+        if src.len() != src_rows * src_cols {
+            return Err(FftError::LengthMismatch {
+                expected: src_rows * src_cols,
+                got: src.len(),
+            });
+        }
+        if src_rows > self.rows || src_cols > self.cols {
+            return Err(FftError::LengthMismatch {
+                expected: self.rows * self.cols,
+                got: src.len(),
+            });
+        }
+        let mut buf = vec![Complex::default(); self.rows * self.cols];
+        for r in 0..src_rows {
+            let src_row = &src[r * src_cols..(r + 1) * src_cols];
+            let dst_row = &mut buf[r * self.cols..r * self.cols + src_cols];
+            for (dst, &s) in dst_row.iter_mut().zip(src_row) {
+                *dst = Complex::from_real(s);
+            }
+        }
+        self.transform(&mut buf, Direction::Forward)?;
+        Ok(buf)
+    }
+}
+
+/// Naive 2-D DFT used as a test oracle.
+pub fn dft2d_naive(data: &[Complex], rows: usize, cols: usize, dir: Direction) -> Vec<Complex> {
+    assert_eq!(data.len(), rows * cols);
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex::default(); rows * cols];
+    for kr in 0..rows {
+        for kc in 0..cols {
+            let mut acc = Complex::default();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let theta = sign
+                        * 2.0
+                        * core::f64::consts::PI
+                        * ((r * kr) as f64 / rows as f64 + (c * kc) as f64 / cols as f64);
+                    acc += data[r * cols + c] * Complex::cis(theta);
+                }
+            }
+            if dir == Direction::Inverse {
+                acc = acc.scale(1.0 / (rows * cols) as f64);
+            }
+            out[kr * cols + kc] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(Fft2dPlan::new(3, 4).is_err());
+        assert!(Fft2dPlan::new(4, 6).is_err());
+        assert!(Fft2dPlan::new(4, 4).is_ok());
+        assert!(Fft2dPlan::new(1, 8).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let plan = Fft2dPlan::new(8, 16).unwrap();
+        let data: Vec<Complex> = (0..8 * 16)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut buf = data.clone();
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        plan.transform(&mut buf, Direction::Inverse).unwrap();
+        for (a, b) in buf.iter().zip(&data) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_2d_dft() {
+        let (rows, cols) = (4, 8);
+        let plan = Fft2dPlan::new(rows, cols).unwrap();
+        let data: Vec<Complex> = (0..rows * cols)
+            .map(|i| Complex::new((i % 5) as f64, ((i * 3) % 7) as f64))
+            .collect();
+        let mut fast = data.clone();
+        plan.transform(&mut fast, Direction::Forward).unwrap();
+        let slow = dft2d_naive(&data, rows, cols, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn impulse_in_2d_is_flat() {
+        let plan = Fft2dPlan::new(4, 4).unwrap();
+        let mut buf = vec![Complex::default(); 16];
+        buf[0] = Complex::from_real(1.0);
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_real_padded_places_signal_top_left() {
+        let plan = Fft2dPlan::new(4, 4).unwrap();
+        let spec = plan
+            .forward_real_padded(&[1.0, 2.0, 3.0, 4.0], 2, 2)
+            .unwrap();
+        // DC bin equals sum of entries.
+        assert!((spec[0].re - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_real_padded_rejects_oversized() {
+        let plan = Fft2dPlan::new(2, 2).unwrap();
+        assert!(plan.forward_real_padded(&[0.0; 12], 3, 4).is_err());
+        assert!(plan.forward_real_padded(&[0.0; 3], 2, 2).is_err());
+    }
+
+    #[test]
+    fn degenerate_single_row() {
+        let plan = Fft2dPlan::new(1, 8).unwrap();
+        let data: Vec<Complex> = (0..8).map(|i| Complex::from_real(i as f64)).collect();
+        let mut a = data.clone();
+        plan.transform(&mut a, Direction::Forward).unwrap();
+        // Must equal a plain 1-D FFT of the row.
+        let plan1d = FftPlan::new(8).unwrap();
+        let mut b = data;
+        plan1d.transform(&mut b, Direction::Forward).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x.re - y.re).abs() < 1e-12 && (x.im - y.im).abs() < 1e-12);
+        }
+    }
+}

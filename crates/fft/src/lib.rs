@@ -1,0 +1,95 @@
+//! # tabsketch-fft
+//!
+//! Fast Fourier Transform substrate for the `tabsketch` workspace: a
+//! self-contained radix-2 complex FFT (1-D and 2-D), linear convolution,
+//! and valid-mode cross-correlation.
+//!
+//! The paper's Theorem 3 computes sketches of **every** fixed-size
+//! subrectangle of a table as a 2-D cross-correlation of the table with a
+//! random kernel; [`Correlator2d`] implements exactly that access pattern,
+//! amortizing the table transform over many kernels.
+//!
+//! ## Example
+//!
+//! ```
+//! use tabsketch_fft::Correlator2d;
+//!
+//! // A 3×4 table and a 2×2 kernel: the correlator returns the dot product
+//! // of the kernel with every 2×2 window, row-major.
+//! let table = vec![
+//!     1.0, 2.0, 3.0, 4.0,
+//!     5.0, 6.0, 7.0, 8.0,
+//!     9.0, 10.0, 11.0, 12.0,
+//! ];
+//! let corr = Correlator2d::new(&table, 3, 4).unwrap();
+//! let sums = corr.correlate(&[1.0, 1.0, 1.0, 1.0], 2, 2).unwrap();
+//! assert_eq!(sums.len(), 2 * 3);
+//! assert!((sums[0] - (1.0 + 2.0 + 5.0 + 6.0)).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bluestein;
+mod complex;
+mod convolve;
+mod fft2d;
+mod plan;
+
+pub use bluestein::BluesteinPlan;
+pub use complex::{Complex, ONE, ZERO};
+pub use convolve::{
+    convolve_1d, convolve_1d_naive, cross_correlate_1d_valid, cross_correlate_1d_valid_naive,
+    cross_correlate_2d_valid_naive, Correlator2d,
+};
+pub use fft2d::{dft2d_naive, Fft2dPlan};
+pub use plan::{dft_naive, next_pow2, Direction, FftPlan};
+
+/// Errors produced by this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FftError {
+    /// A transform length that is not a power of two was requested.
+    NotPowerOfTwo(usize),
+    /// A buffer length disagreed with the planned or declared dimensions.
+    LengthMismatch {
+        /// The length the operation required.
+        expected: usize,
+        /// The length that was provided.
+        got: usize,
+    },
+    /// A correlation kernel exceeded the table dimensions.
+    KernelTooLarge {
+        /// Kernel rows.
+        krows: usize,
+        /// Kernel columns.
+        kcols: usize,
+        /// Table rows.
+        rows: usize,
+        /// Table columns.
+        cols: usize,
+    },
+}
+
+impl core::fmt::Display for FftError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "FFT length {n} is not a power of two")
+            }
+            FftError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length mismatch: expected {expected}, got {got}")
+            }
+            FftError::KernelTooLarge {
+                krows,
+                kcols,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "kernel {krows}x{kcols} does not fit in table {rows}x{cols} (or is empty)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FftError {}

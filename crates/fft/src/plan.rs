@@ -1,0 +1,327 @@
+//! One-dimensional radix-2 FFT with a reusable plan.
+//!
+//! An [`FftPlan`] precomputes the bit-reversal permutation and twiddle
+//! factors for a fixed power-of-two length, so repeated transforms (the
+//! common case when sketching every subtable of a large table) pay the
+//! trigonometry cost once.
+
+use crate::complex::Complex;
+use crate::FftError;
+
+/// Direction of a transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// The forward DFT: `X_k = Σ_j x_j e^{-2πi jk/n}`.
+    Forward,
+    /// The inverse DFT, including the `1/n` normalization.
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed power-of-two length.
+///
+/// ```
+/// use tabsketch_fft::{Complex, FftPlan, Direction};
+///
+/// let plan = FftPlan::new(8).unwrap();
+/// let mut data: Vec<Complex> = (0..8).map(|i| Complex::from_real(i as f64)).collect();
+/// let original = data.clone();
+/// plan.transform(&mut data, Direction::Forward).unwrap();
+/// plan.transform(&mut data, Direction::Inverse).unwrap();
+/// for (a, b) in data.iter().zip(&original) {
+///     assert!((a.re - b.re).abs() < 1e-9 && a.im.abs() < 1e-9);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index for each position; `rev[i] < n`.
+    rev: Vec<u32>,
+    /// Twiddle factors `e^{-2πi k / n}` for `k` in `0..n/2` (forward
+    /// direction; the inverse uses conjugates).
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] unless `n` is a power of two
+    /// (length 1 is allowed and is the identity transform).
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for i in 1..n {
+            rev[i] = (rev[i >> 1] >> 1) | (((i as u32) & 1) << (bits.saturating_sub(1)));
+        }
+        let half = n / 2;
+        let mut twiddles = Vec::with_capacity(half.max(1));
+        let step = -2.0 * core::f64::consts::PI / n as f64;
+        for k in 0..half.max(1) {
+            twiddles.push(Complex::cis(step * k as f64));
+        }
+        Ok(Self { n, rev, twiddles })
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: plans of length zero cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Transforms `data` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `data.len()` differs from
+    /// the planned length.
+    pub fn transform(&self, data: &mut [Complex], dir: Direction) -> Result<(), FftError> {
+        if data.len() != self.n {
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: data.len(),
+            });
+        }
+        if self.n == 1 {
+            return Ok(());
+        }
+        // Bit-reversal permutation: each swap pair is visited once.
+        for i in 0..self.n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative Cooley-Tukey butterflies.
+        let inverse = dir == Direction::Inverse;
+        let mut len = 2;
+        while len <= self.n {
+            let half = len / 2;
+            let stride = self.n / len;
+            for start in (0..self.n).step_by(len) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let tw = if inverse { tw.conj() } else { tw };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        if inverse {
+            let scale = 1.0 / self.n as f64;
+            for z in data.iter_mut() {
+                *z = z.scale(scale);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper: forward transform of a real signal, zero-padded
+    /// or truncated to the plan length, returning a freshly allocated
+    /// spectrum.
+    pub fn forward_real(&self, signal: &[f64]) -> Vec<Complex> {
+        let mut buf = vec![Complex::default(); self.n];
+        for (dst, &src) in buf.iter_mut().zip(signal.iter()) {
+            *dst = Complex::from_real(src);
+        }
+        self.transform(&mut buf, Direction::Forward)
+            .expect("buffer length matches plan by construction");
+        buf
+    }
+}
+
+/// The smallest power of two greater than or equal to `n` (with `n = 0`
+/// mapping to 1).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// A naive `O(n²)` DFT used as a test oracle for the FFT.
+///
+/// This is deliberately simple; it exists so that the fast path can be
+/// validated against an independent implementation.
+pub fn dft_naive(data: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::default();
+        for (j, &x) in data.iter().enumerate() {
+            let theta = sign * 2.0 * core::f64::consts::PI * (j * k % n) as f64 / n as f64;
+            acc += x * Complex::cis(theta);
+        }
+        if dir == Direction::Inverse {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "mismatch at {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(FftPlan::new(0), Err(FftError::NotPowerOfTwo(0))));
+        assert!(matches!(FftPlan::new(3), Err(FftError::NotPowerOfTwo(3))));
+        assert!(matches!(FftPlan::new(12), Err(FftError::NotPowerOfTwo(12))));
+        assert!(FftPlan::new(1).is_ok());
+        assert!(FftPlan::new(1024).is_ok());
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![Complex::default(); 4];
+        assert!(matches!(
+            plan.transform(&mut buf, Direction::Forward),
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                got: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut buf = vec![Complex::new(2.5, -1.0)];
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        assert_eq!(buf[0], Complex::new(2.5, -1.0));
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let plan = FftPlan::new(16).unwrap();
+        let mut buf = vec![Complex::default(); 16];
+        buf[0] = Complex::from_real(1.0);
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        for z in &buf {
+            assert!((z.re - 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_concentrates_at_dc() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![Complex::from_real(3.0); 8];
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        assert!((buf[0].re - 24.0).abs() < 1e-12);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 32, 128] {
+            let plan = FftPlan::new(n).unwrap();
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut fast = data.clone();
+            plan.transform(&mut fast, Direction::Forward).unwrap();
+            let slow = dft_naive(&data, Direction::Forward);
+            assert_close(&fast, &slow, 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        let plan = FftPlan::new(64).unwrap();
+        let data: Vec<Complex> = (0..64)
+            .map(|i| Complex::new(i as f64, (i * i % 17) as f64))
+            .collect();
+        let mut buf = data.clone();
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        plan.transform(&mut buf, Direction::Inverse).unwrap();
+        assert_close(&buf, &data, 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let plan = FftPlan::new(32).unwrap();
+        let data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sqrt(), -(i as f64) / 7.0))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = data.clone();
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        let freq_energy: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn forward_real_pads_and_truncates() {
+        let plan = FftPlan::new(4).unwrap();
+        let spec = plan.forward_real(&[1.0, 2.0]);
+        // Padded signal [1, 2, 0, 0]; DC bin is the sum.
+        assert!((spec[0].re - 3.0).abs() < 1e-12);
+        let spec2 = plan.forward_real(&[1.0; 10]);
+        assert!(
+            (spec2[0].re - 4.0).abs() < 1e-12,
+            "extra samples are ignored"
+        );
+    }
+
+    #[test]
+    fn next_pow2_boundaries() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(4), 4);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(1023), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let plan = FftPlan::new(16).unwrap();
+        let a: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex> = (0..16).map(|i| Complex::new(0.0, (i % 3) as f64)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fab: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        plan.transform(&mut fa, Direction::Forward).unwrap();
+        plan.transform(&mut fb, Direction::Forward).unwrap();
+        plan.transform(&mut fab, Direction::Forward).unwrap();
+        for i in 0..16 {
+            let sum = fa[i] + fb[i];
+            assert!((sum.re - fab[i].re).abs() < 1e-9);
+            assert!((sum.im - fab[i].im).abs() < 1e-9);
+        }
+    }
+}

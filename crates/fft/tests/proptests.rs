@@ -1,0 +1,186 @@
+//! Property-based tests for the FFT substrate.
+
+use proptest::prelude::*;
+
+use tabsketch_fft::{
+    convolve_1d, convolve_1d_naive, cross_correlate_1d_valid, cross_correlate_1d_valid_naive,
+    cross_correlate_2d_valid_naive, dft_naive, BluesteinPlan, Complex, Correlator2d, Direction,
+    FftPlan,
+};
+
+fn signal_strategy(max_log: u32) -> impl Strategy<Value = Vec<Complex>> {
+    (1u32..=max_log).prop_flat_map(|log| {
+        let n = 1usize << log;
+        proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(re, im)| Complex::new(re, im))
+                .collect()
+        })
+    })
+}
+
+fn reals(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-50.0f64..50.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Forward then inverse recovers the signal.
+    #[test]
+    fn fft_roundtrip(data in signal_strategy(9)) {
+        let plan = FftPlan::new(data.len()).unwrap();
+        let mut buf = data.clone();
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        plan.transform(&mut buf, Direction::Inverse).unwrap();
+        for (a, b) in buf.iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// The fast transform matches the O(n²) DFT.
+    #[test]
+    fn fft_matches_naive(data in signal_strategy(7)) {
+        let plan = FftPlan::new(data.len()).unwrap();
+        let mut fast = data.clone();
+        plan.transform(&mut fast, Direction::Forward).unwrap();
+        let slow = dft_naive(&data, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6,
+                "{a:?} vs {b:?}");
+        }
+    }
+
+    /// Parseval: energy is preserved (up to the 1/n convention).
+    #[test]
+    fn fft_parseval(data in signal_strategy(8)) {
+        let n = data.len();
+        let plan = FftPlan::new(n).unwrap();
+        let time: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = data.clone();
+        plan.transform(&mut buf, Direction::Forward).unwrap();
+        let freq: f64 = buf.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() <= 1e-6 * (1.0 + time));
+    }
+
+    /// FFT convolution equals direct convolution.
+    #[test]
+    fn convolution_matches_naive(a in reals(1..200), b in reals(1..64)) {
+        let fast = convolve_1d(&a, &b);
+        let slow = convolve_1d_naive(&a, &b);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    /// Convolution is commutative.
+    #[test]
+    fn convolution_commutes(a in reals(1..100), b in reals(1..100)) {
+        let ab = convolve_1d(&a, &b);
+        let ba = convolve_1d(&b, &a);
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Valid-mode correlation via FFT equals the direct sliding dot
+    /// product.
+    #[test]
+    fn correlation_matches_naive(data in reals(8..300), klen in 1usize..8) {
+        prop_assume!(klen <= data.len());
+        let kernel: Vec<f64> = data.iter().take(klen).map(|&v| v * 0.5 - 1.0).collect();
+        let fast = cross_correlate_1d_valid(&data, &kernel);
+        let slow = cross_correlate_1d_valid_naive(&data, &kernel);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    /// The 2-D correlator agrees with the naive sliding window for
+    /// arbitrary table/kernel shapes.
+    #[test]
+    fn correlator2d_matches_naive(
+        rows in 2usize..20,
+        cols in 2usize..20,
+        kr in 1usize..6,
+        kc in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(kr <= rows && kc <= cols);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13; state ^= state >> 7; state ^= state << 17;
+            (state % 1000) as f64 / 10.0 - 50.0
+        };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let kernel: Vec<f64> = (0..kr * kc).map(|_| next()).collect();
+        let corr = Correlator2d::new(&data, rows, cols).unwrap();
+        let fast = corr.correlate(&kernel, kr, kc).unwrap();
+        let slow = cross_correlate_2d_valid_naive(&data, rows, cols, &kernel, kr, kc);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (x, y) in fast.iter().zip(&slow) {
+            prop_assert!((x - y).abs() < 1e-5 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    /// Bluestein matches the naive DFT at every length, not just powers
+    /// of two, and round-trips exactly.
+    #[test]
+    fn bluestein_matches_naive_any_length(n in 1usize..80, seed in 0u64..500) {
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 200) as f64 - 100.0 };
+        let data: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        let plan = BluesteinPlan::new(n).unwrap();
+        let mut fast = data.clone();
+        plan.transform(&mut fast, Direction::Forward).unwrap();
+        let slow = dft_naive(&data, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 * (1.0 + b.re.abs()) + 1e-5
+                && (a.im - b.im).abs() < 1e-6 * (1.0 + b.im.abs()) + 1e-5,
+                "{a:?} vs {b:?}");
+        }
+        plan.transform(&mut fast, Direction::Inverse).unwrap();
+        for (a, b) in fast.iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    /// Packed-pair correlation equals two independent correlations for
+    /// arbitrary shapes.
+    #[test]
+    fn correlate_pair_matches_singles(
+        rows in 2usize..16,
+        cols in 2usize..16,
+        kr in 1usize..5,
+        kc in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(kr <= rows && kc <= cols);
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 100) as f64 - 50.0 };
+        let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+        let k1: Vec<f64> = (0..kr * kc).map(|_| next()).collect();
+        let k2: Vec<f64> = (0..kr * kc).map(|_| next()).collect();
+        let corr = Correlator2d::new(&data, rows, cols).unwrap();
+        let (p1, p2) = corr.correlate_pair(&k1, &k2, kr, kc).unwrap();
+        let s1 = corr.correlate(&k1, kr, kc).unwrap();
+        let s2 = corr.correlate(&k2, kr, kc).unwrap();
+        for (a, b) in p1.iter().zip(&s1).chain(p2.iter().zip(&s2)) {
+            prop_assert!((a - b).abs() < 1e-5 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    /// Correlating with a delta kernel reproduces the table.
+    #[test]
+    fn correlator2d_delta_kernel(rows in 1usize..12, cols in 1usize..12) {
+        let data: Vec<f64> = (0..rows * cols).map(|i| i as f64).collect();
+        let corr = Correlator2d::new(&data, rows, cols).unwrap();
+        let out = corr.correlate(&[1.0], 1, 1).unwrap();
+        for (x, y) in out.iter().zip(&data) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+}

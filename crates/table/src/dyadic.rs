@@ -1,0 +1,190 @@
+//! Dyadic (power-of-two) size machinery for compound sketches.
+//!
+//! The paper (Theorems 5 and 6) precomputes sketches for all "canonical"
+//! subtable sizes `2^i × 2^j` and then covers an arbitrary `c × d` query
+//! rectangle with **four overlapping** dyadic rectangles of size `a × b`,
+//! where `a = 2^⌊log₂ c⌋` (so `a ≤ c ≤ 2a`) and likewise for `b`. This
+//! module computes those covers.
+
+use crate::Rect;
+
+/// The largest power of two that is `<= n`. `n` must be non-zero.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+#[inline]
+pub fn floor_pow2(n: usize) -> usize {
+    assert!(n > 0, "floor_pow2 of zero");
+    1usize << (usize::BITS - 1 - n.leading_zeros())
+}
+
+/// All canonical dyadic sizes `(2^i, 2^j)` with `2^i <= max_rows` and
+/// `2^j <= max_cols`, in increasing order of `(rows, cols)`.
+pub fn canonical_sizes(max_rows: usize, max_cols: usize) -> Vec<(usize, usize)> {
+    let mut sizes = Vec::new();
+    let mut r = 1;
+    while r <= max_rows {
+        let mut c = 1;
+        while c <= max_cols {
+            sizes.push((r, c));
+            c <<= 1;
+        }
+        r <<= 1;
+    }
+    sizes
+}
+
+/// The four-rectangle dyadic cover of a query rectangle (Definition 4).
+///
+/// All four rectangles have the same dyadic shape `a × b` with
+/// `a ≤ rect.rows ≤ 2a` and `b ≤ rect.cols ≤ 2b`; they are anchored at the
+/// four corners of the query so that their union is exactly the query
+/// rectangle (they overlap in the middle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DyadicCover {
+    /// The shared dyadic shape `(a, b)` of the four covering rectangles.
+    pub shape: (usize, usize),
+    /// Top-left, top-right, bottom-left, bottom-right anchors, in the
+    /// order used by the paper's Definition 4: `s, t, u, v` sketches cover
+    /// `(i, j)`, `(i + c − a, j)`, `(i, j + d − b)`, `(i + c − a, j + d − b)`.
+    pub anchors: [Rect; 4],
+}
+
+impl DyadicCover {
+    /// Computes the cover of `rect`. The rectangle must be non-empty.
+    ///
+    /// Returns `None` when the rectangle has a zero dimension.
+    pub fn of(rect: Rect) -> Option<Self> {
+        if rect.rows == 0 || rect.cols == 0 {
+            return None;
+        }
+        let a = floor_pow2(rect.rows);
+        let b = floor_pow2(rect.cols);
+        let (i, j) = (rect.row, rect.col);
+        let (c, d) = (rect.rows, rect.cols);
+        let anchors = [
+            Rect::new(i, j, a, b),
+            Rect::new(i + c - a, j, a, b),
+            Rect::new(i, j + d - b, a, b),
+            Rect::new(i + c - a, j + d - b, a, b),
+        ];
+        Some(Self {
+            shape: (a, b),
+            anchors,
+        })
+    }
+
+    /// Whether the query rectangle is itself dyadic, in which case all four
+    /// anchors coincide and a direct (non-compound) sketch is exact.
+    pub fn is_exact(&self) -> bool {
+        self.anchors[0] == self.anchors[3]
+    }
+}
+
+/// How many times the cover counts each cell of the query rectangle.
+///
+/// Used by tests and by the estimator documentation: with overlap, cells
+/// are counted 1, 2, or 4 times, which is why compound sketches carry a
+/// factor-4 approximation guarantee rather than `1 + ε`.
+pub fn cover_multiplicity(rect: Rect) -> Option<Vec<u8>> {
+    let cover = DyadicCover::of(rect)?;
+    let mut counts = vec![0u8; rect.area()];
+    for anchor in &cover.anchors {
+        for r in 0..anchor.rows {
+            for c in 0..anchor.cols {
+                let rr = anchor.row + r - rect.row;
+                let cc = anchor.col + c - rect.col;
+                counts[rr * rect.cols + cc] += 1;
+            }
+        }
+    }
+    Some(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_pow2_values() {
+        assert_eq!(floor_pow2(1), 1);
+        assert_eq!(floor_pow2(2), 2);
+        assert_eq!(floor_pow2(3), 2);
+        assert_eq!(floor_pow2(4), 4);
+        assert_eq!(floor_pow2(7), 4);
+        assert_eq!(floor_pow2(8), 8);
+        assert_eq!(floor_pow2(1023), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor_pow2 of zero")]
+    fn floor_pow2_zero_panics() {
+        let _ = floor_pow2(0);
+    }
+
+    #[test]
+    fn canonical_size_count_is_log_squared() {
+        let sizes = canonical_sizes(16, 16);
+        assert_eq!(sizes.len(), 5 * 5);
+        assert!(sizes.contains(&(1, 1)));
+        assert!(sizes.contains(&(16, 16)));
+        assert!(!sizes.contains(&(32, 1)));
+    }
+
+    #[test]
+    fn cover_shape_halving_invariant() {
+        for rows in 1..40 {
+            for cols in 1..40 {
+                let cover = DyadicCover::of(Rect::new(5, 7, rows, cols)).unwrap();
+                let (a, b) = cover.shape;
+                assert!(a <= rows && rows <= 2 * a, "rows={rows}, a={a}");
+                assert!(b <= cols && cols <= 2 * b, "cols={cols}, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn cover_union_is_exactly_the_rect() {
+        for &(rows, cols) in &[(3usize, 5usize), (7, 7), (4, 4), (1, 1), (6, 9)] {
+            let rect = Rect::new(2, 3, rows, cols);
+            let counts = cover_multiplicity(rect).unwrap();
+            assert!(
+                counts.iter().all(|&c| c >= 1),
+                "every cell covered for {rows}x{cols}"
+            );
+            assert!(counts.iter().all(|&c| c <= 4), "multiplicity bounded by 4");
+        }
+    }
+
+    #[test]
+    fn cover_anchors_stay_inside_rect() {
+        let rect = Rect::new(10, 20, 6, 9);
+        let cover = DyadicCover::of(rect).unwrap();
+        for anchor in &cover.anchors {
+            assert!(rect.contains_rect(anchor), "{anchor:?} outside {rect:?}");
+        }
+    }
+
+    #[test]
+    fn dyadic_rect_is_exact() {
+        let cover = DyadicCover::of(Rect::new(0, 0, 8, 4)).unwrap();
+        assert!(cover.is_exact());
+        assert_eq!(cover.shape, (8, 4));
+        let cover2 = DyadicCover::of(Rect::new(0, 0, 8, 5)).unwrap();
+        assert!(!cover2.is_exact());
+    }
+
+    #[test]
+    fn empty_rect_has_no_cover() {
+        assert!(DyadicCover::of(Rect::new(0, 0, 0, 3)).is_none());
+    }
+
+    #[test]
+    fn multiplicity_of_dyadic_rect_is_four_everywhere() {
+        // When the rect is exactly dyadic the four anchors coincide, so
+        // every cell is counted 4 times.
+        let counts = cover_multiplicity(Rect::new(0, 0, 4, 4)).unwrap();
+        assert!(counts.iter().all(|&c| c == 4));
+    }
+}

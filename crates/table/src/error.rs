@@ -1,0 +1,88 @@
+//! Error type for tabular-data operations.
+
+use core::fmt;
+
+/// Errors produced by the `tabsketch-table` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TableError {
+    /// A table was constructed with a buffer whose length disagrees with the
+    /// declared dimensions.
+    DimensionMismatch {
+        /// Declared rows.
+        rows: usize,
+        /// Declared columns.
+        cols: usize,
+        /// Provided buffer length.
+        len: usize,
+    },
+    /// A table dimension was zero.
+    EmptyDimension,
+    /// A rectangle does not fit inside the table it was applied to.
+    RectOutOfBounds {
+        /// The offending rectangle, as `(row, col, rows, cols)`.
+        rect: (usize, usize, usize, usize),
+        /// Table rows.
+        table_rows: usize,
+        /// Table columns.
+        table_cols: usize,
+    },
+    /// Two operands were required to have identical shapes.
+    ShapeMismatch {
+        /// Shape of the left operand `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right operand `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A tile size does not evenly relate to the table (e.g. zero-sized).
+    InvalidTileSize {
+        /// Requested tile rows.
+        tile_rows: usize,
+        /// Requested tile columns.
+        tile_cols: usize,
+    },
+    /// An I/O or parse failure while loading/saving a table.
+    Io(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::DimensionMismatch { rows, cols, len } => {
+                write!(
+                    f,
+                    "buffer of length {len} cannot form a {rows}x{cols} table"
+                )
+            }
+            TableError::EmptyDimension => write!(f, "table dimensions must be non-zero"),
+            TableError::RectOutOfBounds {
+                rect,
+                table_rows,
+                table_cols,
+            } => write!(
+                f,
+                "rect (row={}, col={}, rows={}, cols={}) out of bounds for {}x{} table",
+                rect.0, rect.1, rect.2, rect.3, table_rows, table_cols
+            ),
+            TableError::ShapeMismatch { left, right } => write!(
+                f,
+                "shape mismatch: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            TableError::InvalidTileSize {
+                tile_rows,
+                tile_cols,
+            } => {
+                write!(f, "invalid tile size {tile_rows}x{tile_cols}")
+            }
+            TableError::Io(msg) => write!(f, "table I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}

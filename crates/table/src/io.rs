@@ -1,0 +1,227 @@
+//! Plain-text and binary persistence for tables.
+//!
+//! The paper's data lives in "proprietary formats such as compressed flat
+//! files"; here we provide two simple, dependency-light formats:
+//!
+//! * CSV — human-readable, for examples and small fixtures;
+//! * a little-endian binary format (`TSB1`) — compact, for benchmark
+//!   datasets that are regenerated and reloaded.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::{Table, TableError};
+
+const BINARY_MAGIC: &[u8; 4] = b"TSB1";
+
+/// Writes a table as CSV (no header) to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TableError::Io`].
+pub fn write_csv<W: Write>(table: &Table, writer: W) -> Result<(), TableError> {
+    let mut w = BufWriter::new(writer);
+    for row in table.row_iter() {
+        let mut first = true;
+        for v in row {
+            if !first {
+                write!(w, ",")?;
+            }
+            first = false;
+            write!(w, "{v}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a table from CSV (no header) from `reader`.
+///
+/// # Errors
+///
+/// Returns [`TableError::Io`] on malformed numbers, ragged rows, or I/O
+/// failures, and [`TableError::EmptyDimension`] for empty input.
+pub fn read_csv<R: Read>(reader: R) -> Result<Table, TableError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut line = String::new();
+    let mut r = BufReader::new(reader);
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = trimmed
+            .split(',')
+            .map(|s| s.trim().parse::<f64>())
+            .collect();
+        rows.push(row.map_err(|e| TableError::Io(format!("bad number in CSV: {e}")))?);
+    }
+    Table::from_rows(&rows)
+}
+
+/// Writes a table to `path` as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TableError::Io`].
+pub fn save_csv<P: AsRef<Path>>(table: &Table, path: P) -> Result<(), TableError> {
+    write_csv(table, std::fs::File::create(path)?)
+}
+
+/// Reads a table from a CSV file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O and parse failures as [`TableError::Io`].
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Table, TableError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+/// Writes a table in the `TSB1` binary format: 4-byte magic, two u64
+/// little-endian dimensions, then `rows*cols` f64 little-endian values.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TableError::Io`].
+pub fn write_binary<W: Write>(table: &Table, writer: W) -> Result<(), TableError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(table.rows() as u64).to_le_bytes())?;
+    w.write_all(&(table.cols() as u64).to_le_bytes())?;
+    for &v in table.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a table in the `TSB1` binary format.
+///
+/// # Errors
+///
+/// Returns [`TableError::Io`] on bad magic, truncated input, or I/O
+/// failure.
+pub fn read_binary<R: Read>(reader: R) -> Result<Table, TableError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(TableError::Io("bad magic: not a TSB1 table".into()));
+    }
+    let mut dim = [0u8; 8];
+    r.read_exact(&mut dim)?;
+    let rows = u64::from_le_bytes(dim) as usize;
+    r.read_exact(&mut dim)?;
+    let cols = u64::from_le_bytes(dim) as usize;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| TableError::Io("dimension overflow".into()))?;
+    let mut data = Vec::with_capacity(n);
+    let mut buf = [0u8; 8];
+    for _ in 0..n {
+        r.read_exact(&mut buf)?;
+        data.push(f64::from_le_bytes(buf));
+    }
+    Table::new(rows, cols, data)
+}
+
+/// Writes a table to `path` in the `TSB1` binary format.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TableError::Io`].
+pub fn save_binary<P: AsRef<Path>>(table: &Table, path: P) -> Result<(), TableError> {
+    write_binary(table, std::fs::File::create(path)?)
+}
+
+/// Reads a table from a `TSB1` binary file at `path`.
+///
+/// # Errors
+///
+/// Propagates I/O and format failures as [`TableError::Io`].
+pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Table, TableError> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_fn(3, 4, |r, c| (r as f64) * 1.5 - (c as f64) * 0.25).unwrap()
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let back = read_csv("1,2\n\n3,4\n".as_bytes()).unwrap();
+        assert_eq!(back.shape(), (2, 2));
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(read_csv("1,banana\n".as_bytes()).is_err());
+        assert!(read_csv("".as_bytes()).is_err(), "empty input");
+        assert!(read_csv("1,2\n3\n".as_bytes()).is_err(), "ragged rows");
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x00\x00\x00\x00"[..]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn binary_preserves_special_values() {
+        let t = Table::new(1, 3, vec![f64::MAX, f64::MIN_POSITIVE, -0.0]).unwrap();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(buf.as_slice()).unwrap();
+        assert_eq!(t.as_slice(), back.as_slice());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tabsketch-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = sample();
+        let csv = dir.join("t.csv");
+        let bin = dir.join("t.tsb");
+        save_csv(&t, &csv).unwrap();
+        save_binary(&t, &bin).unwrap();
+        assert_eq!(load_csv(&csv).unwrap(), t);
+        assert_eq!(load_binary(&bin).unwrap(), t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,43 @@
+//! # tabsketch-table
+//!
+//! The tabular data model underlying the `tabsketch` workspace:
+//!
+//! * [`Table`] — a dense row-major matrix of `f64` (the paper's "tabular
+//!   data", e.g. call volume by station × time slot);
+//! * [`Rect`] / [`TableView`] — zero-copy rectangular subtables;
+//! * [`TileGrid`] — partitioning a table into the equal-sized tiles that
+//!   mining algorithms cluster;
+//! * [`dyadic`] — canonical power-of-two sizes and the four-rectangle
+//!   covers behind compound sketches (paper Definition 4, Theorems 5–6);
+//! * [`norms`] — exact Lp distances for all `0 < p ≤ 2` (the ground truth
+//!   the sketches approximate);
+//! * [`io`] — CSV and binary persistence.
+//!
+//! ```
+//! use tabsketch_table::{Table, Rect, norms};
+//!
+//! let t = Table::from_fn(8, 8, |r, c| (r * c) as f64).unwrap();
+//! let a = t.view(Rect::new(0, 0, 4, 4)).unwrap();
+//! let b = t.view(Rect::new(4, 4, 4, 4)).unwrap();
+//! let d1 = norms::lp_distance_views(&a, &b, 1.0).unwrap();
+//! let dh = norms::lp_distance_views(&a, &b, 0.5).unwrap();
+//! assert!(d1 > 0.0 && dh > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dyadic;
+mod error;
+pub mod io;
+pub mod norms;
+mod rect;
+pub mod stats;
+mod table;
+mod tiling;
+pub mod transform;
+
+pub use error::TableError;
+pub use rect::Rect;
+pub use table::{Table, TableView};
+pub use tiling::TileGrid;

@@ -1,0 +1,268 @@
+//! Exact Lp norms and distances over vectors, views, and tables.
+//!
+//! These are the ground-truth ("exact computation") routines the sketches
+//! approximate — and the baseline the paper's timing figures compare
+//! against. The Lp distance of the paper, for `0 < p ≤ 2`:
+//!
+//! `||x − y||_p = (Σ_i |x_i − y_i|^p)^(1/p)`
+//!
+//! extended entry-wise to matrices.
+
+use crate::{Table, TableError, TableView};
+
+/// Exponent domain accepted by the distance functions: `0 < p <= 2`.
+///
+/// The paper restricts attention to this range because symmetric p-stable
+/// distributions (the sketching tool) exist exactly for `0 < p ≤ 2`.
+#[inline]
+pub fn valid_p(p: f64) -> bool {
+    p > 0.0 && p <= 2.0 && p.is_finite()
+}
+
+/// `|x|^p` specialized for the common exponents.
+///
+/// `powf` is expensive; p = 1 and p = 2 are the traditional metrics and
+/// appear in every benchmark, so they get fast paths.
+#[inline]
+pub fn abs_pow(x: f64, p: f64) -> f64 {
+    let a = x.abs();
+    if p == 1.0 {
+        a
+    } else if p == 2.0 {
+        a * a
+    } else if p == 0.5 {
+        a.sqrt()
+    } else {
+        a.powf(p)
+    }
+}
+
+/// The p-th power of the Lp distance between two equal-length slices:
+/// `Σ_i |a_i − b_i|^p`.
+///
+/// # Panics
+///
+/// Panics in debug builds when lengths differ; in release the shorter
+/// length is used (callers in this workspace validate shapes first).
+pub fn lp_distance_pow_slices(a: &[f64], b: &[f64], p: f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert!(valid_p(p));
+    if p == 1.0 {
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum()
+    } else if p == 2.0 {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    } else {
+        a.iter().zip(b).map(|(&x, &y)| abs_pow(x - y, p)).sum()
+    }
+}
+
+/// The Lp distance between two equal-length slices.
+pub fn lp_distance_slices(a: &[f64], b: &[f64], p: f64) -> f64 {
+    lp_distance_pow_slices(a, b, p).powf(1.0 / p)
+}
+
+/// The Lp norm of a slice.
+pub fn lp_norm_slice(a: &[f64], p: f64) -> f64 {
+    debug_assert!(valid_p(p));
+    a.iter().map(|&x| abs_pow(x, p)).sum::<f64>().powf(1.0 / p)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// The Lp distance between two table views of identical shape.
+///
+/// Operates row-by-row on the parents' buffers — subtables are never
+/// materialized.
+///
+/// # Errors
+///
+/// Returns [`TableError::ShapeMismatch`] when shapes differ.
+pub fn lp_distance_views(a: &TableView<'_>, b: &TableView<'_>, p: f64) -> Result<f64, TableError> {
+    Ok(lp_distance_pow_views(a, b, p)?.powf(1.0 / p))
+}
+
+/// The p-th power of the Lp distance between two views (no final root) —
+/// useful when only comparisons are needed, since `x ↦ x^(1/p)` is
+/// monotone.
+///
+/// # Errors
+///
+/// Returns [`TableError::ShapeMismatch`] when shapes differ.
+pub fn lp_distance_pow_views(
+    a: &TableView<'_>,
+    b: &TableView<'_>,
+    p: f64,
+) -> Result<f64, TableError> {
+    if a.shape() != b.shape() {
+        return Err(TableError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut acc = 0.0;
+    for (ra, rb) in a.row_iter().zip(b.row_iter()) {
+        acc += lp_distance_pow_slices(ra, rb, p);
+    }
+    Ok(acc)
+}
+
+/// The Lp distance between two whole tables of identical shape.
+///
+/// # Errors
+///
+/// Returns [`TableError::ShapeMismatch`] when shapes differ.
+pub fn lp_distance_tables(a: &Table, b: &Table, p: f64) -> Result<f64, TableError> {
+    if a.shape() != b.shape() {
+        return Err(TableError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    Ok(lp_distance_pow_slices(a.as_slice(), b.as_slice(), p).powf(1.0 / p))
+}
+
+/// Hamming-style distance: the number of positions where the two slices
+/// differ. The paper notes that `Lp^p → Hamming` as `p → 0`.
+pub fn hamming_distance_slices(a: &[f64], b: &[f64]) -> usize {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect;
+
+    #[test]
+    fn valid_p_domain() {
+        assert!(valid_p(0.25));
+        assert!(valid_p(1.0));
+        assert!(valid_p(2.0));
+        assert!(!valid_p(0.0));
+        assert!(!valid_p(2.1));
+        assert!(!valid_p(-1.0));
+        assert!(!valid_p(f64::NAN));
+        assert!(!valid_p(f64::INFINITY));
+    }
+
+    #[test]
+    fn l1_is_sum_of_abs_differences() {
+        let a = [1.0, 5.0, -2.0];
+        let b = [4.0, 5.0, 2.0];
+        assert_eq!(lp_distance_slices(&a, &b, 1.0), 7.0);
+    }
+
+    #[test]
+    fn l2_is_euclidean() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((lp_distance_slices(&a, &b, 2.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_p_known_value() {
+        // |1|^0.5 + |4|^0.5 = 1 + 2 = 3; distance = 3^2 = 9.
+        let a = [0.0, 0.0];
+        let b = [1.0, 4.0];
+        assert!((lp_distance_slices(&a, &b, 0.5) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_p_downweights_outliers() {
+        // One big outlier vs many small differences: under L2 the outlier
+        // vector is farther, under L0.5 the diffuse vector is farther.
+        let origin = [0.0; 9];
+        let outlier = [9.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let diffuse = [1.0; 9];
+        let d2_out = lp_distance_slices(&origin, &outlier, 2.0);
+        let d2_dif = lp_distance_slices(&origin, &diffuse, 2.0);
+        assert!(d2_out > d2_dif);
+        let dh_out = lp_distance_slices(&origin, &outlier, 0.5);
+        let dh_dif = lp_distance_slices(&origin, &diffuse, 0.5);
+        assert!(dh_out < dh_dif);
+    }
+
+    #[test]
+    fn distance_is_a_metric_sanity() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 0.0, 5.0];
+        let c = [0.0, 1.0, 1.0];
+        for &p in &[0.5, 1.0, 1.5, 2.0] {
+            let dab = lp_distance_slices(&a, &b, p);
+            let dba = lp_distance_slices(&b, &a, p);
+            assert!((dab - dba).abs() < 1e-12, "symmetry at p={p}");
+            assert_eq!(lp_distance_slices(&a, &a, p), 0.0, "identity at p={p}");
+            // Triangle inequality holds for p >= 1 (quasi-metric below).
+            if p >= 1.0 {
+                let dac = lp_distance_slices(&a, &c, p);
+                let dcb = lp_distance_slices(&c, &b, p);
+                assert!(dab <= dac + dcb + 1e-12, "triangle at p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn view_distance_matches_slice_distance() {
+        let t1 = Table::from_fn(6, 6, |r, c| (r * 6 + c) as f64).unwrap();
+        let t2 = Table::from_fn(6, 6, |r, c| ((r * 6 + c) * 2) as f64).unwrap();
+        let r = Rect::new(1, 2, 3, 3);
+        let v1 = t1.view(r).unwrap();
+        let v2 = t2.view(r).unwrap();
+        for &p in &[0.5, 1.0, 1.3, 2.0] {
+            let dv = lp_distance_views(&v1, &v2, p).unwrap();
+            let ds = lp_distance_slices(&v1.to_vec(), &v2.to_vec(), p);
+            assert!((dv - ds).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn view_distance_rejects_shape_mismatch() {
+        let t = Table::zeros(4, 4).unwrap();
+        let a = t.view(Rect::new(0, 0, 2, 2)).unwrap();
+        let b = t.view(Rect::new(0, 0, 2, 3)).unwrap();
+        assert!(lp_distance_views(&a, &b, 1.0).is_err());
+    }
+
+    #[test]
+    fn table_distance_and_norm() {
+        let a = Table::new(1, 3, vec![1.0, -2.0, 2.0]).unwrap();
+        let b = Table::zeros(1, 3).unwrap();
+        assert!((lp_distance_tables(&a, &b, 2.0).unwrap() - 3.0).abs() < 1e-12);
+        assert!((lp_norm_slice(a.as_slice(), 2.0) - 3.0).abs() < 1e-12);
+        assert!(lp_distance_tables(&a, &Table::zeros(3, 1).unwrap(), 2.0).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot_slices(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot_slices(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn hamming() {
+        assert_eq!(
+            hamming_distance_slices(&[1.0, 2.0, 3.0], &[1.0, 0.0, 3.0]),
+            1
+        );
+        assert_eq!(hamming_distance_slices(&[1.0], &[1.0]), 0);
+    }
+
+    #[test]
+    fn abs_pow_fast_paths_match_powf() {
+        for &x in &[-3.5, -1.0, 0.0, 0.1, 2.0, 100.0] {
+            for &p in &[0.5, 1.0, 2.0] {
+                assert!((abs_pow(x, p) - x.abs().powf(p)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Rectangular regions of a table.
+
+use crate::TableError;
+
+/// A rectangular region of a table: `rows × cols` cells starting at
+/// `(row, col)` (top-left corner, zero-based, row-major convention).
+///
+/// A `Rect` is a pure description — it is validated against a concrete
+/// table when a view is taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Rect {
+    /// Top row index.
+    pub row: usize,
+    /// Left column index.
+    pub col: usize,
+    /// Height in rows; must be non-zero for a useful rect.
+    pub rows: usize,
+    /// Width in columns; must be non-zero for a useful rect.
+    pub cols: usize,
+}
+
+impl Rect {
+    /// Creates a rectangle from its top-left corner and extent.
+    #[inline]
+    pub const fn new(row: usize, col: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            row,
+            col,
+            rows,
+            cols,
+        }
+    }
+
+    /// The number of cells covered.
+    #[inline]
+    pub const fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The shape `(rows, cols)` of the rectangle.
+    #[inline]
+    pub const fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// One past the bottom row.
+    #[inline]
+    pub const fn row_end(&self) -> usize {
+        self.row + self.rows
+    }
+
+    /// One past the rightmost column.
+    #[inline]
+    pub const fn col_end(&self) -> usize {
+        self.col + self.cols
+    }
+
+    /// Whether the rectangle covers the cell `(r, c)`.
+    #[inline]
+    pub const fn contains(&self, r: usize, c: usize) -> bool {
+        r >= self.row && r < self.row_end() && c >= self.col && c < self.col_end()
+    }
+
+    /// Whether `other` lies entirely within `self`.
+    pub const fn contains_rect(&self, other: &Rect) -> bool {
+        other.row >= self.row
+            && other.col >= self.col
+            && other.row_end() <= self.row_end()
+            && other.col_end() <= self.col_end()
+    }
+
+    /// Validates that the rectangle is non-empty and fits inside a
+    /// `table_rows × table_cols` table.
+    pub fn validate(&self, table_rows: usize, table_cols: usize) -> Result<(), TableError> {
+        let oob = TableError::RectOutOfBounds {
+            rect: (self.row, self.col, self.rows, self.cols),
+            table_rows,
+            table_cols,
+        };
+        if self.rows == 0 || self.cols == 0 {
+            return Err(oob);
+        }
+        // Overflow-safe bound checks.
+        let row_ok = self
+            .row
+            .checked_add(self.rows)
+            .is_some_and(|e| e <= table_rows);
+        let col_ok = self
+            .col
+            .checked_add(self.cols)
+            .is_some_and(|e| e <= table_cols);
+        if row_ok && col_ok {
+            Ok(())
+        } else {
+            Err(oob)
+        }
+    }
+
+    /// The intersection of two rectangles, or `None` when disjoint.
+    pub fn intersect(&self, other: &Rect) -> Option<Rect> {
+        let row = self.row.max(other.row);
+        let col = self.col.max(other.col);
+        let row_end = self.row_end().min(other.row_end());
+        let col_end = self.col_end().min(other.col_end());
+        if row < row_end && col < col_end {
+            Some(Rect::new(row, col, row_end - row, col_end - col))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_and_bounds() {
+        let r = Rect::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.shape(), (4, 5));
+        assert_eq!(r.row_end(), 6);
+        assert_eq!(r.col_end(), 8);
+    }
+
+    #[test]
+    fn containment() {
+        let r = Rect::new(1, 1, 3, 3);
+        assert!(r.contains(1, 1));
+        assert!(r.contains(3, 3));
+        assert!(!r.contains(4, 3));
+        assert!(!r.contains(0, 2));
+        assert!(r.contains_rect(&Rect::new(2, 2, 1, 1)));
+        assert!(r.contains_rect(&r));
+        assert!(!r.contains_rect(&Rect::new(0, 0, 2, 2)));
+    }
+
+    #[test]
+    fn validation() {
+        let r = Rect::new(0, 0, 4, 4);
+        assert!(r.validate(4, 4).is_ok());
+        assert!(r.validate(3, 4).is_err());
+        assert!(Rect::new(1, 0, 4, 4).validate(4, 4).is_err());
+        assert!(
+            Rect::new(0, 0, 0, 4).validate(4, 4).is_err(),
+            "empty rect rejected"
+        );
+        assert!(
+            Rect::new(usize::MAX, 0, 2, 2).validate(4, 4).is_err(),
+            "overflow-safe"
+        );
+    }
+
+    #[test]
+    fn intersection() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        assert_eq!(a.intersect(&b), Some(Rect::new(2, 2, 2, 2)));
+        assert_eq!(b.intersect(&a), Some(Rect::new(2, 2, 2, 2)));
+        let c = Rect::new(4, 4, 1, 1);
+        assert_eq!(a.intersect(&c), None, "touching edges do not intersect");
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+}

@@ -1,0 +1,136 @@
+//! Summary statistics over tables, rows, and columns.
+//!
+//! Small, allocation-light helpers used by the CLI's `info` command, the
+//! examples' reporting, and anyone deciding how to tile or transform a
+//! table before sketching it.
+
+use crate::Table;
+
+/// Summary statistics of a value collection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty slice; `None` for an empty one.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        let mean = sum / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        Some(Summary {
+            count: values.len(),
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        })
+    }
+}
+
+/// Summary of every cell of a table.
+pub fn table_summary(table: &Table) -> Summary {
+    Summary::of(table.as_slice()).expect("tables are non-empty by construction")
+}
+
+/// Per-row means (e.g. average volume per station).
+pub fn row_means(table: &Table) -> Vec<f64> {
+    table
+        .row_iter()
+        .map(|row| row.iter().sum::<f64>() / row.len() as f64)
+        .collect()
+}
+
+/// Per-column means (e.g. average volume per time slot — the diurnal
+/// profile of a call-volume table).
+pub fn col_means(table: &Table) -> Vec<f64> {
+    let mut sums = vec![0.0f64; table.cols()];
+    for row in table.row_iter() {
+        for (acc, &v) in sums.iter_mut().zip(row) {
+            *acc += v;
+        }
+    }
+    let n = table.rows() as f64;
+    sums.iter_mut().for_each(|v| *v /= n);
+    sums
+}
+
+/// Per-row sums.
+pub fn row_sums(table: &Table) -> Vec<f64> {
+    table.row_iter().map(|row| row.iter().sum()).collect()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of the table's values, by the
+/// nearest-rank method. `None` for out-of-range `q`.
+pub fn quantile(table: &Table, q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) || !q.is_finite() {
+        return None;
+    }
+    let mut values: Vec<f64> = table.as_slice().to_vec();
+    let rank = ((q * (values.len() - 1) as f64).round() as usize).min(values.len() - 1);
+    let (_, v, _) = values.select_nth_unstable_by(rank, |a, b| a.total_cmp(b));
+    Some(*v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn summary_values() {
+        let s = table_summary(&sample());
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.mean - 3.5).abs() < 1e-12);
+        // Population stddev of 1..6 = sqrt(35/12).
+        assert!((s.std_dev - (35.0f64 / 12.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_slice_summary_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[7.0]).is_some());
+    }
+
+    #[test]
+    fn row_and_col_profiles() {
+        let t = sample();
+        assert_eq!(row_means(&t), vec![2.0, 5.0]);
+        assert_eq!(col_means(&t), vec![2.5, 3.5, 4.5]);
+        assert_eq!(row_sums(&t), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let t = Table::new(1, 5, vec![10.0, 30.0, 20.0, 50.0, 40.0]).unwrap();
+        assert_eq!(quantile(&t, 0.0), Some(10.0));
+        assert_eq!(quantile(&t, 0.5), Some(30.0));
+        assert_eq!(quantile(&t, 1.0), Some(50.0));
+        assert_eq!(quantile(&t, 1.5), None);
+        assert_eq!(quantile(&t, f64::NAN), None);
+    }
+}

@@ -1,0 +1,477 @@
+//! The dense tabular data model.
+
+use crate::{Rect, TableError};
+
+/// A dense, row-major table of `f64` values.
+///
+/// This is the paper's "tabular data": a matrix indexed by, say,
+/// geographically-ordered stations (rows) and time slots (columns).
+///
+/// ```
+/// use tabsketch_table::Table;
+///
+/// let t = Table::from_rows(&[
+///     vec![1.0, 2.0],
+///     vec![3.0, 4.0],
+/// ]).unwrap();
+/// assert_eq!(t.get(1, 0), 3.0);
+/// assert_eq!(t.shape(), (2, 2));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Table {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Table {
+    /// Creates a table from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] for zero-sized dimensions and
+    /// [`TableError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, TableError> {
+        if rows == 0 || cols == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        if data.len() != rows * cols {
+            return Err(TableError::DimensionMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Creates a zero-filled table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] for zero-sized dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, TableError> {
+        Self::new(rows, cols, vec![0.0; rows.checked_mul(cols).unwrap_or(0)])
+    }
+
+    /// Creates a table by evaluating `f(row, col)` for every cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] for zero-sized dimensions.
+    pub fn from_fn(
+        rows: usize,
+        cols: usize,
+        mut f: impl FnMut(usize, usize) -> f64,
+    ) -> Result<Self, TableError> {
+        if rows == 0 || cols == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self::new(rows, cols, data)
+    }
+
+    /// Creates a table from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] when there are no rows or the
+    /// first row is empty, and [`TableError::ShapeMismatch`] when row
+    /// lengths differ.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, TableError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        if nrows == 0 || ncols == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(TableError::ShapeMismatch {
+                    left: (1, ncols),
+                    right: (1, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Self::new(nrows, ncols, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false: empty tables cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The rectangle covering the whole table.
+    #[inline]
+    pub fn bounding_rect(&self) -> Rect {
+        Rect::new(0, 0, self.rows, self.cols)
+    }
+
+    /// Reads the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (hot-path accessor; use
+    /// [`Table::try_get`] for checked access).
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Checked read of the cell at `(row, col)`.
+    #[inline]
+    pub fn try_get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Writes the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The row-major backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the row-major backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the table, returning the backing buffer.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrow of a single row.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// A borrowed view of the region `rect`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RectOutOfBounds`] when the rectangle does not
+    /// fit in the table.
+    pub fn view(&self, rect: Rect) -> Result<TableView<'_>, TableError> {
+        rect.validate(self.rows, self.cols)?;
+        Ok(TableView { table: self, rect })
+    }
+
+    /// Materializes the region `rect` as a new table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RectOutOfBounds`] when the rectangle does not
+    /// fit in the table.
+    pub fn subtable(&self, rect: Rect) -> Result<Table, TableError> {
+        Ok(self.view(rect)?.to_table())
+    }
+
+    /// Horizontally concatenates two tables with equal row counts — the
+    /// paper's "stitching consecutive days" operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ShapeMismatch`] when row counts differ.
+    pub fn hstack(&self, other: &Table) -> Result<Table, TableError> {
+        if self.rows != other.rows {
+            return Err(TableError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Table::new(self.rows, cols, data)
+    }
+
+    /// Vertically concatenates two tables with equal column counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ShapeMismatch`] when column counts differ.
+    pub fn vstack(&self, other: &Table) -> Result<Table, TableError> {
+        if self.cols != other.cols {
+            return Err(TableError::ShapeMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Table::new(self.rows + other.rows, self.cols, data)
+    }
+}
+
+/// A borrowed rectangular view into a [`Table`].
+///
+/// Views are cheap (`Copy`) and expose row-slice iteration; the sketching
+/// and distance code consumes views so that subtables are never copied
+/// unless explicitly materialized.
+#[derive(Clone, Copy, Debug)]
+pub struct TableView<'a> {
+    table: &'a Table,
+    rect: Rect,
+}
+
+impl<'a> TableView<'a> {
+    /// The region this view covers.
+    #[inline]
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// View height in rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rect.rows
+    }
+
+    /// View width in columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.rect.cols
+    }
+
+    /// `(rows, cols)` of the view.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        self.rect.shape()
+    }
+
+    /// Number of cells in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rect.area()
+    }
+
+    /// Always false: views of empty rects cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The underlying table.
+    #[inline]
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// Reads the view-relative cell `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rect.rows && c < self.rect.cols);
+        self.table.get(self.rect.row + r, self.rect.col + c)
+    }
+
+    /// Borrow of a view-relative row as a slice of the parent's buffer.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        debug_assert!(r < self.rect.rows);
+        let start = (self.rect.row + r) * self.table.cols + self.rect.col;
+        &self.table.data[start..start + self.rect.cols]
+    }
+
+    /// Iterator over the view's rows as slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+        (0..self.rect.rows).map(move |r| self.row(r))
+    }
+
+    /// Iterator over all values, row-major ("linearized in a consistent
+    /// way", as the paper puts it).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.row_iter().flat_map(|row| row.iter().copied())
+    }
+
+    /// Materializes the view as an owned table.
+    pub fn to_table(&self) -> Table {
+        let mut data = Vec::with_capacity(self.len());
+        for row in self.row_iter() {
+            data.extend_from_slice(row);
+        }
+        Table::new(self.rect.rows, self.rect.cols, data)
+            .expect("view dimensions are non-zero and consistent")
+    }
+
+    /// Materializes the view as a row-major vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut data = Vec::with_capacity(self.len());
+        for row in self.row_iter() {
+            data.extend_from_slice(row);
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Table {
+        Table::from_fn(4, 5, |r, c| (r * 10 + c) as f64).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(Table::new(2, 3, vec![0.0; 6]).is_ok());
+        assert!(matches!(
+            Table::new(2, 3, vec![0.0; 5]),
+            Err(TableError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Table::new(0, 3, vec![]),
+            Err(TableError::EmptyDimension)
+        ));
+        assert!(matches!(
+            Table::zeros(3, 0),
+            Err(TableError::EmptyDimension)
+        ));
+    }
+
+    #[test]
+    fn from_rows_validates_raggedness() {
+        assert!(Table::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        assert!(Table::from_rows(&[]).is_err());
+        let t = Table::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(t.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let mut t = small();
+        assert_eq!(t.get(2, 3), 23.0);
+        t.set(2, 3, -1.0);
+        assert_eq!(t.get(2, 3), -1.0);
+        assert_eq!(t.try_get(4, 0), None);
+        assert_eq!(t.try_get(0, 5), None);
+        assert_eq!(t.try_get(3, 4), Some(34.0));
+    }
+
+    #[test]
+    fn rows_are_contiguous() {
+        let t = small();
+        assert_eq!(t.row(1), &[10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(t.row_iter().count(), 4);
+    }
+
+    #[test]
+    fn view_reads_through() {
+        let t = small();
+        let v = t.view(Rect::new(1, 2, 2, 3)).unwrap();
+        assert_eq!(v.get(0, 0), 12.0);
+        assert_eq!(v.get(1, 2), 24.0);
+        assert_eq!(v.row(0), &[12.0, 13.0, 14.0]);
+        assert_eq!(v.to_vec(), vec![12.0, 13.0, 14.0, 22.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    fn view_rejects_out_of_bounds() {
+        let t = small();
+        assert!(t.view(Rect::new(3, 3, 2, 2)).is_err());
+        assert!(t.view(Rect::new(0, 0, 5, 1)).is_err());
+        assert!(t.view(Rect::new(0, 0, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn subtable_materializes() {
+        let t = small();
+        let s = t.subtable(Rect::new(0, 0, 2, 2)).unwrap();
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s.as_slice(), &[0.0, 1.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn full_view_equals_table() {
+        let t = small();
+        let v = t.view(t.bounding_rect()).unwrap();
+        assert_eq!(v.to_vec(), t.as_slice());
+    }
+
+    #[test]
+    fn hstack_stitches_days() {
+        let day1 = Table::from_fn(2, 3, |r, c| (r * 3 + c) as f64).unwrap();
+        let day2 = Table::from_fn(2, 2, |r, c| 100.0 + (r * 2 + c) as f64).unwrap();
+        let both = day1.hstack(&day2).unwrap();
+        assert_eq!(both.shape(), (2, 5));
+        assert_eq!(both.row(0), &[0.0, 1.0, 2.0, 100.0, 101.0]);
+        assert!(day1.hstack(&Table::zeros(3, 1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn vstack_appends_rows() {
+        let a = Table::from_fn(1, 2, |_, c| c as f64).unwrap();
+        let b = Table::from_fn(2, 2, |r, c| (10 + r * 2 + c) as f64).unwrap();
+        let both = a.vstack(&b).unwrap();
+        assert_eq!(both.shape(), (3, 2));
+        assert_eq!(both.row(2), &[12.0, 13.0]);
+        assert!(a.vstack(&Table::zeros(1, 3).unwrap()).is_err());
+    }
+
+    #[test]
+    fn values_iterate_row_major() {
+        let t = small();
+        let v = t.view(Rect::new(2, 1, 2, 2)).unwrap();
+        let vals: Vec<f64> = v.values().collect();
+        assert_eq!(vals, vec![21.0, 22.0, 31.0, 32.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Partitioning a table into a grid of equal-sized tiles.
+//!
+//! The paper's mining experiments divide the data "into tiles of a
+//! meaningful size, such as a day, or a few hours" and cluster the tiles.
+//! [`TileGrid`] describes that partition; tiles are [`Rect`]s addressed by
+//! a dense tile index, so clustering code can work with plain `usize`
+//! object ids.
+
+use crate::{Rect, TableError};
+
+/// A regular grid of `tile_rows × tile_cols` tiles over an
+/// `table_rows × table_cols` table.
+///
+/// Cells that do not fit a whole tile at the right/bottom edges are
+/// excluded (the paper's tiles always divide its tables evenly; we keep the
+/// general case safe by truncation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TileGrid {
+    table_rows: usize,
+    table_cols: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+}
+
+impl TileGrid {
+    /// Creates a tiling of a `table_rows × table_cols` table into
+    /// `tile_rows × tile_cols` tiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::InvalidTileSize`] when the tile is zero-sized
+    /// or larger than the table in either dimension.
+    pub fn new(
+        table_rows: usize,
+        table_cols: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+    ) -> Result<Self, TableError> {
+        if tile_rows == 0 || tile_cols == 0 || tile_rows > table_rows || tile_cols > table_cols {
+            return Err(TableError::InvalidTileSize {
+                tile_rows,
+                tile_cols,
+            });
+        }
+        Ok(Self {
+            table_rows,
+            table_cols,
+            tile_rows,
+            tile_cols,
+            grid_rows: table_rows / tile_rows,
+            grid_cols: table_cols / tile_cols,
+        })
+    }
+
+    /// Tile height in table rows.
+    #[inline]
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Tile width in table columns.
+    #[inline]
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Number of tile rows in the grid.
+    #[inline]
+    pub fn grid_rows(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Number of tile columns in the grid.
+    #[inline]
+    pub fn grid_cols(&self) -> usize {
+        self.grid_cols
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+
+    /// Whether the grid contains no tiles (possible when the table is
+    /// smaller than one tile in some dimension after truncation).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The rectangle of tile number `index` (row-major tile order).
+    ///
+    /// Returns `None` when `index >= len()`.
+    pub fn tile(&self, index: usize) -> Option<Rect> {
+        if index >= self.len() {
+            return None;
+        }
+        let gr = index / self.grid_cols;
+        let gc = index % self.grid_cols;
+        Some(Rect::new(
+            gr * self.tile_rows,
+            gc * self.tile_cols,
+            self.tile_rows,
+            self.tile_cols,
+        ))
+    }
+
+    /// The tile index covering table cell `(row, col)`, or `None` when the
+    /// cell falls in the truncated margin.
+    pub fn tile_index_at(&self, row: usize, col: usize) -> Option<usize> {
+        if row >= self.table_rows || col >= self.table_cols {
+            return None;
+        }
+        let gr = row / self.tile_rows;
+        let gc = col / self.tile_cols;
+        if gr < self.grid_rows && gc < self.grid_cols {
+            Some(gr * self.grid_cols + gc)
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over all tile rectangles in row-major tile order.
+    pub fn iter(&self) -> impl Iterator<Item = Rect> + '_ {
+        (0..self.len()).map(move |i| self.tile(i).expect("index in range"))
+    }
+
+    /// The grid coordinates `(grid_row, grid_col)` of tile `index`.
+    pub fn grid_coords(&self, index: usize) -> Option<(usize, usize)> {
+        if index >= self.len() {
+            None
+        } else {
+            Some((index / self.grid_cols, index % self.grid_cols))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_partition() {
+        let g = TileGrid::new(8, 12, 2, 3).unwrap();
+        assert_eq!(g.len(), 4 * 4);
+        assert_eq!(g.tile(0), Some(Rect::new(0, 0, 2, 3)));
+        assert_eq!(g.tile(1), Some(Rect::new(0, 3, 2, 3)));
+        assert_eq!(g.tile(4), Some(Rect::new(2, 0, 2, 3)));
+        assert_eq!(g.tile(15), Some(Rect::new(6, 9, 2, 3)));
+        assert_eq!(g.tile(16), None);
+    }
+
+    #[test]
+    fn truncates_ragged_margin() {
+        let g = TileGrid::new(7, 10, 2, 3).unwrap();
+        assert_eq!(g.grid_rows(), 3);
+        assert_eq!(g.grid_cols(), 3);
+        assert_eq!(g.len(), 9);
+        // All tiles fit inside the table.
+        for rect in g.iter() {
+            assert!(rect.validate(7, 10).is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tile_sizes() {
+        assert!(TileGrid::new(4, 4, 0, 1).is_err());
+        assert!(TileGrid::new(4, 4, 5, 1).is_err());
+        assert!(TileGrid::new(4, 4, 1, 5).is_err());
+        assert!(TileGrid::new(4, 4, 4, 4).is_ok());
+    }
+
+    #[test]
+    fn index_at_inverts_tile() {
+        let g = TileGrid::new(9, 9, 3, 3).unwrap();
+        for i in 0..g.len() {
+            let r = g.tile(i).unwrap();
+            assert_eq!(g.tile_index_at(r.row, r.col), Some(i));
+            assert_eq!(g.tile_index_at(r.row + 2, r.col + 2), Some(i));
+        }
+    }
+
+    #[test]
+    fn index_at_margin_is_none() {
+        let g = TileGrid::new(7, 7, 3, 3).unwrap();
+        assert_eq!(g.grid_rows(), 2);
+        assert_eq!(g.tile_index_at(6, 0), None, "cell in truncated margin");
+        assert_eq!(g.tile_index_at(0, 6), None);
+        assert_eq!(g.tile_index_at(9, 0), None, "outside the table");
+    }
+
+    #[test]
+    fn grid_coords_round_trip() {
+        let g = TileGrid::new(6, 6, 2, 2).unwrap();
+        assert_eq!(g.grid_coords(0), Some((0, 0)));
+        assert_eq!(g.grid_coords(5), Some((1, 2)));
+        assert_eq!(g.grid_coords(9), None);
+    }
+
+    #[test]
+    fn iter_yields_all_tiles() {
+        let g = TileGrid::new(4, 6, 2, 2).unwrap();
+        let tiles: Vec<Rect> = g.iter().collect();
+        assert_eq!(tiles.len(), g.len());
+        // Tiles are pairwise disjoint.
+        for (i, a) in tiles.iter().enumerate() {
+            for b in &tiles[i + 1..] {
+                assert!(a.intersect(b).is_none());
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Vector/table preprocessing transforms.
+//!
+//! The paper's introduction notes that "depending on applications, one may
+//! consider dilation, scaling and other operations on vectors before
+//! computing the L1 or L2 norms". These transforms make such pipelines
+//! explicit; because sketches are linear, sketching a transformed table is
+//! exactly as cheap as sketching the original.
+
+use crate::{Table, TableError};
+
+/// Scales every cell by `factor` (dilation of values).
+pub fn scale(table: &mut Table, factor: f64) {
+    for v in table.as_mut_slice() {
+        *v *= factor;
+    }
+}
+
+/// Adds `offset` to every cell.
+pub fn shift(table: &mut Table, offset: f64) {
+    for v in table.as_mut_slice() {
+        *v += offset;
+    }
+}
+
+/// `log(1 + x)` per cell, a standard variance-stabilizer for count data
+/// such as call volumes. Negative cells are clamped to zero first.
+pub fn log1p(table: &mut Table) {
+    for v in table.as_mut_slice() {
+        *v = v.max(0.0).ln_1p();
+    }
+}
+
+/// Normalizes each row to unit L1 mass, turning rows into distributions —
+/// the "call volume distribution" view of the paper's cell-phone example.
+/// Rows whose mass is zero are left untouched.
+pub fn normalize_rows_l1(table: &mut Table) {
+    let cols = table.cols();
+    let data = table.as_mut_slice();
+    for row in data.chunks_exact_mut(cols) {
+        let mass: f64 = row.iter().map(|v| v.abs()).sum();
+        if mass > 0.0 {
+            for v in row {
+                *v /= mass;
+            }
+        }
+    }
+}
+
+/// Standardizes each row to zero mean and unit variance (z-scores).
+/// Constant rows become all-zero.
+pub fn standardize_rows(table: &mut Table) {
+    let cols = table.cols();
+    let data = table.as_mut_slice();
+    for row in data.chunks_exact_mut(cols) {
+        let n = row.len() as f64;
+        let mean = row.iter().sum::<f64>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let sd = var.sqrt();
+        if sd > 0.0 {
+            for v in row.iter_mut() {
+                *v = (*v - mean) / sd;
+            }
+        } else {
+            for v in row.iter_mut() {
+                *v = 0.0;
+            }
+        }
+    }
+}
+
+/// Clamps every cell into `[lo, hi]` — the "pre-filtering stage" the
+/// paper's synthetic benchmark is designed to evade (its outliers stay
+/// inside any plausible clamp range).
+///
+/// # Errors
+///
+/// Returns a [`TableError::Io`] describing an inverted range.
+pub fn clamp(table: &mut Table, lo: f64, hi: f64) -> Result<usize, TableError> {
+    if lo > hi {
+        return Err(TableError::Io(format!(
+            "clamp range inverted: [{lo}, {hi}]"
+        )));
+    }
+    let mut changed = 0;
+    for v in table.as_mut_slice() {
+        let c = v.clamp(lo, hi);
+        if c != *v {
+            *v = c;
+            changed += 1;
+        }
+    }
+    Ok(changed)
+}
+
+/// Downsamples a table by averaging `factor_rows × factor_cols` blocks —
+/// a cheap way to trade resolution for size before sketching. Trailing
+/// cells that do not fill a whole block are dropped (consistent with
+/// [`crate::TileGrid`] truncation).
+///
+/// # Errors
+///
+/// Returns [`TableError::InvalidTileSize`] when a factor is zero or
+/// exceeds the table, or [`TableError::EmptyDimension`] when nothing
+/// remains.
+pub fn downsample(
+    table: &Table,
+    factor_rows: usize,
+    factor_cols: usize,
+) -> Result<Table, TableError> {
+    if factor_rows == 0 || factor_cols == 0 {
+        return Err(TableError::InvalidTileSize {
+            tile_rows: factor_rows,
+            tile_cols: factor_cols,
+        });
+    }
+    let out_rows = table.rows() / factor_rows;
+    let out_cols = table.cols() / factor_cols;
+    if out_rows == 0 || out_cols == 0 {
+        return Err(TableError::EmptyDimension);
+    }
+    let inv = 1.0 / (factor_rows * factor_cols) as f64;
+    Table::from_fn(out_rows, out_cols, |r, c| {
+        let mut acc = 0.0;
+        for i in 0..factor_rows {
+            for j in 0..factor_cols {
+                acc += table.get(r * factor_rows + i, c * factor_cols + j);
+            }
+        }
+        acc * inv
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 0.0, -4.0]]).unwrap()
+    }
+
+    #[test]
+    fn scale_and_shift() {
+        let mut t = sample();
+        scale(&mut t, 2.0);
+        assert_eq!(t.row(0), &[2.0, 4.0, 6.0]);
+        shift(&mut t, 1.0);
+        assert_eq!(t.row(0), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn log1p_clamps_negatives() {
+        let mut t = sample();
+        log1p(&mut t);
+        assert_eq!(t.get(1, 2), 0.0, "negative clamped to ln(1+0)");
+        assert!((t.get(0, 0) - 2f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_normalization_makes_distributions() {
+        let mut t = sample();
+        normalize_rows_l1(&mut t);
+        for r in 0..2 {
+            let mass: f64 = t.row(r).iter().map(|v| v.abs()).sum();
+            assert!((mass - 1.0).abs() < 1e-12, "row {r} mass {mass}");
+        }
+        // Zero row stays zero.
+        let mut z = Table::zeros(1, 3).unwrap();
+        normalize_rows_l1(&mut z);
+        assert_eq!(z.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn standardization_zero_mean_unit_var() {
+        let mut t = sample();
+        standardize_rows(&mut t);
+        for r in 0..2 {
+            let row = t.row(r);
+            let mean: f64 = row.iter().sum::<f64>() / 3.0;
+            let var: f64 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+        let mut c = Table::from_fn(1, 4, |_, _| 7.0).unwrap();
+        standardize_rows(&mut c);
+        assert_eq!(c.as_slice(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn clamp_counts_changes() {
+        let mut t = sample();
+        let changed = clamp(&mut t, 0.0, 3.0).unwrap();
+        assert_eq!(changed, 2, "4.0 and -4.0 clamped");
+        assert_eq!(t.get(1, 0), 3.0);
+        assert_eq!(t.get(1, 2), 0.0);
+        assert!(clamp(&mut t, 5.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let t = Table::from_fn(4, 4, |r, c| (r * 4 + c) as f64).unwrap();
+        let d = downsample(&t, 2, 2).unwrap();
+        assert_eq!(d.shape(), (2, 2));
+        // Top-left block {0,1,4,5} -> 2.5.
+        assert_eq!(d.get(0, 0), 2.5);
+        assert_eq!(d.get(1, 1), 12.5);
+    }
+
+    #[test]
+    fn downsample_truncates_and_validates() {
+        let t = Table::from_fn(5, 5, |_, _| 1.0).unwrap();
+        let d = downsample(&t, 2, 2).unwrap();
+        assert_eq!(d.shape(), (2, 2));
+        assert!(downsample(&t, 0, 2).is_err());
+        assert!(downsample(&t, 6, 2).is_err());
+    }
+}

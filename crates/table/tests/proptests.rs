@@ -1,0 +1,163 @@
+//! Property-based tests for the tabular data model.
+
+use proptest::prelude::*;
+
+use tabsketch_table::dyadic::{cover_multiplicity, floor_pow2, DyadicCover};
+use tabsketch_table::{io, norms, Rect, Table, TileGrid};
+
+fn table_strategy() -> impl Strategy<Value = Table> {
+    (1usize..16, 1usize..16).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-1e4f64..1e4, rows * cols)
+            .prop_map(move |data| Table::new(rows, cols, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any in-bounds rect yields a view whose linearization matches
+    /// cell-by-cell reads. The rect is derived from fractions of the
+    /// table's actual dimensions so every generated case is in bounds.
+    #[test]
+    fn views_are_consistent(t in table_strategy(), fr in 0.0f64..1.0, fc in 0.0f64..1.0,
+                            fh in 0.0f64..1.0, fw in 0.0f64..1.0) {
+        let r = (fr * (t.rows() - 1) as f64) as usize;
+        let c = (fc * (t.cols() - 1) as f64) as usize;
+        let h = 1 + (fh * (t.rows() - r - 1) as f64) as usize;
+        let w = 1 + (fw * (t.cols() - c - 1) as f64) as usize;
+        let rect = Rect::new(r, c, h, w);
+        let view = t.view(rect).unwrap();
+        let vec = view.to_vec();
+        prop_assert_eq!(vec.len(), h * w);
+        for i in 0..h {
+            for j in 0..w {
+                prop_assert_eq!(vec[i * w + j], t.get(r + i, c + j));
+                prop_assert_eq!(view.get(i, j), t.get(r + i, c + j));
+            }
+        }
+        let materialized = view.to_table();
+        prop_assert_eq!(materialized.as_slice(), &vec[..]);
+    }
+
+    /// Lp distance is symmetric, zero on identity, and positive on
+    /// differing slices, for all p in the valid range.
+    #[test]
+    fn lp_distance_axioms(a in proptest::collection::vec(-100.0f64..100.0, 1..50),
+                          p in 0.05f64..2.0) {
+        let b: Vec<f64> = a.iter().map(|&x| x + 1.0).collect();
+        let dab = norms::lp_distance_slices(&a, &b, p);
+        let dba = norms::lp_distance_slices(&b, &a, p);
+        prop_assert!((dab - dba).abs() < 1e-9 * (1.0 + dab));
+        prop_assert_eq!(norms::lp_distance_slices(&a, &a, p), 0.0);
+        prop_assert!(dab > 0.0);
+    }
+
+    /// Triangle inequality for p >= 1 (Lp is a metric there).
+    #[test]
+    fn lp_triangle_inequality(
+        a in proptest::collection::vec(-50.0f64..50.0, 1..30),
+        p in 1.0f64..2.0,
+        seed in 0u64..100,
+    ) {
+        let n = a.len();
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 100) as f64 - 50.0 };
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let c: Vec<f64> = (0..n).map(|_| next()).collect();
+        let dab = norms::lp_distance_slices(&a, &b, p);
+        let dac = norms::lp_distance_slices(&a, &c, p);
+        let dcb = norms::lp_distance_slices(&c, &b, p);
+        prop_assert!(dab <= dac + dcb + 1e-9 * (1.0 + dab));
+    }
+
+    /// For p < 1, the p-th power of the distance is subadditive
+    /// (the "quasi-metric" property the paper's small-p regime rests on).
+    #[test]
+    fn lp_power_subadditive_below_one(
+        a in proptest::collection::vec(-50.0f64..50.0, 1..30),
+        p in 0.1f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let n = a.len();
+        let mut s = seed | 1;
+        let mut next = move || { s ^= s << 13; s ^= s >> 7; s ^= s << 17; (s % 100) as f64 - 50.0 };
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let c: Vec<f64> = (0..n).map(|_| next()).collect();
+        let dab = norms::lp_distance_pow_slices(&a, &b, p);
+        let dac = norms::lp_distance_pow_slices(&a, &c, p);
+        let dcb = norms::lp_distance_pow_slices(&c, &b, p);
+        prop_assert!(dab <= dac + dcb + 1e-9 * (1.0 + dab));
+    }
+
+    /// Both persistence formats round-trip any table (CSV up to printing
+    /// precision, binary exactly).
+    #[test]
+    fn io_roundtrips(t in table_strategy()) {
+        let mut bin = Vec::new();
+        io::write_binary(&t, &mut bin).unwrap();
+        prop_assert_eq!(&io::read_binary(bin.as_slice()).unwrap(), &t);
+
+        let mut csv = Vec::new();
+        io::write_csv(&t, &mut csv).unwrap();
+        let back = io::read_csv(csv.as_slice()).unwrap();
+        prop_assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    /// floor_pow2 returns the greatest power of two <= n.
+    #[test]
+    fn floor_pow2_property(n in 1usize..1_000_000) {
+        let f = floor_pow2(n);
+        prop_assert!(f.is_power_of_two());
+        prop_assert!(f <= n);
+        prop_assert!(f * 2 > n);
+    }
+
+    /// Dyadic covers: shape halving, containment, and full coverage with
+    /// multiplicity in [1, 4].
+    #[test]
+    fn dyadic_cover_properties(r in 0usize..50, c in 0usize..50,
+                               h in 1usize..40, w in 1usize..40) {
+        let rect = Rect::new(r, c, h, w);
+        let cover = DyadicCover::of(rect).unwrap();
+        let (a, b) = cover.shape;
+        prop_assert!(a <= h && h <= 2 * a);
+        prop_assert!(b <= w && w <= 2 * b);
+        for anchor in &cover.anchors {
+            prop_assert!(rect.contains_rect(anchor));
+        }
+        let mult = cover_multiplicity(rect).unwrap();
+        prop_assert!(mult.iter().all(|&m| (1..=4).contains(&m)));
+    }
+
+    /// Tile grids partition their covered area: tiles are disjoint, lie
+    /// in the table, and tile_index_at inverts tile().
+    #[test]
+    fn tile_grid_partition(rows in 1usize..30, cols in 1usize..30,
+                           th in 1usize..10, tw in 1usize..10) {
+        prop_assume!(th <= rows && tw <= cols);
+        let grid = TileGrid::new(rows, cols, th, tw).unwrap();
+        let tiles: Vec<Rect> = grid.iter().collect();
+        for (i, t) in tiles.iter().enumerate() {
+            prop_assert!(t.validate(rows, cols).is_ok());
+            prop_assert_eq!(grid.tile_index_at(t.row, t.col), Some(i));
+            for u in &tiles[i + 1..] {
+                prop_assert!(t.intersect(u).is_none());
+            }
+        }
+    }
+
+    /// hstack/vstack preserve content.
+    #[test]
+    fn stacking_preserves_cells(a in table_strategy()) {
+        let b = a.clone();
+        let h = a.hstack(&b).unwrap();
+        prop_assert_eq!(h.shape(), (a.rows(), a.cols() * 2));
+        prop_assert_eq!(h.get(0, a.cols()), a.get(0, 0));
+        let v = a.vstack(&b).unwrap();
+        prop_assert_eq!(v.shape(), (a.rows() * 2, a.cols()));
+        prop_assert_eq!(v.get(a.rows(), 0), a.get(0, 0));
+    }
+}

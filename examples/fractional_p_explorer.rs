@@ -1,0 +1,102 @@
+//! "p as a slider": sweep p over (0, 2] on the six-region benchmark and
+//! watch the recovered clustering change — the paper's closing
+//! observation that the whole continuum of Lp distances is useful.
+//!
+//! Also exercises the dyadic sketch pool: every clustering below asks the
+//! pool for compound sketches of the tiles in O(k) each, instead of
+//! re-sketching per p... per tile.
+//!
+//! Run with: `cargo run --release --example fractional_p_explorer`
+
+use tabsketch::prelude::*;
+
+fn main() {
+    let rows = 256;
+    let cols = 256;
+    let tile = 16;
+    let generator = SixRegionGenerator::new(SixRegionConfig {
+        rows,
+        cols,
+        outlier_fraction: 0.01,
+        seed: 1,
+        ..Default::default()
+    })
+    .expect("valid generator configuration");
+    let table = generator.generate();
+    let grid = TileGrid::new(rows, cols, tile, tile).expect("tiles divide the table");
+    let truth = generator.tile_labels(&grid);
+    println!(
+        "six-region benchmark: {} tiles of {tile}x{tile}, 1% outliers, 6 true clusters\n",
+        grid.len()
+    );
+
+    println!("{:>6}  {:>10}  {:>12}", "p", "correct%", "bar");
+    for &p in &[0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
+        let sketcher = Sketcher::new(SketchParams::new(p, 192, 33).expect("valid parameters"))
+            .expect("valid sketcher");
+        let embedding =
+            PrecomputedSketchEmbedding::build(&table, &grid, sketcher).expect("non-empty grid");
+        let km = KMeans::new(KMeansConfig {
+            k: 6,
+            seed: 5,
+            init: InitMethod::KMeansPlusPlus,
+            ..Default::default()
+        })
+        .expect("valid configuration");
+        let result = km.run(&embedding).expect("enough tiles");
+        let correct =
+            clustering_agreement(&truth, &result.assignments, 6).expect("parallel labelings");
+        let bar = "#".repeat((correct * 40.0).round() as usize);
+        println!("{p:>6.2}  {:>9.1}%  {bar}", 100.0 * correct);
+    }
+
+    println!();
+    println!("Small p discounts the outliers (good here); p -> 0 approaches Hamming");
+    println!("distance where almost every cell differs (bad); large p squares the");
+    println!("outliers into dominance (bad). The paper suggests p ~ 0.5 as the sweet");
+    println!("spot for outlier-laden tabular data, and recommends exposing p as a");
+    println!("user-tunable knob of the mining algorithm.");
+
+    // Bonus: the same sweep through the dyadic sketch pool on a few
+    // fixed-size region queries, showing O(k) arbitrary-rectangle
+    // estimates without re-touching the data.
+    println!("\ndyadic pool demo: L1 distances between three 48x48 regions (compound sketches)");
+    // 48x48 queries floor to 32x32 dyadic covers, so one canonical size
+    // suffices; storing all anchor positions for it costs ~100 MB at
+    // k = 64.
+    let pool = SketchPool::build(
+        &table,
+        SketchParams::new(1.0, 64, 15).expect("valid parameters"),
+        PoolConfig {
+            min_rows: 32,
+            min_cols: 32,
+            max_rows: 32,
+            max_cols: 32,
+            square_only: true,
+            ..Default::default()
+        },
+    )
+    .expect("pool fits in memory");
+    let regions = [
+        Rect::new(10, 10, 48, 48),
+        Rect::new(70, 120, 48, 48),
+        Rect::new(200, 60, 48, 48),
+    ];
+    for (i, &a) in regions.iter().enumerate() {
+        for &b in &regions[i + 1..] {
+            let est = pool.estimate_distance(a, b).expect("covered by the pool");
+            let exact = norms::lp_distance_views(
+                &table.view(a).expect("in bounds"),
+                &table.view(b).expect("in bounds"),
+                1.0,
+            )
+            .expect("same shape");
+            println!(
+                "  ({:>3},{:>3}) vs ({:>3},{:>3}):  pooled {est:>12.0}   exact {exact:>12.0}   ratio {:.2}",
+                a.row, a.col, b.row, b.col, est / exact
+            );
+        }
+    }
+    println!("(compound estimates may inflate up to ~4x for non-dyadic covers — Theorem 5;");
+    println!(" comparisons between same-shape regions remain consistent)");
+}

@@ -1,0 +1,81 @@
+//! The paper's second motivating scenario: IP traffic tables (destination
+//! host x time) where a few enormous bursts should not drown the
+//! similarity structure.
+//!
+//! Demonstrates the fractional-p story end to end: with 1% burst outliers
+//! injected, k-nearest-neighbor queries under L2 are hijacked by the
+//! bursts, while L0.5 still finds the behaviorally similar rows — and
+//! sketches preserve that, at a fraction of the comparison cost.
+//!
+//! Run with: `cargo run --release --example ip_traffic_outliers`
+
+use tabsketch::cluster::nearest_neighbors;
+use tabsketch::prelude::*;
+
+fn main() {
+    // 96 "subnets" x 288 time slots. Subnets come in three behavioral
+    // groups (web-like diurnal, batch-overnight, flat), cycled by index.
+    let rows = 96;
+    let cols = 288;
+    let mut table = Table::from_fn(rows, cols, |r, c| {
+        let t = c as f64 / cols as f64 * 24.0;
+        let base = match r % 3 {
+            0 => 400.0 + 350.0 * ((t - 14.0) / 4.0).tanh() - 350.0 * ((t - 22.0) / 2.0).tanh(),
+            1 => 300.0 + 500.0 * (-((t - 3.0) * (t - 3.0)) / 8.0).exp(),
+            _ => 250.0,
+        };
+        // Deterministic per-cell jitter.
+        let h = (r * 31 + c * 17) % 97;
+        base + h as f64
+    })
+    .expect("valid dimensions");
+
+    // 1% of readings become bursts 30-100x the normal level (flash
+    // crowds, scans, bulk transfers).
+    let n = tabsketch::data::random::inject_outliers(&mut table, 0.01, 30.0, 100.0, 5)
+        .expect("valid outlier parameters");
+    println!("injected {n} burst readings into {rows} x {cols} traffic table\n");
+
+    let grid = TileGrid::new(rows, cols, 1, cols).expect("one tile per subnet row");
+    let query = 0; // a group-0 (web-like) subnet
+
+    for &p in &[2.0, 0.5] {
+        println!("--- p = {p} ---");
+        // Exact k-NN.
+        let exact = ExactEmbedding::from_tiles(&table, &grid, p).expect("non-empty grid");
+        let exact_nn = nearest_neighbors(&exact, query, 5).expect("enough objects");
+
+        // Sketched k-NN.
+        let sketcher = Sketcher::new(SketchParams::new(p, 256, 11).expect("valid parameters"))
+            .expect("valid sketcher");
+        let sketched =
+            PrecomputedSketchEmbedding::build(&table, &grid, sketcher).expect("non-empty grid");
+        let approx_nn = nearest_neighbors(&sketched, query, 5).expect("enough objects");
+
+        let same_group_exact = exact_nn
+            .iter()
+            .filter(|nb| nb.index % 3 == query % 3)
+            .count();
+        let same_group_approx = approx_nn
+            .iter()
+            .filter(|nb| nb.index % 3 == query % 3)
+            .count();
+
+        println!(
+            "exact   5-NN of subnet {query}: {:?}  ({same_group_exact}/5 same behavioral group)",
+            exact_nn.iter().map(|nb| nb.index).collect::<Vec<_>>()
+        );
+        println!(
+            "sketch  5-NN of subnet {query}: {:?}  ({same_group_approx}/5 same behavioral group)",
+            approx_nn.iter().map(|nb| nb.index).collect::<Vec<_>>()
+        );
+        let recall =
+            tabsketch::cluster::knn_recall(&exact_nn, &approx_nn).expect("non-empty neighbor sets");
+        println!("sketch vs exact recall: {:.0}%\n", 100.0 * recall);
+    }
+
+    println!("Under L2 the burst readings dominate: neighbors are whichever subnets");
+    println!("happen to share few bursts, not the behaviorally similar ones. Under");
+    println!("L0.5 the bursts are discounted and the true group re-emerges — the");
+    println!("paper's motivation for treating p as a tunable similarity knob.");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: sketch two subtables and compare the approximate Lp
+//! distance against the exact one, for several values of p.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use tabsketch::prelude::*;
+
+fn main() {
+    // A synthetic "call volume" table: 256 stations x 2 days of
+    // 10-minute slots, with population centers and diurnal structure.
+    let table = CallVolumeGenerator::new(CallVolumeConfig {
+        stations: 256,
+        slots_per_day: 144,
+        days: 2,
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("valid generator configuration")
+    .generate();
+    println!(
+        "table: {} x {} = {} cells",
+        table.rows(),
+        table.cols(),
+        table.len()
+    );
+
+    // Two 64x64 regions: "morning in the east" vs "morning in the west".
+    let east = table.view(Rect::new(0, 40, 64, 64)).expect("in bounds");
+    let west = table.view(Rect::new(192, 40, 64, 64)).expect("in bounds");
+
+    println!(
+        "\n{:>6}  {:>14}  {:>14}  {:>8}",
+        "p", "exact", "sketched", "rel err"
+    );
+    for &p in &[0.25, 0.5, 1.0, 1.5, 2.0] {
+        // 400-entry sketches give ~10% accuracy with high probability;
+        // size them from an accuracy target instead with
+        // `SketchParams::from_accuracy(p, epsilon, delta, seed)`.
+        let params = SketchParams::new(p, 400, 42).expect("valid parameters");
+        let sketcher = Sketcher::new(params).expect("valid sketcher");
+
+        // Sketches are tiny (400 floats for a 4096-cell region) and can
+        // be stored, reused, and combined linearly.
+        let s_east = sketcher.sketch_view(&east);
+        let s_west = sketcher.sketch_view(&west);
+
+        let approx = sketcher
+            .estimate_distance(&s_east, &s_west)
+            .expect("sketches share a family");
+        let exact = norms::lp_distance_views(&east, &west, p).expect("same shape");
+        println!(
+            "{p:>6.2}  {exact:>14.1}  {approx:>14.1}  {:>7.1}%",
+            100.0 * (approx - exact).abs() / exact
+        );
+    }
+
+    println!(
+        "\nEach comparison above read {} sketch entries instead of {} cells.",
+        400,
+        64 * 64
+    );
+}

@@ -1,0 +1,66 @@
+//! # tabsketch
+//!
+//! A production-quality Rust implementation of **Fast Mining of Massive
+//! Tabular Data via Approximate Distance Computations** (Cormode, Indyk,
+//! Koudas, Muthukrishnan; ICDE 2002): approximate Lp distances for all
+//! `0 < p ≤ 2` via p-stable sketches, FFT-accelerated all-subtable
+//! sketching, compound dyadic sketch pools, and sketch-accelerated mining
+//! (k-means, k-NN, hierarchical clustering) over massive tables.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`core`] — sketches, stable distributions, estimators, pools;
+//! * [`table`] — the tabular data model and exact Lp distances;
+//! * [`fft`] — the FFT/correlation substrate;
+//! * [`data`] — synthetic dataset generators (call-volume, six-region);
+//! * [`cluster`] — clustering over exact/sketched/on-demand embeddings;
+//! * [`eval`] — the paper's accuracy and quality measures.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tabsketch::prelude::*;
+//!
+//! // A table, a sketcher, and an approximate L1 distance between tiles.
+//! let table = Table::from_fn(64, 64, |r, c| ((r * 7 + c * 13) % 31) as f64).unwrap();
+//! let sk = Sketcher::new(SketchParams::new(1.0, 256, 42).unwrap()).unwrap();
+//! let a = table.view(Rect::new(0, 0, 16, 16)).unwrap();
+//! let b = table.view(Rect::new(32, 32, 16, 16)).unwrap();
+//! let est = sk.estimate_distance(&sk.sketch_view(&a), &sk.sketch_view(&b)).unwrap();
+//! let exact = norms::lp_distance_views(&a, &b, 1.0).unwrap();
+//! assert!((est - exact).abs() / exact < 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tabsketch_cluster as cluster;
+pub use tabsketch_core as core;
+pub use tabsketch_data as data;
+pub use tabsketch_eval as eval;
+pub use tabsketch_fft as fft;
+pub use tabsketch_table as table;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use tabsketch_cluster::{
+        agglomerate, birch, dbscan, kmedoids, most_similar_pairs, most_similar_pairs_refined,
+        nearest_neighbors, silhouette, BirchConfig, DbscanConfig, Embedding, ExactEmbedding,
+        InitMethod, KMeans, KMeansConfig, KMeansResult, KMedoidsConfig, Linkage,
+        OnDemandSketchEmbedding, PrecomputedSketchEmbedding,
+    };
+    pub use tabsketch_core::{
+        AllSubtableSketches, EstimatorKind, PoolConfig, Sketch, SketchParams, SketchPool, Sketcher,
+        SlidingSketches, StreamingSketch, TabError,
+    };
+    pub use tabsketch_data::{
+        CallVolumeConfig, CallVolumeGenerator, IpTrafficConfig, IpTrafficGenerator,
+        SixRegionConfig, SixRegionGenerator,
+    };
+    pub use tabsketch_eval::{
+        adjusted_rand_index, average_correctness, clustering_agreement, clustering_quality,
+        cumulative_correctness, normalized_mutual_information, pairwise_comparison_correctness,
+        rand_index, ComparisonTriple, ConfusionMatrix, DistancePair, Spreads,
+    };
+    pub use tabsketch_table::{norms, transform, Rect, Table, TableError, TableView, TileGrid};
+}

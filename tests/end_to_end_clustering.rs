@@ -1,0 +1,166 @@
+//! Integration: the full paper pipeline — generate tabular data, cluster
+//! it under all three distance scenarios, and check that the sketched
+//! clusterings match the exact one under the paper's own quality
+//! measures.
+
+use tabsketch::prelude::*;
+
+fn call_volume_week() -> Table {
+    CallVolumeGenerator::new(CallVolumeConfig {
+        stations: 128,
+        slots_per_day: 72,
+        days: 4,
+        seed: 99,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate()
+}
+
+#[test]
+fn three_scenarios_agree_on_call_volume_data() {
+    let table = call_volume_week();
+    let grid = TileGrid::new(table.rows(), table.cols(), 16, 72).expect("tiles fit");
+    let p = 1.0;
+    let k_clusters = 6;
+    let km = KMeans::new(KMeansConfig {
+        k: k_clusters,
+        seed: 11,
+        ..Default::default()
+    })
+    .expect("valid config");
+
+    let exact = ExactEmbedding::from_tiles(&table, &grid, p).expect("non-empty");
+    let exact_res = km.run(&exact).expect("enough tiles");
+
+    let params = SketchParams::new(p, 384, 5).expect("valid params");
+    let pre = PrecomputedSketchEmbedding::build(
+        &table,
+        &grid,
+        Sketcher::new(params).expect("valid sketcher"),
+    )
+    .expect("non-empty");
+    let pre_res = km.run(&pre).expect("enough tiles");
+
+    let lazy =
+        OnDemandSketchEmbedding::new(&table, grid, Sketcher::new(params).expect("valid sketcher"))
+            .expect("non-empty");
+    let lazy_res = km.run(&lazy).expect("enough tiles");
+
+    // Precomputed and on-demand sketches share the random family, so the
+    // runs must be bit-identical.
+    assert_eq!(pre_res.assignments, lazy_res.assignments);
+
+    // Sketched vs exact: high (not necessarily perfect) agreement.
+    let agreement = clustering_agreement(&exact_res.assignments, &pre_res.assignments, k_clusters)
+        .expect("valid labelings");
+    assert!(agreement > 0.6, "agreement {agreement}");
+
+    // Definition 11 quality: the sketched clustering's exact-metric spread
+    // should be within a modest factor of the exact clustering's.
+    let grid2 = TileGrid::new(table.rows(), table.cols(), 16, 72).expect("tiles fit");
+    let spread_of = |assignments: &[usize]| -> f64 {
+        let mut total = 0.0;
+        let tile_len = 16 * 72;
+        let mut centroids = vec![vec![0.0; tile_len]; k_clusters];
+        let mut counts = vec![0usize; k_clusters];
+        for (i, rect) in grid2.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (acc, v) in centroids[assignments[i]]
+                .iter_mut()
+                .zip(table.view(rect).expect("in range").values())
+            {
+                *acc += v;
+            }
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            if n > 0 {
+                c.iter_mut().for_each(|v| *v /= n as f64);
+            }
+        }
+        for (i, rect) in grid2.iter().enumerate() {
+            let tile: Vec<f64> = table.view(rect).expect("in range").values().collect();
+            total += norms::lp_distance_slices(&tile, &centroids[assignments[i]], p);
+        }
+        total
+    };
+    let quality = spread_of(&exact_res.assignments) / spread_of(&pre_res.assignments);
+    assert!(quality > 0.8, "sketched clustering quality {quality}");
+}
+
+#[test]
+fn sketched_clustering_is_deterministic() {
+    let table = call_volume_week();
+    let grid = TileGrid::new(table.rows(), table.cols(), 16, 72).expect("tiles fit");
+    let params = SketchParams::new(0.5, 128, 21).expect("valid params");
+    let km = KMeans::new(KMeansConfig {
+        k: 4,
+        seed: 2,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let run = || {
+        let e = PrecomputedSketchEmbedding::build(
+            &table,
+            &grid,
+            Sketcher::new(params).expect("valid sketcher"),
+        )
+        .expect("non-empty");
+        km.run(&e).expect("enough tiles").assignments
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn hierarchical_and_kmeans_agree_on_obvious_structure() {
+    // Two manifestly different row bands: every reasonable clustering
+    // method over any embedding should separate them.
+    let table =
+        Table::from_fn(32, 64, |r, _| if r < 16 { 10.0 } else { 10_000.0 }).expect("valid dims");
+    let grid = TileGrid::new(32, 64, 8, 32).expect("tiles fit");
+    let params = SketchParams::new(1.0, 128, 3).expect("valid params");
+    let embedding = PrecomputedSketchEmbedding::build(
+        &table,
+        &grid,
+        Sketcher::new(params).expect("valid sketcher"),
+    )
+    .expect("non-empty");
+
+    let km = KMeans::new(KMeansConfig {
+        k: 2,
+        seed: 1,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let km_labels = km.run(&embedding).expect("enough tiles").assignments;
+
+    let dendro = tabsketch::cluster::agglomerate(&embedding, tabsketch::cluster::Linkage::Average)
+        .expect("non-empty");
+    let hc_labels = dendro.cut(2).expect("k <= n");
+
+    let agreement = clustering_agreement(&km_labels, &hc_labels, 2).expect("valid labels");
+    assert_eq!(
+        agreement, 1.0,
+        "kmeans {km_labels:?} vs hierarchical {hc_labels:?}"
+    );
+}
+
+#[test]
+fn knn_under_sketches_matches_exact_on_well_separated_data() {
+    let table = Table::from_fn(24, 48, |r, c| ((r / 8) * 1000) as f64 + (c % 7) as f64)
+        .expect("valid dims");
+    let grid = TileGrid::new(24, 48, 4, 48).expect("tiles fit");
+    let exact = ExactEmbedding::from_tiles(&table, &grid, 1.0).expect("non-empty");
+    let sk = PrecomputedSketchEmbedding::build(
+        &table,
+        &grid,
+        Sketcher::new(SketchParams::new(1.0, 256, 8).expect("valid params"))
+            .expect("valid sketcher"),
+    )
+    .expect("non-empty");
+    let e_nn = tabsketch::cluster::nearest_neighbors(&exact, 0, 1).expect("enough objects");
+    let s_nn = tabsketch::cluster::nearest_neighbors(&sk, 0, 1).expect("enough objects");
+    // Tile 0's unique same-band twin is tile 1.
+    assert_eq!(e_nn[0].index, 1);
+    assert_eq!(s_nn[0].index, 1);
+}

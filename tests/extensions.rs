@@ -1,0 +1,236 @@
+//! Integration: the extension features working together end to end —
+//! streaming sketches feeding clustering, time-series window stores,
+//! transforms ahead of sketching, and the extra mining algorithms over
+//! sketched embeddings.
+
+use tabsketch::core::streaming::StreamingSketch;
+use tabsketch::core::SlidingSketches;
+use tabsketch::prelude::*;
+
+/// Streams built incrementally are interchangeable with batch sketches:
+/// cluster tiles whose sketches came from a stream of readings.
+#[test]
+fn streamed_sketches_cluster_like_batch_sketches() {
+    let rows = 12;
+    let cols = 64;
+    // Two behavioral groups of rows.
+    let table = Table::from_fn(rows, cols, |r, c| {
+        if r < 6 {
+            100.0 + (c % 5) as f64
+        } else {
+            5000.0 + (c % 7) as f64
+        }
+    })
+    .expect("valid dims");
+    let sk = Sketcher::new(SketchParams::new(1.0, 128, 3).expect("valid params"))
+        .expect("valid sketcher");
+
+    // Build per-row sketches by streaming the readings in arrival order.
+    let mut streams: Vec<StreamingSketch> = (0..rows)
+        .map(|_| StreamingSketch::new(sk.clone(), cols).expect("valid dim"))
+        .collect();
+    for c in 0..cols {
+        for (r, stream) in streams.iter_mut().enumerate() {
+            stream.update(c, table.get(r, c)).expect("index in range");
+        }
+    }
+    let sketches: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|s| s.sketch().values().to_vec())
+        .collect();
+    let embedding = PrecomputedSketchEmbedding::from_sketch_values(sketches, sk.clone())
+        .expect("consistent widths");
+    let km = KMeans::new(KMeansConfig {
+        k: 2,
+        seed: 1,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let result = km.run(&embedding).expect("enough objects");
+    assert_eq!(result.assignments[0], result.assignments[5]);
+    assert_eq!(result.assignments[6], result.assignments[11]);
+    assert_ne!(result.assignments[0], result.assignments[6]);
+
+    // And they match batch sketches bit-for-bit.
+    let grid = TileGrid::new(rows, cols, 1, cols).expect("row tiles");
+    let batch = PrecomputedSketchEmbedding::build(&table, &grid, sk).expect("non-empty");
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    embedding.point_to_vec(3, &mut a);
+    batch.point_to_vec(3, &mut b);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-7 * (1.0 + x.abs()));
+    }
+}
+
+/// The sliding-window store supports motif queries whose winner matches a
+/// brute-force exact search.
+#[test]
+fn sliding_store_motif_matches_exact_search() {
+    let mut series: Vec<f64> = (0..600).map(|i| ((i * 37) % 101) as f64).collect();
+    let motif: Vec<f64> = (0..32)
+        .map(|i| 500.0 + (i as f64 * 0.5).cos() * 200.0)
+        .collect();
+    for (j, &m) in motif.iter().enumerate() {
+        series[100 + j] = m;
+        series[450 + j] = m + 1.0;
+    }
+    let sk = Sketcher::new(SketchParams::new(2.0, 256, 7).expect("valid params"))
+        .expect("valid sketcher");
+    let store = SlidingSketches::build(&series, 32, sk).expect("window fits");
+    let approx = store.nearest_windows(100, 1, 32).expect("candidates exist");
+
+    // Brute-force exact winner.
+    let query = &series[100..132];
+    let mut best = (0usize, f64::INFINITY);
+    for i in 0..=series.len() - 32 {
+        if i.abs_diff(100) <= 32 {
+            continue;
+        }
+        let d = norms::lp_distance_slices(query, &series[i..i + 32], 2.0);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    assert_eq!(
+        approx[0].0, best.0,
+        "sketched motif search agrees with exact"
+    );
+    assert_eq!(best.0, 450);
+}
+
+/// Normalizing rows to distributions before sketching changes the
+/// question being asked — and the sketches answer the new question.
+#[test]
+fn transforms_compose_with_sketching() {
+    // Rows 0/1: same *shape*, very different magnitude. Row 2: different
+    // shape. Raw L1 pairs 0 with 2 (magnitudes close); after L1
+    // normalization, 0 pairs with 1 (shapes match).
+    let table = Table::from_rows(&[
+        (0..32).map(|c| if c < 16 { 10.0 } else { 0.0 }).collect(),
+        (0..32).map(|c| if c < 16 { 1000.0 } else { 0.0 }).collect(),
+        (0..32).map(|c| if c >= 16 { 12.0 } else { 0.0 }).collect(),
+    ])
+    .expect("valid rows");
+    let sk = Sketcher::new(SketchParams::new(1.0, 256, 5).expect("valid params"))
+        .expect("valid sketcher");
+
+    let dist = |t: &Table, a: usize, b: usize| -> f64 {
+        let grid = TileGrid::new(t.rows(), t.cols(), 1, t.cols()).expect("row tiles");
+        let e = PrecomputedSketchEmbedding::build(t, &grid, sk.clone()).expect("non-empty");
+        let mut scratch = Vec::new();
+        e.object_distance(a, b, &mut scratch)
+    };
+
+    assert!(
+        dist(&table, 0, 2) < dist(&table, 0, 1),
+        "raw: magnitude dominates"
+    );
+    let mut normalized = table.clone();
+    transform::normalize_rows_l1(&mut normalized);
+    assert!(
+        dist(&normalized, 0, 1) < dist(&normalized, 0, 2),
+        "normalized: shape dominates"
+    );
+}
+
+/// DBSCAN and k-medoids over a sketched embedding recover the same
+/// structure as over exact distances on well-separated data.
+#[test]
+fn density_and_medoid_clustering_survive_sketching() {
+    let table = Table::from_fn(30, 40, |r, c| {
+        ((r / 10) * 10_000) as f64 + ((r * c) % 13) as f64
+    })
+    .expect("valid dims");
+    let grid = TileGrid::new(30, 40, 1, 40).expect("row tiles");
+    let exact = ExactEmbedding::from_tiles(&table, &grid, 1.0).expect("non-empty");
+    let sk = PrecomputedSketchEmbedding::build(
+        &table,
+        &grid,
+        Sketcher::new(SketchParams::new(1.0, 256, 2).expect("valid params"))
+            .expect("valid sketcher"),
+    )
+    .expect("non-empty");
+
+    // k-medoids: identical partitions.
+    let cfg = KMedoidsConfig {
+        k: 3,
+        seed: 4,
+        ..Default::default()
+    };
+    let m_exact = kmedoids(&exact, cfg).expect("enough objects");
+    let m_sketch = kmedoids(&sk, cfg).expect("enough objects");
+    assert_eq!(
+        clustering_agreement(&m_exact.assignments, &m_sketch.assignments, 3).expect("valid labels"),
+        1.0
+    );
+
+    // DBSCAN: three dense bands, no noise, identical labels.
+    let db = DbscanConfig {
+        eps: 600.0,
+        min_points: 3,
+    };
+    let d_exact = dbscan(&exact, db).expect("valid config");
+    let d_sketch = dbscan(&sk, db).expect("valid config");
+    assert_eq!(d_exact.clusters, 3);
+    assert_eq!(d_sketch.clusters, 3);
+    assert_eq!(d_exact.noise, 0);
+    assert_eq!(
+        clustering_agreement(&d_exact.dense_labels(), &d_sketch.dense_labels(), 4)
+            .expect("valid labels"),
+        1.0
+    );
+}
+
+/// Filter-and-refine pair mining: sketch filtering plus exact refinement
+/// recovers the exact top pairs on separated data.
+#[test]
+fn filter_refine_recovers_exact_top_pairs() {
+    let table = Table::from_fn(24, 32, |r, c| ((r / 2) * 500) as f64 + ((r + c) % 3) as f64)
+        .expect("valid dims");
+    let grid = TileGrid::new(24, 32, 1, 32).expect("row tiles");
+    let exact = ExactEmbedding::from_tiles(&table, &grid, 1.0).expect("non-empty");
+    let sketched = PrecomputedSketchEmbedding::build(
+        &table,
+        &grid,
+        Sketcher::new(SketchParams::new(1.0, 192, 6).expect("valid params"))
+            .expect("valid sketcher"),
+    )
+    .expect("non-empty");
+    let truth = most_similar_pairs(&exact, 12).expect("enough objects");
+    let refined =
+        most_similar_pairs_refined(&sketched, &exact, 12, 3).expect("compatible embeddings");
+    let recall = tabsketch::cluster::pair_recall(&truth, &refined).expect("non-empty");
+    assert!(recall >= 0.9, "filter-refine recall {recall}");
+}
+
+/// The extra agreement measures rank a near-perfect clustering above a
+/// noisy one, consistently across all three measures.
+#[test]
+fn agreement_measures_are_consistent() {
+    let truth: Vec<usize> = (0..60).map(|i| i / 20).collect();
+    let near: Vec<usize> = truth
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| if i % 20 == 0 { (l + 1) % 3 } else { l })
+        .collect();
+    let noisy: Vec<usize> = truth
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l + i) % 3)
+        .collect();
+    let scores = |labels: &[usize]| {
+        (
+            rand_index(&truth, labels, 3).expect("valid"),
+            adjusted_rand_index(&truth, labels, 3).expect("valid"),
+            normalized_mutual_information(&truth, labels, 3).expect("valid"),
+        )
+    };
+    let (ri_near, ari_near, nmi_near) = scores(&near);
+    let (ri_noisy, ari_noisy, nmi_noisy) = scores(&noisy);
+    assert!(ri_near > ri_noisy);
+    assert!(ari_near > ari_noisy);
+    assert!(nmi_near > nmi_noisy);
+    assert!(ari_near > 0.8, "{ari_near}");
+    assert!(ari_noisy.abs() < 0.2, "{ari_noisy}");
+}

@@ -1,0 +1,205 @@
+//! Integration: miniature versions of the paper's headline experimental
+//! claims, small enough to run in the test suite.
+
+use tabsketch::core::baseline::{DftSketcher, SamplingSketcher};
+use tabsketch::prelude::*;
+
+/// Figure 4b in miniature: on six-region data with outliers, fractional p
+/// recovers the known clustering while p = 2 does substantially worse.
+#[test]
+fn fractional_p_recovers_known_clustering_better_than_l2() {
+    // 256 rows so every region band (64/64/64/32/16/16 rows) is a whole
+    // number of 16-row tiles — no tile straddles two regions.
+    let generator = SixRegionGenerator::new(SixRegionConfig {
+        rows: 256,
+        cols: 128,
+        outlier_fraction: 0.01,
+        seed: 3,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let table = generator.generate();
+    let grid = TileGrid::new(256, 128, 16, 16).expect("tiles fit");
+    let truth = generator.tile_labels(&grid);
+
+    let score = |p: f64| -> f64 {
+        let embedding = PrecomputedSketchEmbedding::build(
+            &table,
+            &grid,
+            Sketcher::new(SketchParams::new(p, 160, 5).expect("valid params"))
+                .expect("valid sketcher"),
+        )
+        .expect("non-empty");
+        // Best of a few seeds, as in the figure harness.
+        (0..3)
+            .map(|seed| {
+                let km = KMeans::new(KMeansConfig {
+                    k: 6,
+                    seed,
+                    init: InitMethod::KMeansPlusPlus,
+                    ..Default::default()
+                })
+                .expect("valid config");
+                let res = km.run(&embedding).expect("enough tiles");
+                clustering_agreement(&truth, &res.assignments, 6).expect("valid labels")
+            })
+            .fold(0.0, f64::max)
+    };
+
+    let frac = score(0.5);
+    let l2 = score(2.0);
+    assert!(
+        frac >= 0.95,
+        "p=0.5 should recover the clustering, got {frac}"
+    );
+    assert!(l2 <= 0.8, "p=2 should be degraded by outliers, got {l2}");
+    assert!(frac > l2, "fractional p must beat L2: {frac} vs {l2}");
+}
+
+/// The related-work claim behind the baselines, as two adversarial
+/// scenarios. In both, `x = 0` and the question is whether `y` (one
+/// spike) or `z` (diffuse ±1, L1 mass 4096) is closer under L1.
+///
+/// * Scenario A — spike of 2000 < 4096: `y` is closer. The truncated DFT
+///   sees neither object well (the spike's energy is spread across all
+///   frequencies, the alternating `z` lives at the Nyquist bin outside
+///   the kept low frequencies) and misjudges; stable sketches are right.
+/// * Scenario B — spike of 9000 > 4096: `z` is closer. Coordinate
+///   sampling virtually never draws the spike coordinate, sees `y` at
+///   distance ~0, and misjudges; stable sketches are right.
+#[test]
+fn stable_sketches_beat_baselines_on_spiky_data() {
+    let n = 4096;
+    let x = vec![0.0; n];
+    let trials = 20;
+    let run = |spike: f64| -> (usize, usize, usize) {
+        let (mut ok_sketch, mut ok_dft, mut ok_sample) = (0, 0, 0);
+        for t in 0..trials {
+            let mut y = vec![0.0; n];
+            y[(t * 131 + 17) % n] = spike;
+            let z: Vec<f64> = (0..n)
+                .map(|i| if (i + t) % 2 == 0 { 1.0 } else { -1.0 })
+                .collect();
+            let truth_y_closer =
+                norms::lp_distance_slices(&x, &y, 1.0) < norms::lp_distance_slices(&x, &z, 1.0);
+
+            let sk = Sketcher::new(SketchParams::new(1.0, 256, t as u64).expect("valid params"))
+                .expect("valid sketcher");
+            let (sx, sy, sz) = (
+                sk.sketch_slice(&x),
+                sk.sketch_slice(&y),
+                sk.sketch_slice(&z),
+            );
+            if (sk.estimate_distance(&sx, &sy).expect("same family")
+                < sk.estimate_distance(&sx, &sz).expect("same family"))
+                == truth_y_closer
+            {
+                ok_sketch += 1;
+            }
+
+            let dft = DftSketcher::new(64).expect("m >= 1");
+            let (dx, dy, dz) = (dft.sketch(&x), dft.sketch(&y), dft.sketch(&z));
+            if (dft.estimate_l2_distance(&dx, &dy).expect("same shape")
+                < dft.estimate_l2_distance(&dx, &dz).expect("same shape"))
+                == truth_y_closer
+            {
+                ok_dft += 1;
+            }
+
+            let smp = SamplingSketcher::new(256, 1.0, t as u64).expect("valid params");
+            let (mx, my, mz) = (smp.sketch(&x), smp.sketch(&y), smp.sketch(&z));
+            if (smp.estimate_distance(&mx, &my).expect("same shape")
+                < smp.estimate_distance(&mx, &mz).expect("same shape"))
+                == truth_y_closer
+            {
+                ok_sample += 1;
+            }
+        }
+        (ok_sketch, ok_dft, ok_sample)
+    };
+
+    // Scenario A: DFT fails.
+    let (sketch_a, dft_a, _sample_a) = run(2000.0);
+    assert!(
+        sketch_a >= trials * 9 / 10,
+        "scenario A: sketch {sketch_a}/{trials}"
+    );
+    assert!(
+        dft_a <= trials * 4 / 10,
+        "scenario A: DFT should misjudge, got {dft_a}/{trials}"
+    );
+
+    // Scenario B: sampling fails.
+    let (sketch_b, _dft_b, sample_b) = run(9000.0);
+    assert!(
+        sketch_b >= trials * 9 / 10,
+        "scenario B: sketch {sketch_b}/{trials}"
+    );
+    assert!(
+        sample_b <= trials * 4 / 10,
+        "scenario B: sampling should misjudge, got {sample_b}/{trials}"
+    );
+}
+
+/// Figure 2's qualitative cost claim: sketched comparison cost is flat in
+/// tile size while the exact scan grows, so there is a crossover beyond
+/// which sketches win per comparison. Verified via operation counts
+/// rather than wall-clock (CI-safe).
+#[test]
+fn sketch_cost_is_independent_of_tile_size() {
+    let table = CallVolumeGenerator::new(CallVolumeConfig {
+        stations: 300,
+        slots_per_day: 144,
+        days: 1,
+        seed: 1,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate();
+    let k = 64;
+    let sk =
+        Sketcher::new(SketchParams::new(1.0, k, 2).expect("valid params")).expect("valid sketcher");
+    for &edge in &[8usize, 32, 128] {
+        let a = table.view(Rect::new(0, 0, edge, edge)).expect("in range");
+        let b = table
+            .view(Rect::new(100, 10, edge, edge))
+            .expect("in range");
+        let (sa, sb) = (sk.sketch_view(&a), sk.sketch_view(&b));
+        assert_eq!(sa.k(), k, "sketch size fixed at {k} for tile {edge}x{edge}");
+        assert_eq!(sb.k(), k);
+        // And the estimate still tracks the exact distance.
+        let est = sk.estimate_distance(&sa, &sb).expect("same family");
+        let exact = norms::lp_distance_views(&a, &b, 1.0).expect("same shape");
+        assert!(
+            (est - exact).abs() / exact < 0.5,
+            "edge {edge}: {est} vs {exact}"
+        );
+    }
+}
+
+/// Dataset persistence round-trips through both formats, preserving the
+/// sketches computed from the data.
+#[test]
+fn dataset_io_roundtrip_preserves_sketches() {
+    let table = SixRegionGenerator::new(SixRegionConfig {
+        rows: 64,
+        cols: 64,
+        seed: 8,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate();
+    let dir = std::env::temp_dir().join(format!("tabsketch-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("table.tsb");
+    tabsketch::table::io::save_binary(&table, &path).expect("write");
+    let back = tabsketch::table::io::load_binary(&path).expect("read");
+    assert_eq!(table, back);
+    let sk = Sketcher::new(SketchParams::new(1.0, 16, 4).expect("valid params"))
+        .expect("valid sketcher");
+    assert_eq!(
+        sk.sketch_slice(table.as_slice()).values(),
+        sk.sketch_slice(back.as_slice()).values()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,167 @@
+//! Integration: the paper's theorem-level guarantees, checked end to end
+//! across the sketching stack (Theorems 1, 2, 3, 5, 6).
+
+use tabsketch::core::AllSubtableSketches;
+use tabsketch::prelude::*;
+
+fn patterned_table(rows: usize, cols: usize) -> Table {
+    Table::from_fn(rows, cols, |r, c| {
+        ((r * 37 + c * 101) % 257) as f64 - 128.0 + ((r * c) % 13) as f64
+    })
+    .expect("valid dims")
+}
+
+/// Theorems 1–2: for each p the median estimator lands within a modest
+/// relative band of the exact distance, at every p including fractional.
+#[test]
+fn theorem_1_2_estimator_accuracy_across_p() {
+    let table = patterned_table(40, 60);
+    let a = table.view(Rect::new(0, 0, 20, 20)).expect("in range");
+    let b = table.view(Rect::new(15, 30, 20, 20)).expect("in range");
+    for &p in &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+        let exact = norms::lp_distance_views(&a, &b, p).expect("same shape");
+        let sk = Sketcher::new(SketchParams::new(p, 600, 17).expect("valid params"))
+            .expect("valid sketcher");
+        let est = sk
+            .estimate_distance(&sk.sketch_view(&a), &sk.sketch_view(&b))
+            .expect("same family");
+        let rel = (est - exact).abs() / exact;
+        // Very small p has a flatter density around the median of the
+        // stable distribution, so the quantile estimator is noisier at
+        // the same k — allow a wider band there.
+        let tol = if p < 0.5 { 0.5 } else { 0.25 };
+        assert!(rel < tol, "p={p}: est {est}, exact {exact}, rel {rel}");
+    }
+}
+
+/// The (ε, δ) sizing of Theorem 6's `k = O(log(1/δ)/ε²)`: most of many
+/// repetitions at an ε target should fall within ε of truth.
+#[test]
+fn accuracy_driven_sizing_holds_empirically() {
+    let table = patterned_table(30, 30);
+    let a = table.view(Rect::new(0, 0, 12, 12)).expect("in range");
+    let b = table.view(Rect::new(10, 14, 12, 12)).expect("in range");
+    let p = 1.0;
+    let exact = norms::lp_distance_views(&a, &b, p).expect("same shape");
+    let (epsilon, delta) = (0.25, 0.05);
+    let trials = 40;
+    let mut hits = 0;
+    for seed in 0..trials {
+        let params = SketchParams::from_accuracy(p, epsilon, delta, seed).expect("valid targets");
+        let sk = Sketcher::new(params).expect("valid sketcher");
+        let est = sk
+            .estimate_distance(&sk.sketch_view(&a), &sk.sketch_view(&b))
+            .expect("same family");
+        if (est - exact).abs() / exact <= epsilon {
+            hits += 1;
+        }
+    }
+    // Expect ≥ (1 - δ) of trials inside the band; allow slack for the
+    // finite trial count (binomial noise).
+    assert!(hits >= trials * 85 / 100, "only {hits}/{trials} within ε");
+}
+
+/// Theorem 3: the FFT all-subtable construction agrees with direct
+/// per-window sketching everywhere, so downstream consumers cannot tell
+/// which path built their sketches.
+#[test]
+fn theorem_3_fft_equals_direct_everywhere() {
+    let table = patterned_table(18, 22);
+    let sk = Sketcher::new(SketchParams::new(0.75, 4, 3).expect("valid params"))
+        .expect("valid sketcher");
+    let store = AllSubtableSketches::build(&table, 5, 7, sk.clone()).expect("fits budget");
+    for r in 0..store.anchor_rows() {
+        for c in 0..store.anchor_cols() {
+            let direct = sk.sketch_view(&table.view(Rect::new(r, c, 5, 7)).expect("in range"));
+            let stored = store.sketch_at(r, c).expect("anchor in range");
+            for (x, y) in stored.values().iter().zip(direct.values()) {
+                assert!(
+                    (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
+                    "anchor ({r},{c}): {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+/// Theorems 5–6: compound estimates stay inside the
+/// `[(1−ε), 4^{1/p}(1+ε)]` band for random rectangles, and dyadic
+/// rectangles (corrected) track the exact distance tightly.
+#[test]
+fn theorem_5_compound_band() {
+    let table = patterned_table(64, 64);
+    let p = 1.0;
+    let pool = SketchPool::build(
+        &table,
+        SketchParams::new(p, 300, 7).expect("valid params"),
+        PoolConfig {
+            min_rows: 4,
+            min_cols: 4,
+            max_rows: 32,
+            max_cols: 32,
+            ..Default::default()
+        },
+    )
+    .expect("fits budget");
+    let mut state = 12345u64;
+    let mut rand = move |m: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % m
+    };
+    for _ in 0..30 {
+        let h = 4 + rand(28);
+        let w = 4 + rand(28);
+        let a = Rect::new(rand(64 - h), rand(64 - w), h, w);
+        let b = Rect::new(rand(64 - h), rand(64 - w), h, w);
+        let exact = norms::lp_distance_views(
+            &table.view(a).expect("in range"),
+            &table.view(b).expect("in range"),
+            p,
+        )
+        .expect("same shape");
+        if exact == 0.0 {
+            continue;
+        }
+        let est = pool.estimate_distance(a, b).expect("covered");
+        let ratio = est / exact;
+        assert!(
+            (0.6..=5.2).contains(&ratio),
+            "rects {a:?}/{b:?}: ratio {ratio} outside the Theorem 5 band"
+        );
+    }
+}
+
+/// Sketch linearity across the whole stack: centroid sketches equal
+/// sketches of centroids, so k-means on sketches is well-founded.
+#[test]
+fn linearity_supports_centroid_sketches() {
+    let table = patterned_table(24, 24);
+    let grid = TileGrid::new(24, 24, 8, 8).expect("tiles fit");
+    let sk = Sketcher::new(SketchParams::new(1.0, 32, 9).expect("valid params"))
+        .expect("valid sketcher");
+    // Mean of all tile sketches…
+    let sketches: Vec<tabsketch::core::Sketch> = grid
+        .iter()
+        .map(|rect| sk.sketch_view(&table.view(rect).expect("in range")))
+        .collect();
+    let mean_sketch = tabsketch::core::Sketch::mean(sketches.iter()).expect("non-empty");
+    // …equals the sketch of the mean tile.
+    let tile_len = 64;
+    let mut mean_tile = vec![0.0; tile_len];
+    for rect in grid.iter() {
+        for (acc, v) in mean_tile
+            .iter_mut()
+            .zip(table.view(rect).expect("in range").values())
+        {
+            *acc += v;
+        }
+    }
+    let n = grid.len() as f64;
+    mean_tile.iter_mut().for_each(|v| *v /= n);
+    let direct = sk.sketch_slice(&mean_tile);
+    for (a, b) in mean_sketch.values().iter().zip(direct.values()) {
+        assert!((a - b).abs() < 1e-7 * (1.0 + a.abs()), "{a} vs {b}");
+    }
+}
