@@ -66,7 +66,6 @@ impl Args {
     }
 
     /// An optional string flag.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn get(&self, name: &str) -> Option<&str> {
         self.flags.get(name).map(String::as_str)
     }

@@ -3,8 +3,9 @@
 use std::path::Path;
 
 use tabsketch_cluster::{
-    most_similar_pairs, most_similar_pairs_refined, nearest_neighbors, silhouette, Embedding,
-    ExactEmbedding, KMeans, KMeansConfig, PrecomputedSketchEmbedding,
+    most_similar_pairs, most_similar_pairs_refined, nearest_neighbors, silhouette, DistanceOracle,
+    Embedding, ExactEmbedding, KMeans, KMeansConfig, KMeansResult, OracleEmbedding,
+    PrecomputedSketchEmbedding, TierSnapshot,
 };
 use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
 use tabsketch_data::{
@@ -14,35 +15,36 @@ use tabsketch_data::{
 use tabsketch_table::{io as table_io, norms, stats, Rect, Table, TileGrid};
 
 use crate::args::Args;
+use crate::error::CliError;
 
 /// Loads a table by extension (`.csv` or binary otherwise).
-fn load_table(path: &str) -> Result<Table, String> {
+fn load_table(path: &str) -> Result<Table, CliError> {
     let result = if path.ends_with(".csv") {
         table_io::load_csv(path)
     } else {
         table_io::load_binary(path)
     };
-    result.map_err(|e| format!("loading {path}: {e}"))
+    result.map_err(|e| CliError::from(e).in_context(format!("loading {path}")))
 }
 
-fn save_table(table: &Table, path: &str, csv: bool) -> Result<(), String> {
+fn save_table(table: &Table, path: &str, csv: bool) -> Result<(), CliError> {
     let result = if csv || path.ends_with(".csv") {
         table_io::save_csv(table, path)
     } else {
         table_io::save_binary(table, path)
     };
-    result.map_err(|e| format!("writing {path}: {e}"))
+    result.map_err(|e| CliError::from(e).in_context(format!("writing {path}")))
 }
 
-fn one_positional<'a>(args: &'a Args, what: &str) -> Result<&'a str, String> {
+fn one_positional<'a>(args: &'a Args, what: &str) -> Result<&'a str, CliError> {
     args.positional
         .first()
         .map(String::as_str)
-        .ok_or_else(|| format!("expected a {what} argument"))
+        .ok_or_else(|| CliError::usage(format!("expected a {what} argument")))
 }
 
 /// `generate <kind> --out FILE ...`
-pub fn generate(args: &Args) -> Result<(), String> {
+pub fn generate(args: &Args) -> Result<(), CliError> {
     let kind = one_positional(args, "generator kind")?;
     let out = args.require("out")?;
     let seed: u64 = args.get_or("seed", 0)?;
@@ -55,9 +57,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
                 seed,
                 ..Default::default()
             };
-            CallVolumeGenerator::new(config)
-                .map_err(|e| e.to_string())?
-                .generate()
+            CallVolumeGenerator::new(config)?.generate()
         }
         "sixregion" => {
             let config = SixRegionConfig {
@@ -66,9 +66,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
                 seed,
                 ..Default::default()
             };
-            SixRegionGenerator::new(config)
-                .map_err(|e| e.to_string())?
-                .generate()
+            SixRegionGenerator::new(config)?.generate()
         }
         "iptraffic" => {
             let config = IpTrafficConfig {
@@ -78,14 +76,12 @@ pub fn generate(args: &Args) -> Result<(), String> {
                 seed,
                 ..Default::default()
             };
-            IpTrafficGenerator::new(config)
-                .map_err(|e| e.to_string())?
-                .generate()
+            IpTrafficGenerator::new(config)?.generate()
         }
         other => {
-            return Err(format!(
+            return Err(CliError::usage(format!(
                 "unknown generator {other:?} (callvol|sixregion|iptraffic)"
-            ))
+            )))
         }
     };
     save_table(&table, out, args.switch("csv"))?;
@@ -99,7 +95,7 @@ pub fn generate(args: &Args) -> Result<(), String> {
 }
 
 /// `info FILE`
-pub fn info(args: &Args) -> Result<(), String> {
+pub fn info(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path)?;
     let s = stats::table_summary(&table);
@@ -131,26 +127,23 @@ fn rect_from(parts: (usize, usize, usize, usize)) -> Rect {
 }
 
 /// `distance FILE --rect ... --rect2 ... [--p P] [--k K] [--exact]`
-pub fn distance(args: &Args) -> Result<(), String> {
+pub fn distance(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path)?;
     let a = rect_from(args.require_rect("rect")?);
     let b = rect_from(args.require_rect("rect2")?);
     let p: f64 = args.get_or("p", 1.0)?;
-    let va = table.view(a).map_err(|e| e.to_string())?;
-    let vb = table.view(b).map_err(|e| e.to_string())?;
-    let exact = norms::lp_distance_views(&va, &vb, p).map_err(|e| e.to_string())?;
+    let va = table.view(a)?;
+    let vb = table.view(b)?;
+    let exact = norms::lp_distance_views(&va, &vb, p)?;
     if args.switch("exact") {
         println!("exact L{p} distance: {exact}");
         return Ok(());
     }
     let k: usize = args.get_or("k", 256)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let sketcher = Sketcher::new(SketchParams::new(p, k, seed).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let est = sketcher
-        .estimate_distance(&sketcher.sketch_view(&va), &sketcher.sketch_view(&vb))
-        .map_err(|e| e.to_string())?;
+    let sketcher = Sketcher::new(SketchParams::new(p, k, seed)?)?;
+    let est = sketcher.estimate_distance(&sketcher.sketch_view(&va), &sketcher.sketch_view(&vb))?;
     println!("sketched L{p} distance (k = {k}): {est}");
     println!("exact    L{p} distance:          {exact}");
     println!(
@@ -161,7 +154,7 @@ pub fn distance(args: &Args) -> Result<(), String> {
 }
 
 /// `sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]`
-pub fn sketch(args: &Args) -> Result<(), String> {
+pub fn sketch(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path)?;
     let (tr, tc) = args.require_tile("tile")?;
@@ -169,10 +162,10 @@ pub fn sketch(args: &Args) -> Result<(), String> {
     let p: f64 = args.get_or("p", 1.0)?;
     let k: usize = args.get_or("k", 128)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let sketcher = Sketcher::new(SketchParams::new(p, k, seed).map_err(|e| e.to_string())?)
-        .map_err(|e| e.to_string())?;
-    let store = AllSubtableSketches::build(&table, tr, tc, sketcher).map_err(|e| e.to_string())?;
-    persist::save_store(&store, out).map_err(|e| e.to_string())?;
+    let sketcher = Sketcher::new(SketchParams::new(p, k, seed)?)?;
+    let store = AllSubtableSketches::build(&table, tr, tc, sketcher)?;
+    persist::save_store(&store, out)
+        .map_err(|e| CliError::from(e).in_context(format!("writing {out}")))?;
     println!(
         "sketched all {}x{} windows of {path}: {} anchors x k = {k} ({:.1} MB) -> {out}",
         tr,
@@ -183,37 +176,83 @@ pub fn sketch(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `query STORE --at R,C --at2 R,C`
-pub fn query(args: &Args) -> Result<(), String> {
+fn parse_at(args: &Args, name: &str) -> Result<(usize, usize), CliError> {
+    let raw = args.require(name)?;
+    let (r, c) = raw
+        .split_once(',')
+        .ok_or_else(|| CliError::usage(format!("flag --{name}: expected ROW,COL, got {raw:?}")))?;
+    Ok((
+        r.trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("flag --{name}: bad row {r:?}")))?,
+        c.trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("flag --{name}: bad col {c:?}")))?,
+    ))
+}
+
+/// `query STORE --at R,C --at2 R,C [--table FILE]`
+///
+/// Without `--table` the store is the only source and any damage to it
+/// is fatal. With `--table` the query runs through a [`DistanceOracle`]:
+/// a healthy store answers from precomputed sketches, a damaged entry
+/// degrades to on-demand sketches, and an unreadable store file degrades
+/// the whole query (window shape then comes from `--tile`).
+pub fn query(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "sketch store file")?;
-    let store = persist::load_store(path).map_err(|e| e.to_string())?;
-    let parse_at = |name: &str| -> Result<(usize, usize), String> {
-        let raw = args.require(name)?;
-        let (r, c) = raw
-            .split_once(',')
-            .ok_or_else(|| format!("flag --{name}: expected ROW,COL, got {raw:?}"))?;
-        Ok((
-            r.trim()
-                .parse()
-                .map_err(|_| format!("flag --{name}: bad row {r:?}"))?,
-            c.trim()
-                .parse()
-                .map_err(|_| format!("flag --{name}: bad col {c:?}"))?,
-        ))
+    let a = parse_at(args, "at")?;
+    let b = parse_at(args, "at2")?;
+    let store = match persist::load_store(path) {
+        Ok(store) => store,
+        Err(e) => {
+            let Some(table_path) = args.get("table") else {
+                return Err(CliError::from(e).in_context(format!("loading {path}")));
+            };
+            // Degraded path: the store is unusable, but the raw table can
+            // still answer via on-demand sketches. The store's window
+            // shape and parameters are lost with it, so they must come
+            // from flags.
+            eprintln!("warning: loading {path}: {e}; degrading to on-demand sketches");
+            let table = load_table(table_path)?;
+            let (tr, tc) = args.require_tile("tile").map_err(|m| {
+                CliError::usage(format!(
+                    "{m} (the store is unreadable, so --tile must supply the window shape)"
+                ))
+            })?;
+            let p: f64 = args.get_or("p", 1.0)?;
+            let k: usize = args.get_or("k", 256)?;
+            let seed: u64 = args.get_or("seed", 0)?;
+            let sketcher = Sketcher::new(SketchParams::new(p, k, seed)?)?;
+            let oracle = DistanceOracle::on_demand(&table, sketcher)?;
+            let (est, tier) =
+                oracle.distance(Rect::new(a.0, a.1, tr, tc), Rect::new(b.0, b.1, tr, tc))?;
+            println!(
+                "estimated L{p} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est} ({tier} tier)"
+            );
+            return Ok(());
+        }
     };
-    let a = parse_at("at")?;
-    let b = parse_at("at2")?;
+    let (tr, tc) = (store.tile_rows(), store.tile_cols());
+    if let Some(table_path) = args.get("table") {
+        let table = load_table(table_path)?;
+        let oracle = DistanceOracle::with_store(&table, &store)?;
+        let (est, tier) =
+            oracle.distance(Rect::new(a.0, a.1, tr, tc), Rect::new(b.0, b.1, tr, tc))?;
+        println!(
+            "estimated L{} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est} ({tier} tier)",
+            oracle.p()
+        );
+        let snap = oracle.counters();
+        if snap.degraded() {
+            eprintln!("warning: query degraded below precomputed sketches; tiers: {snap}");
+        }
+        return Ok(());
+    }
     let mut scratch = Vec::new();
-    let est = store
-        .estimate_distance(a, b, &mut scratch)
-        .map_err(|e| e.to_string())?;
+    let est = store.estimate_distance(a, b, &mut scratch)?;
     println!(
-        "estimated L{} distance between {}x{} windows at {:?} and {:?}: {est}",
-        store.sketcher().p(),
-        store.tile_rows(),
-        store.tile_cols(),
-        a,
-        b
+        "estimated L{} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est}",
+        store.sketcher().p()
     );
     Ok(())
 }
@@ -260,34 +299,32 @@ fn build_embedding(
     table: &Table,
     grid: &TileGrid,
     p: f64,
-) -> Result<AnyEmbedding, String> {
+) -> Result<AnyEmbedding, CliError> {
     if args.switch("exact") {
-        Ok(AnyEmbedding::Exact(
-            ExactEmbedding::from_tiles(table, grid, p).map_err(|e| e.to_string())?,
-        ))
+        Ok(AnyEmbedding::Exact(ExactEmbedding::from_tiles(
+            table, grid, p,
+        )?))
     } else {
         let sketch_k: usize = args.get_or("sketch-k", 256)?;
         let seed: u64 = args.get_or("seed", 0)?;
-        let sketcher =
-            Sketcher::new(SketchParams::new(p, sketch_k, seed).map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
-        Ok(AnyEmbedding::Sketched(
-            PrecomputedSketchEmbedding::build(table, grid, sketcher).map_err(|e| e.to_string())?,
-        ))
+        let sketcher = Sketcher::new(SketchParams::new(p, sketch_k, seed)?)?;
+        Ok(AnyEmbedding::Sketched(PrecomputedSketchEmbedding::build(
+            table, grid, sketcher,
+        )?))
     }
 }
 
 /// `knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]`
-pub fn knn(args: &Args) -> Result<(), String> {
+pub fn knn(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path)?;
     let (tr, tc) = args.require_tile("tiles")?;
-    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc).map_err(|e| e.to_string())?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
     let p: f64 = args.get_or("p", 1.0)?;
     let query: usize = args.require_parsed("query")?;
     let count: usize = args.get_or("count", 5)?;
     let embedding = build_embedding(args, &table, &grid, p)?;
-    let neighbors = nearest_neighbors(&embedding, query, count).map_err(|e| e.to_string())?;
+    let neighbors = nearest_neighbors(&embedding, query, count)?;
     println!(
         "{count} nearest tiles to tile {query} (of {}) under L{p}:",
         grid.len()
@@ -303,19 +340,19 @@ pub fn knn(args: &Args) -> Result<(), String> {
 }
 
 /// `pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine]`
-pub fn pairs(args: &Args) -> Result<(), String> {
+pub fn pairs(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path)?;
     let (tr, tc) = args.require_tile("tiles")?;
-    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc).map_err(|e| e.to_string())?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
     let p: f64 = args.get_or("p", 1.0)?;
     let count: usize = args.get_or("count", 10)?;
     let embedding = build_embedding(args, &table, &grid, p)?;
     let top = if args.switch("refine") && !args.switch("exact") {
-        let exact = ExactEmbedding::from_tiles(&table, &grid, p).map_err(|e| e.to_string())?;
-        most_similar_pairs_refined(&embedding, &exact, count, 4).map_err(|e| e.to_string())?
+        let exact = ExactEmbedding::from_tiles(&table, &grid, p)?;
+        most_similar_pairs_refined(&embedding, &exact, count, 4)?
     } else {
-        most_similar_pairs(&embedding, count).map_err(|e| e.to_string())?
+        most_similar_pairs(&embedding, count)?
     };
     println!("{count} most similar tile pairs under L{p}:");
     for pair in top {
@@ -329,33 +366,62 @@ pub fn pairs(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// `cluster FILE --tiles RxC [--k K] [--p P] [--sketch-k K] [--exact] [--render]`
-pub fn cluster(args: &Args) -> Result<(), String> {
+/// Runs k-means through a store-backed [`DistanceOracle`], reporting
+/// per-tier counters. Damaged or shape-mismatched store entries degrade
+/// to on-demand sketches instead of failing the clustering.
+fn cluster_with_store(
+    table: &Table,
+    store: &AllSubtableSketches,
+    grid: &TileGrid,
+    km: &KMeans,
+) -> Result<(KMeansResult, TierSnapshot), CliError> {
+    let oracle = DistanceOracle::with_store(table, store)?;
+    let rects: Vec<Rect> = grid.iter().collect();
+    let embedding = OracleEmbedding::new(&oracle, rects)?;
+    let result = km.run(&embedding)?;
+    Ok((result, oracle.counters()))
+}
+
+/// `cluster FILE --tiles RxC [--k K] [--p P] [--sketch-k K] [--store STORE]
+/// [--exact] [--render]`
+pub fn cluster(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path)?;
     let (tr, tc) = args.require_tile("tiles")?;
     let k: usize = args.get_or("k", 8)?;
     let p: f64 = args.get_or("p", 1.0)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc).map_err(|e| e.to_string())?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
     let km = KMeans::new(KMeansConfig {
         k,
         seed,
         ..Default::default()
-    })
-    .map_err(|e| e.to_string())?;
+    })?;
     let start = std::time::Instant::now();
-    let (result, mode) = if args.switch("exact") {
-        let embedding = ExactEmbedding::from_tiles(&table, &grid, p).map_err(|e| e.to_string())?;
-        (km.run(&embedding).map_err(|e| e.to_string())?, "exact")
+    let mut tiers: Option<TierSnapshot> = None;
+    let (result, mode) = if let Some(store_path) = args.get("store") {
+        // A store that fails to load degrades the whole run to on-demand
+        // sketches rather than aborting the clustering.
+        match persist::load_store(store_path) {
+            Ok(store) => {
+                let (result, snap) = cluster_with_store(&table, &store, &grid, &km)?;
+                tiers = Some(snap);
+                (result, "oracle")
+            }
+            Err(e) => {
+                eprintln!("warning: loading {store_path}: {e}; degrading to on-demand sketches");
+                let embedding = build_embedding(args, &table, &grid, p)?;
+                (km.run(&embedding)?, "degraded")
+            }
+        }
+    } else if args.switch("exact") {
+        let embedding = ExactEmbedding::from_tiles(&table, &grid, p)?;
+        (km.run(&embedding)?, "exact")
     } else {
         let sketch_k: usize = args.get_or("sketch-k", 256)?;
-        let sketcher =
-            Sketcher::new(SketchParams::new(p, sketch_k, seed).map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
-        let embedding = PrecomputedSketchEmbedding::build(&table, &grid, sketcher)
-            .map_err(|e| e.to_string())?;
-        (km.run(&embedding).map_err(|e| e.to_string())?, "sketched")
+        let sketcher = Sketcher::new(SketchParams::new(p, sketch_k, seed)?)?;
+        let embedding = PrecomputedSketchEmbedding::build(&table, &grid, sketcher)?;
+        (km.run(&embedding)?, "sketched")
     };
     let elapsed = start.elapsed();
     println!(
@@ -365,6 +431,15 @@ pub fn cluster(args: &Args) -> Result<(), String> {
         result.distance_evals,
         elapsed.as_secs_f64()
     );
+    if let Some(snap) = tiers {
+        println!("oracle tiers: {snap}");
+        if snap.degraded() {
+            eprintln!(
+                "warning: {} tile sketches fell back below the precomputed tier",
+                snap.pooled_fallbacks
+            );
+        }
+    }
     let mut counts = vec![0usize; k];
     for &a in &result.assignments {
         counts[a] += 1;
@@ -374,7 +449,7 @@ pub fn cluster(args: &Args) -> Result<(), String> {
     }
     if args.switch("silhouette") {
         let embedding = build_embedding(args, &table, &grid, p)?;
-        let score = silhouette(&embedding, &result.assignments, k).map_err(|e| e.to_string())?;
+        let score = silhouette(&embedding, &result.assignments, k)?;
         println!("mean silhouette: {:.3}", score.mean);
     }
     if args.switch("render") {
@@ -462,6 +537,48 @@ mod tests {
     }
 
     #[test]
+    fn query_through_oracle_and_degraded_store() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let store_path = dir.join("t.tsks");
+        let (t, s) = (table_path.to_str().unwrap(), store_path.to_str().unwrap());
+        generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 64 --cols 64 --seed 1"
+        )))
+        .unwrap();
+        sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
+
+        // Healthy store + --table: answered through the oracle.
+        query(&parse(&format!(
+            "query {s} --at 0,0 --at2 40,40 --table {t}"
+        )))
+        .unwrap();
+
+        // Corrupt the store on disk: without --table the query dies with
+        // a sketch-layer error; with --table it degrades and succeeds.
+        let mut bytes = std::fs::read(&store_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&store_path, &bytes).unwrap();
+
+        let err = query(&parse(&format!("query {s} --at 0,0 --at2 40,40"))).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+
+        query(&parse(&format!(
+            "query {s} --at 0,0 --at2 40,40 --table {t} --tile 8x8 --k 32"
+        )))
+        .unwrap();
+
+        // The degraded path needs the window shape from --tile.
+        let err = query(&parse(&format!(
+            "query {s} --at 0,0 --at2 40,40 --table {t}"
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn cluster_flow_sketched_and_exact() {
         let dir = temp_dir();
         let table_path = dir.join("t.tsb");
@@ -482,6 +599,33 @@ mod tests {
     }
 
     #[test]
+    fn cluster_through_store_oracle_survives_corruption() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let store_path = dir.join("t.tsks");
+        let (t, s) = (table_path.to_str().unwrap(), store_path.to_str().unwrap());
+        generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 32 --cols 32 --seed 4"
+        )))
+        .unwrap();
+        sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
+
+        // Healthy store: the oracle path clusters from pooled sketches.
+        cluster(&parse(&format!(
+            "cluster {t} --tiles 8x8 --k 2 --store {s}"
+        )))
+        .unwrap();
+
+        // An unreadable store degrades the run instead of failing it.
+        std::fs::write(&store_path, b"TSS2 garbage").unwrap();
+        cluster(&parse(&format!(
+            "cluster {t} --tiles 8x8 --k 2 --store {s} --sketch-k 32"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn errors_are_informative() {
         assert!(generate(&parse("generate nosuch --out /tmp/x")).is_err());
         assert!(
@@ -493,6 +637,30 @@ mod tests {
             "distance /no/such.tsb --rect 0,0,1,1 --rect2 0,0,1,1"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn error_classes_map_to_distinct_exit_codes() {
+        // Usage: missing required flag.
+        let err = generate(&parse("generate callvol")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        // Table layer: unreadable table file.
+        let err = info(&parse("info /no/such/file.tsb")).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        // Sketch layer: unreadable store file.
+        let err = query(&parse("query /no/such.tsks --at 0,0 --at2 1,1")).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        // Mining layer: more clusters than tiles.
+        let dir = temp_dir();
+        let t = dir.join("t.tsb");
+        let t = t.to_str().unwrap();
+        generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 16 --cols 16 --seed 1"
+        )))
+        .unwrap();
+        let err = cluster(&parse(&format!("cluster {t} --tiles 8x8 --k 40"))).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Typed CLI errors with one distinct exit code per failure class.
+//!
+//! Scripts driving `tabsketch-cli` can tell a typo'd flag (exit 2) from
+//! a damaged table file (exit 3), a bad sketch store (exit 4), or a
+//! mining-parameter problem (exit 5) without parsing stderr. Every
+//! error renders as one `error: ...` line, optionally prefixed with the
+//! operation that failed ("loading day.tsb: ...").
+
+use core::fmt;
+
+use tabsketch_cluster::ClusterError;
+use tabsketch_core::TabError;
+use tabsketch_table::TableError;
+
+/// Which layer a [`CliError`] came from; decides the exit code.
+#[derive(Debug)]
+pub enum ErrorKind {
+    /// Bad invocation: unknown command, missing or malformed flags.
+    Usage(String),
+    /// Table-layer failure: unreadable, corrupt, or invalid table data.
+    Table(TableError),
+    /// Sketch-layer failure: bad parameters or a damaged sketch store.
+    Sketch(TabError),
+    /// Mining-layer failure: clustering or neighbor search rejected input.
+    Cluster(ClusterError),
+}
+
+/// A subcommand failure: an [`ErrorKind`] plus optional operation
+/// context, mapped to a stable nonzero exit code.
+#[derive(Debug)]
+pub struct CliError {
+    kind: ErrorKind,
+    context: Option<String>,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        ErrorKind::Usage(msg.into()).into()
+    }
+
+    /// Attaches the operation that failed, e.g. `"loading day.tsb"`.
+    #[must_use]
+    pub fn in_context(mut self, what: impl Into<String>) -> Self {
+        self.context = Some(what.into());
+        self
+    }
+
+    /// The process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self.kind {
+            ErrorKind::Usage(_) => 2,
+            ErrorKind::Table(_) => 3,
+            ErrorKind::Sketch(_) => 4,
+            ErrorKind::Cluster(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(ctx) = &self.context {
+            write!(f, "{ctx}: ")?;
+        }
+        match &self.kind {
+            ErrorKind::Usage(msg) => write!(f, "{msg}"),
+            ErrorKind::Table(e) => write!(f, "{e}"),
+            ErrorKind::Sketch(e) => write!(f, "{e}"),
+            ErrorKind::Cluster(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ErrorKind> for CliError {
+    fn from(kind: ErrorKind) -> Self {
+        CliError {
+            kind,
+            context: None,
+        }
+    }
+}
+
+/// Flag-parsing helpers report plain strings; those are usage errors.
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::usage(msg)
+    }
+}
+
+impl From<TableError> for CliError {
+    fn from(e: TableError) -> Self {
+        ErrorKind::Table(e).into()
+    }
+}
+
+impl From<TabError> for CliError {
+    fn from(e: TabError) -> Self {
+        ErrorKind::Sketch(e).into()
+    }
+}
+
+impl From<ClusterError> for CliError {
+    fn from(e: ClusterError) -> Self {
+        ErrorKind::Cluster(e).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let codes = [
+            CliError::usage("bad flag").exit_code(),
+            CliError::from(TableError::EmptyDimension).exit_code(),
+            CliError::from(TabError::corrupt("magic", "nope")).exit_code(),
+            CliError::from(ClusterError::InvalidParameter("k")).exit_code(),
+        ];
+        assert_eq!(codes, [2, 3, 4, 5]);
+        assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn context_prefixes_the_message() {
+        let e = CliError::from(TableError::EmptyDimension).in_context("loading x.tsb");
+        let msg = e.to_string();
+        assert!(msg.starts_with("loading x.tsb: "), "{msg}");
+    }
+
+    #[test]
+    fn strings_become_usage_errors() {
+        let e: CliError = String::from("flag --k expects a value").into();
+        assert_eq!(e.exit_code(), 2);
+        assert!(matches!(e.kind, ErrorKind::Usage(_)));
+    }
+}

@@ -6,21 +6,24 @@
 //! tabsketch-cli info day.tsb
 //! tabsketch-cli distance day.tsb --rect 0,0,64,64 --rect2 128,40,64,64 --p 0.5
 //! tabsketch-cli sketch day.tsb --tile 32x32 --k 128 --p 1.0 --out day.tsks
-//! tabsketch-cli query day.tsks --at 0,0 --at2 100,40
+//! tabsketch-cli query day.tsks --at 0,0 --at2 100,40 --table day.tsb
 //! tabsketch-cli cluster day.tsb --tiles 32x144 --k 8 --p 0.5 --render
 //! ```
 
 mod args;
 mod commands;
+mod error;
 
 use args::Args;
+use error::CliError;
 
 fn main() {
     let parsed = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
+            let e = CliError::usage(msg);
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
         }
     };
     if parsed.command.is_empty() || parsed.switch("help") || parsed.command == "help" {
@@ -36,13 +39,13 @@ fn main() {
         "cluster" => commands::cluster(&parsed),
         "knn" => commands::knn(&parsed),
         "pairs" => commands::pairs(&parsed),
-        other => Err(format!(
+        other => Err(CliError::usage(format!(
             "unknown command {other:?} (try `tabsketch-cli help`)"
-        )),
+        ))),
     };
-    if let Err(msg) = result {
-        eprintln!("error: {msg}");
-        std::process::exit(1);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code());
     }
 }
 
@@ -71,14 +74,20 @@ COMMANDS:
   sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]
       Precompute sketches of every RxC window into a reusable store.
 
-  query STORE --at R,C --at2 R,C
+  query STORE --at R,C --at2 R,C [--table FILE]
       O(k) distance estimate between two windows of a saved store.
+      With --table, damaged store entries degrade to on-demand
+      sketches of the raw table instead of failing; if the store file
+      itself is unreadable, add --tile RxC (and optionally --p/--k/
+      --seed) to recover the window shape.
 
   cluster FILE --tiles RxC [--k K] [--p P] [--sketch-k K] [--seed N]
-      [--exact] [--render] [--silhouette]
+      [--store STORE] [--exact] [--render] [--silhouette]
       k-means over the table's tiles on sketches (default) or exact
-      distances; --render prints an ASCII cluster map, --silhouette a
-      mean silhouette score.
+      distances; --store reuses a precomputed sketch store through a
+      degradation oracle (per-tier counts reported, damaged entries
+      re-sketched on demand); --render prints an ASCII cluster map,
+      --silhouette a mean silhouette score.
 
   knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]
       Nearest tiles to a query tile.
@@ -86,6 +95,10 @@ COMMANDS:
   pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine] [--exact]
       Most similar tile pairs; --refine re-ranks a sketched shortlist
       with exact distances.
+
+EXIT CODES:
+  0 success; 2 usage error; 3 table-file error; 4 sketch/store error;
+  5 mining error. Failures print one `error: ...` line to stderr.
 
 Formats: .tsb (binary tables), .csv, .tsks (sketch stores)."
     );

@@ -174,21 +174,31 @@ impl KMeans {
             }
             // Empty-cluster repair: reseed on the object farthest from its
             // centroid (a standard Lloyd's fix; keeps k clusters alive).
+            // Each empty cluster takes a *distinct* object — otherwise two
+            // empty clusters reseed on the same farthest point and collapse
+            // back into one, silently dropping k on duplicate-heavy data.
+            let mut reseeded: Vec<usize> = Vec::new();
             for c in 0..k {
                 if counts[c] == 0 {
-                    let mut far_obj = 0;
+                    let mut far_obj = None;
                     let mut far_d = -1.0;
                     for i in 0..n {
+                        if reseeded.contains(&i) {
+                            continue;
+                        }
                         embedding.point_to_vec(i, &mut point);
                         let d =
                             embedding.distance(&point, &centroids[assignments[i]], &mut scratch);
                         evals += 1;
                         if d > far_d {
                             far_d = d;
-                            far_obj = i;
+                            far_obj = Some(i);
                         }
                     }
-                    embedding.point_to_vec(far_obj, &mut centroids[c]);
+                    if let Some(i) = far_obj {
+                        reseeded.push(i);
+                        embedding.point_to_vec(i, &mut centroids[c]);
+                    }
                 }
             }
         }
@@ -460,6 +470,46 @@ mod tests {
             "evals {}",
             result.distance_evals
         );
+    }
+
+    #[test]
+    fn empty_cluster_repair_keeps_k_clusters_alive() {
+        // Five identical points plus two distinct outliers. Random init
+        // frequently seeds multiple centroids on the duplicates, leaving
+        // clusters empty after the first assignment; the repair must then
+        // reseed each empty cluster on a *different* object so all three
+        // clusters survive. (The old repair picked the same farthest point
+        // for every empty cluster, silently collapsing k.)
+        // max_iters = 2 makes the transient failure permanent: the fixed
+        // repair fills every empty cluster with a distinct object in one
+        // pass, while the old one needed several passes and ran out of
+        // iterations with a cluster still empty.
+        let mut points = vec![vec![0.0]; 5];
+        points.push(vec![10.0]);
+        points.push(vec![20.0]);
+        let e = VecEmbedding { points };
+        for seed in 0..30 {
+            let km = KMeans::new(KMeansConfig {
+                k: 3,
+                seed,
+                max_iters: 2,
+                ..Default::default()
+            })
+            .unwrap();
+            let result = km.run(&e).unwrap();
+            let distinct: std::collections::HashSet<_> =
+                result.assignments.iter().copied().collect();
+            assert_eq!(
+                distinct.len(),
+                3,
+                "seed {seed} dropped clusters: {:?}",
+                result.assignments
+            );
+            // The two outliers must not share a cluster with the blob.
+            assert_ne!(result.assignments[5], result.assignments[0], "seed {seed}");
+            assert_ne!(result.assignments[6], result.assignments[0], "seed {seed}");
+            assert!(result.inertia < 1e-9, "seed {seed}: {}", result.inertia);
+        }
     }
 
     #[test]

@@ -1,0 +1,616 @@
+//! A graceful-degradation distance oracle over the paper's three
+//! execution modes.
+//!
+//! The paper's mining algorithms can obtain a tile distance three ways,
+//! in decreasing order of preparation and increasing order of per-query
+//! cost:
+//!
+//! 1. **Pooled** — read precomputed sketches from an
+//!    [`AllSubtableSketches`] store or assemble a compound sketch from a
+//!    dyadic [`SketchPool`] (scenario 1);
+//! 2. **On-demand** — sketch the rectangles now, cache the result
+//!    (scenario 2);
+//! 3. **Exact** — a full `O(rect size)` Lp scan (scenario 3).
+//!
+//! [`DistanceOracle`] layers these as a degradation ladder: every query
+//! tries the cheapest tier first and falls through when that tier cannot
+//! answer — the rectangle is not covered by the pool, the store was built
+//! for a different tile shape, or a stored value is non-finite (the
+//! symptom of undetected corruption in legacy v1 files, whose bodies
+//! carry no checksum). A damaged sketch store therefore degrades mining
+//! to slower-but-correct answers instead of crashing it or silently
+//! skewing it. Per-tier counters record where every answer came from, so
+//! callers can report degradation to the user.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use core::fmt;
+
+use parking_lot::Mutex;
+
+use tabsketch_core::{AllSubtableSketches, SketchPool, Sketcher};
+use tabsketch_table::{norms, Rect, Table};
+
+use crate::embedding::Embedding;
+use crate::ClusterError;
+
+/// Which rung of the ladder produced an answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Tier {
+    /// Precomputed sketches (store lookup or pool compound sketch).
+    Pooled,
+    /// Sketches computed now and cached.
+    OnDemand,
+    /// Exact Lp scan over the raw table.
+    Exact,
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Pooled => write!(f, "pooled"),
+            Tier::OnDemand => write!(f, "on-demand"),
+            Tier::Exact => write!(f, "exact"),
+        }
+    }
+}
+
+/// Thread-safe per-tier hit and fallback counters.
+#[derive(Debug, Default)]
+pub struct TierCounters {
+    pooled: AtomicU64,
+    on_demand: AtomicU64,
+    exact: AtomicU64,
+    pooled_fallbacks: AtomicU64,
+    on_demand_fallbacks: AtomicU64,
+}
+
+impl TierCounters {
+    fn record_hit(&self, tier: Tier) {
+        let c = match tier {
+            Tier::Pooled => &self.pooled,
+            Tier::OnDemand => &self.on_demand,
+            Tier::Exact => &self.exact,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_fallback(&self, from: Tier) {
+        let c = match from {
+            Tier::Pooled => &self.pooled_fallbacks,
+            Tier::OnDemand => &self.on_demand_fallbacks,
+            Tier::Exact => return,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            pooled: self.pooled.load(Ordering::Relaxed),
+            on_demand: self.on_demand.load(Ordering::Relaxed),
+            exact: self.exact.load(Ordering::Relaxed),
+            pooled_fallbacks: self.pooled_fallbacks.load(Ordering::Relaxed),
+            on_demand_fallbacks: self.on_demand_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`TierCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Answers served from precomputed sketches.
+    pub pooled: u64,
+    /// Answers served from sketches computed on demand.
+    pub on_demand: u64,
+    /// Answers served by exact Lp scans.
+    pub exact: u64,
+    /// Times the pooled tier could not answer and the query fell through.
+    pub pooled_fallbacks: u64,
+    /// Times the on-demand tier could not answer.
+    pub on_demand_fallbacks: u64,
+}
+
+impl TierSnapshot {
+    /// Whether any query fell through to a slower tier.
+    pub fn degraded(&self) -> bool {
+        self.pooled_fallbacks > 0 || self.on_demand_fallbacks > 0
+    }
+
+    /// Total answers served.
+    pub fn total(&self) -> u64 {
+        self.pooled + self.on_demand + self.exact
+    }
+}
+
+impl fmt::Display for TierSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pooled={} on-demand={} exact={} (fallbacks: pooled={} on-demand={})",
+            self.pooled,
+            self.on_demand,
+            self.exact,
+            self.pooled_fallbacks,
+            self.on_demand_fallbacks
+        )
+    }
+}
+
+enum Source<'a> {
+    Store(&'a AllSubtableSketches),
+    Pool(&'a SketchPool),
+}
+
+/// A distance oracle that answers Lp queries over rectangles of one
+/// table, degrading gracefully from precomputed sketches to on-demand
+/// sketches to exact scans. See the module docs for the ladder.
+pub struct DistanceOracle<'a> {
+    table: &'a Table,
+    p: f64,
+    source: Option<Source<'a>>,
+    sketcher: Sketcher,
+    cache: Mutex<HashMap<Rect, Box<[f64]>>>,
+    counters: TierCounters,
+}
+
+impl<'a> DistanceOracle<'a> {
+    /// An oracle backed by a precomputed [`AllSubtableSketches`] store.
+    ///
+    /// Rectangles matching the store's tile shape are answered from the
+    /// store; anything else (or any store entry holding non-finite
+    /// values) falls through. On-demand sketches use the store's own
+    /// sketcher, so stored and freshly computed sketches share one random
+    /// family and are directly comparable.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for signature stability.
+    pub fn with_store(
+        table: &'a Table,
+        store: &'a AllSubtableSketches,
+    ) -> Result<Self, ClusterError> {
+        Ok(Self {
+            table,
+            p: store.sketcher().p(),
+            sketcher: store.sketcher().clone(),
+            source: Some(Source::Store(store)),
+            cache: Mutex::new(HashMap::new()),
+            counters: TierCounters::default(),
+        })
+    }
+
+    /// An oracle backed by a dyadic [`SketchPool`].
+    ///
+    /// Equal-shaped rectangle pairs covered by the pool are answered by
+    /// compound sketches; uncovered sizes fall through to on-demand
+    /// sketches (computed for *both* sides, so the comparison stays
+    /// within one random family).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter errors from sketcher construction.
+    pub fn with_pool(table: &'a Table, pool: &'a SketchPool) -> Result<Self, ClusterError> {
+        let sketcher = Sketcher::new(pool.params()).map_err(ClusterError::Core)?;
+        Ok(Self {
+            table,
+            p: pool.params().p(),
+            sketcher,
+            source: Some(Source::Pool(pool)),
+            cache: Mutex::new(HashMap::new()),
+            counters: TierCounters::default(),
+        })
+    }
+
+    /// An oracle with no precomputed tier: queries are answered by
+    /// on-demand sketches (cached), with exact scans as the safety net.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for signature stability.
+    pub fn on_demand(table: &'a Table, sketcher: Sketcher) -> Result<Self, ClusterError> {
+        Ok(Self {
+            table,
+            p: sketcher.p(),
+            sketcher,
+            source: None,
+            cache: Mutex::new(HashMap::new()),
+            counters: TierCounters::default(),
+        })
+    }
+
+    /// The Lp exponent of every answer.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The sketcher used by the on-demand tier.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// The per-tier hit/fallback counters.
+    #[inline]
+    pub fn counters(&self) -> TierSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Tries the precomputed tier for the pair `(a, b)`. `None` means
+    /// "this tier cannot answer" (wrong shape, uncovered size, corrupt
+    /// values) — the caller falls through.
+    fn pooled_estimate(&self, a: Rect, b: Rect) -> Option<f64> {
+        let source = self.source.as_ref()?;
+        let d = match source {
+            Source::Store(store) => {
+                if a.shape() != (store.tile_rows(), store.tile_cols()) || a.shape() != b.shape() {
+                    return None;
+                }
+                let va = store.values_at(a.row, a.col)?;
+                let vb = store.values_at(b.row, b.col)?;
+                if !va.iter().chain(vb).all(|v| v.is_finite()) {
+                    return None;
+                }
+                let mut scratch = Vec::with_capacity(self.sketcher.k());
+                store
+                    .sketcher()
+                    .estimate_distance_slices(va, vb, &mut scratch)
+            }
+            Source::Pool(pool) => pool.estimate_distance(a, b).ok()?,
+        };
+        d.is_finite().then_some(d)
+    }
+
+    /// The cached on-demand sketch of `rect`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates view errors for out-of-bounds rectangles.
+    fn on_demand_values(&self, rect: Rect) -> Result<Box<[f64]>, ClusterError> {
+        if let Some(v) = self.cache.lock().get(&rect) {
+            return Ok(v.clone());
+        }
+        let view = self.table.view(rect)?;
+        let values: Box<[f64]> = self.sketcher.sketch_view(&view).values().into();
+        self.cache
+            .lock()
+            .entry(rect)
+            .or_insert_with(|| values.clone());
+        Ok(values)
+    }
+
+    /// How many rectangles the on-demand cache currently holds.
+    pub fn cached_count(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Estimates the Lp distance between `a` and `b`, reporting which
+    /// tier answered. Falls through the ladder as tiers fail; the final
+    /// exact tier cannot produce a wrong answer, only a slow one.
+    ///
+    /// # Errors
+    ///
+    /// Returns table errors for rectangles that do not fit the table —
+    /// the one failure no tier can absorb.
+    pub fn distance(&self, a: Rect, b: Rect) -> Result<(f64, Tier), ClusterError> {
+        if self.source.is_some() {
+            if let Some(d) = self.pooled_estimate(a, b) {
+                self.counters.record_hit(Tier::Pooled);
+                return Ok((d, Tier::Pooled));
+            }
+            self.counters.record_fallback(Tier::Pooled);
+        }
+
+        match (self.on_demand_values(a), self.on_demand_values(b)) {
+            (Ok(va), Ok(vb)) => {
+                let mut scratch = Vec::with_capacity(self.sketcher.k());
+                let d = self
+                    .sketcher
+                    .estimate_distance_slices(&va, &vb, &mut scratch);
+                if d.is_finite() {
+                    self.counters.record_hit(Tier::OnDemand);
+                    return Ok((d, Tier::OnDemand));
+                }
+                self.counters.record_fallback(Tier::OnDemand);
+            }
+            // Out-of-bounds rectangles fail every tier; report instead of
+            // silently scanning.
+            (Err(e), _) | (_, Err(e)) => return Err(e),
+        }
+
+        let va = self.table.view(a)?;
+        let vb = self.table.view(b)?;
+        let d = norms::lp_distance_views(&va, &vb, self.p).map_err(ClusterError::Table)?;
+        self.counters.record_hit(Tier::Exact);
+        Ok((d, Tier::Exact))
+    }
+
+    /// The representation vector of `rect` for embedding use: the stored
+    /// sketch when available and intact, otherwise a freshly computed one.
+    /// Only meaningful for store-backed (or sourceless) oracles, where
+    /// both tiers share one random family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates view errors for out-of-bounds rectangles.
+    pub fn sketch_for(&self, rect: Rect) -> Result<(Box<[f64]>, Tier), ClusterError> {
+        if let Some(Source::Store(store)) = &self.source {
+            if rect.shape() == (store.tile_rows(), store.tile_cols()) {
+                if let Some(values) = store.values_at(rect.row, rect.col) {
+                    if values.iter().all(|v| v.is_finite()) {
+                        self.counters.record_hit(Tier::Pooled);
+                        return Ok((values.into(), Tier::Pooled));
+                    }
+                }
+            }
+            self.counters.record_fallback(Tier::Pooled);
+        }
+        let values = self.on_demand_values(rect)?;
+        self.counters.record_hit(Tier::OnDemand);
+        Ok((values, Tier::OnDemand))
+    }
+}
+
+/// An [`Embedding`] whose object vectors come from a store-backed
+/// [`DistanceOracle`]: each object is a rectangle, represented by its
+/// stored sketch when intact and an on-demand sketch otherwise. Because
+/// both tiers share the store's random family, mixed-tier vectors remain
+/// mutually comparable and k-means/k-medoids run unchanged on a
+/// partially damaged store.
+pub struct OracleEmbedding<'a> {
+    oracle: &'a DistanceOracle<'a>,
+    rects: Vec<Rect>,
+    vectors: Vec<Box<[f64]>>,
+}
+
+impl<'a> OracleEmbedding<'a> {
+    /// Builds the embedding over `rects`, resolving every vector through
+    /// the oracle's ladder up front (so degradation is visible in the
+    /// oracle's counters before clustering starts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an empty rectangle
+    /// set and propagates view errors for out-of-bounds rectangles.
+    pub fn new(oracle: &'a DistanceOracle<'a>, rects: Vec<Rect>) -> Result<Self, ClusterError> {
+        if rects.is_empty() {
+            return Err(ClusterError::InvalidParameter("no rectangles provided"));
+        }
+        let mut vectors = Vec::with_capacity(rects.len());
+        for &rect in &rects {
+            vectors.push(oracle.sketch_for(rect)?.0);
+        }
+        Ok(Self {
+            oracle,
+            rects,
+            vectors,
+        })
+    }
+
+    /// The rectangle behind object `i`.
+    pub fn rect(&self, i: usize) -> Rect {
+        self.rects[i]
+    }
+}
+
+impl Embedding for OracleEmbedding<'_> {
+    fn num_objects(&self) -> usize {
+        self.rects.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.oracle.sketcher().k()
+    }
+
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+        f(&self.vectors[i])
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
+        self.oracle
+            .sketcher()
+            .estimate_distance_slices(a, b, scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KMeans, KMeansConfig};
+    use tabsketch_core::{PoolConfig, SketchParams};
+    use tabsketch_table::TileGrid;
+
+    fn table() -> Table {
+        Table::from_fn(24, 24, |r, c| ((r / 8) * 100 + c) as f64).unwrap()
+    }
+
+    fn sketcher(k: usize, seed: u64) -> Sketcher {
+        Sketcher::new(SketchParams::new(1.0, k, seed).unwrap()).unwrap()
+    }
+
+    fn store(t: &Table, k: usize) -> AllSubtableSketches {
+        AllSubtableSketches::build(t, 8, 8, sketcher(k, 11)).unwrap()
+    }
+
+    #[test]
+    fn store_backed_oracle_answers_from_tier_zero() {
+        let t = table();
+        let s = store(&t, 64);
+        let oracle = DistanceOracle::with_store(&t, &s).unwrap();
+        let (d, tier) = oracle
+            .distance(Rect::new(0, 0, 8, 8), Rect::new(8, 0, 8, 8))
+            .unwrap();
+        assert!(d.is_finite() && d > 0.0);
+        assert_eq!(tier, Tier::Pooled);
+        let snap = oracle.counters();
+        assert_eq!(snap.pooled, 1);
+        assert!(!snap.degraded());
+    }
+
+    #[test]
+    fn wrong_shape_falls_back_to_on_demand() {
+        let t = table();
+        let s = store(&t, 64);
+        let oracle = DistanceOracle::with_store(&t, &s).unwrap();
+        // 6x6 rects are not what the 8x8 store holds.
+        let (d, tier) = oracle
+            .distance(Rect::new(0, 0, 6, 6), Rect::new(12, 0, 6, 6))
+            .unwrap();
+        assert!(d.is_finite());
+        assert_eq!(tier, Tier::OnDemand);
+        let snap = oracle.counters();
+        assert_eq!(snap.pooled_fallbacks, 1);
+        assert_eq!(snap.on_demand, 1);
+        assert!(snap.degraded());
+        // The second identical query reuses the cache.
+        let cached = oracle.cached_count();
+        let _ = oracle
+            .distance(Rect::new(0, 0, 6, 6), Rect::new(12, 0, 6, 6))
+            .unwrap();
+        assert_eq!(oracle.cached_count(), cached);
+    }
+
+    #[test]
+    fn corrupt_store_values_degrade_not_poison() {
+        let t = table();
+        let s = store(&t, 64);
+        // Rebuild the store with NaN scribbled over one anchor's sketch —
+        // what undetected bit-rot in a legacy v1 file looks like.
+        let k = s.sketcher().k();
+        let mut values = s.raw_values().to_vec();
+        let pos = 3 * s.anchor_cols() + 2; // anchor (3, 2)
+        for v in &mut values[pos * k..(pos + 1) * k] {
+            *v = f64::NAN;
+        }
+        let damaged = AllSubtableSketches::from_parts(
+            s.sketcher().clone(),
+            s.tile_rows(),
+            s.tile_cols(),
+            s.anchor_rows(),
+            s.anchor_cols(),
+            values,
+        )
+        .unwrap();
+
+        let oracle = DistanceOracle::with_store(&t, &damaged).unwrap();
+        let clean_oracle = DistanceOracle::with_store(&t, &s).unwrap();
+
+        // A query not touching the damaged anchor is still tier 0.
+        let (_, tier) = oracle
+            .distance(Rect::new(0, 0, 8, 8), Rect::new(8, 0, 8, 8))
+            .unwrap();
+        assert_eq!(tier, Tier::Pooled);
+
+        // A query touching it degrades — and the answer still agrees with
+        // the clean store's, because the fallback sketcher shares the
+        // store's family.
+        let (d, tier) = oracle
+            .distance(Rect::new(3, 2, 8, 8), Rect::new(8, 0, 8, 8))
+            .unwrap();
+        assert_eq!(tier, Tier::OnDemand);
+        let (d_clean, _) = clean_oracle
+            .distance(Rect::new(3, 2, 8, 8), Rect::new(8, 0, 8, 8))
+            .unwrap();
+        assert!(
+            (d - d_clean).abs() < 1e-6 * (1.0 + d_clean.abs()),
+            "degraded {d} vs clean {d_clean}"
+        );
+        assert!(oracle.counters().degraded());
+    }
+
+    #[test]
+    fn pool_backed_oracle_covers_and_degrades() {
+        let t = Table::from_fn(48, 48, |r, _| if r < 24 { 1.0 } else { 900.0 }).unwrap();
+        let pool = SketchPool::build(
+            &t,
+            SketchParams::new(1.0, 64, 5).unwrap(),
+            PoolConfig {
+                min_rows: 8,
+                min_cols: 8,
+                max_rows: 16,
+                max_cols: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let oracle = DistanceOracle::with_pool(&t, &pool).unwrap();
+
+        // Covered size: answered by compound sketches.
+        let (_, tier) = oracle
+            .distance(Rect::new(0, 0, 12, 12), Rect::new(30, 0, 12, 12))
+            .unwrap();
+        assert_eq!(tier, Tier::Pooled);
+
+        // Uncovered size (dyadic floor 4x4 below the pool's minimum):
+        // degrades to on-demand sketches instead of erroring out.
+        let (d, tier) = oracle
+            .distance(Rect::new(0, 0, 5, 5), Rect::new(30, 0, 5, 5))
+            .unwrap();
+        assert_eq!(tier, Tier::OnDemand);
+        assert!(d.is_finite() && d > 0.0);
+        assert!(oracle.counters().degraded());
+    }
+
+    #[test]
+    fn out_of_bounds_rect_is_an_error_not_a_guess() {
+        let t = table();
+        let oracle = DistanceOracle::on_demand(&t, sketcher(16, 3)).unwrap();
+        assert!(oracle
+            .distance(Rect::new(0, 0, 8, 8), Rect::new(20, 20, 8, 8))
+            .is_err());
+    }
+
+    #[test]
+    fn clustering_on_damaged_store_matches_clean_run() {
+        // The ISSUE's acceptance demo: corrupt one pool entry, cluster
+        // anyway, and land within tolerance of the all-sketch run.
+        let t = Table::from_fn(24, 24, |r, _| if r < 8 { 1.0 } else { 700.0 }).unwrap();
+        let s = store(&t, 128);
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        let rects: Vec<Rect> = grid.iter().collect();
+
+        let k = s.sketcher().k();
+        let mut values = s.raw_values().to_vec();
+        for v in &mut values[..k] {
+            *v = f64::INFINITY; // damage anchor (0, 0)
+        }
+        let damaged = AllSubtableSketches::from_parts(
+            s.sketcher().clone(),
+            s.tile_rows(),
+            s.tile_cols(),
+            s.anchor_rows(),
+            s.anchor_cols(),
+            values,
+        )
+        .unwrap();
+
+        let clean_oracle = DistanceOracle::with_store(&t, &s).unwrap();
+        let damaged_oracle = DistanceOracle::with_store(&t, &damaged).unwrap();
+        let clean = OracleEmbedding::new(&clean_oracle, rects.clone()).unwrap();
+        let degraded = OracleEmbedding::new(&damaged_oracle, rects).unwrap();
+        assert!(damaged_oracle.counters().degraded());
+        assert_eq!(damaged_oracle.counters().on_demand, 1);
+
+        let km = KMeans::new(KMeansConfig {
+            k: 2,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        let a = km.run(&clean).unwrap();
+        let b = km.run(&degraded).unwrap();
+        // Same partition: tiles of the top band together, rest together.
+        let same = a
+            .assignments
+            .iter()
+            .zip(&b.assignments)
+            .all(|(x, y)| (x == y) == (a.assignments[0] == b.assignments[0]));
+        assert!(
+            same,
+            "clean {:?} vs degraded {:?}",
+            a.assignments, b.assignments
+        );
+    }
+}

@@ -34,8 +34,40 @@ pub enum TabError {
     Table(TableError),
     /// An error bubbled up from the FFT layer.
     Fft(FftError),
+    /// A stored sketch or sketch store failed structural validation: bad
+    /// magic, unsupported version, checksum mismatch, truncation, or an
+    /// implausible header.
+    Corrupt {
+        /// Which part of the file failed (e.g. `"magic"`, `"header"`,
+        /// `"body"`).
+        section: &'static str,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
     /// An I/O or format failure while persisting/loading sketches.
     Io(String),
+}
+
+impl TabError {
+    /// Builds a [`TabError::Corrupt`] for `section` with a formatted
+    /// detail message.
+    pub fn corrupt(section: &'static str, detail: impl Into<String>) -> Self {
+        TabError::Corrupt {
+            section,
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies a read failure in `section`: an unexpected EOF means the
+    /// file is truncated (a corruption, not an I/O fault); everything else
+    /// stays an I/O error.
+    pub fn from_read_error(section: &'static str, e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TabError::corrupt(section, "unexpected end of file (truncated)")
+        } else {
+            TabError::Io(e.to_string())
+        }
+    }
 }
 
 impl fmt::Display for TabError {
@@ -55,6 +87,9 @@ impl fmt::Display for TabError {
             }
             TabError::Table(e) => write!(f, "table error: {e}"),
             TabError::Fft(e) => write!(f, "fft error: {e}"),
+            TabError::Corrupt { section, detail } => {
+                write!(f, "corrupt sketch file ({section}): {detail}")
+            }
             TabError::Io(msg) => write!(f, "sketch I/O error: {msg}"),
         }
     }

@@ -2,190 +2,452 @@
 //!
 //! The paper's headline workflow is "precompute sketches once, answer
 //! distance queries forever after"; that only pays off across sessions if
-//! the sketch store can be saved and reloaded. The format (`TSKS`) is a
-//! simple little-endian layout: sketch parameters first (so the loader
-//! can reconstruct the *same* deterministic random family), then the flat
-//! value buffer. A reloaded store is interchangeable with a freshly built
-//! one — including comparisons against newly computed on-demand sketches,
-//! because the random rows are derived from the persisted seed.
+//! the sketch store can be saved and reloaded. A reloaded store is
+//! interchangeable with a freshly built one — including comparisons
+//! against newly computed on-demand sketches, because the random rows are
+//! derived from the persisted seed.
+//!
+//! # Formats
+//!
+//! All integers are little-endian. The current (v2) formats carry a
+//! version field and per-section CRC32 checksums so damage is *detected*
+//! at load time instead of silently skewing distance estimates:
+//!
+//! Store v2 (`TSS2`):
+//!
+//! | field         | type      | notes                                      |
+//! |---------------|-----------|--------------------------------------------|
+//! | magic         | `[u8; 4]` | `"TSS2"`                                   |
+//! | version       | `u32`     | `2`                                        |
+//! | p             | `f64`     | Lp exponent                                |
+//! | k             | `u64`     | sketch width                               |
+//! | seed          | `u64`     | random-family seed                         |
+//! | family        | `u64`     | family discriminator                       |
+//! | estimator     | `u64`     | `0` = median, `1` = L2                     |
+//! | tile_rows/cols | `u64`×2  | tile shape                                 |
+//! | anchor_rows/cols | `u64`×2 | anchor grid shape                         |
+//! | header CRC32  | `u32`     | over all preceding bytes                   |
+//! | values        | `[f64]`   | `anchor_rows * anchor_cols * k` values     |
+//! | body CRC32    | `u32`     | over the raw value bytes                   |
+//!
+//! Sketch v2 (`TSK2`) is the same idea with header `p, family, k` and a
+//! `k`-value body. Loading validates magic, version, declared sizes
+//! (against a byte limit, *before* allocating) and both checksums;
+//! failures surface as [`TabError::Corrupt`]. The legacy unchecksummed
+//! v1 layouts (`TSKS` stores, `TSK1` sketches) are still read for
+//! backward compatibility; writes always produce v2, and [`save_store`]
+//! replaces the destination atomically (temp file + fsync + rename) so an
+//! interrupted save never destroys the previous store.
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+use tabsketch_table::atomic::write_atomic;
+use tabsketch_table::checksum::Crc32;
 
 use crate::allsub::AllSubtableSketches;
 use crate::sketch::{EstimatorKind, Sketch, SketchParams, Sketcher};
 use crate::TabError;
 
-const STORE_MAGIC: &[u8; 4] = b"TSKS";
-const SKETCH_MAGIC: &[u8; 4] = b"TSK1";
+const STORE_MAGIC_V1: &[u8; 4] = b"TSKS";
+const STORE_MAGIC_V2: &[u8; 4] = b"TSS2";
+const SKETCH_MAGIC_V1: &[u8; 4] = b"TSK1";
+const SKETCH_MAGIC_V2: &[u8; 4] = b"TSK2";
+const FORMAT_VERSION: u32 = 2;
+/// Buffer size for chunked body reads/writes.
+const IO_CHUNK_BYTES: usize = 64 * 1024;
 
-fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), TabError> {
-    w.write_all(&v.to_le_bytes())?;
-    Ok(())
+/// Default cap on the decoded size a sketch file may declare (1 GiB of
+/// `f64` payload). Guards against a corrupt or hostile header causing an
+/// enormous allocation; raise it via [`read_store_with_limit`] /
+/// [`read_sketch_with_limit`] for genuinely larger stores.
+pub const DEFAULT_MAX_BYTES: u64 = 1 << 30;
+
+fn read_exact_in(r: &mut impl Read, buf: &mut [u8], section: &'static str) -> Result<(), TabError> {
+    r.read_exact(buf)
+        .map_err(|e| TabError::from_read_error(section, e))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, TabError> {
+fn read_u32_in(r: &mut impl Read, section: &'static str) -> Result<u32, TabError> {
+    let mut buf = [0u8; 4];
+    read_exact_in(r, &mut buf, section)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64_in(r: &mut impl Read, section: &'static str) -> Result<u64, TabError> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    read_exact_in(r, &mut buf, section)?;
     Ok(u64::from_le_bytes(buf))
 }
 
-fn write_f64<W: Write>(w: &mut W, v: f64) -> Result<(), TabError> {
-    w.write_all(&v.to_le_bytes())?;
-    Ok(())
-}
-
-fn read_f64<R: Read>(r: &mut R) -> Result<f64, TabError> {
+fn read_f64_in(r: &mut impl Read, section: &'static str) -> Result<f64, TabError> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    read_exact_in(r, &mut buf, section)?;
     Ok(f64::from_le_bytes(buf))
 }
 
-fn write_magic<W: Write>(w: &mut W, magic: &[u8; 4]) -> Result<(), TabError> {
-    w.write_all(magic)?;
-    Ok(())
+/// Validates that `count` 8-byte elements fit under `max_bytes` and
+/// returns `count` as a `usize`.
+fn checked_f64_count(count: u64, max_bytes: u64, section: &'static str) -> Result<usize, TabError> {
+    let bytes = count
+        .checked_mul(8)
+        .ok_or_else(|| TabError::corrupt(section, "declared element count overflows"))?;
+    if bytes > max_bytes {
+        return Err(TabError::corrupt(
+            section,
+            format!("declared payload of {bytes} bytes exceeds the {max_bytes}-byte limit"),
+        ));
+    }
+    usize::try_from(count)
+        .map_err(|_| TabError::corrupt(section, "declared element count exceeds address space"))
 }
 
-fn expect_magic<R: Read>(r: &mut R, magic: &[u8; 4], what: &str) -> Result<(), TabError> {
-    let mut buf = [0u8; 4];
-    r.read_exact(&mut buf)?;
-    if &buf != magic {
-        return Err(TabError::Io(format!("bad magic: not a {what}")));
+/// Reads `count` little-endian `f64` values in bounded chunks, feeding the
+/// raw bytes through `crc` when one is supplied.
+fn read_f64_body(
+    r: &mut impl Read,
+    count: usize,
+    mut crc: Option<&mut Crc32>,
+) -> Result<Vec<f64>, TabError> {
+    let mut data = Vec::with_capacity(count);
+    let mut remaining = count;
+    let mut buf = vec![0u8; IO_CHUNK_BYTES.min(count.max(1) * 8)];
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 8);
+        let chunk = &mut buf[..take * 8];
+        read_exact_in(r, chunk, "body")?;
+        if let Some(crc) = crc.as_deref_mut() {
+            crc.update(chunk);
+        }
+        for bytes in chunk.chunks_exact(8) {
+            data.push(f64::from_le_bytes(bytes.try_into().expect("8-byte chunk")));
+        }
+        remaining -= take;
+    }
+    Ok(data)
+}
+
+/// Writes `values` as little-endian `f64` in bounded chunks, feeding the
+/// raw bytes through `crc`.
+fn write_f64_body(w: &mut impl Write, values: &[f64], crc: &mut Crc32) -> Result<(), TabError> {
+    let mut buf = Vec::with_capacity(IO_CHUNK_BYTES.min(values.len().max(1) * 8));
+    for chunk in values.chunks(IO_CHUNK_BYTES / 8) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        crc.update(&buf);
+        w.write_all(&buf)?;
     }
     Ok(())
 }
 
-fn write_sketcher<W: Write>(w: &mut W, sketcher: &Sketcher) -> Result<(), TabError> {
-    write_f64(w, sketcher.p())?;
-    write_u64(w, sketcher.k() as u64)?;
-    write_u64(w, sketcher.params().seed())?;
-    write_u64(w, sketcher.family())?;
-    let estimator = match sketcher.estimator() {
-        EstimatorKind::Median => 0u64,
-        EstimatorKind::L2 => 1u64,
-    };
-    write_u64(w, estimator)
+fn estimator_tag(estimator: EstimatorKind) -> u64 {
+    match estimator {
+        EstimatorKind::Median => 0,
+        EstimatorKind::L2 => 1,
+    }
 }
 
-fn read_sketcher<R: Read>(r: &mut R) -> Result<Sketcher, TabError> {
-    let p = read_f64(r)?;
-    let k = read_u64(r)? as usize;
-    let seed = read_u64(r)?;
-    let family = read_u64(r)?;
-    let estimator = match read_u64(r)? {
-        0 => EstimatorKind::Median,
-        1 => EstimatorKind::L2,
-        other => return Err(TabError::Io(format!("unknown estimator tag {other}"))),
-    };
-    let params = SketchParams::new(p, k, seed)?;
-    Sketcher::with_family(params, family)?.with_estimator(estimator)
+fn estimator_from_tag(tag: u64) -> Result<EstimatorKind, TabError> {
+    match tag {
+        0 => Ok(EstimatorKind::Median),
+        1 => Ok(EstimatorKind::L2),
+        other => Err(TabError::corrupt(
+            "header",
+            format!("unknown estimator tag {other}"),
+        )),
+    }
 }
 
-/// Writes one [`Sketch`] to `writer`.
+/// Reconstructs a [`Sketcher`] from persisted header fields, mapping
+/// parameter-validation failures (which can only come from a damaged
+/// header) to [`TabError::Corrupt`].
+fn sketcher_from_fields(
+    p: f64,
+    k: u64,
+    seed: u64,
+    family: u64,
+    estimator_tag: u64,
+) -> Result<Sketcher, TabError> {
+    let estimator = estimator_from_tag(estimator_tag)?;
+    let k = usize::try_from(k)
+        .map_err(|_| TabError::corrupt("header", "sketch width k exceeds address space"))?;
+    let params = SketchParams::new(p, k, seed)
+        .map_err(|e| TabError::corrupt("header", format!("invalid sketch parameters: {e}")))?;
+    Sketcher::with_family(params, family)
+        .and_then(|s| s.with_estimator(estimator))
+        .map_err(|e| TabError::corrupt("header", format!("invalid sketch parameters: {e}")))
+}
+
+/// Writes one [`Sketch`] to `writer` in the `TSK2` format.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures as [`TabError::Io`].
 pub fn write_sketch<W: Write>(sketch: &Sketch, writer: W) -> Result<(), TabError> {
     let mut w = BufWriter::new(writer);
-    write_magic(&mut w, SKETCH_MAGIC)?;
-    write_f64(&mut w, sketch.p())?;
-    write_u64(&mut w, sketch.family())?;
-    write_u64(&mut w, sketch.k() as u64)?;
-    for &v in sketch.values() {
-        write_f64(&mut w, v)?;
-    }
+    let mut header = Vec::with_capacity(4 + 4 + 8 + 8 + 8);
+    header.extend_from_slice(SKETCH_MAGIC_V2);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&sketch.p().to_le_bytes());
+    header.extend_from_slice(&sketch.family().to_le_bytes());
+    header.extend_from_slice(&(sketch.k() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    w.write_all(&header)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
+
+    let mut body_crc = Crc32::new();
+    write_f64_body(&mut w, sketch.values(), &mut body_crc)?;
+    w.write_all(&body_crc.finish().to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads one [`Sketch`] from `reader`.
+/// Reads one [`Sketch`] from `reader` (`TSK2`, or the legacy `TSK1`
+/// layout), refusing files that declare more than [`DEFAULT_MAX_BYTES`]
+/// of payload.
 ///
 /// # Errors
 ///
-/// Returns [`TabError::Io`] on bad magic, truncation, or I/O failure.
+/// Returns [`TabError::Corrupt`] on bad magic/version, checksum mismatch,
+/// truncation, or an implausibly large declared size, and
+/// [`TabError::Io`] on genuine I/O failures.
 pub fn read_sketch<R: Read>(reader: R) -> Result<Sketch, TabError> {
-    let mut r = BufReader::new(reader);
-    expect_magic(&mut r, SKETCH_MAGIC, "tabsketch sketch")?;
-    let p = read_f64(&mut r)?;
-    let family = read_u64(&mut r)?;
-    let k = read_u64(&mut r)? as usize;
-    let mut values = Vec::with_capacity(k);
-    for _ in 0..k {
-        values.push(read_f64(&mut r)?);
-    }
-    Ok(Sketch::from_values(p, family, values))
+    read_sketch_with_limit(reader, DEFAULT_MAX_BYTES)
 }
 
-/// Writes an [`AllSubtableSketches`] store to `writer`.
+/// [`read_sketch`] with an explicit cap (in bytes of `f64` payload) on
+/// the size the header may declare.
+///
+/// # Errors
+///
+/// See [`read_sketch`].
+pub fn read_sketch_with_limit<R: Read>(reader: R, max_bytes: u64) -> Result<Sketch, TabError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    read_exact_in(&mut r, &mut magic, "magic")?;
+    match &magic {
+        m if m == SKETCH_MAGIC_V1 => {
+            let p = read_f64_in(&mut r, "header")?;
+            let family = read_u64_in(&mut r, "header")?;
+            let k = checked_f64_count(read_u64_in(&mut r, "header")?, max_bytes, "header")?;
+            let values = read_f64_body(&mut r, k, None)?;
+            Ok(Sketch::from_values(p, family, values))
+        }
+        m if m == SKETCH_MAGIC_V2 => {
+            let mut header = [0u8; 4 + 8 + 8 + 8];
+            read_exact_in(&mut r, &mut header, "header")?;
+            let mut crc = Crc32::new();
+            crc.update(SKETCH_MAGIC_V2);
+            crc.update(&header);
+            let stored_crc = read_u32_in(&mut r, "header")?;
+            if stored_crc != crc.finish() {
+                return Err(TabError::corrupt("header", "header checksum mismatch"));
+            }
+            let version = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+            if version != FORMAT_VERSION {
+                return Err(TabError::corrupt(
+                    "header",
+                    format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+                ));
+            }
+            let p = f64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+            let family = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+            let k = u64::from_le_bytes(header[20..28].try_into().expect("8 bytes"));
+            let k = checked_f64_count(k, max_bytes, "header")?;
+            let mut body_crc = Crc32::new();
+            let values = read_f64_body(&mut r, k, Some(&mut body_crc))?;
+            let stored_body_crc = read_u32_in(&mut r, "body")?;
+            if stored_body_crc != body_crc.finish() {
+                return Err(TabError::corrupt("body", "body checksum mismatch"));
+            }
+            Ok(Sketch::from_values(p, family, values))
+        }
+        _ => Err(TabError::corrupt(
+            "magic",
+            "not a tabsketch sketch file (bad magic)",
+        )),
+    }
+}
+
+/// Writes an [`AllSubtableSketches`] store to `writer` in the `TSS2`
+/// format.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures as [`TabError::Io`].
 pub fn write_store<W: Write>(store: &AllSubtableSketches, writer: W) -> Result<(), TabError> {
     let mut w = BufWriter::new(writer);
-    write_magic(&mut w, STORE_MAGIC)?;
-    write_sketcher(&mut w, store.sketcher())?;
-    write_u64(&mut w, store.tile_rows() as u64)?;
-    write_u64(&mut w, store.tile_cols() as u64)?;
-    write_u64(&mut w, store.anchor_rows() as u64)?;
-    write_u64(&mut w, store.anchor_cols() as u64)?;
-    for &v in store.raw_values() {
-        write_f64(&mut w, v)?;
-    }
+    let sk = store.sketcher();
+    let mut header = Vec::with_capacity(4 + 4 + 8 * 9);
+    header.extend_from_slice(STORE_MAGIC_V2);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&sk.p().to_le_bytes());
+    header.extend_from_slice(&(sk.k() as u64).to_le_bytes());
+    header.extend_from_slice(&sk.params().seed().to_le_bytes());
+    header.extend_from_slice(&sk.family().to_le_bytes());
+    header.extend_from_slice(&estimator_tag(sk.estimator()).to_le_bytes());
+    header.extend_from_slice(&(store.tile_rows() as u64).to_le_bytes());
+    header.extend_from_slice(&(store.tile_cols() as u64).to_le_bytes());
+    header.extend_from_slice(&(store.anchor_rows() as u64).to_le_bytes());
+    header.extend_from_slice(&(store.anchor_cols() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    w.write_all(&header)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
+
+    let mut body_crc = Crc32::new();
+    write_f64_body(&mut w, store.raw_values(), &mut body_crc)?;
+    w.write_all(&body_crc.finish().to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads an [`AllSubtableSketches`] store from `reader`. The
-/// reconstructed store uses the persisted seed/family, so it is
-/// interchangeable with the original — including against sketches
-/// computed fresh by the same parameters.
+/// Reads an [`AllSubtableSketches`] store from `reader` (`TSS2`, or the
+/// legacy `TSKS` layout), refusing files that declare more than
+/// [`DEFAULT_MAX_BYTES`] of payload. The reconstructed store uses the
+/// persisted seed/family, so it is interchangeable with the original —
+/// including against sketches computed fresh by the same parameters.
 ///
 /// # Errors
 ///
-/// Returns [`TabError::Io`] on bad magic, truncation, or I/O failure,
-/// and parameter validation errors for corrupted headers.
+/// Returns [`TabError::Corrupt`] on bad magic/version, checksum mismatch,
+/// truncation, an unknown estimator tag, or an implausibly large declared
+/// size, and [`TabError::Io`] on genuine I/O failures.
 pub fn read_store<R: Read>(reader: R) -> Result<AllSubtableSketches, TabError> {
+    read_store_with_limit(reader, DEFAULT_MAX_BYTES)
+}
+
+/// [`read_store`] with an explicit cap (in bytes of `f64` payload) on the
+/// size the header may declare.
+///
+/// # Errors
+///
+/// See [`read_store`].
+pub fn read_store_with_limit<R: Read>(
+    reader: R,
+    max_bytes: u64,
+) -> Result<AllSubtableSketches, TabError> {
     let mut r = BufReader::new(reader);
-    expect_magic(&mut r, STORE_MAGIC, "tabsketch store")?;
-    let sketcher = read_sketcher(&mut r)?;
-    let tile_rows = read_u64(&mut r)? as usize;
-    let tile_cols = read_u64(&mut r)? as usize;
-    let anchor_rows = read_u64(&mut r)? as usize;
-    let anchor_cols = read_u64(&mut r)? as usize;
+    let mut magic = [0u8; 4];
+    read_exact_in(&mut r, &mut magic, "magic")?;
+    match &magic {
+        m if m == STORE_MAGIC_V1 => read_store_v1_after_magic(&mut r, max_bytes),
+        m if m == STORE_MAGIC_V2 => read_store_v2_after_magic(&mut r, max_bytes),
+        _ => Err(TabError::corrupt(
+            "magic",
+            "not a tabsketch store file (bad magic)",
+        )),
+    }
+}
+
+fn read_store_v1_after_magic(
+    r: &mut impl Read,
+    max_bytes: u64,
+) -> Result<AllSubtableSketches, TabError> {
+    let p = read_f64_in(r, "header")?;
+    let k = read_u64_in(r, "header")?;
+    let seed = read_u64_in(r, "header")?;
+    let family = read_u64_in(r, "header")?;
+    let tag = read_u64_in(r, "header")?;
+    let sketcher = sketcher_from_fields(p, k, seed, family, tag)?;
+    let tile_rows = read_u64_in(r, "header")?;
+    let tile_cols = read_u64_in(r, "header")?;
+    let anchor_rows = read_u64_in(r, "header")?;
+    let anchor_cols = read_u64_in(r, "header")?;
     let count = anchor_rows
         .checked_mul(anchor_cols)
-        .and_then(|n| n.checked_mul(sketcher.k()))
-        .ok_or_else(|| TabError::Io("store dimensions overflow".into()))?;
-    let mut values = Vec::with_capacity(count);
-    for _ in 0..count {
-        values.push(read_f64(&mut r)?);
+        .and_then(|n| n.checked_mul(k))
+        .ok_or_else(|| TabError::corrupt("header", "store dimensions overflow"))?;
+    let count = checked_f64_count(count, max_bytes, "header")?;
+    let values = read_f64_body(r, count, None)?;
+    AllSubtableSketches::from_parts(
+        sketcher,
+        tile_rows as usize,
+        tile_cols as usize,
+        anchor_rows as usize,
+        anchor_cols as usize,
+        values,
+    )
+    .map_err(|e| TabError::corrupt("header", format!("inconsistent store geometry: {e}")))
+}
+
+fn read_store_v2_after_magic(
+    r: &mut impl Read,
+    max_bytes: u64,
+) -> Result<AllSubtableSketches, TabError> {
+    let mut header = [0u8; 4 + 8 * 9];
+    read_exact_in(r, &mut header, "header")?;
+    let mut crc = Crc32::new();
+    crc.update(STORE_MAGIC_V2);
+    crc.update(&header);
+    let stored_crc = read_u32_in(r, "header")?;
+    if stored_crc != crc.finish() {
+        return Err(TabError::corrupt("header", "header checksum mismatch"));
+    }
+    let version = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(TabError::corrupt(
+            "header",
+            format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+    let mut at = 4;
+    let mut next_u64 = || {
+        let v = u64::from_le_bytes(header[at..at + 8].try_into().expect("8 bytes"));
+        at += 8;
+        v
+    };
+    let p = f64::from_bits(next_u64());
+    let k = next_u64();
+    let seed = next_u64();
+    let family = next_u64();
+    let tag = next_u64();
+    let tile_rows = next_u64();
+    let tile_cols = next_u64();
+    let anchor_rows = next_u64();
+    let anchor_cols = next_u64();
+    let sketcher = sketcher_from_fields(p, k, seed, family, tag)?;
+    let count = anchor_rows
+        .checked_mul(anchor_cols)
+        .and_then(|n| n.checked_mul(k))
+        .ok_or_else(|| TabError::corrupt("header", "store dimensions overflow"))?;
+    let count = checked_f64_count(count, max_bytes, "header")?;
+    let mut body_crc = Crc32::new();
+    let values = read_f64_body(r, count, Some(&mut body_crc))?;
+    let stored_body_crc = read_u32_in(r, "body")?;
+    if stored_body_crc != body_crc.finish() {
+        return Err(TabError::corrupt("body", "body checksum mismatch"));
     }
     AllSubtableSketches::from_parts(
         sketcher,
-        tile_rows,
-        tile_cols,
-        anchor_rows,
-        anchor_cols,
+        tile_rows as usize,
+        tile_cols as usize,
+        anchor_rows as usize,
+        anchor_cols as usize,
         values,
     )
+    .map_err(|e| TabError::corrupt("header", format!("inconsistent store geometry: {e}")))
 }
 
-/// Saves a store to `path`.
+/// Saves a store to `path`, atomically replacing any existing file: the
+/// bytes are written to a temporary sibling, fsynced, and renamed into
+/// place, so an interrupted save leaves the previous store intact.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures as [`TabError::Io`].
 pub fn save_store<P: AsRef<Path>>(store: &AllSubtableSketches, path: P) -> Result<(), TabError> {
-    write_store(store, std::fs::File::create(path)?)
+    write_atomic(path.as_ref(), |f| write_store(store, f))
 }
 
 /// Loads a store from `path`.
 ///
 /// # Errors
 ///
-/// Propagates I/O and format failures as [`TabError::Io`].
+/// Propagates I/O and format failures; see [`read_store`].
 pub fn load_store<P: AsRef<Path>>(path: P) -> Result<AllSubtableSketches, TabError> {
     read_store(std::fs::File::open(path)?)
 }
@@ -201,6 +463,40 @@ mod tests {
         AllSubtableSketches::build(&table, 4, 5, sketcher).unwrap()
     }
 
+    /// Serializes `store` in the legacy v1 layout (what pre-v2 releases
+    /// wrote), for backward-compatibility tests.
+    fn write_store_v1(store: &AllSubtableSketches) -> Vec<u8> {
+        let sk = store.sketcher();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(STORE_MAGIC_V1);
+        buf.extend_from_slice(&sk.p().to_le_bytes());
+        buf.extend_from_slice(&(sk.k() as u64).to_le_bytes());
+        buf.extend_from_slice(&sk.params().seed().to_le_bytes());
+        buf.extend_from_slice(&sk.family().to_le_bytes());
+        buf.extend_from_slice(&estimator_tag(sk.estimator()).to_le_bytes());
+        buf.extend_from_slice(&(store.tile_rows() as u64).to_le_bytes());
+        buf.extend_from_slice(&(store.tile_cols() as u64).to_le_bytes());
+        buf.extend_from_slice(&(store.anchor_rows() as u64).to_le_bytes());
+        buf.extend_from_slice(&(store.anchor_cols() as u64).to_le_bytes());
+        for &v in store.raw_values() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
+    /// Serializes `sketch` in the legacy v1 layout.
+    fn write_sketch_v1(sketch: &Sketch) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SKETCH_MAGIC_V1);
+        buf.extend_from_slice(&sketch.p().to_le_bytes());
+        buf.extend_from_slice(&sketch.family().to_le_bytes());
+        buf.extend_from_slice(&(sketch.k() as u64).to_le_bytes());
+        for &v in sketch.values() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
+    }
+
     #[test]
     fn sketch_round_trip() {
         let sk = Sketcher::new(SketchParams::new(0.5, 8, 1).unwrap()).unwrap();
@@ -212,13 +508,27 @@ mod tests {
     }
 
     #[test]
+    fn sketch_reads_legacy_v1() {
+        let sk = Sketcher::new(SketchParams::new(0.5, 8, 1).unwrap()).unwrap();
+        let s = sk.sketch_slice(&[1.0, -2.0, 3.5, 0.0, 9.0]);
+        let back = read_sketch(write_sketch_v1(&s).as_slice()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
     fn sketch_rejects_bad_magic_and_truncation() {
-        assert!(read_sketch(&b"NOPE"[..]).is_err());
+        assert!(matches!(
+            read_sketch(&b"NOPE"[..]),
+            Err(TabError::Corrupt { .. })
+        ));
         let sk = Sketcher::new(SketchParams::new(1.0, 4, 2).unwrap()).unwrap();
         let mut buf = Vec::new();
         write_sketch(&sk.sketch_slice(&[1.0, 2.0]), &mut buf).unwrap();
         buf.truncate(buf.len() - 5);
-        assert!(read_sketch(buf.as_slice()).is_err());
+        assert!(matches!(
+            read_sketch(buf.as_slice()),
+            Err(TabError::Corrupt { .. })
+        ));
     }
 
     #[test]
@@ -235,6 +545,15 @@ mod tests {
         assert_eq!(back.sketcher().k(), store.sketcher().k());
         assert_eq!(back.sketcher().family(), store.sketcher().family());
         assert_eq!(back.sketcher().estimator(), store.sketcher().estimator());
+    }
+
+    #[test]
+    fn store_reads_legacy_v1() {
+        let store = sample_store();
+        let back = read_store(write_store_v1(&store).as_slice()).unwrap();
+        assert_eq!(back.raw_values(), store.raw_values());
+        assert_eq!(back.sketcher().family(), store.sketcher().family());
+        assert_eq!(back.anchor_rows(), store.anchor_rows());
     }
 
     #[test]
@@ -262,18 +581,76 @@ mod tests {
         let store = sample_store();
         let mut buf = Vec::new();
         write_store(&store, &mut buf).unwrap();
-        assert!(read_store(&buf[..buf.len() - 3]).is_err(), "truncated");
+        assert!(
+            matches!(
+                read_store(&buf[..buf.len() - 3]),
+                Err(TabError::Corrupt { .. })
+            ),
+            "truncated"
+        );
         let mut bad = buf.clone();
         bad[0] = b'X';
-        assert!(read_store(bad.as_slice()).is_err(), "bad magic");
-        // Corrupt the estimator tag (offset: magic 4 + p 8 + k 8 + seed 8
-        // + family 8 = 36).
-        let mut bad_tag = buf;
-        bad_tag[36] = 9;
         assert!(
-            read_store(bad_tag.as_slice()).is_err(),
-            "unknown estimator tag"
+            matches!(read_store(bad.as_slice()), Err(TabError::Corrupt { .. })),
+            "bad magic"
         );
+        // Corrupt the estimator tag inside the checksummed header (offset:
+        // magic 4 + version 4 + p 8 + k 8 + seed 8 + family 8 = 40).
+        let mut bad_tag = buf;
+        bad_tag[40] = 9;
+        assert!(
+            matches!(
+                read_store(bad_tag.as_slice()),
+                Err(TabError::Corrupt { .. })
+            ),
+            "damaged estimator tag"
+        );
+    }
+
+    #[test]
+    fn v1_store_rejects_unknown_estimator_tag() {
+        let store = sample_store();
+        let mut buf = write_store_v1(&store);
+        // v1 estimator tag offset: magic 4 + p 8 + k 8 + seed 8 + family 8.
+        buf[36] = 9;
+        let err = read_store(buf.as_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            TabError::Corrupt {
+                section: "header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn store_bounds_declared_allocation() {
+        // A v1 header declaring a huge anchor grid must be rejected before
+        // any allocation happens.
+        let store = sample_store();
+        let mut buf = write_store_v1(&store);
+        // anchor_rows offset: magic 4 + sketcher 40 + tiles 16 = 60.
+        buf[60..68].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_store(buf.as_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            TabError::Corrupt {
+                section: "header",
+                ..
+            }
+        ));
+
+        // An honest file still trips an explicit tighter limit.
+        let mut v2 = Vec::new();
+        write_store(&store, &mut v2).unwrap();
+        let err = read_store_with_limit(v2.as_slice(), 16).unwrap_err();
+        assert!(matches!(
+            err,
+            TabError::Corrupt {
+                section: "header",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Fault-injection suite for the persistence layer.
+//!
+//! Contract under test: a corrupted sketch store or table file must
+//! either load correctly (when the damage is benign, e.g. short reads)
+//! or fail with a typed `Corrupt` error — never panic, never allocate
+//! unboundedly, never return silently wrong data — and an interrupted
+//! atomic save must leave the previous file intact.
+
+use tabsketch_core::persist::{read_store, read_store_with_limit, save_store, write_store};
+use tabsketch_core::sketch::{SketchParams, Sketcher};
+use tabsketch_core::{AllSubtableSketches, TabError};
+use tabsketch_table::faults::{Fault, FaultyReader};
+use tabsketch_table::io as table_io;
+use tabsketch_table::{Table, TableError};
+
+fn sample_table() -> Table {
+    Table::from_fn(12, 14, |r, c| ((r * 5 + c * 3) % 17) as f64).unwrap()
+}
+
+fn sample_store() -> AllSubtableSketches {
+    let sketcher = Sketcher::new(SketchParams::new(1.0, 6, 99).unwrap()).unwrap();
+    AllSubtableSketches::build(&sample_table(), 4, 5, sketcher).unwrap()
+}
+
+fn store_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_store(&sample_store(), &mut buf).unwrap();
+    buf
+}
+
+fn table_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    table_io::write_binary(&sample_table(), &mut buf).unwrap();
+    buf
+}
+
+// ---------------------------------------------------------------- stores
+
+#[test]
+fn store_truncation_at_every_offset_is_corrupt() {
+    let buf = store_bytes();
+    for cut in 0..buf.len() {
+        let err = read_store(FaultyReader::new(buf.clone(), Fault::Truncate { at: cut }))
+            .expect_err("truncated store must not load");
+        assert!(
+            matches!(err, TabError::Corrupt { .. }),
+            "cut at {cut}: expected Corrupt, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn store_bit_flip_at_every_offset_is_detected() {
+    // The v2 store checksums both header and body, so *any* single-bit
+    // flip anywhere in the file must be caught.
+    let buf = store_bytes();
+    for at in 0..buf.len() {
+        for mask in [0x01, 0x80] {
+            let r = FaultyReader::new(buf.clone(), Fault::FlipBits { at, mask });
+            let err = read_store(r).expect_err("bit-rotted store must not load");
+            assert!(
+                matches!(err, TabError::Corrupt { .. }),
+                "flip at byte {at} mask {mask:#x}: expected Corrupt, got {err:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn store_loads_through_short_reads() {
+    let buf = store_bytes();
+    let clean = read_store(buf.as_slice()).unwrap();
+    for chunk in [1, 3, 13] {
+        let back = read_store(FaultyReader::new(buf.clone(), Fault::ShortReads { chunk }))
+            .expect("short reads are not corruption");
+        assert_eq!(back.raw_values(), clean.raw_values(), "chunk {chunk}");
+    }
+}
+
+#[test]
+fn store_mid_stream_device_error_is_io_not_corrupt() {
+    let buf = store_bytes();
+    let at = buf.len() / 2;
+    let err = read_store(FaultyReader::new(buf, Fault::ErrorAt { at })).unwrap_err();
+    assert!(
+        matches!(err, TabError::Io(_)),
+        "a genuine device error is not file corruption: {err:?}"
+    );
+}
+
+#[test]
+fn store_huge_declared_count_is_rejected_without_allocation() {
+    // Scribble u64::MAX over the anchor-grid fields of a v2 header. The
+    // header CRC catches it; and even with the CRC bytes "fixed up" the
+    // size check must fire before any allocation. Exercise the explicit
+    // limit path, which is CRC-independent.
+    let buf = store_bytes();
+    let err = read_store_with_limit(buf.as_slice(), 64).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TabError::Corrupt {
+                section: "header",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn legacy_v1_store_still_loads() {
+    // Byte-for-byte what the v1 writer produced: magic, sketcher fields,
+    // geometry, then raw values — no version, no checksums.
+    let store = sample_store();
+    let sk = store.sketcher();
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"TSKS");
+    buf.extend_from_slice(&sk.p().to_le_bytes());
+    buf.extend_from_slice(&(sk.k() as u64).to_le_bytes());
+    buf.extend_from_slice(&sk.params().seed().to_le_bytes());
+    buf.extend_from_slice(&sk.family().to_le_bytes());
+    buf.extend_from_slice(&0u64.to_le_bytes()); // median estimator
+    buf.extend_from_slice(&(store.tile_rows() as u64).to_le_bytes());
+    buf.extend_from_slice(&(store.tile_cols() as u64).to_le_bytes());
+    buf.extend_from_slice(&(store.anchor_rows() as u64).to_le_bytes());
+    buf.extend_from_slice(&(store.anchor_cols() as u64).to_le_bytes());
+    for &v in store.raw_values() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    let back = read_store(buf.as_slice()).unwrap();
+    assert_eq!(back.raw_values(), store.raw_values());
+    assert_eq!(back.sketcher().family(), store.sketcher().family());
+
+    // v1 has no checksums, but truncation must still be caught.
+    buf.truncate(buf.len() - 3);
+    assert!(matches!(
+        read_store(buf.as_slice()),
+        Err(TabError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn interrupted_store_save_leaves_old_file_intact() {
+    let dir = std::env::temp_dir().join(format!(
+        "tabsketch-fault-save-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("store.tsks");
+
+    let store = sample_store();
+    save_store(&store, &path).unwrap();
+    let original = std::fs::read(&path).unwrap();
+
+    // Simulate dying mid-save: the fill callback fails after the header.
+    let err: Result<(), TabError> = tabsketch_table::atomic::write_atomic(&path, |f| {
+        use std::io::Write;
+        f.write_all(b"TSS2 partial garbage")?;
+        Err(TabError::Io("injected crash mid-save".into()))
+    });
+    assert!(err.is_err());
+
+    // The destination still holds the complete old store, and no temp
+    // droppings remain.
+    assert_eq!(std::fs::read(&path).unwrap(), original);
+    let stray: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .collect();
+    assert!(stray.is_empty(), "temp files left behind: {stray:?}");
+    let back = tabsketch_core::persist::load_store(&path).unwrap();
+    assert_eq!(back.raw_values(), store.raw_values());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------- tables
+
+#[test]
+fn table_truncation_at_every_offset_is_corrupt() {
+    let buf = table_bytes();
+    for cut in 0..buf.len() {
+        let err =
+            table_io::read_binary(FaultyReader::new(buf.clone(), Fault::Truncate { at: cut }))
+                .expect_err("truncated table must not load");
+        assert!(
+            matches!(err, TableError::Corrupt { .. }),
+            "cut at {cut}: expected Corrupt, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn table_bit_flip_at_every_offset_is_detected() {
+    let buf = table_bytes();
+    for at in 0..buf.len() {
+        let r = FaultyReader::new(buf.clone(), Fault::FlipBits { at, mask: 0x04 });
+        let err = table_io::read_binary(r).expect_err("bit-rotted table must not load");
+        assert!(
+            matches!(err, TableError::Corrupt { .. }),
+            "flip at byte {at}: expected Corrupt, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn table_huge_declared_dimensions_are_rejected() {
+    // Legacy v1 layout with absurd dimensions: must be refused up front,
+    // not attempted as a ~147-exabyte allocation.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(b"TSB1");
+    buf.extend_from_slice(&(u64::MAX / 16).to_le_bytes());
+    buf.extend_from_slice(&4u64.to_le_bytes());
+    let err = table_io::read_binary(buf.as_slice()).unwrap_err();
+    assert!(matches!(
+        err,
+        TableError::Corrupt {
+            section: "header",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn corrupt_errors_render_with_section_context() {
+    let buf = store_bytes();
+    let err = read_store(FaultyReader::new(
+        buf,
+        Fault::FlipBits { at: 10, mask: 0xFF },
+    ))
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("corrupt"), "message should say corrupt: {msg}");
+    assert!(
+        msg.contains("header") || msg.contains("magic"),
+        "message should name the damaged section: {msg}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Crash-safe file replacement: write to a temporary file in the target's
+//! directory, fsync, then rename over the destination.
+//!
+//! The rename is atomic on POSIX filesystems, so a reader never observes a
+//! half-written file and an interrupted save leaves any previous file
+//! untouched — the invariant the fault-injection suite asserts.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers to the same destination.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Writes a file at `path` by streaming `fill` into a temporary sibling,
+/// fsyncing, and atomically renaming it into place.
+///
+/// If `fill` (or any I/O step) fails, the temporary file is removed and
+/// whatever previously existed at `path` is left intact.
+///
+/// # Errors
+///
+/// Propagates I/O failures and any error returned by `fill`. The error
+/// type `E` must be able to absorb [`io::Error`].
+pub fn write_atomic<E, F>(path: &Path, fill: F) -> Result<(), E>
+where
+    E: From<io::Error>,
+    F: FnOnce(&mut File) -> Result<(), E>,
+{
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let stamp = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    let tmp = dir.join(format!(".{file_name}.tmp.{}.{stamp}", std::process::id()));
+
+    let result = (|| -> Result<(), E> {
+        let mut file = File::create(&tmp).map_err(E::from)?;
+        fill(&mut file)?;
+        file.flush().map_err(E::from)?;
+        file.sync_all().map_err(E::from)?;
+        std::fs::rename(&tmp, path).map_err(E::from)?;
+        Ok(())
+    })();
+
+    if result.is_err() {
+        // Best-effort cleanup; the original destination is untouched.
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+
+    // Persist the rename itself: fsync the containing directory. Failure
+    // here is not fatal to correctness of the contents (best effort on
+    // filesystems that reject directory fsync).
+    if let Ok(dirf) = File::open(&dir) {
+        let _ = dirf.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-atomic-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn read(path: &Path) -> Vec<u8> {
+        let mut buf = Vec::new();
+        File::open(path).unwrap().read_to_end(&mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = temp_dir();
+        let path = dir.join("data.bin");
+        write_atomic::<io::Error, _>(&path, |f| f.write_all(b"first")).unwrap();
+        assert_eq!(read(&path), b"first");
+        write_atomic::<io::Error, _>(&path, |f| f.write_all(b"second")).unwrap();
+        assert_eq!(read(&path), b"second");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_fill_leaves_old_file_and_no_droppings() {
+        let dir = temp_dir();
+        let path = dir.join("data.bin");
+        write_atomic::<io::Error, _>(&path, |f| f.write_all(b"stable")).unwrap();
+
+        let err = write_atomic::<io::Error, _>(&path, |f| {
+            f.write_all(b"partial junk")?;
+            Err(io::Error::other("disk died mid-write"))
+        });
+        assert!(err.is_err());
+        assert_eq!(read(&path), b"stable", "old contents must survive");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_with_no_previous_file_creates_nothing() {
+        let dir = temp_dir();
+        let path = dir.join("never.bin");
+        let err = write_atomic::<io::Error, _>(&path, |_| Err(io::Error::other("nope")));
+        assert!(err.is_err());
+        assert!(!path.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

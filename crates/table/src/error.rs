@@ -40,6 +40,23 @@ pub enum TableError {
         /// Requested tile columns.
         tile_cols: usize,
     },
+    /// A cell value was NaN or infinite where only finite values are
+    /// allowed.
+    NonFinite {
+        /// Row of the offending cell.
+        row: usize,
+        /// Column of the offending cell.
+        col: usize,
+    },
+    /// A stored table failed structural validation: bad magic, version,
+    /// checksum mismatch, truncation, or an implausible header.
+    Corrupt {
+        /// Which part of the file failed (e.g. `"magic"`, `"header"`,
+        /// `"body"`).
+        section: &'static str,
+        /// Human-readable description of the failure.
+        detail: String,
+    },
     /// An I/O or parse failure while loading/saving a table.
     Io(String),
 }
@@ -74,7 +91,35 @@ impl fmt::Display for TableError {
             } => {
                 write!(f, "invalid tile size {tile_rows}x{tile_cols}")
             }
+            TableError::NonFinite { row, col } => {
+                write!(f, "non-finite value at cell ({row}, {col})")
+            }
+            TableError::Corrupt { section, detail } => {
+                write!(f, "corrupt table file ({section}): {detail}")
+            }
             TableError::Io(msg) => write!(f, "table I/O error: {msg}"),
+        }
+    }
+}
+
+impl TableError {
+    /// Builds a [`TableError::Corrupt`] for `section` with a formatted
+    /// detail message.
+    pub fn corrupt(section: &'static str, detail: impl Into<String>) -> Self {
+        TableError::Corrupt {
+            section,
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies a read failure in `section`: an unexpected EOF means the
+    /// file is truncated (a corruption, not an I/O fault); everything else
+    /// stays an I/O error.
+    pub fn from_read_error(section: &'static str, e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TableError::corrupt(section, "unexpected end of file (truncated)")
+        } else {
+            TableError::Io(e.to_string())
         }
     }
 }

@@ -1,0 +1,193 @@
+//! Fault-injecting I/O wrappers for robustness testing.
+//!
+//! Persistence code must hold three guarantees under arbitrary file
+//! damage: never panic, never allocate unboundedly, and never return
+//! silently wrong data. The wrappers here let the test suites of this
+//! crate and `tabsketch-core` exercise those guarantees against the
+//! realistic fault classes — truncation, bit-rot, short reads from
+//! pipe-like sources, and mid-write I/O errors — without touching the
+//! filesystem.
+
+use std::io::{self, Read, Write};
+
+/// A fault to inject into a byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Stream ends (clean EOF) after `at` bytes — a truncated file.
+    Truncate {
+        /// Offset at which the stream ends.
+        at: usize,
+    },
+    /// XOR `mask` into the byte at offset `at` — bit-rot.
+    FlipBits {
+        /// Offset of the damaged byte.
+        at: usize,
+        /// Bit mask to XOR in (must be non-zero to change anything).
+        mask: u8,
+    },
+    /// Return an [`io::Error`] once offset `at` is reached — a device
+    /// failure mid-stream.
+    ErrorAt {
+        /// Offset at which the stream starts failing.
+        at: usize,
+    },
+    /// No damage, but serve reads at most `chunk` bytes at a time — a
+    /// pipe/socket-like source that exposes short-read handling bugs.
+    ShortReads {
+        /// Maximum bytes returned per `read` call (min 1).
+        chunk: usize,
+    },
+}
+
+/// A reader over an in-memory byte buffer that injects one [`Fault`].
+#[derive(Clone, Debug)]
+pub struct FaultyReader {
+    data: Vec<u8>,
+    pos: usize,
+    fault: Fault,
+}
+
+impl FaultyReader {
+    /// Wraps `data`, injecting `fault` during reads.
+    pub fn new(data: impl Into<Vec<u8>>, fault: Fault) -> Self {
+        let mut data = data.into();
+        match fault {
+            Fault::Truncate { at } => data.truncate(at),
+            Fault::FlipBits { at, mask } => {
+                if let Some(b) = data.get_mut(at) {
+                    *b ^= mask;
+                }
+            }
+            Fault::ErrorAt { .. } | Fault::ShortReads { .. } => {}
+        }
+        Self {
+            data,
+            pos: 0,
+            fault,
+        }
+    }
+}
+
+impl Read for FaultyReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let mut limit = buf.len();
+        match self.fault {
+            Fault::ErrorAt { at } => {
+                if self.pos >= at {
+                    return Err(io::Error::other("injected device error"));
+                }
+                limit = limit.min(at - self.pos);
+            }
+            Fault::ShortReads { chunk } => limit = limit.min(chunk.max(1)),
+            Fault::Truncate { .. } | Fault::FlipBits { .. } => {}
+        }
+        let remaining = self.data.len() - self.pos;
+        let n = limit.min(remaining);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer that absorbs bytes until an injected failure offset, then
+/// returns an [`io::Error`] on every subsequent write or flush — a disk
+/// that dies mid-save.
+#[derive(Debug, Default)]
+pub struct FaultyWriter {
+    written: Vec<u8>,
+    fail_after: Option<usize>,
+}
+
+impl FaultyWriter {
+    /// A writer that accepts everything (for capturing output).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A writer that fails once `fail_after` bytes have been accepted.
+    pub fn failing_after(fail_after: usize) -> Self {
+        Self {
+            written: Vec::new(),
+            fail_after: Some(fail_after),
+        }
+    }
+
+    /// The bytes accepted so far.
+    pub fn written(&self) -> &[u8] {
+        &self.written
+    }
+}
+
+impl Write for FaultyWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(cap) = self.fail_after {
+            if self.written.len() >= cap {
+                return Err(io::Error::other("injected disk-full error"));
+            }
+            let n = buf.len().min(cap - self.written.len());
+            self.written.extend_from_slice(&buf[..n]);
+            if n == 0 {
+                return Err(io::Error::other("injected disk-full error"));
+            }
+            return Ok(n);
+        }
+        self.written.extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(cap) = self.fail_after {
+            if self.written.len() >= cap {
+                return Err(io::Error::other("injected flush error"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_ends_early() {
+        let mut r = FaultyReader::new(vec![1, 2, 3, 4], Fault::Truncate { at: 2 });
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, vec![1, 2]);
+    }
+
+    #[test]
+    fn bit_flip_damages_one_byte() {
+        let mut r = FaultyReader::new(vec![0, 0, 0], Fault::FlipBits { at: 1, mask: 0x80 });
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, vec![0, 0x80, 0]);
+    }
+
+    #[test]
+    fn error_at_offset_fires() {
+        let mut r = FaultyReader::new(vec![9; 10], Fault::ErrorAt { at: 4 });
+        let mut buf = [0u8; 10];
+        assert_eq!(r.read(&mut buf).unwrap(), 4);
+        assert!(r.read(&mut buf).is_err());
+    }
+
+    #[test]
+    fn short_reads_still_deliver_everything() {
+        let data: Vec<u8> = (0..100).collect();
+        let mut r = FaultyReader::new(data.clone(), Fault::ShortReads { chunk: 3 });
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn faulty_writer_fails_midway() {
+        let mut w = FaultyWriter::failing_after(5);
+        assert_eq!(w.write(&[1, 2, 3]).unwrap(), 3);
+        assert_eq!(w.write(&[4, 5, 6]).unwrap(), 2, "partial acceptance");
+        assert!(w.write(&[7]).is_err());
+        assert_eq!(w.written(), &[1, 2, 3, 4, 5]);
+    }
+}

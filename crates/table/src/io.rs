@@ -4,15 +4,136 @@
 //! files"; here we provide two simple, dependency-light formats:
 //!
 //! * CSV — human-readable, for examples and small fixtures;
-//! * a little-endian binary format (`TSB1`) — compact, for benchmark
-//!   datasets that are regenerated and reloaded.
+//! * a little-endian binary format — compact, for benchmark datasets that
+//!   are regenerated and reloaded.
+//!
+//! # Binary format v2 (`TSB2`)
+//!
+//! All integers little-endian:
+//!
+//! | field        | type       | notes                                  |
+//! |--------------|------------|----------------------------------------|
+//! | magic        | `[u8; 4]`  | `"TSB2"`                               |
+//! | version      | `u32`      | `2`                                    |
+//! | rows         | `u64`      |                                        |
+//! | cols         | `u64`      |                                        |
+//! | header CRC32 | `u32`      | over all preceding bytes               |
+//! | values       | `[f64]`    | `rows * cols` row-major values         |
+//! | body CRC32   | `u32`      | over the raw value bytes               |
+//!
+//! Loading validates the magic, version, declared size (against a byte
+//! limit, before any allocation) and both checksums, so truncation,
+//! bit-rot and partial writes surface as [`TableError::Corrupt`] rather
+//! than panics, huge allocations, or silently wrong data. The legacy
+//! unchecksummed `TSB1` layout (magic + dims + values) is still read for
+//! backward compatibility; writes always produce `TSB2` and replace the
+//! destination atomically.
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+use crate::atomic::write_atomic;
+use crate::checksum::Crc32;
 use crate::{Table, TableError};
 
-const BINARY_MAGIC: &[u8; 4] = b"TSB1";
+const BINARY_MAGIC_V1: &[u8; 4] = b"TSB1";
+const BINARY_MAGIC_V2: &[u8; 4] = b"TSB2";
+const FORMAT_VERSION: u32 = 2;
+/// Buffer size for chunked body reads/writes.
+const IO_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Default cap on the decoded size a binary file may declare (1 GiB of
+/// `f64` payload). Guards against a corrupt or hostile header causing an
+/// enormous allocation; raise it via [`read_binary_with_limit`] for
+/// genuinely larger datasets.
+pub const DEFAULT_MAX_BYTES: u64 = 1 << 30;
+
+fn read_exact_in(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), TableError> {
+    r.read_exact(buf)
+        .map_err(|e| TableError::from_read_error(section, e))
+}
+
+fn read_u32_in(r: &mut impl Read, section: &'static str) -> Result<u32, TableError> {
+    let mut buf = [0u8; 4];
+    read_exact_in(r, &mut buf, section)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64_in(r: &mut impl Read, section: &'static str) -> Result<u64, TableError> {
+    let mut buf = [0u8; 8];
+    read_exact_in(r, &mut buf, section)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Validates that `count` elements of 8 bytes fit under `max_bytes` and
+/// returns `count` as a `usize`.
+pub(crate) fn checked_f64_count(
+    count: u64,
+    max_bytes: u64,
+    section: &'static str,
+) -> Result<usize, TableError> {
+    let bytes = count
+        .checked_mul(8)
+        .ok_or_else(|| TableError::corrupt(section, "declared element count overflows"))?;
+    if bytes > max_bytes {
+        return Err(TableError::corrupt(
+            section,
+            format!("declared payload of {bytes} bytes exceeds the {max_bytes}-byte limit"),
+        ));
+    }
+    usize::try_from(count)
+        .map_err(|_| TableError::corrupt(section, "declared element count exceeds address space"))
+}
+
+/// Reads `count` little-endian `f64` values in bounded chunks, feeding the
+/// raw bytes through `crc` when one is supplied.
+pub(crate) fn read_f64_body(
+    r: &mut impl Read,
+    count: usize,
+    mut crc: Option<&mut Crc32>,
+) -> Result<Vec<f64>, TableError> {
+    let mut data = Vec::with_capacity(count);
+    let mut remaining = count;
+    let mut buf = vec![0u8; IO_CHUNK_BYTES.min(count.max(1) * 8)];
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 8);
+        let chunk = &mut buf[..take * 8];
+        read_exact_in(r, chunk, "body")?;
+        if let Some(crc) = crc.as_deref_mut() {
+            crc.update(chunk);
+        }
+        for bytes in chunk.chunks_exact(8) {
+            data.push(f64::from_le_bytes(bytes.try_into().expect("8-byte chunk")));
+        }
+        remaining -= take;
+    }
+    Ok(data)
+}
+
+/// Writes `values` as little-endian `f64` in bounded chunks, feeding the
+/// raw bytes through `crc` when one is supplied.
+pub(crate) fn write_f64_body(
+    w: &mut impl Write,
+    values: &[f64],
+    mut crc: Option<&mut Crc32>,
+) -> Result<(), TableError> {
+    let mut buf = Vec::with_capacity(IO_CHUNK_BYTES.min(values.len().max(1) * 8));
+    for chunk in values.chunks(IO_CHUNK_BYTES / 8) {
+        buf.clear();
+        for &v in chunk {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        if let Some(crc) = crc.as_deref_mut() {
+            crc.update(&buf);
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
 
 /// Writes a table as CSV (no header) to `writer`.
 ///
@@ -38,10 +159,15 @@ pub fn write_csv<W: Write>(table: &Table, writer: W) -> Result<(), TableError> {
 
 /// Reads a table from CSV (no header) from `reader`.
 ///
+/// Non-finite entries (`nan`, `inf`) are rejected with
+/// [`TableError::NonFinite`]: downstream median-based estimators are
+/// poisoned by NaN, so bad values must be stopped at ingestion.
+///
 /// # Errors
 ///
-/// Returns [`TableError::Io`] on malformed numbers, ragged rows, or I/O
-/// failures, and [`TableError::EmptyDimension`] for empty input.
+/// Returns [`TableError::Corrupt`] on malformed numbers,
+/// [`TableError::NonFinite`] on NaN/infinite cells, [`TableError::Io`] on
+/// I/O failures, and [`TableError::EmptyDimension`] for empty input.
 pub fn read_csv<R: Read>(reader: R) -> Result<Table, TableError> {
     let mut rows: Vec<Vec<f64>> = Vec::new();
     let mut line = String::new();
@@ -59,91 +185,147 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Table, TableError> {
             .split(',')
             .map(|s| s.trim().parse::<f64>())
             .collect();
-        rows.push(row.map_err(|e| TableError::Io(format!("bad number in CSV: {e}")))?);
+        rows.push(row.map_err(|e| TableError::corrupt("csv", format!("bad number: {e}")))?);
     }
     Table::from_rows(&rows)
 }
 
-/// Writes a table to `path` as CSV.
+/// Writes a table to `path` as CSV, atomically replacing any existing
+/// file.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures as [`TableError::Io`].
 pub fn save_csv<P: AsRef<Path>>(table: &Table, path: P) -> Result<(), TableError> {
-    write_csv(table, std::fs::File::create(path)?)
+    write_atomic(path.as_ref(), |f| write_csv(table, f))
 }
 
 /// Reads a table from a CSV file at `path`.
 ///
 /// # Errors
 ///
-/// Propagates I/O and parse failures as [`TableError::Io`].
+/// Propagates I/O and parse failures; see [`read_csv`].
 pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Table, TableError> {
     read_csv(std::fs::File::open(path)?)
 }
 
-/// Writes a table in the `TSB1` binary format: 4-byte magic, two u64
-/// little-endian dimensions, then `rows*cols` f64 little-endian values.
+/// Writes a table in the `TSB2` binary format (see the module docs for
+/// the wire layout).
 ///
 /// # Errors
 ///
 /// Propagates I/O failures as [`TableError::Io`].
 pub fn write_binary<W: Write>(table: &Table, writer: W) -> Result<(), TableError> {
     let mut w = BufWriter::new(writer);
-    w.write_all(BINARY_MAGIC)?;
-    w.write_all(&(table.rows() as u64).to_le_bytes())?;
-    w.write_all(&(table.cols() as u64).to_le_bytes())?;
-    for &v in table.as_slice() {
-        w.write_all(&v.to_le_bytes())?;
-    }
+
+    let mut header = Vec::with_capacity(4 + 4 + 8 + 8);
+    header.extend_from_slice(BINARY_MAGIC_V2);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(table.rows() as u64).to_le_bytes());
+    header.extend_from_slice(&(table.cols() as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    w.write_all(&header)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
+
+    let mut body_crc = Crc32::new();
+    write_f64_body(&mut w, table.as_slice(), Some(&mut body_crc))?;
+    w.write_all(&body_crc.finish().to_le_bytes())?;
     w.flush()?;
     Ok(())
 }
 
-/// Reads a table in the `TSB1` binary format.
+/// Reads a table in the `TSB2` binary format (or the legacy `TSB1`
+/// layout), refusing files that declare more than [`DEFAULT_MAX_BYTES`]
+/// of payload.
 ///
 /// # Errors
 ///
-/// Returns [`TableError::Io`] on bad magic, truncated input, or I/O
-/// failure.
+/// Returns [`TableError::Corrupt`] on bad magic/version, checksum
+/// mismatch, truncation, or an implausibly large declared size, and
+/// [`TableError::Io`] on genuine I/O failures.
 pub fn read_binary<R: Read>(reader: R) -> Result<Table, TableError> {
-    let mut r = BufReader::new(reader);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(TableError::Io("bad magic: not a TSB1 table".into()));
-    }
-    let mut dim = [0u8; 8];
-    r.read_exact(&mut dim)?;
-    let rows = u64::from_le_bytes(dim) as usize;
-    r.read_exact(&mut dim)?;
-    let cols = u64::from_le_bytes(dim) as usize;
-    let n = rows
-        .checked_mul(cols)
-        .ok_or_else(|| TableError::Io("dimension overflow".into()))?;
-    let mut data = Vec::with_capacity(n);
-    let mut buf = [0u8; 8];
-    for _ in 0..n {
-        r.read_exact(&mut buf)?;
-        data.push(f64::from_le_bytes(buf));
-    }
-    Table::new(rows, cols, data)
+    read_binary_with_limit(reader, DEFAULT_MAX_BYTES)
 }
 
-/// Writes a table to `path` in the `TSB1` binary format.
+/// [`read_binary`] with an explicit cap (in bytes of `f64` payload) on the
+/// size the header may declare.
+///
+/// # Errors
+///
+/// See [`read_binary`].
+pub fn read_binary_with_limit<R: Read>(reader: R, max_bytes: u64) -> Result<Table, TableError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    read_exact_in(&mut r, &mut magic, "magic")?;
+    match &magic {
+        m if m == BINARY_MAGIC_V1 => read_binary_v1_after_magic(&mut r, max_bytes),
+        m if m == BINARY_MAGIC_V2 => read_binary_v2_after_magic(&mut r, max_bytes),
+        _ => Err(TableError::corrupt(
+            "magic",
+            "not a TSB1/TSB2 table file (bad magic)",
+        )),
+    }
+}
+
+fn read_binary_v1_after_magic(r: &mut impl Read, max_bytes: u64) -> Result<Table, TableError> {
+    let rows = read_u64_in(r, "header")?;
+    let cols = read_u64_in(r, "header")?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| TableError::corrupt("header", "dimension product overflows"))?;
+    let n = checked_f64_count(n, max_bytes, "header")?;
+    let data = read_f64_body(r, n, None)?;
+    Table::new(rows as usize, cols as usize, data)
+}
+
+fn read_binary_v2_after_magic(r: &mut impl Read, max_bytes: u64) -> Result<Table, TableError> {
+    let mut header = [0u8; 4 + 8 + 8];
+    read_exact_in(r, &mut header, "header")?;
+    let mut crc = Crc32::new();
+    crc.update(BINARY_MAGIC_V2);
+    crc.update(&header);
+    let stored_crc = read_u32_in(r, "header")?;
+    if stored_crc != crc.finish() {
+        return Err(TableError::corrupt("header", "header checksum mismatch"));
+    }
+    let version = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(TableError::corrupt(
+            "header",
+            format!("unsupported format version {version} (expected {FORMAT_VERSION})"),
+        ));
+    }
+    let rows = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+    let cols = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| TableError::corrupt("header", "dimension product overflows"))?;
+    let n = checked_f64_count(n, max_bytes, "header")?;
+    let mut body_crc = Crc32::new();
+    let data = read_f64_body(r, n, Some(&mut body_crc))?;
+    let stored_body_crc = read_u32_in(r, "body")?;
+    if stored_body_crc != body_crc.finish() {
+        return Err(TableError::corrupt("body", "body checksum mismatch"));
+    }
+    Table::new(rows as usize, cols as usize, data)
+}
+
+/// Writes a table to `path` in the `TSB2` binary format, atomically
+/// replacing any existing file.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures as [`TableError::Io`].
 pub fn save_binary<P: AsRef<Path>>(table: &Table, path: P) -> Result<(), TableError> {
-    write_binary(table, std::fs::File::create(path)?)
+    write_atomic(path.as_ref(), |f| write_binary(table, f))
 }
 
-/// Reads a table from a `TSB1` binary file at `path`.
+/// Reads a table from a `TSB1`/`TSB2` binary file at `path`.
 ///
 /// # Errors
 ///
-/// Propagates I/O and format failures as [`TableError::Io`].
+/// Propagates I/O and format failures; see [`read_binary`].
 pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Table, TableError> {
     read_binary(std::fs::File::open(path)?)
 }
@@ -151,9 +333,22 @@ pub fn load_binary<P: AsRef<Path>>(path: P) -> Result<Table, TableError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{Fault, FaultyReader, FaultyWriter};
 
     fn sample() -> Table {
         Table::from_fn(3, 4, |r, c| (r as f64) * 1.5 - (c as f64) * 0.25).unwrap()
+    }
+
+    /// Serializes `table` in the legacy v1 layout.
+    fn write_binary_v1(table: &Table) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC_V1);
+        buf.extend_from_slice(&(table.rows() as u64).to_le_bytes());
+        buf.extend_from_slice(&(table.cols() as u64).to_le_bytes());
+        for &v in table.as_slice() {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        buf
     }
 
     #[test]
@@ -173,9 +368,20 @@ mod tests {
 
     #[test]
     fn csv_rejects_garbage() {
-        assert!(read_csv("1,banana\n".as_bytes()).is_err());
+        assert!(matches!(
+            read_csv("1,banana\n".as_bytes()),
+            Err(TableError::Corrupt { section: "csv", .. })
+        ));
         assert!(read_csv("".as_bytes()).is_err(), "empty input");
         assert!(read_csv("1,2\n3\n".as_bytes()).is_err(), "ragged rows");
+    }
+
+    #[test]
+    fn csv_rejects_non_finite_cells() {
+        let err = read_csv("1,2\n3,nan\n".as_bytes()).unwrap_err();
+        assert_eq!(err, TableError::NonFinite { row: 1, col: 1 });
+        let err = read_csv("inf,2\n".as_bytes()).unwrap_err();
+        assert_eq!(err, TableError::NonFinite { row: 0, col: 0 });
     }
 
     #[test]
@@ -188,18 +394,111 @@ mod tests {
     }
 
     #[test]
-    fn binary_rejects_bad_magic() {
-        let err = read_binary(&b"NOPE\x00\x00\x00\x00"[..]);
-        assert!(err.is_err());
+    fn binary_reads_legacy_v1() {
+        let t = sample();
+        let back = read_binary(write_binary_v1(&t).as_slice()).unwrap();
+        assert_eq!(t, back);
     }
 
     #[test]
-    fn binary_rejects_truncation() {
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOPE\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::Corrupt {
+                section: "magic",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_truncation_everywhere() {
         let t = sample();
         let mut buf = Vec::new();
         write_binary(&t, &mut buf).unwrap();
-        buf.truncate(buf.len() - 3);
-        assert!(read_binary(buf.as_slice()).is_err());
+        for cut in 0..buf.len() {
+            let err = read_binary(FaultyReader::new(buf.clone(), Fault::Truncate { at: cut }))
+                .unwrap_err();
+            assert!(
+                matches!(err, TableError::Corrupt { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_rejects_any_bit_flip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        for at in 0..buf.len() {
+            let r = FaultyReader::new(buf.clone(), Fault::FlipBits { at, mask: 0x10 });
+            let err = read_binary(r).unwrap_err();
+            assert!(
+                matches!(err, TableError::Corrupt { .. }),
+                "flip at {at} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_survives_short_reads() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        for chunk in [1, 3, 7] {
+            let back =
+                read_binary(FaultyReader::new(buf.clone(), Fault::ShortReads { chunk })).unwrap();
+            assert_eq!(t, back, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn binary_propagates_io_errors_as_io() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let err = read_binary(FaultyReader::new(buf, Fault::ErrorAt { at: 30 })).unwrap_err();
+        assert!(matches!(err, TableError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn binary_bounds_declared_allocation() {
+        // A v1 header declaring ~u64::MAX elements must be rejected before
+        // any allocation happens.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(BINARY_MAGIC_V1);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        let err = read_binary(buf.as_slice()).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::Corrupt {
+                section: "header",
+                ..
+            }
+        ));
+
+        // A plausible-but-huge declared size trips the explicit limit.
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let err = read_binary_with_limit(buf.as_slice(), 16).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::Corrupt {
+                section: "header",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn binary_write_failure_is_reported() {
+        let t = sample();
+        let err = write_binary(&t, FaultyWriter::failing_after(10)).unwrap_err();
+        assert!(matches!(err, TableError::Io(_)));
     }
 
     #[test]

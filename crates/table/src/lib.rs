@@ -27,8 +27,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
+pub mod checksum;
 pub mod dyadic;
 mod error;
+pub mod faults;
 pub mod io;
 pub mod norms;
 mod rect;

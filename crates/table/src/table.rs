@@ -28,10 +28,15 @@ pub struct Table {
 impl Table {
     /// Creates a table from a row-major buffer.
     ///
+    /// Every cell must be finite: NaN silently poisons the median-based
+    /// distance estimators downstream, so it is rejected at ingestion
+    /// rather than estimated around.
+    ///
     /// # Errors
     ///
-    /// Returns [`TableError::EmptyDimension`] for zero-sized dimensions and
-    /// [`TableError::DimensionMismatch`] when `data.len() != rows * cols`.
+    /// Returns [`TableError::EmptyDimension`] for zero-sized dimensions,
+    /// [`TableError::DimensionMismatch`] when `data.len() != rows * cols`,
+    /// and [`TableError::NonFinite`] when a cell is NaN or infinite.
     pub fn new(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, TableError> {
         if rows == 0 || cols == 0 {
             return Err(TableError::EmptyDimension);
@@ -41,6 +46,12 @@ impl Table {
                 rows,
                 cols,
                 len: data.len(),
+            });
+        }
+        if let Some(i) = data.iter().position(|v| !v.is_finite()) {
+            return Err(TableError::NonFinite {
+                row: i / cols,
+                col: i % cols,
             });
         }
         Ok(Self { rows, cols, data })

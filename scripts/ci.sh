@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The full gate a change must pass before merging. CI runs exactly this
+# script, so a local `./scripts/ci.sh` reproduces CI verbatim.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> ci green"
