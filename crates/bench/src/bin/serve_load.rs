@@ -1,0 +1,261 @@
+//! Load generator for the `tabsketch-serve` daemon.
+//!
+//! Spins up a server in-process on an ephemeral loopback port, then
+//! drives it from N concurrent client connections issuing the mixed
+//! workload a monitoring dashboard would: mostly single distances, some
+//! batches (which amortize sketch lookups on one cache shard), plus
+//! sketch fetches and k-NN queries. Reports client-side throughput per
+//! request kind and the server's own latency/tier counters, and writes
+//! a machine-readable summary to `BENCH_serve.json`.
+//!
+//! Usage: `serve_load [--quick|--full]`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use tabsketch_bench::{print_header, print_row, secs, time, AnchorSampler, Scale};
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+use tabsketch_serve::{Client, ServeError, Server, ServerConfig, StoreSpec};
+use tabsketch_table::{io as table_io, Rect, Table};
+
+/// Requests one client thread issues, by kind.
+#[derive(Clone, Copy)]
+struct Workload {
+    singles: usize,
+    batches: usize,
+    batch_len: usize,
+    sketches: usize,
+    knn: usize,
+}
+
+/// Per-kind request tallies summed across client threads.
+#[derive(Default)]
+struct Tally {
+    singles: AtomicU64,
+    batches: AtomicU64,
+    sketches: AtomicU64,
+    knn: AtomicU64,
+}
+
+/// Requests shutdown when dropped, so a client-side panic cannot leave
+/// the scope's implicit join waiting on the server thread forever.
+struct StopOnDrop(tabsketch_serve::ServerHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn client_loop(
+    addr: std::net::SocketAddr,
+    table: &Table,
+    tile: usize,
+    load: Workload,
+    seed: u64,
+    tally: &Tally,
+) -> Result<(), ServeError> {
+    let mut anchors = AnchorSampler::new(table, tile, tile, seed);
+    let mut rect = move || {
+        let (r, c) = anchors.next_anchor();
+        Rect::new(r, c, tile, tile)
+    };
+    let mut c = Client::connect(addr)?;
+    c.ping()?;
+    for _ in 0..load.singles {
+        let (d, _) = c.distance("day", rect(), rect())?;
+        assert!(d.is_finite());
+        tally.singles.fetch_add(1, Ordering::Relaxed);
+    }
+    for _ in 0..load.batches {
+        let pairs: Vec<_> = (0..load.batch_len).map(|_| (rect(), rect())).collect();
+        let answers = c.distance_batch("day", &pairs)?;
+        assert_eq!(answers.len(), pairs.len());
+        tally.batches.fetch_add(1, Ordering::Relaxed);
+    }
+    for _ in 0..load.sketches {
+        let (values, _) = c.sketch("day", rect())?;
+        assert!(!values.is_empty());
+        tally.sketches.fetch_add(1, Ordering::Relaxed);
+    }
+    for _ in 0..load.knn {
+        let nn = c.knn("day", rect(), 3)?;
+        assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
+        tally.knn.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let threads = scale.pick(2, 4, 8);
+    let load = Workload {
+        singles: scale.pick(40, 150, 600),
+        batches: scale.pick(4, 12, 40),
+        batch_len: 16,
+        sketches: scale.pick(4, 12, 40),
+        knn: scale.pick(2, 6, 20),
+    };
+    let (rows, cols, tile, k) = (96usize, 96usize, 8usize, scale.pick(16, 32, 64));
+
+    // On-disk fixture: the server loads stores from files, exactly as
+    // `tabsketch-cli serve` would.
+    let dir = std::env::temp_dir().join(format!("tabsketch-serve-load-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let table_path = dir.join("t.tsb");
+    let store_path = dir.join("t.tsks");
+    let table: Table = SixRegionGenerator::new(SixRegionConfig {
+        rows,
+        cols,
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+    table_io::save_binary(&table, &table_path).expect("save table");
+    let sketcher =
+        Sketcher::new(SketchParams::new(1.0, k, 9).expect("valid params")).expect("valid sketcher");
+    let (store, t_build) =
+        time(|| AllSubtableSketches::build(&table, tile, tile, sketcher).expect("fits budget"));
+    persist::save_store(&store, &store_path).expect("save store");
+    drop(store);
+
+    let server = Server::bind(ServerConfig {
+        workers: threads,
+        shards: 4,
+        cache_capacity: 256,
+        specs: vec![StoreSpec::new("day", &table_path)
+            .with_store_path(&store_path)
+            .with_params(1.0, k, 9)],
+        ..Default::default()
+    })
+    .expect("bind on loopback");
+    let addr = server.local_addr();
+
+    println!(
+        "=== Serving load: {rows}x{cols} table, {tile}x{tile} tiles, k = {k}, \
+         {threads} clients x ({} singles + {} batches of {} + {} sketches + {} knn) ===\n",
+        load.singles, load.batches, load.batch_len, load.sketches, load.knn
+    );
+
+    let tally = Tally::default();
+    let (snapshot, wall) = std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        let ((), wall) = time(|| {
+            std::thread::scope(|clients| {
+                for t in 0..threads {
+                    let (table, tally) = (&table, &tally);
+                    clients.spawn(move || {
+                        client_loop(addr, table, tile, load, 1 + t as u64, tally)
+                            .expect("client workload");
+                    });
+                }
+            });
+        });
+
+        let mut probe = Client::connect(addr).expect("metrics connection");
+        let snapshot = probe.metrics().expect("metrics");
+        probe.shutdown().expect("shutdown ack");
+        run.join().expect("server thread").expect("server run");
+        (snapshot, wall)
+    });
+
+    let total_requests = snapshot.total_requests();
+    let rps = total_requests as f64 / wall.as_secs_f64();
+    let distances_per_sec = (tally.singles.load(Ordering::Relaxed)
+        + tally.batches.load(Ordering::Relaxed) * load.batch_len as u64)
+        as f64
+        / wall.as_secs_f64();
+
+    let widths = [16usize, 12, 12];
+    print_header(&["kind", "requests", ""], &widths);
+    let rows_out: &[(&str, u64)] = &[
+        ("single distance", tally.singles.load(Ordering::Relaxed)),
+        ("batch", tally.batches.load(Ordering::Relaxed)),
+        ("sketch", tally.sketches.load(Ordering::Relaxed)),
+        ("knn", tally.knn.load(Ordering::Relaxed)),
+    ];
+    for (name, n) in rows_out {
+        print_row(&[name, &n.to_string(), ""], &widths);
+    }
+    println!(
+        "\nstore build {}; {threads} clients done in {}: {rps:.0} req/s \
+         ({distances_per_sec:.0} distances/s), server p50 {} us, p99 {} us",
+        secs(t_build),
+        secs(wall),
+        snapshot.p50_us,
+        snapshot.p99_us
+    );
+    assert_eq!(snapshot.errors, 0, "load run must be error-free");
+    for s in &snapshot.stores {
+        println!("store {:?}: {}", s.name, s.tiers);
+    }
+
+    let json = render_json(
+        threads,
+        &load,
+        wall,
+        rps,
+        distances_per_sec,
+        &snapshot,
+        t_build,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hand-rolled JSON (the workspace deliberately has no serde).
+fn render_json(
+    threads: usize,
+    load: &Workload,
+    wall: Duration,
+    rps: f64,
+    distances_per_sec: f64,
+    snapshot: &tabsketch_serve::MetricsSnapshot,
+    t_build: Duration,
+) -> String {
+    let mut stores = String::new();
+    for (i, s) in snapshot.stores.iter().enumerate() {
+        if i > 0 {
+            stores.push_str(", ");
+        }
+        let t = &s.tiers;
+        stores.push_str(&format!(
+            "{{\"name\": \"{}\", \"pooled\": {}, \"on_demand\": {}, \
+             \"pooled_fallbacks\": {}, \"on_demand_fallbacks\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}}}",
+            s.name,
+            t.pooled,
+            t.on_demand,
+            t.pooled_fallbacks,
+            t.on_demand_fallbacks,
+            t.cache_hits,
+            t.cache_misses,
+            t.cache_evictions
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"threads\": {threads},\n  \
+         \"singles_per_thread\": {},\n  \"batches_per_thread\": {},\n  \
+         \"batch_len\": {},\n  \"store_build_secs\": {:.6},\n  \
+         \"wall_secs\": {:.6},\n  \"requests_total\": {},\n  \
+         \"requests_per_sec\": {rps:.1},\n  \"distances_per_sec\": {distances_per_sec:.1},\n  \
+         \"errors\": {},\n  \"timeouts\": {},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
+         \"connections\": {},\n  \"stores\": [{stores}]\n}}\n",
+        load.singles,
+        load.batches,
+        load.batch_len,
+        t_build.as_secs_f64(),
+        wall.as_secs_f64(),
+        snapshot.total_requests(),
+        snapshot.errors,
+        snapshot.timeouts,
+        snapshot.p50_us,
+        snapshot.p99_us,
+        snapshot.connections
+    )
+}

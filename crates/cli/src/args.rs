@@ -19,7 +19,16 @@ pub struct Args {
 }
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["exact", "render", "csv", "help", "refine", "silhouette"];
+const SWITCHES: &[&str] = &[
+    "exact",
+    "render",
+    "csv",
+    "help",
+    "refine",
+    "silhouette",
+    "metrics",
+    "shutdown",
+];
 
 impl Args {
     /// Parses an iterator of arguments (excluding the program name).

@@ -3,15 +3,16 @@
 use std::path::Path;
 
 use tabsketch_cluster::{
-    most_similar_pairs, most_similar_pairs_refined, nearest_neighbors, silhouette, DistanceOracle,
-    Embedding, ExactEmbedding, KMeans, KMeansConfig, KMeansResult, OracleEmbedding,
-    PrecomputedSketchEmbedding, TierSnapshot,
+    most_similar_pairs, most_similar_pairs_refined, nearest_neighbors, silhouette, Embedding,
+    ExactEmbedding, KMeans, KMeansConfig, KMeansResult, OracleEmbedding,
+    PrecomputedSketchEmbedding, TierSnapshot, DEFAULT_SKETCH_CACHE_CAPACITY,
 };
 use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
 use tabsketch_data::{
     CallVolumeConfig, CallVolumeGenerator, IpTrafficConfig, IpTrafficGenerator, SixRegionConfig,
     SixRegionGenerator,
 };
+use tabsketch_serve::{LoadedStore, StoreSpec};
 use tabsketch_table::{io as table_io, norms, stats, Rect, Table, TileGrid};
 
 use crate::args::Args;
@@ -176,7 +177,7 @@ pub fn sketch(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn parse_at(args: &Args, name: &str) -> Result<(usize, usize), CliError> {
+pub(crate) fn parse_at(args: &Args, name: &str) -> Result<(usize, usize), CliError> {
     let raw = args.require(name)?;
     let (r, c) = raw
         .split_once(',')
@@ -194,66 +195,59 @@ fn parse_at(args: &Args, name: &str) -> Result<(usize, usize), CliError> {
 /// `query STORE --at R,C --at2 R,C [--table FILE]`
 ///
 /// Without `--table` the store is the only source and any damage to it
-/// is fatal. With `--table` the query runs through a [`DistanceOracle`]:
-/// a healthy store answers from precomputed sketches, a damaged entry
+/// is fatal. With `--table` the query runs through the serving core's
+/// [`LoadedStore`] (the same constructor `tabsketch-cli serve` uses): a
+/// healthy store answers from precomputed sketches, a damaged entry
 /// degrades to on-demand sketches, and an unreadable store file degrades
 /// the whole query (window shape then comes from `--tile`).
 pub fn query(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "sketch store file")?;
     let a = parse_at(args, "at")?;
     let b = parse_at(args, "at2")?;
-    let store = match persist::load_store(path) {
-        Ok(store) => store,
-        Err(e) => {
-            let Some(table_path) = args.get("table") else {
-                return Err(CliError::from(e).in_context(format!("loading {path}")));
-            };
-            // Degraded path: the store is unusable, but the raw table can
-            // still answer via on-demand sketches. The store's window
-            // shape and parameters are lost with it, so they must come
-            // from flags.
-            eprintln!("warning: loading {path}: {e}; degrading to on-demand sketches");
-            let table = load_table(table_path)?;
-            let (tr, tc) = args.require_tile("tile").map_err(|m| {
-                CliError::usage(format!(
-                    "{m} (the store is unreadable, so --tile must supply the window shape)"
-                ))
-            })?;
-            let p: f64 = args.get_or("p", 1.0)?;
-            let k: usize = args.get_or("k", 256)?;
-            let seed: u64 = args.get_or("seed", 0)?;
-            let sketcher = Sketcher::new(SketchParams::new(p, k, seed)?)?;
-            let oracle = DistanceOracle::on_demand(&table, sketcher)?;
-            let (est, tier) =
-                oracle.distance(Rect::new(a.0, a.1, tr, tc), Rect::new(b.0, b.1, tr, tc))?;
-            println!(
-                "estimated L{p} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est} ({tier} tier)"
-            );
-            return Ok(());
-        }
-    };
-    let (tr, tc) = (store.tile_rows(), store.tile_cols());
-    if let Some(table_path) = args.get("table") {
-        let table = load_table(table_path)?;
-        let oracle = DistanceOracle::with_store(&table, &store)?;
-        let (est, tier) =
-            oracle.distance(Rect::new(a.0, a.1, tr, tc), Rect::new(b.0, b.1, tr, tc))?;
+    let Some(table_path) = args.get("table") else {
+        // Store-only path: the store must load cleanly, and answers come
+        // straight from its precomputed sketches.
+        let store = persist::load_store(path)
+            .map_err(|e| CliError::from(e).in_context(format!("loading {path}")))?;
+        let (tr, tc) = (store.tile_rows(), store.tile_cols());
+        let mut scratch = Vec::new();
+        let est = store.estimate_distance(a, b, &mut scratch)?;
         println!(
-            "estimated L{} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est} ({tier} tier)",
-            oracle.p()
+            "estimated L{} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est}",
+            store.sketcher().p()
         );
-        let snap = oracle.counters();
-        if snap.degraded() {
-            eprintln!("warning: query degraded below precomputed sketches; tiers: {snap}");
-        }
         return Ok(());
+    };
+    let p: f64 = args.get_or("p", 1.0)?;
+    let k: usize = args.get_or("k", 256)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let spec = StoreSpec::new("query", table_path)
+        .with_store_path(path)
+        .with_params(p, k, seed);
+    let loaded = LoadedStore::load(&spec)?;
+    if let Some(msg) = loaded.degradation() {
+        eprintln!("warning: {msg}; degrading to on-demand sketches");
     }
-    let mut scratch = Vec::new();
-    let est = store.estimate_distance(a, b, &mut scratch)?;
+    let (tr, tc) = match loaded.tile() {
+        Some(tile) => tile,
+        // The store's window shape is lost with it, so it must come
+        // from the --tile flag.
+        None => args.require_tile("tile").map_err(|m| {
+            CliError::usage(format!(
+                "{m} (the store is unreadable, so --tile must supply the window shape)"
+            ))
+        })?,
+    };
+    let oracle = loaded.oracle(DEFAULT_SKETCH_CACHE_CAPACITY)?;
+    let (est, tier) = oracle.distance(Rect::new(a.0, a.1, tr, tc), Rect::new(b.0, b.1, tr, tc))?;
     println!(
-        "estimated L{} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est}",
-        store.sketcher().p()
+        "estimated L{} distance between {tr}x{tc} windows at {a:?} and {b:?}: {est} ({tier} tier)",
+        oracle.p()
     );
+    let snap = oracle.counters();
+    if snap.degraded() {
+        eprintln!("warning: query degraded below precomputed sketches; tiers: {snap}");
+    }
     Ok(())
 }
 
@@ -366,16 +360,17 @@ pub fn pairs(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Runs k-means through a store-backed [`DistanceOracle`], reporting
-/// per-tier counters. Damaged or shape-mismatched store entries degrade
-/// to on-demand sketches instead of failing the clustering.
+/// Runs k-means through the serving core's oracle (store-backed when
+/// the [`LoadedStore`] holds a sketch store, on-demand otherwise),
+/// reporting per-tier counters. Damaged or shape-mismatched store
+/// entries degrade to on-demand sketches instead of failing the
+/// clustering.
 fn cluster_with_store(
-    table: &Table,
-    store: &AllSubtableSketches,
+    loaded: &LoadedStore,
     grid: &TileGrid,
     km: &KMeans,
 ) -> Result<(KMeansResult, TierSnapshot), CliError> {
-    let oracle = DistanceOracle::with_store(table, store)?;
+    let oracle = loaded.oracle(DEFAULT_SKETCH_CACHE_CAPACITY)?;
     let rects: Vec<Rect> = grid.iter().collect();
     let embedding = OracleEmbedding::new(&oracle, rects)?;
     let result = km.run(&embedding)?;
@@ -386,7 +381,7 @@ fn cluster_with_store(
 /// [--exact] [--render]`
 pub fn cluster(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let table = load_table(path)?;
+    let mut table = load_table(path)?;
     let (tr, tc) = args.require_tile("tiles")?;
     let k: usize = args.get_or("k", 8)?;
     let p: f64 = args.get_or("p", 1.0)?;
@@ -401,19 +396,29 @@ pub fn cluster(args: &Args) -> Result<(), CliError> {
     let mut tiers: Option<TierSnapshot> = None;
     let (result, mode) = if let Some(store_path) = args.get("store") {
         // A store that fails to load degrades the whole run to on-demand
-        // sketches rather than aborting the clustering.
-        match persist::load_store(store_path) {
-            Ok(store) => {
-                let (result, snap) = cluster_with_store(&table, &store, &grid, &km)?;
-                tiers = Some(snap);
-                (result, "oracle")
-            }
+        // sketches rather than aborting the clustering; either way the
+        // run goes through the serving core's LoadedStore, exactly as
+        // the daemon would serve it.
+        let store = match persist::load_store(store_path) {
+            Ok(store) => Some(store),
             Err(e) => {
                 eprintln!("warning: loading {store_path}: {e}; degrading to on-demand sketches");
-                let embedding = build_embedding(args, &table, &grid, p)?;
-                (km.run(&embedding)?, "degraded")
+                None
             }
-        }
+        };
+        let mode = if store.is_some() {
+            "oracle"
+        } else {
+            "degraded"
+        };
+        let sketch_k: usize = args.get_or("sketch-k", 256)?;
+        let loaded = LoadedStore::from_loaded("cluster", table, store)
+            .with_fallback_params(p, sketch_k, seed);
+        let (result, snap) = cluster_with_store(&loaded, &grid, &km)?;
+        tiers = Some(snap);
+        // The render/silhouette passes below still need the table.
+        table = loaded.into_parts().0;
+        (result, mode)
     } else if args.switch("exact") {
         let embedding = ExactEmbedding::from_tiles(&table, &grid, p)?;
         (km.run(&embedding)?, "exact")

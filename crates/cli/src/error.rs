@@ -1,15 +1,17 @@
 //! Typed CLI errors with one distinct exit code per failure class.
 //!
 //! Scripts driving `tabsketch-cli` can tell a typo'd flag (exit 2) from
-//! a damaged table file (exit 3), a bad sketch store (exit 4), or a
-//! mining-parameter problem (exit 5) without parsing stderr. Every
-//! error renders as one `error: ...` line, optionally prefixed with the
-//! operation that failed ("loading day.tsb: ...").
+//! a damaged table file (exit 3), a bad sketch store (exit 4), a
+//! mining-parameter problem (exit 5), or a serving/protocol failure
+//! (exit 6) without parsing stderr. Every error renders as one
+//! `error: ...` line, optionally prefixed with the operation that
+//! failed ("loading day.tsb: ...").
 
 use core::fmt;
 
 use tabsketch_cluster::ClusterError;
 use tabsketch_core::TabError;
+use tabsketch_serve::ServeError;
 use tabsketch_table::TableError;
 
 /// Which layer a [`CliError`] came from; decides the exit code.
@@ -23,6 +25,8 @@ pub enum ErrorKind {
     Sketch(TabError),
     /// Mining-layer failure: clustering or neighbor search rejected input.
     Cluster(ClusterError),
+    /// Serving failure: connection, protocol, or server-side error.
+    Serve(ServeError),
 }
 
 /// A subcommand failure: an [`ErrorKind`] plus optional operation
@@ -53,6 +57,7 @@ impl CliError {
             ErrorKind::Table(_) => 3,
             ErrorKind::Sketch(_) => 4,
             ErrorKind::Cluster(_) => 5,
+            ErrorKind::Serve(_) => 6,
         }
     }
 }
@@ -67,6 +72,7 @@ impl fmt::Display for CliError {
             ErrorKind::Table(e) => write!(f, "{e}"),
             ErrorKind::Sketch(e) => write!(f, "{e}"),
             ErrorKind::Cluster(e) => write!(f, "{e}"),
+            ErrorKind::Serve(e) => write!(f, "{e}"),
         }
     }
 }
@@ -107,6 +113,21 @@ impl From<ClusterError> for CliError {
     }
 }
 
+/// Serving errors that merely wrap a lower layer keep that layer's exit
+/// code, so `query`/`cluster` report identically whether they went
+/// through the serving core or not; genuinely serving-specific failures
+/// (connection refused, protocol violations, timeouts) get exit 6.
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Table(e) => ErrorKind::Table(e).into(),
+            ServeError::Sketch(e) => ErrorKind::Sketch(e).into(),
+            ServeError::Cluster(e) => ErrorKind::Cluster(e).into(),
+            other => ErrorKind::Serve(other).into(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,9 +139,30 @@ mod tests {
             CliError::from(TableError::EmptyDimension).exit_code(),
             CliError::from(TabError::corrupt("magic", "nope")).exit_code(),
             CliError::from(ClusterError::InvalidParameter("k")).exit_code(),
+            CliError::from(ServeError::DeadlineExceeded).exit_code(),
         ];
-        assert_eq!(codes, [2, 3, 4, 5]);
+        assert_eq!(codes, [2, 3, 4, 5, 6]);
         assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn serve_errors_unwrap_to_their_layer_exit_codes() {
+        assert_eq!(
+            CliError::from(ServeError::Table(TableError::EmptyDimension)).exit_code(),
+            3
+        );
+        assert_eq!(
+            CliError::from(ServeError::Sketch(TabError::corrupt("magic", "x"))).exit_code(),
+            4
+        );
+        assert_eq!(
+            CliError::from(ServeError::Cluster(ClusterError::InvalidParameter("k"))).exit_code(),
+            5
+        );
+        assert_eq!(
+            CliError::from(ServeError::Config("no stores".into())).exit_code(),
+            6
+        );
     }
 
     #[test]

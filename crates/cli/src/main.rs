@@ -8,11 +8,14 @@
 //! tabsketch-cli sketch day.tsb --tile 32x32 --k 128 --p 1.0 --out day.tsks
 //! tabsketch-cli query day.tsks --at 0,0 --at2 100,40 --table day.tsb
 //! tabsketch-cli cluster day.tsb --tiles 32x144 --k 8 --p 0.5 --render
+//! tabsketch-cli serve day.tsb --sketch-store day.tsks --addr 127.0.0.1:7878
+//! tabsketch-cli rquery --addr 127.0.0.1:7878 --store day --at 0,0 --at2 100,40
 //! ```
 
 mod args;
 mod commands;
 mod error;
+mod serving;
 
 use args::Args;
 use error::CliError;
@@ -39,6 +42,9 @@ fn main() {
         "cluster" => commands::cluster(&parsed),
         "knn" => commands::knn(&parsed),
         "pairs" => commands::pairs(&parsed),
+        "serve" => serving::serve(&parsed),
+        "ping" => serving::ping(&parsed),
+        "rquery" => serving::rquery(&parsed),
         other => Err(CliError::usage(format!(
             "unknown command {other:?} (try `tabsketch-cli help`)"
         ))),
@@ -96,9 +102,30 @@ COMMANDS:
       Most similar tile pairs; --refine re-ranks a sketched shortlist
       with exact distances.
 
+  serve TABLE [--sketch-store STORE] [--name NAME] [--addr HOST:PORT]
+      [--workers N] [--shards N] [--cache-capacity N] [--p P] [--k K]
+      [--seed N] [--port-file FILE]
+      Keep a table (and optionally its sketch store) resident behind a
+      TCP daemon answering distance, batch, sketch, and k-NN queries.
+      Serve several tables at once with --stores NAME=TABLE[:STORE],...
+      Default address 127.0.0.1:7878; --addr ...:0 picks a free port
+      (written to --port-file). Runs until `ping --shutdown`.
+
+  ping --addr HOST:PORT [--metrics | --shutdown] [--deadline MS]
+      Round-trip a ping and list the served stores; --metrics prints
+      the server's request/latency/tier counters; --shutdown asks the
+      server to drain and exit.
+
+  rquery --addr HOST:PORT --store NAME --at R,C (--at2 R,C | --knn N)
+      [--tile RxC] [--deadline MS]
+      Query a running server: distance between two windows, or the N
+      nearest tiles. Window shape defaults to the store's precomputed
+      tile; --deadline bounds the request server-side.
+
 EXIT CODES:
   0 success; 2 usage error; 3 table-file error; 4 sketch/store error;
-  5 mining error. Failures print one `error: ...` line to stderr.
+  5 mining error; 6 serving/protocol error. Failures print one
+  `error: ...` line to stderr.
 
 Formats: .tsb (binary tables), .csv, .tsks (sketch stores)."
     );

@@ -1,0 +1,318 @@
+//! The serving subcommands: `serve`, `ping`, and `rquery`.
+//!
+//! `serve` keeps one or more tables (and their sketch stores) resident
+//! behind a TCP daemon; `ping` checks liveness, fetches metrics, or
+//! sends the shutdown poison message; `rquery` runs the same distance
+//! and k-NN queries as the one-shot commands, but against a running
+//! server, so repeated queries pay sketch construction once.
+
+use std::time::Instant;
+
+use tabsketch_cluster::DEFAULT_SKETCH_CACHE_CAPACITY;
+use tabsketch_serve::{Client, ServeError, Server, ServerConfig, StoreSpec};
+use tabsketch_table::Rect;
+
+use crate::args::Args;
+use crate::commands::parse_at;
+use crate::error::CliError;
+
+/// Builds the fallback sketch parameters shared by every spec.
+fn fallback_params(args: &Args) -> Result<(f64, usize, u64), CliError> {
+    Ok((
+        args.get_or("p", 1.0)?,
+        args.get_or("k", 256)?,
+        args.get_or("seed", 0)?,
+    ))
+}
+
+/// Parses a `--stores NAME=TABLE[:STORE],...` list into specs.
+fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError> {
+    let (p, k, seed) = fallback_params(args)?;
+    let mut specs = Vec::new();
+    for entry in list.split(',').filter(|e| !e.is_empty()) {
+        let (name, paths) = entry.split_once('=').ok_or_else(|| {
+            CliError::usage(format!(
+                "--stores entry {entry:?}: expected NAME=TABLE[:STORE]"
+            ))
+        })?;
+        let spec = match paths.split_once(':') {
+            Some((table, store)) => StoreSpec::new(name, table).with_store_path(store),
+            None => StoreSpec::new(name, paths),
+        };
+        specs.push(spec.with_params(p, k, seed));
+    }
+    if specs.is_empty() {
+        return Err(CliError::usage("--stores lists no stores"));
+    }
+    Ok(specs)
+}
+
+/// `serve TABLE [--sketch-store STORE] [--name NAME] [--addr HOST:PORT]
+/// [--workers N] [--shards N] [--cache-capacity N] [--p P] [--k K]
+/// [--seed N] [--port-file FILE]`, or `serve --stores NAME=TABLE[:STORE],...`
+///
+/// Blocks until a client sends the shutdown poison message (see
+/// `ping --shutdown`).
+pub fn serve(args: &Args) -> Result<(), CliError> {
+    let specs = if let Some(list) = args.get("stores") {
+        parse_store_specs(list, args)?
+    } else {
+        let table = args.positional.first().map(String::as_str).ok_or_else(|| {
+            CliError::usage("expected a table file argument (or --stores NAME=TABLE[:STORE],...)")
+        })?;
+        let name = match args.get("name") {
+            Some(name) => name.to_string(),
+            None => std::path::Path::new(table)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("table")
+                .to_string(),
+        };
+        let (p, k, seed) = fallback_params(args)?;
+        let mut spec = StoreSpec::new(name, table).with_params(p, k, seed);
+        if let Some(store) = args.get("sketch-store") {
+            spec = spec.with_store_path(store);
+        }
+        vec![spec]
+    };
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
+        workers: args.get_or("workers", 4)?,
+        shards: args.get_or("shards", 2)?,
+        cache_capacity: args.get_or("cache-capacity", DEFAULT_SKETCH_CACHE_CAPACITY)?,
+        specs,
+    };
+    let server = Server::bind(config)?;
+    let addr = server.local_addr();
+    for store in server.stores() {
+        if let Some(msg) = store.degradation() {
+            eprintln!(
+                "warning: store {:?}: {msg}; serving on-demand sketches",
+                store.name()
+            );
+        }
+        let info = store.info();
+        let tile = match info.tile {
+            Some((r, c)) => format!(", precomputed {r}x{c} sketches"),
+            None => String::from(", on-demand sketches"),
+        };
+        println!(
+            "serving {:?}: {} x {} table{tile}",
+            info.name, info.rows, info.cols
+        );
+    }
+    // Written after bind so scripts (and the tests) can learn the port
+    // that `--addr ...:0` actually got.
+    if let Some(port_file) = args.get("port-file") {
+        std::fs::write(port_file, format!("{addr}\n")).map_err(|e| {
+            CliError::from(ServeError::from(e)).in_context(format!("writing {port_file}"))
+        })?;
+    }
+    println!("listening on {addr}; stop with `tabsketch-cli ping --addr {addr} --shutdown`");
+    server.run()?;
+    println!("shutdown complete");
+    Ok(())
+}
+
+/// Connects, applying `--deadline MS` when given.
+fn connect(args: &Args, addr: &str) -> Result<Client, CliError> {
+    let deadline: u32 = args.get_or("deadline", 0)?;
+    let client = Client::connect(addr)
+        .map_err(|e| CliError::from(e).in_context(format!("connecting to {addr}")))?;
+    Ok(client.with_deadline_ms(deadline))
+}
+
+/// `ping --addr HOST:PORT [--metrics | --shutdown] [--deadline MS]`
+pub fn ping(args: &Args) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let mut client = connect(args, addr)?;
+    if args.switch("shutdown") {
+        client.shutdown()?;
+        println!("server at {addr} acknowledged shutdown");
+        return Ok(());
+    }
+    if args.switch("metrics") {
+        let snap = client.metrics()?;
+        println!("{snap}");
+        return Ok(());
+    }
+    let start = Instant::now();
+    client.ping()?;
+    let rtt_ms = start.elapsed().as_secs_f64() * 1e3;
+    let stores = client.stores()?;
+    println!(
+        "pong from {addr} in {rtt_ms:.2}ms; {} store(s):",
+        stores.len()
+    );
+    for info in stores {
+        let tile = match info.tile {
+            Some((r, c)) => format!("{r}x{c} precomputed"),
+            None => String::from("on-demand"),
+        };
+        println!(
+            "  {:?}: {} x {} ({tile} sketches)",
+            info.name, info.rows, info.cols
+        );
+    }
+    Ok(())
+}
+
+/// `rquery --addr HOST:PORT --store NAME --at R,C (--at2 R,C | --knn N)
+/// [--tile RxC] [--deadline MS]`
+///
+/// The window shape comes from `--tile`, or failing that from the
+/// server's precomputed tile shape for the store.
+pub fn rquery(args: &Args) -> Result<(), CliError> {
+    let addr = args.require("addr")?;
+    let store = args.require("store")?;
+    let a = parse_at(args, "at")?;
+    let mut client = connect(args, addr)?;
+    let (tr, tc) = if args.get("tile").is_some() {
+        args.require_tile("tile")?
+    } else {
+        let infos = client.stores()?;
+        let info = infos.iter().find(|i| i.name == store).ok_or_else(|| {
+            let names: Vec<&str> = infos.iter().map(|i| i.name.as_str()).collect();
+            CliError::usage(format!(
+                "server has no store {store:?} (it serves {names:?})"
+            ))
+        })?;
+        match info.tile {
+            Some((r, c)) => (r as usize, c as usize),
+            None => {
+                return Err(CliError::usage(format!(
+                    "store {store:?} has no precomputed tile shape; pass --tile RxC"
+                )))
+            }
+        }
+    };
+    let rect_a = Rect::new(a.0, a.1, tr, tc);
+    if let Some(raw) = args.get("knn") {
+        let count: u32 = raw
+            .parse()
+            .map_err(|_| CliError::usage(format!("flag --knn: cannot parse {raw:?}")))?;
+        let neighbors = client.knn(store, rect_a, count)?;
+        println!(
+            "{} nearest {tr}x{tc} tiles to {a:?} in {store:?}:",
+            neighbors.len()
+        );
+        for (rect, d) in neighbors {
+            println!("  ({:>4},{:>4})  distance {:.4}", rect.row, rect.col, d);
+        }
+        return Ok(());
+    }
+    let b = parse_at(args, "at2")?;
+    let (est, tier) = client.distance(store, rect_a, Rect::new(b.0, b.1, tr, tc))?;
+    println!(
+        "estimated distance between {tr}x{tc} windows at {a:?} and {b:?}: {est} ({tier} tier)"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-cli-serving-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn wait_for_port_file(path: &std::path::Path) -> String {
+        for _ in 0..600 {
+            if let Ok(s) = std::fs::read_to_string(path) {
+                let s = s.trim().to_string();
+                if !s.is_empty() {
+                    return s;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        panic!("server never wrote {}", path.display());
+    }
+
+    #[test]
+    fn store_spec_list_parsing() {
+        let args = parse("serve --stores day=day.tsb:day.tsks,raw=raw.csv --p 0.5 --k 64");
+        let specs = parse_store_specs(args.get("stores").unwrap(), &args).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "day");
+        assert_eq!(specs[0].table_path.to_str().unwrap(), "day.tsb");
+        assert_eq!(
+            specs[0].store_path.as_ref().unwrap().to_str().unwrap(),
+            "day.tsks"
+        );
+        assert_eq!(specs[1].name, "raw");
+        assert!(specs[1].store_path.is_none());
+        assert_eq!(specs[1].p, 0.5);
+        assert_eq!(specs[1].k, 64);
+
+        let bad = parse("serve --stores nonsense");
+        assert!(parse_store_specs("nonsense", &bad).is_err());
+        assert!(parse_store_specs("", &bad).is_err());
+    }
+
+    #[test]
+    fn connect_failure_is_a_serve_error_exit_6() {
+        // A loopback port nothing listens on refuses immediately.
+        let err = ping(&parse("ping --addr 127.0.0.1:1")).unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+    }
+
+    #[test]
+    fn serve_ping_rquery_shutdown_end_to_end() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let store_path = dir.join("t.tsks");
+        let port_file = dir.join("port");
+        let (t, s) = (table_path.to_str().unwrap(), store_path.to_str().unwrap());
+        commands::generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 64 --cols 64 --seed 1"
+        )))
+        .unwrap();
+        commands::sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
+
+        let serve_args = parse(&format!(
+            "serve {t} --sketch-store {s} --name demo --addr 127.0.0.1:0 --workers 2 --shards 2 --port-file {}",
+            port_file.display()
+        ));
+        let server = std::thread::spawn(move || serve(&serve_args));
+        let addr = wait_for_port_file(&port_file);
+
+        ping(&parse(&format!("ping --addr {addr}"))).unwrap();
+        rquery(&parse(&format!(
+            "rquery --addr {addr} --store demo --at 0,0 --at2 40,40"
+        )))
+        .unwrap();
+        rquery(&parse(&format!(
+            "rquery --addr {addr} --store demo --at 0,0 --knn 3"
+        )))
+        .unwrap();
+        // Overriding the window shape still works, and unknown stores
+        // are typed remote errors (exit 6).
+        rquery(&parse(&format!(
+            "rquery --addr {addr} --store demo --at 0,0 --at2 40,40 --tile 16x16"
+        )))
+        .unwrap();
+        let err = rquery(&parse(&format!(
+            "rquery --addr {addr} --store nosuch --at 0,0 --at2 1,1 --tile 8x8"
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        ping(&parse(&format!("ping --addr {addr} --metrics"))).unwrap();
+        ping(&parse(&format!("ping --addr {addr} --shutdown"))).unwrap();
+
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -38,6 +38,7 @@ pub mod hierarchical;
 mod kmeans;
 mod kmedoids;
 pub mod knn;
+pub mod lru;
 pub mod oracle;
 pub mod pairs;
 pub mod silhouette;
@@ -51,6 +52,10 @@ pub use hierarchical::{agglomerate, Dendrogram, Linkage, Merge};
 pub use kmeans::{InitMethod, KMeans, KMeansConfig, KMeansResult};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
 pub use knn::{knn_recall, nearest_neighbors, Neighbor};
-pub use oracle::{DistanceOracle, OracleEmbedding, Tier, TierCounters, TierSnapshot};
+pub use lru::{CacheStats, LruCache};
+pub use oracle::{
+    DistanceOracle, OracleEmbedding, Tier, TierCounters, TierSnapshot,
+    DEFAULT_SKETCH_CACHE_CAPACITY,
+};
 pub use pairs::{most_similar_pairs, most_similar_pairs_refined, pair_recall, ScoredPair};
 pub use silhouette::{silhouette, Silhouette};

@@ -1,0 +1,310 @@
+//! A small, dependency-free bounded LRU cache.
+//!
+//! The on-demand tier of [`crate::DistanceOracle`] memoizes one sketch
+//! per distinct rectangle. Under sustained query traffic (the serving
+//! daemon, long mining runs over shifting workloads) an unbounded memo
+//! table is a slow memory leak: every rectangle ever queried stays
+//! resident forever. [`LruCache`] bounds that memory by capacity with
+//! least-recently-used eviction, and counts hits, misses, and evictions
+//! so callers can surface cache effectiveness in their metrics
+//! ([`crate::TierSnapshot`], the serving daemon's metrics endpoint).
+//!
+//! The implementation is an intrusive doubly-linked recency list over a
+//! slab (`Vec`) of entries, indexed by a `HashMap`. Eviction reuses the
+//! vacated slot for the incoming entry, so the slab never exceeds
+//! `capacity` slots. All operations are O(1) expected; no unsafe code,
+//! no external dependencies.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Sentinel index meaning "no entry".
+const NIL: usize = usize::MAX;
+
+/// One slab slot: the key/value plus recency-list links.
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    /// More recently used neighbor (towards the head).
+    prev: usize,
+    /// Less recently used neighbor (towards the tail).
+    next: usize,
+}
+
+/// A point-in-time copy of a cache's occupancy and traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries evicted to make room for an insert.
+    pub evictions: u64,
+    /// Maximum number of resident entries.
+    pub capacity: u64,
+    /// Current number of resident entries.
+    pub len: u64,
+}
+
+/// A bounded map with least-recently-used eviction and traffic counters.
+///
+/// ```
+/// use tabsketch_cluster::LruCache;
+///
+/// let mut cache = LruCache::new(2);
+/// cache.insert("a", 1);
+/// cache.insert("b", 2);
+/// assert_eq!(cache.get(&"a"), Some(&1)); // "a" is now most recent
+/// cache.insert("c", 3);                  // evicts "b", the LRU entry
+/// assert_eq!(cache.get(&"b"), None);
+/// assert_eq!(cache.stats().evictions, 1);
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Entry<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries. A capacity of 0 is
+    /// clamped to 1 — a cache that can hold nothing would turn every
+    /// `insert` into an immediate self-eviction.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The maximum number of resident entries.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current number of resident entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Traffic counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            capacity: self.capacity as u64,
+            len: self.len() as u64,
+        }
+    }
+
+    /// Unlinks slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the head (most recently used).
+    fn link_front(&mut self, i: usize) {
+        self.slab[i].prev = NIL;
+        self.slab[i].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used. Counts a hit or a
+    /// miss.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let Some(&i) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        if self.head != i {
+            self.unlink(i);
+            self.link_front(i);
+        }
+        Some(&self.slab[i].value)
+    }
+
+    /// Looks up `key` without touching recency or counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&i| &self.slab[i].value)
+    }
+
+    /// Inserts `key → value`, marking it most recently used. Returns the
+    /// entry evicted to make room, if any. Inserting an existing key
+    /// replaces its value in place (no eviction).
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slab[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.link_front(i);
+            }
+            return None;
+        }
+        if self.map.len() >= self.capacity {
+            // Full: the LRU entry's slot is reused for the new entry.
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "full cache has a tail");
+            self.unlink(lru);
+            let old = std::mem::replace(
+                &mut self.slab[lru],
+                Entry {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            self.map.remove(&old.key);
+            self.map.insert(key, lru);
+            self.link_front(lru);
+            self.evictions += 1;
+            return Some((old.key, old.value));
+        }
+        self.slab.push(Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        let i = self.slab.len() - 1;
+        self.map.insert(key, i);
+        self.link_front(i);
+        None
+    }
+
+    /// Removes every entry, keeping the traffic counters.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.get(&1), None);
+        c.insert(1, "one");
+        c.insert(2, "two");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.insert(3, "three"), Some((2, "two"))); // 2 is LRU
+        assert_eq!(c.get(&2), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 2, 1));
+        assert_eq!((s.capacity, s.len), (2, 2));
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.insert(1, 11), None);
+        assert_eq!(c.peek(&1), Some(&11));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        // 2 is now LRU (1 was refreshed by the reinsert).
+        assert_eq!(c.insert(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        assert_eq!(c.insert(1, "a"), None);
+        assert_eq!(c.insert(2, "b"), Some((1, "a")));
+        assert_eq!(c.peek(&2), Some(&"b"));
+    }
+
+    #[test]
+    fn recency_order_matches_reference_model() {
+        // Exhaustive-ish check against a naive Vec-based LRU model.
+        let capacity = 4;
+        let mut c: LruCache<u32, u32> = LruCache::new(capacity);
+        let mut model: Vec<(u32, u32)> = Vec::new(); // front = most recent
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = ((state >> 33) % 9) as u32;
+            let op = (state >> 60) & 1;
+            if op == 0 {
+                let expect = model.iter().position(|&(k, _)| k == key).map(|i| {
+                    let kv = model.remove(i);
+                    model.insert(0, kv);
+                    kv.1
+                });
+                assert_eq!(c.get(&key).copied(), expect, "get({key})");
+            } else {
+                let value = (state & 0xffff) as u32;
+                if let Some(i) = model.iter().position(|&(k, _)| k == key) {
+                    model.remove(i);
+                    model.insert(0, (key, value));
+                    assert_eq!(c.insert(key, value), None);
+                } else {
+                    model.insert(0, (key, value));
+                    let evicted = (model.len() > capacity).then(|| model.pop().unwrap());
+                    assert_eq!(c.insert(key, value), evicted, "insert({key})");
+                }
+            }
+            assert_eq!(c.len(), model.len());
+        }
+        assert!(c.stats().hits > 0 && c.stats().misses > 0 && c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters_drops_entries() {
+        let mut c = LruCache::new(3);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        let _ = c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        c.insert(5, 5);
+        assert_eq!(c.get(&5), Some(&5));
+    }
+}

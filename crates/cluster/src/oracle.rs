@@ -22,7 +22,6 @@
 //! skewing it. Per-tier counters record where every answer came from, so
 //! callers can report degradation to the user.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use core::fmt;
@@ -33,7 +32,14 @@ use tabsketch_core::{AllSubtableSketches, SketchPool, Sketcher};
 use tabsketch_table::{norms, Rect, Table};
 
 use crate::embedding::Embedding;
+use crate::lru::LruCache;
 use crate::ClusterError;
+
+/// Default bound on the on-demand sketch cache, in entries. Each entry
+/// holds `k` f64s, so the default worst case is `4096 · k · 8` bytes —
+/// ~8 MB at `k = 256`. Override with
+/// [`DistanceOracle::with_cache_capacity`].
+pub const DEFAULT_SKETCH_CACHE_CAPACITY: usize = 4096;
 
 /// Which rung of the ladder produced an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -85,7 +91,8 @@ impl TierCounters {
         c.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters (cache fields zeroed; the
+    /// oracle's [`DistanceOracle::counters`] fills them in).
     pub fn snapshot(&self) -> TierSnapshot {
         TierSnapshot {
             pooled: self.pooled.load(Ordering::Relaxed),
@@ -93,6 +100,7 @@ impl TierCounters {
             exact: self.exact.load(Ordering::Relaxed),
             pooled_fallbacks: self.pooled_fallbacks.load(Ordering::Relaxed),
             on_demand_fallbacks: self.on_demand_fallbacks.load(Ordering::Relaxed),
+            ..TierSnapshot::default()
         }
     }
 }
@@ -110,6 +118,14 @@ pub struct TierSnapshot {
     pub pooled_fallbacks: u64,
     /// Times the on-demand tier could not answer.
     pub on_demand_fallbacks: u64,
+    /// On-demand sketch cache lookups that found their rectangle.
+    pub cache_hits: u64,
+    /// On-demand sketch cache lookups that did not.
+    pub cache_misses: u64,
+    /// On-demand sketches evicted by the cache's capacity bound.
+    pub cache_evictions: u64,
+    /// Capacity bound of the on-demand sketch cache, in entries.
+    pub cache_capacity: u64,
 }
 
 impl TierSnapshot {
@@ -122,18 +138,35 @@ impl TierSnapshot {
     pub fn total(&self) -> u64 {
         self.pooled + self.on_demand + self.exact
     }
+
+    /// Adds another snapshot's counts into this one (capacities add too,
+    /// so a sum over shards reports the aggregate cache bound).
+    pub fn absorb(&mut self, other: &TierSnapshot) {
+        self.pooled += other.pooled;
+        self.on_demand += other.on_demand;
+        self.exact += other.exact;
+        self.pooled_fallbacks += other.pooled_fallbacks;
+        self.on_demand_fallbacks += other.on_demand_fallbacks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_capacity += other.cache_capacity;
+    }
 }
 
 impl fmt::Display for TierSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "pooled={} on-demand={} exact={} (fallbacks: pooled={} on-demand={})",
+            "pooled={} on-demand={} exact={} (fallbacks: pooled={} on-demand={}; cache: hits={} misses={} evictions={})",
             self.pooled,
             self.on_demand,
             self.exact,
             self.pooled_fallbacks,
-            self.on_demand_fallbacks
+            self.on_demand_fallbacks,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions
         )
     }
 }
@@ -151,7 +184,7 @@ pub struct DistanceOracle<'a> {
     p: f64,
     source: Option<Source<'a>>,
     sketcher: Sketcher,
-    cache: Mutex<HashMap<Rect, Box<[f64]>>>,
+    cache: Mutex<LruCache<Rect, Box<[f64]>>>,
     counters: TierCounters,
 }
 
@@ -176,7 +209,7 @@ impl<'a> DistanceOracle<'a> {
             p: store.sketcher().p(),
             sketcher: store.sketcher().clone(),
             source: Some(Source::Store(store)),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY)),
             counters: TierCounters::default(),
         })
     }
@@ -198,7 +231,7 @@ impl<'a> DistanceOracle<'a> {
             p: pool.params().p(),
             sketcher,
             source: Some(Source::Pool(pool)),
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY)),
             counters: TierCounters::default(),
         })
     }
@@ -215,9 +248,20 @@ impl<'a> DistanceOracle<'a> {
             p: sketcher.p(),
             sketcher,
             source: None,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY)),
             counters: TierCounters::default(),
         })
+    }
+
+    /// Replaces the on-demand sketch cache with one bounded at
+    /// `capacity` entries (0 is clamped to 1). Any cached sketches and
+    /// cache counters are reset; tier counters are kept.
+    #[must_use]
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        Self {
+            cache: Mutex::new(LruCache::new(capacity)),
+            ..self
+        }
     }
 
     /// The Lp exponent of every answer.
@@ -232,10 +276,15 @@ impl<'a> DistanceOracle<'a> {
         &self.sketcher
     }
 
-    /// The per-tier hit/fallback counters.
-    #[inline]
+    /// The per-tier hit/fallback counters plus on-demand cache stats.
     pub fn counters(&self) -> TierSnapshot {
-        self.counters.snapshot()
+        let mut snap = self.counters.snapshot();
+        let stats = self.cache.lock().stats();
+        snap.cache_hits = stats.hits;
+        snap.cache_misses = stats.misses;
+        snap.cache_evictions = stats.evictions;
+        snap.cache_capacity = stats.capacity;
+        snap
     }
 
     /// Tries the precomputed tier for the pair `(a, b)`. `None` means
@@ -272,18 +321,25 @@ impl<'a> DistanceOracle<'a> {
         if let Some(v) = self.cache.lock().get(&rect) {
             return Ok(v.clone());
         }
+        // Sketching happens outside the lock: it is the expensive part,
+        // and a racing thread computing the same rectangle produces an
+        // identical value, so the duplicate insert is harmless.
         let view = self.table.view(rect)?;
         let values: Box<[f64]> = self.sketcher.sketch_view(&view).values().into();
-        self.cache
-            .lock()
-            .entry(rect)
-            .or_insert_with(|| values.clone());
+        self.cache.lock().insert(rect, values.clone());
         Ok(values)
     }
 
-    /// How many rectangles the on-demand cache currently holds.
+    /// How many rectangles the on-demand cache currently holds (at most
+    /// its capacity bound).
     pub fn cached_count(&self) -> usize {
         self.cache.lock().len()
+    }
+
+    /// Empties the on-demand sketch cache. Cache hit/miss/eviction
+    /// counters survive, so monitoring across a clear stays monotone.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
     }
 
     /// Estimates the Lp distance between `a` and `b`, reporting which
@@ -551,6 +607,98 @@ mod tests {
         assert_eq!(tier, Tier::OnDemand);
         assert!(d.is_finite() && d > 0.0);
         assert!(oracle.counters().degraded());
+    }
+
+    #[test]
+    fn capacity_one_cache_still_answers_correctly() {
+        // A pathological one-entry cache thrashes on every query pair but
+        // must never change an answer, only its cost.
+        let t = table();
+        let unbounded = DistanceOracle::on_demand(&t, sketcher(32, 9)).unwrap();
+        let bounded = DistanceOracle::on_demand(&t, sketcher(32, 9))
+            .unwrap()
+            .with_cache_capacity(1);
+        let pairs = [
+            (Rect::new(0, 0, 6, 6), Rect::new(12, 0, 6, 6)),
+            (Rect::new(3, 3, 6, 6), Rect::new(18, 18, 6, 6)),
+            (Rect::new(0, 0, 6, 6), Rect::new(12, 0, 6, 6)), // repeat
+        ];
+        for &(a, b) in &pairs {
+            let (d_unbounded, _) = unbounded.distance(a, b).unwrap();
+            let (d_bounded, _) = bounded.distance(a, b).unwrap();
+            assert!(
+                (d_unbounded - d_bounded).abs() < 1e-9 * (1.0 + d_unbounded.abs()),
+                "{d_bounded} vs {d_unbounded}"
+            );
+        }
+        assert_eq!(bounded.cached_count(), 1);
+        let snap = bounded.counters();
+        assert_eq!(snap.cache_capacity, 1);
+        assert!(snap.cache_evictions > 0, "{snap}");
+        // The unbounded-default oracle kept every distinct rectangle.
+        assert_eq!(unbounded.cached_count(), 4);
+        assert!(unbounded.counters().cache_hits >= 2);
+    }
+
+    #[test]
+    fn oracle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DistanceOracle<'_>>();
+        assert_send_sync::<TierCounters>();
+        assert_send_sync::<OracleEmbedding<'_>>();
+    }
+
+    #[test]
+    fn concurrent_queries_agree_with_single_threaded() {
+        let t = table();
+        let s = store(&t, 64);
+        let shared = DistanceOracle::with_store(&t, &s)
+            .unwrap()
+            .with_cache_capacity(8);
+        let reference = DistanceOracle::with_store(&t, &s).unwrap();
+
+        // A mix of pooled (8x8) and on-demand (5x5, 6x6) pairs, some
+        // repeated, exercising the cache under contention.
+        let mut pairs = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                let side = 5 + (i + j) % 4; // 5..8
+                pairs.push((
+                    Rect::new(i, j, side, side),
+                    Rect::new(16 - i, 16 - j, side, side),
+                ));
+            }
+        }
+        let expected: Vec<f64> = pairs
+            .iter()
+            .map(|&(a, b)| reference.distance(a, b).unwrap().0)
+            .collect();
+
+        let threads = 4;
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                let shared = &shared;
+                let pairs = &pairs;
+                let expected = &expected;
+                scope.spawn(move || {
+                    // Each thread walks the pairs from a different phase.
+                    for step in 0..pairs.len() {
+                        let idx = (step * 7 + tid * 11) % pairs.len();
+                        let (a, b) = pairs[idx];
+                        let (d, _) = shared.distance(a, b).unwrap();
+                        assert!(
+                            (d - expected[idx]).abs() < 1e-9 * (1.0 + expected[idx].abs()),
+                            "thread {tid} pair {idx}: {d} vs {}",
+                            expected[idx]
+                        );
+                    }
+                });
+            }
+        });
+
+        let snap = shared.counters();
+        assert_eq!(snap.total(), (threads * pairs.len()) as u64);
+        assert!(snap.cache_capacity == 8);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! A blocking client for the serving protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection; open
+//! more clients for parallelism). Error frames come back as
+//! [`ServeError`]: the two codes callers branch on — deadline expiry
+//! and server shutdown — surface as their own variants, everything else
+//! as [`ServeError::Remote`].
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tabsketch_cluster::Tier;
+use tabsketch_table::Rect;
+
+use crate::error::{ErrorCode, ServeError};
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
+    StoreInfo,
+};
+
+/// A blocking connection to a sketch query server.
+pub struct Client {
+    stream: TcpStream,
+    deadline_ms: u32,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            deadline_ms: 0,
+        })
+    }
+
+    /// Sets the per-request deadline sent with every subsequent request
+    /// (0 = none). The same bound is applied locally as a socket read
+    /// timeout (plus slack for the round trip), so a dead server cannot
+    /// hang the client either.
+    #[must_use]
+    pub fn with_deadline_ms(mut self, ms: u32) -> Self {
+        self.deadline_ms = ms;
+        let local = if ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(
+                u64::from(ms).saturating_mul(4).max(250),
+            ))
+        };
+        let _ = self.stream.set_read_timeout(local);
+        self
+    }
+
+    /// The deadline attached to requests, in milliseconds (0 = none).
+    pub fn deadline_ms(&self) -> u32 {
+        self.deadline_ms
+    }
+
+    fn call(&mut self, request: Request) -> Result<Response, ServeError> {
+        let frame = RequestFrame {
+            deadline_ms: self.deadline_ms,
+            request,
+        };
+        write_frame(&mut self.stream, &encode_request(&frame))?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| ServeError::Malformed("server closed before responding".into()))?;
+        match decode_response(&payload)? {
+            Response::Error { code, message } => Err(match code {
+                ErrorCode::DeadlineExceeded => ServeError::DeadlineExceeded,
+                ErrorCode::ShuttingDown => ServeError::ShuttingDown,
+                _ => ServeError::Remote { code, message },
+            }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Round-trips a ping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ServeError::UnexpectedResponse("pong")),
+        }
+    }
+
+    /// One distance between two rectangles of `store`'s table.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn distance(&mut self, store: &str, a: Rect, b: Rect) -> Result<(f64, Tier), ServeError> {
+        match self.call(Request::Distance {
+            store: store.to_string(),
+            a,
+            b,
+        })? {
+            Response::Distance { value, tier } => Ok((value, tier)),
+            _ => Err(ServeError::UnexpectedResponse("distance")),
+        }
+    }
+
+    /// A batch of distances, answered in order on one server-side cache
+    /// shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn distance_batch(
+        &mut self,
+        store: &str,
+        pairs: &[(Rect, Rect)],
+    ) -> Result<Vec<(f64, Tier)>, ServeError> {
+        match self.call(Request::DistanceBatch {
+            store: store.to_string(),
+            pairs: pairs.to_vec(),
+        })? {
+            Response::DistanceBatch { results } => {
+                if results.len() != pairs.len() {
+                    return Err(ServeError::Malformed(format!(
+                        "batch answered {} of {} pairs",
+                        results.len(),
+                        pairs.len()
+                    )));
+                }
+                Ok(results)
+            }
+            _ => Err(ServeError::UnexpectedResponse("distance batch")),
+        }
+    }
+
+    /// The sketch vector of one rectangle and the tier that produced it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn sketch(&mut self, store: &str, rect: Rect) -> Result<(Vec<f64>, Tier), ServeError> {
+        match self.call(Request::Sketch {
+            store: store.to_string(),
+            rect,
+        })? {
+            Response::Sketch { tier, values } => Ok((values, tier)),
+            _ => Err(ServeError::UnexpectedResponse("sketch")),
+        }
+    }
+
+    /// The `count` nearest same-shape tiles to `rect`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn knn(
+        &mut self,
+        store: &str,
+        rect: Rect,
+        count: u32,
+    ) -> Result<Vec<(Rect, f64)>, ServeError> {
+        match self.call(Request::Knn {
+            store: store.to_string(),
+            rect,
+            count,
+        })? {
+            Response::Knn { neighbors } => Ok(neighbors),
+            _ => Err(ServeError::UnexpectedResponse("knn")),
+        }
+    }
+
+    /// The server's metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServeError> {
+        match self.call(Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            _ => Err(ServeError::UnexpectedResponse("metrics")),
+        }
+    }
+
+    /// Names and shapes of the loaded stores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn stores(&mut self) -> Result<Vec<StoreInfo>, ServeError> {
+        match self.call(Request::Stores)? {
+            Response::Stores(infos) => Ok(infos),
+            _ => Err(ServeError::UnexpectedResponse("stores")),
+        }
+    }
+
+    /// Sends the shutdown poison message and waits for the
+    /// acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.call(Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ServeError::UnexpectedResponse("shutdown ack")),
+        }
+    }
+
+    /// Consumes the client, exposing the raw stream (test hook for
+    /// sending deliberately damaged frames).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}

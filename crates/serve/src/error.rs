@@ -1,0 +1,248 @@
+//! Typed errors for the serving layer, on both sides of the wire.
+//!
+//! Every server-side failure maps to a stable [`ErrorCode`] carried in
+//! an error frame, so clients can react to a timeout differently from a
+//! typo'd store name without parsing message strings. On the client,
+//! the two codes a caller most often branches on — deadline expiry and
+//! server shutdown — surface as their own [`ServeError`] variants.
+
+use core::fmt;
+use std::io;
+
+use tabsketch_cluster::ClusterError;
+use tabsketch_core::TabError;
+use tabsketch_table::TableError;
+
+/// Stable wire codes for server-side failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame did not decode.
+    Malformed,
+    /// The named store is not loaded.
+    UnknownStore,
+    /// A table-layer failure (bad rectangle, unreadable table).
+    Table,
+    /// A sketch-layer failure (bad parameters, damaged store).
+    Sketch,
+    /// A mining-layer failure (k-NN parameter rejected, …).
+    Mining,
+    /// The request's deadline expired before the answer was complete.
+    DeadlineExceeded,
+    /// The server is shutting down and will not answer.
+    ShuttingDown,
+    /// The frame length prefix exceeded the protocol bound.
+    FrameTooLarge,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire byte for this code.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 0,
+            ErrorCode::UnknownStore => 1,
+            ErrorCode::Table => 2,
+            ErrorCode::Sketch => 3,
+            ErrorCode::Mining => 4,
+            ErrorCode::DeadlineExceeded => 5,
+            ErrorCode::ShuttingDown => 6,
+            ErrorCode::FrameTooLarge => 7,
+            ErrorCode::Internal => 8,
+        }
+    }
+
+    /// Parses a wire byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => ErrorCode::Malformed,
+            1 => ErrorCode::UnknownStore,
+            2 => ErrorCode::Table,
+            3 => ErrorCode::Sketch,
+            4 => ErrorCode::Mining,
+            5 => ErrorCode::DeadlineExceeded,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::FrameTooLarge,
+            8 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownStore => "unknown-store",
+            ErrorCode::Table => "table",
+            ErrorCode::Sketch => "sketch",
+            ErrorCode::Mining => "mining",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::FrameTooLarge => "frame-too-large",
+            ErrorCode::Internal => "internal",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Any failure in the serving layer: local I/O and decode problems,
+/// layer errors raised while answering, or a typed error frame received
+/// from the remote side.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or file I/O failure.
+    Io(io::Error),
+    /// A byte stream that violates the framing or payload encoding.
+    Malformed(String),
+    /// The peer sent a frame larger than the protocol bound.
+    FrameTooLarge(usize),
+    /// No loaded store has this name.
+    UnknownStore(String),
+    /// The deadline expired before the answer was complete.
+    DeadlineExceeded,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// The remote side answered with an error frame.
+    Remote {
+        /// The wire code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The remote side answered with a response of the wrong kind.
+    UnexpectedResponse(&'static str),
+    /// A table-layer failure.
+    Table(TableError),
+    /// A sketch-layer failure.
+    Sketch(TabError),
+    /// A mining-layer failure.
+    Cluster(ClusterError),
+    /// Invalid server or store configuration.
+    Config(String),
+}
+
+impl ServeError {
+    /// The wire code a server answering with this error should send.
+    pub fn error_code(&self) -> ErrorCode {
+        match self {
+            ServeError::Malformed(_) => ErrorCode::Malformed,
+            ServeError::FrameTooLarge(_) => ErrorCode::FrameTooLarge,
+            ServeError::UnknownStore(_) => ErrorCode::UnknownStore,
+            ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::Remote { code, .. } => *code,
+            ServeError::Table(_) => ErrorCode::Table,
+            ServeError::Sketch(_) => ErrorCode::Sketch,
+            ServeError::Cluster(_) => ErrorCode::Mining,
+            ServeError::Io(_) | ServeError::UnexpectedResponse(_) | ServeError::Config(_) => {
+                ErrorCode::Internal
+            }
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Malformed(d) => write!(f, "malformed frame: {d}"),
+            ServeError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds protocol bound"),
+            ServeError::UnknownStore(name) => write!(f, "unknown store {name:?}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
+            ServeError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response kind (expected {what})")
+            }
+            ServeError::Table(e) => write!(f, "table: {e}"),
+            ServeError::Sketch(e) => write!(f, "sketch: {e}"),
+            ServeError::Cluster(e) => write!(f, "mining: {e}"),
+            ServeError::Config(d) => write!(f, "configuration: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<TableError> for ServeError {
+    fn from(e: TableError) -> Self {
+        ServeError::Table(e)
+    }
+}
+
+impl From<TabError> for ServeError {
+    fn from(e: TabError) -> Self {
+        ServeError::Sketch(e)
+    }
+}
+
+/// Mining-layer errors that merely wrap a lower layer unwrap to that
+/// layer, so an out-of-bounds rectangle reports [`ErrorCode::Table`]
+/// whether it was caught before or inside the oracle.
+impl From<ClusterError> for ServeError {
+    fn from(e: ClusterError) -> Self {
+        match e {
+            ClusterError::Table(e) => ServeError::Table(e),
+            ClusterError::Core(e) => ServeError::Sketch(e),
+            other => ServeError::Cluster(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for b in 0..=255u8 {
+            if let Some(code) = ErrorCode::from_u8(b) {
+                assert_eq!(code.to_u8(), b);
+            }
+        }
+        assert!(ErrorCode::from_u8(200).is_none());
+    }
+
+    #[test]
+    fn layer_errors_map_to_matching_codes() {
+        assert_eq!(
+            ServeError::from(TableError::EmptyDimension).error_code(),
+            ErrorCode::Table
+        );
+        assert_eq!(
+            ServeError::from(TabError::corrupt("magic", "x")).error_code(),
+            ErrorCode::Sketch
+        );
+        assert_eq!(
+            ServeError::DeadlineExceeded.error_code(),
+            ErrorCode::DeadlineExceeded
+        );
+        assert_eq!(
+            ServeError::UnknownStore("x".into()).error_code(),
+            ErrorCode::UnknownStore
+        );
+    }
+
+    #[test]
+    fn layered_cluster_errors_unwrap() {
+        assert_eq!(
+            ServeError::from(ClusterError::Table(TableError::EmptyDimension)).error_code(),
+            ErrorCode::Table
+        );
+        assert_eq!(
+            ServeError::from(ClusterError::Core(TabError::corrupt("magic", "x"))).error_code(),
+            ErrorCode::Sketch
+        );
+        assert_eq!(
+            ServeError::from(ClusterError::InvalidParameter("k")).error_code(),
+            ErrorCode::Mining
+        );
+    }
+}

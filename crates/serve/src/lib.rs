@@ -1,0 +1,60 @@
+//! # tabsketch-serve
+//!
+//! A concurrent sketch query service over the distance oracle: a TCP
+//! daemon that keeps one or more tables (and their precomputed sketch
+//! stores) resident and answers distance, batched-distance, subtable
+//! sketch, k-nearest-tile, and metrics queries over a length-prefixed
+//! binary protocol. The point, per the paper's serving scenario, is to
+//! pay the sketch-construction cost once and amortize it across many
+//! cheap `O(k)` comparisons — here across many *clients*.
+//!
+//! The pieces, each usable on its own:
+//!
+//! * [`protocol`] — the wire format: framing, request/response
+//!   encodings, bounds-checked decoding (DESIGN.md §8);
+//! * [`LoadedStore`] / [`ShardedOracle`] — the serving core: owned
+//!   table + store data and lock-sharded oracles with bounded sketch
+//!   caches, shared with the CLI's one-shot commands;
+//! * [`Server`] — the daemon: worker pool, per-request deadlines,
+//!   graceful shutdown, [`ServerMetrics`];
+//! * [`Client`] — a blocking client for all of the above.
+//!
+//! ```no_run
+//! use tabsketch_serve::{Client, Server, ServerConfig, StoreSpec};
+//! use tabsketch_table::Rect;
+//!
+//! let config = ServerConfig {
+//!     specs: vec![StoreSpec::new("day", "day.tsb").with_store_path("day.tsks")],
+//!     ..Default::default()
+//! };
+//! let server = Server::bind(config).unwrap();
+//! let addr = server.local_addr();
+//! std::thread::scope(|scope| {
+//!     scope.spawn(|| server.run().unwrap());
+//!     let mut client = Client::connect(addr).unwrap();
+//!     let (d, tier) = client
+//!         .distance("day", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+//!         .unwrap();
+//!     println!("distance {d} from the {tier} tier");
+//!     client.shutdown().unwrap();
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod metrics;
+pub mod protocol;
+mod server;
+mod store;
+
+pub use client::Client;
+pub use error::{ErrorCode, ServeError};
+pub use metrics::{
+    LatencyHistogram, MetricsSnapshot, RequestKind, ServerMetrics, StoreTierMetrics,
+};
+pub use protocol::{Request, RequestFrame, Response, StoreInfo, MAX_BATCH, MAX_FRAME};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use store::{load_table, Deadline, LoadedStore, ShardedOracle, StoreSpec};

@@ -1,0 +1,309 @@
+//! Server-side metrics: request counters by kind, error/timeout
+//! tallies, and a lock-free latency histogram answering p50/p99.
+//!
+//! Everything here is atomics, so the hot path (one [`ServerMetrics`]
+//! shared by all workers) never contends on a lock. Snapshots are
+//! point-in-time copies and cheap enough to serve over the wire; the
+//! per-store tier counters are merged in by the caller, which owns the
+//! oracles.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tabsketch_cluster::TierSnapshot;
+
+/// How many request kinds the protocol defines.
+pub const KIND_COUNT: usize = 8;
+
+/// Request kinds, used to index the per-kind counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Liveness probe.
+    Ping = 0,
+    /// Single distance.
+    Distance = 1,
+    /// Batched distances.
+    DistanceBatch = 2,
+    /// Sketch vector fetch.
+    Sketch = 3,
+    /// Nearest neighbors.
+    Knn = 4,
+    /// Metrics snapshot.
+    Metrics = 5,
+    /// Store listing.
+    Stores = 6,
+    /// Shutdown poison message.
+    Shutdown = 7,
+}
+
+impl RequestKind {
+    /// All kinds, in wire order.
+    pub const ALL: [RequestKind; KIND_COUNT] = [
+        RequestKind::Ping,
+        RequestKind::Distance,
+        RequestKind::DistanceBatch,
+        RequestKind::Sketch,
+        RequestKind::Knn,
+        RequestKind::Metrics,
+        RequestKind::Stores,
+        RequestKind::Shutdown,
+    ];
+
+    /// The short name used in metrics output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::Ping => "ping",
+            RequestKind::Distance => "distance",
+            RequestKind::DistanceBatch => "distance-batch",
+            RequestKind::Sketch => "sketch",
+            RequestKind::Knn => "knn",
+            RequestKind::Metrics => "metrics",
+            RequestKind::Stores => "stores",
+            RequestKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Power-of-two latency buckets from 1 µs up to ~17 s, plus overflow.
+const BUCKETS: usize = 25;
+
+/// A fixed-bucket histogram of request latencies in microseconds.
+///
+/// Bucket `i` counts latencies in `[2^i, 2^(i+1))` µs (bucket 0 also
+/// takes 0). Percentiles are answered as the upper bound of the bucket
+/// containing the requested rank — at most a 2× overestimate, which is
+/// plenty for "is p99 a millisecond or a second" monitoring.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    fn bucket(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The upper bound (µs) of the bucket holding the `q`-quantile
+    /// observation, `q` in `[0, 1]`. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << BUCKETS
+    }
+}
+
+/// Shared, lock-free request counters for one server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    by_kind: [AtomicU64; KIND_COUNT],
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    malformed: AtomicU64,
+    connections: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request of `kind`.
+    pub fn record_request(&self, kind: RequestKind) {
+        self.by_kind[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request answered with an error frame.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one deadline expiry (also an error).
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.record_error();
+    }
+
+    /// Counts one malformed or oversized frame (also an error).
+    pub fn record_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+        self.record_error();
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's service latency.
+    pub fn record_latency(&self, us: u64) {
+        self.latency.record(us);
+    }
+
+    /// A point-in-time copy, with the caller-supplied per-store tier
+    /// counters attached.
+    pub fn snapshot(&self, stores: Vec<StoreTierMetrics>) -> MetricsSnapshot {
+        let mut by_kind = [0u64; KIND_COUNT];
+        for (slot, counter) in by_kind.iter_mut().zip(&self.by_kind) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot {
+            by_kind,
+            errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            p50_us: self.latency.quantile(0.50),
+            p99_us: self.latency.quantile(0.99),
+            stores,
+        }
+    }
+}
+
+/// One store's aggregated oracle tier counters inside a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreTierMetrics {
+    /// The store's serving name.
+    pub name: String,
+    /// Tier hits/fallbacks and cache counters, summed over shards.
+    pub tiers: TierSnapshot,
+}
+
+/// A point-in-time copy of a server's metrics, as carried on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests served, indexed by [`RequestKind`].
+    pub by_kind: [u64; KIND_COUNT],
+    /// Requests answered with an error frame (includes the two below).
+    pub errors: u64,
+    /// Requests that hit their deadline.
+    pub timeouts: u64,
+    /// Frames that failed to decode (or exceeded the size bound).
+    pub malformed: u64,
+    /// Connections accepted since startup.
+    pub connections: u64,
+    /// Median service latency, µs (bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile service latency, µs (bucket upper bound).
+    pub p99_us: u64,
+    /// Per-store oracle tier counters.
+    pub stores: Vec<StoreTierMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Total requests across all kinds.
+    pub fn total_requests(&self) -> u64 {
+        self.by_kind.iter().sum()
+    }
+
+    /// The counter for one kind.
+    pub fn count(&self, kind: RequestKind) -> u64 {
+        self.by_kind[kind as usize]
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {} (errors {}, timeouts {}, malformed {})",
+            self.total_requests(),
+            self.errors,
+            self.timeouts,
+            self.malformed
+        )?;
+        for kind in RequestKind::ALL {
+            let n = self.count(kind);
+            if n > 0 {
+                writeln!(f, "  {:<15} {n}", kind.name())?;
+            }
+        }
+        writeln!(
+            f,
+            "connections: {}  latency p50 {} us, p99 {} us",
+            self.connections, self.p50_us, self.p99_us
+        )?;
+        for s in &self.stores {
+            writeln!(f, "store {:?}: {}", s.name, s.tiers)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_monotone() {
+        assert_eq!(LatencyHistogram::bucket(0), 0);
+        assert_eq!(LatencyHistogram::bucket(1), 0);
+        assert_eq!(LatencyHistogram::bucket(2), 1);
+        assert_eq!(LatencyHistogram::bucket(3), 1);
+        assert_eq!(LatencyHistogram::bucket(4), 2);
+        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_observations() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 99 fast observations and 1 slow one.
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000);
+        let p50 = h.quantile(0.50);
+        assert!((100..=256).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((100..=256).contains(&p99), "p99 rank 99 is fast: {p99}");
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= 10_000, "max must cover the slow one: {p100}");
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = ServerMetrics::new();
+        m.record_connection();
+        m.record_request(RequestKind::Ping);
+        m.record_request(RequestKind::Distance);
+        m.record_request(RequestKind::Distance);
+        m.record_timeout();
+        m.record_malformed();
+        m.record_latency(50);
+        let snap = m.snapshot(Vec::new());
+        assert_eq!(snap.count(RequestKind::Ping), 1);
+        assert_eq!(snap.count(RequestKind::Distance), 2);
+        assert_eq!(snap.total_requests(), 3);
+        assert_eq!(snap.connections, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert_eq!(snap.malformed, 1);
+        assert_eq!(snap.errors, 2, "timeouts and malformed both count");
+        assert!(snap.p50_us > 0);
+        assert!(!snap.to_string().is_empty());
+    }
+}

@@ -1,0 +1,971 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! A connection carries a sequence of frames in each direction. Every
+//! frame is a little-endian `u32` payload length followed by that many
+//! payload bytes; the payload's first byte is the request/response kind.
+//! Payloads are bounded by [`MAX_FRAME`] — a peer declaring more is
+//! answered with a [`ErrorCode::FrameTooLarge`] error frame and the
+//! connection is closed, *before* any allocation of the declared size
+//! (the same header-before-allocation discipline as the persistence
+//! layer, DESIGN.md §7).
+//!
+//! Requests open with a fixed header (`kind: u8`, `deadline_ms: u32`,
+//! 0 = no deadline), then kind-specific fields. Rectangles are four
+//! `u64`s (row, col, rows, cols); strings are a `u16` length plus UTF-8
+//! bytes. Decoding is fully bounds-checked and never panics on
+//! arbitrary bytes — the fuzz suite in `tests/server_integration.rs`
+//! holds the server to "typed error frame or clean close, never a panic
+//! or a hang" under truncation and bit-rot of every frame offset.
+
+use tabsketch_cluster::{Tier, TierSnapshot};
+use tabsketch_table::Rect;
+
+use crate::error::{ErrorCode, ServeError};
+use crate::metrics::{MetricsSnapshot, RequestKind, StoreTierMetrics, KIND_COUNT};
+
+/// Upper bound on a frame payload, in bytes (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on pairs in one distance batch.
+pub const MAX_BATCH: usize = 1 << 14;
+
+/// Upper bound on the length of a store name on the wire.
+pub const MAX_NAME: usize = 256;
+
+/// A client request (without the frame header).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One distance between two rectangles of a named store's table.
+    Distance {
+        /// Store name.
+        store: String,
+        /// First rectangle.
+        a: Rect,
+        /// Second rectangle.
+        b: Rect,
+    },
+    /// Many distances in one frame; sketch lookups for repeated
+    /// rectangles are amortized by the server's cache.
+    DistanceBatch {
+        /// Store name.
+        store: String,
+        /// Rectangle pairs, answered in order.
+        pairs: Vec<(Rect, Rect)>,
+    },
+    /// The sketch vector of one rectangle (stored when intact,
+    /// recomputed otherwise).
+    Sketch {
+        /// Store name.
+        store: String,
+        /// The rectangle to sketch.
+        rect: Rect,
+    },
+    /// The `count` nearest same-shape tiles to a rectangle.
+    Knn {
+        /// Store name.
+        store: String,
+        /// Query rectangle; its shape defines the tile grid.
+        rect: Rect,
+        /// How many neighbors.
+        count: u32,
+    },
+    /// The server's metrics snapshot.
+    Metrics,
+    /// Names and shapes of the loaded stores.
+    Stores,
+    /// Poison message: acknowledge, then shut the server down.
+    Shutdown,
+}
+
+impl Request {
+    /// The metrics kind this request counts under.
+    pub fn kind(&self) -> RequestKind {
+        match self {
+            Request::Ping => RequestKind::Ping,
+            Request::Distance { .. } => RequestKind::Distance,
+            Request::DistanceBatch { .. } => RequestKind::DistanceBatch,
+            Request::Sketch { .. } => RequestKind::Sketch,
+            Request::Knn { .. } => RequestKind::Knn,
+            Request::Metrics => RequestKind::Metrics,
+            Request::Stores => RequestKind::Stores,
+            Request::Shutdown => RequestKind::Shutdown,
+        }
+    }
+}
+
+/// A request plus its frame header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestFrame {
+    /// Milliseconds the client allows for the answer; 0 = no deadline.
+    pub deadline_ms: u32,
+    /// The request itself.
+    pub request: Request,
+}
+
+/// One loaded store as reported by [`Request::Stores`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// The store's serving name.
+    pub name: String,
+    /// Table rows.
+    pub rows: u64,
+    /// Table columns.
+    pub cols: u64,
+    /// Precomputed tile shape, when a sketch store is resident.
+    pub tile: Option<(u64, u64)>,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Distance`].
+    Distance {
+        /// The estimated (or exact, at the last tier) Lp distance.
+        value: f64,
+        /// Which oracle tier produced it.
+        tier: Tier,
+    },
+    /// Answer to [`Request::DistanceBatch`], in request order.
+    DistanceBatch {
+        /// Per-pair distance and answering tier.
+        results: Vec<(f64, Tier)>,
+    },
+    /// Answer to [`Request::Sketch`].
+    Sketch {
+        /// Which tier produced the vector.
+        tier: Tier,
+        /// The sketch values (length = the store's `k`).
+        values: Vec<f64>,
+    },
+    /// Answer to [`Request::Knn`], ascending by distance.
+    Knn {
+        /// Neighbor tiles and their distances from the query.
+        neighbors: Vec<(Rect, f64)>,
+    },
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsSnapshot),
+    /// Answer to [`Request::Stores`].
+    Stores(Vec<StoreInfo>),
+    /// Acknowledgment of [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any failure, with its stable code.
+    Error {
+        /// The failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Byte-level helpers
+// ---------------------------------------------------------------------
+
+/// An append-only payload encoder.
+#[derive(Default)]
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        debug_assert!(s.len() <= MAX_NAME);
+        self.u16(s.len().min(u16::MAX as usize) as u16);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn rect(&mut self, r: Rect) {
+        self.u64(r.row as u64);
+        self.u64(r.col as u64);
+        self.u64(r.rows as u64);
+        self.u64(r.cols as u64);
+    }
+}
+
+/// A bounds-checked payload decoder.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn fail(&self, what: &str) -> ServeError {
+        ServeError::Malformed(format!("{what} at offset {}", self.pos))
+    }
+
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], ServeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.fail(what))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ServeError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, ServeError> {
+        Ok(u16::from_le_bytes(self.bytes(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, ServeError> {
+        Ok(u32::from_le_bytes(self.bytes(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, ServeError> {
+        Ok(u64::from_le_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+    fn f64(&mut self, what: &str) -> Result<f64, ServeError> {
+        Ok(f64::from_le_bytes(self.bytes(8, what)?.try_into().unwrap()))
+    }
+
+    fn usize64(&mut self, what: &str) -> Result<usize, ServeError> {
+        usize::try_from(self.u64(what)?).map_err(|_| self.fail(what))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, ServeError> {
+        let len = self.u16(what)? as usize;
+        if len > MAX_NAME {
+            return Err(self.fail("string too long"));
+        }
+        let bytes = self.bytes(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.fail("invalid utf-8"))
+    }
+
+    fn rect(&mut self, what: &str) -> Result<Rect, ServeError> {
+        Ok(Rect::new(
+            self.usize64(what)?,
+            self.usize64(what)?,
+            self.usize64(what)?,
+            self.usize64(what)?,
+        ))
+    }
+
+    fn finish(self) -> Result<(), ServeError> {
+        if self.pos != self.buf.len() {
+            return Err(ServeError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn tier_to_u8(t: Tier) -> u8 {
+    match t {
+        Tier::Pooled => 0,
+        Tier::OnDemand => 1,
+        Tier::Exact => 2,
+    }
+}
+
+fn tier_from_u8(b: u8) -> Option<Tier> {
+    Some(match b {
+        0 => Tier::Pooled,
+        1 => Tier::OnDemand,
+        2 => Tier::Exact,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Request encoding
+// ---------------------------------------------------------------------
+
+const REQ_PING: u8 = 0;
+const REQ_DISTANCE: u8 = 1;
+const REQ_BATCH: u8 = 2;
+const REQ_SKETCH: u8 = 3;
+const REQ_KNN: u8 = 4;
+const REQ_METRICS: u8 = 5;
+const REQ_STORES: u8 = 6;
+const REQ_SHUTDOWN: u8 = 7;
+
+/// Encodes a request frame payload.
+pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
+    let mut e = Enc::default();
+    let kind = match &frame.request {
+        Request::Ping => REQ_PING,
+        Request::Distance { .. } => REQ_DISTANCE,
+        Request::DistanceBatch { .. } => REQ_BATCH,
+        Request::Sketch { .. } => REQ_SKETCH,
+        Request::Knn { .. } => REQ_KNN,
+        Request::Metrics => REQ_METRICS,
+        Request::Stores => REQ_STORES,
+        Request::Shutdown => REQ_SHUTDOWN,
+    };
+    e.u8(kind);
+    e.u32(frame.deadline_ms);
+    match &frame.request {
+        Request::Ping | Request::Metrics | Request::Stores | Request::Shutdown => {}
+        Request::Distance { store, a, b } => {
+            e.str(store);
+            e.rect(*a);
+            e.rect(*b);
+        }
+        Request::DistanceBatch { store, pairs } => {
+            e.str(store);
+            e.u32(pairs.len().min(u32::MAX as usize) as u32);
+            for &(a, b) in pairs {
+                e.rect(a);
+                e.rect(b);
+            }
+        }
+        Request::Sketch { store, rect } => {
+            e.str(store);
+            e.rect(*rect);
+        }
+        Request::Knn { store, rect, count } => {
+            e.str(store);
+            e.rect(*rect);
+            e.u32(*count);
+        }
+    }
+    e.0
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Malformed`] for any byte stream that is not a
+/// complete, well-formed request — truncated fields, unknown kinds,
+/// oversized collections, or trailing garbage.
+pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ServeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8("request kind")?;
+    let deadline_ms = d.u32("deadline")?;
+    let request = match kind {
+        REQ_PING => Request::Ping,
+        REQ_METRICS => Request::Metrics,
+        REQ_STORES => Request::Stores,
+        REQ_SHUTDOWN => Request::Shutdown,
+        REQ_DISTANCE => Request::Distance {
+            store: d.str("store name")?,
+            a: d.rect("rect a")?,
+            b: d.rect("rect b")?,
+        },
+        REQ_BATCH => {
+            let store = d.str("store name")?;
+            let n = d.u32("batch size")? as usize;
+            if n > MAX_BATCH {
+                return Err(ServeError::Malformed(format!(
+                    "batch of {n} pairs exceeds the bound of {MAX_BATCH}"
+                )));
+            }
+            // 64 bytes per pair: bound the claim against the payload
+            // before allocating.
+            if n * 64 > payload.len() {
+                return Err(ServeError::Malformed(format!(
+                    "batch of {n} pairs does not fit its {}-byte frame",
+                    payload.len()
+                )));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((d.rect("batch rect a")?, d.rect("batch rect b")?));
+            }
+            Request::DistanceBatch { store, pairs }
+        }
+        REQ_SKETCH => Request::Sketch {
+            store: d.str("store name")?,
+            rect: d.rect("rect")?,
+        },
+        REQ_KNN => Request::Knn {
+            store: d.str("store name")?,
+            rect: d.rect("rect")?,
+            count: d.u32("count")?,
+        },
+        other => {
+            return Err(ServeError::Malformed(format!(
+                "unknown request kind {other}"
+            )))
+        }
+    };
+    d.finish()?;
+    Ok(RequestFrame {
+        deadline_ms,
+        request,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------
+
+const RESP_PONG: u8 = 0;
+const RESP_DISTANCE: u8 = 1;
+const RESP_BATCH: u8 = 2;
+const RESP_SKETCH: u8 = 3;
+const RESP_KNN: u8 = 4;
+const RESP_METRICS: u8 = 5;
+const RESP_STORES: u8 = 6;
+const RESP_SHUTTING_DOWN: u8 = 7;
+const RESP_ERROR: u8 = 255;
+
+/// Encodes a response frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut e = Enc::default();
+    match resp {
+        Response::Pong => e.u8(RESP_PONG),
+        Response::Distance { value, tier } => {
+            e.u8(RESP_DISTANCE);
+            e.f64(*value);
+            e.u8(tier_to_u8(*tier));
+        }
+        Response::DistanceBatch { results } => {
+            e.u8(RESP_BATCH);
+            e.u32(results.len().min(u32::MAX as usize) as u32);
+            for &(value, tier) in results {
+                e.f64(value);
+                e.u8(tier_to_u8(tier));
+            }
+        }
+        Response::Sketch { tier, values } => {
+            e.u8(RESP_SKETCH);
+            e.u8(tier_to_u8(*tier));
+            e.u32(values.len().min(u32::MAX as usize) as u32);
+            for &v in values {
+                e.f64(v);
+            }
+        }
+        Response::Knn { neighbors } => {
+            e.u8(RESP_KNN);
+            e.u32(neighbors.len().min(u32::MAX as usize) as u32);
+            for &(rect, d) in neighbors {
+                e.rect(rect);
+                e.f64(d);
+            }
+        }
+        Response::Metrics(m) => {
+            e.u8(RESP_METRICS);
+            encode_metrics(&mut e, m);
+        }
+        Response::Stores(infos) => {
+            e.u8(RESP_STORES);
+            e.u32(infos.len().min(u32::MAX as usize) as u32);
+            for info in infos {
+                e.str(&info.name);
+                e.u64(info.rows);
+                e.u64(info.cols);
+                match info.tile {
+                    Some((tr, tc)) => {
+                        e.u8(1);
+                        e.u64(tr);
+                        e.u64(tc);
+                    }
+                    None => e.u8(0),
+                }
+            }
+        }
+        Response::ShuttingDown => e.u8(RESP_SHUTTING_DOWN),
+        Response::Error { code, message } => {
+            e.u8(RESP_ERROR);
+            e.u8(code.to_u8());
+            e.str(&message.chars().take(200).collect::<String>());
+        }
+    }
+    e.0
+}
+
+fn encode_metrics(e: &mut Enc, m: &MetricsSnapshot) {
+    for &count in &m.by_kind {
+        e.u64(count);
+    }
+    e.u64(m.errors);
+    e.u64(m.timeouts);
+    e.u64(m.malformed);
+    e.u64(m.connections);
+    e.u64(m.p50_us);
+    e.u64(m.p99_us);
+    e.u32(m.stores.len().min(u32::MAX as usize) as u32);
+    for s in &m.stores {
+        e.str(&s.name);
+        let t = &s.tiers;
+        for v in [
+            t.pooled,
+            t.on_demand,
+            t.exact,
+            t.pooled_fallbacks,
+            t.on_demand_fallbacks,
+            t.cache_hits,
+            t.cache_misses,
+            t.cache_evictions,
+            t.cache_capacity,
+        ] {
+            e.u64(v);
+        }
+    }
+}
+
+fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
+    let mut by_kind = [0u64; KIND_COUNT];
+    for slot in &mut by_kind {
+        *slot = d.u64("kind counter")?;
+    }
+    let errors = d.u64("errors")?;
+    let timeouts = d.u64("timeouts")?;
+    let malformed = d.u64("malformed")?;
+    let connections = d.u64("connections")?;
+    let p50_us = d.u64("p50")?;
+    let p99_us = d.u64("p99")?;
+    let n = d.u32("store count")? as usize;
+    if n > 4096 {
+        return Err(ServeError::Malformed(format!("{n} store metric entries")));
+    }
+    let mut stores = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let name = d.str("store name")?;
+        let mut vals = [0u64; 9];
+        for v in &mut vals {
+            *v = d.u64("tier counter")?;
+        }
+        stores.push(StoreTierMetrics {
+            name,
+            tiers: TierSnapshot {
+                pooled: vals[0],
+                on_demand: vals[1],
+                exact: vals[2],
+                pooled_fallbacks: vals[3],
+                on_demand_fallbacks: vals[4],
+                cache_hits: vals[5],
+                cache_misses: vals[6],
+                cache_evictions: vals[7],
+                cache_capacity: vals[8],
+            },
+        });
+    }
+    Ok(MetricsSnapshot {
+        by_kind,
+        errors,
+        timeouts,
+        malformed,
+        connections,
+        p50_us,
+        p99_us,
+        stores,
+    })
+}
+
+/// Decodes a response frame payload.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Malformed`] for any byte stream that is not a
+/// complete, well-formed response.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
+    let mut d = Dec::new(payload);
+    let kind = d.u8("response kind")?;
+    let resp = match kind {
+        RESP_PONG => Response::Pong,
+        RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_DISTANCE => {
+            let value = d.f64("distance")?;
+            let tier = tier_from_u8(d.u8("tier")?)
+                .ok_or_else(|| ServeError::Malformed("bad tier byte".into()))?;
+            Response::Distance { value, tier }
+        }
+        RESP_BATCH => {
+            let n = d.u32("result count")? as usize;
+            if n > MAX_BATCH {
+                return Err(ServeError::Malformed(format!("{n} batch results")));
+            }
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                let value = d.f64("distance")?;
+                let tier = tier_from_u8(d.u8("tier")?)
+                    .ok_or_else(|| ServeError::Malformed("bad tier byte".into()))?;
+                results.push((value, tier));
+            }
+            Response::DistanceBatch { results }
+        }
+        RESP_SKETCH => {
+            let tier = tier_from_u8(d.u8("tier")?)
+                .ok_or_else(|| ServeError::Malformed("bad tier byte".into()))?;
+            let n = d.u32("value count")? as usize;
+            if n * 8 > MAX_FRAME {
+                return Err(ServeError::Malformed(format!("{n} sketch values")));
+            }
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(d.f64("sketch value")?);
+            }
+            Response::Sketch { tier, values }
+        }
+        RESP_KNN => {
+            let n = d.u32("neighbor count")? as usize;
+            if n * 40 > MAX_FRAME {
+                return Err(ServeError::Malformed(format!("{n} neighbors")));
+            }
+            let mut neighbors = Vec::with_capacity(n);
+            for _ in 0..n {
+                let rect = d.rect("neighbor rect")?;
+                let dist = d.f64("neighbor distance")?;
+                neighbors.push((rect, dist));
+            }
+            Response::Knn { neighbors }
+        }
+        RESP_METRICS => Response::Metrics(decode_metrics(&mut d)?),
+        RESP_STORES => {
+            let n = d.u32("store count")? as usize;
+            if n > 4096 {
+                return Err(ServeError::Malformed(format!("{n} store entries")));
+            }
+            let mut infos = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let name = d.str("store name")?;
+                let rows = d.u64("rows")?;
+                let cols = d.u64("cols")?;
+                let tile = match d.u8("tile flag")? {
+                    0 => None,
+                    1 => Some((d.u64("tile rows")?, d.u64("tile cols")?)),
+                    _ => return Err(ServeError::Malformed("bad tile flag".into())),
+                };
+                infos.push(StoreInfo {
+                    name,
+                    rows,
+                    cols,
+                    tile,
+                });
+            }
+            Response::Stores(infos)
+        }
+        RESP_ERROR => {
+            let code = ErrorCode::from_u8(d.u8("error code")?)
+                .ok_or_else(|| ServeError::Malformed("bad error code".into()))?;
+            let message = d.str("error message")?;
+            Response::Error { code, message }
+        }
+        other => {
+            return Err(ServeError::Malformed(format!(
+                "unknown response kind {other}"
+            )))
+        }
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------
+
+use std::io::{Read, Write};
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// Propagates socket I/O failures.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload. `Ok(None)` means the peer closed cleanly at
+/// a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`ServeError::FrameTooLarge`] or [`ServeError::Malformed`]
+/// for framing violations (the caller should answer with an error frame
+/// and drop the connection — the stream cannot be resynchronized), and
+/// [`ServeError::Io`] for socket failures including read timeouts and
+/// mid-frame disconnects.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, ServeError> {
+    use std::io::ErrorKind;
+    let stalled = |k: ErrorKind| matches!(k, ErrorKind::WouldBlock | ErrorKind::TimedOut);
+    let mut header = [0u8; 4];
+    // Distinguish clean EOF (no bytes of a next frame) from truncation.
+    // A read timeout *inside* a frame means the peer stalled mid-frame
+    // — a framing violation, not a transport failure.
+    let mut got = 0;
+    while got < header.len() {
+        let n = match r.read(&mut header[got..]) {
+            Ok(n) => n,
+            Err(e) if stalled(e.kind()) && got > 0 => {
+                return Err(ServeError::Malformed("stalled mid frame header".into()));
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        };
+        if n == 0 {
+            if got == 0 {
+                return Ok(None);
+            }
+            return Err(ServeError::Malformed("truncated frame header".into()));
+        }
+        got += n;
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(ServeError::Malformed("zero-length frame".into()));
+    }
+    if len > MAX_FRAME {
+        return Err(ServeError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        ErrorKind::UnexpectedEof => ServeError::Malformed("truncated frame payload".into()),
+        k if stalled(k) => ServeError::Malformed("stalled mid frame payload".into()),
+        _ => ServeError::Io(e),
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(frame: RequestFrame) {
+        let bytes = encode_request(&frame);
+        assert_eq!(decode_request(&bytes).unwrap(), frame);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let bytes = encode_response(&resp);
+        assert_eq!(decode_response(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let r1 = Rect::new(1, 2, 8, 8);
+        let r2 = Rect::new(9, 10, 8, 8);
+        for request in [
+            Request::Ping,
+            Request::Metrics,
+            Request::Stores,
+            Request::Shutdown,
+            Request::Distance {
+                store: "day".into(),
+                a: r1,
+                b: r2,
+            },
+            Request::DistanceBatch {
+                store: "day".into(),
+                pairs: vec![(r1, r2), (r2, r1)],
+            },
+            Request::Sketch {
+                store: "x".into(),
+                rect: r1,
+            },
+            Request::Knn {
+                store: "x".into(),
+                rect: r1,
+                count: 5,
+            },
+        ] {
+            roundtrip_request(RequestFrame {
+                deadline_ms: 250,
+                request,
+            });
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let r1 = Rect::new(0, 0, 4, 4);
+        for resp in [
+            Response::Pong,
+            Response::ShuttingDown,
+            Response::Distance {
+                value: 42.5,
+                tier: Tier::Pooled,
+            },
+            Response::DistanceBatch {
+                results: vec![(1.0, Tier::OnDemand), (2.0, Tier::Exact)],
+            },
+            Response::Sketch {
+                tier: Tier::Pooled,
+                values: vec![0.25, -1.5, 3.0],
+            },
+            Response::Knn {
+                neighbors: vec![(r1, 0.5)],
+            },
+            Response::Stores(vec![StoreInfo {
+                name: "day".into(),
+                rows: 512,
+                cols: 144,
+                tile: Some((32, 32)),
+            }]),
+            Response::Error {
+                code: ErrorCode::DeadlineExceeded,
+                message: "too slow".into(),
+            },
+            Response::Metrics(MetricsSnapshot {
+                by_kind: [1, 2, 3, 4, 5, 6, 7, 8],
+                errors: 9,
+                timeouts: 1,
+                malformed: 2,
+                connections: 3,
+                p50_us: 120,
+                p99_us: 950,
+                stores: vec![StoreTierMetrics {
+                    name: "day".into(),
+                    tiers: TierSnapshot {
+                        pooled: 10,
+                        on_demand: 5,
+                        exact: 1,
+                        pooled_fallbacks: 6,
+                        on_demand_fallbacks: 0,
+                        cache_hits: 9,
+                        cache_misses: 7,
+                        cache_evictions: 2,
+                        cache_capacity: 64,
+                    },
+                }],
+            }),
+        ] {
+            roundtrip_response(resp);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_typed_errors_not_panics() {
+        let full = encode_request(&RequestFrame {
+            deadline_ms: 0,
+            request: Request::Distance {
+                store: "s".into(),
+                a: Rect::new(0, 0, 8, 8),
+                b: Rect::new(8, 8, 8, 8),
+            },
+        });
+        for cut in 0..full.len() {
+            let err = decode_request(&full[..cut]).unwrap_err();
+            assert!(matches!(err, ServeError::Malformed(_)), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic_decoders() {
+        let req = encode_request(&RequestFrame {
+            deadline_ms: 9,
+            request: Request::Knn {
+                store: "abc".into(),
+                rect: Rect::new(1, 1, 4, 4),
+                count: 3,
+            },
+        });
+        let resp = encode_response(&Response::DistanceBatch {
+            results: vec![(1.5, Tier::Pooled); 3],
+        });
+        for at in 0..req.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut damaged = req.clone();
+                damaged[at] ^= mask;
+                let _ = decode_request(&damaged); // must not panic
+            }
+        }
+        for at in 0..resp.len() {
+            let mut damaged = resp.clone();
+            damaged[at] ^= 0xA5;
+            let _ = decode_response(&damaged); // must not panic
+        }
+    }
+
+    #[test]
+    fn random_bytes_never_panic_decoders() {
+        // Deterministic xorshift junk, lengths 0..300.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        for len in 0..300usize {
+            let mut buf = vec![0u8; len];
+            for b in &mut buf {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                *b = state as u8;
+            }
+            let _ = decode_request(&buf);
+            let _ = decode_response(&buf);
+        }
+    }
+
+    #[test]
+    fn oversized_claims_are_refused_before_allocation() {
+        // A batch request claiming 2^32-ish pairs inside a tiny frame.
+        let mut e = Vec::new();
+        e.push(REQ_BATCH);
+        e.extend_from_slice(&0u32.to_le_bytes());
+        e.extend_from_slice(&1u16.to_le_bytes());
+        e.push(b's');
+        e.extend_from_slice(&(MAX_BATCH as u32 + 1).to_le_bytes());
+        let err = decode_request(&e).unwrap_err();
+        assert!(matches!(err, ServeError::Malformed(_)), "{err}");
+
+        let mut e = Vec::new();
+        e.push(REQ_BATCH);
+        e.extend_from_slice(&0u32.to_le_bytes());
+        e.extend_from_slice(&1u16.to_le_bytes());
+        e.push(b's');
+        e.extend_from_slice(&(MAX_BATCH as u32).to_le_bytes());
+        let err = decode_request(&e).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Malformed(ref m) if m.contains("does not fit")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_rejects_violations() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"world!").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"world!");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+
+        // Zero-length frame.
+        let mut r = &[0u8, 0, 0, 0][..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+
+        // Oversized length prefix: refused before allocation.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let mut r = &huge[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            ServeError::FrameTooLarge(_)
+        ));
+
+        // Truncated header and payload.
+        let mut r = &[1u8, 0][..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+        let mut partial = Vec::new();
+        write_frame(&mut partial, b"abcdef").unwrap();
+        partial.truncate(7);
+        let mut r = &partial[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+    }
+}

@@ -1,0 +1,415 @@
+//! The TCP daemon: listener, worker pool, and request dispatch.
+//!
+//! Built on `std::net` blocking sockets. The accept loop runs
+//! non-blocking and polls a shutdown flag between accepts; accepted
+//! connections go onto a `Mutex`+`Condvar` queue drained by a fixed
+//! pool of scoped worker threads. Scoped threads are what let the
+//! workers' oracles borrow the server's [`LoadedStore`]s directly —
+//! no `Arc` gymnastics, and the borrow checker proves the stores
+//! outlive every in-flight request.
+//!
+//! Shutdown is cooperative and has two triggers: a
+//! [`Request::Shutdown`] poison message from any client, or
+//! [`ServerHandle::shutdown`] from the embedding process. Either sets
+//! one atomic flag; the accept loop stops admitting connections, the
+//! workers finish the frame they are on, answer anything still queued
+//! with a `shutting-down` error, and [`Server::run`] returns.
+
+use std::collections::VecDeque;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tabsketch_cluster::DEFAULT_SKETCH_CACHE_CAPACITY;
+
+use crate::error::{ErrorCode, ServeError};
+use crate::metrics::{ServerMetrics, StoreTierMetrics};
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response,
+};
+use crate::store::{Deadline, LoadedStore, ShardedOracle, StoreSpec};
+
+/// How long a worker waits on the connection queue before re-checking
+/// the shutdown flag.
+const QUEUE_POLL: Duration = Duration::from_millis(50);
+
+/// The accept loop's sleep between polls when no connection is waiting.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Per-connection socket read timeout; also bounds how long a peer may
+/// stall mid-frame before the frame is declared malformed.
+const READ_TIMEOUT: Duration = Duration::from_millis(150);
+
+/// Server configuration: where to listen, how many workers and shards,
+/// and which stores to serve.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks a free port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Oracle shards per store.
+    pub shards: usize,
+    /// Bounded sketch-cache capacity per shard.
+    pub cache_capacity: usize,
+    /// The stores to load and serve.
+    pub specs: Vec<StoreSpec>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            shards: 2,
+            cache_capacity: DEFAULT_SKETCH_CACHE_CAPACITY,
+            specs: Vec::new(),
+        }
+    }
+}
+
+/// A handle that can stop a running server from another thread.
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to stop; [`Server::run`] returns shortly after.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A bound server: stores loaded, listener bound, not yet serving.
+///
+/// Splitting bind from run lets callers learn the actual port (for
+/// `addr` ending in `:0`) and grab a [`ServerHandle`] before the
+/// blocking [`Server::run`] call.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    stores: Vec<LoadedStore>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl Server {
+    /// Loads every store in the config and binds the listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for an empty or duplicate store
+    /// list, table errors for unloadable tables, and I/O errors from
+    /// binding. A damaged *sketch store* file does not fail the bind —
+    /// that store serves degraded (see [`LoadedStore::degradation`]).
+    pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
+        if config.specs.is_empty() {
+            return Err(ServeError::Config("no stores to serve".into()));
+        }
+        let mut stores = Vec::with_capacity(config.specs.len());
+        for spec in &config.specs {
+            if stores.iter().any(|s: &LoadedStore| s.name() == spec.name) {
+                return Err(ServeError::Config(format!(
+                    "duplicate store name {:?}",
+                    spec.name
+                )));
+            }
+            stores.push(LoadedStore::load(spec)?);
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            addr,
+            stores,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: Arc::new(ServerMetrics::new()),
+        })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The loaded stores, for pre-serve inspection (e.g. printing
+    /// degradation warnings).
+    pub fn stores(&self) -> &[LoadedStore] {
+        &self.stores
+    }
+
+    /// The shared metrics (live; not a snapshot).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Serves until shutdown is requested. Blocks the calling thread;
+    /// workers run as scoped threads borrowing this server's stores.
+    ///
+    /// # Errors
+    ///
+    /// Returns oracle-construction failures and fatal listener errors.
+    /// Per-connection failures are answered on that connection (or drop
+    /// it) and never stop the server.
+    pub fn run(&self) -> Result<(), ServeError> {
+        let mut oracles = Vec::with_capacity(self.stores.len());
+        for store in &self.stores {
+            oracles.push(ShardedOracle::new(
+                store,
+                self.config.shards,
+                self.config.cache_capacity,
+            )?);
+        }
+        let ctx = ServeCtx {
+            stores: &self.stores,
+            oracles: &oracles,
+            metrics: &self.metrics,
+            shutdown: &self.shutdown,
+        };
+        let queue = ConnQueue::default();
+        self.listener.set_nonblocking(true)?;
+
+        let mut accept_error = None;
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| {
+                    while let Some(stream) = queue.pop(ctx.shutdown) {
+                        handle_connection(stream, &ctx);
+                    }
+                });
+            }
+            while !self.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        self.metrics.record_connection();
+                        queue.push(stream);
+                    }
+                    Err(e)
+                        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) =>
+                    {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => {
+                        accept_error = Some(ServeError::Io(e));
+                        self.shutdown.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            queue.close();
+        });
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The blocking connection queue between the accept loop and workers.
+#[derive(Default)]
+struct ConnQueue {
+    inner: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+impl ConnQueue {
+    fn push(&self, stream: TcpStream) {
+        self.inner.lock().expect("queue lock").push_back(stream);
+        self.ready.notify_one();
+    }
+
+    /// Pops the next connection; `None` once shutdown is requested and
+    /// the queue has drained.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+        let mut guard = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = guard.pop_front() {
+                return Some(stream);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (g, _) = self
+                .ready
+                .wait_timeout(guard, QUEUE_POLL)
+                .expect("queue lock");
+            guard = g;
+        }
+    }
+
+    fn close(&self) {
+        self.ready.notify_all();
+    }
+}
+
+/// Everything a worker needs to answer requests, borrowed from the
+/// running server.
+struct ServeCtx<'a> {
+    stores: &'a [LoadedStore],
+    oracles: &'a [ShardedOracle<'a>],
+    metrics: &'a Arc<ServerMetrics>,
+    shutdown: &'a AtomicBool,
+}
+
+impl<'a> ServeCtx<'a> {
+    fn lookup(&self, name: &str) -> Result<(&'a LoadedStore, &'a ShardedOracle<'a>), ServeError> {
+        self.stores
+            .iter()
+            .position(|s| s.name() == name)
+            .map(|i| (&self.stores[i], &self.oracles[i]))
+            .ok_or_else(|| ServeError::UnknownStore(name.to_string()))
+    }
+
+    fn answer(&self, request: &Request, deadline: Deadline) -> Result<Response, ServeError> {
+        if self.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
+            return Err(ServeError::ShuttingDown);
+        }
+        match request {
+            Request::Ping => Ok(Response::Pong),
+            Request::Distance { store, a, b } => {
+                let (_, oracle) = self.lookup(store)?;
+                let (value, tier) = oracle.distance(*a, *b, deadline)?;
+                Ok(Response::Distance { value, tier })
+            }
+            Request::DistanceBatch { store, pairs } => {
+                let (_, oracle) = self.lookup(store)?;
+                let results = oracle.distance_batch(pairs, deadline)?;
+                Ok(Response::DistanceBatch { results })
+            }
+            Request::Sketch { store, rect } => {
+                let (_, oracle) = self.lookup(store)?;
+                let (values, tier) = oracle.sketch_for(*rect, deadline)?;
+                Ok(Response::Sketch {
+                    tier,
+                    values: values.into_vec(),
+                })
+            }
+            Request::Knn { store, rect, count } => {
+                let (loaded, oracle) = self.lookup(store)?;
+                let neighbors = oracle.knn(loaded.table(), *rect, *count as usize, deadline)?;
+                Ok(Response::Knn { neighbors })
+            }
+            Request::Metrics => {
+                let stores = self
+                    .stores
+                    .iter()
+                    .zip(self.oracles)
+                    .map(|(s, o)| StoreTierMetrics {
+                        name: s.name().to_string(),
+                        tiers: o.counters(),
+                    })
+                    .collect();
+                Ok(Response::Metrics(self.metrics.snapshot(stores)))
+            }
+            Request::Stores => Ok(Response::Stores(
+                self.stores.iter().map(LoadedStore::info).collect(),
+            )),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Ok(Response::ShuttingDown)
+            }
+        }
+    }
+}
+
+fn error_response(e: &ServeError) -> Response {
+    Response::Error {
+        code: e.error_code(),
+        message: e.to_string(),
+    }
+}
+
+/// Serves one connection until the peer closes, a framing violation
+/// desynchronizes the stream, or shutdown is requested.
+fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx<'_>) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+        return;
+    }
+    let mut probe = [0u8; 1];
+    loop {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            let resp = Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server shutting down".to_string(),
+            };
+            let _ = write_frame(&mut stream, &encode_response(&resp));
+            return;
+        }
+        // Idle wait: peek (bounded by the read timeout) until the next
+        // frame's first byte arrives, so a quiet connection never holds
+        // a worker past the shutdown flag.
+        match stream.peek(&mut probe) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => return,
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(e) => {
+                // Framing violations cannot be resynchronized: answer
+                // with the typed error, then drop the connection.
+                ctx.metrics.record_malformed();
+                let _ = write_frame(&mut stream, &encode_response(&error_response(&e)));
+                return;
+            }
+        };
+        let started = Instant::now();
+        let response = match decode_request(&payload) {
+            Err(e) => {
+                // The frame boundary held, only the payload was bad —
+                // the connection can continue.
+                ctx.metrics.record_malformed();
+                error_response(&e)
+            }
+            Ok(frame) => {
+                ctx.metrics.record_request(frame.request.kind());
+                let deadline = Deadline::from_ms(frame.deadline_ms);
+                match ctx.answer(&frame.request, deadline) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        if matches!(e, ServeError::DeadlineExceeded) {
+                            ctx.metrics.record_timeout();
+                        } else {
+                            ctx.metrics.record_error();
+                        }
+                        error_response(&e)
+                    }
+                }
+            }
+        };
+        ctx.metrics
+            .record_latency(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            return;
+        }
+        if matches!(response, Response::ShuttingDown) {
+            return;
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! The serving core: resident stores, sharded oracles, and deadlines.
+//!
+//! A [`LoadedStore`] owns one table plus (when available) its
+//! precomputed sketch store — the owned data a [`DistanceOracle`]
+//! borrows. Loading degrades the way the CLI always has: a store file
+//! that fails its checksums falls back to on-demand sketching over the
+//! raw table instead of refusing to serve, and the degradation reason
+//! is kept for reporting. The CLI's `query --table` and
+//! `cluster --store` paths construct the same [`LoadedStore`], so the
+//! daemon and the one-shot commands cannot drift apart.
+//!
+//! A [`ShardedOracle`] spreads queries over several oracles, each with
+//! its own bounded sketch cache and tier counters, so concurrent
+//! workers do not serialize on one cache lock. Batches stay on a single
+//! shard — that is what makes batching amortize: every repeated
+//! rectangle in the batch hits that shard's cache.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use tabsketch_cluster::{ClusterError, DistanceOracle, Tier, TierSnapshot};
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_table::{io as table_io, Rect, Table, TileGrid};
+
+use crate::error::ServeError;
+use crate::protocol::StoreInfo;
+
+/// How a deadline-checked loop polls the clock: every this many items.
+const DEADLINE_STRIDE: usize = 16;
+
+/// A request deadline. [`Deadline::none`] never expires.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline(Option<Instant>);
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Deadline(None)
+    }
+
+    /// A deadline `ms` milliseconds from now; 0 means no deadline
+    /// (matching the wire encoding).
+    pub fn from_ms(ms: u32) -> Self {
+        if ms == 0 {
+            Deadline(None)
+        } else {
+            Deadline(Some(Instant::now() + Duration::from_millis(u64::from(ms))))
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.0.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Errors with [`ServeError::DeadlineExceeded`] once expired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::DeadlineExceeded`] when the deadline has
+    /// passed.
+    pub fn check(&self) -> Result<(), ServeError> {
+        if self.expired() {
+            Err(ServeError::DeadlineExceeded)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Where one served store comes from, plus its on-demand fallback
+/// sketch parameters (used when no store file is given or the file is
+/// damaged — a healthy store supplies its own sketcher).
+#[derive(Clone, Debug)]
+pub struct StoreSpec {
+    /// The name clients address this store by.
+    pub name: String,
+    /// The raw table file (`.csv` or binary).
+    pub table_path: PathBuf,
+    /// The precomputed sketch store, when one exists.
+    pub store_path: Option<PathBuf>,
+    /// Lp exponent for fallback on-demand sketches.
+    pub p: f64,
+    /// Sketch size for fallback on-demand sketches.
+    pub k: usize,
+    /// Seed for fallback on-demand sketches.
+    pub seed: u64,
+}
+
+impl StoreSpec {
+    /// A spec serving `table_path` under `name` with default fallback
+    /// parameters (p = 1, k = 256, seed = 0).
+    pub fn new(name: impl Into<String>, table_path: impl Into<PathBuf>) -> Self {
+        Self {
+            name: name.into(),
+            table_path: table_path.into(),
+            store_path: None,
+            p: 1.0,
+            k: 256,
+            seed: 0,
+        }
+    }
+
+    /// Attaches a precomputed sketch store file.
+    #[must_use]
+    pub fn with_store_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the fallback sketch parameters.
+    #[must_use]
+    pub fn with_params(mut self, p: f64, k: usize, seed: u64) -> Self {
+        self.p = p;
+        self.k = k;
+        self.seed = seed;
+        self
+    }
+}
+
+/// Loads a table by extension, the same rule the CLI uses.
+///
+/// # Errors
+///
+/// Propagates table I/O and parse failures.
+pub fn load_table(path: &Path) -> Result<Table, ServeError> {
+    let result = if path.extension().is_some_and(|e| e == "csv") {
+        table_io::load_csv(path)
+    } else {
+        table_io::load_binary(path)
+    };
+    result.map_err(ServeError::Table)
+}
+
+/// One resident store: the owned table and (optionally) its sketch
+/// store, ready to back any number of [`DistanceOracle`]s.
+pub struct LoadedStore {
+    name: String,
+    table: Table,
+    store: Option<AllSubtableSketches>,
+    degradation: Option<String>,
+    p: f64,
+    k: usize,
+    seed: u64,
+}
+
+impl LoadedStore {
+    /// Loads the table and, when specified, the sketch store. A store
+    /// file that fails to load does not fail the call: the result
+    /// serves from on-demand sketches and [`LoadedStore::degradation`]
+    /// reports why.
+    ///
+    /// # Errors
+    ///
+    /// Returns table errors (the table is not optional) and
+    /// [`ServeError::Config`] for an empty name.
+    pub fn load(spec: &StoreSpec) -> Result<Self, ServeError> {
+        if spec.name.is_empty() || spec.name.len() > crate::protocol::MAX_NAME {
+            return Err(ServeError::Config(format!(
+                "store name must be 1..={} bytes",
+                crate::protocol::MAX_NAME
+            )));
+        }
+        let table = load_table(&spec.table_path)?;
+        let (store, degradation) = match &spec.store_path {
+            None => (None, None),
+            Some(path) => match persist::load_store(path) {
+                Ok(store) => (Some(store), None),
+                Err(e) => (None, Some(format!("loading {}: {e}", path.display()))),
+            },
+        };
+        Ok(Self::from_parts(
+            &spec.name,
+            table,
+            store,
+            degradation,
+            spec,
+        ))
+    }
+
+    /// Wraps already-loaded data (the path the CLI uses when it has a
+    /// table and maybe a store in hand).
+    pub fn from_loaded(
+        name: impl Into<String>,
+        table: Table,
+        store: Option<AllSubtableSketches>,
+    ) -> Self {
+        let spec = StoreSpec::new("", "");
+        Self::from_parts(&name.into(), table, store, None, &spec)
+    }
+
+    /// Overrides the fallback sketch parameters (used only when no
+    /// sketch store is resident).
+    #[must_use]
+    pub fn with_fallback_params(mut self, p: f64, k: usize, seed: u64) -> Self {
+        self.p = p;
+        self.k = k;
+        self.seed = seed;
+        self
+    }
+
+    fn from_parts(
+        name: &str,
+        table: Table,
+        store: Option<AllSubtableSketches>,
+        degradation: Option<String>,
+        spec: &StoreSpec,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            table,
+            store,
+            degradation,
+            p: spec.p,
+            k: spec.k,
+            seed: spec.seed,
+        }
+    }
+
+    /// The serving name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The owned table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The resident sketch store, when one loaded cleanly.
+    pub fn store(&self) -> Option<&AllSubtableSketches> {
+        self.store.as_ref()
+    }
+
+    /// Why the sketch store is absent despite being requested, if so.
+    pub fn degradation(&self) -> Option<&str> {
+        self.degradation.as_deref()
+    }
+
+    /// The precomputed tile shape, when a store is resident.
+    pub fn tile(&self) -> Option<(usize, usize)> {
+        self.store.as_ref().map(|s| (s.tile_rows(), s.tile_cols()))
+    }
+
+    /// The wire description of this store.
+    pub fn info(&self) -> StoreInfo {
+        StoreInfo {
+            name: self.name.clone(),
+            rows: self.table.rows() as u64,
+            cols: self.table.cols() as u64,
+            tile: self.tile().map(|(r, c)| (r as u64, c as u64)),
+        }
+    }
+
+    /// Takes the owned data back out (table, then store if resident) —
+    /// for callers like `cluster` that finish oracle work and then need
+    /// the table itself for rendering or silhouette scoring.
+    pub fn into_parts(self) -> (Table, Option<AllSubtableSketches>) {
+        (self.table, self.store)
+    }
+
+    /// A fresh oracle over this store's data: store-backed when the
+    /// sketch store is resident, on-demand otherwise, with its sketch
+    /// cache bounded at `cache_capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sketcher-parameter errors from the fallback path.
+    pub fn oracle(&self, cache_capacity: usize) -> Result<DistanceOracle<'_>, ServeError> {
+        let oracle = match &self.store {
+            Some(store) => DistanceOracle::with_store(&self.table, store)?,
+            None => {
+                let params = SketchParams::new(self.p, self.k, self.seed)?;
+                DistanceOracle::on_demand(&self.table, Sketcher::new(params)?)?
+            }
+        };
+        Ok(oracle.with_cache_capacity(cache_capacity))
+    }
+}
+
+/// Several oracles over one [`LoadedStore`], each behind its own
+/// `RwLock` with its own bounded cache, picked round-robin.
+///
+/// Queries take a shard's read lock, so any number can run at once on
+/// one shard (the oracle itself is `Sync`); the write lock serializes
+/// maintenance like [`ShardedOracle::clear_caches`] against in-flight
+/// queries.
+pub struct ShardedOracle<'a> {
+    shards: Vec<RwLock<DistanceOracle<'a>>>,
+    next: AtomicUsize,
+}
+
+impl<'a> ShardedOracle<'a> {
+    /// Builds `shards` oracles (0 is clamped to 1) over `store`, each
+    /// with a cache bounded at `cache_capacity`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle construction failures.
+    pub fn new(
+        store: &'a LoadedStore,
+        shards: usize,
+        cache_capacity: usize,
+    ) -> Result<Self, ServeError> {
+        let shards = shards.max(1);
+        let mut built = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            built.push(RwLock::new(store.oracle(cache_capacity)?));
+        }
+        Ok(Self {
+            shards: built,
+            next: AtomicUsize::new(0),
+        })
+    }
+
+    /// How many shards back this oracle.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn pick(&self) -> &RwLock<DistanceOracle<'a>> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        &self.shards[i % self.shards.len()]
+    }
+
+    /// One distance through a round-robin shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle failures and deadline expiry.
+    pub fn distance(
+        &self,
+        a: Rect,
+        b: Rect,
+        deadline: Deadline,
+    ) -> Result<(f64, Tier), ServeError> {
+        deadline.check()?;
+        Ok(self.pick().read().distance(a, b)?)
+    }
+
+    /// A batch of distances through a *single* shard, so repeated
+    /// rectangles in the batch amortize into that shard's cache. The
+    /// deadline is checked every few pairs; expiry drops the whole
+    /// batch (partial answers are not encodable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle failures and deadline expiry.
+    pub fn distance_batch(
+        &self,
+        pairs: &[(Rect, Rect)],
+        deadline: Deadline,
+    ) -> Result<Vec<(f64, Tier)>, ServeError> {
+        deadline.check()?;
+        let shard = self.pick().read();
+        let mut out = Vec::with_capacity(pairs.len());
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            if i % DEADLINE_STRIDE == 0 {
+                deadline.check()?;
+            }
+            out.push(shard.distance(a, b)?);
+        }
+        Ok(out)
+    }
+
+    /// The sketch vector of one rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle failures and deadline expiry.
+    pub fn sketch_for(
+        &self,
+        rect: Rect,
+        deadline: Deadline,
+    ) -> Result<(Box<[f64]>, Tier), ServeError> {
+        deadline.check()?;
+        Ok(self.pick().read().sketch_for(rect)?)
+    }
+
+    /// The `count` tiles of `rect`'s shape nearest to `rect` (excluding
+    /// the tile identical to it), ascending by distance. Runs on one
+    /// shard for cache locality.
+    ///
+    /// # Errors
+    ///
+    /// Returns mining-layer errors for `count == 0`, table errors for a
+    /// rectangle that does not fit, and deadline expiry.
+    pub fn knn(
+        &self,
+        table: &Table,
+        rect: Rect,
+        count: usize,
+        deadline: Deadline,
+    ) -> Result<Vec<(Rect, f64)>, ServeError> {
+        deadline.check()?;
+        if count == 0 {
+            return Err(ServeError::Cluster(ClusterError::InvalidParameter(
+                "neighbor count must be non-zero",
+            )));
+        }
+        rect.validate(table.rows(), table.cols())
+            .map_err(ServeError::Table)?;
+        let grid = TileGrid::new(table.rows(), table.cols(), rect.rows, rect.cols)
+            .map_err(ServeError::Table)?;
+        let shard = self.pick().read();
+        let mut neighbors = Vec::with_capacity(grid.len().saturating_sub(1));
+        for (i, tile) in grid.iter().enumerate() {
+            if i % DEADLINE_STRIDE == 0 {
+                deadline.check()?;
+            }
+            if tile == rect {
+                continue;
+            }
+            let (d, _) = shard.distance(rect, tile)?;
+            neighbors.push((tile, d));
+        }
+        neighbors.sort_by(|x, y| {
+            x.1.total_cmp(&y.1)
+                .then((x.0.row, x.0.col).cmp(&(y.0.row, y.0.col)))
+        });
+        neighbors.truncate(count);
+        Ok(neighbors)
+    }
+
+    /// Tier and cache counters summed over all shards.
+    pub fn counters(&self) -> TierSnapshot {
+        let mut total = TierSnapshot::default();
+        for shard in &self.shards {
+            total.absorb(&shard.read().counters());
+        }
+        total
+    }
+
+    /// Empties every shard's sketch cache (counters survive). Takes
+    /// each shard's write lock in turn, so it waits out in-flight
+    /// queries shard by shard.
+    pub fn clear_caches(&self) {
+        for shard in &self.shards {
+            shard.write().clear_cache();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+
+    fn test_table() -> Table {
+        SixRegionGenerator::new(SixRegionConfig {
+            rows: 32,
+            cols: 32,
+            seed: 7,
+            ..Default::default()
+        })
+        .expect("config")
+        .generate()
+    }
+
+    fn test_store(table: &Table) -> AllSubtableSketches {
+        let sketcher = Sketcher::new(SketchParams::new(1.0, 32, 9).unwrap()).unwrap();
+        AllSubtableSketches::build(table, 8, 8, sketcher).unwrap()
+    }
+
+    #[test]
+    fn deadline_zero_ms_never_expires() {
+        let d = Deadline::from_ms(0);
+        assert!(!d.expired());
+        d.check().unwrap();
+        assert!(!Deadline::none().expired());
+    }
+
+    #[test]
+    fn elapsed_deadline_is_a_typed_error() {
+        let d = Deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(d.expired());
+        assert!(matches!(d.check(), Err(ServeError::DeadlineExceeded)));
+    }
+
+    #[test]
+    fn loaded_store_serves_with_and_without_store() {
+        let table = test_table();
+        let store = test_store(&table);
+        let with = LoadedStore::from_loaded("a", table.clone(), Some(store));
+        assert_eq!(with.tile(), Some((8, 8)));
+        assert_eq!(with.info().rows, 32);
+        let oracle = with.oracle(64).unwrap();
+        let (_, tier) = oracle
+            .distance(Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap();
+        assert_eq!(tier, Tier::Pooled);
+
+        let without = LoadedStore::from_loaded("b", table, None);
+        assert_eq!(without.tile(), None);
+        let oracle = without.oracle(64).unwrap();
+        let (_, tier) = oracle
+            .distance(Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap();
+        assert_eq!(tier, Tier::OnDemand);
+    }
+
+    #[test]
+    fn load_degrades_on_damaged_store_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-serve-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table_path = dir.join("t.tsb");
+        let store_path = dir.join("t.tsks");
+        let table = test_table();
+        table_io::save_binary(&table, &table_path).unwrap();
+        persist::save_store(&test_store(&table), &store_path).unwrap();
+
+        let spec = StoreSpec::new("x", &table_path)
+            .with_store_path(&store_path)
+            .with_params(1.0, 32, 9);
+        let healthy = LoadedStore::load(&spec).unwrap();
+        assert!(healthy.store().is_some());
+        assert!(healthy.degradation().is_none());
+
+        std::fs::write(&store_path, b"TSS2 garbage").unwrap();
+        let degraded = LoadedStore::load(&spec).unwrap();
+        assert!(degraded.store().is_none(), "damage degrades, not fails");
+        assert!(degraded.degradation().is_some());
+        degraded.oracle(16).unwrap();
+
+        assert!(
+            LoadedStore::load(&StoreSpec::new("", &table_path)).is_err(),
+            "empty name is a config error"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_oracle_agrees_across_shards_and_sums_counters() {
+        let table = test_table();
+        let store = test_store(&table);
+        let loaded = LoadedStore::from_loaded("s", table, Some(store));
+        let sharded = ShardedOracle::new(&loaded, 3, 16).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        let a = Rect::new(0, 0, 8, 8);
+        let b = Rect::new(16, 16, 8, 8);
+        let baseline = loaded.oracle(16).unwrap().distance(a, b).unwrap().0;
+        for _ in 0..6 {
+            let (d, _) = sharded.distance(a, b, Deadline::none()).unwrap();
+            assert_eq!(d, baseline, "all shards share the store's family");
+        }
+        let snap = sharded.counters();
+        assert_eq!(snap.total(), 6);
+        assert_eq!(snap.cache_capacity, 3 * 16, "capacity sums over shards");
+    }
+
+    #[test]
+    fn batch_amortizes_into_one_shard_cache() {
+        let table = test_table();
+        let loaded = LoadedStore::from_loaded("s", table, None);
+        let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
+        // 8 pairs over only 3 distinct rects: on-demand sketching should
+        // happen once per distinct rect on the answering shard.
+        let r = [
+            Rect::new(0, 0, 8, 8),
+            Rect::new(8, 8, 8, 8),
+            Rect::new(16, 16, 8, 8),
+        ];
+        let pairs: Vec<_> = (0..8).map(|i| (r[i % 3], r[(i + 1) % 3])).collect();
+        let out = sharded.distance_batch(&pairs, Deadline::none()).unwrap();
+        assert_eq!(out.len(), 8);
+        let snap = sharded.counters();
+        assert_eq!(snap.cache_misses, 3, "one miss per distinct rect");
+        assert!(snap.cache_hits >= 8, "the rest were amortized");
+    }
+
+    #[test]
+    fn expired_deadline_stops_a_batch() {
+        let table = test_table();
+        let loaded = LoadedStore::from_loaded("s", table, None);
+        let sharded = ShardedOracle::new(&loaded, 1, 64).unwrap();
+        let pairs = vec![(Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8)); 4];
+        let expired = Deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let err = sharded.distance_batch(&pairs, expired).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+    }
+
+    #[test]
+    fn knn_finds_same_shape_tiles() {
+        let table = test_table();
+        let store = test_store(&table);
+        let loaded = LoadedStore::from_loaded("s", table, Some(store));
+        let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
+        let query = Rect::new(0, 0, 8, 8);
+        let nn = sharded
+            .knn(loaded.table(), query, 3, Deadline::none())
+            .unwrap();
+        assert_eq!(nn.len(), 3);
+        assert!(nn.iter().all(|&(t, _)| t != query), "query excluded");
+        assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1), "ascending");
+
+        let err = sharded
+            .knn(loaded.table(), query, 0, Deadline::none())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Cluster(_)), "{err}");
+        let err = sharded
+            .knn(loaded.table(), Rect::new(0, 0, 64, 64), 1, Deadline::none())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Table(_)), "{err}");
+    }
+
+    #[test]
+    fn clear_caches_keeps_answers_and_drops_entries() {
+        let table = test_table();
+        let loaded = LoadedStore::from_loaded("s", table, None);
+        let sharded = ShardedOracle::new(&loaded, 2, 8).unwrap();
+        let a = Rect::new(0, 0, 8, 8);
+        let b = Rect::new(8, 8, 8, 8);
+        let before = sharded.distance(a, b, Deadline::none()).unwrap().0;
+        sharded.clear_caches();
+        let after = sharded.distance(a, b, Deadline::none()).unwrap().0;
+        assert_eq!(before, after, "same sketch family after rebuild");
+    }
+}

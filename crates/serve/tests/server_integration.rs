@@ -1,0 +1,491 @@
+//! End-to-end tests of the serving daemon over real sockets: concurrent
+//! mixed load, protocol-robustness fuzzing (truncation, bit rot,
+//! oversized claims — the same damage patterns `table::faults` applies
+//! to files, applied to the wire), deadline expiry, and shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+use tabsketch_serve::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
+};
+use tabsketch_serve::{
+    Client, ErrorCode, RequestKind, ServeError, Server, ServerConfig, StoreSpec,
+};
+use tabsketch_table::{io as table_io, Rect, Table};
+
+/// Generates a table + sketch store on disk; returns their dir and paths.
+fn fixture(tag: &str, rows: usize, cols: usize, tile: usize) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "tabsketch-serve-it-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let table_path = dir.join("t.tsb");
+    let store_path = dir.join("t.tsks");
+    let table: Table = SixRegionGenerator::new(SixRegionConfig {
+        rows,
+        cols,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate();
+    table_io::save_binary(&table, &table_path).unwrap();
+    let sketcher = Sketcher::new(SketchParams::new(1.0, 32, 5).unwrap()).unwrap();
+    let store = AllSubtableSketches::build(&table, tile, tile, sketcher).unwrap();
+    persist::save_store(&store, &store_path).unwrap();
+    (dir, table_path, store_path)
+}
+
+fn two_store_config(table_path: &PathBuf, store_path: &PathBuf) -> ServerConfig {
+    ServerConfig {
+        workers: 8,
+        shards: 4,
+        cache_capacity: 64,
+        specs: vec![
+            StoreSpec::new("day", table_path)
+                .with_store_path(store_path)
+                .with_params(1.0, 32, 5),
+            StoreSpec::new("raw", table_path).with_params(1.0, 32, 5),
+        ],
+        ..Default::default()
+    }
+}
+
+/// Requests shutdown when dropped. Every test scope below holds one so
+/// that a panicking assertion unwinds into a server shutdown; without
+/// it the scope's implicit join would wait forever on the server thread
+/// and turn a test failure into a hang.
+struct StopOnDrop(tabsketch_serve::ServerHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_mixed_load_zero_errors_and_consistent_metrics() {
+    const THREADS: usize = 8;
+    const DISTANCES: usize = 6;
+
+    let (dir, table_path, store_path) = fixture("mixed", 32, 32, 8);
+    let server = Server::bind(two_store_config(&table_path, &store_path)).unwrap();
+    let addr = server.local_addr();
+
+    let per_thread_values = std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        let clients: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || -> Result<(f64, Vec<f64>), ServeError> {
+                    let mut c = Client::connect(addr)?;
+                    c.ping()?;
+                    // The same fixed pair from every thread: answers
+                    // must agree exactly (pooled estimates are
+                    // deterministic).
+                    let a = Rect::new(0, 0, 8, 8);
+                    let b = Rect::new(16, 16, 8, 8);
+                    let mut fixed = f64::NAN;
+                    for _ in 0..DISTANCES {
+                        let (d, _) = c.distance("day", a, b)?;
+                        fixed = d;
+                    }
+                    // A thread-dependent batch on the table-only store.
+                    let r = |i: usize| Rect::new((i % 4) * 8, ((i / 4) % 4) * 8, 8, 8);
+                    let pairs: Vec<_> = (0..8).map(|i| (r(i), r(i + t + 1))).collect();
+                    let batch: Vec<f64> = c
+                        .distance_batch("raw", &pairs)?
+                        .into_iter()
+                        .map(|(d, _)| d)
+                        .collect();
+                    // Batched answers must equal one-at-a-time answers.
+                    for (i, &(pa, pb)) in pairs.iter().enumerate() {
+                        let (d, _) = c.distance("raw", pa, pb)?;
+                        assert_eq!(d, batch[i], "batch vs single disagree");
+                    }
+                    let (values, _) = c.sketch("day", a)?;
+                    assert_eq!(values.len(), 32, "store k");
+                    let nn = c.knn("day", a, 3)?;
+                    assert_eq!(nn.len(), 3);
+                    assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1));
+                    Ok((fixed, batch))
+                })
+            })
+            .collect();
+
+        let results: Vec<_> = clients
+            .into_iter()
+            .map(|c| c.join().expect("client thread panicked"))
+            .collect();
+
+        // Inspect metrics and stop the server.
+        let mut c = Client::connect(addr).unwrap();
+        let stores = c.stores().unwrap();
+        assert_eq!(stores.len(), 2);
+        assert_eq!(stores[0].name, "day");
+        assert_eq!(stores[0].tile, Some((8, 8)));
+        assert_eq!(stores[1].tile, None);
+        let snap = c.metrics().unwrap();
+        c.shutdown().unwrap();
+        assert!(run.join().expect("server thread panicked").is_ok());
+
+        // Zero errors across every client.
+        let values: Vec<_> = results
+            .into_iter()
+            .map(|r| r.expect("client op failed"))
+            .collect();
+
+        // Metrics are exact: every request was counted, nothing failed.
+        let per_thread = 1 + DISTANCES + 1 + 8 + 1 + 1; // ping + distances + batch + singles + sketch + knn
+        assert_eq!(
+            snap.total_requests(),
+            (THREADS * per_thread) as u64 + 2, // + stores + the metrics request itself
+            "{snap}"
+        );
+        assert_eq!(snap.count(RequestKind::Ping), THREADS as u64);
+        assert_eq!(
+            snap.count(RequestKind::Distance),
+            (THREADS * (DISTANCES + 8)) as u64
+        );
+        assert_eq!(snap.count(RequestKind::DistanceBatch), THREADS as u64);
+        assert_eq!(snap.count(RequestKind::Sketch), THREADS as u64);
+        assert_eq!(snap.count(RequestKind::Knn), THREADS as u64);
+        assert_eq!(snap.errors, 0, "{snap}");
+        assert_eq!(snap.timeouts, 0);
+        assert_eq!(snap.malformed, 0);
+        assert!(snap.connections >= (THREADS + 1) as u64);
+        assert!(snap.p99_us >= snap.p50_us);
+
+        // Per-store tier counters account for the distance traffic.
+        let day = snap.stores.iter().find(|s| s.name == "day").unwrap();
+        assert!(day.tiers.pooled >= (THREADS * DISTANCES) as u64, "{snap}");
+        let raw = snap.stores.iter().find(|s| s.name == "raw").unwrap();
+        assert!(raw.tiers.on_demand >= (THREADS * 16) as u64, "{snap}");
+        assert!(raw.tiers.cache_hits > 0, "batches amortized: {snap}");
+        assert_eq!(raw.tiers.cache_capacity, 4 * 64, "shards x capacity");
+
+        values
+    });
+
+    // Every thread saw the identical answer for the fixed pair.
+    let first = per_thread_values[0].0;
+    assert!(first.is_finite());
+    for (fixed, _) in &per_thread_values {
+        assert_eq!(*fixed, first, "threads disagree on a pooled distance");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A raw socket speaking deliberately damaged frames. Every exchange is
+/// bounded by a read timeout, so a hung server fails the test instead
+/// of hanging it.
+fn raw_conn(addr: std::net::SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s
+}
+
+fn expect_error_frame(stream: &mut TcpStream) -> (ErrorCode, String) {
+    let payload = read_frame(stream)
+        .expect("server must answer, not drop silently")
+        .expect("server must answer before closing");
+    match decode_response(&payload).expect("response must decode") {
+        Response::Error { code, message } => (code, message),
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+}
+
+fn valid_request_bytes() -> Vec<u8> {
+    encode_request(&RequestFrame {
+        deadline_ms: 0,
+        request: Request::Knn {
+            store: "day".into(),
+            rect: Rect::new(0, 0, 8, 8),
+            count: 3,
+        },
+    })
+}
+
+#[test]
+fn damaged_frames_yield_typed_errors_and_server_survives() {
+    let (dir, table_path, store_path) = fixture("fuzz", 32, 32, 8);
+    let server = Server::bind(two_store_config(&table_path, &store_path)).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let payload = valid_request_bytes();
+
+        // Truncated payloads inside an intact frame: typed malformed
+        // errors, connection stays usable.
+        {
+            let mut s = raw_conn(addr);
+            for cut in [0, 1, 4, 7, payload.len() - 1] {
+                write_frame(&mut s, &payload[..cut.max(1)]).unwrap();
+                let (code, msg) = expect_error_frame(&mut s);
+                assert_eq!(code, ErrorCode::Malformed, "cut {cut}: {msg}");
+            }
+            // Same connection still answers a healthy request.
+            write_frame(&mut s, &payload).unwrap();
+            let resp = decode_response(&read_frame(&mut s).unwrap().unwrap()).unwrap();
+            assert!(matches!(resp, Response::Knn { .. }), "{resp:?}");
+        }
+
+        // Bit rot at every payload offset: the server answers every
+        // frame (some decode to valid-but-different requests, the rest
+        // are typed errors) and never panics or hangs.
+        {
+            let mut s = raw_conn(addr);
+            for at in 0..payload.len() {
+                for mask in [0x01u8, 0x80, 0xFF] {
+                    let mut damaged = payload.clone();
+                    damaged[at] ^= mask;
+                    write_frame(&mut s, &damaged).unwrap();
+                    let frame = read_frame(&mut s)
+                        .expect("bit rot must not kill the connection")
+                        .expect("server must answer every intact frame");
+                    decode_response(&frame).expect("response must decode");
+                }
+            }
+        }
+
+        // A zero-length frame: framing violation, typed error, close.
+        {
+            let mut s = raw_conn(addr);
+            s.write_all(&0u32.to_le_bytes()).unwrap();
+            let (code, _) = expect_error_frame(&mut s);
+            assert_eq!(code, ErrorCode::Malformed);
+        }
+
+        // An oversized length prefix: refused before any allocation.
+        {
+            let mut s = raw_conn(addr);
+            s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            let (code, _) = expect_error_frame(&mut s);
+            assert_eq!(code, ErrorCode::FrameTooLarge);
+        }
+
+        // A frame cut off mid-payload with the connection held open:
+        // the server declares it malformed after its stall bound
+        // instead of hanging a worker forever.
+        {
+            let mut s = raw_conn(addr);
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &payload).unwrap();
+            s.write_all(&framed[..framed.len() / 2]).unwrap();
+            s.flush().unwrap();
+            let (code, msg) = expect_error_frame(&mut s);
+            assert_eq!(code, ErrorCode::Malformed, "{msg}");
+            assert!(msg.contains("stalled"), "{msg}");
+        }
+
+        // A frame cut off mid-payload with the connection closed.
+        {
+            let mut s = raw_conn(addr);
+            let mut framed = Vec::new();
+            write_frame(&mut framed, &payload).unwrap();
+            s.write_all(&framed[..5]).unwrap();
+            drop(s);
+        }
+
+        // After all of that abuse the server still serves cleanly, and
+        // counted every damaged frame.
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        let (d, _) = c
+            .distance("day", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap();
+        assert!(d.is_finite());
+        let snap = c.metrics().unwrap();
+        assert!(snap.malformed >= 7, "{snap}");
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_expiry_is_a_typed_timeout_over_the_wire() {
+    let (dir, table_path, _store) = fixture("deadline", 128, 128, 32);
+    let config = ServerConfig {
+        workers: 2,
+        shards: 1,
+        cache_capacity: 1024,
+        specs: vec![StoreSpec::new("big", &table_path).with_params(1.0, 256, 3)],
+        ..Default::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // 256 pairs of distinct 32x32 rects, all needing fresh
+        // on-demand sketches, under a 1 ms deadline: the batch cannot
+        // finish (the deadline re-check every few pairs must fire).
+        let mut c = Client::connect(addr).unwrap().with_deadline_ms(1);
+        let r = |i: usize| Rect::new(i % 96, (i * 7) % 96, 32, 32);
+        let pairs: Vec<_> = (0..256).map(|i| (r(i), r(i + 101))).collect();
+        let err = c.distance_batch("big", &pairs).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded), "{err}");
+
+        // The same batch with no deadline succeeds, and the timeout was
+        // counted.
+        let mut c = Client::connect(addr).unwrap();
+        assert_eq!(c.distance_batch("big", &pairs).unwrap().len(), 256);
+        let snap = c.metrics().unwrap();
+        assert_eq!(snap.timeouts, 1, "{snap}");
+        assert_eq!(snap.errors, 1, "{snap}");
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_store_and_bad_rect_are_remote_typed_errors() {
+    let (dir, table_path, store_path) = fixture("errors", 32, 32, 8);
+    let server = Server::bind(two_store_config(&table_path, &store_path)).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(addr).unwrap();
+
+        let err = c
+            .distance("nope", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServeError::Remote {
+                    code: ErrorCode::UnknownStore,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        let err = c
+            .distance("day", Rect::new(0, 0, 64, 64), Rect::new(0, 0, 64, 64))
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServeError::Remote {
+                    code: ErrorCode::Table,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        let err = c.knn("day", Rect::new(0, 0, 8, 8), 0).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServeError::Remote {
+                    code: ErrorCode::Mining,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+
+        // Typed errors do not poison the connection.
+        c.ping().unwrap();
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shutdown_poison_message_drains_and_stops() {
+    let (dir, table_path, store_path) = fixture("shutdown", 32, 32, 8);
+    let server = Server::bind(two_store_config(&table_path, &store_path)).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        c.shutdown().unwrap();
+        assert!(handle.is_shutting_down());
+        assert!(run.join().unwrap().is_ok(), "run returns after poison");
+    });
+
+    // Dropping the server closes the listener: new connections are
+    // refused (while the Server value lives, the kernel would still
+    // complete handshakes into the bound socket's backlog).
+    drop(server);
+    assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn programmatic_handle_shutdown_stops_run() {
+    let (dir, table_path, store_path) = fixture("handle", 32, 32, 8);
+    let server = Server::bind(two_store_config(&table_path, &store_path)).unwrap();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(handle.addr()).unwrap();
+        c.ping().unwrap();
+        handle.shutdown();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reading directly from the raw stream after shutdown: lingering idle
+/// connections receive a shutting-down error frame instead of silence.
+#[test]
+fn idle_connections_learn_about_shutdown() {
+    let (dir, table_path, store_path) = fixture("idle", 32, 32, 8);
+    let mut config = two_store_config(&table_path, &store_path);
+    config.workers = 2;
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        // An idle connection that never sends anything.
+        let mut idle = raw_conn(addr);
+        // Prove it is being served (ping over a second connection).
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        handle.shutdown();
+        // The idle connection gets a typed shutting-down frame (or at
+        // minimum a clean close) rather than a hang.
+        let mut buf = Vec::new();
+        let got = idle.read_to_end(&mut buf);
+        assert!(got.is_ok(), "idle connection must be released: {got:?}");
+        if !buf.is_empty() {
+            let payload = read_frame(&mut &buf[..]).unwrap().unwrap();
+            match decode_response(&payload).unwrap() {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::ShuttingDown),
+                other => panic!("unexpected farewell {other:?}"),
+            }
+        }
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

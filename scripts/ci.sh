@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> serve integration (sockets, concurrency, protocol fuzzing)"
+cargo test -q -p tabsketch-serve --test server_integration
+
+echo "==> serve load smoke (ephemeral port, mixed workload, shutdown)"
+cargo run -q -p tabsketch-bench --bin serve_load -- --quick
+
 echo "==> ci green"

@@ -14,7 +14,8 @@
 //! * [`fft`] — the FFT/correlation substrate;
 //! * [`data`] — synthetic dataset generators (call-volume, six-region);
 //! * [`cluster`] — clustering over exact/sketched/on-demand embeddings;
-//! * [`eval`] — the paper's accuracy and quality measures.
+//! * [`eval`] — the paper's accuracy and quality measures;
+//! * [`serve`] — a concurrent TCP query daemon and blocking client.
 //!
 //! ## Quick start
 //!
@@ -39,6 +40,7 @@ pub use tabsketch_core as core;
 pub use tabsketch_data as data;
 pub use tabsketch_eval as eval;
 pub use tabsketch_fft as fft;
+pub use tabsketch_serve as serve;
 pub use tabsketch_table as table;
 
 /// Commonly used items, re-exported for convenience.
