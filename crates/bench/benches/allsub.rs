@@ -23,15 +23,29 @@ fn bench_allsub(c: &mut Criterion) {
     for &edge in &[4usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("fft", edge), &edge, |b, &e| {
             b.iter(|| {
-                let sk = Sketcher::new(SketchParams::new(1.0, k, 7).expect("valid params"))
-                    .expect("valid sketcher");
+                let sk = Sketcher::new(
+                    SketchParams::builder()
+                        .p(1.0)
+                        .k(k)
+                        .seed(7)
+                        .build()
+                        .expect("valid params"),
+                )
+                .expect("valid sketcher");
                 AllSubtableSketches::build(black_box(&t), e, e, sk).expect("fits budget")
             });
         });
         group.bench_with_input(BenchmarkId::new("naive", edge), &edge, |b, &e| {
             b.iter(|| {
-                let sk = Sketcher::new(SketchParams::new(1.0, k, 7).expect("valid params"))
-                    .expect("valid sketcher");
+                let sk = Sketcher::new(
+                    SketchParams::builder()
+                        .p(1.0)
+                        .k(k)
+                        .seed(7)
+                        .build()
+                        .expect("valid params"),
+                )
+                .expect("valid sketcher");
                 AllSubtableSketches::build_naive(black_box(&t), e, e, sk).expect("fits budget")
             });
         });

@@ -27,7 +27,12 @@ fn bench_kmeans(c: &mut Criterion) {
     .generate();
     let grid = TileGrid::new(table.rows(), table.cols(), 16, 144).expect("tiles fit");
     let p = 0.5;
-    let params = SketchParams::new(p, 128, 4).expect("valid params");
+    let params = SketchParams::builder()
+        .p(p)
+        .k(128)
+        .seed(4)
+        .build()
+        .expect("valid params");
     let km = KMeans::new(KMeansConfig {
         k: 8,
         seed: 2,

@@ -32,8 +32,15 @@ fn bench_sketch_estimate(c: &mut Criterion) {
     let (a, b) = vectors(16384);
     for &k in &[64usize, 256, 1024] {
         for &p in &[1.0f64, 2.0] {
-            let sk = Sketcher::new(SketchParams::new(p, k, 5).expect("valid params"))
-                .expect("valid sketcher");
+            let sk = Sketcher::new(
+                SketchParams::builder()
+                    .p(p)
+                    .k(k)
+                    .seed(5)
+                    .build()
+                    .expect("valid params"),
+            )
+            .expect("valid sketcher");
             let sa = sk.sketch_slice(&a);
             let sb = sk.sketch_slice(&b);
             let mut scratch = Vec::with_capacity(k);
@@ -53,8 +60,15 @@ fn bench_sketch_construction(c: &mut Criterion) {
     group.sample_size(20);
     let (a, _) = vectors(16384);
     for &k in &[64usize, 256] {
-        let sk = Sketcher::new(SketchParams::new(1.0, k, 5).expect("valid params"))
-            .expect("valid sketcher");
+        let sk = Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(k)
+                .seed(5)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher");
         // Warm the random-row cache so the benchmark measures the dot
         // products (the steady-state cost), not one-time RNG work.
         let _ = sk.sketch_slice(&a);
@@ -69,8 +83,15 @@ fn bench_streaming_update(c: &mut Criterion) {
     use tabsketch_core::streaming::StreamingSketch;
     let mut group = c.benchmark_group("streaming_update");
     for &k in &[64usize, 256] {
-        let sk = Sketcher::new(SketchParams::new(1.0, k, 5).expect("valid params"))
-            .expect("valid sketcher");
+        let sk = Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(k)
+                .seed(5)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher");
         let mut stream = StreamingSketch::new(sk, 4096).expect("valid dim");
         // Warm the row cache so the benchmark measures the O(k) update.
         stream.update(4095, 1.0).expect("in range"); // caches full rows

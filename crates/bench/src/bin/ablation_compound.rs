@@ -29,7 +29,12 @@ fn main() {
     .expect("valid generator config")
     .generate();
 
-    let params = SketchParams::new(1.0, sketch_k, 21).expect("valid params");
+    let params = SketchParams::builder()
+        .p(1.0)
+        .k(sketch_k)
+        .seed(21)
+        .build()
+        .expect("valid params");
     let pool = SketchPool::build(
         &table,
         params,

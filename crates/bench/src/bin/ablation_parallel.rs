@@ -36,8 +36,15 @@ fn main() {
 
     // Sequential reference (also warms the shared random-row cache so the
     // comparison isolates correlation work).
-    let sketcher =
-        Sketcher::new(SketchParams::new(1.0, k, 3).expect("valid params")).expect("valid sketcher");
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(3)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     let (reference, t_seq) = time(|| {
         AllSubtableSketches::build(&table, edge, edge, sketcher.clone()).expect("fits budget")
     });

@@ -54,8 +54,15 @@ fn main() {
             &widths,
         );
         for &k in widths_table {
-            let sk = Sketcher::new(SketchParams::new(p, k, 555).expect("valid params"))
-                .expect("valid sketcher");
+            let sk = Sketcher::new(
+                SketchParams::builder()
+                    .p(p)
+                    .k(k)
+                    .seed(555)
+                    .build()
+                    .expect("valid params"),
+            )
+            .expect("valid sketcher");
             let estimates: Vec<f64> = pairs
                 .iter()
                 .map(|&(a, b)| {

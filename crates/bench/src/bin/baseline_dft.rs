@@ -81,8 +81,15 @@ fn main() {
         };
 
         // Stable sketches.
-        let sk = Sketcher::new(SketchParams::new(p, k, 3).expect("valid params"))
-            .expect("valid sketcher");
+        let sk = Sketcher::new(
+            SketchParams::builder()
+                .p(p)
+                .k(k)
+                .seed(3)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher");
         let stable_score = {
             let triples: Vec<ComparisonTriple> = anchors
                 .iter()

@@ -42,7 +42,12 @@ fn main() {
     );
 
     let exact = ExactEmbedding::from_tiles(&table, &grid, p).expect("non-empty grid");
-    let params = SketchParams::new(p, sketch_k, 8).expect("valid params");
+    let params = SketchParams::builder()
+        .p(p)
+        .k(sketch_k)
+        .seed(8)
+        .build()
+        .expect("valid params");
     let sketched = PrecomputedSketchEmbedding::build(
         &table,
         &grid,

@@ -85,9 +85,15 @@ fn main() {
             let (exact, t_exact) = time(|| exact_pair_distances(&table, &pairs, edge, edge, p));
 
             // (2) Preprocessing: sketches of every subtable of this size.
-            let sketcher =
-                Sketcher::new(SketchParams::new(p, k, 0x5EED_2002).expect("valid sketch params"))
-                    .expect("valid sketcher");
+            let sketcher = Sketcher::new(
+                SketchParams::builder()
+                    .p(p)
+                    .k(k)
+                    .seed(0x5EED_2002)
+                    .build()
+                    .expect("valid sketch params"),
+            )
+            .expect("valid sketcher");
             let (store, t_pre) = time(|| {
                 AllSubtableSketches::build_with_budget(&table, edge, edge, sketcher, 8 << 30)
                     .expect("store fits the budget")

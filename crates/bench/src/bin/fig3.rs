@@ -75,7 +75,12 @@ fn main() {
     );
 
     for &p in &p_values {
-        let params = SketchParams::new(p, sketch_k, 77).expect("valid sketch params");
+        let params = SketchParams::builder()
+            .p(p)
+            .k(sketch_k)
+            .seed(77)
+            .build()
+            .expect("valid sketch params");
 
         // Scenario 1: precomputed sketches.
         let (pre_embed, t_build) = time(|| {

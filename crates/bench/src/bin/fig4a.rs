@@ -45,7 +45,12 @@ fn main() {
         grid.len()
     );
 
-    let params = SketchParams::new(p, sketch_k, 77).expect("valid sketch params");
+    let params = SketchParams::builder()
+        .p(p)
+        .k(sketch_k)
+        .seed(77)
+        .build()
+        .expect("valid sketch params");
     // The sketch build is shared across all k (the paper's precomputed
     // scenario); build once, report it once.
     let (pre_embed, t_build) = time(|| {

@@ -53,7 +53,12 @@ fn main() {
     print_header(&["p", "correct%", "iters"], &widths);
 
     for &p in &p_values {
-        let params = SketchParams::new(p, sketch_k, 9).expect("valid sketch params");
+        let params = SketchParams::builder()
+            .p(p)
+            .k(sketch_k)
+            .seed(9)
+            .build()
+            .expect("valid sketch params");
         let embed = PrecomputedSketchEmbedding::build(
             &table,
             &grid,

@@ -48,7 +48,12 @@ fn main() {
 
     let mut maps = Vec::new();
     for &p in &[2.0f64, 0.25f64] {
-        let params = SketchParams::new(p, sketch_k, 1234).expect("valid sketch params");
+        let params = SketchParams::builder()
+            .p(p)
+            .k(sketch_k)
+            .seed(1234)
+            .build()
+            .expect("valid sketch params");
         let embed = PrecomputedSketchEmbedding::build(
             &table,
             &grid,

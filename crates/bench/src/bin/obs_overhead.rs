@@ -1,0 +1,161 @@
+//! Observability overhead — what instrumentation costs on the hot paths.
+//!
+//! The obs layer promises to be effectively free when no subscriber is
+//! installed: every `span()` is one relaxed atomic load, and counters
+//! are single relaxed `fetch_add`s. This bench quantifies that promise
+//! and writes a machine-readable summary to `BENCH_obs.json`:
+//!
+//! * primitive costs (ns/op): counter inc, histogram record, disabled
+//!   span, enabled span;
+//! * hot-path latencies with spans disabled vs enabled (subscriber
+//!   installed), for sketch construction and `O(k)` distance
+//!   estimation;
+//! * the derived no-op overhead: the share of each hot path spent in
+//!   its obs operations when no subscriber is installed — the number
+//!   the <5% acceptance bound refers to.
+//!
+//! Run `--quick` for a CI-speed pass; the derived no-op overhead is
+//! asserted below 5% in every mode.
+
+use std::time::Instant;
+
+use tabsketch_bench::{print_header, print_row, Scale};
+use tabsketch_core::{DistanceEstimator, SketchParams, Sketcher};
+use tabsketch_obs::RegistrySubscriber;
+
+/// Times `iters` runs of `f` and returns mean nanoseconds per run.
+fn mean_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+struct PathCost {
+    disabled_ns: f64,
+    enabled_ns: f64,
+}
+
+impl PathCost {
+    fn enabled_overhead_pct(&self) -> f64 {
+        100.0 * (self.enabled_ns - self.disabled_ns).max(0.0) / self.disabled_ns
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let micro_iters = scale.pick(200_000u64, 2_000_000, 10_000_000);
+    let path_iters = scale.pick(2_000u64, 20_000, 100_000);
+    let dim = 1024usize;
+    let k = 256usize;
+
+    println!("=== Observability overhead (dim {dim}, k {k}) ===\n");
+
+    // -- primitives, measured before any subscriber exists ------------
+    let c = tabsketch_obs::counter("bench.obs.counter");
+    let h = tabsketch_obs::histogram("bench.obs.histogram");
+    let counter_ns = mean_ns(micro_iters, || c.inc());
+    let histogram_ns = mean_ns(micro_iters, || h.record(17));
+    let span_disabled_ns = mean_ns(micro_iters, || {
+        let _s = tabsketch_obs::span("bench.obs.span");
+    });
+
+    // -- hot paths, spans disabled ------------------------------------
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(0xB0B)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    let va: Vec<f64> = (0..dim).map(|i| (i % 97) as f64).collect();
+    let vb: Vec<f64> = (0..dim).map(|i| ((i * 7) % 89) as f64).collect();
+    let sa = DistanceEstimator::sketch(&sk, &va);
+    let sb = DistanceEstimator::sketch(&sk, &vb);
+
+    let sketch_disabled_ns = mean_ns(path_iters, || {
+        std::hint::black_box(DistanceEstimator::sketch(&sk, std::hint::black_box(&va)));
+    });
+    let estimate_disabled_ns = mean_ns(path_iters * 8, || {
+        std::hint::black_box(sk.estimate_distance(&sa, &sb).expect("same family"));
+    });
+
+    // -- install the subscriber, re-measure ---------------------------
+    let _sub = RegistrySubscriber::install(false).expect("first install succeeds");
+    let span_enabled_ns = mean_ns(micro_iters, || {
+        let _s = tabsketch_obs::span("bench.obs.span");
+    });
+    let sketch_enabled_ns = mean_ns(path_iters, || {
+        std::hint::black_box(DistanceEstimator::sketch(&sk, std::hint::black_box(&va)));
+    });
+    let estimate_enabled_ns = mean_ns(path_iters * 8, || {
+        std::hint::black_box(sk.estimate_distance(&sa, &sb).expect("same family"));
+    });
+
+    let sketch = PathCost {
+        disabled_ns: sketch_disabled_ns,
+        enabled_ns: sketch_enabled_ns,
+    };
+    let estimate = PathCost {
+        disabled_ns: estimate_disabled_ns,
+        enabled_ns: estimate_enabled_ns,
+    };
+
+    // With no subscriber, a sketch call pays one disabled span and one
+    // counter inc; an estimate call pays one counter inc. The derived
+    // no-op overhead is that fixed cost as a share of the whole call.
+    let sketch_noop_pct = 100.0 * (span_disabled_ns + counter_ns) / sketch_disabled_ns;
+    let estimate_noop_pct = 100.0 * counter_ns / estimate_disabled_ns;
+
+    let widths = [26usize, 14, 14, 12];
+    print_header(&["path", "disabled ns", "enabled ns", "enabled %"], &widths);
+    print_row(
+        &[
+            "sketch (dim 1024)",
+            &format!("{sketch_disabled_ns:.0}"),
+            &format!("{sketch_enabled_ns:.0}"),
+            &format!("{:.2}", sketch.enabled_overhead_pct()),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "estimate (k 256)",
+            &format!("{estimate_disabled_ns:.0}"),
+            &format!("{estimate_enabled_ns:.0}"),
+            &format!("{:.2}", estimate.enabled_overhead_pct()),
+        ],
+        &widths,
+    );
+    println!(
+        "\nprimitives: counter {counter_ns:.1} ns, histogram {histogram_ns:.1} ns, \
+         span disabled {span_disabled_ns:.1} ns, span enabled {span_enabled_ns:.1} ns"
+    );
+    println!(
+        "derived no-op overhead: sketch {sketch_noop_pct:.3}%, estimate {estimate_noop_pct:.3}%"
+    );
+
+    assert!(
+        sketch_noop_pct < 5.0 && estimate_noop_pct < 5.0,
+        "no-op instrumentation overhead must stay below 5% \
+         (sketch {sketch_noop_pct:.3}%, estimate {estimate_noop_pct:.3}%)"
+    );
+
+    let json = format!(
+        "{{\n  \"dim\": {dim},\n  \"k\": {k},\n  \"primitives_ns\": {{\n    \
+         \"counter_inc\": {counter_ns:.2},\n    \"histogram_record\": {histogram_ns:.2},\n    \
+         \"span_disabled\": {span_disabled_ns:.2},\n    \"span_enabled\": {span_enabled_ns:.2}\n  }},\n  \
+         \"sketch_ns\": {{\"disabled\": {sketch_disabled_ns:.1}, \"enabled\": {sketch_enabled_ns:.1}}},\n  \
+         \"estimate_ns\": {{\"disabled\": {estimate_disabled_ns:.1}, \"enabled\": {estimate_enabled_ns:.1}}},\n  \
+         \"noop_overhead_pct\": {{\"sketch\": {sketch_noop_pct:.4}, \"estimate\": {estimate_noop_pct:.4}}},\n  \
+         \"enabled_overhead_pct\": {{\"sketch\": {:.4}, \"estimate\": {:.4}}},\n  \
+         \"bound_pct\": 5.0\n}}\n",
+        sketch.enabled_overhead_pct(),
+        estimate.enabled_overhead_pct(),
+    );
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("\nwrote BENCH_obs.json");
+}

@@ -114,8 +114,15 @@ fn main() {
     .expect("valid generator config")
     .generate();
     table_io::save_binary(&table, &table_path).expect("save table");
-    let sketcher =
-        Sketcher::new(SketchParams::new(1.0, k, 9).expect("valid params")).expect("valid sketcher");
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(9)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     let (store, t_build) =
         time(|| AllSubtableSketches::build(&table, tile, tile, sketcher).expect("fits budget"));
     persist::save_store(&store, &store_path).expect("save store");

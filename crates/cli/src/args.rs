@@ -27,6 +27,7 @@ const SWITCHES: &[&str] = &[
     "refine",
     "silhouette",
     "metrics",
+    "trace-spans",
     "shutdown",
 ];
 

@@ -143,7 +143,7 @@ pub fn distance(args: &Args) -> Result<(), CliError> {
     }
     let k: usize = args.get_or("k", 256)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let sketcher = Sketcher::new(SketchParams::new(p, k, seed)?)?;
+    let sketcher = Sketcher::new(SketchParams::builder().p(p).k(k).seed(seed).build()?)?;
     let est = sketcher.estimate_distance(&sketcher.sketch_view(&va), &sketcher.sketch_view(&vb))?;
     println!("sketched L{p} distance (k = {k}): {est}");
     println!("exact    L{p} distance:          {exact}");
@@ -163,7 +163,7 @@ pub fn sketch(args: &Args) -> Result<(), CliError> {
     let p: f64 = args.get_or("p", 1.0)?;
     let k: usize = args.get_or("k", 128)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let sketcher = Sketcher::new(SketchParams::new(p, k, seed)?)?;
+    let sketcher = Sketcher::new(SketchParams::builder().p(p).k(k).seed(seed).build()?)?;
     let store = AllSubtableSketches::build(&table, tr, tc, sketcher)?;
     persist::save_store(&store, out)
         .map_err(|e| CliError::from(e).in_context(format!("writing {out}")))?;
@@ -301,7 +301,13 @@ fn build_embedding(
     } else {
         let sketch_k: usize = args.get_or("sketch-k", 256)?;
         let seed: u64 = args.get_or("seed", 0)?;
-        let sketcher = Sketcher::new(SketchParams::new(p, sketch_k, seed)?)?;
+        let sketcher = Sketcher::new(
+            SketchParams::builder()
+                .p(p)
+                .k(sketch_k)
+                .seed(seed)
+                .build()?,
+        )?;
         Ok(AnyEmbedding::Sketched(PrecomputedSketchEmbedding::build(
             table, grid, sketcher,
         )?))
@@ -424,7 +430,13 @@ pub fn cluster(args: &Args) -> Result<(), CliError> {
         (km.run(&embedding)?, "exact")
     } else {
         let sketch_k: usize = args.get_or("sketch-k", 256)?;
-        let sketcher = Sketcher::new(SketchParams::new(p, sketch_k, seed)?)?;
+        let sketcher = Sketcher::new(
+            SketchParams::builder()
+                .p(p)
+                .k(sketch_k)
+                .seed(seed)
+                .build()?,
+        )?;
         let embedding = PrecomputedSketchEmbedding::build(&table, &grid, sketcher)?;
         (km.run(&embedding)?, "sketched")
     };

@@ -33,6 +33,19 @@ fn main() {
         print_usage();
         return;
     }
+    let trace = parsed.switch("trace-spans");
+    let obs_on = obs_requested(&parsed);
+    let subscriber = if obs_on {
+        // Pre-register every crate's schema so the exit snapshot shows
+        // the full key set even for counters this run never touched.
+        tabsketch_fft::register_metrics();
+        tabsketch_core::register_metrics();
+        tabsketch_cluster::register_metrics();
+        tabsketch_serve::register_metrics();
+        tabsketch_obs::RegistrySubscriber::install(trace)
+    } else {
+        None
+    };
     let result = match parsed.command.as_str() {
         "generate" => commands::generate(&parsed),
         "info" => commands::info(&parsed),
@@ -49,9 +62,40 @@ fn main() {
             "unknown command {other:?} (try `tabsketch-cli help`)"
         ))),
     };
+    if obs_on {
+        emit_observability(&parsed, subscriber);
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(e.exit_code());
+    }
+}
+
+/// Whether this invocation wants local instrumentation. `ping --metrics`
+/// is excluded: there the switch asks the *server* for its counters.
+fn obs_requested(parsed: &Args) -> bool {
+    let local_metrics = parsed.switch("metrics") && parsed.command != "ping";
+    local_metrics || parsed.switch("trace-spans") || parsed.get("metrics-out").is_some()
+}
+
+/// Prints the exit snapshot: human-readable registry to stderr, JSON to
+/// `--metrics-out FILE` when given, and the span trace under
+/// `--trace-spans`.
+fn emit_observability(
+    parsed: &Args,
+    subscriber: Option<&'static tabsketch_obs::RegistrySubscriber>,
+) {
+    let snap = tabsketch_obs::global().snapshot();
+    eprint!("{snap}");
+    if let Some(path) = parsed.get("metrics-out") {
+        if let Err(e) = std::fs::write(path, snap.to_json()) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+        }
+    }
+    if parsed.switch("trace-spans") {
+        if let Some(sub) = subscriber {
+            eprint!("{}", sub.render_trace());
+        }
     }
 }
 
@@ -121,6 +165,13 @@ COMMANDS:
       Query a running server: distance between two windows, or the N
       nearest tiles. Window shape defaults to the store's precomputed
       tile; --deadline bounds the request server-side.
+
+OBSERVABILITY (any command):
+  --metrics            print a metrics-registry snapshot (fft/core/
+                       cluster/serve keys) to stderr on exit
+  --metrics-out FILE   also write the snapshot as JSON to FILE
+  --trace-spans        time hierarchical spans and print the trace
+  (`ping --metrics` is unchanged: it fetches the *server's* counters.)
 
 EXIT CODES:
   0 success; 2 usage error; 3 table-file error; 4 sketch/store error;

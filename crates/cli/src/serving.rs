@@ -54,6 +54,13 @@ fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError
 /// Blocks until a client sends the shutdown poison message (see
 /// `ping --shutdown`).
 pub fn serve(args: &Args) -> Result<(), CliError> {
+    // The daemon always pre-registers every crate's metric schema so
+    // remote `ping --metrics` reports the full key set, not just the
+    // counters this process happened to touch.
+    tabsketch_fft::register_metrics();
+    tabsketch_core::register_metrics();
+    tabsketch_cluster::register_metrics();
+    tabsketch_serve::register_metrics();
     let specs = if let Some(list) = args.get("stores") {
         parse_store_specs(list, args)?
     } else {

@@ -2,7 +2,7 @@
 
 use parking_lot::Mutex;
 
-use tabsketch_core::{SketchPool, Sketcher, TabError};
+use tabsketch_core::{DistanceEstimator, Sketch, SketchPool, Sketcher, TabError};
 use tabsketch_table::{norms, Rect, Table, TileGrid};
 
 use crate::embedding::Embedding;
@@ -177,6 +177,86 @@ impl Embedding for PrecomputedSketchEmbedding {
     }
 }
 
+/// Any [`DistanceEstimator`] backend as a clustering [`Embedding`].
+///
+/// Objects are sketched once through the estimator at construction, and
+/// every distance is a trait call — so k-means, k-NN, and hierarchical
+/// clustering run over any backend whose sketches are [`Sketch`] values
+/// (a p-stable [`Sketcher`], a pool-backed
+/// [`tabsketch_core::PoolRectEstimator`], …) through one generic bound
+/// instead of a concrete sketcher type.
+///
+/// Because sketches are linear maps, the mean of sketch values is the
+/// sketch of the mean object, so k-means centroids remain valid
+/// representations. Centroid distances re-wrap slices into [`Sketch`]
+/// values per call; for the tightest hot loop over a plain `Sketcher`,
+/// [`PrecomputedSketchEmbedding`] remains the specialized path.
+pub struct EstimatorEmbedding<E: DistanceEstimator<Sketch = Sketch>> {
+    estimator: E,
+    sketches: Vec<Sketch>,
+    p: f64,
+    family: u64,
+    k: usize,
+}
+
+impl<E: DistanceEstimator<Sketch = Sketch>> EstimatorEmbedding<E> {
+    /// Sketches every object in `objects` through `estimator`.
+    ///
+    /// All objects must be acceptable inputs to the estimator's
+    /// [`DistanceEstimator::sketch`] (for a pool rect estimator that
+    /// means `rows * cols` values each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an empty object set.
+    pub fn new(estimator: E, objects: &[Vec<f64>]) -> Result<Self, ClusterError> {
+        if objects.is_empty() {
+            return Err(ClusterError::InvalidParameter("no objects provided"));
+        }
+        let sketches: Vec<Sketch> = objects.iter().map(|o| estimator.sketch(o)).collect();
+        let (p, family, k) = (
+            sketches[0].p(),
+            sketches[0].family(),
+            sketches[0].values().len(),
+        );
+        Ok(Self {
+            estimator,
+            sketches,
+            p,
+            family,
+            k,
+        })
+    }
+
+    /// The estimator backend scoring distances.
+    #[inline]
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+}
+
+impl<E: DistanceEstimator<Sketch = Sketch>> Embedding for EstimatorEmbedding<E> {
+    fn num_objects(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.k
+    }
+
+    fn with_point<R>(&self, i: usize, f: &mut dyn FnMut(&[f64]) -> R) -> R {
+        f(self.sketches[i].values())
+    }
+
+    fn distance(&self, a: &[f64], b: &[f64], _scratch: &mut Vec<f64>) -> f64 {
+        let sa = Sketch::from_values(self.p, self.family, a.to_vec());
+        let sb = Sketch::from_values(self.p, self.family, b.to_vec());
+        self.estimator
+            .estimate_distance(&sa, &sb)
+            .expect("sketches share the estimator's family and width")
+    }
+}
+
 /// Scenario 2 — sketches computed on first use and cached.
 ///
 /// The first touch of a tile pays the full sketch-construction cost (the
@@ -249,6 +329,7 @@ impl Embedding for OnDemandSketchEmbedding<'_> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_core::SketchParams;
@@ -376,6 +457,72 @@ mod tests {
         // Rect whose dyadic floor is not stored.
         let uncovered = vec![tabsketch_table::Rect::new(0, 0, 4, 4)];
         assert!(PrecomputedSketchEmbedding::from_pool(&pool, &uncovered).is_err());
+    }
+
+    #[test]
+    fn estimator_embedding_matches_precomputed() {
+        // The generic trait-bound embedding over a plain Sketcher must
+        // agree exactly with the specialized precomputed embedding.
+        let t = table();
+        let grid = TileGrid::new(24, 24, 8, 8).unwrap();
+        let pre = PrecomputedSketchEmbedding::build(&t, &grid, sketcher(32)).unwrap();
+        let objects: Vec<Vec<f64>> = grid
+            .iter()
+            .map(|rect| t.view(rect).unwrap().to_vec())
+            .collect();
+        let generic = EstimatorEmbedding::new(sketcher(32), &objects).unwrap();
+        assert_eq!(generic.num_objects(), pre.num_objects());
+        assert_eq!(generic.dim(), pre.dim());
+        let mut scratch = Vec::new();
+        for i in 0..pre.num_objects() {
+            for j in 0..pre.num_objects() {
+                let dg = generic.object_distance(i, j, &mut scratch);
+                let dp = pre.object_distance(i, j, &mut scratch);
+                assert!((dg - dp).abs() < 1e-9, "({i},{j}): {dg} vs {dp}");
+            }
+        }
+        assert!(EstimatorEmbedding::new(sketcher(8), &[]).is_err());
+    }
+
+    #[test]
+    fn estimator_embedding_over_pool_rect_views() {
+        use tabsketch_core::{PoolConfig, SketchPool};
+
+        // Same top-vs-bottom band layout as the pool embedding test, but
+        // the objects are raw rect contents sketched through the generic
+        // PoolRectEstimator backend.
+        let t = Table::from_fn(48, 48, |r, _| if r < 24 { 1.0 } else { 900.0 }).unwrap();
+        let pool = SketchPool::build(
+            &t,
+            tabsketch_core::SketchParams::new(1.0, 128, 5).unwrap(),
+            PoolConfig {
+                min_rows: 8,
+                min_cols: 8,
+                max_rows: 16,
+                max_cols: 16,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rects = [
+            Rect::new(0, 0, 12, 12),
+            Rect::new(4, 20, 12, 12),
+            Rect::new(30, 0, 12, 12),
+            Rect::new(34, 20, 12, 12),
+        ];
+        let objects: Vec<Vec<f64>> = rects
+            .iter()
+            .map(|&rect| t.view(rect).unwrap().to_vec())
+            .collect();
+        let est = pool.rect_estimator(12, 12).unwrap();
+        let e = EstimatorEmbedding::new(est, &objects).unwrap();
+        let mut scratch = Vec::new();
+        let d_same = e.object_distance(0, 1, &mut scratch);
+        let d_cross = e.object_distance(0, 2, &mut scratch);
+        assert!(
+            d_same < d_cross,
+            "same-band {d_same} vs cross-band {d_cross}"
+        );
     }
 
     #[test]

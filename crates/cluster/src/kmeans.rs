@@ -106,6 +106,7 @@ impl KMeans {
     /// Returns [`ClusterError::TooFewObjects`] when there are fewer
     /// objects than clusters.
     pub fn run<E: Embedding>(&self, embedding: &E) -> Result<KMeansResult, ClusterError> {
+        let _span = tabsketch_obs::span("cluster.kmeans.run");
         let n = embedding.num_objects();
         let k = self.config.k;
         if n < k {
@@ -130,8 +131,9 @@ impl KMeans {
 
         while iterations < self.config.max_iters {
             iterations += 1;
+            tabsketch_obs::counter!("cluster.kmeans.iterations").inc();
             // Assignment step.
-            let mut changed = false;
+            let mut reassigned: u64 = 0;
             for (i, slot) in assignments.iter_mut().enumerate() {
                 embedding.point_to_vec(i, &mut point);
                 let mut best = 0usize;
@@ -146,10 +148,11 @@ impl KMeans {
                 }
                 if *slot != best {
                     *slot = best;
-                    changed = true;
+                    reassigned += 1;
                 }
             }
-            if !changed {
+            tabsketch_obs::counter!("cluster.kmeans.reassignments").add(reassigned);
+            if reassigned == 0 {
                 converged = true;
                 break;
             }

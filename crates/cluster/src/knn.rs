@@ -7,6 +7,7 @@
 
 use crate::embedding::Embedding;
 use crate::ClusterError;
+use tabsketch_core::DistanceEstimator;
 
 /// A neighbor: object index and its distance from the query.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,6 +52,54 @@ pub fn nearest_neighbors<E: Embedding>(
                 .with_point(i, &mut |p| embedding.distance(&qpoint, p, &mut scratch)),
         })
         .collect();
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+    neighbors.truncate(k);
+    Ok(neighbors)
+}
+
+/// The `k` nearest neighbors of `sketches[query]` under any
+/// [`DistanceEstimator`] backend — the same query as
+/// [`nearest_neighbors`], but bounded on the estimator trait rather than
+/// an [`Embedding`], so p-stable, pool-backed, and transform baselines
+/// all answer through one signature.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `k == 0` or `query` is
+/// out of range, [`ClusterError::TooFewObjects`] when fewer than `k`
+/// other objects exist, and propagates estimator mismatch errors.
+pub fn nearest_neighbors_sketched<E: DistanceEstimator>(
+    estimator: &E,
+    sketches: &[E::Sketch],
+    query: usize,
+    k: usize,
+) -> Result<Vec<Neighbor>, ClusterError> {
+    let n = sketches.len();
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if query >= n {
+        return Err(ClusterError::InvalidParameter("query index out of range"));
+    }
+    if n - 1 < k {
+        return Err(ClusterError::TooFewObjects { objects: n - 1, k });
+    }
+    let mut neighbors = Vec::with_capacity(n - 1);
+    for (i, sketch) in sketches.iter().enumerate() {
+        if i == query {
+            continue;
+        }
+        neighbors.push(Neighbor {
+            index: i,
+            distance: estimator
+                .estimate_distance(&sketches[query], sketch)
+                .map_err(ClusterError::Core)?,
+        });
+    }
     neighbors.sort_by(|a, b| {
         a.distance
             .total_cmp(&b.distance)
@@ -128,6 +177,37 @@ mod tests {
             nn.iter().map(|n| n.index).collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
+    }
+
+    #[test]
+    fn sketched_knn_finds_true_neighbors() {
+        use tabsketch_core::{SketchParams, Sketcher};
+
+        // Constant 32-dim vectors at squared-line values: exact nearest
+        // neighbors of index 3 (value 9) are 2 (gap 5·32) then 4 (gap
+        // 7·32); k = 400 sketches must preserve that ordering.
+        let sk = Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(400)
+                .seed(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let sketches: Vec<_> = (0..10)
+            .map(|i| DistanceEstimator::sketch(&sk, &vec![(i * i) as f64; 32]))
+            .collect();
+        let nn = nearest_neighbors_sketched(&sk, &sketches, 3, 2).unwrap();
+        assert_eq!(nn[0].index, 2);
+        assert_eq!(nn[1].index, 4);
+        // Validation mirrors the embedding-based query.
+        assert!(nearest_neighbors_sketched(&sk, &sketches, 0, 0).is_err());
+        assert!(nearest_neighbors_sketched(&sk, &sketches, 10, 1).is_err());
+        assert!(matches!(
+            nearest_neighbors_sketched(&sk, &sketches, 0, 10),
+            Err(ClusterError::TooFewObjects { objects: 9, k: 10 })
+        ));
     }
 
     #[test]

@@ -46,12 +46,14 @@ pub mod silhouette;
 pub use birch::{birch, BirchConfig, BirchResult};
 pub use dbscan::{dbscan, DbscanConfig, DbscanLabel, DbscanResult};
 pub use embedding::Embedding;
-pub use embeddings::{ExactEmbedding, OnDemandSketchEmbedding, PrecomputedSketchEmbedding};
+pub use embeddings::{
+    EstimatorEmbedding, ExactEmbedding, OnDemandSketchEmbedding, PrecomputedSketchEmbedding,
+};
 pub use error::ClusterError;
 pub use hierarchical::{agglomerate, Dendrogram, Linkage, Merge};
 pub use kmeans::{InitMethod, KMeans, KMeansConfig, KMeansResult};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
-pub use knn::{knn_recall, nearest_neighbors, Neighbor};
+pub use knn::{knn_recall, nearest_neighbors, nearest_neighbors_sketched, Neighbor};
 pub use lru::{CacheStats, LruCache};
 pub use oracle::{
     DistanceOracle, OracleEmbedding, Tier, TierCounters, TierSnapshot,
@@ -59,3 +61,20 @@ pub use oracle::{
 };
 pub use pairs::{most_similar_pairs, most_similar_pairs_refined, pair_recall, ScoredPair};
 pub use silhouette::{silhouette, Silhouette};
+
+/// Pre-registers this crate's metric keys in the global observability
+/// registry, so snapshots report the full `cluster.*` schema even before
+/// any oracle or clustering run has executed.
+pub fn register_metrics() {
+    use tabsketch_obs as obs;
+    obs::counter("cluster.oracle.pooled");
+    obs::counter("cluster.oracle.on_demand");
+    obs::counter("cluster.oracle.exact");
+    obs::counter("cluster.oracle.pooled_fallbacks");
+    obs::counter("cluster.oracle.on_demand_fallbacks");
+    obs::counter("cluster.lru.hits");
+    obs::counter("cluster.lru.misses");
+    obs::counter("cluster.lru.evictions");
+    obs::counter("cluster.kmeans.iterations");
+    obs::counter("cluster.kmeans.reassignments");
+}

@@ -74,21 +74,35 @@ pub struct TierCounters {
 
 impl TierCounters {
     fn record_hit(&self, tier: Tier) {
-        let c = match tier {
-            Tier::Pooled => &self.pooled,
-            Tier::OnDemand => &self.on_demand,
-            Tier::Exact => &self.exact,
+        let (c, global) = match tier {
+            Tier::Pooled => (
+                &self.pooled,
+                tabsketch_obs::counter!("cluster.oracle.pooled"),
+            ),
+            Tier::OnDemand => (
+                &self.on_demand,
+                tabsketch_obs::counter!("cluster.oracle.on_demand"),
+            ),
+            Tier::Exact => (&self.exact, tabsketch_obs::counter!("cluster.oracle.exact")),
         };
         c.fetch_add(1, Ordering::Relaxed);
+        global.inc();
     }
 
     fn record_fallback(&self, from: Tier) {
-        let c = match from {
-            Tier::Pooled => &self.pooled_fallbacks,
-            Tier::OnDemand => &self.on_demand_fallbacks,
+        let (c, global) = match from {
+            Tier::Pooled => (
+                &self.pooled_fallbacks,
+                tabsketch_obs::counter!("cluster.oracle.pooled_fallbacks"),
+            ),
+            Tier::OnDemand => (
+                &self.on_demand_fallbacks,
+                tabsketch_obs::counter!("cluster.oracle.on_demand_fallbacks"),
+            ),
             Tier::Exact => return,
         };
         c.fetch_add(1, Ordering::Relaxed);
+        global.inc();
     }
 
     /// A point-in-time copy of the counters (cache fields zeroed; the
@@ -319,14 +333,18 @@ impl<'a> DistanceOracle<'a> {
     /// Propagates view errors for out-of-bounds rectangles.
     fn on_demand_values(&self, rect: Rect) -> Result<Box<[f64]>, ClusterError> {
         if let Some(v) = self.cache.lock().get(&rect) {
+            tabsketch_obs::counter!("cluster.lru.hits").inc();
             return Ok(v.clone());
         }
+        tabsketch_obs::counter!("cluster.lru.misses").inc();
         // Sketching happens outside the lock: it is the expensive part,
         // and a racing thread computing the same rectangle produces an
         // identical value, so the duplicate insert is harmless.
         let view = self.table.view(rect)?;
         let values: Box<[f64]> = self.sketcher.sketch_view(&view).values().into();
-        self.cache.lock().insert(rect, values.clone());
+        if self.cache.lock().insert(rect, values.clone()).is_some() {
+            tabsketch_obs::counter!("cluster.lru.evictions").inc();
+        }
         Ok(values)
     }
 
@@ -351,6 +369,7 @@ impl<'a> DistanceOracle<'a> {
     /// Returns table errors for rectangles that do not fit the table —
     /// the one failure no tier can absorb.
     pub fn distance(&self, a: Rect, b: Rect) -> Result<(f64, Tier), ClusterError> {
+        let _span = tabsketch_obs::span("cluster.oracle.distance");
         if self.source.is_some() {
             if let Some(d) = self.pooled_estimate(a, b) {
                 self.counters.record_hit(Tier::Pooled);
@@ -472,6 +491,7 @@ impl Embedding for OracleEmbedding<'_> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{KMeans, KMeansConfig};

@@ -71,6 +71,8 @@ impl AllSubtableSketches {
     ) -> Result<Self, TabError> {
         let (out_rows, out_cols) =
             Self::validate(table, tile_rows, tile_cols, sketcher.k(), max_bytes)?;
+        let _span = tabsketch_obs::span("core.allsub.build");
+        tabsketch_obs::counter!("core.allsub.builds").inc();
         let k = sketcher.k();
         let npos = out_rows * out_cols;
         let mut values = vec![0.0; npos * k];
@@ -130,6 +132,8 @@ impl AllSubtableSketches {
         }
         let (out_rows, out_cols) =
             Self::validate(table, tile_rows, tile_cols, sketcher.k(), max_bytes)?;
+        let _span = tabsketch_obs::span("core.allsub.build");
+        tabsketch_obs::counter!("core.allsub.builds").inc();
         let k = sketcher.k();
         let npos = out_rows * out_cols;
         let corr = Correlator2d::new(table.as_slice(), table.rows(), table.cols())?;
@@ -391,6 +395,7 @@ impl AllSubtableSketches {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::sketch::SketchParams;

@@ -11,7 +11,7 @@
 //! * [`SamplingSketcher`] — estimate the Lp distance from a random subset
 //!   of coordinates.
 
-use tabsketch_fft::{next_pow2, Complex, FftPlan};
+use tabsketch_fft::{next_pow2, plan_for, Complex};
 use tabsketch_table::norms::abs_pow;
 
 use crate::rng::stream_rng;
@@ -62,7 +62,7 @@ impl DftSketcher {
     /// Sketches a linearized object.
     pub fn sketch(&self, data: &[f64]) -> DftSketch {
         let n = next_pow2(data.len().max(1));
-        let plan = FftPlan::new(n).expect("next_pow2 yields a power of two");
+        let plan = plan_for(n).expect("next_pow2 yields a power of two");
         let mut buf = plan.forward_real(data);
         buf.truncate(self.m.min(n));
         DftSketch {
@@ -260,6 +260,12 @@ impl SamplingSketcher {
         }
         crate::stable::Alpha::new(p)?;
         Ok(Self { m, p, seed })
+    }
+
+    /// The Lp exponent estimates are computed for.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
     }
 
     /// The sampled coordinate indices for objects of length `len` —

@@ -1,0 +1,213 @@
+//! One coherent estimator interface over every sketch backend.
+//!
+//! The workspace grew several ways to turn objects into small summaries
+//! and summaries into approximate distances: p-stable [`Sketcher`]s (the
+//! paper's contribution), the dyadic [`crate::SketchPool`] (via
+//! [`crate::pool::PoolRectEstimator`]), and the DFT / Haar / sampling
+//! baselines the paper compares against. [`DistanceEstimator`] is the
+//! one trait they all speak, so benchmarks, conformance tests, and the
+//! clustering layer can be written once and run against any backend.
+//!
+//! ```
+//! use tabsketch_core::estimator::DistanceEstimator;
+//! use tabsketch_core::{SketchParams, Sketcher};
+//!
+//! fn relative_error<E: DistanceEstimator>(est: &E, x: &[f64], y: &[f64], exact: f64) -> f64 {
+//!     let d = est
+//!         .estimate_distance(&est.sketch(x), &est.sketch(y))
+//!         .unwrap();
+//!     (d - exact).abs() / exact
+//! }
+//!
+//! let params = SketchParams::builder().p(1.0).k(400).seed(7).build().unwrap();
+//! let sk = Sketcher::new(params).unwrap();
+//! let x = vec![1.0; 128];
+//! let y = vec![4.0; 128];
+//! assert!(relative_error(&sk, &x, &y, 3.0 * 128.0) < 0.25);
+//! ```
+
+use crate::baseline::{
+    DftSketch, DftSketcher, HaarSketch, HaarSketcher, SampledSketch, SamplingSketcher,
+};
+use crate::sketch::{Sketch, Sketcher};
+use crate::TabError;
+
+/// A sketch-based approximate Lp distance backend.
+///
+/// Implementors compress a linearized object (vector, or row-major
+/// matrix) into an opaque summary and estimate the Lp distance between
+/// two objects from their summaries alone. The trait deliberately
+/// mirrors the shape of the paper's pipeline: `sketch` is the
+/// preprocessing step, `estimate_distance` the constant-time query.
+pub trait DistanceEstimator {
+    /// The summary type this backend produces.
+    type Sketch;
+
+    /// Summarizes a linearized object.
+    ///
+    /// Backends over fixed-shape objects (e.g. pool-backed rectangle
+    /// estimators) document their expected length and panic on
+    /// mismatched input, mirroring slice-indexing conventions.
+    fn sketch(&self, data: &[f64]) -> Self::Sketch;
+
+    /// Estimates the Lp distance between the objects behind two
+    /// sketches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] when the sketches are not
+    /// comparable (different widths, exponents, or random families).
+    fn estimate_distance(&self, a: &Self::Sketch, b: &Self::Sketch) -> Result<f64, TabError>;
+
+    /// The Lp exponent this backend estimates distances for.
+    fn p(&self) -> f64;
+}
+
+impl DistanceEstimator for Sketcher {
+    type Sketch = Sketch;
+
+    fn sketch(&self, data: &[f64]) -> Sketch {
+        self.sketch_slice(data)
+    }
+
+    fn estimate_distance(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
+        Sketcher::estimate_distance(self, a, b)
+    }
+
+    fn p(&self) -> f64 {
+        Sketcher::p(self)
+    }
+}
+
+impl DistanceEstimator for DftSketcher {
+    type Sketch = DftSketch;
+
+    fn sketch(&self, data: &[f64]) -> DftSketch {
+        DftSketcher::sketch(self, data)
+    }
+
+    fn estimate_distance(&self, a: &DftSketch, b: &DftSketch) -> Result<f64, TabError> {
+        self.estimate_l2_distance(a, b)
+    }
+
+    /// Transform-coefficient truncation only bounds the L2 distance —
+    /// the limitation the paper's related-work section turns on.
+    fn p(&self) -> f64 {
+        2.0
+    }
+}
+
+impl DistanceEstimator for HaarSketcher {
+    type Sketch = HaarSketch;
+
+    fn sketch(&self, data: &[f64]) -> HaarSketch {
+        HaarSketcher::sketch(self, data)
+    }
+
+    fn estimate_distance(&self, a: &HaarSketch, b: &HaarSketch) -> Result<f64, TabError> {
+        self.estimate_l2_distance(a, b)
+    }
+
+    /// Orthonormal wavelet truncation, like the DFT, is an L2-only
+    /// reduction.
+    fn p(&self) -> f64 {
+        2.0
+    }
+}
+
+impl DistanceEstimator for SamplingSketcher {
+    type Sketch = SampledSketch;
+
+    fn sketch(&self, data: &[f64]) -> SampledSketch {
+        SamplingSketcher::sketch(self, data)
+    }
+
+    fn estimate_distance(&self, a: &SampledSketch, b: &SampledSketch) -> Result<f64, TabError> {
+        SamplingSketcher::estimate_distance(self, a, b)
+    }
+
+    fn p(&self) -> f64 {
+        SamplingSketcher::p(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabsketch_table::norms::lp_distance_slices;
+
+    fn generic_roundtrip<E: DistanceEstimator>(est: &E, x: &[f64], y: &[f64]) -> f64 {
+        est.estimate_distance(&est.sketch(x), &est.sketch(y))
+            .unwrap()
+    }
+
+    #[test]
+    fn all_backends_answer_through_the_trait() {
+        let x: Vec<f64> = (0..256).map(|i| ((i * 13) % 37) as f64).collect();
+        let y: Vec<f64> = (0..256).map(|i| ((i * 7) % 41) as f64).collect();
+        let exact_l2 = lp_distance_slices(&x, &y, 2.0);
+
+        let stable = Sketcher::new(
+            crate::SketchParams::builder()
+                .p(2.0)
+                .k(400)
+                .seed(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let d = generic_roundtrip(&stable, &x, &y);
+        assert!(
+            (d - exact_l2).abs() / exact_l2 < 0.25,
+            "stable: {d} vs {exact_l2}"
+        );
+        assert_eq!(DistanceEstimator::p(&stable), 2.0);
+
+        let dft = DftSketcher::new(129).unwrap();
+        let d = generic_roundtrip(&dft, &x, &y);
+        assert!(
+            (d - exact_l2).abs() / exact_l2 < 1e-6,
+            "full DFT is exact: {d}"
+        );
+
+        let haar = HaarSketcher::new(256).unwrap();
+        let d = generic_roundtrip(&haar, &x, &y);
+        assert!(
+            (d - exact_l2).abs() / exact_l2 < 1e-9,
+            "full Haar is exact: {d}"
+        );
+
+        let samp = SamplingSketcher::new(64, 2.0, 5).unwrap();
+        let d = generic_roundtrip(&samp, &x, &y);
+        assert!(d > 0.0);
+        assert_eq!(DistanceEstimator::p(&samp), 2.0);
+    }
+
+    #[test]
+    fn trait_estimates_match_inherent_apis() {
+        let x: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).sin()).collect();
+        let y: Vec<f64> = (0..128).map(|i| (i as f64 * 0.3).cos()).collect();
+
+        let sk = Sketcher::new(
+            crate::SketchParams::builder()
+                .p(1.0)
+                .k(64)
+                .seed(11)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let via_trait = generic_roundtrip(&sk, &x, &y);
+        let via_inherent = sk
+            .estimate_distance(&sk.sketch_slice(&x), &sk.sketch_slice(&y))
+            .unwrap();
+        assert_eq!(via_trait, via_inherent);
+
+        let dft = DftSketcher::new(8).unwrap();
+        let via_trait = generic_roundtrip(&dft, &x, &y);
+        let via_inherent = dft
+            .estimate_l2_distance(&dft.sketch(&x), &dft.sketch(&y))
+            .unwrap();
+        assert_eq!(via_trait, via_inherent);
+    }
+}

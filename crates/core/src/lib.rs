@@ -24,7 +24,7 @@
 //!
 //! // Estimate the L0.5 distance between two vectors from 400-entry
 //! // sketches instead of scanning the 4096 coordinates.
-//! let params = SketchParams::new(0.5, 400, 7).unwrap();
+//! let params = SketchParams::builder().p(0.5).k(400).seed(7).build().unwrap();
 //! let sk = Sketcher::new(params).unwrap();
 //! let x: Vec<f64> = (0..4096).map(|i| (i % 17) as f64).collect();
 //! let y: Vec<f64> = (0..4096).map(|i| (i % 23) as f64).collect();
@@ -39,6 +39,8 @@
 pub mod allsub;
 pub mod baseline;
 mod error;
+pub mod estimator;
+pub mod limits;
 pub mod median;
 pub mod persist;
 pub mod pool;
@@ -52,9 +54,25 @@ pub mod timeseries;
 
 pub use allsub::AllSubtableSketches;
 pub use error::TabError;
-pub use pool::{PoolConfig, SketchPool};
+pub use estimator::DistanceEstimator;
+pub use pool::{PoolConfig, PoolConfigBuilder, PoolRectEstimator, SketchPool};
 pub use scale::ScaleFactor;
-pub use sketch::{EstimatorKind, Sketch, SketchParams, Sketcher};
+pub use sketch::{EstimatorKind, Sketch, SketchParams, SketchParamsBuilder, Sketcher};
 pub use stable::StableSampler;
 pub use streaming::StreamingSketch;
 pub use timeseries::SlidingSketches;
+
+/// Pre-registers this crate's metric keys in the global observability
+/// registry, so snapshots report the full `core.*` schema even before
+/// any sketch has been built.
+pub fn register_metrics() {
+    use tabsketch_obs as obs;
+    obs::counter("core.sketch.sketches");
+    obs::counter("core.estimate.calls");
+    obs::counter("core.allsub.builds");
+    obs::counter("core.pool.builds");
+    obs::gauge("core.pool.memory_bytes");
+    obs::histogram("core.sketch.build_us");
+    obs::histogram("core.allsub.build_us");
+    obs::histogram("core.pool.build_us");
+}

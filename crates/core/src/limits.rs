@@ -1,0 +1,41 @@
+//! Workspace-wide resource limits.
+//!
+//! Every component that reads untrusted bytes — the persistence layer
+//! decoding sketch files, the serve protocol decoding network frames —
+//! bounds how much it will allocate before trusting a declared length.
+//! Those bounds used to be scattered (`serve::protocol::MAX_FRAME`,
+//! `persist::DEFAULT_MAX_BYTES`, …); this module is the single home so
+//! the caps stay consistent and discoverable. Consumers re-export the
+//! constants under their historical names.
+
+/// Largest wire frame the serve protocol accepts or emits, in bytes
+/// (length prefix excluded). 1 MiB comfortably holds the largest legal
+/// batch while bounding per-connection buffering.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Largest number of pairs in one serve batch-distance request.
+pub const MAX_BATCH: usize = 1 << 14;
+
+/// Longest store name accepted on the wire, in bytes.
+pub const MAX_NAME_BYTES: usize = 256;
+
+/// Default cap on the decoded payload a persisted sketch/store file may
+/// declare (1 GiB of `f64` body). Guards against a corrupt or hostile
+/// header causing an enormous allocation; the `*_with_limit` readers in
+/// [`crate::persist`] accept an explicit override for larger stores.
+pub const MAX_PERSIST_BYTES: u64 = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_are_ordered_sensibly() {
+        // A maximal name and a maximal batch must both fit in one frame.
+        assert!(MAX_NAME_BYTES < MAX_FRAME_BYTES);
+        // Batch entries are two rects of 4 u32s: 32 bytes, plus headroom.
+        assert!(MAX_BATCH * 64 <= MAX_FRAME_BYTES);
+        // Persist cap dwarfs any single frame.
+        assert!(MAX_PERSIST_BYTES > MAX_FRAME_BYTES as u64);
+    }
+}

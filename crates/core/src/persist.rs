@@ -57,11 +57,12 @@ const FORMAT_VERSION: u32 = 2;
 /// Buffer size for chunked body reads/writes.
 const IO_CHUNK_BYTES: usize = 64 * 1024;
 
-/// Default cap on the decoded size a sketch file may declare (1 GiB of
-/// `f64` payload). Guards against a corrupt or hostile header causing an
-/// enormous allocation; raise it via [`read_store_with_limit`] /
-/// [`read_sketch_with_limit`] for genuinely larger stores.
-pub const DEFAULT_MAX_BYTES: u64 = 1 << 30;
+/// Default cap on the decoded size a sketch file may declare. Guards
+/// against a corrupt or hostile header causing an enormous allocation;
+/// raise it via [`read_store_with_limit`] / [`read_sketch_with_limit`]
+/// for genuinely larger stores. The value lives in [`crate::limits`],
+/// shared with the other byte-bounded decoders in the workspace.
+pub const DEFAULT_MAX_BYTES: u64 = crate::limits::MAX_PERSIST_BYTES;
 
 fn read_exact_in(r: &mut impl Read, buf: &mut [u8], section: &'static str) -> Result<(), TabError> {
     r.read_exact(buf)
@@ -173,7 +174,11 @@ fn sketcher_from_fields(
     let estimator = estimator_from_tag(estimator_tag)?;
     let k = usize::try_from(k)
         .map_err(|_| TabError::corrupt("header", "sketch width k exceeds address space"))?;
-    let params = SketchParams::new(p, k, seed)
+    let params = SketchParams::builder()
+        .p(p)
+        .k(k)
+        .seed(seed)
+        .build()
         .map_err(|e| TabError::corrupt("header", format!("invalid sketch parameters: {e}")))?;
     Sketcher::with_family(params, family)
         .and_then(|s| s.with_estimator(estimator))
@@ -453,6 +458,7 @@ pub fn load_store<P: AsRef<Path>>(path: P) -> Result<AllSubtableSketches, TabErr
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_table::{Rect, Table};

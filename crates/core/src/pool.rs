@@ -60,6 +60,26 @@ impl Default for PoolConfig {
 }
 
 impl PoolConfig {
+    /// Starts a builder seeded with [`PoolConfig::default`] — the
+    /// preferred alternative to struct-literal field stuffing:
+    ///
+    /// ```
+    /// use tabsketch_core::PoolConfig;
+    ///
+    /// let cfg = PoolConfig::builder()
+    ///     .min_rows(4)
+    ///     .min_cols(4)
+    ///     .square_only(true)
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(cfg.square_only);
+    /// ```
+    pub fn builder() -> PoolConfigBuilder {
+        PoolConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
     fn validate(&self) -> Result<(), TabError> {
         if !self.min_rows.is_power_of_two() || !self.min_cols.is_power_of_two() {
             return Err(TabError::InvalidParameter(
@@ -70,6 +90,65 @@ impl PoolConfig {
             return Err(TabError::InvalidParameter("pool max sizes below min sizes"));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`PoolConfig`], started via [`PoolConfig::builder`].
+///
+/// Unlike a struct literal, the builder validates eagerly: `build`
+/// rejects non-power-of-two minima and inverted ranges up front instead
+/// of deferring the error to [`SketchPool::build`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfigBuilder {
+    config: PoolConfig,
+}
+
+impl PoolConfigBuilder {
+    /// Smallest canonical tile rows to precompute (power of two).
+    pub fn min_rows(mut self, min_rows: usize) -> Self {
+        self.config.min_rows = min_rows;
+        self
+    }
+
+    /// Smallest canonical tile columns to precompute (power of two).
+    pub fn min_cols(mut self, min_cols: usize) -> Self {
+        self.config.min_cols = min_cols;
+        self
+    }
+
+    /// Largest canonical tile rows to precompute.
+    pub fn max_rows(mut self, max_rows: usize) -> Self {
+        self.config.max_rows = max_rows;
+        self
+    }
+
+    /// Largest canonical tile columns to precompute.
+    pub fn max_cols(mut self, max_cols: usize) -> Self {
+        self.config.max_cols = max_cols;
+        self
+    }
+
+    /// Restricts the pool to square canonical sizes `2^i × 2^i`.
+    pub fn square_only(mut self, square_only: bool) -> Self {
+        self.config.square_only = square_only;
+        self
+    }
+
+    /// Memory budget in bytes across all stored sketch sets.
+    pub fn max_bytes(mut self, max_bytes: usize) -> Self {
+        self.config.max_bytes = max_bytes;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] for non-power-of-two
+    /// minima or maxima below minima.
+    pub fn build(self) -> Result<PoolConfig, TabError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -99,6 +178,8 @@ impl SketchPool {
         config: PoolConfig,
     ) -> Result<Self, TabError> {
         config.validate()?;
+        let _span = tabsketch_obs::span("core.pool.build");
+        tabsketch_obs::counter!("core.pool.builds").inc();
         let sizes: Vec<(usize, usize)> = canonical_sizes(
             table.rows().min(config.max_rows),
             table.cols().min(config.max_cols),
@@ -150,11 +231,13 @@ impl SketchPool {
             };
             entries.insert((r, c), sets);
         }
-        Ok(Self {
+        let pool = Self {
             params,
             config,
             entries,
-        })
+        };
+        tabsketch_obs::gauge!("core.pool.memory_bytes").raise(pool.memory_bytes() as u64);
+        Ok(pool)
     }
 
     /// The sketch parameters of the pool.
@@ -268,22 +351,165 @@ impl SketchPool {
         let sketcher = Sketcher::with_family(self.params, sa.family())?;
         let mut scratch = Vec::with_capacity(self.params.k());
         let raw = sketcher.estimate_distance_slices(sa.values(), sb.values(), &mut scratch);
-        if cover.is_exact() {
-            // All four anchors coincide: the sum is 4× a single sketch, an
-            // exactly known factor we can remove.
-            let correction = if self.params.p() == 2.0 {
-                4.0
-            } else {
-                4.0f64.powf(1.0 / self.params.p())
-            };
-            Ok(raw / correction)
-        } else {
-            Ok(raw)
+        Ok(raw / compound_correction(&cover, self.params.p()))
+    }
+
+    /// A [`crate::estimator::DistanceEstimator`] over `rows × cols`
+    /// rectangles, backed by this pool's random families.
+    ///
+    /// The estimator sketches *raw row-major data* (it never touches the
+    /// table the pool was built on), yet produces compound sketches
+    /// directly comparable with [`SketchPool::compound_sketch`] — sketch
+    /// linearity means a window's sketch depends only on its content.
+    ///
+    /// # Errors
+    ///
+    /// * [`TabError::NotInPool`] when the shape's canonical size is not
+    ///   stored;
+    /// * [`TabError::InvalidParameter`] for empty shapes.
+    pub fn rect_estimator(
+        &self,
+        rows: usize,
+        cols: usize,
+    ) -> Result<PoolRectEstimator<'_>, TabError> {
+        let cover = self.cover_of(Rect::new(0, 0, rows, cols))?;
+        let mut anchors = Vec::with_capacity(4);
+        for anchor in 0..4u64 {
+            let family = derive_key(
+                self.params.seed(),
+                &[cover.shape.0 as u64, cover.shape.1 as u64, anchor],
+            );
+            anchors.push(Sketcher::with_family(self.params, family)?);
         }
+        let anchors: Box<[Sketcher; 4]> = match anchors.try_into() {
+            Ok(arr) => Box::new(arr),
+            Err(_) => unreachable!("exactly four sketchers are built"),
+        };
+        let compound = Sketcher::with_family(self.params, self.compound_family(cover.shape))?;
+        let correction = compound_correction(&cover, self.params.p());
+        Ok(PoolRectEstimator {
+            rows,
+            cols,
+            cover,
+            anchors,
+            compound,
+            correction,
+            _pool: core::marker::PhantomData,
+        })
+    }
+}
+
+/// The known inflation factor of a compound estimate: exactly-dyadic
+/// covers stack four identical sketches (`4^{1/p}` on the distance),
+/// while overlapping covers stay within Theorem 5's `[1, 4^{1/p}]` band
+/// and get no correction.
+fn compound_correction(cover: &DyadicCover, p: f64) -> f64 {
+    if cover.is_exact() {
+        if p == 2.0 {
+            4.0
+        } else {
+            4.0f64.powf(1.0 / p)
+        }
+    } else {
+        1.0
+    }
+}
+
+/// A fixed-shape distance estimator assembled from a [`SketchPool`]'s
+/// four anchor families (see [`SketchPool::rect_estimator`]).
+#[derive(Clone, Debug)]
+pub struct PoolRectEstimator<'a> {
+    rows: usize,
+    cols: usize,
+    cover: DyadicCover,
+    anchors: Box<[Sketcher; 4]>,
+    compound: Sketcher,
+    correction: f64,
+    // Tie the estimator's lifetime to the pool whose families it mirrors,
+    // so it cannot outlive a rebuild with different parameters.
+    _pool: core::marker::PhantomData<&'a SketchPool>,
+}
+
+impl PoolRectEstimator<'_> {
+    /// The rectangle shape this estimator sketches.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The compound family tag of produced sketches.
+    #[inline]
+    pub fn family(&self) -> u64 {
+        self.compound.family()
+    }
+
+    /// Builds the compound sketch of one `rows × cols` row-major window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows · cols`.
+    pub fn sketch_rect(&self, data: &[f64]) -> Sketch {
+        assert_eq!(
+            data.len(),
+            self.rows * self.cols,
+            "rect estimator expects rows*cols values"
+        );
+        let (srows, scols) = self.cover.shape;
+        let k = self.compound.k();
+        let mut acc = vec![0.0; k];
+        let mut window = Vec::with_capacity(srows * scols);
+        for (sketcher, anchor) in self.anchors.iter().zip(self.cover.anchors.iter()) {
+            window.clear();
+            for r in 0..srows {
+                let start = (anchor.row + r) * self.cols + anchor.col;
+                window.extend_from_slice(&data[start..start + scols]);
+            }
+            let s = sketcher.sketch_slice(&window);
+            for (a, v) in acc.iter_mut().zip(s.values()) {
+                *a += v;
+            }
+        }
+        Sketch::from_values(self.compound.p(), self.compound.family(), acc)
+    }
+
+    /// Estimates the Lp distance between two compound sketches of this
+    /// shape, applying the same exact-cover correction as
+    /// [`SketchPool::estimate_distance`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] for sketches of a different
+    /// shape, pool, or family.
+    pub fn estimate(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
+        if a.family() != self.compound.family() || b.family() != self.compound.family() {
+            return Err(TabError::SketchMismatch {
+                reason: "sketch does not belong to this rect estimator's compound family",
+            });
+        }
+        Ok(self.compound.estimate_distance(a, b)? / self.correction)
+    }
+}
+
+impl crate::estimator::DistanceEstimator for PoolRectEstimator<'_> {
+    type Sketch = Sketch;
+
+    /// See [`PoolRectEstimator::sketch_rect`]; `data` must hold exactly
+    /// `rows · cols` row-major values.
+    fn sketch(&self, data: &[f64]) -> Sketch {
+        self.sketch_rect(data)
+    }
+
+    fn estimate_distance(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
+        self.estimate(a, b)
+    }
+
+    fn p(&self) -> f64 {
+        self.compound.p()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_table::norms::lp_distance_views;
@@ -436,6 +662,66 @@ mod tests {
             pool.estimate_distance(Rect::new(0, 0, 8, 8), Rect::new(0, 0, 8, 9)),
             Err(TabError::SketchMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn config_builder_matches_literal_and_validates() {
+        let built = PoolConfig::builder()
+            .min_rows(4)
+            .min_cols(4)
+            .max_rows(16)
+            .max_cols(16)
+            .build()
+            .unwrap();
+        let literal = small_config();
+        assert_eq!(built.min_rows, literal.min_rows);
+        assert_eq!(built.max_cols, literal.max_cols);
+        assert_eq!(built.max_bytes, literal.max_bytes);
+        assert!(PoolConfig::builder().min_rows(3).build().is_err());
+        assert!(PoolConfig::builder()
+            .min_rows(16)
+            .max_rows(8)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rect_estimator_agrees_with_pool() {
+        let t = test_table();
+        let pool =
+            SketchPool::build(&t, SketchParams::new(1.0, 32, 11).unwrap(), small_config()).unwrap();
+        for &(rows, cols) in &[(8usize, 8usize), (11, 13)] {
+            let est = pool.rect_estimator(rows, cols).unwrap();
+            assert_eq!(est.shape(), (rows, cols));
+            let a = Rect::new(1, 2, rows, cols);
+            let b = Rect::new(15, 9, rows, cols);
+            // Sketching the raw window data must reproduce the pool's
+            // compound sketches (up to FFT round-off) ...
+            let sa = est.sketch_rect(&t.view(a).unwrap().to_vec());
+            let pa = pool.compound_sketch(a).unwrap();
+            assert_eq!(sa.family(), pa.family());
+            for (x, y) in sa.values().iter().zip(pa.values()) {
+                assert!((x - y).abs() < 1e-6 * (1.0 + x.abs()), "{x} vs {y}");
+            }
+            // ... and the distances must match the pool's estimates.
+            let sb = est.sketch_rect(&t.view(b).unwrap().to_vec());
+            let d_est = est.estimate(&sa, &sb).unwrap();
+            let d_pool = pool.estimate_distance(a, b).unwrap();
+            assert!(
+                (d_est - d_pool).abs() < 1e-6 * (1.0 + d_pool.abs()),
+                "{d_est} vs {d_pool}"
+            );
+        }
+        // Shapes outside the pool are refused up front.
+        assert!(matches!(
+            pool.rect_estimator(3, 3),
+            Err(TabError::NotInPool { .. })
+        ));
+        // Foreign sketches are refused.
+        let est = pool.rect_estimator(8, 8).unwrap();
+        let other = pool.compound_sketch(Rect::new(0, 0, 16, 16)).unwrap();
+        let own = est.sketch_rect(&t.view(Rect::new(0, 0, 8, 8)).unwrap().to_vec());
+        assert!(est.estimate(&own, &other).is_err());
     }
 
     #[test]

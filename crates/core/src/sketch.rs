@@ -36,13 +36,22 @@ pub struct SketchParams {
 pub const ACCURACY_CONSTANT: f64 = 3.0;
 
 impl SketchParams {
-    /// Creates parameters with an explicit sketch width `k`.
+    /// Starts a builder with the documented defaults (`p = 1.0`,
+    /// `k = 256`, `seed = 0`) — the preferred construction path:
     ///
-    /// # Errors
+    /// ```
+    /// use tabsketch_core::SketchParams;
     ///
-    /// Returns [`TabError::InvalidP`] for `p` outside `(0, 2]` and
-    /// [`TabError::InvalidParameter`] when `k == 0`.
-    pub fn new(p: f64, k: usize, seed: u64) -> Result<Self, TabError> {
+    /// let params = SketchParams::builder().p(0.5).k(64).seed(7).build().unwrap();
+    /// assert_eq!(params.k(), 64);
+    /// ```
+    pub fn builder() -> SketchParamsBuilder {
+        SketchParamsBuilder::default()
+    }
+
+    /// Shared validating constructor behind the builder and the legacy
+    /// positional entry points.
+    fn validated(p: f64, k: usize, seed: u64) -> Result<Self, TabError> {
         // Validate p through the sampler's own rule.
         let _ = StableSampler::new(p)?;
         if k == 0 {
@@ -51,6 +60,17 @@ impl SketchParams {
             ));
         }
         Ok(Self { p, k, seed })
+    }
+
+    /// Creates parameters with an explicit sketch width `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidP`] for `p` outside `(0, 2]` and
+    /// [`TabError::InvalidParameter`] when `k == 0`.
+    #[deprecated(since = "0.1.0", note = "use SketchParams::builder() instead")]
+    pub fn new(p: f64, k: usize, seed: u64) -> Result<Self, TabError> {
+        Self::validated(p, k, seed)
     }
 
     /// Derives the width from an accuracy target:
@@ -68,7 +88,7 @@ impl SketchParams {
             return Err(TabError::InvalidParameter("delta must lie in (0, 1)"));
         }
         let k = (ACCURACY_CONSTANT * (1.0 / delta).ln() / (epsilon * epsilon)).ceil() as usize;
-        Self::new(p, k.max(1), seed)
+        Self::validated(p, k.max(1), seed)
     }
 
     /// The Lp exponent.
@@ -87,6 +107,73 @@ impl SketchParams {
     #[inline]
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+}
+
+/// Builder for [`SketchParams`], started via [`SketchParams::builder`].
+///
+/// Defaults: `p = 1.0`, `k = 256`, `seed = 0`. An accuracy target set
+/// with [`SketchParamsBuilder::accuracy`] overrides `k` at build time
+/// using the paper's `k = c·log(1/δ)/ε²` rule.
+#[derive(Clone, Copy, Debug)]
+pub struct SketchParamsBuilder {
+    p: f64,
+    k: usize,
+    seed: u64,
+    accuracy: Option<(f64, f64)>,
+}
+
+impl Default for SketchParamsBuilder {
+    fn default() -> Self {
+        Self {
+            p: 1.0,
+            k: 256,
+            seed: 0,
+            accuracy: None,
+        }
+    }
+}
+
+impl SketchParamsBuilder {
+    /// Sets the Lp exponent (must lie in `(0, 2]`; checked at build).
+    pub fn p(mut self, p: f64) -> Self {
+        self.p = p;
+        self
+    }
+
+    /// Sets the sketch width (number of random projections).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives the width from an `(ε, δ)` accuracy target instead of an
+    /// explicit `k` (see [`SketchParams::from_accuracy`]).
+    pub fn accuracy(mut self, epsilon: f64, delta: f64) -> Self {
+        self.accuracy = Some((epsilon, delta));
+        self
+    }
+
+    /// Validates and builds the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidP`] for `p` outside `(0, 2]`, and
+    /// [`TabError::InvalidParameter`] for `k == 0` or an accuracy target
+    /// outside `(0, 1)`.
+    pub fn build(self) -> Result<SketchParams, TabError> {
+        match self.accuracy {
+            Some((epsilon, delta)) => {
+                SketchParams::from_accuracy(self.p, epsilon, delta, self.seed)
+            }
+            None => SketchParams::validated(self.p, self.k, self.seed),
+        }
     }
 }
 
@@ -245,7 +332,7 @@ impl Sketch {
 /// ```
 /// use tabsketch_core::{SketchParams, Sketcher};
 ///
-/// let params = SketchParams::new(1.0, 512, 42).unwrap();
+/// let params = SketchParams::builder().p(1.0).k(512).seed(42).build().unwrap();
 /// let sk = Sketcher::new(params).unwrap();
 /// let x = vec![1.0; 256];
 /// let y = vec![3.0; 256];
@@ -415,6 +502,8 @@ impl Sketcher {
 
     /// Sketches a linearized object (vector, or row-major matrix).
     pub fn sketch_slice(&self, data: &[f64]) -> Sketch {
+        let _span = tabsketch_obs::span("core.sketch.build");
+        tabsketch_obs::counter!("core.sketch.sketches").inc();
         let mut values = Vec::with_capacity(self.k());
         for i in 0..self.k() {
             let row = self.cached_row(i, data.len());
@@ -426,6 +515,8 @@ impl Sketcher {
     /// Sketches a rectangular table view (row-major linearization, the
     /// paper's "linearized in some consistent way").
     pub fn sketch_view(&self, view: &TableView<'_>) -> Sketch {
+        let _span = tabsketch_obs::span("core.sketch.build");
+        tabsketch_obs::counter!("core.sketch.sketches").inc();
         let mut values = Vec::with_capacity(self.k());
         let cols = view.cols();
         let len = view.len();
@@ -475,6 +566,7 @@ impl Sketcher {
     pub fn estimate_distance_slices(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
         debug_assert_eq!(a.len(), self.k());
         debug_assert_eq!(b.len(), self.k());
+        tabsketch_obs::counter!("core.estimate.calls").inc();
         match self.estimator {
             EstimatorKind::Median => {
                 let med = median_abs_diff(a, b, scratch).expect("slices are non-empty");
@@ -503,6 +595,7 @@ impl Sketcher {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rand::Rng;
@@ -521,6 +614,24 @@ mod tests {
         assert!(SketchParams::from_accuracy(1.0, 0.1, 0.01, 0).is_ok());
         assert!(SketchParams::from_accuracy(1.0, 0.0, 0.01, 0).is_err());
         assert!(SketchParams::from_accuracy(1.0, 0.1, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn builder_defaults_validation_and_accuracy() {
+        let d = SketchParams::builder().build().unwrap();
+        assert_eq!((d.p(), d.k(), d.seed()), (1.0, 256, 0));
+        let custom = SketchParams::builder()
+            .p(0.5)
+            .k(64)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(custom, SketchParams::new(0.5, 64, 7).unwrap());
+        assert!(SketchParams::builder().p(0.0).build().is_err());
+        assert!(SketchParams::builder().k(0).build().is_err());
+        let acc = SketchParams::builder().accuracy(0.1, 0.01).build().unwrap();
+        assert_eq!(acc, SketchParams::from_accuracy(1.0, 0.1, 0.01, 0).unwrap());
+        assert!(SketchParams::builder().accuracy(0.0, 0.5).build().is_err());
     }
 
     #[test]

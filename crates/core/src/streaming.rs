@@ -23,7 +23,7 @@ use crate::TabError;
 /// use tabsketch_core::{SketchParams, Sketcher};
 /// use tabsketch_core::streaming::StreamingSketch;
 ///
-/// let sk = Sketcher::new(SketchParams::new(1.0, 32, 9).unwrap()).unwrap();
+/// let sk = Sketcher::new(SketchParams::builder().p(1.0).k(32).seed(9).build().unwrap()).unwrap();
 /// let mut stream = StreamingSketch::new(sk.clone(), 100).unwrap();
 /// stream.update(3, 5.0).unwrap();   // x[3] += 5
 /// stream.update(42, -2.5).unwrap(); // x[42] -= 2.5
@@ -200,6 +200,7 @@ impl StreamingSketch {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rng::stream_rng;

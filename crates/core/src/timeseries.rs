@@ -188,6 +188,7 @@ impl SlidingSketches {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::sketch::SketchParams;

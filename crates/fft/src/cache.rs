@@ -1,0 +1,64 @@
+//! A process-wide FFT plan cache.
+//!
+//! Planning a radix-2 transform builds bit-reversal and twiddle tables
+//! — `O(n)` work and two allocations that the 1-D entry points used to
+//! repeat on every call. Lengths are powers of two bounded by table
+//! sizes, so the live set is tiny; the cache hands out `Arc` clones of
+//! at most [`MAX_PLANS`] plans and reports hits/misses through the
+//! `fft.plan_cache.*` registry keys.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tabsketch_obs as obs;
+
+use crate::plan::FftPlan;
+use crate::FftError;
+
+/// Distinct plan lengths kept resident. Power-of-two lengths up to
+/// 2^64 could only ever produce 64 entries; the bound exists so a
+/// pathological caller cannot pin unbounded memory.
+pub const MAX_PLANS: usize = 64;
+
+static PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+
+/// A shared plan for transforms of length `n`, built on first use and
+/// cached for the life of the process.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] when `n` is not a power of two.
+pub fn plan_for(n: usize) -> Result<Arc<FftPlan>, FftError> {
+    let cache = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("fft plan cache lock");
+    if let Some(plan) = map.get(&n) {
+        obs::counter!("fft.plan_cache.hits").inc();
+        return Ok(Arc::clone(plan));
+    }
+    obs::counter!("fft.plan_cache.misses").inc();
+    let plan = Arc::new(FftPlan::new(n)?);
+    if map.len() >= MAX_PLANS {
+        obs::counter!("fft.plan_cache.evictions").add(map.len() as u64);
+        map.clear();
+    }
+    map.insert(n, Arc::clone(&plan));
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_reuses_plans_and_rejects_bad_lengths() {
+        let a = plan_for(1024).unwrap();
+        let b = plan_for(1024).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same length, same plan");
+        assert_eq!(a.len(), 1024);
+        assert!(plan_for(1000).is_err());
+
+        let hits = obs::counter("fft.plan_cache.hits").get();
+        plan_for(1024).unwrap();
+        assert!(obs::counter("fft.plan_cache.hits").get() > hits);
+    }
+}

@@ -9,9 +9,12 @@
 //! kernels, which is exactly the sketching access pattern (one table, `k`
 //! random kernels).
 
+use tabsketch_obs as obs;
+
+use crate::cache::plan_for;
 use crate::complex::Complex;
 use crate::fft2d::Fft2dPlan;
-use crate::plan::{next_pow2, Direction, FftPlan};
+use crate::plan::{next_pow2, Direction};
 use crate::FftError;
 
 /// Full linear convolution of two real signals, `out.len() = a.len() + b.len() - 1`.
@@ -26,8 +29,9 @@ pub fn convolve_1d(a: &[f64], b: &[f64]) -> Vec<f64> {
     if out_len <= 64 {
         return convolve_1d_naive(a, b);
     }
+    let _span = obs::span("fft.convolve_1d");
     let n = next_pow2(out_len);
-    let plan = FftPlan::new(n).expect("next_pow2 is a power of two");
+    let plan = plan_for(n).expect("next_pow2 is a power of two");
     let mut fa = plan.forward_real(a);
     let fb = plan.forward_real(b);
     for (x, y) in fa.iter_mut().zip(&fb) {
@@ -65,8 +69,9 @@ pub fn cross_correlate_1d_valid(data: &[f64], kernel: &[f64]) -> Vec<f64> {
     if data.len() * kernel.len() <= 4096 {
         return cross_correlate_1d_valid_naive(data, kernel);
     }
+    let _span = obs::span("fft.correlate_1d");
     let n = next_pow2(data.len());
-    let plan = FftPlan::new(n).expect("next_pow2 is a power of two");
+    let plan = plan_for(n).expect("next_pow2 is a power of two");
     let mut fd = plan.forward_real(data);
     let fk = plan.forward_real(kernel);
     // Correlation = convolution with the conjugate spectrum of the kernel.
@@ -161,6 +166,7 @@ impl Correlator2d {
                 got: data.len(),
             });
         }
+        let _span = obs::span("fft.correlator.build");
         let plan = Fft2dPlan::new(next_pow2(rows), next_pow2(cols))?;
         let data_spec = plan.forward_real_padded(data, rows, cols)?;
         Ok(Self {
@@ -212,6 +218,7 @@ impl Correlator2d {
                 cols: self.cols,
             });
         }
+        let _span = obs::span("fft.correlator.correlate");
         let mut spec = self.plan.forward_real_padded(kernel, krows, kcols)?;
         for (x, y) in spec.iter_mut().zip(&self.data_spec) {
             *x = *y * x.conj();
@@ -269,6 +276,7 @@ impl Correlator2d {
                 cols: self.cols,
             });
         }
+        let _span = obs::span("fft.correlator.correlate_pair");
         let (prows, pcols) = (self.plan.rows(), self.plan.cols());
         // Pack k1 + i·k2 into the padded grid and transform once.
         let mut packed = vec![Complex::default(); prows * pcols];

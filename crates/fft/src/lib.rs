@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 mod bluestein;
+mod cache;
 mod complex;
 mod convolve;
 mod fft2d;
 mod plan;
 
 pub use bluestein::BluesteinPlan;
+pub use cache::{plan_for, MAX_PLANS};
 pub use complex::{Complex, ONE, ZERO};
 pub use convolve::{
     convolve_1d, convolve_1d_naive, cross_correlate_1d_valid, cross_correlate_1d_valid_naive,
@@ -44,6 +46,22 @@ pub use convolve::{
 };
 pub use fft2d::{dft2d_naive, Fft2dPlan};
 pub use plan::{dft_naive, next_pow2, Direction, FftPlan};
+
+/// Pre-registers this crate's metric keys in the global observability
+/// registry, so snapshots report the full `fft.*` schema even before
+/// any transform has run.
+pub fn register_metrics() {
+    use tabsketch_obs as obs;
+    obs::counter("fft.plan_cache.hits");
+    obs::counter("fft.plan_cache.misses");
+    obs::counter("fft.plan_cache.evictions");
+    obs::counter("fft.transforms");
+    obs::histogram("fft.convolve_1d_us");
+    obs::histogram("fft.correlate_1d_us");
+    obs::histogram("fft.correlator.build_us");
+    obs::histogram("fft.correlator.correlate_us");
+    obs::histogram("fft.correlator.correlate_pair_us");
+}
 
 /// Errors produced by this crate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

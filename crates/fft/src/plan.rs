@@ -94,6 +94,7 @@ impl FftPlan {
         if self.n == 1 {
             return Ok(());
         }
+        tabsketch_obs::counter!("fft.transforms").inc();
         // Bit-reversal permutation: each swap pair is visited once.
         for i in 0..self.n {
             let j = self.rev[i] as usize;

@@ -1,0 +1,78 @@
+//! # tabsketch-obs
+//!
+//! The zero-dependency observability layer shared by every tabsketch
+//! crate: a lock-free metrics registry ([`Counter`], [`Gauge`],
+//! power-of-two latency [`Histogram`]s) plus lightweight hierarchical
+//! span timing with a pluggable [`SpanSubscriber`].
+//!
+//! Two rules govern the design (DESIGN.md §9):
+//!
+//! 1. **Hot paths pay one branch when disabled.** A [`span`] checks a
+//!    single relaxed atomic and returns an unarmed guard — no clock
+//!    read, no allocation — unless a subscriber has been installed.
+//!    Counters are a single relaxed `fetch_add` and are always live:
+//!    they are cheaper than the work they count.
+//! 2. **Instrumentation never touches data.** Sketches and distances
+//!    are bit-identical with and without a subscriber installed (the
+//!    workspace test suite asserts this).
+//!
+//! Metric keys follow a `<crate>.<component>.<metric>` schema, e.g.
+//! `fft.plan_cache.hits` or `cluster.oracle.pooled`. Span names use the
+//! same schema without a unit suffix; the built-in
+//! [`RegistrySubscriber`] folds span durations into registry histograms
+//! keyed `<span-name>_us`.
+//!
+//! ```
+//! use tabsketch_obs as obs;
+//!
+//! obs::counter!("demo.widget.builds").inc();
+//! {
+//!     let _span = obs::span("demo.widget.build"); // one branch if disabled
+//! }
+//! let snap = obs::global().snapshot();
+//! assert!(snap.counters.iter().any(|(k, v)| k == "demo.widget.builds" && *v == 1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod registry;
+mod span;
+
+pub use registry::{
+    counter, gauge, global, histogram, Counter, Gauge, Histogram, HistogramSnapshot, ObsSnapshot,
+    Registry, BUCKETS,
+};
+pub use span::{
+    set_subscriber, span, spans_enabled, RegistrySubscriber, Span, SpanRecord, SpanSubscriber,
+};
+
+/// Registers (or fetches) a counter once per call site and returns the
+/// cached `&'static Counter` — after the first hit, the cost is one
+/// atomic load plus the increment itself.
+#[macro_export]
+macro_rules! counter {
+    ($key:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::counter($key))
+    }};
+}
+
+/// Per-call-site cached gauge handle; see [`counter!`].
+#[macro_export]
+macro_rules! gauge {
+    ($key:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::gauge($key))
+    }};
+}
+
+/// Per-call-site cached histogram handle; see [`counter!`].
+#[macro_export]
+macro_rules! histogram {
+    ($key:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::histogram($key))
+    }};
+}

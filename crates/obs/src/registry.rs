@@ -1,0 +1,445 @@
+//! The lock-free metrics registry.
+//!
+//! Metrics are registered by string key and handed out as `&'static`
+//! references: registration takes a short mutex hold once per key, the
+//! handle itself is plain atomics forever after. Handles are leaked
+//! intentionally — metrics live for the process, exactly like the
+//! statics they replace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (capacities, sizes, bytes).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is larger (high-water marks).
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of the power-of-two latency histogram: bucket `i` holds
+/// durations in `[2^i, 2^(i+1))` microseconds (bucket 0 holds `<= 1`),
+/// the last bucket is open-ended. Mirrors the histogram the serve
+/// daemon has always used, now shared through this crate.
+pub const BUCKETS: usize = 25;
+
+/// A lock-free latency histogram over power-of-two microsecond buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    total_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            total_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket(us: u64) -> usize {
+        if us <= 1 {
+            0
+        } else {
+            ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration in microseconds.
+    #[inline]
+    pub fn record(&self, us: u64) {
+        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// How many durations have been recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded durations, in microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (µs) of the bucket containing quantile `q` in
+    /// `[0, 1]`; 0 when empty. Coarse by design: power-of-two buckets
+    /// answer "which decade" questions, not microsecond disputes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    /// A point-in-time summary of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            total_us: self.total_us(),
+            p50_us: self.quantile(0.5),
+            p99_us: self.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of one [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded durations.
+    pub count: u64,
+    /// Sum of recorded durations, µs.
+    pub total_us: u64,
+    /// Median bucket upper bound, µs.
+    pub p50_us: u64,
+    /// 99th-percentile bucket upper bound, µs.
+    pub p99_us: u64,
+}
+
+/// The keyed registry: one namespace of counters, gauges, and
+/// histograms. Most callers use the process-global instance via
+/// [`global`] and the `counter!`/`gauge!`/`histogram!` macros.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `key`, created at zero on first use.
+    pub fn counter(&self, key: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("obs counter registry lock");
+        if let Some(&c) = map.get(key) {
+            return c;
+        }
+        let handle: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(key.to_string(), handle);
+        handle
+    }
+
+    /// The gauge registered under `key`, created at zero on first use.
+    pub fn gauge(&self, key: &str) -> &'static Gauge {
+        let mut map = self.gauges.lock().expect("obs gauge registry lock");
+        if let Some(&g) = map.get(key) {
+            return g;
+        }
+        let handle: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(key.to_string(), handle);
+        handle
+    }
+
+    /// The histogram registered under `key`, created empty on first use.
+    pub fn histogram(&self, key: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("obs histogram registry lock");
+        if let Some(&h) = map.get(key) {
+            return h;
+        }
+        let handle: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(key.to_string(), handle);
+        handle
+    }
+
+    /// A sorted point-in-time snapshot of every registered metric.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs counter registry lock")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs gauge registry lock")
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs histogram registry lock")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect();
+        ObsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every tabsketch crate reports into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the global registry.
+pub fn counter(key: &str) -> &'static Counter {
+    global().counter(key)
+}
+
+/// [`Registry::gauge`] on the global registry.
+pub fn gauge(key: &str) -> &'static Gauge {
+    global().gauge(key)
+}
+
+/// [`Registry::histogram`] on the global registry.
+pub fn histogram(key: &str) -> &'static Histogram {
+    global().histogram(key)
+}
+
+/// A sorted snapshot of a [`Registry`]: what the CLI `--metrics` flag
+/// prints and the serve `metrics` frame ships.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// `(key, count)` pairs, sorted by key.
+    pub counters: Vec<(String, u64)>,
+    /// `(key, value)` pairs, sorted by key.
+    pub gauges: Vec<(String, u64)>,
+    /// `(key, summary)` pairs, sorted by key.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl ObsSnapshot {
+    /// Flattens the snapshot to `(key, value)` pairs for wire transport:
+    /// counters and gauges verbatim, histograms as `<key>.count`,
+    /// `<key>.total_us`, `<key>.p50_us`, and `<key>.p99_us`.
+    pub fn flatten(&self) -> Vec<(String, u64)> {
+        let mut out =
+            Vec::with_capacity(self.counters.len() + self.gauges.len() + 4 * self.histograms.len());
+        out.extend(self.counters.iter().cloned());
+        out.extend(self.gauges.iter().cloned());
+        for (k, h) in &self.histograms {
+            out.push((format!("{k}.count"), h.count));
+            out.push((format!("{k}.total_us"), h.total_us));
+            out.push((format!("{k}.p50_us"), h.p50_us));
+            out.push((format!("{k}.p99_us"), h.p99_us));
+        }
+        out.sort();
+        out
+    }
+
+    /// Renders the snapshot as a JSON object (hand-rolled — the
+    /// workspace deliberately has no serde).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        push_pairs(&mut out, &self.counters);
+        out.push_str("},\n  \"gauges\": {");
+        push_pairs(&mut out, &self.gauges);
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"total_us\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+                json_str(k),
+                h.count,
+                h.total_us,
+                h.p50_us,
+                h.p99_us
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+fn push_pairs(out: &mut String, pairs: &[(String, u64)]) {
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    {}: {v}", json_str(k)));
+    }
+    if !pairs.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for ObsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics registry snapshot:")?;
+        for (k, v) in &self.counters {
+            writeln!(f, "  {k:<44} {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "  {k:<44} {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {k:<44} n={} total={}us p50<={}us p99<={}us",
+                h.count, h.total_us, h.p50_us, h.p99_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let r = Registry::new();
+        let a = r.counter("x.a");
+        let b = r.counter("x.a");
+        assert!(std::ptr::eq(a, b), "same key, same handle");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x.a").get(), 3);
+
+        let g = r.gauge("x.g");
+        g.set(7);
+        g.raise(3);
+        assert_eq!(g.get(), 7);
+        g.raise(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for us in [0, 1, 2, 3, 1000, 1_000_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total_us(), 1_001_006);
+        // Median of {<=1, <=1, 2-3, 2-3, ~1000, ~1e6} lands in the 2-3 bucket.
+        assert_eq!(h.quantile(0.5), 4);
+        assert!(h.quantile(0.99) >= 1 << 20);
+        assert!(h.quantile(1.0) >= h.quantile(0.0));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_flattened_and_json() {
+        let r = Registry::new();
+        r.counter("b.two").add(2);
+        r.counter("a.one").inc();
+        r.gauge("c.cap").set(64);
+        r.histogram("d.lat").record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters[0].0, "a.one");
+        assert_eq!(snap.counters[1].0, "b.two");
+
+        let flat = snap.flatten();
+        assert!(flat.iter().any(|(k, v)| k == "d.lat.count" && *v == 1));
+        assert!(flat.windows(2).all(|w| w[0].0 <= w[1].0), "sorted");
+
+        let json = snap.to_json();
+        assert!(json.contains("\"a.one\": 1"), "{json}");
+        assert!(json.contains("\"d.lat\": {\"count\": 1"), "{json}");
+        let human = snap.to_string();
+        assert!(human.contains("c.cap"), "{human}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let key = "obs.test.global_registry_is_shared";
+        counter(key).add(5);
+        assert_eq!(global().counter(key).get(), 5);
+    }
+}

@@ -1,0 +1,206 @@
+//! Hierarchical span timing with a pluggable subscriber.
+//!
+//! [`span`] is the only entry point hot code touches. With no
+//! subscriber installed (the default), it reads one relaxed atomic and
+//! returns an unarmed guard: no clock read, no allocation, no
+//! thread-local traffic. Installing a subscriber arms every span; each
+//! guard then records its wall time and nesting depth to the subscriber
+//! when dropped.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry;
+
+/// Receives completed spans. Implementations must be cheap and
+/// lock-light: spans fire from hot paths on many threads.
+pub trait SpanSubscriber: Send + Sync {
+    /// Called once per completed span with its static name, nesting
+    /// depth at entry (0 = top level on that thread), and duration.
+    fn record(&self, name: &'static str, depth: usize, micros: u64);
+}
+
+static SUBSCRIBER: OnceLock<&'static dyn SpanSubscriber> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Installs the process-wide span subscriber, enabling span timing.
+/// Returns `false` (leaving the existing subscriber in place) if one
+/// was already installed — subscribers live for the process.
+pub fn set_subscriber(sub: &'static dyn SpanSubscriber) -> bool {
+    let installed = SUBSCRIBER.set(sub).is_ok();
+    if installed {
+        ENABLED.store(true, Ordering::Release);
+    }
+    installed
+}
+
+/// Whether a subscriber is installed (the one branch disabled spans pay).
+#[inline]
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An RAII timing guard; see [`span`].
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+pub struct Span {
+    armed: Option<(&'static str, Instant)>,
+}
+
+/// Opens a span named `name`. Costs one atomic load when no subscriber
+/// is installed; otherwise records the scope's wall time and nesting
+/// depth to the subscriber when the returned guard drops.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !spans_enabled() {
+        return Span { armed: None };
+    }
+    DEPTH.with(|d| d.set(d.get() + 1));
+    Span {
+        armed: Some((name, Instant::now())),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, started)) = self.armed.take() {
+            let depth = DEPTH.with(|d| {
+                let depth = d.get().saturating_sub(1);
+                d.set(depth);
+                depth
+            });
+            if let Some(sub) = SUBSCRIBER.get() {
+                let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                sub.record(name, depth, micros);
+            }
+        }
+    }
+}
+
+/// One completed span as retained by [`RegistrySubscriber`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's static name.
+    pub name: &'static str,
+    /// Nesting depth at entry on its thread.
+    pub depth: usize,
+    /// Wall time, microseconds.
+    pub micros: u64,
+}
+
+/// Retained-trace bound: completed spans beyond this many are counted
+/// but not kept, so a long run cannot grow the trace without bound.
+const MAX_TRACE: usize = 4096;
+
+/// The built-in subscriber: folds every span into a global-registry
+/// histogram keyed `<span-name>_us`, and (optionally) retains the first
+/// [`MAX_TRACE`] spans for a human-readable trace dump.
+#[derive(Default)]
+pub struct RegistrySubscriber {
+    keep_trace: bool,
+    trace: Mutex<Vec<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RegistrySubscriber {
+    /// Leaks and installs a fresh subscriber. `keep_trace` retains the
+    /// span stream for [`RegistrySubscriber::render_trace`]. Returns the
+    /// installed handle, or `None` if another subscriber won the race.
+    pub fn install(keep_trace: bool) -> Option<&'static Self> {
+        let sub: &'static Self = Box::leak(Box::new(RegistrySubscriber {
+            keep_trace,
+            trace: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        }));
+        set_subscriber(sub).then_some(sub)
+    }
+
+    /// The retained spans, in completion order.
+    pub fn trace(&self) -> Vec<SpanRecord> {
+        self.trace.lock().expect("obs trace lock").clone()
+    }
+
+    /// Spans that arrived after the retained trace filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Renders the retained spans as an indented tree (completion
+    /// order; children complete before their parents).
+    pub fn render_trace(&self) -> String {
+        let records = self.trace();
+        let mut out = String::new();
+        let _ = writeln!(out, "span trace ({} spans):", records.len());
+        for r in &records {
+            let _ = writeln!(out, "  {}{} {}us", "  ".repeat(r.depth), r.name, r.micros);
+        }
+        let dropped = self.dropped();
+        if dropped > 0 {
+            let _ = writeln!(out, "  ... {dropped} more spans not retained");
+        }
+        out
+    }
+}
+
+impl SpanSubscriber for RegistrySubscriber {
+    fn record(&self, name: &'static str, depth: usize, micros: u64) {
+        registry::histogram(&format!("{name}_us")).record(micros);
+        if self.keep_trace {
+            let mut trace = self.trace.lock().expect("obs trace lock");
+            if trace.len() < MAX_TRACE {
+                trace.push(SpanRecord {
+                    name,
+                    depth,
+                    micros,
+                });
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The subscriber slot is process-global, so everything that needs
+    // one runs inside this single test.
+    #[test]
+    fn spans_disabled_then_installed() {
+        // Disabled: unarmed guard, no depth traffic.
+        {
+            let s = span("obs.test.disabled");
+            assert!(s.armed.is_none(), "disabled span must not read the clock");
+        }
+        assert!(!spans_enabled() || SUBSCRIBER.get().is_some());
+
+        let sub = RegistrySubscriber::install(true).expect("first install wins");
+        assert!(spans_enabled());
+        {
+            let _outer = span("obs.test.outer");
+            let _inner = span("obs.test.inner");
+        }
+        let trace = sub.trace();
+        assert_eq!(trace.len(), 2);
+        // Children complete first, one level deeper.
+        assert_eq!(trace[0].name, "obs.test.inner");
+        assert_eq!(trace[0].depth, 1);
+        assert_eq!(trace[1].name, "obs.test.outer");
+        assert_eq!(trace[1].depth, 0);
+        assert_eq!(registry::histogram("obs.test.outer_us").count(), 1);
+        assert_eq!(registry::histogram("obs.test.inner_us").count(), 1);
+
+        let rendered = sub.render_trace();
+        assert!(rendered.contains("obs.test.outer"), "{rendered}");
+
+        // Second install loses and reports so.
+        assert!(RegistrySubscriber::install(false).is_none());
+    }
+}

@@ -58,3 +58,28 @@ pub use metrics::{
 pub use protocol::{Request, RequestFrame, Response, StoreInfo, MAX_BATCH, MAX_FRAME};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use store::{load_table, Deadline, LoadedStore, ShardedOracle, StoreSpec};
+
+/// Pre-registers this crate's metric keys in the global observability
+/// registry, so snapshots report the full `serve.*` schema even before
+/// the daemon has served a request.
+pub fn register_metrics() {
+    use tabsketch_obs as obs;
+    for kind in metrics::RequestKind::ALL {
+        let key = match kind {
+            metrics::RequestKind::Ping => "serve.requests.ping",
+            metrics::RequestKind::Distance => "serve.requests.distance",
+            metrics::RequestKind::DistanceBatch => "serve.requests.distance_batch",
+            metrics::RequestKind::Sketch => "serve.requests.sketch",
+            metrics::RequestKind::Knn => "serve.requests.knn",
+            metrics::RequestKind::Metrics => "serve.requests.metrics",
+            metrics::RequestKind::Stores => "serve.requests.stores",
+            metrics::RequestKind::Shutdown => "serve.requests.shutdown",
+        };
+        obs::counter(key);
+    }
+    obs::counter("serve.errors");
+    obs::counter("serve.timeouts");
+    obs::counter("serve.malformed");
+    obs::counter("serve.connections");
+    obs::histogram("serve.latency_us");
+}

@@ -6,10 +6,18 @@
 //! point-in-time copies and cheap enough to serve over the wire; the
 //! per-store tier counters are merged in by the caller, which owns the
 //! oracles.
+//!
+//! The histogram is the shared [`tabsketch_obs::Histogram`] — the
+//! power-of-two design this module originated now lives in the obs
+//! crate so every layer reports through one schema. Each `record_*`
+//! call also mirrors into the global registry under `serve.*` keys, so
+//! a registry snapshot covers the daemon alongside `fft.*`, `core.*`,
+//! and `cluster.*`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use tabsketch_cluster::TierSnapshot;
+use tabsketch_obs::counter;
 
 /// How many request kinds the protocol defines.
 pub const KIND_COUNT: usize = 8;
@@ -63,57 +71,10 @@ impl RequestKind {
     }
 }
 
-/// Power-of-two latency buckets from 1 µs up to ~17 s, plus overflow.
-const BUCKETS: usize = 25;
-
-/// A fixed-bucket histogram of request latencies in microseconds.
-///
-/// Bucket `i` counts latencies in `[2^i, 2^(i+1))` µs (bucket 0 also
-/// takes 0). Percentiles are answered as the upper bound of the bucket
-/// containing the requested rank — at most a 2× overestimate, which is
-/// plenty for "is p99 a millisecond or a second" monitoring.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    counts: [AtomicU64; BUCKETS],
-}
-
-impl LatencyHistogram {
-    fn bucket(us: u64) -> usize {
-        if us <= 1 {
-            0
-        } else {
-            (63 - us.leading_zeros() as usize).min(BUCKETS - 1)
-        }
-    }
-
-    /// Records one observation.
-    pub fn record(&self, us: u64) {
-        self.counts[Self::bucket(us)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// The upper bound (µs) of the bucket holding the `q`-quantile
-    /// observation, `q` in `[0, 1]`. Zero when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .counts
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << (i + 1).min(63);
-            }
-        }
-        1u64 << BUCKETS
-    }
-}
+/// The request-latency histogram: the shared power-of-two-bucket design
+/// from the obs crate (this module's original histogram, promoted to the
+/// registry so every crate shares it).
+pub type LatencyHistogram = tabsketch_obs::Histogram;
 
 /// Shared, lock-free request counters for one server.
 #[derive(Debug, Default)]
@@ -135,33 +96,49 @@ impl ServerMetrics {
     /// Counts one request of `kind`.
     pub fn record_request(&self, kind: RequestKind) {
         self.by_kind[kind as usize].fetch_add(1, Ordering::Relaxed);
+        let global = match kind {
+            RequestKind::Ping => counter!("serve.requests.ping"),
+            RequestKind::Distance => counter!("serve.requests.distance"),
+            RequestKind::DistanceBatch => counter!("serve.requests.distance_batch"),
+            RequestKind::Sketch => counter!("serve.requests.sketch"),
+            RequestKind::Knn => counter!("serve.requests.knn"),
+            RequestKind::Metrics => counter!("serve.requests.metrics"),
+            RequestKind::Stores => counter!("serve.requests.stores"),
+            RequestKind::Shutdown => counter!("serve.requests.shutdown"),
+        };
+        global.inc();
     }
 
     /// Counts one request answered with an error frame.
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.errors").inc();
     }
 
     /// Counts one deadline expiry (also an error).
     pub fn record_timeout(&self) {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.timeouts").inc();
         self.record_error();
     }
 
     /// Counts one malformed or oversized frame (also an error).
     pub fn record_malformed(&self) {
         self.malformed.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.malformed").inc();
         self.record_error();
     }
 
     /// Counts one accepted connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.connections").inc();
     }
 
     /// Records one request's service latency.
     pub fn record_latency(&self, us: u64) {
         self.latency.record(us);
+        tabsketch_obs::histogram!("serve.latency_us").record(us);
     }
 
     /// A point-in-time copy, with the caller-supplied per-store tier
@@ -180,6 +157,7 @@ impl ServerMetrics {
             p50_us: self.latency.quantile(0.50),
             p99_us: self.latency.quantile(0.99),
             stores,
+            registry: tabsketch_obs::global().snapshot().flatten(),
         }
     }
 }
@@ -212,6 +190,10 @@ pub struct MetricsSnapshot {
     pub p99_us: u64,
     /// Per-store oracle tier counters.
     pub stores: Vec<StoreTierMetrics>,
+    /// Flattened global registry snapshot (`fft.*`, `core.*`,
+    /// `cluster.*`, `serve.*` keys), sorted by key — the whole stack's
+    /// counters as seen from this server process.
+    pub registry: Vec<(String, u64)>,
 }
 
 impl MetricsSnapshot {
@@ -250,6 +232,12 @@ impl std::fmt::Display for MetricsSnapshot {
         for s in &self.stores {
             writeln!(f, "store {:?}: {}", s.name, s.tiers)?;
         }
+        if !self.registry.is_empty() {
+            writeln!(f, "registry:")?;
+            for (k, v) in &self.registry {
+                writeln!(f, "  {k:<44} {v}")?;
+            }
+        }
         Ok(())
     }
 }
@@ -257,16 +245,6 @@ impl std::fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn histogram_buckets_are_monotone() {
-        assert_eq!(LatencyHistogram::bucket(0), 0);
-        assert_eq!(LatencyHistogram::bucket(1), 0);
-        assert_eq!(LatencyHistogram::bucket(2), 1);
-        assert_eq!(LatencyHistogram::bucket(3), 1);
-        assert_eq!(LatencyHistogram::bucket(4), 2);
-        assert_eq!(LatencyHistogram::bucket(u64::MAX), BUCKETS - 1);
-    }
 
     #[test]
     fn quantiles_bound_observations() {
@@ -305,5 +283,18 @@ mod tests {
         assert_eq!(snap.errors, 2, "timeouts and malformed both count");
         assert!(snap.p50_us > 0);
         assert!(!snap.to_string().is_empty());
+        // The snapshot also carries the global registry, which the
+        // record_* mirrors above have populated under serve.* keys.
+        assert!(
+            snap.registry
+                .iter()
+                .any(|(k, v)| k == "serve.requests.ping" && *v >= 1),
+            "registry: {:?}",
+            snap.registry
+        );
+        assert!(snap
+            .registry
+            .iter()
+            .any(|(k, _)| k == "serve.latency_us.count"));
     }
 }

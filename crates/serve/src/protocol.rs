@@ -23,14 +23,18 @@ use tabsketch_table::Rect;
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::{MetricsSnapshot, RequestKind, StoreTierMetrics, KIND_COUNT};
 
-/// Upper bound on a frame payload, in bytes (1 MiB).
-pub const MAX_FRAME: usize = 1 << 20;
+/// Upper bound on a frame payload, in bytes (1 MiB). Sourced from the
+/// shared [`tabsketch_core::limits`] module so the wire layer and the
+/// persistence layer cannot drift apart.
+pub const MAX_FRAME: usize = tabsketch_core::limits::MAX_FRAME_BYTES;
 
-/// Upper bound on pairs in one distance batch.
-pub const MAX_BATCH: usize = 1 << 14;
+/// Upper bound on pairs in one distance batch
+/// ([`tabsketch_core::limits::MAX_BATCH`]).
+pub const MAX_BATCH: usize = tabsketch_core::limits::MAX_BATCH;
 
-/// Upper bound on the length of a store name on the wire.
-pub const MAX_NAME: usize = 256;
+/// Upper bound on the length of a store name on the wire
+/// ([`tabsketch_core::limits::MAX_NAME_BYTES`]).
+pub const MAX_NAME: usize = tabsketch_core::limits::MAX_NAME_BYTES;
 
 /// A client request (without the frame header).
 #[derive(Clone, Debug, PartialEq)]
@@ -518,6 +522,11 @@ fn encode_metrics(e: &mut Enc, m: &MetricsSnapshot) {
             e.u64(v);
         }
     }
+    e.u32(m.registry.len().min(u32::MAX as usize) as u32);
+    for (key, value) in &m.registry {
+        e.str(&key.chars().take(MAX_NAME).collect::<String>());
+        e.u64(*value);
+    }
 }
 
 fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
@@ -557,6 +566,16 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
             },
         });
     }
+    let n = d.u32("registry entry count")? as usize;
+    if n > 8192 {
+        return Err(ServeError::Malformed(format!("{n} registry entries")));
+    }
+    let mut registry = Vec::with_capacity(n.min(256));
+    for _ in 0..n {
+        let key = d.str("registry key")?;
+        let value = d.u64("registry value")?;
+        registry.push((key, value));
+    }
     Ok(MetricsSnapshot {
         by_kind,
         errors,
@@ -566,6 +585,7 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
         p50_us,
         p99_us,
         stores,
+        registry,
     })
 }
 
@@ -837,6 +857,10 @@ mod tests {
                         cache_capacity: 64,
                     },
                 }],
+                registry: vec![
+                    ("core.sketch.sketches".into(), 41),
+                    ("serve.latency_us.p99_us".into(), 512),
+                ],
             }),
         ] {
             roundtrip_response(resp);

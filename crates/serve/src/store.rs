@@ -272,7 +272,11 @@ impl LoadedStore {
         let oracle = match &self.store {
             Some(store) => DistanceOracle::with_store(&self.table, store)?,
             None => {
-                let params = SketchParams::new(self.p, self.k, self.seed)?;
+                let params = SketchParams::builder()
+                    .p(self.p)
+                    .k(self.k)
+                    .seed(self.seed)
+                    .build()?;
                 DistanceOracle::on_demand(&self.table, Sketcher::new(params)?)?
             }
         };
@@ -444,6 +448,7 @@ impl<'a> ShardedOracle<'a> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_data::{SixRegionConfig, SixRegionGenerator};

@@ -53,7 +53,12 @@ fn main() {
     let t_exact = t0.elapsed();
 
     // Precomputed sketches.
-    let params = SketchParams::new(p, 256, 9).expect("valid parameters");
+    let params = SketchParams::builder()
+        .p(p)
+        .k(256)
+        .seed(9)
+        .build()
+        .expect("valid parameters");
     let t0 = Instant::now();
     let pre_embedding = PrecomputedSketchEmbedding::build(
         &table,

@@ -32,8 +32,15 @@ fn main() {
 
     println!("{:>6}  {:>10}  {:>12}", "p", "correct%", "bar");
     for &p in &[0.1, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0] {
-        let sketcher = Sketcher::new(SketchParams::new(p, 192, 33).expect("valid parameters"))
-            .expect("valid sketcher");
+        let sketcher = Sketcher::new(
+            SketchParams::builder()
+                .p(p)
+                .k(192)
+                .seed(33)
+                .build()
+                .expect("valid parameters"),
+        )
+        .expect("valid sketcher");
         let embedding =
             PrecomputedSketchEmbedding::build(&table, &grid, sketcher).expect("non-empty grid");
         let km = KMeans::new(KMeansConfig {
@@ -66,7 +73,12 @@ fn main() {
     // k = 64.
     let pool = SketchPool::build(
         &table,
-        SketchParams::new(1.0, 64, 15).expect("valid parameters"),
+        SketchParams::builder()
+            .p(1.0)
+            .k(64)
+            .seed(15)
+            .build()
+            .expect("valid parameters"),
         PoolConfig {
             min_rows: 32,
             min_cols: 32,

@@ -46,8 +46,15 @@ fn main() {
         let exact_nn = nearest_neighbors(&exact, query, 5).expect("enough objects");
 
         // Sketched k-NN.
-        let sketcher = Sketcher::new(SketchParams::new(p, 256, 11).expect("valid parameters"))
-            .expect("valid sketcher");
+        let sketcher = Sketcher::new(
+            SketchParams::builder()
+                .p(p)
+                .k(256)
+                .seed(11)
+                .build()
+                .expect("valid parameters"),
+        )
+        .expect("valid sketcher");
         let sketched =
             PrecomputedSketchEmbedding::build(&table, &grid, sketcher).expect("non-empty grid");
         let approx_nn = nearest_neighbors(&sketched, query, 5).expect("enough objects");

@@ -36,7 +36,12 @@ fn main() {
         // 400-entry sketches give ~10% accuracy with high probability;
         // size them from an accuracy target instead with
         // `SketchParams::from_accuracy(p, epsilon, delta, seed)`.
-        let params = SketchParams::new(p, 400, 42).expect("valid parameters");
+        let params = SketchParams::builder()
+            .p(p)
+            .k(400)
+            .seed(42)
+            .build()
+            .expect("valid parameters");
         let sketcher = Sketcher::new(params).expect("valid sketcher");
 
         // Sketches are tiny (400 floats for a 4096-cell region) and can

@@ -15,8 +15,15 @@ use tabsketch::prelude::*;
 fn main() {
     // Each station's history is a logical vector of 30 days x 144 slots.
     let dim = 30 * 144;
-    let sketcher = Sketcher::new(SketchParams::new(1.0, 256, 77).expect("valid parameters"))
-        .expect("valid sketcher");
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(256)
+            .seed(77)
+            .build()
+            .expect("valid parameters"),
+    )
+    .expect("valid sketcher");
 
     // Three stations: two behaviorally similar, one different.
     let mut stations: Vec<StreamingSketch> = (0..3)

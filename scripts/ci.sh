@@ -19,4 +19,25 @@ cargo test -q -p tabsketch-serve --test server_integration
 echo "==> serve load smoke (ephemeral port, mixed workload, shutdown)"
 cargo run -q -p tabsketch-bench --bin serve_load -- --quick
 
+echo "==> observability smoke (--metrics snapshot JSON covers every crate)"
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run -q -p tabsketch-cli -- generate callvol \
+    --out "$obs_dir/day.tsb" --stations 64 --days 1 --seed 3
+cargo run -q -p tabsketch-cli -- distance "$obs_dir/day.tsb" \
+    --rect 0,0,16,16 --rect2 16,32,16,16 --k 128 \
+    --metrics --metrics-out "$obs_dir/metrics.json" --trace-spans
+python3 - "$obs_dir/metrics.json" <<'PY'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+keys = set(snap["counters"]) | set(snap["gauges"]) | set(snap["histograms"])
+for crate in ("fft.", "core.", "cluster.", "serve."):
+    assert any(k.startswith(crate) for k in keys), f"no {crate}* keys in snapshot"
+assert snap["counters"]["core.sketch.sketches"] >= 2, "distance must sketch twice"
+print(f"snapshot OK: {len(keys)} keys across fft/core/cluster/serve")
+PY
+
+echo "==> obs overhead bound (<5% on hot paths, written to BENCH_obs.json)"
+cargo run -q --release -p tabsketch-bench --bin obs_overhead -- --quick
+
 echo "==> ci green"

@@ -15,7 +15,8 @@
 //! * [`data`] — synthetic dataset generators (call-volume, six-region);
 //! * [`cluster`] — clustering over exact/sketched/on-demand embeddings;
 //! * [`eval`] — the paper's accuracy and quality measures;
-//! * [`serve`] — a concurrent TCP query daemon and blocking client.
+//! * [`serve`] — a concurrent TCP query daemon and blocking client;
+//! * [`obs`] — zero-dependency metrics registry and span timing.
 //!
 //! ## Quick start
 //!
@@ -24,7 +25,7 @@
 //!
 //! // A table, a sketcher, and an approximate L1 distance between tiles.
 //! let table = Table::from_fn(64, 64, |r, c| ((r * 7 + c * 13) % 31) as f64).unwrap();
-//! let sk = Sketcher::new(SketchParams::new(1.0, 256, 42).unwrap()).unwrap();
+//! let sk = Sketcher::new(SketchParams::builder().p(1.0).k(256).seed(42).build().unwrap()).unwrap();
 //! let a = table.view(Rect::new(0, 0, 16, 16)).unwrap();
 //! let b = table.view(Rect::new(32, 32, 16, 16)).unwrap();
 //! let est = sk.estimate_distance(&sk.sketch_view(&a), &sk.sketch_view(&b)).unwrap();
@@ -40,6 +41,7 @@ pub use tabsketch_core as core;
 pub use tabsketch_data as data;
 pub use tabsketch_eval as eval;
 pub use tabsketch_fft as fft;
+pub use tabsketch_obs as obs;
 pub use tabsketch_serve as serve;
 pub use tabsketch_table as table;
 
@@ -47,12 +49,13 @@ pub use tabsketch_table as table;
 pub mod prelude {
     pub use tabsketch_cluster::{
         agglomerate, birch, dbscan, kmedoids, most_similar_pairs, most_similar_pairs_refined,
-        nearest_neighbors, silhouette, BirchConfig, DbscanConfig, Embedding, ExactEmbedding,
-        InitMethod, KMeans, KMeansConfig, KMeansResult, KMedoidsConfig, Linkage,
-        OnDemandSketchEmbedding, PrecomputedSketchEmbedding,
+        nearest_neighbors, nearest_neighbors_sketched, silhouette, BirchConfig, DbscanConfig,
+        Embedding, EstimatorEmbedding, ExactEmbedding, InitMethod, KMeans, KMeansConfig,
+        KMeansResult, KMedoidsConfig, Linkage, OnDemandSketchEmbedding, PrecomputedSketchEmbedding,
     };
     pub use tabsketch_core::{
-        AllSubtableSketches, EstimatorKind, PoolConfig, Sketch, SketchParams, SketchPool, Sketcher,
+        AllSubtableSketches, DistanceEstimator, EstimatorKind, PoolConfig, PoolConfigBuilder,
+        PoolRectEstimator, Sketch, SketchParams, SketchParamsBuilder, SketchPool, Sketcher,
         SlidingSketches, StreamingSketch, TabError,
     };
     pub use tabsketch_data::{

@@ -33,7 +33,12 @@ fn three_scenarios_agree_on_call_volume_data() {
     let exact = ExactEmbedding::from_tiles(&table, &grid, p).expect("non-empty");
     let exact_res = km.run(&exact).expect("enough tiles");
 
-    let params = SketchParams::new(p, 384, 5).expect("valid params");
+    let params = SketchParams::builder()
+        .p(p)
+        .k(384)
+        .seed(5)
+        .build()
+        .expect("valid params");
     let pre = PrecomputedSketchEmbedding::build(
         &table,
         &grid,
@@ -92,7 +97,12 @@ fn three_scenarios_agree_on_call_volume_data() {
 fn sketched_clustering_is_deterministic() {
     let table = call_volume_week();
     let grid = TileGrid::new(table.rows(), table.cols(), 16, 72).expect("tiles fit");
-    let params = SketchParams::new(0.5, 128, 21).expect("valid params");
+    let params = SketchParams::builder()
+        .p(0.5)
+        .k(128)
+        .seed(21)
+        .build()
+        .expect("valid params");
     let km = KMeans::new(KMeansConfig {
         k: 4,
         seed: 2,
@@ -118,7 +128,12 @@ fn hierarchical_and_kmeans_agree_on_obvious_structure() {
     let table =
         Table::from_fn(32, 64, |r, _| if r < 16 { 10.0 } else { 10_000.0 }).expect("valid dims");
     let grid = TileGrid::new(32, 64, 8, 32).expect("tiles fit");
-    let params = SketchParams::new(1.0, 128, 3).expect("valid params");
+    let params = SketchParams::builder()
+        .p(1.0)
+        .k(128)
+        .seed(3)
+        .build()
+        .expect("valid params");
     let embedding = PrecomputedSketchEmbedding::build(
         &table,
         &grid,
@@ -154,8 +169,15 @@ fn knn_under_sketches_matches_exact_on_well_separated_data() {
     let sk = PrecomputedSketchEmbedding::build(
         &table,
         &grid,
-        Sketcher::new(SketchParams::new(1.0, 256, 8).expect("valid params"))
-            .expect("valid sketcher"),
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(256)
+                .seed(8)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher"),
     )
     .expect("non-empty");
     let e_nn = tabsketch::cluster::nearest_neighbors(&exact, 0, 1).expect("enough objects");

@@ -1,0 +1,275 @@
+//! Integration: every [`DistanceEstimator`] backend honors the same
+//! contract, and instrumentation never changes a single bit of output.
+//!
+//! The trait is the workspace's one coherent estimator API (DESIGN.md
+//! §9); these tests run each implementation — p-stable sketcher,
+//! pool-backed rectangle views, and the DFT / Haar / sampling baselines
+//! — through one generic checklist, then verify the observability layer
+//! is purely additive.
+
+use tabsketch::core::baseline::{DftSketcher, HaarSketcher, SamplingSketcher};
+use tabsketch::prelude::*;
+
+fn patterned(dim: usize, phase: usize) -> Vec<f64> {
+    (0..dim)
+        .map(|i| ((i * 31 + phase * 17) % 103) as f64 - 51.0)
+        .collect()
+}
+
+/// The generic checklist every backend must pass: self-distance is
+/// (near) zero, estimates are symmetric and non-negative, and the
+/// declared exponent is sane.
+fn conformance_checklist<E: DistanceEstimator>(est: &E, x: &[f64], y: &[f64], label: &str) {
+    let sx = est.sketch(x);
+    let sy = est.sketch(y);
+
+    let self_d = est.estimate_distance(&sx, &sx).expect("same family");
+    assert!(
+        self_d.abs() < 1e-9,
+        "{label}: self-distance must be ~0, got {self_d}"
+    );
+
+    let xy = est.estimate_distance(&sx, &sy).expect("same family");
+    let yx = est.estimate_distance(&sy, &sx).expect("same family");
+    assert!(xy >= 0.0, "{label}: distances are non-negative, got {xy}");
+    assert!(xy > 0.0, "{label}: distinct objects must not collide");
+    assert!(
+        (xy - yx).abs() < 1e-9,
+        "{label}: symmetry violated ({xy} vs {yx})"
+    );
+
+    let p = est.p();
+    assert!(
+        p > 0.0 && p <= 2.0,
+        "{label}: exponent must lie in (0, 2], got {p}"
+    );
+}
+
+#[test]
+fn every_backend_passes_the_conformance_checklist() {
+    let x = patterned(256, 0);
+    let y = patterned(256, 5);
+
+    let stable = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(400)
+            .seed(7)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    conformance_checklist(&stable, &x, &y, "p-stable");
+
+    conformance_checklist(&DftSketcher::new(64).expect("m >= 1"), &x, &y, "dft");
+    conformance_checklist(&HaarSketcher::new(64).expect("valid width"), &x, &y, "haar");
+    conformance_checklist(
+        &SamplingSketcher::new(128, 1.0, 9).expect("valid params"),
+        &x,
+        &y,
+        "sampling",
+    );
+
+    let table =
+        Table::from_fn(64, 64, |r, c| ((r * 37 + c * 101) % 257) as f64).expect("valid dims");
+    let pool = SketchPool::build(
+        &table,
+        SketchParams::builder()
+            .p(1.0)
+            .k(128)
+            .seed(3)
+            .build()
+            .expect("valid params"),
+        PoolConfig::builder()
+            .min_rows(8)
+            .min_cols(8)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("pool builds");
+    let rect = pool.rect_estimator(16, 16).expect("canonical size stored");
+    let xr = patterned(256, 1);
+    let yr = patterned(256, 8);
+    conformance_checklist(&rect, &xr, &yr, "pool-rect");
+}
+
+/// Each accuracy-guaranteed backend lands within its documented band of
+/// the exact distance on fixed seeds.
+#[test]
+fn backend_estimates_track_exact_distances() {
+    let x = patterned(512, 2);
+    let y = patterned(512, 11);
+    let exact_l1 = norms::lp_distance_slices(&x, &y, 1.0);
+    let exact_l2 = norms::lp_distance_slices(&x, &y, 2.0);
+
+    let stable = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(600)
+            .seed(17)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    let d = stable
+        .estimate_distance(&stable.sketch(&x), &stable.sketch(&y))
+        .expect("same family");
+    assert!(
+        (d - exact_l1).abs() / exact_l1 < 0.2,
+        "p-stable k=600: {d} vs exact {exact_l1}"
+    );
+
+    // Full-width transforms are orthonormal reductions: exact in L2.
+    let dft = DftSketcher::new(257).expect("m >= 1");
+    let d = dft
+        .estimate_distance(&dft.sketch(&x), &dft.sketch(&y))
+        .expect("comparable");
+    assert!(
+        (d - exact_l2).abs() / exact_l2 < 1e-6,
+        "full DFT must be exact: {d} vs {exact_l2}"
+    );
+
+    let haar = HaarSketcher::new(512).expect("valid width");
+    let d = haar
+        .estimate_distance(&haar.sketch(&x), &haar.sketch(&y))
+        .expect("comparable");
+    assert!(
+        (d - exact_l2).abs() / exact_l2 < 1e-9,
+        "full Haar must be exact: {d} vs {exact_l2}"
+    );
+}
+
+/// A pool-backed rect estimator must agree with the pool it mirrors:
+/// sketching the same window's raw data estimates the same distance the
+/// pool computes from its precomputed compound sketches.
+#[test]
+fn rect_estimator_agrees_with_its_pool() {
+    let table = Table::from_fn(96, 96, |r, c| {
+        ((r * 13 + c * 29) % 83) as f64 + if c >= 48 { 40.0 } else { 0.0 }
+    })
+    .expect("valid dims");
+    let pool = SketchPool::build(
+        &table,
+        SketchParams::builder()
+            .p(1.0)
+            .k(256)
+            .seed(21)
+            .build()
+            .expect("valid params"),
+        PoolConfig::builder()
+            .min_rows(8)
+            .min_cols(8)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("pool builds");
+    let rect = pool.rect_estimator(16, 16).expect("canonical size stored");
+
+    let a = Rect::new(0, 0, 16, 16);
+    let b = Rect::new(32, 64, 16, 16);
+    let via_pool = pool.estimate_distance(a, b).expect("rects in range");
+
+    let window = |r: Rect| -> Vec<f64> {
+        let v = table.view(r).expect("in range");
+        (0..r.rows)
+            .flat_map(|i| (0..r.cols).map(move |j| v.get(i, j)))
+            .collect()
+    };
+    let via_rect = rect
+        .estimate_distance(&rect.sketch(&window(a)), &rect.sketch(&window(b)))
+        .expect("same compound family");
+    assert!(
+        (via_pool - via_rect).abs() <= 1e-6 * via_pool.abs().max(1.0),
+        "pool {via_pool} vs rect view {via_rect}"
+    );
+}
+
+#[test]
+fn incompatible_sketches_are_rejected_across_backends() {
+    let x = patterned(128, 0);
+
+    let params = SketchParams::builder()
+        .p(1.0)
+        .k(64)
+        .seed(1)
+        .build()
+        .expect("valid params");
+    let a = Sketcher::with_family(params, 1).expect("valid sketcher");
+    let b = Sketcher::with_family(params, 2).expect("valid sketcher");
+    assert!(
+        a.estimate_distance(&a.sketch(&x), &b.sketch(&x)).is_err(),
+        "different random families must not compare"
+    );
+
+    let narrow = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(32)
+            .seed(1)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    let wide = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(64)
+            .seed(1)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    assert!(
+        narrow
+            .estimate_distance(&narrow.sketch(&x), &wide.sketch(&x))
+            .is_err(),
+        "different sketch widths must not compare"
+    );
+
+    // The sampling baseline's mismatch contract is shape-based: sketches
+    // holding different sample counts must not compare.
+    let s1 = SamplingSketcher::new(32, 1.0, 1).expect("valid params");
+    let s2 = SamplingSketcher::new(64, 1.0, 1).expect("valid params");
+    assert!(
+        s1.estimate_distance(&s1.sketch(&x), &s2.sketch(&x))
+            .is_err(),
+        "different sample counts must not compare"
+    );
+}
+
+/// Installing the registry subscriber (span timing on) must not change
+/// a single bit of any estimate: instrumentation is observability, not
+/// arithmetic. One test owns the process-global subscriber.
+#[test]
+fn instrumented_run_is_bit_identical() {
+    let x = patterned(300, 3);
+    let y = patterned(300, 14);
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(0.5)
+            .k(200)
+            .seed(99)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+
+    let run = || {
+        let sx = sk.sketch(&x);
+        let sy = sk.sketch(&y);
+        let d = sk.estimate_distance(&sx, &sy).expect("same family");
+        (sx, sy, d)
+    };
+
+    let (sx0, sy0, d0) = run();
+    let _ = tabsketch::obs::RegistrySubscriber::install(true);
+    let (sx1, sy1, d1) = run();
+
+    assert_eq!(d0.to_bits(), d1.to_bits(), "estimate changed under spans");
+    for (a, b) in sx0.values().iter().zip(sx1.values()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "sketch of x changed under spans");
+    }
+    for (a, b) in sy0.values().iter().zip(sy1.values()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "sketch of y changed under spans");
+    }
+}

@@ -22,8 +22,15 @@ fn streamed_sketches_cluster_like_batch_sketches() {
         }
     })
     .expect("valid dims");
-    let sk = Sketcher::new(SketchParams::new(1.0, 128, 3).expect("valid params"))
-        .expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(128)
+            .seed(3)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
 
     // Build per-row sketches by streaming the readings in arrival order.
     let mut streams: Vec<StreamingSketch> = (0..rows)
@@ -75,8 +82,15 @@ fn sliding_store_motif_matches_exact_search() {
         series[100 + j] = m;
         series[450 + j] = m + 1.0;
     }
-    let sk = Sketcher::new(SketchParams::new(2.0, 256, 7).expect("valid params"))
-        .expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(2.0)
+            .k(256)
+            .seed(7)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     let store = SlidingSketches::build(&series, 32, sk).expect("window fits");
     let approx = store.nearest_windows(100, 1, 32).expect("candidates exist");
 
@@ -112,8 +126,15 @@ fn transforms_compose_with_sketching() {
         (0..32).map(|c| if c >= 16 { 12.0 } else { 0.0 }).collect(),
     ])
     .expect("valid rows");
-    let sk = Sketcher::new(SketchParams::new(1.0, 256, 5).expect("valid params"))
-        .expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(256)
+            .seed(5)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
 
     let dist = |t: &Table, a: usize, b: usize| -> f64 {
         let grid = TileGrid::new(t.rows(), t.cols(), 1, t.cols()).expect("row tiles");
@@ -147,8 +168,15 @@ fn density_and_medoid_clustering_survive_sketching() {
     let sk = PrecomputedSketchEmbedding::build(
         &table,
         &grid,
-        Sketcher::new(SketchParams::new(1.0, 256, 2).expect("valid params"))
-            .expect("valid sketcher"),
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(256)
+                .seed(2)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher"),
     )
     .expect("non-empty");
 
@@ -193,8 +221,15 @@ fn filter_refine_recovers_exact_top_pairs() {
     let sketched = PrecomputedSketchEmbedding::build(
         &table,
         &grid,
-        Sketcher::new(SketchParams::new(1.0, 192, 6).expect("valid params"))
-            .expect("valid sketcher"),
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(192)
+                .seed(6)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher"),
     )
     .expect("non-empty");
     let truth = most_similar_pairs(&exact, 12).expect("enough objects");

@@ -26,8 +26,15 @@ fn fractional_p_recovers_known_clustering_better_than_l2() {
         let embedding = PrecomputedSketchEmbedding::build(
             &table,
             &grid,
-            Sketcher::new(SketchParams::new(p, 160, 5).expect("valid params"))
-                .expect("valid sketcher"),
+            Sketcher::new(
+                SketchParams::builder()
+                    .p(p)
+                    .k(160)
+                    .seed(5)
+                    .build()
+                    .expect("valid params"),
+            )
+            .expect("valid sketcher"),
         )
         .expect("non-empty");
         // Best of a few seeds, as in the figure harness.
@@ -83,8 +90,15 @@ fn stable_sketches_beat_baselines_on_spiky_data() {
             let truth_y_closer =
                 norms::lp_distance_slices(&x, &y, 1.0) < norms::lp_distance_slices(&x, &z, 1.0);
 
-            let sk = Sketcher::new(SketchParams::new(1.0, 256, t as u64).expect("valid params"))
-                .expect("valid sketcher");
+            let sk = Sketcher::new(
+                SketchParams::builder()
+                    .p(1.0)
+                    .k(256)
+                    .seed(t as u64)
+                    .build()
+                    .expect("valid params"),
+            )
+            .expect("valid sketcher");
             let (sx, sy, sz) = (
                 sk.sketch_slice(&x),
                 sk.sketch_slice(&y),
@@ -157,8 +171,15 @@ fn sketch_cost_is_independent_of_tile_size() {
     .expect("valid config")
     .generate();
     let k = 64;
-    let sk =
-        Sketcher::new(SketchParams::new(1.0, k, 2).expect("valid params")).expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(2)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     for &edge in &[8usize, 32, 128] {
         let a = table.view(Rect::new(0, 0, edge, edge)).expect("in range");
         let b = table
@@ -195,8 +216,15 @@ fn dataset_io_roundtrip_preserves_sketches() {
     tabsketch::table::io::save_binary(&table, &path).expect("write");
     let back = tabsketch::table::io::load_binary(&path).expect("read");
     assert_eq!(table, back);
-    let sk = Sketcher::new(SketchParams::new(1.0, 16, 4).expect("valid params"))
-        .expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(16)
+            .seed(4)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     assert_eq!(
         sk.sketch_slice(table.as_slice()).values(),
         sk.sketch_slice(back.as_slice()).values()

@@ -20,8 +20,15 @@ fn theorem_1_2_estimator_accuracy_across_p() {
     let b = table.view(Rect::new(15, 30, 20, 20)).expect("in range");
     for &p in &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
         let exact = norms::lp_distance_views(&a, &b, p).expect("same shape");
-        let sk = Sketcher::new(SketchParams::new(p, 600, 17).expect("valid params"))
-            .expect("valid sketcher");
+        let sk = Sketcher::new(
+            SketchParams::builder()
+                .p(p)
+                .k(600)
+                .seed(17)
+                .build()
+                .expect("valid params"),
+        )
+        .expect("valid sketcher");
         let est = sk
             .estimate_distance(&sk.sketch_view(&a), &sk.sketch_view(&b))
             .expect("same family");
@@ -67,8 +74,15 @@ fn accuracy_driven_sizing_holds_empirically() {
 #[test]
 fn theorem_3_fft_equals_direct_everywhere() {
     let table = patterned_table(18, 22);
-    let sk = Sketcher::new(SketchParams::new(0.75, 4, 3).expect("valid params"))
-        .expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(0.75)
+            .k(4)
+            .seed(3)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     let store = AllSubtableSketches::build(&table, 5, 7, sk.clone()).expect("fits budget");
     for r in 0..store.anchor_rows() {
         for c in 0..store.anchor_cols() {
@@ -93,7 +107,12 @@ fn theorem_5_compound_band() {
     let p = 1.0;
     let pool = SketchPool::build(
         &table,
-        SketchParams::new(p, 300, 7).expect("valid params"),
+        SketchParams::builder()
+            .p(p)
+            .k(300)
+            .seed(7)
+            .build()
+            .expect("valid params"),
         PoolConfig {
             min_rows: 4,
             min_cols: 4,
@@ -139,8 +158,15 @@ fn theorem_5_compound_band() {
 fn linearity_supports_centroid_sketches() {
     let table = patterned_table(24, 24);
     let grid = TileGrid::new(24, 24, 8, 8).expect("tiles fit");
-    let sk = Sketcher::new(SketchParams::new(1.0, 32, 9).expect("valid params"))
-        .expect("valid sketcher");
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(32)
+            .seed(9)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
     // Mean of all tile sketches…
     let sketches: Vec<tabsketch::core::Sketch> = grid
         .iter()
