@@ -1,0 +1,198 @@
+//! Dense kernel layer — what blocking and batching buy on the sketch
+//! hot path.
+//!
+//! The scalar baseline is the pre-kernel implementation: one
+//! `norms::dot_slices` pass per random row, a single latency-bound f64
+//! accumulation chain each. The blocked kernel (`kernels::dot_rows`)
+//! walks [`tabsketch_core::kernels::ROW_TILE`] rows per column pass with
+//! independent accumulators, and the batched kernel
+//! (`kernels::dot_rows_batch`) additionally amortizes each pass across
+//! many objects. All three produce bit-identical sketches (see
+//! `crates/core/tests/kernel_equivalence.rs`); this bench measures only
+//! their speed and writes a machine-readable summary to
+//! `BENCH_kernels.json`:
+//!
+//! * ns per sketch for the scalar / blocked / batched kernels on the
+//!   paper's 64×64 tile (4096 values) at k = 256;
+//! * the blocked-over-scalar and batched-over-scalar speedups — the
+//!   blocked speedup is asserted ≥ 1.5× in every mode;
+//! * `SketchPool::build_parallel` wall time at 1/2/4/8 threads
+//!   (monotone improvement 1→4 is asserted only when the host actually
+//!   has ≥ 4 cores).
+//!
+//! Run `--quick` for a CI-speed pass.
+
+use std::time::Instant;
+
+use tabsketch_bench::{print_header, print_row, time, Scale};
+use tabsketch_core::{kernels, PoolConfig, SketchParams, SketchPool, Sketcher};
+use tabsketch_table::Table;
+
+/// The blocked kernel must beat the scalar baseline by at least this
+/// factor on the reference tile, in every mode — the regression bound
+/// CI enforces.
+const BOUND_SPEEDUP: f64 = 1.5;
+
+/// Times `iters` runs of `f` and returns mean nanoseconds per run.
+fn mean_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let tile = 64usize; // the paper's reference tile edge
+    let len = tile * tile;
+    let k = 256usize;
+    let iters = scale.pick(200u64, 2_000, 10_000);
+    let batch = 64usize;
+
+    println!("=== Dense sketch kernels ({tile}x{tile} tile, k {k}) ===\n");
+
+    let sk = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(0xD07)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    let block = sk.row_block(len).expect("tile fits the row cache");
+    let x: Vec<f64> = (0..len).map(|i| ((i * 13) % 97) as f64 - 48.0).collect();
+    let objects: Vec<Vec<f64>> = (0..batch)
+        .map(|o| {
+            (0..len)
+                .map(|i| ((i * 7 + o * 31) % 89) as f64 - 44.0)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = objects.iter().map(Vec::as_slice).collect();
+
+    // -- scalar baseline: one dot_slices pass per row ------------------
+    let mut out = vec![0.0f64; k];
+    let scalar_ns = mean_ns(iters, || {
+        let x = std::hint::black_box(&x);
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = tabsketch_table::norms::dot_slices(x, block.row(i));
+        }
+        std::hint::black_box(&out);
+    });
+
+    // -- blocked kernel -------------------------------------------------
+    let blocked_ns = mean_ns(iters, || {
+        kernels::dot_rows(&block, std::hint::black_box(&x), &mut out);
+        std::hint::black_box(&out);
+    });
+
+    // -- batched kernel, per object -------------------------------------
+    let mut batch_out = vec![0.0f64; batch * k];
+    let batched_ns = mean_ns(iters.div_ceil(batch as u64).max(8), || {
+        kernels::dot_rows_batch(&block, std::hint::black_box(&refs), &mut batch_out);
+        std::hint::black_box(&batch_out);
+    }) / batch as f64;
+
+    let blocked_speedup = scalar_ns / blocked_ns;
+    let batched_speedup = scalar_ns / batched_ns;
+
+    let widths = [22usize, 16, 10];
+    print_header(&["kernel", "ns/sketch", "speedup"], &widths);
+    print_row(
+        &["scalar rows", &format!("{scalar_ns:.0}"), "1.00"],
+        &widths,
+    );
+    print_row(
+        &[
+            "blocked",
+            &format!("{blocked_ns:.0}"),
+            &format!("{blocked_speedup:.2}"),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "batched (64 objs)",
+            &format!("{batched_ns:.0}"),
+            &format!("{batched_speedup:.2}"),
+        ],
+        &widths,
+    );
+
+    // -- parallel pool build --------------------------------------------
+    let table_edge = scale.pick(96usize, 192, 320);
+    let pool_k = scale.pick(32usize, 64, 128);
+    let t = Table::from_fn(table_edge, table_edge, |r, c| {
+        ((r * 37 + c * 11) % 101) as f64
+    })
+    .expect("valid table");
+    let params = SketchParams::builder()
+        .p(1.0)
+        .k(pool_k)
+        .seed(0xBEE)
+        .build()
+        .expect("valid params");
+    let config = PoolConfig {
+        min_rows: 8,
+        min_cols: 8,
+        max_rows: 32,
+        max_cols: 32,
+        ..Default::default()
+    };
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\npool build ({table_edge}x{table_edge} table, k {pool_k}, {cores} cores):");
+    let mut pool_build_ms = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let (pool, elapsed) =
+            time(|| SketchPool::build_parallel(&t, params, config, threads).expect("pool builds"));
+        std::hint::black_box(&pool);
+        let ms = elapsed.as_secs_f64() * 1e3;
+        println!("  {threads} threads: {ms:.1} ms");
+        pool_build_ms.push((threads, ms));
+    }
+
+    println!(
+        "\nblocked speedup {blocked_speedup:.2}x, batched speedup {batched_speedup:.2}x \
+         (bound {BOUND_SPEEDUP:.1}x)"
+    );
+
+    assert!(
+        blocked_speedup >= BOUND_SPEEDUP,
+        "blocked kernel regressed below {BOUND_SPEEDUP:.1}x over scalar \
+         ({blocked_ns:.0} ns vs {scalar_ns:.0} ns = {blocked_speedup:.2}x)"
+    );
+    if cores >= 4 {
+        let ms_at = |n: usize| pool_build_ms.iter().find(|&&(t, _)| t == n).unwrap().1;
+        assert!(
+            ms_at(4) <= ms_at(1) * 1.05,
+            "pool build failed to improve 1 -> 4 threads on a {cores}-core host \
+             ({:.1} ms -> {:.1} ms)",
+            ms_at(1),
+            ms_at(4)
+        );
+    }
+
+    let pool_json: Vec<String> = pool_build_ms
+        .iter()
+        .map(|(t, ms)| format!("\"{t}\": {ms:.2}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"tile\": {tile},\n  \"k\": {k},\n  \
+         \"scalar_ns_per_sketch\": {scalar_ns:.1},\n  \
+         \"blocked_ns_per_sketch\": {blocked_ns:.1},\n  \
+         \"batched_ns_per_sketch\": {batched_ns:.1},\n  \
+         \"blocked_speedup\": {blocked_speedup:.3},\n  \
+         \"batched_speedup\": {batched_speedup:.3},\n  \
+         \"bound_speedup\": {BOUND_SPEEDUP:.1},\n  \
+         \"cores\": {cores},\n  \
+         \"pool_table_edge\": {table_edge},\n  \
+         \"pool_k\": {pool_k},\n  \
+         \"pool_build_ms\": {{{}}}\n}}\n",
+        pool_json.join(", "),
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json");
+}

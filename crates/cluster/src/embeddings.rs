@@ -8,6 +8,11 @@ use tabsketch_table::{norms, Rect, Table, TileGrid};
 use crate::embedding::Embedding;
 use crate::ClusterError;
 
+/// Objects per [`DistanceEstimator::sketch_batch`] call during embedding
+/// construction: large enough to amortize each pass over the random-row
+/// blocks, small enough to bound the materialized-tile working set.
+const SKETCH_BATCH_CHUNK: usize = 64;
+
 /// Scenario 3 — exact distances over materialized tiles.
 ///
 /// Tiles are copied out of the table once at construction (a tile's rows
@@ -89,10 +94,21 @@ impl PrecomputedSketchEmbedding {
         if grid.is_empty() {
             return Err(ClusterError::InvalidParameter("tile grid is empty"));
         }
-        let mut sketches = Vec::with_capacity(grid.len());
-        for rect in grid.iter() {
-            let view = table.view(rect)?;
-            sketches.push(sketcher.sketch_view(&view).values().to_vec());
+        // Batch equal-size tiles through the blocked kernel — one pass
+        // over each random-row block sketches a whole chunk, bit-identical
+        // to sketching each view alone.
+        let rects: Vec<Rect> = grid.iter().collect();
+        let mut sketches = Vec::with_capacity(rects.len());
+        let mut tiles: Vec<Vec<f64>> = Vec::with_capacity(SKETCH_BATCH_CHUNK);
+        for chunk in rects.chunks(SKETCH_BATCH_CHUNK) {
+            tiles.clear();
+            for &rect in chunk {
+                tiles.push(table.view(rect)?.to_vec());
+            }
+            let refs: Vec<&[f64]> = tiles.iter().map(|t| t.as_slice()).collect();
+            for sketch in sketcher.sketch_batch(&refs) {
+                sketches.push(sketch.values().to_vec());
+            }
         }
         Ok(Self { sketches, sketcher })
     }
@@ -213,7 +229,11 @@ impl<E: DistanceEstimator<Sketch = Sketch>> EstimatorEmbedding<E> {
         if objects.is_empty() {
             return Err(ClusterError::InvalidParameter("no objects provided"));
         }
-        let sketches: Vec<Sketch> = objects.iter().map(|o| estimator.sketch(o)).collect();
+        let refs: Vec<&[f64]> = objects.iter().map(|o| o.as_slice()).collect();
+        let mut sketches: Vec<Sketch> = Vec::with_capacity(objects.len());
+        for chunk in refs.chunks(SKETCH_BATCH_CHUNK) {
+            sketches.extend(estimator.sketch_batch(chunk));
+        }
         let (p, family, k) = (
             sketches[0].p(),
             sketches[0].family(),
@@ -248,11 +268,11 @@ impl<E: DistanceEstimator<Sketch = Sketch>> Embedding for EstimatorEmbedding<E> 
         f(self.sketches[i].values())
     }
 
-    fn distance(&self, a: &[f64], b: &[f64], _scratch: &mut Vec<f64>) -> f64 {
+    fn distance(&self, a: &[f64], b: &[f64], scratch: &mut Vec<f64>) -> f64 {
         let sa = Sketch::from_values(self.p, self.family, a.to_vec());
         let sb = Sketch::from_values(self.p, self.family, b.to_vec());
         self.estimator
-            .estimate_distance(&sa, &sb)
+            .estimate_distance_with(&sa, &sb, scratch)
             .expect("sketches share the estimator's family and width")
     }
 }

@@ -89,6 +89,7 @@ pub fn nearest_neighbors_sketched<E: DistanceEstimator>(
         return Err(ClusterError::TooFewObjects { objects: n - 1, k });
     }
     let mut neighbors = Vec::with_capacity(n - 1);
+    let mut scratch = Vec::new();
     for (i, sketch) in sketches.iter().enumerate() {
         if i == query {
             continue;
@@ -96,7 +97,7 @@ pub fn nearest_neighbors_sketched<E: DistanceEstimator>(
         neighbors.push(Neighbor {
             index: i,
             distance: estimator
-                .estimate_distance(&sketches[query], sketch)
+                .estimate_distance_with(&sketches[query], sketch, &mut scratch)
                 .map_err(ClusterError::Core)?,
         });
     }

@@ -41,6 +41,11 @@ use crate::ClusterError;
 /// [`DistanceOracle::with_cache_capacity`].
 pub const DEFAULT_SKETCH_CACHE_CAPACITY: usize = 4096;
 
+/// How many uncached rectangles a batched prefetch materializes per
+/// [`Sketcher::sketch_batch`] call — bounds the tile working set while
+/// still amortizing each random-row pass across many objects.
+const PREFETCH_CHUNK: usize = 64;
+
 /// Which rung of the ladder produced an answer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Tier {
@@ -304,7 +309,7 @@ impl<'a> DistanceOracle<'a> {
     /// Tries the precomputed tier for the pair `(a, b)`. `None` means
     /// "this tier cannot answer" (wrong shape, uncovered size, corrupt
     /// values) — the caller falls through.
-    fn pooled_estimate(&self, a: Rect, b: Rect) -> Option<f64> {
+    fn pooled_estimate(&self, a: Rect, b: Rect, scratch: &mut Vec<f64>) -> Option<f64> {
         let source = self.source.as_ref()?;
         let d = match source {
             Source::Store(store) => {
@@ -316,12 +321,9 @@ impl<'a> DistanceOracle<'a> {
                 if !va.iter().chain(vb).all(|v| v.is_finite()) {
                     return None;
                 }
-                let mut scratch = Vec::with_capacity(self.sketcher.k());
-                store
-                    .sketcher()
-                    .estimate_distance_slices(va, vb, &mut scratch)
+                store.sketcher().estimate_distance_slices(va, vb, scratch)
             }
-            Source::Pool(pool) => pool.estimate_distance(a, b).ok()?,
+            Source::Pool(pool) => pool.estimate_distance_with(a, b, scratch).ok()?,
         };
         d.is_finite().then_some(d)
     }
@@ -369,21 +371,46 @@ impl<'a> DistanceOracle<'a> {
     /// Returns table errors for rectangles that do not fit the table —
     /// the one failure no tier can absorb.
     pub fn distance(&self, a: Rect, b: Rect) -> Result<(f64, Tier), ClusterError> {
+        let mut scratch = Vec::with_capacity(self.sketcher.k());
+        self.distance_with(a, b, &mut scratch)
+    }
+
+    /// [`DistanceOracle::distance`] reusing caller-owned scratch space
+    /// for the median estimator — the non-allocating variant for tight
+    /// query loops.
+    ///
+    /// # Errors
+    ///
+    /// As [`DistanceOracle::distance`].
+    pub fn distance_with(
+        &self,
+        a: Rect,
+        b: Rect,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(f64, Tier), ClusterError> {
         let _span = tabsketch_obs::span("cluster.oracle.distance");
         if self.source.is_some() {
-            if let Some(d) = self.pooled_estimate(a, b) {
+            if let Some(d) = self.pooled_estimate(a, b, scratch) {
                 self.counters.record_hit(Tier::Pooled);
                 return Ok((d, Tier::Pooled));
             }
             self.counters.record_fallback(Tier::Pooled);
         }
+        self.on_demand_or_exact(a, b, scratch)
+    }
 
+    /// The bottom two rungs of the ladder: on-demand sketches, then the
+    /// exact scan. Shared by [`DistanceOracle::distance_with`] and the
+    /// resolve pass of [`DistanceOracle::distance_batch`].
+    fn on_demand_or_exact(
+        &self,
+        a: Rect,
+        b: Rect,
+        scratch: &mut Vec<f64>,
+    ) -> Result<(f64, Tier), ClusterError> {
         match (self.on_demand_values(a), self.on_demand_values(b)) {
             (Ok(va), Ok(vb)) => {
-                let mut scratch = Vec::with_capacity(self.sketcher.k());
-                let d = self
-                    .sketcher
-                    .estimate_distance_slices(&va, &vb, &mut scratch);
+                let d = self.sketcher.estimate_distance_slices(&va, &vb, scratch);
                 if d.is_finite() {
                     self.counters.record_hit(Tier::OnDemand);
                     return Ok((d, Tier::OnDemand));
@@ -400,6 +427,96 @@ impl<'a> DistanceOracle<'a> {
         let d = norms::lp_distance_views(&va, &vb, self.p).map_err(ClusterError::Table)?;
         self.counters.record_hit(Tier::Exact);
         Ok((d, Tier::Exact))
+    }
+
+    /// Estimates many pair distances at once, batching the on-demand
+    /// sketching work.
+    ///
+    /// The ladder semantics are exactly [`DistanceOracle::distance`]
+    /// applied pair by pair — same answers, same tier counters. The
+    /// speedup comes from the middle rung: every rectangle the pooled
+    /// tier could not answer is sketched up front through the batched
+    /// kernel ([`Sketcher::sketch_batch`]), one random-row pass covering
+    /// many tiles, instead of one pass per rectangle.
+    ///
+    /// # Errors
+    ///
+    /// Returns table errors if any rectangle of the batch does not fit
+    /// the table; the batch is all-or-nothing.
+    pub fn distance_batch(&self, pairs: &[(Rect, Rect)]) -> Result<Vec<(f64, Tier)>, ClusterError> {
+        let _span = tabsketch_obs::span("cluster.oracle.distance_batch");
+        let mut scratch = Vec::with_capacity(self.sketcher.k());
+        let mut out = Vec::with_capacity(pairs.len());
+        let mut unresolved = Vec::new();
+        for (idx, &(a, b)) in pairs.iter().enumerate() {
+            if self.source.is_some() {
+                if let Some(d) = self.pooled_estimate(a, b, &mut scratch) {
+                    self.counters.record_hit(Tier::Pooled);
+                    out.push((d, Tier::Pooled));
+                    continue;
+                }
+                self.counters.record_fallback(Tier::Pooled);
+            }
+            // Placeholder; overwritten by the resolve pass below.
+            out.push((f64::NAN, Tier::Exact));
+            unresolved.push(idx);
+        }
+        if unresolved.is_empty() {
+            return Ok(out);
+        }
+
+        let rects: Vec<Rect> = unresolved
+            .iter()
+            .flat_map(|&i| [pairs[i].0, pairs[i].1])
+            .collect();
+        self.prefetch_sketches(&rects)?;
+        for &idx in &unresolved {
+            let (a, b) = pairs[idx];
+            out[idx] = self.on_demand_or_exact(a, b, &mut scratch)?;
+        }
+        Ok(out)
+    }
+
+    /// Computes and caches the on-demand sketches of every rectangle not
+    /// already cached, in shape-uniform chunks through the batched
+    /// sketch kernel.
+    fn prefetch_sketches(&self, rects: &[Rect]) -> Result<(), ClusterError> {
+        let mut seen = std::collections::HashSet::new();
+        let mut todo = Vec::new();
+        {
+            let mut cache = self.cache.lock();
+            for &r in rects {
+                if !seen.insert(r) {
+                    continue;
+                }
+                if cache.get(&r).is_some() {
+                    tabsketch_obs::counter!("cluster.lru.hits").inc();
+                } else {
+                    tabsketch_obs::counter!("cluster.lru.misses").inc();
+                    todo.push(r);
+                }
+            }
+        }
+        // Uniform shape within a chunk keeps sketch_batch on its dense
+        // path; the chunk bound caps the materialized-tile working set.
+        todo.sort_unstable_by_key(|r| (r.rows, r.cols, r.row, r.col));
+        for chunk in todo.chunks(PREFETCH_CHUNK) {
+            for shaped in chunk.chunk_by(|x, y| x.shape() == y.shape()) {
+                let mut tiles = Vec::with_capacity(shaped.len());
+                for &r in shaped {
+                    tiles.push(self.table.view(r)?.to_vec());
+                }
+                let refs: Vec<&[f64]> = tiles.iter().map(Vec::as_slice).collect();
+                let sketches = self.sketcher.sketch_batch(&refs);
+                let mut cache = self.cache.lock();
+                for (&r, sk) in shaped.iter().zip(&sketches) {
+                    if cache.insert(r, sk.values().into()).is_some() {
+                        tabsketch_obs::counter!("cluster.lru.evictions").inc();
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The representation vector of `rect` for embedding use: the stored
@@ -719,6 +836,51 @@ mod tests {
         let snap = shared.counters();
         assert_eq!(snap.total(), (threads * pairs.len()) as u64);
         assert!(snap.cache_capacity == 8);
+    }
+
+    #[test]
+    fn batch_distances_match_sequential_bit_for_bit() {
+        let t = table();
+        let s = store(&t, 64);
+        let seq = DistanceOracle::with_store(&t, &s).unwrap();
+        let bat = DistanceOracle::with_store(&t, &s).unwrap();
+
+        // Pooled (8x8) and on-demand (5x5..7x7) pairs, some repeated, so
+        // the batch exercises both passes and the prefetch dedup.
+        let mut pairs = Vec::new();
+        for i in 0..4 {
+            for j in 0..4 {
+                let side = 5 + (i + j) % 4;
+                pairs.push((
+                    Rect::new(i, j, side, side),
+                    Rect::new(16 - i, 16 - j, side, side),
+                ));
+            }
+        }
+        pairs.push(pairs[0]);
+        pairs.push(pairs[5]);
+
+        let expected: Vec<(f64, Tier)> = pairs
+            .iter()
+            .map(|&(a, b)| seq.distance(a, b).unwrap())
+            .collect();
+        let got = bat.distance_batch(&pairs).unwrap();
+        assert_eq!(got, expected, "batched answers must be bit-identical");
+
+        // Same ladder per pair means the same tier counters.
+        let (cs, cb) = (seq.counters(), bat.counters());
+        assert_eq!(cs.pooled, cb.pooled);
+        assert_eq!(cs.on_demand, cb.on_demand);
+        assert_eq!(cs.exact, cb.exact);
+        assert_eq!(cs.pooled_fallbacks, cb.pooled_fallbacks);
+        assert_eq!(cs.on_demand_fallbacks, cb.on_demand_fallbacks);
+
+        // Edge cases: empty batches answer empty, out-of-bounds
+        // rectangles fail the whole batch.
+        assert_eq!(bat.distance_batch(&[]).unwrap(), vec![]);
+        assert!(bat
+            .distance_batch(&[(Rect::new(0, 0, 8, 8), Rect::new(20, 20, 8, 8))])
+            .is_err());
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! The naive path ([`AllSubtableSketches::build_naive`]) exists as a test
 //! oracle and as the baseline for the ablation benchmark.
 
+use std::borrow::Cow;
+
 use tabsketch_fft::Correlator2d;
 use tabsketch_table::{Rect, Table};
 
+use crate::kernels::RowBlock;
 use crate::sketch::{Sketch, Sketcher};
 use crate::TabError;
 
@@ -22,6 +25,31 @@ pub const DEFAULT_MEMORY_BUDGET: usize = 1 << 30;
 /// One worker's output in the parallel build: `(kernel index, correlation
 /// map)` pairs, or the first error the worker hit.
 type WorkerMaps = Result<Vec<(usize, Vec<f64>)>, TabError>;
+
+/// Source of the `k` random correlation kernels during a build: borrowed
+/// from the sketcher's shared immutable [`RowBlock`] when the tile fits
+/// in the cache bound (the common case — workers copy nothing), streamed
+/// per call otherwise.
+enum KernelRows<'a> {
+    Block(RowBlock),
+    Streamed(&'a Sketcher, usize),
+}
+
+impl<'a> KernelRows<'a> {
+    fn new(sketcher: &'a Sketcher, len: usize) -> Self {
+        match sketcher.row_block(len) {
+            Some(block) => KernelRows::Block(block),
+            None => KernelRows::Streamed(sketcher, len),
+        }
+    }
+
+    fn get(&self, i: usize) -> Cow<'_, [f64]> {
+        match self {
+            KernelRows::Block(block) => Cow::Borrowed(block.row(i)),
+            KernelRows::Streamed(sketcher, len) => Cow::Owned(sketcher.random_row(i, *len)),
+        }
+    }
+}
 
 /// Sketches of every `tile_rows × tile_cols` subtable of one table,
 /// stored position-major (`values[pos * k ..][..k]`) for cache-friendly
@@ -85,17 +113,18 @@ impl AllSubtableSketches {
         };
         // Kernels are real, so two ride through each FFT round trip
         // (packed as re + i·im) — half the transform work.
+        let rows = KernelRows::new(&sketcher, tile_rows * tile_cols);
         let mut i = 0;
         while i + 1 < k {
-            let k1 = sketcher.random_row(i, tile_rows * tile_cols);
-            let k2 = sketcher.random_row(i + 1, tile_rows * tile_cols);
+            let k1 = rows.get(i);
+            let k2 = rows.get(i + 1);
             let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
             scatter(i, m1, &mut values);
             scatter(i + 1, m2, &mut values);
             i += 2;
         }
         if i < k {
-            let kernel = sketcher.random_row(i, tile_rows * tile_cols);
+            let kernel = rows.get(i);
             let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
             scatter(i, map, &mut values);
         }
@@ -146,26 +175,30 @@ impl AllSubtableSketches {
         // bit-identical.
         let mut chunk = k.div_ceil(threads);
         chunk += chunk & 1;
+        // Materialize the shared row block once, before spawning; workers
+        // borrow rows from it instead of copying each kernel into a fresh
+        // Vec (and instead of racing to build it k times).
+        let rows = KernelRows::new(&sketcher, tile_rows * tile_cols);
         let maps: Vec<WorkerMaps> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let lo = (t * chunk).min(k);
                 let hi = ((t + 1) * chunk).min(k);
                 let corr = &corr;
-                let sketcher = &sketcher;
+                let rows = &rows;
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::with_capacity(hi.saturating_sub(lo));
                     let mut i = lo;
                     while i + 1 < hi {
-                        let k1 = sketcher.random_row(i, tile_rows * tile_cols);
-                        let k2 = sketcher.random_row(i + 1, tile_rows * tile_cols);
+                        let k1 = rows.get(i);
+                        let k2 = rows.get(i + 1);
                         let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
                         out.push((i, m1));
                         out.push((i + 1, m2));
                         i += 2;
                     }
                     if i < hi {
-                        let kernel = sketcher.random_row(i, tile_rows * tile_cols);
+                        let kernel = rows.get(i);
                         let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
                         out.push((i, map));
                     }

@@ -59,6 +59,36 @@ pub trait DistanceEstimator {
     /// comparable (different widths, exponents, or random families).
     fn estimate_distance(&self, a: &Self::Sketch, b: &Self::Sketch) -> Result<f64, TabError>;
 
+    /// Summarizes many objects in one call. Backends with a batched
+    /// kernel (the p-stable [`Sketcher`], pool rectangle estimators)
+    /// override this to amortize each pass over their random rows across
+    /// objects; the default simply maps [`DistanceEstimator::sketch`].
+    /// Results are always identical to sketching each object alone.
+    fn sketch_batch(&self, objects: &[&[f64]]) -> Vec<Self::Sketch> {
+        objects.iter().map(|o| self.sketch(o)).collect()
+    }
+
+    /// Estimates a distance reusing caller-owned scratch space — the
+    /// non-allocating path for tight loops (k-nearest-neighbour scans,
+    /// clustering sweeps). The default ignores `scratch` and delegates
+    /// to [`DistanceEstimator::estimate_distance`]; backends whose
+    /// estimator needs per-call scratch (the median estimator's partial
+    /// sort) override it to skip the per-call allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] when the sketches are not
+    /// comparable.
+    fn estimate_distance_with(
+        &self,
+        a: &Self::Sketch,
+        b: &Self::Sketch,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
+        let _ = scratch;
+        self.estimate_distance(a, b)
+    }
+
     /// The Lp exponent this backend estimates distances for.
     fn p(&self) -> f64;
 }
@@ -72,6 +102,19 @@ impl DistanceEstimator for Sketcher {
 
     fn estimate_distance(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
         Sketcher::estimate_distance(self, a, b)
+    }
+
+    fn sketch_batch(&self, objects: &[&[f64]]) -> Vec<Sketch> {
+        Sketcher::sketch_batch(self, objects)
+    }
+
+    fn estimate_distance_with(
+        &self,
+        a: &Sketch,
+        b: &Sketch,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
+        Sketcher::estimate_distance_with(self, a, b, scratch)
     }
 
     fn p(&self) -> f64 {

@@ -1,0 +1,281 @@
+//! Cache/register-blocked dense kernels for the sketching hot path.
+//!
+//! Every sketch in this crate bottoms out in the same primitive: `k` dot
+//! products of one object against the `k` p-stable random rows. The naive
+//! loop (`norms::dot_slices` per row) is a single sequential chain of f64
+//! adds per row — the CPU stalls on floating-point add latency and the
+//! row-cache `RwLock` is taken once per row. The kernels here fix both:
+//!
+//! * [`RowBlock`] pre-materializes the random rows as one immutable,
+//!   contiguous, `Arc`-shared table, so the hot path never locks.
+//! * [`dot_rows`] processes a register tile of [`ROW_TILE`] rows per pass
+//!   over the object, holding one independent accumulator per row; the
+//!   chains overlap in the out-of-order window (and vectorize), instead
+//!   of serializing on add latency.
+//! * [`dot_rows_batch`] extends the tile to rows × objects, sketching
+//!   many same-length objects per pass over each row block — the
+//!   GEMM-shaped path used by batched embedding construction and the
+//!   serve batch handler.
+//!
+//! **Bit-identity invariant.** Each `(row, object)` pair is accumulated
+//! into exactly one f64 accumulator, visiting columns in strictly
+//! ascending order starting from `0.0` — the exact operation sequence of
+//! `norms::dot_slices` (which folds `0.0 + x₀·r₀ + x₁·r₁ + …`). Tiling
+//! only reorders *independent* accumulators, never the adds within one
+//! dot product, so every kernel path returns bit-identical results to the
+//! scalar baseline. Do not "optimize" a row's accumulation into multiple
+//! partial sums: that reassociates f64 addition and breaks the
+//! equivalence suite (`tests/kernel_equivalence.rs`).
+
+use std::sync::Arc;
+
+use tabsketch_table::norms;
+
+/// Random rows per register tile of the single-object kernel
+/// ([`dot_rows`]): eight independent accumulator chains are enough to
+/// cover f64 add latency on current cores without spilling.
+pub const ROW_TILE: usize = 8;
+
+/// Rows per register tile of the batched kernel ([`dot_rows_batch`]).
+pub const BATCH_ROW_TILE: usize = 4;
+
+/// Objects per register tile of the batched kernel: `BATCH_ROW_TILE ×
+/// OBJ_TILE = 16` accumulators stay in registers.
+pub const OBJ_TILE: usize = 4;
+
+/// An immutable, pre-materialized block of `k` random-row prefixes stored
+/// contiguously (row-major, one physical `stride` per row). Cloning is
+/// O(1) — the payload is a shared `Arc<[f64]>` — so sketcher clones and
+/// worker threads all read the same allocation without locks or copies.
+#[derive(Clone, Debug)]
+pub struct RowBlock {
+    k: usize,
+    len: usize,
+    stride: usize,
+    data: Arc<[f64]>,
+}
+
+impl RowBlock {
+    /// Wraps a row-major buffer of `k` rows with physical stride `stride`
+    /// and logical prefix length `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len > stride` or `data.len() != k * stride`.
+    pub fn from_parts(k: usize, len: usize, stride: usize, data: Arc<[f64]>) -> Self {
+        assert!(len <= stride, "logical row length exceeds physical stride");
+        assert_eq!(data.len(), k * stride, "buffer does not hold k rows");
+        Self {
+            k,
+            len,
+            stride,
+            data,
+        }
+    }
+
+    /// The number of rows.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The logical row length (prefix of each physical row).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the block holds zero-length rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A view of the same shared buffer narrowed to a shorter logical
+    /// row length — O(1), no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len > self.len()`.
+    pub fn with_len(&self, len: usize) -> RowBlock {
+        assert!(len <= self.len, "cannot widen a row block");
+        RowBlock {
+            k: self.k,
+            len,
+            stride: self.stride,
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// Borrows row `i` (length [`RowBlock::len`]) — the zero-copy
+    /// replacement for `Sketcher::random_row` in worker loops.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        let start = i * self.stride;
+        &self.data[start..start + self.len]
+    }
+}
+
+/// `out[i] = x · row[i]` for every row of the block, blocked by
+/// [`ROW_TILE`]. Bit-identical to calling `norms::dot_slices(x, row)` per
+/// row (see the module docs for why).
+///
+/// # Panics
+///
+/// Panics when `x.len() > block.len()` or `out.len() != block.k()`.
+pub fn dot_rows(block: &RowBlock, x: &[f64], out: &mut [f64]) {
+    let n = x.len();
+    assert!(n <= block.len(), "object longer than the row block");
+    assert_eq!(out.len(), block.k(), "output length must equal k");
+    let x = &x[..n];
+    let k = block.k();
+    let mut i = 0;
+    while i + ROW_TILE <= k {
+        let rows: [&[f64]; ROW_TILE] = std::array::from_fn(|j| &block.row(i + j)[..n]);
+        // One accumulator per row: ROW_TILE independent dependency
+        // chains, columns strictly ascending within each.
+        let mut acc = [0.0f64; ROW_TILE];
+        for c in 0..n {
+            let xv = x[c];
+            for j in 0..ROW_TILE {
+                acc[j] += rows[j][c] * xv;
+            }
+        }
+        out[i..i + ROW_TILE].copy_from_slice(&acc);
+        i += ROW_TILE;
+    }
+    // Remainder rows: plain scalar dot (the baseline itself).
+    for (slot, row) in out[i..].iter_mut().zip((i..k).map(|r| block.row(r))) {
+        *slot = norms::dot_slices(x, &row[..n]);
+    }
+}
+
+/// `out[o * k + i] = objs[o] · row[i]` for every (object, row) pair,
+/// blocked by [`BATCH_ROW_TILE`] × [`OBJ_TILE`] so each pass over a row
+/// block sketches several objects at once. Bit-identical to [`dot_rows`]
+/// per object.
+///
+/// # Panics
+///
+/// Panics when objects have unequal lengths, an object is longer than the
+/// block, or `out.len() != objs.len() * block.k()`.
+pub fn dot_rows_batch(block: &RowBlock, objs: &[&[f64]], out: &mut [f64]) {
+    let k = block.k();
+    assert_eq!(out.len(), objs.len() * k, "output must hold k per object");
+    let Some(first) = objs.first() else {
+        return;
+    };
+    let n = first.len();
+    assert!(n <= block.len(), "object longer than the row block");
+    assert!(
+        objs.iter().all(|o| o.len() == n),
+        "batched objects must share one length"
+    );
+    let mut o = 0;
+    while o + OBJ_TILE <= objs.len() {
+        let xs: [&[f64]; OBJ_TILE] = std::array::from_fn(|t| &objs[o + t][..n]);
+        let mut i = 0;
+        while i + BATCH_ROW_TILE <= k {
+            let rows: [&[f64]; BATCH_ROW_TILE] = std::array::from_fn(|j| &block.row(i + j)[..n]);
+            // 4×4 register tile: one accumulator per (row, object).
+            let mut acc = [[0.0f64; OBJ_TILE]; BATCH_ROW_TILE];
+            for c in 0..n {
+                for j in 0..BATCH_ROW_TILE {
+                    let rv = rows[j][c];
+                    for t in 0..OBJ_TILE {
+                        acc[j][t] += rv * xs[t][c];
+                    }
+                }
+            }
+            for (j, row_acc) in acc.iter().enumerate() {
+                for (t, &v) in row_acc.iter().enumerate() {
+                    out[(o + t) * k + i + j] = v;
+                }
+            }
+            i += BATCH_ROW_TILE;
+        }
+        // Remainder rows for this object tile.
+        for r in i..k {
+            let row = &block.row(r)[..n];
+            let mut acc = [0.0f64; OBJ_TILE];
+            for c in 0..n {
+                let rv = row[c];
+                for t in 0..OBJ_TILE {
+                    acc[t] += rv * xs[t][c];
+                }
+            }
+            for (t, &v) in acc.iter().enumerate() {
+                out[(o + t) * k + r] = v;
+            }
+        }
+        o += OBJ_TILE;
+    }
+    // Leftover objects fall back to the single-object kernel.
+    for (t, obj) in objs.iter().enumerate().skip(o) {
+        dot_rows(block, obj, &mut out[t * k..(t + 1) * k]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block_from_fn(k: usize, len: usize, f: impl Fn(usize, usize) -> f64) -> RowBlock {
+        let data: Vec<f64> = (0..k * len).map(|i| f(i / len, i % len)).collect();
+        RowBlock::from_parts(k, len, len, data.into())
+    }
+
+    #[test]
+    fn row_block_narrowing_and_rows() {
+        let b = block_from_fn(3, 5, |r, c| (r * 10 + c) as f64);
+        assert_eq!((b.k(), b.len()), (3, 5));
+        assert_eq!(b.row(1), &[10.0, 11.0, 12.0, 13.0, 14.0]);
+        let narrow = b.with_len(2);
+        assert_eq!(narrow.row(2), &[20.0, 21.0]);
+        assert_eq!(b.len(), 5, "narrowing must not touch the original");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot widen")]
+    fn row_block_refuses_to_widen() {
+        let b = block_from_fn(1, 2, |_, _| 0.0);
+        let _ = b.with_len(3);
+    }
+
+    #[test]
+    fn dot_rows_matches_scalar_over_remainder_shapes() {
+        // Cover k below/at/above ROW_TILE and odd lengths.
+        for &k in &[1, 7, 8, 9, 19] {
+            for &n in &[0, 1, 5, 16, 17, 33] {
+                let b = block_from_fn(k, n.max(1), |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+                let x: Vec<f64> = (0..n).map(|c| ((c * 5) % 11) as f64 - 5.0).collect();
+                let mut out = vec![0.0; k];
+                dot_rows(&b, &x, &mut out);
+                for (i, &v) in out.iter().enumerate() {
+                    let expect = norms::dot_slices(&x, &b.row(i)[..n]);
+                    assert!(v == expect, "k={k} n={n} row {i}: {v} vs {expect}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_rows_batch_matches_dot_rows() {
+        for &nobj in &[0, 1, 3, 4, 5, 9] {
+            let k = 11;
+            let n = 23;
+            let b = block_from_fn(k, n, |r, c| ((r * 17 + c * 3) % 19) as f64 / 3.0);
+            let objs: Vec<Vec<f64>> = (0..nobj)
+                .map(|o| (0..n).map(|c| ((o * 13 + c) % 7) as f64 - 3.0).collect())
+                .collect();
+            let refs: Vec<&[f64]> = objs.iter().map(|v| v.as_slice()).collect();
+            let mut batched = vec![0.0; nobj * k];
+            dot_rows_batch(&b, &refs, &mut batched);
+            for (o, obj) in refs.iter().enumerate() {
+                let mut single = vec![0.0; k];
+                dot_rows(&b, obj, &mut single);
+                assert_eq!(&batched[o * k..(o + 1) * k], &single[..], "object {o}");
+            }
+        }
+    }
+}

@@ -40,6 +40,7 @@ pub mod allsub;
 pub mod baseline;
 mod error;
 pub mod estimator;
+pub mod kernels;
 pub mod limits;
 pub mod median;
 pub mod persist;
@@ -55,6 +56,7 @@ pub mod timeseries;
 pub use allsub::AllSubtableSketches;
 pub use error::TabError;
 pub use estimator::DistanceEstimator;
+pub use kernels::RowBlock;
 pub use pool::{PoolConfig, PoolConfigBuilder, PoolRectEstimator, SketchPool};
 pub use scale::ScaleFactor;
 pub use sketch::{EstimatorKind, Sketch, SketchParams, SketchParamsBuilder, Sketcher};
@@ -71,8 +73,12 @@ pub fn register_metrics() {
     obs::counter("core.estimate.calls");
     obs::counter("core.allsub.builds");
     obs::counter("core.pool.builds");
+    obs::counter("core.kernels.batches");
+    obs::counter("core.kernels.batch_objects");
+    obs::counter("core.kernels.block_builds");
     obs::gauge("core.pool.memory_bytes");
     obs::histogram("core.sketch.build_us");
+    obs::histogram("core.kernels.batch_us");
     obs::histogram("core.allsub.build_us");
     obs::histogram("core.pool.build_us");
 }

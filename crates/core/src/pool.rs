@@ -180,50 +180,12 @@ impl SketchPool {
         config.validate()?;
         let _span = tabsketch_obs::span("core.pool.build");
         tabsketch_obs::counter!("core.pool.builds").inc();
-        let sizes: Vec<(usize, usize)> = canonical_sizes(
-            table.rows().min(config.max_rows),
-            table.cols().min(config.max_cols),
-        )
-        .into_iter()
-        .filter(|&(r, c)| {
-            r >= config.min_rows && c >= config.min_cols && (!config.square_only || r == c)
-        })
-        .collect();
-        if sizes.is_empty() {
-            return Err(TabError::InvalidParameter(
-                "pool configuration admits no canonical sizes for this table",
-            ));
-        }
-        // Up-front memory estimate so we fail before allocating anything.
-        let k = params.k();
-        let mut required = 0usize;
-        for &(r, c) in &sizes {
-            let npos = (table.rows() - r + 1) * (table.cols() - c + 1);
-            required = required
-                .checked_add(4 * npos * k * core::mem::size_of::<f64>())
-                .ok_or(TabError::InvalidParameter("pool size overflows"))?;
-        }
-        if required > config.max_bytes {
-            return Err(TabError::MemoryBudgetExceeded {
-                required,
-                limit: config.max_bytes,
-            });
-        }
+        let sizes = Self::plan_sizes(table, params, &config)?;
         let mut entries = HashMap::with_capacity(sizes.len());
         for &(r, c) in &sizes {
             let mut sets = Vec::with_capacity(4);
             for anchor in 0..4u64 {
-                // Each (size, anchor) pair gets an independent random
-                // family, as Theorem 5 requires.
-                let family = derive_key(params.seed(), &[r as u64, c as u64, anchor]);
-                let sketcher = Sketcher::with_family(params, family)?;
-                sets.push(AllSubtableSketches::build_with_budget(
-                    table,
-                    r,
-                    c,
-                    sketcher,
-                    config.max_bytes,
-                )?);
+                sets.push(Self::build_unit(table, params, &config, (r, c), anchor)?);
             }
             let sets: Box<[AllSubtableSketches; 4]> = match sets.try_into() {
                 Ok(arr) => Box::new(arr),
@@ -238,6 +200,149 @@ impl SketchPool {
         };
         tabsketch_obs::gauge!("core.pool.memory_bytes").raise(pool.memory_bytes() as u64);
         Ok(pool)
+    }
+
+    /// As [`SketchPool::build`], fanning the independent `(canonical
+    /// size, anchor)` work units across `threads` scoped worker threads.
+    /// Each unit builds one all-subtable store from its own derived
+    /// random family, so no unit depends on any other and the assembled
+    /// pool is **bit-identical** to the sequential build for every thread
+    /// count (the equivalence suite pins this down).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SketchPool::build`], plus
+    /// [`TabError::InvalidParameter`] for `threads == 0`. When several
+    /// units fail, the error of the first unit in the sequential build
+    /// order is reported, so error behaviour is deterministic too.
+    pub fn build_parallel(
+        table: &Table,
+        params: SketchParams,
+        config: PoolConfig,
+        threads: usize,
+    ) -> Result<Self, TabError> {
+        if threads == 0 {
+            return Err(TabError::InvalidParameter("threads must be non-zero"));
+        }
+        config.validate()?;
+        let _span = tabsketch_obs::span("core.pool.build");
+        tabsketch_obs::counter!("core.pool.builds").inc();
+        let sizes = Self::plan_sizes(table, params, &config)?;
+        let units: Vec<((usize, usize), u64)> = sizes
+            .iter()
+            .flat_map(|&sz| (0..4u64).map(move |anchor| (sz, anchor)))
+            .collect();
+        let threads = threads.min(units.len());
+        // Work-stealing over a shared index: unit costs vary wildly with
+        // the canonical size, so static chunking would leave threads idle.
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let built: Vec<Vec<(usize, Result<AllSubtableSketches, TabError>)>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for _ in 0..threads {
+                    let next = &next;
+                    let units = &units;
+                    let config = &config;
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&(sz, anchor)) = units.get(idx) else {
+                                break;
+                            };
+                            out.push((idx, Self::build_unit(table, params, config, sz, anchor)));
+                        }
+                        out
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pool build worker panicked"))
+                    .collect()
+            });
+        let mut slots: Vec<Option<Result<AllSubtableSketches, TabError>>> =
+            (0..units.len()).map(|_| None).collect();
+        for worker in built {
+            for (idx, res) in worker {
+                slots[idx] = Some(res);
+            }
+        }
+        // Surface errors in sequential-build order for determinism.
+        let mut stores = Vec::with_capacity(units.len());
+        for slot in slots {
+            stores.push(slot.expect("every unit is claimed exactly once")?);
+        }
+        let mut entries = HashMap::with_capacity(sizes.len());
+        let mut stores = stores.into_iter();
+        for &sz in &sizes {
+            let sets: Vec<AllSubtableSketches> = stores.by_ref().take(4).collect();
+            let sets: Box<[AllSubtableSketches; 4]> = match sets.try_into() {
+                Ok(arr) => Box::new(arr),
+                Err(_) => unreachable!("exactly four sets per size"),
+            };
+            entries.insert(sz, sets);
+        }
+        let pool = Self {
+            params,
+            config,
+            entries,
+        };
+        tabsketch_obs::gauge!("core.pool.memory_bytes").raise(pool.memory_bytes() as u64);
+        Ok(pool)
+    }
+
+    /// The canonical sizes a build will store, with the up-front memory
+    /// check — shared by the sequential and parallel builds so both fail
+    /// identically before allocating anything.
+    fn plan_sizes(
+        table: &Table,
+        params: SketchParams,
+        config: &PoolConfig,
+    ) -> Result<Vec<(usize, usize)>, TabError> {
+        let sizes: Vec<(usize, usize)> = canonical_sizes(
+            table.rows().min(config.max_rows),
+            table.cols().min(config.max_cols),
+        )
+        .into_iter()
+        .filter(|&(r, c)| {
+            r >= config.min_rows && c >= config.min_cols && (!config.square_only || r == c)
+        })
+        .collect();
+        if sizes.is_empty() {
+            return Err(TabError::InvalidParameter(
+                "pool configuration admits no canonical sizes for this table",
+            ));
+        }
+        let k = params.k();
+        let mut required = 0usize;
+        for &(r, c) in &sizes {
+            let npos = (table.rows() - r + 1) * (table.cols() - c + 1);
+            required = required
+                .checked_add(4 * npos * k * core::mem::size_of::<f64>())
+                .ok_or(TabError::InvalidParameter("pool size overflows"))?;
+        }
+        if required > config.max_bytes {
+            return Err(TabError::MemoryBudgetExceeded {
+                required,
+                limit: config.max_bytes,
+            });
+        }
+        Ok(sizes)
+    }
+
+    /// Builds the all-subtable store of one `(canonical size, anchor)`
+    /// work unit. Each (size, anchor) pair gets an independent random
+    /// family, as Theorem 5 requires.
+    fn build_unit(
+        table: &Table,
+        params: SketchParams,
+        config: &PoolConfig,
+        (r, c): (usize, usize),
+        anchor: u64,
+    ) -> Result<AllSubtableSketches, TabError> {
+        let family = derive_key(params.seed(), &[r as u64, c as u64, anchor]);
+        let sketcher = Sketcher::with_family(params, family)?;
+        AllSubtableSketches::build_with_budget(table, r, c, sketcher, config.max_bytes)
     }
 
     /// The sketch parameters of the pool.
@@ -340,6 +445,23 @@ impl SketchPool {
     /// * [`TabError::SketchMismatch`] when the rectangles' shapes differ;
     /// * pool coverage errors as in [`SketchPool::compound_sketch`].
     pub fn estimate_distance(&self, a: Rect, b: Rect) -> Result<f64, TabError> {
+        let mut scratch = Vec::with_capacity(self.params.k());
+        self.estimate_distance_with(a, b, &mut scratch)
+    }
+
+    /// [`SketchPool::estimate_distance`] reusing caller-owned scratch
+    /// space for the median estimator — the non-allocating variant for
+    /// tight query loops.
+    ///
+    /// # Errors
+    ///
+    /// As [`SketchPool::estimate_distance`].
+    pub fn estimate_distance_with(
+        &self,
+        a: Rect,
+        b: Rect,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
         if a.shape() != b.shape() {
             return Err(TabError::SketchMismatch {
                 reason: "compound estimates require equal-shaped rectangles",
@@ -349,8 +471,7 @@ impl SketchPool {
         let sb = self.compound_sketch(b)?;
         let cover = self.cover_of(a)?;
         let sketcher = Sketcher::with_family(self.params, sa.family())?;
-        let mut scratch = Vec::with_capacity(self.params.k());
-        let raw = sketcher.estimate_distance_slices(sa.values(), sb.values(), &mut scratch);
+        let raw = sketcher.estimate_distance_slices(sa.values(), sb.values(), scratch);
         Ok(raw / compound_correction(&cover, self.params.p()))
     }
 
@@ -472,6 +593,45 @@ impl PoolRectEstimator<'_> {
         Sketch::from_values(self.compound.p(), self.compound.family(), acc)
     }
 
+    /// Builds the compound sketches of many `rows × cols` row-major
+    /// windows, batching each anchor family's projections through
+    /// [`Sketcher::sketch_batch`] (one pass over each random-row block
+    /// covers every window). Bit-identical to calling
+    /// [`PoolRectEstimator::sketch_rect`] per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any window's length is not `rows · cols`.
+    pub fn sketch_rect_batch(&self, objects: &[&[f64]]) -> Vec<Sketch> {
+        let (srows, scols) = self.cover.shape;
+        let k = self.compound.k();
+        let mut acc = vec![0.0; objects.len() * k];
+        let mut windows: Vec<Vec<f64>> = vec![Vec::with_capacity(srows * scols); objects.len()];
+        for (sketcher, anchor) in self.anchors.iter().zip(self.cover.anchors.iter()) {
+            for (window, data) in windows.iter_mut().zip(objects) {
+                assert_eq!(
+                    data.len(),
+                    self.rows * self.cols,
+                    "rect estimator expects rows*cols values"
+                );
+                window.clear();
+                for r in 0..srows {
+                    let start = (anchor.row + r) * self.cols + anchor.col;
+                    window.extend_from_slice(&data[start..start + scols]);
+                }
+            }
+            let refs: Vec<&[f64]> = windows.iter().map(|w| w.as_slice()).collect();
+            for (o, s) in sketcher.sketch_batch(&refs).iter().enumerate() {
+                for (a, v) in acc[o * k..(o + 1) * k].iter_mut().zip(s.values()) {
+                    *a += v;
+                }
+            }
+        }
+        acc.chunks_exact(k)
+            .map(|c| Sketch::from_values(self.compound.p(), self.compound.family(), c.to_vec()))
+            .collect()
+    }
+
     /// Estimates the Lp distance between two compound sketches of this
     /// shape, applying the same exact-cover correction as
     /// [`SketchPool::estimate_distance`].
@@ -481,12 +641,28 @@ impl PoolRectEstimator<'_> {
     /// Returns [`TabError::SketchMismatch`] for sketches of a different
     /// shape, pool, or family.
     pub fn estimate(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
+        let mut scratch = Vec::with_capacity(self.compound.k());
+        self.estimate_with(a, b, &mut scratch)
+    }
+
+    /// As [`PoolRectEstimator::estimate`], reusing caller-owned scratch —
+    /// the non-allocating path for clustering and k-NN loops.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PoolRectEstimator::estimate`].
+    pub fn estimate_with(
+        &self,
+        a: &Sketch,
+        b: &Sketch,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
         if a.family() != self.compound.family() || b.family() != self.compound.family() {
             return Err(TabError::SketchMismatch {
                 reason: "sketch does not belong to this rect estimator's compound family",
             });
         }
-        Ok(self.compound.estimate_distance(a, b)? / self.correction)
+        Ok(self.compound.estimate_distance_with(a, b, scratch)? / self.correction)
     }
 }
 
@@ -501,6 +677,19 @@ impl crate::estimator::DistanceEstimator for PoolRectEstimator<'_> {
 
     fn estimate_distance(&self, a: &Sketch, b: &Sketch) -> Result<f64, TabError> {
         self.estimate(a, b)
+    }
+
+    fn sketch_batch(&self, objects: &[&[f64]]) -> Vec<Sketch> {
+        self.sketch_rect_batch(objects)
+    }
+
+    fn estimate_distance_with(
+        &self,
+        a: &Sketch,
+        b: &Sketch,
+        scratch: &mut Vec<f64>,
+    ) -> Result<f64, TabError> {
+        self.estimate_with(a, b, scratch)
     }
 
     fn p(&self) -> f64 {
@@ -722,6 +911,50 @@ mod tests {
         let other = pool.compound_sketch(Rect::new(0, 0, 16, 16)).unwrap();
         let own = est.sketch_rect(&t.view(Rect::new(0, 0, 8, 8)).unwrap().to_vec());
         assert!(est.estimate(&own, &other).is_err());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let t = test_table();
+        let params = SketchParams::new(1.0, 8, 7).unwrap();
+        let seq = SketchPool::build(&t, params, small_config()).unwrap();
+        for &threads in &[1usize, 3, 8] {
+            let par = SketchPool::build_parallel(&t, params, small_config(), threads).unwrap();
+            assert_eq!(seq.sizes(), par.sizes(), "threads={threads}");
+            for sz in seq.sizes() {
+                for (a, b) in seq.entries[&sz].iter().zip(par.entries[&sz].iter()) {
+                    assert_eq!(
+                        a.raw_values(),
+                        b.raw_values(),
+                        "size {sz:?}, threads={threads}"
+                    );
+                }
+            }
+        }
+        assert!(SketchPool::build_parallel(&t, params, small_config(), 0).is_err());
+    }
+
+    #[test]
+    fn rect_estimator_batch_matches_single() {
+        let t = test_table();
+        let pool =
+            SketchPool::build(&t, SketchParams::new(1.0, 16, 3).unwrap(), small_config()).unwrap();
+        let est = pool.rect_estimator(6, 6).unwrap();
+        let tiles: Vec<Vec<f64>> = (0..5)
+            .map(|i| t.view(Rect::new(i, 2 * i, 6, 6)).unwrap().to_vec())
+            .collect();
+        let refs: Vec<&[f64]> = tiles.iter().map(|v| v.as_slice()).collect();
+        let batch = est.sketch_rect_batch(&refs);
+        assert_eq!(batch.len(), refs.len());
+        for (obj, sketch) in refs.iter().zip(&batch) {
+            assert_eq!(sketch, &est.sketch_rect(obj));
+        }
+        // And the scratch-reusing estimate agrees with the allocating one.
+        let mut scratch = Vec::new();
+        let with = est
+            .estimate_with(&batch[0], &batch[1], &mut scratch)
+            .unwrap();
+        assert_eq!(with, est.estimate(&batch[0], &batch[1]).unwrap());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 
 use tabsketch_table::{norms, TableView};
 
+use crate::kernels::{self, RowBlock};
 use crate::median::median_abs_diff;
 use crate::rng::stream_rng;
 use crate::scale::ScaleFactor;
@@ -349,11 +350,12 @@ pub struct Sketcher {
     sampler: StableSampler,
     scale: ScaleFactor,
     estimator: EstimatorKind,
-    /// Materialized prefixes of the random rows `r[i]`, shared across
-    /// clones. The paper's preprocessing "compute[s] the necessary k
-    /// different R[i] matrices" once; without this cache every sketch
-    /// would pay k·M stable draws instead of k·M multiply-adds.
-    row_cache: Arc<RwLock<Vec<Arc<[f64]>>>>,
+    /// Pre-materialized prefixes of all `k` random rows as one immutable,
+    /// contiguous [`RowBlock`], shared across clones. The paper's
+    /// preprocessing "compute[s] the necessary k different R[i] matrices"
+    /// once; the lock guards only the rare grow step — the sketching hot
+    /// path clones the `Arc`-backed block out and computes lock-free.
+    rows: Arc<RwLock<RowBlock>>,
 }
 
 /// Random rows longer than this are not cached (they would dominate
@@ -387,14 +389,14 @@ impl Sketcher {
         } else {
             EstimatorKind::Median
         };
-        let row_cache = Arc::new(RwLock::new(vec![Arc::from(&[][..]); params.k()]));
+        let empty = RowBlock::from_parts(params.k(), 0, 0, Arc::from(&[][..]));
         Ok(Self {
             params,
             family,
             sampler,
             scale,
             estimator,
-            row_cache,
+            rows: Arc::new(RwLock::new(empty)),
         })
     }
 
@@ -462,54 +464,90 @@ impl Sketcher {
 
     /// Materializes the first `len` entries of random vector `r[i]`.
     pub fn random_row(&self, i: usize, len: usize) -> Vec<f64> {
-        self.cached_row(i, len).as_ref()[..len].to_vec()
-    }
-
-    /// The first `len` entries of random vector `r[i]`, served from the
-    /// shared cache when possible. The returned slice may be longer than
-    /// `len`.
-    fn cached_row(&self, i: usize, len: usize) -> Arc<[f64]> {
         debug_assert!(i < self.k());
-        if len > MAX_CACHED_ROW_LEN {
-            // Too large to pin in memory: regenerate on the fly.
-            let mut rng = self.row_rng(i);
-            return self.sampler.sample_vec(&mut rng, len).into();
-        }
-        {
-            let cache = self.row_cache.read().expect("row cache lock");
-            if cache[i].len() >= len {
-                return Arc::clone(&cache[i]);
+        match self.row_block(len) {
+            Some(block) => block.row(i).to_vec(),
+            None => {
+                // Too large to pin in memory: regenerate on the fly.
+                let mut rng = self.row_rng(i);
+                self.sampler.sample_vec(&mut rng, len)
             }
         }
-        // Build (or extend, by regenerating from the deterministic
-        // stream) outside the read lock; last writer wins harmlessly
-        // since all writers produce identical prefixes.
-        let grown = len.next_power_of_two().min(MAX_CACHED_ROW_LEN);
-        let mut rng = self.row_rng(i);
-        let row: Arc<[f64]> = self.sampler.sample_vec(&mut rng, grown).into();
-        let mut cache = self.row_cache.write().expect("row cache lock");
-        if cache[i].len() < row.len() {
-            cache[i] = Arc::clone(&row);
+    }
+
+    /// The immutable block of all `k` random-row prefixes of length
+    /// `len`, served from the shared table when already materialized —
+    /// the zero-copy, borrow-friendly replacement for calling
+    /// [`Sketcher::random_row`] per row. Returns `None` when `len`
+    /// exceeds the caching bound (the caller must stream rows instead).
+    pub fn row_block(&self, len: usize) -> Option<RowBlock> {
+        if len > MAX_CACHED_ROW_LEN {
+            return None;
         }
-        row
+        {
+            let cur = self.rows.read().expect("row block lock");
+            if cur.len() >= len {
+                return Some(cur.with_len(len));
+            }
+        }
+        // Grow (by regenerating every row from its deterministic stream)
+        // outside the read lock; last writer wins harmlessly since all
+        // writers produce identical prefixes.
+        let grown = len.next_power_of_two().min(MAX_CACHED_ROW_LEN);
+        let k = self.k();
+        let mut data = Vec::with_capacity(k * grown);
+        for i in 0..k {
+            let mut rng = self.row_rng(i);
+            data.extend_from_slice(&self.sampler.sample_vec(&mut rng, grown));
+        }
+        tabsketch_obs::counter!("core.kernels.block_builds").inc();
+        let block = RowBlock::from_parts(k, grown, grown, data.into());
+        let mut cur = self.rows.write().expect("row block lock");
+        if cur.len() < block.len() {
+            *cur = block.clone();
+        }
+        Some(block.with_len(len))
     }
 
     /// A single entry `r[i][index]` of random row `i`, served from the
-    /// cache — the `O(1)`-amortized primitive behind streaming updates.
+    /// shared block — the `O(1)`-amortized primitive behind streaming
+    /// updates.
     pub fn row_entry(&self, i: usize, index: usize) -> f64 {
-        self.cached_row(i, index + 1)[index]
+        match self.row_block(index + 1) {
+            Some(block) => block.row(i)[index],
+            None => {
+                let mut rng = self.row_rng(i);
+                self.sampler.sample_vec(&mut rng, index + 1)[index]
+            }
+        }
+    }
+
+    /// The `k` projections of one linearized object, via the blocked
+    /// kernel when the row block fits in memory and a streamed per-row
+    /// fallback otherwise. Shared by every sketch entry point so obs
+    /// counters fire exactly once per public call.
+    fn sketch_values(&self, data: &[f64]) -> Vec<f64> {
+        let mut values = vec![0.0; self.k()];
+        match self.row_block(data.len()) {
+            Some(block) => kernels::dot_rows(&block, data, &mut values),
+            None => {
+                // Oversized object: stream each row instead of pinning a
+                // k × len block (which could be many GiB).
+                for (i, slot) in values.iter_mut().enumerate() {
+                    let mut rng = self.row_rng(i);
+                    let row = self.sampler.sample_vec(&mut rng, data.len());
+                    *slot = norms::dot_slices(data, &row);
+                }
+            }
+        }
+        values
     }
 
     /// Sketches a linearized object (vector, or row-major matrix).
     pub fn sketch_slice(&self, data: &[f64]) -> Sketch {
         let _span = tabsketch_obs::span("core.sketch.build");
         tabsketch_obs::counter!("core.sketch.sketches").inc();
-        let mut values = Vec::with_capacity(self.k());
-        for i in 0..self.k() {
-            let row = self.cached_row(i, data.len());
-            values.push(norms::dot_slices(data, &row[..data.len()]));
-        }
-        Sketch::from_values(self.p(), self.family, values)
+        Sketch::from_values(self.p(), self.family, self.sketch_values(data))
     }
 
     /// Sketches a rectangular table view (row-major linearization, the
@@ -517,18 +555,41 @@ impl Sketcher {
     pub fn sketch_view(&self, view: &TableView<'_>) -> Sketch {
         let _span = tabsketch_obs::span("core.sketch.build");
         tabsketch_obs::counter!("core.sketch.sketches").inc();
-        let mut values = Vec::with_capacity(self.k());
-        let cols = view.cols();
-        let len = view.len();
-        for i in 0..self.k() {
-            let row = self.cached_row(i, len);
-            let mut acc = 0.0;
-            for r in 0..view.rows() {
-                acc += norms::dot_slices(view.row(r), &row[r * cols..(r + 1) * cols]);
-            }
-            values.push(acc);
+        let data = view.to_vec();
+        Sketch::from_values(self.p(), self.family, self.sketch_values(&data))
+    }
+
+    /// Sketches many objects in one call. When every object has the same
+    /// length (the common case: equal-size tiles) the batched
+    /// [`kernels::dot_rows_batch`] kernel sketches several objects per
+    /// pass over each random-row block; otherwise each object falls back
+    /// to the single-object kernel. Either way the results are
+    /// bit-identical to calling [`Sketcher::sketch_slice`] per object.
+    pub fn sketch_batch(&self, objects: &[&[f64]]) -> Vec<Sketch> {
+        if objects.is_empty() {
+            return Vec::new();
         }
-        Sketch::from_values(self.p(), self.family, values)
+        let _span = tabsketch_obs::span("core.kernels.batch");
+        tabsketch_obs::counter!("core.kernels.batches").inc();
+        tabsketch_obs::counter!("core.kernels.batch_objects").add(objects.len() as u64);
+        tabsketch_obs::counter!("core.sketch.sketches").add(objects.len() as u64);
+        let len = objects[0].len();
+        let uniform = objects.iter().all(|o| o.len() == len);
+        if uniform {
+            if let Some(block) = self.row_block(len) {
+                let k = self.k();
+                let mut out = vec![0.0; objects.len() * k];
+                kernels::dot_rows_batch(&block, objects, &mut out);
+                return out
+                    .chunks_exact(k)
+                    .map(|c| Sketch::from_values(self.p(), self.family, c.to_vec()))
+                    .collect();
+            }
+        }
+        objects
+            .iter()
+            .map(|o| Sketch::from_values(self.p(), self.family, self.sketch_values(o)))
+            .collect()
     }
 
     /// Estimates `‖x − y‖_p` from two sketches (allocating scratch).

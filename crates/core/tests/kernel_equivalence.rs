@@ -1,0 +1,110 @@
+//! Bit-identity equivalence suite for the dense kernel layer.
+//!
+//! The blocked kernels in `tabsketch_core::kernels` promise *exact*
+//! f64 equality with the scalar reference computation, not closeness:
+//! every accumulator visits the same columns in the same order as
+//! `norms::dot_slices`, so tiling must never change a single bit. These
+//! tests pin that contract through the public API, sweeping odd and
+//! around-power-of-two lengths to exercise every remainder path of the
+//! row and object tiles.
+
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_table::{norms, Table};
+
+/// Lengths chosen to straddle the kernel tile widths: 1 under, exactly
+/// at, and 1 over powers of two, plus small odds that leave partial
+/// column remainders.
+const LENGTHS: &[usize] = &[1, 3, 5, 7, 9, 15, 17, 31, 33, 63, 65];
+
+/// Sketch widths straddling the row-tile width (8).
+const WIDTHS: &[usize] = &[1, 7, 8, 9, 19];
+
+fn sketcher(p: f64, k: usize, seed: u64) -> Sketcher {
+    Sketcher::new(SketchParams::new(p, k, seed).unwrap()).unwrap()
+}
+
+fn object(len: usize, phase: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i * 13 + phase * 7) % 29) as f64 - 14.0)
+        .collect()
+}
+
+#[test]
+fn blocked_sketch_matches_per_row_scalar_dots() {
+    for &k in WIDTHS {
+        let sk = sketcher(1.0, k, 42);
+        for &len in LENGTHS {
+            let x = object(len, 0);
+            let got = sk.sketch_slice(&x);
+            for (i, &v) in got.values().iter().enumerate() {
+                let row = sk.random_row(i, len);
+                let want = norms::dot_slices(&x, &row);
+                assert_eq!(v, want, "k={k} len={len} row={i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_sketches_match_single_object_sketches() {
+    for &k in WIDTHS {
+        let sk = sketcher(2.0, k, 7);
+        for &len in LENGTHS {
+            for nobj in [1usize, 3, 5, 7, 9] {
+                let objects: Vec<Vec<f64>> = (0..nobj).map(|o| object(len, o)).collect();
+                let refs: Vec<&[f64]> = objects.iter().map(Vec::as_slice).collect();
+                let batch = sk.sketch_batch(&refs);
+                assert_eq!(batch.len(), nobj);
+                for (o, sketch) in batch.iter().enumerate() {
+                    let single = sk.sketch_slice(&objects[o]);
+                    assert_eq!(
+                        sketch.values(),
+                        single.values(),
+                        "k={k} len={len} nobj={nobj} obj={o}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_handles_mixed_lengths_and_empty_input() {
+    let sk = sketcher(1.0, 16, 3);
+    assert!(sk.sketch_batch(&[]).is_empty());
+    // Mixed lengths force the non-uniform fallback; results must still
+    // equal the one-object path exactly.
+    let objects: Vec<Vec<f64>> = LENGTHS.iter().map(|&len| object(len, len)).collect();
+    let refs: Vec<&[f64]> = objects.iter().map(Vec::as_slice).collect();
+    for (o, sketch) in sk.sketch_batch(&refs).iter().enumerate() {
+        assert_eq!(sketch.values(), sk.sketch_slice(&objects[o]).values());
+    }
+}
+
+#[test]
+fn view_sketches_equal_linearized_slice_sketches() {
+    let table = Table::from_fn(17, 13, |r, c| ((r * 31 + c * 17) % 23) as f64 - 11.0).unwrap();
+    let sk = sketcher(1.0, 24, 11);
+    for (rows, cols) in [(1, 1), (3, 5), (8, 8), (17, 13), (5, 13)] {
+        let rect = tabsketch_table::Rect::new(0, 0, rows, cols);
+        let view = table.view(rect).unwrap();
+        let linear = view.to_vec();
+        assert_eq!(
+            sk.sketch_view(&view).values(),
+            sk.sketch_slice(&linear).values(),
+            "{rows}x{cols}"
+        );
+    }
+}
+
+#[test]
+fn cached_row_blocks_preserve_the_rng_prefix_property() {
+    let sk = sketcher(1.0, 9, 5);
+    // Rows regenerated at a longer length must extend the shorter draw
+    // exactly — growth of the cached block cannot disturb old prefixes.
+    for &len in LENGTHS {
+        let long = sk.random_row(3, 65);
+        let short = sk.random_row(3, len.min(65));
+        assert_eq!(&long[..short.len()], &short[..]);
+    }
+}

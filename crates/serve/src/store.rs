@@ -360,11 +360,12 @@ impl<'a> ShardedOracle<'a> {
         deadline.check()?;
         let shard = self.pick().read();
         let mut out = Vec::with_capacity(pairs.len());
-        for (i, &(a, b)) in pairs.iter().enumerate() {
-            if i % DEADLINE_STRIDE == 0 {
-                deadline.check()?;
-            }
-            out.push(shard.distance(a, b)?);
+        // Resolve in deadline-stride slices through the oracle's batched
+        // path, so on-demand sketches go through the dense batch kernel
+        // while the clock is still polled every few pairs.
+        for chunk in pairs.chunks(DEADLINE_STRIDE) {
+            deadline.check()?;
+            out.extend(shard.distance_batch(chunk)?);
         }
         Ok(out)
     }

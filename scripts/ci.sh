@@ -40,4 +40,20 @@ PY
 echo "==> obs overhead bound (<5% on hot paths, written to BENCH_obs.json)"
 cargo run -q --release -p tabsketch-bench --bin obs_overhead -- --quick
 
+echo "==> kernel speedup bound (blocked >= 1.5x scalar, written to BENCH_kernels.json)"
+cargo run -q --release -p tabsketch-bench --bin kernels -- --quick
+python3 - BENCH_kernels.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for key in ("tile", "k", "scalar_ns_per_sketch", "blocked_ns_per_sketch",
+            "batched_ns_per_sketch", "blocked_speedup", "batched_speedup",
+            "bound_speedup", "cores", "pool_build_ms"):
+    assert key in b, f"BENCH_kernels.json missing {key}"
+assert set(b["pool_build_ms"]) == {"1", "2", "4", "8"}, "pool timings incomplete"
+assert b["blocked_speedup"] >= b["bound_speedup"], (
+    f"blocked kernel regressed: {b['blocked_speedup']:.2f}x < {b['bound_speedup']}x")
+print(f"kernels OK: blocked {b['blocked_speedup']:.2f}x, "
+      f"batched {b['batched_speedup']:.2f}x over scalar")
+PY
+
 echo "==> ci green"
