@@ -11,6 +11,7 @@ use tabsketch_bench::{print_header, print_row, secs, time, Scale};
 use tabsketch_core::allsub::DEFAULT_MEMORY_BUDGET;
 use tabsketch_core::{AllSubtableSketches, SketchParams, Sketcher};
 use tabsketch_data::{CallVolumeConfig, CallVolumeGenerator};
+use tabsketch_table::MemoryBudget;
 
 fn main() {
     let scale = Scale::from_args();
@@ -61,6 +62,7 @@ fn main() {
                 edge,
                 sketcher.clone(),
                 DEFAULT_MEMORY_BUDGET,
+                MemoryBudget::unbounded(),
                 threads,
             )
             .expect("fits budget")

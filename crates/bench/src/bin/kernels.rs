@@ -18,7 +18,11 @@
 //!   blocked speedup is asserted ≥ 1.5× in every mode;
 //! * `SketchPool::build_parallel` wall time at 1/2/4/8 threads
 //!   (monotone improvement 1→4 is asserted only when the host actually
-//!   has ≥ 4 cores).
+//!   has ≥ 4 cores; the JSON records the decision in
+//!   `pool_build_monotonicity_checked`). On hosts below 4 cores the
+//!   oversubscribed thread pool can invert the curve — the checked-in
+//!   reference run shows 6.1 s at 1 thread vs 7.6 s at 8 threads — so
+//!   a skipped check is expected there, not a regression.
 //!
 //! Run `--quick` for a CI-speed pass.
 
@@ -70,7 +74,7 @@ fn main() {
                 .collect()
         })
         .collect();
-    let refs: Vec<&[f64]> = objects.iter().map(Vec::as_slice).collect();
+    let refs: Vec<&[f64]> = objects.iter().map(|o| &o[..]).collect();
 
     // -- scalar baseline: one dot_slices pass per row ------------------
     let mut out = vec![0.0f64; k];
@@ -164,7 +168,12 @@ fn main() {
         "blocked kernel regressed below {BOUND_SPEEDUP:.1}x over scalar \
          ({blocked_ns:.0} ns vs {scalar_ns:.0} ns = {blocked_speedup:.2}x)"
     );
-    if cores >= 4 {
+    // Below 4 cores the extra threads only add contention, and the curve
+    // can legitimately invert (reference run: 6.1 s at 1 thread vs 7.6 s
+    // at 8 on a 2-core host), so the monotonicity assertion is skipped
+    // and the skip is recorded in the JSON.
+    let monotonicity_checked = cores >= 4;
+    if monotonicity_checked {
         let ms_at = |n: usize| pool_build_ms.iter().find(|&&(t, _)| t == n).unwrap().1;
         assert!(
             ms_at(4) <= ms_at(1) * 1.05,
@@ -173,6 +182,8 @@ fn main() {
             ms_at(1),
             ms_at(4)
         );
+    } else {
+        println!("pool build monotonicity check skipped: only {cores} cores");
     }
 
     let pool_json: Vec<String> = pool_build_ms
@@ -188,6 +199,7 @@ fn main() {
          \"batched_speedup\": {batched_speedup:.3},\n  \
          \"bound_speedup\": {BOUND_SPEEDUP:.1},\n  \
          \"cores\": {cores},\n  \
+         \"pool_build_monotonicity_checked\": {monotonicity_checked},\n  \
          \"pool_table_edge\": {table_edge},\n  \
          \"pool_k\": {pool_k},\n  \
          \"pool_build_ms\": {{{}}}\n}}\n",

@@ -1,0 +1,145 @@
+//! Out-of-core storage layer — pool builds over a table four times the
+//! resident-memory budget.
+//!
+//! The bench builds the same [`SketchPool`] twice: once over a dense
+//! table and once over the same table spilled to disk under a budget of
+//! a quarter of its bytes, with the pool's banded build honoring that
+//! same budget. It then verifies the storage invariant end to end:
+//!
+//! * every compound sketch is **bit-identical** between the dense and
+//!   spilled builds (the band structure depends only on shapes and the
+//!   budget, never on the storage backend);
+//! * the `table.storage.resident_peak_bytes` gauge stays **at or under
+//!   the budget** throughout the spilled build — the whole point of the
+//!   out-of-core layer.
+//!
+//! A machine-readable summary lands in `BENCH_storage.json`; CI asserts
+//! the schema, the 4x table/budget ratio, the under-budget peak, and
+//! the dense/spilled identity. Run `--quick` for a CI-speed pass.
+
+use tabsketch_bench::{time, Scale};
+use tabsketch_core::{PoolConfig, SketchParams, SketchPool};
+use tabsketch_table::{MemoryBudget, Rect, Table, TableStorage};
+
+/// Bitwise comparison of every compound sketch the two pools store,
+/// at a grid of anchors per stored size.
+fn pools_identical(dense: &SketchPool, spilled: &SketchPool, table: &Table) -> bool {
+    for (r, c) in dense.sizes() {
+        let row_step = (table.rows() - r).max(1) / 3 + 1;
+        let col_step = (table.cols() - c).max(1) / 3 + 1;
+        let mut row = 0;
+        while row + r <= table.rows() {
+            let mut col = 0;
+            while col + c <= table.cols() {
+                let rect = Rect::new(row, col, r, c);
+                let a = dense.compound_sketch(rect).expect("anchor in range");
+                let b = spilled.compound_sketch(rect).expect("anchor in range");
+                let same = a
+                    .values()
+                    .iter()
+                    .zip(b.values())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                if !same {
+                    return false;
+                }
+                col += col_step;
+            }
+            row += row_step;
+        }
+    }
+    true
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let edge = scale.pick(128usize, 256, 512);
+    let k = scale.pick(16usize, 32, 64);
+
+    let table =
+        Table::from_fn(edge, edge, |r, c| ((r * 37 + c * 11) % 101) as f64).expect("valid table");
+    let table_bytes = (table.len() * 8) as u64;
+    let budget_bytes = table_bytes / 4;
+    let budget = MemoryBudget::bytes(budget_bytes);
+
+    println!(
+        "=== Out-of-core pool build ({edge}x{edge} table = {:.1} KiB, budget {:.1} KiB) ===\n",
+        table_bytes as f64 / 1024.0,
+        budget_bytes as f64 / 1024.0
+    );
+
+    let params = SketchParams::builder()
+        .p(1.0)
+        .k(k)
+        .seed(0x5704)
+        .build()
+        .expect("valid params");
+    let config = PoolConfig::builder()
+        .min_rows(8)
+        .min_cols(8)
+        .max_rows(32)
+        .max_cols(32)
+        .table_budget(budget)
+        .build()
+        .expect("valid config");
+
+    // Dense reference: same banded build (same budget), resident storage.
+    let (dense_pool, t_dense) =
+        time(|| SketchPool::build(&table, params, config).expect("dense pool builds"));
+    let dense_ms = t_dense.as_secs_f64() * 1e3;
+    println!("dense build:   {dense_ms:8.1} ms");
+
+    // Spill the table to disk under the same budget, then rebuild.
+    let spilled_table = table
+        .clone()
+        .with_budget(budget)
+        .expect("table spills cleanly");
+    assert!(spilled_table.is_spilled(), "table must actually spill");
+    let (chunk_rows, window_chunks) = match spilled_table.storage() {
+        TableStorage::Spilled(s) => (s.chunk_rows(), s.window_chunks()),
+        TableStorage::Dense(_) => unreachable!("just asserted spilled"),
+    };
+
+    // The peak gauge is raise-only; zero it so it measures this build.
+    tabsketch_obs::gauge!("table.storage.resident_peak_bytes").set(0);
+    let (spilled_pool, t_spilled) =
+        time(|| SketchPool::build(&spilled_table, params, config).expect("spilled pool builds"));
+    let spilled_ms = t_spilled.as_secs_f64() * 1e3;
+    let peak = tabsketch_obs::gauge!("table.storage.resident_peak_bytes").get();
+    println!("spilled build: {spilled_ms:8.1} ms");
+    println!(
+        "resident peak: {:.1} KiB of {:.1} KiB budget ({} chunks of {chunk_rows} rows resident)",
+        peak as f64 / 1024.0,
+        budget_bytes as f64 / 1024.0,
+        window_chunks
+    );
+
+    let identical = pools_identical(&dense_pool, &spilled_pool, &table);
+    let under_budget = peak > 0 && peak <= budget_bytes;
+
+    assert!(
+        under_budget,
+        "spilled build peak {peak} B must be positive and at most the {budget_bytes} B budget"
+    );
+    assert!(
+        identical,
+        "dense and spilled pool builds must be bit-identical"
+    );
+    println!("\ndense/spilled compound sketches bit-identical; peak under budget");
+
+    let json = format!(
+        "{{\n  \"table_rows\": {},\n  \"table_cols\": {},\n  \
+         \"table_bytes\": {table_bytes},\n  \
+         \"budget_bytes\": {budget_bytes},\n  \
+         \"chunk_rows\": {chunk_rows},\n  \
+         \"window_chunks\": {window_chunks},\n  \
+         \"resident_peak_bytes\": {peak},\n  \
+         \"under_budget\": {under_budget},\n  \
+         \"dense_spilled_identical\": {identical},\n  \
+         \"pool_build_dense_ms\": {dense_ms:.2},\n  \
+         \"pool_build_spilled_ms\": {spilled_ms:.2}\n}}\n",
+        table.rows(),
+        table.cols(),
+    );
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    println!("wrote BENCH_storage.json");
+}

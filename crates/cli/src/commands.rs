@@ -13,17 +13,31 @@ use tabsketch_data::{
     SixRegionGenerator,
 };
 use tabsketch_serve::{LoadedStore, StoreSpec};
-use tabsketch_table::{io as table_io, norms, stats, Rect, Table, TileGrid};
+use tabsketch_table::{io as table_io, norms, stats, MemoryBudget, Rect, Table, TileGrid};
 
 use crate::args::Args;
 use crate::error::CliError;
 
-/// Loads a table by extension (`.csv` or binary otherwise).
-fn load_table(path: &str) -> Result<Table, CliError> {
+/// Parses `--memory-budget BYTES` into a resident-table budget
+/// (unbounded when the flag is absent).
+pub(crate) fn memory_budget(args: &Args) -> Result<MemoryBudget, CliError> {
+    match args.get("memory-budget") {
+        None => Ok(MemoryBudget::unbounded()),
+        Some(raw) => raw.parse::<u64>().map(MemoryBudget::bytes).map_err(|_| {
+            CliError::usage(format!(
+                "flag --memory-budget: expected a byte count, got {raw:?}"
+            ))
+        }),
+    }
+}
+
+/// Loads a table by extension (`.csv` or binary otherwise), streaming
+/// rows past `budget` into a disk-spilled table.
+fn load_table(path: &str, budget: MemoryBudget) -> Result<Table, CliError> {
     let result = if path.ends_with(".csv") {
-        table_io::load_csv(path)
+        table_io::load_csv_streaming(path, budget)
     } else {
-        table_io::load_binary(path)
+        table_io::load_binary_streaming(path, budget)
     };
     result.map_err(|e| CliError::from(e).in_context(format!("loading {path}")))
 }
@@ -98,7 +112,7 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
 /// `info FILE`
 pub fn info(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let table = load_table(path)?;
+    let table = load_table(path, memory_budget(args)?)?;
     let s = stats::table_summary(&table);
     println!("file:    {path}");
     println!(
@@ -130,7 +144,7 @@ fn rect_from(parts: (usize, usize, usize, usize)) -> Rect {
 /// `distance FILE --rect ... --rect2 ... [--p P] [--k K] [--exact]`
 pub fn distance(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let table = load_table(path)?;
+    let table = load_table(path, memory_budget(args)?)?;
     let a = rect_from(args.require_rect("rect")?);
     let b = rect_from(args.require_rect("rect2")?);
     let p: f64 = args.get_or("p", 1.0)?;
@@ -154,17 +168,26 @@ pub fn distance(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]`
+/// `sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]
+/// [--memory-budget BYTES]`
 pub fn sketch(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let table = load_table(path)?;
+    let budget = memory_budget(args)?;
+    let table = load_table(path, budget)?;
     let (tr, tc) = args.require_tile("tile")?;
     let out = args.require("out")?;
     let p: f64 = args.get_or("p", 1.0)?;
     let k: usize = args.get_or("k", 128)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let sketcher = Sketcher::new(SketchParams::builder().p(p).k(k).seed(seed).build()?)?;
-    let store = AllSubtableSketches::build(&table, tr, tc, sketcher)?;
+    let store = AllSubtableSketches::build_with_budgets(
+        &table,
+        tr,
+        tc,
+        sketcher,
+        tabsketch_core::allsub::DEFAULT_MEMORY_BUDGET,
+        budget,
+    )?;
     persist::save_store(&store, out)
         .map_err(|e| CliError::from(e).in_context(format!("writing {out}")))?;
     println!(
@@ -223,7 +246,8 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", 0)?;
     let spec = StoreSpec::new("query", table_path)
         .with_store_path(path)
-        .with_params(p, k, seed);
+        .with_params(p, k, seed)
+        .with_memory_budget(memory_budget(args)?);
     let loaded = LoadedStore::load(&spec)?;
     if let Some(msg) = loaded.degradation() {
         eprintln!("warning: {msg}; degrading to on-demand sketches");
@@ -317,7 +341,7 @@ fn build_embedding(
 /// `knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]`
 pub fn knn(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let table = load_table(path)?;
+    let table = load_table(path, memory_budget(args)?)?;
     let (tr, tc) = args.require_tile("tiles")?;
     let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
     let p: f64 = args.get_or("p", 1.0)?;
@@ -342,7 +366,7 @@ pub fn knn(args: &Args) -> Result<(), CliError> {
 /// `pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine]`
 pub fn pairs(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let table = load_table(path)?;
+    let table = load_table(path, memory_budget(args)?)?;
     let (tr, tc) = args.require_tile("tiles")?;
     let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
     let p: f64 = args.get_or("p", 1.0)?;
@@ -387,7 +411,7 @@ fn cluster_with_store(
 /// [--exact] [--render]`
 pub fn cluster(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
-    let mut table = load_table(path)?;
+    let mut table = load_table(path, memory_budget(args)?)?;
     let (tr, tc) = args.require_tile("tiles")?;
     let k: usize = args.get_or("k", 8)?;
     let p: f64 = args.get_or("p", 1.0)?;

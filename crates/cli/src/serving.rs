@@ -13,7 +13,7 @@ use tabsketch_serve::{Client, ServeError, Server, ServerConfig, StoreSpec};
 use tabsketch_table::Rect;
 
 use crate::args::Args;
-use crate::commands::parse_at;
+use crate::commands::{memory_budget, parse_at};
 use crate::error::CliError;
 
 /// Builds the fallback sketch parameters shared by every spec.
@@ -28,6 +28,7 @@ fn fallback_params(args: &Args) -> Result<(f64, usize, u64), CliError> {
 /// Parses a `--stores NAME=TABLE[:STORE],...` list into specs.
 fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError> {
     let (p, k, seed) = fallback_params(args)?;
+    let budget = memory_budget(args)?;
     let mut specs = Vec::new();
     for entry in list.split(',').filter(|e| !e.is_empty()) {
         let (name, paths) = entry.split_once('=').ok_or_else(|| {
@@ -39,7 +40,7 @@ fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError
             Some((table, store)) => StoreSpec::new(name, table).with_store_path(store),
             None => StoreSpec::new(name, paths),
         };
-        specs.push(spec.with_params(p, k, seed));
+        specs.push(spec.with_params(p, k, seed).with_memory_budget(budget));
     }
     if specs.is_empty() {
         return Err(CliError::usage("--stores lists no stores"));
@@ -49,7 +50,8 @@ fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError
 
 /// `serve TABLE [--sketch-store STORE] [--name NAME] [--addr HOST:PORT]
 /// [--workers N] [--shards N] [--cache-capacity N] [--p P] [--k K]
-/// [--seed N] [--port-file FILE]`, or `serve --stores NAME=TABLE[:STORE],...`
+/// [--seed N] [--memory-budget BYTES] [--port-file FILE]`, or
+/// `serve --stores NAME=TABLE[:STORE],...`
 ///
 /// Blocks until a client sends the shutdown poison message (see
 /// `ping --shutdown`).
@@ -76,7 +78,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
                 .to_string(),
         };
         let (p, k, seed) = fallback_params(args)?;
-        let mut spec = StoreSpec::new(name, table).with_params(p, k, seed);
+        let mut spec = StoreSpec::new(name, table)
+            .with_params(p, k, seed)
+            .with_memory_budget(memory_budget(args)?);
         if let Some(store) = args.get("sketch-store") {
             spec = spec.with_store_path(store);
         }

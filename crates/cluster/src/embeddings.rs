@@ -105,7 +105,7 @@ impl PrecomputedSketchEmbedding {
             for &rect in chunk {
                 tiles.push(table.view(rect)?.to_vec());
             }
-            let refs: Vec<&[f64]> = tiles.iter().map(|t| t.as_slice()).collect();
+            let refs: Vec<&[f64]> = tiles.iter().map(|t| &t[..]).collect();
             for sketch in sketcher.sketch_batch(&refs) {
                 sketches.push(sketch.values().to_vec());
             }
@@ -229,7 +229,7 @@ impl<E: DistanceEstimator<Sketch = Sketch>> EstimatorEmbedding<E> {
         if objects.is_empty() {
             return Err(ClusterError::InvalidParameter("no objects provided"));
         }
-        let refs: Vec<&[f64]> = objects.iter().map(|o| o.as_slice()).collect();
+        let refs: Vec<&[f64]> = objects.iter().map(|o| &o[..]).collect();
         let mut sketches: Vec<Sketch> = Vec::with_capacity(objects.len());
         for chunk in refs.chunks(SKETCH_BATCH_CHUNK) {
             sketches.extend(estimator.sketch_batch(chunk));
@@ -349,7 +349,6 @@ impl Embedding for OnDemandSketchEmbedding<'_> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_core::SketchParams;
@@ -359,7 +358,15 @@ mod tests {
     }
 
     fn sketcher(k: usize) -> Sketcher {
-        Sketcher::new(SketchParams::new(1.0, k, 11).unwrap()).unwrap()
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(k)
+                .seed(11)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -442,7 +449,12 @@ mod tests {
         let t = Table::from_fn(48, 48, |r, _| if r < 24 { 1.0 } else { 900.0 }).unwrap();
         let pool = SketchPool::build(
             &t,
-            tabsketch_core::SketchParams::new(1.0, 128, 5).unwrap(),
+            tabsketch_core::SketchParams::builder()
+                .p(1.0)
+                .k(128)
+                .seed(5)
+                .build()
+                .unwrap(),
             PoolConfig {
                 min_rows: 8,
                 min_cols: 8,
@@ -514,7 +526,12 @@ mod tests {
         let t = Table::from_fn(48, 48, |r, _| if r < 24 { 1.0 } else { 900.0 }).unwrap();
         let pool = SketchPool::build(
             &t,
-            tabsketch_core::SketchParams::new(1.0, 128, 5).unwrap(),
+            tabsketch_core::SketchParams::builder()
+                .p(1.0)
+                .k(128)
+                .seed(5)
+                .build()
+                .unwrap(),
             PoolConfig {
                 min_rows: 8,
                 min_cols: 8,

@@ -506,7 +506,7 @@ impl<'a> DistanceOracle<'a> {
                 for &r in shaped {
                     tiles.push(self.table.view(r)?.to_vec());
                 }
-                let refs: Vec<&[f64]> = tiles.iter().map(Vec::as_slice).collect();
+                let refs: Vec<&[f64]> = tiles.iter().map(|t| &t[..]).collect();
                 let sketches = self.sketcher.sketch_batch(&refs);
                 let mut cache = self.cache.lock();
                 for (&r, sk) in shaped.iter().zip(&sketches) {
@@ -608,7 +608,6 @@ impl Embedding for OracleEmbedding<'_> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::{KMeans, KMeansConfig};
@@ -620,7 +619,15 @@ mod tests {
     }
 
     fn sketcher(k: usize, seed: u64) -> Sketcher {
-        Sketcher::new(SketchParams::new(1.0, k, seed).unwrap()).unwrap()
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(k)
+                .seed(seed)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
     }
 
     fn store(t: &Table, k: usize) -> AllSubtableSketches {
@@ -718,7 +725,12 @@ mod tests {
         let t = Table::from_fn(48, 48, |r, _| if r < 24 { 1.0 } else { 900.0 }).unwrap();
         let pool = SketchPool::build(
             &t,
-            SketchParams::new(1.0, 64, 5).unwrap(),
+            SketchParams::builder()
+                .p(1.0)
+                .k(64)
+                .seed(5)
+                .build()
+                .unwrap(),
             PoolConfig {
                 min_rows: 8,
                 min_cols: 8,

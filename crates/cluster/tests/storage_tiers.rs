@@ -1,0 +1,163 @@
+//! Integration: the distance oracle's answers AND its tier counters are
+//! independent of the table's storage backend.
+//!
+//! The out-of-core layer (DESIGN.md §11) promises that spilling a table
+//! to disk changes nothing observable above the table crate: a
+//! store-backed oracle serves the same estimates through the same tiers,
+//! and the on-demand/exact fallbacks read identical window bytes.
+
+use tabsketch_cluster::{DistanceOracle, OracleEmbedding, Tier};
+use tabsketch_core::allsub::DEFAULT_MEMORY_BUDGET;
+use tabsketch_core::{AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_table::{MemoryBudget, Rect, Table, TileGrid};
+
+const TILE: usize = 8;
+
+fn test_table() -> Table {
+    Table::from_fn(48, 40, |r, c| {
+        ((r * 31 + c * 17) % 71) as f64 + if r >= 24 { 300.0 } else { 0.0 }
+    })
+    .unwrap()
+}
+
+fn sketcher() -> Sketcher {
+    Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(32)
+            .seed(13)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+/// One-chunk, few-chunk, and unbounded budgets for the test table.
+fn budgets(table: &Table) -> Vec<MemoryBudget> {
+    let row = (table.cols() * 8) as u64;
+    vec![
+        MemoryBudget::bytes(TILE as u64 * row),
+        MemoryBudget::bytes(3 * TILE as u64 * row),
+        MemoryBudget::unbounded(),
+    ]
+}
+
+/// The query mix: store-covered anchors, off-anchor windows (on-demand
+/// tier), and a shape the store cannot answer at all.
+fn query_pairs() -> Vec<(Rect, Rect)> {
+    vec![
+        (Rect::new(0, 0, TILE, TILE), Rect::new(24, 16, TILE, TILE)),
+        (Rect::new(8, 8, TILE, TILE), Rect::new(40, 32, TILE, TILE)),
+        (Rect::new(3, 5, TILE, TILE), Rect::new(21, 9, TILE, TILE)),
+        (Rect::new(0, 0, 5, 7), Rect::new(30, 20, 5, 7)),
+    ]
+}
+
+#[test]
+fn oracle_answers_and_tier_counters_match_across_backends() {
+    let table = test_table();
+    let sk = sketcher();
+    let store = AllSubtableSketches::build_with_budgets(
+        &table,
+        TILE,
+        TILE,
+        sk.clone(),
+        DEFAULT_MEMORY_BUDGET,
+        MemoryBudget::unbounded(),
+    )
+    .unwrap();
+    for budget in budgets(&table) {
+        let spilled = table.clone().with_budget(budget).unwrap();
+        assert_eq!(spilled.is_spilled(), !budget.is_unbounded());
+
+        let dense_oracle = DistanceOracle::with_store(&table, &store).unwrap();
+        let spilled_oracle = DistanceOracle::with_store(&spilled, &store).unwrap();
+        for (a, b) in query_pairs() {
+            let (dd, dt) = dense_oracle.distance(a, b).unwrap();
+            let (sd, st) = spilled_oracle.distance(a, b).unwrap();
+            assert_eq!(
+                dd.to_bits(),
+                sd.to_bits(),
+                "estimate {a:?}-{b:?} diverged at budget {budget:?}"
+            );
+            assert_eq!(dt, st, "tier {a:?}-{b:?} diverged at budget {budget:?}");
+        }
+        assert_eq!(
+            dense_oracle.counters(),
+            spilled_oracle.counters(),
+            "tier counters diverged at budget {budget:?}"
+        );
+    }
+}
+
+#[test]
+fn oracle_exercises_every_tier_on_a_spilled_table() {
+    let table = test_table();
+    let row = (table.cols() * 8) as u64;
+    let spilled = table
+        .clone()
+        .with_budget(MemoryBudget::bytes(TILE as u64 * row))
+        .unwrap();
+    assert!(spilled.is_spilled());
+    let sk = sketcher();
+    let store = AllSubtableSketches::build(&spilled, TILE, TILE, sk).unwrap();
+    let oracle = DistanceOracle::with_store(&spilled, &store).unwrap();
+
+    let (_, tier) = oracle
+        .distance(Rect::new(0, 0, TILE, TILE), Rect::new(16, 8, TILE, TILE))
+        .unwrap();
+    assert_eq!(tier, Tier::Pooled, "anchored windows answer from the store");
+    let (_, tier) = oracle
+        .distance(Rect::new(0, 0, 5, 7), Rect::new(30, 20, 5, 7))
+        .unwrap();
+    assert_ne!(
+        tier,
+        Tier::Pooled,
+        "a non-store shape must fall through to a slower tier"
+    );
+    let snap = oracle.counters();
+    assert!(snap.pooled >= 1 && snap.total() >= 2, "counters: {snap:?}");
+}
+
+#[test]
+fn oracle_embedding_clusters_identically_across_backends() {
+    let table = test_table();
+    let sk = sketcher();
+    let store = AllSubtableSketches::build_with_budgets(
+        &table,
+        TILE,
+        TILE,
+        sk.clone(),
+        DEFAULT_MEMORY_BUDGET,
+        MemoryBudget::unbounded(),
+    )
+    .unwrap();
+    let grid = TileGrid::new(table.rows(), table.cols(), TILE, TILE).unwrap();
+    let rects: Vec<Rect> = grid.iter().collect();
+    for budget in budgets(&table) {
+        if budget.is_unbounded() {
+            continue;
+        }
+        let spilled = table.clone().with_budget(budget).unwrap();
+        let dense_oracle = DistanceOracle::with_store(&table, &store).unwrap();
+        let spilled_oracle = DistanceOracle::with_store(&spilled, &store).unwrap();
+        let dense_emb = OracleEmbedding::new(&dense_oracle, rects.clone()).unwrap();
+        let spilled_emb = OracleEmbedding::new(&spilled_oracle, rects.clone()).unwrap();
+        // Every pairwise tile distance the embeddings expose must agree
+        // bitwise, so any clustering built on them is identical too.
+        let mut scratch = Vec::new();
+        use tabsketch_cluster::Embedding;
+        for i in 0..rects.len().min(6) {
+            for j in 0..rects.len().min(6) {
+                let d = dense_emb.with_point(i, &mut |a| {
+                    dense_emb.with_point(j, &mut |b| dense_emb.distance(a, b, &mut scratch))
+                });
+                let mut scratch2 = Vec::new();
+                let s = spilled_emb.with_point(i, &mut |a| {
+                    spilled_emb.with_point(j, &mut |b| spilled_emb.distance(a, b, &mut scratch2))
+                });
+                assert_eq!(d.to_bits(), s.to_bits(), "tiles {i},{j} at {budget:?}");
+            }
+        }
+    }
+}

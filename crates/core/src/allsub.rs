@@ -13,7 +13,7 @@
 use std::borrow::Cow;
 
 use tabsketch_fft::Correlator2d;
-use tabsketch_table::{Rect, Table};
+use tabsketch_table::{MemoryBudget, Rect, Table};
 
 use crate::kernels::RowBlock;
 use crate::sketch::{Sketch, Sketcher};
@@ -80,7 +80,8 @@ impl AllSubtableSketches {
         Self::build_with_budget(table, tile_rows, tile_cols, sketcher, DEFAULT_MEMORY_BUDGET)
     }
 
-    /// Builds sketches for all subtables using the FFT path.
+    /// Builds sketches for all subtables using the FFT path, keeping the
+    /// whole table pinned (an unbounded table budget).
     ///
     /// # Errors
     ///
@@ -97,36 +98,142 @@ impl AllSubtableSketches {
         sketcher: Sketcher,
         max_bytes: usize,
     ) -> Result<Self, TabError> {
+        Self::build_with_budgets(
+            table,
+            tile_rows,
+            tile_cols,
+            sketcher,
+            max_bytes,
+            MemoryBudget::unbounded(),
+        )
+    }
+
+    /// Builds sketches for all subtables using the FFT path, pinning at
+    /// most `table_budget` bytes of table rows at a time.
+    ///
+    /// A bounded budget splits the table into horizontal *bands*:
+    /// overlapping row windows (`tile_rows − 1` rows of overlap) that are
+    /// correlated independently. The band structure is a pure function of
+    /// `(table shape, tile shape, table_budget)` — never of the storage
+    /// backend — so `Dense` and `Spilled` tables produce bit-identical
+    /// sketches at equal budgets, and an unbounded budget is a single
+    /// band, bit-identical to the historical whole-table build.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllSubtableSketches::build_with_budget`], plus
+    /// table-layer errors ([`TabError::Table`]) from reading spilled row
+    /// windows.
+    pub fn build_with_budgets(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+        max_bytes: usize,
+        table_budget: MemoryBudget,
+    ) -> Result<Self, TabError> {
+        Self::build_banded(
+            table,
+            tile_rows,
+            tile_cols,
+            sketcher,
+            max_bytes,
+            table_budget,
+            None,
+        )
+    }
+
+    /// As [`AllSubtableSketches::build_with_budgets`], splitting the `k`
+    /// random kernels across `threads` worker threads within each band.
+    /// The band spectrum is shared read-only; each worker runs its own
+    /// correlations, and results are identical to the sequential build
+    /// (the per-row random streams do not depend on execution order).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`AllSubtableSketches::build_with_budgets`], plus
+    /// [`TabError::InvalidParameter`] for `threads == 0`.
+    pub fn build_parallel(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+        max_bytes: usize,
+        table_budget: MemoryBudget,
+        threads: usize,
+    ) -> Result<Self, TabError> {
+        if threads == 0 {
+            return Err(TabError::InvalidParameter("threads must be non-zero"));
+        }
+        Self::build_banded(
+            table,
+            tile_rows,
+            tile_cols,
+            sketcher,
+            max_bytes,
+            table_budget,
+            Some(threads),
+        )
+    }
+
+    /// Input rows each band may pin: the budget's row count, floored at
+    /// one tile height (a band must fit at least one output row) and
+    /// capped at the table. Depends only on shapes and the budget, never
+    /// on the storage backend — the bit-identity keystone.
+    fn band_in_rows(table: &Table, tile_rows: usize, table_budget: MemoryBudget) -> usize {
+        match table_budget.rows_in_budget(table.cols()) {
+            None => table.rows(),
+            Some(budget_rows) => budget_rows.max(tile_rows).min(table.rows()),
+        }
+    }
+
+    /// Shared implementation of the sequential and parallel banded
+    /// builds; `threads: None` runs the kernel loop inline.
+    fn build_banded(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketcher: Sketcher,
+        max_bytes: usize,
+        table_budget: MemoryBudget,
+        threads: Option<usize>,
+    ) -> Result<Self, TabError> {
         let (out_rows, out_cols) =
             Self::validate(table, tile_rows, tile_cols, sketcher.k(), max_bytes)?;
         let _span = tabsketch_obs::span("core.allsub.build");
         tabsketch_obs::counter!("core.allsub.builds").inc();
         let k = sketcher.k();
-        let npos = out_rows * out_cols;
-        let mut values = vec![0.0; npos * k];
-        let corr = Correlator2d::new(table.as_slice(), table.rows(), table.cols())?;
-        let scatter = |i: usize, map: Vec<f64>, values: &mut Vec<f64>| {
-            debug_assert_eq!(map.len(), npos);
-            for (pos, v) in map.into_iter().enumerate() {
-                values[pos * k + i] = v;
-            }
-        };
-        // Kernels are real, so two ride through each FFT round trip
-        // (packed as re + i·im) — half the transform work.
+        let mut values = vec![0.0; out_rows * out_cols * k];
+        // Materialize the shared row block once; workers borrow rows from
+        // it instead of copying each kernel into a fresh Vec.
         let rows = KernelRows::new(&sketcher, tile_rows * tile_cols);
-        let mut i = 0;
-        while i + 1 < k {
-            let k1 = rows.get(i);
-            let k2 = rows.get(i + 1);
-            let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
-            scatter(i, m1, &mut values);
-            scatter(i + 1, m2, &mut values);
-            i += 2;
-        }
-        if i < k {
-            let kernel = rows.get(i);
-            let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
-            scatter(i, map, &mut values);
+        // Output rows per band: a band pinning `in_rows` input rows
+        // anchors `in_rows − tile_rows + 1` windows.
+        let band_out = Self::band_in_rows(table, tile_rows, table_budget) - tile_rows + 1;
+        let mut lo = 0;
+        while lo < out_rows {
+            let hi = (lo + band_out).min(out_rows);
+            // Consecutive bands overlap by `tile_rows − 1` input rows so
+            // every window is fully inside exactly one band.
+            let window = table.row_window(lo, hi - lo + tile_rows - 1)?;
+            let corr = Correlator2d::new(window.values(), window.rows(), table.cols())?;
+            let band_npos = (hi - lo) * out_cols;
+            let band_maps = match threads {
+                None => Self::correlate_kernels(&corr, &rows, 0, k, tile_rows, tile_cols)?,
+                Some(threads) => Self::correlate_kernels_parallel(
+                    &corr, &rows, k, tile_rows, tile_cols, threads,
+                )?,
+            };
+            // Scatter the band's row-major maps into the position-major
+            // global layout; band position `pos` is global position
+            // `lo * out_cols + pos`.
+            for (i, map) in band_maps {
+                debug_assert_eq!(map.len(), band_npos);
+                for (pos, v) in map.into_iter().enumerate() {
+                    values[(lo * out_cols + pos) * k + i] = v;
+                }
+            }
+            lo = hi;
         }
         Ok(Self {
             sketcher,
@@ -138,71 +245,62 @@ impl AllSubtableSketches {
         })
     }
 
-    /// As [`AllSubtableSketches::build_with_budget`], splitting the `k`
-    /// random kernels across `threads` worker threads. The table spectrum
-    /// is shared read-only; each worker runs its own correlations, and
-    /// results are identical to the sequential build (the per-row random
-    /// streams do not depend on execution order).
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`AllSubtableSketches::build_with_budget`], plus
-    /// [`TabError::InvalidParameter`] for `threads == 0`.
-    pub fn build_parallel(
-        table: &Table,
+    /// Correlates kernels `lo..hi` against one band's spectrum. Kernels
+    /// are real, so two ride through each FFT round trip (packed as
+    /// re + i·im) — half the transform work. `lo` must be even so the
+    /// pairing aligns identically for every work split.
+    fn correlate_kernels(
+        corr: &Correlator2d,
+        rows: &KernelRows<'_>,
+        lo: usize,
+        hi: usize,
         tile_rows: usize,
         tile_cols: usize,
-        sketcher: Sketcher,
-        max_bytes: usize,
-        threads: usize,
-    ) -> Result<Self, TabError> {
-        if threads == 0 {
-            return Err(TabError::InvalidParameter("threads must be non-zero"));
+    ) -> Result<Vec<(usize, Vec<f64>)>, TabError> {
+        debug_assert!(
+            lo >= hi || lo & 1 == 0,
+            "non-empty kernel ranges must start even (lo={lo})"
+        );
+        let mut out = Vec::with_capacity(hi.saturating_sub(lo));
+        let mut i = lo;
+        while i + 1 < hi {
+            let k1 = rows.get(i);
+            let k2 = rows.get(i + 1);
+            let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
+            out.push((i, m1));
+            out.push((i + 1, m2));
+            i += 2;
         }
-        let (out_rows, out_cols) =
-            Self::validate(table, tile_rows, tile_cols, sketcher.k(), max_bytes)?;
-        let _span = tabsketch_obs::span("core.allsub.build");
-        tabsketch_obs::counter!("core.allsub.builds").inc();
-        let k = sketcher.k();
-        let npos = out_rows * out_cols;
-        let corr = Correlator2d::new(table.as_slice(), table.rows(), table.cols())?;
+        if i < hi {
+            let kernel = rows.get(i);
+            let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
+            out.push((i, map));
+        }
+        Ok(out)
+    }
+
+    /// Splits the `k` kernels across `threads` scoped workers over one
+    /// band's shared spectrum. Chunks are even-sized so the pair-packing
+    /// (see [`AllSubtableSketches::correlate_kernels`]) aligns identically
+    /// for every thread count and the outputs stay bit-identical.
+    fn correlate_kernels_parallel(
+        corr: &Correlator2d,
+        rows: &KernelRows<'_>,
+        k: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+        threads: usize,
+    ) -> Result<Vec<(usize, Vec<f64>)>, TabError> {
         let threads = threads.min(k);
-        // Each worker correlates a contiguous range of kernel indices and
-        // returns its maps; the scatter into the position-major layout is
-        // single-threaded (memory-bandwidth bound anyway). Chunks are
-        // even-sized so the pair-packing (see the sequential build)
-        // aligns identically for every thread count and the outputs stay
-        // bit-identical.
         let mut chunk = k.div_ceil(threads);
         chunk += chunk & 1;
-        // Materialize the shared row block once, before spawning; workers
-        // borrow rows from it instead of copying each kernel into a fresh
-        // Vec (and instead of racing to build it k times).
-        let rows = KernelRows::new(&sketcher, tile_rows * tile_cols);
         let maps: Vec<WorkerMaps> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
                 let lo = (t * chunk).min(k);
                 let hi = ((t + 1) * chunk).min(k);
-                let corr = &corr;
-                let rows = &rows;
                 handles.push(scope.spawn(move || {
-                    let mut out = Vec::with_capacity(hi.saturating_sub(lo));
-                    let mut i = lo;
-                    while i + 1 < hi {
-                        let k1 = rows.get(i);
-                        let k2 = rows.get(i + 1);
-                        let (m1, m2) = corr.correlate_pair(&k1, &k2, tile_rows, tile_cols)?;
-                        out.push((i, m1));
-                        out.push((i + 1, m2));
-                        i += 2;
-                    }
-                    if i < hi {
-                        let kernel = rows.get(i);
-                        let map = corr.correlate(&kernel, tile_rows, tile_cols)?;
-                        out.push((i, map));
-                    }
-                    Ok(out)
+                    Self::correlate_kernels(corr, rows, lo, hi, tile_rows, tile_cols)
                 }));
             }
             handles
@@ -210,23 +308,11 @@ impl AllSubtableSketches {
                 .map(|h| h.join().expect("worker panicked"))
                 .collect()
         });
-        let mut values = vec![0.0; npos * k];
+        let mut out = Vec::with_capacity(k);
         for worker in maps {
-            for (i, map) in worker? {
-                debug_assert_eq!(map.len(), npos);
-                for (pos, v) in map.into_iter().enumerate() {
-                    values[pos * k + i] = v;
-                }
-            }
+            out.extend(worker?);
         }
-        Ok(Self {
-            sketcher,
-            tile_rows,
-            tile_cols,
-            out_rows,
-            out_cols,
-            values,
-        })
+        Ok(out)
     }
 
     /// Builds the same sketches by direct dot products — `O(k·N·M)`. Test
@@ -516,6 +602,7 @@ mod tests {
                 6,
                 sketcher(1.0, 9),
                 DEFAULT_MEMORY_BUDGET,
+                MemoryBudget::unbounded(),
                 threads,
             )
             .unwrap();
@@ -535,9 +622,108 @@ mod tests {
             6,
             sketcher(1.0, 9),
             DEFAULT_MEMORY_BUDGET,
+            MemoryBudget::unbounded(),
             0
         )
         .is_err());
+    }
+
+    #[test]
+    fn banded_build_matches_naive() {
+        // A bounded table budget splits the build into bands whose FFTs
+        // use different transform sizes than the whole-table build, so
+        // values agree with the naive oracle to tolerance (not bit-wise
+        // with the unbounded build).
+        let t = test_table();
+        for budget_rows in [4usize, 7, 20] {
+            let budget = MemoryBudget::bytes((budget_rows * t.cols() * 8) as u64);
+            let banded = AllSubtableSketches::build_with_budgets(
+                &t,
+                3,
+                5,
+                sketcher(1.0, 6),
+                DEFAULT_MEMORY_BUDGET,
+                budget,
+            )
+            .unwrap();
+            let slow = AllSubtableSketches::build_naive(&t, 3, 5, sketcher(1.0, 6)).unwrap();
+            for r in 0..banded.anchor_rows() {
+                for c in 0..banded.anchor_cols() {
+                    for (x, y) in banded
+                        .values_at(r, c)
+                        .unwrap()
+                        .iter()
+                        .zip(slow.values_at(r, c).unwrap())
+                    {
+                        assert!(
+                            (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                            "budget {budget_rows} rows at ({r},{c}): {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_parallel_matches_banded_sequential() {
+        let t = test_table();
+        let budget = MemoryBudget::bytes((6 * t.cols() * 8) as u64);
+        let seq = AllSubtableSketches::build_with_budgets(
+            &t,
+            4,
+            6,
+            sketcher(1.0, 9),
+            DEFAULT_MEMORY_BUDGET,
+            budget,
+        )
+        .unwrap();
+        for threads in [2usize, 5] {
+            let par = AllSubtableSketches::build_parallel(
+                &t,
+                4,
+                6,
+                sketcher(1.0, 9),
+                DEFAULT_MEMORY_BUDGET,
+                budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(seq.raw_values(), par.raw_values(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn dense_and_spilled_builds_bit_identical() {
+        let t = test_table();
+        for budget_rows in [3usize, 9] {
+            let budget = MemoryBudget::bytes((budget_rows * t.cols() * 8) as u64);
+            let spilled = t.clone().with_budget(budget).unwrap();
+            assert!(spilled.is_spilled());
+            let dense_build = AllSubtableSketches::build_with_budgets(
+                &t,
+                3,
+                4,
+                sketcher(1.0, 5),
+                DEFAULT_MEMORY_BUDGET,
+                budget,
+            )
+            .unwrap();
+            let spilled_build = AllSubtableSketches::build_with_budgets(
+                &spilled,
+                3,
+                4,
+                sketcher(1.0, 5),
+                DEFAULT_MEMORY_BUDGET,
+                budget,
+            )
+            .unwrap();
+            assert_eq!(
+                dense_build.raw_values(),
+                spilled_build.raw_values(),
+                "budget {budget_rows} rows"
+            );
+        }
     }
 
     #[test]

@@ -268,7 +268,7 @@ mod tests {
             let objs: Vec<Vec<f64>> = (0..nobj)
                 .map(|o| (0..n).map(|c| ((o * 13 + c) % 7) as f64 - 3.0).collect())
                 .collect();
-            let refs: Vec<&[f64]> = objs.iter().map(|v| v.as_slice()).collect();
+            let refs: Vec<&[f64]> = objs.iter().map(|v| &v[..]).collect();
             let mut batched = vec![0.0; nobj * k];
             dot_rows_batch(&b, &refs, &mut batched);
             for (o, obj) in refs.iter().enumerate() {

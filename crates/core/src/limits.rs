@@ -32,10 +32,10 @@ mod tests {
     #[test]
     fn limits_are_ordered_sensibly() {
         // A maximal name and a maximal batch must both fit in one frame.
-        assert!(MAX_NAME_BYTES < MAX_FRAME_BYTES);
+        const { assert!(MAX_NAME_BYTES < MAX_FRAME_BYTES) };
         // Batch entries are two rects of 4 u32s: 32 bytes, plus headroom.
-        assert!(MAX_BATCH * 64 <= MAX_FRAME_BYTES);
+        const { assert!(MAX_BATCH * 64 <= MAX_FRAME_BYTES) };
         // Persist cap dwarfs any single frame.
-        assert!(MAX_PERSIST_BYTES > MAX_FRAME_BYTES as u64);
+        const { assert!(MAX_PERSIST_BYTES > MAX_FRAME_BYTES as u64) };
     }
 }

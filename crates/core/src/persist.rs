@@ -458,14 +458,21 @@ pub fn load_store<P: AsRef<Path>>(path: P) -> Result<AllSubtableSketches, TabErr
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_table::{Rect, Table};
 
     fn sample_store() -> AllSubtableSketches {
         let table = Table::from_fn(12, 14, |r, c| ((r * 5 + c * 3) % 17) as f64).unwrap();
-        let sketcher = Sketcher::new(SketchParams::new(1.0, 6, 99).unwrap()).unwrap();
+        let sketcher = Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(6)
+                .seed(99)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         AllSubtableSketches::build(&table, 4, 5, sketcher).unwrap()
     }
 
@@ -505,19 +512,21 @@ mod tests {
 
     #[test]
     fn sketch_round_trip() {
-        let sk = Sketcher::new(SketchParams::new(0.5, 8, 1).unwrap()).unwrap();
+        let sk =
+            Sketcher::new(SketchParams::builder().p(0.5).k(8).seed(1).build().unwrap()).unwrap();
         let s = sk.sketch_slice(&[1.0, -2.0, 3.5, 0.0, 9.0]);
         let mut buf = Vec::new();
         write_sketch(&s, &mut buf).unwrap();
-        let back = read_sketch(buf.as_slice()).unwrap();
+        let back = read_sketch(&buf[..]).unwrap();
         assert_eq!(s, back);
     }
 
     #[test]
     fn sketch_reads_legacy_v1() {
-        let sk = Sketcher::new(SketchParams::new(0.5, 8, 1).unwrap()).unwrap();
+        let sk =
+            Sketcher::new(SketchParams::builder().p(0.5).k(8).seed(1).build().unwrap()).unwrap();
         let s = sk.sketch_slice(&[1.0, -2.0, 3.5, 0.0, 9.0]);
-        let back = read_sketch(write_sketch_v1(&s).as_slice()).unwrap();
+        let back = read_sketch(&write_sketch_v1(&s)[..]).unwrap();
         assert_eq!(s, back);
     }
 
@@ -527,12 +536,13 @@ mod tests {
             read_sketch(&b"NOPE"[..]),
             Err(TabError::Corrupt { .. })
         ));
-        let sk = Sketcher::new(SketchParams::new(1.0, 4, 2).unwrap()).unwrap();
+        let sk =
+            Sketcher::new(SketchParams::builder().p(1.0).k(4).seed(2).build().unwrap()).unwrap();
         let mut buf = Vec::new();
         write_sketch(&sk.sketch_slice(&[1.0, 2.0]), &mut buf).unwrap();
         buf.truncate(buf.len() - 5);
         assert!(matches!(
-            read_sketch(buf.as_slice()),
+            read_sketch(&buf[..]),
             Err(TabError::Corrupt { .. })
         ));
     }
@@ -542,7 +552,7 @@ mod tests {
         let store = sample_store();
         let mut buf = Vec::new();
         write_store(&store, &mut buf).unwrap();
-        let back = read_store(buf.as_slice()).unwrap();
+        let back = read_store(&buf[..]).unwrap();
         assert_eq!(back.tile_rows(), store.tile_rows());
         assert_eq!(back.tile_cols(), store.tile_cols());
         assert_eq!(back.anchor_rows(), store.anchor_rows());
@@ -556,7 +566,7 @@ mod tests {
     #[test]
     fn store_reads_legacy_v1() {
         let store = sample_store();
-        let back = read_store(write_store_v1(&store).as_slice()).unwrap();
+        let back = read_store(&write_store_v1(&store)[..]).unwrap();
         assert_eq!(back.raw_values(), store.raw_values());
         assert_eq!(back.sketcher().family(), store.sketcher().family());
         assert_eq!(back.anchor_rows(), store.anchor_rows());
@@ -571,7 +581,7 @@ mod tests {
         let store = sample_store();
         let mut buf = Vec::new();
         write_store(&store, &mut buf).unwrap();
-        let back = read_store(buf.as_slice()).unwrap();
+        let back = read_store(&buf[..]).unwrap();
 
         let fresh = back
             .sketcher()
@@ -597,7 +607,7 @@ mod tests {
         let mut bad = buf.clone();
         bad[0] = b'X';
         assert!(
-            matches!(read_store(bad.as_slice()), Err(TabError::Corrupt { .. })),
+            matches!(read_store(&bad[..]), Err(TabError::Corrupt { .. })),
             "bad magic"
         );
         // Corrupt the estimator tag inside the checksummed header (offset:
@@ -605,10 +615,7 @@ mod tests {
         let mut bad_tag = buf;
         bad_tag[40] = 9;
         assert!(
-            matches!(
-                read_store(bad_tag.as_slice()),
-                Err(TabError::Corrupt { .. })
-            ),
+            matches!(read_store(&bad_tag[..]), Err(TabError::Corrupt { .. })),
             "damaged estimator tag"
         );
     }
@@ -619,7 +626,7 @@ mod tests {
         let mut buf = write_store_v1(&store);
         // v1 estimator tag offset: magic 4 + p 8 + k 8 + seed 8 + family 8.
         buf[36] = 9;
-        let err = read_store(buf.as_slice()).unwrap_err();
+        let err = read_store(&buf[..]).unwrap_err();
         assert!(matches!(
             err,
             TabError::Corrupt {
@@ -637,7 +644,7 @@ mod tests {
         let mut buf = write_store_v1(&store);
         // anchor_rows offset: magic 4 + sketcher 40 + tiles 16 = 60.
         buf[60..68].copy_from_slice(&u64::MAX.to_le_bytes());
-        let err = read_store(buf.as_slice()).unwrap_err();
+        let err = read_store(&buf[..]).unwrap_err();
         assert!(matches!(
             err,
             TabError::Corrupt {
@@ -649,7 +656,7 @@ mod tests {
         // An honest file still trips an explicit tighter limit.
         let mut v2 = Vec::new();
         write_store(&store, &mut v2).unwrap();
-        let err = read_store_with_limit(v2.as_slice(), 16).unwrap_err();
+        let err = read_store_with_limit(&v2[..], 16).unwrap_err();
         assert!(matches!(
             err,
             TabError::Corrupt {
@@ -673,7 +680,8 @@ mod tests {
 
     #[test]
     fn from_parts_validation() {
-        let sk = Sketcher::new(SketchParams::new(1.0, 4, 1).unwrap()).unwrap();
+        let sk =
+            Sketcher::new(SketchParams::builder().p(1.0).k(4).seed(1).build().unwrap()).unwrap();
         assert!(AllSubtableSketches::from_parts(sk.clone(), 2, 2, 3, 3, vec![0.0; 36]).is_ok());
         assert!(AllSubtableSketches::from_parts(sk.clone(), 2, 2, 3, 3, vec![0.0; 35]).is_err());
         assert!(AllSubtableSketches::from_parts(sk, 0, 2, 3, 3, vec![]).is_err());

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use tabsketch_table::dyadic::{canonical_sizes, DyadicCover};
-use tabsketch_table::{Rect, Table};
+use tabsketch_table::{MemoryBudget, Rect, Table};
 
 use crate::allsub::AllSubtableSketches;
 use crate::rng::derive_key;
@@ -44,6 +44,12 @@ pub struct PoolConfig {
     pub square_only: bool,
     /// Memory budget in bytes across all stored sketch sets.
     pub max_bytes: usize,
+    /// Memory budget on resident *table* bytes during the build: bounded
+    /// budgets make the underlying all-subtable builds process the table
+    /// in row bands instead of pinning it whole. Results are identical
+    /// across storage backends at equal budgets (see
+    /// [`AllSubtableSketches::build_with_budgets`]).
+    pub table_budget: MemoryBudget,
 }
 
 impl Default for PoolConfig {
@@ -55,6 +61,7 @@ impl Default for PoolConfig {
             max_cols: usize::MAX,
             square_only: false,
             max_bytes: crate::allsub::DEFAULT_MEMORY_BUDGET,
+            table_budget: MemoryBudget::unbounded(),
         }
     }
 }
@@ -137,6 +144,13 @@ impl PoolConfigBuilder {
     /// Memory budget in bytes across all stored sketch sets.
     pub fn max_bytes(mut self, max_bytes: usize) -> Self {
         self.config.max_bytes = max_bytes;
+        self
+    }
+
+    /// Memory budget on resident table bytes during the build (see
+    /// [`PoolConfig::table_budget`]).
+    pub fn table_budget(mut self, table_budget: MemoryBudget) -> Self {
+        self.config.table_budget = table_budget;
         self
     }
 
@@ -342,7 +356,14 @@ impl SketchPool {
     ) -> Result<AllSubtableSketches, TabError> {
         let family = derive_key(params.seed(), &[r as u64, c as u64, anchor]);
         let sketcher = Sketcher::with_family(params, family)?;
-        AllSubtableSketches::build_with_budget(table, r, c, sketcher, config.max_bytes)
+        AllSubtableSketches::build_with_budgets(
+            table,
+            r,
+            c,
+            sketcher,
+            config.max_bytes,
+            config.table_budget,
+        )
     }
 
     /// The sketch parameters of the pool.
@@ -620,7 +641,7 @@ impl PoolRectEstimator<'_> {
                     window.extend_from_slice(&data[start..start + scols]);
                 }
             }
-            let refs: Vec<&[f64]> = windows.iter().map(|w| w.as_slice()).collect();
+            let refs: Vec<&[f64]> = windows.iter().map(|w| &w[..]).collect();
             for (o, s) in sketcher.sketch_batch(&refs).iter().enumerate() {
                 for (a, v) in acc[o * k..(o + 1) * k].iter_mut().zip(s.values()) {
                     *a += v;
@@ -943,7 +964,7 @@ mod tests {
         let tiles: Vec<Vec<f64>> = (0..5)
             .map(|i| t.view(Rect::new(i, 2 * i, 6, 6)).unwrap().to_vec())
             .collect();
-        let refs: Vec<&[f64]> = tiles.iter().map(|v| v.as_slice()).collect();
+        let refs: Vec<&[f64]> = tiles.iter().map(|v| &v[..]).collect();
         let batch = est.sketch_rect_batch(&refs);
         assert_eq!(batch.len(), refs.len());
         for (obj, sketch) in refs.iter().zip(&batch) {

@@ -200,7 +200,6 @@ impl StreamingSketch {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rng::stream_rng;
@@ -208,7 +207,7 @@ mod tests {
     use rand::Rng;
 
     fn sketcher(p: f64, k: usize) -> Sketcher {
-        Sketcher::new(SketchParams::new(p, k, 31).unwrap()).unwrap()
+        Sketcher::new(SketchParams::builder().p(p).k(k).seed(31).build().unwrap()).unwrap()
     }
 
     #[test]
@@ -280,8 +279,16 @@ mod tests {
         let mut a = StreamingSketch::new(sk.clone(), 20).unwrap();
         let b = StreamingSketch::new(sk.clone(), 21).unwrap();
         assert!(a.merge(&b).is_err());
-        let other_family =
-            Sketcher::with_family(SketchParams::new(1.0, 8, 31).unwrap(), 5).unwrap();
+        let other_family = Sketcher::with_family(
+            SketchParams::builder()
+                .p(1.0)
+                .k(8)
+                .seed(31)
+                .build()
+                .unwrap(),
+            5,
+        )
+        .unwrap();
         let c = StreamingSketch::new(other_family, 20).unwrap();
         assert!(a.merge(&c).is_err());
     }

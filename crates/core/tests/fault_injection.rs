@@ -18,7 +18,15 @@ fn sample_table() -> Table {
 }
 
 fn sample_store() -> AllSubtableSketches {
-    let sketcher = Sketcher::new(SketchParams::new(1.0, 6, 99).unwrap()).unwrap();
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(6)
+            .seed(99)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     AllSubtableSketches::build(&sample_table(), 4, 5, sketcher).unwrap()
 }
 

@@ -20,7 +20,15 @@ const LENGTHS: &[usize] = &[1, 3, 5, 7, 9, 15, 17, 31, 33, 63, 65];
 const WIDTHS: &[usize] = &[1, 7, 8, 9, 19];
 
 fn sketcher(p: f64, k: usize, seed: u64) -> Sketcher {
-    Sketcher::new(SketchParams::new(p, k, seed).unwrap()).unwrap()
+    Sketcher::new(
+        SketchParams::builder()
+            .p(p)
+            .k(k)
+            .seed(seed)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
 }
 
 fn object(len: usize, phase: usize) -> Vec<f64> {

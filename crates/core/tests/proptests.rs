@@ -43,7 +43,7 @@ proptest! {
     /// s(x) + s(y) = s(x + y), s(c·x) = c·s(x).
     #[test]
     fn sketch_linearity(x in vec_strategy(4..80), c in -5.0f64..5.0, seed in 0u64..500) {
-        let params = SketchParams::new(1.0, 8, seed).unwrap();
+        let params = SketchParams::builder().p(1.0).k(8).seed(seed).build().unwrap();
         let sk = Sketcher::new(params).unwrap();
         let y: Vec<f64> = x.iter().rev().copied().collect();
         let sum: Vec<f64> = x.iter().zip(&y).map(|(&a, &b)| a + b).collect();
@@ -70,7 +70,7 @@ proptest! {
     /// the median of |c·X| is |c|·median|X|).
     #[test]
     fn estimate_scale_equivariance(x in vec_strategy(8..60), c in 0.1f64..10.0) {
-        let params = SketchParams::new(1.0, 64, 7).unwrap();
+        let params = SketchParams::builder().p(1.0).k(64).seed(7).build().unwrap();
         let sk = Sketcher::new(params).unwrap();
         let y: Vec<f64> = x.iter().map(|&v| v + 3.0).collect();
         let xc: Vec<f64> = x.iter().map(|&v| c * v).collect();
@@ -85,7 +85,7 @@ proptest! {
     /// linearity — not just statistically).
     #[test]
     fn estimate_translation_invariance(x in vec_strategy(8..60), shift in -50.0f64..50.0) {
-        let params = SketchParams::new(0.5, 32, 3).unwrap();
+        let params = SketchParams::builder().p(0.5).k(32).seed(3).build().unwrap();
         let sk = Sketcher::new(params).unwrap();
         let y: Vec<f64> = x.iter().map(|&v| v * 2.0 - 1.0).collect();
         let xs: Vec<f64> = x.iter().map(|&v| v + shift).collect();
@@ -99,7 +99,7 @@ proptest! {
     #[test]
     fn self_distance_is_zero(x in vec_strategy(1..60), p_tenths in 1u32..=20) {
         let p = p_tenths as f64 / 10.0;
-        let params = SketchParams::new(p, 16, 5).unwrap();
+        let params = SketchParams::builder().p(p).k(16).seed(5).build().unwrap();
         let sk = Sketcher::new(params).unwrap();
         let s = sk.sketch_slice(&x);
         prop_assert_eq!(sk.estimate_distance(&s, &s.clone()).unwrap(), 0.0);
@@ -120,7 +120,7 @@ proptest! {
     /// longer materialization equal the shorter one.
     #[test]
     fn random_row_prefix_property(len1 in 1usize..100, len2 in 1usize..100, i in 0usize..4) {
-        let params = SketchParams::new(0.75, 4, 11).unwrap();
+        let params = SketchParams::builder().p(0.75).k(4).seed(11).build().unwrap();
         let sk = Sketcher::new(params).unwrap();
         let (short, long) = if len1 < len2 { (len1, len2) } else { (len2, len1) };
         let a = sk.random_row(i, short);
@@ -135,7 +135,7 @@ proptest! {
         updates in proptest::collection::vec((0usize..64, -20.0f64..20.0), 1..120),
         seed in 0u64..200,
     ) {
-        let sk = Sketcher::new(SketchParams::new(1.0, 8, seed).unwrap()).unwrap();
+        let sk = Sketcher::new(SketchParams::builder().p(1.0).k(8).seed(seed).build().unwrap()).unwrap();
         let mut stream = StreamingSketch::new(sk.clone(), 64).unwrap();
         let mut x = vec![0.0f64; 64];
         for &(idx, delta) in &updates {
@@ -154,7 +154,7 @@ proptest! {
         first in proptest::collection::vec((0usize..32, -10.0f64..10.0), 0..40),
         second in proptest::collection::vec((0usize..32, -10.0f64..10.0), 0..40),
     ) {
-        let sk = Sketcher::new(SketchParams::new(0.5, 6, 9).unwrap()).unwrap();
+        let sk = Sketcher::new(SketchParams::builder().p(0.5).k(6).seed(9).build().unwrap()).unwrap();
         let mut a = StreamingSketch::new(sk.clone(), 32).unwrap();
         let mut b = StreamingSketch::new(sk.clone(), 32).unwrap();
         let mut all = StreamingSketch::new(sk, 32).unwrap();
@@ -180,7 +180,7 @@ proptest! {
         window_frac in 0.05f64..1.0,
     ) {
         let window = ((series.len() as f64 * window_frac) as usize).clamp(1, series.len());
-        let sk = Sketcher::new(SketchParams::new(1.0, 4, 3).unwrap()).unwrap();
+        let sk = Sketcher::new(SketchParams::builder().p(1.0).k(4).seed(3).build().unwrap()).unwrap();
         let store = SlidingSketches::build(&series, window, sk.clone()).unwrap();
         prop_assert_eq!(store.len(), series.len() - window + 1);
         // Spot-check first, middle, last windows.
@@ -198,7 +198,7 @@ proptest! {
     fn persisted_sketch_round_trips(x in vec_strategy(1..60), seed in 0u64..100,
                                     p_tenths in 1u32..=20) {
         let p = p_tenths as f64 / 10.0;
-        let sk = Sketcher::new(SketchParams::new(p, 8, seed).unwrap()).unwrap();
+        let sk = Sketcher::new(SketchParams::builder().p(p).k(8).seed(seed).build().unwrap()).unwrap();
         let sketch = sk.sketch_slice(&x);
         let mut buf = Vec::new();
         persist::write_sketch(&sketch, &mut buf).unwrap();

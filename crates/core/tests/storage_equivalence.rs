@@ -1,0 +1,224 @@
+//! Integration: the storage backend is invisible to every sketch
+//! consumer.
+//!
+//! The out-of-core layer's non-negotiable invariant (DESIGN.md §11):
+//! sketches, pool contents, distance estimates, and band structure are
+//! **bit-identical** between a dense table and the same table spilled
+//! to disk, at any memory budget. These tests sweep the budgets that
+//! exercise every window shape — roughly one resident chunk, a few
+//! chunks, and unbounded — and compare raw values exactly.
+
+use tabsketch_core::allsub::DEFAULT_MEMORY_BUDGET;
+use tabsketch_core::{AllSubtableSketches, PoolConfig, SketchParams, SketchPool, Sketcher};
+use tabsketch_table::{MemoryBudget, Rect, Table};
+
+const TILE_ROWS: usize = 4;
+const TILE_COLS: usize = 4;
+
+fn test_table() -> Table {
+    Table::from_fn(40, 32, |r, c| {
+        ((r * 37 + c * 23) % 53) as f64 - if (r + c) % 7 == 0 { 11.5 } else { 0.0 }
+    })
+    .unwrap()
+}
+
+fn sketcher() -> Sketcher {
+    Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(24)
+            .seed(41)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+/// The budget sweep: about one chunk of rows, a few chunks, and
+/// unbounded. Row counts are scaled to bytes against the table width.
+fn budgets(table: &Table) -> Vec<MemoryBudget> {
+    let row = (table.cols() * 8) as u64;
+    vec![
+        MemoryBudget::bytes(TILE_ROWS as u64 * row),
+        MemoryBudget::bytes(3 * TILE_ROWS as u64 * row),
+        MemoryBudget::unbounded(),
+    ]
+}
+
+/// Spills under `budget` when bounded; hands the table back when not
+/// (an unbounded budget never spills).
+fn spill(table: &Table, budget: MemoryBudget) -> Table {
+    let spilled = table.clone().with_budget(budget).unwrap();
+    assert_eq!(
+        spilled.is_spilled(),
+        !budget.is_unbounded(),
+        "bounded budgets smaller than the table must spill"
+    );
+    spilled
+}
+
+#[test]
+fn allsub_builds_bit_identical_across_backends_and_budgets() {
+    let table = test_table();
+    let sk = sketcher();
+    for budget in budgets(&table) {
+        let spilled = spill(&table, budget);
+        let dense_build = AllSubtableSketches::build_with_budgets(
+            &table,
+            TILE_ROWS,
+            TILE_COLS,
+            sk.clone(),
+            DEFAULT_MEMORY_BUDGET,
+            budget,
+        )
+        .unwrap();
+        let spilled_build = AllSubtableSketches::build_with_budgets(
+            &spilled,
+            TILE_ROWS,
+            TILE_COLS,
+            sk.clone(),
+            DEFAULT_MEMORY_BUDGET,
+            budget,
+        )
+        .unwrap();
+        let a = dense_build.raw_values();
+        let b = spilled_build.raw_values();
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "value {i} diverged at budget {budget:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn unbounded_budget_matches_historical_single_band_build() {
+    let table = test_table();
+    let sk = sketcher();
+    let historical = AllSubtableSketches::build(&table, TILE_ROWS, TILE_COLS, sk.clone()).unwrap();
+    for budget in budgets(&table) {
+        let banded = AllSubtableSketches::build_with_budgets(
+            &table,
+            TILE_ROWS,
+            TILE_COLS,
+            sk.clone(),
+            DEFAULT_MEMORY_BUDGET,
+            budget,
+        )
+        .unwrap();
+        if budget.is_unbounded() {
+            // One band == the historical whole-table transform, bitwise.
+            assert_eq!(historical.raw_values(), banded.raw_values());
+        } else {
+            // Bands use smaller transforms: equal to the whole-table
+            // build only up to FFT rounding.
+            for (x, y) in historical.raw_values().iter().zip(banded.raw_values()) {
+                assert!(
+                    (x - y).abs() <= 1e-6 * x.abs().max(1.0),
+                    "banded build drifted: {x} vs {y}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_banded_builds_match_sequential_across_backends() {
+    let table = test_table();
+    let sk = sketcher();
+    for budget in budgets(&table) {
+        let spilled = spill(&table, budget);
+        let sequential = AllSubtableSketches::build_with_budgets(
+            &table,
+            TILE_ROWS,
+            TILE_COLS,
+            sk.clone(),
+            DEFAULT_MEMORY_BUDGET,
+            budget,
+        )
+        .unwrap();
+        for threads in [2usize, 3] {
+            let parallel = AllSubtableSketches::build_parallel(
+                &spilled,
+                TILE_ROWS,
+                TILE_COLS,
+                sk.clone(),
+                DEFAULT_MEMORY_BUDGET,
+                budget,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                sequential.raw_values(),
+                parallel.raw_values(),
+                "threads={threads}, budget={budget:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pool_builds_and_distances_bit_identical_across_backends() {
+    let table = test_table();
+    let params = SketchParams::builder()
+        .p(1.0)
+        .k(16)
+        .seed(9)
+        .build()
+        .unwrap();
+    let pairs = [
+        (Rect::new(0, 0, 8, 8), Rect::new(16, 8, 8, 8)),
+        (Rect::new(4, 4, 8, 8), Rect::new(30, 20, 8, 8)),
+        (Rect::new(0, 0, 16, 16), Rect::new(24, 16, 16, 16)),
+    ];
+    for budget in budgets(&table) {
+        let spilled = spill(&table, budget);
+        let config = PoolConfig::builder()
+            .min_rows(8)
+            .min_cols(8)
+            .max_rows(16)
+            .max_cols(16)
+            .table_budget(budget)
+            .build()
+            .unwrap();
+        let dense_pool = SketchPool::build(&table, params, config).unwrap();
+        let spilled_pool = SketchPool::build(&spilled, params, config).unwrap();
+        assert_eq!(dense_pool.sizes(), spilled_pool.sizes());
+        for &(a, b) in &pairs {
+            let da = dense_pool.estimate_distance(a, b).unwrap();
+            let db = spilled_pool.estimate_distance(a, b).unwrap();
+            assert_eq!(
+                da.to_bits(),
+                db.to_bits(),
+                "distance {a:?}-{b:?} diverged at budget {budget:?}"
+            );
+            let sa = dense_pool.compound_sketch(a).unwrap();
+            let sb = spilled_pool.compound_sketch(a).unwrap();
+            for (x, y) in sa.values().iter().zip(sb.values()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn spilled_reads_reproduce_the_dense_table_exactly() {
+    let table = test_table();
+    for budget in budgets(&table) {
+        if budget.is_unbounded() {
+            continue;
+        }
+        let spilled = spill(&table, budget);
+        assert_eq!(table, spilled, "budget {budget:?}");
+        // Row windows of every alignment agree with dense reads.
+        for start in [0usize, 1, 7, 36] {
+            let len = (table.rows() - start).min(5);
+            let dense_win = table.row_window(start, len).unwrap();
+            let spill_win = spilled.row_window(start, len).unwrap();
+            assert_eq!(dense_win.values(), spill_win.values());
+        }
+    }
+}

@@ -100,7 +100,7 @@ const MAX_TRACE: usize = 4096;
 
 /// The built-in subscriber: folds every span into a global-registry
 /// histogram keyed `<span-name>_us`, and (optionally) retains the first
-/// [`MAX_TRACE`] spans for a human-readable trace dump.
+/// `MAX_TRACE` (4096) spans for a human-readable trace dump.
 #[derive(Default)]
 pub struct RegistrySubscriber {
     keep_trace: bool,

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use tabsketch_cluster::{ClusterError, DistanceOracle, Tier, TierSnapshot};
 use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
-use tabsketch_table::{io as table_io, Rect, Table, TileGrid};
+use tabsketch_table::{io as table_io, MemoryBudget, Rect, Table, TileGrid};
 
 use crate::error::ServeError;
 use crate::protocol::StoreInfo;
@@ -87,6 +87,10 @@ pub struct StoreSpec {
     pub k: usize,
     /// Seed for fallback on-demand sketches.
     pub seed: u64,
+    /// Resident-memory budget for the loaded table. Bounded budgets
+    /// stream the table file and spill row chunks to disk; unbounded
+    /// (the default) keeps the table dense in memory.
+    pub memory_budget: MemoryBudget,
 }
 
 impl StoreSpec {
@@ -100,6 +104,7 @@ impl StoreSpec {
             p: 1.0,
             k: 256,
             seed: 0,
+            memory_budget: MemoryBudget::unbounded(),
         }
     }
 
@@ -118,18 +123,29 @@ impl StoreSpec {
         self.seed = seed;
         self
     }
+
+    /// Bounds the table's resident memory; rows beyond the budget spill
+    /// to a checksummed temp file.
+    #[must_use]
+    pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
+        self
+    }
 }
 
-/// Loads a table by extension, the same rule the CLI uses.
+/// Loads a table by extension, the same rule the CLI uses. The file is
+/// streamed against `budget`: an unbounded budget yields the familiar
+/// dense table (bit-identical to the eager loaders), a bounded one
+/// spills row chunks past the budget to disk during the single pass.
 ///
 /// # Errors
 ///
 /// Propagates table I/O and parse failures.
-pub fn load_table(path: &Path) -> Result<Table, ServeError> {
+pub fn load_table(path: &Path, budget: MemoryBudget) -> Result<Table, ServeError> {
     let result = if path.extension().is_some_and(|e| e == "csv") {
-        table_io::load_csv(path)
+        table_io::load_csv_streaming(path, budget)
     } else {
-        table_io::load_binary(path)
+        table_io::load_binary_streaming(path, budget)
     };
     result.map_err(ServeError::Table)
 }
@@ -163,7 +179,7 @@ impl LoadedStore {
                 crate::protocol::MAX_NAME
             )));
         }
-        let table = load_table(&spec.table_path)?;
+        let table = load_table(&spec.table_path, spec.memory_budget)?;
         let (store, degradation) = match &spec.store_path {
             None => (None, None),
             Some(path) => match persist::load_store(path) {
@@ -449,7 +465,6 @@ impl<'a> ShardedOracle<'a> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
@@ -466,7 +481,15 @@ mod tests {
     }
 
     fn test_store(table: &Table) -> AllSubtableSketches {
-        let sketcher = Sketcher::new(SketchParams::new(1.0, 32, 9).unwrap()).unwrap();
+        let sketcher = Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(32)
+                .seed(9)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
         AllSubtableSketches::build(table, 8, 8, sketcher).unwrap()
     }
 

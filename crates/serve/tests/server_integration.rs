@@ -37,7 +37,15 @@ fn fixture(tag: &str, rows: usize, cols: usize, tile: usize) -> (PathBuf, PathBu
     .unwrap()
     .generate();
     table_io::save_binary(&table, &table_path).unwrap();
-    let sketcher = Sketcher::new(SketchParams::new(1.0, 32, 5).unwrap()).unwrap();
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(32)
+            .seed(5)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
     let store = AllSubtableSketches::build(&table, tile, tile, sketcher).unwrap();
     persist::save_store(&store, &store_path).unwrap();
     (dir, table_path, store_path)

@@ -11,7 +11,10 @@
 //!   covers behind compound sketches (paper Definition 4, Theorems 5–6);
 //! * [`norms`] — exact Lp distances for all `0 < p ≤ 2` (the ground truth
 //!   the sketches approximate);
-//! * [`io`] — CSV and binary persistence.
+//! * [`io`] — CSV and binary persistence, including bounded-memory
+//!   streaming loaders;
+//! * [`storage`] — the storage-backend layer: dense in-RAM tables and
+//!   [`MemoryBudget`]-bounded tables spilled to a checksummed temp file.
 //!
 //! ```
 //! use tabsketch_table::{Table, Rect, norms};
@@ -36,11 +39,13 @@ pub mod io;
 pub mod norms;
 mod rect;
 pub mod stats;
+pub mod storage;
 mod table;
 mod tiling;
 pub mod transform;
 
 pub use error::TableError;
 pub use rect::Rect;
+pub use storage::{MemoryBudget, RowChunks, RowGuard, SpillWriter, SpilledStorage, TableStorage};
 pub use table::{Table, TableView};
 pub use tiling::TileGrid;

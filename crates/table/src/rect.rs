@@ -8,7 +8,6 @@ use crate::TableError;
 /// A `Rect` is a pure description — it is validated against a concrete
 /// table when a view is taken.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Rect {
     /// Top row index.
     pub row: usize,

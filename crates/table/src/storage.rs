@@ -1,0 +1,652 @@
+//! Memory-budgeted storage backends for [`Table`].
+//!
+//! The paper's premise is tables too massive to keep in memory; the
+//! sketch — not the data — is what must stay resident. This module lets a
+//! [`Table`] hold its values in one of two backends:
+//!
+//! * [`TableStorage::Dense`] — today's row-major `Vec<f64>`, zero-cost,
+//!   the default for every constructor;
+//! * [`TableStorage::Spilled`] — fixed-height row chunks kept in a
+//!   bounded resident window and evicted LRU to a checksummed temp file.
+//!
+//! A [`MemoryBudget`] controls the resident window. Spilled chunks are
+//! framed like the `TSB2` table format (see [`crate::io`]): a magic +
+//! version + dimensions header protected by a CRC32, then per-chunk
+//! `f64` little-endian bodies each followed by their own CRC32, so a
+//! corrupted or truncated spill file surfaces as a typed
+//! [`TableError::Corrupt`] instead of silently wrong data.
+//!
+//! **Spill file layout (`TSP1`)**, all integers little-endian:
+//!
+//! | field        | type      | notes                                   |
+//! |--------------|-----------|------------------------------------------|
+//! | magic        | `[u8; 4]` | `"TSP1"`                                |
+//! | version      | `u32`     | `1`                                     |
+//! | rows         | `u64`     |                                         |
+//! | cols         | `u64`     |                                         |
+//! | chunk rows   | `u64`     | fixed chunk height (last may be short)  |
+//! | header CRC32 | `u32`     | over all preceding bytes                |
+//! | chunk `i`    | `[f64]`   | `rows_in_chunk(i) * cols` values        |
+//! | chunk CRC32  | `u32`     | over chunk `i`'s raw value bytes        |
+//!
+//! Chunk offsets are computable (`header + i * (chunk_rows*cols*8 + 4)`)
+//! because every chunk but the last has the same height.
+//!
+//! Residency is observable through the global metrics registry:
+//! `table.storage.resident_bytes` (gauge, current window),
+//! `table.storage.resident_peak_bytes` (gauge, high-water mark),
+//! `table.storage.chunk_loads` / `table.storage.chunk_evictions` /
+//! `table.storage.spilled_tables` (counters).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::checksum::Crc32;
+use crate::io::{read_f64_body, read_u32_in, write_f64_body};
+use crate::{Table, TableError};
+
+const SPILL_MAGIC: &[u8; 4] = b"TSP1";
+const SPILL_VERSION: u32 = 1;
+/// Bytes of the fixed-size spill header (magic + version + rows + cols +
+/// chunk_rows + CRC32).
+const SPILL_HEADER_BYTES: u64 = 4 + 4 + 8 + 8 + 8 + 4;
+
+/// How many chunks the resident window aims to hold: the budget is split
+/// four ways so eviction granularity stays well below the budget itself.
+const WINDOW_CHUNKS: usize = 4;
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A byte limit on how much of a table may stay resident in memory.
+///
+/// `unbounded()` (the [`Default`]) keeps everything dense in RAM — the
+/// zero-cost path every constructor uses. A bounded budget makes loaders
+/// and [`Table::with_budget`] spill row chunks to disk once the table
+/// outgrows it, and makes the banded sketch builders in `tabsketch-core`
+/// process the table in windows of at most this many bytes.
+///
+/// The budget is honored down to a floor of one table row: a budget
+/// smaller than a single row still keeps one row resident.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: Option<u64>,
+}
+
+impl MemoryBudget {
+    /// No limit: tables stay dense in memory.
+    pub const fn unbounded() -> Self {
+        MemoryBudget { bytes: None }
+    }
+
+    /// At most `n` bytes of table data resident at once.
+    pub const fn bytes(n: u64) -> Self {
+        MemoryBudget { bytes: Some(n) }
+    }
+
+    /// The limit in bytes, or `None` when unbounded.
+    pub const fn get(&self) -> Option<u64> {
+        self.bytes
+    }
+
+    /// Whether this budget imposes no limit.
+    pub const fn is_unbounded(&self) -> bool {
+        self.bytes.is_none()
+    }
+
+    /// How many rows of `cols` columns fit in the budget (at least one),
+    /// or `None` when unbounded.
+    pub fn rows_in_budget(&self, cols: usize) -> Option<usize> {
+        let bytes = self.bytes?;
+        let row_bytes = (cols.max(1) as u64) * 8;
+        Some((bytes / row_bytes).max(1) as usize)
+    }
+
+    /// The spill geometry `(chunk_rows, window_chunks)` for a table of
+    /// `cols` columns, or `None` when unbounded (nothing spills).
+    fn spill_geometry(&self, cols: usize) -> Option<(usize, usize)> {
+        let budget_rows = self.rows_in_budget(cols)?;
+        let chunk_rows = (budget_rows / WINDOW_CHUNKS).max(1);
+        let window_chunks = (budget_rows / chunk_rows).max(1);
+        Some((chunk_rows, window_chunks))
+    }
+}
+
+/// Where a [`Table`]'s values live. See the module docs for the two
+/// backends; consumers should normally stay backend-agnostic by using
+/// [`Table::row_chunks`], [`Table::row_window`], or views.
+#[derive(Clone, Debug)]
+pub enum TableStorage {
+    /// The whole table resident as one row-major `Vec<f64>`.
+    Dense(Vec<f64>),
+    /// Row chunks in a bounded resident window, backed by a checksummed
+    /// temp file.
+    Spilled(SpilledStorage),
+}
+
+/// The spilled backend: a shared handle onto a chunked, checksummed temp
+/// file plus the LRU window of resident chunks. Cloning shares the window
+/// (and the file, which is deleted when the last clone drops).
+#[derive(Clone, Debug)]
+pub struct SpilledStorage {
+    inner: Arc<SpillInner>,
+}
+
+#[derive(Debug)]
+struct SpillInner {
+    rows: usize,
+    cols: usize,
+    chunk_rows: usize,
+    window_chunks: usize,
+    path: PathBuf,
+    state: Mutex<WindowState>,
+}
+
+#[derive(Debug)]
+struct WindowState {
+    file: File,
+    /// Resident chunks, least-recently-used first.
+    resident: Vec<(usize, Arc<[f64]>)>,
+}
+
+impl Drop for SpillInner {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn fresh_spill_path() -> PathBuf {
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("tabsketch-spill-{}-{seq}.tsp", std::process::id()))
+}
+
+fn chunk_offset(chunk_rows: usize, cols: usize, idx: usize) -> u64 {
+    SPILL_HEADER_BYTES + (idx as u64) * ((chunk_rows * cols * 8 + 4) as u64)
+}
+
+fn spill_header(rows: usize, cols: usize, chunk_rows: usize) -> Vec<u8> {
+    let mut header = Vec::with_capacity(SPILL_HEADER_BYTES as usize);
+    header.extend_from_slice(SPILL_MAGIC);
+    header.extend_from_slice(&SPILL_VERSION.to_le_bytes());
+    header.extend_from_slice(&(rows as u64).to_le_bytes());
+    header.extend_from_slice(&(cols as u64).to_le_bytes());
+    header.extend_from_slice(&(chunk_rows as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    header.extend_from_slice(&crc.finish().to_le_bytes());
+    header
+}
+
+impl SpilledStorage {
+    /// Number of stored row chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.inner.rows.div_ceil(self.inner.chunk_rows)
+    }
+
+    /// Fixed chunk height in rows (the last chunk may be shorter).
+    pub fn chunk_rows(&self) -> usize {
+        self.inner.chunk_rows
+    }
+
+    /// How many chunks the resident window may hold.
+    pub fn window_chunks(&self) -> usize {
+        self.inner.window_chunks
+    }
+
+    /// The backing temp file (useful for diagnostics and fault-injection
+    /// tests; the file is deleted when the last handle drops).
+    pub fn spill_path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    fn rows_in_chunk(&self, idx: usize) -> usize {
+        let start = idx * self.inner.chunk_rows;
+        self.inner.chunk_rows.min(self.inner.rows - start)
+    }
+
+    /// Drops every resident chunk, forcing subsequent reads back through
+    /// the checksummed file (fault-injection and memory-pressure hook).
+    pub fn flush_resident(&self) {
+        let mut state = self.inner.state.lock().expect("spill window lock");
+        let evicted = state.resident.len() as u64;
+        state.resident.clear();
+        if evicted > 0 {
+            tabsketch_obs::counter!("table.storage.chunk_evictions").add(evicted);
+        }
+        tabsketch_obs::gauge!("table.storage.resident_bytes").set(0);
+    }
+
+    /// The chunk holding row `row` and the row's offset within it.
+    fn chunk_of_row(&self, row: usize) -> (usize, usize) {
+        (row / self.inner.chunk_rows, row % self.inner.chunk_rows)
+    }
+
+    /// Returns chunk `idx`, reading (and checksum-verifying) it from the
+    /// spill file if it is not resident, evicting the least-recently-used
+    /// chunk when the window is full.
+    fn chunk(&self, idx: usize) -> Result<Arc<[f64]>, TableError> {
+        debug_assert!(idx < self.chunk_count());
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().expect("spill window lock");
+        if let Some(pos) = state.resident.iter().position(|(i, _)| *i == idx) {
+            let entry = state.resident.remove(pos);
+            let chunk = Arc::clone(&entry.1);
+            state.resident.push(entry);
+            return Ok(chunk);
+        }
+        let nvals = self.rows_in_chunk(idx) * inner.cols;
+        let offset = chunk_offset(inner.chunk_rows, inner.cols, idx);
+        state
+            .file
+            .seek(SeekFrom::Start(offset))
+            .map_err(TableError::from)?;
+        let mut crc = Crc32::new();
+        let values = read_f64_body(&mut state.file, nvals, Some(&mut crc))?;
+        let stored = read_u32_in(&mut state.file, "spill-chunk")?;
+        if stored != crc.finish() {
+            return Err(TableError::corrupt(
+                "spill-chunk",
+                format!("checksum mismatch in spill chunk {idx}"),
+            ));
+        }
+        let chunk: Arc<[f64]> = values.into();
+        tabsketch_obs::counter!("table.storage.chunk_loads").inc();
+        state.resident.push((idx, Arc::clone(&chunk)));
+        if state.resident.len() > inner.window_chunks {
+            state.resident.remove(0);
+            tabsketch_obs::counter!("table.storage.chunk_evictions").inc();
+        }
+        let resident_bytes: u64 = state
+            .resident
+            .iter()
+            .map(|(_, c)| (c.len() * 8) as u64)
+            .sum();
+        tabsketch_obs::gauge!("table.storage.resident_bytes").set(resident_bytes);
+        tabsketch_obs::gauge!("table.storage.resident_peak_bytes").raise(resident_bytes);
+        Ok(chunk)
+    }
+
+    /// Reads one cell through the resident window.
+    pub(crate) fn get(&self, row: usize, col: usize) -> Result<f64, TableError> {
+        let (idx, off) = self.chunk_of_row(row);
+        let chunk = self.chunk(idx)?;
+        Ok(chunk[off * self.inner.cols + col])
+    }
+
+    /// Materializes rows `start .. start + nrows` as a guard: a shared
+    /// chunk when the range is exactly one stored chunk, an assembled
+    /// copy otherwise.
+    pub(crate) fn row_window(
+        &self,
+        start: usize,
+        nrows: usize,
+    ) -> Result<RowGuard<'_>, TableError> {
+        let cols = self.inner.cols;
+        let (first, off) = self.chunk_of_row(start);
+        if off == 0 && nrows == self.rows_in_chunk(first) {
+            let chunk = self.chunk(first)?;
+            return Ok(RowGuard {
+                start_row: start,
+                rows: nrows,
+                cols,
+                data: GuardData::Shared(chunk),
+            });
+        }
+        let mut out = Vec::with_capacity(nrows * cols);
+        let mut row = start;
+        let end = start + nrows;
+        while row < end {
+            let (idx, off) = self.chunk_of_row(row);
+            let chunk = self.chunk(idx)?;
+            let take = (self.rows_in_chunk(idx) - off).min(end - row);
+            out.extend_from_slice(&chunk[off * cols..(off + take) * cols]);
+            row += take;
+        }
+        Ok(RowGuard {
+            start_row: start,
+            rows: nrows,
+            cols,
+            data: GuardData::Shared(out.into()),
+        })
+    }
+}
+
+enum GuardData<'a> {
+    Borrowed(&'a [f64]),
+    Shared(Arc<[f64]>),
+}
+
+/// A window of consecutive table rows pinned in memory: borrowed straight
+/// from a dense table's buffer, or a resident/assembled chunk of a
+/// spilled one. The values are row-major with stride equal to the table
+/// width.
+pub struct RowGuard<'a> {
+    start_row: usize,
+    rows: usize,
+    cols: usize,
+    data: GuardData<'a>,
+}
+
+impl std::fmt::Debug for RowGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowGuard")
+            .field("start_row", &self.start_row)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> RowGuard<'a> {
+    pub(crate) fn borrowed(start_row: usize, rows: usize, cols: usize, data: &'a [f64]) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
+        RowGuard {
+            start_row,
+            rows,
+            cols,
+            data: GuardData::Borrowed(data),
+        }
+    }
+
+    /// Absolute table row of the window's first row.
+    #[inline]
+    pub fn start_row(&self) -> usize {
+        self.start_row
+    }
+
+    /// Window height in rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row width (the table's column count).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// All window values, row-major.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        match &self.data {
+            GuardData::Borrowed(s) => s,
+            GuardData::Shared(a) => a,
+        }
+    }
+
+    /// Window-relative row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.values()[i * self.cols..(i + 1) * self.cols]
+    }
+}
+
+/// Iterator over a table's rows in bounded-memory windows; see
+/// [`Table::row_chunks`].
+pub struct RowChunks<'a> {
+    table: &'a Table,
+    next_row: usize,
+    /// Rows per yielded window (dense tables); spilled tables iterate at
+    /// their native chunk height instead.
+    step: usize,
+}
+
+impl<'a> RowChunks<'a> {
+    pub(crate) fn new(table: &'a Table, budget: MemoryBudget) -> Self {
+        let step = match table.storage() {
+            TableStorage::Dense(_) => budget
+                .rows_in_budget(table.cols())
+                .unwrap_or(table.rows())
+                .min(table.rows()),
+            TableStorage::Spilled(s) => s.chunk_rows(),
+        };
+        RowChunks {
+            table,
+            next_row: 0,
+            step: step.max(1),
+        }
+    }
+}
+
+impl<'a> Iterator for RowChunks<'a> {
+    type Item = Result<RowGuard<'a>, TableError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_row >= self.table.rows() {
+            return None;
+        }
+        let start = self.next_row;
+        let n = self.step.min(self.table.rows() - start);
+        self.next_row = start + n;
+        Some(self.table.row_window(start, n))
+    }
+}
+
+/// Streams rows into a table under a [`MemoryBudget`]: the one-pass,
+/// bounded-memory ingestion primitive behind the streaming CSV/binary
+/// loaders and [`Table::with_budget`].
+///
+/// Rows accumulate densely until the budget is exceeded, at which point
+/// everything received so far is flushed to a checksummed spill file and
+/// subsequent rows stream through a single chunk-sized buffer. An
+/// unbounded budget therefore produces a [`TableStorage::Dense`] table
+/// bit-identical to the eager loaders.
+///
+/// Validation matches [`Table::new`]: [`finish`](SpillWriter::finish)
+/// reports the first non-finite cell (in row-major order) as
+/// [`TableError::NonFinite`] — deferred, not eager, so callers can layer
+/// their own higher-precedence errors (parse failures, checksum
+/// mismatches) exactly like the eager paths do.
+pub struct SpillWriter {
+    budget: MemoryBudget,
+    cols: Option<usize>,
+    /// Total values received.
+    pushed: u64,
+    /// Values not yet flushed to the spill file (everything, until the
+    /// budget trips).
+    buf: Vec<f64>,
+    spill: Option<SpillFile>,
+    first_nonfinite: Option<(usize, usize)>,
+}
+
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    chunk_rows: usize,
+    window_chunks: usize,
+    chunks_written: usize,
+}
+
+impl SpillWriter {
+    /// A writer whose column count is fixed by the first pushed row.
+    pub fn new(budget: MemoryBudget) -> Self {
+        SpillWriter {
+            budget,
+            cols: None,
+            pushed: 0,
+            buf: Vec::new(),
+            spill: None,
+            first_nonfinite: None,
+        }
+    }
+
+    /// A writer with a known column count, accepting values at arbitrary
+    /// granularity via [`SpillWriter::push_values`].
+    pub fn with_cols(cols: usize, budget: MemoryBudget) -> Self {
+        let mut w = Self::new(budget);
+        w.cols = Some(cols);
+        w
+    }
+
+    /// Appends one complete row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ShapeMismatch`] when the row length differs
+    /// from the first row's, and I/O errors from spilling.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<(), TableError> {
+        let cols = *self.cols.get_or_insert(row.len());
+        if row.len() != cols {
+            return Err(TableError::ShapeMismatch {
+                left: (1, cols),
+                right: (1, row.len()),
+            });
+        }
+        self.push_values(row)
+    }
+
+    /// Appends values in row-major order at arbitrary granularity (the
+    /// binary loader's path: values arrive in I/O-sized chunks, not
+    /// rows). Requires the column count to be known, i.e. construction
+    /// via [`SpillWriter::with_cols`] or a prior
+    /// [`SpillWriter::push_row`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from spilling.
+    pub fn push_values(&mut self, values: &[f64]) -> Result<(), TableError> {
+        let cols = self
+            .cols
+            .expect("column count must be known before push_values");
+        if self.first_nonfinite.is_none() {
+            if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+                let idx = self.pushed + i as u64;
+                if cols > 0 {
+                    self.first_nonfinite =
+                        Some(((idx / cols as u64) as usize, (idx % cols as u64) as usize));
+                }
+            }
+        }
+        self.buf.extend_from_slice(values);
+        self.pushed += values.len() as u64;
+        if cols == 0 {
+            return Ok(());
+        }
+        if self.spill.is_none() {
+            if let Some(limit) = self.budget.get() {
+                if self.pushed * 8 > limit {
+                    self.start_spill(cols)?;
+                }
+            }
+        }
+        self.flush_full_chunks(cols)
+    }
+
+    fn start_spill(&mut self, cols: usize) -> Result<(), TableError> {
+        let (chunk_rows, window_chunks) = self
+            .budget
+            .spill_geometry(cols)
+            .expect("spilling requires a bounded budget");
+        let path = fresh_spill_path();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // Placeholder header (row count still unknown); rewritten with
+        // the real dimensions and CRC by `finish`.
+        file.write_all(&spill_header(0, cols, chunk_rows))?;
+        tabsketch_obs::counter!("table.storage.spilled_tables").inc();
+        self.spill = Some(SpillFile {
+            file,
+            path,
+            chunk_rows,
+            window_chunks,
+            chunks_written: 0,
+        });
+        Ok(())
+    }
+
+    fn flush_full_chunks(&mut self, cols: usize) -> Result<(), TableError> {
+        let Some(spill) = self.spill.as_mut() else {
+            return Ok(());
+        };
+        let chunk_vals = spill.chunk_rows * cols;
+        let mut flushed = 0;
+        while self.buf.len() - flushed >= chunk_vals {
+            let chunk = &self.buf[flushed..flushed + chunk_vals];
+            let mut crc = Crc32::new();
+            write_f64_body(&mut spill.file, chunk, Some(&mut crc))?;
+            spill.file.write_all(&crc.finish().to_le_bytes())?;
+            spill.chunks_written += 1;
+            flushed += chunk_vals;
+        }
+        if flushed > 0 {
+            self.buf.drain(..flushed);
+        }
+        Ok(())
+    }
+
+    /// Finalizes the stream into a [`Table`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] when no values were pushed,
+    /// [`TableError::DimensionMismatch`] when the value count does not
+    /// form whole rows, [`TableError::NonFinite`] for the first NaN or
+    /// infinite cell, and I/O errors from finalizing the spill file.
+    pub fn finish(mut self) -> Result<Table, TableError> {
+        let cols = match self.cols {
+            None | Some(0) => return Err(TableError::EmptyDimension),
+            Some(c) => c,
+        };
+        if !self.pushed.is_multiple_of(cols as u64) {
+            return Err(TableError::DimensionMismatch {
+                rows: (self.pushed / cols as u64) as usize + 1,
+                cols,
+                len: self.pushed as usize,
+            });
+        }
+        let rows = (self.pushed / cols as u64) as usize;
+        if rows == 0 {
+            return Err(TableError::EmptyDimension);
+        }
+        if let Some((row, col)) = self.first_nonfinite {
+            return Err(TableError::NonFinite { row, col });
+        }
+        let Some(mut spill) = self.spill.take() else {
+            let buf = std::mem::take(&mut self.buf);
+            return Table::new(rows, cols, buf);
+        };
+        // Flush the final (short) chunk, then rewrite the header with the
+        // now-known row count.
+        if !self.buf.is_empty() {
+            let mut crc = Crc32::new();
+            write_f64_body(&mut spill.file, &self.buf, Some(&mut crc))?;
+            spill.file.write_all(&crc.finish().to_le_bytes())?;
+            spill.chunks_written += 1;
+            self.buf.clear();
+        }
+        spill.file.seek(SeekFrom::Start(0))?;
+        spill
+            .file
+            .write_all(&spill_header(rows, cols, spill.chunk_rows))?;
+        spill.file.flush()?;
+        let storage = SpilledStorage {
+            inner: Arc::new(SpillInner {
+                rows,
+                cols,
+                chunk_rows: spill.chunk_rows,
+                window_chunks: spill.window_chunks,
+                path: spill.path,
+                state: Mutex::new(WindowState {
+                    file: spill.file,
+                    resident: Vec::new(),
+                }),
+            }),
+        };
+        Ok(Table::from_spilled(rows, cols, storage))
+    }
+}
+
+impl Drop for SpillWriter {
+    fn drop(&mut self) {
+        if let Some(spill) = self.spill.take() {
+            let _ = std::fs::remove_file(&spill.path);
+        }
+    }
+}

@@ -1,11 +1,23 @@
-//! The dense tabular data model.
+//! The tabular data model: a handle over a storage backend.
 
+use std::sync::Arc;
+
+use crate::storage::{MemoryBudget, RowChunks, RowGuard, SpillWriter, TableStorage};
 use crate::{Rect, TableError};
 
-/// A dense, row-major table of `f64` values.
+/// A row-major table of `f64` values.
 ///
 /// This is the paper's "tabular data": a matrix indexed by, say,
-/// geographically-ordered stations (rows) and time slots (columns).
+/// geographically-ordered stations (rows) and time slots (columns). The
+/// values live in a [`TableStorage`] backend: dense in RAM (the default
+/// for every constructor) or spilled to a checksummed temp file under a
+/// [`MemoryBudget`] (see [`Table::with_budget`] and the streaming
+/// loaders in [`crate::io`]).
+///
+/// Dense-only accessors ([`Table::as_slice`], [`Table::as_mut_slice`],
+/// [`Table::row`], [`Table::row_iter`], [`Table::into_vec`],
+/// [`Table::set`]) panic on spilled tables; backend-agnostic code uses
+/// [`Table::row_chunks`], [`Table::row_window`], or [`Table::view`].
 ///
 /// ```
 /// use tabsketch_table::Table;
@@ -17,16 +29,15 @@ use crate::{Rect, TableError};
 /// assert_eq!(t.get(1, 0), 3.0);
 /// assert_eq!(t.shape(), (2, 2));
 /// ```
-#[derive(Clone, Debug, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Clone, Debug)]
 pub struct Table {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    storage: TableStorage,
 }
 
 impl Table {
-    /// Creates a table from a row-major buffer.
+    /// Creates a dense table from a row-major buffer.
     ///
     /// Every cell must be finite: NaN silently poisons the median-based
     /// distance estimators downstream, so it is rejected at ingestion
@@ -54,7 +65,25 @@ impl Table {
                 col: i % cols,
             });
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self {
+            rows,
+            cols,
+            storage: TableStorage::Dense(data),
+        })
+    }
+
+    /// Wraps an already-finalized spilled backend (the [`SpillWriter`]
+    /// path).
+    pub(crate) fn from_spilled(
+        rows: usize,
+        cols: usize,
+        storage: crate::storage::SpilledStorage,
+    ) -> Self {
+        Table {
+            rows,
+            cols,
+            storage: TableStorage::Spilled(storage),
+        }
     }
 
     /// Creates a zero-filled table.
@@ -114,6 +143,41 @@ impl Table {
         Self::new(nrows, ncols, data)
     }
 
+    /// Re-homes the table under `budget`: a dense table larger than the
+    /// budget is spilled to a checksummed temp file (values unchanged,
+    /// bit for bit); tables that already fit — or are already spilled —
+    /// are returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from writing the spill file.
+    pub fn with_budget(self, budget: MemoryBudget) -> Result<Table, TableError> {
+        let Some(limit) = budget.get() else {
+            return Ok(self);
+        };
+        let data = match self.storage {
+            TableStorage::Spilled(_) => return Ok(self),
+            TableStorage::Dense(ref data) if (data.len() * 8) as u64 <= limit => return Ok(self),
+            TableStorage::Dense(data) => data,
+        };
+        let mut w = SpillWriter::with_cols(self.cols, budget);
+        w.push_values(&data)?;
+        drop(data);
+        w.finish()
+    }
+
+    /// The storage backend holding this table's values.
+    #[inline]
+    pub fn storage(&self) -> &TableStorage {
+        &self.storage
+    }
+
+    /// Whether the values live in a spilled (out-of-core) backend.
+    #[inline]
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.storage, TableStorage::Spilled(_))
+    }
+
     /// Number of rows.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -135,7 +199,7 @@ impl Table {
     /// Total number of cells.
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.rows * self.cols
     }
 
     /// Always false: empty tables cannot be constructed.
@@ -155,75 +219,184 @@ impl Table {
     /// # Panics
     ///
     /// Panics when out of bounds (hot-path accessor; use
-    /// [`Table::try_get`] for checked access).
+    /// [`Table::try_get`] for checked access), and when a spilled chunk
+    /// fails its checksum on reload.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
         debug_assert!(row < self.rows && col < self.cols);
-        self.data[row * self.cols + col]
+        match &self.storage {
+            TableStorage::Dense(data) => data[row * self.cols + col],
+            TableStorage::Spilled(s) => s.get(row, col).expect("spill chunk read failed"),
+        }
     }
 
     /// Checked read of the cell at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a spilled chunk fails its checksum on reload (use
+    /// [`Table::row_window`] for fallible spill access).
     #[inline]
     pub fn try_get(&self, row: usize, col: usize) -> Option<f64> {
         if row < self.rows && col < self.cols {
-            Some(self.data[row * self.cols + col])
+            Some(self.get(row, col))
         } else {
             None
         }
     }
 
-    /// Writes the cell at `(row, col)`.
+    /// Writes the cell at `(row, col)`. Dense tables only: spilled
+    /// tables are immutable.
     ///
     /// # Panics
     ///
-    /// Panics when out of bounds.
+    /// Panics when out of bounds or when the table is spilled.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         debug_assert!(row < self.rows && col < self.cols);
-        self.data[row * self.cols + col] = value;
+        let cols = self.cols;
+        match &mut self.storage {
+            TableStorage::Dense(data) => data[row * cols + col] = value,
+            TableStorage::Spilled(_) => panic!("cannot mutate a spilled table"),
+        }
     }
 
-    /// The row-major backing buffer.
+    /// The row-major backing buffer. Dense tables only — code that must
+    /// handle both backends uses [`Table::row_chunks`] or
+    /// [`Table::row_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is spilled.
     #[inline]
     pub fn as_slice(&self) -> &[f64] {
-        &self.data
+        match &self.storage {
+            TableStorage::Dense(data) => data,
+            TableStorage::Spilled(_) => {
+                panic!("Table::as_slice on a spilled table (use row_chunks/row_window)")
+            }
+        }
     }
 
-    /// Mutable access to the row-major backing buffer.
+    /// Mutable access to the row-major backing buffer. Dense tables only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is spilled.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        match &mut self.storage {
+            TableStorage::Dense(data) => data,
+            TableStorage::Spilled(_) => {
+                panic!("Table::as_mut_slice on a spilled table (spilled tables are immutable)")
+            }
+        }
     }
 
-    /// Consumes the table, returning the backing buffer.
+    /// Consumes the table, returning the backing buffer. Dense tables
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is spilled.
     #[inline]
     pub fn into_vec(self) -> Vec<f64> {
-        self.data
+        match self.storage {
+            TableStorage::Dense(data) => data,
+            TableStorage::Spilled(_) => {
+                panic!("Table::into_vec on a spilled table (use row_chunks/row_window)")
+            }
+        }
     }
 
-    /// Borrow of a single row.
+    /// Borrow of a single row. Dense tables only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is spilled.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        &self.data[r * self.cols..(r + 1) * self.cols]
+        &self.as_slice()[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Iterator over rows as slices.
+    /// Iterator over rows as slices. Dense tables only.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table is spilled.
     pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.cols)
+        self.as_slice().chunks_exact(self.cols)
     }
 
-    /// A borrowed view of the region `rect`.
+    /// Pins rows `start .. start + nrows` in memory and returns them as a
+    /// [`RowGuard`] — zero-copy on dense tables, a resident chunk or an
+    /// assembled window on spilled ones. The backend-agnostic way to
+    /// touch a bounded range of rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RectOutOfBounds`] for out-of-range windows
+    /// and [`TableError::Corrupt`] when a spilled chunk fails its
+    /// checksum.
+    pub fn row_window(&self, start: usize, nrows: usize) -> Result<RowGuard<'_>, TableError> {
+        if nrows == 0 || start + nrows > self.rows {
+            return Err(TableError::RectOutOfBounds {
+                rect: (start, 0, nrows, self.cols),
+                table_rows: self.rows,
+                table_cols: self.cols,
+            });
+        }
+        match &self.storage {
+            TableStorage::Dense(data) => Ok(RowGuard::borrowed(
+                start,
+                nrows,
+                self.cols,
+                &data[start * self.cols..(start + nrows) * self.cols],
+            )),
+            TableStorage::Spilled(s) => s.row_window(start, nrows),
+        }
+    }
+
+    /// Iterates the whole table as row windows of at most `budget` bytes
+    /// each (one whole-table window when unbounded). Spilled tables
+    /// iterate at their native chunk height, so resident memory stays
+    /// within the budget the table was spilled under.
+    pub fn row_chunks(&self, budget: MemoryBudget) -> RowChunks<'_> {
+        RowChunks::new(self, budget)
+    }
+
+    /// A view of the region `rect`: borrowed on dense tables, pinned (the
+    /// rectangle is materialized, not the whole table) on spilled ones.
     ///
     /// # Errors
     ///
     /// Returns [`TableError::RectOutOfBounds`] when the rectangle does not
-    /// fit in the table.
+    /// fit in the table, and [`TableError::Corrupt`] when a spilled chunk
+    /// fails its checksum while pinning.
     pub fn view(&self, rect: Rect) -> Result<TableView<'_>, TableError> {
         rect.validate(self.rows, self.cols)?;
-        Ok(TableView { table: self, rect })
+        let pinned = match &self.storage {
+            TableStorage::Dense(_) => None,
+            TableStorage::Spilled(s) => {
+                let mut data = Vec::with_capacity(rect.rows * rect.cols);
+                let mut row = rect.row;
+                let end = rect.row + rect.rows;
+                while row < end {
+                    let window = s.row_window(row, 1)?;
+                    data.extend_from_slice(&window.row(0)[rect.col..rect.col + rect.cols]);
+                    row += 1;
+                }
+                Some(Arc::<[f64]>::from(data))
+            }
+        };
+        Ok(TableView {
+            table: self,
+            rect,
+            pinned,
+        })
     }
 
-    /// Materializes the region `rect` as a new table.
+    /// Materializes the region `rect` as a new (dense) table.
     ///
     /// # Errors
     ///
@@ -234,11 +407,15 @@ impl Table {
     }
 
     /// Horizontally concatenates two tables with equal row counts — the
-    /// paper's "stitching consecutive days" operation.
+    /// paper's "stitching consecutive days" operation. Dense tables only.
     ///
     /// # Errors
     ///
     /// Returns [`TableError::ShapeMismatch`] when row counts differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either table is spilled.
     pub fn hstack(&self, other: &Table) -> Result<Table, TableError> {
         if self.rows != other.rows {
             return Err(TableError::ShapeMismatch {
@@ -255,11 +432,16 @@ impl Table {
         Table::new(self.rows, cols, data)
     }
 
-    /// Vertically concatenates two tables with equal column counts.
+    /// Vertically concatenates two tables with equal column counts. Dense
+    /// tables only.
     ///
     /// # Errors
     ///
     /// Returns [`TableError::ShapeMismatch`] when column counts differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either table is spilled.
     pub fn vstack(&self, other: &Table) -> Result<Table, TableError> {
         if self.cols != other.cols {
             return Err(TableError::ShapeMismatch {
@@ -268,21 +450,42 @@ impl Table {
             });
         }
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
-        data.extend_from_slice(&self.data);
-        data.extend_from_slice(&other.data);
+        data.extend_from_slice(self.as_slice());
+        data.extend_from_slice(other.as_slice());
         Table::new(self.rows + other.rows, self.cols, data)
+    }
+}
+
+impl PartialEq for Table {
+    /// Content equality across backends: a spilled table equals the dense
+    /// table holding the same values.
+    fn eq(&self, other: &Self) -> bool {
+        if self.shape() != other.shape() {
+            return false;
+        }
+        match (&self.storage, &other.storage) {
+            (TableStorage::Dense(a), TableStorage::Dense(b)) => a == b,
+            _ => (0..self.rows).all(|r| match (self.row_window(r, 1), other.row_window(r, 1)) {
+                (Ok(a), Ok(b)) => a.values() == b.values(),
+                _ => false,
+            }),
+        }
     }
 }
 
 /// A borrowed rectangular view into a [`Table`].
 ///
-/// Views are cheap (`Copy`) and expose row-slice iteration; the sketching
-/// and distance code consumes views so that subtables are never copied
-/// unless explicitly materialized.
-#[derive(Clone, Copy, Debug)]
+/// Views are cheap on dense tables (a reference plus a rectangle) and
+/// expose row-slice iteration; the sketching and distance code consumes
+/// views so that subtables are never copied unless explicitly
+/// materialized. On spilled tables a view pins its rectangle — only the
+/// viewed cells, never the whole table — in an internal buffer.
+#[derive(Clone, Debug)]
 pub struct TableView<'a> {
     table: &'a Table,
     rect: Rect,
+    /// Rect-materialized values (stride `rect.cols`) for spilled tables.
+    pinned: Option<Arc<[f64]>>,
 }
 
 impl<'a> TableView<'a> {
@@ -332,19 +535,27 @@ impl<'a> TableView<'a> {
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         debug_assert!(r < self.rect.rows && c < self.rect.cols);
-        self.table.get(self.rect.row + r, self.rect.col + c)
+        match &self.pinned {
+            Some(buf) => buf[r * self.rect.cols + c],
+            None => self.table.get(self.rect.row + r, self.rect.col + c),
+        }
     }
 
-    /// Borrow of a view-relative row as a slice of the parent's buffer.
+    /// Borrow of a view-relative row as a slice.
     #[inline]
-    pub fn row(&self, r: usize) -> &'a [f64] {
+    pub fn row(&self, r: usize) -> &[f64] {
         debug_assert!(r < self.rect.rows);
-        let start = (self.rect.row + r) * self.table.cols + self.rect.col;
-        &self.table.data[start..start + self.rect.cols]
+        match &self.pinned {
+            Some(buf) => &buf[r * self.rect.cols..(r + 1) * self.rect.cols],
+            None => {
+                let start = (self.rect.row + r) * self.table.cols + self.rect.col;
+                &self.table.as_slice()[start..start + self.rect.cols]
+            }
+        }
     }
 
     /// Iterator over the view's rows as slices.
-    pub fn row_iter(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> + '_ {
         (0..self.rect.rows).map(move |r| self.row(r))
     }
 
@@ -380,6 +591,15 @@ mod tests {
 
     fn small() -> Table {
         Table::from_fn(4, 5, |r, c| (r * 10 + c) as f64).unwrap()
+    }
+
+    fn spilled(t: &Table, budget_bytes: u64) -> Table {
+        let s = t
+            .clone()
+            .with_budget(MemoryBudget::bytes(budget_bytes))
+            .unwrap();
+        assert!(s.is_spilled(), "budget {budget_bytes} should force a spill");
+        s
     }
 
     #[test]
@@ -484,5 +704,99 @@ mod tests {
         let v = t.view(Rect::new(2, 1, 2, 2)).unwrap();
         let vals: Vec<f64> = v.values().collect();
         assert_eq!(vals, vec![21.0, 22.0, 31.0, 32.0]);
+    }
+
+    #[test]
+    fn with_budget_spills_and_preserves_content() {
+        let t = small();
+        // 4x5 doubles = 160 bytes; an 80-byte budget forces a spill.
+        let s = spilled(&t, 80);
+        assert_eq!(s.shape(), t.shape());
+        assert_eq!(s, t, "content equality across backends");
+        assert_eq!(t, s, "symmetric");
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                assert_eq!(s.get(r, c), t.get(r, c));
+                assert_eq!(s.try_get(r, c), t.try_get(r, c));
+            }
+        }
+        // Fits-in-budget and unbounded stay dense.
+        assert!(!small()
+            .with_budget(MemoryBudget::bytes(1 << 20))
+            .unwrap()
+            .is_spilled());
+        assert!(!small()
+            .with_budget(MemoryBudget::unbounded())
+            .unwrap()
+            .is_spilled());
+    }
+
+    #[test]
+    fn spilled_views_pin_rect_only() {
+        let t = small();
+        let s = spilled(&t, 80);
+        let rect = Rect::new(1, 2, 2, 3);
+        let vd = t.view(rect).unwrap();
+        let vs = s.view(rect).unwrap();
+        assert_eq!(vd.to_vec(), vs.to_vec());
+        assert_eq!(vs.row(1), vd.row(1));
+        assert_eq!(vs.get(0, 1), vd.get(0, 1));
+        assert_eq!(vs.to_table(), vd.to_table());
+    }
+
+    #[test]
+    fn row_windows_agree_across_backends() {
+        let t = Table::from_fn(13, 7, |r, c| (r * 100 + c) as f64).unwrap();
+        let s = spilled(&t, 7 * 8 * 3); // three rows of budget
+        for (start, n) in [(0usize, 1usize), (0, 13), (5, 4), (12, 1), (3, 9)] {
+            let wd = t.row_window(start, n).unwrap();
+            let ws = s.row_window(start, n).unwrap();
+            assert_eq!(wd.values(), ws.values(), "window ({start}, {n})");
+            assert_eq!(wd.start_row(), ws.start_row());
+            assert_eq!(wd.row(n - 1), ws.row(n - 1));
+        }
+        assert!(t.row_window(10, 4).is_err());
+        assert!(s.row_window(0, 0).is_err());
+    }
+
+    #[test]
+    fn row_chunks_cover_the_table_exactly_once() {
+        let t = Table::from_fn(10, 4, |r, c| (r * 4 + c) as f64).unwrap();
+        for table in [t.clone(), spilled(&t, 4 * 8 * 2)] {
+            for budget in [
+                MemoryBudget::unbounded(),
+                MemoryBudget::bytes(4 * 8 * 3),
+                MemoryBudget::bytes(1),
+            ] {
+                let mut seen = Vec::new();
+                let mut next = 0;
+                for guard in table.row_chunks(budget) {
+                    let guard = guard.unwrap();
+                    assert_eq!(guard.start_row(), next);
+                    next += guard.rows();
+                    seen.extend_from_slice(guard.values());
+                }
+                assert_eq!(next, 10, "chunks must cover all rows");
+                assert_eq!(seen, t.as_slice(), "budget {budget:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn spilled_clone_shares_the_window() {
+        let t = small();
+        let s = spilled(&t, 80);
+        let s2 = s.clone();
+        assert_eq!(s2, t);
+        drop(s);
+        // The spill file must survive while any clone is alive.
+        assert_eq!(s2.get(3, 4), 34.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spilled")]
+    fn dense_only_accessors_panic_on_spilled() {
+        let s = spilled(&small(), 80);
+        let _ = s.as_slice();
     }
 }

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use tabsketch_table::dyadic::{cover_multiplicity, floor_pow2, DyadicCover};
-use tabsketch_table::{io, norms, Rect, Table, TileGrid};
+use tabsketch_table::{io, norms, MemoryBudget, Rect, Table, TableError, TableStorage, TileGrid};
 
 fn table_strategy() -> impl Strategy<Value = Table> {
     (1usize..16, 1usize..16).prop_flat_map(|(rows, cols)| {
@@ -147,6 +147,122 @@ proptest! {
                 prop_assert!(t.intersect(u).is_none());
             }
         }
+    }
+
+    /// Streaming CSV ingest is bit-identical to the eager loader for any
+    /// table and budget — including through blank lines, which both
+    /// paths skip.
+    #[test]
+    fn streaming_csv_matches_eager(t in table_strategy(), budget_rows in 1usize..6,
+                                   blank_stride in 1usize..5) {
+        let mut csv = Vec::new();
+        io::write_csv(&t, &mut csv).unwrap();
+        // Sprinkle blank lines between rows.
+        let text = String::from_utf8(csv).unwrap();
+        let mut with_blanks = String::new();
+        for (i, line) in text.lines().enumerate() {
+            if i % blank_stride == 0 {
+                with_blanks.push('\n');
+            }
+            with_blanks.push_str(line);
+            with_blanks.push('\n');
+        }
+        let eager = io::read_csv(with_blanks.as_bytes()).unwrap();
+        for budget in [
+            MemoryBudget::unbounded(),
+            MemoryBudget::bytes((budget_rows * t.cols() * 8) as u64),
+        ] {
+            let streamed = io::read_csv_streaming(with_blanks.as_bytes(), budget).unwrap();
+            prop_assert_eq!(streamed.shape(), eager.shape());
+            for r in 0..t.rows() {
+                for c in 0..t.cols() {
+                    prop_assert_eq!(streamed.get(r, c).to_bits(), eager.get(r, c).to_bits());
+                }
+            }
+        }
+    }
+
+    /// Streaming binary ingest reproduces the eager loader bit-for-bit
+    /// at any budget; bounded budgets land in spilled storage.
+    #[test]
+    fn streaming_binary_matches_eager(t in table_strategy(), budget_rows in 1usize..6) {
+        let mut bin = Vec::new();
+        io::write_binary(&t, &mut bin).unwrap();
+        let eager = io::read_binary(&bin[..]).unwrap();
+        prop_assert_eq!(&eager, &t);
+        let unbounded = io::read_binary_streaming(&bin[..], MemoryBudget::unbounded()).unwrap();
+        prop_assert!(matches!(unbounded.storage(), TableStorage::Dense(_)));
+        prop_assert_eq!(&unbounded, &t);
+        let budget = MemoryBudget::bytes((budget_rows * t.cols() * 8) as u64);
+        let bounded = io::read_binary_streaming(&bin[..], budget).unwrap();
+        prop_assert_eq!(bounded.is_spilled(), budget_rows < t.rows());
+        for r in 0..t.rows() {
+            for c in 0..t.cols() {
+                prop_assert_eq!(bounded.get(r, c).to_bits(), t.get(r, c).to_bits());
+            }
+        }
+    }
+
+    /// A non-finite cell is rejected by the eager and streaming CSV
+    /// paths with the same typed error and the same cell coordinates.
+    #[test]
+    fn non_finite_rejection_matches_eager(t in table_strategy(), fr in 0.0f64..1.0,
+                                          fc in 0.0f64..1.0, which in 0usize..2) {
+        let bad_r = (fr * (t.rows() - 1) as f64) as usize;
+        let bad_c = (fc * (t.cols() - 1) as f64) as usize;
+        let poison = if which == 0 { "NaN" } else { "inf" };
+        let mut csv = Vec::new();
+        io::write_csv(&t, &mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        let poisoned: Vec<String> = text
+            .lines()
+            .enumerate()
+            .map(|(r, line)| {
+                if r != bad_r {
+                    return line.to_string();
+                }
+                let mut cells: Vec<&str> = line.split(',').collect();
+                cells[bad_c] = poison;
+                cells.join(",")
+            })
+            .collect();
+        let poisoned = poisoned.join("\n");
+        let eager = io::read_csv(poisoned.as_bytes()).unwrap_err();
+        prop_assert_eq!(&eager, &TableError::NonFinite { row: bad_r, col: bad_c });
+        for budget in [MemoryBudget::unbounded(), MemoryBudget::bytes(64)] {
+            let streamed = io::read_csv_streaming(poisoned.as_bytes(), budget).unwrap_err();
+            prop_assert_eq!(&streamed, &eager);
+        }
+    }
+
+    /// Flipping any byte of a spilled chunk body surfaces as the typed
+    /// `Corrupt { section: "spill-chunk" }` error on the next cold read,
+    /// never as silent data corruption.
+    #[test]
+    fn corrupted_spill_chunk_is_a_typed_error(t in table_strategy(), fpos in 0.0f64..1.0) {
+        // One row per window keeps every read a cold chunk load.
+        let budget = MemoryBudget::bytes((t.cols() * 8) as u64);
+        let spilled = t.clone().with_budget(budget).unwrap();
+        prop_assume!(spilled.is_spilled());
+        let storage = match spilled.storage() {
+            TableStorage::Spilled(s) => s,
+            TableStorage::Dense(_) => unreachable!("just checked is_spilled"),
+        };
+        storage.flush_resident();
+        let path = storage.spill_path().to_path_buf();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt one byte of the first chunk's f64 body (skipping the
+        // header and the chunk's trailing CRC).
+        let header = 36usize;
+        let body = storage.chunk_rows() * t.cols() * 8;
+        let target = header + (fpos * (body - 1) as f64) as usize;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = spilled.row_window(0, 1).unwrap_err();
+        prop_assert!(
+            matches!(err, TableError::Corrupt { section: "spill-chunk", .. }),
+            "expected a spill-chunk corruption error, got {err:?}"
+        );
     }
 
     /// hstack/vstack preserve content.

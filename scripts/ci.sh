@@ -10,6 +10,24 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> storage-layer fence (no Table::as_slice outside crates/table)"
+# The out-of-core layer (DESIGN.md §11) makes whole-table slices a
+# backend-specific detail: a spilled table has no contiguous buffer, so
+# consumers must go through row_chunks()/row_window() views. Any call
+# site outside the table crate must justify itself with a trailing
+# `// as_slice-ok: <reason>` annotation.
+fence_hits=$(grep -rn "as_slice" crates/*/src --include='*.rs' \
+    | grep -v "^crates/table/" \
+    | grep -v "as_slice-ok:" || true)
+if [ -n "$fence_hits" ]; then
+    echo "unannotated Table::as_slice outside crates/table:" >&2
+    echo "$fence_hits" >&2
+    exit 1
+fi
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -47,13 +65,34 @@ import json, sys
 b = json.load(open(sys.argv[1]))
 for key in ("tile", "k", "scalar_ns_per_sketch", "blocked_ns_per_sketch",
             "batched_ns_per_sketch", "blocked_speedup", "batched_speedup",
-            "bound_speedup", "cores", "pool_build_ms"):
+            "bound_speedup", "cores", "pool_build_monotonicity_checked",
+            "pool_build_ms"):
     assert key in b, f"BENCH_kernels.json missing {key}"
 assert set(b["pool_build_ms"]) == {"1", "2", "4", "8"}, "pool timings incomplete"
 assert b["blocked_speedup"] >= b["bound_speedup"], (
     f"blocked kernel regressed: {b['blocked_speedup']:.2f}x < {b['bound_speedup']}x")
 print(f"kernels OK: blocked {b['blocked_speedup']:.2f}x, "
       f"batched {b['batched_speedup']:.2f}x over scalar")
+PY
+
+echo "==> out-of-core storage bound (peak resident <= budget, written to BENCH_storage.json)"
+cargo run -q --release -p tabsketch-bench --bin storage -- --quick
+python3 - BENCH_storage.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for key in ("table_rows", "table_cols", "table_bytes", "budget_bytes",
+            "chunk_rows", "window_chunks", "resident_peak_bytes",
+            "under_budget", "dense_spilled_identical",
+            "pool_build_dense_ms", "pool_build_spilled_ms"):
+    assert key in b, f"BENCH_storage.json missing {key}"
+assert b["table_bytes"] >= 4 * b["budget_bytes"], (
+    f"table must be >= 4x the budget: {b['table_bytes']} vs {b['budget_bytes']}")
+assert b["under_budget"] is True, (
+    f"spilled build peak {b['resident_peak_bytes']} B broke the "
+    f"{b['budget_bytes']} B budget")
+assert b["dense_spilled_identical"] is True, "dense/spilled pools diverged"
+print(f"storage OK: peak {b['resident_peak_bytes']} B of "
+      f"{b['budget_bytes']} B budget, pools bit-identical")
 PY
 
 echo "==> ci green"

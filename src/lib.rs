@@ -67,5 +67,7 @@ pub mod prelude {
         cumulative_correctness, normalized_mutual_information, pairwise_comparison_correctness,
         rand_index, ComparisonTriple, ConfusionMatrix, DistancePair, Spreads,
     };
-    pub use tabsketch_table::{norms, transform, Rect, Table, TableError, TableView, TileGrid};
+    pub use tabsketch_table::{
+        norms, transform, MemoryBudget, Rect, Table, TableError, TableStorage, TableView, TileGrid,
+    };
 }

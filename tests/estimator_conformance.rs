@@ -172,7 +172,10 @@ fn rect_estimator_agrees_with_its_pool() {
     let window = |r: Rect| -> Vec<f64> {
         let v = table.view(r).expect("in range");
         (0..r.rows)
-            .flat_map(|i| (0..r.cols).map(move |j| v.get(i, j)))
+            .flat_map(|i| {
+                let v = &v;
+                (0..r.cols).map(move |j| v.get(i, j))
+            })
             .collect()
     };
     let via_rect = rect
