@@ -1,0 +1,332 @@
+//! Resilience benchmark for the `tabsketch-serve` daemon.
+//!
+//! Three phases against in-process servers on ephemeral loopback
+//! ports, all deterministic (seeded fault injection, no sampling):
+//!
+//! 1. **Shed**: with the workers pinned and the connection queue full,
+//!    how fast does an overloaded server turn new connections around
+//!    with a typed `Overloaded` frame? Reports the shed round-trip p50
+//!    and p99 — admission control is only useful if refusal stays
+//!    cheap while the server is busy.
+//! 2. **Drain**: with clients mid-flight, how long from the shutdown
+//!    request until `run` returns? Must be well inside the configured
+//!    drain deadline for a cooperative workload.
+//! 3. **Retry**: a [`FaultyProxy`] kills 10% of connections mid-stream
+//!    (seeded); a retrying client issues distance queries through it.
+//!    Reports the success rate and the retries/reconnects spent —
+//!    the paper's cheap `O(k)` comparisons are only cheap if a flaky
+//!    network does not force the caller to re-sketch.
+//!
+//! Writes a machine-readable summary to `BENCH_resilience.json`
+//! (gated by `scripts/ci.sh`). Usage: `resilience [--quick|--full]`.
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use tabsketch_bench::{print_header, print_row, secs, AnchorSampler, Scale};
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+use tabsketch_serve::chaos::{ChaosRng, FaultyProxy};
+use tabsketch_serve::protocol::{decode_response, read_frame, Response};
+use tabsketch_serve::{Client, ErrorCode, RetryPolicy, Server, ServerConfig, StoreSpec};
+use tabsketch_table::{io as table_io, Rect, Table};
+
+const SEED: u64 = 0xBE5C_11E9;
+
+struct StopOnDrop(tabsketch_serve::ServerHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+struct Fixture {
+    dir: std::path::PathBuf,
+    table_path: std::path::PathBuf,
+    store_path: std::path::PathBuf,
+    table: Table,
+}
+
+fn fixture(tile: usize, k: usize) -> Fixture {
+    let dir = std::env::temp_dir().join(format!("tabsketch-resilience-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let table_path = dir.join("t.tsb");
+    let store_path = dir.join("t.tsks");
+    let table: Table = SixRegionGenerator::new(SixRegionConfig {
+        rows: 96,
+        cols: 96,
+        seed: 7,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+    table_io::save_binary(&table, &table_path).expect("save table");
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(9)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    let store = AllSubtableSketches::build(&table, tile, tile, sketcher).expect("fits budget");
+    persist::save_store(&store, &store_path).expect("save store");
+    Fixture {
+        dir,
+        table_path,
+        store_path,
+        table,
+    }
+}
+
+fn config(fx: &Fixture, k: usize) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards: 2,
+        cache_capacity: 256,
+        specs: vec![StoreSpec::new("day", &fx.table_path)
+            .with_store_path(&fx.store_path)
+            .with_params(1.0, k, 9)],
+        ..Default::default()
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Phase 1: shed round-trip latency while the server is saturated.
+fn shed_phase(fx: &Fixture, k: usize, attempts: usize) -> (Vec<u64>, u64) {
+    let mut cfg = config(fx, k);
+    cfg.max_pending = 2;
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // Two holders park the workers, two more fill the queue.
+        let mut holders = Vec::new();
+        for _ in 0..4 {
+            holders.push(TcpStream::connect(addr).expect("holder"));
+            std::thread::sleep(Duration::from_millis(100));
+        }
+
+        let mut lat_us = Vec::with_capacity(attempts);
+        for _ in 0..attempts {
+            let t0 = Instant::now();
+            let mut s = TcpStream::connect(addr).expect("shed connect");
+            s.set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            let payload = read_frame(&mut s)
+                .expect("shed frame")
+                .expect("shed frame before close");
+            match decode_response(&payload).expect("decode") {
+                Response::Error { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            lat_us.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        let shed = metrics.snapshot(Vec::new()).shed;
+        drop(holders);
+        std::thread::sleep(Duration::from_millis(200));
+        let mut c = Client::connect(addr).expect("post-shed client");
+        c.shutdown().expect("shutdown");
+        run.join().expect("server thread").expect("server run");
+        lat_us.sort_unstable();
+        (lat_us, shed)
+    })
+}
+
+/// Phase 2: wall-clock from shutdown request to `run` returning, with
+/// clients mid-flight. Returns (configured deadline ms, actual ms).
+fn drain_phase(fx: &Fixture, k: usize, tile: usize) -> (u64, u64) {
+    let mut cfg = config(fx, k);
+    cfg.drain_ms = 2_000;
+    let drain_ms = cfg.drain_ms;
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    let actual_ms = std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // Two clients looping batches until the drain refuses them.
+        let table = &fx.table;
+        let mut workers = Vec::new();
+        for t in 0..2u64 {
+            workers.push(scope.spawn(move || {
+                let mut anchors = AnchorSampler::new(table, tile, tile, SEED ^ t);
+                let mut rect = move || {
+                    let (r, c) = anchors.next_anchor();
+                    Rect::new(r, c, tile, tile)
+                };
+                let Ok(mut c) = Client::connect(addr) else {
+                    return;
+                };
+                loop {
+                    let pairs: Vec<_> = (0..32).map(|_| (rect(), rect())).collect();
+                    if c.distance_batch("day", &pairs).is_err() {
+                        return; // drained away
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        let t0 = Instant::now();
+        handle.shutdown();
+        run.join().expect("server thread").expect("server run");
+        let actual = t0.elapsed();
+        for w in workers {
+            w.join().expect("client thread");
+        }
+        u64::try_from(actual.as_millis()).unwrap_or(u64::MAX)
+    });
+    (drain_ms, actual_ms)
+}
+
+/// Whether [`FaultyProxy`] will kill connection `conn` under `seed`,
+/// by replaying the proxy's per-connection RNG derivation.
+fn proxy_kills(seed: u64, conn: u64, fault_per_mille: u32) -> bool {
+    ChaosRng::new(seed ^ conn.wrapping_mul(0x9E37)).chance(fault_per_mille)
+}
+
+/// Phase 3: retry success through a proxy killing 10% of connections.
+/// Returns (requests, successes, retries, reconnects, recoveries).
+fn retry_phase(fx: &Fixture, k: usize, tile: usize, requests: usize) -> (u64, u64, u64, u64, u64) {
+    let fault_per_mille = 100;
+    // The client holds one connection and only reconnects after a
+    // fault, so an arbitrary seed may never draw a kill at all. Pick
+    // the first seed that kills the first two connections, so the
+    // retry path is genuinely exercised (still fully deterministic).
+    let seed = (SEED..)
+        .find(|&s| proxy_kills(s, 0, fault_per_mille) && proxy_kills(s, 1, fault_per_mille))
+        .expect("a seed that faults the first connections");
+    let server = Server::bind(config(fx, k)).expect("bind");
+    let addr = server.local_addr();
+
+    let retries0 = tabsketch_obs::counter("serve.client.retries").get();
+    let reconnects0 = tabsketch_obs::counter("serve.client.reconnects").get();
+    let recoveries0 = tabsketch_obs::counter("serve.client.recoveries").get();
+
+    let successes = std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let proxy = FaultyProxy::start(addr, seed, fault_per_mille).expect("proxy");
+
+        let mut anchors = AnchorSampler::new(&fx.table, tile, tile, SEED);
+        let mut rect = move || {
+            let (r, c) = anchors.next_anchor();
+            Rect::new(r, c, tile, tile)
+        };
+        let mut c = Client::connect(proxy.addr())
+            .expect("client via proxy")
+            .with_retry(RetryPolicy::default().with_max_attempts(4).with_seed(seed));
+        let mut ok = 0u64;
+        for _ in 0..requests {
+            if c.distance("day", rect(), rect()).is_ok() {
+                ok += 1;
+            }
+        }
+        drop(c);
+        drop(proxy);
+        let mut probe = Client::connect(addr).expect("direct client");
+        probe.shutdown().expect("shutdown");
+        run.join().expect("server thread").expect("server run");
+        ok
+    });
+
+    (
+        requests as u64,
+        successes,
+        tabsketch_obs::counter("serve.client.retries").get() - retries0,
+        tabsketch_obs::counter("serve.client.reconnects").get() - reconnects0,
+        tabsketch_obs::counter("serve.client.recoveries").get() - recoveries0,
+    )
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let (tile, k) = (8usize, 32usize);
+    let shed_attempts = scale.pick(30, 80, 200);
+    let retry_requests = scale.pick(150, 400, 1_500);
+
+    let t_all = Instant::now();
+    let fx = fixture(tile, k);
+    println!(
+        "=== Resilience: 96x96 table, {tile}x{tile} tiles, k = {k}; \
+         {shed_attempts} shed probes, {retry_requests} retried requests ===\n"
+    );
+
+    let (shed_lat, shed_count) = shed_phase(&fx, k, shed_attempts);
+    let (shed_p50, shed_p99) = (percentile(&shed_lat, 0.50), percentile(&shed_lat, 0.99));
+
+    let (drain_config_ms, drain_actual_ms) = drain_phase(&fx, k, tile);
+
+    let (reqs, successes, retries, reconnects, recoveries) =
+        retry_phase(&fx, k, tile, retry_requests);
+    let success_rate = successes as f64 / reqs as f64;
+
+    let widths = [30usize, 14, 14];
+    print_header(&["phase", "metric", "value"], &widths);
+    print_row(
+        &["shed round-trip", "p50 us", &shed_p50.to_string()],
+        &widths,
+    );
+    print_row(
+        &["shed round-trip", "p99 us", &shed_p99.to_string()],
+        &widths,
+    );
+    print_row(&["shed count", "", &shed_count.to_string()], &widths);
+    print_row(
+        &["drain", "deadline ms", &drain_config_ms.to_string()],
+        &widths,
+    );
+    print_row(
+        &["drain", "actual ms", &drain_actual_ms.to_string()],
+        &widths,
+    );
+    print_row(
+        &[
+            "retry (10% faults)",
+            "success",
+            &format!("{success_rate:.4}"),
+        ],
+        &widths,
+    );
+    print_row(&["retry", "retries", &retries.to_string()], &widths);
+    print_row(&["retry", "reconnects", &reconnects.to_string()], &widths);
+    print_row(&["retry", "recoveries", &recoveries.to_string()], &widths);
+
+    assert!(
+        drain_actual_ms <= drain_config_ms,
+        "cooperative drain overran its deadline: {drain_actual_ms} > {drain_config_ms} ms"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"resilience\",\n  \"shed_attempts\": {},\n  \
+         \"shed_count\": {shed_count},\n  \"shed_p50_us\": {shed_p50},\n  \
+         \"shed_p99_us\": {shed_p99},\n  \"drain_config_ms\": {drain_config_ms},\n  \
+         \"drain_actual_ms\": {drain_actual_ms},\n  \
+         \"retry_fault_per_mille\": 100,\n  \"retry_requests\": {reqs},\n  \
+         \"retry_successes\": {successes},\n  \"retry_success_rate\": {success_rate:.6},\n  \
+         \"retries_taken\": {retries},\n  \"reconnects\": {reconnects},\n  \
+         \"recoveries\": {recoveries}\n}}\n",
+        shed_lat.len(),
+    );
+    std::fs::write("BENCH_resilience.json", &json).expect("write BENCH_resilience.json");
+    println!(
+        "\ndone in {}; wrote BENCH_resilience.json",
+        secs(t_all.elapsed())
+    );
+    let _ = std::fs::remove_dir_all(&fx.dir);
+}

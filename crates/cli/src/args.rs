@@ -29,6 +29,7 @@ const SWITCHES: &[&str] = &[
     "metrics",
     "trace-spans",
     "shutdown",
+    "health",
 ];
 
 impl Args {

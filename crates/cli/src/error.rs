@@ -6,6 +6,31 @@
 //! (exit 6) without parsing stderr. Every error renders as one
 //! `error: ...` line, optionally prefixed with the operation that
 //! failed ("loading day.tsb: ...").
+//!
+//! # Error-frame code → exit code
+//!
+//! Remote commands (`rquery`, `ping`) surface the server's typed error
+//! frames. Frames that merely relay a lower layer's failure keep that
+//! layer's exit code — a bad rectangle fails identically whether the
+//! query ran locally or over the wire — while serving-specific codes
+//! (including the resilience refusals) are exit 6:
+//!
+//! | wire error code              | exit code |
+//! |------------------------------|-----------|
+//! | `Table`                      | 3         |
+//! | `Sketch`                     | 4         |
+//! | `Mining`                     | 5         |
+//! | `Malformed`                  | 6         |
+//! | `UnknownStore`               | 6         |
+//! | `DeadlineExceeded`           | 6         |
+//! | `ShuttingDown`               | 6         |
+//! | `FrameTooLarge`              | 6         |
+//! | `Internal`                   | 6         |
+//! | `Overloaded` (shed)          | 6         |
+//! | `Draining` (graceful drain)  | 6         |
+//!
+//! The same table appears in the README under "Operating the daemon";
+//! `remote_error_codes_map_to_layer_exit_codes` below asserts it.
 
 use core::fmt;
 
@@ -50,13 +75,22 @@ impl CliError {
         self
     }
 
-    /// The process exit code for this failure class.
+    /// The process exit code for this failure class (see the module
+    /// docs for the full error-frame → exit-code table).
     pub fn exit_code(&self) -> i32 {
-        match self.kind {
+        match &self.kind {
             ErrorKind::Usage(_) => 2,
             ErrorKind::Table(_) => 3,
             ErrorKind::Sketch(_) => 4,
             ErrorKind::Cluster(_) => 5,
+            // A remote error frame relaying a lower layer's failure
+            // exits with that layer's code, same as a local run.
+            ErrorKind::Serve(ServeError::Remote { code, .. }) => match code {
+                tabsketch_serve::ErrorCode::Table => 3,
+                tabsketch_serve::ErrorCode::Sketch => 4,
+                tabsketch_serve::ErrorCode::Mining => 5,
+                _ => 6,
+            },
             ErrorKind::Serve(_) => 6,
         }
     }
@@ -163,6 +197,44 @@ mod tests {
             CliError::from(ServeError::Config("no stores".into())).exit_code(),
             6
         );
+    }
+
+    /// Asserts the error-frame → exit-code table from the module docs
+    /// (and the README), including the resilience codes.
+    #[test]
+    fn remote_error_codes_map_to_layer_exit_codes() {
+        use tabsketch_serve::ErrorCode;
+        let remote = |code| {
+            CliError::from(ServeError::Remote {
+                code,
+                message: "x".into(),
+            })
+        };
+        let table = [
+            (ErrorCode::Malformed, 6),
+            (ErrorCode::UnknownStore, 6),
+            (ErrorCode::Table, 3),
+            (ErrorCode::Sketch, 4),
+            (ErrorCode::Mining, 5),
+            (ErrorCode::DeadlineExceeded, 6),
+            (ErrorCode::ShuttingDown, 6),
+            (ErrorCode::FrameTooLarge, 6),
+            (ErrorCode::Internal, 6),
+            (ErrorCode::Overloaded, 6),
+            (ErrorCode::Draining, 6),
+        ];
+        for (code, exit) in table {
+            assert_eq!(remote(code).exit_code(), exit, "{code:?}");
+        }
+        // The codes the client surfaces as dedicated variants rather
+        // than `Remote` are serving failures too.
+        assert_eq!(
+            CliError::from(ServeError::Overloaded { retry_after_ms: 1 }).exit_code(),
+            6
+        );
+        assert_eq!(CliError::from(ServeError::Draining).exit_code(), 6);
+        assert_eq!(CliError::from(ServeError::ShuttingDown).exit_code(), 6);
+        assert_eq!(CliError::from(ServeError::DeadlineExceeded).exit_code(), 6);
     }
 
     #[test]

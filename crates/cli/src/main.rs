@@ -148,23 +148,34 @@ COMMANDS:
 
   serve TABLE [--sketch-store STORE] [--name NAME] [--addr HOST:PORT]
       [--workers N] [--shards N] [--cache-capacity N] [--p P] [--k K]
-      [--seed N] [--port-file FILE]
+      [--seed N] [--port-file FILE] [--max-pending N] [--drain-ms MS]
       Keep a table (and optionally its sketch store) resident behind a
       TCP daemon answering distance, batch, sketch, and k-NN queries.
       Serve several tables at once with --stores NAME=TABLE[:STORE],...
       Default address 127.0.0.1:7878; --addr ...:0 picks a free port
-      (written to --port-file). Runs until `ping --shutdown`.
+      (written to --port-file). Runs until `ping --shutdown`, then
+      drains: in-flight requests finish (up to --drain-ms, default
+      2000), latecomers get typed `draining` frames. --max-pending
+      (default 64) bounds the connection queue; beyond it connections
+      are shed with `overloaded` frames carrying a retry-after hint.
+      With --metrics-out FILE the final drain/shed/panic counters are
+      written as JSON on shutdown.
 
-  ping --addr HOST:PORT [--metrics | --shutdown] [--deadline MS]
+  ping --addr HOST:PORT [--metrics | --health | --shutdown]
+      [--deadline MS] [--retries N] [--retry-budget-ms MS]
       Round-trip a ping and list the served stores; --metrics prints
-      the server's request/latency/tier counters; --shutdown asks the
-      server to drain and exit.
+      the server's request/latency/tier counters; --health reports
+      ready/draining/degraded plus per-store tier counters (answered
+      even mid-drain); --shutdown asks the server to drain and exit.
 
   rquery --addr HOST:PORT --store NAME --at R,C (--at2 R,C | --knn N)
-      [--tile RxC] [--deadline MS]
+      [--tile RxC] [--deadline MS] [--retries N] [--retry-budget-ms MS]
       Query a running server: distance between two windows, or the N
       nearest tiles. Window shape defaults to the store's precomputed
-      tile; --deadline bounds the request server-side.
+      tile; --deadline bounds the request server-side. --retries N
+      resends idempotent requests up to N times on transient failures
+      (broken connections, overload, drain) with exponential backoff,
+      within --retry-budget-ms (default 10000) total.
 
 OBSERVABILITY (any command):
   --metrics            print a metrics-registry snapshot (fft/core/
@@ -175,7 +186,10 @@ OBSERVABILITY (any command):
 
 EXIT CODES:
   0 success; 2 usage error; 3 table-file error; 4 sketch/store error;
-  5 mining error; 6 serving/protocol error. Failures print one
+  5 mining error; 6 serving/protocol error. Remote error frames map to
+  the same codes: table/sketch/mining frames exit 3/4/5, everything
+  serving-specific (unknown store, deadline, overloaded, draining,
+  shutting down, protocol damage) exits 6. Failures print one
   `error: ...` line to stderr.
 
 Formats: .tsb (binary tables), .csv, .tsks (sketch stores)."

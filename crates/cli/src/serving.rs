@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use tabsketch_cluster::DEFAULT_SKETCH_CACHE_CAPACITY;
-use tabsketch_serve::{Client, ServeError, Server, ServerConfig, StoreSpec};
+use tabsketch_serve::{Client, RetryPolicy, ServeError, Server, ServerConfig, StoreSpec};
 use tabsketch_table::Rect;
 
 use crate::args::Args;
@@ -86,12 +86,16 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
         }
         vec![spec]
     };
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         addr: args.get("addr").unwrap_or("127.0.0.1:7878").to_string(),
         workers: args.get_or("workers", 4)?,
         shards: args.get_or("shards", 2)?,
         cache_capacity: args.get_or("cache-capacity", DEFAULT_SKETCH_CACHE_CAPACITY)?,
         specs,
+        max_pending: args.get_or("max-pending", defaults.max_pending)?,
+        drain_ms: args.get_or("drain-ms", defaults.drain_ms)?,
+        ..defaults
     };
     let server = Server::bind(config)?;
     let addr = server.local_addr();
@@ -121,19 +125,43 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     }
     println!("listening on {addr}; stop with `tabsketch-cli ping --addr {addr} --shutdown`");
     server.run()?;
+    // Export the final registry snapshot — including the drain, shed,
+    // and panic counters this run ended with — before the process
+    // forgets them. (The generic exit-time observability in `main`
+    // writes the same file again moments later; writing here too keeps
+    // the export tied to the drain itself, so it exists even when the
+    // daemon is driven as a library.)
+    if let Some(path) = args.get("metrics-out") {
+        let snap = tabsketch_obs::global().snapshot();
+        std::fs::write(path, snap.to_json()).map_err(|e| {
+            CliError::from(ServeError::from(e)).in_context(format!("writing {path}"))
+        })?;
+    }
     println!("shutdown complete");
     Ok(())
 }
 
-/// Connects, applying `--deadline MS` when given.
+/// Connects, applying `--deadline MS` and the retry flags when given.
+/// `--retries N` allows N resends of idempotent requests (N+1 attempts
+/// total) on transient failures; `--retry-budget-ms MS` bounds the
+/// total wall-clock spent across attempts and backoffs.
 fn connect(args: &Args, addr: &str) -> Result<Client, CliError> {
     let deadline: u32 = args.get_or("deadline", 0)?;
-    let client = Client::connect(addr)
-        .map_err(|e| CliError::from(e).in_context(format!("connecting to {addr}")))?;
-    Ok(client.with_deadline_ms(deadline))
+    let retries: u32 = args.get_or("retries", 0)?;
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::from(e).in_context(format!("connecting to {addr}")))?
+        .with_deadline_ms(deadline);
+    if retries > 0 {
+        let policy = RetryPolicy::default()
+            .with_max_attempts(retries.saturating_add(1))
+            .with_budget_ms(args.get_or("retry-budget-ms", RetryPolicy::default().budget_ms)?);
+        client = client.with_retry(policy);
+    }
+    Ok(client)
 }
 
-/// `ping --addr HOST:PORT [--metrics | --shutdown] [--deadline MS]`
+/// `ping --addr HOST:PORT [--metrics | --health | --shutdown]
+/// [--deadline MS] [--retries N] [--retry-budget-ms MS]`
 pub fn ping(args: &Args) -> Result<(), CliError> {
     let addr = args.require("addr")?;
     let mut client = connect(args, addr)?;
@@ -145,6 +173,23 @@ pub fn ping(args: &Args) -> Result<(), CliError> {
     if args.switch("metrics") {
         let snap = client.metrics()?;
         println!("{snap}");
+        return Ok(());
+    }
+    if args.switch("health") {
+        let (state, stores) = client.health()?;
+        println!("server at {addr} is {state}");
+        for s in &stores {
+            let t = &s.tiers;
+            println!(
+                "  {:?}: pooled {} on-demand {} exact {} (cache hits {}, fallbacks {})",
+                s.name,
+                t.pooled,
+                t.on_demand,
+                t.exact,
+                t.cache_hits,
+                t.pooled_fallbacks + t.on_demand_fallbacks
+            );
+        }
         return Ok(());
     }
     let start = Instant::now();
@@ -293,20 +338,28 @@ mod tests {
         .unwrap();
         commands::sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
 
+        let metrics_file = dir.join("metrics.json");
         let serve_args = parse(&format!(
-            "serve {t} --sketch-store {s} --name demo --addr 127.0.0.1:0 --workers 2 --shards 2 --port-file {}",
-            port_file.display()
+            "serve {t} --sketch-store {s} --name demo --addr 127.0.0.1:0 --workers 2 --shards 2 --port-file {} --max-pending 32 --drain-ms 2000 --metrics-out {}",
+            port_file.display(),
+            metrics_file.display()
         ));
         let server = std::thread::spawn(move || serve(&serve_args));
         let addr = wait_for_port_file(&port_file);
 
         ping(&parse(&format!("ping --addr {addr}"))).unwrap();
+        ping(&parse(&format!("ping --addr {addr} --health"))).unwrap();
+        ping(&parse(&format!("ping --addr {addr} --retries 2"))).unwrap();
         rquery(&parse(&format!(
             "rquery --addr {addr} --store demo --at 0,0 --at2 40,40"
         )))
         .unwrap();
         rquery(&parse(&format!(
             "rquery --addr {addr} --store demo --at 0,0 --knn 3"
+        )))
+        .unwrap();
+        rquery(&parse(&format!(
+            "rquery --addr {addr} --store demo --at 0,0 --at2 40,40 --retries 3 --retry-budget-ms 5000"
         )))
         .unwrap();
         // Overriding the window shape still works, and unknown stores
@@ -324,6 +377,17 @@ mod tests {
         ping(&parse(&format!("ping --addr {addr} --shutdown"))).unwrap();
 
         server.join().unwrap().unwrap();
+        // The drain wrote the final registry snapshot, resilience
+        // counters included.
+        let json = std::fs::read_to_string(&metrics_file).unwrap();
+        for key in [
+            "serve.drain.completed",
+            "serve.shed",
+            "serve.worker.panics",
+            "serve.responses",
+        ] {
+            assert!(json.contains(key), "metrics export missing {key}: {json}");
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

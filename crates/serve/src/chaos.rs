@@ -1,0 +1,443 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! Two tools, both seeded and wall-clock-free in their *decisions* (the
+//! injected delays are real, the choices are a pure function of the
+//! seed), so a failing run replays exactly:
+//!
+//! * [`ChaosStream`] wraps any transport and injects byte-level faults —
+//!   short reads, partial writes, fixed micro-delays, garbage bytes, and
+//!   mid-frame connection resets — per a [`FaultPlan`].
+//! * [`FaultyProxy`] is a TCP forwarder that kills a seeded fraction of
+//!   the connections crossing it mid-stream, for end-to-end retry tests
+//!   against a *healthy* server behind an unreliable network.
+//!
+//! Used by the chaos soak suite (`tests/chaos.rs`) and the resilience
+//! benchmark; nothing here belongs in a production path.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A tiny deterministic xorshift64* generator driving fault decisions.
+#[derive(Clone, Debug)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// Seeds the sequence.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    /// The next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A value in `0..n` (`n` > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `per_mille`/1000.
+    pub fn chance(&mut self, per_mille: u32) -> bool {
+        self.below(1000) < u64::from(per_mille)
+    }
+}
+
+/// Fault rates for a [`ChaosStream`], each in parts per thousand of the
+/// read/write operations they apply to.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Chance a read returns fewer bytes than available (down to 1).
+    pub short_read_per_mille: u32,
+    /// Chance a write submits only a prefix of the buffer (the `Write`
+    /// contract allows this; it stresses callers' loop handling).
+    pub partial_write_per_mille: u32,
+    /// Chance an operation first sleeps for [`FaultPlan::delay`].
+    pub delay_per_mille: u32,
+    /// The injected delay.
+    pub delay: Duration,
+    /// Chance a write resets the connection mid-frame instead.
+    pub reset_per_mille: u32,
+    /// Chance a written byte is corrupted (garbage injection).
+    pub garbage_per_mille: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            short_read_per_mille: 200,
+            partial_write_per_mille: 200,
+            delay_per_mille: 50,
+            delay: Duration::from_millis(2),
+            reset_per_mille: 0,
+            garbage_per_mille: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that only slices reads and writes (never corrupts or
+    /// resets): the protocol must survive it with zero errors.
+    pub fn slicing() -> Self {
+        Self::default()
+    }
+
+    /// A hostile plan that also resets connections mid-frame and
+    /// corrupts outgoing bytes: every exchange must still end in a typed
+    /// error frame or a clean close.
+    pub fn hostile() -> Self {
+        Self {
+            reset_per_mille: 60,
+            garbage_per_mille: 30,
+            ..Self::default()
+        }
+    }
+}
+
+/// A fault-injecting wrapper around a TCP stream (or any transport).
+pub struct ChaosStream<S> {
+    inner: S,
+    rng: ChaosRng,
+    plan: FaultPlan,
+    resets: u64,
+    garbled: u64,
+}
+
+impl ChaosStream<TcpStream> {
+    /// Wraps a TCP stream; resets use a real socket shutdown.
+    pub fn tcp(inner: TcpStream, seed: u64, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            rng: ChaosRng::new(seed),
+            plan,
+            resets: 0,
+            garbled: 0,
+        }
+    }
+
+    /// How many connection resets were injected.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// How many writes had garbage injected.
+    pub fn garbled(&self) -> u64 {
+        self.garbled
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &TcpStream {
+        &self.inner
+    }
+}
+
+impl Read for ChaosStream<TcpStream> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.plan.delay_per_mille > 0 && self.rng.chance(self.plan.delay_per_mille) {
+            std::thread::sleep(self.plan.delay);
+        }
+        if buf.len() > 1 && self.rng.chance(self.plan.short_read_per_mille) {
+            let cut = 1 + self.rng.below(buf.len() as u64 - 1) as usize;
+            return self.inner.read(&mut buf[..cut]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl Write for ChaosStream<TcpStream> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.plan.delay_per_mille > 0 && self.rng.chance(self.plan.delay_per_mille) {
+            std::thread::sleep(self.plan.delay);
+        }
+        if self.plan.reset_per_mille > 0 && self.rng.chance(self.plan.reset_per_mille) {
+            self.resets += 1;
+            let _ = self.inner.shutdown(Shutdown::Both);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "chaos: injected reset",
+            ));
+        }
+        if self.plan.garbage_per_mille > 0
+            && !buf.is_empty()
+            && self.rng.chance(self.plan.garbage_per_mille)
+        {
+            self.garbled += 1;
+            let mut garbled = buf.to_vec();
+            let at = self.rng.below(garbled.len() as u64) as usize;
+            garbled[at] ^= 0xA5;
+            return self.inner.write(&garbled);
+        }
+        if buf.len() > 1 && self.rng.chance(self.plan.partial_write_per_mille) {
+            let cut = 1 + self.rng.below(buf.len() as u64 - 1) as usize;
+            return self.inner.write(&buf[..cut]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// How long proxy pump threads wait on a quiet socket before rechecking
+/// the stop flag.
+const PUMP_POLL: Duration = Duration::from_millis(50);
+
+/// A TCP forwarding proxy that kills a seeded fraction of connections
+/// mid-stream, simulating an unreliable network in front of a healthy
+/// server.
+pub struct FaultyProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FaultyProxy {
+    /// Starts a proxy forwarding to `upstream`. Each accepted connection
+    /// draws from a per-connection RNG (derived from `seed` and the
+    /// connection index): with probability `fault_per_mille`/1000 it is
+    /// killed after forwarding a seeded number of bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-binding failures.
+    pub fn start(
+        upstream: SocketAddr,
+        seed: u64,
+        fault_per_mille: u32,
+    ) -> io::Result<FaultyProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_index = 0u64;
+            while !stop_accept.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let mut rng = ChaosRng::new(seed ^ conn_index.wrapping_mul(0x9E37));
+                        conn_index += 1;
+                        let kill_after = if rng.chance(fault_per_mille) {
+                            // Kill somewhere inside the first kB — early
+                            // enough to hit headers, payloads, and
+                            // replies alike.
+                            Some(rng.below(1024))
+                        } else {
+                            None
+                        };
+                        let stop_conn = Arc::clone(&stop_accept);
+                        std::thread::spawn(move || {
+                            let _ = pump_connection(client, upstream, kill_after, &stop_conn);
+                        });
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(FaultyProxy {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address (point clients here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins the accept loop. Existing pump threads
+    /// notice the flag within one poll interval and exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultyProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Forwards bytes both ways between `client` and a fresh upstream
+/// connection until either side closes, the stop flag is set, or the
+/// fault triggers (`kill_after` total forwarded bytes), which resets
+/// both sockets.
+fn pump_connection(
+    client: TcpStream,
+    upstream: SocketAddr,
+    kill_after: Option<u64>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    let server = TcpStream::connect(upstream)?;
+    client.set_read_timeout(Some(PUMP_POLL))?;
+    server.set_read_timeout(Some(PUMP_POLL))?;
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let forwarded = std::sync::atomic::AtomicU64::new(0);
+    let dead = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| pump_one_way(&client, &server, kill_after, &forwarded, &dead, stop));
+        scope.spawn(|| pump_one_way(&server, &client, kill_after, &forwarded, &dead, stop));
+    });
+    Ok(())
+}
+
+fn pump_one_way(
+    from: &TcpStream,
+    to: &TcpStream,
+    kill_after: Option<u64>,
+    forwarded: &std::sync::atomic::AtomicU64,
+    dead: &AtomicBool,
+    stop: &AtomicBool,
+) {
+    let mut from = from;
+    let mut to_w = to;
+    let mut buf = [0u8; 4096];
+    loop {
+        if dead.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let total = forwarded.fetch_add(n as u64, Ordering::SeqCst) + n as u64;
+        if let Some(limit) = kill_after {
+            if total >= limit {
+                dead.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        if to_w.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    // Tear down both directions so the peer unblocks promptly.
+    if dead.load(Ordering::SeqCst) || stop.load(Ordering::SeqCst) {
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    } else {
+        let _ = to.shutdown(Shutdown::Write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_rng_is_deterministic() {
+        let mut a = ChaosRng::new(99);
+        let mut b = ChaosRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if a.chance(100) {
+                hits += 1;
+            }
+        }
+        assert!((50..200).contains(&hits), "~10% chance rate, got {hits}");
+    }
+
+    #[test]
+    fn sliced_stream_still_delivers_every_byte() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let expected = payload.clone();
+        let writer = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut chaos = ChaosStream::tcp(stream, 7, FaultPlan::slicing());
+            chaos.write_all(&payload).unwrap();
+            chaos.flush().unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut chaos = ChaosStream::tcp(stream, 8, FaultPlan::slicing());
+        let mut got = Vec::new();
+        chaos.read_to_end(&mut got).unwrap();
+        writer.join().unwrap();
+        assert_eq!(got, expected, "slicing faults must not lose or reorder");
+    }
+
+    #[test]
+    fn proxy_forwards_and_kills_deterministically() {
+        // An echo server.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream = listener.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            for stream in listener.incoming().take(20) {
+                let Ok(mut s) = stream else { break };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 256];
+                    while let Ok(n) = s.read(&mut buf) {
+                        if n == 0 || s.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        // 100% fault rate: every connection dies.
+        let mut proxy = FaultyProxy::start(upstream, 5, 1000).unwrap();
+        let mut died = 0;
+        for _ in 0..5 {
+            let mut c = TcpStream::connect(proxy.addr()).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let msg = vec![0xABu8; 2048];
+            let mut got = vec![0u8; 2048];
+            let ok = c.write_all(&msg).is_ok() && c.read_exact(&mut got).is_ok();
+            if !ok {
+                died += 1;
+            }
+        }
+        assert_eq!(died, 5, "every connection through a 100% proxy dies");
+        // 0% fault rate: every exchange succeeds.
+        let mut proxy0 = FaultyProxy::start(upstream, 5, 0).unwrap();
+        for _ in 0..3 {
+            let mut c = TcpStream::connect(proxy0.addr()).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let msg = vec![0x5Au8; 512];
+            c.write_all(&msg).unwrap();
+            let mut got = vec![0u8; 512];
+            c.read_exact(&mut got).unwrap();
+            assert_eq!(got, msg);
+        }
+        proxy.stop();
+        proxy0.stop();
+        drop(echo);
+    }
+}

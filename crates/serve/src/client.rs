@@ -3,27 +3,75 @@
 //! One [`Client`] wraps one TCP connection and issues one request at a
 //! time (the protocol is strictly request/response per connection; open
 //! more clients for parallelism). Error frames come back as
-//! [`ServeError`]: the two codes callers branch on — deadline expiry
-//! and server shutdown — surface as their own variants, everything else
-//! as [`ServeError::Remote`].
+//! [`ServeError`]: the codes callers branch on — deadline expiry,
+//! server shutdown, overload, drain — surface as their own variants,
+//! everything else as [`ServeError::Remote`].
+//!
+//! With a [`RetryPolicy`] attached ([`Client::with_retry`]), idempotent
+//! requests survive transient faults: each retry backs off with
+//! deterministic jitter, reconnects (broken pipes and desynchronized
+//! streams cannot be resumed), and honors the server's retry-after hint
+//! on `Overloaded` frames. Non-idempotent requests (shutdown) are never
+//! resent. Platforms disagree on whether an expired socket read timeout
+//! surfaces as [`std::io::ErrorKind::TimedOut`] or
+//! [`std::io::ErrorKind::WouldBlock`]; the client maps *both* to
+//! [`ServeError::DeadlineExceeded`].
 
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::io::{ErrorKind as IoErrorKind, Read};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use tabsketch_cluster::Tier;
+use tabsketch_obs::{counter, histogram};
 use tabsketch_table::Rect;
 
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::MetricsSnapshot;
 use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
-    StoreInfo,
+    decode_response, encode_request, read_frame, write_frame, HealthState, Request, RequestFrame,
+    Response, StoreInfo,
 };
+use crate::retry::{JitterRng, RetryPolicy};
+
+/// Reads and decodes one response, normalizing transport failures:
+/// a clean close before any reply is [`ServeError::Disconnected`], and
+/// an expired read timeout — `TimedOut` *or* `WouldBlock`, platforms
+/// disagree — is [`ServeError::DeadlineExceeded`]. Error frames come
+/// back as their typed variants.
+fn read_reply<R: Read>(r: &mut R) -> Result<Response, ServeError> {
+    let payload = match read_frame(r) {
+        Ok(Some(payload)) => payload,
+        Ok(None) => return Err(ServeError::Disconnected),
+        Err(ServeError::Io(e))
+            if matches!(e.kind(), IoErrorKind::TimedOut | IoErrorKind::WouldBlock) =>
+        {
+            return Err(ServeError::DeadlineExceeded)
+        }
+        Err(e) => return Err(e),
+    };
+    match decode_response(&payload)? {
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => Err(match code {
+            ErrorCode::DeadlineExceeded => ServeError::DeadlineExceeded,
+            ErrorCode::ShuttingDown => ServeError::ShuttingDown,
+            ErrorCode::Overloaded => ServeError::Overloaded { retry_after_ms },
+            ErrorCode::Draining => ServeError::Draining,
+            _ => ServeError::Remote { code, message },
+        }),
+        resp => Ok(resp),
+    }
+}
 
 /// A blocking connection to a sketch query server.
 pub struct Client {
     stream: TcpStream,
+    peer: SocketAddr,
     deadline_ms: u32,
+    read_timeout: Option<Duration>,
+    retry: Option<(RetryPolicy, JitterRng)>,
 }
 
 impl Client {
@@ -35,9 +83,13 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
+        let peer = stream.peer_addr()?;
         Ok(Self {
             stream,
+            peer,
             deadline_ms: 0,
+            read_timeout: None,
+            retry: None,
         })
     }
 
@@ -48,14 +100,24 @@ impl Client {
     #[must_use]
     pub fn with_deadline_ms(mut self, ms: u32) -> Self {
         self.deadline_ms = ms;
-        let local = if ms == 0 {
+        self.read_timeout = if ms == 0 {
             None
         } else {
             Some(Duration::from_millis(
                 u64::from(ms).saturating_mul(4).max(250),
             ))
         };
-        let _ = self.stream.set_read_timeout(local);
+        let _ = self.stream.set_read_timeout(self.read_timeout);
+        self
+    }
+
+    /// Attaches a retry policy. Idempotent requests failing with a
+    /// transient error are resent after a deterministic backoff, on a
+    /// fresh connection.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        let jitter = JitterRng::new(policy.seed);
+        self.retry = Some((policy, jitter));
         self
     }
 
@@ -64,21 +126,72 @@ impl Client {
         self.deadline_ms
     }
 
-    fn call(&mut self, request: Request) -> Result<Response, ServeError> {
+    /// Replaces the broken stream with a fresh connection to the same
+    /// peer, reapplying the local read timeout.
+    fn reconnect(&mut self) -> Result<(), ServeError> {
+        let stream = TcpStream::connect(self.peer)?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.read_timeout);
+        self.stream = stream;
+        counter!("serve.client.reconnects").inc();
+        Ok(())
+    }
+
+    fn call_once(&mut self, request: &Request) -> Result<Response, ServeError> {
         let frame = RequestFrame {
             deadline_ms: self.deadline_ms,
-            request,
+            request: request.clone(),
         };
         write_frame(&mut self.stream, &encode_request(&frame))?;
-        let payload = read_frame(&mut self.stream)?
-            .ok_or_else(|| ServeError::Malformed("server closed before responding".into()))?;
-        match decode_response(&payload)? {
-            Response::Error { code, message } => Err(match code {
-                ErrorCode::DeadlineExceeded => ServeError::DeadlineExceeded,
-                ErrorCode::ShuttingDown => ServeError::ShuttingDown,
-                _ => ServeError::Remote { code, message },
-            }),
-            resp => Ok(resp),
+        read_reply(&mut self.stream)
+    }
+
+    fn call(&mut self, request: Request) -> Result<Response, ServeError> {
+        let policy = match &self.retry {
+            Some((policy, _)) if request.kind().is_idempotent() => policy.clone(),
+            _ => return self.call_once(&request),
+        };
+        let started = Instant::now();
+        let mut retry = 0u32;
+        loop {
+            let e = match self.call_once(&request) {
+                Ok(resp) => {
+                    if retry > 0 {
+                        counter!("serve.client.recoveries").inc();
+                        histogram!("serve.client.recovery_us").record(
+                            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                        );
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => e,
+            };
+            if !RetryPolicy::is_retryable(&e) {
+                return Err(e);
+            }
+            if retry + 1 >= policy.max_attempts {
+                counter!("serve.client.giveups").inc();
+                return Err(e);
+            }
+            let hint_ms = match &e {
+                ServeError::Overloaded { retry_after_ms } => u64::from(*retry_after_ms),
+                _ => 0,
+            };
+            let jitter = &mut self.retry.as_mut().expect("retry policy present").1;
+            let delay = policy.backoff_ms(retry, jitter, hint_ms);
+            let spent = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if spent.saturating_add(delay) > policy.budget_ms {
+                counter!("serve.client.giveups").inc();
+                return Err(e);
+            }
+            counter!("serve.client.retries").inc();
+            std::thread::sleep(Duration::from_millis(delay));
+            // The old stream is unusable (broken, desynchronized, or
+            // closed by the refusing server): best-effort reconnect. If
+            // it fails, the next attempt errors quickly and consumes one
+            // more attempt.
+            let _ = self.reconnect();
+            retry += 1;
         }
     }
 
@@ -199,6 +312,19 @@ impl Client {
         }
     }
 
+    /// The server's health: serving state plus per-store tier counters.
+    /// Answered even while the server drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn health(&mut self) -> Result<(HealthState, Vec<crate::StoreTierMetrics>), ServeError> {
+        match self.call(Request::Health)? {
+            Response::Health { state, stores } => Ok((state, stores)),
+            _ => Err(ServeError::UnexpectedResponse("health")),
+        }
+    }
+
     /// Sends the shutdown poison message and waits for the
     /// acknowledgment.
     ///
@@ -216,5 +342,84 @@ impl Client {
     /// sending deliberately damaged frames).
     pub fn into_stream(self) -> TcpStream {
         self.stream
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+
+    /// A reader that fails every read with a fixed error kind.
+    struct FailingReader(IoErrorKind);
+
+    impl Read for FailingReader {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Err(io::Error::new(self.0, "injected"))
+        }
+    }
+
+    #[test]
+    fn timed_out_reads_map_to_deadline_exceeded() {
+        let err = read_reply(&mut FailingReader(IoErrorKind::TimedOut)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded),
+            "TimedOut: {err}"
+        );
+    }
+
+    #[test]
+    fn would_block_reads_map_to_deadline_exceeded() {
+        let err = read_reply(&mut FailingReader(IoErrorKind::WouldBlock)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded),
+            "WouldBlock: {err}"
+        );
+    }
+
+    #[test]
+    fn other_io_errors_stay_io() {
+        let err = read_reply(&mut FailingReader(IoErrorKind::BrokenPipe)).unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "BrokenPipe: {err}");
+    }
+
+    #[test]
+    fn clean_close_before_reply_is_disconnected() {
+        let mut empty: &[u8] = &[];
+        let err = read_reply(&mut empty).unwrap_err();
+        assert!(matches!(err, ServeError::Disconnected), "{err}");
+    }
+
+    #[test]
+    fn resilience_error_frames_become_typed_variants() {
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &crate::protocol::encode_response(&Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "full".into(),
+                retry_after_ms: 125,
+            }),
+        )
+        .unwrap();
+        match read_reply(&mut &buf[..]).unwrap_err() {
+            ServeError::Overloaded { retry_after_ms } => assert_eq!(retry_after_ms, 125),
+            other => panic!("expected Overloaded, got {other}"),
+        }
+
+        let mut buf = Vec::new();
+        write_frame(
+            &mut buf,
+            &crate::protocol::encode_response(&Response::Error {
+                code: ErrorCode::Draining,
+                message: "draining".into(),
+                retry_after_ms: 0,
+            }),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_reply(&mut &buf[..]).unwrap_err(),
+            ServeError::Draining
+        ));
     }
 }

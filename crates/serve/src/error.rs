@@ -34,6 +34,12 @@ pub enum ErrorCode {
     FrameTooLarge,
     /// Any other server-side failure.
     Internal,
+    /// The server shed this connection under load; the frame carries a
+    /// retry-after hint.
+    Overloaded,
+    /// The server is draining: in-flight work finishes, new work is
+    /// refused until the process exits.
+    Draining,
 }
 
 impl ErrorCode {
@@ -49,6 +55,8 @@ impl ErrorCode {
             ErrorCode::ShuttingDown => 6,
             ErrorCode::FrameTooLarge => 7,
             ErrorCode::Internal => 8,
+            ErrorCode::Overloaded => 9,
+            ErrorCode::Draining => 10,
         }
     }
 
@@ -64,6 +72,8 @@ impl ErrorCode {
             6 => ErrorCode::ShuttingDown,
             7 => ErrorCode::FrameTooLarge,
             8 => ErrorCode::Internal,
+            9 => ErrorCode::Overloaded,
+            10 => ErrorCode::Draining,
             _ => return None,
         })
     }
@@ -81,6 +91,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::FrameTooLarge => "frame-too-large",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Draining => "draining",
         };
         write!(f, "{s}")
     }
@@ -103,6 +115,15 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The server is shutting down.
     ShuttingDown,
+    /// The server shed the connection under load.
+    Overloaded {
+        /// How long the server suggests waiting before retrying, ms.
+        retry_after_ms: u32,
+    },
+    /// The server is draining and refused new work.
+    Draining,
+    /// The peer closed the connection before answering.
+    Disconnected,
     /// The remote side answered with an error frame.
     Remote {
         /// The wire code.
@@ -131,13 +152,16 @@ impl ServeError {
             ServeError::UnknownStore(_) => ErrorCode::UnknownStore,
             ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::Draining => ErrorCode::Draining,
             ServeError::Remote { code, .. } => *code,
             ServeError::Table(_) => ErrorCode::Table,
             ServeError::Sketch(_) => ErrorCode::Sketch,
             ServeError::Cluster(_) => ErrorCode::Mining,
-            ServeError::Io(_) | ServeError::UnexpectedResponse(_) | ServeError::Config(_) => {
-                ErrorCode::Internal
-            }
+            ServeError::Io(_)
+            | ServeError::Disconnected
+            | ServeError::UnexpectedResponse(_)
+            | ServeError::Config(_) => ErrorCode::Internal,
         }
     }
 }
@@ -151,6 +175,11 @@ impl fmt::Display for ServeError {
             ServeError::UnknownStore(name) => write!(f, "unknown store {name:?}"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded (retry after {retry_after_ms} ms)")
+            }
+            ServeError::Draining => write!(f, "server draining"),
+            ServeError::Disconnected => write!(f, "peer closed the connection mid-exchange"),
             ServeError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
             ServeError::UnexpectedResponse(what) => {
                 write!(f, "unexpected response kind (expected {what})")
@@ -228,6 +257,20 @@ mod tests {
             ServeError::UnknownStore("x".into()).error_code(),
             ErrorCode::UnknownStore
         );
+    }
+
+    #[test]
+    fn resilience_codes_have_stable_bytes() {
+        assert_eq!(ErrorCode::Overloaded.to_u8(), 9);
+        assert_eq!(ErrorCode::Draining.to_u8(), 10);
+        assert_eq!(ErrorCode::from_u8(9), Some(ErrorCode::Overloaded));
+        assert_eq!(ErrorCode::from_u8(10), Some(ErrorCode::Draining));
+        assert_eq!(
+            ServeError::Overloaded { retry_after_ms: 50 }.error_code(),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(ServeError::Draining.error_code(), ErrorCode::Draining);
+        assert_eq!(ServeError::Disconnected.error_code(), ErrorCode::Internal);
     }
 
     #[test]

@@ -43,10 +43,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod client;
 mod error;
 pub mod metrics;
 pub mod protocol;
+mod retry;
 mod server;
 mod store;
 
@@ -55,7 +57,10 @@ pub use error::{ErrorCode, ServeError};
 pub use metrics::{
     LatencyHistogram, MetricsSnapshot, RequestKind, ServerMetrics, StoreTierMetrics,
 };
-pub use protocol::{Request, RequestFrame, Response, StoreInfo, MAX_BATCH, MAX_FRAME};
+pub use protocol::{
+    HealthState, Request, RequestFrame, Response, StoreInfo, MAX_BATCH, MAX_FRAME,
+};
+pub use retry::{JitterRng, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use store::{load_table, Deadline, LoadedStore, ShardedOracle, StoreSpec};
 
@@ -74,6 +79,7 @@ pub fn register_metrics() {
             metrics::RequestKind::Metrics => "serve.requests.metrics",
             metrics::RequestKind::Stores => "serve.requests.stores",
             metrics::RequestKind::Shutdown => "serve.requests.shutdown",
+            metrics::RequestKind::Health => "serve.requests.health",
         };
         obs::counter(key);
     }
@@ -82,4 +88,20 @@ pub fn register_metrics() {
     obs::counter("serve.malformed");
     obs::counter("serve.connections");
     obs::histogram("serve.latency_us");
+    // Resilience layer (DESIGN.md §12): server side…
+    obs::counter("serve.responses");
+    obs::counter("serve.shed");
+    obs::counter("serve.write_failures");
+    obs::counter("serve.worker.panics");
+    obs::counter("serve.drain.completed");
+    obs::counter("serve.drain.deadline_hits");
+    obs::counter("serve.drain.refused");
+    obs::gauge("serve.queue.depth");
+    obs::gauge("serve.workers.live");
+    // …and client side.
+    obs::counter("serve.client.retries");
+    obs::counter("serve.client.reconnects");
+    obs::counter("serve.client.recoveries");
+    obs::counter("serve.client.giveups");
+    obs::histogram("serve.client.recovery_us");
 }

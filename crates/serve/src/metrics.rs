@@ -20,7 +20,7 @@ use tabsketch_cluster::TierSnapshot;
 use tabsketch_obs::counter;
 
 /// How many request kinds the protocol defines.
-pub const KIND_COUNT: usize = 8;
+pub const KIND_COUNT: usize = 9;
 
 /// Request kinds, used to index the per-kind counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +41,8 @@ pub enum RequestKind {
     Stores = 6,
     /// Shutdown poison message.
     Shutdown = 7,
+    /// Health probe (ready/draining/degraded).
+    Health = 8,
 }
 
 impl RequestKind {
@@ -54,7 +56,15 @@ impl RequestKind {
         RequestKind::Metrics,
         RequestKind::Stores,
         RequestKind::Shutdown,
+        RequestKind::Health,
     ];
+
+    /// Whether repeating this request cannot change server state, so a
+    /// client [`RetryPolicy`](crate::RetryPolicy) may safely resend it.
+    /// Everything except the shutdown poison message is a pure read.
+    pub fn is_idempotent(self) -> bool {
+        !matches!(self, RequestKind::Shutdown)
+    }
 
     /// The short name used in metrics output.
     pub fn name(self) -> &'static str {
@@ -67,6 +77,7 @@ impl RequestKind {
             RequestKind::Metrics => "metrics",
             RequestKind::Stores => "stores",
             RequestKind::Shutdown => "shutdown",
+            RequestKind::Health => "health",
         }
     }
 }
@@ -84,6 +95,10 @@ pub struct ServerMetrics {
     timeouts: AtomicU64,
     malformed: AtomicU64,
     connections: AtomicU64,
+    responses: AtomicU64,
+    shed: AtomicU64,
+    panics: AtomicU64,
+    write_failures: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -105,8 +120,34 @@ impl ServerMetrics {
             RequestKind::Metrics => counter!("serve.requests.metrics"),
             RequestKind::Stores => counter!("serve.requests.stores"),
             RequestKind::Shutdown => counter!("serve.requests.shutdown"),
+            RequestKind::Health => counter!("serve.requests.health"),
         };
         global.inc();
+    }
+
+    /// Counts one response frame successfully written back.
+    pub fn record_response(&self) {
+        self.responses.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.responses").inc();
+    }
+
+    /// Counts one connection shed by admission control.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.shed").inc();
+    }
+
+    /// Counts one worker panic caught and converted to an error frame.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.worker.panics").inc();
+    }
+
+    /// Counts one response frame that failed to reach the peer (broken
+    /// pipe mid-answer).
+    pub fn record_write_failure(&self) {
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.write_failures").inc();
     }
 
     /// Counts one request answered with an error frame.
@@ -154,6 +195,10 @@ impl ServerMetrics {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            write_failures: self.write_failures.load(Ordering::Relaxed),
             p50_us: self.latency.quantile(0.50),
             p99_us: self.latency.quantile(0.99),
             stores,
@@ -184,6 +229,14 @@ pub struct MetricsSnapshot {
     pub malformed: u64,
     /// Connections accepted since startup.
     pub connections: u64,
+    /// Response frames successfully written back to peers.
+    pub responses: u64,
+    /// Connections shed by admission control (answered `Overloaded`).
+    pub shed: u64,
+    /// Worker panics caught and answered with `Internal` frames.
+    pub panics: u64,
+    /// Response frames lost to a broken peer connection.
+    pub write_failures: u64,
     /// Median service latency, µs (bucket upper bound).
     pub p50_us: u64,
     /// 99th-percentile service latency, µs (bucket upper bound).
@@ -229,6 +282,11 @@ impl std::fmt::Display for MetricsSnapshot {
             "connections: {}  latency p50 {} us, p99 {} us",
             self.connections, self.p50_us, self.p99_us
         )?;
+        writeln!(
+            f,
+            "responses: {}  shed {}  panics {}  write failures {}",
+            self.responses, self.shed, self.panics, self.write_failures
+        )?;
         for s in &self.stores {
             writeln!(f, "store {:?}: {}", s.name, s.tiers)?;
         }
@@ -245,6 +303,18 @@ impl std::fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn only_shutdown_is_non_idempotent() {
+        for kind in RequestKind::ALL {
+            assert_eq!(
+                kind.is_idempotent(),
+                kind != RequestKind::Shutdown,
+                "{}",
+                kind.name()
+            );
+        }
+    }
 
     #[test]
     fn quantiles_bound_observations() {
@@ -273,7 +343,16 @@ mod tests {
         m.record_timeout();
         m.record_malformed();
         m.record_latency(50);
+        m.record_response();
+        m.record_response();
+        m.record_shed();
+        m.record_panic();
+        m.record_write_failure();
         let snap = m.snapshot(Vec::new());
+        assert_eq!(snap.responses, 2);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.panics, 1);
+        assert_eq!(snap.write_failures, 1);
         assert_eq!(snap.count(RequestKind::Ping), 1);
         assert_eq!(snap.count(RequestKind::Distance), 2);
         assert_eq!(snap.total_requests(), 3);

@@ -79,8 +79,10 @@ pub enum Request {
     Metrics,
     /// Names and shapes of the loaded stores.
     Stores,
-    /// Poison message: acknowledge, then shut the server down.
+    /// Poison message: acknowledge, then drain and shut the server down.
     Shutdown,
+    /// Health probe: serving state, store count, tier counters.
+    Health,
 }
 
 impl Request {
@@ -95,7 +97,64 @@ impl Request {
             Request::Metrics => RequestKind::Metrics,
             Request::Stores => RequestKind::Stores,
             Request::Shutdown => RequestKind::Shutdown,
+            Request::Health => RequestKind::Health,
         }
+    }
+
+    /// The store this request targets, when it targets one.
+    pub fn store_name(&self) -> Option<&str> {
+        match self {
+            Request::Distance { store, .. }
+            | Request::DistanceBatch { store, .. }
+            | Request::Sketch { store, .. }
+            | Request::Knn { store, .. } => Some(store),
+            _ => None,
+        }
+    }
+}
+
+/// The server's coarse serving state, as reported by [`Request::Health`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting and answering requests.
+    Ready,
+    /// Finishing in-flight work; new work is refused.
+    Draining,
+    /// Serving, but at least one store loaded with degraded sketches.
+    Degraded,
+}
+
+impl HealthState {
+    fn to_u8(self) -> u8 {
+        match self {
+            HealthState::Ready => 0,
+            HealthState::Draining => 1,
+            HealthState::Degraded => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => HealthState::Ready,
+            1 => HealthState::Draining,
+            2 => HealthState::Degraded,
+            _ => return None,
+        })
+    }
+
+    /// The probe-friendly name (`ready`, `draining`, `degraded`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthState::Ready => "ready",
+            HealthState::Draining => "draining",
+            HealthState::Degraded => "degraded",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 
@@ -156,12 +215,22 @@ pub enum Response {
     Stores(Vec<StoreInfo>),
     /// Acknowledgment of [`Request::Shutdown`].
     ShuttingDown,
+    /// Answer to [`Request::Health`].
+    Health {
+        /// Coarse serving state.
+        state: HealthState,
+        /// Per-store tier counters (one entry per loaded store).
+        stores: Vec<StoreTierMetrics>,
+    },
     /// Any failure, with its stable code.
     Error {
         /// The failure class.
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Suggested wait before retrying, ms; 0 = no hint. Nonzero only
+        /// for [`ErrorCode::Overloaded`] today.
+        retry_after_ms: u32,
     },
 }
 
@@ -306,6 +375,7 @@ const REQ_KNN: u8 = 4;
 const REQ_METRICS: u8 = 5;
 const REQ_STORES: u8 = 6;
 const REQ_SHUTDOWN: u8 = 7;
+const REQ_HEALTH: u8 = 8;
 
 /// Encodes a request frame payload.
 pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
@@ -319,11 +389,16 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
         Request::Metrics => REQ_METRICS,
         Request::Stores => REQ_STORES,
         Request::Shutdown => REQ_SHUTDOWN,
+        Request::Health => REQ_HEALTH,
     };
     e.u8(kind);
     e.u32(frame.deadline_ms);
     match &frame.request {
-        Request::Ping | Request::Metrics | Request::Stores | Request::Shutdown => {}
+        Request::Ping
+        | Request::Metrics
+        | Request::Stores
+        | Request::Shutdown
+        | Request::Health => {}
         Request::Distance { store, a, b } => {
             e.str(store);
             e.rect(*a);
@@ -366,6 +441,7 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ServeError> {
         REQ_METRICS => Request::Metrics,
         REQ_STORES => Request::Stores,
         REQ_SHUTDOWN => Request::Shutdown,
+        REQ_HEALTH => Request::Health,
         REQ_DISTANCE => Request::Distance {
             store: d.str("store name")?,
             a: d.rect("rect a")?,
@@ -427,6 +503,7 @@ const RESP_KNN: u8 = 4;
 const RESP_METRICS: u8 = 5;
 const RESP_STORES: u8 = 6;
 const RESP_SHUTTING_DOWN: u8 = 7;
+const RESP_HEALTH: u8 = 8;
 const RESP_ERROR: u8 = 255;
 
 /// Encodes a response frame payload.
@@ -485,27 +562,28 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::ShuttingDown => e.u8(RESP_SHUTTING_DOWN),
-        Response::Error { code, message } => {
+        Response::Health { state, stores } => {
+            e.u8(RESP_HEALTH);
+            e.u8(state.to_u8());
+            encode_store_tiers(&mut e, stores);
+        }
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => {
             e.u8(RESP_ERROR);
             e.u8(code.to_u8());
             e.str(&message.chars().take(200).collect::<String>());
+            e.u32(*retry_after_ms);
         }
     }
     e.0
 }
 
-fn encode_metrics(e: &mut Enc, m: &MetricsSnapshot) {
-    for &count in &m.by_kind {
-        e.u64(count);
-    }
-    e.u64(m.errors);
-    e.u64(m.timeouts);
-    e.u64(m.malformed);
-    e.u64(m.connections);
-    e.u64(m.p50_us);
-    e.u64(m.p99_us);
-    e.u32(m.stores.len().min(u32::MAX as usize) as u32);
-    for s in &m.stores {
+fn encode_store_tiers(e: &mut Enc, stores: &[StoreTierMetrics]) {
+    e.u32(stores.len().min(u32::MAX as usize) as u32);
+    for s in stores {
         e.str(&s.name);
         let t = &s.tiers;
         for v in [
@@ -522,24 +600,9 @@ fn encode_metrics(e: &mut Enc, m: &MetricsSnapshot) {
             e.u64(v);
         }
     }
-    e.u32(m.registry.len().min(u32::MAX as usize) as u32);
-    for (key, value) in &m.registry {
-        e.str(&key.chars().take(MAX_NAME).collect::<String>());
-        e.u64(*value);
-    }
 }
 
-fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
-    let mut by_kind = [0u64; KIND_COUNT];
-    for slot in &mut by_kind {
-        *slot = d.u64("kind counter")?;
-    }
-    let errors = d.u64("errors")?;
-    let timeouts = d.u64("timeouts")?;
-    let malformed = d.u64("malformed")?;
-    let connections = d.u64("connections")?;
-    let p50_us = d.u64("p50")?;
-    let p99_us = d.u64("p99")?;
+fn decode_store_tiers(d: &mut Dec<'_>) -> Result<Vec<StoreTierMetrics>, ServeError> {
     let n = d.u32("store count")? as usize;
     if n > 4096 {
         return Err(ServeError::Malformed(format!("{n} store metric entries")));
@@ -566,6 +629,47 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
             },
         });
     }
+    Ok(stores)
+}
+
+fn encode_metrics(e: &mut Enc, m: &MetricsSnapshot) {
+    for &count in &m.by_kind {
+        e.u64(count);
+    }
+    e.u64(m.errors);
+    e.u64(m.timeouts);
+    e.u64(m.malformed);
+    e.u64(m.connections);
+    e.u64(m.responses);
+    e.u64(m.shed);
+    e.u64(m.panics);
+    e.u64(m.write_failures);
+    e.u64(m.p50_us);
+    e.u64(m.p99_us);
+    encode_store_tiers(e, &m.stores);
+    e.u32(m.registry.len().min(u32::MAX as usize) as u32);
+    for (key, value) in &m.registry {
+        e.str(&key.chars().take(MAX_NAME).collect::<String>());
+        e.u64(*value);
+    }
+}
+
+fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
+    let mut by_kind = [0u64; KIND_COUNT];
+    for slot in &mut by_kind {
+        *slot = d.u64("kind counter")?;
+    }
+    let errors = d.u64("errors")?;
+    let timeouts = d.u64("timeouts")?;
+    let malformed = d.u64("malformed")?;
+    let connections = d.u64("connections")?;
+    let responses = d.u64("responses")?;
+    let shed = d.u64("shed")?;
+    let panics = d.u64("panics")?;
+    let write_failures = d.u64("write failures")?;
+    let p50_us = d.u64("p50")?;
+    let p99_us = d.u64("p99")?;
+    let stores = decode_store_tiers(d)?;
     let n = d.u32("registry entry count")? as usize;
     if n > 8192 {
         return Err(ServeError::Malformed(format!("{n} registry entries")));
@@ -582,6 +686,10 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
         timeouts,
         malformed,
         connections,
+        responses,
+        shed,
+        panics,
+        write_failures,
         p50_us,
         p99_us,
         stores,
@@ -672,11 +780,22 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
             }
             Response::Stores(infos)
         }
+        RESP_HEALTH => {
+            let state = HealthState::from_u8(d.u8("health state")?)
+                .ok_or_else(|| ServeError::Malformed("bad health state".into()))?;
+            let stores = decode_store_tiers(&mut d)?;
+            Response::Health { state, stores }
+        }
         RESP_ERROR => {
             let code = ErrorCode::from_u8(d.u8("error code")?)
                 .ok_or_else(|| ServeError::Malformed("bad error code".into()))?;
             let message = d.str("error message")?;
-            Response::Error { code, message }
+            let retry_after_ms = d.u32("retry-after hint")?;
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            }
         }
         other => {
             return Err(ServeError::Malformed(format!(
@@ -779,6 +898,7 @@ mod tests {
             Request::Metrics,
             Request::Stores,
             Request::Shutdown,
+            Request::Health,
             Request::Distance {
                 store: "day".into(),
                 a: r1,
@@ -834,13 +954,40 @@ mod tests {
             Response::Error {
                 code: ErrorCode::DeadlineExceeded,
                 message: "too slow".into(),
+                retry_after_ms: 0,
+            },
+            Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+                retry_after_ms: 150,
+            },
+            Response::Health {
+                state: HealthState::Degraded,
+                stores: vec![StoreTierMetrics {
+                    name: "day".into(),
+                    tiers: TierSnapshot {
+                        pooled: 3,
+                        on_demand: 1,
+                        exact: 0,
+                        pooled_fallbacks: 1,
+                        on_demand_fallbacks: 0,
+                        cache_hits: 2,
+                        cache_misses: 2,
+                        cache_evictions: 0,
+                        cache_capacity: 64,
+                    },
+                }],
             },
             Response::Metrics(MetricsSnapshot {
-                by_kind: [1, 2, 3, 4, 5, 6, 7, 8],
+                by_kind: [1, 2, 3, 4, 5, 6, 7, 8, 9],
                 errors: 9,
                 timeouts: 1,
                 malformed: 2,
                 connections: 3,
+                responses: 40,
+                shed: 4,
+                panics: 1,
+                write_failures: 2,
                 p50_us: 120,
                 p99_us: 950,
                 stores: vec![StoreTierMetrics {

@@ -1,0 +1,192 @@
+//! Client-side retry policy: exponential backoff with deterministic
+//! jitter, bounded attempts, and an overall wall-clock budget.
+//!
+//! A [`RetryPolicy`] is applied by [`Client`](crate::Client) only to
+//! *idempotent* request kinds (every kind except the shutdown poison
+//! message, see [`RequestKind::is_idempotent`]), and only to *transient*
+//! failures: transport errors, a peer that closed mid-exchange, a
+//! response stream that desynchronized, and the server's own
+//! `Overloaded`/`Draining` refusals. Layer errors (`table`, `sketch`,
+//! `mining`, `unknown-store`) are deterministic and fail fast, and a
+//! `deadline-exceeded` answer is final — the deadline *is* the retry
+//! budget for that request.
+//!
+//! Jitter is a seeded xorshift sequence, not wall-clock entropy, so a
+//! test (or a bug report) replays the exact same backoff schedule.
+
+use crate::error::ServeError;
+
+/// Retry policy for idempotent requests.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, ms; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Upper bound on a single backoff, ms.
+    pub max_backoff_ms: u64,
+    /// Overall wall-clock budget across all attempts and backoffs, ms.
+    /// A retry whose backoff would overrun the budget is not taken.
+    pub budget_ms: u64,
+    /// Seed for the deterministic jitter sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 25,
+            max_backoff_ms: 1_000,
+            budget_ms: 10_000,
+            seed: 0x7AB5_7E7C,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` attempts and defaults elsewhere.
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Replaces the overall budget.
+    #[must_use]
+    pub fn with_budget_ms(mut self, budget_ms: u64) -> Self {
+        self.budget_ms = budget_ms;
+        self
+    }
+
+    /// Replaces the jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether this failure is transient enough to retry. Retrying is
+    /// also conditional on the request kind being idempotent, which the
+    /// caller checks.
+    pub fn is_retryable(e: &ServeError) -> bool {
+        match e {
+            // Transport failures and desynchronized streams: the next
+            // attempt reconnects.
+            ServeError::Io(_) | ServeError::Disconnected | ServeError::Malformed(_) => true,
+            // The server told us to come back later.
+            ServeError::Overloaded { .. } | ServeError::Draining => true,
+            // Deterministic failures, final answers, and local
+            // configuration problems: never retry.
+            ServeError::DeadlineExceeded
+            | ServeError::ShuttingDown
+            | ServeError::FrameTooLarge(_)
+            | ServeError::UnknownStore(_)
+            | ServeError::Remote { .. }
+            | ServeError::UnexpectedResponse(_)
+            | ServeError::Table(_)
+            | ServeError::Sketch(_)
+            | ServeError::Cluster(_)
+            | ServeError::Config(_) => false,
+        }
+    }
+
+    /// The backoff before retry number `retry` (0-based), in ms:
+    /// exponential with ±50% deterministic jitter, clamped to
+    /// `max_backoff_ms`, and never below a server-supplied
+    /// `retry_after_ms` hint.
+    pub fn backoff_ms(&self, retry: u32, jitter: &mut JitterRng, hint_ms: u64) -> u64 {
+        let exp = self
+            .base_backoff_ms
+            .saturating_mul(1u64.checked_shl(retry).unwrap_or(u64::MAX))
+            .min(self.max_backoff_ms)
+            .max(1);
+        // Full-jitter-ish: uniform in [exp/2, exp].
+        let half = exp / 2;
+        let span = exp - half + 1;
+        let jittered = half + jitter.next_u64() % span;
+        jittered.max(hint_ms)
+    }
+}
+
+/// A tiny deterministic xorshift64* generator for backoff jitter.
+#[derive(Clone, Debug)]
+pub struct JitterRng {
+    state: u64,
+}
+
+impl JitterRng {
+    /// Seeds the sequence; the same seed replays the same backoffs.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed | 1, // never zero
+        }
+    }
+
+    /// The next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorCode;
+
+    #[test]
+    fn backoff_grows_within_bounds_and_replays() {
+        let policy = RetryPolicy::default();
+        let mut a = JitterRng::new(42);
+        let mut b = JitterRng::new(42);
+        let mut prev_cap = 0;
+        for retry in 0..8 {
+            let d1 = policy.backoff_ms(retry, &mut a, 0);
+            let d2 = policy.backoff_ms(retry, &mut b, 0);
+            assert_eq!(d1, d2, "same seed must replay the same schedule");
+            let cap = (policy.base_backoff_ms << retry).min(policy.max_backoff_ms);
+            assert!(d1 >= cap / 2 && d1 <= cap, "retry {retry}: {d1} vs cap {cap}");
+            assert!(cap >= prev_cap, "caps are monotone");
+            prev_cap = cap;
+        }
+    }
+
+    #[test]
+    fn server_hint_floors_the_backoff() {
+        let policy = RetryPolicy::default();
+        let mut j = JitterRng::new(7);
+        let d = policy.backoff_ms(0, &mut j, 5_000);
+        assert_eq!(d, 5_000);
+    }
+
+    #[test]
+    fn retryable_classification() {
+        use std::io;
+        assert!(RetryPolicy::is_retryable(&ServeError::Io(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "pipe"
+        ))));
+        assert!(RetryPolicy::is_retryable(&ServeError::Disconnected));
+        assert!(RetryPolicy::is_retryable(&ServeError::Malformed(
+            "garbage".into()
+        )));
+        assert!(RetryPolicy::is_retryable(&ServeError::Overloaded {
+            retry_after_ms: 100
+        }));
+        assert!(RetryPolicy::is_retryable(&ServeError::Draining));
+        assert!(!RetryPolicy::is_retryable(&ServeError::DeadlineExceeded));
+        assert!(!RetryPolicy::is_retryable(&ServeError::ShuttingDown));
+        assert!(!RetryPolicy::is_retryable(&ServeError::UnknownStore(
+            "x".into()
+        )));
+        assert!(!RetryPolicy::is_retryable(&ServeError::Remote {
+            code: ErrorCode::Table,
+            message: "bad rect".into()
+        }));
+    }
+}

@@ -1,38 +1,57 @@
 //! The TCP daemon: listener, worker pool, and request dispatch.
 //!
 //! Built on `std::net` blocking sockets. The accept loop runs
-//! non-blocking and polls a shutdown flag between accepts; accepted
+//! non-blocking and polls the serving state between accepts; accepted
 //! connections go onto a `Mutex`+`Condvar` queue drained by a fixed
 //! pool of scoped worker threads. Scoped threads are what let the
 //! workers' oracles borrow the server's [`LoadedStore`]s directly —
 //! no `Arc` gymnastics, and the borrow checker proves the stores
 //! outlive every in-flight request.
 //!
-//! Shutdown is cooperative and has two triggers: a
-//! [`Request::Shutdown`] poison message from any client, or
-//! [`ServerHandle::shutdown`] from the embedding process. Either sets
-//! one atomic flag; the accept loop stops admitting connections, the
-//! workers finish the frame they are on, answer anything still queued
-//! with a `shutting-down` error, and [`Server::run`] returns.
+//! # Resilience (DESIGN.md §12)
+//!
+//! *Admission control*: the connection queue is bounded by
+//! [`ServerConfig::max_pending`]. A connection arriving while the queue
+//! is full is answered with one `Overloaded` error frame carrying a
+//! retry-after hint and closed, so backlog never grows without bound
+//! and in-flight latency stays flat under overload.
+//!
+//! *Panic isolation*: each request is answered under
+//! [`std::panic::catch_unwind`]; a panic becomes a typed `Internal`
+//! error frame plus a `serve.worker.panics` count, and the worker loop
+//! keeps running — one poisoned request can never shrink the pool. The
+//! oracle locks are `parking_lot` locks, which do not poison.
+//!
+//! *Graceful drain*: shutdown is a state machine, not a flag —
+//! `Running → Draining → Stopped`. Either a [`Request::Shutdown`]
+//! poison message or [`ServerHandle::shutdown`] begins a drain: the
+//! accept loop answers new connections with `Draining` frames,
+//! in-flight requests run to completion, idle and queued connections
+//! are answered with `Draining`/`shutting-down` frames (never silently
+//! dropped), and once no connection is active — or
+//! [`ServerConfig::drain_ms`] elapses — the server stops and
+//! [`Server::run`] returns.
 
 use std::collections::VecDeque;
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use tabsketch_cluster::DEFAULT_SKETCH_CACHE_CAPACITY;
+use tabsketch_obs::{counter, gauge};
 
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::{ServerMetrics, StoreTierMetrics};
 use crate::protocol::{
-    decode_request, encode_response, read_frame, write_frame, Request, Response,
+    decode_request, encode_response, read_frame, write_frame, HealthState, Request, Response,
 };
 use crate::store::{Deadline, LoadedStore, ShardedOracle, StoreSpec};
 
 /// How long a worker waits on the connection queue before re-checking
-/// the shutdown flag.
+/// the serving state.
 const QUEUE_POLL: Duration = Duration::from_millis(50);
 
 /// The accept loop's sleep between polls when no connection is waiting.
@@ -42,8 +61,51 @@ const ACCEPT_POLL: Duration = Duration::from_millis(5);
 /// stall mid-frame before the frame is declared malformed.
 const READ_TIMEOUT: Duration = Duration::from_millis(150);
 
+/// Write timeout for refusal frames (`Overloaded`/`Draining`) sent from
+/// the accept loop, so a slow peer cannot stall admission.
+const REFUSE_WRITE_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// The retry-after hint carried by `Overloaded` frames: two queue-poll
+/// periods, long enough for a worker to drain a slot.
+const RETRY_AFTER_HINT_MS: u32 = 100;
+
+/// Serving states, in order. The only transitions are
+/// `Running → Draining → Stopped` (and `Running → Stopped` on a fatal
+/// listener error).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Running = 0,
+    Draining = 1,
+    Stopped = 2,
+}
+
+/// The shared serving state machine.
+#[derive(Debug, Default)]
+struct ServeState(AtomicU8);
+
+impl ServeState {
+    fn get(&self) -> State {
+        match self.0.load(Ordering::SeqCst) {
+            0 => State::Running,
+            1 => State::Draining,
+            _ => State::Stopped,
+        }
+    }
+
+    /// Begins a drain; a no-op once already draining or stopped.
+    fn begin_drain(&self) {
+        let _ = self
+            .0
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    fn stop(&self) {
+        self.0.store(2, Ordering::SeqCst);
+    }
+}
+
 /// Server configuration: where to listen, how many workers and shards,
-/// and which stores to serve.
+/// which stores to serve, and the resilience bounds.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Listen address; port 0 picks a free port.
@@ -56,6 +118,16 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// The stores to load and serve.
     pub specs: Vec<StoreSpec>,
+    /// Admission bound: connections waiting in the queue beyond this are
+    /// shed with an `Overloaded` frame instead of being enqueued.
+    pub max_pending: usize,
+    /// Drain deadline, ms: how long a shutdown waits for in-flight
+    /// connections before stopping anyway.
+    pub drain_ms: u64,
+    /// Test hook for the chaos suite: any request naming this store
+    /// panics inside the worker instead of being answered, exercising
+    /// the panic-isolation path. Never set it in production.
+    pub panic_store: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +138,9 @@ impl Default for ServerConfig {
             shards: 2,
             cache_capacity: DEFAULT_SKETCH_CACHE_CAPACITY,
             specs: Vec::new(),
+            max_pending: 64,
+            drain_ms: 2_000,
+            panic_store: None,
         }
     }
 }
@@ -74,7 +149,7 @@ impl Default for ServerConfig {
 #[derive(Clone, Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
+    state: Arc<ServeState>,
 }
 
 impl ServerHandle {
@@ -83,14 +158,15 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Asks the server to stop; [`Server::run`] returns shortly after.
+    /// Begins a graceful drain; [`Server::run`] returns once in-flight
+    /// connections finish or the drain deadline passes.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        self.state.begin_drain();
     }
 
-    /// Whether shutdown has been requested.
+    /// Whether shutdown has been requested (draining or stopped).
     pub fn is_shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.state.get() != State::Running
     }
 }
 
@@ -104,7 +180,7 @@ pub struct Server {
     addr: SocketAddr,
     stores: Vec<LoadedStore>,
     config: ServerConfig,
-    shutdown: Arc<AtomicBool>,
+    state: Arc<ServeState>,
     metrics: Arc<ServerMetrics>,
 }
 
@@ -138,7 +214,7 @@ impl Server {
             addr,
             stores,
             config,
-            shutdown: Arc::new(AtomicBool::new(false)),
+            state: Arc::new(ServeState::default()),
             metrics: Arc::new(ServerMetrics::new()),
         })
     }
@@ -163,12 +239,13 @@ impl Server {
     pub fn handle(&self) -> ServerHandle {
         ServerHandle {
             addr: self.addr,
-            shutdown: Arc::clone(&self.shutdown),
+            state: Arc::clone(&self.state),
         }
     }
 
-    /// Serves until shutdown is requested. Blocks the calling thread;
-    /// workers run as scoped threads borrowing this server's stores.
+    /// Serves until shutdown is requested and the drain completes.
+    /// Blocks the calling thread; workers run as scoped threads
+    /// borrowing this server's stores.
     ///
     /// # Errors
     ///
@@ -184,29 +261,90 @@ impl Server {
                 self.config.cache_capacity,
             )?);
         }
+        let active = AtomicUsize::new(0);
         let ctx = ServeCtx {
             stores: &self.stores,
             oracles: &oracles,
             metrics: &self.metrics,
-            shutdown: &self.shutdown,
+            state: &self.state,
+            panic_store: self.config.panic_store.as_deref(),
         };
         let queue = ConnQueue::default();
         self.listener.set_nonblocking(true)?;
+        let workers = self.config.workers.max(1);
+        gauge!("serve.workers.live").set(workers as u64);
 
         let mut accept_error = None;
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
+            for _ in 0..workers {
                 scope.spawn(|| {
-                    while let Some(stream) = queue.pop(ctx.shutdown) {
-                        handle_connection(stream, &ctx);
+                    while let Some(stream) = queue.pop(ctx.state) {
+                        active.fetch_add(1, Ordering::SeqCst);
+                        // One poisoned connection must not kill the
+                        // worker: catch, count, keep serving. The inner
+                        // per-request guard in handle_connection answers
+                        // the panic with an Internal frame; this outer
+                        // guard is the last line of defense.
+                        if std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            handle_connection(stream, &ctx)
+                        }))
+                        .is_err()
+                        {
+                            ctx.metrics.record_panic();
+                        }
+                        active.fetch_sub(1, Ordering::SeqCst);
                     }
                 });
             }
-            while !self.shutdown.load(Ordering::SeqCst) {
+            let mut drain_started: Option<Instant> = None;
+            let drain_deadline = Duration::from_millis(self.config.drain_ms);
+            loop {
+                match self.state.get() {
+                    State::Stopped => break,
+                    State::Running => {}
+                    State::Draining => {
+                        let t0 = *drain_started.get_or_insert_with(Instant::now);
+                        let drained = queue.len() == 0 && active.load(Ordering::SeqCst) == 0;
+                        if drained || t0.elapsed() >= drain_deadline {
+                            counter!("serve.drain.completed").inc();
+                            if !drained {
+                                counter!("serve.drain.deadline_hits").inc();
+                            }
+                            self.state.stop();
+                            break;
+                        }
+                    }
+                }
                 match self.listener.accept() {
                     Ok((stream, _)) => {
-                        self.metrics.record_connection();
-                        queue.push(stream);
+                        if self.state.get() != State::Running {
+                            counter!("serve.drain.refused").inc();
+                            refuse(
+                                stream,
+                                &Response::Error {
+                                    code: ErrorCode::Draining,
+                                    message: "server draining".to_string(),
+                                    retry_after_ms: 0,
+                                },
+                            );
+                        } else if queue.len() >= self.config.max_pending {
+                            self.metrics.record_shed();
+                            refuse(
+                                stream,
+                                &Response::Error {
+                                    code: ErrorCode::Overloaded,
+                                    message: format!(
+                                        "{} connections pending (bound {})",
+                                        queue.len(),
+                                        self.config.max_pending
+                                    ),
+                                    retry_after_ms: RETRY_AFTER_HINT_MS,
+                                },
+                            );
+                        } else {
+                            self.metrics.record_connection();
+                            queue.push(stream);
+                        }
                     }
                     Err(e)
                         if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::Interrupted) =>
@@ -215,17 +353,26 @@ impl Server {
                     }
                     Err(e) => {
                         accept_error = Some(ServeError::Io(e));
-                        self.shutdown.store(true, Ordering::SeqCst);
+                        self.state.stop();
                     }
                 }
             }
             queue.close();
         });
+        gauge!("serve.workers.live").set(0);
         match accept_error {
             Some(e) => Err(e),
             None => Ok(()),
         }
     }
+}
+
+/// Answers a connection the accept loop refuses (shed or draining) with
+/// one error frame, bounded by a short write timeout, and closes it.
+fn refuse(mut stream: TcpStream, resp: &Response) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(REFUSE_WRITE_TIMEOUT));
+    let _ = write_frame(&mut stream, &encode_response(resp));
 }
 
 /// The blocking connection queue between the accept loop and workers.
@@ -237,19 +384,28 @@ struct ConnQueue {
 
 impl ConnQueue {
     fn push(&self, stream: TcpStream) {
-        self.inner.lock().expect("queue lock").push_back(stream);
+        let mut guard = self.inner.lock().expect("queue lock");
+        guard.push_back(stream);
+        gauge!("serve.queue.depth").set(guard.len() as u64);
+        drop(guard);
         self.ready.notify_one();
     }
 
-    /// Pops the next connection; `None` once shutdown is requested and
-    /// the queue has drained.
-    fn pop(&self, shutdown: &AtomicBool) -> Option<TcpStream> {
+    fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").len()
+    }
+
+    /// Pops the next connection; `None` once the server has stopped and
+    /// the queue has drained. Every connection pushed before the stop is
+    /// still popped — a queued peer is always answered, never dropped.
+    fn pop(&self, state: &ServeState) -> Option<TcpStream> {
         let mut guard = self.inner.lock().expect("queue lock");
         loop {
             if let Some(stream) = guard.pop_front() {
+                gauge!("serve.queue.depth").set(guard.len() as u64);
                 return Some(stream);
             }
-            if shutdown.load(Ordering::SeqCst) {
+            if state.get() == State::Stopped {
                 return None;
             }
             let (g, _) = self
@@ -271,7 +427,8 @@ struct ServeCtx<'a> {
     stores: &'a [LoadedStore],
     oracles: &'a [ShardedOracle<'a>],
     metrics: &'a Arc<ServerMetrics>,
-    shutdown: &'a AtomicBool,
+    state: &'a ServeState,
+    panic_store: Option<&'a str>,
 }
 
 impl<'a> ServeCtx<'a> {
@@ -283,9 +440,40 @@ impl<'a> ServeCtx<'a> {
             .ok_or_else(|| ServeError::UnknownStore(name.to_string()))
     }
 
+    fn store_tiers(&self) -> Vec<StoreTierMetrics> {
+        self.stores
+            .iter()
+            .zip(self.oracles)
+            .map(|(s, o)| StoreTierMetrics {
+                name: s.name().to_string(),
+                tiers: o.counters(),
+            })
+            .collect()
+    }
+
+    fn health_state(&self) -> HealthState {
+        if self.state.get() != State::Running {
+            HealthState::Draining
+        } else if self.stores.iter().any(|s| s.degradation().is_some()) {
+            HealthState::Degraded
+        } else {
+            HealthState::Ready
+        }
+    }
+
     fn answer(&self, request: &Request, deadline: Deadline) -> Result<Response, ServeError> {
-        if self.shutdown.load(Ordering::SeqCst) && !matches!(request, Request::Shutdown) {
-            return Err(ServeError::ShuttingDown);
+        match self.state.get() {
+            State::Running => {}
+            // Health probes and the shutdown poison message are
+            // answered in any state; everything else is refused.
+            _ if matches!(request, Request::Shutdown | Request::Health) => {}
+            State::Draining => return Err(ServeError::Draining),
+            State::Stopped => return Err(ServeError::ShuttingDown),
+        }
+        if let (Some(poison), Some(store)) = (self.panic_store, request.store_name()) {
+            if poison == store {
+                panic!("chaos hook: deliberate panic answering store {store:?}");
+            }
         }
         match request {
             Request::Ping => Ok(Response::Pong),
@@ -312,23 +500,16 @@ impl<'a> ServeCtx<'a> {
                 let neighbors = oracle.knn(loaded.table(), *rect, *count as usize, deadline)?;
                 Ok(Response::Knn { neighbors })
             }
-            Request::Metrics => {
-                let stores = self
-                    .stores
-                    .iter()
-                    .zip(self.oracles)
-                    .map(|(s, o)| StoreTierMetrics {
-                        name: s.name().to_string(),
-                        tiers: o.counters(),
-                    })
-                    .collect();
-                Ok(Response::Metrics(self.metrics.snapshot(stores)))
-            }
+            Request::Metrics => Ok(Response::Metrics(self.metrics.snapshot(self.store_tiers()))),
             Request::Stores => Ok(Response::Stores(
                 self.stores.iter().map(LoadedStore::info).collect(),
             )),
+            Request::Health => Ok(Response::Health {
+                state: self.health_state(),
+                stores: self.store_tiers(),
+            }),
             Request::Shutdown => {
-                self.shutdown.store(true, Ordering::SeqCst);
+                self.state.begin_drain();
                 Ok(Response::ShuttingDown)
             }
         }
@@ -339,11 +520,15 @@ fn error_response(e: &ServeError) -> Response {
     Response::Error {
         code: e.error_code(),
         message: e.to_string(),
+        retry_after_ms: match e {
+            ServeError::Overloaded { retry_after_ms } => *retry_after_ms,
+            _ => 0,
+        },
     }
 }
 
 /// Serves one connection until the peer closes, a framing violation
-/// desynchronizes the stream, or shutdown is requested.
+/// desynchronizes the stream, or the server leaves the running state.
 fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx<'_>) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
@@ -351,17 +536,24 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx<'_>) {
     }
     let mut probe = [0u8; 1];
     loop {
-        if ctx.shutdown.load(Ordering::SeqCst) {
-            let resp = Response::Error {
-                code: ErrorCode::ShuttingDown,
-                message: "server shutting down".to_string(),
-            };
-            let _ = write_frame(&mut stream, &encode_response(&resp));
-            return;
+        match ctx.state.get() {
+            State::Running => {}
+            // The in-flight request (if any) has already been answered
+            // below; between frames, tell the peer why we are leaving
+            // instead of silently closing.
+            state => {
+                let e = if state == State::Draining {
+                    ServeError::Draining
+                } else {
+                    ServeError::ShuttingDown
+                };
+                let _ = write_frame(&mut stream, &encode_response(&error_response(&e)));
+                return;
+            }
         }
         // Idle wait: peek (bounded by the read timeout) until the next
         // frame's first byte arrives, so a quiet connection never holds
-        // a worker past the shutdown flag.
+        // a worker past a drain.
         match stream.peek(&mut probe) {
             Ok(0) => return,
             Ok(_) => {}
@@ -375,7 +567,11 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx<'_>) {
                 // Framing violations cannot be resynchronized: answer
                 // with the typed error, then drop the connection.
                 ctx.metrics.record_malformed();
-                let _ = write_frame(&mut stream, &encode_response(&error_response(&e)));
+                if write_frame(&mut stream, &encode_response(&error_response(&e))).is_ok() {
+                    ctx.metrics.record_response();
+                } else {
+                    ctx.metrics.record_write_failure();
+                }
                 return;
             }
         };
@@ -390,9 +586,15 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx<'_>) {
             Ok(frame) => {
                 ctx.metrics.record_request(frame.request.kind());
                 let deadline = Deadline::from_ms(frame.deadline_ms);
-                match ctx.answer(&frame.request, deadline) {
-                    Ok(resp) => resp,
-                    Err(e) => {
+                // Panic isolation: a panicking answer (chaos hook, or a
+                // genuine bug) becomes a typed Internal frame and the
+                // connection keeps serving. parking_lot oracle locks do
+                // not poison, so shared state stays usable.
+                match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    ctx.answer(&frame.request, deadline)
+                })) {
+                    Ok(Ok(resp)) => resp,
+                    Ok(Err(e)) => {
                         if matches!(e, ServeError::DeadlineExceeded) {
                             ctx.metrics.record_timeout();
                         } else {
@@ -400,16 +602,135 @@ fn handle_connection(mut stream: TcpStream, ctx: &ServeCtx<'_>) {
                         }
                         error_response(&e)
                     }
+                    Err(_) => {
+                        ctx.metrics.record_panic();
+                        ctx.metrics.record_error();
+                        Response::Error {
+                            code: ErrorCode::Internal,
+                            message: "worker panicked answering the request".to_string(),
+                            retry_after_ms: 0,
+                        }
+                    }
                 }
             }
         };
         ctx.metrics
             .record_latency(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
         if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            ctx.metrics.record_write_failure();
             return;
         }
+        ctx.metrics.record_response();
         if matches!(response, Response::ShuttingDown) {
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Satellite coverage for the queue/shutdown race: streams pushed
+    /// concurrently with a drain must all be popped (and thus answered)
+    /// — none silently dropped — and every worker must return promptly
+    /// once the server stops.
+    #[test]
+    fn conn_queue_pop_vs_shutdown_race_drops_nothing() {
+        for round in 0..20 {
+            let queue = ConnQueue::default();
+            let state = ServeState::default();
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let popped = AtomicUsize::new(0);
+            let pushed = 8 + round % 5;
+            std::thread::scope(|scope| {
+                // Four workers racing over the queue.
+                for _ in 0..4 {
+                    scope.spawn(|| {
+                        while let Some(stream) = queue.pop(&state) {
+                            popped.fetch_add(1, Ordering::SeqCst);
+                            drop(stream);
+                        }
+                    });
+                }
+                // A producer pushing real loopback connections while…
+                scope.spawn(|| {
+                    for i in 0..pushed {
+                        let conn = TcpStream::connect(addr).unwrap();
+                        let (accepted, _) = listener.accept().unwrap();
+                        queue.push(accepted);
+                        drop(conn);
+                        if i == pushed / 2 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    // …the drain begins mid-stream.
+                    state.begin_drain();
+                    state.stop();
+                    queue.close();
+                });
+            });
+            assert_eq!(
+                popped.load(Ordering::SeqCst),
+                pushed,
+                "round {round}: a queued connection was dropped"
+            );
+            assert_eq!(queue.len(), 0);
+            // pop() after stop returns None immediately: no hang.
+            assert!(queue.pop(&state).is_none());
+        }
+    }
+
+    #[test]
+    fn state_machine_transitions_one_way() {
+        let s = ServeState::default();
+        assert_eq!(s.get(), State::Running);
+        s.begin_drain();
+        assert_eq!(s.get(), State::Draining);
+        // begin_drain is idempotent and cannot resurrect a stopped server.
+        s.begin_drain();
+        assert_eq!(s.get(), State::Draining);
+        s.stop();
+        assert_eq!(s.get(), State::Stopped);
+        s.begin_drain();
+        assert_eq!(s.get(), State::Stopped);
+    }
+
+    /// A refused connection gets a well-formed error frame even though
+    /// the accept loop never hands it to a worker.
+    #[test]
+    fn refuse_writes_one_typed_frame() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        refuse(
+            server_side,
+            &Response::Error {
+                code: ErrorCode::Overloaded,
+                message: "full".into(),
+                retry_after_ms: RETRY_AFTER_HINT_MS,
+            },
+        );
+        let payload = read_frame(&mut client).unwrap().expect("one frame");
+        match crate::protocol::decode_response(&payload).unwrap() {
+            Response::Error {
+                code,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(code, ErrorCode::Overloaded);
+                assert_eq!(retry_after_ms, RETRY_AFTER_HINT_MS);
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // And then a clean close.
+        let mut rest = Vec::new();
+        client.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
     }
 }

@@ -1,0 +1,336 @@
+//! The deterministic chaos soak: a seeded fault-injecting transport
+//! hammers a live server with sliced, delayed, corrupted, and reset
+//! exchanges, plus deliberate worker panics. The invariants under all
+//! of it: every exchange ends in a valid response, a typed error
+//! frame, or a clean close — never a client-side timeout (a hung
+//! worker) and never a dead server — and the server's request/response
+//! accounting stays balanced.
+//!
+//! Every fault decision derives from `SOAK_SEED`; a failure replays
+//! exactly.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+use tabsketch_serve::chaos::{ChaosRng, ChaosStream, FaultPlan};
+use tabsketch_serve::protocol::{
+    decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
+};
+use tabsketch_serve::{Client, HealthState, Server, ServerConfig, StoreSpec};
+use tabsketch_table::{io as table_io, Rect, Table};
+
+const SOAK_SEED: u64 = 0xC4A0_5EED;
+
+fn fixture(tag: &str) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "tabsketch-serve-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let table_path = dir.join("t.tsb");
+    let store_path = dir.join("t.tsks");
+    let table: Table = SixRegionGenerator::new(SixRegionConfig {
+        rows: 32,
+        cols: 32,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate();
+    table_io::save_binary(&table, &table_path).unwrap();
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(32)
+            .seed(5)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let store = AllSubtableSketches::build(&table, 8, 8, sketcher).unwrap();
+    persist::save_store(&store, &store_path).unwrap();
+    (dir, table_path, store_path)
+}
+
+struct StopOnDrop(tabsketch_serve::ServerHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// A request chosen by the soak RNG — all idempotent kinds.
+fn pick_request(rng: &mut ChaosRng) -> Request {
+    let r = |v: u64| Rect::new((v % 3) as usize * 8, ((v / 3) % 3) as usize * 8, 8, 8);
+    match rng.below(6) {
+        0 => Request::Ping,
+        1 => Request::Distance {
+            store: "day".into(),
+            a: r(rng.below(9)),
+            b: r(rng.below(9)),
+        },
+        2 => Request::Sketch {
+            store: "day".into(),
+            rect: r(rng.below(9)),
+        },
+        3 => Request::Knn {
+            store: "day".into(),
+            rect: r(rng.below(9)),
+            count: 3,
+        },
+        4 => Request::Stores,
+        _ => Request::Health,
+    }
+}
+
+/// One exchange through a chaotic transport: send one request, read
+/// one reply, classify the outcome.
+enum Outcome {
+    /// A decodable non-error response.
+    Answered,
+    /// A decodable typed error frame.
+    TypedError,
+    /// The connection closed without a frame (reset or clean close).
+    Closed,
+    /// A transport error on our side (e.g. our own injected reset).
+    TransportError,
+}
+
+fn one_exchange(chaos: &mut ChaosStream<TcpStream>, request: &Request) -> Outcome {
+    let frame = RequestFrame {
+        deadline_ms: 1_000,
+        request: request.clone(),
+    };
+    if write_frame(chaos, &encode_request(&frame)).is_err() {
+        return Outcome::TransportError;
+    }
+    if chaos.flush().is_err() {
+        return Outcome::TransportError;
+    }
+    match read_frame(chaos) {
+        Ok(Some(payload)) => match decode_response(&payload) {
+            Ok(Response::Error { .. }) => Outcome::TypedError,
+            Ok(_) => Outcome::Answered,
+            // A garbled *response* cannot happen (we only corrupt our
+            // own writes), so a decode failure means the stream
+            // desynchronized after our corrupted request: the server
+            // answered something; treat it as closed after we drop.
+            Err(_) => Outcome::TypedError,
+        },
+        Ok(None) => Outcome::Closed,
+        Err(tabsketch_serve::ServeError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ) =>
+        {
+            panic!("HANG: server did not answer within the soak timeout ({request:?})")
+        }
+        Err(_) => Outcome::Closed,
+    }
+}
+
+/// Slicing faults only (short reads, partial writes, micro-delays):
+/// nothing is lost or corrupted, so every exchange must fully succeed.
+#[test]
+fn soak_slicing_faults_lose_nothing() {
+    let (dir, table_path, store_path) = fixture("slice");
+    let config = ServerConfig {
+        workers: 2,
+        shards: 2,
+        cache_capacity: 64,
+        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&store_path)],
+        ..Default::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut pick = ChaosRng::new(SOAK_SEED);
+        for i in 0..60u64 {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut chaos = ChaosStream::tcp(stream, SOAK_SEED ^ i, FaultPlan::slicing());
+            for _ in 0..3 {
+                let request = pick_request(&mut pick);
+                match one_exchange(&mut chaos, &request) {
+                    Outcome::Answered => {}
+                    _ => panic!("iteration {i}: slicing faults must be invisible ({request:?})"),
+                }
+            }
+        }
+        let mut c = Client::connect(addr).unwrap();
+        let snap = c.metrics().unwrap();
+        assert_eq!(snap.malformed, 0, "{snap}");
+        assert_eq!(snap.errors, 0, "{snap}");
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The hostile soak: resets and garbage on top of slicing, plus
+/// deliberate worker panics via the chaos hook. Every exchange must
+/// end in an answer, a typed error, or a close — never a hang — and
+/// afterwards the server must be healthy with balanced accounting.
+#[test]
+fn soak_hostile_faults_never_hang_or_kill_the_server() {
+    let (dir, table_path, store_path) = fixture("hostile");
+    let config = ServerConfig {
+        workers: 4,
+        shards: 2,
+        cache_capacity: 64,
+        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&store_path)],
+        panic_store: Some("poison".to_string()),
+        ..Default::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // Phase 1: deliberate panics over a clean connection — each is
+        // answered with a typed Internal frame, and counted exactly.
+        const PANICS: u64 = 4;
+        {
+            let mut c = Client::connect(addr).unwrap();
+            for _ in 0..PANICS {
+                let err = c
+                    .distance("poison", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+                    .unwrap_err();
+                assert!(err.to_string().contains("panicked"), "{err}");
+            }
+            c.ping().unwrap();
+        }
+
+        // Phase 2: the hostile fault storm.
+        let mut pick = ChaosRng::new(SOAK_SEED);
+        let (mut answered, mut typed, mut closed, mut transport) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..150u64 {
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut chaos =
+                ChaosStream::tcp(stream, SOAK_SEED ^ (i.wrapping_mul(0x9E37)), FaultPlan::hostile());
+            let request = pick_request(&mut pick);
+            match one_exchange(&mut chaos, &request) {
+                Outcome::Answered => answered += 1,
+                Outcome::TypedError => typed += 1,
+                Outcome::Closed => closed += 1,
+                Outcome::TransportError => transport += 1,
+            }
+        }
+        // The storm must actually have exercised the fault paths, and
+        // the server must still have answered most of the traffic.
+        assert!(answered >= 75, "answered {answered}/150");
+        assert!(
+            typed + closed + transport > 0,
+            "the hostile plan injected nothing"
+        );
+
+        // Let in-flight connections wind down before auditing.
+        std::thread::sleep(Duration::from_millis(500));
+
+        // Phase 3: the audit. A clean client sees a Ready server with
+        // exactly the panics we injected and balanced accounting.
+        let mut c = Client::connect(addr).unwrap();
+        let (state, _) = c.health().unwrap();
+        assert_eq!(state, HealthState::Ready);
+        let snap = c.metrics().unwrap();
+        assert_eq!(snap.panics, PANICS, "{snap}");
+        let decoded: u64 = snap.by_kind.iter().sum();
+        // Every frame the server read was answered (or its answer hit
+        // a dead socket and was counted as a write failure). The +1 is
+        // this very metrics request: recorded as decoded, its response
+        // not yet sent when the snapshot was taken.
+        assert_eq!(
+            decoded + snap.malformed,
+            snap.responses + snap.write_failures + 1,
+            "unbalanced accounting: {snap}"
+        );
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Raw garbage thrown straight at the listener (no framing at all):
+/// the server answers each burst with a typed error or a close, and
+/// survives to serve a clean client.
+#[test]
+fn soak_raw_garbage_connections() {
+    let (dir, table_path, store_path) = fixture("garbage");
+    let config = ServerConfig {
+        workers: 2,
+        shards: 2,
+        cache_capacity: 64,
+        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&store_path)],
+        ..Default::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut rng = ChaosRng::new(SOAK_SEED);
+        for i in 0..40 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let len = 1 + rng.below(64) as usize;
+            let junk: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+            if s.write_all(&junk).is_err() {
+                continue;
+            }
+            // Closing our write half bounds the exchange: the server
+            // answers whatever frames the junk happened to form, sees
+            // EOF, and closes. Reading until EOF must not time out.
+            let _ = s.shutdown(std::net::Shutdown::Write);
+            let mut buf = Vec::new();
+            match s.read_to_end(&mut buf) {
+                Ok(_) => {
+                    // Junk can accidentally form decodable frames, so
+                    // the replies may mix typed errors with ordinary
+                    // responses — each one must at least decode.
+                    let mut rest: &[u8] = &buf;
+                    while let Ok(Some(payload)) = read_frame(&mut rest) {
+                        decode_response(&payload)
+                            .unwrap_or_else(|e| panic!("burst {i}: undecodable reply: {e}"));
+                    }
+                }
+                // A reset is fine — closing with unread junk in the
+                // receive buffer makes the kernel send RST, not FIN.
+                // Only a timeout would mean a hung worker.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    panic!("garbage burst {i} hung the server: {e}")
+                }
+                Err(_) => {}
+            }
+        }
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        let (state, _) = c.health().unwrap();
+        assert_eq!(state, HealthState::Ready);
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,451 @@
+//! Integration tests of the resilience layer over real sockets:
+//! overload shedding, graceful drain, health probes, panic isolation,
+//! and the retrying client against a deterministically flaky network.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+use tabsketch_serve::chaos::{ChaosRng, FaultyProxy};
+use tabsketch_serve::protocol::{decode_response, read_frame, Response};
+use tabsketch_serve::{
+    Client, ErrorCode, HealthState, RetryPolicy, ServeError, Server, ServerConfig, StoreSpec,
+};
+use tabsketch_table::{io as table_io, Rect, Table};
+
+/// Generates a table + sketch store on disk; returns their dir and paths.
+fn fixture(tag: &str, rows: usize, cols: usize, tile: usize) -> (PathBuf, PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "tabsketch-serve-res-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let table_path = dir.join("t.tsb");
+    let store_path = dir.join("t.tsks");
+    let table: Table = SixRegionGenerator::new(SixRegionConfig {
+        rows,
+        cols,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate();
+    table_io::save_binary(&table, &table_path).unwrap();
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(32)
+            .seed(5)
+            .build()
+            .unwrap(),
+    )
+    .unwrap();
+    let store = AllSubtableSketches::build(&table, tile, tile, sketcher).unwrap();
+    persist::save_store(&store, &store_path).unwrap();
+    (dir, table_path, store_path)
+}
+
+fn config(table_path: &PathBuf, store_path: &PathBuf) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        shards: 2,
+        cache_capacity: 64,
+        specs: vec![StoreSpec::new("day", table_path).with_store_path(store_path)],
+        ..Default::default()
+    }
+}
+
+/// Stops the server when a test panics mid-scope, so `run` returns and
+/// the scope can join instead of deadlocking the test binary.
+struct StopOnDrop(tabsketch_serve::ServerHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// With the queue full, every new connection is answered with exactly
+/// one `Overloaded` frame carrying a retry-after hint, then closed —
+/// and the connections already being served are unaffected.
+#[test]
+fn overloaded_server_sheds_with_typed_frames() {
+    let (dir, table_path, store_path) = fixture("shed", 32, 32, 8);
+    let mut cfg = config(&table_path, &store_path);
+    cfg.workers = 2;
+    cfg.max_pending = 2;
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr();
+    let metrics = server.metrics();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // Four holders: two occupy the workers, two fill the queue.
+        // They never send anything — an open connection parks a worker
+        // in its read loop. Connect them one at a time so the first
+        // two are popped by workers before the queue is measured.
+        let mut holders = Vec::new();
+        for _ in 0..4 {
+            holders.push(TcpStream::connect(addr).unwrap());
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        // Settled state: 2 active, 2 queued, queue at its bound.
+
+        // Every further connection is shed.
+        for i in 0..20 {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let payload = read_frame(&mut s)
+                .expect("shed connections get a frame, not a reset")
+                .expect("shed connections get a frame before close");
+            match decode_response(&payload).unwrap() {
+                Response::Error {
+                    code,
+                    retry_after_ms,
+                    ..
+                } => {
+                    assert_eq!(code, ErrorCode::Overloaded, "conn {i}");
+                    assert!(retry_after_ms > 0, "conn {i}: hint must be set");
+                }
+                other => panic!("conn {i}: expected Overloaded, got {other:?}"),
+            }
+            // And then a clean close — nothing else on the wire.
+            let mut rest = Vec::new();
+            s.read_to_end(&mut rest).unwrap();
+            assert!(rest.is_empty(), "conn {i}");
+        }
+        assert_eq!(metrics.snapshot(Vec::new()).shed, 20);
+
+        // Releasing the holders lets the queued pair drain; the server
+        // accepts again and still answers real work.
+        drop(holders);
+        std::thread::sleep(Duration::from_millis(300));
+        let mut c = Client::connect(addr).unwrap();
+        let (d, _) = c
+            .distance("day", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap();
+        assert!(d.is_finite());
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shutdown is a drain: in-progress connections are told why the
+/// server is leaving, latecomers are refused with `Draining` frames,
+/// and `run` returns well inside the drain deadline once idle.
+#[test]
+fn drain_refuses_latecomers_and_completes_quickly() {
+    let (dir, table_path, store_path) = fixture("drain", 32, 32, 8);
+    let mut cfg = config(&table_path, &store_path);
+    cfg.drain_ms = 5_000;
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // An idle connection a worker is sitting on.
+        let mut idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        drop(c);
+        std::thread::sleep(Duration::from_millis(50));
+
+        let drain_started = Instant::now();
+        handle.shutdown();
+
+        // A latecomer racing the drain gets a typed Draining frame
+        // from the accept loop (or, if the drain already completed, a
+        // refused connect / clean close).
+        if let Ok(mut late) = TcpStream::connect(addr) {
+            late.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            if let Ok(Some(payload)) = read_frame(&mut late) {
+                match decode_response(&payload).unwrap() {
+                    Response::Error { code, .. } => assert!(
+                        code == ErrorCode::Draining || code == ErrorCode::ShuttingDown,
+                        "latecomer got {code:?}"
+                    ),
+                    other => panic!("latecomer got {other:?}"),
+                }
+            }
+        }
+
+        // The idle connection is told too, then released.
+        let mut buf = Vec::new();
+        idle.read_to_end(&mut buf).unwrap();
+        if !buf.is_empty() {
+            let payload = read_frame(&mut &buf[..]).unwrap().unwrap();
+            match decode_response(&payload).unwrap() {
+                Response::Error { code, .. } => assert!(
+                    code == ErrorCode::Draining || code == ErrorCode::ShuttingDown,
+                    "idle conn got {code:?}"
+                ),
+                other => panic!("idle conn got {other:?}"),
+            }
+        }
+
+        assert!(run.join().unwrap().is_ok());
+        let elapsed = drain_started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(1_500),
+            "drain of an idle server must not wait for the deadline: {elapsed:?}"
+        );
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The health probe reports Ready for a healthy server and Degraded
+/// when a store's sketch file is damaged (the store still serves, from
+/// the on-demand tier).
+#[test]
+fn health_reports_ready_and_degraded() {
+    let (dir, table_path, store_path) = fixture("health", 32, 32, 8);
+
+    // Healthy: Ready, with one tier entry per store.
+    let server = Server::bind(config(&table_path, &store_path)).unwrap();
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(addr).unwrap();
+        let (state, stores) = c.health().unwrap();
+        assert_eq!(state, HealthState::Ready);
+        assert_eq!(stores.len(), 1);
+        assert_eq!(stores[0].name, "day");
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+
+    // A corrupt sketch store file: the server binds (degraded store
+    // still serves from its table) and health says so.
+    let bad_store = dir.join("bad.tsks");
+    std::fs::write(&bad_store, b"not a sketch store").unwrap();
+    let cfg = ServerConfig {
+        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&bad_store)],
+        ..Default::default()
+    };
+    let server = Server::bind(cfg).unwrap();
+    assert!(server.stores()[0].degradation().is_some());
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(addr).unwrap();
+        let (state, _) = c.health().unwrap();
+        assert_eq!(state, HealthState::Degraded);
+        // Degraded, not dead: distances still answer.
+        let (d, _) = c
+            .distance("day", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap();
+        assert!(d.is_finite());
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A panicking request becomes a typed Internal frame; the connection,
+/// the worker, and the rest of the pool keep serving; the panics are
+/// counted. Fires more panics than there are workers to prove the pool
+/// never shrinks.
+#[test]
+fn panics_are_isolated_counted_and_answered() {
+    let (dir, table_path, store_path) = fixture("panic", 32, 32, 8);
+    let mut cfg = config(&table_path, &store_path);
+    cfg.workers = 2;
+    cfg.panic_store = Some("poison".to_string());
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(addr).unwrap();
+
+        for i in 0..6 {
+            let err = c
+                .distance("poison", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+                .unwrap_err();
+            match err {
+                ServeError::Remote { code, message } => {
+                    assert_eq!(code, ErrorCode::Internal, "panic {i}");
+                    assert!(message.contains("panicked"), "panic {i}: {message}");
+                }
+                other => panic!("panic {i}: expected Internal, got {other}"),
+            }
+            // The same connection still answers healthy requests.
+            c.ping().unwrap();
+        }
+
+        let (d, _) = c
+            .distance("day", Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
+            .unwrap();
+        assert!(d.is_finite());
+        let snap = c.metrics().unwrap();
+        assert_eq!(snap.panics, 6, "{snap}");
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Finds a proxy seed whose first connection dies almost immediately
+/// and whose second connection is clean, by replaying the proxy's
+/// per-connection RNG derivation.
+fn flaky_once_seed(fault_per_mille: u32) -> u64 {
+    for seed in 0..1_000_000u64 {
+        let mut first = ChaosRng::new(seed);
+        let first_dies_early = first.chance(fault_per_mille) && first.below(1024) < 6;
+        let mut second = ChaosRng::new(seed ^ 0x9E37);
+        if first_dies_early && !second.chance(fault_per_mille) {
+            return seed;
+        }
+    }
+    panic!("no flaky-once seed in range");
+}
+
+/// The retrying client recovers from a connection the network kills,
+/// by reconnecting and resending — but only for idempotent requests.
+/// The shutdown poison message is never resent: the same fault that a
+/// retried ping survives remains fatal to shutdown.
+#[test]
+fn retry_recovers_idempotent_requests_but_never_shutdown() {
+    let (dir, table_path, store_path) = fixture("retry", 32, 32, 8);
+    let seed = flaky_once_seed(500);
+
+    // Without retry: the killed first connection fails the ping.
+    {
+        let server = Server::bind(config(&table_path, &store_path)).unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            let _stop = StopOnDrop(server.handle());
+            let run = scope.spawn(|| server.run());
+            let proxy = FaultyProxy::start(addr, seed, 500).unwrap();
+            let mut c = Client::connect(proxy.addr()).unwrap().with_deadline_ms(2_000);
+            let err = c.ping().unwrap_err();
+            assert!(
+                RetryPolicy::is_retryable(&err),
+                "the injected fault must look transient: {err}"
+            );
+            drop(proxy);
+            let mut c = Client::connect(addr).unwrap();
+            c.shutdown().unwrap();
+            assert!(run.join().unwrap().is_ok());
+        });
+    }
+
+    // With retry: the second attempt reconnects through the proxy
+    // (connection index 1, which the seed guarantees is clean) and
+    // succeeds.
+    {
+        let server = Server::bind(config(&table_path, &store_path)).unwrap();
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            let _stop = StopOnDrop(server.handle());
+            let run = scope.spawn(|| server.run());
+            let proxy = FaultyProxy::start(addr, seed, 500).unwrap();
+            let mut c = Client::connect(proxy.addr())
+                .unwrap()
+                .with_deadline_ms(2_000)
+                .with_retry(RetryPolicy::default().with_max_attempts(4));
+            c.ping().expect("retry must recover through the flaky proxy");
+            drop(proxy);
+            let mut c = Client::connect(addr).unwrap();
+            c.shutdown().unwrap();
+            assert!(run.join().unwrap().is_ok());
+        });
+    }
+
+    // Shutdown through the same fault, with the same retry policy:
+    // fails instead of being resent, and the server keeps running.
+    {
+        let server = Server::bind(config(&table_path, &store_path)).unwrap();
+        let addr = server.local_addr();
+        let handle = server.handle();
+        std::thread::scope(|scope| {
+            let _stop = StopOnDrop(server.handle());
+            let run = scope.spawn(|| server.run());
+            let proxy = FaultyProxy::start(addr, seed, 500).unwrap();
+            let mut c = Client::connect(proxy.addr())
+                .unwrap()
+                .with_deadline_ms(2_000)
+                .with_retry(RetryPolicy::default().with_max_attempts(4));
+            assert!(
+                c.shutdown().is_err(),
+                "a non-idempotent request must not survive via retry"
+            );
+            assert!(
+                !handle.is_shutting_down(),
+                "the poison message must not have been resent"
+            );
+            drop(proxy);
+            let mut c = Client::connect(addr).unwrap();
+            c.ping().unwrap();
+            c.shutdown().unwrap();
+            assert!(run.join().unwrap().is_ok());
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An overloaded answer makes the retrying client back off by at least
+/// the server's hint before each attempt; a non-idempotent request
+/// against the same wall fails immediately instead of retrying.
+#[test]
+fn retry_honors_overload_hints_and_budget() {
+    let (dir, table_path, store_path) = fixture("hint", 32, 32, 8);
+    let mut cfg = config(&table_path, &store_path);
+    // Shed everything: the queue admits nothing.
+    cfg.max_pending = 0;
+    let server = Server::bind(cfg).unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        // Retrying ping: three retries, each floored by the 100 ms
+        // hint, then a final typed Overloaded error.
+        let started = Instant::now();
+        let mut c = Client::connect(addr)
+            .unwrap()
+            .with_deadline_ms(2_000)
+            .with_retry(RetryPolicy::default().with_max_attempts(3));
+        let err = c.ping().unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
+        assert!(
+            started.elapsed() >= Duration::from_millis(200),
+            "two hint-floored backoffs must have been taken: {:?}",
+            started.elapsed()
+        );
+
+        // Non-idempotent shutdown: fails fast, no backoff taken.
+        let started = Instant::now();
+        let mut c = Client::connect(addr)
+            .unwrap()
+            .with_deadline_ms(2_000)
+            .with_retry(RetryPolicy::default().with_max_attempts(3));
+        let err = c.shutdown().unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_millis(100),
+            "shutdown must not back off and retry: {:?}",
+            started.elapsed()
+        );
+
+        handle.shutdown();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

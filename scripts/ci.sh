@@ -95,4 +95,34 @@ print(f"storage OK: peak {b['resident_peak_bytes']} B of "
       f"{b['budget_bytes']} B budget, pools bit-identical")
 PY
 
+echo "==> chaos soak (seeded fault injection: typed errors or clean closes, never a hang)"
+timeout 300 cargo test -q --release -p tabsketch-serve --test chaos
+timeout 300 cargo test -q --release -p tabsketch-serve --test resilience
+
+echo "==> resilience bound (shed p99, drain time, retry success; BENCH_resilience.json)"
+cargo run -q --release -p tabsketch-bench --bin resilience -- --quick
+python3 - BENCH_resilience.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for key in ("shed_attempts", "shed_count", "shed_p50_us", "shed_p99_us",
+            "drain_config_ms", "drain_actual_ms", "retry_fault_per_mille",
+            "retry_requests", "retry_successes", "retry_success_rate",
+            "retries_taken", "reconnects", "recoveries"):
+    assert key in b, f"BENCH_resilience.json missing {key}"
+assert b["shed_count"] >= b["shed_attempts"], "not every probe was shed"
+assert b["shed_p99_us"] < 500_000, (
+    f"overloaded server too slow to refuse: shed p99 {b['shed_p99_us']} us")
+assert b["drain_actual_ms"] <= b["drain_config_ms"], (
+    f"drain overran its deadline: {b['drain_actual_ms']} ms")
+assert b["retry_fault_per_mille"] == 100, "retry phase must run at 10% faults"
+assert b["retry_success_rate"] >= 0.99, (
+    f"retry under faults too lossy: {b['retry_success_rate']:.4f}")
+assert b["retries_taken"] >= 1 and b["recoveries"] >= 1, (
+    "retry path never exercised; the fault seed is wrong")
+print(f"resilience OK: shed p99 {b['shed_p99_us']} us, "
+      f"drain {b['drain_actual_ms']} ms of {b['drain_config_ms']} ms, "
+      f"retry success {b['retry_success_rate']:.4f} "
+      f"({b['recoveries']} recoveries) at 10% faults")
+PY
+
 echo "==> ci green"
