@@ -190,8 +190,9 @@ fn main() {
         .iter()
         .map(|(t, ms)| format!("\"{t}\": {ms:.2}"))
         .collect();
+    let host = tabsketch_bench::host_json();
     let json = format!(
-        "{{\n  \"tile\": {tile},\n  \"k\": {k},\n  \
+        "{{\n  \"host\": {host},\n  \"tile\": {tile},\n  \"k\": {k},\n  \
          \"scalar_ns_per_sketch\": {scalar_ns:.1},\n  \
          \"blocked_ns_per_sketch\": {blocked_ns:.1},\n  \
          \"batched_ns_per_sketch\": {batched_ns:.1},\n  \

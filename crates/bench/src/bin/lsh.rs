@@ -1,0 +1,195 @@
+//! LSH candidate-index benchmark: recall@10 and queries/sec of the
+//! banded p-stable index against the exhaustive sketched scan it
+//! replaces.
+//!
+//! The corpus is a clustered table (64 prototype rows plus small
+//! per-tile jitter) sketched exactly as `cluster`/`serve` would sketch
+//! it; the index runs at the pinned configuration — 16 bands x 4 rows,
+//! bucket width at half the median absolute sketch coordinate — that
+//! `tabsketch-cli index build` defaults to band/row-wise. Scales:
+//! `--quick` 10^4 tiles, default 10^5, `--full` 2x10^5.
+//!
+//! Writes `BENCH_lsh.json`; ci.sh gates `recall_at_10 >= 0.9` and
+//! `candidate_fraction <= 0.5`, and this binary additionally asserts
+//! the >= 2x indexed speedup at default scale and above.
+
+use tabsketch_bench::{host_json, print_header, print_row, secs, time, Scale};
+use tabsketch_cluster::IndexedEmbedding;
+use tabsketch_cluster::{knn_recall, nearest_neighbors_indexed, nearest_neighbors_sketched};
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_index::{LshIndex, LshParams};
+use tabsketch_table::{Table, TileGrid};
+
+/// Tile width (= sketch input dimension): one table row per tile.
+const DIM: usize = 64;
+/// Sketch width; the band budget (16 x 4) consumes all of it.
+const SKETCH_K: usize = 64;
+/// Pinned index configuration (matches the `index build` defaults).
+const BANDS: usize = 16;
+const ROWS_PER_BAND: usize = 4;
+/// Bucket width as a fraction of the median absolute sketch coordinate.
+const WIDTH_SCALE: f64 = 0.5;
+/// Prototype rows the corpus clusters around.
+const CLUSTERS: usize = 64;
+/// Neighbors per query: the recall@10 of the acceptance gate.
+const KNN: usize = 10;
+
+/// splitmix64: decorrelates the prototype/jitter streams.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash stream.
+fn unit(x: u64) -> f64 {
+    (mix(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The corpus: row `r` is prototype `r % CLUSTERS` plus jitter that is
+/// tiny against the prototype spread, so each tile's true neighbors are
+/// its cluster-mates.
+fn corpus(n: usize) -> Table {
+    Table::from_fn(n, DIM, |r, c| {
+        let proto = 100.0 * unit(((r % CLUSTERS) * DIM + c) as u64);
+        let jitter = unit((r * DIM + c) as u64 ^ 0x5851_F42D_4C95_7F2D) - 0.5;
+        proto + jitter
+    })
+    .expect("corpus dimensions are positive")
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let n = scale.pick(10_000, 100_000, 200_000);
+    let queries: Vec<usize> = {
+        let q = scale.pick(50, 200, 200);
+        (0..q).map(|i| i * (n / q)).collect()
+    };
+
+    println!(
+        "lsh index bench: {n} tiles of {DIM} cells, sketch k {SKETCH_K}, \
+         {BANDS} bands x {ROWS_PER_BAND} rows, {} queries @ k={KNN}",
+        queries.len()
+    );
+
+    let table = corpus(n);
+    let grid = TileGrid::new(n, DIM, 1, DIM).expect("grid divides the corpus");
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(SKETCH_K)
+            .seed(0)
+            .build()
+            .expect("valid sketch parameters"),
+    )
+    .expect("sketcher construction");
+    let (embedding, t_sketch) =
+        time(|| IndexedEmbedding::build(&table, &grid, sketcher).expect("sketching the corpus"));
+    println!("sketched {n} tiles in {}", secs(t_sketch));
+
+    let refs: Vec<&[f64]> = embedding.sketches().iter().map(|s| s.values()).collect();
+    let width = tabsketch_index::median_abs_coordinate(&refs) * WIDTH_SCALE;
+    assert!(width > 0.0, "degenerate sketch coordinates");
+    let params = LshParams::new(BANDS, ROWS_PER_BAND, width, 17).expect("pinned parameters");
+    let (index, t_index) =
+        time(|| LshIndex::build(params, 1, DIM, &refs).expect("index build over the corpus"));
+    let stats = index.stats();
+    println!(
+        "indexed in {}: {} buckets, max bucket {}, width {width:.1}",
+        secs(t_index),
+        stats.buckets,
+        stats.max_bucket
+    );
+
+    // Candidate selectivity, measured outside the timed loops.
+    let mut candidate_total = 0usize;
+    for &q in &queries {
+        candidate_total += index
+            .candidates(embedding.sketches()[q].values())
+            .expect("query sketch matches the index")
+            .len();
+    }
+    let candidate_fraction = candidate_total as f64 / (queries.len() * n) as f64;
+
+    // Ground truth and baseline timing: the exhaustive sketched scan.
+    let sketches = embedding.sketches();
+    let estimator = embedding.sketcher();
+    let (truth, t_linear) = time(|| {
+        queries
+            .iter()
+            .map(|&q| {
+                nearest_neighbors_sketched(estimator, sketches, q, KNN)
+                    .expect("linear scan answers")
+            })
+            .collect::<Vec<_>>()
+    });
+    let (approx, t_indexed) = time(|| {
+        queries
+            .iter()
+            .map(|&q| {
+                nearest_neighbors_indexed(estimator, sketches, &index, q, KNN)
+                    .expect("indexed scan answers")
+            })
+            .collect::<Vec<_>>()
+    });
+
+    let recall = truth
+        .iter()
+        .zip(&approx)
+        .map(|(t, a)| knn_recall(t, a).expect("non-empty truth"))
+        .sum::<f64>()
+        / queries.len() as f64;
+    let linear_qps = queries.len() as f64 / t_linear.as_secs_f64();
+    let indexed_qps = queries.len() as f64 / t_indexed.as_secs_f64();
+    let speedup = indexed_qps / linear_qps;
+
+    let widths = [22, 12];
+    print_header(&["metric", "value"], &widths);
+    print_row(&["recall@10", &format!("{recall:.4}")], &widths);
+    print_row(
+        &["candidate fraction", &format!("{candidate_fraction:.4}")],
+        &widths,
+    );
+    print_row(&["linear qps", &format!("{linear_qps:.0}")], &widths);
+    print_row(&["indexed qps", &format!("{indexed_qps:.0}")], &widths);
+    print_row(&["speedup", &format!("{speedup:.2}x")], &widths);
+
+    assert!(
+        recall >= 0.9,
+        "recall@10 regressed below 0.9: {recall:.4} at the pinned config"
+    );
+    assert!(
+        candidate_fraction <= 0.5,
+        "index lost selectivity: candidate fraction {candidate_fraction:.4} > 0.5"
+    );
+    // The wall-clock bound only holds at corpus sizes where the scan is
+    // the dominant cost; --quick is a smoke test of the schema.
+    if scale != Scale::Quick {
+        assert!(
+            speedup >= 2.0,
+            "indexed k-NN must be >= 2x the linear scan at {n} tiles, got {speedup:.2}x"
+        );
+    }
+
+    let host = host_json();
+    let json = format!(
+        "{{\n  \"bench\": \"lsh\",\n  \"host\": {host},\n  \
+         \"tiles\": {n},\n  \"dim\": {DIM},\n  \"sketch_k\": {SKETCH_K},\n  \
+         \"p\": 1.0,\n  \"bands\": {BANDS},\n  \"rows_per_band\": {ROWS_PER_BAND},\n  \
+         \"width_scale\": {WIDTH_SCALE},\n  \"width\": {width:.3},\n  \
+         \"buckets\": {},\n  \"max_bucket\": {},\n  \
+         \"queries\": {},\n  \"knn\": {KNN},\n  \
+         \"sketch_build_secs\": {:.6},\n  \"index_build_secs\": {:.6},\n  \
+         \"recall_at_10\": {recall:.6},\n  \"candidate_fraction\": {candidate_fraction:.6},\n  \
+         \"linear_qps\": {linear_qps:.1},\n  \"indexed_qps\": {indexed_qps:.1},\n  \
+         \"speedup\": {speedup:.3}\n}}\n",
+        stats.buckets,
+        stats.max_bucket,
+        queries.len(),
+        t_sketch.as_secs_f64(),
+        t_index.as_secs_f64(),
+    );
+    std::fs::write("BENCH_lsh.json", &json).expect("write BENCH_lsh.json");
+    println!("wrote BENCH_lsh.json");
+}

@@ -144,8 +144,9 @@ fn main() {
          (sketch {sketch_noop_pct:.3}%, estimate {estimate_noop_pct:.3}%)"
     );
 
+    let host = tabsketch_bench::host_json();
     let json = format!(
-        "{{\n  \"dim\": {dim},\n  \"k\": {k},\n  \"primitives_ns\": {{\n    \
+        "{{\n  \"host\": {host},\n  \"dim\": {dim},\n  \"k\": {k},\n  \"primitives_ns\": {{\n    \
          \"counter_inc\": {counter_ns:.2},\n    \"histogram_record\": {histogram_ns:.2},\n    \
          \"span_disabled\": {span_disabled_ns:.2},\n    \"span_enabled\": {span_enabled_ns:.2}\n  }},\n  \
          \"sketch_ns\": {{\"disabled\": {sketch_disabled_ns:.1}, \"enabled\": {sketch_enabled_ns:.1}}},\n  \

@@ -312,8 +312,9 @@ fn main() {
         "cooperative drain overran its deadline: {drain_actual_ms} > {drain_config_ms} ms"
     );
 
+    let host = tabsketch_bench::host_json();
     let json = format!(
-        "{{\n  \"bench\": \"resilience\",\n  \"shed_attempts\": {},\n  \
+        "{{\n  \"bench\": \"resilience\",\n  \"host\": {host},\n  \"shed_attempts\": {},\n  \
          \"shed_count\": {shed_count},\n  \"shed_p50_us\": {shed_p50},\n  \
          \"shed_p99_us\": {shed_p99},\n  \"drain_config_ms\": {drain_config_ms},\n  \
          \"drain_actual_ms\": {drain_actual_ms},\n  \

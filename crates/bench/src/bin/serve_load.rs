@@ -245,8 +245,9 @@ fn render_json(
             t.cache_evictions
         ));
     }
+    let host = tabsketch_bench::host_json();
     format!(
-        "{{\n  \"bench\": \"serve_load\",\n  \"threads\": {threads},\n  \
+        "{{\n  \"bench\": \"serve_load\",\n  \"host\": {host},\n  \"threads\": {threads},\n  \
          \"singles_per_thread\": {},\n  \"batches_per_thread\": {},\n  \
          \"batch_len\": {},\n  \"store_build_secs\": {:.6},\n  \
          \"wall_secs\": {:.6},\n  \"requests_total\": {},\n  \

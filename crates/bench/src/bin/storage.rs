@@ -126,8 +126,9 @@ fn main() {
     );
     println!("\ndense/spilled compound sketches bit-identical; peak under budget");
 
+    let host = tabsketch_bench::host_json();
     let json = format!(
-        "{{\n  \"table_rows\": {},\n  \"table_cols\": {},\n  \
+        "{{\n  \"host\": {host},\n  \"table_rows\": {},\n  \"table_cols\": {},\n  \
          \"table_bytes\": {table_bytes},\n  \
          \"budget_bytes\": {budget_bytes},\n  \
          \"chunk_rows\": {chunk_rows},\n  \

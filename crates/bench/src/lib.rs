@@ -71,6 +71,22 @@ impl Scale {
     }
 }
 
+/// A JSON object describing the host a benchmark ran on: available
+/// parallelism, OS, and CPU architecture. Embedded as the `"host"` block
+/// in every `BENCH_*.json` so perf numbers from different containers can
+/// be compared without guessing the core count (a non-scaling parallel
+/// build means something very different on 2 cores than on 16).
+pub fn host_json() -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    format!(
+        "{{\"parallelism\": {parallelism}, \"os\": \"{}\", \"arch\": \"{}\"}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
 /// Times a closure, returning its result and the wall-clock duration.
 pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
     let start = Instant::now();
@@ -278,6 +294,15 @@ pub fn run_kmeans_timed<E: Embedding>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_block_is_well_formed() {
+        let host = host_json();
+        assert!(host.starts_with('{') && host.ends_with('}'), "{host}");
+        for key in ["\"parallelism\":", "\"os\":", "\"arch\":"] {
+            assert!(host.contains(key), "host block missing {key}: {host}");
+        }
+    }
 
     #[test]
     fn scale_pick() {

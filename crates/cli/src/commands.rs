@@ -4,7 +4,7 @@ use std::path::Path;
 
 use tabsketch_cluster::{
     most_similar_pairs, most_similar_pairs_refined, nearest_neighbors, silhouette, Embedding,
-    ExactEmbedding, KMeans, KMeansConfig, KMeansResult, OracleEmbedding,
+    ExactEmbedding, IndexedEmbedding, KMeans, KMeansConfig, KMeansResult, OracleEmbedding,
     PrecomputedSketchEmbedding, TierSnapshot, DEFAULT_SKETCH_CACHE_CAPACITY,
 };
 use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
@@ -12,6 +12,7 @@ use tabsketch_data::{
     CallVolumeConfig, CallVolumeGenerator, IpTrafficConfig, IpTrafficGenerator, SixRegionConfig,
     SixRegionGenerator,
 };
+use tabsketch_index::{persist as index_persist, LshParams};
 use tabsketch_serve::{LoadedStore, StoreSpec};
 use tabsketch_table::{io as table_io, norms, stats, MemoryBudget, Rect, Table, TileGrid};
 
@@ -200,6 +201,92 @@ pub fn sketch(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `index <build> ...` — candidate-index maintenance subcommands.
+pub fn index(args: &Args) -> Result<(), CliError> {
+    match args.positional.first().map(String::as_str) {
+        Some("build") => index_build(args),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown index subcommand {other:?} (try `index build`)"
+        ))),
+        None => Err(CliError::usage(
+            "expected an index subcommand (`index build TABLE ...`)",
+        )),
+    }
+}
+
+/// `index build TABLE --tiles RxC --out IDX [--p P] [--sketch-k K]
+/// [--seed N] [--bands B] [--rows R] [--width W] [--index-seed N]`
+///
+/// Sketches every tile with the same parameters `knn` uses by default,
+/// hashes the sketches into a banded LSH table, and saves it as a
+/// checksummed `.tix` file. The bucket width defaults to the median
+/// absolute sketch coordinate, which keeps the pinned band/row config
+/// selective across data scales; `--width` overrides it.
+fn index_build(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .positional
+        .get(1)
+        .map(String::as_str)
+        .ok_or_else(|| CliError::usage("expected a table file argument"))?;
+    let out = args.require("out")?;
+    let table = load_table(path, memory_budget(args)?)?;
+    let (tr, tc) = args.require_tile("tiles")?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
+    let p: f64 = args.get_or("p", 1.0)?;
+    let sketch_k: usize = args.get_or("sketch-k", 256)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(p)
+            .k(sketch_k)
+            .seed(seed)
+            .build()?,
+    )?;
+    let embedding = IndexedEmbedding::build(&table, &grid, sketcher)?;
+    let refs: Vec<&[f64]> = embedding.sketches().iter().map(|s| s.values()).collect();
+    let bands: usize = args.get_or("bands", 16)?;
+    let rows: usize = args.get_or("rows", 4)?;
+    let width = match args.get("width") {
+        Some(raw) => raw
+            .parse::<f64>()
+            .map_err(|_| CliError::usage(format!("flag --width: cannot parse {raw:?}")))?,
+        None => tabsketch_index::median_abs_coordinate(&refs).max(1.0),
+    };
+    let index_seed: u64 = args.get_or("index-seed", 17)?;
+    let params = LshParams::new(bands, rows, width, index_seed)?;
+    let built = tabsketch_index::LshIndex::build(params, tr, tc, &refs)?;
+    index_persist::save_index(&built, out)
+        .map_err(|e| CliError::from(e).in_context(format!("writing {out}")))?;
+    let stats = built.stats();
+    println!(
+        "indexed {} {tr}x{tc} tiles of {path}: {} bands x {} rows, width {width:.4}, \
+         {} buckets (largest {}) -> {out}",
+        stats.items, stats.bands, stats.rows_per_band, stats.buckets, stats.max_bucket
+    );
+    Ok(())
+}
+
+/// Loads and attaches `--index IDX` to a sketched embedding. Any reason
+/// the index cannot serve this embedding — unreadable or corrupt file,
+/// mismatched tile shape / sketch width / tile count — degrades to the
+/// exhaustive scan behind the `index.fallbacks` counter instead of
+/// failing the query, keeping results bit-identical to the un-indexed
+/// path.
+fn attach_index_arg(embedding: &mut IndexedEmbedding, path: &str) {
+    let loaded = match index_persist::load_index(path) {
+        Ok(ix) => ix,
+        Err(e) => {
+            eprintln!("warning: loading {path}: {e}; falling back to the linear scan");
+            tabsketch_index::record_fallback();
+            return;
+        }
+    };
+    if let Err(e) = embedding.attach_index(loaded) {
+        eprintln!("warning: index {path}: {e}; falling back to the linear scan");
+        tabsketch_index::record_fallback();
+    }
+}
+
 pub(crate) fn parse_at(args: &Args, name: &str) -> Result<(usize, usize), CliError> {
     let raw = args.require(name)?;
     let (r, c) = raw
@@ -228,6 +315,11 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     let a = parse_at(args, "at")?;
     let b = parse_at(args, "at2")?;
     let Some(table_path) = args.get("table") else {
+        if args.get("index").is_some() {
+            return Err(CliError::usage(
+                "--index routes through the serving core and needs --table",
+            ));
+        }
         // Store-only path: the store must load cleanly, and answers come
         // straight from its precomputed sketches.
         let store = persist::load_store(path)
@@ -244,13 +336,28 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     let p: f64 = args.get_or("p", 1.0)?;
     let k: usize = args.get_or("k", 256)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let spec = StoreSpec::new("query", table_path)
+    let mut spec = StoreSpec::new("query", table_path)
         .with_store_path(path)
         .with_params(p, k, seed)
         .with_memory_budget(memory_budget(args)?);
+    if let Some(index_path) = args.get("index") {
+        spec = spec.with_index_path(index_path);
+    }
     let loaded = LoadedStore::load(&spec)?;
     if let Some(msg) = loaded.degradation() {
         eprintln!("warning: {msg}; degrading to on-demand sketches");
+    }
+    // A pairwise distance never consults the candidate index, but
+    // loading it here keeps `query --index` an end-to-end check of the
+    // same spec the daemon serves (and of its degradation path).
+    if let Some(msg) = loaded.index_degradation() {
+        eprintln!("warning: {msg}; the candidate index is not resident");
+    } else if let Some(ix) = loaded.index() {
+        let stats = ix.stats();
+        println!(
+            "candidate index resident: {} items, {} bands x {} rows",
+            stats.items, stats.bands, stats.rows_per_band
+        );
     }
     let (tr, tc) = match loaded.tile() {
         Some(tile) => tile,
@@ -338,7 +445,8 @@ fn build_embedding(
     }
 }
 
-/// `knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]`
+/// `knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K]
+/// [--index IDX] [--exact]`
 pub fn knn(args: &Args) -> Result<(), CliError> {
     let path = one_positional(args, "table file")?;
     let table = load_table(path, memory_budget(args)?)?;
@@ -347,8 +455,35 @@ pub fn knn(args: &Args) -> Result<(), CliError> {
     let p: f64 = args.get_or("p", 1.0)?;
     let query: usize = args.require_parsed("query")?;
     let count: usize = args.get_or("count", 5)?;
-    let embedding = build_embedding(args, &table, &grid, p)?;
-    let neighbors = nearest_neighbors(&embedding, query, count)?;
+    let neighbors = match args.get("index") {
+        Some(index_path) if !args.switch("exact") => {
+            // The index hashes sketch coordinates, so the sketcher here
+            // must match the one `index build` ran with (same --p,
+            // --sketch-k, --seed); a mismatch degrades to the linear
+            // scan inside attach_index_arg.
+            let sketch_k: usize = args.get_or("sketch-k", 256)?;
+            let seed: u64 = args.get_or("seed", 0)?;
+            let sketcher = Sketcher::new(
+                SketchParams::builder()
+                    .p(p)
+                    .k(sketch_k)
+                    .seed(seed)
+                    .build()?,
+            )?;
+            let mut embedding = IndexedEmbedding::build(&table, &grid, sketcher)?;
+            attach_index_arg(&mut embedding, index_path);
+            embedding.knn(query, count)?
+        }
+        Some(_) => {
+            eprintln!("warning: --index is ignored with --exact");
+            let embedding = build_embedding(args, &table, &grid, p)?;
+            nearest_neighbors(&embedding, query, count)?
+        }
+        None => {
+            let embedding = build_embedding(args, &table, &grid, p)?;
+            nearest_neighbors(&embedding, query, count)?
+        }
+    };
     println!(
         "{count} nearest tiles to tile {query} (of {}) under L{p}:",
         grid.len()
@@ -785,6 +920,88 @@ mod mining_tests {
             "cluster {t} --tiles 1x96 --k 3 --p 0.5 --sketch-k 64 --silhouette"
         )))
         .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_build_and_indexed_knn_flow() {
+        let (dir, t) = temp_table();
+        let idx = dir.join("t.tix");
+        let idx = idx.to_str().unwrap();
+        index(&parse(&format!(
+            "index build {t} --tiles 1x96 --out {idx} --sketch-k 64 --bands 8 --rows 4"
+        )))
+        .unwrap();
+        // Indexed k-NN answers with the sketcher matched to the build.
+        knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 0 --count 3 --sketch-k 64 --index {idx}"
+        )))
+        .unwrap();
+        // Mismatched sketch width degrades to the linear scan, but the
+        // query still answers.
+        knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 0 --count 3 --sketch-k 32 --index {idx}"
+        )))
+        .unwrap();
+        // --exact ignores the index instead of failing.
+        knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 0 --count 3 --exact --index {idx}"
+        )))
+        .unwrap();
+        // A corrupt index file falls back to the linear scan rather
+        // than failing the query.
+        std::fs::write(idx, b"TIX1 but rotten").unwrap();
+        knn(&parse(&format!(
+            "knn {t} --tiles 1x96 --query 0 --count 3 --sketch-k 64 --index {idx}"
+        )))
+        .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_subcommand_usage_errors() {
+        let (dir, t) = temp_table();
+        let err = index(&parse("index")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = index(&parse("index drop x.tix")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = index(&parse(&format!("index build {t} --tiles 1x96"))).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing --out: {err}");
+        // A band budget beyond the sketch width is a sketch-layer error.
+        let idx = dir.join("t.tix");
+        let err = index(&parse(&format!(
+            "index build {t} --tiles 1x96 --out {} --sketch-k 32 --bands 16 --rows 4",
+            idx.display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_with_index_flows_and_degrades() {
+        let (dir, t) = temp_table();
+        let store = dir.join("t.tsks");
+        let idx = dir.join("t.tix");
+        let (s, i) = (store.to_str().unwrap(), idx.to_str().unwrap());
+        sketch(&parse(&format!("sketch {t} --tile 1x96 --k 64 --out {s}"))).unwrap();
+        index(&parse(&format!(
+            "index build {t} --tiles 1x96 --out {i} --sketch-k 64 --bands 8 --rows 4"
+        )))
+        .unwrap();
+        query(&parse(&format!(
+            "query {s} --at 0,0 --at2 8,0 --table {t} --k 64 --index {i}"
+        )))
+        .unwrap();
+        // A corrupt index degrades the load, not the distance answer.
+        std::fs::write(i, b"TIX1 but rotten").unwrap();
+        query(&parse(&format!(
+            "query {s} --at 0,0 --at2 8,0 --table {t} --k 64 --index {i}"
+        )))
+        .unwrap();
+        // Store-only queries have no serving core to hold an index.
+        let err = query(&parse(&format!("query {s} --at 0,0 --at2 8,0 --index {i}"))).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -8,6 +8,8 @@
 //! tabsketch-cli sketch day.tsb --tile 32x32 --k 128 --p 1.0 --out day.tsks
 //! tabsketch-cli query day.tsks --at 0,0 --at2 100,40 --table day.tsb
 //! tabsketch-cli cluster day.tsb --tiles 32x144 --k 8 --p 0.5 --render
+//! tabsketch-cli index build day.tsb --tiles 32x144 --out day.tix
+//! tabsketch-cli knn day.tsb --tiles 32x144 --query 0 --index day.tix
 //! tabsketch-cli serve day.tsb --sketch-store day.tsks --addr 127.0.0.1:7878
 //! tabsketch-cli rquery --addr 127.0.0.1:7878 --store day --at 0,0 --at2 100,40
 //! ```
@@ -41,6 +43,7 @@ fn main() {
         tabsketch_fft::register_metrics();
         tabsketch_core::register_metrics();
         tabsketch_cluster::register_metrics();
+        tabsketch_index::register_metrics();
         tabsketch_serve::register_metrics();
         tabsketch_obs::RegistrySubscriber::install(trace)
     } else {
@@ -54,6 +57,7 @@ fn main() {
         "query" => commands::query(&parsed),
         "cluster" => commands::cluster(&parsed),
         "knn" => commands::knn(&parsed),
+        "index" => commands::index(&parsed),
         "pairs" => commands::pairs(&parsed),
         "serve" => serving::serve(&parsed),
         "ping" => serving::ping(&parsed),
@@ -124,12 +128,14 @@ COMMANDS:
   sketch FILE --tile RxC --out STORE [--p P] [--k K] [--seed N]
       Precompute sketches of every RxC window into a reusable store.
 
-  query STORE --at R,C --at2 R,C [--table FILE]
+  query STORE --at R,C --at2 R,C [--table FILE] [--index IDX]
       O(k) distance estimate between two windows of a saved store.
       With --table, damaged store entries degrade to on-demand
       sketches of the raw table instead of failing; if the store file
       itself is unreadable, add --tile RxC (and optionally --p/--k/
-      --seed) to recover the window shape.
+      --seed) to recover the window shape. --index (needs --table)
+      loads a candidate index beside the store, exactly as the daemon
+      would; a damaged index warns and degrades instead of failing.
 
   cluster FILE --tiles RxC [--k K] [--p P] [--sketch-k K] [--seed N]
       [--store STORE] [--exact] [--render] [--silhouette]
@@ -139,19 +145,35 @@ COMMANDS:
       re-sketched on demand); --render prints an ASCII cluster map,
       --silhouette a mean silhouette score.
 
-  knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K] [--exact]
-      Nearest tiles to a query tile.
+  knn FILE --tiles RxC --query N [--count K] [--p P] [--sketch-k K]
+      [--index IDX] [--exact]
+      Nearest tiles to a query tile. --index restricts the scan to LSH
+      candidates from a prebuilt .tix file (see `index build`); an
+      unreadable or mismatched index warns and falls back to the full
+      scan with bit-identical results.
+
+  index build TABLE --tiles RxC --out IDX [--p P] [--sketch-k K]
+      [--seed N] [--bands B] [--rows R] [--width W] [--index-seed N]
+      Hash every tile's sketch into a banded p-stable LSH index and
+      save it as a checksummed .tix file for `knn --index`, `query
+      --index`, and `serve --index`. Defaults: 16 bands x 4 rows;
+      bucket width from the median absolute sketch coordinate. Build
+      and query must share --p/--sketch-k/--seed.
 
   pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine] [--exact]
       Most similar tile pairs; --refine re-ranks a sketched shortlist
       with exact distances.
 
-  serve TABLE [--sketch-store STORE] [--name NAME] [--addr HOST:PORT]
-      [--workers N] [--shards N] [--cache-capacity N] [--p P] [--k K]
-      [--seed N] [--port-file FILE] [--max-pending N] [--drain-ms MS]
-      Keep a table (and optionally its sketch store) resident behind a
-      TCP daemon answering distance, batch, sketch, and k-NN queries.
-      Serve several tables at once with --stores NAME=TABLE[:STORE],...
+  serve TABLE [--sketch-store STORE] [--index IDX] [--name NAME]
+      [--addr HOST:PORT] [--workers N] [--shards N] [--cache-capacity N]
+      [--p P] [--k K] [--seed N] [--port-file FILE] [--max-pending N]
+      [--drain-ms MS]
+      Keep a table (and optionally its sketch store and candidate
+      index) resident behind a TCP daemon answering distance, batch,
+      sketch, and k-NN queries; with --index, k-NN queries retrieve
+      LSH candidates instead of scanning every tile, falling back to
+      the full scan whenever the index cannot answer. Serve several
+      tables at once with --stores NAME=TABLE[:STORE[:INDEX]],...
       Default address 127.0.0.1:7878; --addr ...:0 picks a free port
       (written to --port-file). Runs until `ping --shutdown`, then
       drains: in-flight requests finish (up to --drain-ms, default
@@ -179,7 +201,7 @@ COMMANDS:
 
 OBSERVABILITY (any command):
   --metrics            print a metrics-registry snapshot (fft/core/
-                       cluster/serve keys) to stderr on exit
+                       cluster/index/serve keys) to stderr on exit
   --metrics-out FILE   also write the snapshot as JSON to FILE
   --trace-spans        time hierarchical spans and print the trace
   (`ping --metrics` is unchanged: it fetches the *server's* counters.)
@@ -192,6 +214,7 @@ EXIT CODES:
   shutting down, protocol damage) exits 6. Failures print one
   `error: ...` line to stderr.
 
-Formats: .tsb (binary tables), .csv, .tsks (sketch stores)."
+Formats: .tsb (binary tables), .csv, .tsks (sketch stores),
+.tix (LSH candidate indexes)."
     );
 }

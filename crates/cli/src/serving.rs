@@ -25,7 +25,7 @@ fn fallback_params(args: &Args) -> Result<(f64, usize, u64), CliError> {
     ))
 }
 
-/// Parses a `--stores NAME=TABLE[:STORE],...` list into specs.
+/// Parses a `--stores NAME=TABLE[:STORE[:INDEX]],...` list into specs.
 fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError> {
     let (p, k, seed) = fallback_params(args)?;
     let budget = memory_budget(args)?;
@@ -33,13 +33,18 @@ fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError
     for entry in list.split(',').filter(|e| !e.is_empty()) {
         let (name, paths) = entry.split_once('=').ok_or_else(|| {
             CliError::usage(format!(
-                "--stores entry {entry:?}: expected NAME=TABLE[:STORE]"
+                "--stores entry {entry:?}: expected NAME=TABLE[:STORE[:INDEX]]"
             ))
         })?;
-        let spec = match paths.split_once(':') {
-            Some((table, store)) => StoreSpec::new(name, table).with_store_path(store),
-            None => StoreSpec::new(name, paths),
-        };
+        let mut parts = paths.splitn(3, ':');
+        let table = parts.next().expect("splitn yields at least one part");
+        let mut spec = StoreSpec::new(name, table);
+        if let Some(store) = parts.next().filter(|s| !s.is_empty()) {
+            spec = spec.with_store_path(store);
+        }
+        if let Some(index) = parts.next().filter(|s| !s.is_empty()) {
+            spec = spec.with_index_path(index);
+        }
         specs.push(spec.with_params(p, k, seed).with_memory_budget(budget));
     }
     if specs.is_empty() {
@@ -48,10 +53,10 @@ fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError
     Ok(specs)
 }
 
-/// `serve TABLE [--sketch-store STORE] [--name NAME] [--addr HOST:PORT]
-/// [--workers N] [--shards N] [--cache-capacity N] [--p P] [--k K]
-/// [--seed N] [--memory-budget BYTES] [--port-file FILE]`, or
-/// `serve --stores NAME=TABLE[:STORE],...`
+/// `serve TABLE [--sketch-store STORE] [--index IDX] [--name NAME]
+/// [--addr HOST:PORT] [--workers N] [--shards N] [--cache-capacity N]
+/// [--p P] [--k K] [--seed N] [--memory-budget BYTES]
+/// [--port-file FILE]`, or `serve --stores NAME=TABLE[:STORE[:INDEX]],...`
 ///
 /// Blocks until a client sends the shutdown poison message (see
 /// `ping --shutdown`).
@@ -62,6 +67,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     tabsketch_fft::register_metrics();
     tabsketch_core::register_metrics();
     tabsketch_cluster::register_metrics();
+    tabsketch_index::register_metrics();
     tabsketch_serve::register_metrics();
     let specs = if let Some(list) = args.get("stores") {
         parse_store_specs(list, args)?
@@ -83,6 +89,9 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
             .with_memory_budget(memory_budget(args)?);
         if let Some(store) = args.get("sketch-store") {
             spec = spec.with_store_path(store);
+        }
+        if let Some(index) = args.get("index") {
+            spec = spec.with_index_path(index);
         }
         vec![spec]
     };
@@ -106,13 +115,26 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
                 store.name()
             );
         }
+        if let Some(msg) = store.index_degradation() {
+            eprintln!(
+                "warning: store {:?}: {msg}; k-NN will scan linearly",
+                store.name()
+            );
+        }
         let info = store.info();
         let tile = match info.tile {
             Some((r, c)) => format!(", precomputed {r}x{c} sketches"),
             None => String::from(", on-demand sketches"),
         };
+        let indexed = match &info.index {
+            Some(ix) => format!(
+                ", lsh index ({} bands x {} rows, {} entries)",
+                ix.bands, ix.rows_per_band, ix.entries
+            ),
+            None => String::new(),
+        };
         println!(
-            "serving {:?}: {} x {} table{tile}",
+            "serving {:?}: {} x {} table{tile}{indexed}",
             info.name, info.rows, info.cols
         );
     }
@@ -180,8 +202,9 @@ pub fn ping(args: &Args) -> Result<(), CliError> {
         println!("server at {addr} is {state}");
         for s in &stores {
             let t = &s.tiers;
+            let tag = if s.indexed { " [indexed]" } else { "" };
             println!(
-                "  {:?}: pooled {} on-demand {} exact {} (cache hits {}, fallbacks {})",
+                "  {:?}{tag}: pooled {} on-demand {} exact {} (cache hits {}, fallbacks {})",
                 s.name,
                 t.pooled,
                 t.on_demand,
@@ -205,8 +228,12 @@ pub fn ping(args: &Args) -> Result<(), CliError> {
             Some((r, c)) => format!("{r}x{c} precomputed"),
             None => String::from("on-demand"),
         };
+        let indexed = match &info.index {
+            Some(ix) => format!(", {} x {} band index", ix.bands, ix.rows_per_band),
+            None => String::new(),
+        };
         println!(
-            "  {:?}: {} x {} ({tile} sketches)",
+            "  {:?}: {} x {} ({tile} sketches{indexed})",
             info.name, info.rows, info.cols
         );
     }
@@ -299,23 +326,79 @@ mod tests {
 
     #[test]
     fn store_spec_list_parsing() {
-        let args = parse("serve --stores day=day.tsb:day.tsks,raw=raw.csv --p 0.5 --k 64");
+        let args = parse(
+            "serve --stores day=day.tsb:day.tsks:day.tix,raw=raw.csv,ix=t.tsb::t.tix --p 0.5 --k 64",
+        );
         let specs = parse_store_specs(args.get("stores").unwrap(), &args).unwrap();
-        assert_eq!(specs.len(), 2);
+        assert_eq!(specs.len(), 3);
         assert_eq!(specs[0].name, "day");
         assert_eq!(specs[0].table_path.to_str().unwrap(), "day.tsb");
         assert_eq!(
             specs[0].store_path.as_ref().unwrap().to_str().unwrap(),
             "day.tsks"
         );
+        assert_eq!(
+            specs[0].index_path.as_ref().unwrap().to_str().unwrap(),
+            "day.tix"
+        );
         assert_eq!(specs[1].name, "raw");
         assert!(specs[1].store_path.is_none());
+        assert!(specs[1].index_path.is_none());
         assert_eq!(specs[1].p, 0.5);
         assert_eq!(specs[1].k, 64);
+        // An empty STORE slot still lets the INDEX slot through.
+        assert_eq!(specs[2].name, "ix");
+        assert!(specs[2].store_path.is_none());
+        assert_eq!(
+            specs[2].index_path.as_ref().unwrap().to_str().unwrap(),
+            "t.tix"
+        );
 
         let bad = parse("serve --stores nonsense");
         assert!(parse_store_specs("nonsense", &bad).is_err());
         assert!(parse_store_specs("", &bad).is_err());
+    }
+
+    #[test]
+    fn serve_with_index_end_to_end() {
+        let dir = temp_dir();
+        let table_path = dir.join("ix.tsb");
+        let store_path = dir.join("ix.tsks");
+        let index_path = dir.join("ix.tix");
+        let port_file = dir.join("port");
+        let (t, s, i) = (
+            table_path.to_str().unwrap(),
+            store_path.to_str().unwrap(),
+            index_path.to_str().unwrap(),
+        );
+        commands::generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 64 --cols 64 --seed 1"
+        )))
+        .unwrap();
+        commands::sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
+        // The index hashes the same sketch family the store holds, so
+        // the daemon's k-NN path can serve through it.
+        commands::index(&parse(&format!(
+            "index build {t} --tiles 8x8 --out {i} --sketch-k 32 --bands 8 --rows 4"
+        )))
+        .unwrap();
+
+        let serve_args = parse(&format!(
+            "serve {t} --sketch-store {s} --index {i} --name demo --k 32 --addr 127.0.0.1:0 --workers 2 --shards 1 --port-file {}",
+            port_file.display()
+        ));
+        let server = std::thread::spawn(move || serve(&serve_args));
+        let addr = wait_for_port_file(&port_file);
+
+        ping(&parse(&format!("ping --addr {addr}"))).unwrap();
+        ping(&parse(&format!("ping --addr {addr} --health"))).unwrap();
+        rquery(&parse(&format!(
+            "rquery --addr {addr} --store demo --at 0,0 --knn 3"
+        )))
+        .unwrap();
+        ping(&parse(&format!("ping --addr {addr} --shutdown"))).unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Index-accelerated k-NN: an LSH candidate index in front of the
+//! sketch-distance rerank.
+//!
+//! The sketch coordinates are already p-stable projections, so the banded
+//! quantization of [`tabsketch_index::LshIndex`] hashes them directly — no
+//! second projection pass. A query then scores only the tiles that share a
+//! band bucket with it instead of all `n - 1`, and any condition that
+//! would make the index answer incomplete (wrong width, detached index,
+//! fewer candidates than `k`) falls back to the exhaustive
+//! [`nearest_neighbors_sketched`] scan behind the `index.fallbacks`
+//! counter, so results are always complete and — on the fallback path —
+//! bit-identical to the linear baseline.
+
+use tabsketch_core::{DistanceEstimator, Sketch, Sketcher};
+use tabsketch_index::{LshIndex, LshParams};
+use tabsketch_table::{Rect, Table, TileGrid};
+
+use crate::knn::{nearest_neighbors_sketched, Neighbor};
+use crate::ClusterError;
+
+/// Objects per [`DistanceEstimator::sketch_batch`] call, matching the
+/// chunking of the precomputed embedding.
+const SKETCH_BATCH_CHUNK: usize = 64;
+
+/// The `k` nearest neighbors of `sketches[query]`, using `index` to
+/// restrict the rerank to candidate tiles.
+///
+/// The candidate set always contains every tile colliding with the query
+/// in at least one band; distances within it are scored by `estimator`
+/// and sorted exactly like [`nearest_neighbors_sketched`] (ascending
+/// distance, index as tie-breaker). When the index cannot answer — width
+/// or length mismatch with `sketches`, or fewer than `k` candidates after
+/// excluding the query — the call records a fallback and scans linearly,
+/// returning the identical answer the un-indexed path would.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `k == 0` or `query` is
+/// out of range, [`ClusterError::TooFewObjects`] when fewer than `k`
+/// other objects exist, and propagates estimator mismatch errors.
+pub fn nearest_neighbors_indexed<E: DistanceEstimator<Sketch = Sketch>>(
+    estimator: &E,
+    sketches: &[Sketch],
+    index: &LshIndex,
+    query: usize,
+    k: usize,
+) -> Result<Vec<Neighbor>, ClusterError> {
+    let n = sketches.len();
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if query >= n {
+        return Err(ClusterError::InvalidParameter("query index out of range"));
+    }
+    if n - 1 < k {
+        return Err(ClusterError::TooFewObjects { objects: n - 1, k });
+    }
+    let qvalues = sketches[query].values();
+    if index.len() != n || index.sketch_k() != qvalues.len() {
+        tabsketch_index::record_fallback();
+        return nearest_neighbors_sketched(estimator, sketches, query, k);
+    }
+    let candidates = match index.candidates(qvalues) {
+        Ok(c) => c,
+        Err(_) => {
+            tabsketch_index::record_fallback();
+            return nearest_neighbors_sketched(estimator, sketches, query, k);
+        }
+    };
+    // The query collides with itself in every band, so one slot is its
+    // own id; fewer than k *other* candidates means the bucket walk
+    // cannot fill the answer and the linear scan must.
+    let mut neighbors = Vec::with_capacity(candidates.len().saturating_sub(1));
+    let mut scratch = Vec::new();
+    for i in candidates {
+        if i == query {
+            continue;
+        }
+        neighbors.push(Neighbor {
+            index: i,
+            distance: estimator
+                .estimate_distance_with(&sketches[query], &sketches[i], &mut scratch)
+                .map_err(ClusterError::Core)?,
+        });
+    }
+    if neighbors.len() < k {
+        tabsketch_index::record_fallback();
+        return nearest_neighbors_sketched(estimator, sketches, query, k);
+    }
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+    neighbors.truncate(k);
+    Ok(neighbors)
+}
+
+/// Precomputed tile sketches with an optional LSH candidate index.
+///
+/// Without an index attached, [`IndexedEmbedding::knn`] is exactly the
+/// exhaustive sketched scan; attaching one switches queries to candidate
+/// retrieval + rerank while keeping the same fallback guarantees as
+/// [`nearest_neighbors_indexed`].
+#[derive(Clone, Debug)]
+pub struct IndexedEmbedding {
+    sketches: Vec<Sketch>,
+    sketcher: Sketcher,
+    index: Option<LshIndex>,
+    tile_rows: usize,
+    tile_cols: usize,
+}
+
+impl IndexedEmbedding {
+    /// Sketches every tile of `grid` eagerly (batched through the blocked
+    /// kernel, bit-identical to sketching each view alone).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] for an empty grid;
+    /// table/view errors are propagated.
+    pub fn build(table: &Table, grid: &TileGrid, sketcher: Sketcher) -> Result<Self, ClusterError> {
+        if grid.is_empty() {
+            return Err(ClusterError::InvalidParameter("tile grid is empty"));
+        }
+        let rects: Vec<Rect> = grid.iter().collect();
+        let mut sketches = Vec::with_capacity(rects.len());
+        let mut tiles: Vec<Vec<f64>> = Vec::with_capacity(SKETCH_BATCH_CHUNK);
+        for chunk in rects.chunks(SKETCH_BATCH_CHUNK) {
+            tiles.clear();
+            for &rect in chunk {
+                tiles.push(table.view(rect)?.to_vec());
+            }
+            let refs: Vec<&[f64]> = tiles.iter().map(|t| &t[..]).collect();
+            sketches.extend(sketcher.sketch_batch(&refs));
+        }
+        Ok(Self {
+            sketches,
+            sketcher,
+            index: None,
+            tile_rows: grid.tile_rows(),
+            tile_cols: grid.tile_cols(),
+        })
+    }
+
+    /// Builds an [`LshIndex`] over this embedding's sketches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index construction errors (invalid parameters, band
+    /// budget exceeding the sketch width).
+    pub fn build_index(&self, params: LshParams) -> Result<LshIndex, ClusterError> {
+        let refs: Vec<&[f64]> = self.sketches.iter().map(|s| s.values()).collect();
+        LshIndex::build(params, self.tile_rows, self.tile_cols, &refs).map_err(ClusterError::Core)
+    }
+
+    /// Attaches a candidate index; subsequent [`IndexedEmbedding::knn`]
+    /// calls route through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] when the index does not
+    /// cover this embedding (tile shape, sketch width, or object count
+    /// differ).
+    pub fn attach_index(&mut self, index: LshIndex) -> Result<(), ClusterError> {
+        if !index.covers(
+            self.tile_rows,
+            self.tile_cols,
+            self.sketcher.k(),
+            self.sketches.len(),
+        ) {
+            return Err(ClusterError::InvalidParameter(
+                "index does not cover this embedding",
+            ));
+        }
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// Detaches the candidate index, reverting to exhaustive scans.
+    pub fn detach_index(&mut self) -> Option<LshIndex> {
+        self.index.take()
+    }
+
+    /// The attached index, if any.
+    #[inline]
+    pub fn index(&self) -> Option<&LshIndex> {
+        self.index.as_ref()
+    }
+
+    /// The sketcher whose estimator scores distances.
+    #[inline]
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// The per-tile sketches, in grid order.
+    #[inline]
+    pub fn sketches(&self) -> &[Sketch] {
+        &self.sketches
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// Whether the embedding holds no tiles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sketches.is_empty()
+    }
+
+    /// The tile shape `(rows, cols)` the sketches were taken over.
+    #[inline]
+    pub fn tile(&self) -> (usize, usize) {
+        (self.tile_rows, self.tile_cols)
+    }
+
+    /// The `k` nearest neighbors of tile `query`: indexed retrieval +
+    /// rerank when an index is attached, the exhaustive sketched scan
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`nearest_neighbors_indexed`].
+    pub fn knn(&self, query: usize, k: usize) -> Result<Vec<Neighbor>, ClusterError> {
+        match &self.index {
+            Some(index) => {
+                nearest_neighbors_indexed(&self.sketcher, &self.sketches, index, query, k)
+            }
+            None => nearest_neighbors_sketched(&self.sketcher, &self.sketches, query, k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabsketch_core::SketchParams;
+
+    fn sketcher(k: usize) -> Sketcher {
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(k)
+                .seed(11)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Two bands of very different magnitude: tiles within a band are
+    /// near, across bands far.
+    fn banded_table() -> Table {
+        Table::from_fn(32, 64, |r, c| {
+            if r < 16 {
+                (c % 7) as f64
+            } else {
+                5000.0 + (c % 5) as f64
+            }
+        })
+        .unwrap()
+    }
+
+    fn embedding() -> IndexedEmbedding {
+        let t = banded_table();
+        let grid = TileGrid::new(32, 64, 8, 8).unwrap();
+        IndexedEmbedding::build(&t, &grid, sketcher(64)).unwrap()
+    }
+
+    fn params(e: &IndexedEmbedding) -> LshParams {
+        let refs: Vec<&[f64]> = e.sketches().iter().map(|s| s.values()).collect();
+        let w = tabsketch_index::median_abs_coordinate(&refs).max(1.0);
+        LshParams::new(8, 4, w, 99).unwrap()
+    }
+
+    #[test]
+    fn without_index_matches_sketched_scan_exactly() {
+        let e = embedding();
+        for q in 0..e.len() {
+            let via_embedding = e.knn(q, 5).unwrap();
+            let direct = nearest_neighbors_sketched(e.sketcher(), e.sketches(), q, 5).unwrap();
+            assert_eq!(via_embedding, direct);
+        }
+    }
+
+    #[test]
+    fn indexed_knn_finds_same_band_tiles() {
+        let mut e = embedding();
+        let ix = e.build_index(params(&e)).unwrap();
+        e.attach_index(ix).unwrap();
+        assert!(e.index().is_some());
+        // Tiles 0..16 are the low band (grid is 4 rows x 8 cols of tiles;
+        // first two tile-rows are low). Query tile 0's neighbors must all
+        // be low-band tiles.
+        let nn = e.knn(0, 5).unwrap();
+        assert!(nn.iter().all(|n| n.index < 16), "neighbors: {nn:?}");
+    }
+
+    #[test]
+    fn indexed_agrees_with_linear_on_clear_structure() {
+        // With strong cluster structure, indexed top-k must equal the
+        // linear sketched top-k (same distances, same tie-breaking).
+        let mut e = embedding();
+        let ix = e.build_index(params(&e)).unwrap();
+        e.attach_index(ix).unwrap();
+        for q in [0, 5, 17, 31] {
+            let indexed = e.knn(q, 3).unwrap();
+            let linear = nearest_neighbors_sketched(e.sketcher(), e.sketches(), q, 3).unwrap();
+            assert_eq!(indexed, linear, "query {q}");
+        }
+    }
+
+    #[test]
+    fn too_few_candidates_falls_back_to_complete_answer() {
+        // One band, one row, huge width: every tile hashes into very few
+        // buckets — but asking for more neighbors than any bucket holds
+        // must still return a full, linear-identical answer.
+        let mut e = embedding();
+        let ix = e
+            .build_index(LshParams::new(1, 1, 1e-6, 7).unwrap())
+            .unwrap();
+        e.attach_index(ix).unwrap();
+        let k = e.len() - 1;
+        let indexed = e.knn(0, k).unwrap();
+        let linear = nearest_neighbors_sketched(e.sketcher(), e.sketches(), 0, k).unwrap();
+        assert_eq!(indexed.len(), k);
+        assert_eq!(indexed, linear);
+    }
+
+    #[test]
+    fn mismatched_index_falls_back_not_errors() {
+        let e = embedding();
+        // An index over different data (fewer items, different width).
+        let other: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64; 16]).collect();
+        let refs: Vec<&[f64]> = other.iter().map(|s| &s[..]).collect();
+        let foreign = LshIndex::build(LshParams::new(2, 2, 1.0, 3).unwrap(), 8, 8, &refs).unwrap();
+        let nn = nearest_neighbors_indexed(e.sketcher(), e.sketches(), &foreign, 0, 5).unwrap();
+        let linear = nearest_neighbors_sketched(e.sketcher(), e.sketches(), 0, 5).unwrap();
+        assert_eq!(nn, linear);
+    }
+
+    #[test]
+    fn attach_rejects_foreign_index() {
+        let mut e = embedding();
+        let other: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64; 16]).collect();
+        let refs: Vec<&[f64]> = other.iter().map(|s| &s[..]).collect();
+        let foreign = LshIndex::build(LshParams::new(2, 2, 1.0, 3).unwrap(), 8, 8, &refs).unwrap();
+        assert!(e.attach_index(foreign).is_err());
+        assert!(e.index().is_none());
+        // Detaching a real one reverts to the linear path.
+        let ix = e.build_index(params(&e)).unwrap();
+        e.attach_index(ix).unwrap();
+        assert!(e.detach_index().is_some());
+        assert!(e.index().is_none());
+    }
+
+    #[test]
+    fn validation_matches_sketched_contract() {
+        let mut e = embedding();
+        let ix = e.build_index(params(&e)).unwrap();
+        e.attach_index(ix).unwrap();
+        assert!(e.knn(0, 0).is_err());
+        assert!(e.knn(e.len(), 1).is_err());
+        assert!(matches!(
+            e.knn(0, e.len()),
+            Err(ClusterError::TooFewObjects { .. })
+        ));
+    }
+}

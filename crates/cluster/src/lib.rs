@@ -35,6 +35,7 @@ mod embedding;
 mod embeddings;
 mod error;
 pub mod hierarchical;
+pub mod indexed;
 mod kmeans;
 mod kmedoids;
 pub mod knn;
@@ -51,6 +52,7 @@ pub use embeddings::{
 };
 pub use error::ClusterError;
 pub use hierarchical::{agglomerate, Dendrogram, Linkage, Merge};
+pub use indexed::{nearest_neighbors_indexed, IndexedEmbedding};
 pub use kmeans::{InitMethod, KMeans, KMeansConfig, KMeansResult};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
 pub use knn::{knn_recall, nearest_neighbors, nearest_neighbors_sketched, Neighbor};

@@ -1,0 +1,111 @@
+//! Cross-backend k-NN determinism: exact, sketched, and index-reranked
+//! queries must break ties identically (ascending distance, then object
+//! index), so switching backends never reorders a result set.
+
+use tabsketch_cluster::{
+    nearest_neighbors, nearest_neighbors_indexed, nearest_neighbors_sketched, ExactEmbedding,
+    IndexedEmbedding, Neighbor,
+};
+use tabsketch_core::{SketchParams, Sketcher};
+use tabsketch_index::LshParams;
+use tabsketch_table::{Table, TileGrid};
+
+/// 16 tiles in two duplicate classes: even tile-columns are all one
+/// pattern, odd tile-columns another. Every same-class pair is an exact
+/// distance-0 tie, so ordering within the answer is pure tie-breaking.
+fn two_class_table() -> (Table, TileGrid) {
+    let t = Table::from_fn(16, 64, |r, c| {
+        let class = (c / 8) % 2;
+        (class * 1000) as f64 + (((r % 8) * 8 + c % 8) % 5) as f64
+    })
+    .unwrap();
+    let grid = TileGrid::new(16, 64, 8, 8).unwrap();
+    (t, grid)
+}
+
+fn sketcher() -> Sketcher {
+    Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(64)
+            .seed(23)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+fn indices(nn: &[Neighbor]) -> Vec<usize> {
+    nn.iter().map(|n| n.index).collect()
+}
+
+#[test]
+fn tied_neighbors_order_identically_across_backends() {
+    let (t, grid) = two_class_table();
+
+    let exact = ExactEmbedding::from_tiles(&t, &grid, 1.0).unwrap();
+    let mut indexed = IndexedEmbedding::build(&t, &grid, sketcher()).unwrap();
+    let ix = indexed
+        .build_index(LshParams::new(8, 4, 50.0, 77).unwrap())
+        .unwrap();
+    indexed.attach_index(ix).unwrap();
+
+    // Tile 0 is an even-column tile; its 7 duplicates (2,4,...,14) all sit
+    // at distance exactly 0 under every backend, so the answer is decided
+    // entirely by the tie-break rule.
+    for q in [0usize, 1, 6, 15] {
+        let duplicates: Vec<usize> = (0..16).filter(|&i| i != q && i % 2 == q % 2).collect();
+
+        let nn_exact = nearest_neighbors(&exact, q, 7).unwrap();
+        assert_eq!(indices(&nn_exact), duplicates, "exact backend, query {q}");
+        assert!(nn_exact.iter().all(|n| n.distance == 0.0));
+
+        let nn_sketched =
+            nearest_neighbors_sketched(indexed.sketcher(), indexed.sketches(), q, 7).unwrap();
+        assert_eq!(
+            indices(&nn_sketched),
+            duplicates,
+            "sketched backend, query {q}"
+        );
+        assert!(nn_sketched.iter().all(|n| n.distance == 0.0));
+
+        let nn_indexed = nearest_neighbors_indexed(
+            indexed.sketcher(),
+            indexed.sketches(),
+            indexed.index().unwrap(),
+            q,
+            7,
+        )
+        .unwrap();
+        assert_eq!(nn_indexed, nn_sketched, "indexed vs sketched, query {q}");
+    }
+}
+
+#[test]
+fn indexed_is_bit_identical_to_sketched_when_it_falls_back() {
+    let (t, grid) = two_class_table();
+    let mut e = IndexedEmbedding::build(&t, &grid, sketcher()).unwrap();
+
+    // No index: knn IS the sketched scan.
+    for q in 0..e.len() {
+        assert_eq!(
+            e.knn(q, 9).unwrap(),
+            nearest_neighbors_sketched(e.sketcher(), e.sketches(), q, 9).unwrap(),
+            "query {q} without index"
+        );
+    }
+
+    // Degenerate index (one band): asking for more neighbors than any
+    // bucket holds forces the fallback; answers stay bit-identical.
+    let ix = e
+        .build_index(LshParams::new(1, 1, 1e-3, 5).unwrap())
+        .unwrap();
+    e.attach_index(ix).unwrap();
+    for q in 0..e.len() {
+        assert_eq!(
+            e.knn(q, 15).unwrap(),
+            nearest_neighbors_sketched(e.sketcher(), e.sketches(), q, 15).unwrap(),
+            "query {q} through fallback"
+        );
+    }
+}

@@ -1,0 +1,560 @@
+//! # tabsketch-index
+//!
+//! A banded p-stable LSH candidate index over sketch vectors, turning
+//! the linear k-NN scans of `tabsketch-cluster` and `tabsketch-serve`
+//! into candidate retrieval + rerank.
+//!
+//! The paper's sketches are already p-stable random projections of the
+//! tiles, which is exactly the hash family p-stable LSH needs: for two
+//! tiles `x, y`, coordinate `i` of their sketches differs by
+//! `(x − y)·r[i] ~ ‖x − y‖_p · X` with `X` standard p-stable, so
+//! quantizing each coordinate with a seeded random shift,
+//! `h_i(v) = ⌊(v_i + s_i) / w⌋`, collides with probability decreasing in
+//! the Lp distance (Datar–Immorlica–Indyk–Mirrokni). The index groups
+//! `r` such rows into a band key and keeps `b` bands; a tile is a
+//! candidate for a query when **any** band key matches. Candidates are
+//! then reranked by the caller with the existing O(k) sketch estimator
+//! (and optionally the exact tier), so answers degrade gracefully
+//! exactly like the distance oracle's ladder — an unusable index means
+//! a linear scan, never a wrong or missing answer.
+//!
+//! Everything is deterministic: the shifts are derived from the index
+//! seed through [`tabsketch_core::rng::stream_rng`], so build, query,
+//! and a reload from the checksummed [`persist`] format (`TIX1`) all
+//! agree bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod persist;
+
+use rand::Rng;
+use tabsketch_core::rng::{mix64, stream_rng};
+use tabsketch_core::TabError;
+
+/// Hard cap on bands: beyond this the index would outweigh the
+/// sketches it summarizes.
+pub const MAX_BANDS: usize = 1024;
+
+/// Hard cap on quantized rows per band.
+pub const MAX_ROWS_PER_BAND: usize = 64;
+
+/// Parameters of a banded LSH index: `bands × rows_per_band` quantized
+/// sketch coordinates, bucket width `width`, and the seed the random
+/// shifts derive from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LshParams {
+    bands: usize,
+    rows_per_band: usize,
+    width: f64,
+    seed: u64,
+}
+
+impl LshParams {
+    /// Validates and builds the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `bands` is zero or
+    /// over [`MAX_BANDS`], `rows_per_band` is zero or over
+    /// [`MAX_ROWS_PER_BAND`], or `width` is not a positive finite
+    /// number.
+    pub fn new(
+        bands: usize,
+        rows_per_band: usize,
+        width: f64,
+        seed: u64,
+    ) -> Result<Self, TabError> {
+        if bands == 0 || bands > MAX_BANDS {
+            return Err(TabError::InvalidParameter(
+                "band count must lie in 1..=1024",
+            ));
+        }
+        if rows_per_band == 0 || rows_per_band > MAX_ROWS_PER_BAND {
+            return Err(TabError::InvalidParameter(
+                "rows per band must lie in 1..=64",
+            ));
+        }
+        if !(width.is_finite() && width > 0.0) {
+            return Err(TabError::InvalidParameter(
+                "bucket width must be positive and finite",
+            ));
+        }
+        Ok(Self {
+            bands,
+            rows_per_band,
+            width,
+            seed,
+        })
+    }
+
+    /// The band count `b`.
+    #[inline]
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Quantized rows per band `r`.
+    #[inline]
+    pub fn rows_per_band(&self) -> usize {
+        self.rows_per_band
+    }
+
+    /// The quantization bucket width `w`.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The seed the random shifts derive from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Occupancy summary of a built index (also what the serve protocol
+/// reports per store).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Indexed items (tiles).
+    pub items: usize,
+    /// Band count.
+    pub bands: usize,
+    /// Quantized rows per band.
+    pub rows_per_band: usize,
+    /// Non-empty buckets summed over all bands.
+    pub buckets: usize,
+    /// Stored (band, item) entries — always `bands × items`.
+    pub entries: usize,
+    /// The largest single bucket.
+    pub max_bucket: usize,
+}
+
+/// One band's bucket table: bucket keys sorted ascending, each mapping
+/// to a contiguous id range in `ids`. Lookup is a binary search — no
+/// per-bucket allocation, cache-friendly scans.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BandTable {
+    /// `(key, start, len)` sorted by `key`; `start..start+len` indexes
+    /// into `ids`.
+    buckets: Vec<(u64, u32, u32)>,
+    /// Item ids grouped by bucket, ascending within each bucket.
+    ids: Vec<u32>,
+}
+
+impl BandTable {
+    fn lookup(&self, key: u64) -> &[u32] {
+        match self.buckets.binary_search_by_key(&key, |&(k, _, _)| k) {
+            Ok(i) => {
+                let (_, start, len) = self.buckets[i];
+                &self.ids[start as usize..start as usize + len as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+}
+
+/// A banded p-stable LSH index over the sketch vectors of a tile grid.
+///
+/// Item ids are tile ids: index `i` refers to the `i`-th tile of the
+/// grid the sketches were taken over (the same ordering
+/// `TileGrid::iter` produces), which is also the `index` field of a
+/// reranked `Neighbor`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LshIndex {
+    params: LshParams,
+    sketch_k: usize,
+    items: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+    /// Per-(band, row) random shift in `[0, w)`, row-major.
+    shifts: Vec<f64>,
+    bands: Vec<BandTable>,
+}
+
+impl LshIndex {
+    /// Builds the index over `sketches`, one per tile of a
+    /// `tile_rows × tile_cols` grid, in grid order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::InvalidParameter`] when `sketches` is empty,
+    /// exceeds `u32::MAX` items, or `bands × rows_per_band` exceeds the
+    /// sketch width, and [`TabError::SketchMismatch`] when sketch
+    /// widths are inconsistent.
+    pub fn build(
+        params: LshParams,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketches: &[&[f64]],
+    ) -> Result<Self, TabError> {
+        let first = sketches
+            .first()
+            .ok_or(TabError::InvalidParameter("no sketches to index"))?;
+        let sketch_k = first.len();
+        if sketches.iter().any(|s| s.len() != sketch_k) {
+            return Err(TabError::SketchMismatch {
+                reason: "sketch widths differ across indexed items",
+            });
+        }
+        if sketches.len() > u32::MAX as usize {
+            return Err(TabError::InvalidParameter(
+                "at most 2^32-1 items can be indexed",
+            ));
+        }
+        if params.bands * params.rows_per_band > sketch_k {
+            return Err(TabError::InvalidParameter(
+                "bands * rows_per_band must not exceed the sketch width",
+            ));
+        }
+        let shifts = derive_shifts(&params);
+        let mut bands = Vec::with_capacity(params.bands);
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(sketches.len());
+        for band in 0..params.bands {
+            keyed.clear();
+            for (id, sketch) in sketches.iter().enumerate() {
+                keyed.push((band_key(&params, &shifts, band, sketch), id as u32));
+            }
+            keyed.sort_unstable();
+            let mut buckets = Vec::new();
+            let mut ids = Vec::with_capacity(keyed.len());
+            for &(key, id) in keyed.iter() {
+                match buckets.last_mut() {
+                    Some((k, _, len)) if *k == key => *len += 1,
+                    _ => buckets.push((key, ids.len() as u32, 1u32)),
+                }
+                ids.push(id);
+            }
+            bands.push(BandTable { buckets, ids });
+        }
+        let built = Self {
+            params,
+            sketch_k,
+            items: sketches.len(),
+            tile_rows,
+            tile_cols,
+            shifts,
+            bands,
+        };
+        let stats = built.stats();
+        tabsketch_obs::gauge!("index.buckets").set(stats.buckets as u64);
+        tabsketch_obs::gauge!("index.entries").set(stats.entries as u64);
+        tabsketch_obs::gauge!("index.bucket.max_occupancy").set(stats.max_bucket as u64);
+        Ok(built)
+    }
+
+    /// The parameters the index was built with.
+    #[inline]
+    pub fn params(&self) -> &LshParams {
+        &self.params
+    }
+
+    /// The sketch width queries must match.
+    #[inline]
+    pub fn sketch_k(&self) -> usize {
+        self.sketch_k
+    }
+
+    /// How many items (tiles) are indexed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items
+    }
+
+    /// Whether the index holds no items. Never true for a built or
+    /// loaded index (construction rejects empty sets).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// The tile shape `(rows, cols)` the item ids refer to.
+    #[inline]
+    pub fn tile(&self) -> (usize, usize) {
+        (self.tile_rows, self.tile_cols)
+    }
+
+    /// Whether this index can answer for a corpus of `items` sketches
+    /// of width `sketch_k` over `tile_rows × tile_cols` tiles.
+    pub fn covers(
+        &self,
+        tile_rows: usize,
+        tile_cols: usize,
+        sketch_k: usize,
+        items: usize,
+    ) -> bool {
+        self.tile_rows == tile_rows
+            && self.tile_cols == tile_cols
+            && self.sketch_k == sketch_k
+            && self.items == items
+    }
+
+    /// Candidate item ids for `query`: every item sharing at least one
+    /// band key, deduplicated, ascending. The query's own id (if
+    /// indexed) is included — callers filter it like any linear scan
+    /// filters the query tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::SketchMismatch`] when the query width
+    /// differs from the indexed sketch width.
+    pub fn candidates(&self, query: &[f64]) -> Result<Vec<usize>, TabError> {
+        if query.len() != self.sketch_k {
+            return Err(TabError::SketchMismatch {
+                reason: "query sketch width differs from the index",
+            });
+        }
+        let mut out: Vec<usize> = Vec::new();
+        for (band, table) in self.bands.iter().enumerate() {
+            let key = band_key(&self.params, &self.shifts, band, query);
+            out.extend(table.lookup(key).iter().map(|&id| id as usize));
+        }
+        out.sort_unstable();
+        out.dedup();
+        tabsketch_obs::counter!("index.queries").inc();
+        tabsketch_obs::counter!("index.candidates").add(out.len() as u64);
+        Ok(out)
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> IndexStats {
+        let mut buckets = 0;
+        let mut max_bucket = 0;
+        for band in &self.bands {
+            buckets += band.buckets.len();
+            max_bucket = max_bucket.max(
+                band.buckets
+                    .iter()
+                    .map(|&(_, _, len)| len as usize)
+                    .max()
+                    .unwrap_or(0),
+            );
+        }
+        IndexStats {
+            items: self.items,
+            bands: self.params.bands,
+            rows_per_band: self.params.rows_per_band,
+            buckets,
+            entries: self.params.bands * self.items,
+            max_bucket,
+        }
+    }
+}
+
+/// Per-(band, row) shifts drawn uniformly from `[0, w)`, one stream
+/// per band so the layout is stable under `rows_per_band` changes.
+fn derive_shifts(params: &LshParams) -> Vec<f64> {
+    let mut shifts = Vec::with_capacity(params.bands * params.rows_per_band);
+    for band in 0..params.bands {
+        let mut rng = stream_rng(params.seed, &[0x4C53_4820, band as u64]);
+        for _ in 0..params.rows_per_band {
+            shifts.push(rng.random::<f64>() * params.width);
+        }
+    }
+    shifts
+}
+
+/// The bucket key of `band` for sketch vector `v`: the `r` quantized
+/// cells of the band's coordinate block, folded through `mix64`.
+fn band_key(params: &LshParams, shifts: &[f64], band: usize, v: &[f64]) -> u64 {
+    let r = params.rows_per_band;
+    let base = band * r;
+    let mut key = mix64(params.seed ^ (band as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for row in 0..r {
+        let cell = ((v[base + row] + shifts[base + row]) / params.width).floor();
+        // `as i64` saturates for out-of-range magnitudes; sketch values
+        // are finite by construction (tables reject non-finite cells).
+        key = mix64(key ^ (cell as i64 as u64));
+    }
+    key
+}
+
+/// The median absolute sketch coordinate of `sketches` — a robust data
+/// scale for choosing the bucket width `w` (near neighbors differ by
+/// much less than a typical coordinate, far tiles by more).
+pub fn median_abs_coordinate(sketches: &[&[f64]]) -> f64 {
+    let mut mags: Vec<f64> = sketches
+        .iter()
+        .flat_map(|s| s.iter().map(|v| v.abs()))
+        .collect();
+    if mags.is_empty() {
+        return 0.0;
+    }
+    let mid = mags.len() / 2;
+    mags.select_nth_unstable_by(mid, f64::total_cmp);
+    mags[mid]
+}
+
+/// Bumps the `index.fallbacks` counter — every site that degrades from
+/// index-assisted retrieval to a linear scan (missing index, shape or
+/// width mismatch, corrupt file, too few candidates) records it here so
+/// operators can see the index is not actually serving.
+pub fn record_fallback() {
+    tabsketch_obs::counter!("index.fallbacks").inc();
+}
+
+/// Pre-registers every `index.*` metric this crate emits, so snapshots
+/// show the full schema even before any query runs.
+pub fn register_metrics() {
+    use tabsketch_obs as obs;
+    obs::counter("index.queries");
+    obs::counter("index.candidates");
+    obs::counter("index.fallbacks");
+    obs::gauge("index.buckets");
+    obs::gauge("index.entries");
+    obs::gauge("index.bucket.max_occupancy");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(sketches: &[Vec<f64>]) -> Vec<&[f64]> {
+        sketches.iter().map(|s| &s[..]).collect()
+    }
+
+    /// Clustered synthetic sketches: `groups` groups of `per_group`
+    /// near-identical vectors, groups far apart.
+    fn grouped_sketches(groups: usize, per_group: usize, k: usize) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for g in 0..groups {
+            for m in 0..per_group {
+                out.push(
+                    (0..k)
+                        .map(|i| {
+                            let center = (g * 1000 + i * 7) as f64;
+                            center + (mix64((g * per_group + m + i) as u64) % 100) as f64 / 1000.0
+                        })
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(LshParams::new(0, 4, 1.0, 0).is_err());
+        assert!(LshParams::new(MAX_BANDS + 1, 4, 1.0, 0).is_err());
+        assert!(LshParams::new(8, 0, 1.0, 0).is_err());
+        assert!(LshParams::new(8, MAX_ROWS_PER_BAND + 1, 1.0, 0).is_err());
+        assert!(LshParams::new(8, 4, 0.0, 0).is_err());
+        assert!(LshParams::new(8, 4, -1.0, 0).is_err());
+        assert!(LshParams::new(8, 4, f64::NAN, 0).is_err());
+        assert!(LshParams::new(8, 4, f64::INFINITY, 0).is_err());
+        let p = LshParams::new(8, 4, 2.5, 7).unwrap();
+        assert_eq!(
+            (p.bands(), p.rows_per_band(), p.width(), p.seed()),
+            (8, 4, 2.5, 7)
+        );
+    }
+
+    #[test]
+    fn build_validation() {
+        let params = LshParams::new(4, 4, 1.0, 0).unwrap();
+        assert!(LshIndex::build(params, 8, 8, &[]).is_err(), "empty set");
+        let a = vec![0.0; 16];
+        let b = vec![0.0; 15];
+        assert!(
+            LshIndex::build(params, 8, 8, &[&a, &b]).is_err(),
+            "ragged widths"
+        );
+        let narrow = vec![0.0; 15];
+        assert!(
+            LshIndex::build(params, 8, 8, &[&narrow]).is_err(),
+            "bands*rows exceeds width"
+        );
+        let ok = LshIndex::build(params, 8, 8, &[&a]).unwrap();
+        assert_eq!(ok.sketch_k(), 16);
+        assert_eq!(ok.len(), 1);
+        assert!(!ok.is_empty());
+        assert_eq!(ok.tile(), (8, 8));
+        assert!(ok.covers(8, 8, 16, 1));
+        assert!(!ok.covers(8, 9, 16, 1));
+        assert!(!ok.covers(8, 8, 32, 1));
+        assert!(!ok.covers(8, 8, 16, 2));
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let params = LshParams::new(8, 4, 1.0, 3).unwrap();
+        let v: Vec<f64> = (0..32).map(|i| (i as f64).sin() * 100.0).collect();
+        let sketches = vec![v.clone(), v.clone(), v.clone()];
+        let ix = LshIndex::build(params, 4, 4, &refs(&sketches)).unwrap();
+        let c = ix.candidates(&v).unwrap();
+        assert_eq!(c, vec![0, 1, 2], "identical vectors share every band");
+    }
+
+    #[test]
+    fn grouped_data_retrieves_own_group_not_everything() {
+        let sketches = grouped_sketches(4, 8, 32);
+        let params = LshParams::new(8, 4, 5.0, 11).unwrap();
+        let ix = LshIndex::build(params, 4, 4, &refs(&sketches)).unwrap();
+        for (i, s) in sketches.iter().enumerate() {
+            let c = ix.candidates(s).unwrap();
+            assert!(c.contains(&i), "item {i} must be its own candidate");
+            let group = i / 8;
+            for member in group * 8..(group + 1) * 8 {
+                assert!(c.contains(&member), "query {i} missing groupmate {member}");
+            }
+            assert!(
+                c.len() <= 8,
+                "query {i} leaked beyond its group: {} candidates",
+                c.len()
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_rejects_wrong_width() {
+        let sketches = grouped_sketches(2, 2, 32);
+        let params = LshParams::new(4, 4, 5.0, 0).unwrap();
+        let ix = LshIndex::build(params, 4, 4, &refs(&sketches)).unwrap();
+        assert!(matches!(
+            ix.candidates(&[0.0; 31]),
+            Err(TabError::SketchMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn build_is_deterministic_and_seed_sensitive() {
+        let sketches = grouped_sketches(3, 5, 32);
+        let params = LshParams::new(6, 4, 5.0, 21).unwrap();
+        let a = LshIndex::build(params, 4, 4, &refs(&sketches)).unwrap();
+        let b = LshIndex::build(params, 4, 4, &refs(&sketches)).unwrap();
+        assert_eq!(a, b, "same seed, same index");
+        let other = LshParams::new(6, 4, 5.0, 22).unwrap();
+        let c = LshIndex::build(other, 4, 4, &refs(&sketches)).unwrap();
+        assert_ne!(a.shifts, c.shifts, "different seeds shift differently");
+    }
+
+    #[test]
+    fn stats_account_for_every_entry() {
+        let sketches = grouped_sketches(4, 8, 32);
+        let params = LshParams::new(8, 4, 5.0, 11).unwrap();
+        let ix = LshIndex::build(params, 4, 4, &refs(&sketches)).unwrap();
+        let s = ix.stats();
+        assert_eq!(s.items, 32);
+        assert_eq!(s.bands, 8);
+        assert_eq!(s.rows_per_band, 4);
+        assert_eq!(s.entries, 8 * 32);
+        assert!(s.buckets >= 8, "at least one bucket per band");
+        assert!(s.max_bucket >= 1 && s.max_bucket <= 32);
+        // Bucket lens per band must sum to the item count.
+        for band in &ix.bands {
+            let total: usize = band.buckets.iter().map(|&(_, _, l)| l as usize).sum();
+            assert_eq!(total, 32);
+            assert_eq!(band.ids.len(), 32);
+        }
+    }
+
+    #[test]
+    fn median_abs_coordinate_is_robust() {
+        assert_eq!(median_abs_coordinate(&[]), 0.0);
+        let a = vec![1.0, -2.0, 3.0];
+        let b = vec![-4.0, 5.0, 1000.0];
+        let m = median_abs_coordinate(&[&a, &b]);
+        assert_eq!(m, 4.0, "upper median of magnitudes 1,2,3,4,5,1000");
+    }
+}

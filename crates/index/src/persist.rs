@@ -1,0 +1,490 @@
+//! The checksummed on-disk index format `TIX1`.
+//!
+//! Follows the `TSK2` pattern from `tabsketch_core::persist`: a magic
+//! tag, a fixed-size header covered by a CRC32 (over magic + header), a
+//! body, and a trailing body CRC32. Every declared count is
+//! size-bounded **before** allocation, damage anywhere yields a typed
+//! [`TabError::Corrupt`] naming the failed section, and saves go
+//! through [`tabsketch_table::atomic::write_atomic`] so an interrupted
+//! write never clobbers a good index.
+//!
+//! The random shifts are *not* stored: they re-derive from the header's
+//! seed exactly as at build time, so a loaded index answers
+//! bit-identically to the one that was saved.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! "TIX1"  magic
+//! u32     version (= 1)
+//! u32     bands
+//! u32     rows_per_band
+//! f64     width
+//! u64     seed
+//! u64     sketch_k
+//! u64     items
+//! u64     tile_rows
+//! u64     tile_cols
+//! u32     CRC32 of magic + header
+//! per band:
+//!   u64   bucket_count
+//!   bucket_count x (u64 key, u64 len)   keys strictly ascending
+//!   items x u32 id                      grouped by bucket
+//! u32     CRC32 of the body
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use tabsketch_core::limits::MAX_PERSIST_BYTES;
+use tabsketch_core::TabError;
+use tabsketch_table::atomic::write_atomic;
+use tabsketch_table::checksum::Crc32;
+
+use crate::{derive_shifts, BandTable, LshIndex, LshParams};
+
+/// The file magic.
+pub const MAGIC: &[u8; 4] = b"TIX1";
+
+/// The format version written by this build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default ceiling on the bytes a load may allocate.
+pub const DEFAULT_MAX_BYTES: usize = MAX_PERSIST_BYTES as usize;
+
+/// Streaming I/O happens in chunks of this many bytes.
+const IO_CHUNK_BYTES: usize = 64 * 1024;
+
+fn read_exact_in(r: &mut impl Read, buf: &mut [u8], section: &'static str) -> Result<(), TabError> {
+    r.read_exact(buf)
+        .map_err(|e| TabError::from_read_error(section, e))
+}
+
+fn read_u32_in(r: &mut impl Read, section: &'static str) -> Result<u32, TabError> {
+    let mut b = [0u8; 4];
+    read_exact_in(r, &mut b, section)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Saves `index` to `path` atomically (temp file + fsync + rename).
+///
+/// # Errors
+///
+/// Propagates I/O failures; an existing file at `path` survives them.
+pub fn save_index(index: &LshIndex, path: impl AsRef<Path>) -> Result<(), TabError> {
+    write_atomic(path.as_ref(), |f| write_index(index, f))
+}
+
+/// Loads an index from `path`.
+///
+/// # Errors
+///
+/// Returns [`TabError::Corrupt`] for structural damage and
+/// [`TabError::Io`] for I/O faults.
+pub fn load_index(path: impl AsRef<Path>) -> Result<LshIndex, TabError> {
+    let file = std::fs::File::open(path.as_ref())?;
+    read_index(&mut std::io::BufReader::new(file))
+}
+
+/// Writes the `TIX1` encoding of `index` to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_index(index: &LshIndex, w: &mut impl Write) -> Result<(), TabError> {
+    let mut header = Vec::with_capacity(64);
+    header.extend_from_slice(MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(index.params.bands as u32).to_le_bytes());
+    header.extend_from_slice(&(index.params.rows_per_band as u32).to_le_bytes());
+    header.extend_from_slice(&index.params.width.to_le_bytes());
+    header.extend_from_slice(&index.params.seed.to_le_bytes());
+    header.extend_from_slice(&(index.sketch_k as u64).to_le_bytes());
+    header.extend_from_slice(&(index.items as u64).to_le_bytes());
+    header.extend_from_slice(&(index.tile_rows as u64).to_le_bytes());
+    header.extend_from_slice(&(index.tile_cols as u64).to_le_bytes());
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    w.write_all(&header)?;
+    w.write_all(&crc.finish().to_le_bytes())?;
+
+    let mut body = BodyWriter::new(w);
+    for band in &index.bands {
+        body.put(&(band.buckets.len() as u64).to_le_bytes())?;
+        for &(key, _, len) in &band.buckets {
+            body.put(&key.to_le_bytes())?;
+            body.put(&u64::from(len).to_le_bytes())?;
+        }
+        for &id in &band.ids {
+            body.put(&id.to_le_bytes())?;
+        }
+    }
+    body.finish()?;
+    Ok(())
+}
+
+/// Reads a `TIX1` index from `r` under the default allocation ceiling.
+///
+/// # Errors
+///
+/// Returns [`TabError::Corrupt`] for structural damage and
+/// [`TabError::Io`] for I/O faults.
+pub fn read_index(r: &mut impl Read) -> Result<LshIndex, TabError> {
+    read_index_with_limit(r, DEFAULT_MAX_BYTES)
+}
+
+/// Like [`read_index`], refusing any file whose declared contents would
+/// exceed `max_bytes`.
+///
+/// # Errors
+///
+/// Returns [`TabError::Corrupt`] for structural damage or an
+/// over-`max_bytes` declaration, and [`TabError::Io`] for I/O faults.
+pub fn read_index_with_limit(r: &mut impl Read, max_bytes: usize) -> Result<LshIndex, TabError> {
+    let mut magic = [0u8; 4];
+    read_exact_in(r, &mut magic, "magic")?;
+    if &magic != MAGIC {
+        return Err(TabError::corrupt(
+            "magic",
+            format!("expected {MAGIC:?}, found {magic:?}"),
+        ));
+    }
+    // Fixed header past the magic: 3 x u32 + f64 + 5 x u64 = 60 bytes.
+    let mut header = [0u8; 60];
+    read_exact_in(r, &mut header, "header")?;
+    let mut crc = Crc32::new();
+    crc.update(&magic);
+    crc.update(&header);
+    let stored = read_u32_in(r, "header")?;
+    if stored != crc.finish() {
+        return Err(TabError::corrupt(
+            "header",
+            format!("checksum mismatch: stored {stored:#010x}"),
+        ));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(header[o..o + 4].try_into().expect("fixed slice"));
+    let u64_at = |o: usize| u64::from_le_bytes(header[o..o + 8].try_into().expect("fixed slice"));
+    let version = u32_at(0);
+    if version != FORMAT_VERSION {
+        return Err(TabError::corrupt(
+            "header",
+            format!("unsupported version {version}"),
+        ));
+    }
+    let bands = u32_at(4) as usize;
+    let rows_per_band = u32_at(8) as usize;
+    let width = f64::from_le_bytes(header[12..20].try_into().expect("fixed slice"));
+    let seed = u64_at(20);
+    let params = LshParams::new(bands, rows_per_band, width, seed)
+        .map_err(|e| TabError::corrupt("header", format!("implausible parameters: {e}")))?;
+    let sketch_k = checked_count(u64_at(28), 8, max_bytes, "header")?;
+    let items = checked_count(u64_at(36), 4, max_bytes, "header")?;
+    let tile_rows = usize::try_from(u64_at(44))
+        .map_err(|_| TabError::corrupt("header", "tile rows exceed the address space"))?;
+    let tile_cols = usize::try_from(u64_at(52))
+        .map_err(|_| TabError::corrupt("header", "tile cols exceed the address space"))?;
+    if items == 0 || items > u32::MAX as usize {
+        return Err(TabError::corrupt(
+            "header",
+            format!("implausible item count {items}"),
+        ));
+    }
+    if bands * rows_per_band > sketch_k {
+        return Err(TabError::corrupt(
+            "header",
+            "bands * rows_per_band exceeds the sketch width",
+        ));
+    }
+    // Total body bytes implied by the header, before any allocation:
+    // per band at worst items buckets (16 B each) plus items ids (4 B).
+    let per_band = items
+        .checked_mul(20)
+        .and_then(|b| b.checked_add(8))
+        .ok_or_else(|| TabError::corrupt("header", "band size overflows"))?;
+    let total = per_band
+        .checked_mul(bands)
+        .ok_or_else(|| TabError::corrupt("header", "body size overflows"))?;
+    if total > max_bytes {
+        return Err(TabError::corrupt(
+            "header",
+            format!("declared body of {total} bytes exceeds the {max_bytes}-byte limit"),
+        ));
+    }
+
+    let mut body = BodyReader::new(r);
+    let mut band_tables = Vec::with_capacity(bands);
+    for band in 0..bands {
+        let bucket_count = body.u64("body")? as usize;
+        if bucket_count == 0 || bucket_count > items {
+            return Err(TabError::corrupt(
+                "body",
+                format!("band {band} declares {bucket_count} buckets for {items} items"),
+            ));
+        }
+        let mut buckets = Vec::with_capacity(bucket_count);
+        let mut start = 0u64;
+        let mut prev_key: Option<u64> = None;
+        for _ in 0..bucket_count {
+            let key = body.u64("body")?;
+            let len = body.u64("body")?;
+            if prev_key.is_some_and(|p| key <= p) {
+                return Err(TabError::corrupt(
+                    "body",
+                    format!("band {band} bucket keys are not strictly ascending"),
+                ));
+            }
+            prev_key = Some(key);
+            if len == 0 || start + len > items as u64 {
+                return Err(TabError::corrupt(
+                    "body",
+                    format!("band {band} bucket lengths are inconsistent"),
+                ));
+            }
+            buckets.push((key, start as u32, len as u32));
+            start += len;
+        }
+        if start != items as u64 {
+            return Err(TabError::corrupt(
+                "body",
+                format!("band {band} buckets cover {start} of {items} items"),
+            ));
+        }
+        let mut ids = Vec::with_capacity(items);
+        for _ in 0..items {
+            let id = body.u32("body")?;
+            if id as usize >= items {
+                return Err(TabError::corrupt(
+                    "body",
+                    format!("band {band} id {id} out of range"),
+                ));
+            }
+            ids.push(id);
+        }
+        band_tables.push(BandTable { buckets, ids });
+    }
+    let computed = body.crc.finish();
+    let stored = read_u32_in(r, "body")?;
+    if stored != computed {
+        return Err(TabError::corrupt(
+            "body",
+            format!("checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+        ));
+    }
+    let shifts = derive_shifts(&params);
+    Ok(LshIndex {
+        params,
+        sketch_k,
+        items,
+        tile_rows,
+        tile_cols,
+        shifts,
+        bands: band_tables,
+    })
+}
+
+/// Bounds a declared element count of `elem_bytes`-byte elements to
+/// `max_bytes` and the address space, before any allocation.
+fn checked_count(
+    count: u64,
+    elem_bytes: usize,
+    max_bytes: usize,
+    section: &'static str,
+) -> Result<usize, TabError> {
+    let count = usize::try_from(count)
+        .map_err(|_| TabError::corrupt(section, "count exceeds the address space"))?;
+    let bytes = count
+        .checked_mul(elem_bytes)
+        .ok_or_else(|| TabError::corrupt(section, "count overflows"))?;
+    if bytes > max_bytes {
+        return Err(TabError::corrupt(
+            section,
+            format!("declared {bytes} bytes exceed the {max_bytes}-byte limit"),
+        ));
+    }
+    Ok(count)
+}
+
+/// Buffers body writes in `IO_CHUNK_BYTES` chunks while folding them
+/// into the trailing CRC.
+struct BodyWriter<'a, W: Write> {
+    w: &'a mut W,
+    buf: Vec<u8>,
+    crc: Crc32,
+}
+
+impl<'a, W: Write> BodyWriter<'a, W> {
+    fn new(w: &'a mut W) -> Self {
+        Self {
+            w,
+            buf: Vec::with_capacity(IO_CHUNK_BYTES),
+            crc: Crc32::new(),
+        }
+    }
+
+    fn put(&mut self, bytes: &[u8]) -> Result<(), TabError> {
+        self.crc.update(bytes);
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() >= IO_CHUNK_BYTES {
+            self.w.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(), TabError> {
+        if !self.buf.is_empty() {
+            self.w.write_all(&self.buf)?;
+        }
+        self.w.write_all(&self.crc.finish().to_le_bytes())?;
+        Ok(())
+    }
+}
+
+/// Reads body integers while folding every consumed byte into the CRC.
+struct BodyReader<'a, R: Read> {
+    r: &'a mut R,
+    crc: Crc32,
+}
+
+impl<'a, R: Read> BodyReader<'a, R> {
+    fn new(r: &'a mut R) -> Self {
+        Self {
+            r,
+            crc: Crc32::new(),
+        }
+    }
+
+    fn u64(&mut self, section: &'static str) -> Result<u64, TabError> {
+        let mut b = [0u8; 8];
+        read_exact_in(self.r, &mut b, section)?;
+        self.crc.update(&b);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn u32(&mut self, section: &'static str) -> Result<u32, TabError> {
+        let mut b = [0u8; 4];
+        read_exact_in(self.r, &mut b, section)?;
+        self.crc.update(&b);
+        Ok(u32::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> LshIndex {
+        let sketches: Vec<Vec<f64>> = (0..24)
+            .map(|i| {
+                (0..32)
+                    .map(|j| ((i / 6) * 500) as f64 + ((i * 31 + j * 7) % 13) as f64 / 10.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = sketches.iter().map(|s| &s[..]).collect();
+        LshIndex::build(LshParams::new(8, 4, 6.0, 17).unwrap(), 8, 8, &refs).unwrap()
+    }
+
+    fn encode(index: &LshIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_index(index, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrips_bit_identically() {
+        let ix = sample_index();
+        let bytes = encode(&ix);
+        let back = read_index(&mut &bytes[..]).unwrap();
+        assert_eq!(ix, back, "reload must reproduce the index exactly");
+        // A query agrees across the roundtrip.
+        let q: Vec<f64> = (0..32).map(|j| 500.0 + (j % 13) as f64 / 10.0).collect();
+        assert_eq!(ix.candidates(&q).unwrap(), back.candidates(&q).unwrap());
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-index-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.tix");
+        let ix = sample_index();
+        save_index(&ix, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(ix, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let mut bytes = encode(&sample_index());
+        bytes[0] = b'X';
+        let err = read_index(&mut &bytes[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TabError::Corrupt {
+                    section: "magic",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn version_and_header_damage_are_corrupt() {
+        let clean = encode(&sample_index());
+        // Bumping the version also breaks the header CRC; either way the
+        // result must be a typed header corruption.
+        let mut bad = clean.clone();
+        bad[4] = 9;
+        let err = read_index(&mut &bad[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TabError::Corrupt {
+                    section: "header",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Damage inside the parameter block.
+        let mut bad = clean;
+        bad[12] ^= 0x40;
+        let err = read_index(&mut &bad[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TabError::Corrupt {
+                    section: "header",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn oversized_declaration_is_refused_before_allocation() {
+        let bytes = encode(&sample_index());
+        let err = read_index_with_limit(&mut &bytes[..], 64).unwrap_err();
+        assert!(matches!(err, TabError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncation_anywhere_is_corrupt_not_a_panic() {
+        let bytes = encode(&sample_index());
+        for cut in 0..bytes.len() {
+            let err = read_index(&mut &bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TabError::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+}

@@ -211,11 +211,7 @@ impl FaultyProxy {
     /// # Errors
     ///
     /// Propagates listener-binding failures.
-    pub fn start(
-        upstream: SocketAddr,
-        seed: u64,
-        fault_per_mille: u32,
-    ) -> io::Result<FaultyProxy> {
+    pub fn start(upstream: SocketAddr, seed: u64, fault_per_mille: u32) -> io::Result<FaultyProxy> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;

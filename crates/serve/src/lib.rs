@@ -58,7 +58,7 @@ pub use metrics::{
     LatencyHistogram, MetricsSnapshot, RequestKind, ServerMetrics, StoreTierMetrics,
 };
 pub use protocol::{
-    HealthState, Request, RequestFrame, Response, StoreInfo, MAX_BATCH, MAX_FRAME,
+    HealthState, Request, RequestFrame, Response, StoreIndexInfo, StoreInfo, MAX_BATCH, MAX_FRAME,
 };
 pub use retry::{JitterRng, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};

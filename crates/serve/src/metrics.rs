@@ -212,6 +212,8 @@ impl ServerMetrics {
 pub struct StoreTierMetrics {
     /// The store's serving name.
     pub name: String,
+    /// Whether an LSH candidate index is resident for this store.
+    pub indexed: bool,
     /// Tier hits/fallbacks and cache counters, summed over shards.
     pub tiers: TierSnapshot,
 }
@@ -288,7 +290,8 @@ impl std::fmt::Display for MetricsSnapshot {
             self.responses, self.shed, self.panics, self.write_failures
         )?;
         for s in &self.stores {
-            writeln!(f, "store {:?}: {}", s.name, s.tiers)?;
+            let tag = if s.indexed { " [indexed]" } else { "" };
+            writeln!(f, "store {:?}{tag}: {}", s.name, s.tiers)?;
         }
         if !self.registry.is_empty() {
             writeln!(f, "registry:")?;

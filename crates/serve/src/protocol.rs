@@ -167,6 +167,20 @@ pub struct RequestFrame {
     pub request: Request,
 }
 
+/// Shape of a store's resident LSH candidate index, as carried inside
+/// [`StoreInfo`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreIndexInfo {
+    /// Hash bands.
+    pub bands: u64,
+    /// Quantized rows folded into each band key.
+    pub rows_per_band: u64,
+    /// Non-empty buckets across all bands.
+    pub buckets: u64,
+    /// Total (band, tile) entries.
+    pub entries: u64,
+}
+
 /// One loaded store as reported by [`Request::Stores`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StoreInfo {
@@ -178,6 +192,8 @@ pub struct StoreInfo {
     pub cols: u64,
     /// Precomputed tile shape, when a sketch store is resident.
     pub tile: Option<(u64, u64)>,
+    /// LSH candidate-index stats, when an index is resident.
+    pub index: Option<StoreIndexInfo>,
 }
 
 /// A server response.
@@ -559,6 +575,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     }
                     None => e.u8(0),
                 }
+                match &info.index {
+                    Some(ix) => {
+                        e.u8(1);
+                        e.u64(ix.bands);
+                        e.u64(ix.rows_per_band);
+                        e.u64(ix.buckets);
+                        e.u64(ix.entries);
+                    }
+                    None => e.u8(0),
+                }
             }
         }
         Response::ShuttingDown => e.u8(RESP_SHUTTING_DOWN),
@@ -585,6 +611,7 @@ fn encode_store_tiers(e: &mut Enc, stores: &[StoreTierMetrics]) {
     e.u32(stores.len().min(u32::MAX as usize) as u32);
     for s in stores {
         e.str(&s.name);
+        e.u8(u8::from(s.indexed));
         let t = &s.tiers;
         for v in [
             t.pooled,
@@ -610,12 +637,18 @@ fn decode_store_tiers(d: &mut Dec<'_>) -> Result<Vec<StoreTierMetrics>, ServeErr
     let mut stores = Vec::with_capacity(n.min(64));
     for _ in 0..n {
         let name = d.str("store name")?;
+        let indexed = match d.u8("indexed flag")? {
+            0 => false,
+            1 => true,
+            _ => return Err(ServeError::Malformed("bad indexed flag".into())),
+        };
         let mut vals = [0u64; 9];
         for v in &mut vals {
             *v = d.u64("tier counter")?;
         }
         stores.push(StoreTierMetrics {
             name,
+            indexed,
             tiers: TierSnapshot {
                 pooled: vals[0],
                 on_demand: vals[1],
@@ -771,11 +804,22 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
                     1 => Some((d.u64("tile rows")?, d.u64("tile cols")?)),
                     _ => return Err(ServeError::Malformed("bad tile flag".into())),
                 };
+                let index = match d.u8("index flag")? {
+                    0 => None,
+                    1 => Some(StoreIndexInfo {
+                        bands: d.u64("index bands")?,
+                        rows_per_band: d.u64("index rows per band")?,
+                        buckets: d.u64("index buckets")?,
+                        entries: d.u64("index entries")?,
+                    }),
+                    _ => return Err(ServeError::Malformed("bad index flag".into())),
+                };
                 infos.push(StoreInfo {
                     name,
                     rows,
                     cols,
                     tile,
+                    index,
                 });
             }
             Response::Stores(infos)
@@ -945,12 +989,27 @@ mod tests {
             Response::Knn {
                 neighbors: vec![(r1, 0.5)],
             },
-            Response::Stores(vec![StoreInfo {
-                name: "day".into(),
-                rows: 512,
-                cols: 144,
-                tile: Some((32, 32)),
-            }]),
+            Response::Stores(vec![
+                StoreInfo {
+                    name: "day".into(),
+                    rows: 512,
+                    cols: 144,
+                    tile: Some((32, 32)),
+                    index: Some(StoreIndexInfo {
+                        bands: 16,
+                        rows_per_band: 4,
+                        buckets: 120,
+                        entries: 4096,
+                    }),
+                },
+                StoreInfo {
+                    name: "night".into(),
+                    rows: 64,
+                    cols: 64,
+                    tile: None,
+                    index: None,
+                },
+            ]),
             Response::Error {
                 code: ErrorCode::DeadlineExceeded,
                 message: "too slow".into(),
@@ -965,6 +1024,7 @@ mod tests {
                 state: HealthState::Degraded,
                 stores: vec![StoreTierMetrics {
                     name: "day".into(),
+                    indexed: true,
                     tiers: TierSnapshot {
                         pooled: 3,
                         on_demand: 1,
@@ -992,6 +1052,7 @@ mod tests {
                 p99_us: 950,
                 stores: vec![StoreTierMetrics {
                     name: "day".into(),
+                    indexed: false,
                     tiers: TierSnapshot {
                         pooled: 10,
                         on_demand: 5,

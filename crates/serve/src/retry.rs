@@ -150,7 +150,10 @@ mod tests {
             let d2 = policy.backoff_ms(retry, &mut b, 0);
             assert_eq!(d1, d2, "same seed must replay the same schedule");
             let cap = (policy.base_backoff_ms << retry).min(policy.max_backoff_ms);
-            assert!(d1 >= cap / 2 && d1 <= cap, "retry {retry}: {d1} vs cap {cap}");
+            assert!(
+                d1 >= cap / 2 && d1 <= cap,
+                "retry {retry}: {d1} vs cap {cap}"
+            );
             assert!(cap >= prev_cap, "caps are monotone");
             prev_cap = cap;
         }

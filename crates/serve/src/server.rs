@@ -446,6 +446,7 @@ impl<'a> ServeCtx<'a> {
             .zip(self.oracles)
             .map(|(s, o)| StoreTierMetrics {
                 name: s.name().to_string(),
+                indexed: s.index().is_some(),
                 tiers: o.counters(),
             })
             .collect()
@@ -497,7 +498,13 @@ impl<'a> ServeCtx<'a> {
             }
             Request::Knn { store, rect, count } => {
                 let (loaded, oracle) = self.lookup(store)?;
-                let neighbors = oracle.knn(loaded.table(), *rect, *count as usize, deadline)?;
+                let neighbors = oracle.knn(
+                    loaded.table(),
+                    loaded.index(),
+                    *rect,
+                    *count as usize,
+                    deadline,
+                )?;
                 Ok(Response::Knn { neighbors })
             }
             Request::Metrics => Ok(Response::Metrics(self.metrics.snapshot(self.store_tiers()))),

@@ -22,10 +22,11 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use tabsketch_cluster::{ClusterError, DistanceOracle, Tier, TierSnapshot};
 use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_index::{persist as index_persist, LshIndex};
 use tabsketch_table::{io as table_io, MemoryBudget, Rect, Table, TileGrid};
 
 use crate::error::ServeError;
-use crate::protocol::StoreInfo;
+use crate::protocol::{StoreIndexInfo, StoreInfo};
 
 /// How a deadline-checked loop polls the clock: every this many items.
 const DEADLINE_STRIDE: usize = 16;
@@ -81,6 +82,10 @@ pub struct StoreSpec {
     pub table_path: PathBuf,
     /// The precomputed sketch store, when one exists.
     pub store_path: Option<PathBuf>,
+    /// A persisted LSH candidate index (`TIX1`), when one exists. A
+    /// damaged or mismatched index degrades to linear k-NN scans, it
+    /// never fails the load.
+    pub index_path: Option<PathBuf>,
     /// Lp exponent for fallback on-demand sketches.
     pub p: f64,
     /// Sketch size for fallback on-demand sketches.
@@ -101,6 +106,7 @@ impl StoreSpec {
             name: name.into(),
             table_path: table_path.into(),
             store_path: None,
+            index_path: None,
             p: 1.0,
             k: 256,
             seed: 0,
@@ -112,6 +118,13 @@ impl StoreSpec {
     #[must_use]
     pub fn with_store_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.store_path = Some(path.into());
+        self
+    }
+
+    /// Attaches a persisted LSH candidate index file.
+    #[must_use]
+    pub fn with_index_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.index_path = Some(path.into());
         self
     }
 
@@ -157,6 +170,8 @@ pub struct LoadedStore {
     table: Table,
     store: Option<AllSubtableSketches>,
     degradation: Option<String>,
+    index: Option<LshIndex>,
+    index_degradation: Option<String>,
     p: f64,
     k: usize,
     seed: u64,
@@ -187,13 +202,17 @@ impl LoadedStore {
                 Err(e) => (None, Some(format!("loading {}: {e}", path.display()))),
             },
         };
-        Ok(Self::from_parts(
-            &spec.name,
-            table,
-            store,
-            degradation,
-            spec,
-        ))
+        let mut loaded = Self::from_parts(&spec.name, table, store, degradation, spec);
+        if let Some(path) = &spec.index_path {
+            match index_persist::load_index(path) {
+                Ok(index) => loaded.index = Some(index),
+                Err(e) => {
+                    tabsketch_index::record_fallback();
+                    loaded.index_degradation = Some(format!("loading {}: {e}", path.display()));
+                }
+            }
+        }
+        Ok(loaded)
     }
 
     /// Wraps already-loaded data (the path the CLI uses when it has a
@@ -229,10 +248,21 @@ impl LoadedStore {
             table,
             store,
             degradation,
+            index: None,
+            index_degradation: None,
             p: spec.p,
             k: spec.k,
             seed: spec.seed,
         }
+    }
+
+    /// Attaches an already-loaded candidate index (the CLI path, after
+    /// building or loading one itself).
+    #[must_use]
+    pub fn with_index(mut self, index: LshIndex) -> Self {
+        self.index = Some(index);
+        self.index_degradation = None;
+        self
     }
 
     /// The serving name.
@@ -255,6 +285,16 @@ impl LoadedStore {
         self.degradation.as_deref()
     }
 
+    /// The resident LSH candidate index, when one loaded cleanly.
+    pub fn index(&self) -> Option<&LshIndex> {
+        self.index.as_ref()
+    }
+
+    /// Why the candidate index is absent despite being requested, if so.
+    pub fn index_degradation(&self) -> Option<&str> {
+        self.index_degradation.as_deref()
+    }
+
     /// The precomputed tile shape, when a store is resident.
     pub fn tile(&self) -> Option<(usize, usize)> {
         self.store.as_ref().map(|s| (s.tile_rows(), s.tile_cols()))
@@ -267,6 +307,15 @@ impl LoadedStore {
             rows: self.table.rows() as u64,
             cols: self.table.cols() as u64,
             tile: self.tile().map(|(r, c)| (r as u64, c as u64)),
+            index: self.index.as_ref().map(|ix| {
+                let stats = ix.stats();
+                StoreIndexInfo {
+                    bands: stats.bands as u64,
+                    rows_per_band: stats.rows_per_band as u64,
+                    buckets: stats.buckets as u64,
+                    entries: stats.entries as u64,
+                }
+            }),
         }
     }
 
@@ -404,6 +453,12 @@ impl<'a> ShardedOracle<'a> {
     /// the tile identical to it), ascending by distance. Runs on one
     /// shard for cache locality.
     ///
+    /// With an `index` covering this grid, only the tiles sharing a band
+    /// bucket with the query are scored; when the index cannot answer
+    /// completely (shape/width/count mismatch, or fewer candidates than
+    /// `count`) the call records a fallback and scans every tile,
+    /// returning exactly what the un-indexed path would.
+    ///
     /// # Errors
     ///
     /// Returns mining-layer errors for `count == 0`, table errors for a
@@ -411,6 +466,7 @@ impl<'a> ShardedOracle<'a> {
     pub fn knn(
         &self,
         table: &Table,
+        index: Option<&LshIndex>,
         rect: Rect,
         count: usize,
         deadline: Deadline,
@@ -426,6 +482,12 @@ impl<'a> ShardedOracle<'a> {
         let grid = TileGrid::new(table.rows(), table.cols(), rect.rows, rect.cols)
             .map_err(ServeError::Table)?;
         let shard = self.pick().read();
+        if let Some(ix) = index {
+            if let Some(answer) = knn_via_index(&shard, ix, &grid, rect, count, deadline)? {
+                return Ok(answer);
+            }
+            tabsketch_index::record_fallback();
+        }
         let mut neighbors = Vec::with_capacity(grid.len().saturating_sub(1));
         for (i, tile) in grid.iter().enumerate() {
             if i % DEADLINE_STRIDE == 0 {
@@ -437,11 +499,7 @@ impl<'a> ShardedOracle<'a> {
             let (d, _) = shard.distance(rect, tile)?;
             neighbors.push((tile, d));
         }
-        neighbors.sort_by(|x, y| {
-            x.1.total_cmp(&y.1)
-                .then((x.0.row, x.0.col).cmp(&(y.0.row, y.0.col)))
-        });
-        neighbors.truncate(count);
+        sort_neighbors(&mut neighbors, count);
         Ok(neighbors)
     }
 
@@ -462,6 +520,56 @@ impl<'a> ShardedOracle<'a> {
             shard.write().clear_cache();
         }
     }
+}
+
+/// Ascending by distance, grid position as tie-breaker, truncated to
+/// `count` — the one ordering both the indexed and linear paths share.
+fn sort_neighbors(neighbors: &mut Vec<(Rect, f64)>, count: usize) {
+    neighbors.sort_by(|x, y| {
+        x.1.total_cmp(&y.1)
+            .then((x.0.row, x.0.col).cmp(&(y.0.row, y.0.col)))
+    });
+    neighbors.truncate(count);
+}
+
+/// The candidate-retrieval k-NN attempt. `Ok(None)` means the index
+/// cannot answer this query completely and the caller must scan; hard
+/// failures (oracle errors, deadline expiry) propagate as errors.
+fn knn_via_index(
+    shard: &DistanceOracle<'_>,
+    index: &LshIndex,
+    grid: &TileGrid,
+    rect: Rect,
+    count: usize,
+    deadline: Deadline,
+) -> Result<Option<Vec<(Rect, f64)>>, ServeError> {
+    let (qsketch, _) = shard.sketch_for(rect)?;
+    if !index.covers(rect.rows, rect.cols, qsketch.len(), grid.len()) {
+        return Ok(None);
+    }
+    let Ok(candidates) = index.candidates(&qsketch) else {
+        return Ok(None);
+    };
+    let mut neighbors = Vec::with_capacity(candidates.len());
+    for (seen, id) in candidates.into_iter().enumerate() {
+        if seen % DEADLINE_STRIDE == 0 {
+            deadline.check()?;
+        }
+        // covers() proved id < grid.len().
+        let Some(tile) = grid.tile(id) else {
+            return Ok(None);
+        };
+        if tile == rect {
+            continue;
+        }
+        let (d, _) = shard.distance(rect, tile)?;
+        neighbors.push((tile, d));
+    }
+    if neighbors.len() < count {
+        return Ok(None);
+    }
+    sort_neighbors(&mut neighbors, count);
+    Ok(Some(neighbors))
 }
 
 #[cfg(test)]
@@ -622,20 +730,123 @@ mod tests {
         let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
         let query = Rect::new(0, 0, 8, 8);
         let nn = sharded
-            .knn(loaded.table(), query, 3, Deadline::none())
+            .knn(loaded.table(), None, query, 3, Deadline::none())
             .unwrap();
         assert_eq!(nn.len(), 3);
         assert!(nn.iter().all(|&(t, _)| t != query), "query excluded");
         assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1), "ascending");
 
         let err = sharded
-            .knn(loaded.table(), query, 0, Deadline::none())
+            .knn(loaded.table(), None, query, 0, Deadline::none())
             .unwrap_err();
         assert!(matches!(err, ServeError::Cluster(_)), "{err}");
         let err = sharded
-            .knn(loaded.table(), Rect::new(0, 0, 64, 64), 1, Deadline::none())
+            .knn(
+                loaded.table(),
+                None,
+                Rect::new(0, 0, 64, 64),
+                1,
+                Deadline::none(),
+            )
             .unwrap_err();
         assert!(matches!(err, ServeError::Table(_)), "{err}");
+    }
+
+    /// Builds an index over the same per-tile sketches the oracle
+    /// produces, so the indexed and linear paths quantize identically.
+    fn index_over(loaded: &LoadedStore, grid_shape: (usize, usize)) -> tabsketch_index::LshIndex {
+        let (tr, tc) = grid_shape;
+        let oracle = loaded.oracle(256).unwrap();
+        let grid = TileGrid::new(loaded.table().rows(), loaded.table().cols(), tr, tc).unwrap();
+        let sketches: Vec<Box<[f64]>> = grid
+            .iter()
+            .map(|t| oracle.sketch_for(t).unwrap().0)
+            .collect();
+        let refs: Vec<&[f64]> = sketches.iter().map(|s| &s[..]).collect();
+        let width = tabsketch_index::median_abs_coordinate(&refs).max(1.0);
+        tabsketch_index::LshIndex::build(
+            tabsketch_index::LshParams::new(8, 4, width, 17).unwrap(),
+            tr,
+            tc,
+            &refs,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn indexed_knn_matches_linear_scan() {
+        let table = test_table();
+        let store = test_store(&table);
+        let loaded = LoadedStore::from_loaded("s", table, Some(store));
+        let ix = index_over(&loaded, (8, 8));
+        let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
+        for query in [Rect::new(0, 0, 8, 8), Rect::new(16, 8, 8, 8)] {
+            let linear = sharded
+                .knn(loaded.table(), None, query, 3, Deadline::none())
+                .unwrap();
+            let indexed = sharded
+                .knn(loaded.table(), Some(&ix), query, 3, Deadline::none())
+                .unwrap();
+            assert_eq!(indexed, linear, "query {query:?}");
+        }
+        // A mismatched index (wrong tile shape for this query) falls back
+        // to the identical linear answer instead of failing.
+        let query = Rect::new(0, 0, 16, 16);
+        let linear = sharded
+            .knn(loaded.table(), None, query, 2, Deadline::none())
+            .unwrap();
+        let fallback = sharded
+            .knn(loaded.table(), Some(&ix), query, 2, Deadline::none())
+            .unwrap();
+        assert_eq!(fallback, linear, "wrong-shape query degrades");
+    }
+
+    #[test]
+    fn corrupt_index_file_degrades_and_knn_still_answers() {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-serve-index-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let table_path = dir.join("t.tsb");
+        let index_path = dir.join("t.tix");
+        let table = test_table();
+        table_io::save_binary(&table, &table_path).unwrap();
+
+        // A healthy index round-trips through the spec.
+        let probe = LoadedStore::from_loaded("probe", table.clone(), None)
+            .with_fallback_params(1.0, 256, 0);
+        index_persist::save_index(&index_over(&probe, (8, 8)), &index_path).unwrap();
+        let spec = StoreSpec::new("x", &table_path).with_index_path(&index_path);
+        let healthy = LoadedStore::load(&spec).unwrap();
+        assert!(healthy.index().is_some());
+        assert!(healthy.index_degradation().is_none());
+        assert!(healthy.info().index.is_some());
+
+        // Trash the file: the load degrades instead of failing, and k-NN
+        // answers bit-identically to the never-indexed path.
+        std::fs::write(&index_path, b"TIX1 but rotten").unwrap();
+        let degraded = LoadedStore::load(&spec).unwrap();
+        assert!(degraded.index().is_none(), "damage degrades, not fails");
+        assert!(degraded.index_degradation().is_some());
+        assert!(degraded.info().index.is_none());
+        let sharded = ShardedOracle::new(&degraded, 1, 64).unwrap();
+        let query = Rect::new(0, 0, 8, 8);
+        let nn = sharded
+            .knn(
+                degraded.table(),
+                degraded.index(),
+                query,
+                3,
+                Deadline::none(),
+            )
+            .unwrap();
+        let linear = sharded
+            .knn(degraded.table(), None, query, 3, Deadline::none())
+            .unwrap();
+        assert_eq!(nn, linear);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

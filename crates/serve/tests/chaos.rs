@@ -223,8 +223,11 @@ fn soak_hostile_faults_never_hang_or_kill_the_server() {
             stream
                 .set_read_timeout(Some(Duration::from_secs(5)))
                 .unwrap();
-            let mut chaos =
-                ChaosStream::tcp(stream, SOAK_SEED ^ (i.wrapping_mul(0x9E37)), FaultPlan::hostile());
+            let mut chaos = ChaosStream::tcp(
+                stream,
+                SOAK_SEED ^ (i.wrapping_mul(0x9E37)),
+                FaultPlan::hostile(),
+            );
             let request = pick_request(&mut pick);
             match one_exchange(&mut chaos, &request) {
                 Outcome::Answered => answered += 1,

@@ -331,7 +331,9 @@ fn retry_recovers_idempotent_requests_but_never_shutdown() {
             let _stop = StopOnDrop(server.handle());
             let run = scope.spawn(|| server.run());
             let proxy = FaultyProxy::start(addr, seed, 500).unwrap();
-            let mut c = Client::connect(proxy.addr()).unwrap().with_deadline_ms(2_000);
+            let mut c = Client::connect(proxy.addr())
+                .unwrap()
+                .with_deadline_ms(2_000);
             let err = c.ping().unwrap_err();
             assert!(
                 RetryPolicy::is_retryable(&err),
@@ -358,7 +360,8 @@ fn retry_recovers_idempotent_requests_but_never_shutdown() {
                 .unwrap()
                 .with_deadline_ms(2_000)
                 .with_retry(RetryPolicy::default().with_max_attempts(4));
-            c.ping().expect("retry must recover through the flaky proxy");
+            c.ping()
+                .expect("retry must recover through the flaky proxy");
             drop(proxy);
             let mut c = Client::connect(addr).unwrap();
             c.shutdown().unwrap();

@@ -49,10 +49,10 @@ python3 - "$obs_dir/metrics.json" <<'PY'
 import json, sys
 snap = json.load(open(sys.argv[1]))
 keys = set(snap["counters"]) | set(snap["gauges"]) | set(snap["histograms"])
-for crate in ("fft.", "core.", "cluster.", "serve."):
+for crate in ("fft.", "core.", "cluster.", "index.", "serve."):
     assert any(k.startswith(crate) for k in keys), f"no {crate}* keys in snapshot"
 assert snap["counters"]["core.sketch.sketches"] >= 2, "distance must sketch twice"
-print(f"snapshot OK: {len(keys)} keys across fft/core/cluster/serve")
+print(f"snapshot OK: {len(keys)} keys across fft/core/cluster/index/serve")
 PY
 
 echo "==> obs overhead bound (<5% on hot paths, written to BENCH_obs.json)"
@@ -93,6 +93,27 @@ assert b["under_budget"] is True, (
 assert b["dense_spilled_identical"] is True, "dense/spilled pools diverged"
 print(f"storage OK: peak {b['resident_peak_bytes']} B of "
       f"{b['budget_bytes']} B budget, pools bit-identical")
+PY
+
+echo "==> lsh index bound (recall@10 >= 0.9, candidate fraction <= 0.5; BENCH_lsh.json)"
+cargo run -q --release -p tabsketch-bench --bin lsh -- --quick
+python3 - BENCH_lsh.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for key in ("host", "tiles", "sketch_k", "bands", "rows_per_band", "width",
+            "queries", "knn", "recall_at_10", "candidate_fraction",
+            "linear_qps", "indexed_qps", "speedup"):
+    assert key in b, f"BENCH_lsh.json missing {key}"
+assert (b["bands"], b["rows_per_band"]) == (16, 4), (
+    f"index config drifted off the pinned 16x4: {b['bands']}x{b['rows_per_band']}")
+assert b["recall_at_10"] >= 0.9, (
+    f"recall@10 regressed: {b['recall_at_10']:.4f} < 0.9")
+assert b["candidate_fraction"] <= 0.5, (
+    f"index lost selectivity: candidate fraction {b['candidate_fraction']:.4f} > 0.5")
+assert b["host"]["parallelism"] >= 1, "host block missing parallelism"
+print(f"lsh OK: recall@10 {b['recall_at_10']:.4f}, "
+      f"candidates {100 * b['candidate_fraction']:.1f}%, "
+      f"speedup {b['speedup']:.2f}x at {b['tiles']} tiles")
 PY
 
 echo "==> chaos soak (seeded fault injection: typed errors or clean closes, never a hang)"
