@@ -86,9 +86,10 @@ fn config(fx: &Fixture, k: usize) -> ServerConfig {
         workers: 2,
         shards: 2,
         cache_capacity: 256,
-        specs: vec![StoreSpec::new("day", &fx.table_path)
-            .with_store_path(&fx.store_path)
-            .with_params(1.0, k, 9)],
+        specs: vec![StoreSpec::builder("day", &fx.table_path)
+            .store_path(&fx.store_path)
+            .params(1.0, k, 9)
+            .build()],
         ..Default::default()
     }
 }

@@ -132,9 +132,10 @@ fn main() {
         workers: threads,
         shards: 4,
         cache_capacity: 256,
-        specs: vec![StoreSpec::new("day", &table_path)
-            .with_store_path(&store_path)
-            .with_params(1.0, k, 9)],
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&store_path)
+            .params(1.0, k, 9)
+            .build()],
         ..Default::default()
     })
     .expect("bind on loopback");

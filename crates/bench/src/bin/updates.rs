@@ -1,0 +1,233 @@
+//! Live-table update benchmark: the cost of folding a single-cell
+//! delta into a precomputed all-subtable sketch store, against the full
+//! rebuild it replaces.
+//!
+//! Sketches are linear, so an update folds `sketch(Δ)` into the touched
+//! anchors instead of re-sketching the table (DESIGN.md §14). The
+//! pinned configuration — a 256x256 six-region table, 16x16 tiles,
+//! k = 64 — matches the scale where the rebuild is comfortably
+//! measurable; ci.sh gates `speedup >= 10` on the JSON this writes
+//! (in practice the fold wins by orders of magnitude).
+//!
+//! Three phases: (1) incremental single-cell folds vs timed rebuilds,
+//! (2) updates/sec through a live daemon (`Update` frames over TCP),
+//! (3) the cache-coherence path — a warmed distance-oracle LRU must
+//! drop overlapping sketches when an update lands.
+//!
+//! Usage: `updates [--quick|--full]`; writes `BENCH_updates.json`.
+
+use tabsketch_bench::{host_json, print_header, print_row, secs, time, Scale};
+use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
+use tabsketch_data::{SixRegionConfig, SixRegionGenerator};
+use tabsketch_serve::{
+    Client, Deadline, LoadedStore, Server, ServerConfig, ShardedOracle, StoreSpec,
+};
+use tabsketch_table::{io as table_io, Rect, Table, TableUpdate};
+
+/// Pinned configuration; ci.sh cross-checks these fields in the JSON.
+const ROWS: usize = 256;
+const COLS: usize = 256;
+const TILE: usize = 16;
+const K: usize = 64;
+const SEED: u64 = 21;
+
+/// splitmix64 for the update coordinate stream.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn cell_update(i: u64) -> TableUpdate {
+    let r = (mix(i) % ROWS as u64) as usize;
+    let c = (mix(i ^ 0xC0FF_EE00) % COLS as u64) as usize;
+    let delta = (mix(i ^ 0xDEAD_BEEF) % 1_000) as f64 / 10.0 - 50.0;
+    TableUpdate::cell(r, c, if delta == 0.0 { 1.0 } else { delta }).expect("finite delta")
+}
+
+fn sketcher() -> Sketcher {
+    Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(K)
+            .seed(SEED)
+            .build()
+            .expect("valid sketch parameters"),
+    )
+    .expect("sketcher construction")
+}
+
+struct StopOnDrop(tabsketch_serve::ServerHandle);
+
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let updates = scale.pick(200, 1_000, 5_000);
+    let rebuilds = scale.pick(2, 4, 8);
+    let daemon_updates = scale.pick(100, 500, 2_000);
+
+    println!(
+        "updates bench: {ROWS}x{COLS} table, {TILE}x{TILE} tiles, k = {K}; \
+         {updates} incremental folds vs {rebuilds} rebuilds"
+    );
+
+    let table: Table = SixRegionGenerator::new(SixRegionConfig {
+        rows: ROWS,
+        cols: COLS,
+        seed: SEED,
+        ..Default::default()
+    })
+    .expect("valid generator config")
+    .generate();
+
+    let (store, t_first_build) =
+        time(|| AllSubtableSketches::build(&table, TILE, TILE, sketcher()).expect("store build"));
+    println!("built the baseline store in {}", secs(t_first_build));
+
+    // Phase 1a: the rebuild cost an update would pay without the fold —
+    // re-sketching every anchor of the patched table.
+    let mut patched = table.clone();
+    let (_, t_rebuilds) = time(|| {
+        for i in 0..rebuilds as u64 {
+            patched
+                .apply_update(&cell_update(i))
+                .expect("in-bounds update");
+            let rebuilt = AllSubtableSketches::build(&patched, TILE, TILE, sketcher())
+                .expect("rebuild over the patched table");
+            assert_eq!(rebuilt.anchor_rows(), store.anchor_rows());
+        }
+    });
+    let rebuild_ms = t_rebuilds.as_secs_f64() * 1e3 / rebuilds as f64;
+
+    // Phase 1b: the same mutation stream folded incrementally.
+    let mut live_table = table.clone();
+    let mut live_store = store.clone();
+    let (folded_cells, t_folds) = time(|| {
+        let mut cells = 0u64;
+        for i in 0..updates as u64 {
+            let u = cell_update(i);
+            live_table.apply_update(&u).expect("in-bounds update");
+            cells += live_store.apply_update(&u).expect("store fold");
+        }
+        cells
+    });
+    let update_us = t_folds.as_secs_f64() * 1e6 / updates as f64;
+    let speedup = rebuild_ms * 1e3 / update_us;
+    assert!(folded_cells > 0, "folds never touched a sketch");
+
+    // Phase 2: updates/sec through the daemon. The fixture goes through
+    // disk, exactly as `tabsketch-cli serve` loads it.
+    let dir = std::env::temp_dir().join(format!("tabsketch-bench-updates-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let table_path = dir.join("t.tsb");
+    let store_path = dir.join("t.tsks");
+    table_io::save_binary(&table, &table_path).expect("save table");
+    persist::save_store(&store, &store_path).expect("save store");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        shards: 2,
+        cache_capacity: 256,
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&store_path)
+            .build()],
+        ..Default::default()
+    };
+    let server = Server::bind(config).expect("bind on an ephemeral port");
+    let addr = server.local_addr();
+    let (daemon_secs, final_epoch) = std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+        let mut c = Client::connect(addr).expect("connect");
+        let (epoch, t_daemon) = time(|| {
+            let mut epoch = 0;
+            for i in 0..daemon_updates as u64 {
+                let (e, _) = c.update("day", &cell_update(i)).expect("acked update");
+                epoch = e;
+            }
+            epoch
+        });
+        c.shutdown().expect("shutdown ack");
+        run.join().expect("server thread").expect("clean drain");
+        (t_daemon.as_secs_f64(), epoch)
+    });
+    let daemon_ups = daemon_updates as f64 / daemon_secs;
+    assert_eq!(final_epoch, daemon_updates as u64, "one epoch per ack");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 3: a warmed oracle LRU drops overlapping cached sketches
+    // when the update lands (otherwise queries would pair stale sketches
+    // with the patched table). The windows are deliberately half the
+    // store's tile shape: same-shape windows answer from the precomputed
+    // store at every anchor and never enter the LRU, so only on-demand
+    // sketches exercise the invalidation.
+    let oracle = ShardedOracle::new(
+        LoadedStore::from_loaded("day", table.clone(), Some(store.clone())),
+        1,
+        256,
+    )
+    .expect("oracle over the baseline store");
+    let warm = |o: &ShardedOracle| {
+        for gr in 0..4 {
+            for gc in 0..4 {
+                let half = TILE / 2;
+                let a = Rect::new(gr * half, gc * half, half, half);
+                let b = Rect::new(0, 0, half, half);
+                o.distance(a, b, Deadline::none())
+                    .expect("warming distance");
+            }
+        }
+    };
+    warm(&oracle);
+    let invalidations = tabsketch_obs::counter("cluster.lru.invalidations");
+    let before = invalidations.get();
+    oracle
+        .apply_update(&TableUpdate::cell(2, 2, 7.5).expect("finite delta"))
+        .expect("update through the oracle");
+    let lru_invalidated = invalidations.get() - before;
+    assert!(
+        lru_invalidated >= 1,
+        "an update overlapping cached sketches must invalidate at least one"
+    );
+    warm(&oracle);
+
+    let widths = [26, 14];
+    print_header(&["metric", "value"], &widths);
+    print_row(
+        &["rebuild (ms/update)", &format!("{rebuild_ms:.2}")],
+        &widths,
+    );
+    print_row(&["fold (us/update)", &format!("{update_us:.2}")], &widths);
+    print_row(&["speedup", &format!("{speedup:.0}x")], &widths);
+    print_row(
+        &["daemon updates/sec", &format!("{daemon_ups:.0}")],
+        &widths,
+    );
+    print_row(&["lru invalidated", &format!("{lru_invalidated}")], &widths);
+
+    assert!(
+        speedup >= 10.0,
+        "incremental folds must beat the rebuild by >= 10x, got {speedup:.1}x"
+    );
+
+    let host = host_json();
+    let json = format!(
+        "{{\n  \"bench\": \"updates\",\n  \"host\": {host},\n  \
+         \"rows\": {ROWS},\n  \"cols\": {COLS},\n  \"tile\": {TILE},\n  \"k\": {K},\n  \
+         \"updates\": {updates},\n  \"rebuilds\": {rebuilds},\n  \
+         \"rebuild_ms_per_update\": {rebuild_ms:.4},\n  \
+         \"fold_us_per_update\": {update_us:.4},\n  \"speedup\": {speedup:.1},\n  \
+         \"daemon_updates\": {daemon_updates},\n  \
+         \"daemon_updates_per_sec\": {daemon_ups:.1},\n  \
+         \"daemon_final_epoch\": {final_epoch},\n  \
+         \"lru_invalidated\": {lru_invalidated}\n}}\n"
+    );
+    std::fs::write("BENCH_updates.json", &json).expect("write BENCH_updates.json");
+    println!("wrote BENCH_updates.json");
+}

@@ -14,7 +14,9 @@ use tabsketch_data::{
 };
 use tabsketch_index::{persist as index_persist, LshParams};
 use tabsketch_serve::{LoadedStore, StoreSpec};
-use tabsketch_table::{io as table_io, norms, stats, MemoryBudget, Rect, Table, TileGrid};
+use tabsketch_table::{
+    io as table_io, norms, stats, MemoryBudget, Rect, Table, TableUpdate, TileGrid,
+};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -336,14 +338,14 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     let p: f64 = args.get_or("p", 1.0)?;
     let k: usize = args.get_or("k", 256)?;
     let seed: u64 = args.get_or("seed", 0)?;
-    let mut spec = StoreSpec::new("query", table_path)
-        .with_store_path(path)
-        .with_params(p, k, seed)
-        .with_memory_budget(memory_budget(args)?);
+    let mut builder = StoreSpec::builder("query", table_path)
+        .store_path(path)
+        .params(p, k, seed)
+        .memory_budget(memory_budget(args)?);
     if let Some(index_path) = args.get("index") {
-        spec = spec.with_index_path(index_path);
+        builder = builder.index_path(index_path);
     }
-    let loaded = LoadedStore::load(&spec)?;
+    let loaded = LoadedStore::load(&builder.build())?;
     if let Some(msg) = loaded.degradation() {
         eprintln!("warning: {msg}; degrading to on-demand sketches");
     }
@@ -378,6 +380,114 @@ pub fn query(args: &Args) -> Result<(), CliError> {
     let snap = oracle.counters();
     if snap.degraded() {
         eprintln!("warning: query degraded below precomputed sketches; tiers: {snap}");
+    }
+    Ok(())
+}
+
+fn parse_deltas(raw: &str) -> Result<Vec<f64>, CliError> {
+    raw.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError::usage(format!("flag --deltas: cannot parse {v:?}")))
+        })
+        .collect()
+}
+
+/// Parses the delta flags shared by the local and remote update modes:
+/// exactly one of `--cell R,C,DELTA`, `--row R --deltas V,...`, or
+/// `--rect R,C,H,W` with `--deltas V,...` (row-major) or `--fill X`.
+fn parse_update(args: &Args) -> Result<TableUpdate, CliError> {
+    let picked = [args.get("cell"), args.get("row"), args.get("rect")]
+        .iter()
+        .filter(|m| m.is_some())
+        .count();
+    if picked != 1 {
+        return Err(CliError::usage(
+            "pass exactly one of --cell R,C,DELTA, --row R --deltas V,..., \
+             or --rect R,C,H,W (--deltas V,... | --fill X)",
+        ));
+    }
+    if let Some(raw) = args.get("cell") {
+        let parts: Vec<&str> = raw.split(',').collect();
+        let [r, c, d] = parts.as_slice() else {
+            return Err(CliError::usage(format!(
+                "flag --cell: expected ROW,COL,DELTA, got {raw:?}"
+            )));
+        };
+        let row = r
+            .trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("flag --cell: bad row {r:?}")))?;
+        let col = c
+            .trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("flag --cell: bad col {c:?}")))?;
+        let delta = d
+            .trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("flag --cell: bad delta {d:?}")))?;
+        return Ok(TableUpdate::cell(row, col, delta)?);
+    }
+    if args.get("row").is_some() {
+        let row: usize = args.require_parsed("row")?;
+        let deltas = parse_deltas(args.require("deltas")?)?;
+        return Ok(TableUpdate::row(row, deltas)?);
+    }
+    let (r, c, h, w) = args.require_rect("rect")?;
+    let rect = Rect::new(r, c, h, w);
+    let deltas = match args.get("deltas") {
+        Some(raw) => parse_deltas(raw)?,
+        None => {
+            let fill: f64 = args.require_parsed("fill").map_err(|_| {
+                CliError::usage("--rect updates need --deltas V,... (row-major) or --fill X")
+            })?;
+            vec![fill; rect.area()]
+        }
+    };
+    Ok(TableUpdate::tile(rect, deltas)?)
+}
+
+/// `update TABLE (--cell R,C,DELTA | --row R --deltas V,... |
+/// --rect R,C,H,W (--deltas V,... | --fill X)) [--out FILE]
+/// [--sketch-store STORE] [--store-out FILE]`, or
+/// `update --addr HOST:PORT --store NAME (--cell ... | ...)`
+///
+/// Updates are additive deltas, never overwrites: sketches are linear,
+/// so the same delta that patches the table folds into a precomputed
+/// sketch store without a rebuild. The remote form sends the delta to a
+/// running daemon, which patches its resident table, folds its store,
+/// and bumps the store's epoch in one atomic step.
+pub fn update(args: &Args) -> Result<(), CliError> {
+    let update = parse_update(args)?;
+    if let Some(addr) = args.get("addr") {
+        let store = args.require("store")?;
+        let mut client = crate::serving::connect(args, addr)?;
+        let (epoch, cells) = client.update(store, &update)?;
+        println!(
+            "applied {} update to {store:?} at {addr}: {cells} cell(s), now at epoch {epoch}",
+            update.kind_name()
+        );
+        return Ok(());
+    }
+    let path = one_positional(args, "table file")?;
+    let mut table = load_table(path, memory_budget(args)?)?;
+    let epoch = table.apply_update(&update)?;
+    let out = args.get("out").unwrap_or(path);
+    save_table(&table, out, args.switch("csv"))?;
+    println!(
+        "applied {} update to {path}: {} cell(s) -> {out} (epoch {epoch})",
+        update.kind_name(),
+        update.cell_count()
+    );
+    if let Some(store_path) = args.get("sketch-store") {
+        let mut store = persist::load_store(store_path)
+            .map_err(|e| CliError::from(e).in_context(format!("loading {store_path}")))?;
+        let folds = store.apply_update(&update)?;
+        let store_out = args.get("store-out").unwrap_or(store_path);
+        persist::save_store(&store, store_out)
+            .map_err(|e| CliError::from(e).in_context(format!("writing {store_out}")))?;
+        println!("folded the delta into {folds} sketch(es) of {store_path} -> {store_out}");
     }
     Ok(())
 }
@@ -709,6 +819,62 @@ mod tests {
         sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
         query(&parse(&format!("query {s} --at 0,0 --at2 40,40"))).unwrap();
         assert!(query(&parse(&format!("query {s} --at 0,0 --at2 400,40"))).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_patches_table_and_folds_store_in_place() {
+        let dir = temp_dir();
+        let table_path = dir.join("t.tsb");
+        let store_path = dir.join("t.tsks");
+        let (t, s) = (table_path.to_str().unwrap(), store_path.to_str().unwrap());
+        generate(&parse(&format!(
+            "generate sixregion --out {t} --rows 64 --cols 64 --seed 1"
+        )))
+        .unwrap();
+        sketch(&parse(&format!("sketch {t} --tile 8x8 --k 32 --out {s}"))).unwrap();
+        let before = table_io::load_binary(&table_path).unwrap().get(3, 4);
+
+        update(&parse(&format!(
+            "update {t} --cell 3,4,100 --sketch-store {s}"
+        )))
+        .unwrap();
+        let after = table_io::load_binary(&table_path).unwrap().get(3, 4);
+        assert!((after - before - 100.0).abs() < 1e-9, "{before} -> {after}");
+
+        // The folded store still answers consistently with the patched
+        // table: the store-only path and the oracle path agree.
+        query(&parse(&format!("query {s} --at 0,0 --at2 40,40"))).unwrap();
+        query(&parse(&format!(
+            "query {s} --at 0,0 --at2 40,40 --table {t} --k 32"
+        )))
+        .unwrap();
+
+        // The other delta shapes, written to --out copies.
+        let t2 = dir.join("t2.tsb");
+        let t2 = t2.to_str().unwrap();
+        update(&parse(&format!(
+            "update {t} --rect 8,8,2,2 --fill 0.5 --out {t2}"
+        )))
+        .unwrap();
+        update(&parse(&format!(
+            "update {t2} --row 0 --deltas {}",
+            vec!["1"; 64].join(",")
+        )))
+        .unwrap();
+
+        // Validation: both modes at once is usage (2), an out-of-bounds
+        // delta is a table error (3), and a non-finite delta is refused
+        // before anything is written.
+        let err = update(&parse(&format!(
+            "update {t} --cell 0,0,1 --row 0 --deltas 1"
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = update(&parse(&format!("update {t} --cell 900,0,1"))).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let err = update(&parse(&format!("update {t} --cell 0,0,nan"))).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

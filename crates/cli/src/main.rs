@@ -7,6 +7,7 @@
 //! tabsketch-cli distance day.tsb --rect 0,0,64,64 --rect2 128,40,64,64 --p 0.5
 //! tabsketch-cli sketch day.tsb --tile 32x32 --k 128 --p 1.0 --out day.tsks
 //! tabsketch-cli query day.tsks --at 0,0 --at2 100,40 --table day.tsb
+//! tabsketch-cli update day.tsb --cell 3,40,125 --sketch-store day.tsks
 //! tabsketch-cli cluster day.tsb --tiles 32x144 --k 8 --p 0.5 --render
 //! tabsketch-cli index build day.tsb --tiles 32x144 --out day.tix
 //! tabsketch-cli knn day.tsb --tiles 32x144 --query 0 --index day.tix
@@ -41,6 +42,7 @@ fn main() {
         // Pre-register every crate's schema so the exit snapshot shows
         // the full key set even for counters this run never touched.
         tabsketch_fft::register_metrics();
+        tabsketch_table::register_metrics();
         tabsketch_core::register_metrics();
         tabsketch_cluster::register_metrics();
         tabsketch_index::register_metrics();
@@ -59,6 +61,7 @@ fn main() {
         "knn" => commands::knn(&parsed),
         "index" => commands::index(&parsed),
         "pairs" => commands::pairs(&parsed),
+        "update" => commands::update(&parsed),
         "serve" => serving::serve(&parsed),
         "ping" => serving::ping(&parsed),
         "rquery" => serving::rquery(&parsed),
@@ -163,6 +166,19 @@ COMMANDS:
   pairs FILE --tiles RxC [--count N] [--p P] [--sketch-k K] [--refine] [--exact]
       Most similar tile pairs; --refine re-ranks a sketched shortlist
       with exact distances.
+
+  update TABLE (--cell R,C,DELTA | --row R --deltas V,... |
+      --rect R,C,H,W (--deltas V,... | --fill X))
+      [--out FILE] [--sketch-store STORE] [--store-out FILE]
+      Apply an additive delta to a stored table (in place, or to
+      --out). Deltas fold linearly into sketches, so --sketch-store
+      updates a precomputed .tsks store without a rebuild. With
+      --addr HOST:PORT --store NAME the delta goes to a running
+      daemon instead: its resident table is patched, its store
+      folded, overlapping cached sketches invalidated, and the
+      store's epoch bumped (visible in `ping`/`ping --health`).
+      A served candidate index goes stale on update: k-NN falls
+      back to the linear scan until `index build` + restart.
 
   serve TABLE [--sketch-store STORE] [--index IDX] [--name NAME]
       [--addr HOST:PORT] [--workers N] [--shards N] [--cache-capacity N]

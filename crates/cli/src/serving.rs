@@ -26,26 +26,17 @@ fn fallback_params(args: &Args) -> Result<(f64, usize, u64), CliError> {
 }
 
 /// Parses a `--stores NAME=TABLE[:STORE[:INDEX]],...` list into specs.
+/// The colon syntax itself lives in [`StoreSpec::from_colon_spec`]; the
+/// CLI only layers the shared `--p/--k/--seed/--memory-budget` fallbacks
+/// on top of each parsed builder.
 fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError> {
     let (p, k, seed) = fallback_params(args)?;
     let budget = memory_budget(args)?;
     let mut specs = Vec::new();
     for entry in list.split(',').filter(|e| !e.is_empty()) {
-        let (name, paths) = entry.split_once('=').ok_or_else(|| {
-            CliError::usage(format!(
-                "--stores entry {entry:?}: expected NAME=TABLE[:STORE[:INDEX]]"
-            ))
-        })?;
-        let mut parts = paths.splitn(3, ':');
-        let table = parts.next().expect("splitn yields at least one part");
-        let mut spec = StoreSpec::new(name, table);
-        if let Some(store) = parts.next().filter(|s| !s.is_empty()) {
-            spec = spec.with_store_path(store);
-        }
-        if let Some(index) = parts.next().filter(|s| !s.is_empty()) {
-            spec = spec.with_index_path(index);
-        }
-        specs.push(spec.with_params(p, k, seed).with_memory_budget(budget));
+        let builder = StoreSpec::from_colon_spec(entry)
+            .map_err(|e| CliError::usage(format!("--stores entry {entry:?}: {e}")))?;
+        specs.push(builder.params(p, k, seed).memory_budget(budget).build());
     }
     if specs.is_empty() {
         return Err(CliError::usage("--stores lists no stores"));
@@ -65,6 +56,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     // remote `ping --metrics` reports the full key set, not just the
     // counters this process happened to touch.
     tabsketch_fft::register_metrics();
+    tabsketch_table::register_metrics();
     tabsketch_core::register_metrics();
     tabsketch_cluster::register_metrics();
     tabsketch_index::register_metrics();
@@ -84,16 +76,16 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
                 .to_string(),
         };
         let (p, k, seed) = fallback_params(args)?;
-        let mut spec = StoreSpec::new(name, table)
-            .with_params(p, k, seed)
-            .with_memory_budget(memory_budget(args)?);
+        let mut builder = StoreSpec::builder(name, table)
+            .params(p, k, seed)
+            .memory_budget(memory_budget(args)?);
         if let Some(store) = args.get("sketch-store") {
-            spec = spec.with_store_path(store);
+            builder = builder.store_path(store);
         }
         if let Some(index) = args.get("index") {
-            spec = spec.with_index_path(index);
+            builder = builder.index_path(index);
         }
-        vec![spec]
+        vec![builder.build()]
     };
     let defaults = ServerConfig::default();
     let config = ServerConfig {
@@ -109,17 +101,20 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     let server = Server::bind(config)?;
     let addr = server.local_addr();
     for store in server.stores() {
-        if let Some(msg) = store.degradation() {
-            eprintln!(
-                "warning: store {:?}: {msg}; serving on-demand sketches",
-                store.name()
-            );
-        }
-        if let Some(msg) = store.index_degradation() {
-            eprintln!(
-                "warning: store {:?}: {msg}; k-NN will scan linearly",
-                store.name()
-            );
+        {
+            let loaded = store.store();
+            if let Some(msg) = loaded.degradation() {
+                eprintln!(
+                    "warning: store {:?}: {msg}; serving on-demand sketches",
+                    store.name()
+                );
+            }
+            if let Some(msg) = loaded.index_degradation() {
+                eprintln!(
+                    "warning: store {:?}: {msg}; k-NN will scan linearly",
+                    store.name()
+                );
+            }
         }
         let info = store.info();
         let tile = match info.tile {
@@ -167,7 +162,7 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
 /// `--retries N` allows N resends of idempotent requests (N+1 attempts
 /// total) on transient failures; `--retry-budget-ms MS` bounds the
 /// total wall-clock spent across attempts and backoffs.
-fn connect(args: &Args, addr: &str) -> Result<Client, CliError> {
+pub(crate) fn connect(args: &Args, addr: &str) -> Result<Client, CliError> {
     let deadline: u32 = args.get_or("deadline", 0)?;
     let retries: u32 = args.get_or("retries", 0)?;
     let mut client = Client::connect(addr)
@@ -204,8 +199,10 @@ pub fn ping(args: &Args) -> Result<(), CliError> {
             let t = &s.tiers;
             let tag = if s.indexed { " [indexed]" } else { "" };
             println!(
-                "  {:?}{tag}: pooled {} on-demand {} exact {} (cache hits {}, fallbacks {})",
+                "  {:?}{tag}: epoch {} pooled {} on-demand {} exact {} \
+                 (cache hits {}, fallbacks {})",
                 s.name,
+                s.epoch,
                 t.pooled,
                 t.on_demand,
                 t.exact,
@@ -233,8 +230,8 @@ pub fn ping(args: &Args) -> Result<(), CliError> {
             None => String::new(),
         };
         println!(
-            "  {:?}: {} x {} ({tile} sketches{indexed})",
-            info.name, info.rows, info.cols
+            "  {:?}: {} x {} ({tile} sketches{indexed}, epoch {})",
+            info.name, info.rows, info.cols, info.epoch
         );
     }
     Ok(())
@@ -456,6 +453,31 @@ mod tests {
         )))
         .unwrap_err();
         assert_eq!(err.exit_code(), 6, "{err}");
+        // A live update against the daemon: acked with the new epoch,
+        // and queries keep answering against the patched table.
+        commands::update(&parse(&format!(
+            "update --addr {addr} --store demo --cell 0,0,5"
+        )))
+        .unwrap();
+        commands::update(&parse(&format!(
+            "update --addr {addr} --store demo --rect 8,8,2,2 --fill 0.25"
+        )))
+        .unwrap();
+        rquery(&parse(&format!(
+            "rquery --addr {addr} --store demo --at 0,0 --at2 40,40"
+        )))
+        .unwrap();
+        ping(&parse(&format!("ping --addr {addr} --health"))).unwrap();
+        let err = commands::update(&parse(&format!(
+            "update --addr {addr} --store nosuch --cell 0,0,5"
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "{err}");
+        let err = commands::update(&parse(&format!(
+            "update --addr {addr} --store demo --cell 9000,0,5"
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
         ping(&parse(&format!("ping --addr {addr} --metrics"))).unwrap();
         ping(&parse(&format!("ping --addr {addr} --shutdown"))).unwrap();
 

@@ -58,7 +58,7 @@ pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
 pub use knn::{knn_recall, nearest_neighbors, nearest_neighbors_sketched, Neighbor};
 pub use lru::{CacheStats, LruCache};
 pub use oracle::{
-    DistanceOracle, OracleEmbedding, Tier, TierCounters, TierSnapshot,
+    DistanceOracle, OracleEmbedding, OracleState, Tier, TierCounters, TierSnapshot,
     DEFAULT_SKETCH_CACHE_CAPACITY,
 };
 pub use pairs::{most_similar_pairs, most_similar_pairs_refined, pair_recall, ScoredPair};
@@ -77,6 +77,7 @@ pub fn register_metrics() {
     obs::counter("cluster.lru.hits");
     obs::counter("cluster.lru.misses");
     obs::counter("cluster.lru.evictions");
+    obs::counter("cluster.lru.invalidations");
     obs::counter("cluster.kmeans.iterations");
     obs::counter("cluster.kmeans.reassignments");
 }

@@ -211,6 +211,52 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         None
     }
 
+    /// Keeps only the entries whose key/value satisfy `f`, preserving
+    /// the recency order of the survivors. Returns how many entries were
+    /// removed. Removals are targeted drops, not capacity pressure, so
+    /// the evictions counter is untouched.
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut f: F) -> usize {
+        // Recency order, most recently used first.
+        let mut order = Vec::with_capacity(self.map.len());
+        let mut i = self.head;
+        while i != NIL {
+            order.push(i);
+            i = self.slab[i].next;
+        }
+        let mut old: Vec<Option<Entry<K, V>>> = std::mem::take(&mut self.slab)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.map.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        let mut removed = 0;
+        // Walking MRU→LRU and appending each survivor at the tail
+        // rebuilds the list in the original recency order.
+        for idx in order {
+            let entry = old[idx].take().expect("linked slot is occupied");
+            if f(&entry.key, &entry.value) {
+                let slot = self.slab.len();
+                self.map.insert(entry.key.clone(), slot);
+                self.slab.push(Entry {
+                    key: entry.key,
+                    value: entry.value,
+                    prev: self.tail,
+                    next: NIL,
+                });
+                if self.tail == NIL {
+                    self.head = slot;
+                } else {
+                    self.slab[self.tail].next = slot;
+                }
+                self.tail = slot;
+            } else {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// Removes every entry, keeping the traffic counters.
     pub fn clear(&mut self) {
         self.map.clear();
@@ -293,6 +339,32 @@ mod tests {
             assert_eq!(c.len(), model.len());
         }
         assert!(c.stats().hits > 0 && c.stats().misses > 0 && c.stats().evictions > 0);
+    }
+
+    #[test]
+    fn retain_preserves_recency_and_counts_removals() {
+        let mut c = LruCache::new(4);
+        for k in 1..=4 {
+            c.insert(k, k * 10);
+        }
+        let _ = c.get(&1); // recency now 1, 4, 3, 2 (MRU first)
+        assert_eq!(c.retain(|&k, _| k != 3), 1);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.peek(&3), None);
+        assert_eq!(c.stats().evictions, 0, "retain is not an eviction");
+        // LRU order among survivors is intact: 2 is evicted first.
+        assert_eq!(c.insert(5, 50), None); // refills the freed slot
+        assert_eq!(c.insert(6, 60), Some((2, 20)));
+        assert_eq!(c.insert(7, 70), Some((4, 40)));
+        assert_eq!(c.peek(&1), Some(&10));
+
+        // Retain-all and retain-none edge cases.
+        assert_eq!(c.retain(|_, _| true), 0);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.retain(|_, _| false), 4);
+        assert!(c.is_empty());
+        c.insert(9, 90);
+        assert_eq!(c.get(&9), Some(&90));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! callers can report degradation to the user.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use core::fmt;
 
@@ -203,8 +204,87 @@ pub struct DistanceOracle<'a> {
     p: f64,
     source: Option<Source<'a>>,
     sketcher: Sketcher,
-    cache: Mutex<LruCache<Rect, Box<[f64]>>>,
-    counters: TierCounters,
+    cache: Arc<Mutex<LruCache<Rect, Box<[f64]>>>>,
+    counters: Arc<TierCounters>,
+}
+
+/// The shareable half of a [`DistanceOracle`]: the on-demand sketch
+/// cache plus tier counters, detached from any table borrow.
+///
+/// An oracle borrows its table (and store or pool) for its whole
+/// lifetime, so a server that mutates tables cannot hold oracles across
+/// updates. It holds `OracleState`s instead and builds a short-lived
+/// oracle per query via [`DistanceOracle::with_state`]: cached sketches
+/// and counters survive across oracle rebuilds, while
+/// [`OracleState::invalidate_overlapping`] drops exactly the cached
+/// rectangles a table update touched — stale sketches can never answer
+/// a post-update query.
+///
+/// Cloning is shallow: clones share one cache and one counter set.
+#[derive(Clone)]
+pub struct OracleState {
+    cache: Arc<Mutex<LruCache<Rect, Box<[f64]>>>>,
+    counters: Arc<TierCounters>,
+}
+
+impl OracleState {
+    /// Fresh state with an on-demand cache bounded at `capacity` entries
+    /// (0 is clamped to 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cache: Arc::new(Mutex::new(LruCache::new(capacity))),
+            counters: Arc::new(TierCounters::default()),
+        }
+    }
+
+    /// The per-tier hit/fallback counters plus cache stats, exactly as
+    /// [`DistanceOracle::counters`] would report them.
+    pub fn snapshot(&self) -> TierSnapshot {
+        let mut snap = self.counters.snapshot();
+        let stats = self.cache.lock().stats();
+        snap.cache_hits = stats.hits;
+        snap.cache_misses = stats.misses;
+        snap.cache_evictions = stats.evictions;
+        snap.cache_capacity = stats.capacity;
+        snap
+    }
+
+    /// How many rectangles the cache currently holds.
+    pub fn cached_count(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Empties the cache, keeping the traffic counters.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+
+    /// Drops every cached sketch whose rectangle overlaps `rect` — the
+    /// invalidation hook for table updates. Returns how many entries
+    /// were dropped; survivors keep their recency order. Each drop bumps
+    /// the `cluster.lru.invalidations` counter.
+    pub fn invalidate_overlapping(&self, rect: Rect) -> usize {
+        let dropped = self
+            .cache
+            .lock()
+            .retain(|cached, _| cached.intersect(&rect).is_none());
+        tabsketch_obs::counter!("cluster.lru.invalidations").add(dropped as u64);
+        dropped
+    }
+}
+
+impl Default for OracleState {
+    fn default() -> Self {
+        Self::new(DEFAULT_SKETCH_CACHE_CAPACITY)
+    }
+}
+
+impl fmt::Debug for OracleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OracleState")
+            .field("cached", &self.cached_count())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> DistanceOracle<'a> {
@@ -228,8 +308,8 @@ impl<'a> DistanceOracle<'a> {
             p: store.sketcher().p(),
             sketcher: store.sketcher().clone(),
             source: Some(Source::Store(store)),
-            cache: Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY)),
-            counters: TierCounters::default(),
+            cache: Arc::new(Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY))),
+            counters: Arc::new(TierCounters::default()),
         })
     }
 
@@ -250,8 +330,8 @@ impl<'a> DistanceOracle<'a> {
             p: pool.params().p(),
             sketcher,
             source: Some(Source::Pool(pool)),
-            cache: Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY)),
-            counters: TierCounters::default(),
+            cache: Arc::new(Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY))),
+            counters: Arc::new(TierCounters::default()),
         })
     }
 
@@ -267,8 +347,8 @@ impl<'a> DistanceOracle<'a> {
             p: sketcher.p(),
             sketcher,
             source: None,
-            cache: Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY)),
-            counters: TierCounters::default(),
+            cache: Arc::new(Mutex::new(LruCache::new(DEFAULT_SKETCH_CACHE_CAPACITY))),
+            counters: Arc::new(TierCounters::default()),
         })
     }
 
@@ -278,7 +358,22 @@ impl<'a> DistanceOracle<'a> {
     #[must_use]
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
         Self {
-            cache: Mutex::new(LruCache::new(capacity)),
+            cache: Arc::new(Mutex::new(LruCache::new(capacity))),
+            ..self
+        }
+    }
+
+    /// Attaches this oracle to a shared [`OracleState`]: the oracle's
+    /// own cache and counters are dropped and the state's are used
+    /// instead. Sketches cached by a previous oracle over the same state
+    /// keep answering, and hits recorded here show up in
+    /// [`OracleState::snapshot`] — the serving daemon's
+    /// rebuild-per-query pattern.
+    #[must_use]
+    pub fn with_state(self, state: &OracleState) -> Self {
+        Self {
+            cache: Arc::clone(&state.cache),
+            counters: Arc::clone(&state.counters),
             ..self
         }
     }
@@ -795,6 +890,69 @@ mod tests {
         assert_send_sync::<DistanceOracle<'_>>();
         assert_send_sync::<TierCounters>();
         assert_send_sync::<OracleEmbedding<'_>>();
+        assert_send_sync::<OracleState>();
+    }
+
+    #[test]
+    fn shared_state_survives_oracle_rebuilds() {
+        let t = table();
+        let state = OracleState::new(16);
+        let pair = (Rect::new(0, 0, 6, 6), Rect::new(12, 0, 6, 6));
+
+        // First oracle sketches both rectangles on demand and caches them.
+        let d1 = {
+            let oracle = DistanceOracle::on_demand(&t, sketcher(32, 9))
+                .unwrap()
+                .with_state(&state);
+            oracle.distance(pair.0, pair.1).unwrap().0
+        };
+        assert_eq!(state.cached_count(), 2);
+        assert_eq!(state.snapshot().on_demand, 1);
+
+        // A second oracle over the same state answers from the cache.
+        let oracle = DistanceOracle::on_demand(&t, sketcher(32, 9))
+            .unwrap()
+            .with_state(&state);
+        let d2 = oracle.distance(pair.0, pair.1).unwrap().0;
+        assert_eq!(d1.to_bits(), d2.to_bits());
+        let snap = state.snapshot();
+        assert_eq!(snap.on_demand, 2);
+        assert_eq!(snap.cache_hits, 2, "{snap}");
+        assert_eq!(state.cached_count(), 2);
+    }
+
+    #[test]
+    fn invalidation_drops_overlapping_sketches_only() {
+        let mut t = table();
+        let state = OracleState::new(16);
+        let touched = Rect::new(0, 0, 6, 6);
+        let clean = Rect::new(12, 0, 6, 6);
+        {
+            let oracle = DistanceOracle::on_demand(&t, sketcher(32, 9))
+                .unwrap()
+                .with_state(&state);
+            let _ = oracle.distance(touched, clean).unwrap();
+        }
+        assert_eq!(state.cached_count(), 2);
+
+        // Patch one cell inside `touched`; its cached sketch must go.
+        let update = tabsketch_table::TableUpdate::cell(2, 3, 5.0).unwrap();
+        t.apply_update(&update).unwrap();
+        assert_eq!(state.invalidate_overlapping(update.bounding_rect()), 1);
+        assert_eq!(state.cached_count(), 1);
+
+        // Post-update answers recompute the invalidated side and differ
+        // from a stale-cache answer.
+        let oracle = DistanceOracle::on_demand(&t, sketcher(32, 9))
+            .unwrap()
+            .with_state(&state);
+        let (d, _) = oracle.distance(touched, clean).unwrap();
+        let fresh = DistanceOracle::on_demand(&t, sketcher(32, 9)).unwrap();
+        let (d_fresh, _) = fresh.distance(touched, clean).unwrap();
+        assert_eq!(d.to_bits(), d_fresh.to_bits(), "stale sketch answered");
+
+        // A disjoint update invalidates nothing.
+        assert_eq!(state.invalidate_overlapping(Rect::new(20, 20, 2, 2)), 0);
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub fn register_metrics() {
     obs::counter("core.sketch.sketches");
     obs::counter("core.estimate.calls");
     obs::counter("core.allsub.builds");
+    obs::counter("core.allsub.delta_folds");
     obs::counter("core.pool.builds");
+    obs::counter("core.pool.delta_folds");
     obs::counter("core.kernels.batches");
     obs::counter("core.kernels.batch_objects");
     obs::counter("core.kernels.block_builds");

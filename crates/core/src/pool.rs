@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use tabsketch_table::dyadic::{canonical_sizes, DyadicCover};
-use tabsketch_table::{MemoryBudget, Rect, Table};
+use tabsketch_table::{MemoryBudget, Rect, Table, TableUpdate};
 
 use crate::allsub::AllSubtableSketches;
 use crate::rng::derive_key;
@@ -494,6 +494,37 @@ impl SketchPool {
         let sketcher = Sketcher::with_family(self.params, sa.family())?;
         let raw = sketcher.estimate_distance_slices(sa.values(), sb.values(), scratch);
         Ok(raw / compound_correction(&cover, self.params.p()))
+    }
+
+    /// Folds an additive table delta into every stored sketch set — all
+    /// canonical sizes, all four anchor families — in place, keeping the
+    /// pool consistent with the updated table without a rebuild (sketch
+    /// linearity; see [`AllSubtableSketches::apply_update`]).
+    ///
+    /// Returns the total number of `(cell, window)` fold pairs applied
+    /// across all sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TabError::Table`] when the update does not fit the shape
+    /// of the table the pool was built on. Validation happens before any
+    /// set is touched, so a rejected update leaves the pool unchanged.
+    pub fn apply_update(&mut self, update: &TableUpdate) -> Result<u64, TabError> {
+        let (rows, cols) = self
+            .entries
+            .values()
+            .next()
+            .expect("a built pool stores at least one canonical size")[0]
+            .table_shape();
+        update.validate_for(rows, cols)?;
+        let mut folds = 0u64;
+        for sets in self.entries.values_mut() {
+            for set in sets.iter_mut() {
+                folds += set.apply_update(update)?;
+            }
+        }
+        tabsketch_obs::counter!("core.pool.delta_folds").add(folds);
+        Ok(folds)
     }
 
     /// A [`crate::estimator::DistanceEstimator`] over `rows × cols`

@@ -11,8 +11,9 @@
 //! requests survive transient faults: each retry backs off with
 //! deterministic jitter, reconnects (broken pipes and desynchronized
 //! streams cannot be resumed), and honors the server's retry-after hint
-//! on `Overloaded` frames. Non-idempotent requests (shutdown) are never
-//! resent. Platforms disagree on whether an expired socket read timeout
+//! on `Overloaded` frames. Non-idempotent requests (shutdown, table
+//! updates) are never resent. Platforms disagree on whether an expired
+//! socket read timeout
 //! surfaces as [`std::io::ErrorKind::TimedOut`] or
 //! [`std::io::ErrorKind::WouldBlock`]; the client maps *both* to
 //! [`ServeError::DeadlineExceeded`].
@@ -23,7 +24,7 @@ use std::time::{Duration, Instant};
 
 use tabsketch_cluster::Tier;
 use tabsketch_obs::{counter, histogram};
-use tabsketch_table::Rect;
+use tabsketch_table::{Rect, TableUpdate};
 
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::MetricsSnapshot;
@@ -59,6 +60,7 @@ fn read_reply<R: Read>(r: &mut R) -> Result<Response, ServeError> {
             ErrorCode::ShuttingDown => ServeError::ShuttingDown,
             ErrorCode::Overloaded => ServeError::Overloaded { retry_after_ms },
             ErrorCode::Draining => ServeError::Draining,
+            ErrorCode::Unsupported => ServeError::Unsupported(message),
             _ => ServeError::Remote { code, message },
         }),
         resp => Ok(resp),
@@ -285,6 +287,30 @@ impl Client {
         })? {
             Response::Knn { neighbors } => Ok(neighbors),
             _ => Err(ServeError::UnexpectedResponse("knn")),
+        }
+    }
+
+    /// Applies one additive delta to `store`'s table on the server:
+    /// the table is patched, resident sketches fold the delta, and any
+    /// candidate index goes stale until rebuilt. Returns the table's
+    /// new epoch and the number of cells the delta touched.
+    ///
+    /// Updates are *not idempotent* (deltas are additive), so an
+    /// attached [`RetryPolicy`] never resends one — a transport failure
+    /// after the request was written leaves the outcome unknown, and
+    /// the caller should confirm via the store's epoch before retrying.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors; a server that predates
+    /// the update frame answers [`ServeError::Unsupported`].
+    pub fn update(&mut self, store: &str, update: &TableUpdate) -> Result<(u64, u64), ServeError> {
+        match self.call(Request::Update {
+            store: store.to_string(),
+            update: update.clone(),
+        })? {
+            Response::Updated { epoch, cells } => Ok((epoch, cells)),
+            _ => Err(ServeError::UnexpectedResponse("update ack")),
         }
     }
 

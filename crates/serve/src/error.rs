@@ -40,6 +40,10 @@ pub enum ErrorCode {
     /// The server is draining: in-flight work finishes, new work is
     /// refused until the process exits.
     Draining,
+    /// The peer speaks a newer protocol revision or sent a request kind
+    /// this build does not implement. Not retryable against the same
+    /// server — the capability is missing, not busy.
+    Unsupported,
 }
 
 impl ErrorCode {
@@ -57,6 +61,7 @@ impl ErrorCode {
             ErrorCode::Internal => 8,
             ErrorCode::Overloaded => 9,
             ErrorCode::Draining => 10,
+            ErrorCode::Unsupported => 11,
         }
     }
 
@@ -74,6 +79,7 @@ impl ErrorCode {
             8 => ErrorCode::Internal,
             9 => ErrorCode::Overloaded,
             10 => ErrorCode::Draining,
+            11 => ErrorCode::Unsupported,
             _ => return None,
         })
     }
@@ -93,6 +99,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Internal => "internal",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Draining => "draining",
+            ErrorCode::Unsupported => "unsupported",
         };
         write!(f, "{s}")
     }
@@ -122,6 +129,8 @@ pub enum ServeError {
     },
     /// The server is draining and refused new work.
     Draining,
+    /// The peer does not speak this protocol revision or request kind.
+    Unsupported(String),
     /// The peer closed the connection before answering.
     Disconnected,
     /// The remote side answered with an error frame.
@@ -154,6 +163,7 @@ impl ServeError {
             ServeError::ShuttingDown => ErrorCode::ShuttingDown,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
             ServeError::Draining => ErrorCode::Draining,
+            ServeError::Unsupported(_) => ErrorCode::Unsupported,
             ServeError::Remote { code, .. } => *code,
             ServeError::Table(_) => ErrorCode::Table,
             ServeError::Sketch(_) => ErrorCode::Sketch,
@@ -179,6 +189,7 @@ impl fmt::Display for ServeError {
                 write!(f, "server overloaded (retry after {retry_after_ms} ms)")
             }
             ServeError::Draining => write!(f, "server draining"),
+            ServeError::Unsupported(d) => write!(f, "unsupported: {d}"),
             ServeError::Disconnected => write!(f, "peer closed the connection mid-exchange"),
             ServeError::Remote { code, message } => write!(f, "server error [{code}]: {message}"),
             ServeError::UnexpectedResponse(what) => {
@@ -271,6 +282,12 @@ mod tests {
         );
         assert_eq!(ServeError::Draining.error_code(), ErrorCode::Draining);
         assert_eq!(ServeError::Disconnected.error_code(), ErrorCode::Internal);
+        assert_eq!(ErrorCode::Unsupported.to_u8(), 11);
+        assert_eq!(ErrorCode::from_u8(11), Some(ErrorCode::Unsupported));
+        assert_eq!(
+            ServeError::Unsupported("v9".into()).error_code(),
+            ErrorCode::Unsupported
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! use tabsketch_table::Rect;
 //!
 //! let config = ServerConfig {
-//!     specs: vec![StoreSpec::new("day", "day.tsb").with_store_path("day.tsks")],
+//!     specs: vec![StoreSpec::builder("day", "day.tsb").store_path("day.tsks").build()],
 //!     ..Default::default()
 //! };
 //! let server = Server::bind(config).unwrap();
@@ -62,7 +62,7 @@ pub use protocol::{
 };
 pub use retry::{JitterRng, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use store::{load_table, Deadline, LoadedStore, ShardedOracle, StoreSpec};
+pub use store::{load_table, Deadline, LoadedStore, ShardedOracle, StoreSpec, StoreSpecBuilder};
 
 /// Pre-registers this crate's metric keys in the global observability
 /// registry, so snapshots report the full `serve.*` schema even before
@@ -76,6 +76,7 @@ pub fn register_metrics() {
             metrics::RequestKind::DistanceBatch => "serve.requests.distance_batch",
             metrics::RequestKind::Sketch => "serve.requests.sketch",
             metrics::RequestKind::Knn => "serve.requests.knn",
+            metrics::RequestKind::Update => "serve.requests.update",
             metrics::RequestKind::Metrics => "serve.requests.metrics",
             metrics::RequestKind::Stores => "serve.requests.stores",
             metrics::RequestKind::Shutdown => "serve.requests.shutdown",

@@ -20,7 +20,7 @@ use tabsketch_cluster::TierSnapshot;
 use tabsketch_obs::counter;
 
 /// How many request kinds the protocol defines.
-pub const KIND_COUNT: usize = 9;
+pub const KIND_COUNT: usize = 10;
 
 /// Request kinds, used to index the per-kind counters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +43,8 @@ pub enum RequestKind {
     Shutdown = 7,
     /// Health probe (ready/draining/degraded).
     Health = 8,
+    /// Table mutation (live tables).
+    Update = 9,
 }
 
 impl RequestKind {
@@ -57,13 +59,15 @@ impl RequestKind {
         RequestKind::Stores,
         RequestKind::Shutdown,
         RequestKind::Health,
+        RequestKind::Update,
     ];
 
     /// Whether repeating this request cannot change server state, so a
     /// client [`RetryPolicy`](crate::RetryPolicy) may safely resend it.
-    /// Everything except the shutdown poison message is a pure read.
+    /// Everything except the shutdown poison message and table updates
+    /// is a pure read; a resent update would apply its deltas twice.
     pub fn is_idempotent(self) -> bool {
-        !matches!(self, RequestKind::Shutdown)
+        !matches!(self, RequestKind::Shutdown | RequestKind::Update)
     }
 
     /// The short name used in metrics output.
@@ -78,6 +82,7 @@ impl RequestKind {
             RequestKind::Stores => "stores",
             RequestKind::Shutdown => "shutdown",
             RequestKind::Health => "health",
+            RequestKind::Update => "update",
         }
     }
 }
@@ -121,6 +126,7 @@ impl ServerMetrics {
             RequestKind::Stores => counter!("serve.requests.stores"),
             RequestKind::Shutdown => counter!("serve.requests.shutdown"),
             RequestKind::Health => counter!("serve.requests.health"),
+            RequestKind::Update => counter!("serve.requests.update"),
         };
         global.inc();
     }
@@ -214,6 +220,8 @@ pub struct StoreTierMetrics {
     pub name: String,
     /// Whether an LSH candidate index is resident for this store.
     pub indexed: bool,
+    /// The backing table's update epoch (0 = never updated).
+    pub epoch: u64,
     /// Tier hits/fallbacks and cache counters, summed over shards.
     pub tiers: TierSnapshot,
 }
@@ -291,7 +299,7 @@ impl std::fmt::Display for MetricsSnapshot {
         )?;
         for s in &self.stores {
             let tag = if s.indexed { " [indexed]" } else { "" };
-            writeln!(f, "store {:?}{tag}: {}", s.name, s.tiers)?;
+            writeln!(f, "store {:?}{tag} epoch {}: {}", s.name, s.epoch, s.tiers)?;
         }
         if !self.registry.is_empty() {
             writeln!(f, "registry:")?;
@@ -308,11 +316,11 @@ mod tests {
     use super::*;
 
     #[test]
-    fn only_shutdown_is_non_idempotent() {
+    fn only_mutations_are_non_idempotent() {
         for kind in RequestKind::ALL {
             assert_eq!(
                 kind.is_idempotent(),
-                kind != RequestKind::Shutdown,
+                kind != RequestKind::Shutdown && kind != RequestKind::Update,
                 "{}",
                 kind.name()
             );

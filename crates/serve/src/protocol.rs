@@ -2,7 +2,13 @@
 //!
 //! A connection carries a sequence of frames in each direction. Every
 //! frame is a little-endian `u32` payload length followed by that many
-//! payload bytes; the payload's first byte is the request/response kind.
+//! payload bytes; the payload's first byte is the protocol revision
+//! ([`PROTOCOL_VERSION`]) and its second the request/response kind.
+//! A frame carrying a different revision — or an unknown kind under the
+//! current one — is answered with a typed [`ErrorCode::Unsupported`]
+//! error frame, never a decode failure: peers on different builds
+//! degrade to a clear capability error instead of tearing the
+//! connection down as malformed.
 //! Payloads are bounded by [`MAX_FRAME`] — a peer declaring more is
 //! answered with a [`ErrorCode::FrameTooLarge`] error frame and the
 //! connection is closed, *before* any allocation of the declared size
@@ -18,7 +24,7 @@
 //! or a hang" under truncation and bit-rot of every frame offset.
 
 use tabsketch_cluster::{Tier, TierSnapshot};
-use tabsketch_table::Rect;
+use tabsketch_table::{Rect, TableUpdate};
 
 use crate::error::{ErrorCode, ServeError};
 use crate::metrics::{MetricsSnapshot, RequestKind, StoreTierMetrics, KIND_COUNT};
@@ -36,8 +42,17 @@ pub const MAX_BATCH: usize = tabsketch_core::limits::MAX_BATCH;
 /// ([`tabsketch_core::limits::MAX_NAME_BYTES`]).
 pub const MAX_NAME: usize = tabsketch_core::limits::MAX_NAME_BYTES;
 
+/// The protocol revision this build speaks, carried as the first byte
+/// of every request and response payload. Revision 1 was the unversioned
+/// layout (kind byte first); revision 2 added the version byte and the
+/// update/epoch frames. A peer speaking a different revision gets a
+/// typed [`ErrorCode::Unsupported`] error frame, not a malformed-frame
+/// teardown.
+pub const PROTOCOL_VERSION: u8 = 2;
+
 /// A client request (without the frame header).
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -83,6 +98,16 @@ pub enum Request {
     Shutdown,
     /// Health probe: serving state, store count, tier counters.
     Health,
+    /// Applies a typed delta to a named store's table, folding it into
+    /// the resident sketches and bumping the table's epoch.
+    /// Non-idempotent: the one request kind a
+    /// [`RetryPolicy`](crate::RetryPolicy) never resends.
+    Update {
+        /// Store name.
+        store: String,
+        /// The delta to apply.
+        update: TableUpdate,
+    },
 }
 
 impl Request {
@@ -98,6 +123,7 @@ impl Request {
             Request::Stores => RequestKind::Stores,
             Request::Shutdown => RequestKind::Shutdown,
             Request::Health => RequestKind::Health,
+            Request::Update { .. } => RequestKind::Update,
         }
     }
 
@@ -107,7 +133,8 @@ impl Request {
             Request::Distance { store, .. }
             | Request::DistanceBatch { store, .. }
             | Request::Sketch { store, .. }
-            | Request::Knn { store, .. } => Some(store),
+            | Request::Knn { store, .. }
+            | Request::Update { store, .. } => Some(store),
             _ => None,
         }
     }
@@ -190,6 +217,8 @@ pub struct StoreInfo {
     pub rows: u64,
     /// Table columns.
     pub cols: u64,
+    /// The table's update epoch (0 = never updated).
+    pub epoch: u64,
     /// Precomputed tile shape, when a sketch store is resident.
     pub tile: Option<(u64, u64)>,
     /// LSH candidate-index stats, when an index is resident.
@@ -198,6 +227,7 @@ pub struct StoreInfo {
 
 /// A server response.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum Response {
     /// Answer to [`Request::Ping`].
     Pong,
@@ -231,6 +261,13 @@ pub enum Response {
     Stores(Vec<StoreInfo>),
     /// Acknowledgment of [`Request::Shutdown`].
     ShuttingDown,
+    /// Answer to [`Request::Update`].
+    Updated {
+        /// The table's epoch after the update.
+        epoch: u64,
+        /// How many cells the update touched.
+        cells: u64,
+    },
     /// Answer to [`Request::Health`].
     Health {
         /// Coarse serving state.
@@ -383,6 +420,17 @@ fn tier_from_u8(b: u8) -> Option<Tier> {
 // Request encoding
 // ---------------------------------------------------------------------
 
+/// Gates a decoded version byte: anything but the current revision is a
+/// typed capability error.
+fn check_version(v: u8) -> Result<(), ServeError> {
+    if v != PROTOCOL_VERSION {
+        return Err(ServeError::Unsupported(format!(
+            "protocol revision {v} (this build speaks {PROTOCOL_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
 const REQ_PING: u8 = 0;
 const REQ_DISTANCE: u8 = 1;
 const REQ_BATCH: u8 = 2;
@@ -392,10 +440,84 @@ const REQ_METRICS: u8 = 5;
 const REQ_STORES: u8 = 6;
 const REQ_SHUTDOWN: u8 = 7;
 const REQ_HEALTH: u8 = 8;
+const REQ_UPDATE: u8 = 9;
+
+const UPDATE_CELL: u8 = 0;
+const UPDATE_ROW: u8 = 1;
+const UPDATE_TILE: u8 = 2;
+
+fn encode_update(e: &mut Enc, update: &TableUpdate) {
+    match update {
+        TableUpdate::Cell {
+            row, col, delta, ..
+        } => {
+            e.u8(UPDATE_CELL);
+            e.u64(*row as u64);
+            e.u64(*col as u64);
+            e.f64(*delta);
+        }
+        TableUpdate::Row { row, deltas, .. } => {
+            e.u8(UPDATE_ROW);
+            e.u64(*row as u64);
+            e.u32(deltas.len().min(u32::MAX as usize) as u32);
+            for &v in deltas {
+                e.f64(v);
+            }
+        }
+        TableUpdate::Tile { rect, deltas, .. } => {
+            e.u8(UPDATE_TILE);
+            e.rect(*rect);
+            e.u32(deltas.len().min(u32::MAX as usize) as u32);
+            for &v in deltas {
+                e.f64(v);
+            }
+        }
+    }
+}
+
+fn decode_update(d: &mut Dec<'_>, payload_len: usize) -> Result<TableUpdate, ServeError> {
+    let decode_deltas = |d: &mut Dec<'_>| -> Result<Vec<f64>, ServeError> {
+        let n = d.u32("delta count")? as usize;
+        // 8 bytes per delta: bound the claim against the payload before
+        // allocating, same discipline as batch decoding.
+        if n * 8 > payload_len {
+            return Err(ServeError::Malformed(format!(
+                "{n} deltas do not fit a {payload_len}-byte frame"
+            )));
+        }
+        let mut deltas = Vec::with_capacity(n);
+        for _ in 0..n {
+            deltas.push(d.f64("delta")?);
+        }
+        Ok(deltas)
+    };
+    // The typed constructors re-validate (finiteness, emptiness, shape),
+    // so a hand-rolled frame cannot smuggle in an invalid delta.
+    match d.u8("update tag")? {
+        UPDATE_CELL => {
+            let row = d.usize64("cell row")?;
+            let col = d.usize64("cell col")?;
+            let delta = d.f64("cell delta")?;
+            TableUpdate::cell(row, col, delta).map_err(ServeError::Table)
+        }
+        UPDATE_ROW => {
+            let row = d.usize64("row index")?;
+            let deltas = decode_deltas(d)?;
+            TableUpdate::row(row, deltas).map_err(ServeError::Table)
+        }
+        UPDATE_TILE => {
+            let rect = d.rect("tile rect")?;
+            let deltas = decode_deltas(d)?;
+            TableUpdate::tile(rect, deltas).map_err(ServeError::Table)
+        }
+        other => Err(ServeError::Malformed(format!("unknown update tag {other}"))),
+    }
+}
 
 /// Encodes a request frame payload.
 pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
     let mut e = Enc::default();
+    e.u8(PROTOCOL_VERSION);
     let kind = match &frame.request {
         Request::Ping => REQ_PING,
         Request::Distance { .. } => REQ_DISTANCE,
@@ -406,6 +528,7 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
         Request::Stores => REQ_STORES,
         Request::Shutdown => REQ_SHUTDOWN,
         Request::Health => REQ_HEALTH,
+        Request::Update { .. } => REQ_UPDATE,
     };
     e.u8(kind);
     e.u32(frame.deadline_ms);
@@ -437,6 +560,10 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
             e.rect(*rect);
             e.u32(*count);
         }
+        Request::Update { store, update } => {
+            e.str(store);
+            encode_update(&mut e, update);
+        }
     }
     e.0
 }
@@ -445,11 +572,15 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Malformed`] for any byte stream that is not a
-/// complete, well-formed request — truncated fields, unknown kinds,
-/// oversized collections, or trailing garbage.
+/// Returns [`ServeError::Unsupported`] for a payload carrying a
+/// different protocol revision or an unknown request kind — the peer is
+/// merely ahead of (or behind) this build — and
+/// [`ServeError::Malformed`] for any byte stream that is not a
+/// complete, well-formed request under the current revision: truncated
+/// fields, oversized collections, or trailing garbage.
 pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ServeError> {
     let mut d = Dec::new(payload);
+    check_version(d.u8("protocol version")?)?;
     let kind = d.u8("request kind")?;
     let deadline_ms = d.u32("deadline")?;
     let request = match kind {
@@ -494,9 +625,13 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ServeError> {
             rect: d.rect("rect")?,
             count: d.u32("count")?,
         },
+        REQ_UPDATE => Request::Update {
+            store: d.str("store name")?,
+            update: decode_update(&mut d, payload.len())?,
+        },
         other => {
-            return Err(ServeError::Malformed(format!(
-                "unknown request kind {other}"
+            return Err(ServeError::Unsupported(format!(
+                "request kind {other} (this build speaks protocol revision {PROTOCOL_VERSION})"
             )))
         }
     };
@@ -520,11 +655,13 @@ const RESP_METRICS: u8 = 5;
 const RESP_STORES: u8 = 6;
 const RESP_SHUTTING_DOWN: u8 = 7;
 const RESP_HEALTH: u8 = 8;
+const RESP_UPDATED: u8 = 9;
 const RESP_ERROR: u8 = 255;
 
 /// Encodes a response frame payload.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut e = Enc::default();
+    e.u8(PROTOCOL_VERSION);
     match resp {
         Response::Pong => e.u8(RESP_PONG),
         Response::Distance { value, tier } => {
@@ -567,6 +704,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 e.str(&info.name);
                 e.u64(info.rows);
                 e.u64(info.cols);
+                e.u64(info.epoch);
                 match info.tile {
                     Some((tr, tc)) => {
                         e.u8(1);
@@ -588,6 +726,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
         }
         Response::ShuttingDown => e.u8(RESP_SHUTTING_DOWN),
+        Response::Updated { epoch, cells } => {
+            e.u8(RESP_UPDATED);
+            e.u64(*epoch);
+            e.u64(*cells);
+        }
         Response::Health { state, stores } => {
             e.u8(RESP_HEALTH);
             e.u8(state.to_u8());
@@ -612,6 +755,7 @@ fn encode_store_tiers(e: &mut Enc, stores: &[StoreTierMetrics]) {
     for s in stores {
         e.str(&s.name);
         e.u8(u8::from(s.indexed));
+        e.u64(s.epoch);
         let t = &s.tiers;
         for v in [
             t.pooled,
@@ -642,6 +786,7 @@ fn decode_store_tiers(d: &mut Dec<'_>) -> Result<Vec<StoreTierMetrics>, ServeErr
             1 => true,
             _ => return Err(ServeError::Malformed("bad indexed flag".into())),
         };
+        let epoch = d.u64("store epoch")?;
         let mut vals = [0u64; 9];
         for v in &mut vals {
             *v = d.u64("tier counter")?;
@@ -649,6 +794,7 @@ fn decode_store_tiers(d: &mut Dec<'_>) -> Result<Vec<StoreTierMetrics>, ServeErr
         stores.push(StoreTierMetrics {
             name,
             indexed,
+            epoch,
             tiers: TierSnapshot {
                 pooled: vals[0],
                 on_demand: vals[1],
@@ -734,14 +880,21 @@ fn decode_metrics(d: &mut Dec<'_>) -> Result<MetricsSnapshot, ServeError> {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Malformed`] for any byte stream that is not a
-/// complete, well-formed response.
+/// Returns [`ServeError::Unsupported`] for a different protocol
+/// revision or unknown response kind, and [`ServeError::Malformed`] for
+/// any byte stream that is not a complete, well-formed response under
+/// the current revision.
 pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
     let mut d = Dec::new(payload);
+    check_version(d.u8("protocol version")?)?;
     let kind = d.u8("response kind")?;
     let resp = match kind {
         RESP_PONG => Response::Pong,
         RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_UPDATED => Response::Updated {
+            epoch: d.u64("epoch")?,
+            cells: d.u64("cells")?,
+        },
         RESP_DISTANCE => {
             let value = d.f64("distance")?;
             let tier = tier_from_u8(d.u8("tier")?)
@@ -799,6 +952,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
                 let name = d.str("store name")?;
                 let rows = d.u64("rows")?;
                 let cols = d.u64("cols")?;
+                let epoch = d.u64("epoch")?;
                 let tile = match d.u8("tile flag")? {
                     0 => None,
                     1 => Some((d.u64("tile rows")?, d.u64("tile cols")?)),
@@ -818,6 +972,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
                     name,
                     rows,
                     cols,
+                    epoch,
                     tile,
                     index,
                 });
@@ -842,8 +997,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ServeError> {
             }
         }
         other => {
-            return Err(ServeError::Malformed(format!(
-                "unknown response kind {other}"
+            return Err(ServeError::Unsupported(format!(
+                "response kind {other} (this build speaks protocol revision {PROTOCOL_VERSION})"
             )))
         }
     };
@@ -961,6 +1116,18 @@ mod tests {
                 rect: r1,
                 count: 5,
             },
+            Request::Update {
+                store: "day".into(),
+                update: TableUpdate::cell(3, 4, -2.5).unwrap(),
+            },
+            Request::Update {
+                store: "day".into(),
+                update: TableUpdate::row(1, vec![0.5, -0.5, 1.0]).unwrap(),
+            },
+            Request::Update {
+                store: "day".into(),
+                update: TableUpdate::tile(Rect::new(2, 2, 2, 3), vec![1.0; 6]).unwrap(),
+            },
         ] {
             roundtrip_request(RequestFrame {
                 deadline_ms: 250,
@@ -975,6 +1142,10 @@ mod tests {
         for resp in [
             Response::Pong,
             Response::ShuttingDown,
+            Response::Updated {
+                epoch: 17,
+                cells: 64,
+            },
             Response::Distance {
                 value: 42.5,
                 tier: Tier::Pooled,
@@ -994,6 +1165,7 @@ mod tests {
                     name: "day".into(),
                     rows: 512,
                     cols: 144,
+                    epoch: 7,
                     tile: Some((32, 32)),
                     index: Some(StoreIndexInfo {
                         bands: 16,
@@ -1006,6 +1178,7 @@ mod tests {
                     name: "night".into(),
                     rows: 64,
                     cols: 64,
+                    epoch: 0,
                     tile: None,
                     index: None,
                 },
@@ -1025,6 +1198,7 @@ mod tests {
                 stores: vec![StoreTierMetrics {
                     name: "day".into(),
                     indexed: true,
+                    epoch: 3,
                     tiers: TierSnapshot {
                         pooled: 3,
                         on_demand: 1,
@@ -1039,7 +1213,7 @@ mod tests {
                 }],
             },
             Response::Metrics(MetricsSnapshot {
-                by_kind: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+                by_kind: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
                 errors: 9,
                 timeouts: 1,
                 malformed: 2,
@@ -1053,6 +1227,7 @@ mod tests {
                 stores: vec![StoreTierMetrics {
                     name: "day".into(),
                     indexed: false,
+                    epoch: 0,
                     tiers: TierSnapshot {
                         pooled: 10,
                         on_demand: 5,
@@ -1139,6 +1314,7 @@ mod tests {
     fn oversized_claims_are_refused_before_allocation() {
         // A batch request claiming 2^32-ish pairs inside a tiny frame.
         let mut e = Vec::new();
+        e.push(PROTOCOL_VERSION);
         e.push(REQ_BATCH);
         e.extend_from_slice(&0u32.to_le_bytes());
         e.extend_from_slice(&1u16.to_le_bytes());
@@ -1148,6 +1324,7 @@ mod tests {
         assert!(matches!(err, ServeError::Malformed(_)), "{err}");
 
         let mut e = Vec::new();
+        e.push(PROTOCOL_VERSION);
         e.push(REQ_BATCH);
         e.extend_from_slice(&0u32.to_le_bytes());
         e.extend_from_slice(&1u16.to_le_bytes());
@@ -1158,6 +1335,77 @@ mod tests {
             matches!(err, ServeError::Malformed(ref m) if m.contains("does not fit")),
             "{err}"
         );
+    }
+
+    #[test]
+    fn foreign_revisions_degrade_to_typed_unsupported() {
+        // A well-formed v2 frame with its version byte bumped: what a
+        // future peer's frames look like to this build.
+        let mut future = encode_request(&RequestFrame {
+            deadline_ms: 0,
+            request: Request::Ping,
+        });
+        future[0] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            decode_request(&future).unwrap_err(),
+            ServeError::Unsupported(_)
+        ));
+        // A legacy unversioned frame (kind byte first) reads as an old
+        // revision, not garbage.
+        let legacy = [REQ_PING, 0, 0, 0, 0];
+        assert!(matches!(
+            decode_request(&legacy).unwrap_err(),
+            ServeError::Unsupported(_)
+        ));
+        // Unknown kinds under the current revision are capability gaps,
+        // not framing violations.
+        let unknown = [PROTOCOL_VERSION, 200, 0, 0, 0, 0];
+        assert!(matches!(
+            decode_request(&unknown).unwrap_err(),
+            ServeError::Unsupported(_)
+        ));
+        let mut resp = encode_response(&Response::Pong);
+        resp[0] = PROTOCOL_VERSION + 7;
+        assert!(matches!(
+            decode_response(&resp).unwrap_err(),
+            ServeError::Unsupported(_)
+        ));
+    }
+
+    #[test]
+    fn update_decode_revalidates_through_constructors() {
+        // A hand-rolled cell update carrying a NaN delta must be refused
+        // by the typed constructor, not smuggled past validation.
+        let mut e = Vec::new();
+        e.push(PROTOCOL_VERSION);
+        e.push(REQ_UPDATE);
+        e.extend_from_slice(&0u32.to_le_bytes()); // deadline
+        e.extend_from_slice(&1u16.to_le_bytes());
+        e.push(b's');
+        e.push(UPDATE_CELL);
+        e.extend_from_slice(&1u64.to_le_bytes());
+        e.extend_from_slice(&2u64.to_le_bytes());
+        e.extend_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            decode_request(&e).unwrap_err(),
+            ServeError::Table(_)
+        ));
+
+        // A row update claiming more deltas than its frame holds is
+        // refused before allocation.
+        let mut e = Vec::new();
+        e.push(PROTOCOL_VERSION);
+        e.push(REQ_UPDATE);
+        e.extend_from_slice(&0u32.to_le_bytes());
+        e.extend_from_slice(&1u16.to_le_bytes());
+        e.push(b's');
+        e.push(UPDATE_ROW);
+        e.extend_from_slice(&0u64.to_le_bytes());
+        e.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_request(&e).unwrap_err(),
+            ServeError::Malformed(ref m) if m.contains("do not fit")
+        ));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! A [`RetryPolicy`] is applied by [`Client`](crate::Client) only to
 //! *idempotent* request kinds (every kind except the shutdown poison
-//! message, see [`RequestKind::is_idempotent`]), and only to *transient*
+//! message and table updates, see [`RequestKind::is_idempotent`]), and
+//! only to *transient*
 //! failures: transport errors, a peer that closed mid-exchange, a
 //! response stream that desynchronized, and the server's own
 //! `Overloaded`/`Draining` refusals. Layer errors (`table`, `sketch`,
@@ -81,6 +82,7 @@ impl RetryPolicy {
             ServeError::DeadlineExceeded
             | ServeError::ShuttingDown
             | ServeError::FrameTooLarge(_)
+            | ServeError::Unsupported(_)
             | ServeError::UnknownStore(_)
             | ServeError::Remote { .. }
             | ServeError::UnexpectedResponse(_)
@@ -184,6 +186,9 @@ mod tests {
         assert!(RetryPolicy::is_retryable(&ServeError::Draining));
         assert!(!RetryPolicy::is_retryable(&ServeError::DeadlineExceeded));
         assert!(!RetryPolicy::is_retryable(&ServeError::ShuttingDown));
+        assert!(!RetryPolicy::is_retryable(&ServeError::Unsupported(
+            "protocol revision 9".into()
+        )));
         assert!(!RetryPolicy::is_retryable(&ServeError::UnknownStore(
             "x".into()
         )));

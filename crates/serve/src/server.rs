@@ -178,41 +178,47 @@ impl ServerHandle {
 pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
-    stores: Vec<LoadedStore>,
+    oracles: Vec<ShardedOracle>,
     config: ServerConfig,
     state: Arc<ServeState>,
     metrics: Arc<ServerMetrics>,
 }
 
 impl Server {
-    /// Loads every store in the config and binds the listener.
+    /// Loads every store in the config, wraps each in its sharded
+    /// oracle, and binds the listener.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Config`] for an empty or duplicate store
-    /// list, table errors for unloadable tables, and I/O errors from
+    /// list, table errors for unloadable tables, oracle-construction
+    /// failures (bad fallback sketch parameters), and I/O errors from
     /// binding. A damaged *sketch store* file does not fail the bind —
     /// that store serves degraded (see [`LoadedStore::degradation`]).
     pub fn bind(config: ServerConfig) -> Result<Self, ServeError> {
         if config.specs.is_empty() {
             return Err(ServeError::Config("no stores to serve".into()));
         }
-        let mut stores = Vec::with_capacity(config.specs.len());
+        let mut oracles: Vec<ShardedOracle> = Vec::with_capacity(config.specs.len());
         for spec in &config.specs {
-            if stores.iter().any(|s: &LoadedStore| s.name() == spec.name) {
+            if oracles.iter().any(|o| o.name() == spec.name) {
                 return Err(ServeError::Config(format!(
                     "duplicate store name {:?}",
                     spec.name
                 )));
             }
-            stores.push(LoadedStore::load(spec)?);
+            oracles.push(ShardedOracle::new(
+                LoadedStore::load(spec)?,
+                config.shards,
+                config.cache_capacity,
+            )?);
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         Ok(Self {
             listener,
             addr,
-            stores,
+            oracles,
             config,
             state: Arc::new(ServeState::default()),
             metrics: Arc::new(ServerMetrics::new()),
@@ -224,10 +230,11 @@ impl Server {
         self.addr
     }
 
-    /// The loaded stores, for pre-serve inspection (e.g. printing
-    /// degradation warnings).
-    pub fn stores(&self) -> &[LoadedStore] {
-        &self.stores
+    /// The serving oracles (one per store), for pre-serve inspection —
+    /// e.g. printing degradation warnings via
+    /// [`ShardedOracle::store`].
+    pub fn stores(&self) -> &[ShardedOracle] {
+        &self.oracles
     }
 
     /// The shared metrics (live; not a snapshot).
@@ -245,26 +252,17 @@ impl Server {
 
     /// Serves until shutdown is requested and the drain completes.
     /// Blocks the calling thread; workers run as scoped threads
-    /// borrowing this server's stores.
+    /// borrowing this server's oracles.
     ///
     /// # Errors
     ///
-    /// Returns oracle-construction failures and fatal listener errors.
-    /// Per-connection failures are answered on that connection (or drop
-    /// it) and never stop the server.
+    /// Returns fatal listener errors. Per-connection failures are
+    /// answered on that connection (or drop it) and never stop the
+    /// server.
     pub fn run(&self) -> Result<(), ServeError> {
-        let mut oracles = Vec::with_capacity(self.stores.len());
-        for store in &self.stores {
-            oracles.push(ShardedOracle::new(
-                store,
-                self.config.shards,
-                self.config.cache_capacity,
-            )?);
-        }
         let active = AtomicUsize::new(0);
         let ctx = ServeCtx {
-            stores: &self.stores,
-            oracles: &oracles,
+            oracles: &self.oracles,
             metrics: &self.metrics,
             state: &self.state,
             panic_store: self.config.panic_store.as_deref(),
@@ -424,30 +422,31 @@ impl ConnQueue {
 /// Everything a worker needs to answer requests, borrowed from the
 /// running server.
 struct ServeCtx<'a> {
-    stores: &'a [LoadedStore],
-    oracles: &'a [ShardedOracle<'a>],
+    oracles: &'a [ShardedOracle],
     metrics: &'a Arc<ServerMetrics>,
     state: &'a ServeState,
     panic_store: Option<&'a str>,
 }
 
 impl<'a> ServeCtx<'a> {
-    fn lookup(&self, name: &str) -> Result<(&'a LoadedStore, &'a ShardedOracle<'a>), ServeError> {
-        self.stores
+    fn lookup(&self, name: &str) -> Result<&'a ShardedOracle, ServeError> {
+        self.oracles
             .iter()
-            .position(|s| s.name() == name)
-            .map(|i| (&self.stores[i], &self.oracles[i]))
+            .find(|o| o.name() == name)
             .ok_or_else(|| ServeError::UnknownStore(name.to_string()))
     }
 
     fn store_tiers(&self) -> Vec<StoreTierMetrics> {
-        self.stores
+        self.oracles
             .iter()
-            .zip(self.oracles)
-            .map(|(s, o)| StoreTierMetrics {
-                name: s.name().to_string(),
-                indexed: s.index().is_some(),
-                tiers: o.counters(),
+            .map(|o| {
+                let loaded = o.store();
+                StoreTierMetrics {
+                    name: o.name().to_string(),
+                    indexed: loaded.index().is_some(),
+                    epoch: loaded.epoch().get(),
+                    tiers: o.counters(),
+                }
             })
             .collect()
     }
@@ -455,7 +454,11 @@ impl<'a> ServeCtx<'a> {
     fn health_state(&self) -> HealthState {
         if self.state.get() != State::Running {
             HealthState::Draining
-        } else if self.stores.iter().any(|s| s.degradation().is_some()) {
+        } else if self
+            .oracles
+            .iter()
+            .any(|o| o.store().degradation().is_some())
+        {
             HealthState::Degraded
         } else {
             HealthState::Ready
@@ -479,17 +482,17 @@ impl<'a> ServeCtx<'a> {
         match request {
             Request::Ping => Ok(Response::Pong),
             Request::Distance { store, a, b } => {
-                let (_, oracle) = self.lookup(store)?;
+                let oracle = self.lookup(store)?;
                 let (value, tier) = oracle.distance(*a, *b, deadline)?;
                 Ok(Response::Distance { value, tier })
             }
             Request::DistanceBatch { store, pairs } => {
-                let (_, oracle) = self.lookup(store)?;
+                let oracle = self.lookup(store)?;
                 let results = oracle.distance_batch(pairs, deadline)?;
                 Ok(Response::DistanceBatch { results })
             }
             Request::Sketch { store, rect } => {
-                let (_, oracle) = self.lookup(store)?;
+                let oracle = self.lookup(store)?;
                 let (values, tier) = oracle.sketch_for(*rect, deadline)?;
                 Ok(Response::Sketch {
                     tier,
@@ -497,19 +500,21 @@ impl<'a> ServeCtx<'a> {
                 })
             }
             Request::Knn { store, rect, count } => {
-                let (loaded, oracle) = self.lookup(store)?;
-                let neighbors = oracle.knn(
-                    loaded.table(),
-                    loaded.index(),
-                    *rect,
-                    *count as usize,
-                    deadline,
-                )?;
+                let oracle = self.lookup(store)?;
+                let neighbors = oracle.knn(*rect, *count as usize, deadline)?;
                 Ok(Response::Knn { neighbors })
+            }
+            Request::Update { store, update } => {
+                let oracle = self.lookup(store)?;
+                let (epoch, cells) = oracle.apply_update(update)?;
+                Ok(Response::Updated {
+                    epoch: epoch.get(),
+                    cells,
+                })
             }
             Request::Metrics => Ok(Response::Metrics(self.metrics.snapshot(self.store_tiers()))),
             Request::Stores => Ok(Response::Stores(
-                self.stores.iter().map(LoadedStore::info).collect(),
+                self.oracles.iter().map(ShardedOracle::info).collect(),
             )),
             Request::Health => Ok(Response::Health {
                 state: self.health_state(),
@@ -519,6 +524,14 @@ impl<'a> ServeCtx<'a> {
                 self.state.begin_drain();
                 Ok(Response::ShuttingDown)
             }
+            // Request is #[non_exhaustive]: a frame kind this build does
+            // not implement was already refused at decode time, but the
+            // compiler cannot know that.
+            #[allow(unreachable_patterns)]
+            other => Err(ServeError::Unsupported(format!(
+                "request kind {:?}",
+                other.kind().name()
+            ))),
         }
     }
 }

@@ -9,21 +9,31 @@
 //! `cluster --store` paths construct the same [`LoadedStore`], so the
 //! daemon and the one-shot commands cannot drift apart.
 //!
-//! A [`ShardedOracle`] spreads queries over several oracles, each with
-//! its own bounded sketch cache and tier counters, so concurrent
-//! workers do not serialize on one cache lock. Batches stay on a single
-//! shard — that is what makes batching amortize: every repeated
-//! rectangle in the batch hits that shard's cache.
+//! A [`ShardedOracle`] owns one store behind a `RwLock` and spreads
+//! queries over several [`OracleState`] shards — each a shared bounded
+//! sketch cache plus tier counters — so concurrent workers do not
+//! serialize on one cache lock. Queries take the store's read lock,
+//! build a transient oracle attached to a round-robin shard state, and
+//! answer; any number run at once. A [`ShardedOracle::apply_update`]
+//! takes the write lock, patches the table, folds the delta into the
+//! resident sketch store, marks any candidate index stale, and drops
+//! every cached sketch overlapping the touched region before queries
+//! resume — a reader can never observe a sketch from before the update
+//! paired with a table from after it. Batches stay on a single shard —
+//! that is what makes batching amortize: every repeated rectangle in
+//! the batch hits that shard's cache.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
-use tabsketch_cluster::{ClusterError, DistanceOracle, Tier, TierSnapshot};
+use tabsketch_cluster::{ClusterError, DistanceOracle, OracleState, Tier, TierSnapshot};
 use tabsketch_core::{persist, AllSubtableSketches, SketchParams, Sketcher};
 use tabsketch_index::{persist as index_persist, LshIndex};
-use tabsketch_table::{io as table_io, MemoryBudget, Rect, Table, TileGrid};
+use tabsketch_table::{
+    io as table_io, MemoryBudget, Rect, Table, TableEpoch, TableUpdate, TileGrid,
+};
 
 use crate::error::ServeError;
 use crate::protocol::{StoreIndexInfo, StoreInfo};
@@ -74,6 +84,9 @@ impl Deadline {
 /// Where one served store comes from, plus its on-demand fallback
 /// sketch parameters (used when no store file is given or the file is
 /// damaged — a healthy store supplies its own sketcher).
+///
+/// Construct with [`StoreSpec::builder`] or, from the CLI's colon
+/// syntax, [`StoreSpec::from_colon_spec`].
 #[derive(Clone, Debug)]
 pub struct StoreSpec {
     /// The name clients address this store by.
@@ -99,22 +112,66 @@ pub struct StoreSpec {
 }
 
 impl StoreSpec {
-    /// A spec serving `table_path` under `name` with default fallback
-    /// parameters (p = 1, k = 256, seed = 0).
-    pub fn new(name: impl Into<String>, table_path: impl Into<PathBuf>) -> Self {
-        Self {
-            name: name.into(),
-            table_path: table_path.into(),
-            store_path: None,
-            index_path: None,
-            p: 1.0,
-            k: 256,
-            seed: 0,
-            memory_budget: MemoryBudget::unbounded(),
+    /// Starts a spec serving `table_path` under `name`, with default
+    /// fallback parameters (p = 1, k = 256, seed = 0) and an unbounded
+    /// memory budget.
+    pub fn builder(name: impl Into<String>, table_path: impl Into<PathBuf>) -> StoreSpecBuilder {
+        StoreSpecBuilder {
+            spec: StoreSpec {
+                name: name.into(),
+                table_path: table_path.into(),
+                store_path: None,
+                index_path: None,
+                p: 1.0,
+                k: 256,
+                seed: 0,
+                memory_budget: MemoryBudget::unbounded(),
+            },
         }
     }
 
+    /// Parses one `NAME=TABLE[:STORE[:INDEX]]` entry — the CLI's
+    /// `--stores` syntax — into a builder, so callers can still attach
+    /// fallback parameters or a memory budget before building. An empty
+    /// `STORE` slot (`name=t.tsb::t.tix`) skips the sketch store but
+    /// keeps the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] when the `NAME=` prefix is
+    /// missing or the name or table path is empty.
+    pub fn from_colon_spec(entry: &str) -> Result<StoreSpecBuilder, ServeError> {
+        let (name, paths) = entry.split_once('=').ok_or_else(|| {
+            ServeError::Config(format!(
+                "store spec {entry:?}: expected NAME=TABLE[:STORE[:INDEX]]"
+            ))
+        })?;
+        let mut parts = paths.splitn(3, ':');
+        let table = parts.next().expect("splitn yields at least one part");
+        if name.is_empty() || table.is_empty() {
+            return Err(ServeError::Config(format!(
+                "store spec {entry:?}: name and table path must be non-empty"
+            )));
+        }
+        let mut builder = StoreSpec::builder(name, table);
+        if let Some(store) = parts.next().filter(|s| !s.is_empty()) {
+            builder = builder.store_path(store);
+        }
+        if let Some(index) = parts.next().filter(|s| !s.is_empty()) {
+            builder = builder.index_path(index);
+        }
+        Ok(builder)
+    }
+
+    /// A spec serving `table_path` under `name` with default fallback
+    /// parameters (p = 1, k = 256, seed = 0).
+    #[deprecated(note = "use `StoreSpec::builder` or `StoreSpec::from_colon_spec`")]
+    pub fn new(name: impl Into<String>, table_path: impl Into<PathBuf>) -> Self {
+        StoreSpec::builder(name, table_path).build()
+    }
+
     /// Attaches a precomputed sketch store file.
+    #[deprecated(note = "use `StoreSpec::builder(..).store_path(..)`")]
     #[must_use]
     pub fn with_store_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.store_path = Some(path.into());
@@ -122,6 +179,7 @@ impl StoreSpec {
     }
 
     /// Attaches a persisted LSH candidate index file.
+    #[deprecated(note = "use `StoreSpec::builder(..).index_path(..)`")]
     #[must_use]
     pub fn with_index_path(mut self, path: impl Into<PathBuf>) -> Self {
         self.index_path = Some(path.into());
@@ -129,6 +187,7 @@ impl StoreSpec {
     }
 
     /// Overrides the fallback sketch parameters.
+    #[deprecated(note = "use `StoreSpec::builder(..).params(..)`")]
     #[must_use]
     pub fn with_params(mut self, p: f64, k: usize, seed: u64) -> Self {
         self.p = p;
@@ -139,10 +198,56 @@ impl StoreSpec {
 
     /// Bounds the table's resident memory; rows beyond the budget spill
     /// to a checksummed temp file.
+    #[deprecated(note = "use `StoreSpec::builder(..).memory_budget(..)`")]
     #[must_use]
     pub fn with_memory_budget(mut self, budget: MemoryBudget) -> Self {
         self.memory_budget = budget;
         self
+    }
+}
+
+/// Builder for a [`StoreSpec`]; start with [`StoreSpec::builder`] or
+/// [`StoreSpec::from_colon_spec`].
+#[derive(Clone, Debug)]
+pub struct StoreSpecBuilder {
+    spec: StoreSpec,
+}
+
+impl StoreSpecBuilder {
+    /// Attaches a precomputed sketch store file.
+    #[must_use]
+    pub fn store_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.spec.store_path = Some(path.into());
+        self
+    }
+
+    /// Attaches a persisted LSH candidate index file.
+    #[must_use]
+    pub fn index_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.spec.index_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the fallback sketch parameters.
+    #[must_use]
+    pub fn params(mut self, p: f64, k: usize, seed: u64) -> Self {
+        self.spec.p = p;
+        self.spec.k = k;
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Bounds the table's resident memory; rows beyond the budget spill
+    /// to a checksummed temp file.
+    #[must_use]
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.spec.memory_budget = budget;
+        self
+    }
+
+    /// The finished spec.
+    pub fn build(self) -> StoreSpec {
+        self.spec
     }
 }
 
@@ -172,6 +277,7 @@ pub struct LoadedStore {
     degradation: Option<String>,
     index: Option<LshIndex>,
     index_degradation: Option<String>,
+    index_stale: bool,
     p: f64,
     k: usize,
     seed: u64,
@@ -222,7 +328,7 @@ impl LoadedStore {
         table: Table,
         store: Option<AllSubtableSketches>,
     ) -> Self {
-        let spec = StoreSpec::new("", "");
+        let spec = StoreSpec::builder("", "").build();
         Self::from_parts(&name.into(), table, store, None, &spec)
     }
 
@@ -250,6 +356,7 @@ impl LoadedStore {
             degradation,
             index: None,
             index_degradation: None,
+            index_stale: false,
             p: spec.p,
             k: spec.k,
             seed: spec.seed,
@@ -262,6 +369,7 @@ impl LoadedStore {
     pub fn with_index(mut self, index: LshIndex) -> Self {
         self.index = Some(index);
         self.index_degradation = None;
+        self.index_stale = false;
         self
     }
 
@@ -275,6 +383,11 @@ impl LoadedStore {
         &self.table
     }
 
+    /// The table's current update epoch.
+    pub fn epoch(&self) -> TableEpoch {
+        self.table.epoch()
+    }
+
     /// The resident sketch store, when one loaded cleanly.
     pub fn store(&self) -> Option<&AllSubtableSketches> {
         self.store.as_ref()
@@ -285,9 +398,35 @@ impl LoadedStore {
         self.degradation.as_deref()
     }
 
-    /// The resident LSH candidate index, when one loaded cleanly.
+    /// The resident LSH candidate index, when one loaded cleanly *and*
+    /// no table update has landed since it was built. A stale index
+    /// answers `None` — its buckets hash pre-update sketches — until a
+    /// rebuilt index is attached with [`LoadedStore::with_index`].
     pub fn index(&self) -> Option<&LshIndex> {
-        self.index.as_ref()
+        if self.index_stale {
+            None
+        } else {
+            self.index.as_ref()
+        }
+    }
+
+    /// Whether a resident index has been invalidated by a table update.
+    pub fn index_stale(&self) -> bool {
+        self.index_stale
+    }
+
+    /// The index for answering a k-NN query: `None` when absent *or*
+    /// stale, recording an `index.fallbacks` count in the stale case so
+    /// the regression is visible in metrics until the index is rebuilt.
+    fn query_index(&self) -> Option<&LshIndex> {
+        if self.index_stale {
+            if self.index.is_some() {
+                tabsketch_index::record_fallback();
+            }
+            None
+        } else {
+            self.index.as_ref()
+        }
     }
 
     /// Why the candidate index is absent despite being requested, if so.
@@ -300,14 +439,46 @@ impl LoadedStore {
         self.store.as_ref().map(|s| (s.tile_rows(), s.tile_cols()))
     }
 
+    /// Applies one additive delta: the table is patched (dense rows in
+    /// place, spilled chunks rewritten with fresh checksums), the
+    /// resident sketch store — sketches being linear maps — absorbs the
+    /// same delta by folding the patch's sketch in, and any resident
+    /// candidate index is marked stale (its buckets hash pre-update
+    /// sketches). Returns the table's new epoch and the number of cells
+    /// the delta touched.
+    ///
+    /// A sketch store that fails to fold (it can only happen on a
+    /// shape-mismatched store) is dropped with a degradation note
+    /// rather than left silently diverged — subsequent queries fall
+    /// back to on-demand sketches of the patched table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Table`] for out-of-bounds updates; the
+    /// table, store, and epoch are untouched in that case.
+    pub fn apply_update(&mut self, update: &TableUpdate) -> Result<(TableEpoch, u64), ServeError> {
+        let epoch = self.table.apply_update(update).map_err(ServeError::Table)?;
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.apply_update(update) {
+                self.degradation = Some(format!("sketch store dropped after update: {e}"));
+                self.store = None;
+            }
+        }
+        if self.index.is_some() {
+            self.index_stale = true;
+        }
+        Ok((epoch, update.cell_count() as u64))
+    }
+
     /// The wire description of this store.
     pub fn info(&self) -> StoreInfo {
         StoreInfo {
             name: self.name.clone(),
             rows: self.table.rows() as u64,
             cols: self.table.cols() as u64,
+            epoch: self.table.epoch().get(),
             tile: self.tile().map(|(r, c)| (r as u64, c as u64)),
-            index: self.index.as_ref().map(|ix| {
+            index: self.index().map(|ix| {
                 let stats = ix.stats();
                 StoreIndexInfo {
                     bands: stats.bands as u64,
@@ -349,52 +520,86 @@ impl LoadedStore {
     }
 }
 
-/// Several oracles over one [`LoadedStore`], each behind its own
-/// `RwLock` with its own bounded cache, picked round-robin.
+/// One owned [`LoadedStore`] behind a `RwLock`, answered through
+/// several [`OracleState`] shards picked round-robin.
 ///
-/// Queries take a shard's read lock, so any number can run at once on
-/// one shard (the oracle itself is `Sync`); the write lock serializes
-/// maintenance like [`ShardedOracle::clear_caches`] against in-flight
-/// queries.
-pub struct ShardedOracle<'a> {
-    shards: Vec<RwLock<DistanceOracle<'a>>>,
+/// Queries take the store's read lock, so any number run at once; a
+/// [`ShardedOracle::apply_update`] takes the write lock, so it waits
+/// out in-flight queries, patches, and invalidates the overlapping
+/// cached sketches before the next query starts. Each shard is a
+/// shared sketch cache plus tier counters; the oracle answering a
+/// query is transient, rebuilt per call over the locked store — cheap,
+/// because the cache (the expensive part) lives in the shard state.
+pub struct ShardedOracle {
+    name: String,
+    store: RwLock<LoadedStore>,
+    shards: Vec<OracleState>,
+    cache_capacity: usize,
     next: AtomicUsize,
 }
 
-impl<'a> ShardedOracle<'a> {
-    /// Builds `shards` oracles (0 is clamped to 1) over `store`, each
-    /// with a cache bounded at `cache_capacity`.
+impl ShardedOracle {
+    /// Takes ownership of `store` and builds `shards` cache shards
+    /// (0 is clamped to 1), each bounded at `cache_capacity`.
     ///
     /// # Errors
     ///
-    /// Propagates oracle construction failures.
+    /// Propagates oracle construction failures (bad fallback sketch
+    /// parameters), surfaced here once instead of on every query.
     pub fn new(
-        store: &'a LoadedStore,
+        store: LoadedStore,
         shards: usize,
         cache_capacity: usize,
     ) -> Result<Self, ServeError> {
+        // Surface sketcher-parameter problems at construction, the way
+        // the borrowed per-shard build used to.
+        store.oracle(cache_capacity)?;
         let shards = shards.max(1);
-        let mut built = Vec::with_capacity(shards);
-        for _ in 0..shards {
-            built.push(RwLock::new(store.oracle(cache_capacity)?));
-        }
         Ok(Self {
-            shards: built,
+            name: store.name().to_string(),
+            store: RwLock::new(store),
+            shards: (0..shards)
+                .map(|_| OracleState::new(cache_capacity))
+                .collect(),
+            cache_capacity,
             next: AtomicUsize::new(0),
         })
     }
 
-    /// How many shards back this oracle.
+    /// The served store's name (stable across updates, readable without
+    /// the lock).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many cache shards back this oracle.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
-    fn pick(&self) -> &RwLock<DistanceOracle<'a>> {
+    /// Read access to the owned store (inspection: degradation notes,
+    /// table shape, epoch). Holding the guard blocks updates, so keep
+    /// it short.
+    pub fn store(&self) -> impl std::ops::Deref<Target = LoadedStore> + '_ {
+        self.store.read()
+    }
+
+    /// The table's current update epoch.
+    pub fn epoch(&self) -> TableEpoch {
+        self.store.read().epoch()
+    }
+
+    /// The wire description of the served store.
+    pub fn info(&self) -> StoreInfo {
+        self.store.read().info()
+    }
+
+    fn pick(&self) -> &OracleState {
         let i = self.next.fetch_add(1, Ordering::Relaxed);
         &self.shards[i % self.shards.len()]
     }
 
-    /// One distance through a round-robin shard.
+    /// One distance through a round-robin cache shard.
     ///
     /// # Errors
     ///
@@ -406,7 +611,9 @@ impl<'a> ShardedOracle<'a> {
         deadline: Deadline,
     ) -> Result<(f64, Tier), ServeError> {
         deadline.check()?;
-        Ok(self.pick().read().distance(a, b)?)
+        let loaded = self.store.read();
+        let shard = loaded.oracle(self.cache_capacity)?.with_state(self.pick());
+        Ok(shard.distance(a, b)?)
     }
 
     /// A batch of distances through a *single* shard, so repeated
@@ -423,7 +630,8 @@ impl<'a> ShardedOracle<'a> {
         deadline: Deadline,
     ) -> Result<Vec<(f64, Tier)>, ServeError> {
         deadline.check()?;
-        let shard = self.pick().read();
+        let loaded = self.store.read();
+        let shard = loaded.oracle(self.cache_capacity)?.with_state(self.pick());
         let mut out = Vec::with_capacity(pairs.len());
         // Resolve in deadline-stride slices through the oracle's batched
         // path, so on-demand sketches go through the dense batch kernel
@@ -446,18 +654,21 @@ impl<'a> ShardedOracle<'a> {
         deadline: Deadline,
     ) -> Result<(Box<[f64]>, Tier), ServeError> {
         deadline.check()?;
-        Ok(self.pick().read().sketch_for(rect)?)
+        let loaded = self.store.read();
+        let shard = loaded.oracle(self.cache_capacity)?.with_state(self.pick());
+        Ok(shard.sketch_for(rect)?)
     }
 
     /// The `count` tiles of `rect`'s shape nearest to `rect` (excluding
     /// the tile identical to it), ascending by distance. Runs on one
     /// shard for cache locality.
     ///
-    /// With an `index` covering this grid, only the tiles sharing a band
-    /// bucket with the query are scored; when the index cannot answer
-    /// completely (shape/width/count mismatch, or fewer candidates than
-    /// `count`) the call records a fallback and scans every tile,
-    /// returning exactly what the un-indexed path would.
+    /// With a fresh index covering this grid, only the tiles sharing a
+    /// band bucket with the query are scored; when the index cannot
+    /// answer completely (shape/width/count mismatch, fewer candidates
+    /// than `count`, or staleness after a table update) the call records
+    /// a fallback and scans every tile, returning exactly what the
+    /// un-indexed path would.
     ///
     /// # Errors
     ///
@@ -465,8 +676,6 @@ impl<'a> ShardedOracle<'a> {
     /// rectangle that does not fit, and deadline expiry.
     pub fn knn(
         &self,
-        table: &Table,
-        index: Option<&LshIndex>,
         rect: Rect,
         count: usize,
         deadline: Deadline,
@@ -477,12 +686,14 @@ impl<'a> ShardedOracle<'a> {
                 "neighbor count must be non-zero",
             )));
         }
+        let loaded = self.store.read();
+        let table = loaded.table();
         rect.validate(table.rows(), table.cols())
             .map_err(ServeError::Table)?;
         let grid = TileGrid::new(table.rows(), table.cols(), rect.rows, rect.cols)
             .map_err(ServeError::Table)?;
-        let shard = self.pick().read();
-        if let Some(ix) = index {
+        let shard = loaded.oracle(self.cache_capacity)?.with_state(self.pick());
+        if let Some(ix) = loaded.query_index() {
             if let Some(answer) = knn_via_index(&shard, ix, &grid, rect, count, deadline)? {
                 return Ok(answer);
             }
@@ -503,21 +714,40 @@ impl<'a> ShardedOracle<'a> {
         Ok(neighbors)
     }
 
+    /// Applies one additive delta under the store's write lock: the
+    /// table is patched, the resident sketch store folds the delta, any
+    /// candidate index goes stale, and every shard drops its cached
+    /// sketches overlapping the touched region — all before the lock is
+    /// released, so no query ever pairs a stale sketch with the patched
+    /// table. Returns the new epoch and the cell count of the delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Table`] for out-of-bounds updates; nothing
+    /// changes in that case.
+    pub fn apply_update(&self, update: &TableUpdate) -> Result<(TableEpoch, u64), ServeError> {
+        let mut loaded = self.store.write();
+        let (epoch, cells) = loaded.apply_update(update)?;
+        let touched = update.bounding_rect();
+        for shard in &self.shards {
+            shard.invalidate_overlapping(touched);
+        }
+        Ok((epoch, cells))
+    }
+
     /// Tier and cache counters summed over all shards.
     pub fn counters(&self) -> TierSnapshot {
         let mut total = TierSnapshot::default();
         for shard in &self.shards {
-            total.absorb(&shard.read().counters());
+            total.absorb(&shard.snapshot());
         }
         total
     }
 
-    /// Empties every shard's sketch cache (counters survive). Takes
-    /// each shard's write lock in turn, so it waits out in-flight
-    /// queries shard by shard.
+    /// Empties every shard's sketch cache (counters survive).
     pub fn clear_caches(&self) {
         for shard in &self.shards {
-            shard.write().clear_cache();
+            shard.clear();
         }
     }
 }
@@ -617,12 +847,56 @@ mod tests {
     }
 
     #[test]
+    fn colon_spec_is_a_thin_parser_over_the_builder() {
+        let spec = StoreSpec::from_colon_spec("day=day.tsb:day.tsks:day.tix")
+            .unwrap()
+            .params(0.5, 64, 3)
+            .build();
+        assert_eq!(spec.name, "day");
+        assert_eq!(spec.table_path.to_str().unwrap(), "day.tsb");
+        assert_eq!(
+            spec.store_path.as_deref().unwrap().to_str().unwrap(),
+            "day.tsks"
+        );
+        assert_eq!(
+            spec.index_path.as_deref().unwrap().to_str().unwrap(),
+            "day.tix"
+        );
+        assert_eq!((spec.p, spec.k, spec.seed), (0.5, 64, 3));
+
+        // An empty STORE slot still lets the INDEX slot through.
+        let spec = StoreSpec::from_colon_spec("ix=t.tsb::t.tix")
+            .unwrap()
+            .build();
+        assert!(spec.store_path.is_none());
+        assert_eq!(
+            spec.index_path.as_deref().unwrap().to_str().unwrap(),
+            "t.tix"
+        );
+
+        // Equivalent to spelling the builder out by hand.
+        let by_hand = StoreSpec::builder("ix", "t.tsb")
+            .index_path("t.tix")
+            .build();
+        assert_eq!(spec.name, by_hand.name);
+        assert_eq!(spec.index_path, by_hand.index_path);
+
+        for bad in ["nonsense", "=t.tsb", "name="] {
+            assert!(
+                matches!(StoreSpec::from_colon_spec(bad), Err(ServeError::Config(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn loaded_store_serves_with_and_without_store() {
         let table = test_table();
         let store = test_store(&table);
         let with = LoadedStore::from_loaded("a", table.clone(), Some(store));
         assert_eq!(with.tile(), Some((8, 8)));
         assert_eq!(with.info().rows, 32);
+        assert_eq!(with.info().epoch, 0, "fresh tables start at epoch 0");
         let oracle = with.oracle(64).unwrap();
         let (_, tier) = oracle
             .distance(Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8))
@@ -652,9 +926,10 @@ mod tests {
         table_io::save_binary(&table, &table_path).unwrap();
         persist::save_store(&test_store(&table), &store_path).unwrap();
 
-        let spec = StoreSpec::new("x", &table_path)
-            .with_store_path(&store_path)
-            .with_params(1.0, 32, 9);
+        let spec = StoreSpec::builder("x", &table_path)
+            .store_path(&store_path)
+            .params(1.0, 32, 9)
+            .build();
         let healthy = LoadedStore::load(&spec).unwrap();
         assert!(healthy.store().is_some());
         assert!(healthy.degradation().is_none());
@@ -666,10 +941,54 @@ mod tests {
         degraded.oracle(16).unwrap();
 
         assert!(
-            LoadedStore::load(&StoreSpec::new("", &table_path)).is_err(),
+            LoadedStore::load(&StoreSpec::builder("", &table_path).build()).is_err(),
             "empty name is a config error"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn update_patches_table_folds_store_and_stales_index() {
+        let table = test_table();
+        let mut loaded = LoadedStore::from_loaded("s", table.clone(), Some(test_store(&table)));
+        let ix = index_over(&loaded, (8, 8));
+        loaded = loaded.with_index(ix);
+        assert!(loaded.index().is_some());
+        assert!(!loaded.index_stale());
+
+        let update = TableUpdate::cell(3, 4, 250.0).unwrap();
+        let (epoch, cells) = loaded.apply_update(&update).unwrap();
+        assert_eq!(epoch.get(), 1);
+        assert_eq!(cells, 1);
+        assert_eq!(loaded.table().get(3, 4), table.get(3, 4) + 250.0);
+
+        // The index is resident but refuses to answer until rebuilt.
+        assert!(loaded.index_stale());
+        assert!(loaded.index().is_none(), "stale index must not serve");
+        assert!(loaded.info().index.is_none());
+        assert_eq!(loaded.info().epoch, 1);
+
+        // The folded store tracks a from-scratch rebuild of the patched
+        // table: same sketcher family, so pooled answers stay close.
+        let mut patched = table.clone();
+        patched.apply_update(&update).unwrap();
+        let rebuilt = LoadedStore::from_loaded("r", patched.clone(), Some(test_store(&patched)));
+        let a = Rect::new(0, 0, 8, 8);
+        let b = Rect::new(16, 16, 8, 8);
+        let d_folded = loaded.oracle(16).unwrap().distance(a, b).unwrap().0;
+        let d_rebuilt = rebuilt.oracle(16).unwrap().distance(a, b).unwrap().0;
+        assert!(
+            (d_folded - d_rebuilt).abs() <= 1e-6 * (1.0 + d_rebuilt.abs()),
+            "folded {d_folded} vs rebuilt {d_rebuilt}"
+        );
+
+        // Out-of-bounds deltas are typed table errors and change nothing.
+        let bad = TableUpdate::cell(99, 99, 1.0).unwrap();
+        assert!(matches!(
+            loaded.apply_update(&bad),
+            Err(ServeError::Table(_))
+        ));
+        assert_eq!(loaded.epoch().get(), 1, "failed update must not bump");
     }
 
     #[test]
@@ -677,11 +996,12 @@ mod tests {
         let table = test_table();
         let store = test_store(&table);
         let loaded = LoadedStore::from_loaded("s", table, Some(store));
-        let sharded = ShardedOracle::new(&loaded, 3, 16).unwrap();
-        assert_eq!(sharded.shard_count(), 3);
         let a = Rect::new(0, 0, 8, 8);
         let b = Rect::new(16, 16, 8, 8);
         let baseline = loaded.oracle(16).unwrap().distance(a, b).unwrap().0;
+        let sharded = ShardedOracle::new(loaded, 3, 16).unwrap();
+        assert_eq!(sharded.shard_count(), 3);
+        assert_eq!(sharded.name(), "s");
         for _ in 0..6 {
             let (d, _) = sharded.distance(a, b, Deadline::none()).unwrap();
             assert_eq!(d, baseline, "all shards share the store's family");
@@ -695,7 +1015,7 @@ mod tests {
     fn batch_amortizes_into_one_shard_cache() {
         let table = test_table();
         let loaded = LoadedStore::from_loaded("s", table, None);
-        let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
+        let sharded = ShardedOracle::new(loaded, 2, 64).unwrap();
         // 8 pairs over only 3 distinct rects: on-demand sketching should
         // happen once per distinct rect on the answering shard.
         let r = [
@@ -712,10 +1032,42 @@ mod tests {
     }
 
     #[test]
+    fn update_invalidates_overlapping_cached_sketches() {
+        let table = test_table();
+        let loaded =
+            LoadedStore::from_loaded("s", table.clone(), None).with_fallback_params(1.0, 32, 9);
+        let sharded = ShardedOracle::new(loaded, 2, 64).unwrap();
+        let a = Rect::new(0, 0, 8, 8);
+        let b = Rect::new(16, 16, 8, 8);
+        // Warm every shard's cache for both rects.
+        for _ in 0..4 {
+            sharded.distance(a, b, Deadline::none()).unwrap();
+        }
+        let before = sharded.distance(a, b, Deadline::none()).unwrap().0;
+
+        // A large delta inside `a`: the cached sketch of `a` must go.
+        let update = TableUpdate::cell(2, 2, 10_000.0).unwrap();
+        let (epoch, cells) = sharded.apply_update(&update).unwrap();
+        assert_eq!((epoch.get(), cells), (1, 1));
+        assert_eq!(sharded.epoch().get(), 1);
+
+        let after = sharded.distance(a, b, Deadline::none()).unwrap().0;
+        assert_ne!(after, before, "a stale cached sketch would repeat {before}");
+
+        // And the post-update answer is what a fresh oracle over the
+        // patched table computes — bit-identical, same family.
+        let mut patched = table;
+        patched.apply_update(&update).unwrap();
+        let fresh = LoadedStore::from_loaded("f", patched, None).with_fallback_params(1.0, 32, 9);
+        let expected = fresh.oracle(64).unwrap().distance(a, b).unwrap().0;
+        assert_eq!(after, expected, "invalidated shard recomputes exactly");
+    }
+
+    #[test]
     fn expired_deadline_stops_a_batch() {
         let table = test_table();
         let loaded = LoadedStore::from_loaded("s", table, None);
-        let sharded = ShardedOracle::new(&loaded, 1, 64).unwrap();
+        let sharded = ShardedOracle::new(loaded, 1, 64).unwrap();
         let pairs = vec![(Rect::new(0, 0, 8, 8), Rect::new(8, 8, 8, 8)); 4];
         let expired = Deadline(Some(Instant::now() - Duration::from_millis(1)));
         let err = sharded.distance_batch(&pairs, expired).unwrap_err();
@@ -727,27 +1079,17 @@ mod tests {
         let table = test_table();
         let store = test_store(&table);
         let loaded = LoadedStore::from_loaded("s", table, Some(store));
-        let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
+        let sharded = ShardedOracle::new(loaded, 2, 64).unwrap();
         let query = Rect::new(0, 0, 8, 8);
-        let nn = sharded
-            .knn(loaded.table(), None, query, 3, Deadline::none())
-            .unwrap();
+        let nn = sharded.knn(query, 3, Deadline::none()).unwrap();
         assert_eq!(nn.len(), 3);
         assert!(nn.iter().all(|&(t, _)| t != query), "query excluded");
         assert!(nn.windows(2).all(|w| w[0].1 <= w[1].1), "ascending");
 
-        let err = sharded
-            .knn(loaded.table(), None, query, 0, Deadline::none())
-            .unwrap_err();
+        let err = sharded.knn(query, 0, Deadline::none()).unwrap_err();
         assert!(matches!(err, ServeError::Cluster(_)), "{err}");
         let err = sharded
-            .knn(
-                loaded.table(),
-                None,
-                Rect::new(0, 0, 64, 64),
-                1,
-                Deadline::none(),
-            )
+            .knn(Rect::new(0, 0, 64, 64), 1, Deadline::none())
             .unwrap_err();
         assert!(matches!(err, ServeError::Table(_)), "{err}");
     }
@@ -774,31 +1116,36 @@ mod tests {
     }
 
     #[test]
-    fn indexed_knn_matches_linear_scan() {
+    fn indexed_knn_matches_linear_scan_and_goes_stale_on_update() {
         let table = test_table();
-        let store = test_store(&table);
-        let loaded = LoadedStore::from_loaded("s", table, Some(store));
-        let ix = index_over(&loaded, (8, 8));
-        let sharded = ShardedOracle::new(&loaded, 2, 64).unwrap();
+        let plain = LoadedStore::from_loaded("s", table.clone(), Some(test_store(&table)));
+        let ix = index_over(&plain, (8, 8));
+        let linear = ShardedOracle::new(plain, 2, 64).unwrap();
+        let indexed_store =
+            LoadedStore::from_loaded("s", table.clone(), Some(test_store(&table))).with_index(ix);
+        let indexed = ShardedOracle::new(indexed_store, 2, 64).unwrap();
         for query in [Rect::new(0, 0, 8, 8), Rect::new(16, 8, 8, 8)] {
-            let linear = sharded
-                .knn(loaded.table(), None, query, 3, Deadline::none())
-                .unwrap();
-            let indexed = sharded
-                .knn(loaded.table(), Some(&ix), query, 3, Deadline::none())
-                .unwrap();
-            assert_eq!(indexed, linear, "query {query:?}");
+            let lin = linear.knn(query, 3, Deadline::none()).unwrap();
+            let idx = indexed.knn(query, 3, Deadline::none()).unwrap();
+            assert_eq!(idx, lin, "query {query:?}");
         }
-        // A mismatched index (wrong tile shape for this query) falls back
-        // to the identical linear answer instead of failing.
+        // A mismatched shape (no index coverage) falls back to the
+        // identical linear answer instead of failing.
         let query = Rect::new(0, 0, 16, 16);
-        let linear = sharded
-            .knn(loaded.table(), None, query, 2, Deadline::none())
-            .unwrap();
-        let fallback = sharded
-            .knn(loaded.table(), Some(&ix), query, 2, Deadline::none())
-            .unwrap();
-        assert_eq!(fallback, linear, "wrong-shape query degrades");
+        let lin = linear.knn(query, 2, Deadline::none()).unwrap();
+        let fallback = indexed.knn(query, 2, Deadline::none()).unwrap();
+        assert_eq!(fallback, lin, "wrong-shape query degrades");
+
+        // After an update the index is stale: k-NN still answers, now
+        // via the scan over the patched table, and both paths agree.
+        let update = TableUpdate::cell(0, 0, 123.0).unwrap();
+        indexed.apply_update(&update).unwrap();
+        linear.apply_update(&update).unwrap();
+        assert!(indexed.store().index_stale());
+        let query = Rect::new(0, 0, 8, 8);
+        let idx = indexed.knn(query, 3, Deadline::none()).unwrap();
+        let lin = linear.knn(query, 3, Deadline::none()).unwrap();
+        assert_eq!(idx, lin, "stale index degrades to the linear answer");
     }
 
     #[test]
@@ -818,7 +1165,9 @@ mod tests {
         let probe = LoadedStore::from_loaded("probe", table.clone(), None)
             .with_fallback_params(1.0, 256, 0);
         index_persist::save_index(&index_over(&probe, (8, 8)), &index_path).unwrap();
-        let spec = StoreSpec::new("x", &table_path).with_index_path(&index_path);
+        let spec = StoreSpec::builder("x", &table_path)
+            .index_path(&index_path)
+            .build();
         let healthy = LoadedStore::load(&spec).unwrap();
         assert!(healthy.index().is_some());
         assert!(healthy.index_degradation().is_none());
@@ -831,20 +1180,12 @@ mod tests {
         assert!(degraded.index().is_none(), "damage degrades, not fails");
         assert!(degraded.index_degradation().is_some());
         assert!(degraded.info().index.is_none());
-        let sharded = ShardedOracle::new(&degraded, 1, 64).unwrap();
+        let never_indexed =
+            ShardedOracle::new(LoadedStore::from_loaded("plain", table, None), 1, 64).unwrap();
+        let sharded = ShardedOracle::new(degraded, 1, 64).unwrap();
         let query = Rect::new(0, 0, 8, 8);
-        let nn = sharded
-            .knn(
-                degraded.table(),
-                degraded.index(),
-                query,
-                3,
-                Deadline::none(),
-            )
-            .unwrap();
-        let linear = sharded
-            .knn(degraded.table(), None, query, 3, Deadline::none())
-            .unwrap();
+        let nn = sharded.knn(query, 3, Deadline::none()).unwrap();
+        let linear = never_indexed.knn(query, 3, Deadline::none()).unwrap();
         assert_eq!(nn, linear);
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -853,7 +1194,7 @@ mod tests {
     fn clear_caches_keeps_answers_and_drops_entries() {
         let table = test_table();
         let loaded = LoadedStore::from_loaded("s", table, None);
-        let sharded = ShardedOracle::new(&loaded, 2, 8).unwrap();
+        let sharded = ShardedOracle::new(loaded, 2, 8).unwrap();
         let a = Rect::new(0, 0, 8, 8);
         let b = Rect::new(8, 8, 8, 8);
         let before = sharded.distance(a, b, Deadline::none()).unwrap().0;

@@ -145,7 +145,9 @@ fn soak_slicing_faults_lose_nothing() {
         workers: 2,
         shards: 2,
         cache_capacity: 64,
-        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&store_path)],
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&store_path)
+            .build()],
         ..Default::default()
     };
     let server = Server::bind(config).unwrap();
@@ -190,7 +192,9 @@ fn soak_hostile_faults_never_hang_or_kill_the_server() {
         workers: 4,
         shards: 2,
         cache_capacity: 64,
-        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&store_path)],
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&store_path)
+            .build()],
         panic_store: Some("poison".to_string()),
         ..Default::default()
     };
@@ -270,6 +274,138 @@ fn soak_hostile_faults_never_hang_or_kill_the_server() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The live-table soak: one writer folds additive deltas into the
+/// served table while reader threads hammer the same store with
+/// distances through slicing-fault transports. Invariants: every
+/// update is acked with a strictly increasing epoch, reads never hang
+/// or error, the final epoch equals the number of acked updates, and
+/// the server's request/response ledger stays balanced — update frames
+/// included.
+#[test]
+fn soak_interleaved_updates_and_distances_balance_the_ledger() {
+    const UPDATES: u64 = 20;
+    const READERS: usize = 3;
+    const READS_PER_READER: usize = 30;
+
+    let (dir, table_path, store_path) = fixture("update");
+    let config = ServerConfig {
+        workers: 4,
+        shards: 2,
+        cache_capacity: 64,
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&store_path)
+            .build()],
+        ..Default::default()
+    };
+    let server = Server::bind(config).unwrap();
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        let _stop = StopOnDrop(server.handle());
+        let run = scope.spawn(|| server.run());
+
+        let writer = scope.spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut rng = ChaosRng::new(SOAK_SEED ^ 0xF00D);
+            let mut last_epoch = 0u64;
+            for i in 0..UPDATES {
+                let update = match rng.below(3) {
+                    0 => tabsketch_table::TableUpdate::cell(
+                        rng.below(32) as usize,
+                        rng.below(32) as usize,
+                        (rng.below(100) as f64) - 50.0,
+                    )
+                    .unwrap(),
+                    1 => tabsketch_table::TableUpdate::row(
+                        rng.below(32) as usize,
+                        (0..32).map(|j| (j as f64) * 0.25).collect(),
+                    )
+                    .unwrap(),
+                    _ => tabsketch_table::TableUpdate::tile(
+                        Rect::new(
+                            (rng.below(3) as usize) * 8,
+                            (rng.below(3) as usize) * 8,
+                            8,
+                            8,
+                        ),
+                        vec![1.5; 64],
+                    )
+                    .unwrap(),
+                };
+                let (epoch, cells) = c.update("day", &update).unwrap();
+                assert!(
+                    epoch > last_epoch,
+                    "epoch must advance: {last_epoch} -> {epoch}"
+                );
+                assert_eq!(cells, update.cell_count() as u64, "update {i}");
+                last_epoch = epoch;
+            }
+            last_epoch
+        });
+
+        let mut readers = Vec::new();
+        for t in 0..READERS {
+            readers.push(scope.spawn(move || {
+                let mut pick = ChaosRng::new(SOAK_SEED ^ (t as u64));
+                let r = |v: u64| Rect::new((v % 3) as usize * 8, ((v / 3) % 3) as usize * 8, 8, 8);
+                for i in 0..READS_PER_READER {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .unwrap();
+                    let mut chaos = ChaosStream::tcp(
+                        stream,
+                        SOAK_SEED ^ ((t as u64) << 32) ^ i as u64,
+                        FaultPlan::slicing(),
+                    );
+                    let request = Request::Distance {
+                        store: "day".into(),
+                        a: r(pick.below(9)),
+                        b: r(pick.below(9)),
+                    };
+                    match one_exchange(&mut chaos, &request) {
+                        Outcome::Answered => {}
+                        _ => panic!(
+                            "reader {t} iteration {i}: distances under live updates must answer"
+                        ),
+                    }
+                }
+            }));
+        }
+        let final_epoch = writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(final_epoch, UPDATES, "one epoch per acked update");
+
+        // The audit: a clean client sees the final epoch everywhere the
+        // wire reports one, and the ledger balances with the update
+        // frames counted.
+        let mut c = Client::connect(addr).unwrap();
+        let infos = c.stores().unwrap();
+        assert_eq!(infos[0].epoch, UPDATES);
+        let (state, tiers) = c.health().unwrap();
+        assert_eq!(state, HealthState::Ready);
+        assert_eq!(tiers[0].epoch, UPDATES);
+        let snap = c.metrics().unwrap();
+        assert_eq!(
+            snap.by_kind[tabsketch_serve::RequestKind::Update as usize],
+            UPDATES,
+            "{snap}"
+        );
+        assert_eq!(snap.malformed, 0, "{snap}");
+        let decoded: u64 = snap.by_kind.iter().sum();
+        assert_eq!(
+            decoded + snap.malformed,
+            snap.responses + snap.write_failures + 1,
+            "unbalanced accounting: {snap}"
+        );
+        c.shutdown().unwrap();
+        assert!(run.join().unwrap().is_ok());
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Raw garbage thrown straight at the listener (no framing at all):
 /// the server answers each burst with a typed error or a close, and
 /// survives to serve a clean client.
@@ -280,7 +416,9 @@ fn soak_raw_garbage_connections() {
         workers: 2,
         shards: 2,
         cache_capacity: 64,
-        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&store_path)],
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&store_path)
+            .build()],
         ..Default::default()
     };
     let server = Server::bind(config).unwrap();

@@ -54,7 +54,9 @@ fn config(table_path: &PathBuf, store_path: &PathBuf) -> ServerConfig {
         workers: 2,
         shards: 2,
         cache_capacity: 64,
-        specs: vec![StoreSpec::new("day", table_path).with_store_path(store_path)],
+        specs: vec![StoreSpec::builder("day", table_path)
+            .store_path(store_path)
+            .build()],
         ..Default::default()
     }
 }
@@ -231,11 +233,13 @@ fn health_reports_ready_and_degraded() {
     let bad_store = dir.join("bad.tsks");
     std::fs::write(&bad_store, b"not a sketch store").unwrap();
     let cfg = ServerConfig {
-        specs: vec![StoreSpec::new("day", &table_path).with_store_path(&bad_store)],
+        specs: vec![StoreSpec::builder("day", &table_path)
+            .store_path(&bad_store)
+            .build()],
         ..Default::default()
     };
     let server = Server::bind(cfg).unwrap();
-    assert!(server.stores()[0].degradation().is_some());
+    assert!(server.stores()[0].store().degradation().is_some());
     let addr = server.local_addr();
     std::thread::scope(|scope| {
         let _stop = StopOnDrop(server.handle());

@@ -57,10 +57,13 @@ fn two_store_config(table_path: &PathBuf, store_path: &PathBuf) -> ServerConfig 
         shards: 4,
         cache_capacity: 64,
         specs: vec![
-            StoreSpec::new("day", table_path)
-                .with_store_path(store_path)
-                .with_params(1.0, 32, 5),
-            StoreSpec::new("raw", table_path).with_params(1.0, 32, 5),
+            StoreSpec::builder("day", table_path)
+                .store_path(store_path)
+                .params(1.0, 32, 5)
+                .build(),
+            StoreSpec::builder("raw", table_path)
+                .params(1.0, 32, 5)
+                .build(),
         ],
         ..Default::default()
     }
@@ -328,7 +331,9 @@ fn deadline_expiry_is_a_typed_timeout_over_the_wire() {
         workers: 2,
         shards: 1,
         cache_capacity: 1024,
-        specs: vec![StoreSpec::new("big", &table_path).with_params(1.0, 256, 3)],
+        specs: vec![StoreSpec::builder("big", &table_path)
+            .params(1.0, 256, 3)
+            .build()],
         ..Default::default()
     };
     let server = Server::bind(config).unwrap();

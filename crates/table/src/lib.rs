@@ -43,9 +43,25 @@ pub mod storage;
 mod table;
 mod tiling;
 pub mod transform;
+mod update;
 
 pub use error::TableError;
 pub use rect::Rect;
 pub use storage::{MemoryBudget, RowChunks, RowGuard, SpillWriter, SpilledStorage, TableStorage};
 pub use table::{Table, TableView};
 pub use tiling::TileGrid;
+pub use update::{TableEpoch, TableUpdate};
+
+/// Registers this crate's metric instruments in the global registry so
+/// snapshots include them at zero before first use.
+pub fn register_metrics() {
+    use tabsketch_obs as obs;
+    obs::counter("table.storage.chunk_loads");
+    obs::counter("table.storage.chunk_evictions");
+    obs::counter("table.storage.spilled_tables");
+    obs::gauge("table.storage.resident_bytes");
+    obs::gauge("table.storage.resident_peak_bytes");
+    obs::counter("table.updates.applied");
+    obs::counter("table.updates.cells");
+    obs::counter("table.updates.rejected");
+}

@@ -41,7 +41,7 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::checksum::Crc32;
@@ -142,6 +142,9 @@ struct SpillInner {
     window_chunks: usize,
     path: PathBuf,
     state: Mutex<WindowState>,
+    /// Fault-injection hook: when set, the next chunk rewrite is torn
+    /// (half-written, no checksum) and fails with an I/O error.
+    write_fault: AtomicBool,
 }
 
 #[derive(Debug)]
@@ -227,9 +230,16 @@ impl SpilledStorage {
     /// spill file if it is not resident, evicting the least-recently-used
     /// chunk when the window is full.
     fn chunk(&self, idx: usize) -> Result<Arc<[f64]>, TableError> {
+        let mut state = self.inner.state.lock().expect("spill window lock");
+        self.chunk_locked(&mut state, idx)
+    }
+
+    /// [`SpilledStorage::chunk`] with the window lock already held (so
+    /// multi-chunk operations like [`SpilledStorage::patch_cells`] are
+    /// atomic with respect to concurrent readers).
+    fn chunk_locked(&self, state: &mut WindowState, idx: usize) -> Result<Arc<[f64]>, TableError> {
         debug_assert!(idx < self.chunk_count());
         let inner = &*self.inner;
-        let mut state = inner.state.lock().expect("spill window lock");
         if let Some(pos) = state.resident.iter().position(|(i, _)| *i == idx) {
             let entry = state.resident.remove(pos);
             let chunk = Arc::clone(&entry.1);
@@ -310,6 +320,87 @@ impl SpilledStorage {
             cols,
             data: GuardData::Shared(out.into()),
         })
+    }
+
+    /// Rewrites chunk `idx` in the spill file: body, then a fresh CRC32
+    /// trailer. With an injected fault pending, writes half the body (no
+    /// checksum) and fails — a torn write.
+    fn write_chunk(
+        &self,
+        state: &mut WindowState,
+        idx: usize,
+        values: &[f64],
+    ) -> Result<(), TableError> {
+        debug_assert_eq!(values.len(), self.rows_in_chunk(idx) * self.inner.cols);
+        let offset = chunk_offset(self.inner.chunk_rows, self.inner.cols, idx);
+        state.file.seek(SeekFrom::Start(offset))?;
+        if self.inner.write_fault.swap(false, Ordering::Relaxed) {
+            write_f64_body(&mut state.file, &values[..values.len() / 2], None)?;
+            state.file.flush()?;
+            return Err(TableError::from(std::io::Error::other(
+                "injected torn write in spill chunk rewrite",
+            )));
+        }
+        let mut crc = Crc32::new();
+        write_f64_body(&mut state.file, values, Some(&mut crc))?;
+        state.file.write_all(&crc.finish().to_le_bytes())?;
+        state.file.flush().map_err(TableError::from)
+    }
+
+    /// Applies additive cell deltas `(row, col, delta)` to the spill file
+    /// and any resident copies of the affected chunks.
+    ///
+    /// Two-phase: every affected chunk is loaded, patched in a scratch
+    /// buffer, and finiteness-checked *before* the first byte is written
+    /// back, so validation failures leave both file and window untouched.
+    /// If a write itself fails partway, the torn chunk's resident copy is
+    /// dropped first — subsequent reads go through the file and surface
+    /// [`TableError::Corrupt`]`{ section: "spill-chunk" }` instead of a
+    /// stale (pre- or post-patch) value.
+    pub(crate) fn patch_cells(&self, cells: &[(usize, usize, f64)]) -> Result<(), TableError> {
+        use std::collections::BTreeMap;
+        let cols = self.inner.cols;
+        let mut state = self.inner.state.lock().expect("spill window lock");
+        // Phase 1: build fully patched, validated chunk buffers.
+        let mut patched: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for &(row, col, delta) in cells {
+            debug_assert!(row < self.inner.rows && col < cols);
+            let (idx, off) = self.chunk_of_row(row);
+            let buf = match patched.entry(idx) {
+                std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    let chunk = self.chunk_locked(&mut state, idx)?;
+                    e.insert(chunk.to_vec())
+                }
+            };
+            let cell = &mut buf[off * cols + col];
+            let next = *cell + delta;
+            if !next.is_finite() {
+                return Err(TableError::NonFinite { row, col });
+            }
+            *cell = next;
+        }
+        // Phase 2: rewrite each affected chunk, file first, then swap the
+        // resident copy (if any) so readers never see the new values
+        // before they are durable.
+        for (idx, buf) in patched {
+            if let Err(e) = self.write_chunk(&mut state, idx, &buf) {
+                state.resident.retain(|(i, _)| *i != idx);
+                return Err(e);
+            }
+            let chunk: Arc<[f64]> = buf.into();
+            if let Some(entry) = state.resident.iter_mut().find(|(i, _)| *i == idx) {
+                entry.1 = chunk;
+            }
+        }
+        Ok(())
+    }
+
+    /// Arms the torn-write fault: the next chunk rewrite (from
+    /// `SpilledStorage::patch_cells`) writes half a body with no
+    /// checksum and returns an I/O error. Fault-injection hook for tests.
+    pub fn inject_torn_write(&self) {
+        self.inner.write_fault.store(true, Ordering::Relaxed);
     }
 }
 
@@ -637,6 +728,7 @@ impl SpillWriter {
                     file: spill.file,
                     resident: Vec::new(),
                 }),
+                write_fault: AtomicBool::new(false),
             }),
         };
         Ok(Table::from_spilled(rows, cols, storage))

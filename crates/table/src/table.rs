@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use crate::storage::{MemoryBudget, RowChunks, RowGuard, SpillWriter, TableStorage};
+use crate::update::{TableEpoch, TableUpdate};
 use crate::{Rect, TableError};
 
 /// A row-major table of `f64` values.
@@ -34,6 +35,8 @@ pub struct Table {
     rows: usize,
     cols: usize,
     storage: TableStorage,
+    /// Bumped by [`Table::apply_update`]; excluded from `PartialEq`.
+    epoch: TableEpoch,
 }
 
 impl Table {
@@ -69,6 +72,7 @@ impl Table {
             rows,
             cols,
             storage: TableStorage::Dense(data),
+            epoch: TableEpoch::default(),
         })
     }
 
@@ -83,6 +87,7 @@ impl Table {
             rows,
             cols,
             storage: TableStorage::Spilled(storage),
+            epoch: TableEpoch::default(),
         }
     }
 
@@ -163,7 +168,9 @@ impl Table {
         let mut w = SpillWriter::with_cols(self.cols, budget);
         w.push_values(&data)?;
         drop(data);
-        w.finish()
+        let mut spilled = w.finish()?;
+        spilled.epoch = self.epoch;
+        Ok(spilled)
     }
 
     /// The storage backend holding this table's values.
@@ -176,6 +183,75 @@ impl Table {
     #[inline]
     pub fn is_spilled(&self) -> bool {
         matches!(self.storage, TableStorage::Spilled(_))
+    }
+
+    /// The table's update epoch: 0 at construction, bumped by every
+    /// successful [`Table::apply_update`]. Derived structures compare
+    /// epochs to detect that their inputs moved.
+    #[inline]
+    pub fn epoch(&self) -> TableEpoch {
+        self.epoch
+    }
+
+    /// Applies an additive delta to the table, on either backend, and
+    /// bumps the epoch. Dense tables are patched in place; spilled
+    /// tables rewrite the affected chunks (resident copies and the spill
+    /// file, with fresh checksums).
+    ///
+    /// The patch is atomic with respect to validation: bounds, shape,
+    /// and result-finiteness (`old + delta` must stay finite) are all
+    /// checked before the first cell is written, so a rejected update
+    /// leaves the table — and its epoch — untouched. A torn spill-file
+    /// write is the one non-atomic failure: the error is returned and
+    /// later reads of the torn chunk surface
+    /// [`TableError::Corrupt`]`{ section: "spill-chunk" }` rather than
+    /// stale values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RectOutOfBounds`] /
+    /// [`TableError::ShapeMismatch`] when the update does not fit,
+    /// [`TableError::NonFinite`] when a patched cell would leave the
+    /// finite domain, and I/O or [`TableError::Corrupt`] errors from
+    /// rewriting spilled chunks.
+    pub fn apply_update(&mut self, update: &TableUpdate) -> Result<TableEpoch, TableError> {
+        let applied = self.try_apply(update);
+        match applied {
+            Ok(()) => {
+                self.epoch = self.epoch.next();
+                tabsketch_obs::counter!("table.updates.applied").inc();
+                tabsketch_obs::counter!("table.updates.cells").add(update.cell_count() as u64);
+                Ok(self.epoch)
+            }
+            Err(e) => {
+                tabsketch_obs::counter!("table.updates.rejected").inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_apply(&mut self, update: &TableUpdate) -> Result<(), TableError> {
+        update.validate_for(self.rows, self.cols)?;
+        let cols = self.cols;
+        match &mut self.storage {
+            TableStorage::Dense(data) => {
+                // Two-phase: reject before the first write so a rejected
+                // update cannot leave the table half-patched.
+                for (r, c, delta) in update.cells() {
+                    if !(data[r * cols + c] + delta).is_finite() {
+                        return Err(TableError::NonFinite { row: r, col: c });
+                    }
+                }
+                for (r, c, delta) in update.cells() {
+                    data[r * cols + c] += delta;
+                }
+                Ok(())
+            }
+            TableStorage::Spilled(s) => {
+                let cells: Vec<(usize, usize, f64)> = update.cells().collect();
+                s.patch_cells(&cells)
+            }
+        }
     }
 
     /// Number of rows.
@@ -798,5 +874,124 @@ mod tests {
     fn dense_only_accessors_panic_on_spilled() {
         let s = spilled(&small(), 80);
         let _ = s.as_slice();
+    }
+
+    #[test]
+    fn apply_update_patches_dense_and_bumps_epoch() {
+        use crate::update::TableUpdate;
+        let mut t = small();
+        assert_eq!(t.epoch().get(), 0);
+
+        let e = t
+            .apply_update(&TableUpdate::cell(2, 3, 0.5).unwrap())
+            .unwrap();
+        assert_eq!(e.get(), 1);
+        assert_eq!(t.get(2, 3), 23.5);
+
+        let e = t
+            .apply_update(&TableUpdate::row(0, vec![1.0; 5]).unwrap())
+            .unwrap();
+        assert_eq!(e.get(), 2);
+        assert_eq!(t.row(0), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+
+        let e = t
+            .apply_update(&TableUpdate::tile(Rect::new(1, 1, 2, 2), vec![-1.0; 4]).unwrap())
+            .unwrap();
+        assert_eq!(e.get(), 3);
+        assert_eq!(t.get(1, 1), 10.0);
+        assert_eq!(t.get(2, 2), 21.0);
+        assert_eq!(t.epoch(), e);
+    }
+
+    #[test]
+    fn apply_update_rejects_without_side_effects() {
+        use crate::update::TableUpdate;
+        let mut t = small();
+
+        // Out of bounds: epoch and values untouched.
+        let bad = TableUpdate::cell(4, 0, 1.0).unwrap();
+        assert!(t.apply_update(&bad).is_err());
+        assert_eq!(t.epoch().get(), 0);
+
+        // Row width mismatch.
+        let bad = TableUpdate::row(0, vec![1.0; 4]).unwrap();
+        assert!(matches!(
+            t.apply_update(&bad),
+            Err(TableError::ShapeMismatch { .. })
+        ));
+
+        // A delta that overflows to infinity is rejected before ANY cell
+        // is written, even cells earlier in the iteration order.
+        t.set(0, 4, f64::MAX);
+        let bad = TableUpdate::row(0, vec![1.0, 1.0, 1.0, 1.0, f64::MAX]).unwrap();
+        assert!(matches!(
+            t.apply_update(&bad),
+            Err(TableError::NonFinite { row: 0, col: 4 })
+        ));
+        assert_eq!(t.get(0, 0), 0.0, "no partial patch");
+        assert_eq!(t.epoch().get(), 0);
+    }
+
+    #[test]
+    fn apply_update_matches_across_backends() {
+        use crate::update::TableUpdate;
+        let t = Table::from_fn(13, 7, |r, c| (r * 100 + c) as f64).unwrap();
+        let mut dense = t.clone();
+        let mut spill = spilled(&t, 7 * 8 * 3);
+
+        let updates = [
+            TableUpdate::cell(0, 0, 5.5).unwrap(),
+            TableUpdate::cell(12, 6, -2.25).unwrap(),
+            TableUpdate::row(6, (0..7).map(|c| c as f64 * 0.5).collect()).unwrap(),
+            TableUpdate::tile(Rect::new(4, 2, 5, 3), (0..15).map(|i| i as f64).collect()).unwrap(),
+        ];
+        for u in &updates {
+            let ed = dense.apply_update(u).unwrap();
+            let es = spill.apply_update(u).unwrap();
+            assert_eq!(ed, es, "epochs advance in lockstep");
+        }
+        assert!(spill.is_spilled(), "patching must not densify");
+        assert_eq!(dense, spill, "patched content identical across backends");
+        assert_eq!(spill.epoch().get(), updates.len() as u64);
+    }
+
+    #[test]
+    fn torn_spill_rewrite_surfaces_corrupt_never_stale() {
+        use crate::update::TableUpdate;
+        let t = Table::from_fn(13, 7, |r, c| (r * 100 + c) as f64).unwrap();
+        let mut s = spilled(&t, 7 * 8 * 3);
+        let TableStorage::Spilled(storage) = s.storage().clone() else {
+            unreachable!("spilled() asserts the backend");
+        };
+
+        storage.inject_torn_write();
+        let u = TableUpdate::cell(0, 0, 1.0).unwrap();
+        let err = s.apply_update(&u).unwrap_err();
+        assert!(matches!(err, TableError::Io(_)), "torn write: {err}");
+        assert_eq!(s.epoch().get(), 0, "failed update must not bump the epoch");
+
+        // The torn chunk must now read as Corrupt — never the stale
+        // pre-update value, and never the half-applied one.
+        storage.flush_resident();
+        let err = s.row_window(0, 1).unwrap_err();
+        assert!(
+            matches!(err, TableError::Corrupt { section, .. } if section == "spill-chunk"),
+            "torn chunk read: {err}"
+        );
+
+        // Rows in other chunks are still intact.
+        let w = s.row_window(12, 1).unwrap();
+        assert_eq!(w.row(0), t.row_window(12, 1).unwrap().row(0));
+    }
+
+    #[test]
+    fn spilling_preserves_the_epoch() {
+        use crate::update::TableUpdate;
+        let mut t = small();
+        t.apply_update(&TableUpdate::cell(0, 0, 1.0).unwrap())
+            .unwrap();
+        let s = t.clone().with_budget(MemoryBudget::bytes(80)).unwrap();
+        assert!(s.is_spilled());
+        assert_eq!(s.epoch(), t.epoch());
     }
 }

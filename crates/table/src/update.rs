@@ -1,0 +1,309 @@
+//! Typed, validated table mutations.
+//!
+//! A [`TableUpdate`] is an additive delta against a table: one cell, one
+//! full row, or a rectangular tile. Updates are *deltas*, not
+//! overwrites, because the p-stable sketches downstream are linear — a
+//! delta `Δ` folds into every affected sketch as `s += sketch(Δ)`
+//! without a rebuild (the turnstile stream model). The constructors
+//! reject non-finite deltas up front, mirroring the ingestion-time
+//! validation of [`Table::new`](crate::Table::new): NaN silently poisons
+//! the median-based estimators, so it is refused at the API boundary.
+//!
+//! Each applied update bumps the table's [`TableEpoch`], a monotonic
+//! counter that lets derived structures (sketch stores, caches, candidate
+//! indexes) detect that their inputs moved.
+
+use crate::{Rect, TableError};
+
+/// A monotonic per-table version counter, bumped by every applied
+/// [`TableUpdate`]. Derived structures record the epoch they were built
+/// at and compare against the table's current epoch to detect staleness.
+///
+/// The epoch is a *runtime* notion: it starts at 0 for every freshly
+/// constructed or loaded table and is not persisted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableEpoch(u64);
+
+impl TableEpoch {
+    /// Wraps a raw epoch counter.
+    #[inline]
+    pub const fn new(epoch: u64) -> Self {
+        TableEpoch(epoch)
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The epoch after one more update.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Self {
+        TableEpoch(self.0 + 1)
+    }
+}
+
+impl std::fmt::Display for TableEpoch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An additive delta against a table: `new = old + delta` cell-wise.
+///
+/// Construct through [`TableUpdate::cell`], [`TableUpdate::row`], or
+/// [`TableUpdate::tile`] — the variants are `#[non_exhaustive]` so every
+/// update in circulation has passed the non-finite check. Bounds against
+/// a concrete table are checked at application time
+/// ([`Table::apply_update`](crate::Table::apply_update)), like [`Rect`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TableUpdate {
+    /// Add `delta` to the single cell `(row, col)`.
+    #[non_exhaustive]
+    Cell {
+        /// Target row.
+        row: usize,
+        /// Target column.
+        col: usize,
+        /// The additive delta.
+        delta: f64,
+    },
+    /// Add `deltas[c]` to every cell of one full-width row.
+    #[non_exhaustive]
+    Row {
+        /// Target row.
+        row: usize,
+        /// One delta per table column (length must equal the table
+        /// width at application time).
+        deltas: Vec<f64>,
+    },
+    /// Add `deltas` (row-major, `rect.rows × rect.cols`) to a tile.
+    #[non_exhaustive]
+    Tile {
+        /// The target rectangle.
+        rect: Rect,
+        /// Row-major deltas, one per covered cell.
+        deltas: Vec<f64>,
+    },
+}
+
+/// Rejects non-finite deltas with the position of the first offender,
+/// reported relative to `(row, col)` with stride `cols`.
+fn check_finite(deltas: &[f64], row: usize, col: usize, cols: usize) -> Result<(), TableError> {
+    if let Some(i) = deltas.iter().position(|v| !v.is_finite()) {
+        return Err(TableError::NonFinite {
+            row: row + i / cols.max(1),
+            col: col + i % cols.max(1),
+        });
+    }
+    Ok(())
+}
+
+impl TableUpdate {
+    /// A single-cell delta.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NonFinite`] when `delta` is NaN or infinite.
+    pub fn cell(row: usize, col: usize, delta: f64) -> Result<Self, TableError> {
+        if !delta.is_finite() {
+            return Err(TableError::NonFinite { row, col });
+        }
+        Ok(TableUpdate::Cell { row, col, delta })
+    }
+
+    /// A full-row delta: `deltas[c]` is added to column `c` of `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::EmptyDimension`] for an empty delta vector
+    /// and [`TableError::NonFinite`] when any delta is NaN or infinite.
+    pub fn row(row: usize, deltas: Vec<f64>) -> Result<Self, TableError> {
+        if deltas.is_empty() {
+            return Err(TableError::EmptyDimension);
+        }
+        check_finite(&deltas, row, 0, deltas.len())?;
+        Ok(TableUpdate::Row { row, deltas })
+    }
+
+    /// A tile delta: row-major `deltas` over `rect`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RectOutOfBounds`] for an empty rectangle,
+    /// [`TableError::DimensionMismatch`] when `deltas.len() != rect.area()`,
+    /// and [`TableError::NonFinite`] when any delta is NaN or infinite.
+    pub fn tile(rect: Rect, deltas: Vec<f64>) -> Result<Self, TableError> {
+        if rect.rows == 0 || rect.cols == 0 {
+            return Err(TableError::RectOutOfBounds {
+                rect: (rect.row, rect.col, rect.rows, rect.cols),
+                table_rows: 0,
+                table_cols: 0,
+            });
+        }
+        if deltas.len() != rect.area() {
+            return Err(TableError::DimensionMismatch {
+                rows: rect.rows,
+                cols: rect.cols,
+                len: deltas.len(),
+            });
+        }
+        check_finite(&deltas, rect.row, rect.col, rect.cols)?;
+        Ok(TableUpdate::Tile { rect, deltas })
+    }
+
+    /// The short name used in metrics and CLI output.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TableUpdate::Cell { .. } => "cell",
+            TableUpdate::Row { .. } => "row",
+            TableUpdate::Tile { .. } => "tile",
+        }
+    }
+
+    /// How many cells this update touches.
+    pub fn cell_count(&self) -> usize {
+        match self {
+            TableUpdate::Cell { .. } => 1,
+            TableUpdate::Row { deltas, .. } | TableUpdate::Tile { deltas, .. } => deltas.len(),
+        }
+    }
+
+    /// The smallest rectangle covering every touched cell.
+    pub fn bounding_rect(&self) -> Rect {
+        match self {
+            TableUpdate::Cell { row, col, .. } => Rect::new(*row, *col, 1, 1),
+            TableUpdate::Row { row, deltas } => Rect::new(*row, 0, 1, deltas.len()),
+            TableUpdate::Tile { rect, .. } => *rect,
+        }
+    }
+
+    /// Validates the update against a `rows × cols` table without
+    /// applying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RectOutOfBounds`] when the touched region
+    /// does not fit and [`TableError::ShapeMismatch`] when a row delta's
+    /// width differs from the table width.
+    pub fn validate_for(&self, rows: usize, cols: usize) -> Result<(), TableError> {
+        if let TableUpdate::Row { deltas, .. } = self {
+            if deltas.len() != cols {
+                return Err(TableError::ShapeMismatch {
+                    left: (1, cols),
+                    right: (1, deltas.len()),
+                });
+            }
+        }
+        self.bounding_rect().validate(rows, cols)
+    }
+
+    /// Iterates the touched cells as `(row, col, delta)`, row-major.
+    /// Cells are distinct by construction — no coordinate appears twice.
+    pub fn cells(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        // One iterator type for all three variants: walk a rect and an
+        // (implicit) delta slice.
+        let (rect, deltas, single) = match self {
+            TableUpdate::Cell { row, col, delta } => {
+                (Rect::new(*row, *col, 1, 1), None, Some(*delta))
+            }
+            TableUpdate::Row { row, deltas } => {
+                (Rect::new(*row, 0, 1, deltas.len()), Some(deltas), None)
+            }
+            TableUpdate::Tile { rect, deltas } => (*rect, Some(deltas), None),
+        };
+        (0..rect.area()).map(move |i| {
+            let (dr, dc) = (i / rect.cols, i % rect.cols);
+            let delta = match (&deltas, single) {
+                (Some(d), _) => d[i],
+                (None, Some(v)) => v,
+                (None, None) => unreachable!("cell updates carry a single delta"),
+            };
+            (rect.row + dr, rect.col + dc, delta)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_reject_non_finite_and_empty() {
+        assert!(matches!(
+            TableUpdate::cell(2, 3, f64::NAN),
+            Err(TableError::NonFinite { row: 2, col: 3 })
+        ));
+        assert!(matches!(
+            TableUpdate::row(1, vec![0.0, f64::INFINITY, 1.0]),
+            Err(TableError::NonFinite { row: 1, col: 1 })
+        ));
+        assert!(matches!(
+            TableUpdate::row(0, vec![]),
+            Err(TableError::EmptyDimension)
+        ));
+        assert!(matches!(
+            TableUpdate::tile(
+                Rect::new(1, 1, 2, 2),
+                vec![0.0, 1.0, f64::NEG_INFINITY, 2.0]
+            ),
+            Err(TableError::NonFinite { row: 2, col: 1 })
+        ));
+        assert!(matches!(
+            TableUpdate::tile(Rect::new(0, 0, 2, 2), vec![0.0; 3]),
+            Err(TableError::DimensionMismatch { .. })
+        ));
+        assert!(TableUpdate::tile(Rect::new(0, 0, 0, 2), vec![]).is_err());
+    }
+
+    #[test]
+    fn cells_enumerate_row_major() {
+        let u = TableUpdate::tile(Rect::new(2, 3, 2, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let cells: Vec<_> = u.cells().collect();
+        assert_eq!(
+            cells,
+            vec![(2, 3, 1.0), (2, 4, 2.0), (3, 3, 3.0), (3, 4, 4.0)]
+        );
+        assert_eq!(u.cell_count(), 4);
+        assert_eq!(u.bounding_rect(), Rect::new(2, 3, 2, 2));
+
+        let u = TableUpdate::cell(5, 7, -1.5).unwrap();
+        assert_eq!(u.cells().collect::<Vec<_>>(), vec![(5, 7, -1.5)]);
+        assert_eq!(u.bounding_rect(), Rect::new(5, 7, 1, 1));
+
+        let u = TableUpdate::row(4, vec![1.0, 2.0]).unwrap();
+        assert_eq!(
+            u.cells().collect::<Vec<_>>(),
+            vec![(4, 0, 1.0), (4, 1, 2.0)]
+        );
+    }
+
+    #[test]
+    fn validate_checks_bounds_and_row_width() {
+        let cell = TableUpdate::cell(3, 3, 1.0).unwrap();
+        assert!(cell.validate_for(4, 4).is_ok());
+        assert!(cell.validate_for(3, 4).is_err());
+
+        let row = TableUpdate::row(0, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(row.validate_for(2, 3).is_ok());
+        assert!(matches!(
+            row.validate_for(2, 4),
+            Err(TableError::ShapeMismatch { .. })
+        ));
+
+        let tile = TableUpdate::tile(Rect::new(1, 1, 2, 2), vec![0.5; 4]).unwrap();
+        assert!(tile.validate_for(3, 3).is_ok());
+        assert!(tile.validate_for(2, 3).is_err());
+    }
+
+    #[test]
+    fn epochs_are_ordered_and_display() {
+        let e = TableEpoch::default();
+        assert_eq!(e.get(), 0);
+        assert!(e.next() > e);
+        assert_eq!(e.next().to_string(), "1");
+        assert_eq!(TableEpoch::new(7).get(), 7);
+    }
+}

@@ -49,10 +49,12 @@ python3 - "$obs_dir/metrics.json" <<'PY'
 import json, sys
 snap = json.load(open(sys.argv[1]))
 keys = set(snap["counters"]) | set(snap["gauges"]) | set(snap["histograms"])
-for crate in ("fft.", "core.", "cluster.", "index.", "serve."):
+for crate in ("fft.", "table.", "core.", "cluster.", "index.", "serve."):
     assert any(k.startswith(crate) for k in keys), f"no {crate}* keys in snapshot"
 assert snap["counters"]["core.sketch.sketches"] >= 2, "distance must sketch twice"
-print(f"snapshot OK: {len(keys)} keys across fft/core/cluster/index/serve")
+for key in ("table.updates.applied", "table.updates.cells", "core.pool.delta_folds"):
+    assert key in snap["counters"], f"live-table counter {key} unregistered"
+print(f"snapshot OK: {len(keys)} keys across fft/table/core/cluster/index/serve")
 PY
 
 echo "==> obs overhead bound (<5% on hot paths, written to BENCH_obs.json)"
@@ -114,6 +116,30 @@ assert b["host"]["parallelism"] >= 1, "host block missing parallelism"
 print(f"lsh OK: recall@10 {b['recall_at_10']:.4f}, "
       f"candidates {100 * b['candidate_fraction']:.1f}%, "
       f"speedup {b['speedup']:.2f}x at {b['tiles']} tiles")
+PY
+
+echo "==> live-update bound (fold >= 10x rebuild, daemon acks, LRU coherence; BENCH_updates.json)"
+cargo run -q --release -p tabsketch-bench --bin updates -- --quick
+python3 - BENCH_updates.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for key in ("rows", "cols", "tile", "k", "updates", "rebuilds",
+            "rebuild_ms_per_update", "fold_us_per_update", "speedup",
+            "daemon_updates", "daemon_updates_per_sec", "daemon_final_epoch",
+            "lru_invalidated"):
+    assert key in b, f"BENCH_updates.json missing {key}"
+assert (b["rows"], b["cols"], b["tile"], b["k"]) == (256, 256, 16, 64), (
+    f"update config drifted off the pinned 256x256/16x16/k64: "
+    f"{b['rows']}x{b['cols']}/{b['tile']}/{b['k']}")
+assert b["speedup"] >= 10, (
+    f"incremental fold regressed: only {b['speedup']:.1f}x over the rebuild")
+assert b["daemon_final_epoch"] == b["daemon_updates"], (
+    f"daemon lost updates: epoch {b['daemon_final_epoch']} "
+    f"after {b['daemon_updates']} acks")
+assert b["lru_invalidated"] >= 1, "update never invalidated a cached sketch"
+print(f"updates OK: fold {b['fold_us_per_update']:.1f} us "
+      f"({b['speedup']:.0f}x over {b['rebuild_ms_per_update']:.0f} ms rebuild), "
+      f"daemon {b['daemon_updates_per_sec']:.0f} updates/s")
 PY
 
 echo "==> chaos soak (seeded fault injection: typed errors or clean closes, never a hang)"

@@ -68,6 +68,7 @@ pub mod prelude {
         rand_index, ComparisonTriple, ConfusionMatrix, DistancePair, Spreads,
     };
     pub use tabsketch_table::{
-        norms, transform, MemoryBudget, Rect, Table, TableError, TableStorage, TableView, TileGrid,
+        norms, transform, MemoryBudget, Rect, Table, TableEpoch, TableError, TableStorage,
+        TableUpdate, TableView, TileGrid,
     };
 }
