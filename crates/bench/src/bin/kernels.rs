@@ -1,28 +1,39 @@
-//! Dense kernel layer — what blocking and batching buy on the sketch
-//! hot path.
+//! Dense kernel layer — what lane tiling, blocking, batching, and the
+//! real-input FFT buy on the sketch hot path.
 //!
 //! The scalar baseline is the pre-kernel implementation: one
 //! `norms::dot_slices` pass per random row, a single latency-bound f64
-//! accumulation chain each. The blocked kernel (`kernels::dot_rows`)
-//! walks [`tabsketch_core::kernels::ROW_TILE`] rows per column pass with
-//! independent accumulators, and the batched kernel
-//! (`kernels::dot_rows_batch`) additionally amortizes each pass across
-//! many objects. All three produce bit-identical sketches (see
-//! `crates/core/tests/kernel_equivalence.rs`); this bench measures only
-//! their speed and writes a machine-readable summary to
-//! `BENCH_kernels.json`:
+//! accumulation chain each. The blocked kernel
+//! (`kernels::dot_rows_blocked`) walks
+//! [`tabsketch_core::kernels::ROW_TILE`] rows per column pass with
+//! independent accumulators and stays bit-identical to the scalar
+//! reference. The lane kernel (`kernels::dot_rows`, the public sketch
+//! path) further splits every dot product into
+//! [`tabsketch_core::kernels::LANES`] partial sums so LLVM can
+//! autovectorize it, trading bit-identity for a pinned `1e-12` relative
+//! tolerance (see `crates/core/tests/kernel_equivalence.rs` for both
+//! tiers). The batched kernel (`kernels::dot_rows_batch`) additionally
+//! amortizes each pass across many objects.
 //!
-//! * ns per sketch for the scalar / blocked / batched kernels on the
-//!   paper's 64×64 tile (4096 values) at k = 256;
-//! * the blocked-over-scalar and batched-over-scalar speedups — the
-//!   blocked speedup is asserted ≥ 1.5× in every mode;
-//! * `SketchPool::build_parallel` wall time at 1/2/4/8 threads
-//!   (monotone improvement 1→4 is asserted only when the host actually
-//!   has ≥ 4 cores; the JSON records the decision in
-//!   `pool_build_monotonicity_checked`). On hosts below 4 cores the
-//!   oversubscribed thread pool can invert the curve — the checked-in
-//!   reference run shows 6.1 s at 1 thread vs 7.6 s at 8 threads — so
-//!   a skipped check is expected there, not a regression.
+//! This bench measures speed only and writes a machine-readable summary
+//! to `BENCH_kernels.json`:
+//!
+//! * ns per sketch for the scalar / blocked / lane / batched kernels on
+//!   the paper's 64×64 tile (4096 values) at k = 256; the blocked
+//!   speedup over scalar is asserted ≥ 1.5× and the lane speedup over
+//!   blocked ≥ [`LANE_BOUND_SPEEDUP`] (a parity floor — see its doc)
+//!   in every mode;
+//! * the real-input FFT correlation (`Correlator2d::correlate`) against
+//!   the packed-complex reference (`correlate_complex`) on the same
+//!   grid the all-subtable build uses — asserted ≥ 1.3× since the rfft
+//!   path does half the complex butterflies per row pass;
+//! * `SketchPool::build_parallel` wall time at 1/2/4/8 threads, plus
+//!   the same build against a *spilled* (budgeted) table, which
+//!   exercises the within-band kernel parallelism (monotone improvement
+//!   1→4 is asserted only when the host actually has ≥ 4 cores; the
+//!   JSON records the decision in `pool_build_monotonicity_checked`).
+//!   On hosts below 4 cores the requested counts clamp to the core
+//!   count, so the curve flattens instead of inverting.
 //!
 //! Run `--quick` for a CI-speed pass.
 
@@ -30,12 +41,43 @@ use std::time::Instant;
 
 use tabsketch_bench::{print_header, print_row, time, Scale};
 use tabsketch_core::{kernels, PoolConfig, SketchParams, SketchPool, Sketcher};
-use tabsketch_table::Table;
+use tabsketch_fft::Correlator2d;
+use tabsketch_table::{MemoryBudget, Table};
 
 /// The blocked kernel must beat the scalar baseline by at least this
 /// factor on the reference tile, in every mode — the regression bound
 /// CI enforces.
 const BOUND_SPEEDUP: f64 = 1.5;
+
+/// The lane kernel (public sketch path) must never lose to the blocked
+/// kernel it replaced on the hot path. At the pinned 64×64/k=256 shape
+/// the 8 MB row block streams from L3 and both kernels saturate the
+/// per-core fill bandwidth, so their true ratio is a tie (~1.0); the
+/// enforced floor sits just under parity to tolerate measurement jitter
+/// on the shared reference container while still catching real codegen
+/// regressions (the pre-lane shape measured 0.78×).
+const LANE_BOUND_SPEEDUP: f64 = 0.95;
+
+/// The real-input FFT correlation must beat the packed-complex
+/// reference by at least this factor: it runs half-length row
+/// transforms and half the column transforms.
+const RFFT_BOUND_SPEEDUP: f64 = 1.3;
+
+/// Iterations per interleaved round: a few tens of milliseconds at the
+/// pinned shape. Competing kernels are timed back-to-back within every
+/// round and each keeps its best round, so machine-load drift cancels
+/// out of the ratios CI gates on. Rounds are deliberately *short* and
+/// *many*: on a virtualized host, stolen CPU arrives in bursts lasting
+/// whole seconds, and a contender only records a clean number if some
+/// round of its own lands inside a quiet window — short rounds buy far
+/// more such chances per unit of bench time than long ones.
+const ROUND_ITERS: u64 = 32;
+
+/// Every contender gets at least this many rounds even in quick mode.
+/// Timing noise is strictly additive, so each contender's minimum round
+/// converges on its clean cost — but only if at least one of its rounds
+/// dodges every steal burst, which a handful of rounds cannot promise.
+const MIN_ROUNDS: usize = 20;
 
 /// Times `iters` runs of `f` and returns mean nanoseconds per run.
 fn mean_ns(iters: u64, mut f: impl FnMut()) -> f64 {
@@ -44,6 +86,18 @@ fn mean_ns(iters: u64, mut f: impl FnMut()) -> f64 {
         f();
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Interleaved best-of-`rounds`: one pass per round over every
+/// contender, returning each contender's minimum round mean.
+fn paired_best_ns(round_iters: u64, rounds: usize, fs: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; fs.len()];
+    for _ in 0..rounds.max(MIN_ROUNDS) {
+        for (b, f) in best.iter_mut().zip(fs.iter_mut()) {
+            *b = b.min(mean_ns(round_iters, f));
+        }
+    }
+    best
 }
 
 fn main() {
@@ -76,43 +130,79 @@ fn main() {
         .collect();
     let refs: Vec<&[f64]> = objects.iter().map(|o| &o[..]).collect();
 
-    // -- scalar baseline: one dot_slices pass per row ------------------
-    let mut out = vec![0.0f64; k];
-    let scalar_ns = mean_ns(iters, || {
-        let x = std::hint::black_box(&x);
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = tabsketch_table::norms::dot_slices(x, block.row(i));
-        }
-        std::hint::black_box(&out);
-    });
+    // -- scalar / blocked / lane / batched, interleaved per round -------
+    let rounds = (iters / ROUND_ITERS) as usize;
+    // All three contenders write the same buffer: distinct per-kernel
+    // buffers land at different addresses each run, and their L1-set
+    // aliasing against `x` and the row stream is luck that persists for
+    // the whole process — a few percent of per-kernel bias no amount of
+    // interleaving can cancel.
+    let out = std::cell::RefCell::new(vec![0.0f64; k]);
+    let timings = {
+        let mut scalar_f = || {
+            let x = std::hint::black_box(&x);
+            let mut out = out.borrow_mut();
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = tabsketch_table::norms::dot_slices(x, block.row(i));
+            }
+            std::hint::black_box(&*out);
+        };
+        let mut blocked_f = || {
+            let mut out = out.borrow_mut();
+            kernels::dot_rows_blocked(&block, std::hint::black_box(&x), &mut out);
+            std::hint::black_box(&*out);
+        };
+        let mut lane_f = || {
+            let mut out = out.borrow_mut();
+            kernels::dot_rows(&block, std::hint::black_box(&x), &mut out);
+            std::hint::black_box(&*out);
+        };
+        paired_best_ns(
+            ROUND_ITERS,
+            rounds,
+            &mut [&mut scalar_f, &mut blocked_f, &mut lane_f],
+        )
+    };
+    let scalar_ns = timings[0];
+    let blocked_ns = timings[1];
+    let lane_ns = timings[2];
 
-    // -- blocked kernel -------------------------------------------------
-    let blocked_ns = mean_ns(iters, || {
-        kernels::dot_rows(&block, std::hint::black_box(&x), &mut out);
-        std::hint::black_box(&out);
-    });
-
-    // -- batched kernel, per object -------------------------------------
+    // -- batched lane kernel, per object (one call covers `batch`
+    // objects, so it runs its own shorter loop) -------------------------
     let mut batch_out = vec![0.0f64; batch * k];
-    let batched_ns = mean_ns(iters.div_ceil(batch as u64).max(8), || {
+    // One batched call covers `batch` objects (~20 ms at the pinned
+    // shape), so a round is two calls and the round count shrinks by
+    // the same factor to keep total work comparable.
+    let batch_rounds = (iters / (2 * batch as u64)) as usize;
+    let mut batched_f = || {
         kernels::dot_rows_batch(&block, std::hint::black_box(&refs), &mut batch_out);
         std::hint::black_box(&batch_out);
-    }) / batch as f64;
+    };
+    let batched_ns = paired_best_ns(2, batch_rounds, &mut [&mut batched_f])[0] / batch as f64;
 
     let blocked_speedup = scalar_ns / blocked_ns;
+    let lane_speedup = blocked_ns / lane_ns;
     let batched_speedup = scalar_ns / batched_ns;
 
     let widths = [22usize, 16, 10];
-    print_header(&["kernel", "ns/sketch", "speedup"], &widths);
+    print_header(&["kernel", "ns/sketch", "vs scalar"], &widths);
     print_row(
         &["scalar rows", &format!("{scalar_ns:.0}"), "1.00"],
         &widths,
     );
     print_row(
         &[
-            "blocked",
+            "blocked (exact)",
             &format!("{blocked_ns:.0}"),
             &format!("{blocked_speedup:.2}"),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "lane",
+            &format!("{lane_ns:.0}"),
+            &format!("{:.2}", scalar_ns / lane_ns),
         ],
         &widths,
     );
@@ -123,6 +213,47 @@ fn main() {
             &format!("{batched_speedup:.2}"),
         ],
         &widths,
+    );
+
+    // -- real-input FFT correlation -------------------------------------
+    // The grid the all-subtable build actually runs: a table band
+    // correlated against a tile-sized kernel, padded to powers of two
+    // inside Correlator2d.
+    let (corr_rows, corr_cols) = (96usize, 96);
+    let data: Vec<f64> = (0..corr_rows * corr_cols)
+        .map(|i| ((i * 29) % 83) as f64 - 41.0)
+        .collect();
+    let corr = Correlator2d::new(&data, corr_rows, corr_cols).expect("correlator builds");
+    let (krows, kcols) = (32usize, 32);
+    let kernel: Vec<f64> = (0..krows * kcols)
+        .map(|i| ((i * 17) % 71) as f64 - 35.0)
+        .collect();
+    // A correlation is ~0.2-0.6 ms, so 32-iteration rounds stay in the
+    // same tens-of-milliseconds band as the kernel rounds above.
+    let fft_rounds = scale.pick(5usize, 25, 100);
+    let fft_timings = {
+        let mut rfft_f = || {
+            let out = corr
+                .correlate(std::hint::black_box(&kernel), krows, kcols)
+                .expect("rfft correlation");
+            std::hint::black_box(&out);
+        };
+        let mut complex_f = || {
+            let out = corr
+                .correlate_complex(std::hint::black_box(&kernel), krows, kcols)
+                .expect("complex correlation");
+            std::hint::black_box(&out);
+        };
+        paired_best_ns(ROUND_ITERS, fft_rounds, &mut [&mut rfft_f, &mut complex_f])
+    };
+    let rfft_ns = fft_timings[0];
+    let complex_fft_ns = fft_timings[1];
+    let rfft_speedup = complex_fft_ns / rfft_ns;
+    println!(
+        "\nrfft correlation ({corr_rows}x{corr_cols} data, {krows}x{kcols} kernel): \
+         {:.2} ms rfft vs {:.2} ms complex = {rfft_speedup:.2}x",
+        rfft_ns / 1e6,
+        complex_fft_ns / 1e6
     );
 
     // -- parallel pool build --------------------------------------------
@@ -143,6 +274,9 @@ fn main() {
         min_cols: 8,
         max_rows: 32,
         max_cols: 32,
+        // The --full table needs ~3.4 GiB of sketch storage, past the
+        // 1 GiB default; let the scale flags govern the workload size.
+        max_bytes: usize::MAX,
         ..Default::default()
     };
 
@@ -158,9 +292,33 @@ fn main() {
         pool_build_ms.push((threads, ms));
     }
 
+    // -- spilled (budgeted) parallel pool build -------------------------
+    // Cap pinned rows at a quarter of the table so the banded path runs,
+    // then build with every core: bands stay within budget while the
+    // within-band kernel parallelism fans out.
+    let budget = MemoryBudget::bytes((table_edge / 4 * table_edge * 8) as u64);
+    let spilled = t.clone().with_budget(budget).expect("table spills");
+    assert!(spilled.is_spilled(), "budgeted table must spill");
+    let spilled_config = PoolConfig {
+        table_budget: budget,
+        ..config
+    };
+    let (spool, elapsed) = time(|| {
+        SketchPool::build_parallel(&spilled, params, spilled_config, cores.max(2))
+            .expect("spilled pool builds")
+    });
+    std::hint::black_box(&spool);
+    let spilled_pool_build_ms = elapsed.as_secs_f64() * 1e3;
     println!(
-        "\nblocked speedup {blocked_speedup:.2}x, batched speedup {batched_speedup:.2}x \
-         (bound {BOUND_SPEEDUP:.1}x)"
+        "spilled pool build ({} pinned rows, {} threads): {spilled_pool_build_ms:.1} ms",
+        table_edge / 4,
+        cores.max(2)
+    );
+
+    println!(
+        "\nblocked {blocked_speedup:.2}x over scalar (bound {BOUND_SPEEDUP:.1}x), \
+         lane {lane_speedup:.2}x over blocked (bound {LANE_BOUND_SPEEDUP:.2}x), \
+         rfft {rfft_speedup:.2}x over complex (bound {RFFT_BOUND_SPEEDUP:.1}x)"
     );
 
     assert!(
@@ -168,10 +326,20 @@ fn main() {
         "blocked kernel regressed below {BOUND_SPEEDUP:.1}x over scalar \
          ({blocked_ns:.0} ns vs {scalar_ns:.0} ns = {blocked_speedup:.2}x)"
     );
-    // Below 4 cores the extra threads only add contention, and the curve
-    // can legitimately invert (reference run: 6.1 s at 1 thread vs 7.6 s
-    // at 8 on a 2-core host), so the monotonicity assertion is skipped
-    // and the skip is recorded in the JSON.
+    assert!(
+        lane_speedup >= LANE_BOUND_SPEEDUP,
+        "lane kernel lost to the blocked kernel it replaced \
+         ({lane_ns:.0} ns vs {blocked_ns:.0} ns = {lane_speedup:.2}x)"
+    );
+    assert!(
+        rfft_speedup >= RFFT_BOUND_SPEEDUP,
+        "rfft correlation regressed below {RFFT_BOUND_SPEEDUP:.1}x over the complex path \
+         ({rfft_ns:.0} ns vs {complex_fft_ns:.0} ns = {rfft_speedup:.2}x)"
+    );
+    // Below 4 cores build_parallel clamps every request to the core
+    // count, so 1/2/4/8 threads collapse to the same effective build and
+    // the curve carries no signal; the check is skipped and the skip is
+    // recorded in the JSON.
     let monotonicity_checked = cores >= 4;
     if monotonicity_checked {
         let ms_at = |n: usize| pool_build_ms.iter().find(|&&(t, _)| t == n).unwrap().1;
@@ -195,14 +363,22 @@ fn main() {
         "{{\n  \"host\": {host},\n  \"tile\": {tile},\n  \"k\": {k},\n  \
          \"scalar_ns_per_sketch\": {scalar_ns:.1},\n  \
          \"blocked_ns_per_sketch\": {blocked_ns:.1},\n  \
+         \"lane_ns_per_sketch\": {lane_ns:.1},\n  \
          \"batched_ns_per_sketch\": {batched_ns:.1},\n  \
          \"blocked_speedup\": {blocked_speedup:.3},\n  \
+         \"lane_speedup\": {lane_speedup:.3},\n  \
          \"batched_speedup\": {batched_speedup:.3},\n  \
          \"bound_speedup\": {BOUND_SPEEDUP:.1},\n  \
+         \"lane_bound_speedup\": {LANE_BOUND_SPEEDUP:.2},\n  \
+         \"rfft_ns\": {rfft_ns:.1},\n  \
+         \"complex_fft_ns\": {complex_fft_ns:.1},\n  \
+         \"rfft_speedup\": {rfft_speedup:.3},\n  \
+         \"rfft_bound_speedup\": {RFFT_BOUND_SPEEDUP:.1},\n  \
          \"cores\": {cores},\n  \
          \"pool_build_monotonicity_checked\": {monotonicity_checked},\n  \
          \"pool_table_edge\": {table_edge},\n  \
          \"pool_k\": {pool_k},\n  \
+         \"spilled_pool_build_ms\": {spilled_pool_build_ms:.2},\n  \
          \"pool_build_ms\": {{{}}}\n}}\n",
         pool_json.join(", "),
     );

@@ -15,6 +15,7 @@ use std::borrow::Cow;
 use tabsketch_fft::Correlator2d;
 use tabsketch_table::{MemoryBudget, Rect, Table, TableUpdate};
 
+use crate::clamp_threads;
 use crate::kernels::RowBlock;
 use crate::sketch::{Sketch, Sketcher};
 use crate::TabError;
@@ -149,6 +150,14 @@ impl AllSubtableSketches {
     /// correlations, and results are identical to the sequential build
     /// (the per-row random streams do not depend on execution order).
     ///
+    /// The requested count is clamped to
+    /// [`std::thread::available_parallelism`] — spawning more workers
+    /// than cores only adds scheduling overhead — and a single-thread
+    /// request takes the serial path outright (no scoped-thread setup).
+    /// Because bands parallelize *within* each band over the kernel
+    /// axis, spilled (out-of-core) tables scale under a memory budget
+    /// too: every band stays within budget while its kernels fan out.
+    ///
     /// # Errors
     ///
     /// Same contract as [`AllSubtableSketches::build_with_budgets`], plus
@@ -165,6 +174,7 @@ impl AllSubtableSketches {
         if threads == 0 {
             return Err(TabError::InvalidParameter("threads must be non-zero"));
         }
+        let effective = clamp_threads(threads);
         Self::build_banded(
             table,
             tile_rows,
@@ -172,8 +182,33 @@ impl AllSubtableSketches {
             sketcher,
             max_bytes,
             table_budget,
-            Some(threads),
+            (effective > 1).then_some(effective),
         )
+    }
+
+    /// A dimensionless estimate of the work one banded build performs:
+    /// the FFT round trips (`⌈k/2⌉` pair-packed transforms per band over
+    /// the padded grid, `O(P log P)` each) plus the position-major
+    /// scatter (`npos · k`). Used by [`crate::SketchPool`] to order
+    /// work-stealing units largest-first so stragglers start early, and
+    /// to decide which units deserve inner kernel parallelism.
+    pub(crate) fn estimated_build_cost(
+        table: &Table,
+        tile_rows: usize,
+        tile_cols: usize,
+        k: usize,
+        table_budget: MemoryBudget,
+    ) -> u64 {
+        let out_rows = (table.rows().saturating_sub(tile_rows)) + 1;
+        let out_cols = (table.cols().saturating_sub(tile_cols)) + 1;
+        let band_in = Self::band_in_rows(table, tile_rows, table_budget);
+        let band_out = (band_in - tile_rows + 1).max(1);
+        let bands = out_rows.div_ceil(band_out) as u64;
+        let padded = (band_in.next_power_of_two() * table.cols().next_power_of_two()).max(2) as u64;
+        let log2 = (u64::BITS - padded.leading_zeros()) as u64;
+        let fft = bands * (k.div_ceil(2) as u64) * padded * log2;
+        let scatter = (out_rows * out_cols * k) as u64;
+        fft + scatter
     }
 
     /// Input rows each band may pin: the budget's row count, floored at
@@ -785,6 +820,81 @@ mod tests {
                 "budget {budget_rows} rows"
             );
         }
+    }
+
+    #[test]
+    fn banded_parallel_dense_and_spilled_builds_bit_identical() {
+        // The acceptance triangle for adaptive builds: at any budget and
+        // any worker count, dense and spilled tables must produce the
+        // same bits through the banded *parallel* path. Calls
+        // `build_banded` directly so the threaded code runs even where
+        // `build_parallel` would clamp to serial (1-core hosts).
+        let t = test_table();
+        for budget_rows in [3usize, 9] {
+            let budget = MemoryBudget::bytes((budget_rows * t.cols() * 8) as u64);
+            let spilled = t.clone().with_budget(budget).unwrap();
+            assert!(spilled.is_spilled());
+            let seq = AllSubtableSketches::build_with_budgets(
+                &t,
+                3,
+                4,
+                sketcher(1.0, 5),
+                DEFAULT_MEMORY_BUDGET,
+                budget,
+            )
+            .unwrap();
+            for threads in [2usize, 3] {
+                let dense_par = AllSubtableSketches::build_banded(
+                    &t,
+                    3,
+                    4,
+                    sketcher(1.0, 5),
+                    DEFAULT_MEMORY_BUDGET,
+                    budget,
+                    Some(threads),
+                )
+                .unwrap();
+                let spilled_par = AllSubtableSketches::build_banded(
+                    &spilled,
+                    3,
+                    4,
+                    sketcher(1.0, 5),
+                    DEFAULT_MEMORY_BUDGET,
+                    budget,
+                    Some(threads),
+                )
+                .unwrap();
+                assert_eq!(
+                    dense_par.raw_values(),
+                    spilled_par.raw_values(),
+                    "budget {budget_rows} rows, threads={threads}"
+                );
+                assert_eq!(
+                    dense_par.raw_values(),
+                    seq.raw_values(),
+                    "parallel vs sequential, budget {budget_rows} rows, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clamped_parallel_build_requests_stay_bit_identical() {
+        // Requesting far more workers than the host has cores must be
+        // clamped (not an error) and still produce the sequential bits.
+        let t = test_table();
+        let seq = AllSubtableSketches::build(&t, 4, 6, sketcher(1.0, 9)).unwrap();
+        let par = AllSubtableSketches::build_parallel(
+            &t,
+            4,
+            6,
+            sketcher(1.0, 9),
+            DEFAULT_MEMORY_BUDGET,
+            MemoryBudget::unbounded(),
+            1024,
+        )
+        .unwrap();
+        assert_eq!(seq.raw_values(), par.raw_values());
     }
 
     #[test]

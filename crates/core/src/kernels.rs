@@ -8,39 +8,73 @@
 //!
 //! * [`RowBlock`] pre-materializes the random rows as one immutable,
 //!   contiguous, `Arc`-shared table, so the hot path never locks.
-//! * [`dot_rows`] processes a register tile of [`ROW_TILE`] rows per pass
-//!   over the object, holding one independent accumulator per row; the
-//!   chains overlap in the out-of-order window (and vectorize), instead
-//!   of serializing on add latency.
-//! * [`dot_rows_batch`] extends the tile to rows × objects, sketching
-//!   many same-length objects per pass over each row block — the
-//!   GEMM-shaped path used by batched embedding construction and the
-//!   serve batch handler.
+//! * [`dot_rows`] / [`dot_rows_batch`] are the **lane-tiled** fast paths:
+//!   each `(row, object)` pair accumulates into a fixed-width
+//!   `[f64; LANES]` array over exact [`LANES`]-wide column chunks, which
+//!   LLVM autovectorizes into packed SIMD adds/multiplies without any
+//!   intrinsics or `unsafe` (the workspace forbids it; see DESIGN.md §15).
+//! * [`dot_rows_blocked`] / [`dot_rows_batch_blocked`] are the previous
+//!   register-blocked kernels, kept as the **bit-identity reference**:
+//!   one accumulator per pair, columns strictly ascending — the exact
+//!   operation sequence of `norms::dot_slices`.
 //!
-//! **Bit-identity invariant.** Each `(row, object)` pair is accumulated
-//! into exactly one f64 accumulator, visiting columns in strictly
-//! ascending order starting from `0.0` — the exact operation sequence of
-//! `norms::dot_slices` (which folds `0.0 + x₀·r₀ + x₁·r₁ + …`). Tiling
-//! only reorders *independent* accumulators, never the adds within one
-//! dot product, so every kernel path returns bit-identical results to the
-//! scalar baseline. Do not "optimize" a row's accumulation into multiple
-//! partial sums: that reassociates f64 addition and breaks the
-//! equivalence suite (`tests/kernel_equivalence.rs`).
+//! **Two-tier accuracy contract.**
+//!
+//! 1. The blocked kernels are *bit-identical* to the scalar baseline:
+//!    tiling only reorders independent accumulators, never the adds
+//!    within one dot product.
+//! 2. The lane kernels reassociate each dot product into [`LANES`]
+//!    partial sums (plus a sequential remainder), so they are **not**
+//!    bit-identical to scalar; they are pinned to it within a `1e-12`
+//!    relative tolerance (relative to the L1 mass `Σ|xᵢ·rᵢ|` of the
+//!    products, the standard summation error model). What *is* exact:
+//!    [`dot_rows`] and [`dot_rows_batch`] perform the identical
+//!    accumulation sequence per `(row, object)` pair, so batch and
+//!    single-object lane sketches are bit-identical to each other —
+//!    estimator results never depend on whether a request was batched.
+//!
+//! Both invariants are enforced by `tests/kernel_equivalence.rs`. Do not
+//! change the lane reduction order or chunk width without updating the
+//! suite and DESIGN.md §15.
 
 use std::sync::Arc;
 
 use tabsketch_table::norms;
 
-/// Random rows per register tile of the single-object kernel
-/// ([`dot_rows`]): eight independent accumulator chains are enough to
-/// cover f64 add latency on current cores without spilling.
+/// Partial sums per dot product in the lane kernels. Two lanes is the
+/// deliberate sweet spot for the baseline x86-64 target: each row's
+/// `[f64; 2]` accumulator is exactly one SSE2 register (`addpd`/`mulpd`),
+/// so an eight-row tile vectorizes into 16 packed registers without
+/// spilling. Wider lane counts force either a narrower row tile (losing
+/// the `x` load amortization that makes the blocked kernel fast) or
+/// register spills — both measured slower than the blocked kernel on the
+/// reference shape.
+pub const LANES: usize = 2;
+
+/// Rows per register tile of the lane single-object kernel
+/// ([`dot_rows`]): `LANE_ROW_TILE × LANES = 16` accumulators per tile,
+/// matching the blocked kernel's eight independent row chains.
+pub const LANE_ROW_TILE: usize = 8;
+
+/// Rows per register tile of the lane batched kernel
+/// ([`dot_rows_batch`]).
+pub const LANE_BATCH_ROW_TILE: usize = 4;
+
+/// Objects per register tile of the lane batched kernel:
+/// `LANE_BATCH_ROW_TILE × LANE_OBJ_TILE × LANES = 16` accumulators.
+pub const LANE_OBJ_TILE: usize = 2;
+
+/// Random rows per register tile of the blocked single-object kernel
+/// ([`dot_rows_blocked`]): eight independent accumulator chains are
+/// enough to cover f64 add latency on current cores without spilling.
 pub const ROW_TILE: usize = 8;
 
-/// Rows per register tile of the batched kernel ([`dot_rows_batch`]).
+/// Rows per register tile of the blocked batched kernel
+/// ([`dot_rows_batch_blocked`]).
 pub const BATCH_ROW_TILE: usize = 4;
 
-/// Objects per register tile of the batched kernel: `BATCH_ROW_TILE ×
-/// OBJ_TILE = 16` accumulators stay in registers.
+/// Objects per register tile of the blocked batched kernel:
+/// `BATCH_ROW_TILE × OBJ_TILE = 16` accumulators stay in registers.
 pub const OBJ_TILE: usize = 4;
 
 /// An immutable, pre-materialized block of `k` random-row prefixes stored
@@ -116,14 +150,153 @@ impl RowBlock {
     }
 }
 
-/// `out[i] = x · row[i]` for every row of the block, blocked by
-/// [`ROW_TILE`]. Bit-identical to calling `norms::dot_slices(x, row)` per
-/// row (see the module docs for why).
+/// Reduces a lane accumulator and finishes the sequential remainder —
+/// the *canonical* lane accumulation every lane kernel path must follow
+/// exactly (lane 0 + lane 1, then columns `tail..n` in ascending order).
+#[inline]
+fn lane_finish(acc: [f64; LANES], x: &[f64], row: &[f64], tail: usize) -> f64 {
+    let mut sum = acc[0] + acc[1];
+    for c in tail..x.len() {
+        sum += row[c] * x[c];
+    }
+    sum
+}
+
+/// One lane-tiled dot product: the reference the tiled kernels must
+/// reproduce bitwise for every `(row, object)` pair.
+#[inline]
+fn lane_dot(x: &[f64], row: &[f64]) -> f64 {
+    let n = x.len();
+    debug_assert_eq!(row.len(), n);
+    let chunks = n / LANES;
+    let tail = chunks * LANES;
+    let mut acc = [0.0f64; LANES];
+    let (xb, rb) = (&x[..tail], &row[..tail]);
+    for t in 0..chunks {
+        let b = t * LANES;
+        for l in 0..LANES {
+            acc[l] += rb[b + l] * xb[b + l];
+        }
+    }
+    lane_finish(acc, x, row, tail)
+}
+
+/// `out[i] = x · row[i]` for every row of the block — the lane-tiled
+/// fast path. Bit-identical to [`dot_rows_batch`] per object; within
+/// `1e-12` relative tolerance of [`dot_rows_blocked`] / scalar (see the
+/// module docs for the two-tier contract).
 ///
 /// # Panics
 ///
 /// Panics when `x.len() > block.len()` or `out.len() != block.k()`.
 pub fn dot_rows(block: &RowBlock, x: &[f64], out: &mut [f64]) {
+    let n = x.len();
+    assert!(n <= block.len(), "object longer than the row block");
+    assert_eq!(out.len(), block.k(), "output length must equal k");
+    let x = &x[..n];
+    let k = block.k();
+    tabsketch_obs::counter!("core.kernels.lanes").add(k as u64);
+    let chunks = n / LANES;
+    let tail = chunks * LANES;
+    let xb = &x[..tail];
+    let mut i = 0;
+    while i + LANE_ROW_TILE <= k {
+        let rows: [&[f64]; LANE_ROW_TILE] = std::array::from_fn(|j| &block.row(i + j)[..n]);
+        let tiles: [&[f64]; LANE_ROW_TILE] = std::array::from_fn(|j| &rows[j][..tail]);
+        let mut acc = [[0.0f64; LANES]; LANE_ROW_TILE];
+        for t in 0..chunks {
+            let b = t * LANES;
+            for (j, tile) in tiles.iter().enumerate() {
+                for l in 0..LANES {
+                    acc[j][l] += tile[b + l] * xb[b + l];
+                }
+            }
+        }
+        for (j, row) in rows.iter().enumerate() {
+            out[i + j] = lane_finish(acc[j], x, row, tail);
+        }
+        i += LANE_ROW_TILE;
+    }
+    for (slot, r) in out[i..].iter_mut().zip(i..k) {
+        *slot = lane_dot(x, &block.row(r)[..n]);
+    }
+}
+
+/// `out[o * k + i] = objs[o] · row[i]` for every (object, row) pair —
+/// the lane-tiled batched fast path, amortizing each row load over
+/// [`LANE_OBJ_TILE`] objects. Bit-identical to [`dot_rows`] per object
+/// (same lane accumulation sequence), so batched and single-object
+/// sketches never diverge.
+///
+/// # Panics
+///
+/// Panics when objects have unequal lengths, an object is longer than the
+/// block, or `out.len() != objs.len() * block.k()`.
+pub fn dot_rows_batch(block: &RowBlock, objs: &[&[f64]], out: &mut [f64]) {
+    let k = block.k();
+    assert_eq!(out.len(), objs.len() * k, "output must hold k per object");
+    let Some(first) = objs.first() else {
+        return;
+    };
+    let n = first.len();
+    assert!(n <= block.len(), "object longer than the row block");
+    assert!(
+        objs.iter().all(|o| o.len() == n),
+        "batched objects must share one length"
+    );
+    tabsketch_obs::counter!("core.kernels.lanes").add((objs.len() * k) as u64);
+    let chunks = n / LANES;
+    let tail = chunks * LANES;
+    let mut o = 0;
+    while o + LANE_OBJ_TILE <= objs.len() {
+        let xs: [&[f64]; LANE_OBJ_TILE] = std::array::from_fn(|t| &objs[o + t][..n]);
+        let xtiles: [&[f64]; LANE_OBJ_TILE] = std::array::from_fn(|t| &xs[t][..tail]);
+        let mut i = 0;
+        while i + LANE_BATCH_ROW_TILE <= k {
+            let rows: [&[f64]; LANE_BATCH_ROW_TILE] =
+                std::array::from_fn(|j| &block.row(i + j)[..n]);
+            let rtiles: [&[f64]; LANE_BATCH_ROW_TILE] = std::array::from_fn(|j| &rows[j][..tail]);
+            let mut acc = [[[0.0f64; LANES]; LANE_OBJ_TILE]; LANE_BATCH_ROW_TILE];
+            for t in 0..chunks {
+                let b = t * LANES;
+                for (j, rtile) in rtiles.iter().enumerate() {
+                    for (s, xtile) in xtiles.iter().enumerate() {
+                        for l in 0..LANES {
+                            acc[j][s][l] += rtile[b + l] * xtile[b + l];
+                        }
+                    }
+                }
+            }
+            for (j, row) in rows.iter().enumerate() {
+                for (s, x) in xs.iter().enumerate() {
+                    out[(o + s) * k + i + j] = lane_finish(acc[j][s], x, row, tail);
+                }
+            }
+            i += LANE_BATCH_ROW_TILE;
+        }
+        // Remainder rows for this object tile.
+        for r in i..k {
+            let row = &block.row(r)[..n];
+            for (s, x) in xs.iter().enumerate() {
+                out[(o + s) * k + r] = lane_dot(x, row);
+            }
+        }
+        o += LANE_OBJ_TILE;
+    }
+    // Leftover objects fall back to the single-object lane kernel.
+    for (t, obj) in objs.iter().enumerate().skip(o) {
+        dot_rows(block, obj, &mut out[t * k..(t + 1) * k]);
+    }
+}
+
+/// `out[i] = x · row[i]` for every row of the block, blocked by
+/// [`ROW_TILE`]. **Bit-identical** to calling `norms::dot_slices(x, row)`
+/// per row — the exact reference tier of the kernel contract.
+///
+/// # Panics
+///
+/// Panics when `x.len() > block.len()` or `out.len() != block.k()`.
+pub fn dot_rows_blocked(block: &RowBlock, x: &[f64], out: &mut [f64]) {
     let n = x.len();
     assert!(n <= block.len(), "object longer than the row block");
     assert_eq!(out.len(), block.k(), "output length must equal k");
@@ -151,15 +324,14 @@ pub fn dot_rows(block: &RowBlock, x: &[f64], out: &mut [f64]) {
 }
 
 /// `out[o * k + i] = objs[o] · row[i]` for every (object, row) pair,
-/// blocked by [`BATCH_ROW_TILE`] × [`OBJ_TILE`] so each pass over a row
-/// block sketches several objects at once. Bit-identical to [`dot_rows`]
-/// per object.
+/// blocked by [`BATCH_ROW_TILE`] × [`OBJ_TILE`]. **Bit-identical** to
+/// [`dot_rows_blocked`] per object, and hence to scalar.
 ///
 /// # Panics
 ///
 /// Panics when objects have unequal lengths, an object is longer than the
 /// block, or `out.len() != objs.len() * block.k()`.
-pub fn dot_rows_batch(block: &RowBlock, objs: &[&[f64]], out: &mut [f64]) {
+pub fn dot_rows_batch_blocked(block: &RowBlock, objs: &[&[f64]], out: &mut [f64]) {
     let k = block.k();
     assert_eq!(out.len(), objs.len() * k, "output must hold k per object");
     let Some(first) = objs.first() else {
@@ -212,7 +384,7 @@ pub fn dot_rows_batch(block: &RowBlock, objs: &[&[f64]], out: &mut [f64]) {
     }
     // Leftover objects fall back to the single-object kernel.
     for (t, obj) in objs.iter().enumerate().skip(o) {
-        dot_rows(block, obj, &mut out[t * k..(t + 1) * k]);
+        dot_rows_blocked(block, obj, &mut out[t * k..(t + 1) * k]);
     }
 }
 
@@ -223,6 +395,16 @@ mod tests {
     fn block_from_fn(k: usize, len: usize, f: impl Fn(usize, usize) -> f64) -> RowBlock {
         let data: Vec<f64> = (0..k * len).map(|i| f(i / len, i % len)).collect();
         RowBlock::from_parts(k, len, len, data.into())
+    }
+
+    /// `|lane − scalar| ≤ 1e-12 · Σ|xᵢ·rᵢ|`: the documented lane bound.
+    fn assert_lane_close(lane: f64, scalar: f64, x: &[f64], row: &[f64]) {
+        let mass: f64 = x.iter().zip(row).map(|(a, b)| (a * b).abs()).sum();
+        let tol = 1e-12 * mass.max(1.0);
+        assert!(
+            (lane - scalar).abs() <= tol,
+            "lane {lane} vs scalar {scalar} beyond {tol}"
+        );
     }
 
     #[test]
@@ -243,14 +425,14 @@ mod tests {
     }
 
     #[test]
-    fn dot_rows_matches_scalar_over_remainder_shapes() {
+    fn blocked_dot_rows_is_bit_identical_to_scalar() {
         // Cover k below/at/above ROW_TILE and odd lengths.
         for &k in &[1, 7, 8, 9, 19] {
             for &n in &[0, 1, 5, 16, 17, 33] {
                 let b = block_from_fn(k, n.max(1), |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
                 let x: Vec<f64> = (0..n).map(|c| ((c * 5) % 11) as f64 - 5.0).collect();
                 let mut out = vec![0.0; k];
-                dot_rows(&b, &x, &mut out);
+                dot_rows_blocked(&b, &x, &mut out);
                 for (i, &v) in out.iter().enumerate() {
                     let expect = norms::dot_slices(&x, &b.row(i)[..n]);
                     assert!(v == expect, "k={k} n={n} row {i}: {v} vs {expect}");
@@ -260,7 +442,48 @@ mod tests {
     }
 
     #[test]
-    fn dot_rows_batch_matches_dot_rows() {
+    fn lane_dot_rows_matches_scalar_within_tolerance() {
+        // Remainder lengths (n % LANES != 0) are the interesting cases.
+        for &k in &[1, 3, 4, 5, 11] {
+            for &n in &[0, 1, 2, 3, 4, 5, 7, 15, 17, 33] {
+                let b = block_from_fn(k, n.max(1), |r, c| ((r * 29 + c * 11) % 17) as f64 - 8.0);
+                let x: Vec<f64> = (0..n).map(|c| ((c * 7) % 13) as f64 - 6.0).collect();
+                let mut out = vec![0.0; k];
+                dot_rows(&b, &x, &mut out);
+                for (i, &v) in out.iter().enumerate() {
+                    let row = &b.row(i)[..n];
+                    assert_lane_close(v, norms::dot_slices(&x, row), &x, row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batch_is_bit_identical_to_lane_single() {
+        for &nobj in &[0, 1, 2, 3, 4, 5, 9] {
+            for &(k, n) in &[(11usize, 23usize), (4, 16), (7, 5)] {
+                let b = block_from_fn(k, n, |r, c| ((r * 17 + c * 3) % 19) as f64 / 3.0);
+                let objs: Vec<Vec<f64>> = (0..nobj)
+                    .map(|o| (0..n).map(|c| ((o * 13 + c) % 7) as f64 - 3.0).collect())
+                    .collect();
+                let refs: Vec<&[f64]> = objs.iter().map(|v| &v[..]).collect();
+                let mut batched = vec![0.0; nobj * k];
+                dot_rows_batch(&b, &refs, &mut batched);
+                for (o, obj) in refs.iter().enumerate() {
+                    let mut single = vec![0.0; k];
+                    dot_rows(&b, obj, &mut single);
+                    assert_eq!(
+                        &batched[o * k..(o + 1) * k],
+                        &single[..],
+                        "nobj={nobj} k={k} n={n} object {o}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_batch_is_bit_identical_to_blocked_single() {
         for &nobj in &[0, 1, 3, 4, 5, 9] {
             let k = 11;
             let n = 23;
@@ -270,10 +493,10 @@ mod tests {
                 .collect();
             let refs: Vec<&[f64]> = objs.iter().map(|v| &v[..]).collect();
             let mut batched = vec![0.0; nobj * k];
-            dot_rows_batch(&b, &refs, &mut batched);
+            dot_rows_batch_blocked(&b, &refs, &mut batched);
             for (o, obj) in refs.iter().enumerate() {
                 let mut single = vec![0.0; k];
-                dot_rows(&b, obj, &mut single);
+                dot_rows_blocked(&b, obj, &mut single);
                 assert_eq!(&batched[o * k..(o + 1) * k], &single[..], "object {o}");
             }
         }

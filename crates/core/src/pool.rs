@@ -199,7 +199,7 @@ impl SketchPool {
         for &(r, c) in &sizes {
             let mut sets = Vec::with_capacity(4);
             for anchor in 0..4u64 {
-                sets.push(Self::build_unit(table, params, &config, (r, c), anchor)?);
+                sets.push(Self::build_unit(table, params, &config, (r, c), anchor, 1)?);
             }
             let sets: Box<[AllSubtableSketches; 4]> = match sets.try_into() {
                 Ok(arr) => Box::new(arr),
@@ -223,6 +223,21 @@ impl SketchPool {
     /// pool is **bit-identical** to the sequential build for every thread
     /// count (the equivalence suite pins this down).
     ///
+    /// Scheduling is adaptive (DESIGN.md §15):
+    ///
+    /// * the requested count is clamped to
+    ///   [`std::thread::available_parallelism`], and a single effective
+    ///   worker takes the serial [`SketchPool::build`] path outright —
+    ///   no thread scaffolding on a 1-core host;
+    /// * work-stealing claims units **largest estimated cost first**
+    ///   (cost from [`AllSubtableSketches::estimated_build_cost`]), so
+    ///   the biggest canonical sizes cannot land last on one straggler;
+    /// * cores left over after the outer fan-out
+    ///   (`effective / outer_workers`) go to kernel-level parallelism
+    ///   *inside* each unit's banded build, so few-unit pools — and
+    ///   spilled tables building band by band under a memory budget —
+    ///   still use the whole machine.
+    ///
     /// # Errors
     ///
     /// Same contract as [`SketchPool::build`], plus
@@ -238,6 +253,10 @@ impl SketchPool {
         if threads == 0 {
             return Err(TabError::InvalidParameter("threads must be non-zero"));
         }
+        let effective = crate::clamp_threads(threads);
+        if effective == 1 {
+            return Self::build(table, params, config);
+        }
         config.validate()?;
         let _span = tabsketch_obs::span("core.pool.build");
         tabsketch_obs::counter!("core.pool.builds").inc();
@@ -246,25 +265,46 @@ impl SketchPool {
             .iter()
             .flat_map(|&sz| (0..4u64).map(move |anchor| (sz, anchor)))
             .collect();
-        let threads = threads.min(units.len());
+        let outer = effective.min(units.len());
+        let inner = (effective / outer).max(1);
+        // Claim units in descending estimated-cost order (stable within
+        // ties, so anchors of one size keep their sequential order). The
+        // claim order only affects wall-clock, never results: each unit
+        // lands back in its original slot.
+        let mut schedule: Vec<usize> = (0..units.len()).collect();
+        schedule.sort_by_key(|&i| {
+            let ((r, c), _) = units[i];
+            std::cmp::Reverse(AllSubtableSketches::estimated_build_cost(
+                table,
+                r,
+                c,
+                params.k(),
+                config.table_budget,
+            ))
+        });
         // Work-stealing over a shared index: unit costs vary wildly with
         // the canonical size, so static chunking would leave threads idle.
         let next = std::sync::atomic::AtomicUsize::new(0);
         let built: Vec<Vec<(usize, Result<AllSubtableSketches, TabError>)>> =
             std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for _ in 0..threads {
+                let mut handles = Vec::with_capacity(outer);
+                for _ in 0..outer {
                     let next = &next;
                     let units = &units;
+                    let schedule = &schedule;
                     let config = &config;
                     handles.push(scope.spawn(move || {
                         let mut out = Vec::new();
                         loop {
-                            let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            let Some(&(sz, anchor)) = units.get(idx) else {
+                            let slot = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let Some(&idx) = schedule.get(slot) else {
                                 break;
                             };
-                            out.push((idx, Self::build_unit(table, params, config, sz, anchor)));
+                            let (sz, anchor) = units[idx];
+                            out.push((
+                                idx,
+                                Self::build_unit(table, params, config, sz, anchor, inner),
+                            ));
                         }
                         out
                     }));
@@ -346,24 +386,39 @@ impl SketchPool {
 
     /// Builds the all-subtable store of one `(canonical size, anchor)`
     /// work unit. Each (size, anchor) pair gets an independent random
-    /// family, as Theorem 5 requires.
+    /// family, as Theorem 5 requires. `inner_threads > 1` fans the
+    /// unit's kernel correlations across that many threads within each
+    /// band — results are bit-identical either way.
     fn build_unit(
         table: &Table,
         params: SketchParams,
         config: &PoolConfig,
         (r, c): (usize, usize),
         anchor: u64,
+        inner_threads: usize,
     ) -> Result<AllSubtableSketches, TabError> {
         let family = derive_key(params.seed(), &[r as u64, c as u64, anchor]);
         let sketcher = Sketcher::with_family(params, family)?;
-        AllSubtableSketches::build_with_budgets(
-            table,
-            r,
-            c,
-            sketcher,
-            config.max_bytes,
-            config.table_budget,
-        )
+        if inner_threads > 1 {
+            AllSubtableSketches::build_parallel(
+                table,
+                r,
+                c,
+                sketcher,
+                config.max_bytes,
+                config.table_budget,
+                inner_threads,
+            )
+        } else {
+            AllSubtableSketches::build_with_budgets(
+                table,
+                r,
+                c,
+                sketcher,
+                config.max_bytes,
+                config.table_budget,
+            )
+        }
     }
 
     /// The sketch parameters of the pool.

@@ -1,13 +1,20 @@
-//! Bit-identity equivalence suite for the dense kernel layer.
+//! Equivalence suite for the dense kernel layer's two-tier contract
+//! (DESIGN.md §15).
 //!
-//! The blocked kernels in `tabsketch_core::kernels` promise *exact*
-//! f64 equality with the scalar reference computation, not closeness:
-//! every accumulator visits the same columns in the same order as
-//! `norms::dot_slices`, so tiling must never change a single bit. These
-//! tests pin that contract through the public API, sweeping odd and
-//! around-power-of-two lengths to exercise every remainder path of the
-//! row and object tiles.
+//! Tier 1: the *blocked* kernels (`dot_rows_blocked`,
+//! `dot_rows_batch_blocked`) promise exact f64 equality with the scalar
+//! reference — every accumulator visits the same columns in the same
+//! order as `norms::dot_slices`, so tiling must never change a bit.
+//!
+//! Tier 2: the *lane* kernels behind the public sketch API reassociate
+//! each dot product into `LANES` partial sums for autovectorization, so
+//! they carry a pinned `1e-12` tolerance relative to the L1 mass of the
+//! products — but batched and single-object lane sketches must still be
+//! bit-identical to each other. These tests pin both tiers through the
+//! public API, sweeping odd and around-power-of-two lengths to exercise
+//! every remainder path of the row, object, and lane tiles.
 
+use tabsketch_core::kernels::{dot_rows, dot_rows_batch, dot_rows_blocked, RowBlock, LANES};
 use tabsketch_core::{SketchParams, Sketcher};
 use tabsketch_table::{norms, Table};
 
@@ -37,8 +44,18 @@ fn object(len: usize, phase: usize) -> Vec<f64> {
         .collect()
 }
 
+/// `|lane − scalar| ≤ 1e-12 · Σ|xᵢ·rᵢ|`: the documented lane-tier bound.
+fn assert_lane_close(lane: f64, scalar: f64, x: &[f64], row: &[f64], ctx: &str) {
+    let mass: f64 = x.iter().zip(row).map(|(a, b)| (a * b).abs()).sum();
+    let tol = 1e-12 * mass.max(1.0);
+    assert!(
+        (lane - scalar).abs() <= tol,
+        "{ctx}: lane {lane} vs scalar {scalar} beyond tol {tol}"
+    );
+}
+
 #[test]
-fn blocked_sketch_matches_per_row_scalar_dots() {
+fn lane_sketch_matches_per_row_scalar_dots_within_tolerance() {
     for &k in WIDTHS {
         let sk = sketcher(1.0, k, 42);
         for &len in LENGTHS {
@@ -47,10 +64,105 @@ fn blocked_sketch_matches_per_row_scalar_dots() {
             for (i, &v) in got.values().iter().enumerate() {
                 let row = sk.random_row(i, len);
                 let want = norms::dot_slices(&x, &row);
+                assert_lane_close(v, want, &x, &row, &format!("k={k} len={len} row={i}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn blocked_kernel_stays_bit_identical_to_scalar() {
+    // The exact reference tier, pinned through the kernels API so the
+    // lane rewrite can never silently replace it.
+    for &k in WIDTHS {
+        for &len in LENGTHS {
+            let data: Vec<f64> = (0..k * len)
+                .map(|i| ((i * 37) % 41) as f64 / 7.0 - 2.5)
+                .collect();
+            let block = RowBlock::from_parts(k, len, len, data.into());
+            let x = object(len, 1);
+            let mut out = vec![0.0; k];
+            dot_rows_blocked(&block, &x, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                let want = norms::dot_slices(&x, block.row(i));
                 assert_eq!(v, want, "k={k} len={len} row={i}");
             }
         }
     }
+}
+
+#[test]
+fn lane_kernel_handles_remainder_lengths() {
+    // Every n % LANES residue, including lengths shorter than one lane
+    // chunk, must satisfy the tolerance and the batch==single identity.
+    let k = 9;
+    for len in 1..=3 * LANES + 2 {
+        let data: Vec<f64> = (0..k * len)
+            .map(|i| ((i * 23) % 31) as f64 - 15.0)
+            .collect();
+        let block = RowBlock::from_parts(k, len, len, data.into());
+        let x = object(len, 2);
+        let mut lane = vec![0.0; k];
+        dot_rows(&block, &x, &mut lane);
+        for (i, &v) in lane.iter().enumerate() {
+            let row = block.row(i);
+            assert_lane_close(
+                v,
+                norms::dot_slices(&x, row),
+                &x,
+                row,
+                &format!("len={len} row={i}"),
+            );
+        }
+        let refs = [&x[..], &x[..], &x[..]];
+        let mut batched = vec![0.0; 3 * k];
+        dot_rows_batch(&block, &refs, &mut batched);
+        for o in 0..3 {
+            assert_eq!(&batched[o * k..(o + 1) * k], &lane[..], "len={len} obj={o}");
+        }
+    }
+}
+
+#[test]
+fn lane_kernel_handles_subnormal_and_mixed_sign_inputs() {
+    let k = 8;
+    let len = 27; // odd length leaves a lane-tail column
+                  // Rows mixing signs, magnitudes, and subnormals: the lane path must
+                  // not flush, reorder into Inf, or lose the cancellation structure
+                  // beyond the documented bound.
+    let data: Vec<f64> = (0..k * len)
+        .map(|i| match i % 5 {
+            0 => 1.0e-310, // subnormal
+            1 => -1.0e-310,
+            2 => ((i % 97) as f64 - 48.0) * 1.0e3,
+            3 => -((i % 89) as f64) * 1.0e-3,
+            _ => (i % 7) as f64 - 3.0,
+        })
+        .collect();
+    let block = RowBlock::from_parts(k, len, len, data.into());
+    let x: Vec<f64> = (0..len)
+        .map(|c| {
+            if c % 2 == 0 {
+                1.0e-308
+            } else {
+                -((c % 11) as f64)
+            }
+        })
+        .collect();
+    let mut lane = vec![0.0; k];
+    dot_rows(&block, &x, &mut lane);
+    for (i, &v) in lane.iter().enumerate() {
+        let row = block.row(i);
+        assert!(v.is_finite(), "row {i} not finite: {v}");
+        assert_lane_close(v, norms::dot_slices(&x, row), &x, row, &format!("row={i}"));
+    }
+    // Batched path over the same pathological inputs stays bit-identical
+    // to the single-object lane kernel.
+    let refs = [&x[..], &x[..]];
+    let mut batched = vec![0.0; 2 * k];
+    dot_rows_batch(&block, &refs, &mut batched);
+    assert_eq!(&batched[..k], &lane[..]);
+    assert_eq!(&batched[k..], &lane[..]);
 }
 
 #[test]

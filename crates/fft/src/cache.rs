@@ -1,11 +1,19 @@
 //! A process-wide FFT plan cache.
 //!
-//! Planning a radix-2 transform builds bit-reversal and twiddle tables
-//! — `O(n)` work and two allocations that the 1-D entry points used to
-//! repeat on every call. Lengths are powers of two bounded by table
-//! sizes, so the live set is tiny; the cache hands out `Arc` clones of
-//! at most [`MAX_PLANS`] plans and reports hits/misses through the
-//! `fft.plan_cache.*` registry keys.
+//! Planning a transform builds bit-reversal and twiddle tables — `O(n)`
+//! work and allocations that the 1-D entry points used to repeat on
+//! every call. Lengths are powers of two bounded by table sizes, so the
+//! live set is tiny; the cache hands out `Arc` clones of complex
+//! ([`crate::FftPlan`]) and real-input ([`crate::RfftPlan`]) plans,
+//! keyed separately so a real plan for length `n` never aliases the
+//! complex plan for the same `n`.
+//!
+//! Eviction is by total cached footprint in bytes (not entry count):
+//! when inserting a plan would push the resident tables past
+//! [`MAX_PLAN_CACHE_BYTES`], the whole cache is dropped and rebuilt on
+//! demand. Outstanding `Arc`s stay valid; only the cache's references
+//! are released. Hits, misses, evictions, and the resident byte total
+//! are reported through the `fft.plan_cache.*` registry keys.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -13,35 +21,93 @@ use std::sync::{Arc, Mutex, OnceLock};
 use tabsketch_obs as obs;
 
 use crate::plan::FftPlan;
+use crate::rfft::RfftPlan;
 use crate::FftError;
 
-/// Distinct plan lengths kept resident. Power-of-two lengths up to
-/// 2^64 could only ever produce 64 entries; the bound exists so a
-/// pathological caller cannot pin unbounded memory.
-pub const MAX_PLANS: usize = 64;
+/// Byte budget for resident plan tables. A plan for length `n` costs
+/// `~12n` bytes, so 16 MiB holds every power of two up to `2^20`
+/// simultaneously — far beyond any table dimension this workspace
+/// processes — while still bounding a pathological caller.
+pub const MAX_PLAN_CACHE_BYTES: usize = 16 << 20;
 
-static PLANS: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+#[derive(Default)]
+struct CacheState {
+    complex: HashMap<usize, Arc<FftPlan>>,
+    real: HashMap<usize, Arc<RfftPlan>>,
+    bytes: usize,
+}
 
-/// A shared plan for transforms of length `n`, built on first use and
-/// cached for the life of the process.
+impl CacheState {
+    /// Drops every cached plan if admitting `incoming` more bytes would
+    /// exceed the budget, then records the new resident total.
+    fn admit(&mut self, incoming: usize) {
+        if self.bytes + incoming > MAX_PLAN_CACHE_BYTES {
+            let evicted = (self.complex.len() + self.real.len()) as u64;
+            obs::counter!("fft.plan_cache.evictions").add(evicted);
+            self.complex.clear();
+            self.real.clear();
+            self.bytes = 0;
+        }
+        self.bytes += incoming;
+        obs::gauge!("fft.plan_cache.bytes").set(self.bytes as u64);
+    }
+}
+
+static CACHE: OnceLock<Mutex<CacheState>> = OnceLock::new();
+
+fn cache() -> &'static Mutex<CacheState> {
+    CACHE.get_or_init(|| Mutex::new(CacheState::default()))
+}
+
+/// A shared complex plan for transforms of length `n`, built on first
+/// use and cached for the life of the process.
 ///
 /// # Errors
 ///
 /// Returns [`FftError::NotPowerOfTwo`] when `n` is not a power of two.
 pub fn plan_for(n: usize) -> Result<Arc<FftPlan>, FftError> {
-    let cache = PLANS.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("fft plan cache lock");
-    if let Some(plan) = map.get(&n) {
+    let mut state = cache().lock().expect("fft plan cache lock");
+    if let Some(plan) = state.complex.get(&n) {
         obs::counter!("fft.plan_cache.hits").inc();
         return Ok(Arc::clone(plan));
     }
     obs::counter!("fft.plan_cache.misses").inc();
     let plan = Arc::new(FftPlan::new(n)?);
-    if map.len() >= MAX_PLANS {
-        obs::counter!("fft.plan_cache.evictions").add(map.len() as u64);
-        map.clear();
+    state.admit(plan.footprint_bytes());
+    state.complex.insert(n, Arc::clone(&plan));
+    Ok(plan)
+}
+
+/// A shared real-input plan for transforms of length `n`, built on
+/// first use and cached for the life of the process. Keyed separately
+/// from [`plan_for`]'s complex plans: both can coexist for the same `n`.
+///
+/// # Errors
+///
+/// Returns [`FftError::NotPowerOfTwo`] when `n` is not a power of two.
+pub fn rplan_for(n: usize) -> Result<Arc<RfftPlan>, FftError> {
+    if let Some(plan) = cache()
+        .lock()
+        .expect("fft plan cache lock")
+        .real
+        .get(&n)
+        .map(Arc::clone)
+    {
+        obs::counter!("fft.plan_cache.hits").inc();
+        return Ok(plan);
     }
-    map.insert(n, Arc::clone(&plan));
+    obs::counter!("fft.plan_cache.misses").inc();
+    // Built outside the cache lock: constructing an `RfftPlan` fetches
+    // its half-length complex plan through `plan_for`, which takes the
+    // same lock. A concurrent duplicate build is harmless — both
+    // produce identical tables and the second insert wins.
+    let plan = Arc::new(RfftPlan::new(n)?);
+    let mut state = cache().lock().expect("fft plan cache lock");
+    if let Some(existing) = state.real.get(&n) {
+        return Ok(Arc::clone(existing));
+    }
+    state.admit(plan.footprint_bytes());
+    state.real.insert(n, Arc::clone(&plan));
     Ok(plan)
 }
 
@@ -60,5 +126,44 @@ mod tests {
         let hits = obs::counter("fft.plan_cache.hits").get();
         plan_for(1024).unwrap();
         assert!(obs::counter("fft.plan_cache.hits").get() > hits);
+    }
+
+    #[test]
+    fn real_and_complex_plans_for_same_length_never_alias() {
+        let n = 512;
+        let c = plan_for(n).unwrap();
+        let r = rplan_for(n).unwrap();
+        let r2 = rplan_for(n).unwrap();
+        assert!(Arc::ptr_eq(&r, &r2), "real plans are cached");
+        assert_eq!(c.len(), n);
+        assert_eq!(r.len(), n);
+        // Distinct types can't literally alias, but the cache keys must
+        // also stay separate: asking for one must not evict or shadow
+        // the other, and both stay resident for the same n.
+        let c2 = plan_for(n).unwrap();
+        assert!(
+            Arc::ptr_eq(&c, &c2),
+            "rplan_for(n) must not disturb plan_for(n)"
+        );
+        assert_eq!(r.spectrum_len(), n / 2 + 1);
+    }
+
+    #[test]
+    fn rplan_rejects_bad_lengths() {
+        assert!(rplan_for(0).is_err());
+        assert!(rplan_for(48).is_err());
+        assert!(rplan_for(1).is_ok());
+    }
+
+    #[test]
+    fn cache_reports_resident_bytes() {
+        plan_for(2048).unwrap();
+        rplan_for(2048).unwrap();
+        let resident = obs::gauge("fft.plan_cache.bytes").get();
+        assert!(resident > 0, "byte gauge must track resident plans");
+        assert!(
+            (resident as usize) <= MAX_PLAN_CACHE_BYTES,
+            "resident {resident} B exceeds the {MAX_PLAN_CACHE_BYTES} B budget"
+        );
     }
 }

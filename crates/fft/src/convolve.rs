@@ -11,7 +11,7 @@
 
 use tabsketch_obs as obs;
 
-use crate::cache::plan_for;
+use crate::cache::rplan_for;
 use crate::complex::Complex;
 use crate::fft2d::Fft2dPlan;
 use crate::plan::{next_pow2, Direction};
@@ -31,16 +31,17 @@ pub fn convolve_1d(a: &[f64], b: &[f64]) -> Vec<f64> {
     }
     let _span = obs::span("fft.convolve_1d");
     let n = next_pow2(out_len);
-    let plan = plan_for(n).expect("next_pow2 is a power of two");
+    // Both inputs are real, so the half-spectrum rfft path does the
+    // same multiply over n/2+1 bins instead of n.
+    let plan = rplan_for(n).expect("next_pow2 is a power of two");
     let mut fa = plan.forward_real(a);
     let fb = plan.forward_real(b);
     for (x, y) in fa.iter_mut().zip(&fb) {
         *x *= *y;
     }
-    plan.transform(&mut fa, Direction::Inverse)
-        .expect("length matches plan");
-    fa.truncate(out_len);
-    fa.into_iter().map(|z| z.re).collect()
+    let mut real = plan.inverse_real(&fa).expect("length matches plan");
+    real.truncate(out_len);
+    real
 }
 
 /// Direct `O(n·m)` linear convolution; reference implementation.
@@ -71,17 +72,16 @@ pub fn cross_correlate_1d_valid(data: &[f64], kernel: &[f64]) -> Vec<f64> {
     }
     let _span = obs::span("fft.correlate_1d");
     let n = next_pow2(data.len());
-    let plan = plan_for(n).expect("next_pow2 is a power of two");
+    let plan = rplan_for(n).expect("next_pow2 is a power of two");
     let mut fd = plan.forward_real(data);
     let fk = plan.forward_real(kernel);
     // Correlation = convolution with the conjugate spectrum of the kernel.
     for (x, y) in fd.iter_mut().zip(&fk) {
         *x *= y.conj();
     }
-    plan.transform(&mut fd, Direction::Inverse)
-        .expect("length matches plan");
-    fd.truncate(out_len);
-    fd.into_iter().map(|z| z.re).collect()
+    let mut real = plan.inverse_real(&fd).expect("length matches plan");
+    real.truncate(out_len);
+    real
 }
 
 /// Direct valid-mode 1-D cross-correlation; reference implementation.
@@ -144,10 +144,18 @@ pub fn cross_correlate_2d_valid_naive(
 /// This is the access pattern of all-subtable sketching: one table, `k`
 /// random kernels. Each [`Correlator2d::correlate`] call costs one forward
 /// and one inverse FFT over the padded grid; the data transform is shared.
+///
+/// Both the table and every kernel are real, so the correlator stores
+/// only the `rows × (cols/2 + 1)` **half spectrum** of the data (the
+/// rest is its Hermitian mirror) and runs single-kernel correlations
+/// entirely on the real-input FFT path — roughly half the transform
+/// flops and data-spectrum memory of the complex-path equivalent, which
+/// survives as [`Correlator2d::correlate_complex`] for tests and
+/// benchmarks.
 #[derive(Clone, Debug)]
 pub struct Correlator2d {
     plan: Fft2dPlan,
-    data_spec: Vec<Complex>,
+    data_half: Vec<Complex>,
     rows: usize,
     cols: usize,
 }
@@ -168,13 +176,28 @@ impl Correlator2d {
         }
         let _span = obs::span("fft.correlator.build");
         let plan = Fft2dPlan::new(next_pow2(rows), next_pow2(cols))?;
-        let data_spec = plan.forward_real_padded(data, rows, cols)?;
+        let data_half = plan.forward_real_padded_half(data, rows, cols)?;
         Ok(Self {
             plan,
-            data_spec,
+            data_half,
             rows,
             cols,
         })
+    }
+
+    /// The data spectrum at a full-grid bin `(u, v)`, reading stored
+    /// bins directly and mirrored bins through Hermitian symmetry
+    /// (`X[u, v] = conj(X[(R−u) mod R, (C−v) mod C])`).
+    #[inline]
+    fn data_spec_at(&self, u: usize, v: usize) -> Complex {
+        let hc = self.plan.half_cols();
+        if v < hc {
+            self.data_half[u * hc + v]
+        } else {
+            let mu = if u == 0 { 0 } else { self.plan.rows() - u };
+            let mv = self.plan.cols() - v;
+            self.data_half[mu * hc + mv].conj()
+        }
     }
 
     /// Table rows.
@@ -219,21 +242,64 @@ impl Correlator2d {
             });
         }
         let _span = obs::span("fft.correlator.correlate");
-        let mut spec = self.plan.forward_real_padded(kernel, krows, kcols)?;
-        for (x, y) in spec.iter_mut().zip(&self.data_spec) {
+        let mut spec = self.plan.forward_real_padded_half(kernel, krows, kcols)?;
+        for (x, y) in spec.iter_mut().zip(&self.data_half) {
             *x = *y * x.conj();
         }
-        self.plan.transform(&mut spec, Direction::Inverse)?;
+        let real = self.plan.inverse_half_to_real(spec)?;
         let out_rows = self.rows - krows + 1;
         let out_cols = self.cols - kcols + 1;
         let padded_cols = self.plan.cols();
         let mut out = Vec::with_capacity(out_rows * out_cols);
         for r in 0..out_rows {
-            out.extend(
-                spec[r * padded_cols..r * padded_cols + out_cols]
-                    .iter()
-                    .map(|z| z.re),
-            );
+            out.extend_from_slice(&real[r * padded_cols..r * padded_cols + out_cols]);
+        }
+        Ok(out)
+    }
+
+    /// [`Correlator2d::correlate`] over the full complex spectrum — the
+    /// pre-rfft reference path, kept public so equivalence tests and the
+    /// kernel benchmark can pin the rfft speedup against it. One full
+    /// complex forward, full-grid multiply, and full complex inverse per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Correlator2d::correlate`].
+    pub fn correlate_complex(
+        &self,
+        kernel: &[f64],
+        krows: usize,
+        kcols: usize,
+    ) -> Result<Vec<f64>, FftError> {
+        if kernel.len() != krows * kcols {
+            return Err(FftError::LengthMismatch {
+                expected: krows * kcols,
+                got: kernel.len(),
+            });
+        }
+        if krows == 0 || kcols == 0 || krows > self.rows || kcols > self.cols {
+            return Err(FftError::KernelTooLarge {
+                krows,
+                kcols,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let mut spec = self.plan.forward_real_padded(kernel, krows, kcols)?;
+        let pcols = self.plan.cols();
+        for u in 0..self.plan.rows() {
+            for v in 0..pcols {
+                let x = &mut spec[u * pcols + v];
+                *x = self.data_spec_at(u, v) * x.conj();
+            }
+        }
+        self.plan.transform(&mut spec, Direction::Inverse)?;
+        let out_rows = self.rows - krows + 1;
+        let out_cols = self.cols - kcols + 1;
+        let mut out = Vec::with_capacity(out_rows * out_cols);
+        for r in 0..out_rows {
+            out.extend(spec[r * pcols..r * pcols + out_cols].iter().map(|z| z.re));
         }
         Ok(out)
     }
@@ -300,7 +366,7 @@ impl Correlator2d {
                 // (z - zc) / (2i) = -i/2 · (z - zc).
                 let d = z - zc;
                 let f2 = Complex::new(d.im * 0.5, -d.re * 0.5);
-                let dspec = self.data_spec[u * pcols + v];
+                let dspec = self.data_spec_at(u, v);
                 let g1 = dspec * f1.conj();
                 let g2 = dspec * f2.conj();
                 out_spec[u * pcols + v] = g1 + Complex::new(-g2.im, g2.re); // g1 + i·g2
@@ -430,6 +496,25 @@ mod tests {
             assert_slices_close(&p1, &s1, 1e-6);
             assert_slices_close(&p2, &s2, 1e-6);
         }
+    }
+
+    #[test]
+    fn correlate_complex_reference_matches_rfft_path() {
+        let (rows, cols) = (9, 14);
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| ((i * 29) % 97) as f64 - 48.0)
+            .collect();
+        let corr = Correlator2d::new(&data, rows, cols).unwrap();
+        for &(kr, kc) in &[(1usize, 1usize), (3, 5), (9, 14)] {
+            let kernel: Vec<f64> = (0..kr * kc).map(|i| ((i * 3) % 17) as f64 - 8.0).collect();
+            let fast = corr.correlate(&kernel, kr, kc).unwrap();
+            let slow = corr.correlate_complex(&kernel, kr, kc).unwrap();
+            assert_slices_close(&fast, &slow, 1e-8);
+            let naive = cross_correlate_2d_valid_naive(&data, rows, cols, &kernel, kr, kc);
+            assert_slices_close(&slow, &naive, 1e-6);
+        }
+        assert!(corr.correlate_complex(&[1.0; 4], 2, 3).is_err());
+        assert!(corr.correlate_complex(&[], 0, 0).is_err());
     }
 
     #[test]

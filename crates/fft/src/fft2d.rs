@@ -3,18 +3,34 @@
 //! A [`Fft2dPlan`] combines two one-dimensional plans (one per axis) and a
 //! scratch column buffer, transforming an `rows × cols` complex matrix in
 //! place by transforming all rows and then all columns.
+//!
+//! Real inputs additionally get a **half-spectrum** path: each row goes
+//! through the real-input FFT ([`crate::RfftPlan`]), keeping only the
+//! `cols/2 + 1` non-redundant column bins, and the column transforms run
+//! over that narrow grid. The full spectrum is recoverable by Hermitian
+//! symmetry (`X[u, v] = conj(X[(rows−u) mod rows, (cols−v) mod cols])`),
+//! so the half grid carries the same information at roughly half the
+//! transform work and memory.
 
+use std::sync::Arc;
+
+use crate::cache::{plan_for, rplan_for};
 use crate::complex::Complex;
 use crate::plan::{Direction, FftPlan};
+use crate::rfft::RfftPlan;
 use crate::FftError;
 
 /// A reusable 2-D FFT plan for fixed power-of-two dimensions.
+///
+/// The per-axis 1-D plans come from the process-wide plan cache, so
+/// many correlators over same-width bands share one set of tables.
 #[derive(Clone, Debug)]
 pub struct Fft2dPlan {
     rows: usize,
     cols: usize,
-    row_plan: FftPlan,
-    col_plan: FftPlan,
+    row_plan: Arc<FftPlan>,
+    col_plan: Arc<FftPlan>,
+    row_rplan: Arc<RfftPlan>,
 }
 
 impl Fft2dPlan {
@@ -29,8 +45,9 @@ impl Fft2dPlan {
         Ok(Self {
             rows,
             cols,
-            row_plan: FftPlan::new(cols)?,
-            col_plan: FftPlan::new(rows)?,
+            row_plan: plan_for(cols)?,
+            col_plan: plan_for(rows)?,
+            row_rplan: rplan_for(cols)?,
         })
     }
 
@@ -44,6 +61,13 @@ impl Fft2dPlan {
     #[inline]
     pub fn cols(&self) -> usize {
         self.cols
+    }
+
+    /// Number of non-redundant column bins in the half-spectrum layout:
+    /// `cols/2 + 1`.
+    #[inline]
+    pub fn half_cols(&self) -> usize {
+        self.cols / 2 + 1
     }
 
     /// Total number of elements (`rows * cols`).
@@ -124,6 +148,92 @@ impl Fft2dPlan {
         }
         self.transform(&mut buf, Direction::Forward)?;
         Ok(buf)
+    }
+
+    /// Real-input forward transform of a zero-padded `src_rows × src_cols`
+    /// matrix, producing the row-major `rows × (cols/2 + 1)` half
+    /// spectrum: each row goes through the real-input FFT, then the
+    /// non-redundant columns are transformed with the complex column
+    /// plan. Roughly halves the work of [`Fft2dPlan::forward_real_padded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when the source does not fit in
+    /// the planned dimensions or `src.len() != src_rows * src_cols`.
+    pub fn forward_real_padded_half(
+        &self,
+        src: &[f64],
+        src_rows: usize,
+        src_cols: usize,
+    ) -> Result<Vec<Complex>, FftError> {
+        if src.len() != src_rows * src_cols {
+            return Err(FftError::LengthMismatch {
+                expected: src_rows * src_cols,
+                got: src.len(),
+            });
+        }
+        if src_rows > self.rows || src_cols > self.cols {
+            return Err(FftError::LengthMismatch {
+                expected: self.rows * self.cols,
+                got: src.len(),
+            });
+        }
+        let hc = self.half_cols();
+        let mut buf = vec![Complex::default(); self.rows * hc];
+        for r in 0..src_rows {
+            let src_row = &src[r * src_cols..(r + 1) * src_cols];
+            self.row_rplan
+                .forward_real_into(src_row, &mut buf[r * hc..(r + 1) * hc])?;
+        }
+        // Rows past `src_rows` are all-zero signals with all-zero
+        // spectra; the buffer already holds them. Columns: complex
+        // transform over each of the `hc` retained bins.
+        let mut col_buf = vec![Complex::default(); self.rows];
+        for c in 0..hc {
+            for r in 0..self.rows {
+                col_buf[r] = buf[r * hc + c];
+            }
+            self.col_plan.transform(&mut col_buf, Direction::Forward)?;
+            for r in 0..self.rows {
+                buf[r * hc + c] = col_buf[r];
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Inverse of [`Fft2dPlan::forward_real_padded_half`]: consumes a
+    /// row-major `rows × (cols/2 + 1)` half spectrum and returns the
+    /// `rows × cols` real matrix (row-major), including all
+    /// normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `spec.len()` differs
+    /// from `rows * (cols/2 + 1)`.
+    pub fn inverse_half_to_real(&self, mut spec: Vec<Complex>) -> Result<Vec<f64>, FftError> {
+        let hc = self.half_cols();
+        if spec.len() != self.rows * hc {
+            return Err(FftError::LengthMismatch {
+                expected: self.rows * hc,
+                got: spec.len(),
+            });
+        }
+        let mut col_buf = vec![Complex::default(); self.rows];
+        for c in 0..hc {
+            for r in 0..self.rows {
+                col_buf[r] = spec[r * hc + c];
+            }
+            self.col_plan.transform(&mut col_buf, Direction::Inverse)?;
+            for r in 0..self.rows {
+                spec[r * hc + c] = col_buf[r];
+            }
+        }
+        let mut out = vec![0.0f64; self.rows * self.cols];
+        for r in 0..self.rows {
+            let row = self.row_rplan.inverse_real(&spec[r * hc..(r + 1) * hc])?;
+            out[r * self.cols..(r + 1) * self.cols].copy_from_slice(&row);
+        }
+        Ok(out)
     }
 }
 
@@ -223,6 +333,55 @@ mod tests {
         let plan = Fft2dPlan::new(2, 2).unwrap();
         assert!(plan.forward_real_padded(&[0.0; 12], 3, 4).is_err());
         assert!(plan.forward_real_padded(&[0.0; 3], 2, 2).is_err());
+    }
+
+    #[test]
+    fn half_spectrum_matches_full_forward() {
+        let (rows, cols) = (8usize, 16usize);
+        let plan = Fft2dPlan::new(rows, cols).unwrap();
+        let src: Vec<f64> = (0..5 * 11).map(|i| ((i as f64) * 0.31).sin()).collect();
+        let full = plan.forward_real_padded(&src, 5, 11).unwrap();
+        let half = plan.forward_real_padded_half(&src, 5, 11).unwrap();
+        let hc = plan.half_cols();
+        assert_eq!(half.len(), rows * hc);
+        for r in 0..rows {
+            for c in 0..hc {
+                let a = half[r * hc + c];
+                let b = full[r * cols + c];
+                assert!(
+                    (a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9,
+                    "bin ({r},{c}): {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_spectrum_roundtrip_recovers_padded_matrix() {
+        let (rows, cols) = (4usize, 8usize);
+        let plan = Fft2dPlan::new(rows, cols).unwrap();
+        let src: Vec<f64> = (0..3 * 7).map(|i| (i as f64) - 10.0).collect();
+        let spec = plan.forward_real_padded_half(&src, 3, 7).unwrap();
+        let back = plan.inverse_half_to_real(spec).unwrap();
+        assert_eq!(back.len(), rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let want = if r < 3 && c < 7 { src[r * 7 + c] } else { 0.0 };
+                assert!(
+                    (back[r * cols + c] - want).abs() < 1e-9,
+                    "cell ({r},{c}): {} vs {want}",
+                    back[r * cols + c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_half_rejects_wrong_length() {
+        let plan = Fft2dPlan::new(4, 8).unwrap();
+        assert!(plan
+            .inverse_half_to_real(vec![Complex::default(); 7])
+            .is_err());
     }
 
     #[test]

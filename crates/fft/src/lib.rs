@@ -36,9 +36,10 @@ mod complex;
 mod convolve;
 mod fft2d;
 mod plan;
+mod rfft;
 
 pub use bluestein::BluesteinPlan;
-pub use cache::{plan_for, MAX_PLANS};
+pub use cache::{plan_for, rplan_for, MAX_PLAN_CACHE_BYTES};
 pub use complex::{Complex, ONE, ZERO};
 pub use convolve::{
     convolve_1d, convolve_1d_naive, cross_correlate_1d_valid, cross_correlate_1d_valid_naive,
@@ -46,6 +47,7 @@ pub use convolve::{
 };
 pub use fft2d::{dft2d_naive, Fft2dPlan};
 pub use plan::{dft_naive, next_pow2, Direction, FftPlan};
+pub use rfft::{real_spectrum, RfftPlan};
 
 /// Pre-registers this crate's metric keys in the global observability
 /// registry, so snapshots report the full `fft.*` schema even before
@@ -55,7 +57,9 @@ pub fn register_metrics() {
     obs::counter("fft.plan_cache.hits");
     obs::counter("fft.plan_cache.misses");
     obs::counter("fft.plan_cache.evictions");
+    obs::gauge("fft.plan_cache.bytes");
     obs::counter("fft.transforms");
+    obs::counter("fft.rfft.transforms");
     obs::histogram("fft.convolve_1d_us");
     obs::histogram("fft.correlate_1d_us");
     obs::histogram("fft.correlator.build_us");

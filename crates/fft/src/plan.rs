@@ -78,6 +78,13 @@ impl FftPlan {
         false
     }
 
+    /// Heap footprint of this plan's bit-reversal and twiddle tables in
+    /// bytes, used by the plan cache's byte-budget eviction.
+    pub fn footprint_bytes(&self) -> usize {
+        self.rev.len() * core::mem::size_of::<u32>()
+            + self.twiddles.len() * core::mem::size_of::<Complex>()
+    }
+
     /// Transforms `data` in place.
     ///
     /// # Errors

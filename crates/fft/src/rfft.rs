@@ -1,0 +1,354 @@
+//! Real-input FFT via the packed half-length complex transform.
+//!
+//! Every transform this workspace takes is of real data (table rows,
+//! kernels, count vectors), yet a complex FFT spends half its arithmetic
+//! on imaginary parts that are identically zero. The classic remedy packs
+//! a length-`n` real signal into a length-`n/2` complex signal
+//! `z[j] = x[2j] + i·x[2j+1]`, runs one half-length complex FFT, and
+//! recovers the real spectrum with an `O(n)` twiddle unpack:
+//!
+//! ```text
+//! E[k] = (Z[k] + conj(Z[(m−k) mod m])) / 2        (spectrum of even samples)
+//! O[k] = −i · (Z[k] − conj(Z[(m−k) mod m])) / 2   (spectrum of odd samples)
+//! X[k] = E[k] + e^{−2πik/n} · O[k]                (k = 0 ..= m, m = n/2)
+//! ```
+//!
+//! Because the input is real the spectrum is Hermitian
+//! (`X[n−k] = conj(X[k])`), so only the `n/2 + 1` bins `X[0..=m]` are
+//! stored. The inverse reverses the unpack exactly and feeds one
+//! half-length inverse FFT. Net effect: the dominant `O(n log n)` term
+//! runs at half length, roughly halving transform flops and cache
+//! traffic for the all-subtables correlation path.
+
+use std::sync::Arc;
+
+use crate::cache::plan_for;
+use crate::complex::Complex;
+use crate::plan::{Direction, FftPlan};
+use crate::FftError;
+
+/// A reusable real-input FFT plan for a fixed power-of-two length.
+///
+/// Forward transforms map `n` reals to the `n/2 + 1` non-redundant
+/// spectrum bins; [`RfftPlan::inverse_real`] maps them back.
+///
+/// ```
+/// use tabsketch_fft::RfftPlan;
+///
+/// let plan = RfftPlan::new(8).unwrap();
+/// let signal = [1.0, -2.0, 3.0, 0.5, 0.0, 4.0, -1.0, 2.0];
+/// let spec = plan.forward_real(&signal);
+/// assert_eq!(spec.len(), 5); // n/2 + 1 bins
+/// let back = plan.inverse_real(&spec).unwrap();
+/// for (a, b) in back.iter().zip(&signal) {
+///     assert!((a - b).abs() < 1e-12);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RfftPlan {
+    n: usize,
+    /// Shared half-length complex plan (`None` only for `n == 1`).
+    half: Option<Arc<FftPlan>>,
+    /// Unpack twiddles `e^{−2πik/n}` for `k` in `0..=n/2`.
+    twiddles: Vec<Complex>,
+}
+
+impl RfftPlan {
+    /// Creates a plan for real transforms of length `n`.
+    ///
+    /// The half-length complex plan is taken from the process-wide plan
+    /// cache, so an `RfftPlan` for length `n` and a complex plan for
+    /// length `n/2` share their tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] unless `n` is a power of two
+    /// (length 1 is allowed and is the identity transform).
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 || !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        if n == 1 {
+            return Ok(Self {
+                n,
+                half: None,
+                twiddles: vec![Complex::from_real(1.0)],
+            });
+        }
+        let m = n / 2;
+        let half = plan_for(m)?;
+        let step = -2.0 * core::f64::consts::PI / n as f64;
+        let twiddles = (0..=m).map(|k| Complex::cis(step * k as f64)).collect();
+        Ok(Self {
+            n,
+            half: Some(half),
+            twiddles,
+        })
+    }
+
+    /// The real signal length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: plans of length zero cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of spectrum bins a forward transform produces: `n/2 + 1`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Heap footprint of this plan's tables in bytes (excluding the
+    /// shared half-length complex plan, which the cache accounts for
+    /// separately).
+    pub fn footprint_bytes(&self) -> usize {
+        self.twiddles.len() * core::mem::size_of::<Complex>()
+    }
+
+    /// Forward transform of a real signal, zero-padded or truncated to
+    /// the plan length, returning the `n/2 + 1` non-redundant bins of
+    /// its Hermitian spectrum.
+    pub fn forward_real(&self, signal: &[f64]) -> Vec<Complex> {
+        let mut out = vec![Complex::default(); self.spectrum_len()];
+        self.forward_real_into(signal, &mut out)
+            .expect("output length matches plan by construction");
+        out
+    }
+
+    /// [`RfftPlan::forward_real`] into a caller-provided buffer of
+    /// exactly `n/2 + 1` bins, avoiding the output allocation on hot
+    /// per-row loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `out.len()` differs
+    /// from [`RfftPlan::spectrum_len`].
+    pub fn forward_real_into(&self, signal: &[f64], out: &mut [Complex]) -> Result<(), FftError> {
+        if out.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: out.len(),
+            });
+        }
+        tabsketch_obs::counter!("fft.rfft.transforms").inc();
+        if self.n == 1 {
+            out[0] = Complex::from_real(signal.first().copied().unwrap_or(0.0));
+            return Ok(());
+        }
+        let m = self.n / 2;
+        // Pack consecutive sample pairs into one complex point each,
+        // zero-padding (or truncating) to the plan length.
+        let mut z = vec![Complex::default(); m];
+        let take = signal.len().min(self.n);
+        for (j, zj) in z.iter_mut().enumerate().take(take.div_ceil(2)) {
+            let re = signal[2 * j];
+            let im = if 2 * j + 1 < take {
+                signal[2 * j + 1]
+            } else {
+                0.0
+            };
+            *zj = Complex::new(re, im);
+        }
+        let half = self.half.as_ref().expect("n > 1 has a half plan");
+        half.transform(&mut z, Direction::Forward)
+            .expect("packed buffer length matches half plan");
+        // Twiddle unpack: separate the even/odd sample spectra and
+        // recombine. Index (m − k) mod m folds k = 0 onto itself.
+        for (k, slot) in out.iter_mut().enumerate() {
+            let zk = if k == m { z[0] } else { z[k] };
+            let zc = z[(m - k) % m].conj();
+            let e = (zk + zc).scale(0.5);
+            let d = zk - zc;
+            // O[k] = d / (2i) = −i·d/2.
+            let o = Complex::new(d.im * 0.5, -d.re * 0.5);
+            *slot = e + self.twiddles[k] * o;
+        }
+        Ok(())
+    }
+
+    /// Inverse transform: `n/2 + 1` Hermitian spectrum bins back to `n`
+    /// reals, including the `1/n` normalization.
+    ///
+    /// The bins are interpreted as `X[0..=n/2]` of a Hermitian spectrum;
+    /// the imaginary parts of `X[0]` and `X[n/2]` (zero for any spectrum
+    /// produced by [`RfftPlan::forward_real`]) are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] when `spec.len()` differs
+    /// from [`RfftPlan::spectrum_len`].
+    pub fn inverse_real(&self, spec: &[Complex]) -> Result<Vec<f64>, FftError> {
+        if spec.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: spec.len(),
+            });
+        }
+        tabsketch_obs::counter!("fft.rfft.transforms").inc();
+        if self.n == 1 {
+            return Ok(vec![spec[0].re]);
+        }
+        let m = self.n / 2;
+        // Repack: invert the forward unpack exactly, then one
+        // half-length inverse transform (whose 1/m scale is exactly the
+        // 1/n the pair-packed signal needs).
+        let mut z = vec![Complex::default(); m];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spec[k];
+            let xc = spec[m - k].conj();
+            let e = (xk + xc).scale(0.5);
+            let wo = (xk - xc).scale(0.5);
+            let o = self.twiddles[k].conj() * wo;
+            *zk = e + Complex::new(-o.im, o.re);
+        }
+        let half = self.half.as_ref().expect("n > 1 has a half plan");
+        half.transform(&mut z, Direction::Inverse)
+            .expect("packed buffer length matches half plan");
+        let mut out = Vec::with_capacity(self.n);
+        for zj in &z {
+            out.push(zj.re);
+            out.push(zj.im);
+        }
+        Ok(out)
+    }
+}
+
+/// The full Hermitian spectrum of a real signal of any length, as a
+/// convenience for oracles and tests: power-of-two lengths use the
+/// cached [`RfftPlan`]; other lengths fall back to
+/// [`crate::BluesteinPlan`]'s arbitrary-length transform.
+///
+/// Returns all `signal.len()` bins (not the half spectrum).
+///
+/// # Errors
+///
+/// Propagates plan-construction failures; `signal.len() == 0` yields an
+/// empty spectrum.
+pub fn real_spectrum(signal: &[f64]) -> Result<Vec<Complex>, FftError> {
+    let n = signal.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n.is_power_of_two() {
+        let half = crate::cache::rplan_for(n)?.forward_real(signal);
+        let mut out = vec![Complex::default(); n];
+        out[..half.len()].copy_from_slice(&half);
+        for k in half.len()..n {
+            out[k] = half[n - k].conj();
+        }
+        Ok(out)
+    } else {
+        let plan = crate::bluestein::BluesteinPlan::new(n)?;
+        let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        plan.transform(&mut buf, Direction::Forward)?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::dft_naive;
+
+    fn naive_real_spectrum(signal: &[f64]) -> Vec<Complex> {
+        let data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        dft_naive(&data, Direction::Forward)
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(RfftPlan::new(0), Err(FftError::NotPowerOfTwo(0))));
+        assert!(matches!(RfftPlan::new(6), Err(FftError::NotPowerOfTwo(6))));
+        assert!(RfftPlan::new(1).is_ok());
+        assert!(RfftPlan::new(2).is_ok());
+    }
+
+    #[test]
+    fn matches_naive_dft_half_spectrum() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let plan = RfftPlan::new(n).unwrap();
+            let signal: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.61).sin() + 0.3).collect();
+            let spec = plan.forward_real(&signal);
+            let full = naive_real_spectrum(&signal);
+            assert_eq!(spec.len(), n / 2 + 1);
+            for (k, z) in spec.iter().enumerate() {
+                assert!(
+                    (z.re - full[k].re).abs() < 1e-9 && (z.im - full[k].im).abs() < 1e-9,
+                    "n={n} bin {k}: {z:?} vs {:?}",
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let plan = RfftPlan::new(32).unwrap();
+        let signal: Vec<f64> = (0..32).map(|i| (i as f64 * 1.7).cos() - 0.2).collect();
+        let spec = plan.forward_real(&signal);
+        assert!(spec[0].im.abs() < 1e-12, "DC bin must be real");
+        assert!(spec[16].im.abs() < 1e-12, "Nyquist bin must be real");
+    }
+
+    #[test]
+    fn roundtrip_recovers_signal() {
+        for &n in &[1usize, 2, 8, 128] {
+            let plan = RfftPlan::new(n).unwrap();
+            let signal: Vec<f64> = (0..n).map(|i| (i as f64 - 3.0) * 0.25).collect();
+            let back = plan.inverse_real(&plan.forward_real(&signal)).unwrap();
+            assert_eq!(back.len(), n);
+            for (a, b) in back.iter().zip(&signal) {
+                assert!((a - b).abs() < 1e-12, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_pads_and_truncates_like_complex_forward_real() {
+        let plan = RfftPlan::new(8).unwrap();
+        let spec = plan.forward_real(&[1.0, 2.0, 3.0]);
+        assert!((spec[0].re - 6.0).abs() < 1e-12, "padded DC is the sum");
+        let spec2 = plan.forward_real(&[1.0; 20]);
+        assert!((spec2[0].re - 8.0).abs() < 1e-12, "extra samples ignored");
+        // Odd take: the final packed point has a zero imaginary half.
+        let spec3 = plan.forward_real(&[0.0, 0.0, 0.0, 0.0, 5.0]);
+        let full = naive_real_spectrum(&[0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0]);
+        for (k, z) in spec3.iter().enumerate() {
+            assert!((z.re - full[k].re).abs() < 1e-9 && (z.im - full[k].im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_rejects_wrong_length() {
+        let plan = RfftPlan::new(8).unwrap();
+        assert!(matches!(
+            plan.inverse_real(&[Complex::default(); 4]),
+            Err(FftError::LengthMismatch {
+                expected: 5,
+                got: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn real_spectrum_covers_pow2_and_bluestein_lengths() {
+        for &n in &[1usize, 2, 5, 8, 12, 17, 31, 64] {
+            let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).sin() - 0.1).collect();
+            let fast = real_spectrum(&signal).unwrap();
+            let slow = naive_real_spectrum(&signal);
+            assert_eq!(fast.len(), n);
+            for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!(
+                    (a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8,
+                    "n={n} bin {k}: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based equivalence of the real-input FFT against the complex
+//! transform it replaces.
+//!
+//! The rfft path (DESIGN.md §15) must agree with the complex FFT to
+//! ≤ 1e-9 relative error on every bin, across even, odd-structured, and
+//! Bluestein (non-power-of-two) sizes, and must round-trip real signals
+//! exactly enough to be a drop-in for the correlation pipeline.
+
+use proptest::prelude::*;
+
+use tabsketch_fft::{real_spectrum, Complex, Direction, FftPlan, RfftPlan};
+
+/// Relative tolerance for spectrum agreement, scaled by the signal's
+/// spectral magnitude so near-zero bins don't amplify rounding noise.
+const REL_TOL: f64 = 1e-9;
+
+fn assert_bins_close(fast: &[Complex], slow: &[Complex], scale: f64) {
+    assert_eq!(fast.len(), slow.len());
+    let tol = REL_TOL * scale.max(1.0);
+    for (k, (a, b)) in fast.iter().zip(slow).enumerate() {
+        assert!(
+            (a.re - b.re).abs() <= tol && (a.im - b.im).abs() <= tol,
+            "bin {k}: rfft {a:?} vs complex {b:?} (tol {tol})"
+        );
+    }
+}
+
+/// Complex-FFT reference: full spectrum of a real signal (power of two).
+fn complex_spectrum(signal: &[f64]) -> Vec<Complex> {
+    let plan = FftPlan::new(signal.len()).unwrap();
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+    plan.transform(&mut buf, Direction::Forward).unwrap();
+    buf
+}
+
+fn l1_mass(signal: &[f64]) -> f64 {
+    signal.iter().map(|x| x.abs()).sum()
+}
+
+fn pow2_signal(max_log: u32) -> impl Strategy<Value = Vec<f64>> {
+    (0u32..=max_log).prop_flat_map(|log| proptest::collection::vec(-100.0f64..100.0, 1usize << log))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every half-spectrum bin of the rfft matches the complex FFT of
+    /// the same (even-length power-of-two) signal.
+    #[test]
+    fn rfft_matches_complex_fft(signal in pow2_signal(10)) {
+        let n = signal.len();
+        let plan = RfftPlan::new(n).unwrap();
+        let half = plan.forward_real(&signal);
+        let full = complex_spectrum(&signal);
+        prop_assert_eq!(half.len(), n / 2 + 1);
+        let tol = REL_TOL * l1_mass(&signal).max(1.0);
+        for (k, z) in half.iter().enumerate() {
+            prop_assert!(
+                (z.re - full[k].re).abs() <= tol && (z.im - full[k].im).abs() <= tol,
+                "n={} bin {}: {:?} vs {:?}", n, k, z, full[k]
+            );
+        }
+    }
+
+    /// The mirrored bins implied by Hermitian symmetry also match, so
+    /// consumers reading the "missing" half through conjugation see the
+    /// complex FFT's values too.
+    #[test]
+    fn rfft_mirror_bins_match_complex_fft(signal in pow2_signal(8)) {
+        let n = signal.len();
+        let plan = RfftPlan::new(n).unwrap();
+        let half = plan.forward_real(&signal);
+        let full = complex_spectrum(&signal);
+        let tol = REL_TOL * l1_mass(&signal).max(1.0);
+        for k in half.len()..n {
+            let mirrored = half[n - k].conj();
+            prop_assert!(
+                (mirrored.re - full[k].re).abs() <= tol
+                    && (mirrored.im - full[k].im).abs() <= tol,
+                "n={} mirrored bin {}: {:?} vs {:?}", n, k, mirrored, full[k]
+            );
+        }
+    }
+
+    /// Forward then inverse recovers the real signal.
+    #[test]
+    fn rfft_roundtrip_identity(signal in pow2_signal(10)) {
+        let plan = RfftPlan::new(signal.len()).unwrap();
+        let back = plan.inverse_real(&plan.forward_real(&signal)).unwrap();
+        let tol = REL_TOL * l1_mass(&signal).max(1.0);
+        prop_assert_eq!(back.len(), signal.len());
+        for (a, b) in back.iter().zip(&signal) {
+            prop_assert!((a - b).abs() <= tol, "{} vs {}", a, b);
+        }
+    }
+
+    /// Odd-structured content (zero even samples) exercises the unpack's
+    /// odd-sample branch alone; the twiddle recombination must still
+    /// match the complex transform bin for bin.
+    #[test]
+    fn rfft_handles_odd_sample_structure(half_signal in proptest::collection::vec(-100.0f64..100.0, 1usize..129)) {
+        let m = half_signal.len().next_power_of_two();
+        let n = 2 * m;
+        let mut signal = vec![0.0f64; n];
+        for (j, &x) in half_signal.iter().enumerate() {
+            signal[2 * j + 1] = x; // odd positions only
+        }
+        let plan = RfftPlan::new(n).unwrap();
+        let half = plan.forward_real(&signal);
+        let full = complex_spectrum(&signal);
+        assert_bins_close(&half, &full[..half.len()], l1_mass(&signal));
+    }
+
+    /// `real_spectrum` covers non-power-of-two lengths through the
+    /// Bluestein fallback with the same ≤1e-9 relative agreement.
+    #[test]
+    fn real_spectrum_matches_naive_on_bluestein_sizes(
+        signal in proptest::collection::vec(-100.0f64..100.0, 1usize..97)
+    ) {
+        let fast = real_spectrum(&signal).unwrap();
+        let data: Vec<Complex> = signal.iter().map(|&x| Complex::from_real(x)).collect();
+        let slow = tabsketch_fft::dft_naive(&data, Direction::Forward);
+        // The naive O(n²) oracle itself carries ~n·eps rounding, so
+        // scale the bound by the signal mass times a small length factor.
+        let tol = (1e-9 * signal.len() as f64).max(REL_TOL) * l1_mass(&signal).max(1.0);
+        prop_assert_eq!(fast.len(), slow.len());
+        for (k, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!(
+                (a.re - b.re).abs() <= tol && (a.im - b.im).abs() <= tol,
+                "n={} bin {}: {:?} vs {:?}", signal.len(), k, a, b
+            );
+        }
+    }
+}
+
+#[test]
+fn rfft_equivalence_on_degenerate_lengths() {
+    for &n in &[1usize, 2, 4] {
+        let signal: Vec<f64> = (0..n).map(|i| i as f64 - 0.5).collect();
+        let plan = RfftPlan::new(n).unwrap();
+        let half = plan.forward_real(&signal);
+        let full = complex_spectrum(&signal);
+        assert_bins_close(&half, &full[..half.len()], l1_mass(&signal));
+        let back = plan.inverse_real(&half).unwrap();
+        for (a, b) in back.iter().zip(&signal) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

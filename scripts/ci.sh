@@ -28,6 +28,18 @@ if [ -n "$fence_hits" ]; then
     exit 1
 fi
 
+echo "==> unsafe fence (no crate may open an unsafe island)"
+# Every crate carries `#![forbid(unsafe_code)]`; the lane-tiled kernels
+# and rfft path get their speed from shapes LLVM autovectorizes, never
+# from intrinsics. A scoped `#[allow(unsafe_code)]` would silently defeat
+# the crate-level forbid, so any occurrence fails the gate outright.
+unsafe_hits=$(grep -rn "allow(unsafe_code)" crates/*/src --include='*.rs' || true)
+if [ -n "$unsafe_hits" ]; then
+    echo "allow(unsafe_code) found; crates must stay forbid-clean:" >&2
+    echo "$unsafe_hits" >&2
+    exit 1
+fi
+
 echo "==> cargo test"
 cargo test --workspace -q
 
@@ -60,21 +72,34 @@ PY
 echo "==> obs overhead bound (<5% on hot paths, written to BENCH_obs.json)"
 cargo run -q --release -p tabsketch-bench --bin obs_overhead -- --quick
 
-echo "==> kernel speedup bound (blocked >= 1.5x scalar, written to BENCH_kernels.json)"
+echo "==> kernel + rfft speedup bounds (blocked >= 1.5x, lane >= parity floor, rfft >= 1.3x; BENCH_kernels.json)"
 cargo run -q --release -p tabsketch-bench --bin kernels -- --quick
 python3 - BENCH_kernels.json <<'PY'
 import json, sys
 b = json.load(open(sys.argv[1]))
 for key in ("tile", "k", "scalar_ns_per_sketch", "blocked_ns_per_sketch",
-            "batched_ns_per_sketch", "blocked_speedup", "batched_speedup",
-            "bound_speedup", "cores", "pool_build_monotonicity_checked",
-            "pool_build_ms"):
+            "lane_ns_per_sketch", "batched_ns_per_sketch", "blocked_speedup",
+            "lane_speedup", "batched_speedup", "bound_speedup",
+            "lane_bound_speedup", "rfft_ns", "complex_fft_ns", "rfft_speedup",
+            "rfft_bound_speedup", "cores", "pool_build_monotonicity_checked",
+            "spilled_pool_build_ms", "pool_build_ms"):
     assert key in b, f"BENCH_kernels.json missing {key}"
 assert set(b["pool_build_ms"]) == {"1", "2", "4", "8"}, "pool timings incomplete"
 assert b["blocked_speedup"] >= b["bound_speedup"], (
     f"blocked kernel regressed: {b['blocked_speedup']:.2f}x < {b['bound_speedup']}x")
-print(f"kernels OK: blocked {b['blocked_speedup']:.2f}x, "
-      f"batched {b['batched_speedup']:.2f}x over scalar")
+assert b["lane_speedup"] >= b["lane_bound_speedup"], (
+    f"lane kernel lost to blocked: {b['lane_speedup']:.2f}x < {b['lane_bound_speedup']}x")
+assert b["rfft_speedup"] >= b["rfft_bound_speedup"], (
+    f"rfft correlation regressed: {b['rfft_speedup']:.2f}x < {b['rfft_bound_speedup']}x")
+# The bench decides the monotonicity check from the same core count it
+# records; the two must agree or a low-core host could silently skip it.
+assert b["pool_build_monotonicity_checked"] == (b["cores"] >= 4), (
+    f"monotonicity check decision inconsistent with {b['cores']} cores")
+assert b["spilled_pool_build_ms"] > 0, "spilled pool build did not run"
+print(f"kernels OK: blocked {b['blocked_speedup']:.2f}x over scalar, "
+      f"lane {b['lane_speedup']:.2f}x over blocked, "
+      f"batched {b['batched_speedup']:.2f}x over scalar, "
+      f"rfft {b['rfft_speedup']:.2f}x over complex")
 PY
 
 echo "==> out-of-core storage bound (peak resident <= budget, written to BENCH_storage.json)"
