@@ -1,0 +1,302 @@
+//! Collection analytics — manysketch / pairwise / manysearch over a
+//! 64-member synthetic corpus.
+//!
+//! The bench builds a manifest of 64 tables arranged in 32 identical
+//! pairs (so `pairwise` at threshold 0.9 has a known answer: exactly
+//! the 32 duplicate pairs), then measures the full collection stack:
+//!
+//! * **manysketch**: a work-stolen parallel build across members vs the
+//!   serial loop, both writing per-member stores and signatures, with
+//!   every member table loaded under the shared residency budget (the
+//!   `table.storage.resident_peak_bytes` gauge must stay at or under
+//!   it — members spill rather than blow the cap);
+//! * **pairwise**: streaming block-chunked similarity join vs the dense
+//!   unbounded run — the emitted rows must be **bitwise identical**;
+//! * **manysearch**: the query table's tiles against every member's
+//!   store, through per-member LSH indexes vs the exact linear scan —
+//!   identical hits, with `index.fallbacks` unmoved when every index
+//!   loads cleanly.
+//!
+//! A machine-readable summary lands in `BENCH_collections.json`; CI
+//! asserts the schema, the under-budget peak, both identity bits, zero
+//! fallbacks, and (on >= 4 cores) a >= 1.3x parallel manysketch
+//! speedup. Run `--quick` for a CI-speed pass.
+
+use tabsketch_bench::{time, Scale};
+use tabsketch_cluster::{manysearch, pairwise_sketches, IndexedEmbedding, PairwiseRow};
+use tabsketch_core::{persist, CollectionSketcher, SketchParams, Sketcher};
+use tabsketch_index::{median_abs_coordinate, persist as index_persist, LshIndex, LshParams};
+use tabsketch_table::{io as table_io, Collection, Manifest, MemoryBudget, Table, TileGrid};
+
+const TABLES: usize = 64;
+const TILE: usize = 8;
+const THRESHOLD: f64 = 0.9;
+
+/// Member `m`'s table: members `2g` and `2g + 1` are identical (group
+/// `g`'s pattern), distinct groups are far apart in L1.
+///
+/// Each group flips the sign of a hash-chosen half of the cells, so two
+/// distinct groups disagree on about half of them: the L1 distance is
+/// close to the sum of the norms and sketch-space similarity sits near
+/// 0.5 — far below the 0.9 threshold, while duplicates sit at 1.
+fn member_table(m: usize, rows: usize, cols: usize) -> Table {
+    let g = m / 2;
+    Table::from_fn(rows, cols, move |r, c| {
+        // splitmix64-style finalizer: the sign bit must avalanche, or
+        // nearby groups share most of their cells and cross-group
+        // similarity creeps toward the threshold.
+        let mut z = ((r as u64) << 40) ^ ((c as u64) << 20) ^ g as u64;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let magnitude = 1.0 + ((r * 31 + c * 17) % 23) as f64;
+        if z & 1 == 0 {
+            magnitude
+        } else {
+            -magnitude
+        }
+    })
+    .expect("valid member table")
+}
+
+/// Runs pairwise over the corpus signatures, collecting the emitted rows.
+fn run_pairwise(
+    manifest: &Manifest,
+    sketcher: &Sketcher,
+    budget: MemoryBudget,
+) -> (Vec<PairwiseRow>, tabsketch_cluster::PairwiseStats) {
+    let entries = manifest.entries();
+    let mut rows = Vec::new();
+    let stats = pairwise_sketches(
+        manifest.len(),
+        |i| persist::load_sketch(entries[i].signature_path()),
+        sketcher,
+        THRESHOLD,
+        budget,
+        |row| {
+            rows.push(row);
+            Ok(())
+        },
+    )
+    .expect("pairwise runs");
+    (rows, stats)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let edge = scale.pick(32usize, 64, 96);
+    let k = scale.pick(32usize, 64, 64);
+
+    let dir = std::env::temp_dir().join(format!(
+        "tabsketch-bench-collections-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+
+    // One member table is 8 * edge^2 bytes; the shared budget holds half
+    // a table, so every member load must spill (the LRU window splits
+    // the budget further, see DESIGN.md §16).
+    let table_bytes = (edge * edge * 8) as u64;
+    let budget_bytes = table_bytes / 2;
+    let budget = MemoryBudget::bytes(budget_bytes);
+
+    println!(
+        "=== Collection analytics ({TABLES} members of {edge}x{edge} = {:.1} KiB each, \
+         shared budget {:.1} KiB) ===\n",
+        table_bytes as f64 / 1024.0,
+        budget_bytes as f64 / 1024.0
+    );
+
+    let mut manifest_text = String::new();
+    for m in 0..TABLES {
+        let path = dir.join(format!("t{m:03}.tsb"));
+        table_io::save_binary(&member_table(m, edge, edge), &path).expect("save member");
+        manifest_text.push_str(&format!("t{m:03}=t{m:03}.tsb\n"));
+    }
+    let manifest_path = dir.join("corpus.manifest");
+    std::fs::write(&manifest_path, &manifest_text).expect("write manifest");
+    let manifest = Manifest::load(&manifest_path).expect("manifest parses");
+
+    let sketcher = Sketcher::new(
+        SketchParams::builder()
+            .p(1.0)
+            .k(k)
+            .seed(0xC011)
+            .build()
+            .expect("valid params"),
+    )
+    .expect("valid sketcher");
+    let collection_sketcher =
+        CollectionSketcher::new(sketcher.clone(), TILE, TILE).expect("valid tile");
+
+    // The peak gauge is raise-only; zero it so it measures exactly the
+    // budgeted collection phases below.
+    tabsketch_obs::gauge!("table.storage.resident_peak_bytes").set(0);
+
+    // Serial baseline, then the work-stolen parallel build (same
+    // stores rewritten; byte-identical by construction).
+    let collection = Collection::open(manifest.clone(), budget);
+    let (serial_report, t_serial) = time(|| {
+        collection_sketcher
+            .sketch_collection(&collection, 1)
+            .expect("serial manysketch")
+    });
+    let serial_ms = t_serial.as_secs_f64() * 1e3;
+    assert_eq!(serial_report.succeeded(), TABLES, "no member may degrade");
+    let (parallel_report, t_parallel) = time(|| {
+        collection_sketcher
+            .sketch_collection(&collection, 4)
+            .expect("parallel manysketch")
+    });
+    let parallel_ms = t_parallel.as_secs_f64() * 1e3;
+    assert_eq!(parallel_report.succeeded(), TABLES);
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_checked = cores >= 4;
+    println!("manysketch serial:   {serial_ms:8.1} ms");
+    println!("manysketch parallel: {parallel_ms:8.1} ms ({speedup:.2}x, {cores} cores)");
+
+    // Streaming pairwise under the shared budget vs the dense run.
+    let ((chunked_rows, stats), t_pairwise) = time(|| run_pairwise(&manifest, &sketcher, budget));
+    let pairwise_ms = t_pairwise.as_secs_f64() * 1e3;
+    let (dense_rows, dense_stats) = run_pairwise(&manifest, &sketcher, MemoryBudget::unbounded());
+    let chunked_identical = chunked_rows == dense_rows
+        && chunked_rows.iter().zip(&dense_rows).all(|(a, b)| {
+            a.distance.to_bits() == b.distance.to_bits()
+                && a.similarity.to_bits() == b.similarity.to_bits()
+        });
+    assert!(
+        stats.block < TABLES && dense_stats.block == TABLES,
+        "the budget must actually chunk the join (block {} vs {})",
+        stats.block,
+        dense_stats.block
+    );
+    assert_eq!(
+        stats.emitted as usize,
+        TABLES / 2,
+        "exactly the duplicate pairs clear threshold {THRESHOLD}"
+    );
+    let pairwise_rows_per_sec = stats.emitted as f64 / t_pairwise.as_secs_f64().max(1e-9);
+    println!(
+        "pairwise:  {} rows of {} pairs in {pairwise_ms:.1} ms \
+         (block {} of {TABLES}, identical to dense: {chunked_identical})",
+        stats.emitted,
+        stats.emitted + stats.pruned,
+        stats.block
+    );
+
+    // The budgeted phases are done: the global residency peak must have
+    // stayed within the shared budget even though members spilled.
+    let peak = tabsketch_obs::gauge!("table.storage.resident_peak_bytes").get();
+    let under_budget = peak > 0 && peak <= budget_bytes;
+    assert!(
+        under_budget,
+        "collection peak {peak} B must be positive and at most the {budget_bytes} B shared budget"
+    );
+    println!(
+        "residency: peak {:.1} KiB of {:.1} KiB shared budget",
+        peak as f64 / 1024.0,
+        budget_bytes as f64 / 1024.0
+    );
+
+    // Per-member LSH indexes over the freshly written stores, at the
+    // same tile grain manysearch reads.
+    for entry in manifest.entries() {
+        let store = persist::load_store(entry.store_path_or_default()).expect("store loads");
+        let tiles_r = store.anchor_rows().div_ceil(TILE);
+        let tiles_c = store.anchor_cols().div_ceil(TILE);
+        let mut sketches = Vec::with_capacity(tiles_r * tiles_c);
+        for r in 0..tiles_r {
+            for c in 0..tiles_c {
+                sketches.push(store.sketch_at(r * TILE, c * TILE).expect("tile sketch"));
+            }
+        }
+        let refs: Vec<&[f64]> = sketches.iter().map(|s| s.values()).collect();
+        // The identity gate needs complete retrieval: coarse buckets
+        // (~1000x the coordinate scale) keep every tile a candidate, so
+        // the full candidate/rerank/persistence machinery runs while the
+        // answer provably matches the exhaustive scan. BENCH_lsh.json
+        // covers the genuinely-pruned speedup regime.
+        let width = 1e3 * median_abs_coordinate(&refs).max(1.0);
+        let params = LshParams::new(16, k / 16, width, 17).expect("valid lsh params");
+        let index = LshIndex::build(params, TILE, TILE, &refs).expect("index builds");
+        index_persist::save_index(&index, entry.index_path_or_default()).expect("index saves");
+    }
+
+    // Queries: member 0's own tiles — every query has an exact match in
+    // members 0 and 1, so hit identity is easy to audit.
+    let query_table = member_table(0, edge, edge);
+    let grid = TileGrid::new(edge, edge, TILE, TILE).expect("valid grid");
+    let queries = IndexedEmbedding::build(&query_table, &grid, sketcher.clone())
+        .expect("query sketches build");
+    let corpus = Collection::open(manifest.clone(), budget);
+    let knn = 1;
+    let (linear, t_linear) = time(|| {
+        manysearch(
+            &corpus,
+            &sketcher,
+            queries.sketches(),
+            TILE,
+            TILE,
+            knn,
+            false,
+        )
+        .expect("linear manysearch")
+    });
+    let fallbacks_before = tabsketch_obs::counter!("index.fallbacks").get();
+    let (indexed, t_indexed) = time(|| {
+        manysearch(
+            &corpus,
+            &sketcher,
+            queries.sketches(),
+            TILE,
+            TILE,
+            knn,
+            true,
+        )
+        .expect("indexed manysearch")
+    });
+    let index_fallbacks = tabsketch_obs::counter!("index.fallbacks").get() - fallbacks_before;
+    assert!(linear.degraded.is_empty() && indexed.degraded.is_empty());
+    let manysearch_identical = linear.hits == indexed.hits;
+    let query_count = grid.len();
+    let linear_qps = query_count as f64 / t_linear.as_secs_f64().max(1e-9);
+    let indexed_qps = query_count as f64 / t_indexed.as_secs_f64().max(1e-9);
+    assert!(
+        manysearch_identical,
+        "indexed manysearch diverged from the exact sketched scan"
+    );
+    assert_eq!(
+        index_fallbacks, 0,
+        "every member index loaded cleanly, so no query may fall back"
+    );
+    println!(
+        "manysearch: {query_count} queries x {TABLES} members, linear {linear_qps:.0} q/s, \
+         indexed {indexed_qps:.0} q/s, identical hits, {index_fallbacks} fallbacks"
+    );
+
+    let host = tabsketch_bench::host_json();
+    let json = format!(
+        "{{\n  \"host\": {host},\n  \"tables\": {TABLES},\n  \"rows\": {edge},\n  \
+         \"cols\": {edge},\n  \"tile\": {TILE},\n  \"k\": {k},\n  \
+         \"threshold\": {THRESHOLD},\n  \"budget_bytes\": {budget_bytes},\n  \
+         \"manysketch_serial_ms\": {serial_ms:.2},\n  \
+         \"manysketch_parallel_ms\": {parallel_ms:.2},\n  \
+         \"manysketch_speedup\": {speedup:.3},\n  \
+         \"parallel_checked\": {parallel_checked},\n  \"cores\": {cores},\n  \
+         \"pairwise_rows\": {},\n  \"pairwise_block\": {},\n  \
+         \"pairwise_rows_per_sec\": {pairwise_rows_per_sec:.1},\n  \
+         \"pairwise_chunked_identical\": {chunked_identical},\n  \
+         \"peak_resident_bytes\": {peak},\n  \"under_budget\": {under_budget},\n  \
+         \"manysearch_queries\": {query_count},\n  \
+         \"manysearch_linear_qps\": {linear_qps:.1},\n  \
+         \"manysearch_indexed_qps\": {indexed_qps:.1},\n  \
+         \"manysearch_identical\": {manysearch_identical},\n  \
+         \"index_fallbacks\": {index_fallbacks}\n}}\n",
+        stats.emitted, stats.block
+    );
+    std::fs::write("BENCH_collections.json", &json).expect("write BENCH_collections.json");
+    println!("\nwrote BENCH_collections.json");
+    let _ = std::fs::remove_dir_all(&dir);
+}

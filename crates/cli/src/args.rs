@@ -32,17 +32,28 @@ const SWITCHES: &[&str] = &[
     "health",
 ];
 
+/// Flags whose value is optional: with a following non-flag token they
+/// behave like ordinary `--name value` flags, otherwise like switches.
+/// `--index` is the one such flag — `knn --index day.tix` names an
+/// index file, while the collection commands take a bare `--index` to
+/// mean "use each member's manifest-derived index".
+const OPTIONAL_VALUE: &[&str] = &["index"];
+
 impl Args {
     /// Parses an iterator of arguments (excluding the program name).
     ///
     /// # Errors
     ///
     /// Returns a message when a value-taking flag is missing its value.
-    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Args, String> {
+    pub fn parse<I: Iterator<Item = String>>(args: I) -> Result<Args, String> {
+        let mut args = args.peekable();
         let mut out = Args::default();
         while let Some(arg) = args.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                if SWITCHES.contains(&name) {
+                if SWITCHES.contains(&name)
+                    || (OPTIONAL_VALUE.contains(&name)
+                        && args.peek().is_none_or(|next| next.starts_with("--")))
+                {
                     out.switches.push(name.to_string());
                 } else {
                     let value = args
@@ -193,6 +204,21 @@ mod tests {
         let err = a.require_parsed::<usize>("k").unwrap_err();
         assert!(err.contains("--k"), "{err}");
         assert!(a.get_or::<usize>("k", 1).is_err());
+    }
+
+    #[test]
+    fn index_takes_an_optional_value() {
+        // With a following non-flag token, --index is a value flag.
+        let a = parse("knn t.tsb --index day.tix --count 3").unwrap();
+        assert_eq!(a.get("index"), Some("day.tix"));
+        assert!(!a.switch("index"));
+        // Bare before another flag, or at the end, it is a switch.
+        let a = parse("manysearch --index --knn 2").unwrap();
+        assert!(a.switch("index"));
+        assert!(a.get("index").is_none());
+        assert_eq!(a.require("knn").unwrap(), "2");
+        let a = parse("manysketch --manifest m.txt --index").unwrap();
+        assert!(a.switch("index"));
     }
 
     #[test]

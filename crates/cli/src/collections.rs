@@ -1,0 +1,457 @@
+//! The collection subcommands: `manysketch`, `pairwise`, `manysearch`.
+//!
+//! All three drive a manifest-named corpus of tables rather than a
+//! single file: `manysketch` builds every member's sketch store and
+//! whole-table signature under one shared memory budget, `pairwise`
+//! streams similar member pairs without materializing the dense matrix,
+//! and `manysearch` runs a query table's tiles against every member's
+//! store (through its LSH index with `--index`). Manifest problems are
+//! their own failure class (exit 7, see [`crate::error`]).
+
+use std::io::Write;
+
+use tabsketch_cluster::{pairwise_sketches, ClusterError, IndexedEmbedding, PairwiseRow};
+use tabsketch_core::{persist, CollectionSketcher, SketchParams, Sketcher, TabError};
+use tabsketch_index::{median_abs_coordinate, persist as index_persist, LshIndex, LshParams};
+use tabsketch_table::{Collection, Manifest, TileGrid};
+
+use crate::args::Args;
+use crate::commands::memory_budget;
+use crate::error::CliError;
+
+/// Loads `--manifest FILE`, surfacing parse problems as manifest errors
+/// (exit 7) with the file in context.
+fn load_manifest(args: &Args) -> Result<Manifest, CliError> {
+    let path = args.require("manifest")?;
+    Manifest::load(path).map_err(|e| CliError::from(e).in_context(format!("loading {path}")))
+}
+
+/// The sketch family shared by every collection command. All three must
+/// agree on `--p/--k/--seed`: `pairwise` compares the signatures
+/// `manysketch` wrote, and `manysearch` sketches its queries with the
+/// family its corpus stores were built with.
+fn collection_sketcher(args: &Args) -> Result<Sketcher, CliError> {
+    let p: f64 = args.get_or("p", 1.0)?;
+    let k: usize = args.get_or("k", 128)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    Ok(Sketcher::new(
+        SketchParams::builder().p(p).k(k).seed(seed).build()?,
+    )?)
+}
+
+/// Opens `--output FILE` (stdout when absent) for CSV rows.
+fn open_output(args: &Args) -> Result<Box<dyn Write>, CliError> {
+    match args.get("output") {
+        None => Ok(Box::new(std::io::stdout())),
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| {
+                CliError::usage(format!("flag --output: cannot create {path}: {e}"))
+            })?;
+            Ok(Box::new(std::io::BufWriter::new(file)))
+        }
+    }
+}
+
+/// `manysketch --manifest FILE --tile RxC [--p P] [--k K] [--seed N]
+/// [--threads N] [--memory-budget BYTES] [--index]`
+///
+/// Builds every member's all-subtable sketch store and whole-table
+/// signature, writing them to the paths the manifest names (or
+/// derives). Members share one residency budget: at most the
+/// collection's LRU window of tables is resident, each holding a slice
+/// of `--memory-budget`. With `--index`, each member's freshly written
+/// store is additionally hashed into a banded LSH index at the tile
+/// grain, saved beside it for `manysearch --index`.
+pub fn manysketch(args: &Args) -> Result<(), CliError> {
+    let manifest = load_manifest(args)?;
+    let (tr, tc) = args.require_tile("tile")?;
+    let budget = memory_budget(args)?;
+    let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize = args.get_or("threads", default_threads)?;
+    let sketcher = collection_sketcher(args)?;
+    let build_index = args.switch("index");
+    let collection = Collection::open(manifest, budget);
+    let report = CollectionSketcher::new(sketcher.clone(), tr, tc)?
+        .sketch_collection(&collection, threads)?;
+    for member in &report.members {
+        match &member.error {
+            Some(reason) => eprintln!("warning: member {:?} degraded: {reason}", member.name),
+            None => println!(
+                "sketched {:?}: store -> {}, signature -> {}",
+                member.name,
+                member.store_path.display(),
+                member.signature_path.display()
+            ),
+        }
+    }
+    if build_index {
+        for (member, entry) in report.members.iter().zip(collection.manifest().entries()) {
+            if member.error.is_some() {
+                continue;
+            }
+            let out = entry.index_path_or_default();
+            index_member(args, &member.store_path, tr, tc, &out).map_err(|e| {
+                e.in_context(format!("indexing {:?} -> {}", member.name, out.display()))
+            })?;
+            println!("indexed {:?} -> {}", member.name, out.display());
+        }
+    }
+    let degraded = report.members.len() - report.succeeded();
+    println!(
+        "sketched {} of {} member(s) at {tr}x{tc}, k = {} ({} degraded)",
+        report.succeeded(),
+        report.members.len(),
+        sketcher.k(),
+        degraded
+    );
+    Ok(())
+}
+
+/// Hashes one member's tile-grain sketches into a saved LSH index.
+///
+/// The tile enumeration (anchors at multiples of the tile shape, in
+/// row-major order) must match what `manysearch` reads from the store,
+/// otherwise the index fails its coverage check there and the search
+/// falls back to the linear scan.
+fn index_member(
+    args: &Args,
+    store_path: &std::path::Path,
+    tr: usize,
+    tc: usize,
+    out: &std::path::Path,
+) -> Result<(), CliError> {
+    let store = persist::load_store(store_path)?;
+    let tiles_r = store.anchor_rows().div_ceil(tr);
+    let tiles_c = store.anchor_cols().div_ceil(tc);
+    let mut sketches = Vec::with_capacity(tiles_r * tiles_c);
+    for r in 0..tiles_r {
+        for c in 0..tiles_c {
+            sketches.push(store.sketch_at(r * tr, c * tc)?);
+        }
+    }
+    let refs: Vec<&[f64]> = sketches.iter().map(|s| s.values()).collect();
+    let bands: usize = args.get_or("bands", 16)?;
+    let rows: usize = args.get_or("rows", 4)?;
+    let width = match args.get("width") {
+        Some(raw) => raw
+            .parse::<f64>()
+            .map_err(|_| CliError::usage(format!("flag --width: cannot parse {raw:?}")))?,
+        None => median_abs_coordinate(&refs).max(1.0),
+    };
+    let index_seed: u64 = args.get_or("index-seed", 17)?;
+    let built = LshIndex::build(
+        LshParams::new(bands, rows, width, index_seed)?,
+        tr,
+        tc,
+        &refs,
+    )?;
+    index_persist::save_index(&built, out)?;
+    Ok(())
+}
+
+/// `pairwise --manifest FILE [--threshold T] [--output FILE] [--p P]
+/// [--k K] [--seed N] [--memory-budget BYTES]`
+///
+/// Streams member pairs whose signature similarity reaches
+/// `--threshold` (default 0.9) as CSV rows
+/// `i,j,name_i,name_j,distance,similarity`, loading signatures in
+/// budget-sized blocks so peak residency stays within
+/// `--memory-budget` regardless of corpus size. Signatures come from a
+/// prior `manysketch` run over the same manifest and sketch family.
+pub fn pairwise(args: &Args) -> Result<(), CliError> {
+    let manifest = load_manifest(args)?;
+    let threshold: f64 = args.get_or("threshold", 0.9)?;
+    let budget = memory_budget(args)?;
+    let sketcher = collection_sketcher(args)?;
+    let mut out = open_output(args)?;
+    writeln!(out, "i,j,name_i,name_j,distance,similarity")
+        .map_err(|e| CliError::usage(format!("writing output: {e}")))?;
+    let entries = manifest.entries();
+    let load =
+        |i: usize| -> Result<_, TabError> { persist::load_sketch(entries[i].signature_path()) };
+    let emit = |row: PairwiseRow| -> Result<(), ClusterError> {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            row.i, row.j, entries[row.i].name, entries[row.j].name, row.distance, row.similarity
+        )
+        .map_err(|e| ClusterError::Core(TabError::from(e)))
+    };
+    let stats = pairwise_sketches(manifest.len(), load, &sketcher, threshold, budget, emit)?;
+    for &i in &stats.degraded {
+        eprintln!(
+            "warning: member {:?} degraded (signature unreadable); its pairs were pruned",
+            entries[i].name
+        );
+    }
+    eprintln!(
+        "pairwise over {} member(s): {} row(s) at similarity >= {threshold}, \
+         {} pair(s) pruned, block size {}",
+        manifest.len(),
+        stats.emitted,
+        stats.pruned,
+        stats.block
+    );
+    Ok(())
+}
+
+/// `manysearch --manifest FILE --query TABLE --tile RxC [--knn K]
+/// [--index] [--output FILE] [--p P] [--k K] [--seed N]
+/// [--memory-budget BYTES]`
+///
+/// Sketches the query table's tiles and searches them against every
+/// corpus member's store, emitting CSV rows
+/// `query,query_row,query_col,member,tile_row,tile_col,distance` — each
+/// query tile's `--knn` nearest tiles per member. With `--index` (bare:
+/// the per-member index paths come from the manifest), candidate
+/// retrieval goes through each member's LSH index; a missing or
+/// mismatched index falls back to the exact sketched scan, counted in
+/// `index.fallbacks`.
+pub fn manysearch(args: &Args) -> Result<(), CliError> {
+    if args.get("index").is_some() {
+        return Err(CliError::usage(
+            "--index takes no value here: per-member index paths come from the manifest",
+        ));
+    }
+    let manifest = load_manifest(args)?;
+    let query_path = args.require("query")?;
+    let (tr, tc) = args.require_tile("tile")?;
+    let k: usize = args.get_or("knn", 1)?;
+    let use_index = args.switch("index");
+    let budget = memory_budget(args)?;
+    let sketcher = collection_sketcher(args)?;
+    let table = crate::commands::load_table(query_path, budget)?;
+    let grid = TileGrid::new(table.rows(), table.cols(), tr, tc)?;
+    let embedding = IndexedEmbedding::build(&table, &grid, sketcher.clone())?;
+    let collection = Collection::open(manifest, budget);
+    let report = tabsketch_cluster::manysearch(
+        &collection,
+        &sketcher,
+        embedding.sketches(),
+        tr,
+        tc,
+        k,
+        use_index,
+    )?;
+    let mut out = open_output(args)?;
+    let write = |out: &mut dyn Write| -> std::io::Result<()> {
+        writeln!(
+            out,
+            "query,query_row,query_col,member,tile_row,tile_col,distance"
+        )?;
+        for hit in &report.hits {
+            let rect = grid.tile(hit.query).expect("query index in range");
+            writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                hit.query, rect.row, rect.col, hit.member, hit.tile_row, hit.tile_col, hit.distance
+            )?;
+        }
+        Ok(())
+    };
+    write(&mut out).map_err(|e| CliError::usage(format!("writing output: {e}")))?;
+    for (name, reason) in &report.degraded {
+        eprintln!("warning: member {name:?} degraded: {reason}");
+    }
+    eprintln!(
+        "manysearch: {} quer(ies) x {} member(s) -> {} hit(s) ({} member(s) degraded)",
+        grid.len(),
+        collection.len(),
+        report.hits.len(),
+        report.degraded.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands;
+
+    fn parse(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-cli-collections-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A three-member corpus: two identical sixregion tables (a near-
+    /// duplicate pair for `pairwise`) and one callvol table with a very
+    /// different value profile.
+    fn corpus(dir: &std::path::Path) -> std::path::PathBuf {
+        for (name, line) in [
+            (
+                "a",
+                "generate sixregion --out {} --rows 48 --cols 48 --seed 5",
+            ),
+            (
+                "b",
+                "generate sixregion --out {} --rows 48 --cols 48 --seed 5",
+            ),
+            (
+                "c",
+                "generate callvol --out {} --stations 48 --slots 48 --days 1 --seed 9",
+            ),
+        ] {
+            let path = dir.join(format!("{name}.tsb"));
+            commands::generate(&parse(&line.replace("{}", path.to_str().unwrap()))).unwrap();
+        }
+        let manifest = dir.join("corpus.manifest");
+        // Mixed slot styles: derived store, explicit store, bare index
+        // slot; all paths relative to the manifest's directory.
+        std::fs::write(
+            &manifest,
+            "# three-member test corpus\n\
+             a=a.tsb\n\
+             b=b.tsb:b_store.tsks\n\
+             c=c.tsb::c_custom.tix\n",
+        )
+        .unwrap();
+        manifest
+    }
+
+    #[test]
+    fn manysketch_pairwise_manysearch_flow() {
+        let dir = temp_dir();
+        let manifest = corpus(&dir);
+        let m = manifest.to_str().unwrap();
+
+        manysketch(&parse(&format!(
+            "manysketch --manifest {m} --tile 8x8 --k 64 --threads 2 --index"
+        )))
+        .unwrap();
+        for artifact in [
+            "a.tsks",
+            "a.tsk",
+            "a.tix",
+            "b_store.tsks",
+            "b_store.tsk",
+            "c.tsks",
+            "c_custom.tix",
+        ] {
+            assert!(dir.join(artifact).exists(), "missing {artifact}");
+        }
+
+        // The identical pair (and only it) clears a 0.9 threshold.
+        let pairs_csv = dir.join("pairs.csv");
+        pairwise(&parse(&format!(
+            "pairwise --manifest {m} --threshold 0.9 --k 64 --output {}",
+            pairs_csv.display()
+        )))
+        .unwrap();
+        let rows = std::fs::read_to_string(&pairs_csv).unwrap();
+        let mut lines = rows.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "i,j,name_i,name_j,distance,similarity"
+        );
+        let data: Vec<&str> = lines.collect();
+        assert_eq!(data.len(), 1, "expected only the duplicate pair: {rows}");
+        assert!(data[0].starts_with("0,1,a,b,"), "{rows}");
+
+        // Querying with member a itself: every query tile has an exact
+        // match in member a (distance ~0), and the indexed run emits
+        // byte-identical output to the linear scan.
+        let (linear, indexed) = (dir.join("linear.csv"), dir.join("indexed.csv"));
+        let query = dir.join("a.tsb");
+        manysearch(&parse(&format!(
+            "manysearch --manifest {m} --query {} --tile 8x8 --knn 1 --k 64 --output {}",
+            query.display(),
+            linear.display()
+        )))
+        .unwrap();
+        manysearch(&parse(&format!(
+            "manysearch --manifest {m} --query {} --tile 8x8 --knn 1 --k 64 --index --output {}",
+            query.display(),
+            indexed.display()
+        )))
+        .unwrap();
+        let linear_rows = std::fs::read_to_string(&linear).unwrap();
+        let indexed_rows = std::fs::read_to_string(&indexed).unwrap();
+        assert_eq!(linear_rows, indexed_rows);
+        // 36 query tiles x 3 members x k=1, plus the header.
+        assert_eq!(linear_rows.lines().count(), 1 + 36 * 3);
+        for line in linear_rows.lines().skip(1).filter(|l| l.contains(",a,")) {
+            let d: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            // Store sketches and query sketches accumulate dot products
+            // in different orders, so "exact" means last-ULP noise here.
+            assert!(d.abs() < 1e-6, "self-hit should be exact: {line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_problems_exit_with_code_7() {
+        let dir = temp_dir();
+        let manifest = dir.join("dup.manifest");
+        std::fs::write(&manifest, "a=a.tsb\na=other.tsb\n").unwrap();
+        let err = manysketch(&parse(&format!(
+            "manysketch --manifest {} --tile 8x8",
+            manifest.display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let empty = dir.join("empty.manifest");
+        std::fs::write(&empty, "# nothing here\n").unwrap();
+        let err =
+            pairwise(&parse(&format!("pairwise --manifest {}", empty.display()))).unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+
+        // A missing manifest file is an I/O problem, not a grammar one.
+        let err = manysketch(&parse(&format!(
+            "manysketch --manifest {} --tile 8x8",
+            dir.join("nosuch.manifest").display()
+        )))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_members_do_not_abort_the_run() {
+        let dir = temp_dir();
+        let manifest = corpus(&dir);
+        let m = manifest.to_str().unwrap();
+        // Member b's table vanishes before the build: it degrades, the
+        // other two still sketch.
+        std::fs::remove_file(dir.join("b.tsb")).unwrap();
+        manysketch(&parse(&format!(
+            "manysketch --manifest {m} --tile 8x8 --k 32 --threads 1"
+        )))
+        .unwrap();
+        assert!(dir.join("a.tsks").exists());
+        assert!(dir.join("c.tsks").exists());
+        assert!(!dir.join("b_store.tsks").exists());
+
+        // pairwise prunes b's pairs; a and c survive with no rows at
+        // the 0.9 threshold (they are not similar).
+        let csv = dir.join("pairs.csv");
+        pairwise(&parse(&format!(
+            "pairwise --manifest {m} --threshold 0.9 --k 32 --output {}",
+            csv.display()
+        )))
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&csv).unwrap().lines().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manysearch_usage_errors() {
+        let err = manysearch(&parse(
+            "manysearch --manifest m.txt --query q.tsb --tile 8x8 --index some.tix",
+        ))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        let err = manysearch(&parse("manysearch --query q.tsb --tile 8x8")).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "missing --manifest: {err}");
+    }
+}

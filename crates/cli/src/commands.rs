@@ -36,7 +36,7 @@ pub(crate) fn memory_budget(args: &Args) -> Result<MemoryBudget, CliError> {
 
 /// Loads a table by extension (`.csv` or binary otherwise), streaming
 /// rows past `budget` into a disk-spilled table.
-fn load_table(path: &str, budget: MemoryBudget) -> Result<Table, CliError> {
+pub(crate) fn load_table(path: &str, budget: MemoryBudget) -> Result<Table, CliError> {
     let result = if path.ends_with(".csv") {
         table_io::load_csv_streaming(path, budget)
     } else {

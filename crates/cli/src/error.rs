@@ -2,10 +2,11 @@
 //!
 //! Scripts driving `tabsketch-cli` can tell a typo'd flag (exit 2) from
 //! a damaged table file (exit 3), a bad sketch store (exit 4), a
-//! mining-parameter problem (exit 5), or a serving/protocol failure
-//! (exit 6) without parsing stderr. Every error renders as one
-//! `error: ...` line, optionally prefixed with the operation that
-//! failed ("loading day.tsb: ...").
+//! mining-parameter problem (exit 5), a serving/protocol failure
+//! (exit 6), or a malformed collection manifest (exit 7) without
+//! parsing stderr. Every error renders as one `error: ...` line,
+//! optionally prefixed with the operation that failed
+//! ("loading day.tsb: ...").
 //!
 //! # Error-frame code → exit code
 //!
@@ -80,6 +81,11 @@ impl CliError {
     pub fn exit_code(&self) -> i32 {
         match &self.kind {
             ErrorKind::Usage(_) => 2,
+            // Manifest problems are a distinct failure class: the
+            // collection commands want scripts to tell "your manifest
+            // is malformed" (fix the file) from "a member table is
+            // damaged" (fix the data).
+            ErrorKind::Table(TableError::Manifest { .. }) => 7,
             ErrorKind::Table(_) => 3,
             ErrorKind::Sketch(_) => 4,
             ErrorKind::Cluster(_) => 5,
@@ -174,9 +180,21 @@ mod tests {
             CliError::from(TabError::corrupt("magic", "nope")).exit_code(),
             CliError::from(ClusterError::InvalidParameter("k")).exit_code(),
             CliError::from(ServeError::DeadlineExceeded).exit_code(),
+            CliError::from(TableError::manifest(3, "duplicate member name")).exit_code(),
         ];
-        assert_eq!(codes, [2, 3, 4, 5, 6]);
+        assert_eq!(codes, [2, 3, 4, 5, 6, 7]);
         assert!(codes.iter().all(|&c| c != 0));
+    }
+
+    #[test]
+    fn manifest_errors_keep_their_exit_code_through_serve_wrappers() {
+        // `serve --manifest` surfaces manifest problems as table-layer
+        // errors wrapped by the serving config path; both routes must
+        // land on exit 7, not the generic table code.
+        let direct = CliError::from(TableError::manifest(0, "manifest lists no tables"));
+        assert_eq!(direct.exit_code(), 7);
+        let wrapped = CliError::from(ServeError::Table(TableError::manifest(2, "dup")));
+        assert_eq!(wrapped.exit_code(), 7);
     }
 
     #[test]

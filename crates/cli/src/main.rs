@@ -16,6 +16,7 @@
 //! ```
 
 mod args;
+mod collections;
 mod commands;
 mod error;
 mod serving;
@@ -61,6 +62,9 @@ fn main() {
         "knn" => commands::knn(&parsed),
         "index" => commands::index(&parsed),
         "pairs" => commands::pairs(&parsed),
+        "manysketch" => collections::manysketch(&parsed),
+        "pairwise" => collections::pairwise(&parsed),
+        "manysearch" => collections::manysearch(&parsed),
         "update" => commands::update(&parsed),
         "serve" => serving::serve(&parsed),
         "ping" => serving::ping(&parsed),
@@ -167,6 +171,40 @@ COMMANDS:
       Most similar tile pairs; --refine re-ranks a sketched shortlist
       with exact distances.
 
+  manysketch --manifest FILE --tile RxC [--p P] [--k K] [--seed N]
+      [--threads N] [--memory-budget BYTES] [--index]
+      Sketch every table of a manifest-named collection: each member
+      gets an all-subtable store and a whole-table signature, written
+      to the paths its manifest line names (or derives). Members share
+      one residency budget — only the collection's LRU window of
+      tables is resident at once. Builds are work-stolen across
+      --threads workers at the (table x unit) grain. With --index,
+      each member's store is also hashed into a .tix candidate index
+      ([--bands B] [--rows R] [--width W] [--index-seed N]).
+      A manifest line is NAME=TABLE[:STORE[:INDEX]]; blank lines and
+      `#` comments are skipped; relative paths resolve against the
+      manifest's directory.
+
+  pairwise --manifest FILE [--threshold T] [--output FILE] [--p P]
+      [--k K] [--seed N] [--memory-budget BYTES]
+      Stream member pairs whose signature similarity reaches
+      --threshold (default 0.9) as CSV `i,j,name_i,name_j,distance,
+      similarity` rows, without materializing the N x N matrix:
+      signatures load in blocks sized to half of --memory-budget.
+      Unreadable signatures degrade their member (pairs pruned, run
+      continues).
+
+  manysearch --manifest FILE --query TABLE --tile RxC [--knn K]
+      [--index] [--output FILE] [--p P] [--k K] [--seed N]
+      [--memory-budget BYTES]
+      Search the query table's tiles against every member's sketch
+      store: CSV `query,query_row,query_col,member,tile_row,tile_col,
+      distance` rows, each query tile's --knn nearest per member.
+      Bare --index routes candidate retrieval through each member's
+      manifest-derived .tix index; a missing or mismatched index falls
+      back to the exact sketched scan (counted in index.fallbacks)
+      with identical results.
+
   update TABLE (--cell R,C,DELTA | --row R --deltas V,... |
       --rect R,C,H,W (--deltas V,... | --fill X))
       [--out FILE] [--sketch-store STORE] [--store-out FILE]
@@ -197,7 +235,10 @@ COMMANDS:
       (default 64) bounds the connection queue; beyond it connections
       are shed with `overloaded` frames carrying a retry-after hint.
       With --metrics-out FILE the final drain/shed/panic counters are
-      written as JSON on shutdown.
+      written as JSON on shutdown. `serve --manifest FILE` loads the
+      whole fleet from a collection manifest instead: every member is
+      served under its manifest name, with --memory-budget split
+      evenly across members.
 
   ping --addr HOST:PORT [--metrics | --health | --shutdown]
       [--deadline MS] [--retries N] [--retry-budget-ms MS]
@@ -224,13 +265,14 @@ OBSERVABILITY (any command):
 
 EXIT CODES:
   0 success; 2 usage error; 3 table-file error; 4 sketch/store error;
-  5 mining error; 6 serving/protocol error. Remote error frames map to
-  the same codes: table/sketch/mining frames exit 3/4/5, everything
-  serving-specific (unknown store, deadline, overloaded, draining,
-  shutting down, protocol damage) exits 6. Failures print one
-  `error: ...` line to stderr.
+  5 mining error; 6 serving/protocol error; 7 malformed collection
+  manifest. Remote error frames map to the same codes: table/sketch/
+  mining frames exit 3/4/5, everything serving-specific (unknown
+  store, deadline, overloaded, draining, shutting down, protocol
+  damage) exits 6. Failures print one `error: ...` line to stderr.
 
 Formats: .tsb (binary tables), .csv, .tsks (sketch stores),
-.tix (LSH candidate indexes)."
+.tsk (table signatures), .tix (LSH candidate indexes),
+.manifest (collection manifests, NAME=TABLE[:STORE[:INDEX]] lines)."
     );
 }

@@ -47,7 +47,9 @@ fn parse_store_specs(list: &str, args: &Args) -> Result<Vec<StoreSpec>, CliError
 /// `serve TABLE [--sketch-store STORE] [--index IDX] [--name NAME]
 /// [--addr HOST:PORT] [--workers N] [--shards N] [--cache-capacity N]
 /// [--p P] [--k K] [--seed N] [--memory-budget BYTES]
-/// [--port-file FILE]`, or `serve --stores NAME=TABLE[:STORE[:INDEX]],...`
+/// [--port-file FILE]`, `serve --stores NAME=TABLE[:STORE[:INDEX]],...`,
+/// or `serve --manifest FILE` (a whole collection from one flag, with
+/// `--memory-budget` split evenly across members).
 ///
 /// Blocks until a client sends the shutdown poison message (see
 /// `ping --shutdown`).
@@ -61,7 +63,14 @@ pub fn serve(args: &Args) -> Result<(), CliError> {
     tabsketch_cluster::register_metrics();
     tabsketch_index::register_metrics();
     tabsketch_serve::register_metrics();
-    let specs = if let Some(list) = args.get("stores") {
+    let specs = if let Some(manifest_path) = args.get("manifest") {
+        // The manifest reuses the --stores colon grammar per line; a
+        // malformed one is a manifest error (exit 7), not usage.
+        let manifest = tabsketch_table::Manifest::load(manifest_path)
+            .map_err(|e| CliError::from(e).in_context(format!("loading {manifest_path}")))?;
+        let (p, k, seed) = fallback_params(args)?;
+        StoreSpec::fleet_from_manifest(&manifest, p, k, seed, memory_budget(args)?)
+    } else if let Some(list) = args.get("stores") {
         parse_store_specs(list, args)?
     } else {
         let table = args.positional.first().map(String::as_str).ok_or_else(|| {
@@ -395,6 +404,50 @@ mod tests {
         .unwrap();
         ping(&parse(&format!("ping --addr {addr} --shutdown"))).unwrap();
         server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_from_manifest_end_to_end() {
+        let dir = temp_dir();
+        for (name, seed) in [("one", 1), ("two", 2)] {
+            commands::generate(&parse(&format!(
+                "generate sixregion --out {} --rows 32 --cols 32 --seed {seed}",
+                dir.join(format!("{name}.tsb")).display()
+            )))
+            .unwrap();
+        }
+        let manifest = dir.join("fleet.manifest");
+        std::fs::write(&manifest, "one=one.tsb\ntwo=two.tsb\n").unwrap();
+        let port_file = dir.join("port");
+        let serve_args = parse(&format!(
+            "serve --manifest {} --addr 127.0.0.1:0 --workers 2 --shards 1 --port-file {}",
+            manifest.display(),
+            port_file.display()
+        ));
+        let server = std::thread::spawn(move || serve(&serve_args));
+        let addr = wait_for_port_file(&port_file);
+        ping(&parse(&format!("ping --addr {addr}"))).unwrap();
+        // Both members answer under their manifest names; the window
+        // shape comes from --tile since no store was precomputed.
+        for store in ["one", "two"] {
+            rquery(&parse(&format!(
+                "rquery --addr {addr} --store {store} --at 0,0 --at2 8,8 --tile 8x8"
+            )))
+            .unwrap();
+        }
+        ping(&parse(&format!("ping --addr {addr} --shutdown"))).unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rejects_a_malformed_manifest_with_exit_7() {
+        let dir = temp_dir();
+        let manifest = dir.join("bad.manifest");
+        std::fs::write(&manifest, "a=a.tsb\na=twice.tsb\n").unwrap();
+        let err = serve(&parse(&format!("serve --manifest {}", manifest.display()))).unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

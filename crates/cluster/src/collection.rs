@@ -1,0 +1,641 @@
+//! Cross-table analytics over a manifest corpus: streaming `pairwise`
+//! and `manysearch`.
+//!
+//! [`pairwise_sketches`] compares every pair of member signature
+//! sketches and emits only the rows whose similarity clears a threshold
+//! — without ever materializing the N×N matrix. It streams sketch
+//! blocks through an out-of-core loop mirroring the spilled-table
+//! window discipline: at any moment at most two blocks of
+//! `block_size ≈ budget / (2·k·8)` sketches are resident, and rows are
+//! buffered per outer row `i` so the emission order (ascending `i`,
+//! then ascending `j`) is byte-identical whether the run was dense
+//! (one block) or chunked (many).
+//!
+//! [`manysearch`] routes a batch of query-tile sketches through each
+//! corpus member: via the member's persisted LSH index when one is
+//! available (missing, unreadable, or non-covering indexes fall back to
+//! the exhaustive sketched scan behind `index.fallbacks`), exact
+//! sketched scan otherwise. Both paths return identical answers when
+//! the index can serve the query completely.
+//!
+//! Similarity is derived entirely in sketch space: the sketch of the
+//! zero table is the zero vector, so `n̂(s) = d̂(s, 0)` estimates a
+//! member's norm and `sim(a, b) = 1 − d̂(a,b) / (n̂(a) + n̂(b))` is 1
+//! for identical members and falls toward 0 as they diverge (clamped
+//! at 0). Members whose sketches fail to load *degrade*: their pairs
+//! are pruned (counted in `collection.pairs_pruned`) and the run
+//! continues.
+
+use std::collections::BTreeSet;
+
+use tabsketch_core::{persist, Sketch, Sketcher, TabError};
+use tabsketch_index::persist as index_persist;
+use tabsketch_table::{Collection, MemoryBudget};
+
+use crate::indexed::nearest_neighbors_indexed_query;
+use crate::knn::nearest_neighbors_sketched_query;
+use crate::ClusterError;
+
+/// One above-threshold pair from a [`pairwise_sketches`] run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairwiseRow {
+    /// Manifest index of the first member (`i < j`).
+    pub i: usize,
+    /// Manifest index of the second member.
+    pub j: usize,
+    /// Estimated Lp distance between the member signatures.
+    pub distance: f64,
+    /// Sketch-space similarity in `[0, 1]`.
+    pub similarity: f64,
+}
+
+/// Aggregates from a [`pairwise_sketches`] run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PairwiseStats {
+    /// Rows emitted (similarity at or above the threshold).
+    pub emitted: u64,
+    /// Pairs pruned: below threshold, or involving a degraded member.
+    pub pruned: u64,
+    /// Sketch block size the budget allowed (`n` when unbounded).
+    pub block: usize,
+    /// Manifest indices of members whose signatures failed to load.
+    pub degraded: Vec<usize>,
+}
+
+/// Estimates a sketch's norm as its distance to the zero sketch (the
+/// sketch of the all-zero table, which is the zero vector by linearity).
+fn sketch_norm(sketcher: &Sketcher, s: &Sketch, scratch: &mut Vec<f64>) -> f64 {
+    let zeros = vec![0.0; s.k()];
+    sketcher.estimate_distance_slices(s.values(), &zeros, scratch)
+}
+
+/// Sketch-space similarity: `1 − d̂ / (n̂a + n̂b)`, clamped to `[0, 1]`;
+/// two zero-norm members are identical (similarity 1).
+fn similarity(distance: f64, norm_a: f64, norm_b: f64) -> f64 {
+    let denom = norm_a + norm_b;
+    if denom > 0.0 {
+        (1.0 - distance / denom).clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Streams all `n·(n−1)/2` member pairs, emitting `(i, j, d̂, sim)` rows
+/// whose similarity is at or above `threshold` through `emit`, holding
+/// at most two `block`-sized sketch windows resident (see the module
+/// docs for the memory bound). `load(m)` produces member `m`'s
+/// signature sketch; a member whose load fails degrades — every pair
+/// involving it is pruned, it is counted once in
+/// `collection.members_degraded`, and the run continues.
+///
+/// Emission order is ascending `i` then ascending `j` regardless of the
+/// budget, so a chunked run's output is identical to the dense
+/// unbounded run's.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for a non-finite
+/// threshold, and propagates `emit` errors. Load and estimator
+/// failures degrade or prune instead of erroring.
+pub fn pairwise_sketches<F, G>(
+    n: usize,
+    mut load: F,
+    sketcher: &Sketcher,
+    threshold: f64,
+    budget: MemoryBudget,
+    mut emit: G,
+) -> Result<PairwiseStats, ClusterError>
+where
+    F: FnMut(usize) -> Result<Sketch, TabError>,
+    G: FnMut(PairwiseRow) -> Result<(), ClusterError>,
+{
+    if !threshold.is_finite() {
+        return Err(ClusterError::InvalidParameter(
+            "similarity threshold must be finite",
+        ));
+    }
+    let mut stats = PairwiseStats::default();
+    if n < 2 {
+        stats.block = n.max(1);
+        return Ok(stats);
+    }
+    // Two resident blocks of k-value sketches must fit in the budget.
+    let block = match budget.get() {
+        None => n,
+        Some(bytes) => {
+            let per_sketch = (sketcher.k() as u64).saturating_mul(8).max(1);
+            usize::try_from((bytes / 2) / per_sketch)
+                .unwrap_or(usize::MAX)
+                .clamp(1, n)
+        }
+    };
+    stats.block = block;
+
+    let mut degraded: BTreeSet<usize> = BTreeSet::new();
+    let mut scratch = Vec::new();
+    // Load a window of member signatures; a failed member is recorded
+    // (once) and carried as None so its pairs prune.
+    let mut load_window = |range: std::ops::Range<usize>,
+                           degraded: &mut BTreeSet<usize>|
+     -> Vec<Option<(Sketch, f64)>> {
+        range
+            .map(|m| match load(m) {
+                Ok(s) => {
+                    let mut scratch = Vec::new();
+                    let norm = sketch_norm(sketcher, &s, &mut scratch);
+                    Some((s, norm))
+                }
+                Err(_) => {
+                    if degraded.insert(m) {
+                        tabsketch_obs::counter!("collection.members_degraded").inc();
+                    }
+                    None
+                }
+            })
+            .collect()
+    };
+
+    let mut outer = 0;
+    while outer < n {
+        let outer_end = (outer + block).min(n);
+        let outer_block = load_window(outer..outer_end, &mut degraded);
+        // Rows buffered per outer member so emission stays (i, j)-sorted
+        // as inner blocks advance.
+        let mut rows: Vec<Vec<PairwiseRow>> = vec![Vec::new(); outer_end - outer];
+
+        let mut compare = |a: &Option<(Sketch, f64)>,
+                           b: &Option<(Sketch, f64)>,
+                           i: usize,
+                           j: usize,
+                           rows: &mut Vec<Vec<PairwiseRow>>,
+                           stats: &mut PairwiseStats| {
+            let (Some((sa, na)), Some((sb, nb))) = (a, b) else {
+                stats.pruned += 1;
+                tabsketch_obs::counter!("collection.pairs_pruned").inc();
+                return;
+            };
+            match sketcher.estimate_distance_with(sa, sb, &mut scratch) {
+                Ok(d) => {
+                    let sim = similarity(d, *na, *nb);
+                    if sim >= threshold {
+                        rows[i - outer].push(PairwiseRow {
+                            i,
+                            j,
+                            distance: d,
+                            similarity: sim,
+                        });
+                    } else {
+                        stats.pruned += 1;
+                        tabsketch_obs::counter!("collection.pairs_pruned").inc();
+                    }
+                }
+                Err(_) => {
+                    stats.pruned += 1;
+                    tabsketch_obs::counter!("collection.pairs_pruned").inc();
+                }
+            }
+        };
+
+        // Pairs within the outer block.
+        for i in outer..outer_end {
+            for j in (i + 1)..outer_end {
+                compare(
+                    &outer_block[i - outer],
+                    &outer_block[j - outer],
+                    i,
+                    j,
+                    &mut rows,
+                    &mut stats,
+                );
+            }
+        }
+        // Pairs against every later block, one inner window at a time.
+        let mut inner = outer_end;
+        while inner < n {
+            let inner_end = (inner + block).min(n);
+            let inner_block = load_window(inner..inner_end, &mut degraded);
+            for i in outer..outer_end {
+                for j in inner..inner_end {
+                    compare(
+                        &outer_block[i - outer],
+                        &inner_block[j - inner],
+                        i,
+                        j,
+                        &mut rows,
+                        &mut stats,
+                    );
+                }
+            }
+            inner = inner_end;
+        }
+        for member_rows in rows {
+            for row in member_rows {
+                emit(row)?;
+                stats.emitted += 1;
+                tabsketch_obs::counter!("collection.pairwise_rows_emitted").inc();
+            }
+        }
+        outer = outer_end;
+    }
+    stats.degraded = degraded.into_iter().collect();
+    Ok(stats)
+}
+
+/// One `manysearch` result row: query tile `query` matched tile
+/// `(tile_row, tile_col)` of corpus member `member` at `distance`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchHit {
+    /// Index of the query tile (grid order over the query table).
+    pub query: usize,
+    /// Corpus member name.
+    pub member: String,
+    /// Anchor row of the matched tile within the member table.
+    pub tile_row: usize,
+    /// Anchor column of the matched tile.
+    pub tile_col: usize,
+    /// Estimated Lp distance between the query and matched tiles.
+    pub distance: f64,
+}
+
+/// The outcome of a [`manysearch`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ManySearchReport {
+    /// Hits, ordered by member (manifest order), then query index, then
+    /// ascending distance rank.
+    pub hits: Vec<SearchHit>,
+    /// Members that could not be searched, with the reason.
+    pub degraded: Vec<(String, String)>,
+}
+
+/// Searches `queries` (tile sketches, all built by the same sketch
+/// family as the corpus stores) against every member of `collection`,
+/// returning each member's `k` nearest tiles per query.
+///
+/// Each member's tile sketches come from its persisted `TSS2` store at
+/// the tile grain `(tile_rows, tile_cols)`. With `use_index`, the
+/// member's `TIX1` index serves candidate retrieval; a missing,
+/// unreadable, or non-covering index records a fallback
+/// (`index.fallbacks`) and that member is scanned linearly — results
+/// are identical either way whenever the index can answer completely.
+/// A member whose store fails to load degrades (counted in
+/// `collection.members_degraded`) without aborting the run.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `k` is zero or a
+/// tile dimension is zero; per-query estimator failures propagate.
+pub fn manysearch(
+    collection: &Collection,
+    sketcher: &Sketcher,
+    queries: &[Sketch],
+    tile_rows: usize,
+    tile_cols: usize,
+    k: usize,
+    use_index: bool,
+) -> Result<ManySearchReport, ClusterError> {
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if tile_rows == 0 || tile_cols == 0 {
+        return Err(ClusterError::InvalidParameter(
+            "tile dimensions must be non-zero",
+        ));
+    }
+    let mut report = ManySearchReport::default();
+    for entry in collection.manifest().entries() {
+        let store = match persist::load_store(entry.store_path_or_default()) {
+            Ok(s) => s,
+            Err(e) => {
+                tabsketch_obs::counter!("collection.members_degraded").inc();
+                report.degraded.push((entry.name.clone(), e.to_string()));
+                continue;
+            }
+        };
+        if store.tile_rows() != tile_rows || store.tile_cols() != tile_cols {
+            tabsketch_obs::counter!("collection.members_degraded").inc();
+            report.degraded.push((
+                entry.name.clone(),
+                format!(
+                    "store tile {}x{} does not match requested {}x{}",
+                    store.tile_rows(),
+                    store.tile_cols(),
+                    tile_rows,
+                    tile_cols
+                ),
+            ));
+            continue;
+        }
+        // Non-overlapping tile anchors: 0, tile_rows, 2·tile_rows, …
+        let tiles_r = store.anchor_rows().div_ceil(tile_rows);
+        let tiles_c = store.anchor_cols().div_ceil(tile_cols);
+        let mut sketches = Vec::with_capacity(tiles_r * tiles_c);
+        for tr in 0..tiles_r {
+            for tc in 0..tiles_c {
+                sketches.push(
+                    store
+                        .sketch_at(tr * tile_rows, tc * tile_cols)
+                        .map_err(ClusterError::Core)?,
+                );
+            }
+        }
+        let index = if use_index {
+            match index_persist::load_index(entry.index_path_or_default()) {
+                Ok(ix) if ix.covers(tile_rows, tile_cols, sketcher.k(), sketches.len()) => Some(ix),
+                _ => {
+                    tabsketch_index::record_fallback();
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        for (q, query) in queries.iter().enumerate() {
+            let neighbors = match &index {
+                Some(ix) => nearest_neighbors_indexed_query(sketcher, &sketches, ix, query, k)?,
+                None => nearest_neighbors_sketched_query(sketcher, &sketches, query, k)?,
+            };
+            for nb in neighbors {
+                report.hits.push(SearchHit {
+                    query: q,
+                    member: entry.name.clone(),
+                    tile_row: (nb.index / tiles_c) * tile_rows,
+                    tile_col: (nb.index % tiles_c) * tile_cols,
+                    distance: nb.distance,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+    use tabsketch_core::{AllSubtableSketches, DistanceEstimator, SketchParams};
+    use tabsketch_table::{io as table_io, Manifest, Table};
+
+    fn sketcher(k: usize) -> Sketcher {
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(k)
+                .seed(21)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn member_sketches(n: usize, k: usize) -> Vec<Sketch> {
+        let sk = sketcher(k);
+        (0..n)
+            .map(|i| {
+                // Members come in near-duplicate pairs: 0≈1, 2≈3, …
+                let base = (i / 2 * 100) as f64;
+                let jitter = (i % 2) as f64 * 0.001;
+                DistanceEstimator::sketch(&sk, &vec![base + 1.0 + jitter; 64])
+            })
+            .collect()
+    }
+
+    fn run_pairwise(
+        sketches: &[Sketch],
+        k: usize,
+        threshold: f64,
+        budget: MemoryBudget,
+    ) -> (Vec<PairwiseRow>, PairwiseStats) {
+        let mut rows = Vec::new();
+        let stats = pairwise_sketches(
+            sketches.len(),
+            |m| Ok(sketches[m].clone()),
+            &sketcher(k),
+            threshold,
+            budget,
+            |row| {
+                rows.push(row);
+                Ok(())
+            },
+        )
+        .unwrap();
+        (rows, stats)
+    }
+
+    #[test]
+    fn pairwise_finds_near_duplicates_above_threshold() {
+        let sketches = member_sketches(6, 128);
+        let (rows, stats) = run_pairwise(&sketches, 128, 0.9, MemoryBudget::unbounded());
+        // Exactly the three duplicate pairs clear a 0.9 threshold.
+        let pairs: Vec<(usize, usize)> = rows.iter().map(|r| (r.i, r.j)).collect();
+        assert_eq!(pairs, vec![(0, 1), (2, 3), (4, 5)]);
+        assert!(rows.iter().all(|r| r.similarity > 0.9));
+        assert_eq!(stats.emitted, 3);
+        assert_eq!(stats.pruned as usize, 6 * 5 / 2 - 3);
+        assert_eq!(stats.block, 6);
+        assert!(stats.degraded.is_empty());
+    }
+
+    #[test]
+    fn chunked_pairwise_is_identical_to_dense() {
+        let sketches = member_sketches(9, 64);
+        let (dense_rows, dense_stats) = run_pairwise(&sketches, 64, 0.0, MemoryBudget::unbounded());
+        assert_eq!(dense_stats.block, 9);
+        // All pairs emitted at threshold 0: n(n-1)/2 rows, sorted (i, j).
+        assert_eq!(dense_rows.len(), 9 * 8 / 2);
+        for budget_sketches in [1u64, 2, 3, 5] {
+            let budget = MemoryBudget::bytes(budget_sketches * 2 * 64 * 8);
+            let (rows, stats) = run_pairwise(&sketches, 64, 0.0, budget);
+            assert_eq!(stats.block as u64, budget_sketches);
+            assert_eq!(rows, dense_rows, "block={budget_sketches}");
+        }
+    }
+
+    #[test]
+    fn degraded_members_prune_their_pairs() {
+        let sketches = member_sketches(5, 64);
+        let mut rows = Vec::new();
+        let stats = pairwise_sketches(
+            5,
+            |m| {
+                if m == 2 {
+                    Err(TabError::Io("disk on fire".into()))
+                } else {
+                    Ok(sketches[m].clone())
+                }
+            },
+            &sketcher(64),
+            0.0,
+            MemoryBudget::bytes(2 * 2 * 64 * 8),
+            |row| {
+                rows.push(row);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.degraded, vec![2]);
+        // Member 2's four pairs prune; the other six emit at threshold 0.
+        assert_eq!(stats.pruned, 4);
+        assert_eq!(stats.emitted, 6);
+        assert!(rows.iter().all(|r| r.i != 2 && r.j != 2));
+    }
+
+    #[test]
+    fn pairwise_validates_and_handles_small_corpora() {
+        let sk = sketcher(16);
+        assert!(pairwise_sketches(
+            3,
+            |_| Ok(DistanceEstimator::sketch(&sk, &[1.0])),
+            &sk,
+            f64::NAN,
+            MemoryBudget::unbounded(),
+            |_| Ok(()),
+        )
+        .is_err());
+        let stats = pairwise_sketches(
+            1,
+            |_| Ok(DistanceEstimator::sketch(&sk, &[1.0])),
+            &sk,
+            0.5,
+            MemoryBudget::unbounded(),
+            |_| panic!("no pairs to emit"),
+        )
+        .unwrap();
+        assert_eq!(stats.emitted, 0);
+    }
+
+    #[test]
+    fn zero_norm_members_are_perfectly_similar() {
+        let sk = sketcher(32);
+        let zero = DistanceEstimator::sketch(&sk, &[0.0; 16]);
+        let sketches = vec![zero.clone(), zero];
+        let (rows, _) = run_pairwise(&sketches, 32, 0.99, MemoryBudget::unbounded());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].similarity, 1.0);
+        assert_eq!(rows[0].distance, 0.0);
+    }
+
+    fn search_corpus(tag: &str, k: usize) -> (std::path::PathBuf, Collection, Sketcher) {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-msearch-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sk = sketcher(k);
+        let mut lines = String::new();
+        for i in 0..3 {
+            let t = Table::from_fn(8, 8, |r, c| ((i * 37 + r * 8 + c) % 11) as f64 + 1.0).unwrap();
+            let tp = dir.join(format!("m{i}.tsb"));
+            table_io::save_binary(&t, &tp).unwrap();
+            let store = AllSubtableSketches::build(&t, 4, 4, sk.clone()).unwrap();
+            persist::save_store(&store, dir.join(format!("m{i}.tsks"))).unwrap();
+            lines.push_str(&format!(
+                "m{i}={}:{}\n",
+                tp.display(),
+                dir.join(format!("m{i}.tsks")).display()
+            ));
+        }
+        let manifest = Manifest::parse_str(&lines, Path::new("")).unwrap();
+        let coll = Collection::open(manifest, MemoryBudget::unbounded());
+        (dir, coll, sk)
+    }
+
+    #[test]
+    fn manysearch_finds_exact_tile_copies() {
+        let (dir, coll, sk) = search_corpus("exact", 64);
+        // Query = tile (4, 0) of member 1, sketched by the same family.
+        let t1 = coll.member(1).unwrap();
+        let vals: Vec<f64> = (4..8)
+            .flat_map(|r| (0..4).map(move |c| (r, c)))
+            .map(|(r, c)| t1.get(r, c))
+            .collect();
+        let query = DistanceEstimator::sketch(&sk, &vals);
+        let report = manysearch(&coll, &sk, &[query], 4, 4, 1, false).unwrap();
+        assert!(report.degraded.is_empty());
+        assert_eq!(report.hits.len(), 3, "one hit per member");
+        let hit = report
+            .hits
+            .iter()
+            .find(|h| h.member == "m1")
+            .expect("member m1 searched");
+        assert_eq!((hit.tile_row, hit.tile_col), (4, 0));
+        assert!(hit.distance.abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manysearch_degrades_members_with_bad_stores() {
+        let (dir, coll, sk) = search_corpus("bad", 32);
+        // Corrupt member 0's store body.
+        let store_path = dir.join("m0.tsks");
+        let mut bytes = std::fs::read(&store_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&store_path, bytes).unwrap();
+        let query = DistanceEstimator::sketch(&sk, &[1.0; 16]);
+        let report = manysearch(&coll, &sk, &[query], 4, 4, 1, false).unwrap();
+        assert_eq!(report.degraded.len(), 1);
+        assert_eq!(report.degraded[0].0, "m0");
+        assert_eq!(report.hits.len(), 2, "surviving members still answer");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manysearch_validates_parameters() {
+        let (dir, coll, sk) = search_corpus("val", 16);
+        let query = DistanceEstimator::sketch(&sk, &[1.0; 16]);
+        assert!(manysearch(&coll, &sk, std::slice::from_ref(&query), 4, 4, 0, false).is_err());
+        assert!(manysearch(&coll, &sk, &[query], 0, 4, 1, false).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manysearch_indexed_matches_linear_with_zero_fallbacks() {
+        let (dir, coll, sk) = search_corpus("ix", 64);
+        // Build and persist a covering index per member, hashing the
+        // stored tile sketches themselves.
+        for i in 0..3 {
+            let store = persist::load_store(dir.join(format!("m{i}.tsks"))).unwrap();
+            let mut sketches = Vec::new();
+            for tr in 0..2 {
+                for tc in 0..2 {
+                    sketches.push(store.sketch_at(tr * 4, tc * 4).unwrap());
+                }
+            }
+            let refs: Vec<&[f64]> = sketches.iter().map(|s| s.values()).collect();
+            let w = tabsketch_index::median_abs_coordinate(&refs).max(1.0);
+            let ix = tabsketch_index::LshIndex::build(
+                tabsketch_index::LshParams::new(16, 2, w, 5).unwrap(),
+                4,
+                4,
+                &refs,
+            )
+            .unwrap();
+            index_persist::save_index(&ix, dir.join(format!("m{i}.tix"))).unwrap();
+        }
+        // Queries are exact copies of corpus tiles: identical sketches
+        // collide in every band, so the index always holds the true
+        // match and k=1 answers are identical with zero fallbacks.
+        let t0 = coll.member(0).unwrap();
+        let queries: Vec<Sketch> = [(0usize, 0usize), (0, 4), (4, 4)]
+            .iter()
+            .map(|&(r0, c0)| {
+                let vals: Vec<f64> = (r0..r0 + 4)
+                    .flat_map(|r| (c0..c0 + 4).map(move |c| (r, c)))
+                    .map(|(r, c)| t0.get(r, c))
+                    .collect();
+                DistanceEstimator::sketch(&sk, &vals)
+            })
+            .collect();
+        let before = tabsketch_obs::counter!("index.fallbacks").get();
+        let linear = manysearch(&coll, &sk, &queries, 4, 4, 1, false).unwrap();
+        let indexed = manysearch(&coll, &sk, &queries, 4, 4, 1, true).unwrap();
+        assert_eq!(indexed.hits, linear.hits);
+        assert_eq!(
+            tabsketch_obs::counter!("index.fallbacks").get(),
+            before,
+            "all member indexes served cleanly"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

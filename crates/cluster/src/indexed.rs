@@ -15,7 +15,7 @@ use tabsketch_core::{DistanceEstimator, Sketch, Sketcher};
 use tabsketch_index::{LshIndex, LshParams};
 use tabsketch_table::{Rect, Table, TileGrid};
 
-use crate::knn::{nearest_neighbors_sketched, Neighbor};
+use crate::knn::{nearest_neighbors_sketched, nearest_neighbors_sketched_query, Neighbor};
 use crate::ClusterError;
 
 /// Objects per [`DistanceEstimator::sketch_batch`] call, matching the
@@ -86,6 +86,70 @@ pub fn nearest_neighbors_indexed<E: DistanceEstimator<Sketch = Sketch>>(
     if neighbors.len() < k {
         tabsketch_index::record_fallback();
         return nearest_neighbors_sketched(estimator, sketches, query, k);
+    }
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+    neighbors.truncate(k);
+    Ok(neighbors)
+}
+
+/// The `k` nearest neighbors of an *external* query sketch among
+/// `sketches`, using `index` to restrict the rerank — the cross-corpus
+/// form of [`nearest_neighbors_indexed`] that `manysearch` runs per
+/// corpus member. The query is not a member, so no candidate is
+/// excluded; any condition that would leave the answer incomplete
+/// (width/length mismatch, candidate retrieval failure, fewer than `k`
+/// candidates) records a fallback and scans linearly via
+/// [`nearest_neighbors_sketched_query`], returning the identical answer
+/// the un-indexed path would.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `k == 0`,
+/// [`ClusterError::TooFewObjects`] when fewer than `k` objects exist,
+/// and propagates estimator mismatch errors.
+pub fn nearest_neighbors_indexed_query<E: DistanceEstimator<Sketch = Sketch>>(
+    estimator: &E,
+    sketches: &[Sketch],
+    index: &LshIndex,
+    query: &Sketch,
+    k: usize,
+) -> Result<Vec<Neighbor>, ClusterError> {
+    let n = sketches.len();
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if n < k {
+        return Err(ClusterError::TooFewObjects { objects: n, k });
+    }
+    let qvalues = query.values();
+    if index.len() != n || index.sketch_k() != qvalues.len() {
+        tabsketch_index::record_fallback();
+        return nearest_neighbors_sketched_query(estimator, sketches, query, k);
+    }
+    let candidates = match index.candidates(qvalues) {
+        Ok(c) => c,
+        Err(_) => {
+            tabsketch_index::record_fallback();
+            return nearest_neighbors_sketched_query(estimator, sketches, query, k);
+        }
+    };
+    if candidates.len() < k {
+        tabsketch_index::record_fallback();
+        return nearest_neighbors_sketched_query(estimator, sketches, query, k);
+    }
+    let mut neighbors = Vec::with_capacity(candidates.len());
+    let mut scratch = Vec::new();
+    for i in candidates {
+        neighbors.push(Neighbor {
+            index: i,
+            distance: estimator
+                .estimate_distance_with(query, &sketches[i], &mut scratch)
+                .map_err(ClusterError::Core)?,
+        });
     }
     neighbors.sort_by(|a, b| {
         a.distance
@@ -341,6 +405,48 @@ mod tests {
         let nn = nearest_neighbors_indexed(e.sketcher(), e.sketches(), &foreign, 0, 5).unwrap();
         let linear = nearest_neighbors_sketched(e.sketcher(), e.sketches(), 0, 5).unwrap();
         assert_eq!(nn, linear);
+    }
+
+    #[test]
+    fn external_query_indexed_matches_linear_and_falls_back() {
+        let e = embedding();
+        let ix = e.build_index(params(&e)).unwrap();
+        // A query that is an exact copy of a corpus sketch collides with
+        // it in every band, so the indexed answer ranks it first at
+        // distance zero — identical to the linear scan.
+        for q in [0usize, 9, 20] {
+            let query = e.sketches()[q].clone();
+            let indexed =
+                nearest_neighbors_indexed_query(e.sketcher(), e.sketches(), &ix, &query, 1)
+                    .unwrap();
+            let linear =
+                nearest_neighbors_sketched_query(e.sketcher(), e.sketches(), &query, 1).unwrap();
+            assert_eq!(indexed, linear, "query {q}");
+            // The query is a tile copy, so the best match is exact (the
+            // table has duplicate tiles, so ties may resolve to a lower
+            // index than q itself).
+            assert!(indexed[0].distance.abs() < 1e-9, "query {q}: {indexed:?}");
+        }
+        // A foreign index (width mismatch) degrades to the linear answer.
+        let other: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64; 16]).collect();
+        let refs: Vec<&[f64]> = other.iter().map(|s| &s[..]).collect();
+        let foreign = LshIndex::build(LshParams::new(2, 2, 1.0, 3).unwrap(), 8, 8, &refs).unwrap();
+        let before = tabsketch_obs::counter!("index.fallbacks").get();
+        let query = e.sketches()[0].clone();
+        let nn = nearest_neighbors_indexed_query(e.sketcher(), e.sketches(), &foreign, &query, 3)
+            .unwrap();
+        let linear =
+            nearest_neighbors_sketched_query(e.sketcher(), e.sketches(), &query, 3).unwrap();
+        assert_eq!(nn, linear);
+        assert!(tabsketch_obs::counter!("index.fallbacks").get() > before);
+        // Validation mirrors the linear contract.
+        assert!(
+            nearest_neighbors_indexed_query(e.sketcher(), e.sketches(), &ix, &query, 0).is_err()
+        );
+        assert!(matches!(
+            nearest_neighbors_indexed_query(e.sketcher(), e.sketches(), &ix, &query, e.len() + 1),
+            Err(ClusterError::TooFewObjects { .. })
+        ));
     }
 
     #[test]

@@ -110,6 +110,49 @@ pub fn nearest_neighbors_sketched<E: DistanceEstimator>(
     Ok(neighbors)
 }
 
+/// The `k` nearest neighbors of an *external* query sketch among
+/// `sketches` — the cross-corpus form of [`nearest_neighbors_sketched`]:
+/// the query is not a member of the candidate set, so nothing is
+/// excluded and all `n` objects compete (this is what `manysearch` runs
+/// per corpus member).
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when `k == 0`,
+/// [`ClusterError::TooFewObjects`] when fewer than `k` objects exist,
+/// and propagates estimator mismatch errors.
+pub fn nearest_neighbors_sketched_query<E: DistanceEstimator>(
+    estimator: &E,
+    sketches: &[E::Sketch],
+    query: &E::Sketch,
+    k: usize,
+) -> Result<Vec<Neighbor>, ClusterError> {
+    let n = sketches.len();
+    if k == 0 {
+        return Err(ClusterError::InvalidParameter("k must be non-zero"));
+    }
+    if n < k {
+        return Err(ClusterError::TooFewObjects { objects: n, k });
+    }
+    let mut neighbors = Vec::with_capacity(n);
+    let mut scratch = Vec::new();
+    for (i, sketch) in sketches.iter().enumerate() {
+        neighbors.push(Neighbor {
+            index: i,
+            distance: estimator
+                .estimate_distance_with(query, sketch, &mut scratch)
+                .map_err(ClusterError::Core)?,
+        });
+    }
+    neighbors.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+    });
+    neighbors.truncate(k);
+    Ok(neighbors)
+}
+
 /// Recall of approximate k-NN against exact k-NN: the fraction of the
 /// approximate result set that appears in the exact result set.
 ///
@@ -208,6 +251,36 @@ mod tests {
         assert!(matches!(
             nearest_neighbors_sketched(&sk, &sketches, 0, 10),
             Err(ClusterError::TooFewObjects { objects: 9, k: 10 })
+        ));
+    }
+
+    #[test]
+    fn external_query_ranks_all_objects() {
+        use tabsketch_core::{SketchParams, Sketcher};
+
+        let sk = Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(400)
+                .seed(3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let sketches: Vec<_> = (0..10)
+            .map(|i| DistanceEstimator::sketch(&sk, &vec![(i * i) as f64; 32]))
+            .collect();
+        // A query identical to object 3 must rank it first at distance ~0
+        // (no self-exclusion for external queries).
+        let query = DistanceEstimator::sketch(&sk, &vec![9.0; 32]);
+        let nn = nearest_neighbors_sketched_query(&sk, &sketches, &query, 3).unwrap();
+        assert_eq!(nn[0].index, 3);
+        assert!(nn[0].distance.abs() < 1e-9);
+        assert_eq!(nn[1].index, 2);
+        assert!(nearest_neighbors_sketched_query(&sk, &sketches, &query, 0).is_err());
+        assert!(matches!(
+            nearest_neighbors_sketched_query(&sk, &sketches, &query, 11),
+            Err(ClusterError::TooFewObjects { objects: 10, k: 11 })
         ));
     }
 

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 mod birch;
+pub mod collection;
 mod dbscan;
 mod embedding;
 mod embeddings;
@@ -45,6 +46,9 @@ pub mod pairs;
 pub mod silhouette;
 
 pub use birch::{birch, BirchConfig, BirchResult};
+pub use collection::{
+    manysearch, pairwise_sketches, ManySearchReport, PairwiseRow, PairwiseStats, SearchHit,
+};
 pub use dbscan::{dbscan, DbscanConfig, DbscanLabel, DbscanResult};
 pub use embedding::Embedding;
 pub use embeddings::{
@@ -52,10 +56,13 @@ pub use embeddings::{
 };
 pub use error::ClusterError;
 pub use hierarchical::{agglomerate, Dendrogram, Linkage, Merge};
-pub use indexed::{nearest_neighbors_indexed, IndexedEmbedding};
+pub use indexed::{nearest_neighbors_indexed, nearest_neighbors_indexed_query, IndexedEmbedding};
 pub use kmeans::{InitMethod, KMeans, KMeansConfig, KMeansResult};
 pub use kmedoids::{kmedoids, KMedoidsConfig, KMedoidsResult};
-pub use knn::{knn_recall, nearest_neighbors, nearest_neighbors_sketched, Neighbor};
+pub use knn::{
+    knn_recall, nearest_neighbors, nearest_neighbors_sketched, nearest_neighbors_sketched_query,
+    Neighbor,
+};
 pub use lru::{CacheStats, LruCache};
 pub use oracle::{
     DistanceOracle, OracleEmbedding, OracleState, Tier, TierCounters, TierSnapshot,
@@ -80,4 +87,6 @@ pub fn register_metrics() {
     obs::counter("cluster.lru.invalidations");
     obs::counter("cluster.kmeans.iterations");
     obs::counter("cluster.kmeans.reassignments");
+    obs::counter("collection.pairwise_rows_emitted");
+    obs::counter("collection.pairs_pruned");
 }

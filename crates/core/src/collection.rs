@@ -1,0 +1,409 @@
+//! Corpus-wide sketching: `manysketch` over a [`Collection`].
+//!
+//! [`CollectionSketcher`] drives sketch builds across every member of a
+//! manifest-backed [`Collection`] with work-stealing at the **(table ×
+//! unit)** grain: each member contributes two independent units — its
+//! all-subtable sketch *store* (written to the member's `TSS2` store
+//! path) and its whole-table *signature* sketch (a single `TSK2` file
+//! the streaming `pairwise` pass later compares). A big member's store
+//! build no longer serializes the corpus: idle workers steal the next
+//! unit off a shared schedule ordered by estimated cost (table file
+//! size), the same discipline as [`crate::pool::SketchPool`].
+//!
+//! Failures degrade, they don't abort: a member whose table is missing
+//! or whose build fails is recorded in the report (and counted in
+//! `collection.members_degraded`) while the rest of the corpus
+//! completes. All members share the collection's one
+//! [`MemoryBudget`](tabsketch_table::MemoryBudget) —
+//! each build loads under the collection's per-member slice, and outer
+//! parallelism is clamped to the collection's LRU window so resident
+//! bytes stay bounded.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tabsketch_table::Collection;
+
+use crate::allsub::AllSubtableSketches;
+use crate::persist;
+use crate::sketch::Sketcher;
+use crate::streaming::StreamingSketch;
+use crate::TabError;
+
+/// Default cap on bytes of sketch-store payload per member, matching
+/// [`crate::allsub`]'s default.
+pub const DEFAULT_MAX_STORE_BYTES: usize = crate::allsub::DEFAULT_MEMORY_BUDGET;
+
+/// What `manysketch` produced for one member.
+#[derive(Clone, Debug)]
+pub struct MemberSketchReport {
+    /// Member name from the manifest.
+    pub name: String,
+    /// Where the member's all-subtable sketch store was written.
+    pub store_path: PathBuf,
+    /// Where the member's whole-table signature sketch was written.
+    pub signature_path: PathBuf,
+    /// `Some(reason)` when the member degraded (its table failed to
+    /// load or a build failed); `None` on success.
+    pub error: Option<String>,
+}
+
+/// The outcome of a corpus sketch run, in manifest order.
+#[derive(Clone, Debug)]
+pub struct CollectionSketchReport {
+    /// One report per manifest member, in manifest order.
+    pub members: Vec<MemberSketchReport>,
+}
+
+impl CollectionSketchReport {
+    /// The members that degraded, in manifest order.
+    pub fn degraded(&self) -> impl Iterator<Item = &MemberSketchReport> {
+        self.members.iter().filter(|m| m.error.is_some())
+    }
+
+    /// How many members completed cleanly.
+    pub fn succeeded(&self) -> usize {
+        self.members.iter().filter(|m| m.error.is_none()).count()
+    }
+}
+
+/// One schedulable piece of work: a member's store or signature build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UnitKind {
+    Store,
+    Signature,
+}
+
+/// Outcome of one scheduled (member × unit) work item.
+type UnitOutcome = (usize, UnitKind, Result<(), TabError>);
+
+/// Sketches every member of a [`Collection`]: per-member `TSS2` sketch
+/// stores plus per-member `TSK2` signature sketches, in parallel.
+#[derive(Clone, Debug)]
+pub struct CollectionSketcher {
+    sketcher: Sketcher,
+    tile_rows: usize,
+    tile_cols: usize,
+    max_store_bytes: usize,
+}
+
+impl CollectionSketcher {
+    /// Builds a collection sketcher for `tile_rows × tile_cols` tiles.
+    /// Every member is sketched by the *same* `sketcher` (same `p`, `k`,
+    /// seed, family), which is what makes sketches comparable across
+    /// members.
+    ///
+    /// # Errors
+    ///
+    /// [`TabError::InvalidParameter`] for a zero tile dimension.
+    pub fn new(sketcher: Sketcher, tile_rows: usize, tile_cols: usize) -> Result<Self, TabError> {
+        if tile_rows == 0 || tile_cols == 0 {
+            return Err(TabError::InvalidParameter(
+                "tile dimensions must be non-zero",
+            ));
+        }
+        Ok(CollectionSketcher {
+            sketcher,
+            tile_rows,
+            tile_cols,
+            max_store_bytes: DEFAULT_MAX_STORE_BYTES,
+        })
+    }
+
+    /// Overrides the per-member cap on sketch-store payload bytes.
+    pub fn with_max_store_bytes(mut self, max_store_bytes: usize) -> Self {
+        self.max_store_bytes = max_store_bytes;
+        self
+    }
+
+    /// The sketcher every member is sketched with.
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// Tile shape `(rows, cols)` for member sketch stores.
+    pub fn tile_shape(&self) -> (usize, usize) {
+        (self.tile_rows, self.tile_cols)
+    }
+
+    /// Sketches every member of `collection` using up to `threads`
+    /// workers (clamped to the machine and the collection's LRU window),
+    /// writing each member's store and signature to the paths its
+    /// manifest entry names (or derives). A failed member degrades — it
+    /// is reported with its error and counted in
+    /// `collection.members_degraded` — without aborting the run.
+    ///
+    /// # Errors
+    ///
+    /// [`TabError::InvalidParameter`] when `threads` is zero. Per-member
+    /// failures never surface here; they live in the report.
+    pub fn sketch_collection(
+        &self,
+        collection: &Collection,
+        threads: usize,
+    ) -> Result<CollectionSketchReport, TabError> {
+        if threads == 0 {
+            return Err(TabError::InvalidParameter("threads must be non-zero"));
+        }
+        let n = collection.len();
+        // Flatten to (member, unit) grain and order by estimated cost
+        // (table file size — cheap, and crucially it does not force every
+        // member open up front). Store builds touch every cell `k` times;
+        // signatures once. Weight stores ahead of signatures of equal
+        // size so the longest poles start first.
+        let mut schedule: Vec<(usize, UnitKind, u64)> = Vec::with_capacity(2 * n);
+        for (m, entry) in collection.manifest().entries().iter().enumerate() {
+            let size = std::fs::metadata(&entry.table_path)
+                .map(|md| md.len())
+                .unwrap_or(0);
+            schedule.push((m, UnitKind::Store, size.saturating_mul(2)));
+            schedule.push((m, UnitKind::Signature, size));
+        }
+        schedule
+            .sort_by_key(|&(m, kind, cost)| (std::cmp::Reverse(cost), m, kind != UnitKind::Store));
+
+        let effective = crate::clamp_threads(threads);
+        let outer = effective
+            .min(schedule.len().max(1))
+            .min(collection.max_open())
+            .max(1);
+        let inner = (effective / outer).max(1);
+
+        let mut slots: Vec<Option<UnitOutcome>> = Vec::with_capacity(schedule.len());
+        if outer == 1 {
+            for &(m, kind, _) in &schedule {
+                slots.push(Some((m, kind, self.run_unit(collection, m, kind, inner))));
+            }
+        } else {
+            slots.resize_with(schedule.len(), || None);
+            let next = AtomicUsize::new(0);
+            let slot_cells: Vec<std::sync::Mutex<Option<UnitOutcome>>> = (0..schedule.len())
+                .map(|_| std::sync::Mutex::new(None))
+                .collect();
+            std::thread::scope(|scope| {
+                for _ in 0..outer {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(m, kind, _)) = schedule.get(i) else {
+                            break;
+                        };
+                        let result = self.run_unit(collection, m, kind, inner);
+                        *slot_cells[i].lock().expect("unit slot lock") = Some((m, kind, result));
+                    });
+                }
+            });
+            for (slot, cell) in slots.iter_mut().zip(slot_cells) {
+                *slot = cell.into_inner().expect("unit slot lock");
+            }
+        }
+
+        // Assemble the report in manifest order; a member degrades on its
+        // first failing unit (store errors outrank signature errors so
+        // the reported reason is the structurally bigger failure).
+        let mut errors: Vec<(Option<String>, Option<String>)> = vec![(None, None); n];
+        for slot in slots.into_iter().flatten() {
+            let (m, kind, result) = slot;
+            if let Err(e) = result {
+                match kind {
+                    UnitKind::Store => errors[m].0 = Some(e.to_string()),
+                    UnitKind::Signature => errors[m].1 = Some(e.to_string()),
+                }
+            }
+        }
+        let members = collection
+            .manifest()
+            .entries()
+            .iter()
+            .zip(errors)
+            .map(|(entry, (store_err, sig_err))| {
+                let error = store_err.or(sig_err);
+                if error.is_some() {
+                    tabsketch_obs::counter!("collection.members_degraded").inc();
+                }
+                MemberSketchReport {
+                    name: entry.name.clone(),
+                    store_path: entry.store_path_or_default(),
+                    signature_path: entry.signature_path(),
+                    error,
+                }
+            })
+            .collect();
+        Ok(CollectionSketchReport { members })
+    }
+
+    /// Runs one (member × unit) work item end to end: open the member
+    /// under the collection's shared budget, build, persist.
+    fn run_unit(
+        &self,
+        collection: &Collection,
+        m: usize,
+        kind: UnitKind,
+        inner: usize,
+    ) -> Result<(), TabError> {
+        let entry = &collection.manifest().entries()[m];
+        let table = collection.member(m)?;
+        match kind {
+            UnitKind::Store => {
+                let store = AllSubtableSketches::build_parallel(
+                    &table,
+                    self.tile_rows,
+                    self.tile_cols,
+                    self.sketcher.clone(),
+                    self.max_store_bytes,
+                    collection.member_budget(),
+                    inner,
+                )?;
+                persist::save_store(&store, entry.store_path_or_default())
+            }
+            UnitKind::Signature => {
+                let cols = table.cols();
+                let dim = table
+                    .rows()
+                    .checked_mul(cols)
+                    .ok_or(TabError::InvalidParameter("table size overflows"))?;
+                let mut stream = StreamingSketch::new(self.sketcher.clone(), dim)?;
+                for guard in table.row_chunks(collection.member_budget()) {
+                    let guard = guard?;
+                    stream.absorb_block(guard.start_row() * cols, guard.values())?;
+                }
+                persist::save_sketch(&stream.sketch(), entry.signature_path())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sketch::SketchParams;
+    use std::path::Path;
+    use tabsketch_table::{io as table_io, Manifest, MemoryBudget, Table};
+
+    fn sketcher() -> Sketcher {
+        Sketcher::new(
+            SketchParams::builder()
+                .p(1.0)
+                .k(8)
+                .seed(42)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn corpus(tag: &str, n: usize) -> (PathBuf, Collection) {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-csk-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut lines = String::new();
+        for i in 0..n {
+            let t = Table::from_fn(8, 8, |r, c| ((i * 31 + r * 8 + c) % 13) as f64).unwrap();
+            let path = dir.join(format!("m{i}.tsb"));
+            table_io::save_binary(&t, &path).unwrap();
+            lines.push_str(&format!("m{i}={}\n", path.display()));
+        }
+        let manifest = Manifest::parse_str(&lines, Path::new("")).unwrap();
+        let coll = Collection::open(manifest, MemoryBudget::unbounded());
+        (dir, coll)
+    }
+
+    #[test]
+    fn sketches_every_member_and_matches_direct_builds() {
+        let (dir, coll) = corpus("all", 5);
+        let cs = CollectionSketcher::new(sketcher(), 4, 4).unwrap();
+        for threads in [1, 4] {
+            let report = cs.sketch_collection(&coll, threads).unwrap();
+            assert_eq!(report.members.len(), 5);
+            assert_eq!(report.succeeded(), 5);
+            for (m, member) in report.members.iter().enumerate() {
+                assert!(member.error.is_none());
+                let store = persist::load_store(&member.store_path).unwrap();
+                let table = coll.member(m).unwrap();
+                let direct = AllSubtableSketches::build(&table, 4, 4, sketcher()).unwrap();
+                assert_eq!(store.raw_values(), direct.raw_values());
+                let sig = persist::load_sketch(&member.signature_path).unwrap();
+                let flat: Vec<f64> = (0..8)
+                    .flat_map(|r| (0..8).map(move |c| (r, c)))
+                    .map(|(r, c)| table.get(r, c))
+                    .collect();
+                let direct_sig = sketcher().sketch_slice(&flat);
+                for (a, b) in sig.values().iter().zip(direct_sig.values()) {
+                    assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()), "{a} vs {b}");
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_member_degrades_without_aborting() {
+        let (dir, _) = corpus("deg", 3);
+        let mut lines = String::new();
+        lines.push_str(&format!("m0={}\n", dir.join("m0.tsb").display()));
+        lines.push_str(&format!("gone={}\n", dir.join("missing.tsb").display()));
+        lines.push_str(&format!("m2={}\n", dir.join("m2.tsb").display()));
+        let coll = Collection::open(
+            Manifest::parse_str(&lines, Path::new("")).unwrap(),
+            MemoryBudget::unbounded(),
+        );
+        let cs = CollectionSketcher::new(sketcher(), 4, 4).unwrap();
+        let report = cs.sketch_collection(&coll, 2).unwrap();
+        assert_eq!(report.succeeded(), 2);
+        let degraded: Vec<_> = report.degraded().collect();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].name, "gone");
+        assert!(coll.manifest().entry("m2").is_some());
+        assert!(persist::load_store(report.members[2].store_path.as_path()).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbounded() {
+        let (dir, unbounded) = corpus("bud", 4);
+        let cs = CollectionSketcher::new(sketcher(), 4, 4).unwrap();
+        let free = cs.sketch_collection(&unbounded, 2).unwrap();
+        let mut baseline = Vec::new();
+        for m in &free.members {
+            baseline.push(
+                persist::load_store(&m.store_path)
+                    .unwrap()
+                    .raw_values()
+                    .to_vec(),
+            );
+        }
+        // Tight shared budget: members spill; results agree up to the
+        // usual banded-accumulation float drift.
+        let tight = Collection::open(
+            unbounded.manifest().clone(),
+            MemoryBudget::bytes(2 * 8 * 8 * 8),
+        );
+        let report = cs.sketch_collection(&tight, 4).unwrap();
+        assert_eq!(report.succeeded(), 4);
+        for (m, member) in report.members.iter().enumerate() {
+            let store = persist::load_store(&member.store_path).unwrap();
+            for (a, b) in store.raw_values().iter().zip(&baseline[m]) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "member {m}: {a} vs {b}"
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(CollectionSketcher::new(sketcher(), 0, 4).is_err());
+        assert!(CollectionSketcher::new(sketcher(), 4, 0).is_err());
+        let (dir, coll) = corpus("param", 1);
+        let cs = CollectionSketcher::new(sketcher(), 4, 4).unwrap();
+        assert!(matches!(
+            cs.sketch_collection(&coll, 0),
+            Err(TabError::InvalidParameter(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

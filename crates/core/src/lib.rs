@@ -38,6 +38,7 @@
 
 pub mod allsub;
 pub mod baseline;
+pub mod collection;
 mod error;
 pub mod estimator;
 pub mod kernels;
@@ -54,6 +55,7 @@ pub mod theory;
 pub mod timeseries;
 
 pub use allsub::AllSubtableSketches;
+pub use collection::{CollectionSketchReport, CollectionSketcher, MemberSketchReport};
 pub use error::TabError;
 pub use estimator::DistanceEstimator;
 pub use kernels::RowBlock;

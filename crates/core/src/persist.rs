@@ -457,6 +457,27 @@ pub fn load_store<P: AsRef<Path>>(path: P) -> Result<AllSubtableSketches, TabErr
     read_store(std::fs::File::open(path)?)
 }
 
+/// Saves a single [`Sketch`] to `path` in the `TSK2` format, atomically
+/// replacing any existing file (the same temp-file + fsync + rename
+/// discipline as [`save_store`]). Collection runs use this for each
+/// member's whole-table signature sketch.
+///
+/// # Errors
+///
+/// Propagates I/O failures as [`TabError::Io`].
+pub fn save_sketch<P: AsRef<Path>>(sketch: &Sketch, path: P) -> Result<(), TabError> {
+    write_atomic(path.as_ref(), |f| write_sketch(sketch, f))
+}
+
+/// Loads a single [`Sketch`] from `path`.
+///
+/// # Errors
+///
+/// Propagates I/O and format failures; see [`read_sketch`].
+pub fn load_sketch<P: AsRef<Path>>(path: P) -> Result<Sketch, TabError> {
+    read_sketch(std::fs::File::open(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,6 +696,22 @@ mod tests {
         save_store(&store, &path).unwrap();
         let back = load_store(&path).unwrap();
         assert_eq!(back.raw_values(), store.raw_values());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sketch_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tabsketch-persist-sk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sig.tsk");
+        let sk =
+            Sketcher::new(SketchParams::builder().p(1.0).k(8).seed(7).build().unwrap()).unwrap();
+        let s = sk.sketch_slice(&[3.0, -1.0, 0.0, 4.5]);
+        save_sketch(&s, &path).unwrap();
+        assert_eq!(load_sketch(&path).unwrap(), s);
+        // Atomic replace: saving again over the existing file succeeds.
+        save_sketch(&s, &path).unwrap();
+        assert_eq!(load_sketch(&path).unwrap(), s);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

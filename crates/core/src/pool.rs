@@ -230,7 +230,7 @@ impl SketchPool {
     ///   worker takes the serial [`SketchPool::build`] path outright —
     ///   no thread scaffolding on a 1-core host;
     /// * work-stealing claims units **largest estimated cost first**
-    ///   (cost from [`AllSubtableSketches::estimated_build_cost`]), so
+    ///   (`AllSubtableSketches::estimated_build_cost`), so
     ///   the biggest canonical sizes cannot land last on one straggler;
     /// * cores left over after the outer fan-out
     ///   (`effective / outer_workers`) go to kernel-level parallelism

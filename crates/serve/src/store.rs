@@ -139,28 +139,74 @@ impl StoreSpec {
     /// # Errors
     ///
     /// Returns [`ServeError::Config`] when the `NAME=` prefix is
-    /// missing or the name or table path is empty.
+    /// missing, the name or table path is empty, or more than three
+    /// `:`-separated path segments appear.
     pub fn from_colon_spec(entry: &str) -> Result<StoreSpecBuilder, ServeError> {
         let (name, paths) = entry.split_once('=').ok_or_else(|| {
             ServeError::Config(format!(
                 "store spec {entry:?}: expected NAME=TABLE[:STORE[:INDEX]]"
             ))
         })?;
-        let mut parts = paths.splitn(3, ':');
-        let table = parts.next().expect("splitn yields at least one part");
+        let parts: Vec<&str> = paths.split(':').collect();
+        if parts.len() > 3 {
+            return Err(ServeError::Config(format!(
+                "store spec {entry:?}: too many ':' segments ({}, at most TABLE:STORE:INDEX)",
+                parts.len()
+            )));
+        }
+        let table = parts[0];
         if name.is_empty() || table.is_empty() {
             return Err(ServeError::Config(format!(
                 "store spec {entry:?}: name and table path must be non-empty"
             )));
         }
         let mut builder = StoreSpec::builder(name, table);
-        if let Some(store) = parts.next().filter(|s| !s.is_empty()) {
-            builder = builder.store_path(store);
+        if let Some(store) = parts.get(1).filter(|s| !s.is_empty()) {
+            builder = builder.store_path(*store);
         }
-        if let Some(index) = parts.next().filter(|s| !s.is_empty()) {
-            builder = builder.index_path(index);
+        if let Some(index) = parts.get(2).filter(|s| !s.is_empty()) {
+            builder = builder.index_path(*index);
         }
         Ok(builder)
+    }
+
+    /// Builds one spec per member of a collection manifest — the fleet
+    /// the daemon serves from a single `--manifest` flag. Every member
+    /// gets the same fallback sketch parameters, and a bounded `budget`
+    /// is divided evenly across the `N` members so the whole fleet's
+    /// resident tables stay within the one shared figure.
+    ///
+    /// Store and index paths come straight from the manifest entries
+    /// (already resolved against the manifest's directory); members
+    /// without a `STORE` slot serve from on-demand sketches exactly like
+    /// a bare `NAME=TABLE` colon spec.
+    pub fn fleet_from_manifest(
+        manifest: &tabsketch_table::Manifest,
+        p: f64,
+        k: usize,
+        seed: u64,
+        budget: MemoryBudget,
+    ) -> Vec<StoreSpec> {
+        let per_member = match budget.get() {
+            None => MemoryBudget::unbounded(),
+            Some(bytes) => MemoryBudget::bytes((bytes / manifest.len().max(1) as u64).max(1)),
+        };
+        manifest
+            .entries()
+            .iter()
+            .map(|entry| {
+                let mut builder = StoreSpec::builder(&entry.name, &entry.table_path)
+                    .params(p, k, seed)
+                    .memory_budget(per_member);
+                if let Some(store) = &entry.store_path {
+                    builder = builder.store_path(store);
+                }
+                if let Some(index) = &entry.index_path {
+                    builder = builder.index_path(index);
+                }
+                builder.build()
+            })
+            .collect()
     }
 
     /// A spec serving `table_path` under `name` with default fallback
@@ -881,12 +927,52 @@ mod tests {
         assert_eq!(spec.name, by_hand.name);
         assert_eq!(spec.index_path, by_hand.index_path);
 
-        for bad in ["nonsense", "=t.tsb", "name="] {
+        // Every malformed 1/2/3-part form is a typed config error: no
+        // '=', empty name, empty table (bare and with trailing slots),
+        // and a fourth path segment.
+        for bad in [
+            "nonsense",
+            "=t.tsb",
+            "name=",
+            "name=:store",
+            "name=:store:index",
+            "name=::index",
+            "a=t:s:i:extra",
+        ] {
             assert!(
                 matches!(StoreSpec::from_colon_spec(bad), Err(ServeError::Config(_))),
                 "{bad:?} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn fleet_from_manifest_splits_the_budget_across_members() {
+        let manifest = tabsketch_table::Manifest::parse_str(
+            "a=/d/a.tsb:/d/a.tsks:/d/a.tix\nb=/d/b.tsb\nc=/d/c.tsb:/d/c.tsks\nd=/d/d.csv\n",
+            Path::new(""),
+        )
+        .unwrap();
+        let fleet =
+            StoreSpec::fleet_from_manifest(&manifest, 0.5, 64, 9, MemoryBudget::bytes(4000));
+        assert_eq!(fleet.len(), 4);
+        assert_eq!(fleet[0].name, "a");
+        assert_eq!(
+            fleet[0].store_path.as_deref().unwrap().to_str().unwrap(),
+            "/d/a.tsks"
+        );
+        assert_eq!(
+            fleet[0].index_path.as_deref().unwrap().to_str().unwrap(),
+            "/d/a.tix"
+        );
+        assert!(fleet[1].store_path.is_none() && fleet[1].index_path.is_none());
+        for spec in &fleet {
+            assert_eq!((spec.p, spec.k, spec.seed), (0.5, 64, 9));
+            assert_eq!(spec.memory_budget.get(), Some(1000), "shared/N each");
+        }
+        let unbounded =
+            StoreSpec::fleet_from_manifest(&manifest, 1.0, 256, 0, MemoryBudget::unbounded());
+        assert!(unbounded.iter().all(|s| s.memory_budget.is_unbounded()));
     }
 
     #[test]

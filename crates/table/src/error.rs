@@ -59,6 +59,15 @@ pub enum TableError {
     },
     /// An I/O or parse failure while loading/saving a table.
     Io(String),
+    /// A collection manifest failed to parse: bad grammar on a line,
+    /// a duplicate member name, or an empty member list.
+    Manifest {
+        /// 1-based line number of the offending manifest line (0 for
+        /// whole-file problems such as an empty manifest).
+        line: usize,
+        /// What was wrong with the line.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -98,6 +107,13 @@ impl fmt::Display for TableError {
                 write!(f, "corrupt table file ({section}): {detail}")
             }
             TableError::Io(msg) => write!(f, "table I/O error: {msg}"),
+            TableError::Manifest { line, reason } => {
+                if *line == 0 {
+                    write!(f, "manifest: {reason}")
+                } else {
+                    write!(f, "manifest line {line}: {reason}")
+                }
+            }
         }
     }
 }
@@ -109,6 +125,15 @@ impl TableError {
         TableError::Corrupt {
             section,
             detail: detail.into(),
+        }
+    }
+
+    /// Builds a [`TableError::Manifest`] for 1-based `line` with a
+    /// formatted reason.
+    pub fn manifest(line: usize, reason: impl Into<String>) -> Self {
+        TableError::Manifest {
+            line,
+            reason: reason.into(),
         }
     }
 

@@ -36,6 +36,7 @@ pub mod dyadic;
 mod error;
 pub mod faults;
 pub mod io;
+pub mod manifest;
 pub mod norms;
 mod rect;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod transform;
 mod update;
 
 pub use error::TableError;
+pub use manifest::{Collection, Manifest, ManifestEntry};
 pub use rect::Rect;
 pub use storage::{MemoryBudget, RowChunks, RowGuard, SpillWriter, SpilledStorage, TableStorage};
 pub use table::{Table, TableView};
@@ -64,4 +66,6 @@ pub fn register_metrics() {
     obs::counter("table.updates.applied");
     obs::counter("table.updates.cells");
     obs::counter("table.updates.rejected");
+    obs::counter("collection.members_opened");
+    obs::counter("collection.members_degraded");
 }

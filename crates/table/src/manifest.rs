@@ -1,0 +1,538 @@
+//! Collection manifests: one file naming a corpus of member tables.
+//!
+//! A manifest is a plain text file with one member per line, in the same
+//! colon grammar the serving layer's `--stores` flag uses:
+//!
+//! ```text
+//! # call-volume corpus, one table per customer
+//! acme=acme.tsb:acme.tsks:acme.tix
+//! globex=globex.tsb:globex.tsks
+//! initech=data/initech.csv
+//! ```
+//!
+//! Grammar per line: `NAME=TABLE[:STORE[:INDEX]]`. Blank lines and `#`
+//! comments are skipped. `STORE` may be left empty (`n=t.tsb::t.tix`) to
+//! name an index without a sketch store. Relative paths resolve against
+//! the directory containing the manifest, so a manifest can travel with
+//! its data. Every violation — missing `=`, an empty name or table
+//! segment, more than three `:` segments, a duplicate member name — is a
+//! typed [`TableError::Manifest`] carrying the 1-based line number.
+//!
+//! A [`Collection`] opens the manifest's members lazily under **one
+//! shared [`MemoryBudget`]**: the budget caps resident table bytes across
+//! all members together (the residency gauges account globally, see
+//! [`crate::storage`]), not per member.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::{io as table_io, MemoryBudget, Table, TableError};
+
+/// How many member tables a [`Collection`] keeps open at once by
+/// default. Matches the spill window's four-chunk discipline: eviction
+/// granularity stays well below the shared budget.
+pub const DEFAULT_MAX_OPEN: usize = 4;
+
+/// One manifest line: a named member table with optional sketch-store
+/// and index paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Member name (unique within the manifest).
+    pub name: String,
+    /// Path of the member's table file (`.csv` or binary `TSB2`).
+    pub table_path: PathBuf,
+    /// Path of the member's precomputed sketch store, when named.
+    pub store_path: Option<PathBuf>,
+    /// Path of the member's LSH candidate index, when named.
+    pub index_path: Option<PathBuf>,
+}
+
+impl ManifestEntry {
+    /// Parses one `NAME=TABLE[:STORE[:INDEX]]` spec. Returns the reason
+    /// only; [`Manifest::parse_str`] attaches the line number.
+    fn parse(spec: &str) -> Result<Self, String> {
+        let (name, paths) = spec
+            .split_once('=')
+            .ok_or("expected NAME=TABLE[:STORE[:INDEX]]")?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err("empty member name before '='".into());
+        }
+        let parts: Vec<&str> = paths.split(':').collect();
+        if parts.len() > 3 {
+            return Err(format!(
+                "too many ':' segments ({}, at most TABLE:STORE:INDEX)",
+                parts.len()
+            ));
+        }
+        let table = parts[0].trim();
+        if table.is_empty() {
+            return Err("empty table path after '='".into());
+        }
+        let slot = |i: usize| {
+            parts
+                .get(i)
+                .map(|s| s.trim())
+                .filter(|s| !s.is_empty())
+                .map(PathBuf::from)
+        };
+        Ok(ManifestEntry {
+            name: name.to_string(),
+            table_path: PathBuf::from(table),
+            store_path: slot(1),
+            index_path: slot(2),
+        })
+    }
+
+    /// Renders the entry back into its manifest line. An index without a
+    /// store keeps the empty `STORE` slot (`name=table::index`), so
+    /// formatting and parsing round-trip exactly.
+    pub fn format(&self) -> String {
+        let mut line = format!("{}={}", self.name, self.table_path.display());
+        match (&self.store_path, &self.index_path) {
+            (Some(s), Some(i)) => {
+                line.push_str(&format!(":{}:{}", s.display(), i.display()));
+            }
+            (Some(s), None) => line.push_str(&format!(":{}", s.display())),
+            (None, Some(i)) => line.push_str(&format!("::{}", i.display())),
+            (None, None) => {}
+        }
+        line
+    }
+
+    /// The member's sketch-store path: the manifest's `STORE` slot, or
+    /// the table path with a `tsks` extension when the slot is empty.
+    pub fn store_path_or_default(&self) -> PathBuf {
+        self.store_path
+            .clone()
+            .unwrap_or_else(|| self.table_path.with_extension("tsks"))
+    }
+
+    /// The member's whole-table signature sketch path (`TSK2`): the
+    /// store path with a `tsk` extension. `manysketch` writes it, and
+    /// `pairwise` streams member signatures from it.
+    pub fn signature_path(&self) -> PathBuf {
+        self.store_path_or_default().with_extension("tsk")
+    }
+
+    /// The member's index path: the manifest's `INDEX` slot, or the
+    /// table path with a `tix` extension when the slot is empty.
+    pub fn index_path_or_default(&self) -> PathBuf {
+        self.index_path
+            .clone()
+            .unwrap_or_else(|| self.table_path.with_extension("tix"))
+    }
+
+    fn resolve(mut self, base: &Path) -> Self {
+        fn join(base: &Path, p: PathBuf) -> PathBuf {
+            if p.is_relative() && !base.as_os_str().is_empty() {
+                base.join(p)
+            } else {
+                p
+            }
+        }
+        self.table_path = join(base, self.table_path);
+        self.store_path = self.store_path.map(|p| join(base, p));
+        self.index_path = self.index_path.map(|p| join(base, p));
+        self
+    }
+}
+
+/// A parsed collection manifest: an ordered, duplicate-free list of
+/// [`ManifestEntry`] members.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Builds a manifest directly from entries (the programmatic path
+    /// benches and tests use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::Manifest`] for an empty list or duplicate
+    /// member names, identically to [`Manifest::parse_str`].
+    pub fn new(entries: Vec<ManifestEntry>) -> Result<Self, TableError> {
+        if entries.is_empty() {
+            return Err(TableError::manifest(0, "manifest lists no tables"));
+        }
+        for (i, e) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|prev| prev.name == e.name) {
+                return Err(TableError::manifest(
+                    i + 1,
+                    format!("duplicate member name {:?}", e.name),
+                ));
+            }
+        }
+        Ok(Manifest { entries })
+    }
+
+    /// Parses manifest text, resolving relative paths against
+    /// `base_dir`. Pass an empty path to keep paths as written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::Manifest`] with the 1-based line number for
+    /// any malformed line, a duplicate member name, or a manifest with
+    /// no members at all.
+    pub fn parse_str(text: &str, base_dir: &Path) -> Result<Self, TableError> {
+        let mut entries: Vec<ManifestEntry> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let entry = ManifestEntry::parse(line)
+                .map_err(|reason| TableError::manifest(i + 1, reason))?
+                .resolve(base_dir);
+            if entries.iter().any(|prev| prev.name == entry.name) {
+                return Err(TableError::manifest(
+                    i + 1,
+                    format!("duplicate member name {:?}", entry.name),
+                ));
+            }
+            entries.push(entry);
+        }
+        if entries.is_empty() {
+            return Err(TableError::manifest(0, "manifest lists no tables"));
+        }
+        Ok(Manifest { entries })
+    }
+
+    /// Loads and parses a manifest file; relative member paths resolve
+    /// against the manifest's own directory.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Io`] for unreadable files, [`TableError::Manifest`]
+    /// for parse failures.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, TableError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)?;
+        let base = path.parent().unwrap_or_else(|| Path::new(""));
+        Self::parse_str(&text, base)
+    }
+
+    /// Renders the manifest back to text (one line per member). Parsing
+    /// the result against an empty base dir reproduces this manifest
+    /// exactly — the round-trip property the tests pin down.
+    pub fn format(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.format());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The members, in manifest order.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the manifest has no members (never true for a parsed
+    /// manifest; parsing rejects empty member lists).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks a member up by name.
+    pub fn entry(&self, name: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+/// A corpus of member tables opened lazily under one shared
+/// [`MemoryBudget`].
+///
+/// [`Collection::member`] opens a member's table on first touch and
+/// keeps at most `max_open` members open in an LRU window. Each member
+/// loads under a budget of `shared / (2 · max_open)` bytes, so the LRU
+/// window plus any members still pinned by in-flight readers (work-
+/// stealing sketch builders hold a member's [`Arc`] while they build)
+/// stay within the shared cap together. The budget is honored down to
+/// the storage layer's floor of one row per spill chunk.
+#[derive(Debug)]
+pub struct Collection {
+    manifest: Manifest,
+    budget: MemoryBudget,
+    per_member: MemoryBudget,
+    max_open: usize,
+    /// Open members, least-recently-used first.
+    open: Mutex<Vec<(usize, Arc<Table>)>>,
+}
+
+impl Collection {
+    /// Opens `manifest` under `budget` with the default LRU window of
+    /// [`DEFAULT_MAX_OPEN`] members.
+    pub fn open(manifest: Manifest, budget: MemoryBudget) -> Self {
+        Self::with_max_open(manifest, budget, DEFAULT_MAX_OPEN)
+    }
+
+    /// As [`Collection::open`] with an explicit LRU window (floored at
+    /// one member).
+    pub fn with_max_open(manifest: Manifest, budget: MemoryBudget, max_open: usize) -> Self {
+        let max_open = max_open.max(1);
+        let per_member = match budget.get() {
+            None => MemoryBudget::unbounded(),
+            Some(b) => MemoryBudget::bytes((b / (2 * max_open as u64)).max(1)),
+        };
+        Collection {
+            manifest,
+            budget,
+            per_member,
+            max_open,
+            open: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The manifest this collection was opened from.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The shared residency budget across all members.
+    pub fn budget(&self) -> MemoryBudget {
+        self.budget
+    }
+
+    /// The per-member slice of the shared budget each open table loads
+    /// under.
+    pub fn member_budget(&self) -> MemoryBudget {
+        self.per_member
+    }
+
+    /// The LRU window: how many members stay open at once.
+    pub fn max_open(&self) -> usize {
+        self.max_open
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.manifest.len()
+    }
+
+    /// Whether the collection has no members.
+    pub fn is_empty(&self) -> bool {
+        self.manifest.is_empty()
+    }
+
+    /// The member table at manifest position `i`, opened on first touch
+    /// (`.csv` loads as CSV, anything else as binary, both streaming
+    /// under the per-member budget) and LRU-cached thereafter.
+    ///
+    /// The returned [`Arc`] stays valid after the collection evicts the
+    /// member; residency accounting follows the chunks, not the handle.
+    ///
+    /// # Errors
+    ///
+    /// [`TableError::Manifest`] for an out-of-range index; load errors
+    /// (I/O, corruption) pass through so callers can degrade the member.
+    pub fn member(&self, i: usize) -> Result<Arc<Table>, TableError> {
+        let Some(entry) = self.manifest.entries.get(i) else {
+            return Err(TableError::manifest(
+                0,
+                format!("member index {i} out of range ({} members)", self.len()),
+            ));
+        };
+        let mut open = self.open.lock().expect("collection member lock");
+        if let Some(pos) = open.iter().position(|(idx, _)| *idx == i) {
+            let hit = open.remove(pos);
+            let table = Arc::clone(&hit.1);
+            open.push(hit);
+            return Ok(table);
+        }
+        let path = &entry.table_path;
+        let loaded = if path.extension().is_some_and(|e| e == "csv") {
+            table_io::load_csv_streaming(path, self.per_member)?
+        } else {
+            table_io::load_binary_streaming(path, self.per_member)?
+        };
+        tabsketch_obs::counter!("collection.members_opened").inc();
+        let table = Arc::new(loaded);
+        open.push((i, Arc::clone(&table)));
+        if open.len() > self.max_open {
+            open.remove(0);
+        }
+        Ok(table)
+    }
+
+    /// Closes every open member, dropping the collection's handles (a
+    /// member pinned elsewhere stays alive until its last [`Arc`]
+    /// drops).
+    pub fn evict_all(&self) {
+        self.open.lock().expect("collection member lock").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tabsketch-manifest-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parses_full_partial_and_commented_lines() {
+        let text = "\n# corpus\n a=a.tsb:a.tsks:a.tix \nb=b.csv\nc=c.tsb::c.tix\n";
+        let m = Manifest::parse_str(text, Path::new("")).unwrap();
+        assert_eq!(m.len(), 3);
+        let a = m.entry("a").unwrap();
+        assert_eq!(a.table_path, PathBuf::from("a.tsb"));
+        assert_eq!(a.store_path.as_deref(), Some(Path::new("a.tsks")));
+        assert_eq!(a.index_path.as_deref(), Some(Path::new("a.tix")));
+        let b = m.entry("b").unwrap();
+        assert!(b.store_path.is_none() && b.index_path.is_none());
+        let c = m.entry("c").unwrap();
+        assert!(c.store_path.is_none());
+        assert_eq!(c.index_path.as_deref(), Some(Path::new("c.tix")));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_with_line_numbers() {
+        let cases = [
+            ("a=a.tsb\nnonsense\n", 2, "NAME=TABLE"),
+            ("=a.tsb\n", 1, "empty member name"),
+            ("a=\n", 1, "empty table path"),
+            ("a= : s \n", 1, "empty table path"),
+            ("a=t:s:i:x\n", 1, "too many"),
+            ("a=a.tsb\nb=b.tsb\na=c.tsb\n", 3, "duplicate member name"),
+        ];
+        for (text, line, needle) in cases {
+            match Manifest::parse_str(text, Path::new("")) {
+                Err(TableError::Manifest { line: l, reason }) => {
+                    assert_eq!(l, line, "{text:?}");
+                    assert!(reason.contains(needle), "{text:?}: {reason}");
+                }
+                other => panic!("{text:?}: expected manifest error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_manifests_are_rejected() {
+        for text in ["", "# only comments\n\n"] {
+            match Manifest::parse_str(text, Path::new("")) {
+                Err(TableError::Manifest { line: 0, reason }) => {
+                    assert!(reason.contains("no tables"), "{reason}");
+                }
+                other => panic!("expected empty-manifest error, got {other:?}"),
+            }
+        }
+        assert!(Manifest::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn relative_paths_resolve_against_the_manifest_dir() {
+        let m = Manifest::parse_str("a=a.tsb:sub/a.tsks\nb=/abs/b.tsb\n", Path::new("/corpus"))
+            .unwrap();
+        let a = m.entry("a").unwrap();
+        assert_eq!(a.table_path, PathBuf::from("/corpus/a.tsb"));
+        assert_eq!(
+            a.store_path.as_deref(),
+            Some(Path::new("/corpus/sub/a.tsks"))
+        );
+        assert_eq!(
+            m.entry("b").unwrap().table_path,
+            PathBuf::from("/abs/b.tsb")
+        );
+    }
+
+    #[test]
+    fn format_parse_round_trips() {
+        let text = "a=/d/a.tsb:/d/a.tsks:/d/a.tix\nb=/d/b.csv\nc=/d/c.tsb::/d/c.tix\n";
+        let m = Manifest::parse_str(text, Path::new("")).unwrap();
+        assert_eq!(m.format(), text);
+        let back = Manifest::parse_str(&m.format(), Path::new("")).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn derived_paths_default_from_the_table_path() {
+        let m = Manifest::parse_str("a=/d/a.tsb\nb=/d/b.tsb:/d/s.bin\n", Path::new("")).unwrap();
+        let a = m.entry("a").unwrap();
+        assert_eq!(a.store_path_or_default(), PathBuf::from("/d/a.tsks"));
+        assert_eq!(a.signature_path(), PathBuf::from("/d/a.tsk"));
+        assert_eq!(a.index_path_or_default(), PathBuf::from("/d/a.tix"));
+        let b = m.entry("b").unwrap();
+        assert_eq!(b.store_path_or_default(), PathBuf::from("/d/s.bin"));
+        assert_eq!(b.signature_path(), PathBuf::from("/d/s.tsk"));
+    }
+
+    #[test]
+    fn collection_opens_members_lazily_with_lru_eviction() {
+        let dir = temp_dir("lru");
+        let mut lines = String::new();
+        for i in 0..6 {
+            let t = Table::from_fn(8, 8, |r, c| (i * 100 + r * 8 + c) as f64).unwrap();
+            let path = dir.join(format!("m{i}.tsb"));
+            table_io::save_binary(&t, &path).unwrap();
+            lines.push_str(&format!("m{i}={}\n", path.display()));
+        }
+        let manifest = Manifest::parse_str(&lines, Path::new("")).unwrap();
+        let coll = Collection::with_max_open(manifest, MemoryBudget::unbounded(), 2);
+        assert_eq!(coll.len(), 6);
+        for i in 0..6 {
+            let t = coll.member(i).unwrap();
+            assert_eq!(t.get(0, 0), (i * 100) as f64);
+        }
+        assert_eq!(coll.open.lock().unwrap().len(), 2);
+        // Re-touching an open member is a cache hit, not a reopen.
+        let before = coll
+            .open
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(i, _)| *i)
+            .collect::<Vec<_>>();
+        coll.member(before[1]).unwrap();
+        assert_eq!(coll.open.lock().unwrap().len(), 2);
+        assert!(coll.member(99).is_err());
+        coll.evict_all();
+        assert!(coll.open.lock().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_budget_splits_across_the_open_window() {
+        let m = Manifest::parse_str("a=a.tsb\n", Path::new("")).unwrap();
+        let c = Collection::with_max_open(m.clone(), MemoryBudget::bytes(64_000), 4);
+        assert_eq!(c.member_budget().get(), Some(8_000));
+        let unbounded = Collection::open(m, MemoryBudget::unbounded());
+        assert!(unbounded.member_budget().is_unbounded());
+    }
+
+    #[test]
+    fn unreadable_members_error_without_poisoning_the_collection() {
+        let dir = temp_dir("degrade");
+        let ok = dir.join("ok.tsb");
+        table_io::save_binary(&Table::from_fn(4, 4, |r, c| (r + c) as f64).unwrap(), &ok).unwrap();
+        let text = format!(
+            "bad={}\nok={}\n",
+            dir.join("missing.tsb").display(),
+            ok.display()
+        );
+        let coll = Collection::open(
+            Manifest::parse_str(&text, Path::new("")).unwrap(),
+            MemoryBudget::unbounded(),
+        );
+        assert!(coll.member(0).is_err());
+        assert_eq!(coll.member(1).unwrap().rows(), 4);
+        // The failure is retried, not cached.
+        assert!(coll.member(0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

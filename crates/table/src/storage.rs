@@ -32,8 +32,10 @@
 //! Chunk offsets are computable (`header + i * (chunk_rows*cols*8 + 4)`)
 //! because every chunk but the last has the same height.
 //!
-//! Residency is observable through the global metrics registry:
-//! `table.storage.resident_bytes` (gauge, current window),
+//! Residency is observable through the global metrics registry, and is
+//! accounted **process-wide across all spilled tables** (so a
+//! [`crate::Collection`] of many members shares one figure):
+//! `table.storage.resident_bytes` (gauge, current resident bytes),
 //! `table.storage.resident_peak_bytes` (gauge, high-water mark),
 //! `table.storage.chunk_loads` / `table.storage.chunk_evictions` /
 //! `table.storage.spilled_tables` (counters).
@@ -59,6 +61,39 @@ const SPILL_HEADER_BYTES: u64 = 4 + 4 + 8 + 8 + 8 + 4;
 const WINDOW_CHUNKS: usize = 4;
 
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Spilled-chunk bytes resident across **every** spilled table in the
+/// process. Collections open many member tables under one shared
+/// [`MemoryBudget`], so the residency gauges must account globally —
+/// a per-table figure would let N tables each look under budget while
+/// their sum blows it.
+static GLOBAL_RESIDENT_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Current process-wide resident spilled-chunk bytes (the live value
+/// behind the `table.storage.resident_bytes` gauge).
+pub fn resident_bytes() -> u64 {
+    GLOBAL_RESIDENT_BYTES.load(Ordering::Relaxed)
+}
+
+fn resident_add(bytes: u64) {
+    let now = GLOBAL_RESIDENT_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    tabsketch_obs::gauge!("table.storage.resident_bytes").set(now);
+    tabsketch_obs::gauge!("table.storage.resident_peak_bytes").raise(now);
+}
+
+fn resident_sub(bytes: u64) {
+    if bytes == 0 {
+        return;
+    }
+    // Adds and subs are balanced (every resident chunk is counted once),
+    // but saturate anyway so an accounting bug can never wrap the gauge.
+    let mut now = 0;
+    let _ = GLOBAL_RESIDENT_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        now = v.saturating_sub(bytes);
+        Some(now)
+    });
+    tabsketch_obs::gauge!("table.storage.resident_bytes").set(now);
+}
 
 /// A byte limit on how much of a table may stay resident in memory.
 ///
@@ -156,6 +191,17 @@ struct WindowState {
 
 impl Drop for SpillInner {
     fn drop(&mut self) {
+        // Return this table's resident window to the global accounting
+        // before the file goes away, so long-lived collections don't
+        // leak residency from members that have been dropped.
+        if let Ok(state) = self.state.get_mut() {
+            let bytes: u64 = state
+                .resident
+                .iter()
+                .map(|(_, c)| (c.len() * 8) as u64)
+                .sum();
+            resident_sub(bytes);
+        }
         let _ = std::fs::remove_file(&self.path);
     }
 }
@@ -214,11 +260,16 @@ impl SpilledStorage {
     pub fn flush_resident(&self) {
         let mut state = self.inner.state.lock().expect("spill window lock");
         let evicted = state.resident.len() as u64;
+        let bytes: u64 = state
+            .resident
+            .iter()
+            .map(|(_, c)| (c.len() * 8) as u64)
+            .sum();
         state.resident.clear();
         if evicted > 0 {
             tabsketch_obs::counter!("table.storage.chunk_evictions").add(evicted);
         }
-        tabsketch_obs::gauge!("table.storage.resident_bytes").set(0);
+        resident_sub(bytes);
     }
 
     /// The chunk holding row `row` and the row's offset within it.
@@ -265,16 +316,11 @@ impl SpilledStorage {
         tabsketch_obs::counter!("table.storage.chunk_loads").inc();
         state.resident.push((idx, Arc::clone(&chunk)));
         if state.resident.len() > inner.window_chunks {
-            state.resident.remove(0);
+            let (_, evicted) = state.resident.remove(0);
             tabsketch_obs::counter!("table.storage.chunk_evictions").inc();
+            resident_sub((evicted.len() * 8) as u64);
         }
-        let resident_bytes: u64 = state
-            .resident
-            .iter()
-            .map(|(_, c)| (c.len() * 8) as u64)
-            .sum();
-        tabsketch_obs::gauge!("table.storage.resident_bytes").set(resident_bytes);
-        tabsketch_obs::gauge!("table.storage.resident_peak_bytes").raise(resident_bytes);
+        resident_add((chunk.len() * 8) as u64);
         Ok(chunk)
     }
 
@@ -385,7 +431,14 @@ impl SpilledStorage {
         // before they are durable.
         for (idx, buf) in patched {
             if let Err(e) = self.write_chunk(&mut state, idx, &buf) {
+                let dropped: u64 = state
+                    .resident
+                    .iter()
+                    .filter(|(i, _)| *i == idx)
+                    .map(|(_, c)| (c.len() * 8) as u64)
+                    .sum();
                 state.resident.retain(|(i, _)| *i != idx);
+                resident_sub(dropped);
                 return Err(e);
             }
             let chunk: Arc<[f64]> = buf.into();

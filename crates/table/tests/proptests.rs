@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 
 use tabsketch_table::dyadic::{cover_multiplicity, floor_pow2, DyadicCover};
-use tabsketch_table::{io, norms, MemoryBudget, Rect, Table, TableError, TableStorage, TileGrid};
+use tabsketch_table::{
+    io, norms, Manifest, MemoryBudget, Rect, Table, TableError, TableStorage, TileGrid,
+};
 
 fn table_strategy() -> impl Strategy<Value = Table> {
     (1usize..16, 1usize..16).prop_flat_map(|(rows, cols)| {
@@ -263,6 +265,42 @@ proptest! {
             matches!(err, TableError::Corrupt { section: "spill-chunk", .. }),
             "expected a spill-chunk corruption error, got {err:?}"
         );
+    }
+
+    /// Collection manifests round-trip through format -> parse for any
+    /// mix of slot shapes (bare, explicit store, bare index, both),
+    /// with comments and blank lines interleaved, and the formatted
+    /// text is a fixed point.
+    #[test]
+    fn manifest_format_parse_round_trips(
+        slots in proptest::collection::vec((0usize..2, 0usize..2), 1..12),
+        comment_stride in 1usize..5,
+    ) {
+        let mut lines = Vec::new();
+        for (i, &(store, index)) in slots.iter().enumerate() {
+            if i % comment_stride == 0 {
+                lines.push(format!("# member {i}"));
+                lines.push(String::new());
+            }
+            let mut line = format!("m{i}=tables/t{i}.tsb");
+            if store == 1 {
+                line.push_str(&format!(":stores/s{i}.tsks"));
+            }
+            if index == 1 {
+                if store == 0 {
+                    line.push(':');
+                }
+                line.push_str(&format!(":idx/i{i}.tix"));
+            }
+            lines.push(line);
+        }
+        let text = lines.join("\n");
+        let parsed = Manifest::parse_str(&text, std::path::Path::new("")).unwrap();
+        prop_assert_eq!(parsed.len(), slots.len());
+        let formatted = parsed.format();
+        let back = Manifest::parse_str(&formatted, std::path::Path::new("")).unwrap();
+        prop_assert_eq!(&back, &parsed);
+        prop_assert_eq!(back.format(), formatted);
     }
 
     /// hstack/vstack preserve content.

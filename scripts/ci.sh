@@ -4,6 +4,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> bench artifacts present (every BENCH_*.json a gate reads is committed)"
+# Each bench gate below regenerates its artifact, but the committed copy
+# is the recorded baseline — a gate that names an artifact missing from
+# the tree means someone forgot to commit the regenerated numbers.
+for artifact in $(grep -o 'BENCH_[a-z_]*\.json' scripts/ci.sh | sort -u); do
+    if [ ! -f "$artifact" ]; then
+        echo "missing bench artifact: $artifact (named in scripts/ci.sh but not committed)" >&2
+        exit 1
+    fi
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -46,7 +57,7 @@ cargo test --workspace -q
 echo "==> serve integration (sockets, concurrency, protocol fuzzing)"
 cargo test -q -p tabsketch-serve --test server_integration
 
-echo "==> serve load smoke (ephemeral port, mixed workload, shutdown)"
+echo "==> serve load smoke (ephemeral port, mixed workload, shutdown; BENCH_serve.json)"
 cargo run -q -p tabsketch-bench --bin serve_load -- --quick
 
 echo "==> observability smoke (--metrics snapshot JSON covers every crate)"
@@ -66,6 +77,9 @@ for crate in ("fft.", "table.", "core.", "cluster.", "index.", "serve."):
 assert snap["counters"]["core.sketch.sketches"] >= 2, "distance must sketch twice"
 for key in ("table.updates.applied", "table.updates.cells", "core.pool.delta_folds"):
     assert key in snap["counters"], f"live-table counter {key} unregistered"
+for key in ("collection.members_opened", "collection.members_degraded",
+            "collection.pairwise_rows_emitted", "collection.pairs_pruned"):
+    assert key in snap["counters"], f"collection counter {key} unregistered"
 print(f"snapshot OK: {len(keys)} keys across fft/table/core/cluster/index/serve")
 PY
 
@@ -165,6 +179,45 @@ assert b["lru_invalidated"] >= 1, "update never invalidated a cached sketch"
 print(f"updates OK: fold {b['fold_us_per_update']:.1f} us "
       f"({b['speedup']:.0f}x over {b['rebuild_ms_per_update']:.0f} ms rebuild), "
       f"daemon {b['daemon_updates_per_sec']:.0f} updates/s")
+PY
+
+echo "==> collection analytics bound (parallel manysketch, chunked pairwise identity, indexed manysearch; BENCH_collections.json)"
+cargo run -q --release -p tabsketch-bench --bin collections -- --quick
+python3 - BENCH_collections.json <<'PY'
+import json, sys
+b = json.load(open(sys.argv[1]))
+for key in ("host", "tables", "rows", "cols", "tile", "k", "threshold",
+            "budget_bytes", "manysketch_serial_ms", "manysketch_parallel_ms",
+            "manysketch_speedup", "parallel_checked", "cores", "pairwise_rows",
+            "pairwise_block", "pairwise_rows_per_sec",
+            "pairwise_chunked_identical", "peak_resident_bytes", "under_budget",
+            "manysearch_queries", "manysearch_linear_qps",
+            "manysearch_indexed_qps", "manysearch_identical",
+            "index_fallbacks"):
+    assert key in b, f"BENCH_collections.json missing {key}"
+assert b["tables"] == 64, f"corpus drifted off the pinned 64 members: {b['tables']}"
+assert b["under_budget"] is True, (
+    f"collection peak {b['peak_resident_bytes']} B broke the "
+    f"{b['budget_bytes']} B shared budget")
+assert b["pairwise_block"] < b["tables"], (
+    f"pairwise never chunked: block {b['pairwise_block']} of {b['tables']}")
+assert b["pairwise_chunked_identical"] is True, (
+    "chunked pairwise diverged from the dense unbounded run")
+assert b["manysearch_identical"] is True, (
+    "indexed manysearch diverged from the exact sketched scan")
+assert b["index_fallbacks"] == 0, (
+    f"{b['index_fallbacks']} fallbacks despite every member index loading")
+# Same convention as the kernels gate: the bench decides from the core
+# count it records, and only a >= 4-core host must show the speedup.
+assert b["parallel_checked"] == (b["cores"] >= 4), (
+    f"parallel check decision inconsistent with {b['cores']} cores")
+if b["parallel_checked"]:
+    assert b["manysketch_speedup"] >= 1.3, (
+        f"parallel manysketch regressed: {b['manysketch_speedup']:.2f}x < 1.3x")
+print(f"collections OK: manysketch {b['manysketch_speedup']:.2f}x over serial, "
+      f"pairwise {b['pairwise_rows']} rows at block {b['pairwise_block']}, "
+      f"peak {b['peak_resident_bytes']} B of {b['budget_bytes']} B, "
+      f"manysearch identical with {b['index_fallbacks']} fallbacks")
 PY
 
 echo "==> chaos soak (seeded fault injection: typed errors or clean closes, never a hang)"
